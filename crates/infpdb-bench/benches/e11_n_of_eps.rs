@@ -1,0 +1,44 @@
+//! E11 — the Section 6 complexity remark: `n(ε)` is driven by the series'
+//! convergence rate.
+//!
+//! Paper-predicted shape: `n(ε) = Θ(log(1/ε))` for geometric decay;
+//! `n(ε) = Θ(1/ε)` for the ζ(2) family; "series in general may converge
+//! arbitrarily slowly".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infpdb_bench::{geometric_pdb, zeta_pdb};
+use infpdb_query::budget::{n_of_eps_profile, plan};
+
+fn print_rows() {
+    println!("\nE11: n(eps) by series family");
+    let eps = [0.3, 0.1, 0.03, 0.01, 0.003, 0.001];
+    let g = geometric_pdb();
+    let z = zeta_pdb();
+    let gp = n_of_eps_profile(&g, &eps).expect("profile");
+    let zp = n_of_eps_profile(&z, &eps).expect("profile");
+    println!("{:>8} {:>12} {:>12}", "eps", "geometric n", "zeta n");
+    for i in 0..eps.len() {
+        println!("{:>8} {:>12} {:>12}", eps[i], gp[i].1, zp[i].1);
+    }
+    // growth-shape assertions: log vs polynomial
+    assert!(gp[5].1 < 30);
+    assert!(zp[5].1 > 50 * gp[5].1);
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let mut group = c.benchmark_group("e11_n_of_eps");
+    group.sample_size(30);
+    let g = geometric_pdb();
+    let z = zeta_pdb();
+    group.bench_function("plan_geometric_eps_1e-3", |b| {
+        b.iter(|| plan(&g, 0.001).expect("plan"))
+    });
+    group.bench_function("plan_zeta_eps_1e-3", |b| {
+        b.iter(|| plan(&z, 0.001).expect("plan"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E12 — Proposition 6.2: Turing-machine-represented PDBs and the
+//! multiplicative-inapproximability obstruction.
+//!
+//! Paper-predicted shape: `P(∃x R(x)) = 0` iff `L(N) = ∅`; the represented
+//! PDB has weight 1; machines with empty languages are observationally
+//! indistinguishable from non-halting ones on every finite prefix, so no
+//! algorithm can return a multiplicative approximation — while the
+//! additive intervals tighten geometrically.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infpdb_tm::reduction::{has_r_witness, prefixes_agree, prob_exists_r};
+use infpdb_tm::{RepresentedPdb, TuringMachine};
+
+fn print_rows() {
+    println!("\nE12: the Prop 6.2 dichotomy");
+    println!("{:<22} {:>10} {:>24}", "machine", "witness?", "P(exists R) interval");
+    let machines: Vec<(&str, TuringMachine)> = vec![
+        ("rejects_all", TuringMachine::rejects_all()),
+        ("loops_forever", TuringMachine::loops_forever()),
+        ("accepts_all", TuringMachine::accepts_all()),
+        ("accepts_only_empty", TuringMachine::accepts_only_empty()),
+        ("needs_a_one", TuringMachine::accepts_strings_with_a_one()),
+    ];
+    for (name, m) in machines {
+        let rep = RepresentedPdb::new(m);
+        let w = has_r_witness(&rep, 200);
+        let iv = prob_exists_r(&rep, 40).expect("interval");
+        println!("{name:<22} {:>10} {:>24}", w.is_some(), iv.to_string());
+        if w.is_none() {
+            assert_eq!(iv.lo(), 0.0);
+        } else {
+            assert!(iv.lo() > 0.0);
+        }
+    }
+    let empty = RepresentedPdb::new(TuringMachine::rejects_all());
+    let looper = RepresentedPdb::new(TuringMachine::loops_forever());
+    println!(
+        "rejects_all vs loops_forever agree on first 200 facts: {}",
+        prefixes_agree(&empty, &looper, 200)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let mut group = c.benchmark_group("e12_tm");
+    group.sample_size(20);
+    let rep = RepresentedPdb::new(TuringMachine::accepts_strings_with_a_one());
+    group.bench_function("prob_exists_r_40_pairs", |b| {
+        b.iter(|| prob_exists_r(&rep, 40).expect("interval"))
+    });
+    group.bench_function("witness_scan_200", |b| b.iter(|| has_r_witness(&rep, 200)));
+    let supply = rep.supply();
+    group.bench_function("fact_enumeration_100", |b| {
+        b.iter(|| (0..100).map(|i| supply.fact(i)).collect::<Vec<_>>().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

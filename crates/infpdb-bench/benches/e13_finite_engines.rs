@@ -1,0 +1,94 @@
+//! E13 — substrate ablation: intensional (lineage+Shannon) vs extensional
+//! (safe plan) vs Monte-Carlo vs brute-force on finite t.i. tables.
+//!
+//! Expected shape (classical finite-PDB theory): on hierarchical queries
+//! the lifted engine scales polynomially and beats lineage as tables grow;
+//! brute force explodes exponentially and is only usable on tiny tables;
+//! Monte Carlo pays a large constant for tight tolerances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infpdb_bench::random_finite_table;
+use infpdb_core::space::rand_core::SplitMix64;
+use infpdb_finite::engine::{self, Engine};
+use infpdb_finite::monte_carlo;
+use infpdb_logic::parse;
+
+const SAFE: &str = "exists x, y. R(x) /\\ S(x, y)";
+const UNSAFE: &str = "exists x, y. R(x) /\\ S(x, y) /\\ T(y)";
+
+fn print_rows() {
+    println!("\nE13: engine agreement on a 14-fact table");
+    let t = random_finite_table(14, 1);
+    for qs in [SAFE, UNSAFE] {
+        let q = parse(qs, t.schema()).expect("query");
+        let lineage = engine::prob_boolean(&q, &t, Engine::Lineage).expect("lineage");
+        let brute = engine::prob_boolean(&q, &t, Engine::Brute).expect("brute");
+        let lifted = engine::prob_boolean(&q, &t, Engine::Lifted);
+        let mut rng = SplitMix64::new(1);
+        let mc = monte_carlo::estimate(&q, &t, 20_000, &mut rng).expect("mc");
+        let mut rng_kl = SplitMix64::new(2);
+        let kl = infpdb_finite::karp_luby::estimate_ucq(&q, &t, 40_000, 10_000, &mut rng_kl)
+            .expect("monotone query");
+        println!(
+            "{qs:<44} lineage={lineage:.6} brute={brute:.6} lifted={} mc={:.4} kl={:.4}",
+            lifted
+                .map(|p| format!("{p:.6}"))
+                .unwrap_or_else(|_| "unsafe".into()),
+            mc.estimate,
+            kl.estimate
+        );
+        assert!((lineage - brute).abs() < 1e-9);
+        assert!((mc.estimate - brute).abs() < 0.02);
+        assert!((kl.estimate - brute).abs() < 0.02 + 0.05 * brute);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let mut group = c.benchmark_group("e13_finite_engines");
+    group.sample_size(10);
+    for &n in &[10usize, 50, 200, 1000] {
+        let t = random_finite_table(n, 777);
+        let q_safe = parse(SAFE, t.schema()).expect("query");
+        group.bench_with_input(BenchmarkId::new("lifted_safe", n), &n, |b, _| {
+            b.iter(|| engine::prob_boolean(&q_safe, &t, Engine::Lifted).expect("prob"))
+        });
+        if n <= 200 {
+            group.bench_with_input(BenchmarkId::new("lineage_safe", n), &n, |b, _| {
+                b.iter(|| engine::prob_boolean(&q_safe, &t, Engine::Lineage).expect("prob"))
+            });
+        }
+        if n <= 10 {
+            // exact inference on the unsafe query is #P-hard; past ~10
+            // facts on a dense domain the Shannon expansion blows up
+            let q_unsafe = parse(UNSAFE, t.schema()).expect("query");
+            group.bench_with_input(BenchmarkId::new("lineage_unsafe", n), &n, |b, _| {
+                b.iter(|| engine::prob_boolean(&q_unsafe, &t, Engine::Lineage).expect("prob"))
+            });
+        }
+        if n <= 10 {
+            group.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+                b.iter(|| engine::prob_boolean(&q_safe, &t, Engine::Brute).expect("prob"))
+            });
+        }
+    }
+    let t = random_finite_table(200, 778);
+    let q = parse(UNSAFE, t.schema()).expect("query");
+    // Monte Carlo and Karp–Luby scale where exact intensional inference
+    // cannot; KL additionally gives *relative* error (monotone queries)
+    let mut rng = SplitMix64::new(2);
+    group.bench_function("monte_carlo_2000_samples", |b| {
+        b.iter(|| monte_carlo::estimate(&q, &t, 2000, &mut rng).expect("mc"))
+    });
+    let mut rng2 = SplitMix64::new(3);
+    group.bench_function("karp_luby_2000_samples", |b| {
+        b.iter(|| {
+            infpdb_finite::karp_luby::estimate_ucq(&q, &t, 2000, 100_000, &mut rng2)
+                .expect("kl")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E14 — Section 3.1: view semantics `P′ = P ∘ V⁻¹` as pushforward
+//! measures.
+//!
+//! Expected shape: pushforward mass is conserved; preimages merge; cost
+//! scales with support size × per-world view evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infpdb_core::fact::Fact;
+use infpdb_core::schema::{Relation, Schema};
+use infpdb_core::value::Value;
+use infpdb_finite::TiTable;
+use infpdb_logic::parse;
+use infpdb_logic::view::{FoView, ViewDef};
+
+fn setup(chain: i64) -> (TiTable, FoView) {
+    let source = Schema::from_relations([Relation::new("E", 2)]).expect("schema");
+    let target = Schema::from_relations([Relation::new("Hop2", 2)]).expect("schema");
+    let e = source.rel_id("E").expect("E");
+    // a probabilistic path 1 → 2 → … → chain
+    let table = TiTable::from_facts(
+        source.clone(),
+        (1..chain).map(|i| {
+            (
+                Fact::new(e, [Value::int(i), Value::int(i + 1)]),
+                0.5 + 0.4 * ((i % 3) as f64) / 3.0,
+            )
+        }),
+    )
+    .expect("table");
+    let f = parse("exists z. E(x, z) /\\ E(z, y)", &source).expect("formula");
+    let view = FoView::new(
+        source,
+        target.clone(),
+        [ViewDef {
+            target: target.rel_id("Hop2").expect("Hop2"),
+            formula: f,
+        }],
+    )
+    .expect("view");
+    (table, view)
+}
+
+fn print_rows() {
+    println!("\nE14: pushforward measure conservation (2-hop view on a path)");
+    let (table, view) = setup(8);
+    let worlds = table.worlds().expect("worlds");
+    let (image, _interner) = view.pushforward(worlds.space(), table.interner());
+    println!(
+        "source support = {}, image support = {}, image mass = {:.9}",
+        worlds.space().support_size(),
+        image.support_size(),
+        image.total_mass()
+    );
+    assert!((image.total_mass() - 1.0).abs() < 1e-9);
+    assert!(image.support_size() <= worlds.space().support_size());
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let mut group = c.benchmark_group("e14_views");
+    group.sample_size(10);
+    for &chain in &[6i64, 9, 12] {
+        let (table, view) = setup(chain);
+        let worlds = table.worlds().expect("worlds");
+        group.bench_with_input(BenchmarkId::new("pushforward", chain), &chain, |b, _| {
+            b.iter(|| view.pushforward(worlds.space(), table.interner()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

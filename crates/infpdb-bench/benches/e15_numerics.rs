@@ -1,0 +1,101 @@
+//! E15 — ablation of the numerics design choices DESIGN.md §3 commits to:
+//! compensated summation, log-space instance probabilities, and certified
+//! interval refinement.
+//!
+//! Expected shape: naive summation loses the tail of a long fact series
+//! where Kahan keeps it; linear-space instance probabilities underflow to
+//! an indistinguishable 0 where log-space preserves ordering; interval
+//! width decays geometrically in the refinement depth at linear cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infpdb_bench::geometric_pdb;
+use infpdb_math::series::{GeometricSeries, ProbSeries};
+use infpdb_math::KahanSum;
+
+fn print_rows() {
+    println!("\nE15a: naive vs compensated summation (geometric, 10^7 terms + 1.0 head)");
+    // Summing 1.0 followed by many tiny terms: the classic mass-loss case.
+    let tiny = 1e-16;
+    let n = 10_000_000usize;
+    let mut naive = 1.0f64;
+    let mut kahan = KahanSum::with_value(1.0);
+    for _ in 0..n {
+        naive += tiny;
+        kahan.add(tiny);
+    }
+    let expected = 1.0 + tiny * n as f64;
+    println!("expected {expected:.12}  naive {naive:.12}  kahan {:.12}", kahan.value());
+    assert_eq!(naive, 1.0, "naive summation should lose the tail entirely");
+    assert!((kahan.value() - expected).abs() < 1e-12);
+
+    println!("E15b: linear vs log-space instance probability (uniform p = 0.5, n facts)");
+    let uniform = |n: usize| {
+        infpdb_finite::TiTable::from_facts(
+            infpdb_bench::unary_schema(),
+            (0..n).map(|i| (infpdb_bench::rfact(i as i64), 0.5)),
+        )
+        .expect("table")
+    };
+    let empty = infpdb_core::instance::Instance::empty();
+    for n in [100usize, 1000, 2000] {
+        let table = uniform(n);
+        let linear = table.instance_prob(&empty);
+        let log = table.instance_logprob(&empty);
+        println!("n={n:<6} linear={linear:.6e}  log-space ln={:.4}", log.ln());
+    }
+    // past ~1075 facts the linear form is exactly 0 and cannot rank
+    // instances; the log form still can
+    let table = uniform(2000);
+    assert_eq!(table.instance_prob(&empty), 0.0, "honest linear underflow");
+    let l0 = table.instance_logprob(&empty);
+    let l1 = table.instance_logprob(&infpdb_core::instance::Instance::from_ids([
+        infpdb_core::fact::FactId(0),
+    ]));
+    assert!((l0.ln() - l1.ln()).abs() < 1e-9, "p = 0.5 either way");
+    assert!(l0.ln().is_finite());
+
+    let pdb = geometric_pdb();
+
+    println!("E15c: interval width vs refinement (instance probability, geometric)");
+    for refine in [0usize, 8, 32, 128] {
+        let enc = pdb
+            .instance_prob(&[infpdb_bench::rfact(1)], refine, 10)
+            .expect("interval");
+        println!("refine={refine:<4} width = {:.3e}", enc.width());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let mut group = c.benchmark_group("e15_numerics");
+    group.sample_size(20);
+    let terms: Vec<f64> = {
+        let g = GeometricSeries::new(0.5, 0.999).expect("series");
+        (0..100_000).map(|i| g.term(i)).collect()
+    };
+    group.bench_function("naive_sum_100k", |b| {
+        b.iter(|| terms.iter().copied().sum::<f64>())
+    });
+    group.bench_function("kahan_sum_100k", |b| {
+        b.iter(|| KahanSum::sum_iter(terms.iter().copied()))
+    });
+    let pdb = geometric_pdb();
+    let table = pdb.truncate(2000).expect("table");
+    let empty = infpdb_core::instance::Instance::empty();
+    group.bench_function("instance_logprob_2000", |b| {
+        b.iter(|| table.instance_logprob(&empty))
+    });
+    for refine in [0usize, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("interval_refine", refine),
+            &refine,
+            |b, &r| {
+                b.iter(|| pdb.instance_prob(&[infpdb_bench::rfact(1)], r, 10).expect("ok"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E2 — Claim (∗) of Proposition 6.1: `∏(1−p_i) ≥ exp(−(3/2)∑p_i)` and its
+//! tightness across series families.
+//!
+//! Paper-predicted shape: the inequality holds everywhere; the ratio
+//! product/bound approaches 1 as the terms shrink (the bound is within
+//! `e^{∑p²}`-ish slack) and is loosest for terms near 1/2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infpdb_math::products::{claim_star_sides, tail_product_one_minus};
+use infpdb_math::series::{GeometricSeries, ZetaSeries};
+
+fn print_rows() {
+    println!("\nE2: claim (*) tightness: prod vs exp(-1.5*sum)");
+    println!("{:<28} {:>12} {:>12} {:>8}", "series", "product", "bound", "ratio");
+    let series: Vec<(&str, Box<dyn infpdb_math::series::ProbSeries>)> = vec![
+        (
+            "geometric(0.45, 0.5)",
+            Box::new(GeometricSeries::new(0.45, 0.5).expect("series")),
+        ),
+        (
+            "geometric(0.10, 0.5)",
+            Box::new(GeometricSeries::new(0.10, 0.5).expect("series")),
+        ),
+        (
+            "geometric(0.01, 0.9)",
+            Box::new(GeometricSeries::new(0.01, 0.9).expect("series")),
+        ),
+        ("zeta (basel)", Box::new(ZetaSeries::basel())),
+    ];
+    for (name, s) in &series {
+        let (prod, bound) = claim_star_sides(&s.as_ref(), 5000);
+        assert!(prod >= bound - 1e-12, "claim (*) violated for {name}");
+        println!("{name:<28} {prod:>12.8} {bound:>12.8} {:>8.4}", prod / bound);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let mut group = c.benchmark_group("e2_tail_bound");
+    group.sample_size(30);
+    let g = GeometricSeries::new(0.45, 0.5).expect("series");
+    group.bench_function("claim_star_5000_terms", |b| {
+        b.iter(|| claim_star_sides(&g, 5000))
+    });
+    let z = ZetaSeries::basel();
+    group.bench_function("tail_product_interval_zeta", |b| {
+        b.iter(|| tail_product_one_minus(&z, 10, 1000).expect("interval"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

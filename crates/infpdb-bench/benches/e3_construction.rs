@@ -1,0 +1,69 @@
+//! E3 — Theorem 4.8 / Proposition 4.5: construction of countable t.i. PDBs
+//! from convergent series; rejection of divergent ones; marginal recovery;
+//! instance-probability throughput as the support grows.
+//!
+//! Paper-predicted shape: convergent inputs construct with marginals
+//! recovered exactly; divergent inputs are rejected; instance-probability
+//! cost grows linearly in the explicit cut.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infpdb_bench::{geometric_pdb, rfact, unary_schema};
+use infpdb_math::series::HarmonicSeries;
+use infpdb_ti::construction::CountableTiPdb;
+use infpdb_ti::enumerator::FactSupply;
+use infpdb_core::schema::RelId;
+
+fn print_rows() {
+    println!("\nE3: Theorem 4.8 dichotomy and marginal recovery");
+    let pdb = geometric_pdb();
+    let mut worst = 0.0f64;
+    for i in 0..1000 {
+        let assigned = 0.5f64.powi(i as i32 + 1);
+        worst = worst.max((pdb.marginal_at(i) - assigned).abs());
+    }
+    println!("max |realized − assigned| over 1000 marginals: {worst:.2e}");
+    assert!(worst < 1e-15);
+    let divergent = CountableTiPdb::new(FactSupply::unary_over_naturals(
+        unary_schema(),
+        RelId(0),
+        HarmonicSeries::new(1.0).expect("series"),
+    ));
+    println!(
+        "divergent (harmonic) input rejected: {}",
+        divergent.is_err()
+    );
+    assert!(divergent.is_err());
+    // instance probability interval width per refinement
+    for refine in [0usize, 16, 64] {
+        let enc = pdb
+            .instance_prob(&[rfact(1), rfact(3)], refine, 100)
+            .expect("interval");
+        println!("instance_prob refine={refine:<3} width = {:.2e}", enc.width());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let mut group = c.benchmark_group("e3_construction");
+    group.sample_size(20);
+    let pdb = geometric_pdb();
+    for &cut in &[100usize, 1_000, 10_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("instance_prob_refine", cut),
+            &cut,
+            |b, &cut| {
+                b.iter(|| {
+                    pdb.instance_prob(&[rfact(1)], cut, 100)
+                        .expect("interval")
+                })
+            },
+        );
+    }
+    group.bench_function("truncate_1000", |b| {
+        b.iter(|| pdb.truncate(1000).expect("table"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E4 — Lemmas 4.3/4.4: the constructed measure is a probability measure
+//! (∑ P({D}) = 1) and the fact events are independent.
+//!
+//! Paper-predicted shape: the mass of all sub-instances of the first k
+//! facts approaches 1 as k grows, at the rate of the escape probability;
+//! empirical pairwise independence from the sampler matches the analytic
+//! product within sampling noise.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infpdb_bench::{geometric_pdb, rfact};
+use infpdb_core::fact::FactId;
+use infpdb_core::space::rand_core::SplitMix64;
+use infpdb_ti::sampler::TruncatedSampler;
+
+fn print_rows() {
+    println!("\nE4: Lemma 4.3 — mass captured by instances within the first k facts");
+    let pdb = geometric_pdb();
+    println!("{:>4} {:>14} {:>14}", "k", "mass(2^k subs)", "1 - escape");
+    for k in [2usize, 4, 8, 12] {
+        let mut total = 0.0;
+        for mask in 0u32..(1 << k) {
+            let facts: Vec<_> = (0..k)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| rfact(i as i64 + 1))
+                .collect();
+            total += pdb.instance_prob(&facts, 32, 100).expect("interval").midpoint();
+        }
+        let floor = pdb.prob_within_prefix(k, 32).expect("interval").lo();
+        println!("{k:>4} {total:>14.8} {floor:>14.8}");
+        assert!(total <= 1.0 + 1e-6 && total >= floor - 1e-6);
+    }
+
+    println!("E4: Lemma 4.4 — empirical independence (60k samples)");
+    let sampler = TruncatedSampler::new(&pdb, 1e-5).expect("sampler");
+    let mut rng = SplitMix64::new(4242);
+    let n = 60_000;
+    let (mut c0, mut c1, mut cboth) = (0usize, 0usize, 0usize);
+    for _ in 0..n {
+        let d = sampler.sample(&mut rng);
+        let h0 = d.contains(FactId(0));
+        let h1 = d.contains(FactId(1));
+        c0 += h0 as usize;
+        c1 += h1 as usize;
+        cboth += (h0 && h1) as usize;
+    }
+    let (f0, f1, fb) = (
+        c0 as f64 / n as f64,
+        c1 as f64 / n as f64,
+        cboth as f64 / n as f64,
+    );
+    println!("P(f0)={f0:.4} P(f1)={f1:.4} P(f0∧f1)={fb:.4} product={:.4}", f0 * f1);
+    assert!((fb - f0 * f1).abs() < 0.01);
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let mut group = c.benchmark_group("e4_measure");
+    group.sample_size(20);
+    let pdb = geometric_pdb();
+    let sampler = TruncatedSampler::new(&pdb, 1e-5).expect("sampler");
+    let mut rng = SplitMix64::new(7);
+    group.bench_function("sample_instance", |b| b.iter(|| sampler.sample(&mut rng)));
+    group.bench_function("instance_prob_midpoint", |b| {
+        b.iter(|| {
+            pdb.instance_prob(&[rfact(1), rfact(2)], 32, 100)
+                .expect("interval")
+                .midpoint()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

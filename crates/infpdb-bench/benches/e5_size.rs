@@ -1,0 +1,51 @@
+//! E5 — Corollary 4.7 and Example 3.3: tuple-independent PDBs always have
+//! finite expected size; general countable PDBs need not.
+//!
+//! Paper-predicted shape: t.i. expected-size enclosures converge to the
+//! series total; the Example 3.3 partial expectations grow without bound
+//! (roughly doubling per outcome).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infpdb_bench::{geometric_pdb, zeta_pdb};
+use infpdb_ti::counterexample::LazySizedPdb;
+
+fn print_rows() {
+    println!("\nE5: expected instance size (Corollary 4.7 vs Example 3.3)");
+    for (name, pdb, prefix) in [
+        ("geometric t.i.", geometric_pdb(), 64usize),
+        ("zeta t.i.", zeta_pdb(), 100_000),
+    ] {
+        let (lo, hi) = pdb.expected_size_bounds(prefix).expect("bounds");
+        println!("{name:<16} E(S) ∈ [{lo:.6}, {hi:.6}]  (finite, Cor 4.7)");
+        assert!(hi.is_finite());
+    }
+    let ex = LazySizedPdb::example_3_3();
+    println!("Example 3.3 partial E(S) by outcomes considered:");
+    println!("{:>6} {:>16}", "N", "partial E(S)");
+    for n in [5u64, 10, 20, 30, 40] {
+        println!("{n:>6} {:>16.3e}", ex.partial_moment(1, n));
+    }
+    assert!(ex.partial_moment(1, 40) > ex.partial_moment(1, 20) * 1000.0);
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let mut group = c.benchmark_group("e5_size");
+    group.sample_size(20);
+    let pdb = geometric_pdb();
+    group.bench_function("expected_size_bounds_10k", |b| {
+        b.iter(|| pdb.expected_size_bounds(10_000).expect("bounds"))
+    });
+    let table = pdb.truncate(256).expect("table");
+    group.bench_function("poisson_binomial_256", |b| {
+        b.iter(|| table.size_distribution())
+    });
+    let ex = LazySizedPdb::example_3_3();
+    group.bench_function("partial_moment_example_3_3", |b| {
+        b.iter(|| ex.partial_moment(1, 40))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E6 — Proposition 4.9: the Example 3.3 PDB escapes every FO view of
+//! every tuple-independent PDB.
+//!
+//! Paper-predicted shape: any such view obeys the size envelope
+//! `E(S) ≤ k·E(S_C) + c` (finite by Corollary 4.7); the Example 3.3
+//! partial expectations cross every finite envelope at a small outcome
+//! index. Remark 4.10's refinement shows the same with finite mean but
+//! divergent higher moments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infpdb_ti::counterexample::{fo_view_expected_size_bound, LazySizedPdb};
+
+fn print_rows() {
+    println!("\nE6: Prop 4.9 — outcomes needed to exceed FO-view envelopes");
+    let ex = LazySizedPdb::example_3_3();
+    println!("{:>10} {:>10} {:>12} {:>16}", "k (arity)", "c", "E(S_C)", "crossed at N");
+    for (k, c, e_sc) in [(2usize, 0usize, 1.0), (5, 10, 100.0), (10, 100, 1e6)] {
+        let bound = fo_view_expected_size_bound(k, c, e_sc);
+        let mut n = 1u64;
+        while ex.partial_moment(1, n) <= bound {
+            n += 1;
+        }
+        println!("{k:>10} {c:>10} {e_sc:>12.1e} {n:>16}");
+        assert!(n < 60);
+    }
+    println!("E6: Remark 4.10 (k = 2) moment dichotomy:");
+    let r = LazySizedPdb::remark_4_10(2);
+    println!(
+        "E(S)  partials: {:.6} → {:.6} (converging)",
+        r.partial_moment(1, 10_000),
+        r.partial_moment(1, 100_000)
+    );
+    println!(
+        "E(S²) partials: {:.3} → {:.3} (diverging)",
+        r.partial_moment(2, 10_000),
+        r.partial_moment(2, 100_000)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let mut group = c.benchmark_group("e6_definability");
+    group.sample_size(20);
+    let r = LazySizedPdb::remark_4_10(2);
+    group.bench_function("partial_second_moment_100k", |b| {
+        b.iter(|| r.partial_moment(2, 100_000))
+    });
+    let ex = LazySizedPdb::example_3_3();
+    group.bench_function("truncate_example_3_3_12", |b| b.iter(|| ex.truncate(12)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

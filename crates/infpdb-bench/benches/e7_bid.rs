@@ -1,0 +1,92 @@
+//! E7 — Theorem 4.15 / Proposition 4.13: countable b.i.d. PDBs.
+//!
+//! Paper-predicted shape: convergent block masses construct, divergent are
+//! rejected; samples never violate block exclusivity; within-block
+//! marginals and cross-block independence match analytic values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infpdb_core::fact::Fact;
+use infpdb_core::schema::{RelId, Relation, Schema};
+use infpdb_core::space::rand_core::SplitMix64;
+use infpdb_core::value::Value;
+use infpdb_math::series::{GeometricSeries, HarmonicSeries};
+use infpdb_ti::bid::{BlockSupply, CountableBidPdb};
+
+fn schema() -> Schema {
+    Schema::from_relations([Relation::new("KV", 2)]).expect("static schema")
+}
+
+fn kv(k: i64, v: i64) -> Fact {
+    Fact::new(RelId(0), [Value::int(k), Value::int(v)])
+}
+
+fn supply(alts_per_block: i64) -> BlockSupply {
+    BlockSupply::from_fn(
+        schema(),
+        move |i| {
+            let m = 0.5f64.powi(i as i32 + 1);
+            (0..alts_per_block)
+                .map(|v| (kv(i as i64, v), m / alts_per_block as f64))
+                .collect()
+        },
+        GeometricSeries::new(0.5, 0.5).expect("series"),
+    )
+}
+
+fn print_rows() {
+    println!("\nE7: Theorem 4.15 dichotomy and b.i.d. sampling");
+    let pdb = CountableBidPdb::new(supply(2), 16).expect("convergent");
+    println!("convergent block masses: constructed, E(S) ≤ {:.4}", pdb.expected_size_bound());
+    let divergent = BlockSupply::from_fn(
+        schema(),
+        |i| vec![(kv(i as i64, 0), 1.0 / (i + 1) as f64)],
+        HarmonicSeries::new(1.0).expect("series"),
+    );
+    let rejected = CountableBidPdb::new(divergent, 4).is_err();
+    println!("divergent block masses rejected: {rejected}");
+    assert!(rejected);
+
+    let sampler = pdb.sampler(1e-4).expect("sampler");
+    let mut rng = SplitMix64::new(77);
+    let n = 30_000;
+    let mut violations = 0usize;
+    let mut first_block_hits = 0usize;
+    let id_a = sampler.table().interner().get(&kv(0, 0)).expect("fact");
+    let id_b = sampler.table().interner().get(&kv(0, 1)).expect("fact");
+    for _ in 0..n {
+        let d = sampler.sample(&mut rng);
+        let (ha, hb) = (d.contains(id_a), d.contains(id_b));
+        violations += (ha && hb) as usize;
+        first_block_hits += (ha || hb) as usize;
+    }
+    println!(
+        "block-exclusivity violations: {violations}/{n}; P(block 0 occupied) ≈ {:.4} (analytic 0.5)",
+        first_block_hits as f64 / n as f64
+    );
+    assert_eq!(violations, 0);
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let mut group = c.benchmark_group("e7_bid");
+    group.sample_size(20);
+    for alts in [1i64, 4, 16] {
+        let pdb = CountableBidPdb::new(supply(alts), 8).expect("pdb");
+        let sampler = pdb.sampler(1e-4).expect("sampler");
+        let mut rng = SplitMix64::new(5);
+        group.bench_with_input(BenchmarkId::new("sample", alts), &alts, |b, _| {
+            b.iter(|| sampler.sample(&mut rng))
+        });
+    }
+    let pdb = CountableBidPdb::new(supply(2), 8).expect("pdb");
+    group.bench_function("instance_prob", |b| {
+        b.iter(|| pdb.instance_prob(&[(0, kv(0, 0)), (3, kv(3, 1))]).expect("interval"))
+    });
+    group.bench_function("truncate_16_blocks", |b| {
+        b.iter(|| pdb.truncate(16).expect("table"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

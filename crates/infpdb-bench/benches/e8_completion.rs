@@ -1,0 +1,78 @@
+//! E8 — Theorem 5.5 and the completion condition (CC).
+//!
+//! Paper-predicted shape: conditioning the completion on the original
+//! sample space recovers the original measure exactly (deviation at f64
+//! noise level); completion construction and marginal lookups stay cheap
+//! as the seed grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infpdb_bench::{rfact, unary_schema};
+use infpdb_core::space::rand_core::{RngCore, SplitMix64};
+use infpdb_finite::{FinitePdb, TiTable};
+use infpdb_math::series::GeometricSeries;
+use infpdb_openworld::independent_facts::{complete_pdb, complete_ti_table};
+use infpdb_ti::enumerator::FactSupply;
+
+fn tail(offset: i64) -> FactSupply {
+    FactSupply::from_fn(
+        unary_schema(),
+        move |i| rfact(offset + i as i64),
+        GeometricSeries::new(0.3, 0.5).expect("series"),
+    )
+}
+
+fn print_rows() {
+    println!("\nE8: completion condition (CC) on random correlated seeds");
+    let mut rng = SplitMix64::new(88);
+    println!("{:>6} {:>14}", "seed#", "max |CC dev|");
+    for trial in 0..5 {
+        // random closed (powerset) space over 3 facts
+        let mut masses: Vec<f64> = (0..8).map(|_| (rng.next_u64() % 1000 + 1) as f64).collect();
+        let total: f64 = masses.iter().sum();
+        masses.iter_mut().for_each(|m| *m /= total);
+        let worlds: Vec<(Vec<_>, f64)> = (0..8u32)
+            .map(|mask| {
+                (
+                    (0..3)
+                        .filter(|i| mask & (1 << i) != 0)
+                        .map(|i| rfact(i as i64))
+                        .collect(),
+                    masses[mask as usize],
+                )
+            })
+            .collect();
+        let original = FinitePdb::from_worlds(unary_schema(), worlds).expect("pdb");
+        let completed = complete_pdb(original, tail(100)).expect("completion");
+        let worst = completed.verify_cc(64, 1e-6).expect("CC holds");
+        println!("{trial:>6} {worst:>14.2e}");
+        assert!(worst < 1e-9);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_rows();
+    let mut group = c.benchmark_group("e8_completion");
+    group.sample_size(20);
+    for &seed_facts in &[4usize, 16, 64] {
+        let table = TiTable::from_facts(
+            unary_schema(),
+            (0..seed_facts).map(|i| (rfact(i as i64), 0.5)),
+        )
+        .expect("table");
+        group.bench_with_input(
+            BenchmarkId::new("complete_ti_table", seed_facts),
+            &seed_facts,
+            |b, _| b.iter(|| complete_ti_table(&table, tail(10_000)).expect("completion")),
+        );
+    }
+    let table =
+        TiTable::from_facts(unary_schema(), (0..16).map(|i| (rfact(i), 0.5))).expect("table");
+    let open = complete_ti_table(&table, tail(10_000)).expect("completion");
+    group.bench_function("tail_marginal_lookup", |b| {
+        b.iter(|| open.marginal(&rfact(10_005), 100).expect("found"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Benchmark harness for `infpdb`.
+//!
+//! One Criterion benchmark per experiment of DESIGN.md §4 (E1–E15) lives in
+//! `benches/`. Since the paper (a PODS theory contribution) reports no
+//! empirical tables, every bench both *prints* the experiment's measured
+//! rows — the reproducible artifact EXPERIMENTS.md records — and times the
+//! underlying operation with Criterion.
+
+use infpdb_core::fact::Fact;
+use infpdb_core::schema::{RelId, Relation, Schema};
+use infpdb_core::value::Value;
+use infpdb_math::series::{GeometricSeries, ZetaSeries};
+use infpdb_ti::construction::CountableTiPdb;
+use infpdb_ti::enumerator::FactSupply;
+
+/// The standard unary schema `{R/1}` used by most experiments.
+pub fn unary_schema() -> Schema {
+    Schema::from_relations([Relation::new("R", 1)]).expect("static schema")
+}
+
+/// `R(n)`.
+pub fn rfact(n: i64) -> Fact {
+    Fact::new(RelId(0), [Value::int(n)])
+}
+
+/// The canonical fast-decay infinite PDB: `p_i = 0.5^(i+1)` over `R(ℕ)`.
+pub fn geometric_pdb() -> CountableTiPdb {
+    CountableTiPdb::new(FactSupply::unary_over_naturals(
+        unary_schema(),
+        RelId(0),
+        GeometricSeries::new(0.5, 0.5).expect("static series"),
+    ))
+    .expect("convergent")
+}
+
+/// The canonical slow-decay infinite PDB: `p_n = 6/(π²n²)` (Example 3.3's
+/// distribution as fact probabilities).
+pub fn zeta_pdb() -> CountableTiPdb {
+    CountableTiPdb::new(FactSupply::unary_over_naturals(
+        unary_schema(),
+        RelId(0),
+        ZetaSeries::basel(),
+    ))
+    .expect("convergent")
+}
+
+/// Ground truth for `P(∃x R(x))` by long explicit product.
+pub fn truth_exists_r(pdb: &CountableTiPdb, terms: usize) -> f64 {
+    let mut none = 1.0;
+    for i in 0..terms {
+        none *= 1.0 - pdb.supply().prob(i);
+    }
+    1.0 - none
+}
+
+/// A deterministic pseudo-random finite t.i. table over `{R/1, S/2, T/1}`
+/// with `facts` facts, for the engine-comparison experiments.
+pub fn random_finite_table(facts: usize, seed: u64) -> infpdb_finite::TiTable {
+    use infpdb_core::space::rand_core::{RngCore, SplitMix64};
+    let schema = Schema::from_relations([
+        Relation::new("R", 1),
+        Relation::new("S", 2),
+        Relation::new("T", 1),
+    ])
+    .expect("static schema");
+    let mut rng = SplitMix64::new(seed);
+    let mut t = infpdb_finite::TiTable::new(schema);
+    let mut added = 0usize;
+    let mut counter = 0i64;
+    // domain scales with the table so enough distinct facts exist
+    // (capacity is 2·dom + dom²) while joins still hit often
+    let dom = ((facts as f64).sqrt() as i64 + 4).max(12);
+    let mut attempts = 0usize;
+    while added < facts {
+        attempts += 1;
+        assert!(
+            attempts < 1000 * facts + 1000,
+            "domain too small for {facts} distinct facts"
+        );
+        counter += 1;
+        let p = 0.05 + 0.9 * (rng.next_u64() % 1000) as f64 / 1000.0;
+        let a = (rng.next_u64() % dom as u64) as i64;
+        let b = (rng.next_u64() % dom as u64) as i64;
+        let fact = match counter % 3 {
+            0 => Fact::new(RelId(0), [Value::int(a)]),
+            1 => Fact::new(RelId(1), [Value::int(a), Value::int(b)]),
+            _ => Fact::new(RelId(2), [Value::int(a)]),
+        };
+        if t.add_fact(fact, p).is_ok() {
+            added += 1;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_constructors() {
+        assert!(geometric_pdb().expected_size_bound() >= 1.0);
+        assert!(zeta_pdb().expected_size_bound() >= 1.0);
+        let truth = truth_exists_r(&geometric_pdb(), 100);
+        assert!(truth > 0.7 && truth < 0.72);
+        let t = random_finite_table(40, 7);
+        assert_eq!(t.len(), 40);
+    }
+}

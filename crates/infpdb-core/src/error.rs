@@ -1,0 +1,124 @@
+//! Error types of the relational substrate.
+
+use crate::schema::RelId;
+use crate::value::Value;
+use std::fmt;
+
+/// Errors from schema, fact, and probability-space construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Relation name already in use in the schema.
+    DuplicateRelation(String),
+    /// Relation name is syntactically unacceptable (e.g. empty).
+    BadRelationName(String),
+    /// A `RelId` does not belong to the schema.
+    UnknownRelation(RelId),
+    /// A relation name could not be resolved.
+    UnknownRelationName(String),
+    /// A fact's argument count does not match its relation's arity.
+    ArityMismatch {
+        /// The relation's name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// A fact argument is not a member of the universe.
+    ValueNotInUniverse(Value),
+    /// A numeric probability error from the math layer.
+    Math(infpdb_math::MathError),
+    /// The probabilities of a discrete space do not sum to 1 (within
+    /// tolerance).
+    MassNotOne(f64),
+    /// A discrete space needs at least one outcome.
+    EmptySpace,
+    /// Conditioning on an event of probability zero.
+    ConditionOnNull,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DuplicateRelation(n) => write!(f, "duplicate relation name {n:?}"),
+            CoreError::BadRelationName(n) => write!(f, "bad relation name {n:?}"),
+            CoreError::UnknownRelation(id) => write!(f, "unknown relation id {id:?}"),
+            CoreError::UnknownRelationName(n) => write!(f, "unknown relation {n:?}"),
+            CoreError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation {relation} has arity {expected} but got {got} arguments"
+            ),
+            CoreError::ValueNotInUniverse(v) => {
+                write!(f, "value {v} is not an element of the universe")
+            }
+            CoreError::Math(e) => write!(f, "{e}"),
+            CoreError::MassNotOne(m) => {
+                write!(f, "probabilities sum to {m}, not 1")
+            }
+            CoreError::EmptySpace => write!(f, "a probability space needs a nonempty sample space"),
+            CoreError::ConditionOnNull => {
+                write!(f, "cannot condition on an event of probability 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<infpdb_math::MathError> for CoreError {
+    fn from(e: infpdb_math::MathError) -> Self {
+        CoreError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoreError::DuplicateRelation("R".into())
+            .to_string()
+            .contains("duplicate"));
+        assert!(CoreError::ArityMismatch {
+            relation: "R".into(),
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains("arity 2"));
+        assert!(CoreError::MassNotOne(0.7).to_string().contains("0.7"));
+        assert!(CoreError::ConditionOnNull.to_string().contains("condition"));
+        assert!(CoreError::EmptySpace.to_string().contains("nonempty"));
+        assert!(CoreError::UnknownRelationName("Q".into())
+            .to_string()
+            .contains("Q"));
+        assert!(CoreError::BadRelationName(String::new())
+            .to_string()
+            .contains("bad"));
+        assert!(CoreError::UnknownRelation(RelId(3)).to_string().contains("3"));
+        assert!(CoreError::ValueNotInUniverse(Value::int(0))
+            .to_string()
+            .contains("universe"));
+    }
+
+    #[test]
+    fn math_error_conversion_and_source() {
+        use std::error::Error;
+        let e: CoreError = infpdb_math::MathError::NotAProbability(2.0).into();
+        assert!(matches!(e, CoreError::Math(_)));
+        assert!(e.source().is_some());
+        assert!(CoreError::EmptySpace.source().is_none());
+    }
+}

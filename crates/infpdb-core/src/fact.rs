@@ -1,0 +1,194 @@
+//! Facts `R(a₁, …, a_k)`.
+//!
+//! Following the paper's convention (Section 2.1), database instances are
+//! identified with finite sets of facts; `F[τ, U]` is the set of all facts
+//! of schema `τ` over universe `U`.
+
+use crate::error::CoreError;
+use crate::schema::{RelId, Schema};
+use crate::universe::Universe;
+use crate::value::Value;
+use std::fmt;
+
+/// Dense identifier a [`crate::interner::FactInterner`] assigns to a fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactId(pub u32);
+
+/// A ground fact: relation symbol applied to universe elements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    rel: RelId,
+    args: Vec<Value>,
+}
+
+impl Fact {
+    /// Creates a fact without validation against a schema.
+    pub fn new(rel: RelId, args: impl IntoIterator<Item = Value>) -> Self {
+        Self {
+            rel,
+            args: args.into_iter().collect(),
+        }
+    }
+
+    /// Creates a fact, checking the relation exists in `schema`, the arity
+    /// matches, and every argument belongs to `universe`.
+    pub fn checked<U: Universe>(
+        schema: &Schema,
+        universe: &U,
+        rel: RelId,
+        args: impl IntoIterator<Item = Value>,
+    ) -> Result<Self, CoreError> {
+        let args: Vec<Value> = args.into_iter().collect();
+        let relation = schema
+            .get(rel)
+            .ok_or(CoreError::UnknownRelation(rel))?;
+        if relation.arity() != args.len() {
+            return Err(CoreError::ArityMismatch {
+                relation: relation.name().to_string(),
+                expected: relation.arity(),
+                got: args.len(),
+            });
+        }
+        if let Some(v) = args.iter().find(|v| !universe.contains(v)) {
+            return Err(CoreError::ValueNotInUniverse(v.clone()));
+        }
+        Ok(Self { rel, args })
+    }
+
+    /// Convenience: resolve the relation by name and build a checked fact.
+    pub fn parse_checked<U: Universe>(
+        schema: &Schema,
+        universe: &U,
+        rel_name: &str,
+        args: impl IntoIterator<Item = Value>,
+    ) -> Result<Self, CoreError> {
+        let rel = schema
+            .rel_id(rel_name)
+            .ok_or_else(|| CoreError::UnknownRelationName(rel_name.to_string()))?;
+        Self::checked(schema, universe, rel, args)
+    }
+
+    /// The relation symbol.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// The argument tuple.
+    pub fn args(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// Renders the fact using the relation's name from `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> FactDisplay<'a> {
+        FactDisplay { fact: self, schema }
+    }
+}
+
+/// Helper implementing `Display` for a fact in the context of a schema.
+pub struct FactDisplay<'a> {
+    fact: &'a Fact,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for FactDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = self
+            .schema
+            .get(self.fact.rel)
+            .map(|r| r.name())
+            .unwrap_or("?");
+        write!(f, "{name}(")?;
+        for (i, a) in self.fact.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Naturals;
+
+    fn schema() -> Schema {
+        Schema::from_relations([
+            crate::schema::Relation::new("R", 2),
+            crate::schema::Relation::new("S", 1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn new_and_accessors() {
+        let f = Fact::new(RelId(0), [Value::int(1), Value::int(2)]);
+        assert_eq!(f.rel(), RelId(0));
+        assert_eq!(f.args(), &[Value::int(1), Value::int(2)]);
+    }
+
+    #[test]
+    fn checked_accepts_valid() {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let f = Fact::checked(&s, &Naturals, r, [Value::int(1), Value::int(2)]).unwrap();
+        assert_eq!(f.args().len(), 2);
+    }
+
+    #[test]
+    fn checked_rejects_arity_mismatch() {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let e = Fact::checked(&s, &Naturals, r, [Value::int(1)]).unwrap_err();
+        assert!(matches!(e, CoreError::ArityMismatch { expected: 2, got: 1, .. }));
+    }
+
+    #[test]
+    fn checked_rejects_unknown_relation() {
+        let s = schema();
+        let e = Fact::checked(&s, &Naturals, RelId(9), [Value::int(1)]).unwrap_err();
+        assert!(matches!(e, CoreError::UnknownRelation(RelId(9))));
+    }
+
+    #[test]
+    fn checked_rejects_value_outside_universe() {
+        let s = schema();
+        let r = s.rel_id("S").unwrap();
+        let e = Fact::checked(&s, &Naturals, r, [Value::int(0)]).unwrap_err();
+        assert!(matches!(e, CoreError::ValueNotInUniverse(_)));
+        let e2 = Fact::checked(&s, &Naturals, r, [Value::str("x")]).unwrap_err();
+        assert!(matches!(e2, CoreError::ValueNotInUniverse(_)));
+    }
+
+    #[test]
+    fn parse_checked_resolves_names() {
+        let s = schema();
+        let f = Fact::parse_checked(&s, &Naturals, "S", [Value::int(3)]).unwrap();
+        assert_eq!(f.rel(), s.rel_id("S").unwrap());
+        assert!(matches!(
+            Fact::parse_checked(&s, &Naturals, "Q", [Value::int(3)]),
+            Err(CoreError::UnknownRelationName(_))
+        ));
+    }
+
+    #[test]
+    fn display_renders_with_relation_name() {
+        let s = schema();
+        let f = Fact::new(s.rel_id("R").unwrap(), [Value::int(1), Value::str("a")]);
+        assert_eq!(f.display(&s).to_string(), "R(1, \"a\")");
+        let g = Fact::new(RelId(7), [Value::int(1)]);
+        assert_eq!(g.display(&s).to_string(), "?(1)");
+    }
+
+    #[test]
+    fn facts_order_and_hash() {
+        use std::collections::HashSet;
+        let a = Fact::new(RelId(0), [Value::int(1)]);
+        let b = Fact::new(RelId(0), [Value::int(2)]);
+        let c = Fact::new(RelId(1), [Value::int(0)]);
+        assert!(a < b && b < c);
+        let set: HashSet<_> = [a.clone(), b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

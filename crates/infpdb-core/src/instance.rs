@@ -1,0 +1,338 @@
+//! Database instances: finite sets of facts.
+//!
+//! In the paper (Section 2.1), `D[τ, U]` is the set of all *finite* subsets
+//! of `F[τ, U]`; every instance of a PDB is finite even when the probability
+//! space is infinite. An [`Instance`] is a sorted, deduplicated vector of
+//! [`FactId`]s — canonical form, so equality, hashing, subset tests and
+//! merges are all linear scans over `u32`s.
+
+use crate::fact::FactId;
+use crate::interner::FactInterner;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A finite database instance, identified with its set of facts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Instance {
+    /// Sorted, deduplicated.
+    facts: Vec<FactId>,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds an instance from fact ids (sorted and deduplicated here).
+    pub fn from_ids(ids: impl IntoIterator<Item = FactId>) -> Self {
+        let mut facts: Vec<FactId> = ids.into_iter().collect();
+        facts.sort_unstable();
+        facts.dedup();
+        Self { facts }
+    }
+
+    /// The number of facts `‖D‖` (Section 2.1).
+    pub fn size(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the instance contains no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, id: FactId) -> bool {
+        self.facts.binary_search(&id).is_ok()
+    }
+
+    /// The facts in sorted id order.
+    pub fn ids(&self) -> &[FactId] {
+        &self.facts
+    }
+
+    /// Iterator over fact ids.
+    pub fn iter(&self) -> impl Iterator<Item = FactId> + '_ {
+        self.facts.iter().copied()
+    }
+
+    /// Subset test `self ⊆ other` (merge scan).
+    pub fn is_subset_of(&self, other: &Instance) -> bool {
+        let mut it = other.facts.iter();
+        'outer: for f in &self.facts {
+            for g in it.by_ref() {
+                match g.cmp(f) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Whether the two instances share no facts.
+    pub fn is_disjoint_from(&self, other: &Instance) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.facts.len() && j < other.facts.len() {
+            match self.facts[i].cmp(&other.facts[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// Set union (merge).
+    pub fn union(&self, other: &Instance) -> Instance {
+        let mut out = Vec::with_capacity(self.facts.len() + other.facts.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.facts.len() && j < other.facts.len() {
+            match self.facts[i].cmp(&other.facts[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.facts[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.facts[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.facts[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.facts[i..]);
+        out.extend_from_slice(&other.facts[j..]);
+        Instance { facts: out }
+    }
+
+    /// Set intersection (merge).
+    pub fn intersection(&self, other: &Instance) -> Instance {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.facts.len() && j < other.facts.len() {
+            match self.facts[i].cmp(&other.facts[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.facts[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Instance { facts: out }
+    }
+
+    /// Set difference `self − other` (merge).
+    pub fn difference(&self, other: &Instance) -> Instance {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for &f in &self.facts {
+            while j < other.facts.len() && other.facts[j] < f {
+                j += 1;
+            }
+            if j >= other.facts.len() || other.facts[j] != f {
+                out.push(f);
+            }
+        }
+        Instance { facts: out }
+    }
+
+    /// Inserts one fact, keeping canonical order. Returns whether it was
+    /// new.
+    pub fn insert(&mut self, id: FactId) -> bool {
+        match self.facts.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.facts.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// Removes one fact. Returns whether it was present.
+    pub fn remove(&mut self, id: FactId) -> bool {
+        match self.facts.binary_search(&id) {
+            Ok(pos) => {
+                self.facts.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The active domain `adom(D)`: every universe element occurring in some
+    /// fact (Section 2.1). Sorted and deduplicated.
+    pub fn active_domain(&self, interner: &FactInterner) -> BTreeSet<Value> {
+        let mut dom = BTreeSet::new();
+        for &id in &self.facts {
+            for v in interner.resolve(id).args() {
+                dom.insert(v.clone());
+            }
+        }
+        dom
+    }
+
+    /// Renders the instance as `{R(1), S(2, 3)}` given schema and interner.
+    pub fn display<'a>(
+        &'a self,
+        schema: &'a crate::schema::Schema,
+        interner: &'a FactInterner,
+    ) -> InstanceDisplay<'a> {
+        InstanceDisplay {
+            instance: self,
+            schema,
+            interner,
+        }
+    }
+}
+
+impl FromIterator<FactId> for Instance {
+    fn from_iter<I: IntoIterator<Item = FactId>>(iter: I) -> Self {
+        Instance::from_ids(iter)
+    }
+}
+
+/// `Display` helper for instances.
+pub struct InstanceDisplay<'a> {
+    instance: &'a Instance,
+    schema: &'a crate::schema::Schema,
+    interner: &'a FactInterner,
+}
+
+impl fmt::Display for InstanceDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.instance.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.interner.resolve(id).display(self.schema))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Fact;
+    use crate::schema::{RelId, Relation, Schema};
+
+    fn ids(v: &[u32]) -> Instance {
+        Instance::from_ids(v.iter().map(|&i| FactId(i)))
+    }
+
+    #[test]
+    fn from_ids_sorts_and_dedups() {
+        let d = ids(&[3, 1, 2, 1, 3]);
+        assert_eq!(d.ids(), &[FactId(1), FactId(2), FactId(3)]);
+        assert_eq!(d.size(), 3);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let e = Instance::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.size(), 0);
+        assert!(!e.contains(FactId(0)));
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let d = ids(&[1, 5, 9]);
+        assert!(d.contains(FactId(5)));
+        assert!(!d.contains(FactId(4)));
+    }
+
+    #[test]
+    fn subset_tests() {
+        assert!(ids(&[1, 3]).is_subset_of(&ids(&[1, 2, 3])));
+        assert!(Instance::empty().is_subset_of(&ids(&[1])));
+        assert!(!ids(&[1, 4]).is_subset_of(&ids(&[1, 2, 3])));
+        assert!(!ids(&[0]).is_subset_of(&Instance::empty()));
+        assert!(ids(&[2]).is_subset_of(&ids(&[2])));
+    }
+
+    #[test]
+    fn disjointness() {
+        assert!(ids(&[1, 3]).is_disjoint_from(&ids(&[2, 4])));
+        assert!(!ids(&[1, 3]).is_disjoint_from(&ids(&[3])));
+        assert!(Instance::empty().is_disjoint_from(&ids(&[1])));
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = ids(&[1, 2, 5]);
+        let b = ids(&[2, 3]);
+        assert_eq!(a.union(&b), ids(&[1, 2, 3, 5]));
+        assert_eq!(a.intersection(&b), ids(&[2]));
+        assert_eq!(a.difference(&b), ids(&[1, 5]));
+        assert_eq!(b.difference(&a), ids(&[3]));
+        assert_eq!(a.union(&Instance::empty()), a);
+        assert_eq!(a.intersection(&Instance::empty()), Instance::empty());
+    }
+
+    #[test]
+    fn insert_remove_keep_canonical_order() {
+        let mut d = ids(&[2, 8]);
+        assert!(d.insert(FactId(5)));
+        assert!(!d.insert(FactId(5)));
+        assert_eq!(d.ids(), &[FactId(2), FactId(5), FactId(8)]);
+        assert!(d.remove(FactId(2)));
+        assert!(!d.remove(FactId(2)));
+        assert_eq!(d.ids(), &[FactId(5), FactId(8)]);
+    }
+
+    #[test]
+    fn active_domain_collects_all_arguments() {
+        let mut it = FactInterner::new();
+        let a = it.intern(Fact::new(RelId(0), [Value::int(1), Value::int(2)]));
+        let b = it.intern(Fact::new(RelId(1), [Value::int(2), Value::str("x")]));
+        let d = Instance::from_ids([a, b]);
+        let dom = d.active_domain(&it);
+        assert_eq!(dom.len(), 3);
+        assert!(dom.contains(&Value::int(1)));
+        assert!(dom.contains(&Value::int(2)));
+        assert!(dom.contains(&Value::str("x")));
+    }
+
+    #[test]
+    fn display_renders_facts() {
+        let schema =
+            Schema::from_relations([Relation::new("R", 1), Relation::new("S", 2)]).unwrap();
+        let mut it = FactInterner::new();
+        let a = it.intern(Fact::new(RelId(0), [Value::int(1)]));
+        let b = it.intern(Fact::new(RelId(1), [Value::int(2), Value::int(3)]));
+        let d = Instance::from_ids([b, a]);
+        assert_eq!(d.display(&schema, &it).to_string(), "{R(1), S(2, 3)}");
+        assert_eq!(
+            Instance::empty().display(&schema, &it).to_string(),
+            "{}"
+        );
+    }
+
+    #[test]
+    fn from_iterator_collect() {
+        let d: Instance = [FactId(2), FactId(0)].into_iter().collect();
+        assert_eq!(d.ids(), &[FactId(0), FactId(2)]);
+    }
+
+    #[test]
+    fn instances_order_for_canonical_use_in_maps() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(ids(&[1]));
+        s.insert(ids(&[1])); // dup
+        s.insert(ids(&[0, 1]));
+        assert_eq!(s.len(), 2);
+    }
+}

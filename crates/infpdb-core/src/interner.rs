@@ -1,0 +1,135 @@
+//! Fact interning.
+//!
+//! A PDB's support touches the same facts over and over (every instance
+//! probability multiplies over all of `F_ω`, Section 4.1). Interning maps
+//! each distinct [`Fact`] to a dense [`FactId`] once, so instances and
+//! lineage formulas manipulate `u32`s instead of hashing tuples.
+//!
+//! The id order is *enumeration order*: the `i`-th interned fact gets id
+//! `i`. Infinite-PDB constructions rely on this — interning facts in the
+//! order of a fact enumeration makes `FactId(i)` line up with the series
+//! index `i` of the fact-probability series.
+
+use crate::fact::{Fact, FactId};
+use std::collections::HashMap;
+
+/// Bidirectional `Fact ↔ FactId` map.
+#[derive(Debug, Clone, Default)]
+pub struct FactInterner {
+    facts: Vec<Fact>,
+    ids: HashMap<Fact, FactId>,
+}
+
+impl FactInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a fact, returning its id (existing id if already present).
+    pub fn intern(&mut self, fact: Fact) -> FactId {
+        if let Some(&id) = self.ids.get(&fact) {
+            return id;
+        }
+        let id = FactId(self.facts.len() as u32);
+        self.ids.insert(fact.clone(), id);
+        self.facts.push(fact);
+        id
+    }
+
+    /// The id of a fact, if interned.
+    pub fn get(&self, fact: &Fact) -> Option<FactId> {
+        self.ids.get(fact).copied()
+    }
+
+    /// The fact for an id.
+    ///
+    /// # Panics
+    /// On ids not produced by this interner.
+    pub fn resolve(&self, id: FactId) -> &Fact {
+        &self.facts[id.0 as usize]
+    }
+
+    /// Checked lookup.
+    pub fn try_resolve(&self, id: FactId) -> Option<&Fact> {
+        self.facts.get(id.0 as usize)
+    }
+
+    /// Number of interned facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// All `(id, fact)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, &Fact)> {
+        self.facts
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FactId(i as u32), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelId;
+    use crate::value::Value;
+
+    fn f(n: i64) -> Fact {
+        Fact::new(RelId(0), [Value::int(n)])
+    }
+
+    #[test]
+    fn intern_assigns_dense_sequential_ids() {
+        let mut it = FactInterner::new();
+        assert_eq!(it.intern(f(10)), FactId(0));
+        assert_eq!(it.intern(f(20)), FactId(1));
+        assert_eq!(it.intern(f(30)), FactId(2));
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = FactInterner::new();
+        let a = it.intern(f(1));
+        let b = it.intern(f(1));
+        assert_eq!(a, b);
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn get_and_resolve_round_trip() {
+        let mut it = FactInterner::new();
+        let id = it.intern(f(7));
+        assert_eq!(it.get(&f(7)), Some(id));
+        assert_eq!(it.get(&f(8)), None);
+        assert_eq!(it.resolve(id), &f(7));
+        assert_eq!(it.try_resolve(FactId(9)), None);
+        assert_eq!(it.try_resolve(id), Some(&f(7)));
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut it = FactInterner::new();
+        it.intern(f(3));
+        it.intern(f(1));
+        it.intern(f(2));
+        let order: Vec<i64> = it
+            .iter()
+            .map(|(_, fact)| fact.args()[0].as_int().unwrap())
+            .collect();
+        assert_eq!(order, vec![3, 1, 2]); // insertion order, not value order
+    }
+
+    #[test]
+    fn empty_interner() {
+        let it = FactInterner::new();
+        assert!(it.is_empty());
+        assert_eq!(it.len(), 0);
+    }
+}

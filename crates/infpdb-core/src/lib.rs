@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! Relational substrate for `infpdb`.
+//!
+//! Implements Sections 2.1 and 3 of Grohe & Lindner (PODS 2019): database
+//! schemas, facts over a (possibly infinite) universe, finite instances,
+//! and discrete probability spaces over instances — the sample spaces of
+//! probabilistic databases.
+//!
+//! Design decisions (see DESIGN.md §3):
+//!
+//! * The universe `U` is a [`universe::Universe`] — a countable set of
+//!   [`value::Value`]s with an explicit enumeration, mirroring the paper's
+//!   convention that `U` "implicitly comes with a σ-algebra" which for
+//!   countable `U` is the full power set.
+//! * Facts `R(a₁,…,a_k)` are interned per-PDB into dense [`fact::FactId`]s;
+//!   instances are sorted id-sets ([`instance::Instance`]) with set algebra,
+//!   so the hot paths of inference never hash full tuples.
+//! * [`space::DiscreteSpace`] is the generic countable probability space of
+//!   Section 2.3, with pushforward measures implementing the view semantics
+//!   `P′ = P ∘ V⁻¹` of Section 3.1 (equations (3)/(4)).
+//! * [`event::Event`]s are the measurable sets the paper quantifies over:
+//!   `E_f`, `E_F`, Boolean combinations, and size events `S_D ≥ n`.
+
+pub mod error;
+pub mod event;
+pub mod fact;
+pub mod instance;
+pub mod interner;
+pub mod schema;
+pub mod size;
+pub mod space;
+pub mod storage;
+pub mod universe;
+pub mod value;
+
+pub use error::CoreError;
+pub use event::Event;
+pub use fact::{Fact, FactId};
+pub use instance::Instance;
+pub use interner::FactInterner;
+pub use schema::{RelId, Relation, Schema};
+pub use space::DiscreteSpace;
+pub use storage::InstanceStore;
+pub use universe::Universe;
+pub use value::Value;

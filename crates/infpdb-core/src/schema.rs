@@ -1,0 +1,227 @@
+//! Database schemas.
+//!
+//! A schema `τ = {R₁, …, R_m}` is a finite set of relation symbols, each
+//! with an arity (Section 2.1). Relation symbols are interned into dense
+//! [`RelId`]s at construction.
+
+use crate::error::CoreError;
+use std::collections::HashMap;
+
+/// Identifier of a relation symbol within its [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+/// A relation symbol: name, arity, and optional attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    name: String,
+    arity: usize,
+    attributes: Option<Vec<String>>,
+}
+
+impl Relation {
+    /// A relation with `name` and `arity` and unnamed attributes.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Self {
+            name: name.into(),
+            arity,
+            attributes: None,
+        }
+    }
+
+    /// A relation with named attributes (arity = number of names).
+    pub fn with_attributes(
+        name: impl Into<String>,
+        attributes: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        Self {
+            name: name.into(),
+            arity: attributes.len(),
+            attributes: Some(attributes),
+        }
+    }
+
+    /// The relation symbol's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The arity `ar(R)`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Attribute names, if declared.
+    pub fn attributes(&self) -> Option<&[String]> {
+        self.attributes.as_deref()
+    }
+}
+
+/// A database schema: an ordered collection of relation symbols with unique
+/// names.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    relations: Vec<Relation>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schema from relations, rejecting duplicate names and arities
+    /// of zero-length names.
+    pub fn from_relations(
+        relations: impl IntoIterator<Item = Relation>,
+    ) -> Result<Self, CoreError> {
+        let mut s = Self::new();
+        for r in relations {
+            s.add(r)?;
+        }
+        Ok(s)
+    }
+
+    /// Adds a relation, returning its id. Errors on duplicate or empty
+    /// names.
+    pub fn add(&mut self, relation: Relation) -> Result<RelId, CoreError> {
+        if relation.name.is_empty() {
+            return Err(CoreError::BadRelationName(relation.name));
+        }
+        if self.by_name.contains_key(&relation.name) {
+            return Err(CoreError::DuplicateRelation(relation.name));
+        }
+        let id = RelId(self.relations.len() as u32);
+        self.by_name.insert(relation.name.clone(), id);
+        self.relations.push(relation);
+        Ok(id)
+    }
+
+    /// Shorthand for `add(Relation::new(name, arity))`.
+    pub fn add_relation(
+        &mut self,
+        name: impl Into<String>,
+        arity: usize,
+    ) -> Result<RelId, CoreError> {
+        self.add(Relation::new(name, arity))
+    }
+
+    /// Resolves a relation name.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The relation for an id.
+    ///
+    /// # Panics
+    /// On ids from a different schema.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id.0 as usize]
+    }
+
+    /// Checked lookup.
+    pub fn get(&self, id: RelId) -> Option<&Relation> {
+        self.relations.get(id.0 as usize)
+    }
+
+    /// All relations with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &Relation)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u32), r))
+    }
+
+    /// Number of relation symbols.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The maximum arity over all relations (0 for the empty schema); the
+    /// constant `k` in the proof of Proposition 4.9.
+    pub fn max_arity(&self) -> usize {
+        self.relations.iter().map(Relation::arity).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = Schema::new();
+        let r = s.add_relation("R", 2).unwrap();
+        let t = s.add_relation("T", 1).unwrap();
+        assert_eq!(s.rel_id("R"), Some(r));
+        assert_eq!(s.rel_id("T"), Some(t));
+        assert_eq!(s.rel_id("missing"), None);
+        assert_eq!(s.relation(r).arity(), 2);
+        assert_eq!(s.relation(t).name(), "T");
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.max_arity(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        assert!(matches!(
+            s.add_relation("R", 3),
+            Err(CoreError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        let mut s = Schema::new();
+        assert!(matches!(
+            s.add_relation("", 1),
+            Err(CoreError::BadRelationName(_))
+        ));
+    }
+
+    #[test]
+    fn from_relations_builder() {
+        let s = Schema::from_relations([Relation::new("A", 1), Relation::new("B", 3)]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.max_arity(), 3);
+        assert!(Schema::from_relations([
+            Relation::new("A", 1),
+            Relation::new("A", 1)
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn named_attributes() {
+        let r = Relation::with_attributes("Person", ["first", "last", "height"]);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.attributes().unwrap()[2], "height");
+        assert_eq!(Relation::new("R", 2).attributes(), None);
+    }
+
+    #[test]
+    fn iter_and_get() {
+        let s = Schema::from_relations([Relation::new("A", 1), Relation::new("B", 2)]).unwrap();
+        let names: Vec<&str> = s.iter().map(|(_, r)| r.name()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+        assert!(s.get(RelId(5)).is_none());
+        assert!(s.get(RelId(1)).is_some());
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new();
+        assert!(s.is_empty());
+        assert_eq!(s.max_arity(), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The size distribution `S_D` of a probabilistic database (Section 3.2).
+//!
+//! For a countable PDB, the expected instance size is
+//! `E(S_D) = ∑_f P(E_f)` (equation (5) of the paper), and
+//! `lim_{n→∞} P(S_D ≥ n) = 0` (equation (6)) because every instance is
+//! finite. This module computes the size distribution, its moments, and the
+//! fact marginals of a materialized [`DiscreteSpace`] over instances —
+//! including the countable set `F_ω` of facts with positive marginal
+//! probability, whose countability is Proposition 3.4.
+
+use crate::fact::FactId;
+use crate::instance::Instance;
+use crate::space::DiscreteSpace;
+use std::collections::{BTreeMap, HashMap};
+
+/// The distribution of `S_D` as a map `size ↦ probability`.
+pub fn size_distribution(space: &DiscreteSpace<Instance>) -> BTreeMap<usize, f64> {
+    let mut dist: BTreeMap<usize, f64> = BTreeMap::new();
+    for (d, p) in space.outcomes() {
+        *dist.entry(d.size()).or_insert(0.0) += p;
+    }
+    dist
+}
+
+/// `E(S_D)`.
+pub fn expected_size(space: &DiscreteSpace<Instance>) -> f64 {
+    space.expectation(|d| d.size() as f64)
+}
+
+/// The `k`-th raw moment `E(S_D^k)` (Remark 4.10 uses higher moments to
+/// strengthen the non-definability counterexample).
+pub fn size_moment(space: &DiscreteSpace<Instance>, k: u32) -> f64 {
+    space.expectation(|d| (d.size() as f64).powi(k as i32))
+}
+
+/// `P(S_D ≥ n)` (equation (6)).
+pub fn prob_size_at_least(space: &DiscreteSpace<Instance>, n: usize) -> f64 {
+    space.prob_where(|d| d.size() >= n)
+}
+
+/// The marginal probabilities `p_f = P(E_f)` of every fact occurring in the
+/// support — the family whose positive part `F_ω` is countable by
+/// Proposition 3.4 (here trivially finite, since the space is materialized).
+///
+/// By equation (5), the values sum to `E(S_D)`.
+pub fn fact_marginals(space: &DiscreteSpace<Instance>) -> HashMap<FactId, f64> {
+    let mut marginals: HashMap<FactId, f64> = HashMap::new();
+    for (d, p) in space.outcomes() {
+        for id in d.iter() {
+            *marginals.entry(id).or_insert(0.0) += p;
+        }
+    }
+    marginals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(v: &[u32]) -> Instance {
+        Instance::from_ids(v.iter().map(|&i| FactId(i)))
+    }
+
+    fn space() -> DiscreteSpace<Instance> {
+        DiscreteSpace::new([
+            (Instance::empty(), 0.1),
+            (inst(&[0]), 0.2),
+            (inst(&[0, 1]), 0.3),
+            (inst(&[1, 2, 3]), 0.4),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn size_distribution_partitions_mass() {
+        let dist = size_distribution(&space());
+        assert!((dist[&0] - 0.1).abs() < 1e-15);
+        assert!((dist[&1] - 0.2).abs() < 1e-15);
+        assert!((dist[&2] - 0.3).abs() < 1e-15);
+        assert!((dist[&3] - 0.4).abs() < 1e-15);
+        let total: f64 = dist.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_size_matches_sum_of_marginals() {
+        // Equation (5): E(S_D) = Σ_f P(E_f).
+        let s = space();
+        let e = expected_size(&s);
+        let sum_marginals: f64 = fact_marginals(&s).values().sum();
+        assert!((e - sum_marginals).abs() < 1e-12);
+        assert!((e - 2.0).abs() < 1e-12); // 0·.1 + 1·.2 + 2·.3 + 3·.4
+    }
+
+    #[test]
+    fn moments() {
+        let s = space();
+        assert_eq!(size_moment(&s, 1), expected_size(&s));
+        // E(S²) = 0 + .2 + 4·.3 + 9·.4 = 5.0
+        assert!((size_moment(&s, 2) - 5.0).abs() < 1e-12);
+        assert_eq!(size_moment(&s, 0), 1.0);
+    }
+
+    #[test]
+    fn tail_probabilities_decrease_to_zero() {
+        // Equation (6): P(S_D ≥ n) → 0; trivially reaches 0 past support.
+        let s = space();
+        assert!((prob_size_at_least(&s, 0) - 1.0).abs() < 1e-12);
+        assert!((prob_size_at_least(&s, 1) - 0.9).abs() < 1e-12);
+        assert!((prob_size_at_least(&s, 3) - 0.4).abs() < 1e-12);
+        assert_eq!(prob_size_at_least(&s, 4), 0.0);
+        // monotone nonincreasing
+        for n in 0..5 {
+            assert!(prob_size_at_least(&s, n) >= prob_size_at_least(&s, n + 1));
+        }
+    }
+
+    #[test]
+    fn marginals_are_per_fact_occurrence_mass() {
+        let m = fact_marginals(&space());
+        assert!((m[&FactId(0)] - 0.5).abs() < 1e-15); // in instances 2,3
+        assert!((m[&FactId(1)] - 0.7).abs() < 1e-15);
+        assert!((m[&FactId(2)] - 0.4).abs() < 1e-15);
+        assert!((m[&FactId(3)] - 0.4).abs() < 1e-15);
+        assert_eq!(m.len(), 4); // F_ω is finite here (Prop 3.4)
+    }
+}

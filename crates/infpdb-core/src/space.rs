@@ -1,0 +1,366 @@
+//! Discrete probability spaces.
+//!
+//! Section 2.3 of the paper: in a discrete probability space, defining
+//! `P({ω})` for every outcome determines the whole measure by σ-additivity.
+//! [`DiscreteSpace`] is that object with an explicit (finite) support — the
+//! representation used for finite PDBs, for finite restrictions `Ω_n` of
+//! infinite PDBs (Proposition 6.1), and for pushforward measures under views
+//! (Section 3.1, equations (3)/(4)).
+//!
+//! Infinite supports are handled by the dedicated constructions in
+//! `infpdb-ti`, which never materialize the space; a `DiscreteSpace` is the
+//! *materialized* finite core with mass `1` (or the `Ω_n` slice of an
+//! infinite space, renormalized via [`DiscreteSpace::condition`]).
+
+use crate::error::CoreError;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Tolerance for "probabilities sum to 1" checks; generous enough for sums
+/// of ~10⁶ f64 terms, tight enough to catch modeling errors.
+pub const MASS_TOLERANCE: f64 = 1e-6;
+
+/// A finitely-supported probability space over outcomes `T`.
+#[derive(Debug, Clone)]
+pub struct DiscreteSpace<T> {
+    outcomes: Vec<(T, f64)>,
+    index: HashMap<T, usize>,
+}
+
+impl<T: Clone + Eq + Hash> DiscreteSpace<T> {
+    /// Builds a space from `(outcome, probability)` pairs.
+    ///
+    /// Duplicate outcomes have their mass merged. Every probability must be
+    /// in `[0, 1]` and the total mass must be 1 within [`MASS_TOLERANCE`].
+    pub fn new(outcomes: impl IntoIterator<Item = (T, f64)>) -> Result<Self, CoreError> {
+        let space = Self::new_unnormalized(outcomes)?;
+        let mass = space.total_mass();
+        if (mass - 1.0).abs() > MASS_TOLERANCE {
+            return Err(CoreError::MassNotOne(mass));
+        }
+        Ok(space)
+    }
+
+    /// Builds a sub-probability space (mass may be < 1); used internally for
+    /// restrictions before renormalization.
+    pub fn new_unnormalized(
+        outcomes: impl IntoIterator<Item = (T, f64)>,
+    ) -> Result<Self, CoreError> {
+        let mut index: HashMap<T, usize> = HashMap::new();
+        let mut merged: Vec<(T, f64)> = Vec::new();
+        for (t, p) in outcomes {
+            infpdb_math::check_probability(p).map_err(CoreError::Math)?;
+            match index.get(&t) {
+                Some(&i) => merged[i].1 += p,
+                None => {
+                    index.insert(t.clone(), merged.len());
+                    merged.push((t, p));
+                }
+            }
+        }
+        if merged.is_empty() {
+            return Err(CoreError::EmptySpace);
+        }
+        Ok(Self {
+            outcomes: merged,
+            index,
+        })
+    }
+
+    /// A space putting all mass on one outcome (a Dirac measure).
+    pub fn dirac(outcome: T) -> Self {
+        let mut index = HashMap::new();
+        index.insert(outcome.clone(), 0);
+        Self {
+            outcomes: vec![(outcome, 1.0)],
+            index,
+        }
+    }
+
+    /// Total mass (1 for proper spaces, less for restrictions).
+    pub fn total_mass(&self) -> f64 {
+        infpdb_math::KahanSum::sum_iter(self.outcomes.iter().map(|(_, p)| *p))
+    }
+
+    /// `P({outcome})`.
+    pub fn prob_outcome(&self, outcome: &T) -> f64 {
+        self.index
+            .get(outcome)
+            .map(|&i| self.outcomes[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// `P({ω : pred(ω)})`.
+    pub fn prob_where<F: FnMut(&T) -> bool>(&self, mut pred: F) -> f64 {
+        infpdb_math::KahanSum::sum_iter(
+            self.outcomes
+                .iter()
+                .filter(|(t, _)| pred(t))
+                .map(|(_, p)| *p),
+        )
+    }
+
+    /// Expectation of a real-valued random variable.
+    pub fn expectation<F: FnMut(&T) -> f64>(&self, mut f: F) -> f64 {
+        infpdb_math::KahanSum::sum_iter(self.outcomes.iter().map(|(t, p)| p * f(t)))
+    }
+
+    /// The support with probabilities, in insertion order.
+    pub fn outcomes(&self) -> &[(T, f64)] {
+        &self.outcomes
+    }
+
+    /// Number of support points.
+    pub fn support_size(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Conditional space `P(· | pred)` (Bayes), renormalized.
+    ///
+    /// Errors with [`CoreError::ConditionOnNull`] if the event has
+    /// probability 0.
+    pub fn condition<F: FnMut(&T) -> bool>(&self, mut pred: F) -> Result<Self, CoreError> {
+        let mass = self.prob_where(&mut pred);
+        if mass <= 0.0 {
+            return Err(CoreError::ConditionOnNull);
+        }
+        let outcomes = self
+            .outcomes
+            .iter()
+            .filter(|(t, _)| pred(t))
+            .map(|(t, p)| (t.clone(), (p / mass).min(1.0)));
+        Self::new_unnormalized(outcomes)
+    }
+
+    /// Pushforward measure under `f`: the view semantics of Section 3.1,
+    /// `P′({ω′}) = P(f⁻¹(ω′))` — outcomes mapping to the same image have
+    /// their mass merged.
+    pub fn pushforward<U: Clone + Eq + Hash, F: FnMut(&T) -> U>(
+        &self,
+        mut f: F,
+    ) -> DiscreteSpace<U> {
+        DiscreteSpace::new_unnormalized(
+            self.outcomes.iter().map(|(t, p)| (f(t), *p)),
+        )
+        .expect("pushforward of a nonempty space is nonempty")
+    }
+
+    /// Product measure `P × Q` over pairs — the independent coupling used by
+    /// the completion construction (proof of Theorem 5.5).
+    pub fn product<U: Clone + Eq + Hash>(
+        &self,
+        other: &DiscreteSpace<U>,
+    ) -> DiscreteSpace<(T, U)> {
+        let mut pairs = Vec::with_capacity(self.outcomes.len() * other.outcomes.len());
+        for (t, p) in &self.outcomes {
+            for (u, q) in &other.outcomes {
+                pairs.push(((t.clone(), u.clone()), p * q));
+            }
+        }
+        DiscreteSpace::new_unnormalized(pairs).expect("product of nonempty spaces is nonempty")
+    }
+
+    /// Draws one outcome using linear-time inverse-CDF sampling. For
+    /// repeated sampling build a [`Sampler`] once.
+    pub fn sample<R: rand_core::RngCore>(&self, rng: &mut R) -> &T {
+        let u = (rng.next_u64() as f64 / u64::MAX as f64) * self.total_mass();
+        let mut acc = 0.0;
+        for (t, p) in &self.outcomes {
+            acc += p;
+            if u <= acc {
+                return t;
+            }
+        }
+        &self.outcomes.last().expect("space is nonempty").0
+    }
+
+    /// Precomputes a CDF for `O(log n)` repeated sampling.
+    pub fn sampler(&self) -> Sampler<'_, T> {
+        let mut cdf = Vec::with_capacity(self.outcomes.len());
+        let mut acc = infpdb_math::KahanSum::new();
+        for (_, p) in &self.outcomes {
+            acc.add(*p);
+            cdf.push(acc.value());
+        }
+        Sampler { space: self, cdf }
+    }
+}
+
+/// Precomputed-CDF sampler borrowed from a space.
+#[derive(Debug)]
+pub struct Sampler<'a, T> {
+    space: &'a DiscreteSpace<T>,
+    cdf: Vec<f64>,
+}
+
+impl<T: Clone + Eq + Hash> Sampler<'_, T> {
+    /// Draws one outcome in `O(log n)`.
+    pub fn sample<R: rand_core::RngCore>(&self, rng: &mut R) -> &T {
+        let total = *self.cdf.last().expect("space is nonempty");
+        let u = (rng.next_u64() as f64 / u64::MAX as f64) * total;
+        let idx = self.cdf.partition_point(|&c| c < u);
+        let idx = idx.min(self.space.outcomes.len() - 1);
+        &self.space.outcomes[idx].0
+    }
+}
+
+/// Minimal RNG abstraction so `infpdb-core` does not depend on a specific
+/// `rand` version; `rand::RngCore` implementors satisfy it via the blanket
+/// impl in consumer crates.
+pub mod rand_core {
+    /// Source of random 64-bit words.
+    pub trait RngCore {
+        /// The next random word.
+        fn next_u64(&mut self) -> u64;
+    }
+
+    /// A tiny splitmix64 generator for tests and default sampling.
+    #[derive(Debug, Clone)]
+    pub struct SplitMix64 {
+        state: u64,
+    }
+
+    impl SplitMix64 {
+        /// Seeds the generator.
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl RngCore for SplitMix64 {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_core::SplitMix64;
+    use super::*;
+
+    fn coin(p: f64) -> DiscreteSpace<bool> {
+        DiscreteSpace::new([(true, p), (false, 1.0 - p)]).unwrap()
+    }
+
+    #[test]
+    fn new_validates_mass() {
+        assert!(matches!(
+            DiscreteSpace::new([(1, 0.5), (2, 0.3)]),
+            Err(CoreError::MassNotOne(_))
+        ));
+        assert!(DiscreteSpace::new([(1, 0.5), (2, 0.5)]).is_ok());
+    }
+
+    #[test]
+    fn new_rejects_bad_probabilities_and_empty() {
+        assert!(matches!(
+            DiscreteSpace::new([(1, 1.5)]),
+            Err(CoreError::Math(_))
+        ));
+        assert!(matches!(
+            DiscreteSpace::<i32>::new(std::iter::empty()),
+            Err(CoreError::EmptySpace)
+        ));
+    }
+
+    #[test]
+    fn duplicate_outcomes_merge_mass() {
+        let s = DiscreteSpace::new([(1, 0.3), (1, 0.2), (2, 0.5)]).unwrap();
+        assert_eq!(s.support_size(), 2);
+        assert!((s.prob_outcome(&1) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dirac_space() {
+        let s = DiscreteSpace::dirac("x");
+        assert_eq!(s.prob_outcome(&"x"), 1.0);
+        assert_eq!(s.prob_outcome(&"y"), 0.0);
+        assert_eq!(s.support_size(), 1);
+    }
+
+    #[test]
+    fn prob_where_and_expectation() {
+        let s = DiscreteSpace::new([(1, 0.2), (2, 0.3), (3, 0.5)]).unwrap();
+        assert!((s.prob_where(|&x| x >= 2) - 0.8).abs() < 1e-15);
+        assert!((s.expectation(|&x| x as f64) - 2.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn condition_renormalizes() {
+        let s = DiscreteSpace::new([(1, 0.2), (2, 0.3), (3, 0.5)]).unwrap();
+        let c = s.condition(|&x| x >= 2).unwrap();
+        assert!((c.prob_outcome(&2) - 0.375).abs() < 1e-12);
+        assert!((c.prob_outcome(&3) - 0.625).abs() < 1e-12);
+        assert_eq!(c.prob_outcome(&1), 0.0);
+        assert!((c.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_on_null_event_errors() {
+        let s = coin(0.5);
+        assert!(matches!(
+            s.condition(|_| false),
+            Err(CoreError::ConditionOnNull)
+        ));
+    }
+
+    #[test]
+    fn pushforward_merges_preimages() {
+        // view semantics: P'(ω') = P(V⁻¹(ω'))
+        let s = DiscreteSpace::new([(1, 0.2), (2, 0.3), (3, 0.5)]).unwrap();
+        let v = s.pushforward(|&x| x % 2);
+        assert!((v.prob_outcome(&0) - 0.3).abs() < 1e-15);
+        assert!((v.prob_outcome(&1) - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn product_measure_is_independent_coupling() {
+        let a = coin(0.3);
+        let b = coin(0.6);
+        let p = a.product(&b);
+        assert!((p.prob_outcome(&(true, true)) - 0.18).abs() < 1e-15);
+        assert!((p.prob_outcome(&(false, false)) - 0.28).abs() < 1e-15);
+        assert!((p.total_mass() - 1.0).abs() < 1e-12);
+        assert_eq!(p.support_size(), 4);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let s = DiscreteSpace::new([(0, 0.25), (1, 0.75)]).unwrap();
+        let mut rng = SplitMix64::new(42);
+        let sampler = s.sampler();
+        let n = 40_000;
+        let mut ones = 0;
+        for _ in 0..n {
+            if *sampler.sample(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        let freq = ones as f64 / n as f64;
+        assert!((freq - 0.75).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn linear_sampling_also_works() {
+        let s = coin(0.5);
+        let mut rng = SplitMix64::new(7);
+        let mut heads = 0;
+        for _ in 0..10_000 {
+            if *s.sample(&mut rng) {
+                heads += 1;
+            }
+        }
+        assert!((heads as f64 / 10_000.0 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn unnormalized_space_for_restrictions() {
+        let s = DiscreteSpace::new_unnormalized([(1, 0.2), (2, 0.3)]).unwrap();
+        assert!((s.total_mass() - 0.5).abs() < 1e-15);
+    }
+}

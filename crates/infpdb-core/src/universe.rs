@@ -1,0 +1,344 @@
+//! Countable universes with explicit enumerations.
+//!
+//! The paper fixes "an arbitrary (possibly uncountable) set U to be the
+//! universe". All of its technical results (Sections 4–6) concern countable
+//! PDBs, and Section 6 additionally assumes the universe is *computable* "so
+//! that an algorithm can generate all facts". A [`Universe`] here is exactly
+//! that: a countable set of [`Value`]s with a total enumeration
+//! `0, 1, 2, … → U` and decidable membership.
+
+use crate::value::Value;
+
+/// A countable, computable universe of values.
+///
+/// Implementations must guarantee that [`enumerate`](Universe::enumerate) is
+/// injective on its defined range, that it covers exactly the members, and
+/// that [`contains`](Universe::contains) agrees with it.
+pub trait Universe {
+    /// Membership test.
+    fn contains(&self, v: &Value) -> bool;
+
+    /// The `i`-th element of the universe, or `None` if the universe is
+    /// finite with fewer than `i + 1` elements.
+    fn enumerate(&self, i: usize) -> Option<Value>;
+
+    /// `Some(n)` if the universe is finite with exactly `n` elements.
+    fn cardinality(&self) -> Option<usize> {
+        None
+    }
+
+    /// Iterator over the whole universe in enumeration order. Infinite for
+    /// infinite universes — combine with `take`.
+    fn iter(&self) -> UniverseIter<'_, Self>
+    where
+        Self: Sized,
+    {
+        UniverseIter {
+            universe: self,
+            next: 0,
+        }
+    }
+}
+
+/// Iterator adapter over a universe's enumeration.
+#[derive(Debug)]
+pub struct UniverseIter<'a, U: Universe> {
+    universe: &'a U,
+    next: usize,
+}
+
+impl<U: Universe> Iterator for UniverseIter<'_, U> {
+    type Item = Value;
+
+    fn next(&mut self) -> Option<Value> {
+        let v = self.universe.enumerate(self.next)?;
+        self.next += 1;
+        Some(v)
+    }
+}
+
+/// The positive integers `ℕ = {1, 2, 3, …}` (the paper's convention).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Naturals;
+
+impl Universe for Naturals {
+    fn contains(&self, v: &Value) -> bool {
+        matches!(v, Value::Int(n) if *n >= 1)
+    }
+
+    fn enumerate(&self, i: usize) -> Option<Value> {
+        Some(Value::Int(i as i64 + 1))
+    }
+}
+
+/// All integers `ℤ`, enumerated `0, 1, −1, 2, −2, …`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Integers;
+
+impl Universe for Integers {
+    fn contains(&self, v: &Value) -> bool {
+        matches!(v, Value::Int(_))
+    }
+
+    fn enumerate(&self, i: usize) -> Option<Value> {
+        let n = (i as i64 + 1) / 2;
+        Some(Value::Int(if i % 2 == 1 { n } else { -n }))
+    }
+}
+
+/// Binary strings `{0,1}*`, enumerated by length then lexicographically
+/// (`ε, "0", "1", "00", …`) — the universe of Proposition 6.2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinaryStrings;
+
+impl Universe for BinaryStrings {
+    fn contains(&self, v: &Value) -> bool {
+        matches!(v, Value::Str(s) if s.chars().all(|c| c == '0' || c == '1'))
+    }
+
+    fn enumerate(&self, i: usize) -> Option<Value> {
+        // index i ↦ the string whose ℕ-code (pairing module convention) is
+        // i+1: binary representation of i+1 without the leading 1.
+        Some(Value::str(infpdb_math::pairing::nat_to_string(
+            i as u64 + 1,
+        )))
+    }
+}
+
+/// An explicit finite universe.
+#[derive(Debug, Clone)]
+pub struct FiniteUniverse {
+    values: Vec<Value>,
+}
+
+impl FiniteUniverse {
+    /// Builds a finite universe from distinct values (duplicates are
+    /// removed, order of first occurrence kept).
+    pub fn new(values: impl IntoIterator<Item = Value>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let values = values
+            .into_iter()
+            .filter(|v| seen.insert(v.clone()))
+            .collect();
+        Self { values }
+    }
+
+    /// The values in enumeration order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+impl Universe for FiniteUniverse {
+    fn contains(&self, v: &Value) -> bool {
+        self.values.contains(v)
+    }
+
+    fn enumerate(&self, i: usize) -> Option<Value> {
+        self.values.get(i).cloned()
+    }
+
+    fn cardinality(&self) -> Option<usize> {
+        Some(self.values.len())
+    }
+}
+
+/// Disjoint union of two universes, enumerated by strict alternation (with
+/// the convention of Example 2.4's `Σ* ∪ ℝ`: heterogeneous domains in one
+/// universe). If one side is finite the enumeration continues through the
+/// other alone.
+#[derive(Debug, Clone)]
+pub struct UnionUniverse<A, B> {
+    left: A,
+    right: B,
+}
+
+impl<A: Universe, B: Universe> UnionUniverse<A, B> {
+    /// Creates the union. Callers are responsible for the two sides being
+    /// disjoint (e.g. integers ∪ strings); membership is the disjunction.
+    pub fn new(left: A, right: B) -> Self {
+        Self { left, right }
+    }
+}
+
+impl<A: Universe, B: Universe> Universe for UnionUniverse<A, B> {
+    fn contains(&self, v: &Value) -> bool {
+        self.left.contains(v) || self.right.contains(v)
+    }
+
+    fn enumerate(&self, i: usize) -> Option<Value> {
+        let (la, lb) = (self.left.cardinality(), self.right.cardinality());
+        match (la, lb) {
+            (None, None) => {
+                // strict alternation
+                if i.is_multiple_of(2) {
+                    self.left.enumerate(i / 2)
+                } else {
+                    self.right.enumerate(i / 2)
+                }
+            }
+            (Some(n), _) => {
+                // alternate while the finite side lasts, then continue right
+                if i < 2 * n {
+                    if i.is_multiple_of(2) {
+                        self.left.enumerate(i / 2)
+                    } else {
+                        self.right.enumerate(i / 2)
+                    }
+                } else {
+                    self.right.enumerate(i - n)
+                }
+            }
+            (None, Some(m)) => {
+                if i < 2 * m {
+                    if i.is_multiple_of(2) {
+                        self.left.enumerate(i / 2)
+                    } else {
+                        self.right.enumerate(i / 2)
+                    }
+                } else {
+                    self.left.enumerate(i - m)
+                }
+            }
+        }
+    }
+
+    fn cardinality(&self) -> Option<usize> {
+        Some(self.left.cardinality()? + self.right.cardinality()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naturals_enumeration_and_membership() {
+        let u = Naturals;
+        assert_eq!(u.enumerate(0), Some(Value::int(1)));
+        assert_eq!(u.enumerate(41), Some(Value::int(42)));
+        assert!(u.contains(&Value::int(1)));
+        assert!(!u.contains(&Value::int(0)));
+        assert!(!u.contains(&Value::str("x")));
+        assert_eq!(u.cardinality(), None);
+    }
+
+    #[test]
+    fn integers_zigzag() {
+        let u = Integers;
+        let first: Vec<i64> = u.iter().take(5).map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(first, vec![0, 1, -1, 2, -2]);
+        assert!(u.contains(&Value::int(-100)));
+    }
+
+    #[test]
+    fn integers_enumeration_is_injective() {
+        let u = Integers;
+        let vals: Vec<Value> = u.iter().take(1000).collect();
+        let set: std::collections::HashSet<_> = vals.iter().collect();
+        assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn binary_strings_shortlex() {
+        let u = BinaryStrings;
+        let first: Vec<String> = u
+            .iter()
+            .take(7)
+            .map(|v| v.as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(first, vec!["", "0", "1", "00", "01", "10", "11"]);
+        assert!(u.contains(&Value::str("0101")));
+        assert!(!u.contains(&Value::str("012")));
+        assert!(!u.contains(&Value::int(3)));
+    }
+
+    #[test]
+    fn finite_universe_dedups_and_bounds() {
+        let u = FiniteUniverse::new([Value::int(1), Value::int(2), Value::int(1)]);
+        assert_eq!(u.cardinality(), Some(2));
+        assert_eq!(u.enumerate(1), Some(Value::int(2)));
+        assert_eq!(u.enumerate(2), None);
+        assert!(u.contains(&Value::int(2)));
+        assert!(!u.contains(&Value::int(3)));
+        assert_eq!(u.values().len(), 2);
+    }
+
+    #[test]
+    fn union_of_two_infinite_alternates() {
+        let u = UnionUniverse::new(Naturals, BinaryStrings);
+        let first: Vec<Value> = u.iter().take(4).collect();
+        assert_eq!(
+            first,
+            vec![
+                Value::int(1),
+                Value::str(""),
+                Value::int(2),
+                Value::str("0")
+            ]
+        );
+        assert!(u.contains(&Value::int(5)));
+        assert!(u.contains(&Value::str("01")));
+        assert!(!u.contains(&Value::int(0)));
+        assert_eq!(u.cardinality(), None);
+    }
+
+    #[test]
+    fn union_finite_left_falls_through_to_right() {
+        let fin = FiniteUniverse::new([Value::str("A"), Value::str("B")]);
+        let u = UnionUniverse::new(fin, Naturals);
+        let first: Vec<Value> = u.iter().take(6).collect();
+        assert_eq!(
+            first,
+            vec![
+                Value::str("A"),
+                Value::int(1),
+                Value::str("B"),
+                Value::int(2),
+                Value::int(3),
+                Value::int(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn union_finite_right_falls_through_to_left() {
+        let fin = FiniteUniverse::new([Value::str("A")]);
+        let u = UnionUniverse::new(Naturals, fin);
+        let first: Vec<Value> = u.iter().take(4).collect();
+        assert_eq!(
+            first,
+            vec![
+                Value::int(1),
+                Value::str("A"),
+                Value::int(2),
+                Value::int(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn union_finite_both() {
+        let a = FiniteUniverse::new([Value::int(1)]);
+        let b = FiniteUniverse::new([Value::str("x"), Value::str("y")]);
+        let u = UnionUniverse::new(a, b);
+        assert_eq!(u.cardinality(), Some(3));
+        let all: Vec<Value> = u.iter().collect();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn enumeration_agrees_with_membership() {
+        // Every enumerated element is a member, for all universes.
+        fn check<U: Universe>(u: &U, n: usize) {
+            for v in u.iter().take(n) {
+                assert!(u.contains(&v), "{v} enumerated but not a member");
+            }
+        }
+        check(&Naturals, 100);
+        check(&Integers, 100);
+        check(&BinaryStrings, 100);
+        check(&FiniteUniverse::new([Value::int(1), Value::str("a")]), 10);
+        check(&UnionUniverse::new(Naturals, BinaryStrings), 100);
+    }
+}

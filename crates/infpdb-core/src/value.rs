@@ -1,0 +1,319 @@
+//! Universe elements.
+//!
+//! The paper's running universes are ℕ, ℤ, strings `Σ*`, and (idealized)
+//! reals. Our universes are countable (the regime of all technical results
+//! in the paper, Sections 4–6), so [`Value`] covers integers, strings, and
+//! fixed-point decimals — the countable stand-in for numeric measurement
+//! domains like the temperatures of the paper's introduction (see DESIGN.md,
+//! "Substitutions").
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A fixed-point decimal `mantissa · 10^(−exponent)`, normalized so that the
+/// mantissa is not divisible by 10 unless it is 0 (canonical form, making
+/// `Eq`/`Hash` agree with numeric equality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fixed {
+    mantissa: i64,
+    exponent: u8,
+}
+
+impl Fixed {
+    /// The largest accepted exponent: keeps cross-exponent comparison
+    /// (`mantissa · 10^e` in `i128`) overflow-free.
+    pub const MAX_EXPONENT: u8 = 18;
+
+    /// Creates `mantissa · 10^(−exponent)` in canonical form.
+    ///
+    /// # Panics
+    /// If `exponent > Fixed::MAX_EXPONENT` (18 decimal places — beyond any
+    /// measurement precision this library models).
+    pub fn new(mut mantissa: i64, mut exponent: u8) -> Self {
+        assert!(
+            exponent <= Self::MAX_EXPONENT,
+            "fixed-point exponent {exponent} exceeds {} decimal places",
+            Self::MAX_EXPONENT
+        );
+        if mantissa == 0 {
+            return Self {
+                mantissa: 0,
+                exponent: 0,
+            };
+        }
+        while exponent > 0 && mantissa % 10 == 0 {
+            mantissa /= 10;
+            exponent -= 1;
+        }
+        Self { mantissa, exponent }
+    }
+
+    /// The integer `n` as a fixed-point value.
+    pub fn from_int(n: i64) -> Self {
+        Self::new(n, 0)
+    }
+
+    /// Approximate conversion to `f64` (for display and distributions).
+    pub fn to_f64(self) -> f64 {
+        self.mantissa as f64 / 10f64.powi(self.exponent as i32)
+    }
+
+    /// The mantissa of the canonical form.
+    pub fn mantissa(self) -> i64 {
+        self.mantissa
+    }
+
+    /// The exponent of the canonical form.
+    pub fn exponent(self) -> u8 {
+        self.exponent
+    }
+}
+
+impl PartialOrd for Fixed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Fixed {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare a·10^-p vs b·10^-q by scaling to the common exponent in
+        // i128 to avoid overflow: a·10^q vs b·10^p.
+        let a = self.mantissa as i128 * 10i128.pow(other.exponent as u32);
+        let b = other.mantissa as i128 * 10i128.pow(self.exponent as u32);
+        a.cmp(&b)
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.exponent == 0 {
+            return write!(f, "{}", self.mantissa);
+        }
+        let sign = if self.mantissa < 0 { "-" } else { "" };
+        let abs = self.mantissa.unsigned_abs();
+        let pow = 10u64.pow(self.exponent as u32);
+        write!(
+            f,
+            "{sign}{}.{:0width$}",
+            abs / pow,
+            abs % pow,
+            width = self.exponent as usize
+        )
+    }
+}
+
+/// An element of a universe.
+///
+/// Ordering is total across variants (Int < Fixed < Str) so instances can be
+/// kept in canonical sorted order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// An integer (the paper's ℕ or ℤ examples).
+    Int(i64),
+    /// A fixed-point decimal (countable stand-in for measured reals).
+    Fixed(Fixed),
+    /// A string over some alphabet (the paper's `Σ*`).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Convenience constructor for integers.
+    pub fn int(n: i64) -> Self {
+        Value::Int(n)
+    }
+
+    /// A fixed-point decimal `mantissa · 10^(−exponent)`.
+    pub fn fixed(mantissa: i64, exponent: u8) -> Self {
+        Value::Fixed(Fixed::new(mantissa, exponent))
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The fixed-point payload, if this is a `Fixed`.
+    pub fn as_fixed(&self) -> Option<Fixed> {
+        match self {
+            Value::Fixed(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn variant_rank(&self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::Fixed(_) => 1,
+            Value::Str(_) => 2,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Fixed(a), Value::Fixed(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => self.variant_rank().cmp(&other.variant_rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Fixed(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "decimal places")]
+    fn fixed_rejects_huge_exponents() {
+        Fixed::new(1, 200);
+    }
+
+    #[test]
+    fn fixed_comparison_is_exact_at_max_exponent() {
+        // would overflow i64 scaling; i128 path must stay exact
+        let a = Fixed::new(i64::MAX, 18);
+        let b = Fixed::new(i64::MAX - 1, 18);
+        assert!(b < a);
+        assert!(Fixed::new(10, 0) > a); // 10 > ~9.223 (= i64::MAX·10⁻¹⁸)
+        let c = Fixed::new(9, 0);
+        assert!(c < Fixed::new(92, 1)); // 9 < 9.2
+    }
+
+    #[test]
+    fn fixed_canonical_form() {
+        assert_eq!(Fixed::new(2500, 2), Fixed::new(25, 0));
+        assert_eq!(Fixed::new(0, 5), Fixed::new(0, 0));
+        assert_eq!(Fixed::new(205, 1).mantissa(), 205);
+        assert_eq!(Fixed::new(205, 1).exponent(), 1);
+    }
+
+    #[test]
+    fn fixed_ordering_is_numeric() {
+        // 20.2 < 20.25 < 20.5
+        let a = Fixed::new(202, 1);
+        let b = Fixed::new(2025, 2);
+        let c = Fixed::new(205, 1);
+        assert!(a < b && b < c);
+        assert!(Fixed::new(-5, 0) < Fixed::new(1, 2)); // −5 < 0.01
+        assert_eq!(a.partial_cmp(&c), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn fixed_display() {
+        assert_eq!(Fixed::new(202, 1).to_string(), "20.2");
+        assert_eq!(Fixed::new(-2025, 2).to_string(), "-20.25");
+        assert_eq!(Fixed::new(7, 0).to_string(), "7");
+        assert_eq!(Fixed::new(5, 3).to_string(), "0.005");
+    }
+
+    #[test]
+    fn fixed_to_f64() {
+        assert!((Fixed::new(202, 1).to_f64() - 20.2).abs() < 1e-12);
+        assert_eq!(Fixed::from_int(-3).to_f64(), -3.0);
+    }
+
+    #[test]
+    fn value_constructors_and_accessors() {
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::str("abc").as_str(), Some("abc"));
+        assert_eq!(Value::fixed(15, 1).as_fixed(), Some(Fixed::new(15, 1)));
+        assert_eq!(Value::int(7).as_str(), None);
+        assert_eq!(Value::str("x").as_int(), None);
+        assert_eq!(Value::int(1).as_fixed(), None);
+    }
+
+    #[test]
+    fn value_equality_canonicalizes_fixed() {
+        assert_eq!(Value::fixed(2500, 2), Value::fixed(25, 0));
+    }
+
+    #[test]
+    fn value_total_order() {
+        let mut vs = vec![
+            Value::str("b"),
+            Value::int(5),
+            Value::fixed(25, 1),
+            Value::str("a"),
+            Value::int(-1),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::int(-1),
+                Value::int(5),
+                Value::fixed(25, 1),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn value_from_impls() {
+        assert_eq!(Value::from(3i64), Value::int(3));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::from(String::from("yo")), Value::str("yo"));
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::int(-4).to_string(), "-4");
+        assert_eq!(Value::str("x").to_string(), "\"x\"");
+        assert_eq!(Value::fixed(202, 1).to_string(), "20.2");
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the relational substrate.
+
+use infpdb_core::event::Event;
+use infpdb_core::fact::FactId;
+use infpdb_core::instance::Instance;
+use infpdb_core::space::DiscreteSpace;
+use infpdb_core::universe::{BinaryStrings, Integers, Naturals, Universe};
+use infpdb_core::value::{Fixed, Value};
+use proptest::prelude::*;
+
+fn prob() -> impl Strategy<Value = f64> {
+    (0u32..=1000).prop_map(|i| i as f64 / 1000.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fixed_ordering_agrees_with_f64_on_safe_range(
+        m1 in -1_000_000i64..1_000_000, e1 in 0u8..4,
+        m2 in -1_000_000i64..1_000_000, e2 in 0u8..4,
+    ) {
+        let a = Fixed::new(m1, e1);
+        let b = Fixed::new(m2, e2);
+        // within this range to_f64 is exact enough to compare
+        let fa = a.to_f64();
+        let fb = b.to_f64();
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        } else {
+            prop_assert_eq!(a == b, true_eq(m1, e1, m2, e2));
+        }
+    }
+
+    #[test]
+    fn universe_enumerations_are_injective_and_members(
+        which in 0usize..3,
+        n in 1usize..300,
+    ) {
+        let check = |u: &dyn UniverseDyn, n: usize| {
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..n {
+                let v = u.enumerate_dyn(i).expect("infinite universe");
+                assert!(u.contains_dyn(&v), "{v} not a member");
+                assert!(seen.insert(v), "duplicate at {i}");
+            }
+        };
+        match which {
+            0 => check(&Naturals, n),
+            1 => check(&Integers, n),
+            _ => check(&BinaryStrings, n),
+        }
+    }
+
+    #[test]
+    fn conditioning_renormalizes_any_space(
+        ps in prop::collection::vec(prob(), 1..12),
+        threshold in 0usize..12,
+    ) {
+        let total: f64 = ps.iter().sum();
+        prop_assume!(total > 1e-6);
+        let outcomes: Vec<(usize, f64)> = ps.iter().enumerate()
+            .map(|(i, &p)| (i, p / total)).collect();
+        let space = DiscreteSpace::new(outcomes).unwrap();
+        let kept: f64 = space.prob_where(|&i| i >= threshold);
+        if kept > 0.0 {
+            let cond = space.condition(|&i| i >= threshold).unwrap();
+            prop_assert!((cond.total_mass() - 1.0).abs() < 1e-9);
+            for (i, _) in space.outcomes() {
+                let expected = if *i >= threshold {
+                    space.prob_outcome(i) / kept
+                } else {
+                    0.0
+                };
+                prop_assert!((cond.prob_outcome(i) - expected).abs() < 1e-9);
+            }
+        } else {
+            prop_assert!(space.condition(|&i| i >= threshold).is_err());
+        }
+    }
+
+    #[test]
+    fn pushforward_and_product_preserve_mass(
+        ps in prop::collection::vec(prob(), 1..10),
+        qs in prop::collection::vec(prob(), 1..10),
+    ) {
+        let (tp, tq): (f64, f64) = (ps.iter().sum(), qs.iter().sum());
+        prop_assume!(tp > 1e-6 && tq > 1e-6);
+        let a = DiscreteSpace::new(
+            ps.iter().enumerate().map(|(i, &p)| (i, p / tp)),
+        ).unwrap();
+        let b = DiscreteSpace::new(
+            qs.iter().enumerate().map(|(i, &p)| (i, p / tq)),
+        ).unwrap();
+        let push = a.pushforward(|&i| i % 3);
+        prop_assert!((push.total_mass() - 1.0).abs() < 1e-9);
+        let prod = a.product(&b);
+        prop_assert!((prod.total_mass() - 1.0).abs() < 1e-9);
+        // product marginals recover the factors
+        for (i, p) in a.outcomes() {
+            let marginal = prod.prob_where(|(x, _)| x == i);
+            prop_assert!((marginal - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn event_boolean_algebra_is_pointwise(
+        xs in prop::collection::vec(0u32..30, 0..15),
+        a in prop::collection::vec(0u32..30, 1..5),
+        b in prop::collection::vec(0u32..30, 1..5),
+    ) {
+        let d = Instance::from_ids(xs.iter().map(|&i| FactId(i)));
+        let ea = Event::any_of(a.iter().map(|&i| FactId(i)));
+        let eb = Event::any_of(b.iter().map(|&i| FactId(i)));
+        let va = ea.contains(&d);
+        let vb = eb.contains(&d);
+        prop_assert_eq!(ea.clone().and(eb.clone()).contains(&d), va && vb);
+        prop_assert_eq!(ea.clone().or(eb.clone()).contains(&d), va || vb);
+        prop_assert_eq!(ea.clone().not().contains(&d), !va);
+        // support is exactly the mentioned ids
+        let mut expected: Vec<FactId> = a.iter().chain(b.iter()).map(|&i| FactId(i)).collect();
+        expected.sort();
+        expected.dedup();
+        prop_assert_eq!(ea.and(eb).support().unwrap(), expected);
+    }
+
+    #[test]
+    fn instance_canonical_form_is_stable(xs in prop::collection::vec(0u32..100, 0..40)) {
+        let a = Instance::from_ids(xs.iter().map(|&i| FactId(i)));
+        // rebuilding from its own ids is the identity
+        let b = Instance::from_ids(a.iter());
+        prop_assert_eq!(&a, &b);
+        // union with itself is the identity
+        prop_assert_eq!(a.union(&a), b);
+        // difference with itself is empty
+        prop_assert!(a.difference(&a).is_empty());
+    }
+}
+
+fn true_eq(m1: i64, e1: u8, m2: i64, e2: u8) -> bool {
+    // exact rational comparison m1/10^e1 == m2/10^e2
+    let lhs = m1 as i128 * 10i128.pow(e2 as u32);
+    let rhs = m2 as i128 * 10i128.pow(e1 as u32);
+    lhs == rhs
+}
+
+/// Object-safe shim over `Universe` for the enumeration test.
+trait UniverseDyn {
+    fn enumerate_dyn(&self, i: usize) -> Option<Value>;
+    fn contains_dyn(&self, v: &Value) -> bool;
+}
+
+impl<U: Universe> UniverseDyn for U {
+    fn enumerate_dyn(&self, i: usize) -> Option<Value> {
+        self.enumerate(i)
+    }
+    fn contains_dyn(&self, v: &Value) -> bool {
+        self.contains(v)
+    }
+}

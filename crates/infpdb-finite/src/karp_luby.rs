@@ -1,0 +1,342 @@
+//! The Karp–Luby FPRAS for monotone (DNF) lineage.
+//!
+//! Unions of conjunctive queries have *monotone* lineage — an Or of Ands
+//! of positive fact variables, i.e. a DNF. For DNF, the classical
+//! Karp–Luby coverage estimator gives a fully polynomial randomized
+//! approximation scheme even where exact inference is #P-hard (e.g. the
+//! non-hierarchical `H₀`): relative (multiplicative!) error `ε` with
+//! confidence `1 − δ` from `O(m·ln(1/δ)/ε²)` samples, `m` the number of
+//! clauses. (No contradiction with Proposition 6.2: the inapproximability
+//! there is about *infinite* PDBs where even deciding `P > 0` embeds the
+//! halting problem; on a *finite* table the DNF is explicit.)
+//!
+//! The estimator: with `w_i = P(clause_i)` and `W = ∑ w_i`, repeatedly
+//! pick a clause `i` with probability `w_i/W`, sample a world conditioned
+//! on `clause_i` being true, and score 1 iff `i` is the *first* satisfied
+//! clause in that world. The score's mean is `P(⋁ clauses)/W`.
+
+use crate::lineage::Lineage;
+use crate::{FiniteError, TiTable};
+use infpdb_core::fact::FactId;
+use infpdb_core::space::rand_core::RngCore;
+use infpdb_logic::ast::Formula;
+
+/// A monotone DNF: each clause is a set of fact variables, all positive.
+pub type Dnf = Vec<Vec<FactId>>;
+
+/// Converts monotone lineage to DNF, refusing (with `None`) if the clause
+/// count would exceed `max_clauses` or the lineage contains negation.
+pub fn to_dnf(lineage: &Lineage, max_clauses: usize) -> Option<Dnf> {
+    match lineage {
+        Lineage::Top => Some(vec![vec![]]),
+        Lineage::Bot => Some(vec![]),
+        Lineage::Var(id) => Some(vec![vec![*id]]),
+        Lineage::Not(_) => None, // not monotone
+        Lineage::Or(children) => {
+            let mut out: Dnf = Vec::new();
+            for c in children {
+                let mut d = to_dnf(c, max_clauses)?;
+                out.append(&mut d);
+                if out.len() > max_clauses {
+                    return None;
+                }
+            }
+            Some(out)
+        }
+        Lineage::And(children) => {
+            let mut acc: Dnf = vec![vec![]];
+            for c in children {
+                let d = to_dnf(c, max_clauses)?;
+                let mut next: Dnf = Vec::with_capacity(acc.len() * d.len().max(1));
+                for clause_a in &acc {
+                    for clause_b in &d {
+                        let mut merged = clause_a.clone();
+                        merged.extend_from_slice(clause_b);
+                        merged.sort_unstable();
+                        merged.dedup();
+                        next.push(merged);
+                        if next.len() > max_clauses {
+                            return None;
+                        }
+                    }
+                }
+                acc = next;
+            }
+            Some(acc)
+        }
+    }
+}
+
+/// A Karp–Luby estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KlEstimate {
+    /// The estimated probability of the DNF.
+    pub estimate: f64,
+    /// Samples drawn.
+    pub samples: usize,
+    /// Number of clauses.
+    pub clauses: usize,
+}
+
+/// Runs the Karp–Luby coverage estimator on a monotone DNF over the
+/// table's independent fact variables.
+pub fn estimate_dnf<R: RngCore>(
+    dnf: &Dnf,
+    table: &TiTable,
+    samples: usize,
+    rng: &mut R,
+) -> KlEstimate {
+    assert!(samples > 0, "need at least one sample");
+    let m = dnf.len();
+    if m == 0 {
+        return KlEstimate {
+            estimate: 0.0,
+            samples,
+            clauses: 0,
+        };
+    }
+    // clause weights w_i = ∏ p_v and the total W
+    let weights: Vec<f64> = dnf
+        .iter()
+        .map(|c| c.iter().map(|&v| table.prob(v)).product())
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    if total_w == 0.0 {
+        return KlEstimate {
+            estimate: 0.0,
+            samples,
+            clauses: m,
+        };
+    }
+    // a clause with an empty literal set is `true`: P = 1 exactly
+    if dnf.iter().any(|c| c.is_empty()) {
+        return KlEstimate {
+            estimate: 1.0,
+            samples,
+            clauses: m,
+        };
+    }
+    // the variables any clause mentions (only these matter)
+    let mut vars: Vec<FactId> = dnf.iter().flatten().copied().collect();
+    vars.sort_unstable();
+    vars.dedup();
+
+    let mut hits = 0usize;
+    let mut assignment: std::collections::HashMap<FactId, bool> =
+        std::collections::HashMap::with_capacity(vars.len());
+    for _ in 0..samples {
+        // pick clause i ∝ w_i
+        let mut u = (rng.next_u64() as f64 / u64::MAX as f64) * total_w;
+        let mut chosen = m - 1;
+        for (i, w) in weights.iter().enumerate() {
+            u -= w;
+            if u <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        // sample a world conditioned on clause `chosen` true
+        assignment.clear();
+        for &v in &dnf[chosen] {
+            assignment.insert(v, true);
+        }
+        for &v in &vars {
+            assignment.entry(v).or_insert_with(|| {
+                (rng.next_u64() as f64 / u64::MAX as f64) < table.prob(v)
+            });
+        }
+        // score iff `chosen` is the first satisfied clause
+        let first_satisfied = dnf
+            .iter()
+            .position(|c| c.iter().all(|v| assignment[v]))
+            .expect("the chosen clause is satisfied");
+        if first_satisfied == chosen {
+            hits += 1;
+        }
+    }
+    KlEstimate {
+        estimate: (total_w * hits as f64 / samples as f64).min(1.0),
+        samples,
+        clauses: m,
+    }
+}
+
+/// End-to-end Karp–Luby for a UCQ: computes the (monotone) lineage,
+/// converts to DNF, and estimates. Errors if the query is not a sentence
+/// or its lineage is not convertible within `max_clauses`.
+pub fn estimate_ucq<R: RngCore>(
+    query: &Formula,
+    table: &TiTable,
+    samples: usize,
+    max_clauses: usize,
+    rng: &mut R,
+) -> Result<KlEstimate, FiniteError> {
+    let lineage = crate::lineage::lineage_of(query, table)?;
+    let dnf = to_dnf(&lineage, max_clauses).ok_or_else(|| {
+        FiniteError::Logic(infpdb_logic::LogicError::UnsupportedFragment(
+            "lineage is not a (bounded) monotone DNF; use Shannon or Monte Carlo".into(),
+        ))
+    })?;
+    Ok(estimate_dnf(&dnf, table, samples, rng))
+}
+
+/// Samples needed for a multiplicative `(ε, δ)` guarantee: the coverage
+/// estimator's score is a Bernoulli with mean `≥ 1/m`, so
+/// `n ≥ 3·m·ln(2/δ)/ε²` suffices (standard Karp–Luby–Madras analysis).
+pub fn samples_for(clauses: usize, eps: f64, delta: f64) -> usize {
+    assert!(eps > 0.0 && delta > 0.0 && delta < 1.0);
+    (3.0 * clauses.max(1) as f64 * (2.0 / delta).ln() / (eps * eps)).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{self, Engine};
+    use infpdb_core::fact::Fact;
+    use infpdb_core::schema::{RelId, Relation, Schema};
+    use infpdb_core::space::rand_core::SplitMix64;
+    use infpdb_core::value::Value;
+    use infpdb_logic::parse;
+
+    fn table() -> TiTable {
+        let s = Schema::from_relations([
+            Relation::new("R", 1),
+            Relation::new("S", 2),
+            Relation::new("T", 1),
+        ])
+        .unwrap();
+        let r = s.rel_id("R").unwrap();
+        let s2 = s.rel_id("S").unwrap();
+        let t2 = s.rel_id("T").unwrap();
+        TiTable::from_facts(
+            s,
+            [
+                (Fact::new(r, [Value::int(1)]), 0.5),
+                (Fact::new(r, [Value::int(2)]), 0.4),
+                (Fact::new(s2, [Value::int(1), Value::int(2)]), 0.3),
+                (Fact::new(s2, [Value::int(2), Value::int(1)]), 0.6),
+                (Fact::new(t2, [Value::int(1)]), 0.7),
+                (Fact::new(t2, [Value::int(2)]), 0.2),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn v(i: u32) -> FactId {
+        FactId(i)
+    }
+
+    #[test]
+    fn to_dnf_basic_shapes() {
+        assert_eq!(to_dnf(&Lineage::Bot, 10), Some(vec![]));
+        assert_eq!(to_dnf(&Lineage::Top, 10), Some(vec![vec![]]));
+        assert_eq!(to_dnf(&Lineage::Var(v(3)), 10), Some(vec![vec![v(3)]]));
+        let and = Lineage::and([Lineage::Var(v(0)), Lineage::Var(v(1))]);
+        assert_eq!(to_dnf(&and, 10), Some(vec![vec![v(0), v(1)]]));
+        let or = Lineage::or([Lineage::Var(v(0)), Lineage::Var(v(1))]);
+        assert_eq!(to_dnf(&or, 10).unwrap().len(), 2);
+        // distribution: (a ∨ b) ∧ (c ∨ d) → 4 clauses
+        let f = Lineage::and([
+            Lineage::or([Lineage::Var(v(0)), Lineage::Var(v(1))]),
+            Lineage::or([Lineage::Var(v(2)), Lineage::Var(v(3))]),
+        ]);
+        assert_eq!(to_dnf(&f, 10).unwrap().len(), 4);
+        // clause cap
+        assert_eq!(to_dnf(&f, 3), None);
+        // negation refused
+        assert_eq!(to_dnf(&Lineage::Var(v(0)).negate(), 10), None);
+    }
+
+    #[test]
+    fn karp_luby_matches_exact_on_h0() {
+        // H₀ is non-hierarchical (no safe plan) but its lineage is monotone
+        let t = table();
+        let q = parse("exists x, y. R(x) /\\ S(x, y) /\\ T(y)", t.schema()).unwrap();
+        let exact = engine::prob_boolean(&q, &t, Engine::Lineage).unwrap();
+        let mut rng = SplitMix64::new(99);
+        let est = estimate_ucq(&q, &t, 60_000, 1000, &mut rng).unwrap();
+        assert!(
+            (est.estimate - exact).abs() < 0.02 * exact.max(0.05),
+            "KL {} vs exact {exact}",
+            est.estimate
+        );
+        assert!(est.clauses >= 2);
+    }
+
+    #[test]
+    fn karp_luby_matches_exact_on_simple_union() {
+        let t = table();
+        let q = parse("(exists x. R(x)) \\/ (exists y. T(y))", t.schema()).unwrap();
+        let exact = engine::prob_boolean(&q, &t, Engine::Lineage).unwrap();
+        let mut rng = SplitMix64::new(7);
+        let est = estimate_ucq(&q, &t, 40_000, 100, &mut rng).unwrap();
+        assert!((est.estimate - exact).abs() < 0.02);
+    }
+
+    #[test]
+    fn degenerate_dnfs() {
+        let t = table();
+        let mut rng = SplitMix64::new(1);
+        let zero = estimate_dnf(&vec![], &t, 10, &mut rng);
+        assert_eq!(zero.estimate, 0.0);
+        let one = estimate_dnf(&vec![vec![]], &t, 10, &mut rng);
+        assert_eq!(one.estimate, 1.0);
+        // all-zero weights
+        let mut t2 = table();
+        t2.add_fact(
+            Fact::new(RelId(0), [Value::int(9)]),
+            0.0,
+        )
+        .unwrap();
+        let id = t2.len() as u32 - 1;
+        let z = estimate_dnf(&vec![vec![FactId(id)]], &t2, 10, &mut rng);
+        assert_eq!(z.estimate, 0.0);
+    }
+
+    #[test]
+    fn rejects_non_monotone_queries() {
+        let t = table();
+        let q = parse("exists x. R(x) /\\ !T(x)", t.schema()).unwrap();
+        let mut rng = SplitMix64::new(1);
+        assert!(estimate_ucq(&q, &t, 100, 100, &mut rng).is_err());
+    }
+
+    #[test]
+    fn single_clause_estimates_are_exact_in_expectation() {
+        // one clause: the estimator always scores 1, result = W exactly
+        let t = table();
+        let q = parse("R(1) /\\ T(1)", t.schema()).unwrap();
+        let mut rng = SplitMix64::new(5);
+        let est = estimate_ucq(&q, &t, 100, 10, &mut rng).unwrap();
+        assert!((est.estimate - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_for_scales_with_clauses() {
+        let a = samples_for(10, 0.1, 0.05);
+        let b = samples_for(100, 0.1, 0.05);
+        assert!(b > 9 * a && b < 11 * a);
+        assert!(samples_for(0, 0.1, 0.05) > 0);
+    }
+
+    #[test]
+    fn relative_error_even_for_small_probabilities() {
+        // the whole point of KL vs additive MC: tiny probabilities keep
+        // relative accuracy
+        let s = Schema::from_relations([Relation::new("R", 1)]).unwrap();
+        let t = TiTable::from_facts(
+            s,
+            [
+                (Fact::new(RelId(0), [Value::int(1)]), 1e-4),
+                (Fact::new(RelId(0), [Value::int(2)]), 2e-4),
+            ],
+        )
+        .unwrap();
+        let q = parse("exists x. R(x)", t.schema()).unwrap();
+        let exact = engine::prob_boolean(&q, &t, Engine::Lineage).unwrap();
+        let mut rng = SplitMix64::new(11);
+        let est = estimate_ucq(&q, &t, 50_000, 10, &mut rng).unwrap();
+        let rel = (est.estimate - exact).abs() / exact;
+        assert!(rel < 0.05, "relative error {rel} on P = {exact}");
+    }
+}

@@ -1,0 +1,523 @@
+//! Boolean provenance (lineage) of first-order queries.
+//!
+//! Over a tuple-independent table, a Boolean query `Q` defines a Boolean
+//! function of the independent fact variables: `Q` holds in a world iff the
+//! lineage evaluates to true under that world's fact assignment. Query
+//! probability is then the probability that this Boolean function is true —
+//! the *intensional* approach of the standard finite-PDB toolkit the paper
+//! builds on (\[37\]), solved exactly in [`crate::shannon`].
+//!
+//! Construction grounds the query over the active domain of the table's
+//! possible facts plus the query's constants, the correct domain by
+//! Fact 2.1: atoms over facts outside the table become `Bot` — the
+//! closed-world assumption in action (and precisely what Section 5's
+//! completions repair).
+
+use crate::{FiniteError, TiTable};
+use infpdb_core::fact::{Fact, FactId};
+use infpdb_core::instance::Instance;
+use infpdb_core::value::Value;
+use infpdb_logic::ast::{Formula, Term, Var};
+use infpdb_logic::vars::free_vars;
+use std::collections::BTreeSet;
+
+/// A Boolean function over fact variables, kept in a canonical form:
+/// `And`/`Or` children are flattened, sorted, and deduplicated; constants
+/// are folded away on construction via the smart constructors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lineage {
+    /// Constant true.
+    Top,
+    /// Constant false.
+    Bot,
+    /// The fact variable "f ∈ D".
+    Var(FactId),
+    /// Negation.
+    Not(Box<Lineage>),
+    /// Conjunction (children canonical, ≥ 2).
+    And(Vec<Lineage>),
+    /// Disjunction (children canonical, ≥ 2).
+    Or(Vec<Lineage>),
+}
+
+impl Lineage {
+    /// Canonical conjunction.
+    pub fn and(children: impl IntoIterator<Item = Lineage>) -> Lineage {
+        let mut out: Vec<Lineage> = Vec::new();
+        for c in children {
+            match c {
+                Lineage::Bot => return Lineage::Bot,
+                Lineage::Top => {}
+                Lineage::And(gs) => out.extend(gs),
+                g => out.push(g),
+            }
+        }
+        out.sort();
+        out.dedup();
+        // x ∧ ¬x = ⊥
+        if has_complementary_pair(&out) {
+            return Lineage::Bot;
+        }
+        match out.len() {
+            0 => Lineage::Top,
+            1 => out.into_iter().next().expect("len 1"),
+            _ => Lineage::And(out),
+        }
+    }
+
+    /// Canonical disjunction.
+    pub fn or(children: impl IntoIterator<Item = Lineage>) -> Lineage {
+        let mut out: Vec<Lineage> = Vec::new();
+        for c in children {
+            match c {
+                Lineage::Top => return Lineage::Top,
+                Lineage::Bot => {}
+                Lineage::Or(gs) => out.extend(gs),
+                g => out.push(g),
+            }
+        }
+        out.sort();
+        out.dedup();
+        if has_complementary_pair(&out) {
+            return Lineage::Top;
+        }
+        match out.len() {
+            0 => Lineage::Bot,
+            1 => out.into_iter().next().expect("len 1"),
+            _ => Lineage::Or(out),
+        }
+    }
+
+    /// Canonical negation (double negations and constants folded).
+    pub fn negate(self) -> Lineage {
+        match self {
+            Lineage::Top => Lineage::Bot,
+            Lineage::Bot => Lineage::Top,
+            Lineage::Not(inner) => *inner,
+            other => Lineage::Not(Box::new(other)),
+        }
+    }
+
+    /// The fact variables occurring in the lineage.
+    pub fn vars(&self) -> BTreeSet<FactId> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<FactId>) {
+        match self {
+            Lineage::Top | Lineage::Bot => {}
+            Lineage::Var(id) => {
+                out.insert(*id);
+            }
+            Lineage::Not(g) => g.collect_vars(out),
+            Lineage::And(gs) | Lineage::Or(gs) => {
+                for g in gs {
+                    g.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluates the lineage in a world.
+    pub fn eval(&self, world: &Instance) -> bool {
+        match self {
+            Lineage::Top => true,
+            Lineage::Bot => false,
+            Lineage::Var(id) => world.contains(*id),
+            Lineage::Not(g) => !g.eval(world),
+            Lineage::And(gs) => gs.iter().all(|g| g.eval(world)),
+            Lineage::Or(gs) => gs.iter().any(|g| g.eval(world)),
+        }
+    }
+
+    /// Conditions the lineage on `var = value` (Shannon cofactor),
+    /// re-canonicalizing.
+    pub fn assign(&self, var: FactId, value: bool) -> Lineage {
+        match self {
+            Lineage::Top => Lineage::Top,
+            Lineage::Bot => Lineage::Bot,
+            Lineage::Var(id) if *id == var => {
+                if value {
+                    Lineage::Top
+                } else {
+                    Lineage::Bot
+                }
+            }
+            Lineage::Var(id) => Lineage::Var(*id),
+            Lineage::Not(g) => g.assign(var, value).negate(),
+            Lineage::And(gs) => Lineage::and(gs.iter().map(|g| g.assign(var, value))),
+            Lineage::Or(gs) => Lineage::or(gs.iter().map(|g| g.assign(var, value))),
+        }
+    }
+
+    /// Number of nodes (cost indicator).
+    pub fn size(&self) -> usize {
+        match self {
+            Lineage::Top | Lineage::Bot | Lineage::Var(_) => 1,
+            Lineage::Not(g) => 1 + g.size(),
+            Lineage::And(gs) | Lineage::Or(gs) => {
+                1 + gs.iter().map(Lineage::size).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Detects `x` and `¬x` (or any `g` and `¬g`) among canonical siblings.
+fn has_complementary_pair(children: &[Lineage]) -> bool {
+    use std::collections::HashSet;
+    let mut positives: HashSet<&Lineage> = HashSet::new();
+    let mut negatives: HashSet<&Lineage> = HashSet::new();
+    for c in children {
+        match c {
+            Lineage::Not(inner) => {
+                negatives.insert(inner);
+            }
+            other => {
+                positives.insert(other);
+            }
+        }
+    }
+    positives.iter().any(|p| negatives.contains(*p))
+}
+
+/// Computes the lineage of a Boolean FO query over a t.i. table.
+///
+/// Quantifiers range over the active domain of the table's possible facts
+/// united with the query's constants (Fact 2.1); atoms naming facts outside
+/// the table fold to `Bot` (closed world).
+pub fn lineage_of(query: &Formula, table: &TiTable) -> Result<Lineage, FiniteError> {
+    let fv = free_vars(query);
+    if !fv.is_empty() {
+        return Err(FiniteError::Logic(infpdb_logic::LogicError::NotASentence(
+            fv.into_iter().collect(),
+        )));
+    }
+    let mut domain: Vec<Value> = table.active_domain().into_iter().collect();
+    for c in infpdb_logic::vars::constants(query) {
+        if !domain.contains(&c) {
+            domain.push(c);
+        }
+    }
+    let mut env: Vec<(Var, Value)> = Vec::new();
+    Ok(build(query, table, &domain, &mut env))
+}
+
+fn resolve(t: &Term, env: &[(Var, Value)]) -> Value {
+    match t {
+        Term::Const(c) => c.clone(),
+        Term::Var(v) => env
+            .iter()
+            .rev()
+            .find(|(name, _)| name == v)
+            .map(|(_, val)| val.clone())
+            .expect("sentence: every variable bound during grounding"),
+    }
+}
+
+fn build(f: &Formula, table: &TiTable, domain: &[Value], env: &mut Vec<(Var, Value)>) -> Lineage {
+    match f {
+        Formula::True => Lineage::Top,
+        Formula::False => Lineage::Bot,
+        Formula::Atom { rel, args } => {
+            let tuple: Vec<Value> = args.iter().map(|t| resolve(t, env)).collect();
+            let fact = Fact::new(*rel, tuple);
+            match table.interner().get(&fact) {
+                Some(id) => {
+                    // fold deterministic facts
+                    let p = table.prob(id);
+                    if p == 1.0 {
+                        Lineage::Top
+                    } else if p == 0.0 {
+                        Lineage::Bot
+                    } else {
+                        Lineage::Var(id)
+                    }
+                }
+                None => Lineage::Bot,
+            }
+        }
+        Formula::Eq(a, b) => {
+            if resolve(a, env) == resolve(b, env) {
+                Lineage::Top
+            } else {
+                Lineage::Bot
+            }
+        }
+        Formula::Not(g) => build(g, table, domain, env).negate(),
+        Formula::And(gs) => Lineage::and(gs.iter().map(|g| {
+            build(g, table, domain, env)
+        })),
+        Formula::Or(gs) => Lineage::or(gs.iter().map(|g| {
+            build(g, table, domain, env)
+        })),
+        Formula::Exists(v, g) => {
+            let mut children = Vec::with_capacity(domain.len());
+            for val in domain {
+                env.push((v.clone(), val.clone()));
+                children.push(build(g, table, domain, env));
+                env.pop();
+            }
+            Lineage::or(children)
+        }
+        Formula::Forall(v, g) => {
+            let mut children = Vec::with_capacity(domain.len());
+            for val in domain {
+                env.push((v.clone(), val.clone()));
+                children.push(build(g, table, domain, env));
+                env.pop();
+            }
+            Lineage::and(children)
+        }
+    }
+}
+
+/// Per-answer lineage of a query with free variables: grounds the free
+/// variables over `adom(table) ∪ adom(Q)` (Fact 2.1) and returns the
+/// lineage of each ground sentence whose lineage is not `Bot`, keyed by
+/// the tuple (sorted variable order). The probability of each answer is
+/// then [`crate::shannon::probability`] of its lineage — this is the
+/// provenance-aware form of `answer_marginals`.
+pub fn answer_lineages(
+    query: &Formula,
+    table: &TiTable,
+) -> Result<Vec<(Vec<Value>, Lineage)>, FiniteError> {
+    let fv: Vec<Var> = free_vars(query).into_iter().collect();
+    if fv.is_empty() {
+        let l = lineage_of(query, table)?;
+        return Ok(if l == Lineage::Bot {
+            vec![]
+        } else {
+            vec![(vec![], l)]
+        });
+    }
+    let mut domain: Vec<Value> = table.active_domain().into_iter().collect();
+    for c in infpdb_logic::vars::constants(query) {
+        if !domain.contains(&c) {
+            domain.push(c);
+        }
+    }
+    let mut out = Vec::new();
+    let mut assignment: Vec<(Var, Value)> = Vec::with_capacity(fv.len());
+    ground_rec(query, table, &fv, &domain, 0, &mut assignment, &mut out)?;
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ground_rec(
+    query: &Formula,
+    table: &TiTable,
+    fv: &[Var],
+    domain: &[Value],
+    i: usize,
+    assignment: &mut Vec<(Var, Value)>,
+    out: &mut Vec<(Vec<Value>, Lineage)>,
+) -> Result<(), FiniteError> {
+    if i == fv.len() {
+        let sentence = infpdb_logic::vars::ground(query, assignment);
+        let l = lineage_of(&sentence, table)?;
+        if l != Lineage::Bot {
+            out.push((assignment.iter().map(|(_, v)| v.clone()).collect(), l));
+        }
+        return Ok(());
+    }
+    for v in domain {
+        assignment.push((fv[i].clone(), v.clone()));
+        ground_rec(query, table, fv, domain, i + 1, assignment, out)?;
+        assignment.pop();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::{Relation, Schema};
+    use infpdb_logic::parse;
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 1), Relation::new("S", 1)]).unwrap()
+    }
+
+    fn table(ps: &[(i64, f64)], qs: &[(i64, f64)]) -> TiTable {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let q = s.rel_id("S").unwrap();
+        let mut t = TiTable::new(s);
+        for &(n, p) in ps {
+            t.add_fact(Fact::new(r, [Value::int(n)]), p).unwrap();
+        }
+        for &(n, p) in qs {
+            t.add_fact(Fact::new(q, [Value::int(n)]), p).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn canonical_constructors_fold_constants() {
+        assert_eq!(Lineage::and([Lineage::Top, Lineage::Top]), Lineage::Top);
+        assert_eq!(
+            Lineage::and([Lineage::Var(FactId(0)), Lineage::Bot]),
+            Lineage::Bot
+        );
+        assert_eq!(Lineage::or([]), Lineage::Bot);
+        assert_eq!(Lineage::and([]), Lineage::Top);
+        assert_eq!(
+            Lineage::or([Lineage::Var(FactId(1)), Lineage::Top]),
+            Lineage::Top
+        );
+        // single child unwraps
+        assert_eq!(
+            Lineage::or([Lineage::Var(FactId(1))]),
+            Lineage::Var(FactId(1))
+        );
+    }
+
+    #[test]
+    fn canonical_constructors_sort_flatten_dedup() {
+        let a = Lineage::Var(FactId(2));
+        let b = Lineage::Var(FactId(1));
+        let f = Lineage::and([a.clone(), Lineage::and([b.clone(), a.clone()])]);
+        assert_eq!(f, Lineage::And(vec![b, a]));
+    }
+
+    #[test]
+    fn complementary_pairs_fold() {
+        let x = Lineage::Var(FactId(0));
+        assert_eq!(
+            Lineage::and([x.clone(), x.clone().negate()]),
+            Lineage::Bot
+        );
+        assert_eq!(Lineage::or([x.clone(), x.negate()]), Lineage::Top);
+    }
+
+    #[test]
+    fn negate_folds() {
+        assert_eq!(Lineage::Top.negate(), Lineage::Bot);
+        let x = Lineage::Var(FactId(3));
+        assert_eq!(x.clone().negate().negate(), x);
+    }
+
+    #[test]
+    fn lineage_of_existential_is_disjunction_of_vars() {
+        let t = table(&[(1, 0.5), (2, 0.5)], &[]);
+        let q = parse("exists x. R(x)", t.schema()).unwrap();
+        let l = lineage_of(&q, &t).unwrap();
+        assert_eq!(
+            l,
+            Lineage::Or(vec![Lineage::Var(FactId(0)), Lineage::Var(FactId(1))])
+        );
+        assert_eq!(l.vars().len(), 2);
+    }
+
+    #[test]
+    fn closed_world_atoms_fold_to_bot() {
+        let t = table(&[(1, 0.5)], &[]);
+        let q = parse("R(7)", t.schema()).unwrap();
+        assert_eq!(lineage_of(&q, &t).unwrap(), Lineage::Bot);
+        // constants extend the grounding domain but stay Bot
+        let q2 = parse("exists x. R(x) /\\ S(x)", t.schema()).unwrap();
+        assert_eq!(lineage_of(&q2, &t).unwrap(), Lineage::Bot);
+    }
+
+    #[test]
+    fn deterministic_facts_fold() {
+        let t = table(&[(1, 1.0), (2, 0.0), (3, 0.5)], &[]);
+        let q = parse("R(1)", t.schema()).unwrap();
+        assert_eq!(lineage_of(&q, &t).unwrap(), Lineage::Top);
+        let q2 = parse("R(2)", t.schema()).unwrap();
+        assert_eq!(lineage_of(&q2, &t).unwrap(), Lineage::Bot);
+        let q3 = parse("forall x. R(x)", t.schema()).unwrap();
+        // = R(1) ∧ R(2) ∧ R(3) = ⊤ ∧ ⊥ ∧ v = ⊥
+        assert_eq!(lineage_of(&q3, &t).unwrap(), Lineage::Bot);
+    }
+
+    #[test]
+    fn join_query_lineage() {
+        let t = table(&[(1, 0.5), (2, 0.5)], &[(1, 0.5)]);
+        let q = parse("exists x. R(x) /\\ S(x)", t.schema()).unwrap();
+        let l = lineage_of(&q, &t).unwrap();
+        // only x=1 yields a satisfiable conjunct: R(1) ∧ S(1)
+        match &l {
+            Lineage::And(cs) => assert_eq!(cs.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_atoms_fold() {
+        let t = table(&[(1, 0.5)], &[]);
+        let q = parse("exists x. x = 1 /\\ R(x)", t.schema()).unwrap();
+        assert_eq!(lineage_of(&q, &t).unwrap(), Lineage::Var(FactId(0)));
+    }
+
+    #[test]
+    fn lineage_rejects_free_variables() {
+        let t = table(&[(1, 0.5)], &[]);
+        let q = parse("R(x)", t.schema()).unwrap();
+        assert!(lineage_of(&q, &t).is_err());
+    }
+
+    #[test]
+    fn lineage_eval_agrees_with_world_semantics() {
+        let t = table(&[(1, 0.5), (2, 0.5)], &[(1, 0.5), (2, 0.5)]);
+        let queries = [
+            "exists x. R(x) /\\ S(x)",
+            "forall x. (R(x) -> S(x))",
+            "exists x. R(x) /\\ !S(x)",
+            "(exists x. R(x)) /\\ (exists y. S(y))",
+        ];
+        let pdb = t.worlds().unwrap();
+        for qs in queries {
+            let q = parse(qs, t.schema()).unwrap();
+            let l = lineage_of(&q, &t).unwrap();
+            for (world, _) in pdb.space().outcomes() {
+                let store = infpdb_core::storage::InstanceStore::build(
+                    world,
+                    t.interner(),
+                    t.schema(),
+                );
+                let direct = infpdb_logic::Evaluator::new(&store, &q)
+                    .eval_sentence(&q)
+                    .unwrap();
+                assert_eq!(
+                    l.eval(world),
+                    direct,
+                    "lineage/world mismatch for {qs} on {world:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assign_cofactors() {
+        let x = Lineage::Var(FactId(0));
+        let y = Lineage::Var(FactId(1));
+        let f = Lineage::or([
+            Lineage::and([x.clone(), y.clone()]),
+            x.clone().negate(),
+        ]);
+        assert_eq!(f.assign(FactId(0), true), y);
+        assert_eq!(f.assign(FactId(0), false), Lineage::Top);
+        assert_eq!(f.assign(FactId(7), true), f);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let x = Lineage::Var(FactId(0));
+        let y = Lineage::Var(FactId(1));
+        let f = Lineage::and([x.clone(), y.clone().negate()]);
+        assert_eq!(f.size(), 4); // And + Var + Not + Var
+        assert_eq!(Lineage::Top.size(), 1);
+    }
+
+    #[test]
+    fn grounding_domain_includes_query_constants() {
+        // Fact 2.1: constant 5 not in adom(table) still participates
+        let t = table(&[(1, 0.5)], &[]);
+        let q = parse("exists x. x = 5 /\\ !R(x)", t.schema()).unwrap();
+        // R(5) is Bot, so !R(5) is Top, and x=5 picks that branch: Top
+        assert_eq!(lineage_of(&q, &t).unwrap(), Lineage::Top);
+    }
+}

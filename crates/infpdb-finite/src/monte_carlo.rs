@@ -1,0 +1,165 @@
+//! Monte-Carlo estimation of query probabilities.
+//!
+//! For queries outside the tractable fragments, sample worlds from the
+//! tuple-independent table and count satisfying ones. Hoeffding's
+//! inequality gives the usual `(ε, δ)` additive guarantee:
+//! `n ≥ ln(2/δ) / (2ε²)` samples suffice for
+//! `P(|p̂ − p| > ε) ≤ δ`.
+
+use crate::{FiniteError, TiTable};
+use infpdb_core::space::rand_core::RngCore;
+use infpdb_core::storage::InstanceStore;
+use infpdb_logic::ast::Formula;
+use infpdb_logic::eval::Evaluator;
+use infpdb_logic::vars::free_vars;
+
+/// A Monte-Carlo estimate with its Hoeffding error bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McEstimate {
+    /// The point estimate `p̂`.
+    pub estimate: f64,
+    /// Samples drawn.
+    pub samples: usize,
+    /// Half-width `ε` such that `P(|p̂ − p| > ε) ≤ δ` for the `δ` the
+    /// sample count was derived from (or 0.05 by default reporting).
+    pub half_width: f64,
+}
+
+/// Number of samples for an additive `(ε, δ)` guarantee by Hoeffding.
+pub fn samples_for(eps: f64, delta: f64) -> usize {
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    ((2.0 / delta).ln() / (2.0 * eps * eps)).ceil() as usize
+}
+
+/// Estimates `P(Q)` for a Boolean query by sampling `samples` worlds.
+pub fn estimate<R: RngCore>(
+    query: &Formula,
+    table: &TiTable,
+    samples: usize,
+    rng: &mut R,
+) -> Result<McEstimate, FiniteError> {
+    let fv = free_vars(query);
+    if !fv.is_empty() {
+        return Err(FiniteError::Logic(infpdb_logic::LogicError::NotASentence(
+            fv.into_iter().collect(),
+        )));
+    }
+    assert!(samples > 0, "need at least one sample");
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        let world = table.sample(rng);
+        let store = InstanceStore::build(&world, table.interner(), table.schema());
+        let ev = Evaluator::new(&store, query);
+        if ev.eval_sentence(query).expect("sentence checked") {
+            hits += 1;
+        }
+    }
+    // report the 95%-confidence half-width for this sample count
+    let half_width = ((2.0f64 / 0.05).ln() / (2.0 * samples as f64)).sqrt();
+    Ok(McEstimate {
+        estimate: hits as f64 / samples as f64,
+        samples,
+        half_width,
+    })
+}
+
+/// Estimates with an `(ε, δ)` guarantee, choosing the sample count by
+/// Hoeffding.
+pub fn estimate_with_guarantee<R: RngCore>(
+    query: &Formula,
+    table: &TiTable,
+    eps: f64,
+    delta: f64,
+    rng: &mut R,
+) -> Result<McEstimate, FiniteError> {
+    let n = samples_for(eps, delta);
+    let mut e = estimate(query, table, n, rng)?;
+    e.half_width = eps;
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::fact::Fact;
+    use infpdb_core::schema::{Relation, Schema};
+    use infpdb_core::space::rand_core::SplitMix64;
+    use infpdb_core::value::Value;
+    use infpdb_logic::parse;
+
+    fn table() -> TiTable {
+        let s =
+            Schema::from_relations([Relation::new("R", 1), Relation::new("S", 1)]).unwrap();
+        let r = s.rel_id("R").unwrap();
+        let t = s.rel_id("S").unwrap();
+        TiTable::from_facts(
+            s,
+            [
+                (Fact::new(r, [Value::int(1)]), 0.5),
+                (Fact::new(r, [Value::int(2)]), 0.3),
+                (Fact::new(t, [Value::int(1)]), 0.8),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn samples_for_hoeffding() {
+        // ln(2/0.05)/(2·0.1²) ≈ 184.4 → 185
+        assert_eq!(samples_for(0.1, 0.05), 185);
+        assert!(samples_for(0.01, 0.05) > 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps")]
+    fn samples_for_rejects_bad_eps() {
+        samples_for(0.0, 0.05);
+    }
+
+    #[test]
+    fn estimate_converges_to_truth() {
+        let t = table();
+        let q = parse("exists x. R(x) /\\ S(x)", t.schema()).unwrap();
+        let truth = t.worlds().unwrap().prob_boolean(&q).unwrap();
+        let mut rng = SplitMix64::new(5);
+        let e = estimate(&q, &t, 20_000, &mut rng).unwrap();
+        assert!(
+            (e.estimate - truth).abs() < 0.02,
+            "estimate {} vs truth {truth}",
+            e.estimate
+        );
+        assert_eq!(e.samples, 20_000);
+        assert!(e.half_width < 0.02);
+    }
+
+    #[test]
+    fn guarantee_variant_sets_half_width() {
+        let t = table();
+        let q = parse("exists x. R(x)", t.schema()).unwrap();
+        let truth = t.worlds().unwrap().prob_boolean(&q).unwrap();
+        let mut rng = SplitMix64::new(7);
+        let e = estimate_with_guarantee(&q, &t, 0.05, 0.01, &mut rng).unwrap();
+        assert_eq!(e.half_width, 0.05);
+        assert_eq!(e.samples, samples_for(0.05, 0.01));
+        assert!((e.estimate - truth).abs() < 0.05);
+    }
+
+    #[test]
+    fn rejects_free_variables() {
+        let t = table();
+        let q = parse("R(x)", t.schema()).unwrap();
+        let mut rng = SplitMix64::new(1);
+        assert!(estimate(&q, &t, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let t = table();
+        let mut rng = SplitMix64::new(2);
+        let yes = parse("true", t.schema()).unwrap();
+        assert_eq!(estimate(&yes, &t, 50, &mut rng).unwrap().estimate, 1.0);
+        let no = parse("false", t.schema()).unwrap();
+        assert_eq!(estimate(&no, &t, 50, &mut rng).unwrap().estimate, 0.0);
+    }
+}

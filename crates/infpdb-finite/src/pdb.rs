@@ -1,0 +1,295 @@
+//! General finite probabilistic databases.
+//!
+//! A [`FinitePdb`] is the paper's standard object (Section 1): a finite
+//! probability space whose sample space is a set of instances over one
+//! schema, materialized as a [`DiscreteSpace`]. It carries its schema and
+//! fact interner so queries and events can be evaluated against it.
+
+use crate::FiniteError;
+use infpdb_core::event::Event;
+use infpdb_core::fact::{Fact, FactId};
+use infpdb_core::instance::Instance;
+use infpdb_core::interner::FactInterner;
+use infpdb_core::schema::Schema;
+use infpdb_core::space::DiscreteSpace;
+use infpdb_core::storage::InstanceStore;
+use infpdb_logic::ast::Formula;
+use infpdb_logic::eval::Evaluator;
+use infpdb_logic::vars::free_vars;
+use infpdb_core::value::Value;
+use std::collections::BTreeSet;
+
+/// A finite PDB: schema, fact interner, and a materialized instance space.
+#[derive(Debug, Clone)]
+pub struct FinitePdb {
+    schema: Schema,
+    interner: FactInterner,
+    space: DiscreteSpace<Instance>,
+}
+
+impl FinitePdb {
+    /// Builds a PDB from explicit worlds given as fact lists with
+    /// probabilities (must sum to 1).
+    pub fn from_worlds(
+        schema: Schema,
+        worlds: impl IntoIterator<Item = (Vec<Fact>, f64)>,
+    ) -> Result<Self, FiniteError> {
+        let mut interner = FactInterner::new();
+        let outcomes: Vec<(Instance, f64)> = worlds
+            .into_iter()
+            .map(|(facts, p)| {
+                (
+                    Instance::from_ids(facts.into_iter().map(|f| interner.intern(f))),
+                    p,
+                )
+            })
+            .collect();
+        let space = DiscreteSpace::new(outcomes)?;
+        Ok(Self {
+            schema,
+            interner,
+            space,
+        })
+    }
+
+    /// Builds a PDB from pre-interned parts.
+    pub fn from_parts(
+        schema: Schema,
+        interner: FactInterner,
+        space: DiscreteSpace<Instance>,
+    ) -> Self {
+        Self {
+            schema,
+            interner,
+            space,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The fact interner.
+    pub fn interner(&self) -> &FactInterner {
+        &self.interner
+    }
+
+    /// The underlying probability space.
+    pub fn space(&self) -> &DiscreteSpace<Instance> {
+        &self.space
+    }
+
+    /// `P(E)` for an [`Event`].
+    pub fn prob_event(&self, event: &Event) -> f64 {
+        self.space.prob_where(|d| event.contains(d))
+    }
+
+    /// The marginal `P(E_f)` of a fact.
+    pub fn marginal(&self, fact: &Fact) -> f64 {
+        match self.interner.get(fact) {
+            Some(id) => self.prob_event(&Event::fact(id)),
+            None => 0.0,
+        }
+    }
+
+    /// All fact marginals (the table representation of Section 1, modulo
+    /// independence).
+    pub fn marginals(&self) -> Vec<(FactId, f64)> {
+        let m = infpdb_core::size::fact_marginals(&self.space);
+        let mut v: Vec<(FactId, f64)> = m.into_iter().collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    }
+
+    /// `P(Q)` of a Boolean FO query by possible-worlds summation: evaluates
+    /// the query in every world (the defining semantics of query probability
+    /// in Section 3.1). Exponential-free — the space is already
+    /// materialized — but linear in the number of worlds.
+    pub fn prob_boolean(&self, query: &Formula) -> Result<f64, FiniteError> {
+        let fv = free_vars(query);
+        if !fv.is_empty() {
+            return Err(FiniteError::Logic(infpdb_logic::LogicError::NotASentence(
+                fv.into_iter().collect(),
+            )));
+        }
+        let mut acc = infpdb_math::KahanSum::new();
+        for (d, p) in self.space.outcomes() {
+            if *p == 0.0 {
+                continue;
+            }
+            let store = InstanceStore::build(d, &self.interner, &self.schema);
+            let ev = Evaluator::new(&store, query);
+            if ev.eval_sentence(query).expect("sentence checked") {
+                acc.add(*p);
+            }
+        }
+        Ok(acc.value().min(1.0))
+    }
+
+    /// Marginal answer-tuple probabilities of a query with free variables
+    /// (Section 3.1): `Pr(~a ∈ Q(D))` for every tuple that is an answer in
+    /// at least one world.
+    pub fn answer_marginals(
+        &self,
+        query: &Formula,
+    ) -> Result<Vec<(Vec<Value>, f64)>, FiniteError> {
+        let mut acc: std::collections::BTreeMap<Vec<Value>, f64> = Default::default();
+        for (d, p) in self.space.outcomes() {
+            if *p == 0.0 {
+                continue;
+            }
+            let store = InstanceStore::build(d, &self.interner, &self.schema);
+            let ev = Evaluator::new(&store, query);
+            for tuple in ev.answers(query) {
+                *acc.entry(tuple).or_insert(0.0) += p;
+            }
+        }
+        Ok(acc.into_iter().map(|(t, p)| (t, p.min(1.0))).collect())
+    }
+
+    /// The active domain union over all instances with positive probability
+    /// (`adom` of the PDB).
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut dom = BTreeSet::new();
+        for (d, p) in self.space.outcomes() {
+            if *p > 0.0 {
+                dom.extend(d.active_domain(&self.interner));
+            }
+        }
+        dom
+    }
+
+    /// The set `F(D)` of facts appearing in instances with positive
+    /// probability (used by completions, Section 5).
+    pub fn possible_facts(&self) -> Vec<Fact> {
+        let mut ids: BTreeSet<FactId> = BTreeSet::new();
+        for (d, p) in self.space.outcomes() {
+            if *p > 0.0 {
+                ids.extend(d.iter());
+            }
+        }
+        ids.into_iter()
+            .map(|id| self.interner.resolve(id).clone())
+            .collect()
+    }
+
+    /// Expected instance size `E(S_D)`.
+    pub fn expected_size(&self) -> f64 {
+        infpdb_core::size::expected_size(&self.space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::Relation;
+    use infpdb_logic::parse;
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 1), Relation::new("S", 1)]).unwrap()
+    }
+
+    fn pdb() -> FinitePdb {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let t = s.rel_id("S").unwrap();
+        let f1 = Fact::new(r, [Value::int(1)]);
+        let f2 = Fact::new(r, [Value::int(2)]);
+        let g = Fact::new(t, [Value::int(1)]);
+        FinitePdb::from_worlds(
+            s,
+            [
+                (vec![], 0.1),
+                (vec![f1.clone()], 0.2),
+                (vec![f1.clone(), g.clone()], 0.3),
+                (vec![f1, f2, g], 0.4),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_mass() {
+        let s = schema();
+        assert!(matches!(
+            FinitePdb::from_worlds(s, [(vec![], 0.5)]),
+            Err(FiniteError::Core(_))
+        ));
+    }
+
+    #[test]
+    fn marginals_and_events() {
+        let p = pdb();
+        let s = p.schema().clone();
+        let r = s.rel_id("R").unwrap();
+        let f1 = Fact::new(r, [Value::int(1)]);
+        let f2 = Fact::new(r, [Value::int(2)]);
+        assert!((p.marginal(&f1) - 0.9).abs() < 1e-12);
+        assert!((p.marginal(&f2) - 0.4).abs() < 1e-12);
+        assert_eq!(p.marginal(&Fact::new(r, [Value::int(9)])), 0.0);
+        let id1 = p.interner().get(&f1).unwrap();
+        assert!((p.prob_event(&Event::fact(id1).not()) - 0.1).abs() < 1e-12);
+        assert_eq!(p.marginals().len(), 3);
+    }
+
+    #[test]
+    fn boolean_query_probability_by_world_summation() {
+        let p = pdb();
+        let q = parse("exists x. R(x) /\\ S(x)", p.schema()).unwrap();
+        // worlds 3 (.3) and 4 (.4) contain both R(1) and S(1)
+        assert!((p.prob_boolean(&q).unwrap() - 0.7).abs() < 1e-12);
+        let q2 = parse("exists x. R(x)", p.schema()).unwrap();
+        assert!((p.prob_boolean(&q2).unwrap() - 0.9).abs() < 1e-12);
+        let q3 = parse("forall x. (S(x) -> R(x))", p.schema()).unwrap();
+        assert!((p.prob_boolean(&q3).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boolean_query_rejects_free_variables() {
+        let p = pdb();
+        let q = parse("R(x)", p.schema()).unwrap();
+        assert!(matches!(
+            p.prob_boolean(&q),
+            Err(FiniteError::Logic(
+                infpdb_logic::LogicError::NotASentence(_)
+            ))
+        ));
+    }
+
+    #[test]
+    fn answer_marginals_per_tuple() {
+        let p = pdb();
+        let q = parse("R(x)", p.schema()).unwrap();
+        let ans = p.answer_marginals(&q).unwrap();
+        // R(1) in worlds 2,3,4 (0.9); R(2) in world 4 (0.4)
+        assert_eq!(ans.len(), 2);
+        let find = |n: i64| {
+            ans.iter()
+                .find(|(t, _)| t[0] == Value::int(n))
+                .map(|(_, p)| *p)
+                .unwrap()
+        };
+        assert!((find(1) - 0.9).abs() < 1e-12);
+        assert!((find(2) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_domain_and_possible_facts() {
+        let p = pdb();
+        let dom: Vec<i64> = p
+            .active_domain()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(dom, vec![1, 2]);
+        assert_eq!(p.possible_facts().len(), 3);
+    }
+
+    #[test]
+    fn expected_size() {
+        let p = pdb();
+        // 0·.1 + 1·.2 + 2·.3 + 3·.4 = 2.0
+        assert!((p.expected_size() - 2.0).abs() < 1e-12);
+    }
+}

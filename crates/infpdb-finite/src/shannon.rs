@@ -1,0 +1,426 @@
+//! Exact inference on lineage by Shannon expansion.
+//!
+//! Computes `P(lineage = true)` under independent fact variables — the
+//! intensional query evaluation of the finite-PDB literature the paper
+//! builds on. The algorithm is a lightweight knowledge compiler:
+//!
+//! 1. **Independence decomposition** — children of an `And`/`Or` are
+//!    grouped into connected components of shared variables; independent
+//!    components multiply (`And`) or combine by inclusion–exclusion of
+//!    complements (`Or`).
+//! 2. **Shannon expansion** — within a connected component, condition on
+//!    the most frequent variable: `P(φ) = p·P(φ|v) + (1−p)·P(φ|¬v)`.
+//! 3. **Memoization** — canonical sub-lineages cache their probability, so
+//!    shared substructure is solved once.
+//!
+//! Worst case remains exponential (#P-hardness of general query
+//! probability is inherited from the finite theory); hierarchical queries
+//! should use [`crate::lifted`] instead.
+
+use crate::lineage::Lineage;
+use infpdb_core::fact::FactId;
+use std::collections::HashMap;
+
+/// Exact probability of `lineage` being true when variable `v` is true
+/// independently with probability `probs(v)`.
+pub fn probability<F: Fn(FactId) -> f64>(lineage: &Lineage, probs: &F) -> f64 {
+    let mut memo: HashMap<Lineage, f64> = HashMap::new();
+    let mut stats = Stats::default();
+    prob_rec(lineage, probs, &mut memo, &mut stats)
+}
+
+/// Instrumented variant returning the compilation statistics.
+pub fn probability_with_stats<F: Fn(FactId) -> f64>(
+    lineage: &Lineage,
+    probs: &F,
+) -> (f64, Stats) {
+    let mut memo: HashMap<Lineage, f64> = HashMap::new();
+    let mut stats = Stats::default();
+    let p = prob_rec(lineage, probs, &mut memo, &mut stats);
+    (p, stats)
+}
+
+/// Budgeted variant: gives up with `None` once `max_expansions` Shannon
+/// expansions have been performed. Inference on lineage is #P-hard in
+/// general; long-running callers (servers, benchmark harnesses) should use
+/// this and fall back to Monte Carlo when the budget trips.
+pub fn probability_with_budget<F: Fn(FactId) -> f64>(
+    lineage: &Lineage,
+    probs: &F,
+    max_expansions: usize,
+) -> Option<(f64, Stats)> {
+    let mut memo: HashMap<Lineage, f64> = HashMap::new();
+    let mut stats = Stats::default();
+    let p = prob_rec_budget(lineage, probs, &mut memo, &mut stats, max_expansions)?;
+    Some((p, stats))
+}
+
+fn prob_rec_budget<F: Fn(FactId) -> f64>(
+    l: &Lineage,
+    probs: &F,
+    memo: &mut HashMap<Lineage, f64>,
+    stats: &mut Stats,
+    budget: usize,
+) -> Option<f64> {
+    match l {
+        Lineage::Top => return Some(1.0),
+        Lineage::Bot => return Some(0.0),
+        Lineage::Var(id) => return Some(probs(*id)),
+        Lineage::Not(g) => return Some(1.0 - prob_rec_budget(g, probs, memo, stats, budget)?),
+        _ => {}
+    }
+    if let Some(&p) = memo.get(l) {
+        stats.cache_hits += 1;
+        return Some(p);
+    }
+    let p = match l {
+        Lineage::And(children) | Lineage::Or(children) => {
+            let is_and = matches!(l, Lineage::And(_));
+            let comps = components(children);
+            if comps.len() > 1 {
+                stats.decompositions += 1;
+                let mut acc = 1.0;
+                for comp in comps {
+                    let sub = if comp.len() == 1 {
+                        comp.into_iter().next().expect("len 1")
+                    } else if is_and {
+                        Lineage::and(comp)
+                    } else {
+                        Lineage::or(comp)
+                    };
+                    let ps = prob_rec_budget(&sub, probs, memo, stats, budget)?;
+                    acc *= if is_and { ps } else { 1.0 - ps };
+                }
+                if is_and {
+                    acc
+                } else {
+                    1.0 - acc
+                }
+            } else {
+                if stats.expansions >= budget {
+                    return None;
+                }
+                stats.expansions += 1;
+                let v = most_frequent_var(children).expect("connected component has vars");
+                let pv = probs(v);
+                let pos = l.assign(v, true);
+                let neg = l.assign(v, false);
+                pv * prob_rec_budget(&pos, probs, memo, stats, budget)?
+                    + (1.0 - pv) * prob_rec_budget(&neg, probs, memo, stats, budget)?
+            }
+        }
+        _ => unreachable!("leaf cases handled above"),
+    };
+    memo.insert(l.clone(), p);
+    Some(p)
+}
+
+/// Compilation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Shannon expansions performed.
+    pub expansions: usize,
+    /// Memo hits.
+    pub cache_hits: usize,
+    /// Independent-component decompositions applied.
+    pub decompositions: usize,
+}
+
+fn prob_rec<F: Fn(FactId) -> f64>(
+    l: &Lineage,
+    probs: &F,
+    memo: &mut HashMap<Lineage, f64>,
+    stats: &mut Stats,
+) -> f64 {
+    match l {
+        Lineage::Top => return 1.0,
+        Lineage::Bot => return 0.0,
+        Lineage::Var(id) => return probs(*id),
+        Lineage::Not(g) => return 1.0 - prob_rec(g, probs, memo, stats),
+        _ => {}
+    }
+    if let Some(&p) = memo.get(l) {
+        stats.cache_hits += 1;
+        return p;
+    }
+    let p = match l {
+        Lineage::And(children) | Lineage::Or(children) => {
+            let is_and = matches!(l, Lineage::And(_));
+            let comps = components(children);
+            if comps.len() > 1 {
+                stats.decompositions += 1;
+                // Independent components: P(∧) = ∏ P, P(∨) = 1 − ∏ (1 − P).
+                let mut acc = 1.0;
+                for comp in comps {
+                    let sub = if comp.len() == 1 {
+                        comp.into_iter().next().expect("len 1")
+                    } else if is_and {
+                        Lineage::and(comp)
+                    } else {
+                        Lineage::or(comp)
+                    };
+                    let ps = prob_rec(&sub, probs, memo, stats);
+                    acc *= if is_and { ps } else { 1.0 - ps };
+                }
+                if is_and {
+                    acc
+                } else {
+                    1.0 - acc
+                }
+            } else {
+                // Connected: Shannon expansion on the most frequent var.
+                stats.expansions += 1;
+                let v = most_frequent_var(children).expect("connected component has vars");
+                let pv = probs(v);
+                let pos = l.assign(v, true);
+                let neg = l.assign(v, false);
+                pv * prob_rec(&pos, probs, memo, stats)
+                    + (1.0 - pv) * prob_rec(&neg, probs, memo, stats)
+            }
+        }
+        _ => unreachable!("leaf cases handled above"),
+    };
+    memo.insert(l.clone(), p);
+    p
+}
+
+/// Groups sibling lineages into connected components of shared variables.
+fn components(children: &[Lineage]) -> Vec<Vec<Lineage>> {
+    let n = children.len();
+    let var_sets: Vec<_> = children.iter().map(Lineage::vars).collect();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !var_sets[i].is_disjoint(&var_sets[j]) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<Lineage>> = Default::default();
+    for (i, c) in children.iter().enumerate() {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(c.clone());
+    }
+    groups.into_values().collect()
+}
+
+/// The variable occurring in the most children (ties broken by id).
+fn most_frequent_var(children: &[Lineage]) -> Option<FactId> {
+    let mut counts: std::collections::BTreeMap<FactId, usize> = Default::default();
+    for c in children {
+        for v in c.vars() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(id, c)| (c, std::cmp::Reverse(id)))
+        .map(|(id, _)| id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::lineage_of;
+    use crate::TiTable;
+    use infpdb_core::fact::Fact;
+    use infpdb_core::schema::{Relation, Schema};
+    use infpdb_core::value::Value;
+    use infpdb_logic::parse;
+
+    fn v(i: u32) -> Lineage {
+        Lineage::Var(FactId(i))
+    }
+
+    #[test]
+    fn leaves() {
+        let p = |_: FactId| 0.3;
+        assert_eq!(probability(&Lineage::Top, &p), 1.0);
+        assert_eq!(probability(&Lineage::Bot, &p), 0.0);
+        assert_eq!(probability(&v(0), &p), 0.3);
+        assert!((probability(&v(0).negate(), &p) - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn independent_and_or() {
+        let probs = |id: FactId| [0.5, 0.4, 0.0][id.0 as usize];
+        let f = Lineage::and([v(0), v(1)]);
+        assert!((probability(&f, &probs) - 0.2).abs() < 1e-15);
+        let g = Lineage::or([v(0), v(1)]);
+        assert!((probability(&g, &probs) - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shared_variable_forces_shannon() {
+        // (x ∧ y) ∨ (x ∧ z): P = p_x · P(y ∨ z)
+        let probs = |id: FactId| [0.5, 0.4, 0.2][id.0 as usize];
+        let f = Lineage::or([
+            Lineage::and([v(0), v(1)]),
+            Lineage::and([v(0), v(2)]),
+        ]);
+        let expected = 0.5 * (1.0 - 0.6 * 0.8);
+        let (p, stats) = probability_with_stats(&f, &probs);
+        assert!((p - expected).abs() < 1e-12);
+        assert!(stats.expansions >= 1);
+    }
+
+    #[test]
+    fn xor_style_formula() {
+        // (x ∧ ¬y) ∨ (¬x ∧ y)
+        let probs = |id: FactId| [0.3, 0.6][id.0 as usize];
+        let f = Lineage::or([
+            Lineage::and([v(0), v(1).negate()]),
+            Lineage::and([v(0).negate(), v(1)]),
+        ]);
+        let expected = 0.3 * 0.4 + 0.7 * 0.6;
+        assert!((probability(&f, &probs) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decomposition_statistics() {
+        let probs = |_: FactId| 0.5;
+        // independent pairs: ((x0∧x1) ∨ (x2∧x3)) — components {x0,x1},{x2,x3}
+        let f = Lineage::or([
+            Lineage::and([v(0), v(1)]),
+            Lineage::and([v(2), v(3)]),
+        ]);
+        let (p, stats) = probability_with_stats(&f, &probs);
+        assert!((p - (1.0 - 0.75 * 0.75)).abs() < 1e-12);
+        assert!(stats.decompositions >= 1);
+        assert_eq!(stats.expansions, 0);
+    }
+
+    #[test]
+    fn memoization_hits_on_shared_substructure() {
+        let probs = |_: FactId| 0.5;
+        // (x0 ∨ x1) appears twice via conditioning paths of x2
+        let shared = Lineage::or([v(0), v(1)]);
+        let f = Lineage::or([
+            Lineage::and([v(2), shared.clone()]),
+            Lineage::and([v(2).negate(), shared]),
+        ]);
+        let (p, _stats) = probability_with_stats(&f, &probs);
+        assert!((p - 0.75).abs() < 1e-12);
+    }
+
+    /// Brute-force reference: sum over all assignments.
+    fn brute(l: &Lineage, probs: &dyn Fn(FactId) -> f64) -> f64 {
+        let vars: Vec<FactId> = l.vars().into_iter().collect();
+        let mut total = 0.0;
+        for mask in 0u64..(1 << vars.len()) {
+            let mut world = Vec::new();
+            let mut p = 1.0;
+            for (i, &v) in vars.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    world.push(v);
+                    p *= probs(v);
+                } else {
+                    p *= 1.0 - probs(v);
+                }
+            }
+            let inst = infpdb_core::instance::Instance::from_ids(world);
+            if l.eval(&inst) {
+                total += p;
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_formulas() {
+        use infpdb_core::space::rand_core::{RngCore, SplitMix64};
+        let mut rng = SplitMix64::new(2024);
+        for trial in 0..60 {
+            // random formula over 6 vars, depth 3
+            fn random_lineage(rng: &mut SplitMix64, depth: usize) -> Lineage {
+                let choice = rng.next_u64() % if depth == 0 { 2 } else { 5 };
+                match choice {
+                    0 => Lineage::Var(FactId((rng.next_u64() % 6) as u32)),
+                    1 => Lineage::Var(FactId((rng.next_u64() % 6) as u32)).negate(),
+                    2 => Lineage::and([
+                        random_lineage(rng, depth - 1),
+                        random_lineage(rng, depth - 1),
+                    ]),
+                    3 => Lineage::or([
+                        random_lineage(rng, depth - 1),
+                        random_lineage(rng, depth - 1),
+                    ]),
+                    _ => random_lineage(rng, depth - 1).negate(),
+                }
+            }
+            let l = random_lineage(&mut rng, 3);
+            let ps: Vec<f64> = (0..6)
+                .map(|_| (rng.next_u64() % 1000) as f64 / 1000.0)
+                .collect();
+            let probs = |id: FactId| ps[id.0 as usize];
+            let fast = probability(&l, &probs);
+            let slow = brute(&l, &probs);
+            assert!(
+                (fast - slow).abs() < 1e-9,
+                "trial {trial}: shannon {fast} != brute {slow} on {l:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_variant_matches_unbudgeted_when_affordable() {
+        let probs = |id: FactId| [0.5, 0.4, 0.2][id.0 as usize];
+        let f = Lineage::or([
+            Lineage::and([v(0), v(1)]),
+            Lineage::and([v(0), v(2)]),
+        ]);
+        let (p, _) = probability_with_budget(&f, &probs, 1_000_000).unwrap();
+        assert!((p - probability(&f, &probs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_variant_gives_up_gracefully() {
+        // a chain x0x1 ∨ x1x2 ∨ … forces one expansion per level; budget 0
+        // must trip immediately on a connected component
+        let probs = |_: FactId| 0.5;
+        let f = Lineage::or((0..8).map(|i| Lineage::and([v(i), v(i + 1)])));
+        assert!(probability_with_budget(&f, &probs, 0).is_none());
+        assert!(probability_with_budget(&f, &probs, 1_000).is_some());
+    }
+
+    #[test]
+    fn end_to_end_query_probability_matches_world_enumeration() {
+        let schema =
+            Schema::from_relations([Relation::new("R", 1), Relation::new("S", 1)]).unwrap();
+        let r = schema.rel_id("R").unwrap();
+        let s = schema.rel_id("S").unwrap();
+        let t = TiTable::from_facts(
+            schema,
+            [
+                (Fact::new(r, [Value::int(1)]), 0.5),
+                (Fact::new(r, [Value::int(2)]), 0.3),
+                (Fact::new(s, [Value::int(1)]), 0.8),
+                (Fact::new(s, [Value::int(2)]), 0.1),
+            ],
+        )
+        .unwrap();
+        let pdb = t.worlds().unwrap();
+        for qs in [
+            "exists x. R(x) /\\ S(x)",
+            "forall x. (R(x) -> S(x))",
+            "exists x, y. R(x) /\\ S(y) /\\ x != y",
+            "exists x. R(x) \\/ S(x)",
+        ] {
+            let q = parse(qs, t.schema()).unwrap();
+            let l = lineage_of(&q, &t).unwrap();
+            let fast = probability(&l, &|id| t.prob(id));
+            let slow = pdb.prob_boolean(&q).unwrap();
+            assert!((fast - slow).abs() < 1e-9, "{qs}: {fast} vs {slow}");
+        }
+    }
+}

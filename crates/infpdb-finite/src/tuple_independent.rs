@@ -1,0 +1,420 @@
+//! Finite tuple-independent tables.
+//!
+//! "A tuple-independent PDB can be represented as a table of all possible
+//! facts annotated with their respective marginal probabilities"
+//! (Section 1). [`TiTable`] is that table: the distribution over instances
+//! is the product measure in which each fact `f` appears independently with
+//! its probability `p_f`.
+
+use crate::{FiniteError, FinitePdb};
+use infpdb_core::fact::{Fact, FactId};
+use infpdb_core::instance::Instance;
+use infpdb_core::interner::FactInterner;
+use infpdb_core::schema::Schema;
+use infpdb_core::space::rand_core::RngCore;
+use infpdb_core::space::DiscreteSpace;
+use infpdb_core::value::Value;
+use infpdb_math::{KahanSum, LogProb};
+use std::collections::BTreeSet;
+
+/// Hard cap on explicit world enumeration: `2^24` worlds ≈ 16M.
+pub const MAX_ENUM_FACTS: usize = 24;
+
+/// A finite tuple-independent PDB as a table of `(fact, probability)`.
+#[derive(Debug, Clone)]
+pub struct TiTable {
+    schema: Schema,
+    interner: FactInterner,
+    probs: Vec<f64>,
+}
+
+impl TiTable {
+    /// An empty table over a schema.
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            schema,
+            interner: FactInterner::new(),
+            probs: Vec::new(),
+        }
+    }
+
+    /// Builds a table from `(fact, probability)` pairs; rejects duplicate
+    /// facts and probabilities outside `[0, 1]`.
+    ///
+    /// ```
+    /// use infpdb_core::{fact::Fact, schema::{Relation, Schema}, value::Value};
+    /// use infpdb_finite::TiTable;
+    ///
+    /// let schema = Schema::from_relations([Relation::new("R", 1)])?;
+    /// let r = schema.rel_id("R").unwrap();
+    /// let table = TiTable::from_facts(schema, [
+    ///     (Fact::new(r, [Value::int(1)]), 0.8),
+    ///     (Fact::new(r, [Value::int(2)]), 0.4),
+    /// ])?;
+    /// assert_eq!(table.len(), 2);
+    /// assert!((table.expected_size() - 1.2).abs() < 1e-12);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn from_facts(
+        schema: Schema,
+        facts: impl IntoIterator<Item = (Fact, f64)>,
+    ) -> Result<Self, FiniteError> {
+        let mut t = Self::new(schema);
+        for (f, p) in facts {
+            t.add_fact(f, p)?;
+        }
+        Ok(t)
+    }
+
+    /// Adds one possible fact with its marginal probability.
+    pub fn add_fact(&mut self, fact: Fact, p: f64) -> Result<FactId, FiniteError> {
+        infpdb_math::check_probability(p)
+            .map_err(infpdb_core::CoreError::Math)
+            .map_err(FiniteError::Core)?;
+        if self.interner.get(&fact).is_some() {
+            return Err(FiniteError::DuplicateFact(
+                fact.display(&self.schema).to_string(),
+            ));
+        }
+        let id = self.interner.intern(fact);
+        debug_assert_eq!(id.0 as usize, self.probs.len());
+        self.probs.push(p);
+        Ok(id)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The fact interner (ids are positions in insertion order).
+    pub fn interner(&self) -> &FactInterner {
+        &self.interner
+    }
+
+    /// Number of possible facts.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// The marginal probability of a fact id.
+    pub fn prob(&self, id: FactId) -> f64 {
+        self.probs[id.0 as usize]
+    }
+
+    /// The marginal probability of a fact (0 if not in the table —
+    /// the closed-world assumption, Section 1).
+    pub fn marginal(&self, fact: &Fact) -> f64 {
+        self.interner.get(fact).map(|id| self.prob(id)).unwrap_or(0.0)
+    }
+
+    /// Iterator over `(id, fact, probability)`.
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, &Fact, f64)> {
+        self.interner
+            .iter()
+            .map(|(id, f)| (id, f, self.probs[id.0 as usize]))
+    }
+
+    /// `E(S_D) = ∑_f p_f` (equation (5)).
+    pub fn expected_size(&self) -> f64 {
+        KahanSum::sum_iter(self.probs.iter().copied())
+    }
+
+    /// The probability of one instance:
+    /// `P({D}) = ∏_{f∈D} p_f · ∏_{f∉D} (1 − p_f)` (Section 4.1 in the
+    /// finite special case). Instances containing facts outside the table
+    /// have probability 0.
+    pub fn instance_prob(&self, instance: &Instance) -> f64 {
+        self.instance_logprob(instance).prob()
+    }
+
+    /// [`Self::instance_prob`] in log-space (immune to underflow for large
+    /// tables).
+    pub fn instance_logprob(&self, instance: &Instance) -> LogProb {
+        for id in instance.iter() {
+            if id.0 as usize >= self.probs.len() {
+                return LogProb::ZERO;
+            }
+        }
+        let mut acc = KahanSum::new();
+        for (i, &p) in self.probs.iter().enumerate() {
+            let inside = instance.contains(FactId(i as u32));
+            let factor = if inside { p } else { 1.0 - p };
+            if factor == 0.0 {
+                return LogProb::ZERO;
+            }
+            acc.add(factor.ln());
+        }
+        LogProb::from_ln(acc.value().min(0.0)).expect("probability product")
+    }
+
+    /// Draws one world: each fact flips its own coin.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> Instance {
+        let ids = self.probs.iter().enumerate().filter_map(|(i, &p)| {
+            let u = rng.next_u64() as f64 / u64::MAX as f64;
+            (u < p).then_some(FactId(i as u32))
+        });
+        Instance::from_ids(ids)
+    }
+
+    /// Materializes the full world space (the finite PDB this table
+    /// represents). Errors beyond [`MAX_ENUM_FACTS`] facts.
+    pub fn worlds(&self) -> Result<FinitePdb, FiniteError> {
+        let n = self.probs.len();
+        if n > MAX_ENUM_FACTS {
+            return Err(FiniteError::TooManyWorlds {
+                facts: n,
+                limit: MAX_ENUM_FACTS,
+            });
+        }
+        let mut outcomes = Vec::with_capacity(1usize << n);
+        for mask in 0u64..(1u64 << n) {
+            let mut p = 1.0;
+            let mut ids = Vec::new();
+            for (i, &pf) in self.probs.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    p *= pf;
+                    ids.push(FactId(i as u32));
+                } else {
+                    p *= 1.0 - pf;
+                }
+            }
+            if p > 0.0 {
+                outcomes.push((Instance::from_ids(ids), p));
+            }
+        }
+        let space = DiscreteSpace::new(outcomes)?;
+        Ok(FinitePdb::from_parts(
+            self.schema.clone(),
+            self.interner.clone(),
+            space,
+        ))
+    }
+
+    /// The exact distribution of the instance size `S_D` — a
+    /// Poisson-binomial distribution, computed by the standard `O(n²)`
+    /// convolution DP. Entry `k` is `P(S_D = k)`.
+    pub fn size_distribution(&self) -> Vec<f64> {
+        let mut dist = vec![1.0];
+        for &p in &self.probs {
+            let mut next = vec![0.0; dist.len() + 1];
+            for (k, &dk) in dist.iter().enumerate() {
+                next[k] += dk * (1.0 - p);
+                next[k + 1] += dk * p;
+            }
+            dist = next;
+        }
+        dist
+    }
+
+    /// The active domain over all possible facts.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut dom = BTreeSet::new();
+        for (_, f) in self.interner.iter() {
+            dom.extend(f.args().iter().cloned());
+        }
+        dom
+    }
+
+    /// A sub-table containing only the first `n` facts in insertion order —
+    /// the restriction to `{f₁, …, f_n}` used by the truncation algorithm
+    /// (Proposition 6.1).
+    pub fn prefix(&self, n: usize) -> TiTable {
+        let mut t = TiTable::new(self.schema.clone());
+        for (id, f, p) in self.iter().take(n) {
+            let new_id = t
+                .add_fact(f.clone(), p)
+                .expect("prefix of a valid table is valid");
+            debug_assert_eq!(new_id, id);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::Relation;
+    use infpdb_core::space::rand_core::SplitMix64;
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 1)]).unwrap()
+    }
+
+    fn fact(n: i64) -> Fact {
+        Fact::new(infpdb_core::schema::RelId(0), [Value::int(n)])
+    }
+
+    fn table(ps: &[f64]) -> TiTable {
+        TiTable::from_facts(
+            schema(),
+            ps.iter().enumerate().map(|(i, &p)| (fact(i as i64), p)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = table(&[0.5, 0.25]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.prob(FactId(0)), 0.5);
+        assert_eq!(t.marginal(&fact(1)), 0.25);
+        assert_eq!(t.marginal(&fact(9)), 0.0); // closed world
+        assert_eq!(t.iter().count(), 2);
+        assert_eq!(t.schema().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_and_invalid_probability_rejected() {
+        let mut t = table(&[0.5]);
+        assert!(matches!(
+            t.add_fact(fact(0), 0.3),
+            Err(FiniteError::DuplicateFact(_))
+        ));
+        assert!(t.add_fact(fact(7), 1.7).is_err());
+    }
+
+    #[test]
+    fn expected_size_is_sum_of_marginals() {
+        let t = table(&[0.5, 0.25, 0.125]);
+        assert!((t.expected_size() - 0.875).abs() < 1e-15);
+    }
+
+    #[test]
+    fn instance_probability_product_formula() {
+        let t = table(&[0.5, 0.25]);
+        let both = Instance::from_ids([FactId(0), FactId(1)]);
+        assert!((t.instance_prob(&both) - 0.125).abs() < 1e-15);
+        let neither = Instance::empty();
+        assert!((t.instance_prob(&neither) - 0.375).abs() < 1e-15);
+        let first = Instance::from_ids([FactId(0)]);
+        assert!((t.instance_prob(&first) - 0.375).abs() < 1e-15);
+    }
+
+    #[test]
+    fn instance_probability_outside_support_is_zero() {
+        let t = table(&[0.5]);
+        let d = Instance::from_ids([FactId(3)]);
+        assert_eq!(t.instance_prob(&d), 0.0);
+    }
+
+    #[test]
+    fn deterministic_and_impossible_facts() {
+        let t = table(&[1.0, 0.0, 0.5]);
+        // a world missing the p=1 fact has probability 0
+        let without = Instance::from_ids([FactId(2)]);
+        assert_eq!(t.instance_prob(&without), 0.0);
+        // a world containing the p=0 fact has probability 0
+        let with_impossible = Instance::from_ids([FactId(0), FactId(1)]);
+        assert_eq!(t.instance_prob(&with_impossible), 0.0);
+        let good = Instance::from_ids([FactId(0)]);
+        assert!((t.instance_prob(&good) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn world_probabilities_sum_to_one() {
+        let t = table(&[0.5, 0.25, 0.8]);
+        let pdb = t.worlds().unwrap();
+        assert!((pdb.space().total_mass() - 1.0).abs() < 1e-12);
+        assert_eq!(pdb.space().support_size(), 8);
+        // marginals recovered
+        assert!((pdb.marginal(&fact(0)) - 0.5).abs() < 1e-12);
+        assert!((pdb.marginal(&fact(2)) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worlds_enumeration_guard() {
+        let t = table(&[0.5; MAX_ENUM_FACTS + 1]);
+        assert!(matches!(
+            t.worlds(),
+            Err(FiniteError::TooManyWorlds { .. })
+        ));
+    }
+
+    #[test]
+    fn worlds_match_instance_prob() {
+        let t = table(&[0.3, 0.6]);
+        let pdb = t.worlds().unwrap();
+        for (d, p) in pdb.space().outcomes() {
+            assert!((t.instance_prob(d) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_frequency_approximates_marginals() {
+        let t = table(&[0.2, 0.7]);
+        let mut rng = SplitMix64::new(99);
+        let n = 20_000;
+        let mut counts = [0usize; 2];
+        for _ in 0..n {
+            let d = t.sample(&mut rng);
+            for (i, c) in counts.iter_mut().enumerate() {
+                if d.contains(FactId(i as u32)) {
+                    *c += 1;
+                }
+            }
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.2).abs() < 0.02);
+        assert!((counts[1] as f64 / n as f64 - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn size_distribution_is_poisson_binomial() {
+        let t = table(&[0.5, 0.5]);
+        let d = t.size_distribution();
+        assert_eq!(d.len(), 3);
+        assert!((d[0] - 0.25).abs() < 1e-15);
+        assert!((d[1] - 0.5).abs() < 1e-15);
+        assert!((d[2] - 0.25).abs() < 1e-15);
+        // expectation from the distribution equals Σp
+        let t2 = table(&[0.1, 0.9, 0.4]);
+        let d2 = t2.size_distribution();
+        let mean: f64 = d2.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        assert!((mean - t2.expected_size()).abs() < 1e-12);
+        let total: f64 = d2.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_size_distribution() {
+        let t = TiTable::new(schema());
+        assert_eq!(t.size_distribution(), vec![1.0]);
+        assert_eq!(t.expected_size(), 0.0);
+        assert!((t.instance_prob(&Instance::empty()) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn prefix_restriction() {
+        let t = table(&[0.5, 0.25, 0.125]);
+        let p = t.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.prob(FactId(1)), 0.25);
+        let whole = t.prefix(10);
+        assert_eq!(whole.len(), 3);
+    }
+
+    #[test]
+    fn active_domain_of_possible_facts() {
+        let t = table(&[0.5, 0.25]);
+        let dom: Vec<i64> = t
+            .active_domain()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(dom, vec![0, 1]);
+    }
+
+    #[test]
+    fn log_space_instance_probability_survives_large_tables() {
+        let t = table(&vec![0.5; 5000]);
+        let lp = t.instance_logprob(&Instance::empty());
+        assert!((lp.ln() - 5000.0 * 0.5f64.ln()).abs() < 1e-6);
+        assert_eq!(lp.prob(), 0.0); // linear space honestly underflows
+    }
+}

@@ -1,0 +1,436 @@
+//! A small named-column relational algebra with hash joins.
+//!
+//! The generic FO [`crate::eval::Evaluator`] enumerates the active domain
+//! per quantifier — fine for small instances, quadratic pain for joins on
+//! large ones. The existential-conjunctive fragment instead compiles to a
+//! join tree evaluated bottom-up with hash joins ([`eval_cq`]); the result
+//! is the same answer relation (a cross-validation test asserts this).
+
+use crate::ast::Term;
+use crate::normal::{ConjunctiveQuery, CqAtom};
+use infpdb_core::storage::InstanceStore;
+use infpdb_core::value::Value;
+use std::collections::{BTreeSet, HashMap};
+
+/// A materialized relation with named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rows {
+    /// Column names (variable names for query evaluation).
+    pub cols: Vec<String>,
+    /// Row-major tuples, each of length `cols.len()`.
+    pub data: Vec<Vec<Value>>,
+}
+
+impl Rows {
+    /// The relation with no columns and a single empty row — the unit of
+    /// natural join (Boolean "true").
+    pub fn unit() -> Rows {
+        Rows {
+            cols: vec![],
+            data: vec![vec![]],
+        }
+    }
+
+    /// The relation with no columns and no rows (Boolean "false").
+    pub fn empty_unit() -> Rows {
+        Rows {
+            cols: vec![],
+            data: vec![],
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Projects to the named columns (which must exist), deduplicating.
+    pub fn project(&self, cols: &[String]) -> Rows {
+        let idx: Vec<usize> = cols
+            .iter()
+            .map(|c| {
+                self.cols
+                    .iter()
+                    .position(|d| d == c)
+                    .unwrap_or_else(|| panic!("unknown column {c}"))
+            })
+            .collect();
+        let mut seen = BTreeSet::new();
+        let mut data = Vec::new();
+        for row in &self.data {
+            let proj: Vec<Value> = idx.iter().map(|&i| row[i].clone()).collect();
+            if seen.insert(proj.clone()) {
+                data.push(proj);
+            }
+        }
+        Rows {
+            cols: cols.to_vec(),
+            data,
+        }
+    }
+
+    /// Natural join on shared column names (hash join, smaller side
+    /// builds).
+    pub fn natural_join(&self, other: &Rows) -> Rows {
+        let (build, probe) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let shared: Vec<String> = build
+            .cols
+            .iter()
+            .filter(|c| probe.cols.contains(c))
+            .cloned()
+            .collect();
+        let build_key_idx: Vec<usize> = shared
+            .iter()
+            .map(|c| build.cols.iter().position(|d| d == c).expect("shared col"))
+            .collect();
+        let probe_key_idx: Vec<usize> = shared
+            .iter()
+            .map(|c| probe.cols.iter().position(|d| d == c).expect("shared col"))
+            .collect();
+        // output columns: build's, then probe's non-shared
+        let probe_extra_idx: Vec<usize> = probe
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !shared.contains(c))
+            .map(|(i, _)| i)
+            .collect();
+        let mut out_cols = build.cols.clone();
+        out_cols.extend(probe_extra_idx.iter().map(|&i| probe.cols[i].clone()));
+
+        let mut table: HashMap<Vec<Value>, Vec<&Vec<Value>>> = HashMap::new();
+        for row in &build.data {
+            let key: Vec<Value> = build_key_idx.iter().map(|&i| row[i].clone()).collect();
+            table.entry(key).or_default().push(row);
+        }
+        let mut data = Vec::new();
+        for prow in &probe.data {
+            let key: Vec<Value> = probe_key_idx.iter().map(|&i| prow[i].clone()).collect();
+            if let Some(matches) = table.get(&key) {
+                for brow in matches {
+                    let mut row: Vec<Value> = (*brow).clone();
+                    row.extend(probe_extra_idx.iter().map(|&i| prow[i].clone()));
+                    data.push(row);
+                }
+            }
+        }
+        Rows {
+            cols: out_cols,
+            data,
+        }
+    }
+
+    /// Union of two relations with identical column sets (reordering the
+    /// right side as needed), deduplicated.
+    pub fn union(&self, other: &Rows) -> Rows {
+        assert_eq!(
+            self.cols.iter().collect::<BTreeSet<_>>(),
+            other.cols.iter().collect::<BTreeSet<_>>(),
+            "union requires identical column sets"
+        );
+        let reorder: Vec<usize> = self
+            .cols
+            .iter()
+            .map(|c| other.cols.iter().position(|d| d == c).expect("same cols"))
+            .collect();
+        let mut seen: BTreeSet<Vec<Value>> = self.data.iter().cloned().collect();
+        let mut data: Vec<Vec<Value>> = seen.iter().cloned().collect();
+        for row in &other.data {
+            let r: Vec<Value> = reorder.iter().map(|&i| row[i].clone()).collect();
+            if seen.insert(r.clone()) {
+                data.push(r);
+            }
+        }
+        Rows {
+            cols: self.cols.clone(),
+            data,
+        }
+    }
+
+    /// Difference `self − other` over identical column sets.
+    pub fn difference(&self, other: &Rows) -> Rows {
+        let reorder: Vec<usize> = self
+            .cols
+            .iter()
+            .map(|c| other.cols.iter().position(|d| d == c).expect("same cols"))
+            .collect();
+        let exclude: BTreeSet<Vec<Value>> = other
+            .data
+            .iter()
+            .map(|row| reorder.iter().map(|&i| row[i].clone()).collect())
+            .collect();
+        Rows {
+            cols: self.cols.clone(),
+            data: self
+                .data
+                .iter()
+                .filter(|r| !exclude.contains(*r))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+/// Scans one atom against the store: rows over the atom's *variable*
+/// columns, with constant positions used as filters and repeated variables
+/// as equality constraints.
+pub fn scan_atom(atom: &CqAtom, store: &InstanceStore) -> Rows {
+    // variable columns in first-occurrence order
+    let mut cols: Vec<String> = Vec::new();
+    for t in &atom.args {
+        if let Term::Var(v) = t {
+            if !cols.contains(v) {
+                cols.push(v.clone());
+            }
+        }
+    }
+    let mut data: Vec<Vec<Value>> = Vec::new();
+    'rows: for tuple in store.rows(atom.rel) {
+        let mut binding: HashMap<&str, &Value> = HashMap::new();
+        for (t, v) in atom.args.iter().zip(tuple.iter()) {
+            match t {
+                Term::Const(c) => {
+                    if c != v {
+                        continue 'rows;
+                    }
+                }
+                Term::Var(name) => match binding.get(name.as_str()) {
+                    Some(&bound) if bound != v => continue 'rows,
+                    _ => {
+                        binding.insert(name, v);
+                    }
+                },
+            }
+        }
+        data.push(
+            cols.iter()
+                .map(|c| (*binding.get(c.as_str()).expect("var bound by scan")).clone())
+                .collect(),
+        );
+    }
+    let mut seen = BTreeSet::new();
+    data.retain(|r| seen.insert(r.clone()));
+    Rows { cols, data }
+}
+
+/// Evaluates a conjunctive query by joining its atom scans and projecting
+/// the head variables: returns the answer relation over `cq.head_vars`.
+pub fn eval_cq(cq: &ConjunctiveQuery, store: &InstanceStore) -> Rows {
+    let mut acc = Rows::unit();
+    for atom in &cq.atoms {
+        let scan = scan_atom(atom, store);
+        acc = acc.natural_join(&scan);
+        if acc.is_empty() {
+            // join of anything with the empty relation stays empty
+            return Rows {
+                cols: cq.head_vars.clone(),
+                data: vec![],
+            };
+        }
+    }
+    acc.project(&cq.head_vars)
+}
+
+/// Evaluates a union of conjunctive queries: the union of the per-CQ
+/// answer relations over the shared head variables (which must coincide —
+/// UCQs produced by [`crate::normal::as_ucq`] always satisfy this).
+pub fn eval_ucq(cqs: &[ConjunctiveQuery], store: &InstanceStore) -> Rows {
+    assert!(!cqs.is_empty(), "a UCQ has at least one disjunct");
+    let head = &cqs[0].head_vars;
+    assert!(
+        cqs.iter().all(|c| &c.head_vars == head),
+        "all UCQ disjuncts must share the head variables"
+    );
+    let mut acc = eval_cq(&cqs[0], store);
+    for cq in &cqs[1..] {
+        acc = acc.union(&eval_cq(cq, store));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use crate::normal::as_cq;
+    use crate::parser::parse;
+    use infpdb_core::fact::Fact;
+    use infpdb_core::schema::{Relation, Schema};
+
+    fn setup() -> (Schema, InstanceStore) {
+        let schema = Schema::from_relations([
+            Relation::new("E", 2),
+            Relation::new("N", 1),
+        ])
+        .unwrap();
+        let e = schema.rel_id("E").unwrap();
+        let n = schema.rel_id("N").unwrap();
+        let facts = [Fact::new(e, [Value::int(1), Value::int(2)]),
+            Fact::new(e, [Value::int(2), Value::int(3)]),
+            Fact::new(e, [Value::int(3), Value::int(3)]),
+            Fact::new(n, [Value::int(2)]),
+            Fact::new(n, [Value::int(3)])];
+        (schema.clone(), InstanceStore::from_facts(facts.iter(), &schema))
+    }
+
+    #[test]
+    fn scan_plain_atom() {
+        let (s, st) = setup();
+        let cq = as_cq(&parse("E(x, y)", &s).unwrap()).unwrap();
+        let rows = scan_atom(&cq.atoms[0], &st);
+        assert_eq!(rows.cols, vec!["x", "y"]);
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn scan_with_constant_filters() {
+        let (s, st) = setup();
+        let cq = as_cq(&parse("E(x, 3)", &s).unwrap()).unwrap();
+        let rows = scan_atom(&cq.atoms[0], &st);
+        assert_eq!(rows.cols, vec!["x"]);
+        assert_eq!(rows.len(), 2); // (2,3) and (3,3)
+    }
+
+    #[test]
+    fn scan_with_repeated_variable_enforces_equality() {
+        let (s, st) = setup();
+        let cq = as_cq(&parse("E(x, x)", &s).unwrap()).unwrap();
+        let rows = scan_atom(&cq.atoms[0], &st);
+        assert_eq!(rows.cols, vec!["x"]);
+        assert_eq!(rows.data, vec![vec![Value::int(3)]]);
+    }
+
+    #[test]
+    fn natural_join_on_shared_column() {
+        let (s, st) = setup();
+        let e = as_cq(&parse("E(x, y)", &s).unwrap()).unwrap();
+        let n = as_cq(&parse("N(y)", &s).unwrap()).unwrap();
+        let joined = scan_atom(&e.atoms[0], &st).natural_join(&scan_atom(&n.atoms[0], &st));
+        // E(1,2),E(2,3),E(3,3) joined with N(2),N(3): all three survive
+        assert_eq!(joined.len(), 3);
+        assert_eq!(joined.cols.len(), 2);
+    }
+
+    #[test]
+    fn join_with_unit_is_identity() {
+        let (s, st) = setup();
+        let e = as_cq(&parse("E(x, y)", &s).unwrap()).unwrap();
+        let rows = scan_atom(&e.atoms[0], &st);
+        let j = Rows::unit().natural_join(&rows);
+        assert_eq!(j.len(), rows.len());
+        let j2 = rows.natural_join(&Rows::empty_unit());
+        assert!(j2.is_empty());
+    }
+
+    #[test]
+    fn cross_product_when_no_shared_columns() {
+        let (s, st) = setup();
+        let n1 = as_cq(&parse("N(a)", &s).unwrap()).unwrap();
+        let n2 = as_cq(&parse("N(b)", &s).unwrap()).unwrap();
+        let prod = scan_atom(&n1.atoms[0], &st).natural_join(&scan_atom(&n2.atoms[0], &st));
+        assert_eq!(prod.len(), 4);
+    }
+
+    #[test]
+    fn project_dedups() {
+        let (s, st) = setup();
+        let e = as_cq(&parse("E(x, y)", &s).unwrap()).unwrap();
+        let rows = scan_atom(&e.atoms[0], &st);
+        let p = rows.project(&["y".to_string()]);
+        assert_eq!(p.len(), 2); // {2, 3}
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = Rows {
+            cols: vec!["x".into()],
+            data: vec![vec![Value::int(1)], vec![Value::int(2)]],
+        };
+        let b = Rows {
+            cols: vec!["x".into()],
+            data: vec![vec![Value::int(2)], vec![Value::int(3)]],
+        };
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.difference(&b).data, vec![vec![Value::int(1)]]);
+        assert_eq!(b.difference(&a).data, vec![vec![Value::int(3)]]);
+    }
+
+    #[test]
+    fn union_reorders_columns() {
+        let a = Rows {
+            cols: vec!["x".into(), "y".into()],
+            data: vec![vec![Value::int(1), Value::int(2)]],
+        };
+        let b = Rows {
+            cols: vec!["y".into(), "x".into()],
+            data: vec![vec![Value::int(2), Value::int(1)]],
+        };
+        // same tuple up to column order: union has 1 row
+        assert_eq!(a.union(&b).len(), 1);
+    }
+
+    #[test]
+    fn eval_cq_matches_naive_evaluator() {
+        let (s, st) = setup();
+        for q in [
+            "exists x. E(x, y) /\\ N(y)",
+            "E(x, y)",
+            "exists y. E(x, y) /\\ E(y, z)",
+            "N(x) /\\ exists y. E(y, x)",
+        ] {
+            let f = parse(q, &s).unwrap();
+            let cq = as_cq(&f).unwrap();
+            let fast: BTreeSet<Vec<Value>> = eval_cq(&cq, &st).data.into_iter().collect();
+            let slow = Evaluator::new(&st, &f).answers(&f);
+            // head_vars is sorted (free_vars is a BTreeSet), matching the
+            // evaluator's variable order
+            assert_eq!(fast, slow, "mismatch on {q}");
+        }
+    }
+
+    #[test]
+    fn eval_cq_boolean_queries() {
+        let (s, st) = setup();
+        let t = as_cq(&parse("exists x. N(x)", &s).unwrap()).unwrap();
+        assert_eq!(eval_cq(&t, &st).len(), 1);
+        let f = as_cq(&parse("exists x. E(x, 5)", &s).unwrap()).unwrap();
+        assert!(eval_cq(&f, &st).is_empty());
+    }
+
+    #[test]
+    fn eval_ucq_unions_disjunct_answers() {
+        let (s, st) = setup();
+        let f = parse("E(x, 2) \\/ E(x, 3)", &s).unwrap();
+        let cqs = crate::normal::as_ucq(&f).unwrap();
+        let rows = eval_ucq(&cqs, &st);
+        let vals: std::collections::BTreeSet<i64> = rows
+            .data
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        // E(1,2), E(2,3), E(3,3): x ∈ {1, 2, 3}
+        assert_eq!(vals, [1i64, 2, 3].into_iter().collect());
+        // boolean UCQ
+        let g = parse("(exists x. N(x)) \\/ (exists y. E(y, 9))", &s).unwrap();
+        let gcqs = crate::normal::as_ucq(&g).unwrap();
+        assert_eq!(eval_ucq(&gcqs, &st).len(), 1);
+    }
+
+    #[test]
+    fn eval_cq_short_circuits_on_empty_scan() {
+        let (s, st) = setup();
+        let cq = as_cq(&parse("exists x, y. E(x, 9) /\\ N(y)", &s).unwrap()).unwrap();
+        let r = eval_cq(&cq, &st);
+        assert!(r.is_empty());
+        assert_eq!(r.cols, Vec::<String>::new());
+    }
+}

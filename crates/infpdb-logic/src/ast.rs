@@ -1,0 +1,353 @@
+//! Abstract syntax of first-order formulas over a relational vocabulary.
+//!
+//! Following the paper's `FO[τ, U]` (Section 2.1): atoms are relation
+//! symbols applied to terms, terms are variables or constants from the
+//! universe, and formulas are closed under `¬, ∧, ∨, ∃, ∀` plus equality
+//! atoms. Constants *are* universe elements (the paper does not distinguish
+//! an element from its constant symbol).
+
+use infpdb_core::schema::{RelId, Schema};
+use infpdb_core::value::Value;
+use std::fmt;
+
+/// A variable name.
+pub type Var = String;
+
+/// A term: variable or constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant — an element of the universe.
+    Const(Value),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// A constant term.
+    pub fn cnst(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this is one.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Const(v) => Some(v),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A first-order formula.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Formula {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A relational atom `R(t₁, …, t_k)`.
+    Atom {
+        /// Relation symbol.
+        rel: RelId,
+        /// Argument terms.
+        args: Vec<Term>,
+    },
+    /// An equality atom `t₁ = t₂`.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (n-ary; empty conjunction is `true`).
+    And(Vec<Formula>),
+    /// Disjunction (n-ary; empty disjunction is `false`).
+    Or(Vec<Formula>),
+    /// Existential quantification of one variable.
+    Exists(Var, Box<Formula>),
+    /// Universal quantification of one variable.
+    Forall(Var, Box<Formula>),
+}
+
+impl Formula {
+    /// A relational atom.
+    pub fn atom(rel: RelId, args: impl IntoIterator<Item = Term>) -> Formula {
+        Formula::Atom {
+            rel,
+            args: args.into_iter().collect(),
+        }
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)] // builder vocabulary, consuming self
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Binary conjunction (flattens nested `And`s).
+    pub fn and(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::And(mut a), Formula::And(b)) => {
+                a.extend(b);
+                Formula::And(a)
+            }
+            (Formula::And(mut a), g) => {
+                a.push(g);
+                Formula::And(a)
+            }
+            (f, Formula::And(mut b)) => {
+                b.insert(0, f);
+                Formula::And(b)
+            }
+            (f, g) => Formula::And(vec![f, g]),
+        }
+    }
+
+    /// Binary disjunction (flattens nested `Or`s).
+    pub fn or(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::Or(mut a), Formula::Or(b)) => {
+                a.extend(b);
+                Formula::Or(a)
+            }
+            (Formula::Or(mut a), g) => {
+                a.push(g);
+                Formula::Or(a)
+            }
+            (f, Formula::Or(mut b)) => {
+                b.insert(0, f);
+                Formula::Or(b)
+            }
+            (f, g) => Formula::Or(vec![f, g]),
+        }
+    }
+
+    /// `∃ v. self`.
+    pub fn exists(v: impl Into<String>, body: Formula) -> Formula {
+        Formula::Exists(v.into(), Box::new(body))
+    }
+
+    /// `∀ v. self`.
+    pub fn forall(v: impl Into<String>, body: Formula) -> Formula {
+        Formula::Forall(v.into(), Box::new(body))
+    }
+
+    /// `∃ v₁ … v_n. body`, right-nested.
+    pub fn exists_many(vars: impl IntoIterator<Item = Var>, body: Formula) -> Formula {
+        let vars: Vec<Var> = vars.into_iter().collect();
+        vars.into_iter()
+            .rev()
+            .fold(body, |acc, v| Formula::Exists(v, Box::new(acc)))
+    }
+
+    /// Validates all atoms against a schema: relations exist and arities
+    /// match.
+    pub fn validate(&self, schema: &Schema) -> Result<(), crate::LogicError> {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(..) => Ok(()),
+            Formula::Atom { rel, args } => {
+                let r = schema
+                    .get(*rel)
+                    .ok_or_else(|| crate::LogicError::UnknownRelation(format!("{rel:?}")))?;
+                if r.arity() != args.len() {
+                    return Err(crate::LogicError::ArityMismatch {
+                        relation: r.name().to_string(),
+                        expected: r.arity(),
+                        got: args.len(),
+                    });
+                }
+                Ok(())
+            }
+            Formula::Not(f) => f.validate(schema),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().try_for_each(|f| f.validate(schema)),
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.validate(schema),
+        }
+    }
+
+    /// Renders the formula with relation names from `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> FormulaDisplay<'a> {
+        FormulaDisplay {
+            formula: self,
+            schema,
+        }
+    }
+}
+
+/// `Display` helper rendering relation names through a schema.
+pub struct FormulaDisplay<'a> {
+    formula: &'a Formula,
+    schema: &'a Schema,
+}
+
+impl FormulaDisplay<'_> {
+    fn fmt_rec(&self, f: &Formula, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match f {
+            Formula::True => write!(out, "true"),
+            Formula::False => write!(out, "false"),
+            Formula::Atom { rel, args } => {
+                let name = self.schema.get(*rel).map(|r| r.name()).unwrap_or("?");
+                write!(out, "{name}(")?;
+                for (i, t) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(out, ", ")?;
+                    }
+                    write!(out, "{t}")?;
+                }
+                write!(out, ")")
+            }
+            Formula::Eq(a, b) => write!(out, "{a} = {b}"),
+            Formula::Not(g) => {
+                write!(out, "!(")?;
+                self.fmt_rec(g, out)?;
+                write!(out, ")")
+            }
+            Formula::And(gs) => self.fmt_nary(gs, "/\\", "true", out),
+            Formula::Or(gs) => self.fmt_nary(gs, "\\/", "false", out),
+            // quantifiers are wrapped in outer parens: their bodies extend
+            // maximally to the right in the grammar, so an unparenthesized
+            // `exists x. φ /\ ψ` would re-parse with ψ inside the scope
+            Formula::Exists(v, g) => {
+                write!(out, "(exists {v}. (")?;
+                self.fmt_rec(g, out)?;
+                write!(out, "))")
+            }
+            Formula::Forall(v, g) => {
+                write!(out, "(forall {v}. (")?;
+                self.fmt_rec(g, out)?;
+                write!(out, "))")
+            }
+        }
+    }
+
+    fn fmt_nary(
+        &self,
+        gs: &[Formula],
+        op: &str,
+        empty: &str,
+        out: &mut fmt::Formatter<'_>,
+    ) -> fmt::Result {
+        if gs.is_empty() {
+            return write!(out, "{empty}");
+        }
+        write!(out, "(")?;
+        for (i, g) in gs.iter().enumerate() {
+            if i > 0 {
+                write!(out, " {op} ")?;
+            }
+            self.fmt_rec(g, out)?;
+        }
+        write!(out, ")")
+    }
+}
+
+impl fmt::Display for FormulaDisplay<'_> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_rec(self.formula, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::Relation;
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 2), Relation::new("S", 1)]).unwrap()
+    }
+
+    #[test]
+    fn term_constructors() {
+        assert_eq!(Term::var("x").as_var(), Some("x"));
+        assert_eq!(Term::cnst(5i64).as_const(), Some(&Value::int(5)));
+        assert_eq!(Term::var("x").as_const(), None);
+        assert_eq!(Term::cnst("a").as_var(), None);
+        assert_eq!(Term::var("x").to_string(), "x");
+        assert_eq!(Term::cnst(3i64).to_string(), "3");
+    }
+
+    #[test]
+    fn and_or_flatten() {
+        let a = Formula::True.and(Formula::False).and(Formula::True);
+        match a {
+            Formula::And(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+        let o = Formula::True.or(Formula::False.or(Formula::True));
+        match o {
+            Formula::Or(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected flattened Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exists_many_nests_left_to_right() {
+        let f = Formula::exists_many(vec!["x".to_string(), "y".to_string()], Formula::True);
+        match f {
+            Formula::Exists(x, inner) => {
+                assert_eq!(x, "x");
+                assert!(matches!(*inner, Formula::Exists(ref y, _) if y == "y"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_checks_arity_and_relation() {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let good = Formula::atom(r, [Term::var("x"), Term::cnst(1i64)]);
+        assert!(good.validate(&s).is_ok());
+        let bad = Formula::atom(r, [Term::var("x")]);
+        assert!(matches!(
+            bad.validate(&s),
+            Err(crate::LogicError::ArityMismatch { .. })
+        ));
+        let unknown = Formula::atom(RelId(9), [Term::var("x")]);
+        assert!(matches!(
+            unknown.validate(&s),
+            Err(crate::LogicError::UnknownRelation(_))
+        ));
+        // validation recurses
+        let nested = Formula::exists("x", bad.clone().not().or(Formula::True));
+        assert!(nested.validate(&s).is_err());
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let f = Formula::exists(
+            "x",
+            Formula::atom(r, [Term::var("x"), Term::var("y")])
+                .and(Formula::Eq(Term::var("y"), Term::cnst(3i64)).not()),
+        );
+        let text = f.display(&s).to_string();
+        assert!(text.contains("exists x."));
+        assert!(text.contains("R(x, y)"));
+        assert!(text.contains("!(y = 3)"));
+        assert_eq!(Formula::And(vec![]).display(&s).to_string(), "true");
+        assert_eq!(Formula::Or(vec![]).display(&s).to_string(), "false");
+        assert!(Formula::forall("z", Formula::True)
+            .display(&s)
+            .to_string()
+            .contains("forall z."));
+    }
+}

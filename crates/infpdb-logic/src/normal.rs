@@ -1,0 +1,502 @@
+//! Normal forms and fragment extraction.
+//!
+//! * [`to_nnf`] — negation normal form (negations pushed to atoms,
+//!   implication sugar already eliminated by the parser).
+//! * [`ConjunctiveQuery`] — the existential-conjunctive fragment
+//!   `∃x₁…x_m. A₁ ∧ … ∧ A_n` of positive relational atoms, the fragment for
+//!   which extensional ("safe plan") inference is possible on
+//!   tuple-independent PDBs; [`as_cq`] recognizes it.
+//! * [`as_ucq`] — unions of conjunctive queries (top-level disjunction of
+//!   CQs).
+
+use crate::ast::{Formula, Term, Var};
+use crate::LogicError;
+use infpdb_core::schema::RelId;
+use std::collections::BTreeSet;
+
+/// Converts a formula to negation normal form: negations apply only to
+/// atoms, `¬∃ → ∀¬`, `¬∀ → ∃¬`, `¬¬φ → φ`, and De Morgan on `∧`/`∨`.
+pub fn to_nnf(f: &Formula) -> Formula {
+    match f {
+        Formula::True
+        | Formula::False
+        | Formula::Atom { .. }
+        | Formula::Eq(..) => f.clone(),
+        Formula::And(gs) => Formula::And(gs.iter().map(to_nnf).collect()),
+        Formula::Or(gs) => Formula::Or(gs.iter().map(to_nnf).collect()),
+        Formula::Exists(v, g) => Formula::Exists(v.clone(), Box::new(to_nnf(g))),
+        Formula::Forall(v, g) => Formula::Forall(v.clone(), Box::new(to_nnf(g))),
+        Formula::Not(g) => negate_nnf(g),
+    }
+}
+
+fn negate_nnf(f: &Formula) -> Formula {
+    match f {
+        Formula::True => Formula::False,
+        Formula::False => Formula::True,
+        Formula::Atom { .. } | Formula::Eq(..) => f.clone().not(),
+        Formula::Not(g) => to_nnf(g),
+        Formula::And(gs) => Formula::Or(gs.iter().map(negate_nnf).collect()),
+        Formula::Or(gs) => Formula::And(gs.iter().map(negate_nnf).collect()),
+        Formula::Exists(v, g) => Formula::Forall(v.clone(), Box::new(negate_nnf(g))),
+        Formula::Forall(v, g) => Formula::Exists(v.clone(), Box::new(negate_nnf(g))),
+    }
+}
+
+/// One positive relational atom of a conjunctive query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CqAtom {
+    /// The relation symbol.
+    pub rel: RelId,
+    /// Argument terms (variables or constants).
+    pub args: Vec<Term>,
+}
+
+impl CqAtom {
+    /// Variables occurring in the atom, sorted.
+    pub fn variables(&self) -> BTreeSet<Var> {
+        self.args
+            .iter()
+            .filter_map(|t| t.as_var().map(str::to_string))
+            .collect()
+    }
+}
+
+/// A conjunctive query `∃ vars. atoms` (Boolean if all variables are
+/// quantified; free variables are the query's head).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConjunctiveQuery {
+    /// Existentially quantified variables.
+    pub exists_vars: Vec<Var>,
+    /// Free (head) variables, sorted.
+    pub head_vars: Vec<Var>,
+    /// The positive atoms.
+    pub atoms: Vec<CqAtom>,
+}
+
+impl ConjunctiveQuery {
+    /// Whether the query is Boolean (no free variables).
+    pub fn is_boolean(&self) -> bool {
+        self.head_vars.is_empty()
+    }
+
+    /// Whether the query is self-join-free (every relation symbol occurs in
+    /// at most one atom) — the precondition of the hierarchical safe-plan
+    /// dichotomy.
+    pub fn is_self_join_free(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.atoms.iter().all(|a| seen.insert(a.rel))
+    }
+
+    /// All variables, sorted.
+    pub fn variables(&self) -> BTreeSet<Var> {
+        self.atoms.iter().flat_map(|a| a.variables()).collect()
+    }
+}
+
+/// Recognizes the existential-conjunctive fragment: a prefix of `∃`
+/// quantifiers over a conjunction (arbitrarily nested `And`s; nested `∃` is
+/// also accepted inside) of positive relational atoms. Equality atoms,
+/// negation, disjunction and `∀` are outside the fragment.
+pub fn as_cq(f: &Formula) -> Result<ConjunctiveQuery, LogicError> {
+    let mut exists_vars = Vec::new();
+    let mut atoms = Vec::new();
+    collect_cq(f, &mut exists_vars, &mut atoms)?;
+    let head_vars: Vec<Var> = crate::vars::free_vars(f).into_iter().collect();
+    Ok(ConjunctiveQuery {
+        exists_vars,
+        head_vars,
+        atoms,
+    })
+}
+
+fn collect_cq(
+    f: &Formula,
+    exists_vars: &mut Vec<Var>,
+    atoms: &mut Vec<CqAtom>,
+) -> Result<(), LogicError> {
+    match f {
+        Formula::True => Ok(()),
+        Formula::Atom { rel, args } => {
+            atoms.push(CqAtom {
+                rel: *rel,
+                args: args.clone(),
+            });
+            Ok(())
+        }
+        Formula::And(gs) => gs
+            .iter()
+            .try_for_each(|g| collect_cq(g, exists_vars, atoms)),
+        Formula::Exists(v, g) => {
+            if exists_vars.contains(v) {
+                return Err(LogicError::UnsupportedFragment(format!(
+                    "variable {v} quantified twice; rectify the formula first"
+                )));
+            }
+            exists_vars.push(v.clone());
+            collect_cq(g, exists_vars, atoms)
+        }
+        other => Err(LogicError::UnsupportedFragment(format!(
+            "not in the existential-conjunctive fragment: {other:?}"
+        ))),
+    }
+}
+
+/// Recognizes a union of conjunctive queries: either a single CQ or a
+/// top-level disjunction of CQs (possibly under a shared `∃` prefix, which
+/// is distributed into the disjuncts).
+pub fn as_ucq(f: &Formula) -> Result<Vec<ConjunctiveQuery>, LogicError> {
+    // Peel a shared exists-prefix.
+    let mut prefix: Vec<Var> = Vec::new();
+    let mut cur = f;
+    while let Formula::Exists(v, g) = cur {
+        prefix.push(v.clone());
+        cur = g;
+    }
+    let disjuncts: Vec<&Formula> = match cur {
+        Formula::Or(gs) => gs.iter().collect(),
+        other => vec![other],
+    };
+    disjuncts
+        .into_iter()
+        .map(|d| {
+            let wrapped = Formula::exists_many(prefix.clone(), d.clone());
+            as_cq(&wrapped)
+        })
+        .collect()
+}
+
+/// Renames bound variables so that every quantifier binds a distinct
+/// variable, also distinct from all free variables ("rectification") —
+/// the precondition for prenex conversion.
+pub fn rectify(f: &Formula) -> Formula {
+    let mut used: BTreeSet<Var> = crate::vars::free_vars(f);
+    let mut counter = 0usize;
+    rectify_rec(f, &mut Vec::new(), &mut used, &mut counter)
+}
+
+fn fresh(base: &str, used: &mut BTreeSet<Var>, counter: &mut usize) -> Var {
+    if used.insert(base.to_string()) {
+        return base.to_string();
+    }
+    loop {
+        *counter += 1;
+        let candidate = format!("{base}_{counter}");
+        if used.insert(candidate.clone()) {
+            return candidate;
+        }
+    }
+}
+
+fn rectify_rec(
+    f: &Formula,
+    renames: &mut Vec<(Var, Var)>,
+    used: &mut BTreeSet<Var>,
+    counter: &mut usize,
+) -> Formula {
+    let rename_term = |t: &Term, renames: &[(Var, Var)]| -> Term {
+        match t {
+            Term::Var(v) => {
+                for (from, to) in renames.iter().rev() {
+                    if from == v {
+                        return Term::Var(to.clone());
+                    }
+                }
+                t.clone()
+            }
+            c => c.clone(),
+        }
+    };
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Atom { rel, args } => Formula::Atom {
+            rel: *rel,
+            args: args.iter().map(|t| rename_term(t, renames)).collect(),
+        },
+        Formula::Eq(a, b) => Formula::Eq(rename_term(a, renames), rename_term(b, renames)),
+        Formula::Not(g) => rectify_rec(g, renames, used, counter).not(),
+        Formula::And(gs) => Formula::And(
+            gs.iter()
+                .map(|g| rectify_rec(g, renames, used, counter))
+                .collect(),
+        ),
+        Formula::Or(gs) => Formula::Or(
+            gs.iter()
+                .map(|g| rectify_rec(g, renames, used, counter))
+                .collect(),
+        ),
+        Formula::Exists(v, g) | Formula::Forall(v, g) => {
+            let nv = fresh(v, used, counter);
+            renames.push((v.clone(), nv.clone()));
+            let body = rectify_rec(g, renames, used, counter);
+            renames.pop();
+            if matches!(f, Formula::Exists(..)) {
+                Formula::Exists(nv, Box::new(body))
+            } else {
+                Formula::Forall(nv, Box::new(body))
+            }
+        }
+    }
+}
+
+/// One step of a prenex quantifier prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Quantifier {
+    /// `∃ v`.
+    Exists(Var),
+    /// `∀ v`.
+    Forall(Var),
+}
+
+/// Converts to prenex normal form: returns the quantifier prefix (outermost
+/// first) and the quantifier-free matrix. The input is rectified and put in
+/// NNF first, so quantifier extraction is sound without capture.
+pub fn to_prenex(f: &Formula) -> (Vec<Quantifier>, Formula) {
+    let g = to_nnf(&rectify(f));
+    let mut prefix = Vec::new();
+    let matrix = pull(&g, &mut prefix);
+    (prefix, matrix)
+}
+
+fn pull(f: &Formula, prefix: &mut Vec<Quantifier>) -> Formula {
+    match f {
+        Formula::Exists(v, g) => {
+            prefix.push(Quantifier::Exists(v.clone()));
+            pull(g, prefix)
+        }
+        Formula::Forall(v, g) => {
+            prefix.push(Quantifier::Forall(v.clone()));
+            pull(g, prefix)
+        }
+        Formula::And(gs) => Formula::And(gs.iter().map(|g| pull(g, prefix)).collect()),
+        Formula::Or(gs) => Formula::Or(gs.iter().map(|g| pull(g, prefix)).collect()),
+        // NNF: negation only wraps atoms — no quantifiers below
+        other => other.clone(),
+    }
+}
+
+/// Reassembles a prenex pair into a formula.
+pub fn from_prenex(prefix: &[Quantifier], matrix: Formula) -> Formula {
+    prefix.iter().rev().fold(matrix, |acc, q| match q {
+        Quantifier::Exists(v) => Formula::Exists(v.clone(), Box::new(acc)),
+        Quantifier::Forall(v) => Formula::Forall(v.clone(), Box::new(acc)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use infpdb_core::schema::{Relation, Schema};
+
+    fn schema() -> Schema {
+        Schema::from_relations([
+            Relation::new("R", 2),
+            Relation::new("S", 1),
+            Relation::new("T", 1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn nnf_pushes_negation_to_atoms() {
+        let s = schema();
+        let f = parse("!(S(1) /\\ exists x. R(x, x))", &s).unwrap();
+        let n = to_nnf(&f);
+        // expect: !S(1) \/ forall x. !R(x, x)
+        match n {
+            Formula::Or(parts) => {
+                assert!(matches!(parts[0], Formula::Not(_)));
+                match &parts[1] {
+                    Formula::Forall(v, inner) => {
+                        assert_eq!(v, "x");
+                        assert!(matches!(**inner, Formula::Not(_)));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nnf_eliminates_double_negation() {
+        let s = schema();
+        let f = parse("!!S(1)", &s).unwrap();
+        assert_eq!(to_nnf(&f), parse("S(1)", &s).unwrap());
+        let g = parse("!(!S(1) \\/ !(S(2)))", &s).unwrap();
+        let n = to_nnf(&g);
+        assert_eq!(n, parse("S(1) /\\ S(2)", &s).unwrap());
+    }
+
+    #[test]
+    fn nnf_negates_constants_and_forall() {
+        let s = schema();
+        assert_eq!(to_nnf(&parse("!true", &s).unwrap()), Formula::False);
+        assert_eq!(to_nnf(&parse("!false", &s).unwrap()), Formula::True);
+        let f = parse("!(forall x. S(x))", &s).unwrap();
+        assert!(matches!(to_nnf(&f), Formula::Exists(_, _)));
+    }
+
+    #[test]
+    fn cq_extraction_accepts_fragment() {
+        let s = schema();
+        let f = parse("exists x, y. R(x, y) /\\ S(x) /\\ T(3)", &s).unwrap();
+        let cq = as_cq(&f).unwrap();
+        assert_eq!(cq.exists_vars, vec!["x", "y"]);
+        assert!(cq.is_boolean());
+        assert_eq!(cq.atoms.len(), 3);
+        assert!(cq.is_self_join_free());
+        assert_eq!(
+            cq.variables().into_iter().collect::<Vec<_>>(),
+            vec!["x", "y"]
+        );
+    }
+
+    #[test]
+    fn cq_with_free_variables_has_head() {
+        let s = schema();
+        let f = parse("exists y. R(x, y)", &s).unwrap();
+        let cq = as_cq(&f).unwrap();
+        assert!(!cq.is_boolean());
+        assert_eq!(cq.head_vars, vec!["x"]);
+    }
+
+    #[test]
+    fn cq_rejects_negation_disjunction_equality() {
+        let s = schema();
+        for q in [
+            "exists x. !S(x)",
+            "S(1) \\/ S(2)",
+            "exists x. x = 1",
+            "forall x. S(x)",
+        ] {
+            let f = parse(q, &s).unwrap();
+            assert!(
+                matches!(as_cq(&f), Err(LogicError::UnsupportedFragment(_))),
+                "should reject {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn cq_detects_self_joins() {
+        let s = schema();
+        let f = parse("exists x, y. S(x) /\\ S(y)", &s).unwrap();
+        let cq = as_cq(&f).unwrap();
+        assert!(!cq.is_self_join_free());
+    }
+
+    #[test]
+    fn cq_rejects_duplicate_quantifier() {
+        let s = schema();
+        let f = Formula::exists("x", Formula::exists("x", parse("S(x)", &s).unwrap()));
+        assert!(as_cq(&f).is_err());
+    }
+
+    #[test]
+    fn rectify_makes_binders_distinct() {
+        let s = schema();
+        // same variable bound twice and also free occurrence elsewhere
+        let f = parse("(exists x. S(x)) /\\ (exists x. T(x)) /\\ S(y)", &s).unwrap();
+        let r = rectify(&f);
+        fn binders(f: &Formula, out: &mut Vec<String>) {
+            match f {
+                Formula::Exists(v, g) | Formula::Forall(v, g) => {
+                    out.push(v.clone());
+                    binders(g, out);
+                }
+                Formula::Not(g) => binders(g, out),
+                Formula::And(gs) | Formula::Or(gs) => gs.iter().for_each(|g| binders(g, out)),
+                _ => {}
+            }
+        }
+        let mut bs = Vec::new();
+        binders(&r, &mut bs);
+        let set: std::collections::BTreeSet<_> = bs.iter().collect();
+        assert_eq!(set.len(), bs.len(), "binders must be distinct: {bs:?}");
+        assert!(!bs.contains(&"y".to_string()), "must not capture the free y");
+        // free variables unchanged
+        assert_eq!(crate::vars::free_vars(&r), crate::vars::free_vars(&f));
+    }
+
+    #[test]
+    fn prenex_extracts_all_quantifiers() {
+        let s = schema();
+        let f = parse(
+            "(exists x. S(x)) /\\ !(forall y. T(y))",
+            &s,
+        )
+        .unwrap();
+        let (prefix, matrix) = to_prenex(&f);
+        assert_eq!(prefix.len(), 2);
+        // ¬∀ became ∃ under NNF
+        assert!(prefix
+            .iter()
+            .all(|q| matches!(q, Quantifier::Exists(_))));
+        assert_eq!(crate::rank::quantifier_rank(&matrix), 0);
+    }
+
+    #[test]
+    fn prenex_preserves_semantics_on_instances() {
+        use infpdb_core::fact::Fact;
+        use infpdb_core::storage::InstanceStore;
+        use infpdb_core::value::Value;
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let u = s.rel_id("S").unwrap();
+        let facts = vec![
+            Fact::new(r, [Value::int(1), Value::int(2)]),
+            Fact::new(r, [Value::int(2), Value::int(2)]),
+            Fact::new(u, [Value::int(2)]),
+        ];
+        let store = InstanceStore::from_facts(facts.iter(), &s);
+        for qs in [
+            "exists x. (S(x) /\\ forall y. (R(y, x) -> S(x)))",
+            "(exists x. S(x)) /\\ !(exists y. R(y, y))",
+            "forall x. (S(x) -> exists y. R(y, x))",
+        ] {
+            let f = parse(qs, &s).unwrap();
+            let (prefix, matrix) = to_prenex(&f);
+            let p = from_prenex(&prefix, matrix);
+            let ev_f = crate::eval::Evaluator::new(&store, &f);
+            let ev_p = crate::eval::Evaluator::new(&store, &p);
+            assert_eq!(
+                ev_f.eval_sentence(&f).unwrap(),
+                ev_p.eval_sentence(&p).unwrap(),
+                "prenex changed semantics of {qs}"
+            );
+        }
+    }
+
+    #[test]
+    fn ucq_splits_top_level_disjunction() {
+        let s = schema();
+        let f = parse("(exists x. S(x)) \\/ (exists y. T(y))", &s).unwrap();
+        let cqs = as_ucq(&f).unwrap();
+        assert_eq!(cqs.len(), 2);
+        assert_eq!(cqs[0].atoms[0].rel, s.rel_id("S").unwrap());
+        assert_eq!(cqs[1].atoms[0].rel, s.rel_id("T").unwrap());
+    }
+
+    #[test]
+    fn ucq_distributes_shared_exists_prefix() {
+        let s = schema();
+        let f = parse("exists x. (S(x) \\/ T(x))", &s).unwrap();
+        let cqs = as_ucq(&f).unwrap();
+        assert_eq!(cqs.len(), 2);
+        assert_eq!(cqs[0].exists_vars, vec!["x"]);
+        assert_eq!(cqs[1].exists_vars, vec!["x"]);
+    }
+
+    #[test]
+    fn ucq_single_cq_degenerates() {
+        let s = schema();
+        let f = parse("exists x. S(x)", &s).unwrap();
+        assert_eq!(as_ucq(&f).unwrap().len(), 1);
+        // non-UCQ rejected
+        let g = parse("exists x. !S(x)", &s).unwrap();
+        assert!(as_ucq(&g).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Quantifier rank and formula statistics.
+//!
+//! The proof of Proposition 6.1 relativizes evaluation to structures of size
+//! `O(n + r + s)` where `r` is the quantifier rank of the query and `s` the
+//! number of constants appearing in it. This module computes both, plus a
+//! node count used for cost estimates.
+
+use crate::ast::Formula;
+
+/// The quantifier rank (maximum nesting depth of quantifiers).
+pub fn quantifier_rank(f: &Formula) -> usize {
+    match f {
+        Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => 0,
+        Formula::Not(g) => quantifier_rank(g),
+        Formula::And(gs) | Formula::Or(gs) => {
+            gs.iter().map(quantifier_rank).max().unwrap_or(0)
+        }
+        Formula::Exists(_, g) | Formula::Forall(_, g) => 1 + quantifier_rank(g),
+    }
+}
+
+/// The number of distinct constants (`s` in Proposition 6.1).
+pub fn constant_count(f: &Formula) -> usize {
+    crate::vars::constants(f).len()
+}
+
+/// Number of AST nodes (terms not counted).
+pub fn node_count(f: &Formula) -> usize {
+    match f {
+        Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => 1,
+        Formula::Not(g) => 1 + node_count(g),
+        Formula::And(gs) | Formula::Or(gs) => 1 + gs.iter().map(node_count).sum::<usize>(),
+        Formula::Exists(_, g) | Formula::Forall(_, g) => 1 + node_count(g),
+    }
+}
+
+/// Number of relational atoms.
+pub fn atom_count(f: &Formula) -> usize {
+    match f {
+        Formula::True | Formula::False | Formula::Eq(..) => 0,
+        Formula::Atom { .. } => 1,
+        Formula::Not(g) => atom_count(g),
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().map(atom_count).sum(),
+        Formula::Exists(_, g) | Formula::Forall(_, g) => atom_count(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Term;
+    use infpdb_core::schema::RelId;
+
+    fn atom(n: i64) -> Formula {
+        Formula::Atom {
+            rel: RelId(0),
+            args: vec![Term::var("x"), Term::cnst(n)],
+        }
+    }
+
+    #[test]
+    fn rank_of_quantifier_free_is_zero() {
+        assert_eq!(quantifier_rank(&Formula::True), 0);
+        assert_eq!(quantifier_rank(&atom(1).and(atom(2)).not()), 0);
+    }
+
+    #[test]
+    fn rank_counts_nesting_not_total() {
+        // (∃x φ) ∧ (∃y ψ) has rank 1, not 2
+        let f = Formula::exists("x", atom(1)).and(Formula::exists("y", atom(2)));
+        assert_eq!(quantifier_rank(&f), 1);
+        // ∃x ∀y φ has rank 2
+        let g = Formula::exists("x", Formula::forall("y", atom(1)));
+        assert_eq!(quantifier_rank(&g), 2);
+        // negation is transparent
+        assert_eq!(quantifier_rank(&g.not()), 2);
+    }
+
+    #[test]
+    fn constant_count_distinct() {
+        let f = atom(1).and(atom(1)).and(atom(2));
+        assert_eq!(constant_count(&f), 2);
+        assert_eq!(constant_count(&Formula::True), 0);
+    }
+
+    #[test]
+    fn node_and_atom_counts() {
+        let f = Formula::exists("x", atom(1).and(atom(2)).not());
+        // Exists + Not + And + 2 atoms
+        assert_eq!(node_count(&f), 5);
+        assert_eq!(atom_count(&f), 2);
+        assert_eq!(atom_count(&Formula::Eq(Term::var("x"), Term::var("y"))), 0);
+        assert_eq!(node_count(&Formula::Or(vec![])), 1);
+    }
+}

@@ -1,0 +1,380 @@
+//! Hierarchical queries and safe plans.
+//!
+//! The classic dichotomy for Boolean self-join-free conjunctive queries on
+//! tuple-independent PDBs (Dalvi–Suciu; surveyed in the paper's main
+//! reference \[37\]): a query is computable in polynomial time *extensionally*
+//! iff it is **hierarchical** — for any two variables `x, y`, the sets of
+//! atoms containing them are nested or disjoint. Hierarchical queries admit
+//! a [`SafePlan`] built from independent joins (conjunction of queries on
+//! disjoint fact sets) and independent projects (a "root" variable occurring
+//! in every atom of its connected component).
+//!
+//! The paper lifts "a traditional closed-world query evaluation algorithm
+//! for finite tuple-independent PDBs" (proof of Proposition 6.1); safe plans
+//! are the efficient such algorithm, implemented by `infpdb-finite`'s
+//! `lifted` module against these plans.
+
+use crate::ast::{Term, Var};
+use crate::normal::{ConjunctiveQuery, CqAtom};
+use crate::LogicError;
+use std::collections::BTreeSet;
+
+/// An extensional evaluation plan for a hierarchical Boolean self-join-free
+/// CQ.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SafePlan {
+    /// A single atom, possibly with unresolved variables that enclosing
+    /// projects will substitute.
+    Atom(CqAtom),
+    /// Conjunction of sub-plans over disjoint relation sets:
+    /// `P(⋀ᵢ planᵢ) = ∏ᵢ P(planᵢ)`.
+    IndependentJoin(Vec<SafePlan>),
+    /// Projection over a root variable occurring in every atom below:
+    /// `P(∃x. φ) = 1 − ∏_{a ∈ domain} (1 − P(φ[x ↦ a]))`.
+    IndependentProject {
+        /// The root variable.
+        var: Var,
+        /// The plan for the body with `var` still symbolic.
+        plan: Box<SafePlan>,
+    },
+}
+
+impl SafePlan {
+    /// Depth of nested independent projects (cost indicator: the domain is
+    /// enumerated once per level).
+    pub fn project_depth(&self) -> usize {
+        match self {
+            SafePlan::Atom(_) => 0,
+            SafePlan::IndependentJoin(ps) => {
+                ps.iter().map(SafePlan::project_depth).max().unwrap_or(0)
+            }
+            SafePlan::IndependentProject { plan, .. } => 1 + plan.project_depth(),
+        }
+    }
+}
+
+/// Whether a Boolean self-join-free CQ is hierarchical: for all variables
+/// `x ≠ y`, `at(x) ⊆ at(y)`, `at(y) ⊆ at(x)`, or `at(x) ∩ at(y) = ∅`.
+pub fn is_hierarchical(cq: &ConjunctiveQuery) -> bool {
+    let vars: Vec<Var> = cq.variables().into_iter().collect();
+    let at = |v: &Var| -> BTreeSet<usize> {
+        cq.atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.variables().contains(v))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    for (i, x) in vars.iter().enumerate() {
+        let ax = at(x);
+        for y in vars.iter().skip(i + 1) {
+            let ay = at(y);
+            let nested = ax.is_subset(&ay) || ay.is_subset(&ax);
+            let disjoint = ax.is_disjoint(&ay);
+            if !nested && !disjoint {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Builds the safe plan of a hierarchical Boolean self-join-free CQ.
+///
+/// Errors with [`LogicError::UnsupportedFragment`] if the query has free
+/// variables, self-joins, or is not hierarchical (the intensional engine
+/// must be used instead).
+pub fn safe_plan(cq: &ConjunctiveQuery) -> Result<SafePlan, LogicError> {
+    if !cq.is_boolean() {
+        return Err(LogicError::UnsupportedFragment(
+            "safe plans require a Boolean query".into(),
+        ));
+    }
+    if !cq.is_self_join_free() {
+        return Err(LogicError::UnsupportedFragment(
+            "safe plans require a self-join-free query".into(),
+        ));
+    }
+    if !is_hierarchical(cq) {
+        return Err(LogicError::UnsupportedFragment(
+            "query is not hierarchical; no safe plan exists (Dalvi–Suciu dichotomy)".into(),
+        ));
+    }
+    Ok(build(cq.atoms.clone(), &cq.variables()))
+}
+
+/// Recursive plan construction on a set of atoms and the variables still
+/// symbolic in them.
+fn build(atoms: Vec<CqAtom>, live_vars: &BTreeSet<Var>) -> SafePlan {
+    if atoms.len() == 1 && atoms[0].variables().intersection(live_vars).count() == 0 {
+        return SafePlan::Atom(atoms.into_iter().next().expect("len checked"));
+    }
+    // Partition atoms into connected components via shared live variables.
+    let components = connected_components(&atoms, live_vars);
+    if components.len() > 1 {
+        let plans = components
+            .into_iter()
+            .map(|c| build(c, live_vars))
+            .collect();
+        return SafePlan::IndependentJoin(plans);
+    }
+    // Single component: find a root variable occurring in all atoms.
+    let root = live_vars
+        .iter()
+        .find(|v| {
+            atoms
+                .iter()
+                .all(|a| a.variables().contains(*v))
+        })
+        .cloned();
+    match root {
+        Some(var) => {
+            let mut remaining = live_vars.clone();
+            remaining.remove(&var);
+            let sub = build(atoms, &remaining);
+            SafePlan::IndependentProject {
+                var,
+                plan: Box::new(sub),
+            }
+        }
+        None => {
+            // Hierarchical queries always have a root per component once
+            // outer variables are substituted; a single variable-free atom
+            // set lands here only when atoms.len() == 1 handled above, or
+            // several ground atoms form one "component" (no shared live
+            // vars means they'd be separate components). Unreachable for
+            // hierarchical inputs, but keep a safe fallback.
+            SafePlan::IndependentJoin(atoms.into_iter().map(SafePlan::Atom).collect())
+        }
+    }
+}
+
+/// Groups atoms into connected components of the "shares a live variable"
+/// graph. Atoms with no live variables become singleton components.
+fn connected_components(atoms: &[CqAtom], live_vars: &BTreeSet<Var>) -> Vec<Vec<CqAtom>> {
+    let n = atoms.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    let live_var_sets: Vec<BTreeSet<Var>> = atoms
+        .iter()
+        .map(|a| a.variables().intersection(live_vars).cloned().collect())
+        .collect();
+    #[allow(clippy::needless_range_loop)] // union-find needs raw indexes
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let shares = atoms[j]
+                .variables()
+                .iter()
+                .any(|v| live_var_sets[i].contains(v));
+            if shares {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<CqAtom>> = Default::default();
+    for (i, atom) in atoms.iter().enumerate() {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(atom.clone());
+    }
+    groups.into_values().collect()
+}
+
+/// Substitutes a value for a variable in a plan's atoms (used by the lifted
+/// evaluator when expanding an independent project).
+pub fn substitute_in_plan(
+    plan: &SafePlan,
+    var: &str,
+    value: &infpdb_core::value::Value,
+) -> SafePlan {
+    match plan {
+        SafePlan::Atom(a) => SafePlan::Atom(CqAtom {
+            rel: a.rel,
+            args: a
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) if v == var => Term::Const(value.clone()),
+                    other => other.clone(),
+                })
+                .collect(),
+        }),
+        SafePlan::IndependentJoin(ps) => SafePlan::IndependentJoin(
+            ps.iter()
+                .map(|p| substitute_in_plan(p, var, value))
+                .collect(),
+        ),
+        SafePlan::IndependentProject { var: v, plan: p } if v == var => {
+            // `var` is bound here; occurrences below refer to this binder,
+            // not the one being substituted (shadowing).
+            SafePlan::IndependentProject {
+                var: v.clone(),
+                plan: p.clone(),
+            }
+        }
+        SafePlan::IndependentProject { var: v, plan: p } => SafePlan::IndependentProject {
+            var: v.clone(),
+            plan: Box::new(substitute_in_plan(p, var, value)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::as_cq;
+    use crate::parser::parse;
+    use infpdb_core::schema::{Relation, Schema};
+    use infpdb_core::value::Value;
+
+    fn schema() -> Schema {
+        Schema::from_relations([
+            Relation::new("R", 1),
+            Relation::new("S", 2),
+            Relation::new("T", 1),
+            Relation::new("U", 2),
+        ])
+        .unwrap()
+    }
+
+    fn cq(q: &str) -> ConjunctiveQuery {
+        as_cq(&parse(q, &schema()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_atom_queries_are_hierarchical() {
+        assert!(is_hierarchical(&cq("exists x. R(x)")));
+        assert!(is_hierarchical(&cq("R(1)")));
+        let p = safe_plan(&cq("exists x. R(x)")).unwrap();
+        assert!(matches!(p, SafePlan::IndependentProject { .. }));
+        assert_eq!(p.project_depth(), 1);
+    }
+
+    #[test]
+    fn chain_query_rx_sxy_ty_is_hierarchical() {
+        // ∃x∃y R(x) ∧ S(x,y): at(x) = {R,S} ⊇ at(y) = {S} — hierarchical
+        let q = cq("exists x, y. R(x) /\\ S(x, y)");
+        assert!(is_hierarchical(&q));
+        let p = safe_plan(&q).unwrap();
+        // root x, then y
+        match &p {
+            SafePlan::IndependentProject { var, .. } => assert_eq!(var, "x"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.project_depth(), 2);
+    }
+
+    #[test]
+    fn the_canonical_unsafe_query_h0_is_not_hierarchical() {
+        // H₀ = ∃x∃y R(x) ∧ S(x,y) ∧ T(y): at(x) = {R,S}, at(y) = {S,T} —
+        // overlapping but not nested.
+        let q = cq("exists x, y. R(x) /\\ S(x, y) /\\ T(y)");
+        assert!(!is_hierarchical(&q));
+        assert!(matches!(
+            safe_plan(&q),
+            Err(LogicError::UnsupportedFragment(_))
+        ));
+    }
+
+    #[test]
+    fn disconnected_queries_become_independent_joins() {
+        let q = cq("exists x, y. R(x) /\\ T(y)");
+        assert!(is_hierarchical(&q));
+        let p = safe_plan(&q).unwrap();
+        match p {
+            SafePlan::IndependentJoin(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(parts
+                    .iter()
+                    .all(|p| matches!(p, SafePlan::IndependentProject { .. })));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ground_atoms_are_leaf_plans() {
+        let q = cq("R(1) /\\ T(2)");
+        let p = safe_plan(&q).unwrap();
+        match p {
+            SafePlan::IndependentJoin(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(parts.iter().all(|p| matches!(p, SafePlan::Atom(_))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn safe_plan_rejects_non_boolean_and_self_joins() {
+        let s = schema();
+        let free = as_cq(&parse("exists y. S(x, y)", &s).unwrap()).unwrap();
+        assert!(safe_plan(&free).is_err());
+        let sj = as_cq(&parse("exists x, y. R(x) /\\ R(y)", &s).unwrap()).unwrap();
+        assert!(safe_plan(&sj).is_err());
+    }
+
+    #[test]
+    fn constants_do_not_break_hierarchy() {
+        let q = cq("exists x. S(x, 3) /\\ R(x)");
+        assert!(is_hierarchical(&q));
+        let p = safe_plan(&q).unwrap();
+        assert_eq!(p.project_depth(), 1);
+    }
+
+    #[test]
+    fn substitute_in_plan_grounds_atoms() {
+        let q = cq("exists x, y. R(x) /\\ S(x, y)");
+        let p = safe_plan(&q).unwrap();
+        // the evaluator expands the outer project over x by substituting
+        // into its *body*
+        let body = match &p {
+            SafePlan::IndependentProject { var, plan } => {
+                assert_eq!(var, "x");
+                plan.as_ref()
+            }
+            other => panic!("{other:?}"),
+        };
+        let g = substitute_in_plan(body, "x", &Value::int(7));
+        fn find_const(p: &SafePlan) -> usize {
+            match p {
+                SafePlan::Atom(a) => a
+                    .args
+                    .iter()
+                    .filter(|t| t.as_const() == Some(&Value::int(7)))
+                    .count(),
+                SafePlan::IndependentJoin(ps) => ps.iter().map(find_const).sum(),
+                SafePlan::IndependentProject { plan, .. } => find_const(plan),
+            }
+        }
+        // x occurred in both R(x) and S(x, y)
+        assert_eq!(find_const(&g), 2);
+    }
+
+    #[test]
+    fn shadowed_project_substitution_stops_at_binder() {
+        // substituting a variable that a project itself binds leaves the
+        // project untouched (the binder shadows the substitution)
+        let q = cq("exists x. R(x)");
+        let p = safe_plan(&q).unwrap();
+        let g = substitute_in_plan(&p, "x", &Value::int(1));
+        assert_eq!(g, p);
+    }
+
+    #[test]
+    fn two_component_hierarchy_with_shared_structure() {
+        // (R(x) ∧ S(x,y)) and U(z,w): three-level mixed plan
+        let q = cq("exists x, y, z, w. R(x) /\\ S(x, y) /\\ U(z, w)");
+        assert!(is_hierarchical(&q));
+        let p = safe_plan(&q).unwrap();
+        assert!(matches!(p, SafePlan::IndependentJoin(_)));
+    }
+}

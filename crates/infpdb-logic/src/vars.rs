@@ -1,0 +1,242 @@
+//! Free variables, constants, and substitution.
+//!
+//! `adom(φ)` — the constants occurring in a formula — appears in Fact 2.1:
+//! answers of an FO query on instance `D` are contained in
+//! `(adom(D) ∪ adom(φ))^k`. Grounding free variables by constants
+//! ([`substitute`]) is how Proposition 6.1 lifts Boolean evaluation to
+//! queries with free variables: `Q(~a)` for all `~a ∈ adom(Ω_n)^k`.
+
+use crate::ast::{Formula, Term, Var};
+use infpdb_core::value::Value;
+use std::collections::BTreeSet;
+
+/// The free variables of a formula, sorted.
+pub fn free_vars(f: &Formula) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    collect_free(f, &mut BTreeSet::new(), &mut out);
+    out
+}
+
+fn collect_free(f: &Formula, bound: &mut BTreeSet<Var>, out: &mut BTreeSet<Var>) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Atom { args, .. } => {
+            for t in args {
+                if let Term::Var(v) = t {
+                    if !bound.contains(v) {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+        }
+        Formula::Eq(a, b) => {
+            for t in [a, b] {
+                if let Term::Var(v) = t {
+                    if !bound.contains(v) {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+        }
+        Formula::Not(g) => collect_free(g, bound, out),
+        Formula::And(gs) | Formula::Or(gs) => {
+            for g in gs {
+                collect_free(g, bound, out);
+            }
+        }
+        Formula::Exists(v, g) | Formula::Forall(v, g) => {
+            let newly = bound.insert(v.clone());
+            collect_free(g, bound, out);
+            if newly {
+                bound.remove(v);
+            }
+        }
+    }
+}
+
+/// Whether the formula is a sentence (no free variables) — the Boolean
+/// queries of Section 6.
+pub fn is_sentence(f: &Formula) -> bool {
+    free_vars(f).is_empty()
+}
+
+/// The constants `adom(φ)` occurring in the formula, sorted.
+pub fn constants(f: &Formula) -> BTreeSet<Value> {
+    let mut out = BTreeSet::new();
+    collect_constants(f, &mut out);
+    out
+}
+
+fn collect_constants(f: &Formula, out: &mut BTreeSet<Value>) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Atom { args, .. } => {
+            for t in args {
+                if let Term::Const(c) = t {
+                    out.insert(c.clone());
+                }
+            }
+        }
+        Formula::Eq(a, b) => {
+            for t in [a, b] {
+                if let Term::Const(c) = t {
+                    out.insert(c.clone());
+                }
+            }
+        }
+        Formula::Not(g) => collect_constants(g, out),
+        Formula::And(gs) | Formula::Or(gs) => {
+            for g in gs {
+                collect_constants(g, out);
+            }
+        }
+        Formula::Exists(_, g) | Formula::Forall(_, g) => collect_constants(g, out),
+    }
+}
+
+/// Substitutes the constant `value` for every *free* occurrence of `var`.
+pub fn substitute(f: &Formula, var: &str, value: &Value) -> Formula {
+    let subst_term = |t: &Term| -> Term {
+        match t {
+            Term::Var(v) if v == var => Term::Const(value.clone()),
+            other => other.clone(),
+        }
+    };
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Atom { rel, args } => Formula::Atom {
+            rel: *rel,
+            args: args.iter().map(subst_term).collect(),
+        },
+        Formula::Eq(a, b) => Formula::Eq(subst_term(a), subst_term(b)),
+        Formula::Not(g) => substitute(g, var, value).not(),
+        Formula::And(gs) => Formula::And(gs.iter().map(|g| substitute(g, var, value)).collect()),
+        Formula::Or(gs) => Formula::Or(gs.iter().map(|g| substitute(g, var, value)).collect()),
+        Formula::Exists(v, g) if v == var => Formula::Exists(v.clone(), g.clone()),
+        Formula::Forall(v, g) if v == var => Formula::Forall(v.clone(), g.clone()),
+        Formula::Exists(v, g) => {
+            Formula::Exists(v.clone(), Box::new(substitute(g, var, value)))
+        }
+        Formula::Forall(v, g) => {
+            Formula::Forall(v.clone(), Box::new(substitute(g, var, value)))
+        }
+    }
+}
+
+/// Grounds a formula with a full assignment for its free variables (in the
+/// order given). Returns a sentence.
+pub fn ground(f: &Formula, assignment: &[(Var, Value)]) -> Formula {
+    assignment
+        .iter()
+        .fold(f.clone(), |acc, (v, val)| substitute(&acc, v, val))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::RelId;
+
+    fn atom(args: Vec<Term>) -> Formula {
+        Formula::Atom {
+            rel: RelId(0),
+            args,
+        }
+    }
+
+    #[test]
+    fn free_vars_basic() {
+        let f = atom(vec![Term::var("x"), Term::var("y")]);
+        let fv = free_vars(&f);
+        assert_eq!(fv.len(), 2);
+        assert!(fv.contains("x") && fv.contains("y"));
+    }
+
+    #[test]
+    fn quantifier_binds() {
+        let f = Formula::exists("x", atom(vec![Term::var("x"), Term::var("y")]));
+        let fv = free_vars(&f);
+        assert_eq!(fv.into_iter().collect::<Vec<_>>(), vec!["y".to_string()]);
+        assert!(!is_sentence(&f));
+        let g = Formula::forall("y", f);
+        assert!(is_sentence(&g));
+    }
+
+    #[test]
+    fn shadowing_inner_binder_does_not_unbind_outer_occurrences() {
+        // exists x. (R(x) /\ exists x. R(x)) — no free x
+        let f = Formula::exists(
+            "x",
+            atom(vec![Term::var("x")]).and(Formula::exists("x", atom(vec![Term::var("x")]))),
+        );
+        assert!(is_sentence(&f));
+        // R(x) /\ exists x. R(x) — x free in the left conjunct
+        let g = atom(vec![Term::var("x")]).and(Formula::exists("x", atom(vec![Term::var("x")])));
+        assert!(free_vars(&g).contains("x"));
+    }
+
+    #[test]
+    fn eq_atom_variables() {
+        let f = Formula::Eq(Term::var("a"), Term::cnst(1i64));
+        assert!(free_vars(&f).contains("a"));
+        assert_eq!(constants(&f).len(), 1);
+    }
+
+    #[test]
+    fn constants_collected_across_structure() {
+        let f = Formula::exists(
+            "x",
+            atom(vec![Term::var("x"), Term::cnst(7i64)])
+                .or(Formula::Eq(Term::cnst("s"), Term::var("x")).not()),
+        );
+        let cs = constants(&f);
+        assert_eq!(cs.len(), 2);
+        assert!(cs.contains(&Value::int(7)));
+        assert!(cs.contains(&Value::str("s")));
+    }
+
+    #[test]
+    fn substitute_replaces_free_occurrences_only() {
+        // x free in left conjunct, bound in right
+        let f = atom(vec![Term::var("x")]).and(Formula::exists("x", atom(vec![Term::var("x")])));
+        let g = substitute(&f, "x", &Value::int(5));
+        match &g {
+            Formula::And(parts) => {
+                assert_eq!(parts[0], atom(vec![Term::cnst(5i64)]));
+                // bound occurrence untouched
+                assert_eq!(
+                    parts[1],
+                    Formula::exists("x", atom(vec![Term::var("x")]))
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(is_sentence(&g));
+    }
+
+    #[test]
+    fn substitute_covers_all_node_kinds() {
+        let f = Formula::forall(
+            "y",
+            Formula::Eq(Term::var("x"), Term::var("y"))
+                .or(Formula::True)
+                .or(Formula::False)
+                .and(atom(vec![Term::var("x")]).not()),
+        );
+        let g = substitute(&f, "x", &Value::int(1));
+        assert!(is_sentence(&g));
+    }
+
+    #[test]
+    fn ground_applies_full_assignment() {
+        let f = atom(vec![Term::var("x"), Term::var("y")]);
+        let g = ground(
+            &f,
+            &[
+                ("x".to_string(), Value::int(1)),
+                ("y".to_string(), Value::int(2)),
+            ],
+        );
+        assert_eq!(g, atom(vec![Term::cnst(1i64), Term::cnst(2i64)]));
+    }
+}

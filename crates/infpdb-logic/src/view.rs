@@ -1,0 +1,331 @@
+//! First-order views and their pushforward semantics.
+//!
+//! A view `V : D[τ,U] → D[τ′,U]` is an FO-view if each target relation is
+//! defined by an FO formula over the source schema (Section 2.1). Applied
+//! to a PDB, a view induces the pushforward measure
+//! `P′({D′}) = P(V⁻¹(D′))` (Section 3.1, equation (3)) — implemented on
+//! materialized spaces via [`DiscreteSpace::pushforward`].
+//!
+//! Views are the tool of Section 4.3: the paper shows (Proposition 4.9)
+//! that unlike in the finite case, *not* every countable PDB is an FO-view
+//! image of a tuple-independent one. `infpdb-ti::counterexample` exercises
+//! exactly the size-growth envelope `‖V(C)‖ ≤ k·‖C‖ + c` (from Fact 2.1)
+//! that drives that proof; [`FoView::size_envelope`] computes `(k, c)`.
+
+use crate::ast::Formula;
+use crate::eval::Evaluator;
+use crate::vars::free_vars;
+use crate::LogicError;
+use infpdb_core::fact::Fact;
+use infpdb_core::instance::Instance;
+use infpdb_core::interner::FactInterner;
+use infpdb_core::schema::{RelId, Schema};
+use infpdb_core::space::DiscreteSpace;
+use infpdb_core::storage::InstanceStore;
+
+/// Definition of one target relation by a formula over the source schema.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    /// Target relation (in the view's target schema).
+    pub target: RelId,
+    /// Defining formula; its free variables (in sorted order) are the
+    /// target relation's columns.
+    pub formula: Formula,
+}
+
+/// An FO view: one defining formula per target relation.
+#[derive(Debug, Clone)]
+pub struct FoView {
+    source: Schema,
+    target: Schema,
+    defs: Vec<ViewDef>,
+}
+
+impl FoView {
+    /// Builds a view, validating that every target relation has exactly one
+    /// definition whose free-variable count matches the target arity and
+    /// whose atoms are valid over the source schema.
+    pub fn new(
+        source: Schema,
+        target: Schema,
+        defs: impl IntoIterator<Item = ViewDef>,
+    ) -> Result<Self, LogicError> {
+        let defs: Vec<ViewDef> = defs.into_iter().collect();
+        for def in &defs {
+            def.formula.validate(&source)?;
+            let rel = target
+                .get(def.target)
+                .ok_or_else(|| LogicError::UnknownRelation(format!("{:?}", def.target)))?;
+            let fv = free_vars(&def.formula);
+            if fv.len() != rel.arity() {
+                return Err(LogicError::ArityMismatch {
+                    relation: rel.name().to_string(),
+                    expected: rel.arity(),
+                    got: fv.len(),
+                });
+            }
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for def in &defs {
+            if !seen.insert(def.target) {
+                return Err(LogicError::UnsupportedFragment(format!(
+                    "two definitions for target relation {:?}",
+                    def.target
+                )));
+            }
+        }
+        for (id, r) in target.iter() {
+            if !seen.contains(&id) {
+                return Err(LogicError::UnsupportedFragment(format!(
+                    "target relation {} has no definition",
+                    r.name()
+                )));
+            }
+        }
+        Ok(Self {
+            source,
+            target,
+            defs,
+        })
+    }
+
+    /// The source schema.
+    pub fn source_schema(&self) -> &Schema {
+        &self.source
+    }
+
+    /// The target schema.
+    pub fn target_schema(&self) -> &Schema {
+        &self.target
+    }
+
+    /// Applies the view to one materialized instance, producing target
+    /// facts.
+    pub fn apply_store(&self, store: &InstanceStore) -> Vec<Fact> {
+        let mut out = Vec::new();
+        for def in &self.defs {
+            let ev = Evaluator::new(store, &def.formula);
+            for tuple in ev.answers(&def.formula) {
+                out.push(Fact::new(def.target, tuple));
+            }
+        }
+        out
+    }
+
+    /// Applies the view to an instance given its interner, producing target
+    /// facts.
+    pub fn apply(
+        &self,
+        instance: &Instance,
+        interner: &FactInterner,
+    ) -> Vec<Fact> {
+        let store = InstanceStore::build(instance, interner, &self.source);
+        self.apply_store(&store)
+    }
+
+    /// Pushforward of a materialized PDB through the view: the image space
+    /// with measure `P′ = P ∘ V⁻¹` (equation (3)), plus the interner for
+    /// target facts.
+    pub fn pushforward(
+        &self,
+        space: &DiscreteSpace<Instance>,
+        interner: &FactInterner,
+    ) -> (DiscreteSpace<Instance>, FactInterner) {
+        let mut target_interner = FactInterner::new();
+        let image = space.pushforward(|d| {
+            let facts = self.apply(d, interner);
+            Instance::from_ids(facts.into_iter().map(|f| target_interner.intern(f)))
+        });
+        (image, target_interner)
+    }
+
+    /// The size envelope of Fact 2.1 / Proposition 4.9: constants `(k, c)`
+    /// such that `‖V(D)‖ ≤ (k·‖D‖·a + c)^m` is crude, but the paper's proof
+    /// only needs the unary case: each answer tuple draws its components
+    /// from `adom(D) ∪ adom(φ)`, so for a unary target
+    /// `‖V(D)‖ ≤ k·‖D‖ + c` with `k` the max source arity and `c` the
+    /// number of constants in the defining formulas.
+    pub fn size_envelope(&self) -> (usize, usize) {
+        let k = self.source.max_arity();
+        let c = self
+            .defs
+            .iter()
+            .map(|d| crate::rank::constant_count(&d.formula))
+            .sum();
+        (k, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use infpdb_core::schema::Relation;
+    use infpdb_core::value::Value;
+
+    fn source() -> Schema {
+        Schema::from_relations([Relation::new("E", 2)]).unwrap()
+    }
+
+    fn target() -> Schema {
+        Schema::from_relations([Relation::new("Reach2", 2)]).unwrap()
+    }
+
+    fn two_hop_view() -> FoView {
+        let src = source();
+        let tgt = target();
+        let f = parse("exists z. E(x, z) /\\ E(z, y)", &src).unwrap();
+        FoView::new(
+            src,
+            tgt.clone(),
+            [ViewDef {
+                target: tgt.rel_id("Reach2").unwrap(),
+                formula: f,
+            }],
+        )
+        .unwrap()
+    }
+
+    fn instance(edges: &[(i64, i64)]) -> (FactInterner, Instance) {
+        let src = source();
+        let e = src.rel_id("E").unwrap();
+        let mut interner = FactInterner::new();
+        let ids: Vec<_> = edges
+            .iter()
+            .map(|&(a, b)| interner.intern(Fact::new(e, [Value::int(a), Value::int(b)])))
+            .collect();
+        (interner, Instance::from_ids(ids))
+    }
+
+    #[test]
+    fn view_computes_two_hop_reachability() {
+        let v = two_hop_view();
+        let (interner, d) = instance(&[(1, 2), (2, 3), (3, 4)]);
+        let facts = v.apply(&d, &interner);
+        let pairs: std::collections::BTreeSet<(i64, i64)> = facts
+            .iter()
+            .map(|f| {
+                (
+                    f.args()[0].as_int().unwrap(),
+                    f.args()[1].as_int().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(pairs, [(1, 3), (2, 4)].into_iter().collect());
+    }
+
+    #[test]
+    fn view_validation_rejects_arity_mismatch() {
+        let src = source();
+        let tgt = target();
+        let f = parse("exists z, y. E(x, z) /\\ E(z, y)", &src).unwrap(); // 1 free var
+        assert!(matches!(
+            FoView::new(
+                src,
+                tgt.clone(),
+                [ViewDef {
+                    target: tgt.rel_id("Reach2").unwrap(),
+                    formula: f,
+                }],
+            ),
+            Err(LogicError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn view_validation_requires_all_targets_defined_once() {
+        let src = source();
+        let tgt = target();
+        // no definitions at all
+        assert!(FoView::new(src.clone(), tgt.clone(), []).is_err());
+        // duplicate definitions
+        let f = parse("exists z. E(x, z) /\\ E(z, y)", &src).unwrap();
+        let def = ViewDef {
+            target: tgt.rel_id("Reach2").unwrap(),
+            formula: f,
+        };
+        assert!(FoView::new(src, tgt, [def.clone(), def]).is_err());
+    }
+
+    #[test]
+    fn view_validation_checks_source_atoms() {
+        let src = source();
+        let tgt = target();
+        // formula over the *target* schema relation is invalid over source
+        let bogus = Formula::atom(
+            RelId(5),
+            [crate::ast::Term::var("x"), crate::ast::Term::var("y")],
+        );
+        assert!(FoView::new(
+            src,
+            tgt.clone(),
+            [ViewDef {
+                target: tgt.rel_id("Reach2").unwrap(),
+                formula: bogus,
+            }]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn pushforward_merges_preimages() {
+        // Two distinct source worlds with the same 2-hop image must merge.
+        let v = two_hop_view();
+        let (mut interner, d1) = instance(&[(1, 2), (2, 3)]);
+        let e = v.source_schema().rel_id("E").unwrap();
+        // d2: same 2-hop pairs {(1,3)} via different middle vertex
+        let extra = [
+            interner.intern(Fact::new(e, [Value::int(1), Value::int(9)])),
+            interner.intern(Fact::new(e, [Value::int(9), Value::int(3)])),
+        ];
+        let d2 = Instance::from_ids(extra);
+        let space = DiscreteSpace::new([(d1, 0.5), (d2, 0.5)]).unwrap();
+        let (image, tgt_interner) = v.pushforward(&space, &interner);
+        // both worlds map to {Reach2(1,3)}
+        assert_eq!(image.support_size(), 1);
+        assert_eq!(tgt_interner.len(), 1);
+        let (only, p) = &image.outcomes()[0];
+        assert_eq!(only.size(), 1);
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pushforward_preserves_distinct_images() {
+        let v = two_hop_view();
+        let (interner, d1) = instance(&[(1, 2), (2, 3)]);
+        let empty = Instance::empty();
+        let space = DiscreteSpace::new([(d1, 0.3), (empty, 0.7)]).unwrap();
+        let (image, _) = v.pushforward(&space, &interner);
+        assert_eq!(image.support_size(), 2);
+        assert!((image.prob_where(|d| d.is_empty()) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_envelope_constants() {
+        let v = two_hop_view();
+        let (k, c) = v.size_envelope();
+        assert_eq!(k, 2); // max source arity
+        assert_eq!(c, 0); // no constants in the defining formula
+    }
+
+    #[test]
+    fn boolean_view_targets() {
+        // 0-ary target: "has an edge" flag relation
+        let src = source();
+        let tgt = Schema::from_relations([Relation::new("NonEmpty", 0)]).unwrap();
+        let f = parse("exists x, y. E(x, y)", &src).unwrap();
+        let v = FoView::new(
+            src,
+            tgt.clone(),
+            [ViewDef {
+                target: tgt.rel_id("NonEmpty").unwrap(),
+                formula: f,
+            }],
+        )
+        .unwrap();
+        let (interner, d) = instance(&[(1, 2)]);
+        assert_eq!(v.apply(&d, &interner).len(), 1);
+        let empty = Instance::empty();
+        assert!(v.apply(&empty, &interner).is_empty());
+    }
+}

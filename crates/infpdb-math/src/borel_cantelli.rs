@@ -1,0 +1,159 @@
+//! Diagnostics built on the second Borel–Cantelli lemma (Lemma 2.5).
+//!
+//! The paper's necessary existence criterion (Lemma 4.6) is exactly
+//! Borel–Cantelli in contrapositive: if the fact-probability series of a
+//! would-be tuple-independent PDB diverged, almost every instance would
+//! contain infinitely many facts — impossible, since instances are finite.
+//! This module provides the constructive side used in tests and benches:
+//! divergence witnesses (explicit partial sums exceeding any threshold) and
+//! certified bounds on the expected number of rare events.
+
+use crate::series::{ProbSeries, TailBound};
+use crate::KahanSum;
+
+/// Scans partial sums of `series` and returns the first index at which the
+/// partial sum exceeds `threshold`, or `None` if it never does within
+/// `max_terms` terms.
+///
+/// For a divergent series any threshold is eventually exceeded; the returned
+/// pair `(index, partial_sum)` is a checkable divergence witness in the sense
+/// of [`crate::MathError::DivergentSeries`].
+pub fn divergence_witness<S: ProbSeries>(
+    series: &S,
+    threshold: f64,
+    max_terms: usize,
+) -> Option<(usize, f64)> {
+    let mut acc = KahanSum::new();
+    for i in 0..max_terms {
+        acc.add(series.term(i));
+        if acc.value() > threshold {
+            return Some((i, acc.value()));
+        }
+    }
+    None
+}
+
+/// Certified upper bound on the expected number of events `E_{f_i}`, `i ≥ n`,
+/// that occur — i.e. on `∑_{i≥n} p_i`. By Markov's inequality this also
+/// bounds `P(at least one event beyond n occurs)`, the quantity the
+/// truncation argument of Proposition 6.1 controls.
+pub fn expected_occurrences_beyond<S: ProbSeries>(series: &S, n: usize) -> TailBound {
+    series.tail_upper(n)
+}
+
+/// Borel–Cantelli dichotomy report for a series of event probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BorelCantelli {
+    /// `∑ p_i < bound`: almost surely only finitely many events occur
+    /// (first Borel–Cantelli lemma); consistent with a tuple-independent PDB
+    /// existing (Theorem 4.8, "if" direction).
+    FinitelyMany {
+        /// Certified upper bound on the total event mass.
+        total_bound: f64,
+    },
+    /// A divergence witness was found: for independent events, infinitely
+    /// many occur almost surely (second Borel–Cantelli lemma); no
+    /// tuple-independent PDB realizes these probabilities (Lemma 4.6).
+    InfinitelyMany {
+        /// Index at which the partial sum crossed the witness threshold.
+        witness_index: usize,
+        /// The crossing partial sum.
+        partial_sum: f64,
+    },
+    /// Neither certificate was obtainable within the scan budget.
+    Inconclusive,
+}
+
+/// Classifies a series per the Borel–Cantelli dichotomy, preferring the
+/// series' own tail certificate and falling back to a bounded scan for a
+/// divergence witness (threshold 10⁶ within `max_terms` terms).
+pub fn classify<S: ProbSeries>(series: &S, max_terms: usize) -> BorelCantelli {
+    match series.tail_upper(0) {
+        TailBound::Finite(b) => BorelCantelli::FinitelyMany { total_bound: b },
+        TailBound::Divergent | TailBound::Unknown => {
+            match divergence_witness(series, 1e6, max_terms) {
+                Some((i, s)) => BorelCantelli::InfinitelyMany {
+                    witness_index: i,
+                    partial_sum: s,
+                },
+                None => BorelCantelli::Inconclusive,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{FiniteSeries, GeometricSeries, HarmonicSeries};
+
+    #[test]
+    fn witness_found_for_harmonic() {
+        let h = HarmonicSeries::new(1.0).unwrap();
+        let (i, s) = divergence_witness(&h, 5.0, 1_000_000).unwrap();
+        assert!(s > 5.0);
+        // harmonic partial sums reach 5 around e^5 ≈ 148 terms
+        assert!(i > 50 && i < 1000);
+    }
+
+    #[test]
+    fn no_witness_for_convergent() {
+        let g = GeometricSeries::new(0.5, 0.5).unwrap(); // total 1
+        assert!(divergence_witness(&g, 1.5, 100_000).is_none());
+    }
+
+    #[test]
+    fn witness_respects_scan_budget() {
+        let h = HarmonicSeries::new(1.0).unwrap();
+        assert!(divergence_witness(&h, 5.0, 10).is_none());
+    }
+
+    #[test]
+    fn classify_convergent() {
+        let g = GeometricSeries::new(0.5, 0.5).unwrap();
+        match classify(&g, 1000) {
+            BorelCantelli::FinitelyMany { total_bound } => assert!(total_bound >= 1.0),
+            other => panic!("expected FinitelyMany, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_divergent_finds_witness() {
+        let h = HarmonicSeries::new(1.0).unwrap();
+        // Partial sums reach 10^6 only after e^1e6 terms — far beyond any
+        // budget; but with threshold baked at 1e6 the scan is inconclusive,
+        // which is itself the honest answer for a slow diverger.
+        match classify(&h, 10_000) {
+            BorelCantelli::Inconclusive => {}
+            other => panic!("expected Inconclusive for slow divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_fast_divergent() {
+        // Constant series diverges fast enough to witness.
+        #[derive(Debug)]
+        struct Ones;
+        impl ProbSeries for Ones {
+            fn term(&self, _i: usize) -> f64 {
+                1.0
+            }
+            fn tail_upper(&self, _i: usize) -> TailBound {
+                TailBound::Divergent
+            }
+        }
+        match classify(&Ones, 2_000_000) {
+            BorelCantelli::InfinitelyMany { partial_sum, .. } => assert!(partial_sum > 1e6),
+            other => panic!("expected InfinitelyMany, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expected_occurrences_delegates_to_tail() {
+        let s = FiniteSeries::new(vec![0.5, 0.25]).unwrap();
+        assert_eq!(
+            expected_occurrences_beyond(&s, 1),
+            TailBound::Finite(0.25)
+        );
+    }
+}

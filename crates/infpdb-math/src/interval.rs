@@ -1,0 +1,262 @@
+//! Certified probability enclosures.
+//!
+//! Probabilities in an infinite tuple-independent PDB typically involve the
+//! value of an infinite product that we can only bound (Section 4.1 and the
+//! proof of Proposition 6.1). Rather than reporting a point estimate with an
+//! unstated error, the library returns a [`ProbInterval`] `[lo, hi]` certified
+//! to contain the true value.
+
+use crate::MathError;
+
+/// A closed subinterval of `[0, 1]` guaranteed to contain a probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbInterval {
+    lo: f64,
+    hi: f64,
+}
+
+impl ProbInterval {
+    /// The degenerate interval `[p, p]`.
+    pub fn exact(p: f64) -> Result<Self, MathError> {
+        crate::check_probability(p)?;
+        Ok(Self { lo: p, hi: p })
+    }
+
+    /// The interval `[lo, hi]`; both endpoints are clamped into `[0, 1]`
+    /// after validation that `lo ≤ hi` and both are finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, MathError> {
+        if !lo.is_finite() {
+            return Err(MathError::NotAProbability(lo));
+        }
+        if !hi.is_finite() {
+            return Err(MathError::NotAProbability(hi));
+        }
+        if lo > hi {
+            return Err(MathError::NotAProbability(lo));
+        }
+        Ok(Self {
+            lo: lo.clamp(0.0, 1.0),
+            hi: hi.clamp(0.0, 1.0),
+        })
+    }
+
+    /// The full interval `[0, 1]` (no information).
+    pub fn vacuous() -> Self {
+        Self { lo: 0.0, hi: 1.0 }
+    }
+
+    /// Lower endpoint.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Interval width `hi − lo`; the certified uncertainty.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint, the natural point estimate.
+    #[inline]
+    pub fn midpoint(&self) -> f64 {
+        self.lo + (self.hi - self.lo) / 2.0
+    }
+
+    /// Whether `p` lies in the interval.
+    #[inline]
+    pub fn contains(&self, p: f64) -> bool {
+        self.lo <= p && p <= self.hi
+    }
+
+    /// Whether `other` is entirely contained in `self`.
+    pub fn encloses(&self, other: &ProbInterval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Interval product: valid because both operands are subsets of `[0,1]`,
+    /// where multiplication is monotone in each argument.
+    pub fn mul(&self, other: &ProbInterval) -> ProbInterval {
+        ProbInterval {
+            lo: self.lo * other.lo,
+            hi: self.hi * other.hi,
+        }
+    }
+
+    /// Interval complement `1 − [lo, hi] = [1 − hi, 1 − lo]`.
+    pub fn complement(&self) -> ProbInterval {
+        ProbInterval {
+            lo: 1.0 - self.hi,
+            hi: 1.0 - self.lo,
+        }
+    }
+
+    /// Sum of probabilities of disjoint events, saturating at 1.
+    pub fn add_disjoint(&self, other: &ProbInterval) -> ProbInterval {
+        ProbInterval {
+            lo: (self.lo + other.lo).min(1.0),
+            hi: (self.hi + other.hi).min(1.0),
+        }
+    }
+
+    /// Intersection of two enclosures of the *same* quantity; tightens the
+    /// bound. Returns an error if they are disjoint (a certification bug).
+    pub fn intersect(&self, other: &ProbInterval) -> Result<ProbInterval, MathError> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo > hi {
+            return Err(MathError::NotAProbability(lo));
+        }
+        Ok(ProbInterval { lo, hi })
+    }
+
+    /// Conditional probability enclosure `[self] / [cond]` for events with
+    /// `self ⊆ cond` (so the true ratio lies in `[0,1]`).
+    pub fn divide_conditional(&self, cond: &ProbInterval) -> ProbInterval {
+        if cond.hi == 0.0 {
+            return ProbInterval::vacuous();
+        }
+        let lo = if cond.hi == 0.0 { 0.0 } else { self.lo / cond.hi };
+        let hi = if cond.lo == 0.0 {
+            1.0
+        } else {
+            (self.hi / cond.lo).min(1.0)
+        };
+        ProbInterval {
+            lo: lo.clamp(0.0, 1.0),
+            hi,
+        }
+    }
+
+    /// Widens the interval by `eps` on both sides (clamped to `[0,1]`); used
+    /// to convert a point estimate with additive guarantee ε (Prop 6.1) into
+    /// an enclosure.
+    pub fn widen(&self, eps: f64) -> ProbInterval {
+        ProbInterval {
+            lo: (self.lo - eps).max(0.0),
+            hi: (self.hi + eps).min(1.0),
+        }
+    }
+
+    /// Outward-rounds the endpoints by a relative factor, absorbing the
+    /// accumulated f64 rounding of the (log-space) products that produced
+    /// them, so the enclosure stays sound.
+    pub fn outward(&self, rel: f64) -> ProbInterval {
+        ProbInterval {
+            lo: (self.lo * (1.0 - rel)).max(0.0),
+            hi: (self.hi * (1.0 + rel)).min(1.0),
+        }
+    }
+}
+
+impl std::fmt::Display for ProbInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> ProbInterval {
+        ProbInterval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn exact_and_accessors() {
+        let p = ProbInterval::exact(0.3).unwrap();
+        assert_eq!(p.lo(), 0.3);
+        assert_eq!(p.hi(), 0.3);
+        assert_eq!(p.width(), 0.0);
+        assert_eq!(p.midpoint(), 0.3);
+    }
+
+    #[test]
+    fn new_validates() {
+        assert!(ProbInterval::new(0.5, 0.4).is_err());
+        assert!(ProbInterval::new(f64::NAN, 0.5).is_err());
+        assert!(ProbInterval::new(0.1, f64::INFINITY).is_err());
+        // clamping
+        let p = iv(-0.2, 1.4);
+        assert_eq!((p.lo(), p.hi()), (0.0, 1.0));
+    }
+
+    #[test]
+    fn contains_and_encloses() {
+        let p = iv(0.2, 0.6);
+        assert!(p.contains(0.2) && p.contains(0.6) && p.contains(0.4));
+        assert!(!p.contains(0.1) && !p.contains(0.7));
+        assert!(p.encloses(&iv(0.3, 0.5)));
+        assert!(!p.encloses(&iv(0.1, 0.5)));
+    }
+
+    #[test]
+    fn mul_is_monotone_enclosure() {
+        let a = iv(0.2, 0.4);
+        let b = iv(0.5, 0.5);
+        let c = a.mul(&b);
+        assert_eq!((c.lo(), c.hi()), (0.1, 0.2));
+        // true value of any x∈a times any y∈b is inside
+        assert!(c.contains(0.3 * 0.5));
+    }
+
+    #[test]
+    fn complement_flips() {
+        let c = iv(0.2, 0.6).complement();
+        assert!((c.lo() - 0.4).abs() < 1e-15);
+        assert!((c.hi() - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn add_disjoint_saturates() {
+        let c = iv(0.7, 0.8).add_disjoint(&iv(0.4, 0.5));
+        assert_eq!(c.hi(), 1.0);
+        assert_eq!(c.lo(), 1.0);
+    }
+
+    #[test]
+    fn intersect_tightens_or_errors() {
+        let t = iv(0.1, 0.5).intersect(&iv(0.3, 0.9)).unwrap();
+        assert_eq!((t.lo(), t.hi()), (0.3, 0.5));
+        assert!(iv(0.0, 0.1).intersect(&iv(0.2, 0.3)).is_err());
+    }
+
+    #[test]
+    fn divide_conditional_bounds_ratio() {
+        // P(A∩B) ∈ [0.1, 0.2], P(B) ∈ [0.4, 0.5] ⇒ ratio ∈ [0.2, 0.5]
+        let r = iv(0.1, 0.2).divide_conditional(&iv(0.4, 0.5));
+        assert!((r.lo() - 0.2).abs() < 1e-15);
+        assert!((r.hi() - 0.5).abs() < 1e-15);
+        // degenerate: conditioning on possibly-zero event gives vacuous hi
+        let r = iv(0.0, 0.2).divide_conditional(&iv(0.0, 0.5));
+        assert_eq!(r.hi(), 1.0);
+    }
+
+    #[test]
+    fn widen_clamps() {
+        let w = iv(0.05, 0.97).widen(0.1);
+        assert_eq!(w.lo(), 0.0);
+        assert_eq!(w.hi(), 1.0);
+        let w2 = iv(0.4, 0.5).widen(0.05);
+        assert!((w2.lo() - 0.35).abs() < 1e-15 && (w2.hi() - 0.55).abs() < 1e-15);
+    }
+
+    #[test]
+    fn vacuous_is_everything() {
+        let v = ProbInterval::vacuous();
+        assert!(v.contains(0.0) && v.contains(1.0));
+        assert_eq!(v.width(), 1.0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(iv(0.25, 0.75).to_string(), "[0.25, 0.75]");
+    }
+}

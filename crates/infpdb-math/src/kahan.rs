@@ -1,0 +1,146 @@
+//! Compensated (Kahan–Babuška–Neumaier) summation.
+//!
+//! Partial sums of fact-probability series routinely add 10⁵+ terms whose
+//! magnitudes span many orders (e.g. a geometric series with ratio ½). Naive
+//! `f64` accumulation loses the small tail terms exactly where the paper's
+//! convergence arguments need them; Neumaier's variant keeps a running
+//! compensation term and is accurate to within a few ulps for our workloads.
+
+/// A running compensated sum.
+///
+/// ```
+/// use infpdb_math::KahanSum;
+/// let mut s = KahanSum::new();
+/// for _ in 0..10 {
+///     s.add(0.1);
+/// }
+/// assert!((s.value() - 1.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Creates an empty sum (value `0.0`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a sum starting from `init`.
+    pub fn with_value(init: f64) -> Self {
+        Self {
+            sum: init,
+            compensation: 0.0,
+        }
+    }
+
+    /// Adds one term.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The current compensated value of the sum.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+
+    /// Sums an iterator of terms with compensation.
+    pub fn sum_iter<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
+        let mut s = Self::new();
+        for x in iter {
+            s.add(x);
+        }
+        s.value()
+    }
+}
+
+impl std::iter::FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+impl std::ops::AddAssign<f64> for KahanSum {
+    fn add_assign(&mut self, x: f64) {
+        self.add(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(KahanSum::new().value(), 0.0);
+    }
+
+    #[test]
+    fn with_value_starts_there() {
+        assert_eq!(KahanSum::with_value(2.5).value(), 2.5);
+    }
+
+    #[test]
+    fn recovers_mass_naive_sum_loses() {
+        // 1.0 followed by 1e8 copies of 1e-16: naive summation yields exactly
+        // 1.0 because each tiny term is absorbed; compensation keeps them.
+        let mut naive = 0.0f64;
+        let mut k = KahanSum::new();
+        naive += 1.0;
+        k.add(1.0);
+        for _ in 0..100_000_000u64 {
+            naive += 1e-16;
+            k.add(1e-16);
+        }
+        assert_eq!(naive, 1.0);
+        let expected = 1.0 + 1e-8;
+        assert!((k.value() - expected).abs() < 1e-12, "got {}", k.value());
+    }
+
+    #[test]
+    fn neumaier_handles_large_then_small() {
+        // The classic case plain Kahan gets wrong: [1, 1e100, 1, -1e100].
+        let mut s = KahanSum::new();
+        for x in [1.0, 1e100, 1.0, -1e100] {
+            s.add(x);
+        }
+        assert_eq!(s.value(), 2.0);
+    }
+
+    #[test]
+    fn sum_iter_matches_manual() {
+        let xs: Vec<f64> = (1..=1000).map(|i| 1.0 / i as f64).collect();
+        let a = KahanSum::sum_iter(xs.iter().copied());
+        let s: KahanSum = xs.iter().copied().collect();
+        assert_eq!(a, s.value());
+    }
+
+    #[test]
+    fn add_assign_operator() {
+        let mut s = KahanSum::new();
+        s += 0.25;
+        s += 0.75;
+        assert_eq!(s.value(), 1.0);
+    }
+
+    #[test]
+    fn geometric_series_sum_is_accurate() {
+        // Σ_{i≥0} (1/2)^{i+1} truncated at 200 terms ≈ 1.
+        let v = KahanSum::sum_iter((0..200).map(|i| 0.5f64.powi(i + 1)));
+        assert!((v - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,129 @@
+#![warn(missing_docs)]
+//! Numerics substrate for `infpdb`.
+//!
+//! This crate implements the analytic machinery of Section 2.2 of Grohe &
+//! Lindner, *Probabilistic Databases with an Infinite Open-World Assumption*
+//! (PODS 2019): convergent series of fact probabilities with *certified* tail
+//! bounds, infinite products evaluated in log-space, and the auxiliary
+//! inequalities used by the approximation algorithm of Proposition 6.1.
+//!
+//! Everything downstream (tuple-independent constructions, completions,
+//! approximate query evaluation) consumes probabilities through the types
+//! defined here:
+//!
+//! * [`KahanSum`] — compensated summation, so that partial sums of many small
+//!   fact probabilities do not lose mass to rounding.
+//! * [`LogProb`] — probabilities in log-space, the representation used for
+//!   instance probabilities `∏_{f∈D} p_f · ∏_{f∉D} (1−p_f)`, which underflow
+//!   catastrophically in linear space.
+//! * [`ProbInterval`] — certified enclosures `[lo, hi]` for probabilities
+//!   whose exact value involves an infinite product.
+//! * [`ProbSeries`] / [`TailBound`] — a countable series of probabilities
+//!   together with a certified bound on its tail mass; the paper's
+//!   convergence condition (8) becomes "the tail bound is finite".
+//! * [`products`] — bounds on `∏_{i>n}(1−p_i)` via the paper's claim (∗).
+//! * [`pairing`] — the Cantor pairing function and the `Σ* ↔ ℕ` bijection
+//!   used in the proof of Proposition 6.2.
+
+pub mod borel_cantelli;
+pub mod interval;
+pub mod kahan;
+pub mod logprob;
+pub mod pairing;
+pub mod products;
+pub mod series;
+pub mod truncation;
+
+pub use interval::ProbInterval;
+pub use kahan::KahanSum;
+pub use logprob::LogProb;
+pub use series::{ProbSeries, TailBound};
+
+/// Errors produced by the numerics layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// A value expected to be a probability fell outside `[0, 1]`.
+    NotAProbability(f64),
+    /// A series of fact probabilities diverges; by Theorem 4.8 no
+    /// tuple-independent PDB realizing it exists.
+    DivergentSeries {
+        /// Index of a partial sum witnessing divergence (if certified by a
+        /// [`TailBound::Divergent`] answer this is the query index).
+        witness_index: usize,
+        /// Value of the partial sum at the witness index.
+        partial_sum: f64,
+    },
+    /// An operation required a certified tail bound the series could not
+    /// provide.
+    UnknownTail,
+    /// A requested tolerance was not in the open interval `(0, 1/2)` required
+    /// by Proposition 6.1.
+    BadTolerance(f64),
+}
+
+impl std::fmt::Display for MathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MathError::NotAProbability(p) => {
+                write!(f, "value {p} is not a probability in [0, 1]")
+            }
+            MathError::DivergentSeries {
+                witness_index,
+                partial_sum,
+            } => write!(
+                f,
+                "series of fact probabilities diverges (partial sum {partial_sum} at index \
+                 {witness_index}); no tuple-independent PDB realizes it (Theorem 4.8)"
+            ),
+            MathError::UnknownTail => {
+                write!(f, "series does not provide a certified tail bound")
+            }
+            MathError::BadTolerance(e) => {
+                write!(f, "tolerance {e} outside the required range (0, 1/2)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+/// Validates that `p` is a probability, returning it unchanged.
+pub fn check_probability(p: f64) -> Result<f64, MathError> {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(MathError::NotAProbability(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_probability_accepts_unit_interval() {
+        assert_eq!(check_probability(0.0), Ok(0.0));
+        assert_eq!(check_probability(1.0), Ok(1.0));
+        assert_eq!(check_probability(0.5), Ok(0.5));
+    }
+
+    #[test]
+    fn check_probability_rejects_outside() {
+        assert!(check_probability(-0.1).is_err());
+        assert!(check_probability(1.1).is_err());
+        assert!(check_probability(f64::NAN).is_err());
+        assert!(check_probability(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = MathError::DivergentSeries {
+            witness_index: 7,
+            partial_sum: 3.0,
+        };
+        assert!(e.to_string().contains("Theorem 4.8"));
+        assert!(MathError::NotAProbability(2.0).to_string().contains("2"));
+        assert!(MathError::UnknownTail.to_string().contains("tail"));
+        assert!(MathError::BadTolerance(0.9).to_string().contains("0.9"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Probabilities in log-space.
+//!
+//! The instance probability of the tuple-independent construction
+//! (Section 4.1 of the paper) is
+//! `P({D}) = ∏_{f∈D} p_f · ∏_{f∈F_ω−D} (1−p_f)`,
+//! a product over the entire countable support. In linear space this
+//! underflows as soon as the support has a few thousand facts; `LogProb`
+//! stores `ln p` and performs multiplication as addition and addition by
+//! log-sum-exp.
+
+use crate::MathError;
+
+/// A probability stored as its natural logarithm.
+///
+/// `LogProb::ZERO` represents probability 0 (`ln 0 = −∞`) and
+/// `LogProb::ONE` probability 1 (`ln 1 = 0`). The type is closed under the
+/// operations provided here: all of them map probabilities to probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct LogProb(f64);
+
+impl LogProb {
+    /// Probability 0.
+    pub const ZERO: LogProb = LogProb(f64::NEG_INFINITY);
+    /// Probability 1.
+    pub const ONE: LogProb = LogProb(0.0);
+
+    /// Creates a `LogProb` from a linear-space probability.
+    ///
+    /// Returns an error if `p ∉ [0, 1]`.
+    pub fn from_prob(p: f64) -> Result<Self, MathError> {
+        crate::check_probability(p)?;
+        Ok(LogProb(p.ln()))
+    }
+
+    /// Creates a `LogProb` directly from a log-space value `lp ≤ 0`.
+    ///
+    /// Returns an error for positive values (probability > 1) or NaN.
+    pub fn from_ln(lp: f64) -> Result<Self, MathError> {
+        if lp.is_nan() || lp > 0.0 {
+            Err(MathError::NotAProbability(lp.exp()))
+        } else {
+            Ok(LogProb(lp))
+        }
+    }
+
+    /// The natural logarithm of the probability.
+    #[inline]
+    pub fn ln(self) -> f64 {
+        self.0
+    }
+
+    /// The probability in linear space (may underflow to `0.0` for very
+    /// negative logs — that is the point of keeping the log form).
+    #[inline]
+    pub fn prob(self) -> f64 {
+        self.0.exp()
+    }
+
+    /// `true` if this is exactly probability 0.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == f64::NEG_INFINITY
+    }
+
+    /// Multiplication of probabilities: addition of logs.
+    #[allow(clippy::should_implement_trait)] // domain vocabulary; `Mul` is also provided
+    #[inline]
+    pub fn mul(self, other: LogProb) -> LogProb {
+        // −∞ + anything (including the would-be NaN case −∞ + ∞ cannot occur
+        // since both operands are ≤ 0) stays −∞.
+        LogProb(self.0 + other.0)
+    }
+
+    /// Addition of probabilities via log-sum-exp. Saturates at 1 to absorb
+    /// rounding (sums of disjoint-event probabilities can exceed 1 by an
+    /// ulp).
+    #[allow(clippy::should_implement_trait)] // no `Add` impl: saturation differs from exact addition
+    pub fn add(self, other: LogProb) -> LogProb {
+        let (a, b) = if self.0 >= other.0 {
+            (self.0, other.0)
+        } else {
+            (other.0, self.0)
+        };
+        if a == f64::NEG_INFINITY {
+            return LogProb::ZERO;
+        }
+        let r = a + (b - a).exp().ln_1p();
+        LogProb(r.min(0.0))
+    }
+
+    /// The complement `1 − p`, computed stably for both `p ≈ 0` and `p ≈ 1`.
+    pub fn complement(self) -> LogProb {
+        if self.is_zero() {
+            return LogProb::ONE;
+        }
+        if self.0 == 0.0 {
+            return LogProb::ZERO;
+        }
+        // ln(1 − e^x) for x < 0 (the "log1mexp" function): split at
+        // x = −ln 2, using ln(−expm1(x)) near 0 and ln1p(−exp(x)) for very
+        // negative x, each stable in its regime.
+        const LN_HALF: f64 = -std::f64::consts::LN_2;
+        if self.0 > LN_HALF {
+            LogProb((-self.0.exp_m1()).ln())
+        } else {
+            LogProb((-self.0.exp()).ln_1p())
+        }
+    }
+
+    /// Multiplies the probabilities of an iterator of `LogProb`s.
+    pub fn product<I: IntoIterator<Item = LogProb>>(iter: I) -> LogProb {
+        let mut acc = LogProb::ONE;
+        for lp in iter {
+            acc = acc.mul(lp);
+            if acc.is_zero() {
+                break;
+            }
+        }
+        acc
+    }
+}
+
+impl std::ops::Mul for LogProb {
+    type Output = LogProb;
+    fn mul(self, rhs: LogProb) -> LogProb {
+        LogProb::mul(self, rhs)
+    }
+}
+
+impl std::fmt::Display for LogProb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (ln = {})", self.prob(), self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(p: f64) -> LogProb {
+        LogProb::from_prob(p).unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        for p in [0.0, 1e-300, 0.25, 0.5, 0.999, 1.0] {
+            assert!((lp(p).prob() - p).abs() <= 1e-15 * p.max(1.0));
+        }
+    }
+
+    #[test]
+    fn rejects_non_probabilities() {
+        assert!(LogProb::from_prob(-0.5).is_err());
+        assert!(LogProb::from_prob(1.5).is_err());
+        assert!(LogProb::from_ln(0.1).is_err());
+        assert!(LogProb::from_ln(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn from_ln_accepts_valid() {
+        assert_eq!(LogProb::from_ln(0.0).unwrap(), LogProb::ONE);
+        assert_eq!(
+            LogProb::from_ln(f64::NEG_INFINITY).unwrap(),
+            LogProb::ZERO
+        );
+    }
+
+    #[test]
+    fn multiplication_is_log_addition() {
+        let p = lp(0.25) * lp(0.5);
+        assert!((p.prob() - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn multiplication_with_zero() {
+        assert!(lp(0.7).mul(LogProb::ZERO).is_zero());
+        assert!(LogProb::ZERO.mul(LogProb::ZERO).is_zero());
+    }
+
+    #[test]
+    fn addition_log_sum_exp() {
+        let p = lp(0.25).add(lp(0.5));
+        assert!((p.prob() - 0.75).abs() < 1e-15);
+        assert_eq!(LogProb::ZERO.add(LogProb::ZERO), LogProb::ZERO);
+        assert_eq!(lp(0.3).add(LogProb::ZERO).prob(), 0.3);
+    }
+
+    #[test]
+    fn addition_saturates_at_one() {
+        let almost = lp(0.7).add(lp(0.30000000001));
+        assert!(almost.prob() <= 1.0);
+    }
+
+    #[test]
+    fn complement_is_stable() {
+        assert_eq!(LogProb::ZERO.complement(), LogProb::ONE);
+        assert_eq!(LogProb::ONE.complement(), LogProb::ZERO);
+        let tiny = lp(1e-18);
+        // 1 − 1e-18 is 1.0 in f64, but the log form keeps the distinction.
+        assert!(tiny.complement().ln() < 0.0);
+        assert!((tiny.complement().ln() + 1e-18).abs() < 1e-30);
+        let big = lp(1.0 - 1e-12);
+        // absolute accuracy is limited by representing 1−1e-12 in f64 (~1 ulp
+        // of 1.0 ≈ 1e-16), not by the complement computation itself
+        assert!((big.complement().prob() - 1e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn product_over_many_small_factors_does_not_underflow_in_log_space() {
+        // 10_000 factors of 0.5: linear space would be 0; log space keeps it.
+        let p = LogProb::product((0..10_000).map(|_| lp(0.5)));
+        let expected = 10_000.0 * 0.5f64.ln();
+        assert!((p.ln() - expected).abs() < 1e-8 * expected.abs());
+        assert_eq!(p.prob(), 0.0); // honest underflow only on request
+    }
+
+    #[test]
+    fn product_short_circuits_on_zero() {
+        let p = LogProb::product([lp(0.5), LogProb::ZERO, lp(0.9)]);
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn ordering_matches_probability_ordering() {
+        assert!(lp(0.1) < lp(0.2));
+        assert!(LogProb::ZERO < lp(1e-300));
+        assert!(lp(0.999) < LogProb::ONE);
+    }
+
+    #[test]
+    fn display_contains_both_forms() {
+        let s = lp(0.5).to_string();
+        assert!(s.contains("0.5") && s.contains("ln"));
+    }
+}

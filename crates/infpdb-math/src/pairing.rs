@@ -1,0 +1,137 @@
+//! Pairing functions and the `Σ* ↔ ℕ` bijection of Proposition 6.2.
+//!
+//! The proof of the paper's inapproximability result identifies `{0,1}*`
+//! with the positive integers ("the string `x` represents the integer with
+//! binary representation `1x`") and uses a pairing function
+//! `⟨·,·⟩ : ℕ² → ℕ` to interleave inputs and step bounds of a Turing
+//! machine. Both maps are implemented here as total bijections with inverses
+//! and are used by `infpdb-tm`.
+
+/// Cantor pairing of *positive* integers: a bijection `ℕ≥1 × ℕ≥1 → ℕ≥1`.
+///
+/// `pair(m, n) = (m+n−1)(m+n−2)/2 + m`, enumerating anti-diagonals.
+pub fn pair(m: u64, n: u64) -> u64 {
+    assert!(m >= 1 && n >= 1, "pairing is defined on positive integers");
+    let s = m + n;
+    (s - 1) * (s - 2) / 2 + m
+}
+
+/// Inverse of [`pair`]: recovers `(m, n)` from `k ≥ 1`.
+pub fn unpair(k: u64) -> (u64, u64) {
+    assert!(k >= 1, "pairing codes start at 1");
+    // Find the anti-diagonal s = m+n: largest s with (s−1)(s−2)/2 < k ≤
+    // (s−1)(s−2)/2 + (s−1).
+    // (s−1)(s−2)/2 ≈ s²/2, so start near √(2k) and adjust.
+    let mut s = ((2.0 * k as f64).sqrt() as u64).max(2);
+    while (s - 1) * (s - 2) / 2 >= k {
+        s -= 1;
+    }
+    while (s) * (s - 1) / 2 < k {
+        s += 1;
+    }
+    let m = k - (s - 1) * (s - 2) / 2;
+    let n = s - m;
+    (m, n)
+}
+
+/// The bijection `{0,1}* → ℕ≥1` of Proposition 6.2: the string `x` maps to
+/// the integer with binary representation `1x` (so `ε ↦ 1`, `0 ↦ 2`,
+/// `1 ↦ 3`, `00 ↦ 4`, …). Strings longer than 62 bits are rejected.
+pub fn string_to_nat(bits: &str) -> Result<u64, String> {
+    if bits.len() > 62 {
+        return Err(format!("string of length {} exceeds u64 range", bits.len()));
+    }
+    let mut v: u64 = 1;
+    for c in bits.chars() {
+        v <<= 1;
+        match c {
+            '0' => {}
+            '1' => v |= 1,
+            other => return Err(format!("non-binary character {other:?}")),
+        }
+    }
+    Ok(v)
+}
+
+/// Inverse of [`string_to_nat`].
+pub fn nat_to_string(n: u64) -> String {
+    assert!(n >= 1, "codes start at 1");
+    let bits = 63 - n.leading_zeros(); // number of bits after the leading 1
+    let mut s = String::with_capacity(bits as usize);
+    for i in (0..bits).rev() {
+        s.push(if n & (1 << i) != 0 { '1' } else { '0' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_enumerates_antidiagonals() {
+        // s=2: (1,1)→1 ; s=3: (1,2)→2, (2,1)→3 ; s=4: (1,3)→4, (2,2)→5, (3,1)→6
+        assert_eq!(pair(1, 1), 1);
+        assert_eq!(pair(1, 2), 2);
+        assert_eq!(pair(2, 1), 3);
+        assert_eq!(pair(1, 3), 4);
+        assert_eq!(pair(2, 2), 5);
+        assert_eq!(pair(3, 1), 6);
+    }
+
+    #[test]
+    fn pair_unpair_round_trip() {
+        for m in 1..=40u64 {
+            for n in 1..=40u64 {
+                assert_eq!(unpair(pair(m, n)), (m, n));
+            }
+        }
+    }
+
+    #[test]
+    fn unpair_pair_round_trip_is_surjective() {
+        for k in 1..=2000u64 {
+            let (m, n) = unpair(k);
+            assert!(m >= 1 && n >= 1);
+            assert_eq!(pair(m, n), k);
+        }
+    }
+
+    #[test]
+    fn unpair_handles_large_codes() {
+        let k = pair(1_000_000, 2_000_000);
+        assert_eq!(unpair(k), (1_000_000, 2_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn pair_rejects_zero() {
+        pair(0, 1);
+    }
+
+    #[test]
+    fn string_nat_examples() {
+        assert_eq!(string_to_nat("").unwrap(), 1);
+        assert_eq!(string_to_nat("0").unwrap(), 2);
+        assert_eq!(string_to_nat("1").unwrap(), 3);
+        assert_eq!(string_to_nat("00").unwrap(), 4);
+        assert_eq!(string_to_nat("11").unwrap(), 7);
+    }
+
+    #[test]
+    fn string_nat_round_trip() {
+        for n in 1..=512u64 {
+            assert_eq!(string_to_nat(&nat_to_string(n)).unwrap(), n);
+        }
+        for s in ["", "0", "1", "0110", "111111", "0000001"] {
+            assert_eq!(nat_to_string(string_to_nat(s).unwrap()), s);
+        }
+    }
+
+    #[test]
+    fn string_to_nat_rejects_bad_input() {
+        assert!(string_to_nat("01a").is_err());
+        let long = "0".repeat(63);
+        assert!(string_to_nat(&long).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Infinite products `∏ (1 − p_i)` with certified enclosures.
+//!
+//! Section 2.2 of the paper recalls the classical theory of infinite
+//! products (Fact 2.2, Lemma 2.3); Section 4.1 uses `∏_{f∈F_ω}(1 − p_f)` to
+//! define instance probabilities, and the proof of Proposition 6.1 bounds the
+//! tail product from below via claim (∗):
+//!
+//! > for `p_i ∈ [0, 1/2)` with `∑ p_i < ∞`:
+//! > `∏_i (1 − p_i) ≥ exp(−(3/2) ∑_i p_i)`.
+//!
+//! Together with the elementary upper bound `1 − p ≤ e^{−p}` this brackets
+//! every tail product between two exponentials of tail sums, which is how we
+//! obtain certified [`ProbInterval`]s for quantities that are analytically
+//! infinite products.
+
+use crate::series::{ProbSeries, TailBound};
+use crate::{KahanSum, LogProb, MathError, ProbInterval};
+
+/// Exact (up to rounding) prefix product `∏_{i<n} (1 − term(i))` in
+/// log-space.
+pub fn prefix_product_one_minus<S: ProbSeries>(series: &S, n: usize) -> LogProb {
+    let mut acc = KahanSum::new();
+    for i in 0..n {
+        let p = series.term(i);
+        if p >= 1.0 {
+            return LogProb::ZERO;
+        }
+        acc.add((-p).ln_1p());
+    }
+    LogProb::from_ln(acc.value().min(0.0)).expect("log of product of probabilities is ≤ 0")
+}
+
+/// Certified enclosure of the tail product `∏_{i≥n} (1 − term(i))`.
+///
+/// Requires the tail mass at `n` to be at most `1/2` so that every remaining
+/// term is below `1/2` and claim (∗) applies. `refine` extra terms are
+/// multiplied out explicitly before the analytic bound is applied to the
+/// rest, tightening both endpoints.
+pub fn tail_product_one_minus<S: ProbSeries>(
+    series: &S,
+    n: usize,
+    refine: usize,
+) -> Result<ProbInterval, MathError> {
+    let tail_n = series.tail_upper(n).require_finite(n)?;
+    if tail_n > 0.5 {
+        // Claim (∗) needs p_i < 1/2 beyond the cut; a tail mass > 1/2 cannot
+        // certify that. Callers should advance n first (see
+        // `crate::truncation`).
+        return Err(MathError::BadTolerance(tail_n));
+    }
+    let m = n + refine;
+    let explicit = prefix_range_product(series, n, m);
+    let tail_m = series.tail_upper(m).require_finite(m)?;
+    // Lower bound (claim ∗): ∏_{i≥m} (1−p_i) ≥ exp(−(3/2)·tail_m).
+    let lo = (-(1.5 * tail_m)).exp();
+    // Upper bound: 1 − p ≤ e^{−p} gives ∏ ≤ exp(−∑_{i≥m} p_i) ≤ exp(0) = 1;
+    // without a certified *lower* bound on the tail sum, 1 is the honest cap.
+    let hi = 1.0;
+    let e = explicit.prob();
+    // outward-round to absorb log-space rounding in the explicit factors
+    Ok(ProbInterval::new(e * lo, e * hi)?.outward(1e-12))
+}
+
+/// Certified enclosure of the full product `∏_{i≥0} (1 − term(i))`,
+/// splitting at an automatically chosen cut where the tail mass drops below
+/// `1/2`, then refining `refine` further terms.
+pub fn product_one_minus<S: ProbSeries>(
+    series: &S,
+    refine: usize,
+) -> Result<ProbInterval, MathError> {
+    let cut = crate::truncation::index_with_tail_below(series, 0.5, usize::MAX)?;
+    let prefix = prefix_product_one_minus(series, cut);
+    let tail = tail_product_one_minus(series, cut, refine)?;
+    let p = prefix.prob();
+    Ok(ProbInterval::new(p * tail.lo(), p * tail.hi())?.outward(1e-12))
+}
+
+/// `∏_{a≤i<b} (1 − term(i))` in log space.
+fn prefix_range_product<S: ProbSeries>(series: &S, a: usize, b: usize) -> LogProb {
+    let mut acc = KahanSum::new();
+    for i in a..b {
+        let p = series.term(i);
+        if p >= 1.0 {
+            return LogProb::ZERO;
+        }
+        acc.add((-p).ln_1p());
+    }
+    LogProb::from_ln(acc.value().min(0.0)).expect("range product is a probability")
+}
+
+/// The two sides of Lemma 2.3 (the "infinite distributive law") evaluated on
+/// a *finite* slice of terms: returns
+/// `(∏_i (1 + a_i), ∑_{J ⊆ I} ∏_{j∈J} a_j)`.
+///
+/// The identity is exact for finite index sets; property tests use this to
+/// validate the expansion the paper's Lemma 4.3 relies on. Exponential in
+/// `terms.len()` — intended for `≤ 20` terms.
+pub fn distributive_law_sides(terms: &[f64]) -> (f64, f64) {
+    let lhs: f64 = terms.iter().map(|a| 1.0 + a).product();
+    let mut rhs = KahanSum::new();
+    let n = terms.len();
+    assert!(n <= 25, "distributive_law_sides is exponential; slice too long");
+    for mask in 0u32..(1u32 << n) {
+        let mut prod = 1.0;
+        for (j, &a) in terms.iter().enumerate() {
+            if mask & (1 << j) != 0 {
+                prod *= a;
+            }
+        }
+        rhs.add(prod);
+    }
+    (lhs, rhs.value())
+}
+
+/// Claim (∗) of Proposition 6.1, checked numerically: returns the pair
+/// `(∏_{i<n}(1 − p_i), exp(−(3/2) ∑_{i<n} p_i))` for a prefix; the first
+/// component must dominate the second whenever all terms are `< 1/2`.
+pub fn claim_star_sides<S: ProbSeries>(series: &S, n: usize) -> (f64, f64) {
+    let prod = prefix_product_one_minus(series, n).prob();
+    let sum = series.partial_sum(n);
+    (prod, (-(1.5 * sum)).exp())
+}
+
+/// Convergence classification of `∏ (1 + a_i)` per Fact 2.2: the product
+/// converges absolutely iff `∑ a_i` does. For our nonnegative
+/// fact-probability series this reduces to the tail bound being finite.
+pub fn product_converges<S: ProbSeries>(series: &S) -> bool {
+    matches!(series.tail_upper(0), TailBound::Finite(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{FiniteSeries, GeometricSeries, HarmonicSeries, ZetaSeries};
+
+    #[test]
+    fn prefix_product_matches_direct_multiplication() {
+        let s = FiniteSeries::new(vec![0.1, 0.2, 0.3]).unwrap();
+        let p = prefix_product_one_minus(&s, 3).prob();
+        assert!((p - 0.9 * 0.8 * 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn prefix_product_with_certain_fact_is_zero() {
+        let s = FiniteSeries::new(vec![0.5, 1.0, 0.5]).unwrap();
+        assert!(prefix_product_one_minus(&s, 3).is_zero());
+    }
+
+    #[test]
+    fn tail_product_encloses_truth_for_geometric() {
+        let g = GeometricSeries::new(0.25, 0.5).unwrap();
+        // True ∏_{i≥0}(1−p_i) computed to convergence by long prefix.
+        let truth = prefix_product_one_minus(&g, 2000).prob();
+        let enc = product_one_minus(&g, 0).unwrap();
+        assert!(enc.contains(truth), "{truth} ∉ {enc}");
+        // refinement tightens
+        let enc2 = product_one_minus(&g, 64).unwrap();
+        assert!(enc2.width() < enc.width());
+        assert!(enc2.contains(truth));
+    }
+
+    #[test]
+    fn tail_product_encloses_truth_for_zeta() {
+        let z = ZetaSeries::new(0.3).unwrap();
+        let truth = prefix_product_one_minus(&z, 3_000_000).prob();
+        let enc = product_one_minus(&z, 1000).unwrap();
+        assert!(enc.contains(truth), "{truth} ∉ {enc}");
+    }
+
+    #[test]
+    fn tail_product_requires_small_tail() {
+        let g = GeometricSeries::new(0.5, 0.9).unwrap(); // total mass 5
+        assert!(tail_product_one_minus(&g, 0, 0).is_err());
+        // but far enough out it works
+        let n = crate::truncation::index_with_tail_below(&g, 0.5, usize::MAX).unwrap();
+        assert!(tail_product_one_minus(&g, n, 0).is_ok());
+    }
+
+    #[test]
+    fn tail_product_rejects_divergent() {
+        let h = HarmonicSeries::new(0.4).unwrap();
+        assert!(tail_product_one_minus(&h, 10, 0).is_err());
+        assert!(product_one_minus(&h, 0).is_err());
+        assert!(!product_converges(&h));
+    }
+
+    #[test]
+    fn distributive_law_holds_exactly_on_finite_slices() {
+        let (l, r) = distributive_law_sides(&[0.5, -0.25, 0.125]);
+        assert!((l - r).abs() < 1e-12, "lhs {l} != rhs {r}");
+        let (l, r) = distributive_law_sides(&[]);
+        assert_eq!((l, r), (1.0, 1.0));
+    }
+
+    #[test]
+    fn claim_star_holds_on_small_terms() {
+        let g = GeometricSeries::new(0.4, 0.5).unwrap();
+        let (prod, bound) = claim_star_sides(&g, 500);
+        assert!(prod >= bound, "claim (∗) violated: {prod} < {bound}");
+    }
+
+    #[test]
+    fn claim_star_is_reasonably_tight_for_small_p() {
+        let g = GeometricSeries::new(0.01, 0.5).unwrap();
+        let (prod, bound) = claim_star_sides(&g, 200);
+        // For tiny p, ∏(1−p) ≈ e^{−∑p}, so the 3/2 bound is within a factor
+        // e^{∑p/2} ≈ 1.01.
+        assert!(prod / bound < 1.011);
+    }
+
+    #[test]
+    fn finite_support_product_is_exact_width_zero_tail() {
+        let s = FiniteSeries::new(vec![0.3, 0.2]).unwrap();
+        let enc = product_one_minus(&s, 8).unwrap();
+        let truth = 0.7 * 0.8;
+        assert!(enc.contains(truth));
+        // width is just the outward rounding margin
+        assert!(enc.width() < 3e-12);
+    }
+}

@@ -1,0 +1,653 @@
+//! Countable series of probabilities with certified tail bounds.
+//!
+//! The central analytic object of the paper is a family `(p_f)` of fact
+//! probabilities whose countable sums must converge (condition (8), Section
+//! 4.1) for a tuple-independent PDB to exist (Theorem 4.8). We represent the
+//! enumerated family as a [`ProbSeries`]: an indexed sequence of terms
+//! `term(0), term(1), …` together with a *certified* upper bound on every
+//! tail `∑_{j≥i} term(j)`.
+//!
+//! The tail bound is what turns the paper's existence arguments into running
+//! code: convergence checks, the truncation index `n(ε)` of Proposition 6.1,
+//! and the infinite-product enclosures of [`crate::products`] all reduce to
+//! questions about tails.
+
+use crate::{KahanSum, MathError};
+
+/// A certified statement about the tail mass `∑_{j≥i} term(j)` of a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TailBound {
+    /// The tail sum is at most the given finite value.
+    Finite(f64),
+    /// The series is certified to diverge (so every tail is infinite).
+    Divergent,
+    /// The implementation cannot bound this tail.
+    Unknown,
+}
+
+impl TailBound {
+    /// The finite bound, if any.
+    pub fn finite(self) -> Option<f64> {
+        match self {
+            TailBound::Finite(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Converts to a `Result`, treating both `Divergent` and `Unknown` as
+    /// errors.
+    pub fn require_finite(self, at: usize) -> Result<f64, MathError> {
+        match self {
+            TailBound::Finite(b) => Ok(b),
+            TailBound::Divergent => Err(MathError::DivergentSeries {
+                witness_index: at,
+                partial_sum: f64::INFINITY,
+            }),
+            TailBound::Unknown => Err(MathError::UnknownTail),
+        }
+    }
+}
+
+/// A countable (possibly infinite) series of probabilities `term(i) ∈ [0,1]`.
+///
+/// Implementations must guarantee:
+/// * every term is a probability in `[0, 1]`;
+/// * `tail_upper(i)` is a true upper bound on `∑_{j≥i} term(j)` whenever it
+///   returns [`TailBound::Finite`], and the series really diverges whenever
+///   it returns [`TailBound::Divergent`].
+pub trait ProbSeries {
+    /// The `i`-th term (0-indexed).
+    fn term(&self, i: usize) -> f64;
+
+    /// A certified upper bound on the tail `∑_{j≥i} term(j)`.
+    fn tail_upper(&self, i: usize) -> TailBound;
+
+    /// `Some(n)` if all terms with index `≥ n` are zero (finite support).
+    fn support_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// Compensated partial sum `∑_{i<n} term(i)`.
+    fn partial_sum(&self, n: usize) -> f64
+    where
+        Self: Sized,
+    {
+        KahanSum::sum_iter((0..n).map(|i| self.term(i)))
+    }
+
+    /// A certified enclosure of the total sum: `[partial_n, partial_n +
+    /// tail_n]` for the given prefix length. Errors on divergent/unknown
+    /// tails. The returned interval is **not** clamped to `[0,1]` — totals of
+    /// fact-probability series are expected sizes and may exceed 1.
+    fn total_bounds(&self, prefix: usize) -> Result<(f64, f64), MathError>
+    where
+        Self: Sized,
+    {
+        let p = self.partial_sum(prefix);
+        let t = self.tail_upper(prefix).require_finite(prefix)?;
+        Ok((p, p + t))
+    }
+
+    /// Whether the series is certified convergent (a finite bound exists for
+    /// the full tail).
+    fn converges(&self) -> bool {
+        matches!(self.tail_upper(0), TailBound::Finite(_))
+    }
+}
+
+/// Blanket impl so `&S` and boxed series are series too.
+impl<S: ProbSeries + ?Sized> ProbSeries for &S {
+    fn term(&self, i: usize) -> f64 {
+        (**self).term(i)
+    }
+    fn tail_upper(&self, i: usize) -> TailBound {
+        (**self).tail_upper(i)
+    }
+    fn support_len(&self) -> Option<usize> {
+        (**self).support_len()
+    }
+}
+
+impl ProbSeries for Box<dyn ProbSeries + Send + Sync> {
+    fn term(&self, i: usize) -> f64 {
+        (**self).term(i)
+    }
+    fn tail_upper(&self, i: usize) -> TailBound {
+        (**self).tail_upper(i)
+    }
+    fn support_len(&self) -> Option<usize> {
+        (**self).support_len()
+    }
+}
+
+/// A finite series given explicitly by a vector of probabilities. Suffix
+/// sums are precomputed so `tail_upper` is exact.
+#[derive(Debug, Clone)]
+pub struct FiniteSeries {
+    terms: Vec<f64>,
+    /// `suffix[i] = ∑_{j≥i} terms[j]`, length `terms.len() + 1`.
+    suffix: Vec<f64>,
+}
+
+impl FiniteSeries {
+    /// Builds a finite series, validating every entry.
+    pub fn new(terms: Vec<f64>) -> Result<Self, MathError> {
+        for &t in &terms {
+            crate::check_probability(t)?;
+        }
+        let mut suffix = vec![0.0; terms.len() + 1];
+        let mut acc = KahanSum::new();
+        for i in (0..terms.len()).rev() {
+            acc.add(terms[i]);
+            suffix[i] = acc.value();
+        }
+        Ok(Self { terms, suffix })
+    }
+
+    /// Number of stored terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether there are no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The stored terms.
+    pub fn terms(&self) -> &[f64] {
+        &self.terms
+    }
+}
+
+impl ProbSeries for FiniteSeries {
+    fn term(&self, i: usize) -> f64 {
+        self.terms.get(i).copied().unwrap_or(0.0)
+    }
+
+    fn tail_upper(&self, i: usize) -> TailBound {
+        TailBound::Finite(self.suffix.get(i).copied().unwrap_or(0.0))
+    }
+
+    fn support_len(&self) -> Option<usize> {
+        Some(self.terms.len())
+    }
+}
+
+/// The geometric series `term(i) = first · ratio^i` with `0 < ratio < 1`.
+///
+/// Its tails have the closed form `first · ratio^i / (1 − ratio)`, so the
+/// bound is tight. This is the canonical "fast decay" family used in the
+/// paper's complexity remark at the end of Section 6.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricSeries {
+    first: f64,
+    ratio: f64,
+}
+
+impl GeometricSeries {
+    /// Creates `first · ratio^i`. Requires `first ∈ [0,1]` and
+    /// `ratio ∈ (0,1)`.
+    pub fn new(first: f64, ratio: f64) -> Result<Self, MathError> {
+        crate::check_probability(first)?;
+        if !(ratio > 0.0 && ratio < 1.0) {
+            return Err(MathError::NotAProbability(ratio));
+        }
+        Ok(Self { first, ratio })
+    }
+
+    /// The common ratio.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Exact tail sum `∑_{j≥i}` (closed form).
+    pub fn exact_tail(&self, i: usize) -> f64 {
+        self.first * self.ratio.powi(i as i32) / (1.0 - self.ratio)
+    }
+}
+
+impl ProbSeries for GeometricSeries {
+    fn term(&self, i: usize) -> f64 {
+        self.first * self.ratio.powi(i as i32)
+    }
+
+    fn tail_upper(&self, i: usize) -> TailBound {
+        // Nudge up by 4 ulps so rounding in powi cannot undershoot the truth.
+        TailBound::Finite(self.exact_tail(i) * (1.0 + 4.0 * f64::EPSILON))
+    }
+}
+
+/// The Basel-type series `term(i) = scale / (i+1)²`.
+///
+/// With `scale = 6/π²` the total is exactly 1 — the distribution used in the
+/// paper's Examples 2.4 and 3.3. Tails are bounded by the integral estimate
+/// `∑_{j≥i} 1/(j+1)² ≤ 1/i` (and `π²/6` at `i = 0`). This family converges
+/// *slowly*, exercising the regime the paper warns about at the end of
+/// Section 6.
+#[derive(Debug, Clone, Copy)]
+pub struct ZetaSeries {
+    scale: f64,
+}
+
+impl ZetaSeries {
+    /// `term(i) = scale/(i+1)²`; requires `scale ∈ [0, 1]` so every term is a
+    /// probability.
+    pub fn new(scale: f64) -> Result<Self, MathError> {
+        crate::check_probability(scale)?;
+        Ok(Self { scale })
+    }
+
+    /// The series of Example 3.3: `p_n = 6/(π² n²)`, summing to 1.
+    pub fn basel() -> Self {
+        Self {
+            scale: 6.0 / (std::f64::consts::PI * std::f64::consts::PI),
+        }
+    }
+
+    /// The scale factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ProbSeries for ZetaSeries {
+    fn term(&self, i: usize) -> f64 {
+        let n = (i + 1) as f64;
+        self.scale / (n * n)
+    }
+
+    fn tail_upper(&self, i: usize) -> TailBound {
+        let b = if i == 0 {
+            self.scale * std::f64::consts::PI * std::f64::consts::PI / 6.0
+        } else {
+            // ∑_{j≥i} 1/(j+1)² ≤ ∫_i^∞ dx/x² = 1/i
+            self.scale / i as f64
+        };
+        TailBound::Finite(b * (1.0 + 4.0 * f64::EPSILON))
+    }
+}
+
+/// The harmonic series `term(i) = scale/(i+1)`, clamped to probabilities.
+///
+/// Divergent by construction — the canonical input that Theorem 4.8 rejects:
+/// no tuple-independent PDB realizes these fact probabilities.
+#[derive(Debug, Clone, Copy)]
+pub struct HarmonicSeries {
+    scale: f64,
+}
+
+impl HarmonicSeries {
+    /// `term(i) = scale/(i+1)`; requires `scale ∈ (0, 1]`.
+    pub fn new(scale: f64) -> Result<Self, MathError> {
+        crate::check_probability(scale)?;
+        if scale == 0.0 {
+            return Err(MathError::NotAProbability(scale));
+        }
+        Ok(Self { scale })
+    }
+}
+
+impl ProbSeries for HarmonicSeries {
+    fn term(&self, i: usize) -> f64 {
+        self.scale / (i + 1) as f64
+    }
+
+    fn tail_upper(&self, _i: usize) -> TailBound {
+        TailBound::Divergent
+    }
+}
+
+/// A series scaled by a constant factor in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct ScaledSeries<S> {
+    inner: S,
+    factor: f64,
+}
+
+impl<S: ProbSeries> ScaledSeries<S> {
+    /// Scales every term (and tail bound) of `inner` by `factor ∈ [0,1]`.
+    pub fn new(inner: S, factor: f64) -> Result<Self, MathError> {
+        crate::check_probability(factor)?;
+        Ok(Self { inner, factor })
+    }
+}
+
+impl<S: ProbSeries> ProbSeries for ScaledSeries<S> {
+    fn term(&self, i: usize) -> f64 {
+        self.factor * self.inner.term(i)
+    }
+
+    fn tail_upper(&self, i: usize) -> TailBound {
+        match self.inner.tail_upper(i) {
+            TailBound::Finite(b) => TailBound::Finite(self.factor * b),
+            TailBound::Divergent if self.factor == 0.0 => TailBound::Finite(0.0),
+            other => other,
+        }
+    }
+
+    fn support_len(&self) -> Option<usize> {
+        self.inner.support_len()
+    }
+}
+
+/// Word-length decay over an alphabet of size `k` (Example 2.4 of the
+/// paper): enumerating `Σ*` by length then lexicographically, every word `w`
+/// with `|w| = n` gets probability `6 / (π² (n+1)² kⁿ)`, so each length class
+/// carries total mass `6/(π²(n+1)²)` and the whole series sums to 1.
+#[derive(Debug, Clone, Copy)]
+pub struct WordLengthSeries {
+    alphabet: u32,
+}
+
+impl WordLengthSeries {
+    /// Creates the Example 2.4 distribution over `Σ*` with `|Σ| = alphabet`.
+    pub fn new(alphabet: u32) -> Result<Self, MathError> {
+        if alphabet == 0 {
+            return Err(MathError::NotAProbability(0.0));
+        }
+        Ok(Self { alphabet })
+    }
+
+    const BASEL: f64 = 6.0 / (std::f64::consts::PI * std::f64::consts::PI);
+
+    /// Word length `n` and rank-within-length for flat index `i` (words
+    /// enumerated by length: 1 word of length 0, k of length 1, k² of length
+    /// 2, …).
+    pub fn locate(&self, i: usize) -> (u32, u64) {
+        let k = self.alphabet as u128;
+        let mut rem = i as u128;
+        let mut n: u32 = 0;
+        let mut class = 1u128; // k^n, number of words of length n
+        loop {
+            if rem < class {
+                return (n, rem as u64);
+            }
+            rem -= class;
+            n += 1;
+            class = class.saturating_mul(k);
+        }
+    }
+
+    fn class_mass(n: u32) -> f64 {
+        let m = (n as f64) + 1.0;
+        Self::BASEL / (m * m)
+    }
+}
+
+impl ProbSeries for WordLengthSeries {
+    fn term(&self, i: usize) -> f64 {
+        let (n, _) = self.locate(i);
+        Self::class_mass(n) / (self.alphabet as f64).powi(n as i32)
+    }
+
+    fn tail_upper(&self, i: usize) -> TailBound {
+        let (n, rank) = self.locate(i);
+        let k = (self.alphabet as f64).powi(n as i32);
+        // remaining words of current length class...
+        let current = Self::class_mass(n) * (k - rank as f64) / k;
+        // ...plus all longer classes: ∑_{m>n} 6/(π²(m+1)²) ≤ (6/π²)·1/(n+1).
+        let rest = Self::BASEL / ((n as f64) + 1.0);
+        TailBound::Finite((current + rest) * (1.0 + 4.0 * f64::EPSILON))
+    }
+}
+
+/// Concatenation of a finite head with an arbitrary tail series: terms
+/// `0..head.len()` come from the head, later terms from the tail. This is
+/// how a completion splices the original finite table's fact probabilities
+/// in front of the open-world tail (Section 5.1 of the paper).
+#[derive(Debug, Clone)]
+pub struct ConcatSeries<S> {
+    head: FiniteSeries,
+    tail: S,
+}
+
+impl<S: ProbSeries> ConcatSeries<S> {
+    /// Creates `head ++ tail`.
+    pub fn new(head: FiniteSeries, tail: S) -> Self {
+        Self { head, tail }
+    }
+
+    /// Length of the finite head.
+    pub fn head_len(&self) -> usize {
+        self.head.len()
+    }
+}
+
+impl<S: ProbSeries> ProbSeries for ConcatSeries<S> {
+    fn term(&self, i: usize) -> f64 {
+        if i < self.head.len() {
+            self.head.term(i)
+        } else {
+            self.tail.term(i - self.head.len())
+        }
+    }
+
+    fn tail_upper(&self, i: usize) -> TailBound {
+        if i < self.head.len() {
+            let head_rest = self
+                .head
+                .tail_upper(i)
+                .finite()
+                .expect("finite series tails are finite");
+            match self.tail.tail_upper(0) {
+                TailBound::Finite(t) => TailBound::Finite(head_rest + t),
+                other => other,
+            }
+        } else {
+            self.tail.tail_upper(i - self.head.len())
+        }
+    }
+
+    fn support_len(&self) -> Option<usize> {
+        self.tail.support_len().map(|n| n + self.head.len())
+    }
+}
+
+/// Materializes a certified-convergent prefix of a series into a
+/// [`FiniteSeries`] of its first `n` terms.
+pub fn take_prefix<S: ProbSeries>(series: &S, n: usize) -> Result<FiniteSeries, MathError> {
+    FiniteSeries::new((0..n).map(|i| series.term(i)).collect())
+}
+
+/// Certifies convergence of `series` and returns a certified upper bound on
+/// its total mass, or the divergence error of Theorem 4.8.
+pub fn certify_convergent<S: ProbSeries>(series: &S) -> Result<f64, MathError> {
+    match series.tail_upper(0) {
+        TailBound::Finite(b) => Ok(b),
+        TailBound::Divergent => Err(MathError::DivergentSeries {
+            witness_index: 0,
+            partial_sum: f64::INFINITY,
+        }),
+        TailBound::Unknown => Err(MathError::UnknownTail),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_series_suffix_sums_are_exact() {
+        let s = FiniteSeries::new(vec![0.5, 0.25, 0.125]).unwrap();
+        assert_eq!(s.tail_upper(0).finite().unwrap(), 0.875);
+        assert_eq!(s.tail_upper(1).finite().unwrap(), 0.375);
+        assert_eq!(s.tail_upper(3).finite().unwrap(), 0.0);
+        assert_eq!(s.term(7), 0.0);
+        assert_eq!(s.support_len(), Some(3));
+        assert!(s.converges());
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn finite_series_rejects_bad_probabilities() {
+        assert!(FiniteSeries::new(vec![0.5, 1.5]).is_err());
+        assert!(FiniteSeries::new(vec![-0.1]).is_err());
+    }
+
+    #[test]
+    fn geometric_tail_is_tight() {
+        let g = GeometricSeries::new(0.5, 0.5).unwrap();
+        // ∑ 0.5^(i+1) = 1
+        let t0 = g.tail_upper(0).finite().unwrap();
+        assert!((t0 - 1.0).abs() < 1e-12);
+        // tail at 10 = 0.5^11 / 0.5 = 0.5^10
+        let t10 = g.tail_upper(10).finite().unwrap();
+        assert!((t10 - 0.5f64.powi(10)).abs() < 1e-15);
+        // tail bound really is an upper bound on summed terms
+        let s: f64 = (10..100).map(|i| g.term(i)).sum();
+        assert!(s <= t10);
+    }
+
+    #[test]
+    fn geometric_rejects_bad_params() {
+        assert!(GeometricSeries::new(0.5, 0.0).is_err());
+        assert!(GeometricSeries::new(0.5, 1.0).is_err());
+        assert!(GeometricSeries::new(1.5, 0.5).is_err());
+    }
+
+    #[test]
+    fn zeta_basel_sums_to_one() {
+        let z = ZetaSeries::basel();
+        let (lo, hi) = z.total_bounds(100_000).unwrap();
+        assert!(lo < 1.0 && 1.0 < hi, "1 ∉ [{lo}, {hi}]");
+        assert!(hi - lo < 2e-5 + 1e-9);
+    }
+
+    #[test]
+    fn zeta_tail_bound_dominates_partial_tails() {
+        let z = ZetaSeries::basel();
+        for i in [1usize, 10, 100] {
+            let bound = z.tail_upper(i).finite().unwrap();
+            let sampled: f64 = (i..i + 10_000).map(|j| z.term(j)).sum();
+            assert!(sampled <= bound, "tail bound violated at {i}");
+        }
+    }
+
+    #[test]
+    fn harmonic_is_divergent() {
+        let h = HarmonicSeries::new(0.5).unwrap();
+        assert!(!h.converges());
+        assert!(matches!(h.tail_upper(5), TailBound::Divergent));
+        assert!(certify_convergent(&h).is_err());
+        assert!(HarmonicSeries::new(0.0).is_err());
+    }
+
+    #[test]
+    fn scaled_series_scales_terms_and_tails() {
+        let g = GeometricSeries::new(0.5, 0.5).unwrap();
+        let s = ScaledSeries::new(g, 0.1).unwrap();
+        assert!((s.term(0) - 0.05).abs() < 1e-15);
+        let t = s.tail_upper(0).finite().unwrap();
+        assert!((t - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_divergent_by_zero_converges() {
+        let h = HarmonicSeries::new(1.0).unwrap();
+        let s = ScaledSeries::new(h, 0.0).unwrap();
+        assert_eq!(s.tail_upper(0), TailBound::Finite(0.0));
+    }
+
+    #[test]
+    fn word_length_locate_walks_length_classes() {
+        let w = WordLengthSeries::new(2).unwrap();
+        assert_eq!(w.locate(0), (0, 0)); // ε
+        assert_eq!(w.locate(1), (1, 0)); // "0"
+        assert_eq!(w.locate(2), (1, 1)); // "1"
+        assert_eq!(w.locate(3), (2, 0)); // "00"
+        assert_eq!(w.locate(6), (2, 3)); // "11"
+        assert_eq!(w.locate(7), (3, 0));
+    }
+
+    #[test]
+    fn word_length_total_mass_is_one() {
+        let w = WordLengthSeries::new(2).unwrap();
+        // partial over first 2^15 indices plus tail bound should bracket 1
+        let n = 1 << 15;
+        let (lo, hi) = w.total_bounds(n).unwrap();
+        assert!(lo <= 1.0 && 1.0 <= hi, "1 ∉ [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn word_length_terms_uniform_within_class() {
+        let w = WordLengthSeries::new(3).unwrap();
+        // indices 1..=3 are the three length-1 words
+        let t = w.term(1);
+        assert_eq!(w.term(2), t);
+        assert_eq!(w.term(3), t);
+        assert!(w.term(4) < t); // length-2 words are lighter
+    }
+
+    #[test]
+    fn word_length_rejects_empty_alphabet() {
+        assert!(WordLengthSeries::new(0).is_err());
+    }
+
+    #[test]
+    fn take_prefix_materializes() {
+        let g = GeometricSeries::new(0.5, 0.5).unwrap();
+        let p = take_prefix(&g, 4).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.term(0), 0.5);
+        assert!((p.tail_upper(0).finite().unwrap() - 0.9375).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tail_bound_require_finite() {
+        assert_eq!(TailBound::Finite(0.5).require_finite(0).unwrap(), 0.5);
+        assert!(TailBound::Divergent.require_finite(3).is_err());
+        assert!(TailBound::Unknown.require_finite(0).is_err());
+    }
+
+    #[test]
+    fn concat_series_splices_head_and_tail() {
+        let head = FiniteSeries::new(vec![0.8, 0.4]).unwrap();
+        let tail = GeometricSeries::new(0.5, 0.5).unwrap(); // total 1
+        let c = ConcatSeries::new(head, tail);
+        assert_eq!(c.head_len(), 2);
+        assert_eq!(c.term(0), 0.8);
+        assert_eq!(c.term(1), 0.4);
+        assert_eq!(c.term(2), 0.5); // tail term 0
+        assert_eq!(c.term(3), 0.25);
+        // tail bound inside the head includes head remainder + full tail
+        let t0 = c.tail_upper(0).finite().unwrap();
+        assert!((t0 - (1.2 + 1.0)).abs() < 1e-9);
+        let t1 = c.tail_upper(1).finite().unwrap();
+        assert!((t1 - (0.4 + 1.0)).abs() < 1e-9);
+        // past the head it delegates
+        let t3 = c.tail_upper(3).finite().unwrap();
+        assert!((t3 - 0.5).abs() < 1e-9);
+        assert_eq!(c.support_len(), None);
+    }
+
+    #[test]
+    fn concat_series_with_finite_tail_has_finite_support() {
+        let head = FiniteSeries::new(vec![0.5]).unwrap();
+        let tail = FiniteSeries::new(vec![0.25, 0.125]).unwrap();
+        let c = ConcatSeries::new(head, tail);
+        assert_eq!(c.support_len(), Some(3));
+        assert_eq!(c.term(2), 0.125);
+        assert_eq!(c.term(3), 0.0);
+    }
+
+    #[test]
+    fn concat_series_with_divergent_tail_stays_divergent() {
+        let head = FiniteSeries::new(vec![0.5]).unwrap();
+        let tail = HarmonicSeries::new(0.5).unwrap();
+        let c = ConcatSeries::new(head, tail);
+        assert!(matches!(c.tail_upper(0), TailBound::Divergent));
+        assert!(matches!(c.tail_upper(5), TailBound::Divergent));
+    }
+
+    #[test]
+    fn boxed_and_borrowed_series_delegate() {
+        let b: Box<dyn ProbSeries + Send + Sync> =
+            Box::new(GeometricSeries::new(0.25, 0.5).unwrap());
+        assert_eq!(b.term(0), 0.25);
+        assert!(b.tail_upper(0).finite().is_some());
+        let r = &b;
+        assert_eq!(r.term(1), 0.125);
+    }
+}

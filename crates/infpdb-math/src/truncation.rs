@@ -1,0 +1,208 @@
+//! Truncation indices for the approximation algorithm of Proposition 6.1.
+//!
+//! The algorithm "systematically lists facts until the remaining probability
+//! mass is small enough": choose `n` such that (a) every remaining term is at
+//! most `1/2` and (b) with `α_n := (3/2) ∑_{i>n} p_i`, both `e^{α_n} ≤ 1+ε`
+//! and `e^{−α_n} ≥ 1−ε` hold. Since `−ln(1−ε) ≥ ln(1+ε)` for `ε ∈ (0,1)`,
+//! condition (b) reduces to `α_n ≤ ln(1+ε)`, i.e. a tail-mass target of
+//! `(2/3)·ln(1+ε)`.
+
+use crate::series::{ProbSeries, TailBound};
+use crate::MathError;
+
+/// The outcome of a truncation search: a prefix length plus the certificates
+/// that make the Proposition 6.1 error analysis go through.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Truncation {
+    /// Number of leading terms to keep (facts `f_1 … f_n` in paper
+    /// numbering).
+    pub n: usize,
+    /// Certified upper bound on the discarded tail mass `∑_{i>n} p_i`.
+    pub tail_mass: f64,
+    /// `α_n = (3/2) · tail_mass`.
+    pub alpha: f64,
+}
+
+impl Truncation {
+    /// `1 − e^{−α_n}`: certified upper bound on the probability that a
+    /// random instance contains any discarded fact, i.e. `P(¬Ω_n)`.
+    pub fn escape_probability(&self) -> f64 {
+        -(-self.alpha).exp_m1()
+    }
+}
+
+/// Smallest prefix length (searched geometrically, certified by tail bounds)
+/// whose tail mass is below `target`. Errors on divergent series — there is
+/// no such index, mirroring Theorem 4.8 — and on non-positive targets.
+///
+/// The returned index need not be globally minimal (tail bounds are upper
+/// bounds, not exact tails) but is minimal *with respect to the series' own
+/// certificates*, found by doubling then binary search, so the number of
+/// `tail_upper` queries is `O(log n)`.
+pub fn index_with_tail_below<S: ProbSeries>(
+    series: &S,
+    target: f64,
+    max_index: usize,
+) -> Result<usize, MathError> {
+    if target.is_nan() || target <= 0.0 {
+        return Err(MathError::BadTolerance(target));
+    }
+    let ok = |i: usize| -> Result<bool, MathError> {
+        match series.tail_upper(i) {
+            TailBound::Finite(b) => Ok(b <= target),
+            TailBound::Divergent => Err(MathError::DivergentSeries {
+                witness_index: i,
+                partial_sum: f64::INFINITY,
+            }),
+            TailBound::Unknown => Err(MathError::UnknownTail),
+        }
+    };
+    if ok(0)? {
+        return Ok(0);
+    }
+    // If the support is finite we are done at its end at the latest.
+    let hard_cap = series.support_len().unwrap_or(usize::MAX).min(max_index);
+    // Geometric expansion to find an upper bracket.
+    let mut hi = 1usize;
+    while !ok(hi.min(hard_cap))? {
+        if hi >= hard_cap {
+            return Err(MathError::BadTolerance(target));
+        }
+        hi = hi.saturating_mul(2);
+    }
+    hi = hi.min(hard_cap);
+    let mut lo = hi / 2; // known not-ok (or 0, known not-ok)
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if ok(mid)? {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(hi)
+}
+
+/// The truncation of Proposition 6.1 for additive tolerance `ε ∈ (0, 1/2)`:
+/// returns the prefix length `n(ε)` together with its certificates.
+///
+/// Ensures both conditions of the proof: tail mass `≤ min((2/3)ln(1+ε), 1/2)`
+/// (the `1/2` cap guarantees every remaining term is `< 1/2`, as claim (∗)
+/// requires).
+pub fn for_tolerance<S: ProbSeries>(series: &S, eps: f64) -> Result<Truncation, MathError> {
+    if !(eps > 0.0 && eps < 0.5) {
+        return Err(MathError::BadTolerance(eps));
+    }
+    let target = ((2.0 / 3.0) * eps.ln_1p()).min(0.5);
+    let n = index_with_tail_below(series, target, usize::MAX)?;
+    let tail_mass = series
+        .tail_upper(n)
+        .require_finite(n)
+        .expect("index_with_tail_below certified a finite tail");
+    Ok(Truncation {
+        n,
+        tail_mass,
+        alpha: 1.5 * tail_mass,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{FiniteSeries, GeometricSeries, HarmonicSeries, ZetaSeries};
+
+    #[test]
+    fn finds_zero_for_already_small_series() {
+        let s = FiniteSeries::new(vec![0.001, 0.001]).unwrap();
+        assert_eq!(index_with_tail_below(&s, 0.5, usize::MAX).unwrap(), 0);
+    }
+
+    #[test]
+    fn finds_minimal_certified_index_geometric() {
+        let g = GeometricSeries::new(0.5, 0.5).unwrap(); // exact tails
+        let n = index_with_tail_below(&g, 0.1, usize::MAX).unwrap();
+        // tail(n) = 0.5^n ≤ 0.1 first at n = 4 (0.0625)
+        assert_eq!(n, 4);
+        // and n−1 really does not satisfy the target
+        assert!(g.exact_tail(3) > 0.1);
+    }
+
+    #[test]
+    fn finite_series_truncates_at_support_end_at_latest() {
+        let s = FiniteSeries::new(vec![0.4; 10]).unwrap();
+        let n = index_with_tail_below(&s, 1e-9, usize::MAX).unwrap();
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn divergent_series_is_rejected() {
+        let h = HarmonicSeries::new(0.9).unwrap();
+        assert!(matches!(
+            index_with_tail_below(&h, 0.1, usize::MAX),
+            Err(MathError::DivergentSeries { .. })
+        ));
+        assert!(for_tolerance(&h, 0.1).is_err());
+    }
+
+    #[test]
+    fn bad_targets_rejected() {
+        let g = GeometricSeries::new(0.5, 0.5).unwrap();
+        assert!(index_with_tail_below(&g, 0.0, usize::MAX).is_err());
+        assert!(index_with_tail_below(&g, -1.0, usize::MAX).is_err());
+        assert!(for_tolerance(&g, 0.0).is_err());
+        assert!(for_tolerance(&g, 0.5).is_err());
+        assert!(for_tolerance(&g, 0.7).is_err());
+    }
+
+    #[test]
+    fn max_index_cap_is_respected() {
+        let z = ZetaSeries::basel();
+        // tail ~ 1/n, needs n ≈ 10^6 for 1e-6; cap at 1000 must fail
+        assert!(index_with_tail_below(&z, 1e-6, 1000).is_err());
+    }
+
+    #[test]
+    fn tolerance_truncation_satisfies_both_proof_conditions() {
+        for eps in [0.3, 0.1, 0.01] {
+            let g = GeometricSeries::new(0.9, 0.6).unwrap();
+            let t = for_tolerance(&g, eps).unwrap();
+            assert!(t.tail_mass <= 0.5);
+            assert!(t.alpha.exp() <= 1.0 + eps + 1e-12, "e^α ≤ 1+ε fails");
+            assert!((-t.alpha).exp() >= 1.0 - eps - 1e-12, "e^−α ≥ 1−ε fails");
+            // every kept-out term is < 1/2
+            assert!(g.term(t.n) < 0.5);
+        }
+    }
+
+    #[test]
+    fn geometric_needs_logarithmically_many_terms() {
+        // n(ε) for geometric decay grows like log(1/ε) — the §6 complexity
+        // remark.
+        let g = GeometricSeries::new(0.5, 0.5).unwrap();
+        let n1 = for_tolerance(&g, 0.1).unwrap().n;
+        let n2 = for_tolerance(&g, 0.01).unwrap().n;
+        let n3 = for_tolerance(&g, 0.001).unwrap().n;
+        assert!(n2 - n1 >= 2 && n2 - n1 <= 5);
+        assert!(n3 - n2 >= 2 && n3 - n2 <= 5);
+    }
+
+    #[test]
+    fn zeta_needs_polynomially_many_terms() {
+        // tail ~ 1/n ⇒ n(ε) ~ 1/ε: the slow-convergence regime of §6.
+        let z = ZetaSeries::basel();
+        let n1 = for_tolerance(&z, 0.1).unwrap().n;
+        let n2 = for_tolerance(&z, 0.01).unwrap().n;
+        assert!(n2 > 5 * n1);
+    }
+
+    #[test]
+    fn escape_probability_matches_alpha() {
+        let t = Truncation {
+            n: 3,
+            tail_mass: 0.1,
+            alpha: 0.15,
+        };
+        let esc = t.escape_probability();
+        assert!((esc - (1.0 - (-0.15f64).exp())).abs() < 1e-15);
+    }
+}

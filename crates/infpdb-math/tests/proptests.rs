@@ -1,0 +1,110 @@
+//! Property-based tests for the numerics substrate.
+
+use infpdb_math::pairing;
+use infpdb_math::products::{claim_star_sides, distributive_law_sides};
+use infpdb_math::series::{ConcatSeries, FiniteSeries, GeometricSeries, ProbSeries};
+use infpdb_math::truncation;
+use infpdb_math::{KahanSum, LogProb};
+use proptest::prelude::*;
+
+fn prob() -> impl Strategy<Value = f64> {
+    (0u32..=1000).prop_map(|i| i as f64 / 1000.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn concat_tail_bounds_dominate_sampled_tails(
+        head in prop::collection::vec(prob(), 0..10),
+        first in (1u32..1000).prop_map(|i| i as f64 / 1000.0),
+        ratio in (10u32..90).prop_map(|i| i as f64 / 100.0),
+    ) {
+        let c = ConcatSeries::new(
+            FiniteSeries::new(head.clone()).unwrap(),
+            GeometricSeries::new(first, ratio).unwrap(),
+        );
+        for at in [0usize, 1, head.len(), head.len() + 3] {
+            let bound = c.tail_upper(at).finite().unwrap();
+            let sampled: f64 = (at..at + 400).map(|i| c.term(i)).sum();
+            prop_assert!(sampled <= bound * (1.0 + 1e-9) + 1e-12,
+                "at {}: sampled {} > bound {}", at, sampled, bound);
+        }
+    }
+
+    #[test]
+    fn truncation_index_is_minimal_for_exact_tails(
+        terms in prop::collection::vec(prob(), 1..25),
+        target_m in (1u32..1000).prop_map(|i| i as f64 / 1000.0),
+    ) {
+        let s = FiniteSeries::new(terms).unwrap();
+        if let Ok(n) = truncation::index_with_tail_below(&s, target_m, usize::MAX) {
+            let tail_at = |i: usize| s.tail_upper(i).finite().unwrap();
+            prop_assert!(tail_at(n) <= target_m);
+            if n > 0 {
+                prop_assert!(tail_at(n - 1) > target_m,
+                    "n = {} not minimal: tail({}) = {} <= {}", n, n - 1, tail_at(n - 1), target_m);
+            }
+        }
+    }
+
+    #[test]
+    fn distributive_law_on_random_slices(
+        terms in prop::collection::vec((-1000i32..=1000).prop_map(|i| i as f64 / 1000.0), 0..10),
+    ) {
+        let (lhs, rhs) = distributive_law_sides(&terms);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()),
+            "{:?}: {} vs {}", terms, lhs, rhs);
+    }
+
+    #[test]
+    fn claim_star_on_random_small_term_series(
+        first in (1u32..499).prop_map(|i| i as f64 / 1000.0),
+        ratio in (10u32..95).prop_map(|i| i as f64 / 100.0),
+        n in 1usize..500,
+    ) {
+        // all terms < 1/2 by construction
+        let g = GeometricSeries::new(first, ratio).unwrap();
+        let (prod, bound) = claim_star_sides(&g, n);
+        prop_assert!(prod >= bound - 1e-12);
+    }
+
+    #[test]
+    fn logprob_product_matches_kahan_log_sum(ps in prop::collection::vec(prob(), 1..50)) {
+        let lp = LogProb::product(ps.iter().map(|&p| LogProb::from_prob(p).unwrap()));
+        if ps.iter().any(|&p| p == 0.0) {
+            prop_assert!(lp.is_zero());
+        } else {
+            let k = KahanSum::sum_iter(ps.iter().map(|&p| p.ln()));
+            prop_assert!((lp.ln() - k).abs() < 1e-9 * (1.0 + k.abs()));
+        }
+    }
+
+    #[test]
+    fn pairing_round_trips(m in 1u64..100_000, n in 1u64..100_000) {
+        prop_assert_eq!(pairing::unpair(pairing::pair(m, n)), (m, n));
+    }
+
+    #[test]
+    fn string_coding_round_trips(n in 1u64..1_000_000) {
+        let s = pairing::nat_to_string(n);
+        prop_assert_eq!(pairing::string_to_nat(&s).unwrap(), n);
+        // shortlex: longer codes have longer-or-equal strings
+        let s2 = pairing::nat_to_string(n + 1);
+        prop_assert!(s2.len() >= s.len());
+    }
+
+    #[test]
+    fn tolerance_truncation_certificates(
+        first in (1u32..999).prop_map(|i| i as f64 / 1000.0),
+        ratio in (10u32..95).prop_map(|i| i as f64 / 100.0),
+        eps_m in (1u32..499).prop_map(|i| i as f64 / 1000.0),
+    ) {
+        let g = GeometricSeries::new(first, ratio).unwrap();
+        let t = truncation::for_tolerance(&g, eps_m).unwrap();
+        prop_assert!(t.alpha.exp() <= 1.0 + eps_m + 1e-9);
+        prop_assert!((-t.alpha).exp() >= 1.0 - eps_m - 1e-9);
+        prop_assert!(t.tail_mass <= 0.5 + 1e-12);
+        prop_assert!(t.escape_probability() <= eps_m + 1e-9);
+    }
+}

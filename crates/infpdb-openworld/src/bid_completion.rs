@@ -1,0 +1,249 @@
+//! Open-world completions of block-independent-disjoint PDBs.
+//!
+//! The paper's abstract: "The construction can also be extended to
+//! so-called block-independent-disjoint probabilistic databases." This
+//! module implements that extension for b.i.d. originals: a finite
+//! [`BidTable`] (e.g. a key-constrained registry) is spliced in front of a
+//! countable [`BlockSupply`] of fresh blocks, yielding the countable
+//! b.i.d. PDB of Proposition 4.13 whose restriction to the original blocks
+//! is the original measure — the (CC)-analogue at block granularity:
+//! conditioning on "no new block contributes a fact" divides out the
+//! constant `∏_{new} p_⊥^B > 0`.
+
+use crate::OpenWorldError;
+use infpdb_finite::BidTable;
+use infpdb_math::series::{ConcatSeries, FiniteSeries};
+use infpdb_ti::bid::{BlockSupply, CountableBidPdb};
+
+/// How many tail blocks are eagerly validated.
+pub const TAIL_VALIDATION_PREFIX: usize = 1024;
+
+/// Completes a finite b.i.d. table with an infinite tail of fresh blocks.
+///
+/// Tail blocks must be disjoint from the original facts (validated over
+/// [`TAIL_VALIDATION_PREFIX`] blocks), each must leave positive bottom
+/// mass (`∑ p < 1`, so the original sample space keeps positive
+/// probability), and the block-mass series must converge (Theorem 4.15).
+pub fn complete_bid_table(
+    table: &BidTable,
+    tail: BlockSupply,
+) -> Result<CountableBidPdb, OpenWorldError> {
+    let check = tail
+        .support_len_hint()
+        .unwrap_or(TAIL_VALIDATION_PREFIX)
+        .min(TAIL_VALIDATION_PREFIX);
+    for b in 0..check {
+        let mut mass = 0.0;
+        for (fact, p) in tail.block(b) {
+            if table.interner().get(&fact).is_some() {
+                return Err(OpenWorldError::TailCollision(
+                    fact.display(table.schema()).to_string(),
+                ));
+            }
+            mass += p;
+        }
+        if mass >= 1.0 {
+            return Err(OpenWorldError::CertainNewFact(format!(
+                "tail block {b} has mass {mass} ≥ 1 (no bottom probability left)"
+            )));
+        }
+    }
+    // head: the original table's blocks
+    let head_blocks: Vec<Vec<(infpdb_core::fact::Fact, f64)>> = table
+        .blocks()
+        .iter()
+        .map(|b| {
+            b.alternatives()
+                .iter()
+                .map(|(id, p)| (table.interner().resolve(*id).clone(), *p))
+                .collect()
+        })
+        .collect();
+    let head_masses: Vec<f64> = head_blocks
+        .iter()
+        .map(|alts| alts.iter().map(|(_, p)| *p).sum::<f64>().min(1.0))
+        .collect();
+    let k = head_blocks.len();
+    let head_series = FiniteSeries::new(head_masses).map_err(OpenWorldError::Math)?;
+    let mass_series = ConcatSeries::new(head_series, MassView { supply: tail.clone() });
+    let schema = table.schema().clone();
+    let supply = BlockSupply::from_fn(
+        schema,
+        move |i| {
+            if i < k {
+                head_blocks[i].clone()
+            } else {
+                tail.block(i - k)
+            }
+        },
+        mass_series,
+    );
+    // validate the spliced prefix (original blocks + a few tail blocks)
+    CountableBidPdb::new(supply, k + 8).map_err(OpenWorldError::Ti)
+}
+
+/// Adapter exposing a `BlockSupply`'s mass series.
+#[derive(Clone)]
+struct MassView {
+    supply: BlockSupply,
+}
+
+impl infpdb_math::series::ProbSeries for MassView {
+    fn term(&self, i: usize) -> f64 {
+        self.supply.mass(i)
+    }
+
+    fn tail_upper(&self, i: usize) -> infpdb_math::series::TailBound {
+        self.supply.mass_tail(i)
+    }
+
+    fn support_len(&self) -> Option<usize> {
+        self.supply.support_len_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::fact::Fact;
+    use infpdb_core::schema::{RelId, Relation, Schema};
+    use infpdb_core::value::Value;
+    use infpdb_math::series::GeometricSeries;
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("KV", 2)]).unwrap()
+    }
+
+    fn kv(k: i64, v: i64) -> Fact {
+        Fact::new(RelId(0), [Value::int(k), Value::int(v)])
+    }
+
+    fn base() -> BidTable {
+        BidTable::from_blocks(
+            schema(),
+            [
+                vec![(kv(1, 10), 0.5), (kv(1, 11), 0.3)],
+                vec![(kv(2, 20), 0.9)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn fresh_tail() -> BlockSupply {
+        BlockSupply::from_fn(
+            schema(),
+            |i| {
+                let m = 0.25 * 0.5f64.powi(i as i32);
+                vec![(kv(100 + i as i64, 0), m)]
+            },
+            GeometricSeries::new(0.25, 0.5).unwrap(),
+        )
+    }
+
+    #[test]
+    fn completion_preserves_original_blocks() {
+        let open = complete_bid_table(&base(), fresh_tail()).unwrap();
+        // original alternatives keep their conditional probabilities
+        let t = open.truncate(2).unwrap();
+        assert!((t.marginal(&kv(1, 10)) - 0.5).abs() < 1e-12);
+        assert!((t.marginal(&kv(1, 11)) - 0.3).abs() < 1e-12);
+        assert!((t.marginal(&kv(2, 20)) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_makes_new_blocks_possible() {
+        let open = complete_bid_table(&base(), fresh_tail()).unwrap();
+        let t = open.truncate(4).unwrap();
+        assert!((t.marginal(&kv(100, 0)) - 0.25).abs() < 1e-12);
+        assert!((t.marginal(&kv(101, 0)) - 0.125).abs() < 1e-12);
+        // while the closed-world table says 0
+        assert_eq!(base().marginal(&kv(100, 0)), 0.0);
+    }
+
+    #[test]
+    fn completion_expected_size_adds_tail_mass() {
+        let open = complete_bid_table(&base(), fresh_tail()).unwrap();
+        // 0.8 + 0.9 (original) + 0.5 (tail) — the bound uses the series
+        assert!((open.expected_size_bound() - 2.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cc_analogue_via_instance_probabilities() {
+        // P'(original choices | no new block) = P(original choices):
+        // conditioning divides out ∏_{new}(1 − m) which is a constant.
+        let open = complete_bid_table(&base(), fresh_tail()).unwrap();
+        // choices over original blocks only
+        let joint = open.instance_prob(&[(0, kv(1, 10))]).unwrap();
+        let base_p = base().instance_prob(&infpdb_core::instance::Instance::from_ids([
+            base().interner().get(&kv(1, 10)).unwrap(),
+        ]));
+        // divide out the new-blocks-empty factor: joint / ∏_{i≥2}(1 − m_i)
+        let mut new_empty = 1.0;
+        for i in 0..300 {
+            new_empty *= 1.0 - 0.25 * 0.5f64.powi(i);
+        }
+        let conditioned = joint.midpoint() / new_empty;
+        assert!(
+            (conditioned - base_p).abs() < 1e-6,
+            "conditioned {conditioned} vs original {base_p}"
+        );
+    }
+
+    #[test]
+    fn rejects_colliding_tails() {
+        let bad = BlockSupply::from_fn(
+            schema(),
+            |i| vec![(kv(1, 10 + i as i64), 0.25 * 0.5f64.powi(i as i32))],
+            GeometricSeries::new(0.25, 0.5).unwrap(),
+        );
+        // block 0 reuses kv(1,10)
+        assert!(matches!(
+            complete_bid_table(&base(), bad),
+            Err(OpenWorldError::TailCollision(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_full_mass_tail_blocks() {
+        let bad = BlockSupply::from_fn(
+            schema(),
+            |i| vec![(kv(100 + i as i64, 0), if i == 0 { 1.0 } else { 0.1 * 0.5f64.powi(i as i32) })],
+            GeometricSeries::new(1.0, 0.5).unwrap(),
+        );
+        assert!(matches!(
+            complete_bid_table(&base(), bad),
+            Err(OpenWorldError::CertainNewFact(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_divergent_tails() {
+        let divergent = BlockSupply::from_fn(
+            schema(),
+            |i| vec![(kv(100 + i as i64, 0), 0.9 / (i + 1) as f64)],
+            infpdb_math::series::HarmonicSeries::new(0.9).unwrap(),
+        );
+        assert!(matches!(
+            complete_bid_table(&base(), divergent),
+            Err(OpenWorldError::Ti(_))
+        ));
+    }
+
+    #[test]
+    fn sampling_the_completed_bid_pdb() {
+        use infpdb_core::space::rand_core::SplitMix64;
+        let open = complete_bid_table(&base(), fresh_tail()).unwrap();
+        let s = open.sampler(1e-4).unwrap();
+        let mut rng = SplitMix64::new(9);
+        let id10 = s.table().interner().get(&kv(1, 10)).unwrap();
+        let id11 = s.table().interner().get(&kv(1, 11)).unwrap();
+        let n = 20_000;
+        let mut hits10 = 0usize;
+        for _ in 0..n {
+            let d = s.sample(&mut rng);
+            assert!(!(d.contains(id10) && d.contains(id11)));
+            hits10 += d.contains(id10) as usize;
+        }
+        assert!((hits10 as f64 / n as f64 - 0.5).abs() < 0.02);
+    }
+}

@@ -1,0 +1,129 @@
+//! The closed-world assumption as a degenerate completion (Remark 5.2).
+//!
+//! "Applying the closed-world assumption to a PDB corresponds to
+//! considering the completion that sets all probabilities of new instances
+//! to 0." This module makes that comparison executable: the closed-world
+//! completion of a t.i. table is the countable t.i. PDB whose tail is
+//! identically zero, and [`open_vs_closed_gap`] quantifies how the two
+//! semantics disagree on a fact — the paper's introduction in one number.
+
+use crate::OpenWorldError;
+use infpdb_core::fact::Fact;
+use infpdb_finite::TiTable;
+use infpdb_math::series::FiniteSeries;
+use infpdb_ti::construction::CountableTiPdb;
+use infpdb_ti::enumerator::FactSupply;
+
+/// The closed-world completion: the PDB is extended to all of `D[τ,U]` but
+/// every new instance has probability 0 (zero tail).
+pub fn closed_world_completion(table: &TiTable) -> Result<CountableTiPdb, OpenWorldError> {
+    let pairs: Vec<(Fact, f64)> = table.iter().map(|(_, f, p)| (f.clone(), p)).collect();
+    let facts: Vec<Fact> = pairs.iter().map(|(f, _)| f.clone()).collect();
+    let series = FiniteSeries::new(pairs.iter().map(|(_, p)| *p).collect())
+        .map_err(OpenWorldError::Math)?;
+    let fallback = facts
+        .first()
+        .cloned()
+        .unwrap_or_else(|| Fact::new(infpdb_core::schema::RelId(0), []));
+    let supply = FactSupply::from_fn(
+        table.schema().clone(),
+        move |i| facts.get(i).cloned().unwrap_or_else(|| fallback.clone()),
+        series,
+    );
+    CountableTiPdb::new(supply).map_err(OpenWorldError::Ti)
+}
+
+/// The probability gap a single unlisted fact suffers between closed- and
+/// open-world semantics: under the closed world it is 0; under the given
+/// open-world completion it is its tail probability. Returns
+/// `(closed, open)`.
+pub fn open_vs_closed_gap(
+    table: &TiTable,
+    open: &CountableTiPdb,
+    fact: &Fact,
+    locate_limit: usize,
+) -> (f64, f64) {
+    let closed = table.marginal(fact);
+    let open_p = open.marginal(fact, locate_limit).unwrap_or(0.0);
+    (closed, open_p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::{RelId, Relation, Schema};
+    use infpdb_core::value::Value;
+    use infpdb_math::series::GeometricSeries;
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 1)]).unwrap()
+    }
+
+    fn rfact(n: i64) -> Fact {
+        Fact::new(RelId(0), [Value::int(n)])
+    }
+
+    fn table() -> TiTable {
+        TiTable::from_facts(schema(), [(rfact(1), 0.8), (rfact(2), 0.4)]).unwrap()
+    }
+
+    #[test]
+    fn closed_world_completion_has_zero_tail() {
+        let cw = closed_world_completion(&table()).unwrap();
+        assert_eq!(cw.supply().support_len(), Some(2));
+        assert_eq!(cw.marginal_at(0), 0.8);
+        assert_eq!(cw.marginal_at(5), 0.0);
+        // expected size = original expected size exactly
+        let (lo, hi) = cw.expected_size_bounds(10).unwrap();
+        assert!(lo <= 1.2 + 1e-12 && 1.2 <= hi + 1e-12);
+        assert!(hi - lo < 1e-12);
+    }
+
+    #[test]
+    fn gap_between_open_and_closed_semantics() {
+        let t = table();
+        let tail = FactSupply::from_fn(
+            schema(),
+            |i| rfact(100 + i as i64),
+            GeometricSeries::new(0.25, 0.5).unwrap(),
+        );
+        let open = crate::independent_facts::complete_ti_table(&t, tail).unwrap();
+        let (closed, open_p) = open_vs_closed_gap(&t, &open, &rfact(100), 1000);
+        assert_eq!(closed, 0.0);
+        assert_eq!(open_p, 0.25);
+        // listed facts agree in both semantics
+        let (c1, o1) = open_vs_closed_gap(&t, &open, &rfact(1), 1000);
+        assert_eq!(c1, 0.8);
+        assert_eq!(o1, 0.8);
+    }
+
+    #[test]
+    fn intro_example_ranking_of_unlikely_vs_impossible() {
+        // The paper's introduction: under open-world semantics, a "nearby"
+        // unlisted fact should be *more likely* than a "far-fetched" one,
+        // while the closed world assigns both exactly 0. Model nearness by
+        // enumeration order with decaying probabilities.
+        let t = table();
+        let tail = FactSupply::from_fn(
+            schema(),
+            |i| rfact(100 + i as i64),
+            GeometricSeries::new(0.25, 0.5).unwrap(),
+        );
+        let open = crate::independent_facts::complete_ti_table(&t, tail).unwrap();
+        let near = open.marginal(&rfact(100), 1000).unwrap();
+        let far = open.marginal(&rfact(110), 1000).unwrap();
+        assert!(near > far);
+        assert!(far > 0.0);
+        // the closed world cannot rank them
+        assert_eq!(t.marginal(&rfact(100)), t.marginal(&rfact(110)));
+    }
+
+    #[test]
+    fn empty_table_closed_world() {
+        let t = TiTable::new(schema());
+        let cw = closed_world_completion(&t).unwrap();
+        assert_eq!(cw.supply().support_len(), Some(0));
+        let enc = cw.prob_empty(4).unwrap();
+        assert!(enc.contains(1.0));
+    }
+}

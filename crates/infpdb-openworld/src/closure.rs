@@ -1,0 +1,228 @@
+//! Closure repair for sample spaces not closed under subsets and unions.
+//!
+//! Theorem 5.5's decomposition `D′ = D ⊎ C` needs the original sample
+//! space `Ω` to be closed under subsets and unions. The paper's remedy
+//! (discussion after the proof): extend `Ω₀` to all finite subsets of
+//! `F(D₀)`, scaling the original measure by a chosen `c ∈ (0, 1]` and
+//! distributing the remaining mass `1 − c` over the missing instances.
+//! (CC)-style faithfulness then holds relative to `Ω₀`:
+//! `P({D} | Ω₀) = P₀({D})`.
+
+use crate::OpenWorldError;
+use infpdb_core::fact::FactId;
+use infpdb_core::instance::Instance;
+use infpdb_core::space::DiscreteSpace;
+use infpdb_finite::FinitePdb;
+
+/// Maximum number of possible facts for explicit closure (2^n instances).
+pub const MAX_CLOSE_FACTS: usize = 20;
+
+/// Whether a PDB's sample space is closed under subsets and pairwise
+/// unions.
+pub fn is_closed(pdb: &FinitePdb) -> bool {
+    let worlds: Vec<&Instance> = pdb.space().outcomes().iter().map(|(d, _)| d).collect();
+    let contains = |d: &Instance| worlds.contains(&d);
+    for d in &worlds {
+        // subsets: remove one fact at a time suffices (downward closure by
+        // induction)
+        for id in d.iter() {
+            let mut smaller = (*d).clone();
+            smaller.remove(id);
+            if !contains(&smaller) {
+                return false;
+            }
+        }
+    }
+    for a in &worlds {
+        for b in &worlds {
+            if !contains(&a.union(b)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Extends the sample space to **all** subsets of `F(D₀)`: original
+/// instances keep `c · P₀`, and the `1 − c` remainder is spread uniformly
+/// over the missing instances. With `c = 1` the missing instances get
+/// probability 0 (still present in the space, which restores closure).
+pub fn close_space(pdb: &FinitePdb, c: f64) -> Result<FinitePdb, OpenWorldError> {
+    if !(c > 0.0 && c <= 1.0) {
+        return Err(OpenWorldError::Math(
+            infpdb_math::MathError::NotAProbability(c),
+        ));
+    }
+    let fact_ids: Vec<FactId> = {
+        let mut ids: std::collections::BTreeSet<FactId> = Default::default();
+        for (d, p) in pdb.space().outcomes() {
+            if *p > 0.0 {
+                ids.extend(d.iter());
+            }
+        }
+        ids.into_iter().collect()
+    };
+    if fact_ids.len() > MAX_CLOSE_FACTS {
+        return Err(OpenWorldError::TooManyCombinations(
+            1usize << fact_ids.len().min(60),
+        ));
+    }
+    let n = fact_ids.len();
+    let mut outcomes: Vec<(Instance, f64)> = Vec::with_capacity(1 << n);
+    let mut missing = Vec::new();
+    for mask in 0u64..(1u64 << n) {
+        let inst = Instance::from_ids(
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| fact_ids[i]),
+        );
+        let p0 = pdb.space().prob_outcome(&inst);
+        if p0 > 0.0 {
+            outcomes.push((inst, c * p0));
+        } else {
+            missing.push(inst);
+        }
+    }
+    if missing.is_empty() {
+        // space was already full: rescale back to mass 1
+        for (_, p) in &mut outcomes {
+            *p /= c;
+        }
+    } else {
+        let share = (1.0 - c) / missing.len() as f64;
+        outcomes.extend(missing.into_iter().map(|d| (d, share)));
+    }
+    let space = DiscreteSpace::new(outcomes)?;
+    Ok(FinitePdb::from_parts(
+        pdb.schema().clone(),
+        pdb.interner().clone(),
+        space,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::fact::Fact;
+    use infpdb_core::schema::{RelId, Relation, Schema};
+    use infpdb_core::value::Value;
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 1)]).unwrap()
+    }
+
+    fn rfact(n: i64) -> Fact {
+        Fact::new(RelId(0), [Value::int(n)])
+    }
+
+    /// Not closed: {R(1), R(2)} has positive mass but {R(1)} doesn't exist.
+    fn open_pdb() -> FinitePdb {
+        FinitePdb::from_worlds(
+            schema(),
+            [(vec![rfact(1), rfact(2)], 0.7), (vec![], 0.3)],
+        )
+        .unwrap()
+    }
+
+    /// Closed: full powerset of {R(1)} with positive mass.
+    fn closed_pdb() -> FinitePdb {
+        FinitePdb::from_worlds(schema(), [(vec![rfact(1)], 0.4), (vec![], 0.6)])
+            .unwrap()
+    }
+
+    #[test]
+    fn closure_detection() {
+        assert!(!is_closed(&open_pdb()));
+        assert!(is_closed(&closed_pdb()));
+    }
+
+    #[test]
+    fn union_violations_detected() {
+        // subsets present but union missing
+        let pdb = FinitePdb::from_worlds(
+            schema(),
+            [
+                (vec![rfact(1)], 0.4),
+                (vec![rfact(2)], 0.4),
+                (vec![], 0.2),
+            ],
+        )
+        .unwrap();
+        assert!(!is_closed(&pdb));
+    }
+
+    #[test]
+    fn close_space_restores_closure_and_faithfulness() {
+        let pdb = open_pdb();
+        let closed = close_space(&pdb, 0.9).unwrap();
+        assert!(is_closed(&closed));
+        assert_eq!(closed.space().support_size(), 4);
+        // faithfulness: P(D | Ω₀) = P₀(D)
+        let omega0: f64 = pdb
+            .space()
+            .outcomes()
+            .iter()
+            .map(|(d, _)| closed.space().prob_outcome(d))
+            .sum();
+        for (d, p0) in pdb.space().outcomes() {
+            let cond = closed.space().prob_outcome(d) / omega0;
+            assert!((cond - p0).abs() < 1e-12);
+        }
+        // missing instances share the 0.1 remainder
+        let d1 = Instance::from_ids([pdb.interner().get(&rfact(1)).unwrap()]);
+        assert!((closed.space().prob_outcome(&d1) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn close_space_with_c_one_keeps_measure() {
+        let pdb = open_pdb();
+        let closed = close_space(&pdb, 1.0).unwrap();
+        assert!(is_closed(&closed));
+        for (d, p0) in pdb.space().outcomes() {
+            assert!((closed.space().prob_outcome(d) - p0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn close_space_idempotent_on_full_spaces() {
+        let pdb = closed_pdb();
+        let closed = close_space(&pdb, 0.5).unwrap();
+        // space was already the full powerset: measure unchanged
+        for (d, p0) in pdb.space().outcomes() {
+            assert!((closed.space().prob_outcome(d) - p0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn close_space_validates_c() {
+        assert!(close_space(&open_pdb(), 0.0).is_err());
+        assert!(close_space(&open_pdb(), 1.5).is_err());
+    }
+
+    #[test]
+    fn close_space_guards_fact_explosion() {
+        let facts: Vec<Fact> = (0..MAX_CLOSE_FACTS as i64 + 1).map(rfact).collect();
+        let pdb =
+            FinitePdb::from_worlds(schema(), [(facts, 0.5), (vec![], 0.5)]).unwrap();
+        assert!(matches!(
+            close_space(&pdb, 0.9),
+            Err(OpenWorldError::TooManyCombinations(_))
+        ));
+    }
+
+    #[test]
+    fn closed_pdb_completes_end_to_end() {
+        // closure → completion → (CC) still verifiable
+        use infpdb_math::series::GeometricSeries;
+        use infpdb_ti::enumerator::FactSupply;
+        let closed = close_space(&open_pdb(), 0.9).unwrap();
+        let tail = FactSupply::from_fn(
+            schema(),
+            |i| rfact(100 + i as i64),
+            GeometricSeries::new(0.25, 0.5).unwrap(),
+        );
+        let completed =
+            crate::independent_facts::complete_pdb(closed, tail).unwrap();
+        assert!(completed.verify_cc(32, 1e-9).is_ok());
+    }
+}

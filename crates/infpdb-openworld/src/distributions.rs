@@ -1,0 +1,370 @@
+//! Concrete tail distributions for open-world completions.
+//!
+//! The paper's examples motivate several shapes of "small positive
+//! probability for everything imaginable":
+//!
+//! * geometric decay over an integer-indexed fact family (Example 5.7's
+//!   `2^{-i}` tail);
+//! * the Basel distribution `6/(π²n²)` (Examples 2.4 and 3.3);
+//! * word-length decay over `Σ*` (Example 2.4's string distribution —
+//!   "a small positive probability to all strings not occurring in the
+//!   list, decaying with increasing length", Example 3.2);
+//! * a **discretized normal** for numeric attributes (Example 3.2's height
+//!   column: the paper uses `N(180, σ)` on ℝ; our countable stand-in puts
+//!   the same mass on a fixed-point grid — see DESIGN.md "Substitutions");
+//! * a **name-frequency list with decaying remainder** (Example 3.2's
+//!   first-name column).
+
+use crate::OpenWorldError;
+use infpdb_core::fact::Fact;
+use infpdb_core::schema::{RelId, Schema};
+use infpdb_core::value::Value;
+use infpdb_math::series::{GeometricSeries, ScaledSeries, WordLengthSeries, ZetaSeries};
+use infpdb_math::KahanSum;
+use infpdb_ti::enumerator::FactSupply;
+
+/// Geometric tail over a unary relation: fact `i` is `rel(start + i)` with
+/// probability `first · ratio^i`. Mirrors Example 5.7's `2^{-i}` choice.
+pub fn geometric_unary_tail(
+    schema: Schema,
+    rel: RelId,
+    start: i64,
+    first: f64,
+    ratio: f64,
+) -> Result<FactSupply, OpenWorldError> {
+    let series = GeometricSeries::new(first, ratio).map_err(OpenWorldError::Math)?;
+    Ok(FactSupply::from_fn(
+        schema,
+        move |i| Fact::new(rel, [Value::int(start + i as i64)]),
+        series,
+    ))
+}
+
+/// Basel tail `scale · 6/(π² n²)` over a unary relation (Example 2.4's
+/// integer part): slow convergence — the regime where truncation indexes
+/// grow polynomially in `1/ε` (end of Section 6).
+pub fn zeta_unary_tail(
+    schema: Schema,
+    rel: RelId,
+    start: i64,
+    scale: f64,
+) -> Result<FactSupply, OpenWorldError> {
+    let series = ScaledSeries::new(ZetaSeries::basel(), scale).map_err(OpenWorldError::Math)?;
+    Ok(FactSupply::from_fn(
+        schema,
+        move |i| Fact::new(rel, [Value::int(start + i as i64)]),
+        series,
+    ))
+}
+
+/// Word-length-decay tail over all binary strings (Example 2.4): fact `i`
+/// is `rel(w_i)` for the `i`-th string in shortlex order, with total tail
+/// mass `mass`.
+pub fn string_tail(
+    schema: Schema,
+    rel: RelId,
+    mass: f64,
+) -> Result<FactSupply, OpenWorldError> {
+    let series = ScaledSeries::new(
+        WordLengthSeries::new(2).map_err(OpenWorldError::Math)?,
+        mass,
+    )
+    .map_err(OpenWorldError::Math)?;
+    Ok(FactSupply::from_fn(
+        schema,
+        move |i| {
+            Fact::new(
+                rel,
+                [Value::str(infpdb_math::pairing::nat_to_string(i as u64 + 1))],
+            )
+        },
+        series,
+    ))
+}
+
+/// A discretized normal distribution on a fixed-point grid: value
+/// `mean + k·step` for `k ∈ [−cutoff, cutoff]` gets mass proportional to
+/// the normal density, normalized to total `mass`. `decimals` is the grid's
+/// fixed-point precision. This is the countable stand-in for Example 3.2's
+/// height attribute.
+pub fn discretized_normal(
+    mean: f64,
+    std_dev: f64,
+    step: f64,
+    decimals: u8,
+    cutoff_sigmas: f64,
+    mass: f64,
+) -> Result<Vec<(Value, f64)>, OpenWorldError> {
+    infpdb_math::check_probability(mass).map_err(OpenWorldError::Math)?;
+    assert!(std_dev > 0.0 && step > 0.0 && cutoff_sigmas > 0.0);
+    let k_max = (cutoff_sigmas * std_dev / step).ceil() as i64;
+    let scale = 10f64.powi(decimals as i32);
+    let mut weights = Vec::with_capacity((2 * k_max + 1) as usize);
+    let mut total = KahanSum::new();
+    for k in -k_max..=k_max {
+        let x = mean + k as f64 * step;
+        let z = (x - mean) / std_dev;
+        let w = (-0.5 * z * z).exp();
+        let v = Value::fixed((x * scale).round() as i64, decimals);
+        weights.push((v, w));
+        total.add(w);
+    }
+    let norm = mass / total.value();
+    Ok(weights.into_iter().map(|(v, w)| (v, w * norm)).collect())
+}
+
+/// Example 3.2's first-name model: a frequency list covering mass
+/// `1 − tail_mass`, plus word-length decay over all other strings carrying
+/// `tail_mass`. Returns the *distribution over values* as a supply of
+/// unary facts `rel(name)`.
+///
+/// The listed names keep their relative frequencies; unlisted strings get
+/// the Example 2.4 decay, skipping strings that appear in the list.
+pub fn names_with_decay(
+    schema: Schema,
+    rel: RelId,
+    names: Vec<(String, f64)>,
+    tail_mass: f64,
+) -> Result<FactSupply, OpenWorldError> {
+    infpdb_math::check_probability(tail_mass).map_err(OpenWorldError::Math)?;
+    let freq_total: f64 = names.iter().map(|(_, w)| w).sum();
+    if freq_total <= 0.0 {
+        return Err(OpenWorldError::Math(
+            infpdb_math::MathError::NotAProbability(freq_total),
+        ));
+    }
+    let head: Vec<(Fact, f64)> = names
+        .iter()
+        .map(|(n, w)| {
+            (
+                Fact::new(rel, [Value::str(n)]),
+                (1.0 - tail_mass) * w / freq_total,
+            )
+        })
+        .collect();
+    let listed: std::collections::HashSet<String> =
+        names.iter().map(|(n, _)| n.clone()).collect();
+    // Tail over binary-alphabet strings not in the list. (The listed names
+    // are typically over a different alphabet, but we skip them anyway.)
+    let tail_series = ScaledSeries::new(
+        WordLengthSeries::new(2).map_err(OpenWorldError::Math)?,
+        tail_mass,
+    )
+    .map_err(OpenWorldError::Math)?;
+    let head_len = head.len();
+    let head_series = infpdb_math::series::FiniteSeries::new(
+        head.iter().map(|(_, p)| *p).collect(),
+    )
+    .map_err(OpenWorldError::Math)?;
+    let series = infpdb_math::series::ConcatSeries::new(head_series, tail_series);
+    let head_facts: Vec<Fact> = head.into_iter().map(|(f, _)| f).collect();
+    Ok(FactSupply::from_fn(
+        schema,
+        move |i| {
+            if i < head_len {
+                head_facts[i].clone()
+            } else {
+                // enumerate binary strings, skipping listed names
+                let mut idx = (i - head_len) as u64;
+                let mut code = 1u64;
+                loop {
+                    let w = infpdb_math::pairing::nat_to_string(code);
+                    if !listed.contains(&w) {
+                        if idx == 0 {
+                            return Fact::new(rel, [Value::str(w)]);
+                        }
+                        idx -= 1;
+                    }
+                    code += 1;
+                }
+            }
+        },
+        series,
+    ))
+}
+
+/// The full Example 2.4 distribution over the mixed universe `Σ* ∪ ℝ`
+/// (our countable stand-in: binary strings ∪ a fixed-point grid):
+/// `P = ½·P₁ + ½·P₂` with `P₁` the word-length decay over `Σ*` and `P₂`
+/// a (discretized) standard normal `N(0, 1)`.
+///
+/// Returned as a fact supply over a unary relation: string facts and
+/// numeric facts interleaved, total mass 1, certified tails.
+pub fn example_2_4_mixture(
+    schema: Schema,
+    rel: RelId,
+    grid_decimals: u8,
+) -> Result<FactSupply, OpenWorldError> {
+    // P₂: discretized N(0,1) carrying mass ½ — finite support
+    let step = 10f64.powi(-(grid_decimals as i32));
+    let normal = discretized_normal(0.0, 1.0, step, grid_decimals, 8.0, 0.5)?;
+    let normal_head: Vec<(Fact, f64)> = normal
+        .into_iter()
+        .map(|(v, p)| (Fact::new(rel, [v]), p))
+        .collect();
+    // P₁: word-length decay carrying mass ½ — infinite tail
+    let tail_series = ScaledSeries::new(
+        WordLengthSeries::new(2).map_err(OpenWorldError::Math)?,
+        0.5,
+    )
+    .map_err(OpenWorldError::Math)?;
+    let head_series = infpdb_math::series::FiniteSeries::new(
+        normal_head.iter().map(|(_, p)| *p).collect(),
+    )
+    .map_err(OpenWorldError::Math)?;
+    let head_len = normal_head.len();
+    let series = infpdb_math::series::ConcatSeries::new(head_series, tail_series);
+    Ok(FactSupply::from_fn(
+        schema,
+        move |i| {
+            if i < head_len {
+                normal_head[i].0.clone()
+            } else {
+                Fact::new(
+                    rel,
+                    [Value::str(infpdb_math::pairing::nat_to_string(
+                        (i - head_len) as u64 + 1,
+                    ))],
+                )
+            }
+        },
+        series,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::Relation;
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("Name", 1)]).unwrap()
+    }
+
+    #[test]
+    fn geometric_tail_facts_and_probs() {
+        let s = geometric_unary_tail(schema(), RelId(0), 100, 0.25, 0.5).unwrap();
+        assert_eq!(
+            s.fact(0),
+            Fact::new(RelId(0), [Value::int(100)])
+        );
+        assert_eq!(s.prob(1), 0.125);
+        assert!(infpdb_math::series::certify_convergent(&s).is_ok());
+        s.check_injective(100).unwrap();
+    }
+
+    #[test]
+    fn zeta_tail_total_mass_scales() {
+        let s = zeta_unary_tail(schema(), RelId(0), 1, 0.5).unwrap();
+        let bound = infpdb_math::series::certify_convergent(&s).unwrap();
+        assert!((0.5..0.51).contains(&bound));
+    }
+
+    #[test]
+    fn string_tail_enumerates_shortlex() {
+        let s = string_tail(schema(), RelId(0), 0.2).unwrap();
+        assert_eq!(s.fact(0).args()[0], Value::str(""));
+        assert_eq!(s.fact(1).args()[0], Value::str("0"));
+        assert_eq!(s.fact(4).args()[0], Value::str("01"));
+        let bound = infpdb_math::series::certify_convergent(&s).unwrap();
+        assert!((0.2..0.25).contains(&bound));
+        s.check_injective(200).unwrap();
+    }
+
+    #[test]
+    fn discretized_normal_mass_and_shape() {
+        let d = discretized_normal(180.0, 7.0, 0.5, 1, 6.0, 1.0).unwrap();
+        let total: f64 = d.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // mode at the mean
+        let at = |x: i64| {
+            d.iter()
+                .find(|(v, _)| *v == Value::fixed(x, 1))
+                .map(|(_, p)| *p)
+                .unwrap()
+        };
+        assert!(at(1800) > at(1850));
+        assert!(at(1850) > at(1900));
+        // symmetry
+        assert!((at(1750) - at(1850)).abs() < 1e-12);
+        // the paper's introduction: "20.3 is more likely than 30.0 °C" —
+        // closer-to-mean values dominate
+        assert!(at(1805) > at(2100));
+    }
+
+    #[test]
+    fn discretized_normal_partial_mass() {
+        let d = discretized_normal(0.0, 1.0, 0.1, 1, 8.0, 0.25).unwrap();
+        let total: f64 = d.iter().map(|(_, p)| p).sum();
+        assert!((total - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names_with_decay_reserves_tail_mass() {
+        let s = names_with_decay(
+            schema(),
+            RelId(0),
+            vec![("Peter".into(), 3.0), ("Martin".into(), 1.0)],
+            0.1,
+        )
+        .unwrap();
+        // head: 0.9·(3/4), 0.9·(1/4)
+        assert!((s.prob(0) - 0.675).abs() < 1e-12);
+        assert!((s.prob(1) - 0.225).abs() < 1e-12);
+        assert_eq!(s.fact(0).args()[0], Value::str("Peter"));
+        // tail strings carry the remaining 0.1
+        let bound = infpdb_math::series::certify_convergent(&s).unwrap();
+        assert!((1.0 - 1e-9..1.05).contains(&bound));
+        // unlisted strings have positive probability — the open world
+        assert!(s.prob(2) > 0.0);
+        s.check_injective(100).unwrap();
+    }
+
+    #[test]
+    fn names_with_decay_skips_listed_strings_in_tail() {
+        // list a *binary* string so the skip logic engages
+        let s = names_with_decay(
+            schema(),
+            RelId(0),
+            vec![("0".into(), 1.0)],
+            0.2,
+        )
+        .unwrap();
+        // the tail enumeration must never produce "0" again
+        for i in 1..50 {
+            assert_ne!(s.fact(i).args()[0], Value::str("0"), "index {i}");
+        }
+        s.check_injective(50).unwrap();
+    }
+
+    #[test]
+    fn example_2_4_mixture_is_a_unit_mass_supply() {
+        let s = example_2_4_mixture(schema(), RelId(0), 1).unwrap();
+        let bound = infpdb_math::series::certify_convergent(&s).unwrap();
+        // the word-length tail bound is an integral estimate, ~11% loose at 0
+        assert!(bound >= 1.0 - 1e-9 && bound < 1.15, "total bound {bound}");
+        // mixed value kinds appear
+        let mut saw_fixed = false;
+        let mut saw_str = false;
+        for i in 0..400 {
+            match &s.fact(i).args()[0] {
+                Value::Fixed(_) | Value::Int(_) => saw_fixed = true,
+                Value::Str(_) => saw_str = true,
+            }
+        }
+        assert!(saw_fixed && saw_str);
+        s.check_injective(400).unwrap();
+        // and it constructs a countable t.i. PDB (Theorem 4.8)
+        let pdb = infpdb_ti::construction::CountableTiPdb::new(s).unwrap();
+        let (lo, hi) = pdb.expected_size_bounds(2000).unwrap();
+        assert!(lo <= 1.0 && 1.0 <= hi + 1e-6, "1 ∉ [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn names_with_decay_rejects_bad_input() {
+        assert!(names_with_decay(schema(), RelId(0), vec![], 0.1).is_err());
+        assert!(
+            names_with_decay(schema(), RelId(0), vec![("a".into(), 1.0)], 1.5).is_err()
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Completion by independent facts (Theorem 5.5).
+//!
+//! Given a PDB `D` and probabilities `(p_f)_{f ∈ F[τ,U] − F(D)}` with
+//! `p_f ∈ [0, 1)` and `∑ p_f < ∞`, the paper constructs the completion
+//! `D′` whose instances decompose uniquely as `D ⊎ C` with `D` original and
+//! `C` an instance of the fresh tuple-independent PDB `C`, and
+//! `P′({D ⊎ C}) = P({D}) · P₁({C})` — a product measure satisfying (CC).
+//!
+//! Two constructors:
+//!
+//! * [`complete_ti_table`] — when the original is itself a finite
+//!   tuple-independent table, the completion *is* a countable t.i. PDB:
+//!   splice the table's probabilities in front of the tail supply
+//!   (`ConcatSeries`) and reuse the whole Section 4 construction.
+//! * [`complete_pdb`] — arbitrary finite original (any correlations):
+//!   the generic product-measure [`CompletedPdb`].
+
+use crate::completion::CompletedPdb;
+use crate::OpenWorldError;
+use infpdb_core::fact::Fact;
+use infpdb_finite::{FinitePdb, TiTable};
+use infpdb_math::series::{ConcatSeries, FiniteSeries};
+use infpdb_ti::construction::CountableTiPdb;
+use infpdb_ti::enumerator::FactSupply;
+
+/// How many tail entries are eagerly checked for collisions with original
+/// facts and for `p = 1` violations.
+pub const TAIL_VALIDATION_PREFIX: usize = 4096;
+
+/// Completes a finite tuple-independent table with an infinite tail of
+/// independent fresh facts, yielding the countable t.i. PDB of
+/// Theorem 5.5 (specialized as discussed after the theorem: for t.i.
+/// originals no closure repair is needed, Remark 5.6).
+///
+/// The `tail` supply must enumerate facts disjoint from the table's
+/// (checked over [`TAIL_VALIDATION_PREFIX`] entries) with probabilities
+/// strictly below 1 and a convergent series.
+///
+/// ```
+/// use infpdb_core::{fact::Fact, schema::{RelId, Relation, Schema}, value::Value};
+/// use infpdb_finite::TiTable;
+/// use infpdb_math::series::GeometricSeries;
+/// use infpdb_openworld::independent_facts::complete_ti_table;
+/// use infpdb_ti::enumerator::FactSupply;
+///
+/// let schema = Schema::from_relations([Relation::new("Person", 1)])?;
+/// let person = |n: i64| Fact::new(RelId(0), [Value::int(n)]);
+/// let table = TiTable::from_facts(schema.clone(), [(person(1), 0.9)])?;
+///
+/// // open world: unknown people 100, 101, … become possible
+/// let tail = FactSupply::from_fn(schema, move |i| person(100 + i as i64),
+///     GeometricSeries::new(0.2, 0.5)?);
+/// let open = complete_ti_table(&table, tail)?;
+/// assert_eq!(open.marginal(&person(1), 10)?, 0.9);    // unchanged
+/// assert_eq!(open.marginal(&person(100), 10)?, 0.2);  // now possible
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn complete_ti_table(
+    table: &TiTable,
+    tail: FactSupply,
+) -> Result<CountableTiPdb, OpenWorldError> {
+    let check = tail
+        .support_len()
+        .unwrap_or(TAIL_VALIDATION_PREFIX)
+        .min(TAIL_VALIDATION_PREFIX);
+    for i in 0..check {
+        let f = tail.fact(i);
+        if table.interner().get(&f).is_some() {
+            return Err(OpenWorldError::TailCollision(
+                f.display(table.schema()).to_string(),
+            ));
+        }
+        if tail.prob(i) >= 1.0 {
+            return Err(OpenWorldError::CertainNewFact(
+                f.display(table.schema()).to_string(),
+            ));
+        }
+    }
+    let head_probs: Vec<f64> = table.iter().map(|(_, _, p)| p).collect();
+    let head_facts: Vec<Fact> = table.iter().map(|(_, f, _)| f.clone()).collect();
+    let head = FiniteSeries::new(head_probs).map_err(OpenWorldError::Math)?;
+    let k = head.len();
+    let series = ConcatSeries::new(head, TailView { supply: tail.clone() });
+    let supply = FactSupply::from_fn(
+        table.schema().clone(),
+        move |i| {
+            if i < k {
+                head_facts[i].clone()
+            } else {
+                tail.fact(i - k)
+            }
+        },
+        series,
+    );
+    CountableTiPdb::new(supply).map_err(OpenWorldError::Ti)
+}
+
+/// Adapter presenting a `FactSupply`'s series side.
+#[derive(Debug, Clone)]
+struct TailView {
+    supply: FactSupply,
+}
+
+impl infpdb_math::series::ProbSeries for TailView {
+    fn term(&self, i: usize) -> f64 {
+        self.supply.prob(i)
+    }
+
+    fn tail_upper(&self, i: usize) -> infpdb_math::series::TailBound {
+        self.supply.tail_upper(i)
+    }
+
+    fn support_len(&self) -> Option<usize> {
+        self.supply.support_len()
+    }
+}
+
+/// Completes an arbitrary finite PDB (whose sample space should be closed
+/// under subsets and unions — use [`crate::closure`] first otherwise) with
+/// an independent tail, yielding the product-measure [`CompletedPdb`] of
+/// Theorem 5.5.
+pub fn complete_pdb(
+    original: FinitePdb,
+    tail: FactSupply,
+) -> Result<CompletedPdb, OpenWorldError> {
+    let check = tail
+        .support_len()
+        .unwrap_or(TAIL_VALIDATION_PREFIX)
+        .min(TAIL_VALIDATION_PREFIX);
+    let originals: std::collections::HashSet<Fact> =
+        original.possible_facts().into_iter().collect();
+    for i in 0..check {
+        let f = tail.fact(i);
+        if originals.contains(&f) {
+            return Err(OpenWorldError::TailCollision(
+                f.display(original.schema()).to_string(),
+            ));
+        }
+        if tail.prob(i) >= 1.0 {
+            return Err(OpenWorldError::CertainNewFact(
+                f.display(original.schema()).to_string(),
+            ));
+        }
+    }
+    let tail_pdb = CountableTiPdb::new(tail).map_err(OpenWorldError::Ti)?;
+    Ok(CompletedPdb::new(original, tail_pdb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::{RelId, Relation, Schema};
+    use infpdb_core::value::Value;
+    use infpdb_math::series::{GeometricSeries, HarmonicSeries};
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 1)]).unwrap()
+    }
+
+    fn rfact(n: i64) -> Fact {
+        Fact::new(RelId(0), [Value::int(n)])
+    }
+
+    fn base_table() -> TiTable {
+        TiTable::from_facts(schema(), [(rfact(1), 0.8), (rfact(2), 0.4)]).unwrap()
+    }
+
+    /// Tail facts R(100), R(101), …, geometric probabilities.
+    fn tail() -> FactSupply {
+        FactSupply::from_fn(
+            schema(),
+            |i| rfact(100 + i as i64),
+            GeometricSeries::new(0.25, 0.5).unwrap(),
+        )
+    }
+
+    #[test]
+    fn ti_completion_preserves_original_marginals() {
+        // The (CC)-relevant part for t.i. originals: marginals of original
+        // facts are untouched.
+        let pdb = complete_ti_table(&base_table(), tail()).unwrap();
+        assert_eq!(pdb.marginal_at(0), 0.8);
+        assert_eq!(pdb.marginal_at(1), 0.4);
+        // and new facts got their assigned probabilities
+        assert_eq!(pdb.marginal_at(2), 0.25);
+        assert_eq!(pdb.marginal_at(3), 0.125);
+        assert_eq!(pdb.marginal(&rfact(100), 100).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn ti_completion_open_world_facts_are_possible() {
+        // The whole point of open world: an unlisted fact has positive
+        // probability in the completion.
+        let pdb = complete_ti_table(&base_table(), tail()).unwrap();
+        let p = pdb.marginal(&rfact(101), 100).unwrap();
+        assert!(p > 0.0);
+        // while the closed-world table says 0
+        assert_eq!(base_table().marginal(&rfact(101)), 0.0);
+    }
+
+    #[test]
+    fn ti_completion_rejects_colliding_tails() {
+        let bad_tail = FactSupply::from_fn(
+            schema(),
+            |i| rfact(i as i64 + 1), // R(1) collides
+            GeometricSeries::new(0.25, 0.5).unwrap(),
+        );
+        assert!(matches!(
+            complete_ti_table(&base_table(), bad_tail),
+            Err(OpenWorldError::TailCollision(_))
+        ));
+    }
+
+    #[test]
+    fn ti_completion_rejects_certain_new_facts() {
+        let certain = FactSupply::from_vec(
+            schema(),
+            vec![(rfact(100), 1.0)],
+        )
+        .unwrap();
+        assert!(matches!(
+            complete_ti_table(&base_table(), certain),
+            Err(OpenWorldError::CertainNewFact(_))
+        ));
+    }
+
+    #[test]
+    fn ti_completion_rejects_divergent_tails() {
+        let divergent = FactSupply::from_fn(
+            schema(),
+            |i| rfact(100 + i as i64),
+            HarmonicSeries::new(0.5).unwrap(),
+        );
+        assert!(matches!(
+            complete_ti_table(&base_table(), divergent),
+            Err(OpenWorldError::Ti(_))
+        ));
+    }
+
+    #[test]
+    fn ti_completion_expected_size_adds_tail_mass() {
+        // E = 0.8 + 0.4 (original) + 0.5 (geometric tail total)
+        let pdb = complete_ti_table(&base_table(), tail()).unwrap();
+        let (lo, hi) = pdb.expected_size_bounds(200).unwrap();
+        assert!(lo <= 1.7 + 1e-9 && 1.7 <= hi + 1e-9, "1.7 ∉ [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn generic_completion_construction() {
+        // correlated original (not t.i.): exactly one of R(1), R(2)
+        let original = FinitePdb::from_worlds(
+            schema(),
+            [(vec![rfact(1)], 0.6), (vec![rfact(2)], 0.4)],
+        )
+        .unwrap();
+        let completed = complete_pdb(original, tail()).unwrap();
+        // original correlation preserved (checked in completion.rs tests);
+        // here: new facts possible
+        assert!(completed.tail().marginal(&rfact(100), 10).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn generic_completion_rejects_collisions() {
+        let original = FinitePdb::from_worlds(
+            schema(),
+            [(vec![rfact(1)], 0.6), (vec![rfact(2)], 0.4)],
+        )
+        .unwrap();
+        let bad_tail = FactSupply::from_fn(
+            schema(),
+            |i| rfact(2 + i as i64), // R(2) collides
+            GeometricSeries::new(0.25, 0.5).unwrap(),
+        );
+        assert!(matches!(
+            complete_pdb(original, bad_tail),
+            Err(OpenWorldError::TailCollision(_))
+        ));
+    }
+
+    #[test]
+    fn finite_tail_support_validation_caps() {
+        // finite tails are validated fully without touching the 4096 limit
+        let fin_tail =
+            FactSupply::from_vec(schema(), vec![(rfact(100), 0.3)]).unwrap();
+        let pdb = complete_ti_table(&base_table(), fin_tail).unwrap();
+        assert_eq!(pdb.supply().support_len(), Some(3));
+    }
+}

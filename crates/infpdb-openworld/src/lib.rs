@@ -1,0 +1,145 @@
+#![warn(missing_docs)]
+//! Open-world completions of probabilistic databases — Section 5 of Grohe
+//! & Lindner (PODS 2019).
+//!
+//! A *completion* (Definition 5.1) expands a PDB's sample space to **all**
+//! finite instances over the (infinite) universe while faithfully
+//! preserving the original measure: conditioned on the original sample
+//! space, nothing changes (the completion condition (CC)). This is the
+//! paper's "infinite open-world assumption": facts never mentioned by the
+//! database get small positive probabilities instead of the closed-world 0.
+//!
+//! * [`independent_facts`] — Theorem 5.5: completion by independent fresh
+//!   facts. For a finite t.i. original this produces a countable
+//!   *tuple-independent* PDB directly (finite table spliced in front of a
+//!   convergent tail supply); for arbitrary finite originals it produces
+//!   the product-measure [`completion::CompletedPdb`].
+//! * [`completion`] — the `CompletedPdb` object and machinery to *verify*
+//!   (CC) on concrete events.
+//! * [`closure`] — the `c`-mass repair for sample spaces not closed under
+//!   subsets/unions (the discussion after Theorem 5.5).
+//! * [`closed_world`] — Remark 5.2: the closed-world assumption is the
+//!   degenerate completion with all new probabilities 0.
+//! * [`lambda`] — the OpenPDB baseline of Ceylan et al. (KR'16): finite
+//!   universe, new facts bounded by a threshold `λ`, interval semantics
+//!   for monotone queries. Included as the paper's point of comparison.
+//! * [`distributions`] — concrete tail suppliers: geometric and ζ(2)
+//!   decay over ℕ, word-length decay over `Σ*` (Example 2.4), discretized
+//!   normal and name-frequency-with-decay distributions (Example 3.2).
+//! * [`null_completion`] — Example 3.2: completing an incomplete database
+//!   with null values into a PDB, one distribution per null.
+//! * [`bid_completion`] — the abstract's extension: completions of
+//!   block-independent-disjoint originals with fresh blocks.
+
+pub mod bid_completion;
+pub mod closed_world;
+pub mod closure;
+pub mod completion;
+pub mod distributions;
+pub mod independent_facts;
+pub mod lambda;
+pub mod null_completion;
+
+pub use completion::CompletedPdb;
+pub use lambda::LambdaCompletion;
+
+/// Errors of the open-world layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpenWorldError {
+    /// Propagated infinite-PDB error.
+    Ti(infpdb_ti::TiError),
+    /// Propagated finite-engine error.
+    Finite(String),
+    /// Propagated core error.
+    Core(infpdb_core::CoreError),
+    /// Propagated numerics error.
+    Math(infpdb_math::MathError),
+    /// A tail fact collides with an original fact — the tail must supply
+    /// facts from `F[τ,U] − F(D)`.
+    TailCollision(String),
+    /// A new fact was given probability 1, which forces `P′(Ω) = 0` and
+    /// breaks the completion condition (remark before Theorem 5.5).
+    CertainNewFact(String),
+    /// The requested operation would enumerate too many combinations.
+    TooManyCombinations(usize),
+    /// A query is not monotone (not a UCQ), so λ-interval semantics does
+    /// not apply.
+    NotMonotone(String),
+}
+
+impl std::fmt::Display for OpenWorldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenWorldError::Ti(e) => write!(f, "{e}"),
+            OpenWorldError::Finite(e) => write!(f, "{e}"),
+            OpenWorldError::Core(e) => write!(f, "{e}"),
+            OpenWorldError::Math(e) => write!(f, "{e}"),
+            OpenWorldError::TailCollision(s) => {
+                write!(f, "tail supplies fact {s} that already belongs to the original PDB")
+            }
+            OpenWorldError::CertainNewFact(s) => write!(
+                f,
+                "new fact {s} has probability 1; completions require new facts with p < 1"
+            ),
+            OpenWorldError::TooManyCombinations(n) => {
+                write!(f, "operation would enumerate {n} combinations")
+            }
+            OpenWorldError::NotMonotone(s) => {
+                write!(f, "query is not a UCQ, λ-interval semantics undefined: {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OpenWorldError {}
+
+impl From<infpdb_ti::TiError> for OpenWorldError {
+    fn from(e: infpdb_ti::TiError) -> Self {
+        OpenWorldError::Ti(e)
+    }
+}
+
+impl From<infpdb_core::CoreError> for OpenWorldError {
+    fn from(e: infpdb_core::CoreError) -> Self {
+        OpenWorldError::Core(e)
+    }
+}
+
+impl From<infpdb_math::MathError> for OpenWorldError {
+    fn from(e: infpdb_math::MathError) -> Self {
+        OpenWorldError::Math(e)
+    }
+}
+
+impl From<infpdb_finite::FiniteError> for OpenWorldError {
+    fn from(e: infpdb_finite::FiniteError) -> Self {
+        OpenWorldError::Finite(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_conversions() {
+        assert!(OpenWorldError::TailCollision("R(1)".into())
+            .to_string()
+            .contains("R(1)"));
+        assert!(OpenWorldError::CertainNewFact("S(2)".into())
+            .to_string()
+            .contains("p < 1"));
+        assert!(OpenWorldError::TooManyCombinations(1 << 30)
+            .to_string()
+            .contains("combinations"));
+        assert!(OpenWorldError::NotMonotone("neg".into())
+            .to_string()
+            .contains("UCQ"));
+        let e: OpenWorldError = infpdb_ti::TiError::UnboundedEvent.into();
+        assert!(e.to_string().contains("finite"));
+        let c: OpenWorldError = infpdb_core::CoreError::EmptySpace.into();
+        assert!(c.to_string().contains("sample"));
+        let m: OpenWorldError = infpdb_math::MathError::UnknownTail.into();
+        assert!(m.to_string().contains("tail"));
+    }
+}

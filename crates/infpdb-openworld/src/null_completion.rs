@@ -1,0 +1,263 @@
+//! Probabilistic completion of incomplete databases (Example 3.2).
+//!
+//! An incomplete database specifies relations with null values `⊥`; the
+//! paper describes completing each null according to a distribution over
+//! the universe (a normal for a missing height, a name-frequency model for
+//! a missing first name), independently per null, "giving us a probability
+//! distribution on the possible completions of our incomplete database and
+//! hence a probabilistic database".
+//!
+//! [`complete_nulls`] materializes that PDB: the product space over the
+//! per-null distributions (guarded against combinatorial explosion). For
+//! countably-infinite null distributions, truncate them first and account
+//! for the remainder — or use the open-world machinery end-to-end.
+
+use crate::OpenWorldError;
+use infpdb_core::fact::Fact;
+use infpdb_core::schema::{RelId, Schema};
+use infpdb_core::space::DiscreteSpace;
+use infpdb_core::value::Value;
+use infpdb_finite::FinitePdb;
+
+/// Cap on the number of completions materialized.
+pub const MAX_COMPLETIONS: usize = 1 << 20;
+
+/// A row that may contain nulls.
+#[derive(Debug, Clone)]
+pub struct NullableRow {
+    /// The relation.
+    pub rel: RelId,
+    /// Arguments; `None` is the null `⊥`.
+    pub args: Vec<Option<Value>>,
+}
+
+impl NullableRow {
+    /// Builds a row.
+    pub fn new(rel: RelId, args: Vec<Option<Value>>) -> Self {
+        Self { rel, args }
+    }
+
+    /// Number of nulls in the row.
+    pub fn null_count(&self) -> usize {
+        self.args.iter().filter(|a| a.is_none()).count()
+    }
+}
+
+/// Completes an incomplete database into a finite PDB: null `j` (in
+/// row-major, left-to-right order) is filled independently according to
+/// `distributions[j]` (values with probabilities summing to 1).
+pub fn complete_nulls(
+    schema: Schema,
+    rows: Vec<NullableRow>,
+    distributions: Vec<Vec<(Value, f64)>>,
+) -> Result<FinitePdb, OpenWorldError> {
+    let total_nulls: usize = rows.iter().map(NullableRow::null_count).sum();
+    assert_eq!(
+        total_nulls,
+        distributions.len(),
+        "need exactly one distribution per null"
+    );
+    let mut combinations: usize = 1;
+    for d in &distributions {
+        combinations = combinations.saturating_mul(d.len().max(1));
+        if combinations > MAX_COMPLETIONS {
+            return Err(OpenWorldError::TooManyCombinations(combinations));
+        }
+    }
+    // Build the joint space over null assignments as an iterated product.
+    let mut space: DiscreteSpace<Vec<Value>> = DiscreteSpace::dirac(vec![]);
+    for dist in &distributions {
+        let next = DiscreteSpace::new(dist.clone())?;
+        space = space.pushforward(|v| v.clone()).product(&next).pushforward(
+            |(prefix, v)| {
+                let mut out = prefix.clone();
+                out.push(v.clone());
+                out
+            },
+        );
+    }
+    // Map each assignment to the completed instance.
+    let worlds: Vec<(Vec<Fact>, f64)> = space
+        .outcomes()
+        .iter()
+        .map(|(assignment, p)| {
+            let mut facts = Vec::with_capacity(rows.len());
+            let mut next = 0usize;
+            for row in &rows {
+                let args: Vec<Value> = row
+                    .args
+                    .iter()
+                    .map(|a| match a {
+                        Some(v) => v.clone(),
+                        None => {
+                            let v = assignment[next].clone();
+                            next += 1;
+                            v
+                        }
+                    })
+                    .collect();
+                facts.push(Fact::new(row.rel, args));
+            }
+            (facts, *p)
+        })
+        .collect();
+    FinitePdb::from_worlds(schema, worlds).map_err(Into::into)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::Relation;
+    use infpdb_logic::parse;
+
+    /// Example 3.2's 5-ary Person relation, abridged to 3 columns.
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::with_attributes(
+            "Person",
+            ["LastName", "Nationality", "HeightMm"],
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_null_completion_is_the_value_distribution() {
+        let s = schema();
+        let rel = s.rel_id("Person").unwrap();
+        let rows = vec![NullableRow::new(
+            rel,
+            vec![
+                Some(Value::str("Lindner")),
+                Some(Value::str("German")),
+                None,
+            ],
+        )];
+        let heights = crate::distributions::discretized_normal(1800.0, 70.0, 10.0, 0, 4.0, 1.0)
+            .unwrap();
+        let pdb = complete_nulls(s, rows, vec![heights.clone()]).unwrap();
+        assert_eq!(pdb.space().support_size(), heights.len());
+        // each world is a single completed fact with the height's mass
+        let (v0, p0) = &heights[0];
+        let f = Fact::new(
+            rel,
+            [
+                Value::str("Lindner"),
+                Value::str("German"),
+                v0.clone(),
+            ],
+        );
+        assert!((pdb.marginal(&f) - p0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_nulls_complete_independently() {
+        let s = schema();
+        let rel = s.rel_id("Person").unwrap();
+        let rows = vec![NullableRow::new(
+            rel,
+            vec![None, Some(Value::str("German")), None],
+        )];
+        let names = vec![
+            (Value::str("Grohe"), 0.7),
+            (Value::str("Lindner"), 0.3),
+        ];
+        let heights = vec![
+            (Value::int(1780), 0.4),
+            (Value::int(1830), 0.6),
+        ];
+        let pdb = complete_nulls(s, rows, vec![names, heights]).unwrap();
+        assert_eq!(pdb.space().support_size(), 4);
+        let f = Fact::new(
+            rel,
+            [
+                Value::str("Grohe"),
+                Value::str("German"),
+                Value::int(1830),
+            ],
+        );
+        // independence: 0.7 × 0.6
+        assert!((pdb.marginal(&f) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queries_over_completions() {
+        let s = schema();
+        let rel = s.rel_id("Person").unwrap();
+        let rows = vec![
+            NullableRow::new(
+                rel,
+                vec![Some(Value::str("Grohe")), Some(Value::str("German")), None],
+            ),
+            NullableRow::new(
+                rel,
+                vec![
+                    Some(Value::str("Lindner")),
+                    Some(Value::str("German")),
+                    Some(Value::int(1810)),
+                ],
+            ),
+        ];
+        let heights = vec![
+            (Value::int(1790), 0.5),
+            (Value::int(1830), 0.5),
+        ];
+        let pdb = complete_nulls(s, rows, vec![heights]).unwrap();
+        // P(Grohe listed at 1830)
+        let q = parse("Person('Grohe', 'German', 1830)", pdb.schema()).unwrap();
+        assert!((pdb.prob_boolean(&q).unwrap() - 0.5).abs() < 1e-12);
+        // the certain row holds in every world
+        let q2 = parse("Person('Lindner', 'German', 1810)", pdb.schema()).unwrap();
+        assert!((pdb.prob_boolean(&q2).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_count_and_mismatched_distributions_panic() {
+        let s = schema();
+        let rel = s.rel_id("Person").unwrap();
+        let row = NullableRow::new(rel, vec![None, None, Some(Value::int(1))]);
+        assert_eq!(row.null_count(), 2);
+        let result = std::panic::catch_unwind(|| {
+            complete_nulls(schema(), vec![row], vec![]) // 2 nulls, 0 dists
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn explosion_guard() {
+        let s = schema();
+        let rel = s.rel_id("Person").unwrap();
+        let rows: Vec<NullableRow> = (0..8)
+            .map(|i| {
+                NullableRow::new(
+                    rel,
+                    vec![Some(Value::int(i)), Some(Value::str("x")), None],
+                )
+            })
+            .collect();
+        // 8 nulls × 40 values each = 40^8 combinations
+        let dist: Vec<(Value, f64)> = (0..40)
+            .map(|k| (Value::int(k), 1.0 / 40.0))
+            .collect();
+        let dists = vec![dist; 8];
+        assert!(matches!(
+            complete_nulls(s, rows, dists),
+            Err(OpenWorldError::TooManyCombinations(_))
+        ));
+    }
+
+    #[test]
+    fn no_nulls_gives_a_dirac_pdb() {
+        let s = schema();
+        let rel = s.rel_id("Person").unwrap();
+        let rows = vec![NullableRow::new(
+            rel,
+            vec![
+                Some(Value::str("Grohe")),
+                Some(Value::str("German")),
+                Some(Value::int(1830)),
+            ],
+        )];
+        let pdb = complete_nulls(s, rows, vec![]).unwrap();
+        assert_eq!(pdb.space().support_size(), 1);
+        assert!((pdb.space().total_mass() - 1.0).abs() < 1e-12);
+    }
+}

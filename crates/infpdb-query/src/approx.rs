@@ -1,0 +1,244 @@
+//! The additive-ε approximation algorithm (Proposition 6.1).
+//!
+//! `p := P(Q | Ω_n)` computed by a closed-world finite engine on the prefix
+//! table satisfies `P(Q) − ε ≤ p ≤ P(Q) + ε`:
+//!
+//! * `(a)` `P(Q) = P(Ω_n)·p + P(¬Ω_n)·P(Q | ¬Ω_n) ≤ p + ε` since
+//!   `P(¬Ω_n) ≤ 1 − e^{−α_n} ≤ ε`;
+//! * `(b)` `P(Q) ≥ P(Ω_n)·p ≥ e^{−α_n}·p`, so
+//!   `p ≤ e^{α_n}·P(Q) ≤ (1+ε)P(Q) ≤ P(Q) + ε`.
+//!
+//! Conditioning note: for a *tuple-independent* PDB, conditioning on
+//! "no fact beyond `n` occurs" leaves the joint distribution of
+//! `f₁ … f_n` untouched (independence), so `P(Q | Ω_n)` **is** the query
+//! probability on the prefix table — with the technical caveat the paper
+//! handles via `r`-equivalence: the conditioned instances are exactly the
+//! sub-instances of `{f₁ … f_n}`, which is how the finite engine evaluates.
+
+use crate::truncate::TruncationPlan;
+use crate::QueryError;
+use infpdb_finite::engine::{self, Engine};
+use infpdb_logic::ast::Formula;
+use infpdb_ti::construction::CountableTiPdb;
+
+/// The result of an approximate evaluation, carrying its certificates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Approximation {
+    /// The estimate `p = P(Q | Ω_n)`.
+    pub estimate: f64,
+    /// The additive tolerance ε: `P(Q) ∈ [estimate − ε, estimate + ε]`.
+    pub eps: f64,
+    /// The truncation length `n(ε)`.
+    pub n: usize,
+    /// Certified bound on the discarded tail mass.
+    pub tail_mass: f64,
+}
+
+impl Approximation {
+    /// The guaranteed enclosure `[p − ε, p + ε] ∩ [0, 1]`.
+    pub fn interval(&self) -> infpdb_math::ProbInterval {
+        infpdb_math::ProbInterval::exact(self.estimate.clamp(0.0, 1.0))
+            .expect("estimate is a probability")
+            .widen(self.eps)
+    }
+}
+
+/// Proposition 6.1: additive-ε approximation of `P(Q)` for a Boolean FO
+/// query `Q` on a countable t.i. PDB, using the chosen finite engine for
+/// the `P(Q | Ω_n)` evaluation.
+///
+/// ```
+/// use infpdb_core::schema::{RelId, Relation, Schema};
+/// use infpdb_finite::engine::Engine;
+/// use infpdb_logic::parse;
+/// use infpdb_math::series::GeometricSeries;
+/// use infpdb_query::approx::approx_prob_boolean;
+/// use infpdb_ti::{construction::CountableTiPdb, enumerator::FactSupply};
+///
+/// // R(1), R(2), … with probabilities 1/2, 1/4, …
+/// let schema = Schema::from_relations([Relation::new("R", 1)])?;
+/// let pdb = CountableTiPdb::new(FactSupply::unary_over_naturals(
+///     schema.clone(), RelId(0), GeometricSeries::new(0.5, 0.5)?))?;
+///
+/// let q = parse("exists x. R(x)", &schema)?;
+/// let answer = approx_prob_boolean(&pdb, &q, 0.01, Engine::Auto)?;
+/// // the true probability is 1 − ∏(1 − 2^{-i}) ≈ 0.7112
+/// assert!((answer.estimate - 0.7112).abs() <= 0.011);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn approx_prob_boolean(
+    pdb: &CountableTiPdb,
+    query: &Formula,
+    eps: f64,
+    finite_engine: Engine,
+) -> Result<Approximation, QueryError> {
+    let plan = TruncationPlan::new(pdb, eps)?;
+    let estimate = engine::prob_boolean(query, &plan.table, finite_engine)?;
+    Ok(Approximation {
+        estimate,
+        eps,
+        n: plan.n(),
+        tail_mass: plan.truncation.tail_mass,
+    })
+}
+
+/// The same algorithm against an explicit [`TruncationPlan`] (reuse across
+/// a query workload: the plan depends only on ε and the PDB).
+pub fn approx_with_plan(
+    plan: &TruncationPlan,
+    query: &Formula,
+    finite_engine: Engine,
+) -> Result<Approximation, QueryError> {
+    let estimate = engine::prob_boolean(query, &plan.table, finite_engine)?;
+    Ok(Approximation {
+        estimate,
+        eps: plan.eps,
+        n: plan.n(),
+        tail_mass: plan.truncation.tail_mass,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::{RelId, Relation, Schema};
+    use infpdb_logic::parse;
+    use infpdb_math::series::{GeometricSeries, ZetaSeries};
+    use infpdb_ti::enumerator::FactSupply;
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 1)]).unwrap()
+    }
+
+    fn pdb(
+        series: impl infpdb_math::series::ProbSeries + Send + Sync + 'static,
+    ) -> CountableTiPdb {
+        CountableTiPdb::new(FactSupply::unary_over_naturals(schema(), RelId(0), series))
+            .unwrap()
+    }
+
+    /// Ground truth for ∃x R(x): 1 − ∏(1 − p_i), by very long product.
+    fn truth_exists(p: &CountableTiPdb, terms: usize) -> f64 {
+        let mut acc = 1.0;
+        for i in 0..terms {
+            acc *= 1.0 - p.supply().prob(i);
+        }
+        1.0 - acc
+    }
+
+    #[test]
+    fn additive_guarantee_holds_geometric() {
+        let p = pdb(GeometricSeries::new(0.5, 0.5).unwrap());
+        let q = parse("exists x. R(x)", p.schema()).unwrap();
+        let truth = truth_exists(&p, 2000);
+        for eps in [0.3, 0.1, 0.01, 0.001] {
+            let a = approx_prob_boolean(&p, &q, eps, Engine::Auto).unwrap();
+            assert!(
+                (a.estimate - truth).abs() <= eps,
+                "eps {eps}: estimate {} vs truth {truth}",
+                a.estimate
+            );
+            assert!(a.interval().contains(truth));
+        }
+    }
+
+    #[test]
+    fn additive_guarantee_holds_zeta() {
+        let p = pdb(ZetaSeries::basel());
+        let q = parse("exists x. R(x)", p.schema()).unwrap();
+        let truth = truth_exists(&p, 3_000_000);
+        for eps in [0.1, 0.01] {
+            let a = approx_prob_boolean(&p, &q, eps, Engine::Auto).unwrap();
+            assert!(
+                (a.estimate - truth).abs() <= eps,
+                "eps {eps}: estimate {} vs truth {truth}",
+                a.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_eps() {
+        // observed error should be far below ε for the geometric family
+        // (the bound is conservative) and must not grow as ε shrinks
+        let p = pdb(GeometricSeries::new(0.5, 0.5).unwrap());
+        let q = parse("exists x. R(x)", p.schema()).unwrap();
+        let truth = truth_exists(&p, 2000);
+        let e1 = (approx_prob_boolean(&p, &q, 0.1, Engine::Auto)
+            .unwrap()
+            .estimate
+            - truth)
+            .abs();
+        let e2 = (approx_prob_boolean(&p, &q, 0.001, Engine::Auto)
+            .unwrap()
+            .estimate
+            - truth)
+            .abs();
+        assert!(e2 <= e1 + 1e-12);
+        assert!(e2 <= 0.001);
+    }
+
+    #[test]
+    fn negative_and_universal_queries() {
+        let p = pdb(GeometricSeries::new(0.5, 0.5).unwrap());
+        // "no fact at all": P = ∏(1−p_i) ≈ 0.28879
+        let q = parse("!(exists x. R(x))", p.schema()).unwrap();
+        let truth = 1.0 - truth_exists(&p, 2000);
+        let a = approx_prob_boolean(&p, &q, 0.01, Engine::Auto).unwrap();
+        assert!((a.estimate - truth).abs() <= 0.01);
+        // a ground atom
+        let q2 = parse("R(1)", p.schema()).unwrap();
+        let a2 = approx_prob_boolean(&p, &q2, 0.01, Engine::Auto).unwrap();
+        assert!((a2.estimate - 0.5).abs() <= 0.01);
+        // R(1) ∧ ¬R(2): 0.5 · 0.75
+        let q3 = parse("R(1) /\\ !R(2)", p.schema()).unwrap();
+        let a3 = approx_prob_boolean(&p, &q3, 0.01, Engine::Auto).unwrap();
+        assert!((a3.estimate - 0.375).abs() <= 0.01);
+    }
+
+    #[test]
+    fn engines_agree_through_the_truncation() {
+        let p = pdb(GeometricSeries::new(0.5, 0.5).unwrap());
+        let q = parse("exists x. R(x)", p.schema()).unwrap();
+        let lifted = approx_prob_boolean(&p, &q, 0.05, Engine::Lifted).unwrap();
+        let lineage = approx_prob_boolean(&p, &q, 0.05, Engine::Lineage).unwrap();
+        assert!((lifted.estimate - lineage.estimate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_reuse_across_workload() {
+        let p = pdb(GeometricSeries::new(0.5, 0.5).unwrap());
+        let plan = TruncationPlan::new(&p, 0.05).unwrap();
+        let truth = truth_exists(&p, 2000);
+        for qs in ["exists x. R(x)", "R(1)", "R(1) \\/ R(2)"] {
+            let q = parse(qs, p.schema()).unwrap();
+            let a = approx_with_plan(&plan, &q, Engine::Auto).unwrap();
+            assert_eq!(a.n, plan.n());
+            if qs == "exists x. R(x)" {
+                assert!((a.estimate - truth).abs() <= 0.05);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_tolerance_and_free_variables() {
+        let p = pdb(GeometricSeries::new(0.5, 0.5).unwrap());
+        let q = parse("exists x. R(x)", p.schema()).unwrap();
+        assert!(approx_prob_boolean(&p, &q, 0.5, Engine::Auto).is_err());
+        let free = parse("R(x)", p.schema()).unwrap();
+        assert!(approx_prob_boolean(&p, &free, 0.1, Engine::Auto).is_err());
+    }
+
+    #[test]
+    fn interval_accessor_clamps() {
+        let a = Approximation {
+            estimate: 0.97,
+            eps: 0.1,
+            n: 5,
+            tail_mass: 0.01,
+        };
+        let iv = a.interval();
+        assert_eq!(iv.hi(), 1.0);
+        assert!((iv.lo() - 0.87).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,104 @@
+//! Truncation planning for Proposition 6.1.
+//!
+//! "Choose `n` large enough such that for all `i > n` we have `p_i ≤ 1/2`
+//! and `e^{α_n} ≤ 1 + ε` and `e^{−α_n} ≥ 1 − ε` … an appropriate `n` can be
+//! found algorithmically by systematically listing facts until the
+//! remaining probability mass is small enough."
+//!
+//! The search itself lives in `infpdb_math::truncation`; this module binds
+//! it to a PDB and materializes the `Ω_n` prefix table.
+
+use crate::QueryError;
+use infpdb_finite::TiTable;
+use infpdb_math::truncation::{self, Truncation};
+use infpdb_ti::construction::CountableTiPdb;
+
+/// A planned truncation: the Proposition 6.1 certificates plus the
+/// materialized prefix table.
+#[derive(Debug)]
+pub struct TruncationPlan {
+    /// The certificates (`n`, tail mass, `α_n`).
+    pub truncation: Truncation,
+    /// The finite table over `f₁ … f_n`.
+    pub table: TiTable,
+    /// The tolerance the plan was built for.
+    pub eps: f64,
+}
+
+impl TruncationPlan {
+    /// Builds the Proposition 6.1 truncation for tolerance
+    /// `ε ∈ (0, 1/2)`.
+    pub fn new(pdb: &CountableTiPdb, eps: f64) -> Result<Self, QueryError> {
+        let truncation = truncation::for_tolerance(pdb.supply(), eps)?;
+        let table = pdb.truncate(truncation.n)?;
+        Ok(Self {
+            truncation,
+            table,
+            eps,
+        })
+    }
+
+    /// `n(ε)`: the prefix length.
+    pub fn n(&self) -> usize {
+        self.truncation.n
+    }
+
+    /// Certified bound on `P(¬Ω_n)` — the mass escaping the truncation.
+    pub fn escape_probability(&self) -> f64 {
+        self.truncation.escape_probability()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::{RelId, Relation, Schema};
+    use infpdb_math::series::{GeometricSeries, ZetaSeries};
+    use infpdb_ti::enumerator::FactSupply;
+
+    fn pdb(
+        series: impl infpdb_math::series::ProbSeries + Send + Sync + 'static,
+    ) -> CountableTiPdb {
+        let schema = Schema::from_relations([Relation::new("R", 1)]).unwrap();
+        CountableTiPdb::new(FactSupply::unary_over_naturals(schema, RelId(0), series))
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_materializes_prefix() {
+        let p = pdb(GeometricSeries::new(0.5, 0.5).unwrap());
+        let plan = TruncationPlan::new(&p, 0.1).unwrap();
+        assert_eq!(plan.table.len(), plan.n());
+        assert!(plan.n() >= 4);
+        assert!(plan.escape_probability() <= 0.1);
+        assert_eq!(plan.eps, 0.1);
+    }
+
+    #[test]
+    fn plan_rejects_bad_tolerances() {
+        let p = pdb(GeometricSeries::new(0.5, 0.5).unwrap());
+        for eps in [0.0, 0.5, 0.7, -0.1] {
+            assert!(TruncationPlan::new(&p, eps).is_err(), "eps = {eps}");
+        }
+    }
+
+    #[test]
+    fn slow_series_get_long_plans() {
+        let g = TruncationPlan::new(&pdb(GeometricSeries::new(0.5, 0.5).unwrap()), 0.01)
+            .unwrap();
+        let z = TruncationPlan::new(&pdb(ZetaSeries::basel()), 0.01).unwrap();
+        assert!(z.n() > 10 * g.n());
+    }
+
+    #[test]
+    fn proof_conditions_hold() {
+        let p = pdb(GeometricSeries::new(0.5, 0.5).unwrap());
+        for eps in [0.3, 0.1, 0.01] {
+            let plan = TruncationPlan::new(&p, eps).unwrap();
+            let alpha = plan.truncation.alpha;
+            assert!(alpha.exp() <= 1.0 + eps + 1e-12);
+            assert!((-alpha).exp() >= 1.0 - eps - 1e-12);
+            assert!(plan.truncation.tail_mass <= 0.5);
+        }
+    }
+}

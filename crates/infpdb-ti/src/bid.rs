@@ -1,0 +1,434 @@
+//! Countably infinite block-independent-disjoint PDBs.
+//!
+//! Section 4.4: facts are partitioned into blocks; within a block facts are
+//! mutually exclusive, across blocks independent. Proposition 4.13
+//! constructs a countable b.i.d. PDB from per-block conditional
+//! probabilities `(p_f^B)` with `∑_{f∈B} p_f^B ≤ 1`, provided the total
+//! mass `∑_B ∑_{f∈B} p_f^B` converges; Theorem 4.15 shows convergence is
+//! also necessary (Lemma 4.14, again Borel–Cantelli).
+//!
+//! A [`BlockSupply`] enumerates blocks (each a finite alternative list)
+//! with a certified series of block masses; [`CountableBidPdb`] wraps a
+//! convergence-certified supply, mirroring the t.i. construction: interval
+//! instance probabilities, exact finite-support event probabilities via
+//! truncation to finite [`BidTable`]s, ε-truncated sampling.
+
+use crate::{existence, TiError};
+use infpdb_core::fact::Fact;
+use infpdb_core::instance::Instance;
+use infpdb_core::schema::Schema;
+use infpdb_core::space::rand_core::RngCore;
+use infpdb_finite::BidTable;
+use infpdb_math::series::{ProbSeries, TailBound};
+use infpdb_math::{products, KahanSum, ProbInterval};
+use std::sync::Arc;
+
+/// A countable enumeration of blocks with certified mass tails.
+///
+/// `block(i)` returns block `i`'s alternatives `(fact, conditional
+/// probability)`; `mass_series.term(i)` must equal (or certifiedly
+/// dominate) `∑_f p_f` of block `i`, with valid tail bounds.
+#[derive(Clone)]
+pub struct BlockSupply {
+    schema: Schema,
+    gen: Arc<dyn Fn(usize) -> Vec<(Fact, f64)> + Send + Sync>,
+    mass_series: Arc<dyn ProbSeries + Send + Sync>,
+}
+
+impl std::fmt::Debug for BlockSupply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockSupply")
+            .field("schema", &self.schema)
+            .field("mass_tail(0)", &self.mass_series.tail_upper(0))
+            .finish()
+    }
+}
+
+impl BlockSupply {
+    /// Builds a block supply. The caller asserts that blocks are disjoint
+    /// (no fact appears in two blocks) and that `mass_series.term(i)` is
+    /// the mass of block `i`.
+    pub fn from_fn(
+        schema: Schema,
+        gen: impl Fn(usize) -> Vec<(Fact, f64)> + Send + Sync + 'static,
+        mass_series: impl ProbSeries + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            schema,
+            gen: Arc::new(gen),
+            mass_series: Arc::new(mass_series),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Block `i`'s alternatives.
+    pub fn block(&self, i: usize) -> Vec<(Fact, f64)> {
+        (self.gen)(i)
+    }
+
+    /// The declared mass of block `i`.
+    pub fn mass(&self, i: usize) -> f64 {
+        self.mass_series.term(i)
+    }
+
+    /// Certified tail bound on `∑_{j≥i} mass(j)`.
+    pub fn mass_tail(&self, i: usize) -> TailBound {
+        self.mass_series.tail_upper(i)
+    }
+
+    /// `Some(n)` if only the first `n` blocks can carry mass.
+    pub fn support_len_hint(&self) -> Option<usize> {
+        self.mass_series.support_len()
+    }
+
+    /// Verifies block `i`: mass ≤ 1, declared mass matches the alternative
+    /// sum, probabilities valid.
+    pub fn check_block(&self, i: usize) -> Result<(), TiError> {
+        let alts = self.block(i);
+        let mut acc = KahanSum::new();
+        for (_, p) in &alts {
+            infpdb_math::check_probability(*p).map_err(TiError::Math)?;
+            acc.add(*p);
+        }
+        let mass = acc.value();
+        if mass > 1.0 + 1e-9 {
+            return Err(TiError::BlockMassExceedsOne { block: i, mass });
+        }
+        let declared = self.mass(i);
+        if (declared - mass).abs() > 1e-6 {
+            return Err(TiError::Math(infpdb_math::MathError::NotAProbability(
+                declared,
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl ProbSeries for BlockSupply {
+    fn term(&self, i: usize) -> f64 {
+        // clamp: masses can reach 1 exactly; still a "probability" term
+        self.mass_series.term(i)
+    }
+
+    fn tail_upper(&self, i: usize) -> TailBound {
+        self.mass_series.tail_upper(i)
+    }
+
+    fn support_len(&self) -> Option<usize> {
+        self.mass_series.support_len()
+    }
+}
+
+/// A countably infinite b.i.d. PDB (Proposition 4.13 / Theorem 4.15).
+#[derive(Debug, Clone)]
+pub struct CountableBidPdb {
+    supply: BlockSupply,
+    expected_size_bound: f64,
+}
+
+impl CountableBidPdb {
+    /// Certifies convergence of the block-mass series (Theorem 4.15) and
+    /// validates the first `validate_blocks` blocks, then constructs the
+    /// PDB.
+    pub fn new(supply: BlockSupply, validate_blocks: usize) -> Result<Self, TiError> {
+        let expected_size_bound = existence::require_exists(&supply)?;
+        for i in 0..validate_blocks {
+            supply.check_block(i)?;
+        }
+        Ok(Self {
+            supply,
+            expected_size_bound,
+        })
+    }
+
+    /// The supply.
+    pub fn supply(&self) -> &BlockSupply {
+        &self.supply
+    }
+
+    /// Certified upper bound on `E(S_D) = ∑_B ∑_f p_f^B`.
+    pub fn expected_size_bound(&self) -> f64 {
+        self.expected_size_bound
+    }
+
+    /// Truncates to the finite b.i.d. table over the first `n` blocks.
+    pub fn truncate(&self, n: usize) -> Result<BidTable, TiError> {
+        let cap = self.supply.support_len().unwrap_or(usize::MAX).min(n);
+        let blocks: Vec<Vec<(Fact, f64)>> = (0..cap).map(|i| self.supply.block(i)).collect();
+        BidTable::from_blocks(self.supply.schema().clone(), blocks)
+            .map_err(|e| TiError::Finite(e.to_string()))
+    }
+
+    /// `P({D})` for an instance given as `(block index, fact)` choices, as
+    /// a certified interval: explicit blocks contribute their chosen
+    /// alternative's probability (or are checked good), unlisted blocks
+    /// contribute `p_⊥ = 1 − mass`, and the tail
+    /// `∏_{i≥cut} (1 − mass_i)` is bracketed by the claim (∗) bounds
+    /// applied to the block-mass series.
+    pub fn instance_prob(
+        &self,
+        choices: &[(usize, Fact)],
+    ) -> Result<ProbInterval, TiError> {
+        let mut chosen: std::collections::BTreeMap<usize, &Fact> = Default::default();
+        for (b, f) in choices {
+            if chosen.insert(*b, f).is_some() {
+                // two facts in one block: bad instance (Def 4.11 (1))
+                return ProbInterval::exact(0.0).map_err(TiError::Math);
+            }
+        }
+        let min_cut = chosen.keys().next_back().map(|&b| b + 1).unwrap_or(0);
+        let safe_cut =
+            infpdb_math::truncation::index_with_tail_below(&self.supply, 0.5, usize::MAX)
+                .map_err(TiError::Math)?;
+        let cut = min_cut.max(safe_cut);
+        let mut log_acc = KahanSum::new();
+        for i in 0..cut {
+            let factor = match chosen.get(&i) {
+                Some(f) => {
+                    let alts = self.supply.block(i);
+                    match alts.iter().find(|(g, _)| &g == f) {
+                        Some((_, p)) => *p,
+                        None => {
+                            return Err(TiError::FactNotFound {
+                                fact: f.display(self.supply.schema()).to_string(),
+                                searched: i,
+                            })
+                        }
+                    }
+                }
+                None => 1.0 - self.supply.mass(i),
+            };
+            if factor <= 0.0 {
+                return ProbInterval::exact(0.0).map_err(TiError::Math);
+            }
+            log_acc.add(factor.ln());
+        }
+        let explicit = log_acc.value().min(0.0).exp();
+        let tail = products::tail_product_one_minus(&self.supply, cut, 32)
+            .map_err(TiError::Math)?;
+        Ok(ProbInterval::new(explicit * tail.lo(), explicit * tail.hi())
+            .map_err(TiError::Math)?
+            .outward(1e-12))
+    }
+
+    /// ε-truncated sampling: samples the first `n(ε)` blocks where the
+    /// block-mass tail is below `tv_bound`; total-variation distance from
+    /// the true distribution is at most that tail mass.
+    pub fn sampler(&self, tv_bound: f64) -> Result<BidSampler, TiError> {
+        let n = infpdb_math::truncation::index_with_tail_below(
+            &self.supply,
+            tv_bound,
+            usize::MAX,
+        )
+        .map_err(TiError::Math)?;
+        Ok(BidSampler {
+            table: self.truncate(n)?,
+            tv_bound,
+            prefix_blocks: n,
+        })
+    }
+}
+
+/// ε-truncated sampler over block prefixes.
+#[derive(Debug)]
+pub struct BidSampler {
+    table: BidTable,
+    tv_bound: f64,
+    prefix_blocks: usize,
+}
+
+impl BidSampler {
+    /// The certified TV bound.
+    pub fn tv_bound(&self) -> f64 {
+        self.tv_bound
+    }
+
+    /// Number of explicit blocks.
+    pub fn prefix_blocks(&self) -> usize {
+        self.prefix_blocks
+    }
+
+    /// The finite table sampled from.
+    pub fn table(&self) -> &BidTable {
+        &self.table
+    }
+
+    /// Draws one instance.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> Instance {
+        self.table.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::{RelId, Relation};
+    use infpdb_core::value::Value;
+    use infpdb_math::series::{GeometricSeries, HarmonicSeries};
+
+    fn schema() -> Schema {
+        // Key-value relation: key is the block, value the alternative.
+        Schema::from_relations([Relation::new("R", 2)]).unwrap()
+    }
+
+    fn kv(k: i64, v: i64) -> Fact {
+        Fact::new(RelId(0), [Value::int(k), Value::int(v)])
+    }
+
+    /// Block i = { R(i, 0) with p = m_i/2, R(i, 1) with p = m_i/2 },
+    /// m_i = 0.5^(i+1): total mass 1, converges.
+    fn geometric_blocks() -> BlockSupply {
+        BlockSupply::from_fn(
+            schema(),
+            |i| {
+                let m = 0.5f64.powi(i as i32 + 1);
+                vec![
+                    (kv(i as i64, 0), m / 2.0),
+                    (kv(i as i64, 1), m / 2.0),
+                ]
+            },
+            GeometricSeries::new(0.5, 0.5).unwrap(),
+        )
+    }
+
+    #[test]
+    fn construction_accepts_convergent() {
+        let pdb = CountableBidPdb::new(geometric_blocks(), 16).unwrap();
+        assert!(pdb.expected_size_bound() >= 1.0);
+    }
+
+    #[test]
+    fn construction_rejects_divergent_masses() {
+        // Theorem 4.15 necessity: harmonic block masses diverge.
+        let supply = BlockSupply::from_fn(
+            schema(),
+            |i| vec![(kv(i as i64, 0), 1.0 / (i + 1) as f64)],
+            HarmonicSeries::new(1.0).unwrap(),
+        );
+        assert!(matches!(
+            CountableBidPdb::new(supply, 4),
+            Err(TiError::Math(_))
+        ));
+    }
+
+    #[test]
+    fn block_validation_catches_overfull_and_mismatched() {
+        let overfull = BlockSupply::from_fn(
+            schema(),
+            |i| vec![(kv(i as i64, 0), 0.7), (kv(i as i64, 1), 0.6)],
+            GeometricSeries::new(0.5, 0.5).unwrap(),
+        );
+        assert!(matches!(
+            overfull.check_block(0),
+            Err(TiError::BlockMassExceedsOne { block: 0, .. })
+        ));
+        let mismatched = BlockSupply::from_fn(
+            schema(),
+            |i| vec![(kv(i as i64, 0), 0.1)],
+            GeometricSeries::new(0.5, 0.5).unwrap(), // declares 0.5, actual 0.1
+        );
+        assert!(mismatched.check_block(0).is_err());
+        geometric_blocks().check_block(3).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_a_finite_bid_table() {
+        let pdb = CountableBidPdb::new(geometric_blocks(), 8).unwrap();
+        let t = pdb.truncate(3).unwrap();
+        assert_eq!(t.blocks().len(), 3);
+        assert_eq!(t.len(), 6);
+        // block masses: 0.5, 0.25, 0.125 with bottoms 0.5, 0.75, 0.875
+        assert!((t.blocks()[0].bottom() - 0.5).abs() < 1e-12);
+        assert!((t.blocks()[2].bottom() - 0.875).abs() < 1e-12);
+        // marginals recovered
+        assert!((t.marginal(&kv(0, 0)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instance_prob_good_instances() {
+        let pdb = CountableBidPdb::new(geometric_blocks(), 8).unwrap();
+        // D = { R(0,1) }: p = 0.25 · ∏_{i≥1} (1 − m_i)
+        let enc = pdb.instance_prob(&[(0, kv(0, 1))]).unwrap();
+        let mut truth = 0.25;
+        for i in 1..500 {
+            truth *= 1.0 - 0.5f64.powi(i + 1);
+        }
+        assert!(enc.contains(truth), "{truth} ∉ {enc}");
+        // empty instance: ∏ (1 − m_i)
+        let empty = pdb.instance_prob(&[]).unwrap();
+        let mut t2 = 1.0;
+        for i in 0..500 {
+            t2 *= 1.0 - 0.5f64.powi(i + 1);
+        }
+        assert!(empty.contains(t2));
+    }
+
+    #[test]
+    fn instance_prob_bad_instances_are_zero() {
+        let pdb = CountableBidPdb::new(geometric_blocks(), 8).unwrap();
+        // two alternatives of block 0 (Def 4.11 condition (1))
+        let enc = pdb
+            .instance_prob(&[(0, kv(0, 0)), (0, kv(0, 1))])
+            .unwrap();
+        assert_eq!((enc.lo(), enc.hi()), (0.0, 0.0));
+    }
+
+    #[test]
+    fn instance_prob_unknown_alternative_errors() {
+        let pdb = CountableBidPdb::new(geometric_blocks(), 8).unwrap();
+        assert!(matches!(
+            pdb.instance_prob(&[(0, kv(0, 9))]),
+            Err(TiError::FactNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn sampler_respects_block_exclusivity_and_marginals() {
+        use infpdb_core::space::rand_core::SplitMix64;
+        let pdb = CountableBidPdb::new(geometric_blocks(), 8).unwrap();
+        let s = pdb.sampler(1e-4).unwrap();
+        assert!(s.prefix_blocks() >= 13); // 0.5^n ≤ 1e-4 ⇒ n ≥ 14 for the tail
+        let mut rng = SplitMix64::new(31);
+        let n = 40_000;
+        let (mut a, mut b, mut both) = (0usize, 0usize, 0usize);
+        let id_a = s.table().interner().get(&kv(0, 0)).unwrap();
+        let id_b = s.table().interner().get(&kv(0, 1)).unwrap();
+        for _ in 0..n {
+            let d = s.sample(&mut rng);
+            let ha = d.contains(id_a);
+            let hb = d.contains(id_b);
+            assert!(!(ha && hb), "block exclusivity violated");
+            a += ha as usize;
+            b += hb as usize;
+            both += (ha || hb) as usize;
+        }
+        assert!((a as f64 / n as f64 - 0.25).abs() < 0.01);
+        assert!((b as f64 / n as f64 - 0.25).abs() < 0.01);
+        assert!((both as f64 / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn cross_block_independence_via_truncation() {
+        // Definition 4.11 (2) on the truncated table's world space.
+        let pdb = CountableBidPdb::new(geometric_blocks(), 8).unwrap();
+        let t = pdb.truncate(2).unwrap();
+        let worlds = t.worlds().unwrap();
+        use infpdb_core::event::Event;
+        let e0 = Event::fact(t.interner().get(&kv(0, 0)).unwrap());
+        let e1 = Event::fact(t.interner().get(&kv(1, 0)).unwrap());
+        let joint = worlds.prob_event(&e0.clone().and(e1.clone()));
+        let prod = worlds.prob_event(&e0) * worlds.prob_event(&e1);
+        assert!((joint - prod).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_size_bound_is_total_mass() {
+        let pdb = CountableBidPdb::new(geometric_blocks(), 4).unwrap();
+        // Σ m_i = 1
+        assert!((pdb.expected_size_bound() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,403 @@
+//! The countable tuple-independent construction (Proposition 4.5).
+//!
+//! Given a convergent family of fact probabilities, the paper constructs
+//! the probability measure
+//!
+//! ```text
+//! P({D}) = ∏_{f ∈ D} p_f · ∏_{f ∈ F_ω − D} (1 − p_f)
+//! ```
+//!
+//! and proves it is a measure (Lemma 4.3, via Lemma 2.3's distributive law)
+//! realizing the marginals independently (Lemma 4.4). A
+//! [`CountableTiPdb`] wraps a [`FactSupply`] whose convergence has been
+//! certified (Theorem 4.8) and computes:
+//!
+//! * instance probabilities as certified [`ProbInterval`]s — the infinite
+//!   product over the tail is bracketed by the claim (∗) bounds;
+//! * **exact** probabilities of finite-support events: by
+//!   tuple-independence, an event that inspects only facts `f₁ … f_n` has
+//!   the same probability as in the finite prefix table, so the finite
+//!   engine answers exactly;
+//! * truncations to finite [`TiTable`]s — the `Ω_n` of Proposition 6.1.
+
+use crate::enumerator::FactSupply;
+use crate::{existence, TiError};
+use infpdb_core::event::Event;
+use infpdb_core::fact::Fact;
+use infpdb_core::schema::Schema;
+use infpdb_finite::TiTable;
+use infpdb_math::products;
+use infpdb_math::{KahanSum, ProbInterval};
+
+/// Default search limit when locating facts in an enumeration.
+pub const DEFAULT_LOCATE_LIMIT: usize = 1_000_000;
+
+/// A countably infinite tuple-independent PDB (Proposition 4.5).
+#[derive(Debug, Clone)]
+pub struct CountableTiPdb {
+    supply: FactSupply,
+    expected_size_bound: f64,
+}
+
+impl CountableTiPdb {
+    /// Certifies convergence (Theorem 4.8) and constructs the PDB.
+    /// Divergent supplies are rejected with a witness.
+    pub fn new(supply: FactSupply) -> Result<Self, TiError> {
+        let expected_size_bound = existence::require_exists(&supply)?;
+        Ok(Self {
+            supply,
+            expected_size_bound,
+        })
+    }
+
+    /// The underlying supply.
+    pub fn supply(&self) -> &FactSupply {
+        &self.supply
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        self.supply.schema()
+    }
+
+    /// Certified upper bound on `E(S_D) = ∑ p_f` (Corollary 4.7).
+    pub fn expected_size_bound(&self) -> f64 {
+        self.expected_size_bound
+    }
+
+    /// Certified enclosure of the expected size using `prefix` explicit
+    /// terms.
+    pub fn expected_size_bounds(&self, prefix: usize) -> Result<(f64, f64), TiError> {
+        existence::expected_size_bounds(&self.supply, prefix)
+    }
+
+    /// Marginal `P(E_f)` by enumeration index.
+    pub fn marginal_at(&self, i: usize) -> f64 {
+        self.supply.prob(i)
+    }
+
+    /// Marginal `P(E_f)` of a fact, located by scanning at most `limit`
+    /// enumeration entries.
+    pub fn marginal(&self, fact: &Fact, limit: usize) -> Result<f64, TiError> {
+        Ok(self.supply.prob(self.supply.locate(fact, limit)?))
+    }
+
+    /// The probability of the empty instance `∏ (1 − p_f)`, as a certified
+    /// interval (tighter with larger `refine`).
+    pub fn prob_empty(&self, refine: usize) -> Result<ProbInterval, TiError> {
+        products::product_one_minus(&self.supply, refine).map_err(TiError::Math)
+    }
+
+    /// `P({D})` for an explicit instance `D` given by its facts
+    /// (Proposition 4.5's formula), as a certified interval.
+    ///
+    /// Facts are located within `limit`; `refine` extra tail terms tighten
+    /// the enclosure.
+    pub fn instance_prob(
+        &self,
+        facts: &[Fact],
+        refine: usize,
+        limit: usize,
+    ) -> Result<ProbInterval, TiError> {
+        let mut idxs: Vec<usize> = facts
+            .iter()
+            .map(|f| self.supply.locate(f, limit))
+            .collect::<Result<_, _>>()?;
+        // duplicates collapse set-theoretically: the formula is over the set
+        idxs.sort_unstable();
+        idxs.dedup();
+        // Cut after the last explicit fact, far enough out that the tail
+        // product bound applies.
+        let min_cut = idxs.last().map(|&i| i + 1).unwrap_or(0);
+        let safe_cut =
+            infpdb_math::truncation::index_with_tail_below(&self.supply, 0.5, usize::MAX)
+                .map_err(TiError::Math)?;
+        let cut = min_cut.max(safe_cut);
+        // Explicit part: ∏_{i<cut, i∈D} p_i · ∏_{i<cut, i∉D} (1−p_i)
+        let mut log_acc = KahanSum::new();
+        let mut next = 0usize;
+        for i in 0..cut {
+            let p = self.supply.prob(i);
+            let inside = next < idxs.len() && idxs[next] == i;
+            if inside {
+                next += 1;
+                if p == 0.0 {
+                    return ProbInterval::exact(0.0).map_err(TiError::Math);
+                }
+                log_acc.add(p.ln());
+            } else {
+                if p == 1.0 {
+                    return ProbInterval::exact(0.0).map_err(TiError::Math);
+                }
+                log_acc.add((-p).ln_1p());
+            }
+        }
+        let explicit = log_acc.value().min(0.0).exp();
+        let tail = products::tail_product_one_minus(&self.supply, cut, refine)
+            .map_err(TiError::Math)?;
+        Ok(ProbInterval::new(explicit * tail.lo(), explicit * tail.hi())
+            .map_err(TiError::Math)?
+            .outward(1e-12))
+    }
+
+    /// The finite prefix table over facts `f₁ … f_n` — the restriction the
+    /// truncation algorithm (Proposition 6.1) evaluates against. Fact ids
+    /// in the table equal enumeration indexes.
+    pub fn truncate(&self, n: usize) -> Result<TiTable, TiError> {
+        let mut t = TiTable::new(self.schema().clone());
+        let cap = self.supply.support_len().unwrap_or(usize::MAX).min(n);
+        for i in 0..cap {
+            t.add_fact(self.supply.fact(i), self.supply.prob(i))
+                .map_err(|e| TiError::Finite(e.to_string()))?;
+        }
+        Ok(t)
+    }
+
+    /// **Exact** probability of an event whose support lies within the
+    /// first `n` enumerated facts (fact ids = enumeration indexes).
+    ///
+    /// Correctness: by tuple-independence (Lemma 4.4) the occurrence
+    /// indicators of `f₁ … f_n` are independent of everything beyond `n`,
+    /// so the event's probability coincides with its probability in the
+    /// prefix table — no approximation involved.
+    pub fn prob_event_exact(&self, event: &Event, n: usize) -> Result<f64, TiError> {
+        match event.support() {
+            None => Err(TiError::UnboundedEvent),
+            Some(ids) => {
+                if ids.iter().any(|id| id.0 as usize >= n) {
+                    return Err(TiError::UnboundedEvent);
+                }
+                let table = self.truncate(n)?;
+                infpdb_finite::worlds::prob_event(event, &table)
+                    .map_err(|e| TiError::Finite(e.to_string()))
+            }
+        }
+    }
+
+    /// Certified interval for `P(Ω_n)` — the probability that *no* fact
+    /// beyond the first `n` occurs, `∏_{i≥n} (1 − p_i)` (the quantity (∗)
+    /// bounds in Proposition 6.1's proof).
+    pub fn prob_within_prefix(&self, n: usize, refine: usize) -> Result<ProbInterval, TiError> {
+        let safe =
+            infpdb_math::truncation::index_with_tail_below(&self.supply, 0.5, usize::MAX)
+                .map_err(TiError::Math)?;
+        if n >= safe {
+            return products::tail_product_one_minus(&self.supply, n, refine)
+                .map_err(TiError::Math);
+        }
+        // explicit factors from n to the safe cut, then the bounded tail
+        let mut log_acc = KahanSum::new();
+        for i in n..safe {
+            let p = self.supply.prob(i);
+            if p >= 1.0 {
+                return ProbInterval::exact(0.0).map_err(TiError::Math);
+            }
+            log_acc.add((-p).ln_1p());
+        }
+        let explicit = log_acc.value().min(0.0).exp();
+        let tail = products::tail_product_one_minus(&self.supply, safe, refine)
+            .map_err(TiError::Math)?;
+        Ok(ProbInterval::new(explicit * tail.lo(), explicit * tail.hi())
+            .map_err(TiError::Math)?
+            .outward(1e-12))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::fact::FactId;
+    use infpdb_core::schema::{RelId, Relation};
+    use infpdb_core::value::Value;
+    use infpdb_math::series::{GeometricSeries, HarmonicSeries, ZetaSeries};
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 1)]).unwrap()
+    }
+
+    fn geometric_pdb() -> CountableTiPdb {
+        CountableTiPdb::new(FactSupply::unary_over_naturals(
+            schema(),
+            RelId(0),
+            GeometricSeries::new(0.5, 0.5).unwrap(),
+        ))
+        .unwrap()
+    }
+
+    fn rfact(n: i64) -> Fact {
+        Fact::new(RelId(0), [Value::int(n)])
+    }
+
+    #[test]
+    fn construction_accepts_convergent_rejects_divergent() {
+        assert!(geometric_pdb().expected_size_bound() >= 1.0);
+        let divergent = FactSupply::unary_over_naturals(
+            schema(),
+            RelId(0),
+            HarmonicSeries::new(1.0).unwrap(),
+        );
+        assert!(matches!(
+            CountableTiPdb::new(divergent),
+            Err(TiError::Math(_))
+        ));
+    }
+
+    #[test]
+    fn marginals_are_realized() {
+        // Lemma 4.4: P(E_f) = p_f.
+        let pdb = geometric_pdb();
+        assert_eq!(pdb.marginal_at(0), 0.5);
+        assert_eq!(pdb.marginal_at(3), 0.0625);
+        assert_eq!(pdb.marginal(&rfact(2), 100).unwrap(), 0.25);
+        assert!(pdb.marginal(&rfact(-1), 100).is_err());
+    }
+
+    #[test]
+    fn empty_instance_probability_interval() {
+        let pdb = geometric_pdb();
+        let enc = pdb.prob_empty(64).unwrap();
+        // truth: ∏ (1 − 2^{-i}) for i≥1 ≈ 0.288788...
+        let truth = products::prefix_product_one_minus(pdb.supply(), 500).prob();
+        assert!(enc.contains(truth), "{truth} ∉ {enc}");
+        assert!(enc.width() < 1e-6);
+    }
+
+    #[test]
+    fn instance_prob_formula() {
+        let pdb = geometric_pdb();
+        // D = {R(1)}: p₁ · ∏_{i≥2}(1−p_i) = 0.5 · ∏.../(1−0.5)
+        let enc = pdb.instance_prob(&[rfact(1)], 64, 100).unwrap();
+        let truth = {
+            let all = products::prefix_product_one_minus(pdb.supply(), 500).prob();
+            0.5 * all / (1.0 - 0.5)
+        };
+        assert!(enc.contains(truth), "{truth} ∉ {enc}");
+        // monotonicity: adding an unlikely fact lowers probability
+        let enc2 = pdb.instance_prob(&[rfact(1), rfact(10)], 64, 100).unwrap();
+        assert!(enc2.hi() < enc.lo());
+    }
+
+    #[test]
+    fn instance_prob_empty_matches_prob_empty() {
+        let pdb = geometric_pdb();
+        let a = pdb.instance_prob(&[], 64, 10).unwrap();
+        let b = pdb.prob_empty(64).unwrap();
+        assert!(a.intersect(&b).is_ok());
+    }
+
+    #[test]
+    fn instance_prob_unknown_fact_errors() {
+        let pdb = geometric_pdb();
+        assert!(matches!(
+            pdb.instance_prob(&[rfact(0)], 8, 50),
+            Err(TiError::FactNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn lemma_4_3_mass_sums_to_one_within_tail() {
+        // Sum of P({D}) over all D ⊆ {f₁…f_k} should approach 1 as k grows
+        // (the mass outside is bounded by the escape probability).
+        let pdb = geometric_pdb();
+        let k = 10;
+        let mut total = 0.0;
+        for mask in 0u32..(1 << k) {
+            let facts: Vec<Fact> = (0..k)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| rfact(i as i64 + 1))
+                .collect();
+            total += pdb.instance_prob(&facts, 32, 100).unwrap().midpoint();
+        }
+        let escape = 1.0 - pdb.prob_within_prefix(k, 32).unwrap().lo();
+        assert!(total <= 1.0 + 1e-6);
+        assert!(total >= 1.0 - escape - 1e-6, "total {total}, escape {escape}");
+    }
+
+    #[test]
+    fn truncation_produces_prefix_table() {
+        let pdb = geometric_pdb();
+        let t = pdb.truncate(4).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.prob(FactId(2)), 0.125);
+        assert_eq!(t.interner().resolve(FactId(0)), &rfact(1));
+    }
+
+    #[test]
+    fn finite_support_truncation_caps() {
+        let supply = FactSupply::from_vec(
+            schema(),
+            vec![(rfact(1), 0.5), (rfact(2), 0.25)],
+        )
+        .unwrap();
+        let pdb = CountableTiPdb::new(supply).unwrap();
+        let t = pdb.truncate(100).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn exact_event_probabilities() {
+        // Lemma 4.4: events over the first n facts are exact.
+        let pdb = geometric_pdb();
+        let e = Event::fact(FactId(0)); // R(1), p = 0.5
+        assert!((pdb.prob_event_exact(&e, 4).unwrap() - 0.5).abs() < 1e-15);
+        let both = Event::fact(FactId(0)).and(Event::fact(FactId(1)));
+        assert!((pdb.prob_event_exact(&both, 4).unwrap() - 0.125).abs() < 1e-15);
+        let any = Event::any_of([FactId(0), FactId(1)]);
+        assert!((pdb.prob_event_exact(&any, 4).unwrap() - 0.625).abs() < 1e-15);
+        // independence of E_f (Definition 4.1 / Lemma 4.2)
+        let p_joint = pdb.prob_event_exact(&both, 4).unwrap();
+        let p0 = pdb.prob_event_exact(&Event::fact(FactId(0)), 4).unwrap();
+        let p1 = pdb.prob_event_exact(&Event::fact(FactId(1)), 4).unwrap();
+        assert!((p_joint - p0 * p1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exact_event_requires_finite_support_within_prefix() {
+        let pdb = geometric_pdb();
+        assert!(matches!(
+            pdb.prob_event_exact(&Event::SizeAtLeast(1), 4),
+            Err(TiError::UnboundedEvent)
+        ));
+        // support beyond the requested prefix
+        let e = Event::fact(FactId(10));
+        assert!(matches!(
+            pdb.prob_event_exact(&e, 4),
+            Err(TiError::UnboundedEvent)
+        ));
+        assert!(pdb.prob_event_exact(&e, 11).is_ok());
+    }
+
+    #[test]
+    fn prob_within_prefix_brackets_truth() {
+        let pdb = geometric_pdb();
+        for n in [0usize, 2, 5, 10] {
+            let enc = pdb.prob_within_prefix(n, 64).unwrap();
+            // truth by long explicit product of terms ≥ n
+            let mut acc = 1.0;
+            for i in n..600 {
+                acc *= 1.0 - pdb.supply().prob(i);
+            }
+            assert!(enc.contains(acc), "n={n}: {acc} ∉ {enc}");
+        }
+    }
+
+    #[test]
+    fn prob_within_prefix_increases_with_n() {
+        let pdb = geometric_pdb();
+        let a = pdb.prob_within_prefix(1, 64).unwrap();
+        let b = pdb.prob_within_prefix(8, 64).unwrap();
+        assert!(b.lo() > a.hi());
+    }
+
+    #[test]
+    fn zeta_pdb_expected_size() {
+        let pdb = CountableTiPdb::new(FactSupply::unary_over_naturals(
+            schema(),
+            RelId(0),
+            ZetaSeries::basel(),
+        ))
+        .unwrap();
+        let (lo, hi) = pdb.expected_size_bounds(100_000).unwrap();
+        assert!(lo <= 1.0 && 1.0 <= hi);
+    }
+}

@@ -1,0 +1,221 @@
+//! The expressivity counterexamples of Sections 3.2 and 4.3.
+//!
+//! * **Example 3.3** — a countable PDB with *infinite* expected instance
+//!   size: `P({D_n}) = 6/(π² n²)` where `D_n = {R(1), …, R(2ⁿ)}`, so
+//!   `E(S_D) = ∑ 6·2ⁿ/(π² n²) = ∞`.
+//! * **Proposition 4.9** — that PDB is not FO-definable over *any*
+//!   tuple-independent PDB: a t.i. PDB has finite expected size
+//!   (Corollary 4.7) and any FO view satisfies the size envelope
+//!   `‖V(C)‖ ≤ k·‖C‖ + c` (Fact 2.1), so the image's expected size would
+//!   be finite too.
+//! * **Remark 4.10** — variants with finite mean but infinite `k`-th
+//!   moment: `P({D_n}) ∝ 1/n^{k+2}` with `‖D_n‖ = n`.
+//!
+//! These are *lazy* PDBs (their supports are infinite), exposed through
+//! explicit instance/probability accessors plus truncated materializations
+//! for measurement.
+
+use infpdb_core::fact::Fact;
+use infpdb_core::instance::Instance;
+use infpdb_core::interner::FactInterner;
+use infpdb_core::schema::{RelId, Relation, Schema};
+use infpdb_core::space::DiscreteSpace;
+use infpdb_core::value::Value;
+use infpdb_math::KahanSum;
+
+/// A lazily-enumerated countable PDB with explicit instance sizes:
+/// outcome `n ≥ 1` has probability `prob(n)` and instance size `size(n)`.
+#[derive(Debug, Clone)]
+pub struct LazySizedPdb {
+    schema: Schema,
+    /// normalization constant of the probability sequence
+    norm: f64,
+    /// exponent in `P ∝ 1/n^exponent`
+    exponent: i32,
+    /// whether sizes grow exponentially (`2^n`, Example 3.3) or linearly
+    /// (`n`, Remark 4.10)
+    exponential_sizes: bool,
+}
+
+impl LazySizedPdb {
+    /// Example 3.3: `P({D_n}) = 6/(π² n²)`, `‖D_n‖ = 2ⁿ`; `E(S_D) = ∞`.
+    pub fn example_3_3() -> Self {
+        Self {
+            schema: Schema::from_relations([Relation::new("R", 1)])
+                .expect("static schema"),
+            norm: 6.0 / (std::f64::consts::PI * std::f64::consts::PI),
+            exponent: 2,
+            exponential_sizes: true,
+        }
+    }
+
+    /// Remark 4.10 for moment `k ≥ 1`: `P({D_n}) = c/n^{k+2}`, `‖D_n‖ = n`;
+    /// `E(S^j) < ∞` for `j < k` but `E(S^k)` close to the harmonic boundary
+    /// — concretely `E(S^k) = c·∑ 1/n` diverges while `E(S^{k-1})`
+    /// converges.
+    pub fn remark_4_10(k: u32) -> Self {
+        let exponent = k as i32 + 1;
+        // normalize: c = 1/ζ(k+1); compute numerically
+        let mut z = KahanSum::new();
+        for n in 1..200_000u64 {
+            z.add(1.0 / (n as f64).powi(exponent));
+        }
+        Self {
+            schema: Schema::from_relations([Relation::new("R", 1)])
+                .expect("static schema"),
+            norm: 1.0 / z.value(),
+            exponent,
+            exponential_sizes: false,
+        }
+    }
+
+    /// The schema (a single unary relation `R`).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// `P({D_n})` for outcome `n ≥ 1`.
+    pub fn prob(&self, n: u64) -> f64 {
+        self.norm / (n as f64).powi(self.exponent)
+    }
+
+    /// `‖D_n‖`.
+    pub fn size(&self, n: u64) -> u64 {
+        if self.exponential_sizes {
+            1u64 << n.min(62)
+        } else {
+            n
+        }
+    }
+
+    /// The instance `D_n = {R(1), …, R(size(n))}` (capped for
+    /// materialization sanity).
+    pub fn instance(&self, n: u64, interner: &mut FactInterner) -> Instance {
+        let ids = (1..=self.size(n)).map(|i| {
+            interner.intern(Fact::new(RelId(0), [Value::int(i as i64)]))
+        });
+        Instance::from_ids(ids)
+    }
+
+    /// Partial expectation `∑_{n≤N} P({D_n})·‖D_n‖^k` — the divergence
+    /// diagnostic: for Example 3.3 with `k = 1` this grows without bound.
+    pub fn partial_moment(&self, k: u32, upto: u64) -> f64 {
+        let mut acc = KahanSum::new();
+        for n in 1..=upto {
+            acc.add(self.prob(n) * (self.size(n) as f64).powi(k as i32));
+        }
+        acc.value()
+    }
+
+    /// Mass captured by the first `upto` outcomes (approaches 1).
+    pub fn partial_mass(&self, upto: u64) -> f64 {
+        let mut acc = KahanSum::new();
+        for n in 1..=upto {
+            acc.add(self.prob(n));
+        }
+        acc.value()
+    }
+
+    /// Materializes the first `upto` outcomes as a (sub-normalized, then
+    /// renormalized) finite space — for measurements only; the tail mass is
+    /// reported alongside.
+    pub fn truncate(&self, upto: u64) -> (DiscreteSpace<Instance>, FactInterner, f64) {
+        let mut interner = FactInterner::new();
+        let outcomes: Vec<(Instance, f64)> = (1..=upto)
+            .map(|n| (self.instance(n, &mut interner), self.prob(n)))
+            .collect();
+        let tail = 1.0 - self.partial_mass(upto);
+        let space =
+            DiscreteSpace::new_unnormalized(outcomes).expect("nonempty truncation");
+        (space, interner, tail)
+    }
+}
+
+/// The size envelope of Fact 2.1 used in the proof of Proposition 4.9: any
+/// FO view `V` with a unary target over a source of max arity `k` and `c`
+/// constants satisfies `‖V(C)‖ ≤ k·‖C‖ + c`, hence
+/// `E(S_{V(C)}) ≤ k·E(S_C) + c`. Returns that bound — always finite for
+/// t.i. sources (Corollary 4.7), which is the contradiction.
+pub fn fo_view_expected_size_bound(max_arity: usize, constants: usize, e_sc: f64) -> f64 {
+    max_arity as f64 * e_sc + constants as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_3_3_probabilities_sum_to_one() {
+        let p = LazySizedPdb::example_3_3();
+        let mass = p.partial_mass(100_000);
+        assert!(mass < 1.0);
+        assert!(mass > 0.9999);
+    }
+
+    #[test]
+    fn example_3_3_sizes_are_powers_of_two() {
+        let p = LazySizedPdb::example_3_3();
+        assert_eq!(p.size(1), 2);
+        assert_eq!(p.size(5), 32);
+    }
+
+    #[test]
+    fn example_3_3_expected_size_diverges() {
+        // E(S) partial sums grow without bound: term n is 6·2ⁿ/(π²n²) → ∞.
+        let p = LazySizedPdb::example_3_3();
+        let m10 = p.partial_moment(1, 10);
+        let m20 = p.partial_moment(1, 20);
+        let m30 = p.partial_moment(1, 30);
+        assert!(m20 > 10.0 * m10);
+        assert!(m30 > 10.0 * m20);
+    }
+
+    #[test]
+    fn example_3_3_instances_materialize() {
+        let p = LazySizedPdb::example_3_3();
+        let mut interner = FactInterner::new();
+        let d3 = p.instance(3, &mut interner);
+        assert_eq!(d3.size(), 8);
+        let (space, _, tail) = p.truncate(8);
+        assert_eq!(space.support_size(), 8);
+        assert!(tail < 0.08);
+        // the paper's E(S) = Σ p_n · 2n... with our exact sizes: expectation
+        // over the truncation already exceeds any small constant
+        let e = infpdb_core::size::expected_size(&space);
+        assert!(e > 3.0);
+    }
+
+    #[test]
+    fn remark_4_10_moment_dichotomy() {
+        // k = 2: E(S) < ∞ (Σ c/n² converges), E(S²) = c·Σ 1/n diverges.
+        let p = LazySizedPdb::remark_4_10(2);
+        let m1_a = p.partial_moment(1, 10_000);
+        let m1_b = p.partial_moment(1, 100_000);
+        assert!((m1_b - m1_a) < 0.01, "first moment should converge");
+        let m2_a = p.partial_moment(2, 10_000);
+        let m2_b = p.partial_moment(2, 100_000);
+        assert!(
+            m2_b - m2_a > 1.0,
+            "second moment should keep growing: {m2_a} → {m2_b}"
+        );
+    }
+
+    #[test]
+    fn remark_4_10_mass_normalized() {
+        let p = LazySizedPdb::remark_4_10(2);
+        let mass = p.partial_mass(100_000);
+        assert!((mass - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn proposition_4_9_envelope_is_finite_for_ti_sources() {
+        // Any FO view of a t.i. PDB has expected image size ≤ k·E(S_C) + c:
+        // finite, while Example 3.3 needs ∞ — the contradiction.
+        let bound = fo_view_expected_size_bound(3, 2, 10.0);
+        assert_eq!(bound, 32.0);
+        assert!(bound.is_finite());
+        // while the Example 3.3 partial expectations exceed any such bound
+        let p = LazySizedPdb::example_3_3();
+        assert!(p.partial_moment(1, 25) > bound);
+    }
+}

@@ -1,0 +1,287 @@
+//! Fact enumerations paired with probability series.
+//!
+//! A [`FactSupply`] is the computational form of the paper's "family
+//! `(p_f)_{f ∈ F[τ,U]}`" (Section 4.1) restricted to its countable support
+//! `F_ω`, plus the Section 6 oracle access: an algorithm can generate the
+//! facts `f₁, f₂, …` in order, query each probability, and bound the
+//! remaining mass. Facts not enumerated implicitly have probability 0.
+
+use crate::TiError;
+use infpdb_core::fact::Fact;
+use infpdb_core::schema::{RelId, Schema};
+use infpdb_core::value::Value;
+use infpdb_math::series::{FiniteSeries, ProbSeries, TailBound};
+use std::sync::Arc;
+
+/// A countable supply of distinct facts with probabilities.
+///
+/// The enumeration must be injective: `fact(i) ≠ fact(j)` for `i ≠ j`.
+/// [`FactSupply::check_injective`] verifies a prefix; constructors from
+/// explicit vectors verify fully.
+#[derive(Clone)]
+pub struct FactSupply {
+    schema: Schema,
+    gen: Arc<dyn Fn(usize) -> Fact + Send + Sync>,
+    series: Arc<dyn ProbSeries + Send + Sync>,
+}
+
+impl std::fmt::Debug for FactSupply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FactSupply")
+            .field("schema", &self.schema)
+            .field("tail_upper(0)", &self.series.tail_upper(0))
+            .finish()
+    }
+}
+
+impl FactSupply {
+    /// Builds a supply from an enumeration function and a series. The
+    /// caller asserts injectivity of `gen`; use
+    /// [`check_injective`](Self::check_injective) in tests.
+    pub fn from_fn(
+        schema: Schema,
+        gen: impl Fn(usize) -> Fact + Send + Sync + 'static,
+        series: impl ProbSeries + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            schema,
+            gen: Arc::new(gen),
+            series: Arc::new(series),
+        }
+    }
+
+    /// Builds a finite supply from explicit `(fact, probability)` pairs,
+    /// verifying distinctness.
+    pub fn from_vec(
+        schema: Schema,
+        pairs: Vec<(Fact, f64)>,
+    ) -> Result<Self, TiError> {
+        let mut seen: std::collections::HashMap<Fact, usize> = Default::default();
+        for (i, (f, _)) in pairs.iter().enumerate() {
+            if let Some(&j) = seen.get(f) {
+                return Err(TiError::DuplicateEnumeration {
+                    first: j,
+                    second: i,
+                });
+            }
+            seen.insert(f.clone(), i);
+        }
+        let series = FiniteSeries::new(pairs.iter().map(|(_, p)| *p).collect())
+            .map_err(TiError::Math)?;
+        let facts: Vec<Fact> = pairs.into_iter().map(|(f, _)| f).collect();
+        let fallback = facts
+            .first()
+            .cloned()
+            .unwrap_or_else(|| Fact::new(RelId(0), []));
+        Ok(Self {
+            schema,
+            gen: Arc::new(move |i| {
+                facts
+                    .get(i)
+                    .cloned()
+                    // indexes past a finite support are never *used* (their
+                    // probability is 0), but the signature is total
+                    .unwrap_or_else(|| fallback.clone())
+            }),
+            series: Arc::new(series),
+        })
+    }
+
+    /// The canonical infinite example: a unary relation over the positive
+    /// integers, `fact(i) = R(i+1)` with probability `series.term(i)`.
+    pub fn unary_over_naturals(
+        schema: Schema,
+        rel: RelId,
+        series: impl ProbSeries + Send + Sync + 'static,
+    ) -> Self {
+        Self::from_fn(
+            schema,
+            move |i| Fact::new(rel, [Value::int(i as i64 + 1)]),
+            series,
+        )
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The `i`-th fact.
+    pub fn fact(&self, i: usize) -> Fact {
+        (self.gen)(i)
+    }
+
+    /// The `i`-th probability.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.series.term(i)
+    }
+
+    /// Certified tail bound at `i`.
+    pub fn tail_upper(&self, i: usize) -> TailBound {
+        self.series.tail_upper(i)
+    }
+
+    /// The probability series.
+    pub fn series(&self) -> &(dyn ProbSeries + Send + Sync) {
+        self.series.as_ref()
+    }
+
+    /// `Some(n)` if only the first `n` facts can have positive probability.
+    pub fn support_len(&self) -> Option<usize> {
+        self.series.support_len()
+    }
+
+    /// Verifies injectivity of the first `n` enumerated facts.
+    pub fn check_injective(&self, n: usize) -> Result<(), TiError> {
+        let mut seen: std::collections::HashMap<Fact, usize> = Default::default();
+        for i in 0..n {
+            let f = self.fact(i);
+            if let Some(&j) = seen.get(&f) {
+                return Err(TiError::DuplicateEnumeration {
+                    first: j,
+                    second: i,
+                });
+            }
+            seen.insert(f, i);
+        }
+        Ok(())
+    }
+
+    /// Searches the enumeration for a fact, returning its index. Linear
+    /// scan bounded by `limit`.
+    pub fn locate(&self, fact: &Fact, limit: usize) -> Result<usize, TiError> {
+        let cap = self.support_len().unwrap_or(usize::MAX).min(limit);
+        for i in 0..cap {
+            if &self.fact(i) == fact {
+                return Ok(i);
+            }
+        }
+        Err(TiError::FactNotFound {
+            fact: fact.display(&self.schema).to_string(),
+            searched: cap,
+        })
+    }
+}
+
+/// A series view over a `FactSupply` (delegates to the inner series); lets
+/// supplies flow into the `infpdb_math` machinery.
+impl ProbSeries for FactSupply {
+    fn term(&self, i: usize) -> f64 {
+        self.series.term(i)
+    }
+
+    fn tail_upper(&self, i: usize) -> TailBound {
+        self.series.tail_upper(i)
+    }
+
+    fn support_len(&self) -> Option<usize> {
+        self.series.support_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::Relation;
+    use infpdb_math::series::GeometricSeries;
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 1)]).unwrap()
+    }
+
+    fn rfact(n: i64) -> Fact {
+        Fact::new(RelId(0), [Value::int(n)])
+    }
+
+    #[test]
+    fn unary_over_naturals_enumerates_r_of_i() {
+        let s = FactSupply::unary_over_naturals(
+            schema(),
+            RelId(0),
+            GeometricSeries::new(0.5, 0.5).unwrap(),
+        );
+        assert_eq!(s.fact(0), rfact(1));
+        assert_eq!(s.fact(9), rfact(10));
+        assert_eq!(s.prob(0), 0.5);
+        assert_eq!(s.prob(2), 0.125);
+        assert!(s.support_len().is_none());
+        s.check_injective(1000).unwrap();
+    }
+
+    #[test]
+    fn from_vec_checks_duplicates() {
+        let dup = FactSupply::from_vec(
+            schema(),
+            vec![(rfact(1), 0.5), (rfact(1), 0.2)],
+        );
+        assert!(matches!(
+            dup,
+            Err(TiError::DuplicateEnumeration { first: 0, second: 1 })
+        ));
+        let ok = FactSupply::from_vec(schema(), vec![(rfact(1), 0.5), (rfact(2), 0.2)])
+            .unwrap();
+        assert_eq!(ok.support_len(), Some(2));
+        assert_eq!(ok.prob(5), 0.0); // beyond support
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_probabilities() {
+        assert!(FactSupply::from_vec(schema(), vec![(rfact(1), 1.5)]).is_err());
+    }
+
+    #[test]
+    fn check_injective_catches_constant_enumerations() {
+        let s = FactSupply::from_fn(
+            schema(),
+            |_| rfact(7),
+            GeometricSeries::new(0.5, 0.5).unwrap(),
+        );
+        assert!(matches!(
+            s.check_injective(10),
+            Err(TiError::DuplicateEnumeration { first: 0, second: 1 })
+        ));
+    }
+
+    #[test]
+    fn locate_finds_and_fails() {
+        let s = FactSupply::unary_over_naturals(
+            schema(),
+            RelId(0),
+            GeometricSeries::new(0.5, 0.5).unwrap(),
+        );
+        assert_eq!(s.locate(&rfact(5), 100).unwrap(), 4);
+        assert!(matches!(
+            s.locate(&rfact(1000), 100),
+            Err(TiError::FactNotFound { searched: 100, .. })
+        ));
+        // finite support caps the scan
+        let fin = FactSupply::from_vec(schema(), vec![(rfact(1), 0.5)]).unwrap();
+        assert!(matches!(
+            fin.locate(&rfact(9), 1_000_000),
+            Err(TiError::FactNotFound { searched: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn series_view_delegates() {
+        let s = FactSupply::unary_over_naturals(
+            schema(),
+            RelId(0),
+            GeometricSeries::new(0.5, 0.5).unwrap(),
+        );
+        assert_eq!(ProbSeries::term(&s, 1), 0.25);
+        assert!(ProbSeries::tail_upper(&s, 0).finite().is_some());
+        assert!(s.converges());
+    }
+
+    #[test]
+    fn debug_formatting_does_not_explode() {
+        let s = FactSupply::unary_over_naturals(
+            schema(),
+            RelId(0),
+            GeometricSeries::new(0.5, 0.5).unwrap(),
+        );
+        let d = format!("{s:?}");
+        assert!(d.contains("FactSupply"));
+    }
+}

@@ -1,0 +1,165 @@
+//! The existence characterization for countable tuple-independent PDBs.
+//!
+//! **Theorem 4.8**: given `(p_f)` with `p_f ∈ [0,1]`, a tuple-independent
+//! PDB with `P(E_f) = p_f` exists **iff** `∑_f p_f` converges.
+//!
+//! * Sufficiency is the construction of Proposition 4.5 (implemented in
+//!   [`crate::construction`]).
+//! * Necessity is Lemma 4.6: in a t.i. PDB the events `E_{f_i}` are
+//!   independent, and if `∑ P(E_{f_i}) = ∞` the second Borel–Cantelli lemma
+//!   (Lemma 2.5) would force almost every instance to contain infinitely
+//!   many facts — contradicting the finiteness of instances.
+//!
+//! [`certify`] decides the dichotomy on a series' own certificates;
+//! [`ExistenceCertificate`] records the side taken and the witness. The
+//! expected-size consequence (Corollary 4.7: countable t.i. PDBs have
+//! finite expected instance size, `E(S_D) = ∑ p_f`) is exposed as
+//! [`expected_size_bounds`].
+
+use crate::TiError;
+use infpdb_math::borel_cantelli;
+use infpdb_math::series::{ProbSeries, TailBound};
+use infpdb_math::MathError;
+
+/// The outcome of the Theorem 4.8 dichotomy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExistenceCertificate {
+    /// The series converges; a t.i. PDB exists. Carries a certified upper
+    /// bound on `∑ p_f` (= the PDB's expected instance size, Cor 4.7).
+    Exists {
+        /// Certified upper bound on the total mass.
+        expected_size_bound: f64,
+    },
+    /// The series diverges; no t.i. PDB realizes it. Carries a Borel–
+    /// Cantelli-style witness when one was computed.
+    Impossible {
+        /// `(index, partial_sum)` demonstrating unbounded partial sums, if
+        /// scanned; `None` when divergence came from the series' own
+        /// certificate.
+        witness: Option<(usize, f64)>,
+    },
+}
+
+/// Decides existence for a fact-probability series (Theorem 4.8).
+pub fn certify<S: ProbSeries>(series: &S) -> ExistenceCertificate {
+    match series.tail_upper(0) {
+        TailBound::Finite(b) => ExistenceCertificate::Exists {
+            expected_size_bound: b,
+        },
+        TailBound::Divergent => {
+            // the certificate already proves divergence; the scan just
+            // produces a concrete partial sum for the error message
+            let witness = borel_cantelli::divergence_witness(series, 10.0, 1_000_000);
+            ExistenceCertificate::Impossible { witness }
+        }
+        TailBound::Unknown => {
+            // No certificate either way: scan for a divergence witness; if
+            // found we can at least certify impossibility.
+            match borel_cantelli::divergence_witness(series, 1e6, 10_000_000) {
+                Some(w) => ExistenceCertificate::Impossible { witness: Some(w) },
+                None => ExistenceCertificate::Impossible { witness: None },
+            }
+        }
+    }
+}
+
+/// `Ok(bound)` if a t.i. PDB exists, `Err` (the Theorem 4.8 rejection)
+/// otherwise.
+pub fn require_exists<S: ProbSeries>(series: &S) -> Result<f64, TiError> {
+    match certify(series) {
+        ExistenceCertificate::Exists {
+            expected_size_bound,
+        } => Ok(expected_size_bound),
+        ExistenceCertificate::Impossible { witness } => {
+            let (witness_index, partial_sum) =
+                witness.unwrap_or((0, f64::INFINITY));
+            Err(TiError::Math(MathError::DivergentSeries {
+                witness_index,
+                partial_sum,
+            }))
+        }
+    }
+}
+
+/// Certified enclosure `[lo, hi]` of the expected instance size
+/// `E(S_D) = ∑ p_f` (Corollary 4.7), using a prefix of `n` explicit terms
+/// plus the tail certificate.
+pub fn expected_size_bounds<S: ProbSeries>(
+    series: &S,
+    prefix: usize,
+) -> Result<(f64, f64), TiError> {
+    series.total_bounds(prefix).map_err(TiError::Math)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_math::series::{
+        FiniteSeries, GeometricSeries, HarmonicSeries, TailBound, ZetaSeries,
+    };
+
+    #[test]
+    fn convergent_series_certify_existence() {
+        let g = GeometricSeries::new(0.5, 0.5).unwrap();
+        match certify(&g) {
+            ExistenceCertificate::Exists {
+                expected_size_bound,
+            } => {
+                assert!(expected_size_bound >= 1.0);
+                assert!(expected_size_bound < 1.01);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(require_exists(&g).is_ok());
+        assert!(require_exists(&ZetaSeries::basel()).is_ok());
+        assert!(require_exists(&FiniteSeries::new(vec![0.9, 0.9]).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn divergent_series_are_impossible_with_witness() {
+        let h = HarmonicSeries::new(1.0).unwrap();
+        match certify(&h) {
+            ExistenceCertificate::Impossible { witness } => {
+                let (i, s) = witness.expect("harmonic divergence is witnessable");
+                assert!(s > 10.0);
+                assert!(i < 1_000_000);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            require_exists(&h),
+            Err(TiError::Math(MathError::DivergentSeries { .. }))
+        ));
+    }
+
+    #[test]
+    fn unknown_tail_with_fast_divergence_is_witnessed() {
+        #[derive(Debug)]
+        struct Mystery;
+        impl ProbSeries for Mystery {
+            fn term(&self, _i: usize) -> f64 {
+                0.5
+            }
+            fn tail_upper(&self, _i: usize) -> TailBound {
+                TailBound::Unknown
+            }
+        }
+        match certify(&Mystery) {
+            ExistenceCertificate::Impossible { witness: Some((_, s)) } => {
+                assert!(s > 1e6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn expected_size_brackets_true_total() {
+        // Corollary 4.7: geometric with first=0.5, ratio=0.5 sums to 1.
+        let g = GeometricSeries::new(0.5, 0.5).unwrap();
+        let (lo, hi) = expected_size_bounds(&g, 30).unwrap();
+        assert!(lo <= 1.0 && 1.0 <= hi);
+        assert!(hi - lo < 1e-8);
+        // diverging: error
+        assert!(expected_size_bounds(&HarmonicSeries::new(0.5).unwrap(), 10).is_err());
+    }
+}

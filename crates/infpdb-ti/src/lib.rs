@@ -1,0 +1,139 @@
+#![warn(missing_docs)]
+//! Countably infinite tuple-independent (and block-independent-disjoint)
+//! probabilistic databases — Section 4 of Grohe & Lindner (PODS 2019).
+//!
+//! The central objects:
+//!
+//! * [`enumerator::FactSupply`] — a countable enumeration of distinct facts
+//!   paired with a fact-probability series carrying certified tail bounds:
+//!   the "given family `(p_f)`" of Section 4.1 plus the oracle access
+//!   (i)/(ii) of Section 6.
+//! * [`existence`] — Theorem 4.8: a tuple-independent PDB realizing the
+//!   probabilities exists **iff** the series converges; divergent inputs
+//!   are rejected with a witness (Lemma 4.6 via Borel–Cantelli).
+//! * [`construction::CountableTiPdb`] — the constructed PDB of
+//!   Proposition 4.5, with instance probabilities
+//!   `P({D}) = ∏_{f∈D} p_f · ∏_{f∈F_ω−D} (1−p_f)` returned as certified
+//!   intervals, exact probabilities for finite-support events (Lemma 4.4),
+//!   and truncations to finite [`infpdb_finite::TiTable`]s.
+//! * [`sampler`] — ε-truncated instance sampling with a certified
+//!   total-variation bound.
+//! * [`bid`] — the countable b.i.d. construction of Proposition 4.13 and
+//!   its existence characterization, Theorem 4.15.
+//! * [`counterexample`] — Example 3.3 (infinite expected size),
+//!   Remark 4.10 (finite mean, infinite higher moments) and the size
+//!   envelope machinery behind Proposition 4.9 (not every countable PDB is
+//!   FO-definable over a t.i. one).
+
+pub mod bid;
+pub mod construction;
+pub mod counterexample;
+pub mod enumerator;
+pub mod existence;
+pub mod sampler;
+
+pub use construction::CountableTiPdb;
+pub use enumerator::FactSupply;
+
+/// Errors of the infinite-PDB layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TiError {
+    /// Numeric / convergence error (includes Theorem 4.8 rejections).
+    Math(infpdb_math::MathError),
+    /// Relational substrate error.
+    Core(infpdb_core::CoreError),
+    /// Finite-engine error (from truncations).
+    Finite(String),
+    /// A fact was not found within the enumeration search limit.
+    FactNotFound {
+        /// Rendered fact.
+        fact: String,
+        /// How far the enumeration was searched.
+        searched: usize,
+    },
+    /// An operation needs an event with finite support (e.g. exact event
+    /// probability), but the event inspects unboundedly many facts.
+    UnboundedEvent,
+    /// The fact enumeration produced a duplicate (must be injective).
+    DuplicateEnumeration {
+        /// First index.
+        first: usize,
+        /// Second index.
+        second: usize,
+    },
+    /// A block's conditional probabilities sum to more than 1
+    /// (b.i.d. precondition of Theorem 4.15).
+    BlockMassExceedsOne {
+        /// Block index.
+        block: usize,
+        /// Offending mass.
+        mass: f64,
+    },
+}
+
+impl std::fmt::Display for TiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TiError::Math(e) => write!(f, "{e}"),
+            TiError::Core(e) => write!(f, "{e}"),
+            TiError::Finite(e) => write!(f, "{e}"),
+            TiError::FactNotFound { fact, searched } => write!(
+                f,
+                "fact {fact} not found among the first {searched} enumerated facts"
+            ),
+            TiError::UnboundedEvent => write!(
+                f,
+                "event inspects unboundedly many facts; only finite-support events have \
+                 exact probabilities here"
+            ),
+            TiError::DuplicateEnumeration { first, second } => write!(
+                f,
+                "fact enumeration is not injective: indices {first} and {second} coincide"
+            ),
+            TiError::BlockMassExceedsOne { block, mass } => {
+                write!(f, "block {block} has conditional mass {mass} > 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TiError {}
+
+impl From<infpdb_math::MathError> for TiError {
+    fn from(e: infpdb_math::MathError) -> Self {
+        TiError::Math(e)
+    }
+}
+
+impl From<infpdb_core::CoreError> for TiError {
+    fn from(e: infpdb_core::CoreError) -> Self {
+        TiError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(TiError::UnboundedEvent.to_string().contains("finite"));
+        assert!(TiError::FactNotFound {
+            fact: "R(1)".into(),
+            searched: 100
+        }
+        .to_string()
+        .contains("R(1)"));
+        assert!(TiError::DuplicateEnumeration { first: 1, second: 5 }
+            .to_string()
+            .contains("injective"));
+        assert!(TiError::BlockMassExceedsOne { block: 0, mass: 1.2 }
+            .to_string()
+            .contains("1.2"));
+        let m: TiError = infpdb_math::MathError::UnknownTail.into();
+        assert!(m.to_string().contains("tail"));
+        let c: TiError = infpdb_core::CoreError::EmptySpace.into();
+        assert!(c.to_string().contains("sample space"));
+        assert!(TiError::Finite("boom".into()).to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! Turing-machine-represented PDBs — the computability substrate of
+//! Proposition 6.2 (Grohe & Lindner, PODS 2019).
+//!
+//! The paper's inapproximability proof needs a notion of a Turing machine
+//! `M` *representing* a tuple-independent PDB of weight `w`: `M` computes
+//! `p_M : F[τ, Σ*] → ℚ` with `∑_f p_M(f) = w`. Given any machine `N`, the
+//! constructed machine `M(N)` represents a weight-1 PDB over the schema
+//! `{R, S}` (unary) such that `Pr(D ⊨ ∃x R(x)) = 0` **iff** `L(N) = ∅` —
+//! so a multiplicative approximation algorithm would decide emptiness,
+//! which is undecidable by Rice's theorem.
+//!
+//! * [`machine`] — a deterministic single-tape Turing machine simulator
+//!   over the input alphabet `{0, 1}` with step-bounded runs (`L_{N,t}`).
+//! * [`represent`] — the `M(N)` construction as a `FactSupply`: fact
+//!   `k = ⟨n, t⟩` is `R(k)` if `N` accepts `n` within `t` steps and `S(k)`
+//!   otherwise, with probability `2^{−k}`.
+//! * [`reduction`] — the executable content of the proof: additive
+//!   approximation works fine on represented PDBs (Proposition 6.1
+//!   applies), but any multiplicative approximator would separate
+//!   `P(Q) = 0` from `P(Q) > 0`, i.e. decide emptiness.
+
+pub mod machine;
+pub mod reduction;
+pub mod represent;
+
+pub use machine::{Direction, TuringMachine};
+pub use represent::RepresentedPdb;

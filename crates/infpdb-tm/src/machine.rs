@@ -1,0 +1,247 @@
+//! A deterministic single-tape Turing machine over `{0, 1}`.
+//!
+//! Minimal but real: states, a sparse two-way-infinite tape, a transition
+//! table, an accepting state, and step-bounded execution — exactly the
+//! `L_{N,t}` ("`N` accepts `n` in at most `t` steps") the Proposition 6.2
+//! construction decides. `L_{N,t}` is decidable in polynomial time and
+//! `L_N = ⋃_t L_{N,t}`.
+
+use std::collections::HashMap;
+
+/// Tape alphabet: input symbols `0`, `1` and the blank.
+pub const BLANK: u8 = b'_';
+
+/// Head movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Move left.
+    Left,
+    /// Move right.
+    Right,
+    /// Stay put.
+    Stay,
+}
+
+/// A transition: `(state, read) → (state, write, move)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Next state.
+    pub next: u32,
+    /// Symbol written.
+    pub write: u8,
+    /// Head movement.
+    pub dir: Direction,
+}
+
+/// A deterministic Turing machine. Missing transitions halt (reject unless
+/// in the accepting state).
+#[derive(Debug, Clone)]
+pub struct TuringMachine {
+    transitions: HashMap<(u32, u8), Transition>,
+    start: u32,
+    accept: u32,
+}
+
+impl TuringMachine {
+    /// Creates a machine with the given start and accepting states.
+    pub fn new(start: u32, accept: u32) -> Self {
+        Self {
+            transitions: HashMap::new(),
+            start,
+            accept,
+        }
+    }
+
+    /// Adds a transition.
+    pub fn with_transition(
+        mut self,
+        state: u32,
+        read: u8,
+        next: u32,
+        write: u8,
+        dir: Direction,
+    ) -> Self {
+        self.transitions
+            .insert((state, read), Transition { next, write, dir });
+        self
+    }
+
+    /// Runs on `input` (a binary string) for at most `max_steps` steps.
+    /// Returns whether the machine is in the accepting state when it halts
+    /// or the budget runs out — i.e. decides `input ∈ L_{N, max_steps}`.
+    pub fn accepts_within(&self, input: &str, max_steps: u64) -> bool {
+        let mut tape: HashMap<i64, u8> = input
+            .bytes()
+            .enumerate()
+            .map(|(i, b)| (i as i64, b))
+            .collect();
+        let mut head: i64 = 0;
+        let mut state = self.start;
+        for _ in 0..max_steps {
+            if state == self.accept {
+                return true;
+            }
+            let read = tape.get(&head).copied().unwrap_or(BLANK);
+            match self.transitions.get(&(state, read)) {
+                None => break, // halt
+                Some(t) => {
+                    if t.write == BLANK {
+                        tape.remove(&head);
+                    } else {
+                        tape.insert(head, t.write);
+                    }
+                    state = t.next;
+                    match t.dir {
+                        Direction::Left => head -= 1,
+                        Direction::Right => head += 1,
+                        Direction::Stay => {}
+                    }
+                }
+            }
+        }
+        state == self.accept
+    }
+
+    /// The machine rejecting everything: `L(N) = ∅` (the Empty side of the
+    /// reduction).
+    pub fn rejects_all() -> Self {
+        // start state 0, accept state 1, no transitions: halts immediately
+        // in a non-accepting state
+        Self::new(0, 1)
+    }
+
+    /// The machine accepting everything immediately.
+    pub fn accepts_all() -> Self {
+        // start = accept
+        Self::new(0, 0)
+    }
+
+    /// A machine accepting exactly the strings containing a `1`: scans
+    /// right until it sees `1` (accept) or a blank (halt–reject).
+    pub fn accepts_strings_with_a_one() -> Self {
+        Self::new(0, 1)
+            .with_transition(0, b'0', 0, b'0', Direction::Right)
+            .with_transition(0, b'1', 1, b'1', Direction::Stay)
+    }
+
+    /// A machine accepting exactly the empty string: accepts iff the first
+    /// cell is blank.
+    pub fn accepts_only_empty() -> Self {
+        Self::new(0, 1).with_transition(0, BLANK, 1, BLANK, Direction::Stay)
+    }
+
+    /// A machine accepting strings with an **even number of `1`s** (parity):
+    /// a genuine two-state DFA-style computation exercising state changes
+    /// across the whole input.
+    pub fn accepts_even_parity() -> Self {
+        // state 0 = even so far, state 1 = odd so far, accept = 2
+        Self::new(0, 2)
+            .with_transition(0, b'0', 0, b'0', Direction::Right)
+            .with_transition(0, b'1', 1, b'1', Direction::Right)
+            .with_transition(1, b'0', 1, b'0', Direction::Right)
+            .with_transition(1, b'1', 0, b'1', Direction::Right)
+            .with_transition(0, BLANK, 2, BLANK, Direction::Stay)
+        // state 1 on blank: halt in a non-accepting state (odd parity)
+    }
+
+    /// A busy-wait variant of [`TuringMachine::rejects_all`]: loops forever moving right,
+    /// never accepting — distinguishes "rejects by halting" from "rejects
+    /// by running out of budget".
+    pub fn loops_forever() -> Self {
+        Self::new(0, 1)
+            .with_transition(0, b'0', 0, b'0', Direction::Right)
+            .with_transition(0, b'1', 0, b'1', Direction::Right)
+            .with_transition(0, BLANK, 0, BLANK, Direction::Right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_all_never_accepts() {
+        let m = TuringMachine::rejects_all();
+        for s in ["", "0", "1", "0110"] {
+            assert!(!m.accepts_within(s, 1000));
+        }
+    }
+
+    #[test]
+    fn accepts_all_accepts_instantly() {
+        let m = TuringMachine::accepts_all();
+        for s in ["", "0", "1", "0110"] {
+            assert!(m.accepts_within(s, 1));
+        }
+    }
+
+    #[test]
+    fn scanning_machine_finds_ones() {
+        let m = TuringMachine::accepts_strings_with_a_one();
+        assert!(m.accepts_within("1", 10));
+        assert!(m.accepts_within("0001", 10));
+        assert!(!m.accepts_within("0000", 10));
+        assert!(!m.accepts_within("", 10));
+        // needs enough steps to reach the 1
+        assert!(!m.accepts_within("0001", 3));
+        assert!(m.accepts_within("0001", 6));
+    }
+
+    #[test]
+    fn empty_string_acceptor() {
+        let m = TuringMachine::accepts_only_empty();
+        assert!(m.accepts_within("", 5));
+        assert!(!m.accepts_within("0", 5));
+        assert!(!m.accepts_within("1", 5));
+    }
+
+    #[test]
+    fn parity_machine_counts_ones() {
+        let m = TuringMachine::accepts_even_parity();
+        assert!(m.accepts_within("", 5));
+        assert!(m.accepts_within("0", 5));
+        assert!(m.accepts_within("11", 10));
+        assert!(m.accepts_within("1010", 10));
+        assert!(!m.accepts_within("1", 10));
+        assert!(!m.accepts_within("111", 20));
+        // needs enough budget to scan the whole input
+        assert!(!m.accepts_within("0000", 3));
+        assert!(m.accepts_within("0000", 6));
+    }
+
+    #[test]
+    fn looper_never_halts_or_accepts() {
+        let m = TuringMachine::loops_forever();
+        assert!(!m.accepts_within("01", 10_000));
+    }
+
+    #[test]
+    fn step_budget_is_respected_monotonically() {
+        // L_{N,t} ⊆ L_{N,t'} for t ≤ t'
+        let m = TuringMachine::accepts_strings_with_a_one();
+        for t in 0..12u64 {
+            if m.accepts_within("00001", t) {
+                assert!(m.accepts_within("00001", t + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn tape_writes_take_effect() {
+        // flip first symbol 0→1, move back, accept on 1
+        let m = TuringMachine::new(0, 9)
+            .with_transition(0, b'0', 1, b'1', Direction::Stay)
+            .with_transition(1, b'1', 9, b'1', Direction::Stay);
+        assert!(m.accepts_within("0", 5));
+        assert!(!m.accepts_within("1", 5)); // no transition on (0, '1')
+    }
+
+    #[test]
+    fn blank_writes_erase_cells() {
+        // erase the first cell then accept on blank
+        let m = TuringMachine::new(0, 9)
+            .with_transition(0, b'1', 1, BLANK, Direction::Stay)
+            .with_transition(1, BLANK, 9, BLANK, Direction::Stay);
+        assert!(m.accepts_within("1", 5));
+    }
+}

@@ -1,0 +1,129 @@
+//! The executable content of Proposition 6.2.
+//!
+//! For the query `Q = ∃x R(x)` on a represented PDB,
+//! `P(Q) = 1 − ∏_{k : R\text{-fact}} (1 − 2^{−k})`, and `P(Q) = 0` iff
+//! `L(N) = ∅`. A multiplicative `c`-approximation would let us decide
+//! emptiness (return 0 iff the true probability is 0) — undecidable by
+//! Rice's theorem. The *additive* guarantee of Proposition 6.1 survives
+//! because an additive approximator may simply return a small number
+//! without certifying zero.
+//!
+//! [`prob_exists_r`] computes a certified interval for `P(Q)` from a
+//! prefix: the discarded pairs `k > n` might all be `R`-facts (contributing
+//! at most the tail mass) or none (contributing nothing) — exactly the gap
+//! a multiplicative approximator cannot close, made visible as an interval
+//! that contains 0 without being `{0}`.
+
+use crate::represent::RepresentedPdb;
+use infpdb_core::schema::RelId;
+use infpdb_math::{KahanSum, MathError, ProbInterval};
+
+/// Certified interval for `P(∃x R(x))` on the represented PDB, examining
+/// pairs `k = 1 … n` explicitly. The width shrinks as `2^{−n}`.
+pub fn prob_exists_r(rep: &RepresentedPdb, n: u32) -> Result<ProbInterval, MathError> {
+    let supply = rep.supply();
+    // explicit part: ∏ over R-facts among k ≤ n of (1 − 2^{−k})
+    let mut log_acc = KahanSum::new();
+    for i in 0..n as usize {
+        if supply.fact(i).rel() == RelId(0) {
+            log_acc.add((-supply.prob(i)).ln_1p());
+        }
+    }
+    let explicit = log_acc.value().min(0.0).exp();
+    let tail = 0.5f64.powi(n as i32); // ∑_{k>n} 2^{−k}
+    // If no discarded pair is an R-fact: P(no R) = explicit.
+    // If all are: P(no R) ≥ explicit · e^{−(3/2)·tail} (claim ∗).
+    let no_r_hi = explicit;
+    let no_r_lo = explicit * (-(1.5 * tail)).exp();
+    Ok(ProbInterval::new(1.0 - no_r_hi, 1.0 - no_r_lo)?.outward(1e-12))
+}
+
+/// Whether two representations produce identical fact enumerations over
+/// the first `n` indexes — the observational equivalence that defeats
+/// multiplicative approximation: a machine with `L(N) = ∅` and one whose
+/// first acceptance happens past every examined pair look the same.
+pub fn prefixes_agree(a: &RepresentedPdb, b: &RepresentedPdb, n: usize) -> bool {
+    let sa = a.supply();
+    let sb = b.supply();
+    (0..n).all(|i| sa.fact(i) == sb.fact(i))
+}
+
+/// The emptiness dichotomy, decided *semi*-effectively: scans pairs
+/// `k ≤ n` and reports whether any is an `R`-fact (a witness that
+/// `P(Q) > 0`). A `false` answer is NOT a certificate of emptiness — that
+/// is the whole point.
+pub fn has_r_witness(rep: &RepresentedPdb, n: u32) -> Option<u64> {
+    (1..=n as u64).find(|&k| rep.is_r_fact(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::TuringMachine;
+
+    #[test]
+    fn empty_language_interval_contains_zero_only_at_lo() {
+        let rep = RepresentedPdb::new(TuringMachine::rejects_all());
+        let iv = prob_exists_r(&rep, 30).unwrap();
+        assert_eq!(iv.lo(), 0.0);
+        assert!(iv.hi() < 1e-8, "hi = {}", iv.hi());
+        assert!(has_r_witness(&rep, 200).is_none());
+    }
+
+    #[test]
+    fn nonempty_language_interval_excludes_zero() {
+        let rep = RepresentedPdb::new(TuringMachine::accepts_all());
+        let iv = prob_exists_r(&rep, 30).unwrap();
+        assert!(iv.lo() > 0.4, "lo = {}", iv.lo());
+        assert!(has_r_witness(&rep, 50).is_some());
+    }
+
+    #[test]
+    fn intervals_tighten_with_prefix_length() {
+        let rep = RepresentedPdb::new(TuringMachine::accepts_only_empty());
+        let a = prob_exists_r(&rep, 5).unwrap();
+        let b = prob_exists_r(&rep, 25).unwrap();
+        assert!(b.width() < a.width());
+        // nested enclosures of the same quantity
+        assert!(a.intersect(&b).is_ok());
+    }
+
+    #[test]
+    fn the_multiplicative_obstruction() {
+        // rejects_all and loops_forever both have L(N) = ∅… but consider a
+        // machine whose first acceptance needs more steps than any pair
+        // ⟨n, t⟩ with k ≤ N provides: observationally it matches the empty
+        // machine on every examined pair. Here loops_forever IS empty, so
+        // the two agree everywhere — the approximator sees identical data
+        // and must answer identically; a multiplicative approximator would
+        // thus claim both are 0 or both positive, yet no finite scan can
+        // justify "0" in general (Rice). We demonstrate the observational
+        // agreement:
+        let empty = RepresentedPdb::new(TuringMachine::rejects_all());
+        let looper = RepresentedPdb::new(TuringMachine::loops_forever());
+        assert!(prefixes_agree(&empty, &looper, 100));
+        // and a machine that does accept eventually disagrees somewhere
+        let scanner = RepresentedPdb::new(TuringMachine::accepts_strings_with_a_one());
+        assert!(!prefixes_agree(&empty, &scanner, 100));
+    }
+
+    #[test]
+    fn additive_guarantee_still_fine() {
+        // the additive approximator (Prop 6.1) on the represented PDB:
+        // estimate within ε of the truth, no zero-certification claimed
+        use infpdb_math::truncation;
+        let rep = RepresentedPdb::new(TuringMachine::accepts_all());
+        let pdb = rep.pdb().unwrap();
+        let t = truncation::for_tolerance(pdb.supply(), 0.01).unwrap();
+        let iv = prob_exists_r(&rep, t.n as u32).unwrap();
+        // true value within the certified interval, width below ε
+        assert!(iv.width() < 0.01);
+    }
+
+    #[test]
+    fn r_witness_reports_smallest_k() {
+        let rep = RepresentedPdb::new(TuringMachine::accepts_all());
+        // k = ⟨1,1⟩ = 1 accepts instantly
+        assert_eq!(has_r_witness(&rep, 10), Some(1));
+    }
+}

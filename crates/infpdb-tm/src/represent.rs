@@ -1,0 +1,173 @@
+//! The `M(N)` construction: a Turing machine representing a weight-1
+//! tuple-independent PDB (proof of Proposition 6.2).
+//!
+//! Identify `Σ* = {0,1}*` with ℕ (the string `x` is the integer with
+//! binary representation `1x`) and let `⟨·,·⟩` be the Cantor pairing. For
+//! every `k = ⟨n, t⟩ ∈ ℕ`:
+//!
+//! * if `N` accepts `n` within `t` steps (`n ∈ L_{N,t}`), the fact `R(k)`
+//!   gets probability `2^{−k}`;
+//! * otherwise the fact `S(k)` gets probability `2^{−k}`.
+//!
+//! Either way exactly one fact per `k` carries mass `2^{−k}`, so
+//! `∑_f p_M(f) = ∑_k 2^{−k} = 1`: a weight-1 representation satisfying the
+//! oracle assumptions (i)/(ii) of Proposition 6.1. And
+//! `Pr(D ⊨ ∃x R(x)) = 0` iff no `R(k)` ever carries mass iff `L(N) = ∅`.
+
+use crate::machine::TuringMachine;
+use infpdb_core::fact::Fact;
+use infpdb_core::schema::{RelId, Relation, Schema};
+use infpdb_core::value::Value;
+use infpdb_math::pairing;
+use infpdb_math::series::GeometricSeries;
+use infpdb_ti::construction::CountableTiPdb;
+use infpdb_ti::enumerator::FactSupply;
+use infpdb_ti::TiError;
+
+/// The PDB `D_{M(N)}` represented by the machine `N`.
+#[derive(Debug, Clone)]
+pub struct RepresentedPdb {
+    schema: Schema,
+    machine: TuringMachine,
+}
+
+impl RepresentedPdb {
+    /// Builds the representation of machine `N`.
+    pub fn new(machine: TuringMachine) -> Self {
+        let schema = Schema::from_relations([Relation::new("R", 1), Relation::new("S", 1)])
+            .expect("static schema");
+        Self { schema, machine }
+    }
+
+    /// The schema `{R, S}` (unary).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Whether index `k = ⟨n, t⟩` is an `R`-fact: `n ∈ L_{N,t}`.
+    pub fn is_r_fact(&self, k: u64) -> bool {
+        let (n, t) = pairing::unpair(k);
+        let input = pairing::nat_to_string(n);
+        self.machine.accepts_within(&input, t)
+    }
+
+    /// `p_M(f)`: the probability the representation assigns to an
+    /// arbitrary fact (0 for "wrong shape" facts — the closed complement).
+    pub fn prob_of_fact(&self, fact: &Fact) -> f64 {
+        let Some(k) = fact.args().first().and_then(Value::as_int) else {
+            return 0.0;
+        };
+        if !(1..=60).contains(&k) || fact.args().len() != 1 {
+            // 2^{-k} underflows past 60 bits of budget; treat as 0 within
+            // f64 precision (the true value is positive but < 1e-18)
+            return 0.0;
+        }
+        let k = k as u64;
+        let is_r = fact.rel() == RelId(0);
+        let matches = if self.is_r_fact(k) { is_r } else { !is_r };
+        if matches {
+            0.5f64.powi(k as i32)
+        } else {
+            0.0
+        }
+    }
+
+    /// The fact enumeration: index `i` carries fact `R(k)` or `S(k)` for
+    /// `k = i + 1`, with probability `2^{−k}` — a geometric series with
+    /// exact tails, so all Section 6 oracle machinery applies.
+    pub fn supply(&self) -> FactSupply {
+        let this = self.clone();
+        FactSupply::from_fn(
+            self.schema.clone(),
+            move |i| {
+                let k = i as u64 + 1;
+                let rel = if this.is_r_fact(k) { RelId(0) } else { RelId(1) };
+                Fact::new(rel, [Value::int(k as i64)])
+            },
+            GeometricSeries::new(0.5, 0.5).expect("static series"),
+        )
+    }
+
+    /// The countable t.i. PDB (always exists: weight 1 converges).
+    pub fn pdb(&self) -> Result<CountableTiPdb, TiError> {
+        CountableTiPdb::new(self.supply())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_math::series::ProbSeries;
+
+    #[test]
+    fn weight_is_one() {
+        let rep = RepresentedPdb::new(TuringMachine::rejects_all());
+        let s = rep.supply();
+        let (lo, hi) = s.total_bounds(60).unwrap();
+        assert!(lo <= 1.0 && 1.0 <= hi);
+    }
+
+    #[test]
+    fn empty_language_yields_only_s_facts() {
+        let rep = RepresentedPdb::new(TuringMachine::rejects_all());
+        let s = rep.supply();
+        for i in 0..50 {
+            assert_eq!(s.fact(i).rel(), RelId(1), "index {i} should be S");
+        }
+    }
+
+    #[test]
+    fn total_language_yields_r_facts_where_budget_suffices() {
+        // accepts_all accepts instantly, so n ∈ L_{N,t} for every t ≥ 1
+        let rep = RepresentedPdb::new(TuringMachine::accepts_all());
+        let s = rep.supply();
+        let r_count = (0..50).filter(|&i| s.fact(i).rel() == RelId(0)).count();
+        assert!(r_count >= 45, "only {r_count} R-facts");
+    }
+
+    #[test]
+    fn prob_of_fact_matches_supply() {
+        let rep = RepresentedPdb::new(TuringMachine::accepts_strings_with_a_one());
+        let s = rep.supply();
+        for i in 0..30usize {
+            let f = s.fact(i);
+            assert!(
+                (rep.prob_of_fact(&f) - s.prob(i)).abs() < 1e-15,
+                "index {i}"
+            );
+            // and the complementary-shape fact gets 0
+            let other_rel = if f.rel() == RelId(0) { RelId(1) } else { RelId(0) };
+            let g = Fact::new(other_rel, f.args().to_vec());
+            assert_eq!(rep.prob_of_fact(&g), 0.0);
+        }
+    }
+
+    #[test]
+    fn prob_of_fact_rejects_wrong_shapes() {
+        let rep = RepresentedPdb::new(TuringMachine::rejects_all());
+        assert_eq!(rep.prob_of_fact(&Fact::new(RelId(0), [Value::str("x")])), 0.0);
+        assert_eq!(rep.prob_of_fact(&Fact::new(RelId(0), [Value::int(0)])), 0.0);
+        assert_eq!(rep.prob_of_fact(&Fact::new(RelId(0), [Value::int(-3)])), 0.0);
+    }
+
+    #[test]
+    fn pdb_constructs() {
+        let rep = RepresentedPdb::new(TuringMachine::accepts_only_empty());
+        let pdb = rep.pdb().unwrap();
+        assert!((pdb.expected_size_bound() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_acceptance_mixes_r_and_s() {
+        // accepts_only_empty: n = 1 codes ε (accepted, given ≥1 step);
+        // other inputs rejected. R-facts exactly at k = ⟨1, t⟩ with t ≥ 1.
+        let rep = RepresentedPdb::new(TuringMachine::accepts_only_empty());
+        let s = rep.supply();
+        let rels: Vec<RelId> = (0..60).map(|i| s.fact(i).rel()).collect();
+        assert!(rels.contains(&RelId(0)));
+        assert!(rels.contains(&RelId(1)));
+        // k = ⟨1,1⟩ = 1 is the first index and ε ∈ L_{N,1}
+        assert_eq!(infpdb_math::pairing::pair(1, 1), 1);
+        assert_eq!(s.fact(0).rel(), RelId(0));
+    }
+}

@@ -1,0 +1,13 @@
+//! The `infpdb` binary: see `infpdb::cli` for the table format and
+//! subcommands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match infpdb::cli::run(&args, |path| std::fs::read_to_string(path)) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("infpdb: {e}");
+            std::process::exit(1);
+        }
+    }
+}

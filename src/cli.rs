@@ -1,0 +1,563 @@
+//! The `infpdb` command-line interface.
+//!
+//! A thin, testable layer over the library: tables are described in a
+//! simple text format, queries in the `infpdb_logic` syntax, and each
+//! subcommand is a pure function from parsed arguments to a rendered
+//! report (the binary in `src/bin/infpdb.rs` only does I/O).
+//!
+//! # Table format
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! relation BornIn 2        # declare relations first
+//! relation Person 1
+//!
+//! BornIn turing london @ 0.96       # fact: rel args… @ probability
+//! Person turing        @ 0.99
+//! Person 42            @ 0.5        # integer-looking args are integers
+//! Person 20.3          @ 0.1        # decimal-looking args are fixed-point
+//! ```
+//!
+//! # Subcommands
+//!
+//! * `info <table>` — schema, expected size, size distribution head.
+//! * `query <table> <query> [--engine E]` — Boolean query probability.
+//! * `marginals <table> <query>` — per-answer marginal probabilities.
+//! * `sample <table> [--count N] [--seed S]` — draw worlds.
+//! * `open <table> <query> --eps E [--tail-mass M] [--tail-start K]` —
+//!   open-world evaluation: completes the table with a geometric tail of
+//!   fresh facts (over the first declared unary relation) and runs the
+//!   Proposition 6.1 approximation.
+
+use infpdb_core::fact::Fact;
+use infpdb_core::schema::{Relation, Schema};
+use infpdb_core::space::rand_core::SplitMix64;
+use infpdb_core::value::Value;
+use infpdb_finite::engine::Engine;
+use infpdb_finite::TiTable;
+use infpdb_logic::parse;
+use infpdb_math::series::GeometricSeries;
+use infpdb_openworld::independent_facts::complete_ti_table;
+use infpdb_query::approx::approx_prob_boolean;
+use infpdb_ti::enumerator::FactSupply;
+use std::fmt::Write as _;
+
+/// CLI errors, rendered to stderr by the binary.
+#[derive(Debug)]
+pub enum CliError {
+    /// Table-file syntax error.
+    Table {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+    /// Anything from the library layers.
+    Library(String),
+    /// Bad command-line usage.
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Table { line, message } => {
+                write!(f, "table error on line {line}: {message}")
+            }
+            CliError::Library(m) => write!(f, "{m}"),
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn lib_err(e: impl std::fmt::Display) -> CliError {
+    CliError::Library(e.to_string())
+}
+
+/// Parses the table format described in the module docs.
+pub fn parse_table(input: &str) -> Result<TiTable, CliError> {
+    let mut schema = Schema::new();
+    let mut facts: Vec<(Fact, f64)> = Vec::new();
+    let mut pending: Vec<(usize, Vec<String>, f64)> = Vec::new();
+    for (no, raw) in input.lines().enumerate() {
+        let line_no = no + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts: Vec<&str> = line.split_whitespace().collect();
+        if parts[0] == "relation" {
+            if parts.len() != 3 {
+                return Err(CliError::Table {
+                    line: line_no,
+                    message: "expected `relation <Name> <arity>`".into(),
+                });
+            }
+            let arity: usize = parts[2].parse().map_err(|_| CliError::Table {
+                line: line_no,
+                message: format!("bad arity {:?}", parts[2]),
+            })?;
+            schema
+                .add(Relation::new(parts[1], arity))
+                .map_err(|e| CliError::Table {
+                    line: line_no,
+                    message: e.to_string(),
+                })?;
+            continue;
+        }
+        // fact line: rel args… @ prob
+        let at = parts.iter().position(|p| *p == "@").ok_or(CliError::Table {
+            line: line_no,
+            message: "fact lines need `@ <probability>`".into(),
+        })?;
+        if at + 2 != parts.len() {
+            return Err(CliError::Table {
+                line: line_no,
+                message: "expected exactly one probability after `@`".into(),
+            });
+        }
+        let prob: f64 = parts[at + 1].parse().map_err(|_| CliError::Table {
+            line: line_no,
+            message: format!("bad probability {:?}", parts[at + 1]),
+        })?;
+        parts.truncate(at);
+        pending.push((
+            line_no,
+            parts.iter().map(|s| s.to_string()).collect(),
+            prob,
+        ));
+    }
+    for (line_no, parts, prob) in pending {
+        let rel = schema.rel_id(&parts[0]).ok_or_else(|| CliError::Table {
+            line: line_no,
+            message: format!("unknown relation {:?} (declare it with `relation`)", parts[0]),
+        })?;
+        let expected = schema.relation(rel).arity();
+        if parts.len() - 1 != expected {
+            return Err(CliError::Table {
+                line: line_no,
+                message: format!(
+                    "relation {} has arity {expected} but got {} arguments",
+                    parts[0],
+                    parts.len() - 1
+                ),
+            });
+        }
+        let args: Vec<Value> = parts[1..].iter().map(|s| parse_value(s)).collect();
+        facts.push((Fact::new(rel, args), prob));
+    }
+    TiTable::from_facts(schema, facts).map_err(lib_err)
+}
+
+/// Renders a table back into the text format accepted by
+/// [`parse_table`]; `parse_table(&render_table(&t))` reproduces `t`.
+///
+/// Limitation: the text format is whitespace-separated, so string values
+/// containing whitespace (constructible through the library API) cannot
+/// round-trip; they are emitted as-is and will re-parse as multiple
+/// arguments.
+pub fn render_table(table: &TiTable) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (_, r) in table.schema().iter() {
+        writeln!(out, "relation {} {}", r.name(), r.arity()).ok();
+    }
+    for (_, fact, p) in table.iter() {
+        let name = table
+            .schema()
+            .get(fact.rel())
+            .map(|r| r.name())
+            .unwrap_or("?");
+        let args: Vec<String> = fact.args().iter().map(render_value).collect();
+        writeln!(out, "{name} {} @ {p}", args.join(" ")).ok();
+    }
+    out
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Int(n) => n.to_string(),
+        Value::Fixed(x) => x.to_string(),
+        Value::Str(s) => s.to_string(),
+    }
+}
+
+/// Integers parse as `Int`, decimals as `Fixed`, everything else as `Str`.
+pub fn parse_value(s: &str) -> Value {
+    if let Ok(n) = s.parse::<i64>() {
+        return Value::int(n);
+    }
+    if let Some((whole, frac)) = s.split_once('.') {
+        if !frac.is_empty()
+            && frac.len() <= 9
+            && frac.bytes().all(|b| b.is_ascii_digit())
+            && (whole.parse::<i64>().is_ok() || whole.is_empty() || whole == "-")
+        {
+            let mantissa: Result<i64, _> = format!("{whole}{frac}").parse();
+            if let Ok(m) = mantissa {
+                return Value::fixed(m, frac.len() as u8);
+            }
+        }
+    }
+    Value::str(s)
+}
+
+fn parse_engine(s: &str) -> Result<Engine, CliError> {
+    match s {
+        "auto" => Ok(Engine::Auto),
+        "lifted" => Ok(Engine::Lifted),
+        "lineage" => Ok(Engine::Lineage),
+        "brute" => Ok(Engine::Brute),
+        other => Err(CliError::Usage(format!(
+            "unknown engine {other:?} (auto|lifted|lineage|brute)"
+        ))),
+    }
+}
+
+/// `info` subcommand.
+pub fn cmd_info(table_text: &str) -> Result<String, CliError> {
+    let table = parse_table(table_text)?;
+    let mut out = String::new();
+    writeln!(out, "relations:").ok();
+    for (_, r) in table.schema().iter() {
+        writeln!(out, "  {} / {}", r.name(), r.arity()).ok();
+    }
+    writeln!(out, "facts: {}", table.len()).ok();
+    writeln!(out, "expected instance size: {:.6}", table.expected_size()).ok();
+    let dist = table.size_distribution();
+    writeln!(out, "size distribution (first entries):").ok();
+    for (k, p) in dist.iter().take(8).enumerate() {
+        writeln!(out, "  P(S = {k}) = {p:.6}").ok();
+    }
+    Ok(out)
+}
+
+/// `query` subcommand.
+pub fn cmd_query(table_text: &str, query: &str, engine: &str) -> Result<String, CliError> {
+    let table = parse_table(table_text)?;
+    let q = parse(query, table.schema()).map_err(lib_err)?;
+    let e = parse_engine(engine)?;
+    let p = infpdb_finite::engine::prob_boolean(&q, &table, e).map_err(lib_err)?;
+    Ok(format!("P({query}) = {p}\n"))
+}
+
+/// `marginals` subcommand.
+pub fn cmd_marginals(table_text: &str, query: &str) -> Result<String, CliError> {
+    let table = parse_table(table_text)?;
+    let q = parse(query, table.schema()).map_err(lib_err)?;
+    let answers =
+        infpdb_finite::engine::answer_marginals(&q, &table, Engine::Auto).map_err(lib_err)?;
+    let mut out = String::new();
+    if answers.is_empty() {
+        writeln!(out, "(no answers with positive probability)").ok();
+    }
+    for (tuple, p) in answers {
+        let rendered: Vec<String> = tuple.iter().map(|v| v.to_string()).collect();
+        writeln!(out, "({}) @ {p:.6}", rendered.join(", ")).ok();
+    }
+    Ok(out)
+}
+
+/// `sample` subcommand.
+pub fn cmd_sample(table_text: &str, count: usize, seed: u64) -> Result<String, CliError> {
+    let table = parse_table(table_text)?;
+    let mut rng = SplitMix64::new(seed);
+    let mut out = String::new();
+    for _ in 0..count {
+        let world = table.sample(&mut rng);
+        writeln!(
+            out,
+            "{}",
+            world.display(table.schema(), table.interner())
+        )
+        .ok();
+    }
+    Ok(out)
+}
+
+/// `open` subcommand: open-world evaluation with a geometric tail of fresh
+/// facts over the first declared unary relation, integers from
+/// `tail_start` upward.
+pub fn cmd_open(
+    table_text: &str,
+    query: &str,
+    eps: f64,
+    tail_mass: f64,
+    tail_start: i64,
+) -> Result<String, CliError> {
+    let table = parse_table(table_text)?;
+    let (rel, _) = table
+        .schema()
+        .iter()
+        .find(|(_, r)| r.arity() == 1)
+        .ok_or_else(|| {
+            CliError::Usage(
+                "`open` needs a unary relation to attach the fresh-fact tail to".into(),
+            )
+        })?;
+    let q = parse(query, table.schema()).map_err(lib_err)?;
+    let series = GeometricSeries::new(tail_mass / 2.0, 0.5).map_err(lib_err)?;
+    let tail = FactSupply::from_fn(
+        table.schema().clone(),
+        move |i| Fact::new(rel, [Value::int(tail_start + i as i64)]),
+        series,
+    );
+    let open = complete_ti_table(&table, tail).map_err(lib_err)?;
+    let a = approx_prob_boolean(&open, &q, eps, Engine::Auto).map_err(lib_err)?;
+    Ok(format!(
+        "P({query}) = {} ± {} (open world; truncated at n = {})\n",
+        a.estimate, a.eps, a.n
+    ))
+}
+
+/// Argument dispatch for the binary. `args` excludes the program name.
+pub fn run(args: &[String], read_file: impl Fn(&str) -> std::io::Result<String>) -> Result<String, CliError> {
+    let usage = "usage: infpdb <info|query|marginals|sample|open> <table-file> [...]";
+    if args.is_empty() {
+        return Err(CliError::Usage(usage.into()));
+    }
+    let read = |path: &str| -> Result<String, CliError> {
+        read_file(path).map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))
+    };
+    let flag = |name: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    match args[0].as_str() {
+        "info" => {
+            let table = read(args.get(1).ok_or(CliError::Usage(usage.into()))?)?;
+            cmd_info(&table)
+        }
+        "query" => {
+            let table = read(args.get(1).ok_or(CliError::Usage(usage.into()))?)?;
+            let q = args.get(2).ok_or(CliError::Usage("query: missing query string".into()))?;
+            cmd_query(&table, q, &flag("--engine", "auto"))
+        }
+        "marginals" => {
+            let table = read(args.get(1).ok_or(CliError::Usage(usage.into()))?)?;
+            let q = args
+                .get(2)
+                .ok_or(CliError::Usage("marginals: missing query string".into()))?;
+            cmd_marginals(&table, q)
+        }
+        "sample" => {
+            let table = read(args.get(1).ok_or(CliError::Usage(usage.into()))?)?;
+            let count: usize = flag("--count", "5")
+                .parse()
+                .map_err(|_| CliError::Usage("--count must be a number".into()))?;
+            let seed: u64 = flag("--seed", "42")
+                .parse()
+                .map_err(|_| CliError::Usage("--seed must be a number".into()))?;
+            cmd_sample(&table, count, seed)
+        }
+        "open" => {
+            let table = read(args.get(1).ok_or(CliError::Usage(usage.into()))?)?;
+            let q = args.get(2).ok_or(CliError::Usage("open: missing query string".into()))?;
+            let eps: f64 = flag("--eps", "0.01")
+                .parse()
+                .map_err(|_| CliError::Usage("--eps must be a number".into()))?;
+            let tail_mass: f64 = flag("--tail-mass", "0.5")
+                .parse()
+                .map_err(|_| CliError::Usage("--tail-mass must be a number".into()))?;
+            let tail_start: i64 = flag("--tail-start", "1000000")
+                .parse()
+                .map_err(|_| CliError::Usage("--tail-start must be a number".into()))?;
+            cmd_open(&table, q, eps, tail_mass, tail_start)
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}; {usage}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE: &str = "\
+# toy knowledge base
+relation BornIn 2
+relation Person 1
+
+BornIn turing london @ 0.96
+BornIn turing cambridge @ 0.07
+Person turing @ 0.99
+Person 42 @ 0.5
+";
+
+    #[test]
+    fn parse_table_round_trip() {
+        let t = parse_table(TABLE).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.schema().len(), 2);
+        let born = t.schema().rel_id("BornIn").unwrap();
+        let f = Fact::new(born, [Value::str("turing"), Value::str("london")]);
+        assert!((t.marginal(&f) - 0.96).abs() < 1e-12);
+        let person = t.schema().rel_id("Person").unwrap();
+        assert!((t.marginal(&Fact::new(person, [Value::int(42)])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let t = parse_table(TABLE).unwrap();
+        let rendered = render_table(&t);
+        let t2 = parse_table(&rendered).unwrap();
+        assert_eq!(t.len(), t2.len());
+        for (_, fact, p) in t.iter() {
+            assert!(
+                (t2.marginal(fact) - p).abs() < 1e-12,
+                "{} lost in round trip",
+                fact.display(t.schema())
+            );
+        }
+        // fixed-point values survive too
+        let with_fixed = "relation Temp 1
+Temp 20.3 @ 0.25
+";
+        let a = parse_table(with_fixed).unwrap();
+        let b = parse_table(&render_table(&a)).unwrap();
+        assert_eq!(a.len(), b.len());
+        let f = Fact::new(
+            a.schema().rel_id("Temp").unwrap(),
+            [Value::fixed(203, 1)],
+        );
+        assert!((b.marginal(&f) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_value_types() {
+        assert_eq!(parse_value("42"), Value::int(42));
+        assert_eq!(parse_value("-7"), Value::int(-7));
+        assert_eq!(parse_value("20.3"), Value::fixed(203, 1));
+        assert_eq!(parse_value("-0.25"), Value::fixed(-25, 2));
+        assert_eq!(parse_value("london"), Value::str("london"));
+        assert_eq!(parse_value("1.2.3"), Value::str("1.2.3"));
+        assert_eq!(parse_value("3."), Value::str("3."));
+    }
+
+    #[test]
+    fn table_errors_carry_line_numbers() {
+        let bad = "relation R 1\nR 1 1 @ 0.5\n";
+        match parse_table(bad) {
+            Err(CliError::Table { line: 2, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        let bad2 = "relation R one\n";
+        assert!(matches!(parse_table(bad2), Err(CliError::Table { line: 1, .. })));
+        let bad3 = "relation R 1\nR 1 0.5\n"; // missing @
+        assert!(matches!(parse_table(bad3), Err(CliError::Table { line: 2, .. })));
+        let bad4 = "Q 1 @ 0.5\n"; // undeclared relation
+        assert!(matches!(parse_table(bad4), Err(CliError::Table { line: 1, .. })));
+    }
+
+    #[test]
+    fn facts_may_precede_declarations_on_later_lines() {
+        // two-pass parsing: declaration order within the file is free
+        let t = parse_table("R 1 @ 0.5\nrelation R 1\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn info_command() {
+        let out = cmd_info(TABLE).unwrap();
+        assert!(out.contains("BornIn / 2"));
+        assert!(out.contains("facts: 4"));
+        assert!(out.contains("expected instance size: 2.52"));
+    }
+
+    #[test]
+    fn query_command_all_engines() {
+        for engine in ["auto", "lifted", "lineage", "brute"] {
+            let out =
+                cmd_query(TABLE, "exists x. BornIn('turing', x)", engine).unwrap();
+            let p: f64 = out
+                .rsplit('=')
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            let truth = 1.0 - 0.04 * 0.93;
+            assert!((p - truth).abs() < 1e-9, "{engine}: {p}");
+        }
+        assert!(cmd_query(TABLE, "exists x. BornIn('turing', x)", "warp").is_err());
+    }
+
+    #[test]
+    fn marginals_command() {
+        let out = cmd_marginals(TABLE, "BornIn('turing', x)").unwrap();
+        assert!(out.contains("\"london\"") && out.contains("0.96"));
+        assert!(out.contains("\"cambridge\""));
+        let none = cmd_marginals(TABLE, "BornIn('goedel', x)").unwrap();
+        assert!(none.contains("no answers"));
+    }
+
+    #[test]
+    fn sample_command_is_deterministic_per_seed() {
+        let a = cmd_sample(TABLE, 3, 7).unwrap();
+        let b = cmd_sample(TABLE, 3, 7).unwrap();
+        assert_eq!(a, b);
+        let c = cmd_sample(TABLE, 3, 8).unwrap();
+        assert_eq!(a.lines().count(), 3);
+        // overwhelmingly likely to differ
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn open_command_answers_beyond_the_closed_world() {
+        // Person(1000000) is impossible closed-world, possible open-world
+        let closed = cmd_query(TABLE, "Person(1000000)", "auto").unwrap();
+        assert!(closed.contains("= 0"));
+        let open = cmd_open(TABLE, "Person(1000000)", 0.01, 0.5, 1_000_000).unwrap();
+        let p: f64 = open
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(p > 0.2, "open-world probability {p}");
+    }
+
+    #[test]
+    fn run_dispatch() {
+        let files = |path: &str| -> std::io::Result<String> {
+            if path == "kb.pdb" {
+                Ok(TABLE.to_string())
+            } else {
+                Err(std::io::Error::new(std::io::ErrorKind::NotFound, "nope"))
+            }
+        };
+        let args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert!(run(&args(&["info", "kb.pdb"]), files).unwrap().contains("facts: 4"));
+        assert!(run(
+            &args(&["query", "kb.pdb", "Person('turing')"]),
+            files
+        )
+        .unwrap()
+        .contains("0.99"));
+        assert!(run(
+            &args(&["sample", "kb.pdb", "--count", "2", "--seed", "1"]),
+            files
+        )
+        .unwrap()
+        .lines()
+        .count()
+            == 2);
+        assert!(matches!(run(&args(&[]), files), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["info", "missing.pdb"]), files),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["frobnicate", "kb.pdb"]), files),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # infpdb — Probabilistic Databases with an Infinite Open-World Assumption
+//!
+//! A Rust implementation of the framework of Grohe & Lindner,
+//! *Probabilistic Databases with an Infinite Open-World Assumption*
+//! (PODS 2019, arXiv:1807.00607): probabilistic databases over countably
+//! infinite universes, tuple-independent and block-independent-disjoint
+//! constructions, open-world completions of finite PDBs, and additive-ε
+//! approximate query evaluation.
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names; see each subsystem's documentation for details:
+//!
+//! * [`math`] — convergent series, infinite products, certified intervals.
+//! * [`core`] — universes, schemas, facts, instances, probability spaces.
+//! * [`logic`] — first-order queries and views, evaluation, safe plans.
+//! * [`finite`] — the finite (closed-world) PDB engine: lineage, exact and
+//!   Monte-Carlo inference.
+//! * [`ti`] — countably infinite tuple-independent and b.i.d. PDBs.
+//! * [`openworld`] — completions: the infinite open-world assumption.
+//! * [`query`] — approximate query evaluation on infinite PDBs (Prop 6.1).
+//! * [`tm`] — Turing-machine-represented PDBs (Prop 6.2).
+//!
+//! A command-line interface over the library lives in [`cli`] (binary:
+//! `cargo run --bin infpdb`).
+
+pub mod cli;
+
+pub use infpdb_core as core;
+pub use infpdb_finite as finite;
+pub use infpdb_logic as logic;
+pub use infpdb_math as math;
+pub use infpdb_openworld as openworld;
+pub use infpdb_query as query;
+pub use infpdb_ti as ti;
+pub use infpdb_tm as tm;
