@@ -49,7 +49,10 @@ fn print_rows() {
     let iv = lam.prob_interval(&q).expect("interval");
     let a = approx_prob_boolean(&open, &q, 0.001, Engine::Auto).expect("approx");
     let closed = engine::prob_boolean(&q, &table, Engine::Auto).expect("prob");
-    println!("P(exists x. R(x)): closed = {closed:.5}, open = {:.5}, λ-interval = {iv}", a.estimate);
+    println!(
+        "P(exists x. R(x)): closed = {closed:.5}, open = {:.5}, λ-interval = {iv}",
+        a.estimate
+    );
     assert!(a.estimate >= closed - 0.001);
 }
 

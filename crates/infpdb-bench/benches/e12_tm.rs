@@ -13,7 +13,10 @@ use infpdb_tm::{RepresentedPdb, TuringMachine};
 
 fn print_rows() {
     println!("\nE12: the Prop 6.2 dichotomy");
-    println!("{:<22} {:>10} {:>24}", "machine", "witness?", "P(exists R) interval");
+    println!(
+        "{:<22} {:>10} {:>24}",
+        "machine", "witness?", "P(exists R) interval"
+    );
     let machines: Vec<(&str, TuringMachine)> = vec![
         ("rejects_all", TuringMachine::rejects_all()),
         ("loops_forever", TuringMachine::loops_forever()),

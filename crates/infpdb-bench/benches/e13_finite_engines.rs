@@ -83,8 +83,7 @@ fn bench(c: &mut Criterion) {
     let mut rng2 = SplitMix64::new(3);
     group.bench_function("karp_luby_2000_samples", |b| {
         b.iter(|| {
-            infpdb_finite::karp_luby::estimate_ucq(&q, &t, 2000, 100_000, &mut rng2)
-                .expect("kl")
+            infpdb_finite::karp_luby::estimate_ucq(&q, &t, 2000, 100_000, &mut rng2).expect("kl")
         })
     });
     group.finish();

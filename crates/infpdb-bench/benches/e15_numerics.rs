@@ -24,7 +24,10 @@ fn print_rows() {
         kahan.add(tiny);
     }
     let expected = 1.0 + tiny * n as f64;
-    println!("expected {expected:.12}  naive {naive:.12}  kahan {:.12}", kahan.value());
+    println!(
+        "expected {expected:.12}  naive {naive:.12}  kahan {:.12}",
+        kahan.value()
+    );
     assert_eq!(naive, 1.0, "naive summation should lose the tail entirely");
     assert!((kahan.value() - expected).abs() < 1e-12);
 
@@ -90,7 +93,10 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("interval_refine", refine),
             &refine,
             |b, &r| {
-                b.iter(|| pdb.instance_prob(&[infpdb_bench::rfact(1)], r, 10).expect("ok"))
+                b.iter(|| {
+                    pdb.instance_prob(&[infpdb_bench::rfact(1)], r, 10)
+                        .expect("ok")
+                })
             },
         );
     }

@@ -16,7 +16,10 @@ use infpdb_query::approx::approx_prob_boolean;
 
 fn print_rows() {
     println!("\nE1: additive guarantee of Prop 6.1 (query: exists x. R(x))");
-    println!("{:<10} {:>8} {:>10} {:>10} {:>10} {:>8}", "series", "eps", "estimate", "truth", "|error|", "n(eps)");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>8}",
+        "series", "eps", "estimate", "truth", "|error|", "n(eps)"
+    );
     for (name, pdb, truth_terms) in [
         ("geometric", geometric_pdb(), 2_000usize),
         ("zeta", zeta_pdb(), 3_000_000),

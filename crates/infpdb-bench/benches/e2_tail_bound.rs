@@ -11,7 +11,10 @@ use infpdb_math::series::{GeometricSeries, ZetaSeries};
 
 fn print_rows() {
     println!("\nE2: claim (*) tightness: prod vs exp(-1.5*sum)");
-    println!("{:<28} {:>12} {:>12} {:>8}", "series", "product", "bound", "ratio");
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "series", "product", "bound", "ratio"
+    );
     let series: Vec<(&str, Box<dyn infpdb_math::series::ProbSeries>)> = vec![
         (
             "geometric(0.45, 0.5)",
@@ -30,7 +33,10 @@ fn print_rows() {
     for (name, s) in &series {
         let (prod, bound) = claim_star_sides(&s.as_ref(), 5000);
         assert!(prod >= bound - 1e-12, "claim (*) violated for {name}");
-        println!("{name:<28} {prod:>12.8} {bound:>12.8} {:>8.4}", prod / bound);
+        println!(
+            "{name:<28} {prod:>12.8} {bound:>12.8} {:>8.4}",
+            prod / bound
+        );
     }
 }
 

@@ -8,10 +8,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use infpdb_bench::{geometric_pdb, rfact, unary_schema};
+use infpdb_core::schema::RelId;
 use infpdb_math::series::HarmonicSeries;
 use infpdb_ti::construction::CountableTiPdb;
 use infpdb_ti::enumerator::FactSupply;
-use infpdb_core::schema::RelId;
 
 fn print_rows() {
     println!("\nE3: Theorem 4.8 dichotomy and marginal recovery");
@@ -38,7 +38,10 @@ fn print_rows() {
         let enc = pdb
             .instance_prob(&[rfact(1), rfact(3)], refine, 100)
             .expect("interval");
-        println!("instance_prob refine={refine:<3} width = {:.2e}", enc.width());
+        println!(
+            "instance_prob refine={refine:<3} width = {:.2e}",
+            enc.width()
+        );
     }
 }
 
@@ -51,12 +54,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("instance_prob_refine", cut),
             &cut,
-            |b, &cut| {
-                b.iter(|| {
-                    pdb.instance_prob(&[rfact(1)], cut, 100)
-                        .expect("interval")
-                })
-            },
+            |b, &cut| b.iter(|| pdb.instance_prob(&[rfact(1)], cut, 100).expect("interval")),
         );
     }
     group.bench_function("truncate_1000", |b| {

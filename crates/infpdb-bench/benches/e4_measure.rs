@@ -23,7 +23,10 @@ fn print_rows() {
                 .filter(|i| mask & (1 << i) != 0)
                 .map(|i| rfact(i as i64 + 1))
                 .collect();
-            total += pdb.instance_prob(&facts, 32, 100).expect("interval").midpoint();
+            total += pdb
+                .instance_prob(&facts, 32, 100)
+                .expect("interval")
+                .midpoint();
         }
         let floor = pdb.prob_within_prefix(k, 32).expect("interval").lo();
         println!("{k:>4} {total:>14.8} {floor:>14.8}");
@@ -48,7 +51,10 @@ fn print_rows() {
         c1 as f64 / n as f64,
         cboth as f64 / n as f64,
     );
-    println!("P(f0)={f0:.4} P(f1)={f1:.4} P(f0∧f1)={fb:.4} product={:.4}", f0 * f1);
+    println!(
+        "P(f0)={f0:.4} P(f1)={f1:.4} P(f0∧f1)={fb:.4} product={:.4}",
+        f0 * f1
+    );
     assert!((fb - f0 * f1).abs() < 0.01);
 }
 

@@ -13,7 +13,10 @@ use infpdb_ti::counterexample::{fo_view_expected_size_bound, LazySizedPdb};
 fn print_rows() {
     println!("\nE6: Prop 4.9 — outcomes needed to exceed FO-view envelopes");
     let ex = LazySizedPdb::example_3_3();
-    println!("{:>10} {:>10} {:>12} {:>16}", "k (arity)", "c", "E(S_C)", "crossed at N");
+    println!(
+        "{:>10} {:>10} {:>12} {:>16}",
+        "k (arity)", "c", "E(S_C)", "crossed at N"
+    );
     for (k, c, e_sc) in [(2usize, 0usize, 1.0), (5, 10, 100.0), (10, 100, 1e6)] {
         let bound = fo_view_expected_size_bound(k, c, e_sc);
         let mut n = 1u64;

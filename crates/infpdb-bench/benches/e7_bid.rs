@@ -36,7 +36,10 @@ fn supply(alts_per_block: i64) -> BlockSupply {
 fn print_rows() {
     println!("\nE7: Theorem 4.15 dichotomy and b.i.d. sampling");
     let pdb = CountableBidPdb::new(supply(2), 16).expect("convergent");
-    println!("convergent block masses: constructed, E(S) ≤ {:.4}", pdb.expected_size_bound());
+    println!(
+        "convergent block masses: constructed, E(S) ≤ {:.4}",
+        pdb.expected_size_bound()
+    );
     let divergent = BlockSupply::from_fn(
         schema(),
         |i| vec![(kv(i as i64, 0), 1.0 / (i + 1) as f64)],
@@ -80,7 +83,10 @@ fn bench(c: &mut Criterion) {
     }
     let pdb = CountableBidPdb::new(supply(2), 8).expect("pdb");
     group.bench_function("instance_prob", |b| {
-        b.iter(|| pdb.instance_prob(&[(0, kv(0, 0)), (3, kv(3, 1))]).expect("interval"))
+        b.iter(|| {
+            pdb.instance_prob(&[(0, kv(0, 0)), (3, kv(3, 1))])
+                .expect("interval")
+        })
     });
     group.bench_function("truncate_16_blocks", |b| {
         b.iter(|| pdb.truncate(16).expect("table"))

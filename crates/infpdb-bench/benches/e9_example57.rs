@@ -55,9 +55,9 @@ fn print_rows() {
     println!("\nE9: Example 5.7 — Boolean combinations of distinct facts are possible");
     let (schema, open) = example_5_7();
     let queries = [
-        "R('A', 1) /\\ R('A', 2)",          // impossible closed-world
-        "R('D', 7)",                         // entity D never listed
-        "R('A', 1) /\\ !R('B', 1)",          // mixed polarity
+        "R('A', 1) /\\ R('A', 2)",                // impossible closed-world
+        "R('D', 7)",                              // entity D never listed
+        "R('A', 1) /\\ !R('B', 1)",               // mixed polarity
         "R('D', 1) /\\ R('D', 2) /\\ !R('C', 3)", // all-new combination
     ];
     println!("{:<42} {:>12}", "query", "P ± 0.001");

@@ -107,7 +107,9 @@ mod tests {
         assert!(CoreError::BadRelationName(String::new())
             .to_string()
             .contains("bad"));
-        assert!(CoreError::UnknownRelation(RelId(3)).to_string().contains("3"));
+        assert!(CoreError::UnknownRelation(RelId(3))
+            .to_string()
+            .contains("3"));
         assert!(CoreError::ValueNotInUniverse(Value::int(0))
             .to_string()
             .contains("universe"));

@@ -39,9 +39,7 @@ impl Fact {
         args: impl IntoIterator<Item = Value>,
     ) -> Result<Self, CoreError> {
         let args: Vec<Value> = args.into_iter().collect();
-        let relation = schema
-            .get(rel)
-            .ok_or(CoreError::UnknownRelation(rel))?;
+        let relation = schema.get(rel).ok_or(CoreError::UnknownRelation(rel))?;
         if relation.arity() != args.len() {
             return Err(CoreError::ArityMismatch {
                 relation: relation.name().to_string(),
@@ -141,7 +139,14 @@ mod tests {
         let s = schema();
         let r = s.rel_id("R").unwrap();
         let e = Fact::checked(&s, &Naturals, r, [Value::int(1)]).unwrap_err();
-        assert!(matches!(e, CoreError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            e,
+            CoreError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

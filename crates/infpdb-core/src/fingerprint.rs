@@ -1,0 +1,199 @@
+//! Stable content fingerprints.
+//!
+//! The serving layer (`infpdb-serve`) caches query results keyed by the
+//! *content* of a probabilistic database, so it needs a hash that is
+//! stable across processes and insertion orders — `std::hash::Hash` with
+//! `RandomState` guarantees neither. This module provides a small FNV-1a
+//! hasher with a fixed seed plus helpers for the domain types:
+//!
+//! * [`Fingerprinter`] — incremental 64-bit FNV-1a over byte chunks, with
+//!   length-prefixed framing so concatenation ambiguities cannot collide
+//!   (`("ab","c")` vs `("a","bc")`).
+//! * [`fact_fingerprint`] — hash of one weighted fact, going through the
+//!   *relation name* (not the schema-local [`RelId`](crate::schema::RelId)
+//!   index) so two tables declaring the same relations in different order
+//!   agree.
+//! * [`combine_unordered`] — an order-insensitive combination of per-item
+//!   hashes (sum + XOR mix), used to fingerprint fact *sets*.
+
+use crate::fact::Fact;
+use crate::schema::Schema;
+use crate::value::Value;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+/// Incremental FNV-1a hasher with length-prefixed framing.
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    state: u64,
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprinter {
+    /// A fresh hasher at the standard FNV offset basis.
+    pub fn new() -> Self {
+        Fingerprinter { state: FNV_OFFSET }
+    }
+
+    fn write_raw(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a byte chunk, framed by its length.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.write_raw(&(bytes.len() as u64).to_le_bytes());
+        self.write_raw(bytes);
+        self
+    }
+
+    /// Absorbs a `u64`.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_raw(&v.to_le_bytes());
+        self
+    }
+
+    /// Absorbs an `f64` by its exact bit pattern (so `0.30` and
+    /// `0.30000001` differ, and every probability change is visible).
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Absorbs a [`Value`] with a discriminant tag.
+    pub fn write_value(&mut self, v: &Value) -> &mut Self {
+        match v {
+            Value::Int(n) => self.write_u64(1).write_u64(*n as u64),
+            Value::Fixed(x) => self
+                .write_u64(2)
+                .write_u64(x.mantissa() as u64)
+                .write_u64(u64::from(x.exponent())),
+            Value::Str(s) => self.write_u64(3).write_bytes(s.as_bytes()),
+        }
+    }
+
+    /// The 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        // final avalanche (splitmix64 finalizer) so close inputs spread
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Fingerprint of one fact together with its marginal probability.
+///
+/// Relations are identified by *name*, so the digest does not depend on
+/// the order relations were declared in the schema. Returns the digest of
+/// `(relation name, args, probability bits)`.
+pub fn fact_fingerprint(schema: &Schema, fact: &Fact, prob: f64) -> u64 {
+    let mut fp = Fingerprinter::new();
+    let name = schema.get(fact.rel()).map(|r| r.name()).unwrap_or("?");
+    fp.write_bytes(name.as_bytes());
+    fp.write_u64(fact.args().len() as u64);
+    for arg in fact.args() {
+        fp.write_value(arg);
+    }
+    fp.write_f64(prob);
+    fp.finish()
+}
+
+/// Combines per-item digests independent of iteration order.
+///
+/// Uses `wrapping_add` + XOR of a mixed copy: commutative and
+/// associative, so any permutation of the same multiset of digests
+/// produces the same result, while single-bit changes in any item change
+/// the output with overwhelming probability.
+pub fn combine_unordered(digests: impl IntoIterator<Item = u64>) -> u64 {
+    let mut sum: u64 = 0;
+    let mut xor: u64 = 0;
+    let mut count: u64 = 0;
+    for d in digests {
+        sum = sum.wrapping_add(d);
+        xor ^= d.rotate_left(17);
+        count += 1;
+    }
+    let mut fp = Fingerprinter::new();
+    fp.write_u64(sum).write_u64(xor).write_u64(count);
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{RelId, Relation, Schema};
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 1), Relation::new("S", 2)]).unwrap()
+    }
+
+    #[test]
+    fn framing_prevents_concatenation_collisions() {
+        let mut a = Fingerprinter::new();
+        a.write_bytes(b"ab").write_bytes(b"c");
+        let mut b = Fingerprinter::new();
+        b.write_bytes(b"a").write_bytes(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fact_fingerprint_is_stable_and_discriminating() {
+        let s = schema();
+        let f = Fact::new(RelId(0), [Value::int(1)]);
+        let base = fact_fingerprint(&s, &f, 0.5);
+        // deterministic across calls (fixed seed, no RandomState)
+        assert_eq!(base, fact_fingerprint(&s, &f, 0.5));
+        // sensitive to the probability
+        assert_ne!(base, fact_fingerprint(&s, &f, 0.5000001));
+        // sensitive to arguments and relation
+        assert_ne!(
+            base,
+            fact_fingerprint(&s, &Fact::new(RelId(0), [Value::int(2)]), 0.5)
+        );
+        assert_ne!(
+            base,
+            fact_fingerprint(
+                &s,
+                &Fact::new(RelId(1), [Value::int(1), Value::int(1)]),
+                0.5
+            )
+        );
+        // value-kind tags discriminate Int(1) from Str("1")
+        assert_ne!(
+            base,
+            fact_fingerprint(&s, &Fact::new(RelId(0), [Value::str("1")]), 0.5)
+        );
+    }
+
+    #[test]
+    fn relation_identity_is_by_name_not_schema_position() {
+        let forward = schema();
+        let backward =
+            Schema::from_relations([Relation::new("S", 2), Relation::new("R", 1)]).unwrap();
+        let ff = Fact::new(forward.rel_id("R").unwrap(), [Value::int(7)]);
+        let bf = Fact::new(backward.rel_id("R").unwrap(), [Value::int(7)]);
+        assert_eq!(
+            fact_fingerprint(&forward, &ff, 0.25),
+            fact_fingerprint(&backward, &bf, 0.25)
+        );
+    }
+
+    #[test]
+    fn combine_unordered_is_permutation_invariant() {
+        let items = [3u64, 99, 12345, u64::MAX, 7];
+        let a = combine_unordered(items);
+        let b = combine_unordered([7u64, u64::MAX, 99, 3, 12345]);
+        assert_eq!(a, b);
+        // but not multiplicity-blind or content-blind
+        assert_ne!(a, combine_unordered([3u64, 99, 12345, u64::MAX]));
+        assert_ne!(a, combine_unordered([4u64, 99, 12345, u64::MAX, 7]));
+    }
+}

@@ -314,10 +314,7 @@ mod tests {
         let b = it.intern(Fact::new(RelId(1), [Value::int(2), Value::int(3)]));
         let d = Instance::from_ids([b, a]);
         assert_eq!(d.display(&schema, &it).to_string(), "{R(1), S(2, 3)}");
-        assert_eq!(
-            Instance::empty().display(&schema, &it).to_string(),
-            "{}"
-        );
+        assert_eq!(Instance::empty().display(&schema, &it).to_string(), "{}");
     }
 
     #[test]

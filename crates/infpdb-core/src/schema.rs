@@ -147,7 +147,11 @@ impl Schema {
     /// The maximum arity over all relations (0 for the empty schema); the
     /// constant `k` in the proof of Proposition 4.9.
     pub fn max_arity(&self) -> usize {
-        self.relations.iter().map(Relation::arity).max().unwrap_or(0)
+        self.relations
+            .iter()
+            .map(Relation::arity)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -194,11 +198,7 @@ mod tests {
         let s = Schema::from_relations([Relation::new("A", 1), Relation::new("B", 3)]).unwrap();
         assert_eq!(s.len(), 2);
         assert_eq!(s.max_arity(), 3);
-        assert!(Schema::from_relations([
-            Relation::new("A", 1),
-            Relation::new("A", 1)
-        ])
-        .is_err());
+        assert!(Schema::from_relations([Relation::new("A", 1), Relation::new("A", 1)]).is_err());
     }
 
     #[test]

@@ -139,18 +139,13 @@ impl<T: Clone + Eq + Hash> DiscreteSpace<T> {
         &self,
         mut f: F,
     ) -> DiscreteSpace<U> {
-        DiscreteSpace::new_unnormalized(
-            self.outcomes.iter().map(|(t, p)| (f(t), *p)),
-        )
-        .expect("pushforward of a nonempty space is nonempty")
+        DiscreteSpace::new_unnormalized(self.outcomes.iter().map(|(t, p)| (f(t), *p)))
+            .expect("pushforward of a nonempty space is nonempty")
     }
 
     /// Product measure `P × Q` over pairs — the independent coupling used by
     /// the completion construction (proof of Theorem 5.5).
-    pub fn product<U: Clone + Eq + Hash>(
-        &self,
-        other: &DiscreteSpace<U>,
-    ) -> DiscreteSpace<(T, U)> {
+    pub fn product<U: Clone + Eq + Hash>(&self, other: &DiscreteSpace<U>) -> DiscreteSpace<(T, U)> {
         let mut pairs = Vec::with_capacity(self.outcomes.len() * other.outcomes.len());
         for (t, p) in &self.outcomes {
             for (u, q) in &other.outcomes {

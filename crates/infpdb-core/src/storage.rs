@@ -48,10 +48,7 @@ impl InstanceStore {
             let rel = &mut relations[fact.rel().0 as usize];
             let row_no = rel.rows.len();
             for (c, v) in fact.args().iter().enumerate() {
-                rel.indexes[c]
-                    .entry(v.clone())
-                    .or_default()
-                    .push(row_no);
+                rel.indexes[c].entry(v.clone()).or_default().push(row_no);
                 active_domain.insert(v.clone());
             }
             rel.rows.push(fact.args().to_vec());
@@ -69,7 +66,10 @@ impl InstanceStore {
         schema: &Schema,
     ) -> Self {
         let mut interner = FactInterner::new();
-        let ids: Vec<FactId> = facts.into_iter().map(|f| interner.intern(f.clone())).collect();
+        let ids: Vec<FactId> = facts
+            .into_iter()
+            .map(|f| interner.intern(f.clone()))
+            .collect();
         let instance = Instance::from_ids(ids);
         Self::build(&instance, &interner, schema)
     }

@@ -308,12 +308,7 @@ mod tests {
         let first: Vec<Value> = u.iter().take(4).collect();
         assert_eq!(
             first,
-            vec![
-                Value::int(1),
-                Value::str("A"),
-                Value::int(2),
-                Value::int(3),
-            ]
+            vec![Value::int(1), Value::str("A"), Value::int(2), Value::int(3),]
         );
     }
 

@@ -86,10 +86,7 @@ impl BidTable {
             }
             let mass = mass.value();
             if mass > 1.0 + 1e-9 {
-                return Err(FiniteError::BlockMassExceedsOne {
-                    block: bi,
-                    mass,
-                });
+                return Err(FiniteError::BlockMassExceedsOne { block: bi, mass });
             }
             out_blocks.push(Block {
                 alternatives,
@@ -199,13 +196,12 @@ impl BidTable {
         let mut acc = 1.0;
         for (b, c) in self.blocks.iter().zip(chosen) {
             acc *= match c {
-                Some(id) => {
-                    b.alternatives
-                        .iter()
-                        .find(|(i, _)| *i == id)
-                        .map(|(_, p)| *p)
-                        .expect("chosen id is in its block")
-                }
+                Some(id) => b
+                    .alternatives
+                    .iter()
+                    .find(|(i, _)| *i == id)
+                    .map(|(_, p)| *p)
+                    .expect("chosen id is in its block"),
                 None => b.bottom,
             };
         }
@@ -315,10 +311,7 @@ mod tests {
             Err(FiniteError::BlockMassExceedsOne { .. })
         ));
         assert!(matches!(
-            BidTable::from_blocks(
-                schema(),
-                [vec![(fact(1, 1), 0.2)], vec![(fact(1, 1), 0.2)]]
-            ),
+            BidTable::from_blocks(schema(), [vec![(fact(1, 1), 0.2)], vec![(fact(1, 1), 0.2)]]),
             Err(FiniteError::DuplicateFact(_))
         ));
         assert!(BidTable::from_blocks(schema(), [vec![(fact(1, 1), 1.5)]]).is_err());
@@ -328,11 +321,7 @@ mod tests {
     fn keyed_builder_groups_by_key_column() {
         let t = BidTable::keyed(
             schema(),
-            [
-                (fact(1, 10), 0.5),
-                (fact(2, 20), 0.4),
-                (fact(1, 11), 0.3),
-            ],
+            [(fact(1, 10), 0.5), (fact(2, 20), 0.4), (fact(1, 11), 0.3)],
             0,
         )
         .unwrap();
@@ -419,16 +408,11 @@ mod tests {
     #[test]
     fn singleton_blocks_reduce_to_tuple_independence() {
         // b.i.d. with singleton blocks = t.i. (remark after Def 4.11)
-        let bid = BidTable::from_blocks(
-            schema(),
-            [vec![(fact(1, 1), 0.5)], vec![(fact(2, 2), 0.3)]],
-        )
-        .unwrap();
-        let ti = crate::TiTable::from_facts(
-            schema(),
-            [(fact(1, 1), 0.5), (fact(2, 2), 0.3)],
-        )
-        .unwrap();
+        let bid =
+            BidTable::from_blocks(schema(), [vec![(fact(1, 1), 0.5)], vec![(fact(2, 2), 0.3)]])
+                .unwrap();
+        let ti =
+            crate::TiTable::from_facts(schema(), [(fact(1, 1), 0.5), (fact(2, 2), 0.3)]).unwrap();
         let bw = bid.worlds().unwrap();
         let tw = ti.worlds().unwrap();
         for (d, p) in tw.space().outcomes() {
@@ -440,11 +424,7 @@ mod tests {
     fn worlds_enumeration_guard() {
         // 26 blocks of 3 alternatives = 4^26 worlds > cap
         let blocks: Vec<Vec<(Fact, f64)>> = (0..26)
-            .map(|k| {
-                (0..3)
-                    .map(|v| (fact(k, v), 0.25))
-                    .collect()
-            })
+            .map(|k| (0..3).map(|v| (fact(k, v), 0.25)).collect())
             .collect();
         let t = BidTable::from_blocks(schema(), blocks).unwrap();
         assert!(matches!(t.worlds(), Err(FiniteError::TooManyWorlds { .. })));

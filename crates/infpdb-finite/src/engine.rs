@@ -33,11 +33,7 @@ pub enum Engine {
 }
 
 /// `P(Q)` for a Boolean query under the chosen engine.
-pub fn prob_boolean(
-    query: &Formula,
-    table: &TiTable,
-    engine: Engine,
-) -> Result<f64, FiniteError> {
+pub fn prob_boolean(query: &Formula, table: &TiTable, engine: Engine) -> Result<f64, FiniteError> {
     match engine {
         Engine::Auto => match lifted::prob_hierarchical(query, table) {
             Ok(p) => Ok(p),
@@ -240,11 +236,9 @@ mod tests {
         // sorted free vars (x, y); tuples (1,2) p=.3 and (2,2) p=.9
         assert!(m
             .iter()
-            .any(|(t2, p)| t2 == &vec![Value::int(1), Value::int(2)]
-                && (p - 0.3).abs() < 1e-12));
+            .any(|(t2, p)| t2 == &vec![Value::int(1), Value::int(2)] && (p - 0.3).abs() < 1e-12));
         assert!(m
             .iter()
-            .any(|(t2, p)| t2 == &vec![Value::int(2), Value::int(2)]
-                && (p - 0.9).abs() < 1e-12));
+            .any(|(t2, p)| t2 == &vec![Value::int(2), Value::int(2)] && (p - 0.9).abs() < 1e-12));
     }
 }

@@ -141,9 +141,9 @@ pub fn estimate_dnf<R: RngCore>(
             assignment.insert(v, true);
         }
         for &v in &vars {
-            assignment.entry(v).or_insert_with(|| {
-                (rng.next_u64() as f64 / u64::MAX as f64) < table.prob(v)
-            });
+            assignment
+                .entry(v)
+                .or_insert_with(|| (rng.next_u64() as f64 / u64::MAX as f64) < table.prob(v));
         }
         // score iff `chosen` is the first satisfied clause
         let first_satisfied = dnf
@@ -283,11 +283,8 @@ mod tests {
         assert_eq!(one.estimate, 1.0);
         // all-zero weights
         let mut t2 = table();
-        t2.add_fact(
-            Fact::new(RelId(0), [Value::int(9)]),
-            0.0,
-        )
-        .unwrap();
+        t2.add_fact(Fact::new(RelId(0), [Value::int(9)]), 0.0)
+            .unwrap();
         let id = t2.len() as u32 - 1;
         let z = estimate_dnf(&vec![vec![FactId(id)]], &t2, 10, &mut rng);
         assert_eq!(z.estimate, 0.0);

@@ -124,9 +124,12 @@ mod tests {
         assert!(c.source().is_some());
         let l: FiniteError = infpdb_logic::LogicError::UnknownRelation("R".into()).into();
         assert!(l.to_string().contains("R"));
-        assert!(FiniteError::BlockMassExceedsOne { block: 2, mass: 1.5 }
-            .to_string()
-            .contains("1.5"));
+        assert!(FiniteError::BlockMassExceedsOne {
+            block: 2,
+            mass: 1.5
+        }
+        .to_string()
+        .contains("1.5"));
         assert!(FiniteError::DuplicateFact("R(1)".into())
             .to_string()
             .contains("R(1)"));

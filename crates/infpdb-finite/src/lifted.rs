@@ -41,10 +41,9 @@ pub fn prob_hierarchical(query: &Formula, table: &TiTable) -> Result<f64, Finite
 pub fn eval_plan(plan: &SafePlan, table: &TiTable, domain: &[Value]) -> f64 {
     match plan {
         SafePlan::Atom(atom) => atom_prob(atom, table),
-        SafePlan::IndependentJoin(parts) => parts
-            .iter()
-            .map(|p| eval_plan(p, table, domain))
-            .product(),
+        SafePlan::IndependentJoin(parts) => {
+            parts.iter().map(|p| eval_plan(p, table, domain)).product()
+        }
         SafePlan::IndependentProject { var, plan } => {
             // 1 − ∏ (1 − p_a), accumulated in log space for stability
             let mut log_none = KahanSum::new();
@@ -142,7 +141,10 @@ mod tests {
             let ext = prob_hierarchical(&q, &t).unwrap();
             let l = lineage_of(&q, &t).unwrap();
             let int = shannon::probability(&l, &|id| t.prob(id));
-            assert!((ext - int).abs() < 1e-9, "{qs}: lifted {ext} vs lineage {int}");
+            assert!(
+                (ext - int).abs() < 1e-9,
+                "{qs}: lifted {ext} vs lineage {int}"
+            );
         }
     }
 

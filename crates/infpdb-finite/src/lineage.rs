@@ -157,9 +157,7 @@ impl Lineage {
         match self {
             Lineage::Top | Lineage::Bot | Lineage::Var(_) => 1,
             Lineage::Not(g) => 1 + g.size(),
-            Lineage::And(gs) | Lineage::Or(gs) => {
-                1 + gs.iter().map(Lineage::size).sum::<usize>()
-            }
+            Lineage::And(gs) | Lineage::Or(gs) => 1 + gs.iter().map(Lineage::size).sum::<usize>(),
         }
     }
 }
@@ -246,12 +244,8 @@ fn build(f: &Formula, table: &TiTable, domain: &[Value], env: &mut Vec<(Var, Val
             }
         }
         Formula::Not(g) => build(g, table, domain, env).negate(),
-        Formula::And(gs) => Lineage::and(gs.iter().map(|g| {
-            build(g, table, domain, env)
-        })),
-        Formula::Or(gs) => Lineage::or(gs.iter().map(|g| {
-            build(g, table, domain, env)
-        })),
+        Formula::And(gs) => Lineage::and(gs.iter().map(|g| build(g, table, domain, env))),
+        Formula::Or(gs) => Lineage::or(gs.iter().map(|g| build(g, table, domain, env))),
         Formula::Exists(v, g) => {
             let mut children = Vec::with_capacity(domain.len());
             for val in domain {
@@ -385,10 +379,7 @@ mod tests {
     #[test]
     fn complementary_pairs_fold() {
         let x = Lineage::Var(FactId(0));
-        assert_eq!(
-            Lineage::and([x.clone(), x.clone().negate()]),
-            Lineage::Bot
-        );
+        assert_eq!(Lineage::and([x.clone(), x.clone().negate()]), Lineage::Bot);
         assert_eq!(Lineage::or([x.clone(), x.negate()]), Lineage::Top);
     }
 
@@ -473,11 +464,8 @@ mod tests {
             let q = parse(qs, t.schema()).unwrap();
             let l = lineage_of(&q, &t).unwrap();
             for (world, _) in pdb.space().outcomes() {
-                let store = infpdb_core::storage::InstanceStore::build(
-                    world,
-                    t.interner(),
-                    t.schema(),
-                );
+                let store =
+                    infpdb_core::storage::InstanceStore::build(world, t.interner(), t.schema());
                 let direct = infpdb_logic::Evaluator::new(&store, &q)
                     .eval_sentence(&q)
                     .unwrap();
@@ -494,10 +482,7 @@ mod tests {
     fn assign_cofactors() {
         let x = Lineage::Var(FactId(0));
         let y = Lineage::Var(FactId(1));
-        let f = Lineage::or([
-            Lineage::and([x.clone(), y.clone()]),
-            x.clone().negate(),
-        ]);
+        let f = Lineage::or([Lineage::and([x.clone(), y.clone()]), x.clone().negate()]);
         assert_eq!(f.assign(FactId(0), true), y);
         assert_eq!(f.assign(FactId(0), false), Lineage::Top);
         assert_eq!(f.assign(FactId(7), true), f);

@@ -89,8 +89,7 @@ mod tests {
     use infpdb_logic::parse;
 
     fn table() -> TiTable {
-        let s =
-            Schema::from_relations([Relation::new("R", 1), Relation::new("S", 1)]).unwrap();
+        let s = Schema::from_relations([Relation::new("R", 1), Relation::new("S", 1)]).unwrap();
         let r = s.rel_id("R").unwrap();
         let t = s.rel_id("S").unwrap();
         TiTable::from_facts(

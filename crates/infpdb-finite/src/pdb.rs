@@ -13,10 +13,10 @@ use infpdb_core::interner::FactInterner;
 use infpdb_core::schema::Schema;
 use infpdb_core::space::DiscreteSpace;
 use infpdb_core::storage::InstanceStore;
+use infpdb_core::value::Value;
 use infpdb_logic::ast::Formula;
 use infpdb_logic::eval::Evaluator;
 use infpdb_logic::vars::free_vars;
-use infpdb_core::value::Value;
 use std::collections::BTreeSet;
 
 /// A finite PDB: schema, fact interner, and a materialized instance space.
@@ -130,10 +130,7 @@ impl FinitePdb {
     /// Marginal answer-tuple probabilities of a query with free variables
     /// (Section 3.1): `Pr(~a ∈ Q(D))` for every tuple that is an answer in
     /// at least one world.
-    pub fn answer_marginals(
-        &self,
-        query: &Formula,
-    ) -> Result<Vec<(Vec<Value>, f64)>, FiniteError> {
+    pub fn answer_marginals(&self, query: &Formula) -> Result<Vec<(Vec<Value>, f64)>, FiniteError> {
         let mut acc: std::collections::BTreeMap<Vec<Value>, f64> = Default::default();
         for (d, p) in self.space.outcomes() {
             if *p == 0.0 {
@@ -251,9 +248,9 @@ mod tests {
         let q = parse("R(x)", p.schema()).unwrap();
         assert!(matches!(
             p.prob_boolean(&q),
-            Err(FiniteError::Logic(
-                infpdb_logic::LogicError::NotASentence(_)
-            ))
+            Err(FiniteError::Logic(infpdb_logic::LogicError::NotASentence(
+                _
+            )))
         ));
     }
 

@@ -30,10 +30,7 @@ pub fn probability<F: Fn(FactId) -> f64>(lineage: &Lineage, probs: &F) -> f64 {
 }
 
 /// Instrumented variant returning the compilation statistics.
-pub fn probability_with_stats<F: Fn(FactId) -> f64>(
-    lineage: &Lineage,
-    probs: &F,
-) -> (f64, Stats) {
+pub fn probability_with_stats<F: Fn(FactId) -> f64>(lineage: &Lineage, probs: &F) -> (f64, Stats) {
     let mut memo: HashMap<Lineage, f64> = HashMap::new();
     let mut stats = Stats::default();
     let p = prob_rec(lineage, probs, &mut memo, &mut stats);
@@ -264,10 +261,7 @@ mod tests {
     fn shared_variable_forces_shannon() {
         // (x ∧ y) ∨ (x ∧ z): P = p_x · P(y ∨ z)
         let probs = |id: FactId| [0.5, 0.4, 0.2][id.0 as usize];
-        let f = Lineage::or([
-            Lineage::and([v(0), v(1)]),
-            Lineage::and([v(0), v(2)]),
-        ]);
+        let f = Lineage::or([Lineage::and([v(0), v(1)]), Lineage::and([v(0), v(2)])]);
         let expected = 0.5 * (1.0 - 0.6 * 0.8);
         let (p, stats) = probability_with_stats(&f, &probs);
         assert!((p - expected).abs() < 1e-12);
@@ -290,10 +284,7 @@ mod tests {
     fn decomposition_statistics() {
         let probs = |_: FactId| 0.5;
         // independent pairs: ((x0∧x1) ∨ (x2∧x3)) — components {x0,x1},{x2,x3}
-        let f = Lineage::or([
-            Lineage::and([v(0), v(1)]),
-            Lineage::and([v(2), v(3)]),
-        ]);
+        let f = Lineage::or([Lineage::and([v(0), v(1)]), Lineage::and([v(2), v(3)])]);
         let (p, stats) = probability_with_stats(&f, &probs);
         assert!((p - (1.0 - 0.75 * 0.75)).abs() < 1e-12);
         assert!(stats.decompositions >= 1);
@@ -375,10 +366,7 @@ mod tests {
     #[test]
     fn budget_variant_matches_unbudgeted_when_affordable() {
         let probs = |id: FactId| [0.5, 0.4, 0.2][id.0 as usize];
-        let f = Lineage::or([
-            Lineage::and([v(0), v(1)]),
-            Lineage::and([v(0), v(2)]),
-        ]);
+        let f = Lineage::or([Lineage::and([v(0), v(1)]), Lineage::and([v(0), v(2)])]);
         let (p, _) = probability_with_budget(&f, &probs, 1_000_000).unwrap();
         assert!((p - probability(&f, &probs)).abs() < 1e-12);
     }

@@ -110,7 +110,10 @@ impl TiTable {
     /// The marginal probability of a fact (0 if not in the table —
     /// the closed-world assumption, Section 1).
     pub fn marginal(&self, fact: &Fact) -> f64 {
-        self.interner.get(fact).map(|id| self.prob(id)).unwrap_or(0.0)
+        self.interner
+            .get(fact)
+            .map(|id| self.prob(id))
+            .unwrap_or(0.0)
     }
 
     /// Iterator over `(id, fact, probability)`.
@@ -123,6 +126,34 @@ impl TiTable {
     /// `E(S_D) = ∑_f p_f` (equation (5)).
     pub fn expected_size(&self) -> f64 {
         KahanSum::sum_iter(self.probs.iter().copied())
+    }
+
+    /// A stable 64-bit content fingerprint of the table.
+    ///
+    /// Two tables over the same relations get equal fingerprints exactly
+    /// when they describe the same weighted fact *set*: the digest is
+    /// insensitive to fact insertion order and relation declaration order
+    /// (facts hash by relation name), and sensitive to any change in a
+    /// fact, its probability bits, or the schema's declared relations.
+    /// Used by `infpdb-serve` as the PDB component of result-cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        let facts = infpdb_core::fingerprint::combine_unordered(
+            self.iter()
+                .map(|(_, f, p)| infpdb_core::fingerprint::fact_fingerprint(&self.schema, f, p)),
+        );
+        let mut fp = infpdb_core::fingerprint::Fingerprinter::new();
+        // schema relations, order-insensitively (empty relations matter:
+        // they change the space of possible facts)
+        fp.write_u64(infpdb_core::fingerprint::combine_unordered(
+            self.schema.iter().map(|(_, r)| {
+                let mut rf = infpdb_core::fingerprint::Fingerprinter::new();
+                rf.write_bytes(r.name().as_bytes())
+                    .write_u64(r.arity() as u64);
+                rf.finish()
+            }),
+        ));
+        fp.write_u64(facts);
+        fp.finish()
     }
 
     /// The probability of one instance:
@@ -331,10 +362,7 @@ mod tests {
     #[test]
     fn worlds_enumeration_guard() {
         let t = table(&[0.5; MAX_ENUM_FACTS + 1]);
-        assert!(matches!(
-            t.worlds(),
-            Err(FiniteError::TooManyWorlds { .. })
-        ));
+        assert!(matches!(t.worlds(), Err(FiniteError::TooManyWorlds { .. })));
     }
 
     #[test]
@@ -408,6 +436,34 @@ mod tests {
             .map(|v| v.as_int().unwrap())
             .collect();
         assert_eq!(dom, vec![0, 1]);
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive_for_fact_sets() {
+        let a = TiTable::from_facts(schema(), [(fact(0), 0.5), (fact(1), 0.25), (fact(2), 0.8)])
+            .unwrap();
+        let b = TiTable::from_facts(schema(), [(fact(2), 0.8), (fact(0), 0.5), (fact(1), 0.25)])
+            .unwrap();
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "same fact set in a different insertion order must agree"
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_content_changes() {
+        let base = table(&[0.5, 0.25]);
+        // probability nudge on one fact
+        let nudged = table(&[0.5, 0.250_000_1]);
+        assert_ne!(base.fingerprint(), nudged.fingerprint());
+        // different fact, same probabilities
+        let other = TiTable::from_facts(schema(), [(fact(0), 0.5), (fact(7), 0.25)]).unwrap();
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        // subset
+        assert_ne!(base.fingerprint(), table(&[0.5]).fingerprint());
+        // stable across identical rebuilds
+        assert_eq!(base.fingerprint(), table(&[0.5, 0.25]).fingerprint());
     }
 
     #[test]

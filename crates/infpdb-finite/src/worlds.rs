@@ -29,12 +29,8 @@ pub fn event_lineage(event: &Event, table: &TiTable) -> Option<Lineage> {
     match event {
         Event::Always => Some(Lineage::Top),
         Event::ContainsFact(id) => Some(var_or_const(*id, table)),
-        Event::ContainsAny(ids) => Some(Lineage::or(
-            ids.iter().map(|id| var_or_const(*id, table)),
-        )),
-        Event::Superset(d) => Some(Lineage::and(
-            d.iter().map(|id| var_or_const(id, table)),
-        )),
+        Event::ContainsAny(ids) => Some(Lineage::or(ids.iter().map(|id| var_or_const(*id, table)))),
+        Event::Superset(d) => Some(Lineage::and(d.iter().map(|id| var_or_const(id, table)))),
         Event::Exactly(d) => {
             // ⋀_{f∈D} v_f ∧ ⋀_{f∈table−D} ¬v_f; instances outside the
             // table's support are impossible
@@ -56,13 +52,11 @@ pub fn event_lineage(event: &Event, table: &TiTable) -> Option<Lineage> {
         Event::SizeAtLeast(_) => None,
         Event::Not(e) => Some(event_lineage(e, table)?.negate()),
         Event::And(es) => {
-            let ls: Option<Vec<Lineage>> =
-                es.iter().map(|e| event_lineage(e, table)).collect();
+            let ls: Option<Vec<Lineage>> = es.iter().map(|e| event_lineage(e, table)).collect();
             Some(Lineage::and(ls?))
         }
         Event::Or(es) => {
-            let ls: Option<Vec<Lineage>> =
-                es.iter().map(|e| event_lineage(e, table)).collect();
+            let ls: Option<Vec<Lineage>> = es.iter().map(|e| event_lineage(e, table)).collect();
             Some(Lineage::or(ls?))
         }
     }
@@ -94,10 +88,7 @@ pub fn prob_event(event: &Event, table: &TiTable) -> Result<f64, FiniteError> {
         return Ok(dist.iter().skip(*n).sum());
     }
     // mixed event (size predicate under Boolean structure): enumerate
-    Ok(table
-        .worlds()?
-        .space()
-        .prob_where(|d| event.contains(d)))
+    Ok(table.worlds()?.space().prob_where(|d| event.contains(d)))
 }
 
 #[cfg(test)]
@@ -132,9 +123,7 @@ mod tests {
     fn single_fact_events() {
         let t = table(&[0.5, 0.3]);
         assert!((prob_event(&Event::fact(FactId(1)), &t).unwrap() - 0.3).abs() < 1e-12);
-        assert!(
-            (prob_event(&Event::fact(FactId(1)).not(), &t).unwrap() - 0.7).abs() < 1e-12
-        );
+        assert!((prob_event(&Event::fact(FactId(1)).not(), &t).unwrap() - 0.7).abs() < 1e-12);
         // outside the table: impossible
         assert_eq!(prob_event(&Event::fact(FactId(9)), &t).unwrap(), 0.0);
     }

@@ -1,7 +1,7 @@
 //! Tests for per-answer lineage (provenance-aware answer marginals).
 
 use infpdb_core::fact::Fact;
-use infpdb_core::schema::{RelId, Relation, Schema};
+use infpdb_core::schema::{Relation, Schema};
 use infpdb_core::value::Value;
 use infpdb_finite::lineage::{answer_lineages, Lineage};
 use infpdb_finite::{shannon, TiTable};

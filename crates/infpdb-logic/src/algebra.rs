@@ -267,19 +267,21 @@ mod tests {
     use infpdb_core::schema::{Relation, Schema};
 
     fn setup() -> (Schema, InstanceStore) {
-        let schema = Schema::from_relations([
-            Relation::new("E", 2),
-            Relation::new("N", 1),
-        ])
-        .unwrap();
+        let schema =
+            Schema::from_relations([Relation::new("E", 2), Relation::new("N", 1)]).unwrap();
         let e = schema.rel_id("E").unwrap();
         let n = schema.rel_id("N").unwrap();
-        let facts = [Fact::new(e, [Value::int(1), Value::int(2)]),
+        let facts = [
+            Fact::new(e, [Value::int(1), Value::int(2)]),
             Fact::new(e, [Value::int(2), Value::int(3)]),
             Fact::new(e, [Value::int(3), Value::int(3)]),
             Fact::new(n, [Value::int(2)]),
-            Fact::new(n, [Value::int(3)])];
-        (schema.clone(), InstanceStore::from_facts(facts.iter(), &schema))
+            Fact::new(n, [Value::int(3)]),
+        ];
+        (
+            schema.clone(),
+            InstanceStore::from_facts(facts.iter(), &schema),
+        )
     }
 
     #[test]
@@ -412,11 +414,8 @@ mod tests {
         let f = parse("E(x, 2) \\/ E(x, 3)", &s).unwrap();
         let cqs = crate::normal::as_ucq(&f).unwrap();
         let rows = eval_ucq(&cqs, &st);
-        let vals: std::collections::BTreeSet<i64> = rows
-            .data
-            .iter()
-            .map(|r| r[0].as_int().unwrap())
-            .collect();
+        let vals: std::collections::BTreeSet<i64> =
+            rows.data.iter().map(|r| r[0].as_int().unwrap()).collect();
         // E(1,2), E(2,3), E(3,3): x ∈ {1, 2, 3}
         assert_eq!(vals, [1i64, 2, 3].into_iter().collect());
         // boolean UCQ

@@ -139,18 +139,17 @@ mod tests {
     use infpdb_core::schema::{Relation, Schema};
 
     fn setup() -> (Schema, InstanceStore) {
-        let schema = Schema::from_relations([
-            Relation::new("Edge", 2),
-            Relation::new("Node", 1),
-        ])
-        .unwrap();
+        let schema =
+            Schema::from_relations([Relation::new("Edge", 2), Relation::new("Node", 1)]).unwrap();
         let e = schema.rel_id("Edge").unwrap();
         let n = schema.rel_id("Node").unwrap();
-        let facts = [Fact::new(e, [Value::int(1), Value::int(2)]),
+        let facts = [
+            Fact::new(e, [Value::int(1), Value::int(2)]),
             Fact::new(e, [Value::int(2), Value::int(3)]),
             Fact::new(n, [Value::int(1)]),
             Fact::new(n, [Value::int(2)]),
-            Fact::new(n, [Value::int(3)])];
+            Fact::new(n, [Value::int(3)]),
+        ];
         let store = InstanceStore::from_facts(facts.iter(), &schema);
         (schema, store)
     }
@@ -179,19 +178,23 @@ mod tests {
     fn universals() {
         let (s, st) = setup();
         // every node with an outgoing edge points at a node
-        assert!(holds(
-            "forall x, y. (Edge(x, y) -> Node(y))",
+        assert!(holds("forall x, y. (Edge(x, y) -> Node(y))", &s, &st));
+        // not every node has an outgoing edge (3 doesn't)
+        assert!(!holds(
+            "forall x. (Node(x) -> exists y. Edge(x, y))",
             &s,
             &st
         ));
-        // not every node has an outgoing edge (3 doesn't)
-        assert!(!holds("forall x. (Node(x) -> exists y. Edge(x, y))", &s, &st));
     }
 
     #[test]
     fn negation_and_equality() {
         let (s, st) = setup();
-        assert!(holds("exists x. Node(x) /\\ !(exists y. Edge(x, y))", &s, &st));
+        assert!(holds(
+            "exists x. Node(x) /\\ !(exists y. Edge(x, y))",
+            &s,
+            &st
+        ));
         assert!(holds("exists x, y. Edge(x, y) /\\ x != y", &s, &st));
         assert!(!holds("exists x, y. Edge(x, y) /\\ x = y", &s, &st));
     }

@@ -77,7 +77,10 @@ impl std::fmt::Display for LogicError {
                 "relation {relation} has arity {expected} but atom has {got} arguments"
             ),
             LogicError::NotASentence(vs) => {
-                write!(f, "formula has free variables {vs:?}; a sentence was required")
+                write!(
+                    f,
+                    "formula has free variables {vs:?}; a sentence was required"
+                )
             }
             LogicError::UnsupportedFragment(m) => write!(f, "unsupported fragment: {m}"),
         }
@@ -97,7 +100,9 @@ mod tests {
             message: "expected ')'".into(),
         };
         assert!(e.to_string().contains("byte 3"));
-        assert!(LogicError::UnknownRelation("Q".into()).to_string().contains("Q"));
+        assert!(LogicError::UnknownRelation("Q".into())
+            .to_string()
+            .contains("Q"));
         assert!(LogicError::NotASentence(vec!["x".into()])
             .to_string()
             .contains("free"));

@@ -18,10 +18,7 @@ use std::collections::BTreeSet;
 /// atoms, `¬∃ → ∀¬`, `¬∀ → ∃¬`, `¬¬φ → φ`, and De Morgan on `∧`/`∨`.
 pub fn to_nnf(f: &Formula) -> Formula {
     match f {
-        Formula::True
-        | Formula::False
-        | Formula::Atom { .. }
-        | Formula::Eq(..) => f.clone(),
+        Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => f.clone(),
         Formula::And(gs) => Formula::And(gs.iter().map(to_nnf).collect()),
         Formula::Or(gs) => Formula::Or(gs.iter().map(to_nnf).collect()),
         Formula::Exists(v, g) => Formula::Exists(v.clone(), Box::new(to_nnf(g))),
@@ -416,7 +413,10 @@ mod tests {
         binders(&r, &mut bs);
         let set: std::collections::BTreeSet<_> = bs.iter().collect();
         assert_eq!(set.len(), bs.len(), "binders must be distinct: {bs:?}");
-        assert!(!bs.contains(&"y".to_string()), "must not capture the free y");
+        assert!(
+            !bs.contains(&"y".to_string()),
+            "must not capture the free y"
+        );
         // free variables unchanged
         assert_eq!(crate::vars::free_vars(&r), crate::vars::free_vars(&f));
     }
@@ -424,17 +424,11 @@ mod tests {
     #[test]
     fn prenex_extracts_all_quantifiers() {
         let s = schema();
-        let f = parse(
-            "(exists x. S(x)) /\\ !(forall y. T(y))",
-            &s,
-        )
-        .unwrap();
+        let f = parse("(exists x. S(x)) /\\ !(forall y. T(y))", &s).unwrap();
         let (prefix, matrix) = to_prenex(&f);
         assert_eq!(prefix.len(), 2);
         // ¬∀ became ∃ under NNF
-        assert!(prefix
-            .iter()
-            .all(|q| matches!(q, Quantifier::Exists(_))));
+        assert!(prefix.iter().all(|q| matches!(q, Quantifier::Exists(_))));
         assert_eq!(crate::rank::quantifier_rank(&matrix), 0);
     }
 
@@ -446,7 +440,7 @@ mod tests {
         let s = schema();
         let r = s.rel_id("R").unwrap();
         let u = s.rel_id("S").unwrap();
-        let facts = vec![
+        let facts = [
             Fact::new(r, [Value::int(1), Value::int(2)]),
             Fact::new(r, [Value::int(2), Value::int(2)]),
             Fact::new(u, [Value::int(2)]),

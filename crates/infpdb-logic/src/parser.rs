@@ -318,9 +318,10 @@ impl<'a> Parser<'a> {
                     }
                     let text = &self.input[start..self.pos];
                     let frac_len = (self.pos - frac_start) as u8;
-                    let mantissa: i64 = text.replace('.', "").parse().map_err(|_| {
-                        self.err("decimal literal out of range")
-                    })?;
+                    let mantissa: i64 = text
+                        .replace('.', "")
+                        .parse()
+                        .map_err(|_| self.err("decimal literal out of range"))?;
                     self.skip_ws();
                     return Ok(Term::Const(Value::fixed(mantissa, frac_len)));
                 }
@@ -332,9 +333,7 @@ impl<'a> Parser<'a> {
                 Ok(Term::Const(Value::int(n)))
             }
             _ => {
-                let id = self
-                    .identifier()
-                    .ok_or_else(|| self.err("expected term"))?;
+                let id = self.identifier().ok_or_else(|| self.err("expected term"))?;
                 Ok(Term::Var(id))
             }
         }
@@ -438,10 +437,7 @@ mod tests {
         let f = parse("x = 3", &s).unwrap();
         assert_eq!(f, Formula::Eq(Term::var("x"), Term::cnst(3i64)));
         let g = parse("x != y", &s).unwrap();
-        assert_eq!(
-            g,
-            Formula::Eq(Term::var("x"), Term::var("y")).not()
-        );
+        assert_eq!(g, Formula::Eq(Term::var("x"), Term::var("y")).not());
     }
 
     #[test]
@@ -527,8 +523,7 @@ mod tests {
     fn paper_example_queries_parse() {
         // The query of Proposition 6.2: ∃x R(x); schema there is {R, S}
         // unary.
-        let s =
-            Schema::from_relations([Relation::new("Ru", 1), Relation::new("Su", 1)]).unwrap();
+        let s = Schema::from_relations([Relation::new("Ru", 1), Relation::new("Su", 1)]).unwrap();
         let f = parse("exists x. Ru(x)", &s).unwrap();
         assert!(is_sentence(&f));
         assert_eq!(crate::rank::quantifier_rank(&f), 1);

@@ -12,9 +12,7 @@ pub fn quantifier_rank(f: &Formula) -> usize {
     match f {
         Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => 0,
         Formula::Not(g) => quantifier_rank(g),
-        Formula::And(gs) | Formula::Or(gs) => {
-            gs.iter().map(quantifier_rank).max().unwrap_or(0)
-        }
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().map(quantifier_rank).max().unwrap_or(0),
         Formula::Exists(_, g) | Formula::Forall(_, g) => 1 + quantifier_rank(g),
     }
 }

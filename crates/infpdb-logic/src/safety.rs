@@ -121,11 +121,7 @@ fn build(atoms: Vec<CqAtom>, live_vars: &BTreeSet<Var>) -> SafePlan {
     // Single component: find a root variable occurring in all atoms.
     let root = live_vars
         .iter()
-        .find(|v| {
-            atoms
-                .iter()
-                .all(|a| a.variables().contains(*v))
-        })
+        .find(|v| atoms.iter().all(|a| a.variables().contains(*v)))
         .cloned();
     match root {
         Some(var) => {

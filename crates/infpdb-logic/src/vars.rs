@@ -115,12 +115,8 @@ pub fn substitute(f: &Formula, var: &str, value: &Value) -> Formula {
         Formula::Or(gs) => Formula::Or(gs.iter().map(|g| substitute(g, var, value)).collect()),
         Formula::Exists(v, g) if v == var => Formula::Exists(v.clone(), g.clone()),
         Formula::Forall(v, g) if v == var => Formula::Forall(v.clone(), g.clone()),
-        Formula::Exists(v, g) => {
-            Formula::Exists(v.clone(), Box::new(substitute(g, var, value)))
-        }
-        Formula::Forall(v, g) => {
-            Formula::Forall(v.clone(), Box::new(substitute(g, var, value)))
-        }
+        Formula::Exists(v, g) => Formula::Exists(v.clone(), Box::new(substitute(g, var, value))),
+        Formula::Forall(v, g) => Formula::Forall(v.clone(), Box::new(substitute(g, var, value))),
     }
 }
 
@@ -186,8 +182,11 @@ mod tests {
     fn constants_collected_across_structure() {
         let f = Formula::exists(
             "x",
-            atom(vec![Term::var("x"), Term::cnst(7i64)])
-                .or(Formula::Eq(Term::cnst("s"), Term::var("x")).not()),
+            atom(vec![Term::var("x"), Term::cnst(7i64)]).or(Formula::Eq(
+                Term::cnst("s"),
+                Term::var("x"),
+            )
+            .not()),
         );
         let cs = constants(&f);
         assert_eq!(cs.len(), 2);
@@ -204,10 +203,7 @@ mod tests {
             Formula::And(parts) => {
                 assert_eq!(parts[0], atom(vec![Term::cnst(5i64)]));
                 // bound occurrence untouched
-                assert_eq!(
-                    parts[1],
-                    Formula::exists("x", atom(vec![Term::var("x")]))
-                );
+                assert_eq!(parts[1], Formula::exists("x", atom(vec![Term::var("x")])));
             }
             other => panic!("{other:?}"),
         }

@@ -114,11 +114,7 @@ impl FoView {
 
     /// Applies the view to an instance given its interner, producing target
     /// facts.
-    pub fn apply(
-        &self,
-        instance: &Instance,
-        interner: &FactInterner,
-    ) -> Vec<Fact> {
+    pub fn apply(&self, instance: &Instance, interner: &FactInterner) -> Vec<Fact> {
         let store = InstanceStore::build(instance, interner, &self.source);
         self.apply_store(&store)
     }
@@ -204,12 +200,7 @@ mod tests {
         let facts = v.apply(&d, &interner);
         let pairs: std::collections::BTreeSet<(i64, i64)> = facts
             .iter()
-            .map(|f| {
-                (
-                    f.args()[0].as_int().unwrap(),
-                    f.args()[1].as_int().unwrap(),
-                )
-            })
+            .map(|f| (f.args()[0].as_int().unwrap(), f.args()[1].as_int().unwrap()))
             .collect();
         assert_eq!(pairs, [(1, 3), (2, 4)].into_iter().collect());
     }

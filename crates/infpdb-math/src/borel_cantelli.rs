@@ -151,9 +151,6 @@ mod tests {
     #[test]
     fn expected_occurrences_delegates_to_tail() {
         let s = FiniteSeries::new(vec![0.5, 0.25]).unwrap();
-        assert_eq!(
-            expected_occurrences_beyond(&s, 1),
-            TailBound::Finite(0.25)
-        );
+        assert_eq!(expected_occurrences_beyond(&s, 1), TailBound::Finite(0.25));
     }
 }

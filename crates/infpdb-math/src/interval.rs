@@ -122,7 +122,11 @@ impl ProbInterval {
         if cond.hi == 0.0 {
             return ProbInterval::vacuous();
         }
-        let lo = if cond.hi == 0.0 { 0.0 } else { self.lo / cond.hi };
+        let lo = if cond.hi == 0.0 {
+            0.0
+        } else {
+            self.lo / cond.hi
+        };
         let hi = if cond.lo == 0.0 {
             1.0
         } else {

@@ -159,10 +159,7 @@ mod tests {
     #[test]
     fn from_ln_accepts_valid() {
         assert_eq!(LogProb::from_ln(0.0).unwrap(), LogProb::ONE);
-        assert_eq!(
-            LogProb::from_ln(f64::NEG_INFINITY).unwrap(),
-            LogProb::ZERO
-        );
+        assert_eq!(LogProb::from_ln(f64::NEG_INFINITY).unwrap(), LogProb::ZERO);
     }
 
     #[test]

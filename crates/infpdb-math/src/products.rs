@@ -99,7 +99,10 @@ pub fn distributive_law_sides(terms: &[f64]) -> (f64, f64) {
     let lhs: f64 = terms.iter().map(|a| 1.0 + a).product();
     let mut rhs = KahanSum::new();
     let n = terms.len();
-    assert!(n <= 25, "distributive_law_sides is exponential; slice too long");
+    assert!(
+        n <= 25,
+        "distributive_law_sides is exponential; slice too long"
+    );
     for mask in 0u32..(1u32 << n) {
         let mut prod = 1.0;
         for (j, &a) in terms.iter().enumerate() {

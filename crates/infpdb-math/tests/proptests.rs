@@ -72,7 +72,7 @@ proptest! {
     #[test]
     fn logprob_product_matches_kahan_log_sum(ps in prop::collection::vec(prob(), 1..50)) {
         let lp = LogProb::product(ps.iter().map(|&p| LogProb::from_prob(p).unwrap()));
-        if ps.iter().any(|&p| p == 0.0) {
+        if ps.contains(&0.0) {
             prop_assert!(lp.is_zero());
         } else {
             let k = KahanSum::sum_iter(ps.iter().map(|&p| p.ln()));

@@ -65,7 +65,12 @@ pub fn complete_bid_table(
         .collect();
     let k = head_blocks.len();
     let head_series = FiniteSeries::new(head_masses).map_err(OpenWorldError::Math)?;
-    let mass_series = ConcatSeries::new(head_series, MassView { supply: tail.clone() });
+    let mass_series = ConcatSeries::new(
+        head_series,
+        MassView {
+            supply: tail.clone(),
+        },
+    );
     let schema = table.schema().clone();
     let supply = BlockSupply::from_fn(
         schema,
@@ -174,9 +179,10 @@ mod tests {
         let open = complete_bid_table(&base(), fresh_tail()).unwrap();
         // choices over original blocks only
         let joint = open.instance_prob(&[(0, kv(1, 10))]).unwrap();
-        let base_p = base().instance_prob(&infpdb_core::instance::Instance::from_ids([
-            base().interner().get(&kv(1, 10)).unwrap(),
-        ]));
+        let base_p = base().instance_prob(&infpdb_core::instance::Instance::from_ids([base()
+            .interner()
+            .get(&kv(1, 10))
+            .unwrap()]));
         // divide out the new-blocks-empty factor: joint / ∏_{i≥2}(1 − m_i)
         let mut new_empty = 1.0;
         for i in 0..300 {
@@ -207,7 +213,16 @@ mod tests {
     fn rejects_full_mass_tail_blocks() {
         let bad = BlockSupply::from_fn(
             schema(),
-            |i| vec![(kv(100 + i as i64, 0), if i == 0 { 1.0 } else { 0.1 * 0.5f64.powi(i as i32) })],
+            |i| {
+                vec![(
+                    kv(100 + i as i64, 0),
+                    if i == 0 {
+                        1.0
+                    } else {
+                        0.1 * 0.5f64.powi(i as i32)
+                    },
+                )]
+            },
             GeometricSeries::new(1.0, 0.5).unwrap(),
         );
         assert!(matches!(

@@ -19,8 +19,8 @@ use infpdb_ti::enumerator::FactSupply;
 pub fn closed_world_completion(table: &TiTable) -> Result<CountableTiPdb, OpenWorldError> {
     let pairs: Vec<(Fact, f64)> = table.iter().map(|(_, f, p)| (f.clone(), p)).collect();
     let facts: Vec<Fact> = pairs.iter().map(|(f, _)| f.clone()).collect();
-    let series = FiniteSeries::new(pairs.iter().map(|(_, p)| *p).collect())
-        .map_err(OpenWorldError::Math)?;
+    let series =
+        FiniteSeries::new(pairs.iter().map(|(_, p)| *p).collect()).map_err(OpenWorldError::Math)?;
     let fallback = facts
         .first()
         .cloned()

@@ -71,11 +71,7 @@ pub fn close_space(pdb: &FinitePdb, c: f64) -> Result<FinitePdb, OpenWorldError>
     let mut outcomes: Vec<(Instance, f64)> = Vec::with_capacity(1 << n);
     let mut missing = Vec::new();
     for mask in 0u64..(1u64 << n) {
-        let inst = Instance::from_ids(
-            (0..n)
-                .filter(|i| mask & (1 << i) != 0)
-                .map(|i| fact_ids[i]),
-        );
+        let inst = Instance::from_ids((0..n).filter(|i| mask & (1 << i) != 0).map(|i| fact_ids[i]));
         let p0 = pdb.space().prob_outcome(&inst);
         if p0 > 0.0 {
             outcomes.push((inst, c * p0));
@@ -117,17 +113,12 @@ mod tests {
 
     /// Not closed: {R(1), R(2)} has positive mass but {R(1)} doesn't exist.
     fn open_pdb() -> FinitePdb {
-        FinitePdb::from_worlds(
-            schema(),
-            [(vec![rfact(1), rfact(2)], 0.7), (vec![], 0.3)],
-        )
-        .unwrap()
+        FinitePdb::from_worlds(schema(), [(vec![rfact(1), rfact(2)], 0.7), (vec![], 0.3)]).unwrap()
     }
 
     /// Closed: full powerset of {R(1)} with positive mass.
     fn closed_pdb() -> FinitePdb {
-        FinitePdb::from_worlds(schema(), [(vec![rfact(1)], 0.4), (vec![], 0.6)])
-            .unwrap()
+        FinitePdb::from_worlds(schema(), [(vec![rfact(1)], 0.4), (vec![], 0.6)]).unwrap()
     }
 
     #[test]
@@ -141,11 +132,7 @@ mod tests {
         // subsets present but union missing
         let pdb = FinitePdb::from_worlds(
             schema(),
-            [
-                (vec![rfact(1)], 0.4),
-                (vec![rfact(2)], 0.4),
-                (vec![], 0.2),
-            ],
+            [(vec![rfact(1)], 0.4), (vec![rfact(2)], 0.4), (vec![], 0.2)],
         )
         .unwrap();
         assert!(!is_closed(&pdb));
@@ -202,8 +189,7 @@ mod tests {
     #[test]
     fn close_space_guards_fact_explosion() {
         let facts: Vec<Fact> = (0..MAX_CLOSE_FACTS as i64 + 1).map(rfact).collect();
-        let pdb =
-            FinitePdb::from_worlds(schema(), [(facts, 0.5), (vec![], 0.5)]).unwrap();
+        let pdb = FinitePdb::from_worlds(schema(), [(facts, 0.5), (vec![], 0.5)]).unwrap();
         assert!(matches!(
             close_space(&pdb, 0.9),
             Err(OpenWorldError::TooManyCombinations(_))
@@ -221,8 +207,7 @@ mod tests {
             |i| rfact(100 + i as i64),
             GeometricSeries::new(0.25, 0.5).unwrap(),
         );
-        let completed =
-            crate::independent_facts::complete_pdb(closed, tail).unwrap();
+        let completed = crate::independent_facts::complete_pdb(closed, tail).unwrap();
         assert!(completed.verify_cc(32, 1e-9).is_ok());
     }
 }

@@ -59,9 +59,11 @@ impl CompletedPdb {
         refine: usize,
     ) -> Result<ProbInterval, OpenWorldError> {
         let p_d = self.original.space().prob_outcome(original_part);
-        let p_c = self
-            .tail
-            .instance_prob(new_facts, refine, infpdb_ti::construction::DEFAULT_LOCATE_LIMIT)?;
+        let p_c = self.tail.instance_prob(
+            new_facts,
+            refine,
+            infpdb_ti::construction::DEFAULT_LOCATE_LIMIT,
+        )?;
         ProbInterval::new(p_d * p_c.lo(), p_d * p_c.hi()).map_err(OpenWorldError::Math)
     }
 
@@ -134,11 +136,7 @@ mod tests {
     fn original() -> FinitePdb {
         FinitePdb::from_worlds(
             schema(),
-            [
-                (vec![rfact(1)], 0.6),
-                (vec![rfact(2)], 0.3),
-                (vec![], 0.1),
-            ],
+            [(vec![rfact(1)], 0.6), (vec![rfact(2)], 0.3), (vec![], 0.1)],
         )
         .unwrap()
     }
@@ -178,7 +176,7 @@ mod tests {
     fn product_decomposition_of_instance_probabilities() {
         let c = completed();
         let d = Instance::from_ids([infpdb_core::fact::FactId(0)]); // {R(1)} in original interner
-        // P'(D ⊎ {R(100)}) = P(D) · p_100 · ∏_{other new}(1 − p)
+                                                                    // P'(D ⊎ {R(100)}) = P(D) · p_100 · ∏_{other new}(1 − p)
         let joint = c.instance_prob(&d, &[rfact(100)], 64).unwrap();
         let tail_only = c.tail().instance_prob(&[rfact(100)], 64, 100).unwrap();
         assert!((joint.midpoint() - 0.6 * tail_only.midpoint()).abs() < 1e-9);

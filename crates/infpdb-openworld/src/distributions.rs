@@ -60,11 +60,7 @@ pub fn zeta_unary_tail(
 /// Word-length-decay tail over all binary strings (Example 2.4): fact `i`
 /// is `rel(w_i)` for the `i`-th string in shortlex order, with total tail
 /// mass `mass`.
-pub fn string_tail(
-    schema: Schema,
-    rel: RelId,
-    mass: f64,
-) -> Result<FactSupply, OpenWorldError> {
+pub fn string_tail(schema: Schema, rel: RelId, mass: f64) -> Result<FactSupply, OpenWorldError> {
     let series = ScaledSeries::new(
         WordLengthSeries::new(2).map_err(OpenWorldError::Math)?,
         mass,
@@ -75,7 +71,9 @@ pub fn string_tail(
         move |i| {
             Fact::new(
                 rel,
-                [Value::str(infpdb_math::pairing::nat_to_string(i as u64 + 1))],
+                [Value::str(infpdb_math::pairing::nat_to_string(
+                    i as u64 + 1,
+                ))],
             )
         },
         series,
@@ -142,8 +140,7 @@ pub fn names_with_decay(
             )
         })
         .collect();
-    let listed: std::collections::HashSet<String> =
-        names.iter().map(|(n, _)| n.clone()).collect();
+    let listed: std::collections::HashSet<String> = names.iter().map(|(n, _)| n.clone()).collect();
     // Tail over binary-alphabet strings not in the list. (The listed names
     // are typically over a different alphabet, but we skip them anyway.)
     let tail_series = ScaledSeries::new(
@@ -152,10 +149,9 @@ pub fn names_with_decay(
     )
     .map_err(OpenWorldError::Math)?;
     let head_len = head.len();
-    let head_series = infpdb_math::series::FiniteSeries::new(
-        head.iter().map(|(_, p)| *p).collect(),
-    )
-    .map_err(OpenWorldError::Math)?;
+    let head_series =
+        infpdb_math::series::FiniteSeries::new(head.iter().map(|(_, p)| *p).collect())
+            .map_err(OpenWorldError::Math)?;
     let series = infpdb_math::series::ConcatSeries::new(head_series, tail_series);
     let head_facts: Vec<Fact> = head.into_iter().map(|(f, _)| f).collect();
     Ok(FactSupply::from_fn(
@@ -203,15 +199,12 @@ pub fn example_2_4_mixture(
         .map(|(v, p)| (Fact::new(rel, [v]), p))
         .collect();
     // P₁: word-length decay carrying mass ½ — infinite tail
-    let tail_series = ScaledSeries::new(
-        WordLengthSeries::new(2).map_err(OpenWorldError::Math)?,
-        0.5,
-    )
-    .map_err(OpenWorldError::Math)?;
-    let head_series = infpdb_math::series::FiniteSeries::new(
-        normal_head.iter().map(|(_, p)| *p).collect(),
-    )
-    .map_err(OpenWorldError::Math)?;
+    let tail_series =
+        ScaledSeries::new(WordLengthSeries::new(2).map_err(OpenWorldError::Math)?, 0.5)
+            .map_err(OpenWorldError::Math)?;
+    let head_series =
+        infpdb_math::series::FiniteSeries::new(normal_head.iter().map(|(_, p)| *p).collect())
+            .map_err(OpenWorldError::Math)?;
     let head_len = normal_head.len();
     let series = infpdb_math::series::ConcatSeries::new(head_series, tail_series);
     Ok(FactSupply::from_fn(
@@ -244,10 +237,7 @@ mod tests {
     #[test]
     fn geometric_tail_facts_and_probs() {
         let s = geometric_unary_tail(schema(), RelId(0), 100, 0.25, 0.5).unwrap();
-        assert_eq!(
-            s.fact(0),
-            Fact::new(RelId(0), [Value::int(100)])
-        );
+        assert_eq!(s.fact(0), Fact::new(RelId(0), [Value::int(100)]));
         assert_eq!(s.prob(1), 0.125);
         assert!(infpdb_math::series::certify_convergent(&s).is_ok());
         s.check_injective(100).unwrap();
@@ -323,13 +313,7 @@ mod tests {
     #[test]
     fn names_with_decay_skips_listed_strings_in_tail() {
         // list a *binary* string so the skip logic engages
-        let s = names_with_decay(
-            schema(),
-            RelId(0),
-            vec![("0".into(), 1.0)],
-            0.2,
-        )
-        .unwrap();
+        let s = names_with_decay(schema(), RelId(0), vec![("0".into(), 1.0)], 0.2).unwrap();
         // the tail enumeration must never produce "0" again
         for i in 1..50 {
             assert_ne!(s.fact(i).args()[0], Value::str("0"), "index {i}");
@@ -342,7 +326,7 @@ mod tests {
         let s = example_2_4_mixture(schema(), RelId(0), 1).unwrap();
         let bound = infpdb_math::series::certify_convergent(&s).unwrap();
         // the word-length tail bound is an integral estimate, ~11% loose at 0
-        assert!(bound >= 1.0 - 1e-9 && bound < 1.15, "total bound {bound}");
+        assert!((1.0 - 1e-9..1.15).contains(&bound), "total bound {bound}");
         // mixed value kinds appear
         let mut saw_fixed = false;
         let mut saw_str = false;
@@ -363,8 +347,6 @@ mod tests {
     #[test]
     fn names_with_decay_rejects_bad_input() {
         assert!(names_with_decay(schema(), RelId(0), vec![], 0.1).is_err());
-        assert!(
-            names_with_decay(schema(), RelId(0), vec![("a".into(), 1.0)], 1.5).is_err()
-        );
+        assert!(names_with_decay(schema(), RelId(0), vec![("a".into(), 1.0)], 1.5).is_err());
     }
 }

@@ -80,7 +80,12 @@ pub fn complete_ti_table(
     let head_facts: Vec<Fact> = table.iter().map(|(_, f, _)| f.clone()).collect();
     let head = FiniteSeries::new(head_probs).map_err(OpenWorldError::Math)?;
     let k = head.len();
-    let series = ConcatSeries::new(head, TailView { supply: tail.clone() });
+    let series = ConcatSeries::new(
+        head,
+        TailView {
+            supply: tail.clone(),
+        },
+    );
     let supply = FactSupply::from_fn(
         table.schema().clone(),
         move |i| {
@@ -119,10 +124,7 @@ impl infpdb_math::series::ProbSeries for TailView {
 /// under subsets and unions — use [`crate::closure`] first otherwise) with
 /// an independent tail, yielding the product-measure [`CompletedPdb`] of
 /// Theorem 5.5.
-pub fn complete_pdb(
-    original: FinitePdb,
-    tail: FactSupply,
-) -> Result<CompletedPdb, OpenWorldError> {
+pub fn complete_pdb(original: FinitePdb, tail: FactSupply) -> Result<CompletedPdb, OpenWorldError> {
     let check = tail
         .support_len()
         .unwrap_or(TAIL_VALIDATION_PREFIX)
@@ -213,11 +215,7 @@ mod tests {
 
     #[test]
     fn ti_completion_rejects_certain_new_facts() {
-        let certain = FactSupply::from_vec(
-            schema(),
-            vec![(rfact(100), 1.0)],
-        )
-        .unwrap();
+        let certain = FactSupply::from_vec(schema(), vec![(rfact(100), 1.0)]).unwrap();
         assert!(matches!(
             complete_ti_table(&base_table(), certain),
             Err(OpenWorldError::CertainNewFact(_))
@@ -248,11 +246,9 @@ mod tests {
     #[test]
     fn generic_completion_construction() {
         // correlated original (not t.i.): exactly one of R(1), R(2)
-        let original = FinitePdb::from_worlds(
-            schema(),
-            [(vec![rfact(1)], 0.6), (vec![rfact(2)], 0.4)],
-        )
-        .unwrap();
+        let original =
+            FinitePdb::from_worlds(schema(), [(vec![rfact(1)], 0.6), (vec![rfact(2)], 0.4)])
+                .unwrap();
         let completed = complete_pdb(original, tail()).unwrap();
         // original correlation preserved (checked in completion.rs tests);
         // here: new facts possible
@@ -261,11 +257,9 @@ mod tests {
 
     #[test]
     fn generic_completion_rejects_collisions() {
-        let original = FinitePdb::from_worlds(
-            schema(),
-            [(vec![rfact(1)], 0.6), (vec![rfact(2)], 0.4)],
-        )
-        .unwrap();
+        let original =
+            FinitePdb::from_worlds(schema(), [(vec![rfact(1)], 0.6), (vec![rfact(2)], 0.4)])
+                .unwrap();
         let bad_tail = FactSupply::from_fn(
             schema(),
             |i| rfact(2 + i as i64), // R(2) collides
@@ -280,8 +274,7 @@ mod tests {
     #[test]
     fn finite_tail_support_validation_caps() {
         // finite tails are validated fully without touching the 4096 limit
-        let fin_tail =
-            FactSupply::from_vec(schema(), vec![(rfact(100), 0.3)]).unwrap();
+        let fin_tail = FactSupply::from_vec(schema(), vec![(rfact(100), 0.3)]).unwrap();
         let pdb = complete_ti_table(&base_table(), fin_tail).unwrap();
         assert_eq!(pdb.supply().support_len(), Some(3));
     }

@@ -75,7 +75,10 @@ impl std::fmt::Display for OpenWorldError {
             OpenWorldError::Core(e) => write!(f, "{e}"),
             OpenWorldError::Math(e) => write!(f, "{e}"),
             OpenWorldError::TailCollision(s) => {
-                write!(f, "tail supplies fact {s} that already belongs to the original PDB")
+                write!(
+                    f,
+                    "tail supplies fact {s} that already belongs to the original PDB"
+                )
             }
             OpenWorldError::CertainNewFact(s) => write!(
                 f,

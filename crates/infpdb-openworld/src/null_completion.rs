@@ -68,13 +68,14 @@ pub fn complete_nulls(
     let mut space: DiscreteSpace<Vec<Value>> = DiscreteSpace::dirac(vec![]);
     for dist in &distributions {
         let next = DiscreteSpace::new(dist.clone())?;
-        space = space.pushforward(|v| v.clone()).product(&next).pushforward(
-            |(prefix, v)| {
+        space = space
+            .pushforward(|v| v.clone())
+            .product(&next)
+            .pushforward(|(prefix, v)| {
                 let mut out = prefix.clone();
                 out.push(v.clone());
                 out
-            },
-        );
+            });
     }
     // Map each assignment to the completed instance.
     let worlds: Vec<(Vec<Fact>, f64)> = space
@@ -131,19 +132,15 @@ mod tests {
                 None,
             ],
         )];
-        let heights = crate::distributions::discretized_normal(1800.0, 70.0, 10.0, 0, 4.0, 1.0)
-            .unwrap();
+        let heights =
+            crate::distributions::discretized_normal(1800.0, 70.0, 10.0, 0, 4.0, 1.0).unwrap();
         let pdb = complete_nulls(s, rows, vec![heights.clone()]).unwrap();
         assert_eq!(pdb.space().support_size(), heights.len());
         // each world is a single completed fact with the height's mass
         let (v0, p0) = &heights[0];
         let f = Fact::new(
             rel,
-            [
-                Value::str("Lindner"),
-                Value::str("German"),
-                v0.clone(),
-            ],
+            [Value::str("Lindner"), Value::str("German"), v0.clone()],
         );
         assert!((pdb.marginal(&f) - p0).abs() < 1e-12);
     }
@@ -156,23 +153,13 @@ mod tests {
             rel,
             vec![None, Some(Value::str("German")), None],
         )];
-        let names = vec![
-            (Value::str("Grohe"), 0.7),
-            (Value::str("Lindner"), 0.3),
-        ];
-        let heights = vec![
-            (Value::int(1780), 0.4),
-            (Value::int(1830), 0.6),
-        ];
+        let names = vec![(Value::str("Grohe"), 0.7), (Value::str("Lindner"), 0.3)];
+        let heights = vec![(Value::int(1780), 0.4), (Value::int(1830), 0.6)];
         let pdb = complete_nulls(s, rows, vec![names, heights]).unwrap();
         assert_eq!(pdb.space().support_size(), 4);
         let f = Fact::new(
             rel,
-            [
-                Value::str("Grohe"),
-                Value::str("German"),
-                Value::int(1830),
-            ],
+            [Value::str("Grohe"), Value::str("German"), Value::int(1830)],
         );
         // independence: 0.7 × 0.6
         assert!((pdb.marginal(&f) - 0.42).abs() < 1e-12);
@@ -196,10 +183,7 @@ mod tests {
                 ],
             ),
         ];
-        let heights = vec![
-            (Value::int(1790), 0.5),
-            (Value::int(1830), 0.5),
-        ];
+        let heights = vec![(Value::int(1790), 0.5), (Value::int(1830), 0.5)];
         let pdb = complete_nulls(s, rows, vec![heights]).unwrap();
         // P(Grohe listed at 1830)
         let q = parse("Person('Grohe', 'German', 1830)", pdb.schema()).unwrap();
@@ -226,17 +210,10 @@ mod tests {
         let s = schema();
         let rel = s.rel_id("Person").unwrap();
         let rows: Vec<NullableRow> = (0..8)
-            .map(|i| {
-                NullableRow::new(
-                    rel,
-                    vec![Some(Value::int(i)), Some(Value::str("x")), None],
-                )
-            })
+            .map(|i| NullableRow::new(rel, vec![Some(Value::int(i)), Some(Value::str("x")), None]))
             .collect();
         // 8 nulls × 40 values each = 40^8 combinations
-        let dist: Vec<(Value, f64)> = (0..40)
-            .map(|k| (Value::int(k), 1.0 / 40.0))
-            .collect();
+        let dist: Vec<(Value, f64)> = (0..40).map(|k| (Value::int(k), 1.0 / 40.0)).collect();
         let dists = vec![dist; 8];
         assert!(matches!(
             complete_nulls(s, rows, dists),

@@ -110,11 +110,8 @@ mod tests {
         Schema::from_relations([Relation::new("R", 1)]).unwrap()
     }
 
-    fn pdb(
-        series: impl infpdb_math::series::ProbSeries + Send + Sync + 'static,
-    ) -> CountableTiPdb {
-        CountableTiPdb::new(FactSupply::unary_over_naturals(schema(), RelId(0), series))
-            .unwrap()
+    fn pdb(series: impl infpdb_math::series::ProbSeries + Send + Sync + 'static) -> CountableTiPdb {
+        CountableTiPdb::new(FactSupply::unary_over_naturals(schema(), RelId(0), series)).unwrap()
     }
 
     /// Ground truth for ∃x R(x): 1 − ∏(1 − p_i), by very long product.

@@ -123,11 +123,7 @@ pub fn approx_answers_completed(
         });
     }
     let tail_plan = TruncationPlan::new(completed.tail(), eps)?;
-    let mut domain: Vec<Value> = completed
-        .original()
-        .active_domain()
-        .into_iter()
-        .collect();
+    let mut domain: Vec<Value> = completed.original().active_domain().into_iter().collect();
     for v in tail_plan.table.active_domain() {
         if !domain.contains(&v) {
             domain.push(v);
@@ -218,8 +214,7 @@ mod tests {
     fn ti_pdb(
         series: impl infpdb_math::series::ProbSeries + Send + Sync + 'static,
     ) -> CountableTiPdb {
-        CountableTiPdb::new(FactSupply::unary_over_naturals(schema(), RelId(0), series))
-            .unwrap()
+        CountableTiPdb::new(FactSupply::unary_over_naturals(schema(), RelId(0), series)).unwrap()
     }
 
     #[test]
@@ -256,11 +251,9 @@ mod tests {
     #[test]
     fn completed_pdb_evaluation_matches_decomposition() {
         // original: exactly one of R(1), R(2); tail: geometric on R(100+)
-        let original = FinitePdb::from_worlds(
-            schema(),
-            [(vec![rfact(1)], 0.6), (vec![rfact(2)], 0.4)],
-        )
-        .unwrap();
+        let original =
+            FinitePdb::from_worlds(schema(), [(vec![rfact(1)], 0.6), (vec![rfact(2)], 0.4)])
+                .unwrap();
         let tail = FactSupply::from_fn(
             schema(),
             |i| rfact(100 + i as i64),
@@ -290,8 +283,7 @@ mod tests {
         // Open-world effect on a join query: R(1) certain-ish original plus
         // a tail that can supply R(2); Q = R(1) ∧ R(2) mixes the two parts.
         let original =
-            FinitePdb::from_worlds(schema(), [(vec![rfact(1)], 0.9), (vec![], 0.1)])
-                .unwrap();
+            FinitePdb::from_worlds(schema(), [(vec![rfact(1)], 0.9), (vec![], 0.1)]).unwrap();
         let tail = FactSupply::from_fn(
             schema(),
             |i| rfact(2 + i as i64),
@@ -306,11 +298,9 @@ mod tests {
 
     #[test]
     fn completed_answer_marginals() {
-        let original = FinitePdb::from_worlds(
-            schema(),
-            [(vec![rfact(1)], 0.6), (vec![rfact(2)], 0.4)],
-        )
-        .unwrap();
+        let original =
+            FinitePdb::from_worlds(schema(), [(vec![rfact(1)], 0.6), (vec![rfact(2)], 0.4)])
+                .unwrap();
         let tail = FactSupply::from_fn(
             schema(),
             |i| rfact(100 + i as i64),

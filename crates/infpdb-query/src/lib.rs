@@ -31,8 +31,8 @@
 pub mod approx;
 pub mod budget;
 pub mod conditional;
-pub mod sampling;
 pub mod marginal;
+pub mod sampling;
 pub mod truncate;
 
 pub use approx::{approx_prob_boolean, Approximation};

@@ -56,12 +56,9 @@ mod tests {
     use infpdb_math::series::{GeometricSeries, ZetaSeries};
     use infpdb_ti::enumerator::FactSupply;
 
-    fn pdb(
-        series: impl infpdb_math::series::ProbSeries + Send + Sync + 'static,
-    ) -> CountableTiPdb {
+    fn pdb(series: impl infpdb_math::series::ProbSeries + Send + Sync + 'static) -> CountableTiPdb {
         let schema = Schema::from_relations([Relation::new("R", 1)]).unwrap();
-        CountableTiPdb::new(FactSupply::unary_over_naturals(schema, RelId(0), series))
-            .unwrap()
+        CountableTiPdb::new(FactSupply::unary_over_naturals(schema, RelId(0), series)).unwrap()
     }
 
     #[test]
@@ -84,8 +81,7 @@ mod tests {
 
     #[test]
     fn slow_series_get_long_plans() {
-        let g = TruncationPlan::new(&pdb(GeometricSeries::new(0.5, 0.5).unwrap()), 0.01)
-            .unwrap();
+        let g = TruncationPlan::new(&pdb(GeometricSeries::new(0.5, 0.5).unwrap()), 0.01).unwrap();
         let z = TruncationPlan::new(&pdb(ZetaSeries::basel()), 0.01).unwrap();
         assert!(z.n() > 10 * g.n());
     }

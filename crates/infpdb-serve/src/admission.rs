@@ -1,0 +1,320 @@
+//! Admission control and deadline-aware ε-degradation.
+//!
+//! The Section 6 complexity remark makes evaluation cost *predictable
+//! before evaluating*: the truncation length `n(ε)` from
+//! [`infpdb_query::budget::plan`] determines the prefix table the finite
+//! engine will see. Admission therefore consults the plan first and
+//! compares `n(ε)` against the request's cost budget:
+//!
+//! * within budget — admit at the requested ε;
+//! * over budget with [`DegradePolicy::WidenEps`] — serve an *anytime*
+//!   answer at the smallest ε′ ≥ ε whose `n(ε′)` fits. Soundness comes
+//!   from Proposition 6.1 itself: the widened evaluation carries its own
+//!   certified additive guarantee `P(Q) ∈ [p − ε′, p + ε′]`; the service
+//!   reports ε′ so callers always see the interval they were given, never
+//!   the one they asked for;
+//! * over budget with [`DegradePolicy::Reject`] — refuse with a
+//!   structured error carrying the plan, so the client can retry with a
+//!   feasible tolerance.
+//!
+//! Budgets are expressed directly as a maximum `n` and/or as a deadline;
+//! deadlines convert to an `n` cap through a throughput estimate
+//! (facts/second) that the service updates from observed evaluations.
+
+use crate::ServeError;
+use infpdb_query::budget::{plan, BudgetReport};
+use infpdb_ti::construction::CountableTiPdb;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Largest tolerance degradation may widen to; Proposition 6.1 requires
+/// `ε < 1/2`, and an answer at ε ≥ 1/2 would be vacuous anyway.
+pub const EPS_MAX: f64 = 0.499;
+
+/// What to do with a request whose planned cost exceeds its budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradePolicy {
+    /// Refuse with [`ServeError::Rejected`].
+    Reject,
+    /// Widen ε until the plan fits (the default).
+    #[default]
+    WidenEps,
+}
+
+/// Cost constraints carried by a request. `None` fields do not constrain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostBudget {
+    /// Cap on the truncation length `n(ε)`.
+    pub max_n: Option<usize>,
+    /// Wall-clock deadline; converted to an `n` cap via the service's
+    /// throughput estimate.
+    pub deadline: Option<Duration>,
+}
+
+impl CostBudget {
+    /// An unconstrained budget.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Budget capped at truncation length `n`.
+    pub fn max_n(n: usize) -> Self {
+        CostBudget {
+            max_n: Some(n),
+            deadline: None,
+        }
+    }
+
+    /// Budget capped by a deadline.
+    pub fn deadline(d: Duration) -> Self {
+        CostBudget {
+            max_n: None,
+            deadline: Some(d),
+        }
+    }
+
+    /// The effective `n` cap given a facts/second throughput estimate.
+    pub fn effective_max_n(&self, facts_per_sec: f64) -> Option<usize> {
+        let from_deadline = self
+            .deadline
+            .map(|d| (d.as_secs_f64() * facts_per_sec).floor().max(1.0) as usize);
+        match (self.max_n, from_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// The admission decision for one request.
+#[derive(Debug, Clone, Copy)]
+pub struct Admitted {
+    /// Tolerance the evaluation will actually run at (≥ requested).
+    pub eps: f64,
+    /// The plan at the admitted tolerance.
+    pub report: BudgetReport,
+    /// Whether ε was widened to fit the budget.
+    pub degraded: bool,
+}
+
+/// Plans the request and applies the budget/degradation policy.
+pub fn admit(
+    pdb: &CountableTiPdb,
+    eps: f64,
+    max_n: Option<usize>,
+    policy: DegradePolicy,
+) -> Result<Admitted, ServeError> {
+    let report = plan(pdb, eps).map_err(ServeError::Query)?;
+    let Some(cap) = max_n else {
+        return Ok(Admitted {
+            eps,
+            report,
+            degraded: false,
+        });
+    };
+    if report.n <= cap {
+        return Ok(Admitted {
+            eps,
+            report,
+            degraded: false,
+        });
+    }
+    match policy {
+        DegradePolicy::Reject => Err(ServeError::Rejected {
+            requested_eps: eps,
+            needed_n: report.n,
+            max_n: cap,
+        }),
+        DegradePolicy::WidenEps => {
+            let widest = plan(pdb, EPS_MAX).map_err(ServeError::Query)?;
+            if widest.n > cap {
+                // even a vacuously wide answer cannot fit this budget
+                return Err(ServeError::Rejected {
+                    requested_eps: eps,
+                    needed_n: widest.n,
+                    max_n: cap,
+                });
+            }
+            let report = widen_to_fit(pdb, eps, cap, widest)?;
+            Ok(Admitted {
+                eps: report.eps,
+                report,
+                degraded: true,
+            })
+        }
+    }
+}
+
+/// Smallest ε′ ∈ (eps, EPS_MAX] with `n(ε′) ≤ cap`, by bisection.
+///
+/// `n(ε)` is non-increasing in ε, so bisection on ε converges to the
+/// boundary; 60 iterations pin ε′ to ~1 ulp, and we keep the best
+/// *feasible* plan seen, so the result is always within budget.
+fn widen_to_fit(
+    pdb: &CountableTiPdb,
+    eps: f64,
+    cap: usize,
+    widest: BudgetReport,
+) -> Result<BudgetReport, ServeError> {
+    let mut lo = eps; // infeasible
+    let mut hi = EPS_MAX; // feasible
+    let mut best = widest;
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break;
+        }
+        let r = plan(pdb, mid).map_err(ServeError::Query)?;
+        if r.n <= cap {
+            best = r;
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(best)
+}
+
+/// A relaxed-atomic EWMA of evaluation throughput in facts/second,
+/// used to convert deadlines into `n` caps.
+#[derive(Debug)]
+pub struct ThroughputEstimate {
+    bits: AtomicU64,
+}
+
+impl ThroughputEstimate {
+    /// Smoothing factor: each observation contributes 20%.
+    const ALPHA: f64 = 0.2;
+
+    /// Starts from a prior estimate (facts/second).
+    pub fn new(prior_facts_per_sec: f64) -> Self {
+        ThroughputEstimate {
+            bits: AtomicU64::new(prior_facts_per_sec.max(1.0).to_bits()),
+        }
+    }
+
+    /// Current estimate.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Folds in an observed evaluation of `n` facts taking `elapsed`.
+    /// Lossy under concurrent updates (last write wins) — an estimate,
+    /// not an accounting ledger.
+    pub fn observe(&self, n: usize, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 || n == 0 {
+            return;
+        }
+        let sample = (n as f64 / secs).max(1.0);
+        let current = self.get();
+        let next = (1.0 - Self::ALPHA) * current + Self::ALPHA * sample;
+        self.bits.store(next.to_bits(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::{RelId, Relation, Schema};
+    use infpdb_math::series::GeometricSeries;
+    use infpdb_ti::enumerator::FactSupply;
+
+    fn pdb() -> CountableTiPdb {
+        let schema = Schema::from_relations([Relation::new("R", 1)]).unwrap();
+        CountableTiPdb::new(FactSupply::unary_over_naturals(
+            schema,
+            RelId(0),
+            GeometricSeries::new(0.5, 0.5).unwrap(),
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn within_budget_admits_unchanged() {
+        let p = pdb();
+        let a = admit(&p, 0.01, Some(10_000), DegradePolicy::Reject).unwrap();
+        assert_eq!(a.eps, 0.01);
+        assert!(!a.degraded);
+        let unconstrained = admit(&p, 0.01, None, DegradePolicy::Reject).unwrap();
+        assert_eq!(unconstrained.report.n, a.report.n);
+    }
+
+    #[test]
+    fn over_budget_reject_policy_rejects_with_plan() {
+        let p = pdb();
+        let full = plan(&p, 0.001).unwrap();
+        let cap = full.n - 1;
+        match admit(&p, 0.001, Some(cap), DegradePolicy::Reject) {
+            Err(ServeError::Rejected {
+                requested_eps,
+                needed_n,
+                max_n,
+            }) => {
+                assert_eq!(requested_eps, 0.001);
+                assert_eq!(needed_n, full.n);
+                assert_eq!(max_n, cap);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn over_budget_widen_policy_fits_and_is_minimal() {
+        let p = pdb();
+        let cap = 5;
+        let a = admit(&p, 0.001, Some(cap), DegradePolicy::WidenEps).unwrap();
+        assert!(a.degraded);
+        assert!(a.eps > 0.001);
+        assert!(a.report.n <= cap, "widened plan must fit: {:?}", a.report);
+        // minimality: a meaningfully tighter ε would not fit
+        let tighter = plan(&p, (a.eps * 0.9).max(0.0011)).unwrap();
+        assert!(
+            tighter.n > cap || a.eps * 0.9 <= 0.001,
+            "ε′ should be near the feasibility boundary"
+        );
+    }
+
+    #[test]
+    fn impossible_budget_rejects_even_widening() {
+        let p = pdb();
+        // geometric with first=0.5 needs n ≥ 1 even at ε = 0.499
+        match admit(&p, 0.01, Some(0), DegradePolicy::WidenEps) {
+            Err(ServeError::Rejected { .. }) => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cost_budget_combines_caps() {
+        let b = CostBudget {
+            max_n: Some(100),
+            deadline: Some(Duration::from_millis(10)),
+        };
+        // 1000 facts/sec × 10ms = 10 facts — the deadline is tighter
+        assert_eq!(b.effective_max_n(1000.0), Some(10));
+        assert_eq!(CostBudget::max_n(7).effective_max_n(1e9), Some(7));
+        assert_eq!(CostBudget::unlimited().effective_max_n(1e9), None);
+        // a deadline so tight it rounds to zero still caps at one fact
+        assert_eq!(
+            CostBudget::deadline(Duration::from_nanos(1)).effective_max_n(1.0),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn throughput_ewma_moves_toward_observations() {
+        let t = ThroughputEstimate::new(1000.0);
+        assert_eq!(t.get(), 1000.0);
+        for _ in 0..50 {
+            t.observe(10_000, Duration::from_secs(1));
+        }
+        assert!(
+            t.get() > 9000.0,
+            "ewma should approach 10k, got {}",
+            t.get()
+        );
+        t.observe(0, Duration::from_secs(1)); // ignored
+        t.observe(10, Duration::ZERO); // ignored
+        assert!(t.get() > 9000.0);
+    }
+}

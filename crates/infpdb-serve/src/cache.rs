@@ -1,0 +1,223 @@
+//! Sharded LRU result cache.
+//!
+//! Keys are 64-bit [cache-key digests](crate::fingerprint::CacheKey); the
+//! key space is pre-hashed, so shard selection and the inner `HashMap`
+//! both work on already-uniform integers. Sharding bounds contention:
+//! each shard has its own mutex, and a lookup touches exactly one shard.
+//!
+//! Eviction is least-recently-used per shard, tracked with a logical
+//! clock per entry. Eviction scans the shard for the minimum clock —
+//! `O(shard capacity)` — which is deliberate: shard capacities in this
+//! service are small (hundreds), the scan is branch-predictable, and it
+//! avoids the unsafe linked-list machinery of textbook O(1) LRU.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+struct Shard<V> {
+    map: HashMap<u64, Entry<V>>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl<V: Clone> Shard<V> {
+    fn get(&mut self, key: u64) -> Option<V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(&key).map(|e| {
+            e.last_used = clock;
+            e.value.clone()
+        })
+    }
+
+    fn insert(&mut self, key: u64, value: V) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(e) = self.map.get_mut(&key) {
+            e.value = value;
+            e.last_used = clock;
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(&victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: clock,
+            },
+        );
+    }
+}
+
+/// A sharded LRU map from 64-bit digests to cached values.
+pub struct ShardedLruCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Clone> ShardedLruCache<V> {
+    /// A cache holding at most `capacity` entries spread over `shards`
+    /// independently locked shards (both forced to at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = (capacity.max(1)).div_ceil(shards);
+        ShardedLruCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        clock: 0,
+                        capacity: per_shard,
+                    })
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard<V>> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a digest, refreshing its recency on hit.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let got = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key);
+        match got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Inserts (or refreshes) a value, evicting the shard's LRU entry if
+    /// the shard is full.
+    pub fn insert(&self, key: u64, value: V) {
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_counters() {
+        let c: ShardedLruCache<u32> = ShardedLruCache::new(8, 2);
+        assert_eq!(c.get(1), None);
+        c.insert(1, 11);
+        assert_eq!(c.get(1), Some(11));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_a_shard() {
+        // single shard, capacity 2, fully deterministic LRU order
+        let c: ShardedLruCache<&str> = ShardedLruCache::new(2, 1);
+        c.insert(1, "one");
+        c.insert(2, "two");
+        assert_eq!(c.get(1), Some("one")); // 1 is now most recent
+        c.insert(3, "three"); // evicts 2
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some("one"));
+        assert_eq!(c.get(3), Some("three"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn insert_refreshes_existing_keys() {
+        let c: ShardedLruCache<u32> = ShardedLruCache::new(2, 1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh, not a new entry: nothing evicted
+        assert_eq!(c.len(), 2);
+        c.insert(3, 30); // now 2 is LRU
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some(11));
+    }
+
+    #[test]
+    fn sharding_spreads_keys() {
+        let c: ShardedLruCache<u64> = ShardedLruCache::new(64, 4);
+        for k in 0..32u64 {
+            c.insert(k, k);
+        }
+        assert_eq!(c.len(), 32);
+        let occupied = c
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().map.is_empty())
+            .count();
+        assert!(occupied > 1, "consecutive keys should hit several shards");
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let c: Arc<ShardedLruCache<u64>> = Arc::new(ShardedLruCache::new(128, 8));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let k = (t * 131 + i) % 200;
+                        c.insert(k, k);
+                        assert!(c.get(k).is_none_or(|v| v == k));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.hits() + c.misses() == 2000);
+    }
+}

@@ -1,0 +1,280 @@
+//! Cache-key construction: stable fingerprints of requests.
+//!
+//! A cached answer may be returned for a request exactly when the four
+//! components of its [`CacheKey`] agree:
+//!
+//! 1. **PDB content** — for finite tables, `TiTable::fingerprint`; for
+//!    countable PDBs, [`countable_pdb_fingerprint`] hashes an enumeration
+//!    prefix plus the certified tail bound (two supplies agreeing on both
+//!    are indistinguishable to every evaluation this service performs at
+//!    the tolerances it accepts).
+//! 2. **Normalized query** — the formula is rectified and put in negation
+//!    normal form (`infpdb_logic::normal`), then hashed structurally with
+//!    bound variables replaced by de Bruijn indices, so α-equivalent
+//!    queries (`∃x. R(x)` vs `∃y. R(y)`) and double negations share an
+//!    entry while genuinely different queries do not.
+//! 3. **Effective ε bits** — the tolerance actually evaluated (after any
+//!    degradation), by exact bit pattern.
+//! 4. **Engine** — different engines must not share entries: the service
+//!    promises byte-identical agreement with the corresponding
+//!    sequential evaluation, and e.g. `Lifted` and `Lineage` may differ
+//!    in the last ulp.
+
+use infpdb_core::fingerprint::Fingerprinter;
+use infpdb_core::schema::Schema;
+use infpdb_finite::engine::Engine;
+use infpdb_logic::ast::{Formula, Term};
+use infpdb_logic::normal::{rectify, to_nnf};
+use infpdb_ti::construction::CountableTiPdb;
+
+/// Enumeration prefix length hashed by [`countable_pdb_fingerprint`].
+pub const PDB_FINGERPRINT_PREFIX: usize = 64;
+
+/// The components identifying a cacheable evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheKey {
+    /// PDB content fingerprint.
+    pub pdb: u64,
+    /// Normalized-query fingerprint.
+    pub query: u64,
+    /// Bit pattern of the ε the evaluation actually ran at.
+    pub eps_bits: u64,
+    /// Engine discriminant.
+    pub engine: u8,
+}
+
+impl CacheKey {
+    /// Assembles a key.
+    pub fn new(pdb: u64, schema: &Schema, query: &Formula, eps: f64, engine: Engine) -> Self {
+        CacheKey {
+            pdb,
+            query: query_fingerprint(schema, query),
+            eps_bits: eps.to_bits(),
+            engine: engine_tag(engine),
+        }
+    }
+
+    /// The 64-bit digest used as the cache index.
+    pub fn digest(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.write_u64(self.pdb)
+            .write_u64(self.query)
+            .write_u64(self.eps_bits)
+            .write_u64(u64::from(self.engine));
+        fp.finish()
+    }
+}
+
+/// Stable discriminant for an engine choice.
+pub fn engine_tag(engine: Engine) -> u8 {
+    match engine {
+        Engine::Auto => 0,
+        Engine::Lifted => 1,
+        Engine::Lineage => 2,
+        Engine::Brute => 3,
+    }
+}
+
+/// Fingerprint of a query modulo normalization.
+///
+/// Rectification plus NNF is the normal form `infpdb_logic::normal`
+/// provides; hashing bound variables as de Bruijn indices on top makes
+/// the digest independent of the names rectification happened to pick.
+pub fn query_fingerprint(schema: &Schema, query: &Formula) -> u64 {
+    let normalized = to_nnf(&rectify(query));
+    let mut fp = Fingerprinter::new();
+    let mut binders: Vec<String> = Vec::new();
+    hash_formula(&mut fp, schema, &normalized, &mut binders);
+    fp.finish()
+}
+
+fn hash_term(fp: &mut Fingerprinter, t: &Term, binders: &[String]) {
+    match t {
+        Term::Var(v) => {
+            // innermost binder first: de Bruijn index
+            match binders.iter().rev().position(|b| b == v) {
+                Some(i) => fp.write_u64(1).write_u64(i as u64),
+                // free variable: identity is its name
+                None => fp.write_u64(2).write_bytes(v.as_bytes()),
+            };
+        }
+        Term::Const(v) => {
+            fp.write_u64(3).write_value(v);
+        }
+    }
+}
+
+fn hash_formula(fp: &mut Fingerprinter, schema: &Schema, f: &Formula, binders: &mut Vec<String>) {
+    match f {
+        Formula::True => {
+            fp.write_u64(10);
+        }
+        Formula::False => {
+            fp.write_u64(11);
+        }
+        Formula::Atom { rel, args } => {
+            fp.write_u64(12);
+            let name = schema.get(*rel).map(|r| r.name()).unwrap_or("?");
+            fp.write_bytes(name.as_bytes());
+            fp.write_u64(args.len() as u64);
+            for a in args {
+                hash_term(fp, a, binders);
+            }
+        }
+        Formula::Eq(a, b) => {
+            fp.write_u64(13);
+            hash_term(fp, a, binders);
+            hash_term(fp, b, binders);
+        }
+        Formula::Not(g) => {
+            fp.write_u64(14);
+            hash_formula(fp, schema, g, binders);
+        }
+        Formula::And(gs) => {
+            fp.write_u64(15).write_u64(gs.len() as u64);
+            for g in gs {
+                hash_formula(fp, schema, g, binders);
+            }
+        }
+        Formula::Or(gs) => {
+            fp.write_u64(16).write_u64(gs.len() as u64);
+            for g in gs {
+                hash_formula(fp, schema, g, binders);
+            }
+        }
+        Formula::Exists(v, g) => {
+            fp.write_u64(17);
+            binders.push(v.clone());
+            hash_formula(fp, schema, g, binders);
+            binders.pop();
+        }
+        Formula::Forall(v, g) => {
+            fp.write_u64(18);
+            binders.push(v.clone());
+            hash_formula(fp, schema, g, binders);
+            binders.pop();
+        }
+    }
+}
+
+/// Content fingerprint of a countable t.i. PDB.
+///
+/// Hashes the schema, the first [`PDB_FINGERPRINT_PREFIX`] enumerated
+/// `(fact, probability)` pairs *in enumeration order* (the order is part
+/// of the oracle's identity: it decides which prefix `Ω_n` a truncation
+/// keeps), and the certified tail bound after the prefix.
+pub fn countable_pdb_fingerprint(pdb: &CountableTiPdb) -> u64 {
+    let supply = pdb.supply();
+    let mut fp = Fingerprinter::new();
+    fp.write_u64(combine_schema(pdb.schema()));
+    let prefix = supply
+        .support_len()
+        .unwrap_or(PDB_FINGERPRINT_PREFIX)
+        .min(PDB_FINGERPRINT_PREFIX);
+    fp.write_u64(prefix as u64);
+    for i in 0..prefix {
+        fp.write_u64(infpdb_core::fingerprint::fact_fingerprint(
+            pdb.schema(),
+            &supply.fact(i),
+            supply.prob(i),
+        ));
+    }
+    match supply.tail_upper(prefix).finite() {
+        Some(bound) => fp.write_f64(bound),
+        None => fp.write_u64(u64::MAX),
+    };
+    fp.finish()
+}
+
+fn combine_schema(schema: &Schema) -> u64 {
+    infpdb_core::fingerprint::combine_unordered(schema.iter().map(|(_, r)| {
+        let mut rf = Fingerprinter::new();
+        rf.write_bytes(r.name().as_bytes())
+            .write_u64(r.arity() as u64);
+        rf.finish()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::{RelId, Relation, Schema};
+    use infpdb_logic::parse;
+    use infpdb_math::series::GeometricSeries;
+    use infpdb_ti::enumerator::FactSupply;
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 1), Relation::new("S", 2)]).unwrap()
+    }
+
+    fn qfp(q: &str) -> u64 {
+        let s = schema();
+        query_fingerprint(&s, &parse(q, &s).unwrap())
+    }
+
+    #[test]
+    fn alpha_equivalent_queries_share_a_fingerprint() {
+        assert_eq!(qfp("exists x. R(x)"), qfp("exists y. R(y)"));
+        assert_eq!(
+            qfp("exists x. exists y. S(x, y)"),
+            qfp("exists a. exists b. S(a, b)")
+        );
+        // swapped roles are NOT α-equivalent
+        assert_ne!(
+            qfp("exists x. exists y. S(x, y)"),
+            qfp("exists x. exists y. S(y, x)")
+        );
+    }
+
+    #[test]
+    fn normalization_collapses_double_negation() {
+        assert_eq!(qfp("!(!R(1))"), qfp("R(1)"));
+        assert_eq!(qfp("!(exists x. R(x))"), qfp("forall x. !R(x)"));
+    }
+
+    #[test]
+    fn distinct_queries_get_distinct_fingerprints() {
+        assert_ne!(qfp("R(1)"), qfp("R(2)"));
+        assert_ne!(qfp("R(1)"), qfp("!R(1)"));
+        assert_ne!(qfp("exists x. R(x)"), qfp("forall x. R(x)"));
+        assert_ne!(qfp("R(1) /\\ R(2)"), qfp("R(1) \\/ R(2)"));
+    }
+
+    #[test]
+    fn cache_key_separates_eps_and_engine() {
+        let s = schema();
+        let q = parse("R(1)", &s).unwrap();
+        let base = CacheKey::new(7, &s, &q, 0.01, Engine::Auto);
+        assert_eq!(base, CacheKey::new(7, &s, &q, 0.01, Engine::Auto));
+        assert_ne!(
+            base.digest(),
+            CacheKey::new(7, &s, &q, 0.02, Engine::Auto).digest()
+        );
+        assert_ne!(
+            base.digest(),
+            CacheKey::new(7, &s, &q, 0.01, Engine::Lineage).digest()
+        );
+        assert_ne!(
+            base.digest(),
+            CacheKey::new(8, &s, &q, 0.01, Engine::Auto).digest()
+        );
+    }
+
+    #[test]
+    fn countable_fingerprint_sees_probability_changes() {
+        let s = Schema::from_relations([Relation::new("R", 1)]).unwrap();
+        let make = |first: f64| {
+            CountableTiPdb::new(FactSupply::unary_over_naturals(
+                s.clone(),
+                RelId(0),
+                GeometricSeries::new(first, 0.5).unwrap(),
+            ))
+            .unwrap()
+        };
+        let a = countable_pdb_fingerprint(&make(0.5));
+        let b = countable_pdb_fingerprint(&make(0.5));
+        let c = countable_pdb_fingerprint(&make(0.25));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

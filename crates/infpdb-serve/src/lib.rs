@@ -1,0 +1,109 @@
+#![warn(missing_docs)]
+//! Concurrent query-evaluation service for countable t.i. PDBs.
+//!
+//! Proposition 6.1 (Grohe & Lindner, PODS 2019) gives a *cost-predictable*
+//! evaluation algorithm: the whole expense of an ε-approximation is fixed
+//! by the truncation length `n(ε)` before the finite engine runs. This
+//! crate turns that property into a serving layer:
+//!
+//! ```text
+//!   requests ──▶ [admission]          plan n(ε); widen ε or reject if
+//!                    │                the budget cannot afford n(ε)
+//!                    ▼
+//!              [result cache]         sharded LRU keyed by
+//!                    │                (PDB, query, effective ε, engine)
+//!                    ▼ miss
+//!              [thread pool]──▶ [finite engine on Ω_n]   (Prop. 6.1)
+//! ```
+//!
+//! * [`pool`] — fixed-size `std`-only worker pool (mutex + condvar queue)
+//!   with batch submission and two shutdown modes;
+//! * [`cache`] — sharded LRU over 64-bit request fingerprints;
+//! * [`fingerprint`] — stable content hashes: PDBs by enumeration prefix
+//!   and tail bound, queries modulo rectification/NNF/α-renaming;
+//! * [`admission`] — budgets (max `n`, deadlines) and ε-degradation,
+//!   sound because the widened evaluation carries its own Prop. 6.1
+//!   certificate;
+//! * [`metrics`] — lock-free counters and latency histograms with a
+//!   plain-text dump;
+//! * [`service`] — the [`QueryService`] wiring it all together.
+//!
+//! Everything is `std`-only: no external dependencies.
+
+pub mod admission;
+pub mod cache;
+pub mod fingerprint;
+pub mod metrics;
+pub mod pool;
+pub mod service;
+
+pub use admission::{CostBudget, DegradePolicy};
+pub use metrics::Metrics;
+pub use service::{QueryRequest, QueryResponse, QueryService, ServiceConfig, Ticket};
+
+use infpdb_query::QueryError;
+
+/// Errors of the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control refused the request: its plan needs a longer
+    /// truncation than the budget affords, and the policy (or the PDB's
+    /// convergence rate) left no feasible ε to widen to.
+    Rejected {
+        /// The tolerance the client asked for.
+        requested_eps: f64,
+        /// The truncation length the (possibly widened) plan required.
+        needed_n: usize,
+        /// The budget's cap on the truncation length.
+        max_n: usize,
+    },
+    /// The evaluation itself failed (bad tolerance, free variables,
+    /// divergence, …).
+    Query(QueryError),
+    /// The service shut down before this request ran.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected {
+                requested_eps,
+                needed_n,
+                max_n,
+            } => write!(
+                f,
+                "rejected: eps {requested_eps} needs n = {needed_n} facts, budget allows {max_n}"
+            ),
+            ServeError::Query(e) => write!(f, "{e}"),
+            ServeError::Shutdown => write!(f, "service shut down before the request ran"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<QueryError> for ServeError {
+    fn from(e: QueryError) -> Self {
+        ServeError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_actionable() {
+        let e = ServeError::Rejected {
+            requested_eps: 0.01,
+            needed_n: 40,
+            max_n: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("40") && s.contains('5') && s.contains("0.01"));
+        assert!(ServeError::Shutdown.to_string().contains("shut down"));
+        let q: ServeError = QueryError::Math(infpdb_math::MathError::BadTolerance(0.7)).into();
+        assert!(q.to_string().contains("0.7"));
+    }
+}

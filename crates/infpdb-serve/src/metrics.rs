@@ -1,0 +1,164 @@
+//! Atomic metrics registry: counters, gauges, and latency histograms.
+//!
+//! Everything is lock-free (`AtomicU64` with relaxed ordering — metrics
+//! tolerate torn reads across counters) so recording never contends with
+//! the evaluation hot path. [`Metrics::dump`] renders a plain-text
+//! snapshot in a `name value` format; the metric names are part of the
+//! crate's public interface and documented in DESIGN.md §Serving layer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (`< 1µs` … `≥ 2²⁰µs ≈ 1s`).
+pub const HISTOGRAM_BUCKETS: usize = 21;
+
+/// A latency histogram with power-of-two microsecond buckets.
+///
+/// Bucket `i < HISTOGRAM_BUCKETS - 1` counts observations with
+/// `duration < 2^i µs`; the last bucket is a catch-all overflow.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, d: Duration) {
+        let micros = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - micros.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> u64 {
+        self.sum_micros
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    fn dump_into(&self, name: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        writeln!(out, "{name}_count {}", self.count()).ok();
+        writeln!(
+            out,
+            "{name}_sum_micros {}",
+            self.sum_micros.load(Ordering::Relaxed)
+        )
+        .ok();
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if i + 1 == HISTOGRAM_BUCKETS {
+                writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}").ok();
+            } else {
+                writeln!(out, "{name}_bucket{{le=\"{}us\"}} {cumulative}", 1u64 << i).ok();
+            }
+        }
+    }
+}
+
+/// The serving layer's metrics registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Requests answered (cached, fresh, or degraded).
+    pub completed: AtomicU64,
+    /// Requests answered straight from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that had to evaluate.
+    pub cache_misses: AtomicU64,
+    /// Requests answered at a widened ε to fit their budget.
+    pub degraded: AtomicU64,
+    /// Requests refused by admission control.
+    pub rejected: AtomicU64,
+    /// Requests that failed with an evaluation error.
+    pub errors: AtomicU64,
+    /// Worker jobs that panicked (caught; the worker survives).
+    pub panics: AtomicU64,
+    /// Jobs currently queued, waiting for a worker.
+    pub queue_depth: AtomicU64,
+    /// Time from submission to the start of evaluation.
+    pub wait: LatencyHistogram,
+    /// Evaluation time (admission + engine), excluding queue wait.
+    pub run: LatencyHistogram,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plain-text snapshot, one `name value` pair per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        writeln!(out, "serve_requests_submitted_total {}", c(&self.submitted)).ok();
+        writeln!(out, "serve_requests_completed_total {}", c(&self.completed)).ok();
+        writeln!(out, "serve_cache_hits_total {}", c(&self.cache_hits)).ok();
+        writeln!(out, "serve_cache_misses_total {}", c(&self.cache_misses)).ok();
+        writeln!(out, "serve_degraded_answers_total {}", c(&self.degraded)).ok();
+        writeln!(out, "serve_rejected_total {}", c(&self.rejected)).ok();
+        writeln!(out, "serve_errors_total {}", c(&self.errors)).ok();
+        writeln!(out, "serve_worker_panics_total {}", c(&self.panics)).ok();
+        writeln!(out, "serve_queue_depth {}", c(&self.queue_depth)).ok();
+        self.wait.dump_into("serve_wait_micros", &mut out);
+        self.run.dump_into("serve_run_micros", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(0));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(1_000_000)); // 1s, near overflow bucket
+        assert_eq!(h.count(), 3);
+        assert!(h.mean_micros() >= 333_000);
+        let mut out = String::new();
+        h.dump_into("h", &mut out);
+        assert!(out.contains("h_count 3"));
+        // the cumulative +Inf bucket sees every observation
+        assert!(out.contains("h_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn dump_contains_all_documented_names() {
+        let m = Metrics::new();
+        m.submitted.fetch_add(2, Ordering::Relaxed);
+        m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let dump = m.dump();
+        for name in [
+            "serve_requests_submitted_total 2",
+            "serve_requests_completed_total 0",
+            "serve_cache_hits_total 1",
+            "serve_cache_misses_total 0",
+            "serve_degraded_answers_total 0",
+            "serve_rejected_total 0",
+            "serve_errors_total 0",
+            "serve_worker_panics_total 0",
+            "serve_queue_depth 0",
+            "serve_wait_micros_count 0",
+            "serve_run_micros_count 0",
+        ] {
+            assert!(dump.contains(name), "missing {name:?} in:\n{dump}");
+        }
+    }
+}

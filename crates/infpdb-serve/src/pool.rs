@@ -1,0 +1,299 @@
+//! A fixed-size worker thread pool over a `Mutex`+`Condvar` job queue.
+//!
+//! `std`-only: jobs are boxed closures in a `VecDeque` guarded by one
+//! mutex, workers park on a condition variable. One mutex is enough
+//! here — queue operations are push/pop of a pointer while job bodies
+//! (query evaluations) run three to six orders of magnitude longer, so
+//! the critical section is never the bottleneck.
+//!
+//! Shutdown comes in two flavors:
+//!
+//! * **Graceful** ([`ThreadPool::drop`] / [`ThreadPool::join`]) — workers
+//!   drain every queued job, then exit.
+//! * **Immediate** ([`ThreadPool::shutdown_now`]) — the queue is cleared
+//!   first; dropped jobs never run, which any response channel they held
+//!   reports as a disconnect. Jobs already mid-flight still finish (the
+//!   pool never kills a thread), so joining stays deadlock-free.
+//!
+//! Worker panics are caught per job and counted in
+//! [`Metrics::panics`](crate::metrics::Metrics); the worker thread
+//! survives and moves on to the next job.
+
+use crate::metrics::Metrics;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    metrics: Arc<Metrics>,
+}
+
+/// A fixed-size pool of worker threads consuming a shared job queue.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (at least 1) sharing `metrics`.
+    pub fn new(threads: usize, metrics: Arc<Metrics>) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            metrics,
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("infpdb-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one job. Jobs submitted after shutdown are dropped
+    /// immediately (their effects never happen).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.submit_boxed(Box::new(job));
+    }
+
+    /// Enqueues a whole batch under a single lock acquisition, then wakes
+    /// every worker — cheaper than `submit` in a loop for query fan-out.
+    pub fn submit_batch(&self, jobs: Vec<Job>) {
+        let count = jobs.len();
+        {
+            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+            if state.shutdown {
+                return; // jobs drop here; receivers observe disconnect
+            }
+            state.jobs.extend(jobs);
+        }
+        self.shared
+            .metrics
+            .queue_depth
+            .fetch_add(count as u64, Ordering::Relaxed);
+        self.shared.available.notify_all();
+    }
+
+    fn submit_boxed(&self, job: Job) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+            if state.shutdown {
+                return;
+            }
+            state.jobs.push_back(job);
+        }
+        self.shared
+            .metrics
+            .queue_depth
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.available.notify_one();
+    }
+
+    /// Jobs currently waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("pool lock poisoned")
+            .jobs
+            .len()
+    }
+
+    /// Immediate shutdown: discards queued jobs and waits only for the
+    /// jobs already running. Queued-but-never-run jobs are dropped, which
+    /// disconnects any response channel they captured.
+    pub fn shutdown_now(&mut self) {
+        let dropped_jobs: Vec<Job> = {
+            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+            state.shutdown = true;
+            state.jobs.drain(..).collect()
+        };
+        self.shared
+            .metrics
+            .queue_depth
+            .fetch_sub(dropped_jobs.len() as u64, Ordering::Relaxed);
+        // dropping outside the lock: job destructors (channel senders,
+        // arbitrary captures) must not run under the queue mutex
+        drop(dropped_jobs);
+        self.shared.available.notify_all();
+        self.join_workers();
+    }
+
+    /// Graceful shutdown: lets workers drain the queue, then joins them.
+    /// Equivalent to dropping the pool, but explicit at call sites.
+    pub fn join(mut self) {
+        self.begin_graceful_shutdown();
+        self.join_workers();
+    }
+
+    fn begin_graceful_shutdown(&self) {
+        let mut state = self.shared.state.lock().expect("pool lock poisoned");
+        state.shutdown = true;
+        drop(state);
+        self.shared.available.notify_all();
+    }
+
+    fn join_workers(&mut self) {
+        for handle in self.workers.drain(..) {
+            handle.join().expect("worker thread itself never panics");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.begin_graceful_shutdown();
+            self.join_workers();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.available.wait(state).expect("pool lock poisoned");
+            }
+        };
+        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let metrics = Arc::new(Metrics::new());
+        let pool = ThreadPool::new(4, Arc::clone(&metrics));
+        assert_eq!(pool.threads(), 4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn batch_submission_runs_everything() {
+        let pool = ThreadPool::new(2, Arc::new(Metrics::new()));
+        let counter = Arc::new(AtomicU64::new(0));
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..50)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        pool.submit_batch(jobs);
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn graceful_drop_drains_the_queue() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(1, Arc::new(Metrics::new()));
+            for _ in 0..20 {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    std::thread::sleep(Duration::from_millis(1));
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // drop here: must finish all 20, not abandon them
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn shutdown_now_drops_queued_jobs_and_disconnects_receivers() {
+        let metrics = Arc::new(Metrics::new());
+        let mut pool = ThreadPool::new(1, Arc::clone(&metrics));
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        // first job occupies the single worker until we release it
+        pool.submit(move || {
+            block_rx.recv().ok();
+        });
+        let mut waiters = Vec::new();
+        for i in 0..10 {
+            let (tx, rx) = mpsc::channel::<u32>();
+            pool.submit(move || {
+                tx.send(i).ok();
+            });
+            waiters.push(rx);
+        }
+        block_tx.send(()).ok(); // release the in-flight job
+        pool.shutdown_now();
+        // every queued job either ran (sent) or was dropped (disconnect);
+        // none may leave its receiver hanging
+        for rx in waiters {
+            match rx.recv_timeout(Duration::from_secs(5)) {
+                Ok(_) | Err(mpsc::RecvTimeoutError::Disconnected) => {}
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    panic!("receiver left hanging after shutdown_now")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_survives_job_panics() {
+        let metrics = Arc::new(Metrics::new());
+        let pool = ThreadPool::new(1, Arc::clone(&metrics));
+        pool.submit(|| panic!("job goes boom"));
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        pool.submit(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.panics.load(Ordering::Relaxed), 1);
+    }
+}

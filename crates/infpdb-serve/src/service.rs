@@ -1,0 +1,500 @@
+//! The query service: pool → admission → cache → engine.
+//!
+//! [`QueryService`] owns a [`ThreadPool`], a [`ShardedLruCache`] of
+//! finished answers, and a [`Metrics`] registry, and evaluates
+//! [`QueryRequest`]s against one countable t.i. PDB. Every request flows
+//! through the same stages on a worker thread:
+//!
+//! 1. **Admission** ([`crate::admission`]) — plan `n(ε)` and apply the
+//!    request's budget, possibly widening ε or rejecting;
+//! 2. **Cache** — look up the (PDB, normalized query, *effective* ε,
+//!    engine) fingerprint. Keying by the effective ε means a degraded
+//!    answer is cached under the tolerance it actually satisfies and can
+//!    never be returned for a stricter request;
+//! 3. **Engine** — on a miss, run the Proposition 6.1 evaluation
+//!    ([`approx_prob_boolean`]), record throughput, insert the answer.
+//!
+//! Results come back through a [`Ticket`]; if the service is shut down
+//! before a queued request runs, its job is dropped and the ticket
+//! resolves to [`ServeError::Shutdown`] instead of blocking forever.
+
+use crate::admission::{self, CostBudget, DegradePolicy, ThroughputEstimate};
+use crate::cache::ShardedLruCache;
+use crate::fingerprint::{countable_pdb_fingerprint, CacheKey};
+use crate::metrics::Metrics;
+use crate::pool::ThreadPool;
+use crate::ServeError;
+use infpdb_finite::engine::Engine;
+use infpdb_logic::ast::Formula;
+use infpdb_query::approx::{approx_prob_boolean, Approximation};
+use infpdb_query::budget::BudgetReport;
+use infpdb_ti::construction::CountableTiPdb;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// Configuration for a [`QueryService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool (at least 1).
+    pub threads: usize,
+    /// Total result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+    /// Finite engine used for every evaluation.
+    pub engine: Engine,
+    /// What to do with requests whose plan exceeds their budget.
+    pub policy: DegradePolicy,
+    /// Prior throughput estimate (facts/second) used to convert
+    /// deadlines to `n` caps before any evaluation has been observed.
+    pub prior_facts_per_sec: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: 4,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            engine: Engine::Auto,
+            policy: DegradePolicy::WidenEps,
+            prior_facts_per_sec: 100_000.0,
+        }
+    }
+}
+
+/// One query to evaluate.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Boolean FO query over the service's schema.
+    pub query: Formula,
+    /// Requested additive tolerance, `0 < ε < 1/2`.
+    pub eps: f64,
+    /// Cost constraints (unlimited by default).
+    pub budget: CostBudget,
+}
+
+impl QueryRequest {
+    /// An unconstrained request.
+    pub fn new(query: Formula, eps: f64) -> Self {
+        QueryRequest {
+            query,
+            eps,
+            budget: CostBudget::unlimited(),
+        }
+    }
+
+    /// Attaches a budget.
+    pub fn with_budget(mut self, budget: CostBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// A finished evaluation with its provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryResponse {
+    /// The certified approximation (at the *effective* ε).
+    pub approx: Approximation,
+    /// The plan the evaluation ran under.
+    pub report: BudgetReport,
+    /// The tolerance the client asked for.
+    pub requested_eps: f64,
+    /// Whether ε was widened to fit the request's budget.
+    pub degraded: bool,
+    /// Whether the answer came from the result cache.
+    pub cached: bool,
+}
+
+impl QueryResponse {
+    /// The guaranteed enclosure of the true probability.
+    pub fn interval(&self) -> infpdb_math::ProbInterval {
+        self.approx.interval()
+    }
+}
+
+/// A handle to one in-flight request.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<QueryResponse, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request finishes. If the service shut down
+    /// before the request ran, returns [`ServeError::Shutdown`].
+    pub fn wait(self) -> Result<QueryResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<QueryResponse, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Shutdown)),
+        }
+    }
+}
+
+struct Inner {
+    pdb: CountableTiPdb,
+    pdb_fingerprint: u64,
+    engine: Engine,
+    policy: DegradePolicy,
+    cache: ShardedLruCache<(Approximation, BudgetReport)>,
+    metrics: Arc<Metrics>,
+    throughput: ThroughputEstimate,
+}
+
+/// A concurrent query-evaluation service over one countable t.i. PDB.
+pub struct QueryService {
+    inner: Arc<Inner>,
+    pool: ThreadPool,
+}
+
+impl QueryService {
+    /// Builds the service: spawns the pool, fingerprints the PDB once.
+    pub fn new(pdb: CountableTiPdb, config: ServiceConfig) -> Self {
+        let metrics = Arc::new(Metrics::new());
+        let inner = Arc::new(Inner {
+            pdb_fingerprint: countable_pdb_fingerprint(&pdb),
+            pdb,
+            engine: config.engine,
+            policy: config.policy,
+            cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
+            metrics: Arc::clone(&metrics),
+            throughput: ThroughputEstimate::new(config.prior_facts_per_sec),
+        });
+        let pool = ThreadPool::new(config.threads, metrics);
+        QueryService { inner, pool }
+    }
+
+    /// Enqueues one request.
+    pub fn submit(&self, request: QueryRequest) -> Ticket {
+        self.inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let (job, ticket) = self.make_job(request);
+        self.pool.submit(job);
+        ticket
+    }
+
+    /// Enqueues a whole batch under one queue-lock acquisition; tickets
+    /// come back in input order.
+    pub fn submit_batch(&self, requests: Vec<QueryRequest>) -> Vec<Ticket> {
+        self.inner
+            .metrics
+            .submitted
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + 'static>> = Vec::with_capacity(requests.len());
+        let mut tickets = Vec::with_capacity(requests.len());
+        for request in requests {
+            let (job, ticket) = self.make_job(request);
+            jobs.push(Box::new(job));
+            tickets.push(ticket);
+        }
+        self.pool.submit_batch(jobs);
+        tickets
+    }
+
+    /// Submits and waits — the synchronous convenience path.
+    pub fn evaluate(&self, request: QueryRequest) -> Result<QueryResponse, ServeError> {
+        self.submit(request).wait()
+    }
+
+    fn make_job(&self, request: QueryRequest) -> (impl FnOnce() + Send + 'static, Ticket) {
+        let inner = Arc::clone(&self.inner);
+        let submitted = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        let job = move || {
+            inner.metrics.wait.record(submitted.elapsed());
+            let result = handle(&inner, &request);
+            match &result {
+                Ok(_) => inner.metrics.completed.fetch_add(1, Ordering::Relaxed),
+                Err(ServeError::Rejected { .. }) => {
+                    inner.metrics.rejected.fetch_add(1, Ordering::Relaxed)
+                }
+                Err(_) => inner.metrics.errors.fetch_add(1, Ordering::Relaxed),
+            };
+            // a dropped ticket is fine — fire-and-forget submission
+            tx.send(result).ok();
+        };
+        (job, Ticket { rx })
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Entries currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// Jobs queued but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.pool.queue_depth()
+    }
+
+    /// Worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Immediate shutdown: queued requests are dropped (their tickets
+    /// resolve to [`ServeError::Shutdown`]); in-flight evaluations finish.
+    pub fn shutdown_now(&mut self) {
+        self.pool.shutdown_now();
+    }
+
+    /// Graceful shutdown: drains the queue, then joins the workers.
+    pub fn join(self) {
+        self.pool.join();
+    }
+}
+
+fn handle(inner: &Inner, request: &QueryRequest) -> Result<QueryResponse, ServeError> {
+    let cap = request.budget.effective_max_n(inner.throughput.get());
+    let admitted = admission::admit(&inner.pdb, request.eps, cap, inner.policy)?;
+    if admitted.degraded {
+        inner.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    // keyed by the EFFECTIVE ε: a degraded answer is cached under the
+    // tolerance it actually certifies
+    let key = CacheKey::new(
+        inner.pdb_fingerprint,
+        inner.pdb.schema(),
+        &request.query,
+        admitted.eps,
+        inner.engine,
+    )
+    .digest();
+    if let Some((approx, report)) = inner.cache.get(key) {
+        inner.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(QueryResponse {
+            approx,
+            report,
+            requested_eps: request.eps,
+            degraded: admitted.degraded,
+            cached: true,
+        });
+    }
+    inner.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let start = Instant::now();
+    let approx = approx_prob_boolean(&inner.pdb, &request.query, admitted.eps, inner.engine)
+        .map_err(ServeError::Query)?;
+    let elapsed = start.elapsed();
+    inner.metrics.run.record(elapsed);
+    inner.throughput.observe(approx.n, elapsed);
+    inner.cache.insert(key, (approx, admitted.report));
+    Ok(QueryResponse {
+        approx,
+        report: admitted.report,
+        requested_eps: request.eps,
+        degraded: admitted.degraded,
+        cached: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::{RelId, Relation, Schema};
+    use infpdb_logic::parse;
+    use infpdb_math::series::GeometricSeries;
+    use infpdb_ti::enumerator::FactSupply;
+    use std::time::Duration;
+
+    fn pdb() -> CountableTiPdb {
+        let schema = Schema::from_relations([Relation::new("R", 1)]).unwrap();
+        CountableTiPdb::new(FactSupply::unary_over_naturals(
+            schema,
+            RelId(0),
+            GeometricSeries::new(0.5, 0.5).unwrap(),
+        ))
+        .unwrap()
+    }
+
+    fn service(threads: usize) -> QueryService {
+        QueryService::new(
+            pdb(),
+            ServiceConfig {
+                threads,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn agrees_with_sequential_evaluation_bit_for_bit() {
+        let svc = service(2);
+        let p = pdb();
+        let q = parse("exists x. R(x)", p.schema()).unwrap();
+        let expected = approx_prob_boolean(&p, &q, 0.01, Engine::Auto).unwrap();
+        let got = svc.evaluate(QueryRequest::new(q, 0.01)).unwrap();
+        assert_eq!(got.approx.estimate.to_bits(), expected.estimate.to_bits());
+        assert_eq!(got.approx.n, expected.n);
+        assert!(!got.cached);
+        assert!(!got.degraded);
+        assert_eq!(got.requested_eps, 0.01);
+    }
+
+    #[test]
+    fn second_identical_request_is_a_cache_hit() {
+        let svc = service(1);
+        let p = pdb();
+        let q = parse("R(1)", p.schema()).unwrap();
+        let first = svc.evaluate(QueryRequest::new(q.clone(), 0.05)).unwrap();
+        // α-equivalent spelling through a double negation still hits
+        let q2 = parse("!(!R(1))", p.schema()).unwrap();
+        let second = svc.evaluate(QueryRequest::new(q2, 0.05)).unwrap();
+        assert!(!first.cached);
+        assert!(second.cached);
+        assert_eq!(first.approx, second.approx);
+        assert_eq!(svc.metrics().cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(svc.metrics().cache_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(svc.cache_len(), 1);
+    }
+
+    #[test]
+    fn different_eps_do_not_share_cache_entries() {
+        let svc = service(1);
+        let p = pdb();
+        let q = parse("R(1)", p.schema()).unwrap();
+        svc.evaluate(QueryRequest::new(q.clone(), 0.05)).unwrap();
+        let other = svc.evaluate(QueryRequest::new(q, 0.01)).unwrap();
+        assert!(!other.cached);
+        assert_eq!(svc.cache_len(), 2);
+    }
+
+    #[test]
+    fn degraded_request_reports_widened_eps_and_still_certifies() {
+        let svc = service(1);
+        let p = pdb();
+        let q = parse("exists x. R(x)", p.schema()).unwrap();
+        let resp = svc
+            .evaluate(QueryRequest::new(q, 0.001).with_budget(CostBudget::max_n(5)))
+            .unwrap();
+        assert!(resp.degraded);
+        assert_eq!(resp.requested_eps, 0.001);
+        assert!(resp.approx.eps > 0.001);
+        assert!(resp.approx.n <= 5);
+        // the widened interval still encloses the truth (~0.7112)
+        assert!(resp.interval().contains(0.7112));
+        assert_eq!(svc.metrics().degraded.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn reject_policy_surfaces_structured_error() {
+        let svc = QueryService::new(
+            pdb(),
+            ServiceConfig {
+                threads: 1,
+                policy: DegradePolicy::Reject,
+                ..ServiceConfig::default()
+            },
+        );
+        let p = pdb();
+        let q = parse("R(1)", p.schema()).unwrap();
+        match svc.evaluate(QueryRequest::new(q, 0.001).with_budget(CostBudget::max_n(1))) {
+            Err(ServeError::Rejected {
+                requested_eps,
+                max_n,
+                needed_n,
+            }) => {
+                assert_eq!(requested_eps, 0.001);
+                assert_eq!(max_n, 1);
+                assert!(needed_n > 1);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn invalid_eps_is_a_query_error_not_a_panic() {
+        let svc = service(1);
+        let p = pdb();
+        let q = parse("R(1)", p.schema()).unwrap();
+        match svc.evaluate(QueryRequest::new(q, 0.5)) {
+            Err(ServeError::Query(_)) => {}
+            other => panic!("expected query error, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn batch_preserves_input_order() {
+        let svc = service(2);
+        let p = pdb();
+        let queries = ["R(1)", "R(2)", "R(1) /\\ R(2)", "exists x. R(x)"];
+        let reqs = queries
+            .iter()
+            .map(|s| QueryRequest::new(parse(s, p.schema()).unwrap(), 0.05))
+            .collect();
+        let tickets = svc.submit_batch(reqs);
+        let answers: Vec<f64> = tickets
+            .into_iter()
+            .map(|t| t.wait().unwrap().approx.estimate)
+            .collect();
+        for (s, got) in queries.iter().zip(&answers) {
+            let expected =
+                approx_prob_boolean(&p, &parse(s, p.schema()).unwrap(), 0.05, Engine::Auto)
+                    .unwrap();
+            assert_eq!(got.to_bits(), expected.estimate.to_bits(), "query {s}");
+        }
+        assert_eq!(svc.metrics().submitted.load(Ordering::Relaxed), 4);
+        assert_eq!(svc.metrics().completed.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn deadline_budget_flows_through_the_throughput_estimate() {
+        let svc = QueryService::new(
+            pdb(),
+            ServiceConfig {
+                threads: 1,
+                // absurdly slow prior: 1 fact/sec ⇒ a 3 s deadline caps n at 3
+                prior_facts_per_sec: 1.0,
+                ..ServiceConfig::default()
+            },
+        );
+        let p = pdb();
+        let q = parse("R(1)", p.schema()).unwrap();
+        let resp = svc
+            .evaluate(
+                QueryRequest::new(q, 0.001)
+                    .with_budget(CostBudget::deadline(Duration::from_secs(3))),
+            )
+            .unwrap();
+        assert!(resp.degraded);
+        assert!(resp.approx.n <= 3);
+    }
+
+    #[test]
+    fn shutdown_resolves_pending_tickets_with_shutdown_error() {
+        let mut svc = service(1);
+        let p = pdb();
+        // occupy the single worker so the rest of the batch stays queued
+        let mut tickets = Vec::new();
+        for _ in 0..30 {
+            let q = parse("exists x. R(x)", p.schema()).unwrap();
+            tickets.push(svc.submit(QueryRequest::new(q, 0.000_001)));
+        }
+        svc.shutdown_now();
+        let mut done = 0;
+        let mut shut = 0;
+        for t in tickets {
+            match t.wait() {
+                Ok(_) => done += 1,
+                Err(ServeError::Shutdown) => shut += 1,
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        assert_eq!(done + shut, 30);
+        // submission after shutdown resolves immediately as Shutdown
+        let q = parse("R(1)", p.schema()).unwrap();
+        match svc.submit(QueryRequest::new(q, 0.1)).wait() {
+            Err(ServeError::Shutdown) => {}
+            other => panic!("expected shutdown, got {other:?}"),
+        }
+    }
+}

@@ -169,10 +169,7 @@ impl CountableBidPdb {
     /// contribute `p_⊥ = 1 − mass`, and the tail
     /// `∏_{i≥cut} (1 − mass_i)` is bracketed by the claim (∗) bounds
     /// applied to the block-mass series.
-    pub fn instance_prob(
-        &self,
-        choices: &[(usize, Fact)],
-    ) -> Result<ProbInterval, TiError> {
+    pub fn instance_prob(&self, choices: &[(usize, Fact)]) -> Result<ProbInterval, TiError> {
         let mut chosen: std::collections::BTreeMap<usize, &Fact> = Default::default();
         for (b, f) in choices {
             if chosen.insert(*b, f).is_some() {
@@ -208,23 +205,21 @@ impl CountableBidPdb {
             log_acc.add(factor.ln());
         }
         let explicit = log_acc.value().min(0.0).exp();
-        let tail = products::tail_product_one_minus(&self.supply, cut, 32)
-            .map_err(TiError::Math)?;
-        Ok(ProbInterval::new(explicit * tail.lo(), explicit * tail.hi())
-            .map_err(TiError::Math)?
-            .outward(1e-12))
+        let tail =
+            products::tail_product_one_minus(&self.supply, cut, 32).map_err(TiError::Math)?;
+        Ok(
+            ProbInterval::new(explicit * tail.lo(), explicit * tail.hi())
+                .map_err(TiError::Math)?
+                .outward(1e-12),
+        )
     }
 
     /// ε-truncated sampling: samples the first `n(ε)` blocks where the
     /// block-mass tail is below `tv_bound`; total-variation distance from
     /// the true distribution is at most that tail mass.
     pub fn sampler(&self, tv_bound: f64) -> Result<BidSampler, TiError> {
-        let n = infpdb_math::truncation::index_with_tail_below(
-            &self.supply,
-            tv_bound,
-            usize::MAX,
-        )
-        .map_err(TiError::Math)?;
+        let n = infpdb_math::truncation::index_with_tail_below(&self.supply, tv_bound, usize::MAX)
+            .map_err(TiError::Math)?;
         Ok(BidSampler {
             table: self.truncate(n)?,
             tv_bound,
@@ -286,10 +281,7 @@ mod tests {
             schema(),
             |i| {
                 let m = 0.5f64.powi(i as i32 + 1);
-                vec![
-                    (kv(i as i64, 0), m / 2.0),
-                    (kv(i as i64, 1), m / 2.0),
-                ]
+                vec![(kv(i as i64, 0), m / 2.0), (kv(i as i64, 1), m / 2.0)]
             },
             GeometricSeries::new(0.5, 0.5).unwrap(),
         )
@@ -371,9 +363,7 @@ mod tests {
     fn instance_prob_bad_instances_are_zero() {
         let pdb = CountableBidPdb::new(geometric_blocks(), 8).unwrap();
         // two alternatives of block 0 (Def 4.11 condition (1))
-        let enc = pdb
-            .instance_prob(&[(0, kv(0, 0)), (0, kv(0, 1))])
-            .unwrap();
+        let enc = pdb.instance_prob(&[(0, kv(0, 0)), (0, kv(0, 1))]).unwrap();
         assert_eq!((enc.lo(), enc.hi()), (0.0, 0.0));
     }
 

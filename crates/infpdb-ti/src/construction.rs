@@ -133,11 +133,13 @@ impl CountableTiPdb {
             }
         }
         let explicit = log_acc.value().min(0.0).exp();
-        let tail = products::tail_product_one_minus(&self.supply, cut, refine)
-            .map_err(TiError::Math)?;
-        Ok(ProbInterval::new(explicit * tail.lo(), explicit * tail.hi())
-            .map_err(TiError::Math)?
-            .outward(1e-12))
+        let tail =
+            products::tail_product_one_minus(&self.supply, cut, refine).map_err(TiError::Math)?;
+        Ok(
+            ProbInterval::new(explicit * tail.lo(), explicit * tail.hi())
+                .map_err(TiError::Math)?
+                .outward(1e-12),
+        )
     }
 
     /// The finite prefix table over facts `f₁ … f_n` — the restriction the
@@ -178,9 +180,8 @@ impl CountableTiPdb {
     /// beyond the first `n` occurs, `∏_{i≥n} (1 − p_i)` (the quantity (∗)
     /// bounds in Proposition 6.1's proof).
     pub fn prob_within_prefix(&self, n: usize, refine: usize) -> Result<ProbInterval, TiError> {
-        let safe =
-            infpdb_math::truncation::index_with_tail_below(&self.supply, 0.5, usize::MAX)
-                .map_err(TiError::Math)?;
+        let safe = infpdb_math::truncation::index_with_tail_below(&self.supply, 0.5, usize::MAX)
+            .map_err(TiError::Math)?;
         if n >= safe {
             return products::tail_product_one_minus(&self.supply, n, refine)
                 .map_err(TiError::Math);
@@ -195,11 +196,13 @@ impl CountableTiPdb {
             log_acc.add((-p).ln_1p());
         }
         let explicit = log_acc.value().min(0.0).exp();
-        let tail = products::tail_product_one_minus(&self.supply, safe, refine)
-            .map_err(TiError::Math)?;
-        Ok(ProbInterval::new(explicit * tail.lo(), explicit * tail.hi())
-            .map_err(TiError::Math)?
-            .outward(1e-12))
+        let tail =
+            products::tail_product_one_minus(&self.supply, safe, refine).map_err(TiError::Math)?;
+        Ok(
+            ProbInterval::new(explicit * tail.lo(), explicit * tail.hi())
+                .map_err(TiError::Math)?
+                .outward(1e-12),
+        )
     }
 }
 
@@ -231,11 +234,8 @@ mod tests {
     #[test]
     fn construction_accepts_convergent_rejects_divergent() {
         assert!(geometric_pdb().expected_size_bound() >= 1.0);
-        let divergent = FactSupply::unary_over_naturals(
-            schema(),
-            RelId(0),
-            HarmonicSeries::new(1.0).unwrap(),
-        );
+        let divergent =
+            FactSupply::unary_over_naturals(schema(), RelId(0), HarmonicSeries::new(1.0).unwrap());
         assert!(matches!(
             CountableTiPdb::new(divergent),
             Err(TiError::Math(_))
@@ -310,7 +310,10 @@ mod tests {
         }
         let escape = 1.0 - pdb.prob_within_prefix(k, 32).unwrap().lo();
         assert!(total <= 1.0 + 1e-6);
-        assert!(total >= 1.0 - escape - 1e-6, "total {total}, escape {escape}");
+        assert!(
+            total >= 1.0 - escape - 1e-6,
+            "total {total}, escape {escape}"
+        );
     }
 
     #[test]
@@ -324,11 +327,8 @@ mod tests {
 
     #[test]
     fn finite_support_truncation_caps() {
-        let supply = FactSupply::from_vec(
-            schema(),
-            vec![(rfact(1), 0.5), (rfact(2), 0.25)],
-        )
-        .unwrap();
+        let supply =
+            FactSupply::from_vec(schema(), vec![(rfact(1), 0.5), (rfact(2), 0.25)]).unwrap();
         let pdb = CountableTiPdb::new(supply).unwrap();
         let t = pdb.truncate(100).unwrap();
         assert_eq!(t.len(), 2);

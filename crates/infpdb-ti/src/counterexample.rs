@@ -41,8 +41,7 @@ impl LazySizedPdb {
     /// Example 3.3: `P({D_n}) = 6/(π² n²)`, `‖D_n‖ = 2ⁿ`; `E(S_D) = ∞`.
     pub fn example_3_3() -> Self {
         Self {
-            schema: Schema::from_relations([Relation::new("R", 1)])
-                .expect("static schema"),
+            schema: Schema::from_relations([Relation::new("R", 1)]).expect("static schema"),
             norm: 6.0 / (std::f64::consts::PI * std::f64::consts::PI),
             exponent: 2,
             exponential_sizes: true,
@@ -61,8 +60,7 @@ impl LazySizedPdb {
             z.add(1.0 / (n as f64).powi(exponent));
         }
         Self {
-            schema: Schema::from_relations([Relation::new("R", 1)])
-                .expect("static schema"),
+            schema: Schema::from_relations([Relation::new("R", 1)]).expect("static schema"),
             norm: 1.0 / z.value(),
             exponent,
             exponential_sizes: false,
@@ -91,9 +89,8 @@ impl LazySizedPdb {
     /// The instance `D_n = {R(1), …, R(size(n))}` (capped for
     /// materialization sanity).
     pub fn instance(&self, n: u64, interner: &mut FactInterner) -> Instance {
-        let ids = (1..=self.size(n)).map(|i| {
-            interner.intern(Fact::new(RelId(0), [Value::int(i as i64)]))
-        });
+        let ids = (1..=self.size(n))
+            .map(|i| interner.intern(Fact::new(RelId(0), [Value::int(i as i64)])));
         Instance::from_ids(ids)
     }
 
@@ -125,8 +122,7 @@ impl LazySizedPdb {
             .map(|n| (self.instance(n, &mut interner), self.prob(n)))
             .collect();
         let tail = 1.0 - self.partial_mass(upto);
-        let space =
-            DiscreteSpace::new_unnormalized(outcomes).expect("nonempty truncation");
+        let space = DiscreteSpace::new_unnormalized(outcomes).expect("nonempty truncation");
         (space, interner, tail)
     }
 }

@@ -52,10 +52,7 @@ impl FactSupply {
 
     /// Builds a finite supply from explicit `(fact, probability)` pairs,
     /// verifying distinctness.
-    pub fn from_vec(
-        schema: Schema,
-        pairs: Vec<(Fact, f64)>,
-    ) -> Result<Self, TiError> {
+    pub fn from_vec(schema: Schema, pairs: Vec<(Fact, f64)>) -> Result<Self, TiError> {
         let mut seen: std::collections::HashMap<Fact, usize> = Default::default();
         for (i, (f, _)) in pairs.iter().enumerate() {
             if let Some(&j) = seen.get(f) {
@@ -66,8 +63,8 @@ impl FactSupply {
             }
             seen.insert(f.clone(), i);
         }
-        let series = FiniteSeries::new(pairs.iter().map(|(_, p)| *p).collect())
-            .map_err(TiError::Math)?;
+        let series =
+            FiniteSeries::new(pairs.iter().map(|(_, p)| *p).collect()).map_err(TiError::Math)?;
         let facts: Vec<Fact> = pairs.into_iter().map(|(f, _)| f).collect();
         let fallback = facts
             .first()
@@ -210,16 +207,15 @@ mod tests {
 
     #[test]
     fn from_vec_checks_duplicates() {
-        let dup = FactSupply::from_vec(
-            schema(),
-            vec![(rfact(1), 0.5), (rfact(1), 0.2)],
-        );
+        let dup = FactSupply::from_vec(schema(), vec![(rfact(1), 0.5), (rfact(1), 0.2)]);
         assert!(matches!(
             dup,
-            Err(TiError::DuplicateEnumeration { first: 0, second: 1 })
+            Err(TiError::DuplicateEnumeration {
+                first: 0,
+                second: 1
+            })
         ));
-        let ok = FactSupply::from_vec(schema(), vec![(rfact(1), 0.5), (rfact(2), 0.2)])
-            .unwrap();
+        let ok = FactSupply::from_vec(schema(), vec![(rfact(1), 0.5), (rfact(2), 0.2)]).unwrap();
         assert_eq!(ok.support_len(), Some(2));
         assert_eq!(ok.prob(5), 0.0); // beyond support
     }
@@ -238,7 +234,10 @@ mod tests {
         );
         assert!(matches!(
             s.check_injective(10),
-            Err(TiError::DuplicateEnumeration { first: 0, second: 1 })
+            Err(TiError::DuplicateEnumeration {
+                first: 0,
+                second: 1
+            })
         ));
     }
 

@@ -71,8 +71,7 @@ pub fn require_exists<S: ProbSeries>(series: &S) -> Result<f64, TiError> {
             expected_size_bound,
         } => Ok(expected_size_bound),
         ExistenceCertificate::Impossible { witness } => {
-            let (witness_index, partial_sum) =
-                witness.unwrap_or((0, f64::INFINITY));
+            let (witness_index, partial_sum) = witness.unwrap_or((0, f64::INFINITY));
             Err(TiError::Math(MathError::DivergentSeries {
                 witness_index,
                 partial_sum,
@@ -145,7 +144,9 @@ mod tests {
             }
         }
         match certify(&Mystery) {
-            ExistenceCertificate::Impossible { witness: Some((_, s)) } => {
+            ExistenceCertificate::Impossible {
+                witness: Some((_, s)),
+            } => {
                 assert!(s > 1e6);
             }
             other => panic!("{other:?}"),

@@ -124,12 +124,18 @@ mod tests {
         }
         .to_string()
         .contains("R(1)"));
-        assert!(TiError::DuplicateEnumeration { first: 1, second: 5 }
-            .to_string()
-            .contains("injective"));
-        assert!(TiError::BlockMassExceedsOne { block: 0, mass: 1.2 }
-            .to_string()
-            .contains("1.2"));
+        assert!(TiError::DuplicateEnumeration {
+            first: 1,
+            second: 5
+        }
+        .to_string()
+        .contains("injective"));
+        assert!(TiError::BlockMassExceedsOne {
+            block: 0,
+            mass: 1.2
+        }
+        .to_string()
+        .contains("1.2"));
         let m: TiError = infpdb_math::MathError::UnknownTail.into();
         assert!(m.to_string().contains("tail"));
         let c: TiError = infpdb_core::CoreError::EmptySpace.into();

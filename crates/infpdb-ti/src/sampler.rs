@@ -32,12 +32,8 @@ impl TruncatedSampler {
     /// Builds a sampler whose output distribution is within `tv_bound`
     /// total-variation distance of the true instance distribution.
     pub fn new(pdb: &CountableTiPdb, tv_bound: f64) -> Result<Self, TiError> {
-        let n = infpdb_math::truncation::index_with_tail_below(
-            pdb.supply(),
-            tv_bound,
-            usize::MAX,
-        )
-        .map_err(TiError::Math)?;
+        let n = infpdb_math::truncation::index_with_tail_below(pdb.supply(), tv_bound, usize::MAX)
+            .map_err(TiError::Math)?;
         let table = pdb.truncate(n)?;
         Ok(Self {
             table,
@@ -78,8 +74,7 @@ mod tests {
 
     fn pdb(series: impl infpdb_math::series::ProbSeries + Send + Sync + 'static) -> CountableTiPdb {
         let schema = Schema::from_relations([Relation::new("R", 1)]).unwrap();
-        CountableTiPdb::new(FactSupply::unary_over_naturals(schema, RelId(0), series))
-            .unwrap()
+        CountableTiPdb::new(FactSupply::unary_over_naturals(schema, RelId(0), series)).unwrap()
     }
 
     #[test]

@@ -31,8 +31,8 @@ pub fn prob_exists_r(rep: &RepresentedPdb, n: u32) -> Result<ProbInterval, MathE
     }
     let explicit = log_acc.value().min(0.0).exp();
     let tail = 0.5f64.powi(n as i32); // ∑_{k>n} 2^{−k}
-    // If no discarded pair is an R-fact: P(no R) = explicit.
-    // If all are: P(no R) ≥ explicit · e^{−(3/2)·tail} (claim ∗).
+                                      // If no discarded pair is an R-fact: P(no R) = explicit.
+                                      // If all are: P(no R) ≥ explicit · e^{−(3/2)·tail} (claim ∗).
     let no_r_hi = explicit;
     let no_r_lo = explicit * (-(1.5 * tail)).exp();
     Ok(ProbInterval::new(1.0 - no_r_hi, 1.0 - no_r_lo)?.outward(1e-12))

@@ -81,7 +81,11 @@ impl RepresentedPdb {
             self.schema.clone(),
             move |i| {
                 let k = i as u64 + 1;
-                let rel = if this.is_r_fact(k) { RelId(0) } else { RelId(1) };
+                let rel = if this.is_r_fact(k) {
+                    RelId(0)
+                } else {
+                    RelId(1)
+                };
                 Fact::new(rel, [Value::int(k as i64)])
             },
             GeometricSeries::new(0.5, 0.5).expect("static series"),
@@ -136,7 +140,11 @@ mod tests {
                 "index {i}"
             );
             // and the complementary-shape fact gets 0
-            let other_rel = if f.rel() == RelId(0) { RelId(1) } else { RelId(0) };
+            let other_rel = if f.rel() == RelId(0) {
+                RelId(1)
+            } else {
+                RelId(0)
+            };
             let g = Fact::new(other_rel, f.args().to_vec());
             assert_eq!(rep.prob_of_fact(&g), 0.0);
         }
@@ -145,9 +153,15 @@ mod tests {
     #[test]
     fn prob_of_fact_rejects_wrong_shapes() {
         let rep = RepresentedPdb::new(TuringMachine::rejects_all());
-        assert_eq!(rep.prob_of_fact(&Fact::new(RelId(0), [Value::str("x")])), 0.0);
+        assert_eq!(
+            rep.prob_of_fact(&Fact::new(RelId(0), [Value::str("x")])),
+            0.0
+        );
         assert_eq!(rep.prob_of_fact(&Fact::new(RelId(0), [Value::int(0)])), 0.0);
-        assert_eq!(rep.prob_of_fact(&Fact::new(RelId(0), [Value::int(-3)])), 0.0);
+        assert_eq!(
+            rep.prob_of_fact(&Fact::new(RelId(0), [Value::int(-3)])),
+            0.0
+        );
     }
 
     #[test]

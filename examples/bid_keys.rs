@@ -19,11 +19,9 @@ use infpdb_logic::parse;
 use infpdb_math::series::GeometricSeries;
 
 fn main() {
-    let schema = Schema::from_relations([Relation::with_attributes(
-        "Location",
-        ["Sensor", "Room"],
-    )])
-    .expect("fresh schema");
+    let schema =
+        Schema::from_relations([Relation::with_attributes("Location", ["Sensor", "Room"])])
+            .expect("fresh schema");
     let loc = schema.rel_id("Location").expect("Location");
     let at = |s: i64, room: &str| Fact::new(loc, [Value::int(s), Value::str(room)]);
 
@@ -54,8 +52,11 @@ fn main() {
         "P(something is in the lab) = {:.4}",
         worlds.prob_boolean(&q).expect("sentence")
     );
-    let both = parse("Location(1, 'office-a') /\\ Location(1, 'office-b')", &schema)
-        .expect("query");
+    let both = parse(
+        "Location(1, 'office-a') /\\ Location(1, 'office-b')",
+        &schema,
+    )
+    .expect("query");
     println!(
         "P(sensor 1 in two rooms)   = {} (key constraint)",
         worlds.prob_boolean(&both).expect("sentence")

@@ -111,25 +111,23 @@ fn main() {
     // e.g. birth year vs graduation year — and that a joint distribution
     // can be supplied instead; `complete_nulls` takes whatever marginal
     // list you give it).
-    let first_names = vec![
-        (Value::str("Martin"), 0.6),
-        (Value::str("Peter"), 0.4),
-    ];
+    let first_names = vec![(Value::str("Martin"), 0.6), (Value::str("Peter"), 0.4)];
     let heights2 = discretized_normal(1800.0, 70.0, 50.0, 0, 3.0, 1.0).expect("distribution");
     let joint = complete_nulls(
         schema.clone(),
         vec![NullableRow::new(
             person,
-            vec![None, Some(Value::str("Grohe")), Some(Value::str("German")), None],
+            vec![
+                None,
+                Some(Value::str("Grohe")),
+                Some(Value::str("German")),
+                None,
+            ],
         )],
         vec![first_names, heights2],
     )
     .expect("completion");
-    let q = parse(
-        "exists h. Person('Martin', 'Grohe', 'German', h)",
-        &schema,
-    )
-    .expect("query");
+    let q = parse("exists h. Person('Martin', 'Grohe', 'German', h)", &schema).expect("query");
     println!(
         "P(the Grohe row is a Martin) = {:.4}",
         joint.prob_boolean(&q).expect("sentence")

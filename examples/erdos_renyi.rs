@@ -82,7 +82,11 @@ fn main() {
     }
     println!("sampled edge-count distribution ({n} draws):");
     for (k, c) in hist.iter().enumerate() {
-        let label = if k == 5 { "≥5".to_string() } else { k.to_string() };
+        let label = if k == 5 {
+            "≥5".to_string()
+        } else {
+            k.to_string()
+        };
         println!("  {label:>3} edges: {:.4}", *c as f64 / n as f64);
     }
     let mean: f64 = hist

@@ -23,7 +23,10 @@ fn main() {
         ("needs_a_one", TuringMachine::accepts_strings_with_a_one()),
     ];
 
-    println!("{:<28} {:>9} {:>44}", "machine", "witness?", "certified P(∃x R(x))");
+    println!(
+        "{:<28} {:>9} {:>44}",
+        "machine", "witness?", "certified P(∃x R(x))"
+    );
     for (name, m) in &machines {
         let rep = RepresentedPdb::new(m.clone());
         let witness = has_r_witness(&rep, 300);
@@ -51,7 +54,10 @@ fn main() {
     // machine has width 2^{-n}, honestly reported, zero never claimed.
     for n in [10u32, 20, 40] {
         let iv = prob_exists_r(&empty, n).expect("interval");
-        println!("empty machine, {n} pairs examined: P ∈ {iv} (width {:.1e})", iv.width());
+        println!(
+            "empty machine, {n} pairs examined: P ∈ {iv} (width {:.1e})",
+            iv.width()
+        );
     }
 
     // The full Proposition 6.1 machinery runs on represented PDBs too —

@@ -44,8 +44,16 @@ fn main() {
 
     // ── OpenPDB: finite universe of known entities, threshold λ ──────────
     let entities = FiniteUniverse::new(
-        ["turing", "goedel", "noether", "london", "bruenn", "erlangen", "cambridge"]
-            .map(Value::str),
+        [
+            "turing",
+            "goedel",
+            "noether",
+            "london",
+            "bruenn",
+            "erlangen",
+            "cambridge",
+        ]
+        .map(Value::str),
     );
     let lambda = LambdaCompletion::new(kb.clone(), &entities, 0.02).expect("λ-completion");
     println!(

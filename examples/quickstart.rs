@@ -38,7 +38,11 @@ fn main() {
     )
     .expect("valid table");
 
-    println!("Example 5.7 table: {} facts, E(S) = {}", table.len(), table.expected_size());
+    println!(
+        "Example 5.7 table: {} facts, E(S) = {}",
+        table.len(),
+        table.expected_size()
+    );
 
     // ── Closed world: unlisted facts are impossible ─────────────────────
     println!(
@@ -68,10 +72,7 @@ fn main() {
             }
             Fact::new(
                 r,
-                [
-                    Value::str(names[raw % 4]),
-                    Value::int(raw as i64 / 4 + 1),
-                ],
+                [Value::str(names[raw % 4]), Value::int(raw as i64 / 4 + 1)],
             )
         },
         GeometricSeries::new(0.125, 0.5f64.powf(0.25)).expect("valid series"),
@@ -96,8 +97,8 @@ fn main() {
         ("R('B', 1) /\\ R('B', 2)", 0.001),
     ] {
         let query = parse(q, &schema).expect("well-formed query");
-        let a = approx_prob_boolean(&open, &query, eps, Engine::Auto)
-            .expect("approximation succeeds");
+        let a =
+            approx_prob_boolean(&open, &query, eps, Engine::Auto).expect("approximation succeeds");
         println!(
             "P({q}) = {:.4} ± {} (truncated at n = {})",
             a.estimate, a.eps, a.n

@@ -25,20 +25,16 @@ use infpdb_logic::parse;
 
 fn main() {
     // Temp(office, reading_in_centi_degrees): one uncertain reading each.
-    let schema = Schema::from_relations([Relation::with_attributes(
-        "Temp",
-        ["Office", "Reading"],
-    )])
-    .expect("fresh schema");
+    let schema = Schema::from_relations([Relation::with_attributes("Temp", ["Office", "Reading"])])
+        .expect("fresh schema");
     let temp = schema.rel_id("Temp").expect("Temp");
 
     // ── Closed world: the PDB over recorded readings only ───────────────
     // Office 1 recorded 20.1 or 20.2 (sensor flicker); office 2 recorded
     // 20.6 or 20.7. Note no reading strictly between 20.2 and 20.5 ever
     // appears.
-    let reading = |office: i64, deci: i64| {
-        Fact::new(temp, [Value::int(office), Value::fixed(deci, 1)])
-    };
+    let reading =
+        |office: i64, deci: i64| Fact::new(temp, [Value::int(office), Value::fixed(deci, 1)]);
     let closed = FinitePdb::from_worlds(
         schema.clone(),
         [
@@ -55,8 +51,11 @@ fn main() {
         "closed world: P(some office reads 20.3°C) = {}",
         closed.prob_boolean(&q_gap).expect("sentence")
     );
-    let q_warmer =
-        parse("exists x, y. Temp(1, x) /\\ Temp(2, y) /\\ !(x = y)", &schema).expect("query");
+    let q_warmer = parse(
+        "exists x, y. Temp(1, x) /\\ Temp(2, y) /\\ !(x = y)",
+        &schema,
+    )
+    .expect("query");
     println!(
         "closed world: P(offices differ) = {}",
         closed.prob_boolean(&q_warmer).expect("sentence")
@@ -65,9 +64,8 @@ fn main() {
     // ── Open world: complete each office's reading from a discretized ───
     // normal around its sensor history (office 1 ~ N(20.15, 0.2), office 2
     // ~ N(20.65, 0.2), on a 0.05 °C grid).
-    let grid = |mean: f64| {
-        discretized_normal(mean, 0.2, 0.05, 2, 10.0, 1.0).expect("valid distribution")
-    };
+    let grid =
+        |mean: f64| discretized_normal(mean, 0.2, 0.05, 2, 10.0, 1.0).expect("valid distribution");
     let open = complete_nulls(
         schema.clone(),
         vec![

@@ -28,6 +28,11 @@
 //!   open-world evaluation: completes the table with a geometric tail of
 //!   fresh facts (over the first declared unary relation) and runs the
 //!   Proposition 6.1 approximation.
+//! * `batch <table> <queries-file> [--threads N] [--eps E] [--max-n N]
+//!   [--policy widen|reject] [--tail-mass M] [--tail-start K]` — evaluates
+//!   one query per line through the concurrent [`infpdb_serve`] service
+//!   (thread pool + result cache + admission control) and appends a
+//!   metrics dump.
 
 use infpdb_core::fact::Fact;
 use infpdb_core::schema::{Relation, Schema};
@@ -38,7 +43,11 @@ use infpdb_finite::TiTable;
 use infpdb_logic::parse;
 use infpdb_math::series::GeometricSeries;
 use infpdb_openworld::independent_facts::complete_ti_table;
-use infpdb_query::approx::approx_prob_boolean;
+use infpdb_query::approx::{approx_prob_boolean, Approximation};
+use infpdb_serve::{
+    CostBudget, DegradePolicy, QueryRequest, QueryService, ServeError, ServiceConfig,
+};
+use infpdb_ti::construction::CountableTiPdb;
 use infpdb_ti::enumerator::FactSupply;
 use std::fmt::Write as _;
 
@@ -108,10 +117,13 @@ pub fn parse_table(input: &str) -> Result<TiTable, CliError> {
             continue;
         }
         // fact line: rel args… @ prob
-        let at = parts.iter().position(|p| *p == "@").ok_or(CliError::Table {
-            line: line_no,
-            message: "fact lines need `@ <probability>`".into(),
-        })?;
+        let at = parts
+            .iter()
+            .position(|p| *p == "@")
+            .ok_or(CliError::Table {
+                line: line_no,
+                message: "fact lines need `@ <probability>`".into(),
+            })?;
         if at + 2 != parts.len() {
             return Err(CliError::Table {
                 line: line_no,
@@ -123,16 +135,15 @@ pub fn parse_table(input: &str) -> Result<TiTable, CliError> {
             message: format!("bad probability {:?}", parts[at + 1]),
         })?;
         parts.truncate(at);
-        pending.push((
-            line_no,
-            parts.iter().map(|s| s.to_string()).collect(),
-            prob,
-        ));
+        pending.push((line_no, parts.iter().map(|s| s.to_string()).collect(), prob));
     }
     for (line_no, parts, prob) in pending {
         let rel = schema.rel_id(&parts[0]).ok_or_else(|| CliError::Table {
             line: line_no,
-            message: format!("unknown relation {:?} (declare it with `relation`)", parts[0]),
+            message: format!(
+                "unknown relation {:?} (declare it with `relation`)",
+                parts[0]
+            ),
         })?;
         let expected = schema.relation(rel).arity();
         if parts.len() - 1 != expected {
@@ -235,12 +246,28 @@ pub fn cmd_info(table_text: &str) -> Result<String, CliError> {
 }
 
 /// `query` subcommand.
+///
+/// Closed-world evaluation is exact, so the certified interval is the
+/// degenerate `[p, p]` — reported anyway so every evaluation path of the
+/// CLI answers in the same certified-enclosure vocabulary.
 pub fn cmd_query(table_text: &str, query: &str, engine: &str) -> Result<String, CliError> {
     let table = parse_table(table_text)?;
     let q = parse(query, table.schema()).map_err(lib_err)?;
     let e = parse_engine(engine)?;
     let p = infpdb_finite::engine::prob_boolean(&q, &table, e).map_err(lib_err)?;
-    Ok(format!("P({query}) = {p}\n"))
+    let a = Approximation {
+        estimate: p,
+        eps: 0.0,
+        n: table.len(),
+        tail_mass: 0.0,
+    };
+    let iv = a.interval();
+    Ok(format!(
+        "P({query}) = {p}\ncertified interval = [{}, {}] (exact, closed world over n = {} facts)\n",
+        iv.lo(),
+        iv.hi(),
+        a.n
+    ))
 }
 
 /// `marginals` subcommand.
@@ -267,14 +294,36 @@ pub fn cmd_sample(table_text: &str, count: usize, seed: u64) -> Result<String, C
     let mut out = String::new();
     for _ in 0..count {
         let world = table.sample(&mut rng);
-        writeln!(
-            out,
-            "{}",
-            world.display(table.schema(), table.interner())
-        )
-        .ok();
+        writeln!(out, "{}", world.display(table.schema(), table.interner())).ok();
     }
     Ok(out)
+}
+
+/// Completes a closed-world table with a geometric tail of fresh facts
+/// over the first declared unary relation, integers from `tail_start`
+/// upward — the open-world PDB behind `open` and `batch`.
+fn open_world_pdb(
+    table: &TiTable,
+    tail_mass: f64,
+    tail_start: i64,
+) -> Result<CountableTiPdb, CliError> {
+    let (rel, _) = table
+        .schema()
+        .iter()
+        .find(|(_, r)| r.arity() == 1)
+        .ok_or_else(|| {
+            CliError::Usage(
+                "open-world evaluation needs a unary relation to attach the fresh-fact tail to"
+                    .into(),
+            )
+        })?;
+    let series = GeometricSeries::new(tail_mass / 2.0, 0.5).map_err(lib_err)?;
+    let tail = FactSupply::from_fn(
+        table.schema().clone(),
+        move |i| Fact::new(rel, [Value::int(tail_start + i as i64)]),
+        series,
+    );
+    complete_ti_table(table, tail).map_err(lib_err)
 }
 
 /// `open` subcommand: open-world evaluation with a geometric tail of fresh
@@ -288,33 +337,117 @@ pub fn cmd_open(
     tail_start: i64,
 ) -> Result<String, CliError> {
     let table = parse_table(table_text)?;
-    let (rel, _) = table
-        .schema()
-        .iter()
-        .find(|(_, r)| r.arity() == 1)
-        .ok_or_else(|| {
-            CliError::Usage(
-                "`open` needs a unary relation to attach the fresh-fact tail to".into(),
-            )
-        })?;
     let q = parse(query, table.schema()).map_err(lib_err)?;
-    let series = GeometricSeries::new(tail_mass / 2.0, 0.5).map_err(lib_err)?;
-    let tail = FactSupply::from_fn(
-        table.schema().clone(),
-        move |i| Fact::new(rel, [Value::int(tail_start + i as i64)]),
-        series,
-    );
-    let open = complete_ti_table(&table, tail).map_err(lib_err)?;
+    let open = open_world_pdb(&table, tail_mass, tail_start)?;
     let a = approx_prob_boolean(&open, &q, eps, Engine::Auto).map_err(lib_err)?;
+    let iv = a.interval();
     Ok(format!(
-        "P({query}) = {} ± {} (open world; truncated at n = {})\n",
-        a.estimate, a.eps, a.n
+        "P({query}) = {} ± {} (open world; truncated at n = {})\ncertified interval = [{}, {}]\n",
+        a.estimate,
+        a.eps,
+        a.n,
+        iv.lo(),
+        iv.hi()
     ))
 }
 
+/// `batch` subcommand: evaluates one query per line of `queries_text`
+/// through the concurrent [`infpdb_serve::QueryService`] over the
+/// open-world completion of the table, printing one result line per query
+/// (in input order) followed by the service's metrics dump.
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_batch(
+    table_text: &str,
+    queries_text: &str,
+    eps: f64,
+    threads: usize,
+    max_n: Option<usize>,
+    policy: DegradePolicy,
+    tail_mass: f64,
+    tail_start: i64,
+) -> Result<String, CliError> {
+    let table = parse_table(table_text)?;
+    let open = open_world_pdb(&table, tail_mass, tail_start)?;
+    let queries: Vec<&str> = queries_text
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .collect();
+    if queries.is_empty() {
+        return Err(CliError::Usage(
+            "batch: the queries file has no queries".into(),
+        ));
+    }
+    let budget = match max_n {
+        Some(n) => CostBudget::max_n(n),
+        None => CostBudget::unlimited(),
+    };
+    let requests = queries
+        .iter()
+        .map(|text| {
+            let q = parse(text, open.schema()).map_err(lib_err)?;
+            Ok(QueryRequest::new(q, eps).with_budget(budget))
+        })
+        .collect::<Result<Vec<_>, CliError>>()?;
+
+    let svc = QueryService::new(
+        open,
+        ServiceConfig {
+            threads,
+            policy,
+            ..ServiceConfig::default()
+        },
+    );
+    let tickets = svc.submit_batch(requests);
+    let mut out = String::new();
+    for (text, ticket) in queries.iter().zip(tickets) {
+        match ticket.wait() {
+            Ok(r) => {
+                let iv = r.interval();
+                write!(
+                    out,
+                    "P({text}) = {} ± {} in [{}, {}] (n = {}",
+                    r.approx.estimate,
+                    r.approx.eps,
+                    iv.lo(),
+                    iv.hi(),
+                    r.approx.n
+                )
+                .ok();
+                if r.degraded {
+                    write!(out, ", degraded from eps = {}", r.requested_eps).ok();
+                }
+                if r.cached {
+                    write!(out, ", cached").ok();
+                }
+                writeln!(out, ")").ok();
+            }
+            Err(ServeError::Rejected {
+                needed_n, max_n, ..
+            }) => {
+                writeln!(
+                    out,
+                    "P({text}): rejected (needs n = {needed_n}, budget allows n = {max_n})"
+                )
+                .ok();
+            }
+            Err(e) => {
+                writeln!(out, "P({text}): error: {e}").ok();
+            }
+        }
+    }
+    writeln!(out, "-- metrics --").ok();
+    out.push_str(&svc.metrics().dump());
+    svc.join();
+    Ok(out)
+}
+
 /// Argument dispatch for the binary. `args` excludes the program name.
-pub fn run(args: &[String], read_file: impl Fn(&str) -> std::io::Result<String>) -> Result<String, CliError> {
-    let usage = "usage: infpdb <info|query|marginals|sample|open> <table-file> [...]";
+pub fn run(
+    args: &[String],
+    read_file: impl Fn(&str) -> std::io::Result<String>,
+) -> Result<String, CliError> {
+    let usage = "usage: infpdb <info|query|marginals|sample|open|batch> <table-file> [...]";
     if args.is_empty() {
         return Err(CliError::Usage(usage.into()));
     }
@@ -335,7 +468,9 @@ pub fn run(args: &[String], read_file: impl Fn(&str) -> std::io::Result<String>)
         }
         "query" => {
             let table = read(args.get(1).ok_or(CliError::Usage(usage.into()))?)?;
-            let q = args.get(2).ok_or(CliError::Usage("query: missing query string".into()))?;
+            let q = args
+                .get(2)
+                .ok_or(CliError::Usage("query: missing query string".into()))?;
             cmd_query(&table, q, &flag("--engine", "auto"))
         }
         "marginals" => {
@@ -357,7 +492,9 @@ pub fn run(args: &[String], read_file: impl Fn(&str) -> std::io::Result<String>)
         }
         "open" => {
             let table = read(args.get(1).ok_or(CliError::Usage(usage.into()))?)?;
-            let q = args.get(2).ok_or(CliError::Usage("open: missing query string".into()))?;
+            let q = args
+                .get(2)
+                .ok_or(CliError::Usage("open: missing query string".into()))?;
             let eps: f64 = flag("--eps", "0.01")
                 .parse()
                 .map_err(|_| CliError::Usage("--eps must be a number".into()))?;
@@ -369,7 +506,47 @@ pub fn run(args: &[String], read_file: impl Fn(&str) -> std::io::Result<String>)
                 .map_err(|_| CliError::Usage("--tail-start must be a number".into()))?;
             cmd_open(&table, q, eps, tail_mass, tail_start)
         }
-        other => Err(CliError::Usage(format!("unknown subcommand {other:?}; {usage}"))),
+        "batch" => {
+            let table = read(args.get(1).ok_or(CliError::Usage(usage.into()))?)?;
+            let queries = read(
+                args.get(2)
+                    .ok_or(CliError::Usage("batch: missing queries file".into()))?,
+            )?;
+            let eps: f64 = flag("--eps", "0.01")
+                .parse()
+                .map_err(|_| CliError::Usage("--eps must be a number".into()))?;
+            let threads: usize = flag("--threads", "4")
+                .parse()
+                .map_err(|_| CliError::Usage("--threads must be a number".into()))?;
+            let max_n = match flag("--max-n", "") {
+                s if s.is_empty() => None,
+                s => Some(
+                    s.parse::<usize>()
+                        .map_err(|_| CliError::Usage("--max-n must be a number".into()))?,
+                ),
+            };
+            let policy = match flag("--policy", "widen").as_str() {
+                "widen" => DegradePolicy::WidenEps,
+                "reject" => DegradePolicy::Reject,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown policy {other:?} (widen|reject)"
+                    )))
+                }
+            };
+            let tail_mass: f64 = flag("--tail-mass", "0.5")
+                .parse()
+                .map_err(|_| CliError::Usage("--tail-mass must be a number".into()))?;
+            let tail_start: i64 = flag("--tail-start", "1000000")
+                .parse()
+                .map_err(|_| CliError::Usage("--tail-start must be a number".into()))?;
+            cmd_batch(
+                &table, &queries, eps, threads, max_n, policy, tail_mass, tail_start,
+            )
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand {other:?}; {usage}"
+        ))),
     }
 }
 
@@ -420,10 +597,7 @@ Temp 20.3 @ 0.25
         let a = parse_table(with_fixed).unwrap();
         let b = parse_table(&render_table(&a)).unwrap();
         assert_eq!(a.len(), b.len());
-        let f = Fact::new(
-            a.schema().rel_id("Temp").unwrap(),
-            [Value::fixed(203, 1)],
-        );
+        let f = Fact::new(a.schema().rel_id("Temp").unwrap(), [Value::fixed(203, 1)]);
         assert!((b.marginal(&f) - 0.25).abs() < 1e-12);
     }
 
@@ -446,11 +620,20 @@ Temp 20.3 @ 0.25
             other => panic!("{other:?}"),
         }
         let bad2 = "relation R one\n";
-        assert!(matches!(parse_table(bad2), Err(CliError::Table { line: 1, .. })));
+        assert!(matches!(
+            parse_table(bad2),
+            Err(CliError::Table { line: 1, .. })
+        ));
         let bad3 = "relation R 1\nR 1 0.5\n"; // missing @
-        assert!(matches!(parse_table(bad3), Err(CliError::Table { line: 2, .. })));
+        assert!(matches!(
+            parse_table(bad3),
+            Err(CliError::Table { line: 2, .. })
+        ));
         let bad4 = "Q 1 @ 0.5\n"; // undeclared relation
-        assert!(matches!(parse_table(bad4), Err(CliError::Table { line: 1, .. })));
+        assert!(matches!(
+            parse_table(bad4),
+            Err(CliError::Table { line: 1, .. })
+        ));
     }
 
     #[test]
@@ -471,9 +654,11 @@ Temp 20.3 @ 0.25
     #[test]
     fn query_command_all_engines() {
         for engine in ["auto", "lifted", "lineage", "brute"] {
-            let out =
-                cmd_query(TABLE, "exists x. BornIn('turing', x)", engine).unwrap();
+            let out = cmd_query(TABLE, "exists x. BornIn('turing', x)", engine).unwrap();
             let p: f64 = out
+                .lines()
+                .next()
+                .unwrap()
                 .rsplit('=')
                 .next()
                 .unwrap()
@@ -484,6 +669,16 @@ Temp 20.3 @ 0.25
             assert!((p - truth).abs() < 1e-9, "{engine}: {p}");
         }
         assert!(cmd_query(TABLE, "exists x. BornIn('turing', x)", "warp").is_err());
+    }
+
+    #[test]
+    fn query_command_reports_certified_interval_and_n() {
+        let out = cmd_query(TABLE, "Person(42)", "auto").unwrap();
+        // exact closed-world answer: degenerate interval at p = 0.5,
+        // over all n = 4 declared facts
+        assert!(out.contains("P(Person(42)) = 0.5"), "{out}");
+        assert!(out.contains("certified interval = [0.5, 0.5]"), "{out}");
+        assert!(out.contains("n = 4 facts"), "{out}");
     }
 
     #[test]
@@ -523,6 +718,124 @@ Temp 20.3 @ 0.25
             .parse()
             .unwrap();
         assert!(p > 0.2, "open-world probability {p}");
+        // the certified enclosure [p − ε, p + ε] is printed alongside
+        let interval_line = open
+            .lines()
+            .find(|l| l.starts_with("certified interval"))
+            .expect("open output carries the interval line");
+        let nums: Vec<f64> = interval_line
+            .trim_start_matches("certified interval = [")
+            .trim_end_matches(']')
+            .split(", ")
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert_eq!(nums.len(), 2);
+        assert!(nums[0] <= p && p <= nums[1]);
+        assert!(
+            (nums[1] - nums[0] - 0.02).abs() < 1e-12,
+            "width 2ε: {nums:?}"
+        );
+        assert!(open.contains("truncated at n = "));
+    }
+
+    const QUERIES: &str = "\
+# one query per line; duplicates exercise the result cache
+Person(42)
+Person(1000000)
+Person(42)
+exists x. BornIn('turing', x)
+Person(42) /\\ Person('turing')
+Person(1000000)
+";
+
+    #[test]
+    fn batch_command_matches_sequential_open_world_evaluation() {
+        // single worker: execution order (and therefore which requests hit
+        // the cache) is deterministic
+        let out = cmd_batch(
+            TABLE,
+            QUERIES,
+            0.01,
+            1,
+            None,
+            DegradePolicy::WidenEps,
+            0.5,
+            1_000_000,
+        )
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        // one result line per query, in input order
+        assert_eq!(lines.iter().filter(|l| l.starts_with("P(")).count(), 6);
+        assert!(lines[0].starts_with("P(Person(42)) = "));
+        assert!(lines[1].starts_with("P(Person(1000000)) = "));
+        // the repeated queries are served from the cache
+        assert!(lines[2].contains(", cached)"), "{}", lines[2]);
+        assert!(lines[5].contains(", cached)"), "{}", lines[5]);
+        // batch answers agree exactly with the sequential evaluation path
+        let table = parse_table(TABLE).unwrap();
+        let open = open_world_pdb(&table, 0.5, 1_000_000).unwrap();
+        let q = parse("Person(1000000)", open.schema()).unwrap();
+        let expected = approx_prob_boolean(&open, &q, 0.01, Engine::Auto).unwrap();
+        assert!(
+            lines[1].contains(&format!("= {} ±", expected.estimate)),
+            "batch {} vs sequential {}",
+            lines[1],
+            expected.estimate
+        );
+        // the metrics dump follows the results
+        assert!(out.contains("-- metrics --"));
+        assert!(out.contains("serve_requests_completed_total 6"));
+        assert!(out.contains("serve_cache_misses_total 4"));
+        assert!(out.contains("serve_cache_hits_total 2"));
+    }
+
+    #[test]
+    fn batch_command_degrades_or_rejects_under_budget() {
+        let widened = cmd_batch(
+            TABLE,
+            "Person(42)\n",
+            0.000001,
+            1,
+            Some(6),
+            DegradePolicy::WidenEps,
+            0.5,
+            1_000_000,
+        )
+        .unwrap();
+        assert!(
+            widened.contains("degraded from eps = 0.000001"),
+            "{widened}"
+        );
+        assert!(widened.contains("serve_degraded_answers_total 1"));
+        let rejected = cmd_batch(
+            TABLE,
+            "Person(42)\n",
+            0.000001,
+            1,
+            Some(6),
+            DegradePolicy::Reject,
+            0.5,
+            1_000_000,
+        )
+        .unwrap();
+        assert!(rejected.contains("rejected (needs n = "), "{rejected}");
+        assert!(rejected.contains("budget allows n = 6"));
+        assert!(rejected.contains("serve_rejected_total 1"));
+    }
+
+    #[test]
+    fn batch_command_rejects_empty_query_files() {
+        let out = cmd_batch(
+            TABLE,
+            "# nothing here\n\n",
+            0.01,
+            2,
+            None,
+            DegradePolicy::WidenEps,
+            0.5,
+            1_000_000,
+        );
+        assert!(matches!(out, Err(CliError::Usage(_))));
     }
 
     #[test]
@@ -535,21 +848,22 @@ Temp 20.3 @ 0.25
             }
         };
         let args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
-        assert!(run(&args(&["info", "kb.pdb"]), files).unwrap().contains("facts: 4"));
-        assert!(run(
-            &args(&["query", "kb.pdb", "Person('turing')"]),
-            files
-        )
-        .unwrap()
-        .contains("0.99"));
-        assert!(run(
-            &args(&["sample", "kb.pdb", "--count", "2", "--seed", "1"]),
-            files
-        )
-        .unwrap()
-        .lines()
-        .count()
-            == 2);
+        assert!(run(&args(&["info", "kb.pdb"]), files)
+            .unwrap()
+            .contains("facts: 4"));
+        assert!(run(&args(&["query", "kb.pdb", "Person('turing')"]), files)
+            .unwrap()
+            .contains("0.99"));
+        assert!(
+            run(
+                &args(&["sample", "kb.pdb", "--count", "2", "--seed", "1"]),
+                files
+            )
+            .unwrap()
+            .lines()
+            .count()
+                == 2
+        );
         assert!(matches!(run(&args(&[]), files), Err(CliError::Usage(_))));
         assert!(matches!(
             run(&args(&["info", "missing.pdb"]), files),

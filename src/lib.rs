@@ -19,6 +19,8 @@
 //! * [`ti`] — countably infinite tuple-independent and b.i.d. PDBs.
 //! * [`openworld`] — completions: the infinite open-world assumption.
 //! * [`query`] — approximate query evaluation on infinite PDBs (Prop 6.1).
+//! * [`serve`] — concurrent query service: thread pool, result cache,
+//!   admission control with ε-degradation, metrics.
 //! * [`tm`] — Turing-machine-represented PDBs (Prop 6.2).
 //!
 //! A command-line interface over the library lives in [`cli`] (binary:
@@ -32,5 +34,6 @@ pub use infpdb_logic as logic;
 pub use infpdb_math as math;
 pub use infpdb_openworld as openworld;
 pub use infpdb_query as query;
+pub use infpdb_serve as serve;
 pub use infpdb_ti as ti;
 pub use infpdb_tm as tm;

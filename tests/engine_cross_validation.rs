@@ -120,9 +120,8 @@ fn monte_carlo_lands_within_hoeffding_bounds() {
     let t = random_table(&mut rng, 3);
     let q = parse("exists x, y. R(x) /\\ S(x, y) /\\ T(y)", t.schema()).unwrap();
     let truth = engine::prob_boolean(&q, &t, Engine::Lineage).unwrap();
-    let est =
-        infpdb::finite::monte_carlo::estimate_with_guarantee(&q, &t, 0.03, 0.001, &mut rng)
-            .unwrap();
+    let est = infpdb::finite::monte_carlo::estimate_with_guarantee(&q, &t, 0.03, 0.001, &mut rng)
+        .unwrap();
     assert!(
         (est.estimate - truth).abs() <= 0.03,
         "MC {} vs truth {truth}",
@@ -163,10 +162,7 @@ fn bid_worlds_cross_validate_with_direct_formula() {
             for v in 0..alts {
                 let p = (remaining * (rng.next_u64() % 900) as f64 / 1000.0).max(0.0);
                 remaining -= p;
-                facts.push((
-                    Fact::new(RelId(1), [Value::int(k), Value::int(v)]),
-                    p,
-                ));
+                facts.push((Fact::new(RelId(1), [Value::int(k), Value::int(v)]), p));
             }
         }
         let t = BidTable::keyed(schema(), facts, 0).unwrap();

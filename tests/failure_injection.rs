@@ -20,9 +20,8 @@ fn rfact(n: i64) -> Fact {
 
 #[test]
 fn divergent_series_rejected_everywhere() {
-    let divergent = || {
-        FactSupply::unary_over_naturals(schema(), RelId(0), HarmonicSeries::new(1.0).unwrap())
-    };
+    let divergent =
+        || FactSupply::unary_over_naturals(schema(), RelId(0), HarmonicSeries::new(1.0).unwrap());
     // construction
     assert!(CountableTiPdb::new(divergent()).is_err());
     // completion of a valid table with a divergent tail
@@ -60,12 +59,10 @@ fn free_variable_queries_rejected_by_boolean_apis() {
     let s = schema();
     let t = TiTable::from_facts(s.clone(), [(rfact(1), 0.5)]).unwrap();
     let free = parse("R(x)", &s).unwrap();
-    assert!(infpdb::finite::engine::prob_boolean(
-        &free,
-        &t,
-        infpdb::finite::engine::Engine::Auto
-    )
-    .is_err());
+    assert!(
+        infpdb::finite::engine::prob_boolean(&free, &t, infpdb::finite::engine::Engine::Auto)
+            .is_err()
+    );
     let pdb = CountableTiPdb::new(FactSupply::unary_over_naturals(
         s,
         RelId(0),
@@ -108,26 +105,14 @@ fn tolerances_outside_proposition_6_1_range_rejected() {
 fn overfull_blocks_rejected() {
     let s = Schema::from_relations([Relation::new("KV", 2)]).unwrap();
     let kv = |k: i64, v: i64| Fact::new(RelId(0), [Value::int(k), Value::int(v)]);
-    assert!(BidTable::from_blocks(
-        s.clone(),
-        [vec![(kv(1, 0), 0.7), (kv(1, 1), 0.6)]],
-    )
-    .is_err());
+    assert!(BidTable::from_blocks(s.clone(), [vec![(kv(1, 0), 0.7), (kv(1, 1), 0.6)]],).is_err());
     // duplicate fact across blocks
-    assert!(BidTable::from_blocks(
-        s,
-        [vec![(kv(1, 0), 0.2)], vec![(kv(1, 0), 0.2)]],
-    )
-    .is_err());
+    assert!(BidTable::from_blocks(s, [vec![(kv(1, 0), 0.2)], vec![(kv(1, 0), 0.2)]],).is_err());
 }
 
 #[test]
 fn world_enumeration_guards_explode_gracefully() {
-    let t = TiTable::from_facts(
-        schema(),
-        (0..30).map(|i| (rfact(i), 0.5)),
-    )
-    .unwrap();
+    let t = TiTable::from_facts(schema(), (0..30).map(|i| (rfact(i), 0.5))).unwrap();
     let err = t.worlds().unwrap_err();
     assert!(err.to_string().contains("2^30"));
 }
@@ -137,7 +122,7 @@ fn schema_violations_rejected() {
     let mut s = schema();
     assert!(s.add_relation("R", 2).is_err()); // duplicate name
     assert!(s.add_relation("", 1).is_err()); // empty name
-    // arity mismatch at fact construction
+                                             // arity mismatch at fact construction
     assert!(Fact::checked(
         &s,
         &infpdb_core::universe::Naturals,

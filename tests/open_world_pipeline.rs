@@ -62,8 +62,7 @@ fn completion_preserves_closed_world_queries() {
         "exists x, y. Likes(x, y)",
     ] {
         let q = parse(qs, &schema()).unwrap();
-        let closed_truth =
-            infpdb::finite::engine::prob_boolean(&q, &table, Engine::Brute).unwrap();
+        let closed_truth = infpdb::finite::engine::prob_boolean(&q, &table, Engine::Brute).unwrap();
         let a = approx_prob_boolean(&open, &q, 0.005, Engine::Auto).unwrap();
         assert!(
             (a.estimate - closed_truth).abs() <= 0.005,
@@ -79,8 +78,7 @@ fn open_world_changes_the_right_queries() {
     let open = complete_ti_table(&table, people_tail()).unwrap();
     // "some person exists" is boosted by the tail
     let q = parse("exists x. Person(x)", &schema()).unwrap();
-    let closed_truth =
-        infpdb::finite::engine::prob_boolean(&q, &table, Engine::Brute).unwrap();
+    let closed_truth = infpdb::finite::engine::prob_boolean(&q, &table, Engine::Brute).unwrap();
     let a = approx_prob_boolean(&open, &q, 0.001, Engine::Auto).unwrap();
     assert!(
         a.estimate > closed_truth + 0.001,
@@ -102,8 +100,7 @@ fn closed_world_completion_is_the_degenerate_case() {
     let table = base_table();
     let cw = closed_world_completion(&table).unwrap();
     let q = parse("exists x. Person(x)", &schema()).unwrap();
-    let closed_truth =
-        infpdb::finite::engine::prob_boolean(&q, &table, Engine::Brute).unwrap();
+    let closed_truth = infpdb::finite::engine::prob_boolean(&q, &table, Engine::Brute).unwrap();
     let a = approx_prob_boolean(&cw, &q, 0.001, Engine::Auto).unwrap();
     assert!((a.estimate - closed_truth).abs() < 1e-12);
 }

@@ -31,8 +31,10 @@ fn fact_2_1_answers_live_in_the_active_domain() {
     use infpdb_logic::Evaluator;
     let schema = Schema::from_relations([Relation::new("E", 2)]).unwrap();
     let e = schema.rel_id("E").unwrap();
-    let facts = [Fact::new(e, [Value::int(1), Value::int(2)]),
-        Fact::new(e, [Value::int(2), Value::int(3)])];
+    let facts = [
+        Fact::new(e, [Value::int(1), Value::int(2)]),
+        Fact::new(e, [Value::int(2), Value::int(3)]),
+    ];
     let store = InstanceStore::from_facts(facts.iter(), &schema);
     let q = parse("exists y. E(x, y) \\/ x = 7", &schema).unwrap();
     let ev = Evaluator::new(&store, &q);
@@ -103,9 +105,10 @@ fn lemma_4_2_and_4_4_tuple_independence_realized() {
     // and E_F events on disjoint fact sets are independent (Def 4.1)
     let f1 = Event::any_of([FactId(0), FactId(2)]);
     let f2 = Event::any_of([FactId(1), FactId(3)]);
-    let joint2 = pdb.prob_event_exact(&f1.clone().and(f2.clone()), 8).unwrap();
-    let prod2 =
-        pdb.prob_event_exact(&f1, 8).unwrap() * pdb.prob_event_exact(&f2, 8).unwrap();
+    let joint2 = pdb
+        .prob_event_exact(&f1.clone().and(f2.clone()), 8)
+        .unwrap();
+    let prod2 = pdb.prob_event_exact(&f1, 8).unwrap() * pdb.prob_event_exact(&f2, 8).unwrap();
     assert!((joint2 - prod2).abs() < 1e-12);
 }
 
@@ -150,8 +153,7 @@ fn proposition_4_9_size_envelope_contradiction() {
     // Example 3.3 exceeds every finite bound
     let ex = infpdb::ti::counterexample::LazySizedPdb::example_3_3();
     for (k, c, e_sc) in [(2usize, 0usize, 1.0), (5, 10, 100.0), (10, 100, 1e6)] {
-        let bound =
-            infpdb::ti::counterexample::fo_view_expected_size_bound(k, c, e_sc);
+        let bound = infpdb::ti::counterexample::fo_view_expected_size_bound(k, c, e_sc);
         let mut n = 1;
         while ex.partial_moment(1, n) <= bound {
             n += 1;
@@ -212,17 +214,13 @@ fn lemma_4_12_bid_independence_equivalence() {
     let f_a = Event::fact(id(1, 0));
     let f_b = Event::fact(id(2, 1));
     let joint = worlds.prob_event(&f_a.clone().and(f_b.clone()));
-    assert!(
-        (joint - worlds.prob_event(&f_a) * worlds.prob_event(&f_b)).abs() < 1e-12
-    );
+    assert!((joint - worlds.prob_event(&f_a) * worlds.prob_event(&f_b)).abs() < 1e-12);
     // (2): measurable *subsets* of distinct blocks (E_{B'} events, here
     // two-fact subsets) are independent too
     let b1 = Event::any_of([id(1, 0), id(1, 1)]);
     let b2 = Event::any_of([id(2, 0), id(2, 1)]);
     let joint2 = worlds.prob_event(&b1.clone().and(b2.clone()));
-    assert!(
-        (joint2 - worlds.prob_event(&b1) * worlds.prob_event(&b2)).abs() < 1e-12
-    );
+    assert!((joint2 - worlds.prob_event(&b1) * worlds.prob_event(&b2)).abs() < 1e-12);
     // while two facts *within* one block are exclusive, not independent
     let same = Event::fact(id(1, 0)).and(Event::fact(id(1, 1)));
     assert_eq!(worlds.prob_event(&same), 0.0);
@@ -331,14 +329,9 @@ fn finite_pdbs_are_fo_definable_over_ti_finite_case() {
     let target = Schema::from_relations([Relation::new("R", 1)]).unwrap();
     let w = source.rel_id("W").unwrap();
     // t.i. source: a single switch fact W(0) with p = 0.3
-    let ti = TiTable::from_facts(source.clone(), [(Fact::new(w, [Value::int(0)]), 0.3)])
-        .unwrap();
+    let ti = TiTable::from_facts(source.clone(), [(Fact::new(w, [Value::int(0)]), 0.3)]).unwrap();
     // view: R(x) ≡ (x = 1 ∧ W(0)) ∨ (x = 2 ∧ ¬W(0)) — worlds {R(1)} or {R(2)}
-    let formula = parse(
-        "(x = 1 /\\ W(0)) \\/ (x = 2 /\\ !W(0))",
-        &source,
-    )
-    .unwrap();
+    let formula = parse("(x = 1 /\\ W(0)) \\/ (x = 2 /\\ !W(0))", &source).unwrap();
     let view = FoView::new(
         source,
         target.clone(),

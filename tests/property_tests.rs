@@ -289,8 +289,7 @@ fn random_formula(
 ) -> infpdb::logic::Formula {
     use infpdb::logic::{Formula, Term};
     use infpdb_core::space::rand_core::RngCore;
-    let term = |rng: &mut infpdb_core::space::rand_core::SplitMix64,
-                scope: &[String]| -> Term {
+    let term = |rng: &mut infpdb_core::space::rand_core::SplitMix64, scope: &[String]| -> Term {
         if !scope.is_empty() && rng.next_u64().is_multiple_of(2) {
             Term::Var(scope[(rng.next_u64() as usize) % scope.len()].clone())
         } else {
