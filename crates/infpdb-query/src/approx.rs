@@ -15,7 +15,8 @@
 //! handles via `r`-equivalence: the conditioned instances are exactly the
 //! sub-instances of `{f₁ … f_n}`, which is how the finite engine evaluates.
 
-use crate::truncate::TruncationPlan;
+use crate::cancel::{CancelInfo, CancelToken};
+use crate::truncate::{partial_certificate, PlannedTruncation, TruncationPlan};
 use crate::QueryError;
 use infpdb_finite::engine::{self, Engine};
 use infpdb_logic::ast::Formula;
@@ -80,6 +81,85 @@ pub fn approx_prob_boolean(
         n: plan.n(),
         tail_mass: plan.truncation.tail_mass,
     })
+}
+
+/// Whether a cancelled evaluation should still produce a sound partial
+/// answer from the facts processed so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartialOnCancel {
+    /// Run the finite engine on the partial prefix (at the tolerance
+    /// [`partial_certificate`] certifies) and attach the result to the
+    /// [`CancelInfo`]. This spends one engine run *after* the
+    /// cancellation fired, bounded by the work already admitted.
+    #[default]
+    Evaluate,
+    /// Return immediately; [`CancelInfo::partial`] is `None`.
+    Skip,
+}
+
+/// [`approx_prob_boolean`] with cooperative cancellation: the truncation
+/// loop checks `cancel` every [`crate::cancel::CHECK_EVERY`] facts and,
+/// once more, right before the (non-interruptible) finite-engine stage.
+///
+/// On cancellation the error carries a [`CancelInfo`]: which trigger
+/// fired, how many facts were materialized, and — under
+/// [`PartialOnCancel::Evaluate`] — a sound anytime [`Approximation`] at
+/// the wider tolerance the partial prefix certifies. The partial answer
+/// is a *bona fide* Proposition 6.1 result: the `m`-fact prefix is the
+/// truncation `Ω_m`, and its certificate comes from the series' own
+/// tail bound at `m` (see [`partial_certificate`]).
+pub fn approx_prob_boolean_cancellable(
+    pdb: &CountableTiPdb,
+    query: &Formula,
+    eps: f64,
+    finite_engine: Engine,
+    cancel: &CancelToken,
+    partial_policy: PartialOnCancel,
+) -> Result<Approximation, QueryError> {
+    let (kind, facts_processed, partial_table) =
+        match TruncationPlan::new_cancellable(pdb, eps, cancel)? {
+            PlannedTruncation::Complete(plan) => {
+                // last checkpoint before the engine: don't start a run
+                // whose budget is already spent
+                match cancel.check() {
+                    Ok(()) => {
+                        let estimate = engine::prob_boolean(query, &plan.table, finite_engine)?;
+                        return Ok(Approximation {
+                            estimate,
+                            eps,
+                            n: plan.n(),
+                            tail_mass: plan.truncation.tail_mass,
+                        });
+                    }
+                    Err(kind) => (kind, plan.n(), plan.table),
+                }
+            }
+            PlannedTruncation::Cancelled {
+                kind,
+                facts_processed,
+                partial_table,
+            } => (kind, facts_processed, partial_table),
+        };
+    let partial = match partial_policy {
+        PartialOnCancel::Skip => None,
+        PartialOnCancel::Evaluate => {
+            partial_certificate(pdb, facts_processed).and_then(|(trunc, eps_m)| {
+                engine::prob_boolean(query, &partial_table, finite_engine)
+                    .ok()
+                    .map(|estimate| Approximation {
+                        estimate,
+                        eps: eps_m,
+                        n: trunc.n,
+                        tail_mass: trunc.tail_mass,
+                    })
+            })
+        }
+    };
+    Err(QueryError::Cancelled(CancelInfo {
+        kind,
+        facts_processed,
+        partial,
+    }))
 }
 
 /// The same algorithm against an explicit [`TruncationPlan`] (reuse across
@@ -224,6 +304,81 @@ mod tests {
         assert!(approx_prob_boolean(&p, &q, 0.5, Engine::Auto).is_err());
         let free = parse("R(x)", p.schema()).unwrap();
         assert!(approx_prob_boolean(&p, &free, 0.1, Engine::Auto).is_err());
+    }
+
+    #[test]
+    fn cancellable_matches_plain_path_bit_for_bit() {
+        let p = pdb(GeometricSeries::new(0.5, 0.5).unwrap());
+        let q = parse("exists x. R(x)", p.schema()).unwrap();
+        let plain = approx_prob_boolean(&p, &q, 0.01, Engine::Auto).unwrap();
+        let token = CancelToken::new();
+        let via_token = approx_prob_boolean_cancellable(
+            &p,
+            &q,
+            0.01,
+            Engine::Auto,
+            &token,
+            PartialOnCancel::Evaluate,
+        )
+        .unwrap();
+        assert_eq!(plain, via_token);
+    }
+
+    #[test]
+    fn deadline_cancel_yields_sound_partial() {
+        // ζ(2) at ε = 0.01 needs thousands of facts; a pre-expired
+        // deadline stops early, and the partial answer must still
+        // enclose the truth at its own (wider) certified tolerance —
+        // except when the prefix was too short to certify anything.
+        let p = pdb(ZetaSeries::basel());
+        let q = parse("exists x. R(x)", p.schema()).unwrap();
+        let truth = truth_exists(&p, 3_000_000);
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let err = approx_prob_boolean_cancellable(
+            &p,
+            &q,
+            0.01,
+            Engine::Auto,
+            &token,
+            PartialOnCancel::Evaluate,
+        )
+        .unwrap_err();
+        match err {
+            QueryError::Cancelled(info) => {
+                assert_eq!(info.kind, crate::cancel::CancelKind::Deadline);
+                if let Some(partial) = info.partial {
+                    assert_eq!(partial.n, info.facts_processed);
+                    assert!(partial.eps < 0.5);
+                    assert!(partial.interval().contains(truth));
+                }
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skip_policy_returns_no_partial() {
+        let p = pdb(ZetaSeries::basel());
+        let q = parse("exists x. R(x)", p.schema()).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = approx_prob_boolean_cancellable(
+            &p,
+            &q,
+            0.01,
+            Engine::Auto,
+            &token,
+            PartialOnCancel::Skip,
+        )
+        .unwrap_err();
+        match err {
+            QueryError::Cancelled(info) => {
+                assert_eq!(info.kind, crate::cancel::CancelKind::Explicit);
+                assert_eq!(info.facts_processed, 0);
+                assert!(info.partial.is_none());
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
     }
 
     #[test]

@@ -30,12 +30,14 @@
 
 pub mod approx;
 pub mod budget;
+pub mod cancel;
 pub mod conditional;
 pub mod marginal;
 pub mod sampling;
 pub mod truncate;
 
 pub use approx::{approx_prob_boolean, Approximation};
+pub use cancel::{CancelInfo, CancelKind, CancelToken};
 
 /// Errors of the approximate-evaluation layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +51,10 @@ pub enum QueryError {
     /// Propagated numerics error (includes tolerance validation:
     /// Proposition 6.1 requires `ε ∈ (0, 1/2)`).
     Math(infpdb_math::MathError),
+    /// The evaluation was stopped by a [`cancel::CancelToken`] checkpoint
+    /// (explicit cancellation or an expired deadline), possibly carrying
+    /// a sound partial answer from the facts processed so far.
+    Cancelled(cancel::CancelInfo),
 }
 
 impl std::fmt::Display for QueryError {
@@ -58,6 +64,17 @@ impl std::fmt::Display for QueryError {
             QueryError::Finite(e) => write!(f, "{e}"),
             QueryError::Logic(e) => write!(f, "{e}"),
             QueryError::Math(e) => write!(f, "{e}"),
+            QueryError::Cancelled(info) => {
+                let what = match info.kind {
+                    cancel::CancelKind::Explicit => "cancelled",
+                    cancel::CancelKind::Deadline => "deadline exceeded",
+                };
+                write!(f, "{what} after {} facts", info.facts_processed)?;
+                if let Some(p) = &info.partial {
+                    write!(f, " (partial: {} ± {})", p.estimate, p.eps)?;
+                }
+                Ok(())
+            }
         }
     }
 }

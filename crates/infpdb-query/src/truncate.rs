@@ -8,6 +8,7 @@
 //! The search itself lives in `infpdb_math::truncation`; this module binds
 //! it to a PDB and materializes the `Ω_n` prefix table.
 
+use crate::cancel::{CancelKind, CancelToken, CHECK_EVERY};
 use crate::QueryError;
 use infpdb_finite::TiTable;
 use infpdb_math::truncation::{self, Truncation};
@@ -25,6 +26,25 @@ pub struct TruncationPlan {
     pub eps: f64,
 }
 
+/// The outcome of a cancellable truncation build: either the full plan,
+/// or the state at the moment a [`CancelToken`] checkpoint fired.
+#[derive(Debug)]
+pub enum PlannedTruncation {
+    /// The loop ran to completion.
+    Complete(TruncationPlan),
+    /// A checkpoint stopped the loop mid-materialization.
+    Cancelled {
+        /// What fired the checkpoint.
+        kind: CancelKind,
+        /// Facts materialized before the stop.
+        facts_processed: usize,
+        /// The partial prefix table — `facts_processed` facts of `Ω_n`.
+        /// Sound to evaluate against at the tolerance certified by
+        /// [`partial_certificate`], when one exists.
+        partial_table: TiTable,
+    },
+}
+
 impl TruncationPlan {
     /// Builds the Proposition 6.1 truncation for tolerance
     /// `ε ∈ (0, 1/2)`.
@@ -38,6 +58,47 @@ impl TruncationPlan {
         })
     }
 
+    /// Like [`TruncationPlan::new`], but materializes the prefix table
+    /// fact by fact with a [`CancelToken`] checkpoint every
+    /// [`CHECK_EVERY`] facts, so deadline-expired or client-cancelled
+    /// requests stop mid-loop instead of paying the full `n(ε)`.
+    pub fn new_cancellable(
+        pdb: &CountableTiPdb,
+        eps: f64,
+        cancel: &CancelToken,
+    ) -> Result<PlannedTruncation, QueryError> {
+        if let Err(kind) = cancel.check() {
+            return Ok(PlannedTruncation::Cancelled {
+                kind,
+                facts_processed: 0,
+                partial_table: TiTable::new(pdb.schema().clone()),
+            });
+        }
+        let truncation = truncation::for_tolerance(pdb.supply(), eps)?;
+        let supply = pdb.supply();
+        let cap = supply.support_len().unwrap_or(usize::MAX).min(truncation.n);
+        let mut table = TiTable::new(pdb.schema().clone());
+        for i in 0..cap {
+            if i % CHECK_EVERY == 0 {
+                if let Err(kind) = cancel.check() {
+                    return Ok(PlannedTruncation::Cancelled {
+                        kind,
+                        facts_processed: i,
+                        partial_table: table,
+                    });
+                }
+            }
+            table
+                .add_fact(supply.fact(i), supply.prob(i))
+                .map_err(|e| QueryError::Finite(e.to_string()))?;
+        }
+        Ok(PlannedTruncation::Complete(Self {
+            truncation,
+            table,
+            eps,
+        }))
+    }
+
     /// `n(ε)`: the prefix length.
     pub fn n(&self) -> usize {
         self.truncation.n
@@ -47,6 +108,41 @@ impl TruncationPlan {
     pub fn escape_probability(&self) -> f64 {
         self.truncation.escape_probability()
     }
+}
+
+/// The soundness certificate of a *partial* prefix: if a cancelled loop
+/// stopped after `m` facts, the `m`-fact table is itself a valid
+/// Proposition 6.1 truncation at the tolerance `ε_m = e^{α_m} − 1` with
+/// `α_m = (3/2)·T_m` (`T_m` the certified tail bound at `m`), because the
+/// proof of Prop 6.1 only uses `e^{α} ≤ 1 + ε` and `e^{−α} ≥ 1 − ε`, and
+/// `e^α − 1 ≥ 1 − e^{−α}` makes `ε_m` cover both directions.
+///
+/// Returns `(truncation-at-m, ε_m)`, or `None` when the prefix is too
+/// short to certify anything: the tail bound is infinite/unknown, exceeds
+/// `1/2` (claim (∗) needs every remaining term `≤ 1/2`), or yields
+/// `ε_m ≥ 1/2` (outside Prop 6.1's tolerance range, vacuous anyway).
+pub fn partial_certificate(pdb: &CountableTiPdb, m: usize) -> Option<(Truncation, f64)> {
+    let tail_mass = match pdb.supply().tail_upper(m) {
+        infpdb_math::series::TailBound::Finite(t) => t,
+        _ => return None,
+    };
+    // range check written to also reject NaN tail bounds
+    if !(0.0..=0.5).contains(&tail_mass) {
+        return None;
+    }
+    let alpha = 1.5 * tail_mass;
+    let eps_m = alpha.exp_m1();
+    if eps_m >= 0.5 {
+        return None;
+    }
+    Some((
+        Truncation {
+            n: m,
+            tail_mass,
+            alpha,
+        },
+        eps_m,
+    ))
 }
 
 #[cfg(test)]
@@ -84,6 +180,80 @@ mod tests {
         let g = TruncationPlan::new(&pdb(GeometricSeries::new(0.5, 0.5).unwrap()), 0.01).unwrap();
         let z = TruncationPlan::new(&pdb(ZetaSeries::basel()), 0.01).unwrap();
         assert!(z.n() > 10 * g.n());
+    }
+
+    #[test]
+    fn cancellable_plan_completes_when_token_never_fires() {
+        let p = pdb(GeometricSeries::new(0.5, 0.5).unwrap());
+        let token = CancelToken::new();
+        match TruncationPlan::new_cancellable(&p, 0.1, &token).unwrap() {
+            PlannedTruncation::Complete(plan) => {
+                let direct = TruncationPlan::new(&p, 0.1).unwrap();
+                assert_eq!(plan.n(), direct.n());
+                assert_eq!(plan.table.len(), direct.table.len());
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_fact() {
+        let p = pdb(ZetaSeries::basel());
+        let token = CancelToken::new();
+        token.cancel();
+        match TruncationPlan::new_cancellable(&p, 0.01, &token).unwrap() {
+            PlannedTruncation::Cancelled {
+                kind,
+                facts_processed,
+                partial_table,
+            } => {
+                assert_eq!(kind, crate::cancel::CancelKind::Explicit);
+                assert_eq!(facts_processed, 0);
+                assert_eq!(partial_table.len(), 0);
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_mid_loop_with_partial_table() {
+        // ζ(2) at ε = 0.01 needs thousands of facts; an already-expired
+        // deadline must stop at the first checkpoint after the plan
+        let p = pdb(ZetaSeries::basel());
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        match TruncationPlan::new_cancellable(&p, 0.01, &token).unwrap() {
+            PlannedTruncation::Cancelled {
+                kind,
+                facts_processed,
+                partial_table,
+            } => {
+                assert_eq!(kind, crate::cancel::CancelKind::Deadline);
+                assert_eq!(partial_table.len(), facts_processed);
+                let full = TruncationPlan::new(&p, 0.01).unwrap();
+                assert!(facts_processed < full.n());
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_certificate_is_sound_and_monotone() {
+        let p = pdb(GeometricSeries::new(0.5, 0.5).unwrap());
+        // m = 0: tail mass 1.0 > 1/2 ⇒ nothing certifiable
+        assert!(partial_certificate(&p, 0).is_none());
+        // larger prefixes certify tighter tolerances
+        let (t4, e4) = partial_certificate(&p, 4).unwrap();
+        let (t8, e8) = partial_certificate(&p, 8).unwrap();
+        assert_eq!(t4.n, 4);
+        assert_eq!(t8.n, 8);
+        assert!(e8 < e4);
+        assert!(e4 < 0.5 && e4 > 0.0);
+        // the certificate satisfies both Prop 6.1 proof conditions
+        for (t, e) in [(t4, e4), (t8, e8)] {
+            assert!(t.alpha.exp() <= 1.0 + e + 1e-12);
+            assert!((-t.alpha).exp() >= 1.0 - e - 1e-12);
+            assert!(t.tail_mass <= 0.5);
+        }
     }
 
     #[test]

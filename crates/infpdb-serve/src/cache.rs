@@ -11,6 +11,7 @@
 //! service are small (hundreds), the scan is branch-predictable, and it
 //! avoids the unsafe linked-list machinery of textbook O(1) LRU.
 
+use crate::recover;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -98,11 +99,7 @@ impl<V: Clone> ShardedLruCache<V> {
 
     /// Looks up a digest, refreshing its recency on hit.
     pub fn get(&self, key: u64) -> Option<V> {
-        let got = self
-            .shard(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .get(key);
+        let got = recover::lock(self.shard(key)).get(key);
         match got {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -113,18 +110,12 @@ impl<V: Clone> ShardedLruCache<V> {
     /// Inserts (or refreshes) a value, evicting the shard's LRU entry if
     /// the shard is full.
     pub fn insert(&self, key: u64, value: V) {
-        self.shard(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .insert(key, value);
+        recover::lock(self.shard(key)).insert(key, value);
     }
 
     /// Total entries across shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
-            .sum()
+        self.shards.iter().map(|s| recover::lock(s).map.len()).sum()
     }
 
     /// Whether the cache is empty.

@@ -1,0 +1,273 @@
+//! Deterministic, seeded fault injection for chaos testing.
+//!
+//! A [`FaultInjector`] is compiled into the service (via
+//! [`QueryService::with_faults`](crate::service::QueryService::with_faults))
+//! and consulted at *named sites* on the request path — `"admission"`,
+//! `"engine"`, `"cache_insert"` — where it can inject a panic, a spurious
+//! [`ServeError::Transient`](crate::ServeError::Transient), or artificial
+//! latency. Everything is deterministic given the seed: probabilistic
+//! triggers draw from a per-site `SplitMix64` stream, and budgeted
+//! triggers ([`Trigger::Times`]) fire an exact number of times, so a
+//! chaos test can assert that the service's failure metrics match the
+//! injected counts *exactly*.
+//!
+//! The injector is `std`-only and designed to be free when idle: an
+//! unarmed injector's [`fire`](FaultInjector::fire) is a single relaxed
+//! atomic load.
+
+use crate::ServeError;
+use infpdb_core::space::rand_core::{RngCore, SplitMix64};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What to inject when a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `panic!` at the site (caught by the worker's panic containment).
+    Panic,
+    /// Return [`ServeError::Transient`] from the site (retryable).
+    Error,
+    /// Sleep for the given duration, then proceed normally.
+    Latency(Duration),
+}
+
+/// When a configured fault fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fire on the first `k` calls to the site, then never again.
+    /// The deterministic workhorse: after enough traffic, exactly `k`
+    /// faults have been injected.
+    Times(u64),
+    /// Fire on every call.
+    Always,
+    /// Fire on every `n`-th call (the 1st, `n+1`-th, …); `n = 1` is
+    /// [`Trigger::Always`].
+    EveryNth(u64),
+    /// Fire with probability `p` per call, drawn from the site's seeded
+    /// stream — deterministic for a fixed seed and call sequence.
+    Probability(f64),
+}
+
+struct Site {
+    kind: FaultKind,
+    trigger: Trigger,
+    rng: SplitMix64,
+    calls: u64,
+    fired: u64,
+}
+
+impl Site {
+    fn should_fire(&mut self) -> bool {
+        let call = self.calls;
+        self.calls += 1;
+        match self.trigger {
+            Trigger::Times(k) => self.fired < k,
+            Trigger::Always => true,
+            Trigger::EveryNth(n) => n > 0 && call.is_multiple_of(n),
+            Trigger::Probability(p) => (self.rng.next_u64() as f64 / u64::MAX as f64) < p,
+        }
+    }
+}
+
+/// A registry of injectable faults, keyed by site name.
+#[derive(Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    armed: AtomicBool,
+    sites: Mutex<HashMap<String, Site>>,
+}
+
+impl std::fmt::Debug for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Site")
+            .field("kind", &self.kind)
+            .field("trigger", &self.trigger)
+            .field("calls", &self.calls)
+            .field("fired", &self.fired)
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    /// An injector with no faults configured; `seed` feeds the per-site
+    /// probability streams.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            seed,
+            armed: AtomicBool::new(false),
+            sites: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Configures (or replaces) the fault at `site`. The site's RNG is
+    /// seeded from the injector seed and a hash of the site name, so
+    /// adding sites never perturbs the streams of existing ones.
+    pub fn inject(&self, site: &str, kind: FaultKind, trigger: Trigger) {
+        let mut sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
+        sites.insert(
+            site.to_string(),
+            Site {
+                kind,
+                trigger,
+                rng: SplitMix64::new(self.seed ^ fnv1a(site.as_bytes())),
+                calls: 0,
+                fired: 0,
+            },
+        );
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Removes the fault at `site` (its fired count is forgotten).
+    pub fn clear(&self, site: &str) {
+        let mut sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
+        sites.remove(site);
+        if sites.is_empty() {
+            self.armed.store(false, Ordering::Release);
+        }
+    }
+
+    /// How many faults have fired at `site` so far.
+    pub fn fired(&self, site: &str) -> u64 {
+        let sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
+        sites.get(site).map(|s| s.fired).unwrap_or(0)
+    }
+
+    /// How many times `site` has been reached (fired or not).
+    pub fn calls(&self, site: &str) -> u64 {
+        let sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
+        sites.get(site).map(|s| s.calls).unwrap_or(0)
+    }
+
+    /// The checkpoint placed at each named site. Returns `Ok(())` when
+    /// nothing fires (or after an injected latency elapses); returns the
+    /// injected error for [`FaultKind::Error`]; **panics** for
+    /// [`FaultKind::Panic`] — by design, to exercise the worker's panic
+    /// containment.
+    pub fn fire(&self, site: &str) -> Result<(), ServeError> {
+        if !self.armed.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let kind = {
+            let mut sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
+            match sites.get_mut(site) {
+                None => return Ok(()),
+                Some(s) => {
+                    if !s.should_fire() {
+                        return Ok(());
+                    }
+                    s.fired += 1;
+                    s.kind
+                }
+            }
+        };
+        match kind {
+            FaultKind::Panic => panic!("injected fault: panic at {site}"),
+            FaultKind::Error => Err(ServeError::Transient { site: site.into() }),
+            FaultKind::Latency(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_injector_is_a_no_op() {
+        let f = FaultInjector::new(1);
+        assert!(f.fire("engine").is_ok());
+        assert_eq!(f.fired("engine"), 0);
+        assert_eq!(f.calls("engine"), 0);
+    }
+
+    #[test]
+    fn times_budget_fires_exactly_k() {
+        let f = FaultInjector::new(1);
+        f.inject("engine", FaultKind::Error, Trigger::Times(3));
+        let mut errors = 0;
+        for _ in 0..10 {
+            if f.fire("engine").is_err() {
+                errors += 1;
+            }
+        }
+        assert_eq!(errors, 3);
+        assert_eq!(f.fired("engine"), 3);
+        assert_eq!(f.calls("engine"), 10);
+    }
+
+    #[test]
+    fn every_nth_fires_periodically() {
+        let f = FaultInjector::new(1);
+        f.inject("admission", FaultKind::Error, Trigger::EveryNth(3));
+        let pattern: Vec<bool> = (0..7).map(|_| f.fire("admission").is_err()).collect();
+        assert_eq!(pattern, [true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn probability_stream_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let f = FaultInjector::new(seed);
+            f.inject("engine", FaultKind::Error, Trigger::Probability(0.5));
+            (0..32).map(|_| f.fire("engine").is_err()).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+        let fired = run(42).iter().filter(|&&b| b).count();
+        assert!(fired > 4 && fired < 28, "p=0.5 should fire roughly half");
+    }
+
+    #[test]
+    fn panic_kind_panics_and_is_countable() {
+        let f = std::sync::Arc::new(FaultInjector::new(7));
+        f.inject("engine", FaultKind::Panic, Trigger::Times(1));
+        let f2 = std::sync::Arc::clone(&f);
+        let err = std::panic::catch_unwind(move || {
+            let _ = f2.fire("engine");
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected fault"), "{msg}");
+        assert_eq!(f.fired("engine"), 1);
+        assert!(f.fire("engine").is_ok()); // budget spent
+    }
+
+    #[test]
+    fn latency_kind_delays_then_proceeds() {
+        let f = FaultInjector::new(1);
+        f.inject(
+            "cache_insert",
+            FaultKind::Latency(Duration::from_millis(5)),
+            Trigger::Times(1),
+        );
+        let t0 = std::time::Instant::now();
+        assert!(f.fire("cache_insert").is_ok());
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        assert_eq!(f.fired("cache_insert"), 1);
+    }
+
+    #[test]
+    fn clear_disarms_when_last_site_removed() {
+        let f = FaultInjector::new(1);
+        f.inject("a", FaultKind::Error, Trigger::Always);
+        f.inject("b", FaultKind::Error, Trigger::Always);
+        f.clear("a");
+        assert!(f.fire("a").is_ok());
+        assert!(f.fire("b").is_err());
+        f.clear("b");
+        assert!(f.fire("b").is_ok());
+    }
+}

@@ -86,6 +86,17 @@ pub struct Metrics {
     pub errors: AtomicU64,
     /// Worker jobs that panicked (caught; the worker survives).
     pub panics: AtomicU64,
+    /// Requests shed by the bounded queue's overflow policy.
+    pub shed: AtomicU64,
+    /// Requests stopped by explicit ticket cancellation.
+    pub cancelled: AtomicU64,
+    /// Requests stopped by an expired deadline (mid-loop or while
+    /// waiting).
+    pub deadline_exceeded: AtomicU64,
+    /// Evaluation attempts retried after a transient failure.
+    pub retries: AtomicU64,
+    /// Requests failed fast by an open circuit breaker.
+    pub breaker_fastfail: AtomicU64,
     /// Jobs currently queued, waiting for a worker.
     pub queue_depth: AtomicU64,
     /// Time from submission to the start of evaluation.
@@ -113,6 +124,21 @@ impl Metrics {
         writeln!(out, "serve_rejected_total {}", c(&self.rejected)).ok();
         writeln!(out, "serve_errors_total {}", c(&self.errors)).ok();
         writeln!(out, "serve_worker_panics_total {}", c(&self.panics)).ok();
+        writeln!(out, "serve_shed_total {}", c(&self.shed)).ok();
+        writeln!(out, "serve_cancelled_total {}", c(&self.cancelled)).ok();
+        writeln!(
+            out,
+            "serve_deadline_exceeded_total {}",
+            c(&self.deadline_exceeded)
+        )
+        .ok();
+        writeln!(out, "serve_retries_total {}", c(&self.retries)).ok();
+        writeln!(
+            out,
+            "serve_breaker_fastfail_total {}",
+            c(&self.breaker_fastfail)
+        )
+        .ok();
         writeln!(out, "serve_queue_depth {}", c(&self.queue_depth)).ok();
         self.wait.dump_into("serve_wait_micros", &mut out);
         self.run.dump_into("serve_run_micros", &mut out);
@@ -154,6 +180,11 @@ mod tests {
             "serve_rejected_total 0",
             "serve_errors_total 0",
             "serve_worker_panics_total 0",
+            "serve_shed_total 0",
+            "serve_cancelled_total 0",
+            "serve_deadline_exceeded_total 0",
+            "serve_retries_total 0",
+            "serve_breaker_fastfail_total 0",
             "serve_queue_depth 0",
             "serve_wait_micros_count 0",
             "serve_run_micros_count 0",

@@ -1,10 +1,21 @@
-//! A fixed-size worker thread pool over a `Mutex`+`Condvar` job queue.
+//! A fixed-size worker thread pool over a bounded `Mutex`+`Condvar` job
+//! queue.
 //!
 //! `std`-only: jobs are boxed closures in a `VecDeque` guarded by one
 //! mutex, workers park on a condition variable. One mutex is enough
 //! here — queue operations are push/pop of a pointer while job bodies
 //! (query evaluations) run three to six orders of magnitude longer, so
 //! the critical section is never the bottleneck.
+//!
+//! **Backpressure.** The queue is bounded (default
+//! [`DEFAULT_QUEUE_CAP_PER_THREAD`]` × threads`) so a fast producer can
+//! never exhaust memory. When the queue is full, the configured
+//! [`OverflowPolicy`] decides: block the submitter until space frees up
+//! (default), reject the incoming job, or shed the oldest queued job to
+//! make room. Shed jobs get their `on_shed` handler invoked (outside the
+//! queue lock) so any response channel they hold can resolve with a
+//! structured error instead of a silent disconnect; sheds are counted in
+//! [`Metrics::shed`](crate::metrics::Metrics).
 //!
 //! Shutdown comes in two flavors:
 //!
@@ -17,9 +28,12 @@
 //!
 //! Worker panics are caught per job and counted in
 //! [`Metrics::panics`](crate::metrics::Metrics); the worker thread
-//! survives and moves on to the next job.
+//! survives and moves on to the next job. Every lock acquisition
+//! recovers from poisoning ([`crate::recover`]), so a panic that unwinds
+//! while the queue mutex is held cannot wedge the pool.
 
 use crate::metrics::Metrics;
+use crate::recover;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -28,35 +42,118 @@ use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Default queue capacity per worker thread: enough lookahead to keep
+/// workers busy, small enough that latency (and memory) stay bounded.
+pub const DEFAULT_QUEUE_CAP_PER_THREAD: usize = 8;
+
+/// What to do with a submission when the bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Block the submitting thread until a worker frees a slot (or the
+    /// pool shuts down). Classic backpressure: no request is lost, the
+    /// producer slows to the service's pace.
+    #[default]
+    Block,
+    /// Drop the incoming job; its `on_shed` handler runs so the caller
+    /// learns immediately. Favors requests already accepted.
+    RejectNewest,
+    /// Evict the oldest *queued* job to make room for the incoming one;
+    /// the victim's `on_shed` handler runs. Favors fresh requests —
+    /// the oldest queued job is the most likely to be past its deadline
+    /// anyway.
+    ShedOldest,
+}
+
+/// Pool construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Worker threads (at least 1).
+    pub threads: usize,
+    /// Queue capacity; `None` means
+    /// [`DEFAULT_QUEUE_CAP_PER_THREAD`]` × threads`.
+    pub queue_cap: Option<usize>,
+    /// Behavior when the queue is full.
+    pub overflow: OverflowPolicy,
+}
+
+impl PoolConfig {
+    /// `threads` workers with the default bounded queue and block policy.
+    pub fn new(threads: usize) -> Self {
+        PoolConfig {
+            threads,
+            queue_cap: None,
+            overflow: OverflowPolicy::default(),
+        }
+    }
+
+    fn effective_cap(&self) -> usize {
+        self.queue_cap
+            .unwrap_or(DEFAULT_QUEUE_CAP_PER_THREAD * self.threads.max(1))
+            .max(1)
+    }
+}
+
+/// A queued unit of work: the job itself plus an optional handler to run
+/// if the overflow policy sheds it before a worker picks it up.
+struct QueuedJob {
+    run: Job,
+    on_shed: Option<Job>,
+}
+
 struct QueueState {
-    jobs: VecDeque<Job>,
+    jobs: VecDeque<QueuedJob>,
     shutdown: bool,
 }
 
 struct Shared {
     state: Mutex<QueueState>,
+    /// Signals workers: a job is available (or shutdown began).
     available: Condvar,
+    /// Signals blocked submitters: a slot freed up (or shutdown began).
+    space: Condvar,
+    cap: usize,
+    overflow: OverflowPolicy,
     metrics: Arc<Metrics>,
 }
 
-/// A fixed-size pool of worker threads consuming a shared job queue.
+/// The fate of one submission under the pool's overflow policy.
+enum Enqueued {
+    /// The job is in the queue.
+    Accepted,
+    /// The queue was full; this handler (the incoming job's, or under
+    /// shed-oldest the evicted victim's) must run outside the lock.
+    Shed(Option<Job>),
+    /// The pool had shut down; the job was dropped.
+    Dropped,
+}
+
+/// A fixed-size pool of worker threads consuming a shared bounded queue.
 pub struct ThreadPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl ThreadPool {
-    /// Spawns `threads` workers (at least 1) sharing `metrics`.
+    /// Spawns `threads` workers (at least 1) sharing `metrics`, with the
+    /// default bounded queue (`8 × threads`, block-on-full).
     pub fn new(threads: usize, metrics: Arc<Metrics>) -> Self {
+        Self::with_config(PoolConfig::new(threads), metrics)
+    }
+
+    /// Spawns a pool with explicit queue bounds and overflow policy.
+    pub fn with_config(config: PoolConfig, metrics: Arc<Metrics>) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 shutdown: false,
             }),
             available: Condvar::new(),
+            space: Condvar::new(),
+            cap: config.effective_cap(),
+            overflow: config.overflow,
             metrics,
         });
-        let workers = (0..threads.max(1))
+        let workers = (0..config.threads.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -73,61 +170,101 @@ impl ThreadPool {
         self.workers.len()
     }
 
+    /// Queue capacity.
+    pub fn queue_cap(&self) -> usize {
+        self.shared.cap
+    }
+
     /// Enqueues one job. Jobs submitted after shutdown are dropped
-    /// immediately (their effects never happen).
+    /// immediately (their effects never happen). When the queue is full
+    /// the [`OverflowPolicy`] applies; a job shed without an `on_shed`
+    /// handler disappears silently (its channels disconnect).
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-        self.submit_boxed(Box::new(job));
+        self.submit_with_shed(Box::new(job), None);
     }
 
-    /// Enqueues a whole batch under a single lock acquisition, then wakes
-    /// every worker — cheaper than `submit` in a loop for query fan-out.
+    /// Enqueues one job with a shed handler: if the overflow policy
+    /// drops this job (reject-newest) — or this job is later evicted by
+    /// shed-oldest — `on_shed` runs exactly once, outside the queue
+    /// lock, so it may resolve response channels or take locks itself.
+    pub fn submit_with_shed(&self, job: Job, on_shed: Option<Job>) {
+        let outcome = self.enqueue(QueuedJob { run: job, on_shed });
+        self.settle(outcome);
+    }
+
+    /// Enqueues a whole batch, waking every worker once per slot made.
+    /// Each job is subject to the overflow policy independently; under
+    /// the block policy the submitting thread waits for space as needed.
     pub fn submit_batch(&self, jobs: Vec<Job>) {
-        let count = jobs.len();
-        {
-            let mut state = self.shared.state.lock().expect("pool lock poisoned");
-            if state.shutdown {
-                return; // jobs drop here; receivers observe disconnect
-            }
-            state.jobs.extend(jobs);
-        }
-        self.shared
-            .metrics
-            .queue_depth
-            .fetch_add(count as u64, Ordering::Relaxed);
-        self.shared.available.notify_all();
+        self.submit_batch_with_shed(jobs.into_iter().map(|j| (j, None)).collect());
     }
 
-    fn submit_boxed(&self, job: Job) {
-        {
-            let mut state = self.shared.state.lock().expect("pool lock poisoned");
-            if state.shutdown {
-                return;
-            }
-            state.jobs.push_back(job);
+    /// [`ThreadPool::submit_batch`] with a shed handler per job.
+    pub fn submit_batch_with_shed(&self, jobs: Vec<(Job, Option<Job>)>) {
+        for (job, on_shed) in jobs {
+            self.submit_with_shed(job, on_shed);
         }
-        self.shared
-            .metrics
-            .queue_depth
-            .fetch_add(1, Ordering::Relaxed);
-        self.shared.available.notify_one();
+    }
+
+    fn enqueue(&self, job: QueuedJob) -> Enqueued {
+        let mut state = recover::lock(&self.shared.state);
+        loop {
+            if state.shutdown {
+                return Enqueued::Dropped;
+            }
+            if state.jobs.len() < self.shared.cap {
+                state.jobs.push_back(job);
+                self.shared
+                    .metrics
+                    .queue_depth
+                    .fetch_add(1, Ordering::Relaxed);
+                return Enqueued::Accepted;
+            }
+            match self.shared.overflow {
+                OverflowPolicy::Block => {
+                    state = recover::wait(&self.shared.space, state);
+                }
+                OverflowPolicy::RejectNewest => {
+                    return Enqueued::Shed(job.on_shed);
+                }
+                OverflowPolicy::ShedOldest => {
+                    let victim = state.jobs.pop_front().expect("cap >= 1, queue full");
+                    state.jobs.push_back(job);
+                    // victim's Job must drop outside the lock; hand both
+                    // pieces out through the Shed arm
+                    drop(state);
+                    let QueuedJob { run, on_shed } = victim;
+                    drop(run);
+                    return Enqueued::Shed(on_shed);
+                }
+            }
+        }
+    }
+
+    fn settle(&self, outcome: Enqueued) {
+        match outcome {
+            Enqueued::Accepted => self.shared.available.notify_one(),
+            Enqueued::Shed(handler) => {
+                self.shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                if let Some(h) = handler {
+                    h();
+                }
+            }
+            Enqueued::Dropped => {}
+        }
     }
 
     /// Jobs currently waiting for a worker.
     pub fn queue_depth(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .expect("pool lock poisoned")
-            .jobs
-            .len()
+        recover::lock(&self.shared.state).jobs.len()
     }
 
     /// Immediate shutdown: discards queued jobs and waits only for the
     /// jobs already running. Queued-but-never-run jobs are dropped, which
     /// disconnects any response channel they captured.
     pub fn shutdown_now(&mut self) {
-        let dropped_jobs: Vec<Job> = {
-            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+        let dropped_jobs: Vec<QueuedJob> = {
+            let mut state = recover::lock(&self.shared.state);
             state.shutdown = true;
             state.jobs.drain(..).collect()
         };
@@ -139,6 +276,7 @@ impl ThreadPool {
         // arbitrary captures) must not run under the queue mutex
         drop(dropped_jobs);
         self.shared.available.notify_all();
+        self.shared.space.notify_all();
         self.join_workers();
     }
 
@@ -150,15 +288,19 @@ impl ThreadPool {
     }
 
     fn begin_graceful_shutdown(&self) {
-        let mut state = self.shared.state.lock().expect("pool lock poisoned");
+        let mut state = recover::lock(&self.shared.state);
         state.shutdown = true;
         drop(state);
         self.shared.available.notify_all();
+        self.shared.space.notify_all();
     }
 
     fn join_workers(&mut self) {
         for handle in self.workers.drain(..) {
-            handle.join().expect("worker thread itself never panics");
+            // a worker can only die by a panic that escaped its own
+            // catch_unwind (e.g. a panicking Job destructor); swallowing
+            // the Err here keeps shutdown from cascading the panic
+            let _ = handle.join();
         }
     }
 }
@@ -175,7 +317,7 @@ impl Drop for ThreadPool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut state = shared.state.lock().expect("pool lock poisoned");
+            let mut state = recover::lock(&shared.state);
             loop {
                 if let Some(job) = state.jobs.pop_front() {
                     break job;
@@ -183,11 +325,12 @@ fn worker_loop(shared: &Shared) {
                 if state.shutdown {
                     return;
                 }
-                state = shared.available.wait(state).expect("pool lock poisoned");
+                state = recover::wait(&shared.available, state);
             }
         };
         shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+        shared.space.notify_one();
+        if catch_unwind(AssertUnwindSafe(job.run)).is_err() {
             shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -196,6 +339,7 @@ fn worker_loop(shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::service::TICKET_GRACE;
     use std::sync::atomic::AtomicU64;
     use std::sync::mpsc;
     use std::time::Duration;
@@ -205,6 +349,7 @@ mod tests {
         let metrics = Arc::new(Metrics::new());
         let pool = ThreadPool::new(4, Arc::clone(&metrics));
         assert_eq!(pool.threads(), 4);
+        assert_eq!(pool.queue_cap(), 4 * DEFAULT_QUEUE_CAP_PER_THREAD);
         let counter = Arc::new(AtomicU64::new(0));
         for _ in 0..100 {
             let counter = Arc::clone(&counter);
@@ -215,6 +360,7 @@ mod tests {
         pool.join();
         assert_eq!(counter.load(Ordering::Relaxed), 100);
         assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 0);
+        assert_eq!(metrics.shed.load(Ordering::Relaxed), 0);
     }
 
     #[test]
@@ -254,7 +400,16 @@ mod tests {
     #[test]
     fn shutdown_now_drops_queued_jobs_and_disconnects_receivers() {
         let metrics = Arc::new(Metrics::new());
-        let mut pool = ThreadPool::new(1, Arc::clone(&metrics));
+        // explicit capacity: all 10 jobs must *queue* behind the blocker
+        // without the Block policy stalling the submitting thread
+        let mut pool = ThreadPool::with_config(
+            PoolConfig {
+                threads: 1,
+                queue_cap: Some(16),
+                overflow: OverflowPolicy::Block,
+            },
+            Arc::clone(&metrics),
+        );
         let (block_tx, block_rx) = mpsc::channel::<()>();
         // first job occupies the single worker until we release it
         pool.submit(move || {
@@ -273,7 +428,7 @@ mod tests {
         // every queued job either ran (sent) or was dropped (disconnect);
         // none may leave its receiver hanging
         for rx in waiters {
-            match rx.recv_timeout(Duration::from_secs(5)) {
+            match rx.recv_timeout(TICKET_GRACE) {
                 Ok(_) | Err(mpsc::RecvTimeoutError::Disconnected) => {}
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     panic!("receiver left hanging after shutdown_now")
@@ -295,5 +450,151 @@ mod tests {
         pool.join();
         assert_eq!(counter.load(Ordering::Relaxed), 1);
         assert_eq!(metrics.panics.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_stays_usable_after_a_panic_poisons_nothing() {
+        // a worker panic must not wedge the pool: submit and shutdown
+        // still work afterwards, and the panic is on the record
+        let metrics = Arc::new(Metrics::new());
+        let mut pool = ThreadPool::new(2, Arc::clone(&metrics));
+        pool.submit(|| panic!("worker holds no job state"));
+        // wait until the panic has been recorded
+        let deadline = std::time::Instant::now() + TICKET_GRACE;
+        while metrics.panics.load(Ordering::Relaxed) == 0 {
+            assert!(std::time::Instant::now() < deadline, "panic never recorded");
+            std::thread::yield_now();
+        }
+        let (tx, rx) = mpsc::channel::<u32>();
+        pool.submit(move || {
+            tx.send(42).ok();
+        });
+        assert_eq!(rx.recv_timeout(TICKET_GRACE).unwrap(), 42);
+        assert_eq!(pool.queue_depth(), 0);
+        pool.shutdown_now();
+        assert_eq!(metrics.panics.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn block_policy_applies_backpressure_without_losing_jobs() {
+        let metrics = Arc::new(Metrics::new());
+        let pool = ThreadPool::with_config(
+            PoolConfig {
+                threads: 1,
+                queue_cap: Some(2),
+                overflow: OverflowPolicy::Block,
+            },
+            Arc::clone(&metrics),
+        );
+        let counter = Arc::new(AtomicU64::new(0));
+        // 30 jobs through a 2-slot queue: the submitter must block, and
+        // every job must still run
+        for _ in 0..30 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                std::thread::sleep(Duration::from_micros(100));
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 30);
+        assert_eq!(metrics.shed.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn reject_newest_sheds_incoming_and_runs_its_handler() {
+        let metrics = Arc::new(Metrics::new());
+        let mut pool = ThreadPool::with_config(
+            PoolConfig {
+                threads: 1,
+                queue_cap: Some(1),
+                overflow: OverflowPolicy::RejectNewest,
+            },
+            Arc::clone(&metrics),
+        );
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        pool.submit(move || {
+            block_rx.recv().ok();
+        });
+        // wait until the blocker is actually running (queue empty again)
+        let deadline = std::time::Instant::now() + TICKET_GRACE;
+        while pool.queue_depth() > 0 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        let ran = Arc::new(AtomicU64::new(0));
+        let shed = Arc::new(AtomicU64::new(0));
+        // fills the single slot
+        let r = Arc::clone(&ran);
+        pool.submit_with_shed(
+            Box::new(move || {
+                r.fetch_add(1, Ordering::Relaxed);
+            }),
+            None,
+        );
+        // queue full: this one must be rejected and its handler run
+        let r = Arc::clone(&ran);
+        let s = Arc::clone(&shed);
+        pool.submit_with_shed(
+            Box::new(move || {
+                r.fetch_add(1, Ordering::Relaxed);
+            }),
+            Some(Box::new(move || {
+                s.fetch_add(1, Ordering::Relaxed);
+            })),
+        );
+        assert_eq!(shed.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.shed.load(Ordering::Relaxed), 1);
+        block_tx.send(()).ok();
+        pool.shutdown_now();
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn shed_oldest_evicts_the_queued_victim() {
+        let metrics = Arc::new(Metrics::new());
+        let mut pool = ThreadPool::with_config(
+            PoolConfig {
+                threads: 1,
+                queue_cap: Some(1),
+                overflow: OverflowPolicy::ShedOldest,
+            },
+            Arc::clone(&metrics),
+        );
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        pool.submit(move || {
+            block_rx.recv().ok();
+        });
+        let deadline = std::time::Instant::now() + TICKET_GRACE;
+        while pool.queue_depth() > 0 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        let (first_tx, first_rx) = mpsc::channel::<&str>();
+        let (second_tx, second_rx) = mpsc::channel::<&str>();
+        let ftx = first_tx.clone();
+        pool.submit_with_shed(
+            Box::new(move || {
+                ftx.send("ran").ok();
+            }),
+            Some(Box::new(move || {
+                first_tx.send("shed").ok();
+            })),
+        );
+        // queue full: the *first* job is evicted, the second takes its slot
+        let stx = second_tx.clone();
+        pool.submit_with_shed(
+            Box::new(move || {
+                stx.send("ran").ok();
+            }),
+            Some(Box::new(move || {
+                second_tx.send("shed").ok();
+            })),
+        );
+        assert_eq!(first_rx.recv_timeout(TICKET_GRACE).unwrap(), "shed");
+        assert_eq!(metrics.shed.load(Ordering::Relaxed), 1);
+        block_tx.send(()).ok();
+        assert_eq!(second_rx.recv_timeout(TICKET_GRACE).unwrap(), "ran");
+        pool.shutdown_now();
     }
 }

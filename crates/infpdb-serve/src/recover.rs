@@ -1,0 +1,42 @@
+//! Poison-recovery lock helpers.
+//!
+//! A poisoned `Mutex` means a panic unwound while the lock was held. For
+//! the serving layer's data (job queues, LRU shards) every critical
+//! section either completes its invariant-restoring writes before any
+//! code that can panic, or tolerates a half-applied update (a cache entry
+//! is advisory; a queue is a bag of independent jobs). Propagating the
+//! poison would convert one contained panic into a wedged pool — exactly
+//! the cascade the failure model forbids — so we strip the flag and keep
+//! serving.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering from poison instead of panicking.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `cv`, recovering from poison instead of panicking.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_recovers_after_a_panic_poisoned_the_mutex() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join()
+        .unwrap_err();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7);
+    }
+}

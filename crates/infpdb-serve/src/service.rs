@@ -11,27 +11,85 @@
 //!    engine) fingerprint. Keying by the effective ε means a degraded
 //!    answer is cached under the tolerance it actually satisfies and can
 //!    never be returned for a stricter request;
-//! 3. **Engine** — on a miss, run the Proposition 6.1 evaluation
-//!    ([`approx_prob_boolean`]), record throughput, insert the answer.
+//! 3. **Breaker** ([`crate::breaker`]) — on a miss, consult the
+//!    per-engine circuit breaker; open means fail fast (cache hits keep
+//!    serving while open);
+//! 4. **Engine** — run the Proposition 6.1 evaluation with a
+//!    [`CancelToken`] threaded into the truncation loop
+//!    ([`approx_prob_boolean_cancellable`]), record throughput, insert
+//!    the answer.
 //!
-//! Results come back through a [`Ticket`]; if the service is shut down
-//! before a queued request runs, its job is dropped and the ticket
-//! resolves to [`ServeError::Shutdown`] instead of blocking forever.
+//! The whole pipeline runs under panic containment and a bounded-backoff
+//! retry loop for transient failures; see the crate-level *Failure
+//! model*. Results come back through a [`Ticket`]: deadline-aware, never
+//! blocking past the request's deadline plus [`TICKET_GRACE`], and
+//! resolving to [`ServeError::Shutdown`] if the service shuts down
+//! before the request runs.
 
 use crate::admission::{self, CostBudget, DegradePolicy, ThroughputEstimate};
+use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::cache::ShardedLruCache;
+use crate::faults::FaultInjector;
 use crate::fingerprint::{countable_pdb_fingerprint, CacheKey};
 use crate::metrics::Metrics;
-use crate::pool::ThreadPool;
+use crate::pool::{OverflowPolicy, PoolConfig, ThreadPool};
 use crate::ServeError;
 use infpdb_finite::engine::Engine;
 use infpdb_logic::ast::Formula;
-use infpdb_query::approx::{approx_prob_boolean, Approximation};
+use infpdb_query::approx::{approx_prob_boolean_cancellable, Approximation, PartialOnCancel};
 use infpdb_query::budget::BudgetReport;
+use infpdb_query::cancel::{CancelKind, CancelToken};
+use infpdb_query::QueryError;
 use infpdb_ti::construction::CountableTiPdb;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Grace period added on top of a request's deadline before its
+/// [`Ticket`] gives up waiting: covers scheduling jitter plus the
+/// non-interruptible finite-engine stage. Also the bound the pool tests
+/// use for "this must already have happened".
+pub const TICKET_GRACE: Duration = Duration::from_secs(5);
+
+/// Bounded-exponential-backoff retry for transient failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry). Only
+    /// [transient](ServeError::is_transient) failures are retried.
+    pub max_attempts: u32,
+    /// Backoff before retry `k` (0-based) is `base · 2^k`, capped.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every failure surfaces immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+        }
+    }
+
+    /// The sleep before 0-based retry `attempt`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+}
 
 /// Configuration for a [`QueryService`].
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +107,15 @@ pub struct ServiceConfig {
     /// Prior throughput estimate (facts/second) used to convert
     /// deadlines to `n` caps before any evaluation has been observed.
     pub prior_facts_per_sec: f64,
+    /// Submission-queue capacity; `None` means
+    /// [`crate::pool::DEFAULT_QUEUE_CAP_PER_THREAD`]` × threads`.
+    pub queue_cap: Option<usize>,
+    /// What happens when the submission queue is full.
+    pub overflow: OverflowPolicy,
+    /// Retry policy for transient evaluation failures.
+    pub retry: RetryPolicy,
+    /// Per-engine circuit-breaker tuning.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +127,10 @@ impl Default for ServiceConfig {
             engine: Engine::Auto,
             policy: DegradePolicy::WidenEps,
             prior_facts_per_sec: 100_000.0,
+            queue_cap: None,
+            overflow: OverflowPolicy::Block,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -71,7 +142,10 @@ pub struct QueryRequest {
     pub query: Formula,
     /// Requested additive tolerance, `0 < ε < 1/2`.
     pub eps: f64,
-    /// Cost constraints (unlimited by default).
+    /// Cost constraints (unlimited by default). A deadline budget is
+    /// enforced twice: at admission (converted to an `n` cap) and at
+    /// runtime (the truncation loop stops at the first checkpoint past
+    /// the deadline).
     pub budget: CostBudget,
 }
 
@@ -117,13 +191,44 @@ impl QueryResponse {
 /// A handle to one in-flight request.
 pub struct Ticket {
     rx: mpsc::Receiver<Result<QueryResponse, ServeError>>,
+    cancel: CancelToken,
 }
 
 impl Ticket {
-    /// Blocks until the request finishes. If the service shut down
-    /// before the request ran, returns [`ServeError::Shutdown`].
+    /// Requests cooperative cancellation: the evaluation stops at its
+    /// next checkpoint and the ticket resolves to
+    /// [`ServeError::Cancelled`] (possibly carrying a partial answer).
+    /// Idempotent; a no-op once the evaluation has finished.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// The request's runtime deadline, if its budget had one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.cancel.deadline()
+    }
+
+    /// Blocks until the request finishes. Deadline-aware: a ticket with
+    /// a deadline never waits past it by more than [`TICKET_GRACE`] —
+    /// even if the job was lost — resolving to
+    /// [`ServeError::DeadlineExceeded`] instead of blocking forever. If
+    /// the service shut down before the request ran, returns
+    /// [`ServeError::Shutdown`].
     pub fn wait(self) -> Result<QueryResponse, ServeError> {
-        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+        match self.cancel.deadline() {
+            None => self.rx.recv().unwrap_or(Err(ServeError::Shutdown)),
+            Some(at) => {
+                let timeout = at.saturating_duration_since(Instant::now()) + TICKET_GRACE;
+                match self.rx.recv_timeout(timeout) {
+                    Ok(r) => r,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Shutdown),
+                    Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded {
+                        facts_processed: 0,
+                        partial: None,
+                    }),
+                }
+            }
+        }
     }
 
     /// Non-blocking poll; `None` while the request is still in flight.
@@ -136,6 +241,30 @@ impl Ticket {
     }
 }
 
+/// One circuit breaker per [`Engine`] variant, so a persistently failing
+/// engine fails fast without penalizing the others.
+struct EngineBreakers {
+    breakers: [CircuitBreaker; 4],
+}
+
+impl EngineBreakers {
+    fn new(config: BreakerConfig) -> Self {
+        EngineBreakers {
+            breakers: std::array::from_fn(|_| CircuitBreaker::new(config)),
+        }
+    }
+
+    fn for_engine(&self, engine: Engine) -> &CircuitBreaker {
+        let idx = match engine {
+            Engine::Auto => 0,
+            Engine::Lifted => 1,
+            Engine::Lineage => 2,
+            Engine::Brute => 3,
+        };
+        &self.breakers[idx]
+    }
+}
+
 struct Inner {
     pdb: CountableTiPdb,
     pdb_fingerprint: u64,
@@ -144,6 +273,19 @@ struct Inner {
     cache: ShardedLruCache<(Approximation, BudgetReport)>,
     metrics: Arc<Metrics>,
     throughput: ThroughputEstimate,
+    breakers: EngineBreakers,
+    retry: RetryPolicy,
+    faults: Option<Arc<FaultInjector>>,
+}
+
+impl Inner {
+    /// A fault-injection checkpoint; a no-op without an injector.
+    fn fault(&self, site: &str) -> Result<(), ServeError> {
+        match &self.faults {
+            Some(f) => f.fire(site),
+            None => Ok(()),
+        }
+    }
 }
 
 /// A concurrent query-evaluation service over one countable t.i. PDB.
@@ -155,6 +297,25 @@ pub struct QueryService {
 impl QueryService {
     /// Builds the service: spawns the pool, fingerprints the PDB once.
     pub fn new(pdb: CountableTiPdb, config: ServiceConfig) -> Self {
+        Self::build(pdb, config, None)
+    }
+
+    /// [`QueryService::new`] with a fault injector compiled into the
+    /// request path (chaos testing). The injector fires at the sites
+    /// `"admission"`, `"engine"`, and `"cache_insert"`.
+    pub fn with_faults(
+        pdb: CountableTiPdb,
+        config: ServiceConfig,
+        faults: Arc<FaultInjector>,
+    ) -> Self {
+        Self::build(pdb, config, Some(faults))
+    }
+
+    fn build(
+        pdb: CountableTiPdb,
+        config: ServiceConfig,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Self {
         let metrics = Arc::new(Metrics::new());
         let inner = Arc::new(Inner {
             pdb_fingerprint: countable_pdb_fingerprint(&pdb),
@@ -164,34 +325,45 @@ impl QueryService {
             cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
             metrics: Arc::clone(&metrics),
             throughput: ThroughputEstimate::new(config.prior_facts_per_sec),
+            breakers: EngineBreakers::new(config.breaker),
+            retry: config.retry,
+            faults,
         });
-        let pool = ThreadPool::new(config.threads, metrics);
+        let pool = ThreadPool::with_config(
+            PoolConfig {
+                threads: config.threads,
+                queue_cap: config.queue_cap,
+                overflow: config.overflow,
+            },
+            metrics,
+        );
         QueryService { inner, pool }
     }
 
-    /// Enqueues one request.
+    /// Enqueues one request. If the bounded queue sheds it, the ticket
+    /// resolves to [`ServeError::Overloaded`].
     pub fn submit(&self, request: QueryRequest) -> Ticket {
         self.inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
-        let (job, ticket) = self.make_job(request);
-        self.pool.submit(job);
+        let (job, on_shed, ticket) = self.make_job(request);
+        self.pool.submit_with_shed(job, Some(on_shed));
         ticket
     }
 
-    /// Enqueues a whole batch under one queue-lock acquisition; tickets
-    /// come back in input order.
+    /// Enqueues a whole batch; tickets come back in input order. Each
+    /// job is subject to the overflow policy independently.
     pub fn submit_batch(&self, requests: Vec<QueryRequest>) -> Vec<Ticket> {
         self.inner
             .metrics
             .submitted
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
-        let mut jobs: Vec<Box<dyn FnOnce() + Send + 'static>> = Vec::with_capacity(requests.len());
+        let mut jobs = Vec::with_capacity(requests.len());
         let mut tickets = Vec::with_capacity(requests.len());
         for request in requests {
-            let (job, ticket) = self.make_job(request);
-            jobs.push(Box::new(job));
+            let (job, on_shed, ticket) = self.make_job(request);
+            jobs.push((job, Some(on_shed)));
             tickets.push(ticket);
         }
-        self.pool.submit_batch(jobs);
+        self.pool.submit_batch_with_shed(jobs);
         tickets
     }
 
@@ -200,24 +372,49 @@ impl QueryService {
         self.submit(request).wait()
     }
 
-    fn make_job(&self, request: QueryRequest) -> (impl FnOnce() + Send + 'static, Ticket) {
+    #[allow(clippy::type_complexity)]
+    fn make_job(
+        &self,
+        request: QueryRequest,
+    ) -> (
+        Box<dyn FnOnce() + Send + 'static>,
+        Box<dyn FnOnce() + Send + 'static>,
+        Ticket,
+    ) {
         let inner = Arc::clone(&self.inner);
         let submitted = Instant::now();
+        let cancel = match request.budget.deadline {
+            Some(d) => CancelToken::with_deadline_at(submitted + d),
+            None => CancelToken::new(),
+        };
+        let token = cancel.clone();
         let (tx, rx) = mpsc::channel();
-        let job = move || {
+        let shed_tx = tx.clone();
+        let queue_cap = self.pool.queue_cap();
+        let job = Box::new(move || {
             inner.metrics.wait.record(submitted.elapsed());
-            let result = handle(&inner, &request);
+            let result = run_resilient(&inner, &request, &token);
             match &result {
                 Ok(_) => inner.metrics.completed.fetch_add(1, Ordering::Relaxed),
                 Err(ServeError::Rejected { .. }) => {
                     inner.metrics.rejected.fetch_add(1, Ordering::Relaxed)
                 }
+                Err(ServeError::Cancelled { .. }) => {
+                    inner.metrics.cancelled.fetch_add(1, Ordering::Relaxed)
+                }
+                Err(ServeError::DeadlineExceeded { .. }) => inner
+                    .metrics
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed),
                 Err(_) => inner.metrics.errors.fetch_add(1, Ordering::Relaxed),
             };
             // a dropped ticket is fine — fire-and-forget submission
             tx.send(result).ok();
-        };
-        (job, Ticket { rx })
+        });
+        let on_shed = Box::new(move || {
+            shed_tx.send(Err(ServeError::Overloaded { queue_cap })).ok();
+        });
+        (job, on_shed, Ticket { rx, cancel })
     }
 
     /// The shared metrics registry.
@@ -240,6 +437,11 @@ impl QueryService {
         self.pool.threads()
     }
 
+    /// Submission-queue capacity.
+    pub fn queue_cap(&self) -> usize {
+        self.pool.queue_cap()
+    }
+
     /// Immediate shutdown: queued requests are dropped (their tickets
     /// resolve to [`ServeError::Shutdown`]); in-flight evaluations finish.
     pub fn shutdown_now(&mut self) {
@@ -252,7 +454,69 @@ impl QueryService {
     }
 }
 
-fn handle(inner: &Inner, request: &QueryRequest) -> Result<QueryResponse, ServeError> {
+/// Panic containment + retry around [`handle`]: catches panics into
+/// [`ServeError::EnginePanic`], retries transient failures with bounded
+/// exponential backoff, and keeps the per-engine breaker informed.
+fn run_resilient(
+    inner: &Inner,
+    request: &QueryRequest,
+    cancel: &CancelToken,
+) -> Result<QueryResponse, ServeError> {
+    let max_attempts = inner.retry.max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        let result = match catch_unwind(AssertUnwindSafe(|| handle(inner, request, cancel))) {
+            Ok(r) => r,
+            Err(payload) => {
+                inner.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::EnginePanic {
+                    payload: panic_payload(payload),
+                })
+            }
+        };
+        match &result {
+            Ok(resp) => {
+                // cache hits say nothing about the engine's health
+                if !resp.cached {
+                    inner.breakers.for_engine(inner.engine).record_success();
+                }
+                return result;
+            }
+            Err(e) if e.is_transient() => {
+                inner.breakers.for_engine(inner.engine).record_failure();
+                attempt += 1;
+                if attempt >= max_attempts {
+                    return result;
+                }
+                inner.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                let backoff = inner.retry.backoff(attempt - 1);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+            // deterministic failures teach the breaker nothing about the
+            // engine (a rejected budget or a bad ε would fail anywhere)
+            Err(_) => return result,
+        }
+    }
+}
+
+fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn handle(
+    inner: &Inner,
+    request: &QueryRequest,
+    cancel: &CancelToken,
+) -> Result<QueryResponse, ServeError> {
+    inner.fault("admission")?;
     let cap = request.budget.effective_max_n(inner.throughput.get());
     let admitted = admission::admit(&inner.pdb, request.eps, cap, inner.policy)?;
     if admitted.degraded {
@@ -279,12 +543,49 @@ fn handle(inner: &Inner, request: &QueryRequest) -> Result<QueryResponse, ServeE
         });
     }
     inner.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    // breaker gate at the cache-miss point: open ⇒ fail fast, but cache
+    // hits above keep serving
+    match inner.breakers.for_engine(inner.engine).admit() {
+        Admission::Proceed => {}
+        Admission::FastFail(consecutive_failures) => {
+            inner
+                .metrics
+                .breaker_fastfail
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::CircuitOpen {
+                consecutive_failures,
+            });
+        }
+    }
+    inner.fault("engine")?;
     let start = Instant::now();
-    let approx = approx_prob_boolean(&inner.pdb, &request.query, admitted.eps, inner.engine)
-        .map_err(ServeError::Query)?;
+    let approx = approx_prob_boolean_cancellable(
+        &inner.pdb,
+        &request.query,
+        admitted.eps,
+        inner.engine,
+        cancel,
+        PartialOnCancel::Evaluate,
+    )
+    .map_err(|e| match e {
+        QueryError::Cancelled(info) => match info.kind {
+            CancelKind::Explicit => ServeError::Cancelled {
+                facts_processed: info.facts_processed,
+                partial: info.partial,
+            },
+            CancelKind::Deadline => ServeError::DeadlineExceeded {
+                facts_processed: info.facts_processed,
+                partial: info.partial,
+            },
+        },
+        other => ServeError::Query(other),
+    })?;
     let elapsed = start.elapsed();
     inner.metrics.run.record(elapsed);
     inner.throughput.observe(approx.n, elapsed);
+    inner.fault("cache_insert")?;
+    // partial results never reach this point (they surface as errors
+    // above), so the cache only ever holds fully certified answers
     inner.cache.insert(key, (approx, admitted.report));
     Ok(QueryResponse {
         approx,
@@ -298,9 +599,11 @@ fn handle(inner: &Inner, request: &QueryRequest) -> Result<QueryResponse, ServeE
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultKind, Trigger};
     use infpdb_core::schema::{RelId, Relation, Schema};
     use infpdb_logic::parse;
-    use infpdb_math::series::GeometricSeries;
+    use infpdb_math::series::{GeometricSeries, ZetaSeries};
+    use infpdb_query::approx::approx_prob_boolean;
     use infpdb_ti::enumerator::FactSupply;
     use std::time::Duration;
 
@@ -310,6 +613,16 @@ mod tests {
             schema,
             RelId(0),
             GeometricSeries::new(0.5, 0.5).unwrap(),
+        ))
+        .unwrap()
+    }
+
+    fn zeta_pdb() -> CountableTiPdb {
+        let schema = Schema::from_relations([Relation::new("R", 1)]).unwrap();
+        CountableTiPdb::new(FactSupply::unary_over_naturals(
+            schema,
+            RelId(0),
+            ZetaSeries::basel(),
         ))
         .unwrap()
     }
@@ -496,5 +809,242 @@ mod tests {
             Err(ServeError::Shutdown) => {}
             other => panic!("expected shutdown, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn explicit_cancel_resolves_with_cancelled_error() {
+        // one worker, blocked by a slow zeta evaluation; the next ticket
+        // is cancelled while still queued, so its evaluation stops at
+        // the very first checkpoint
+        let svc = QueryService::new(
+            zeta_pdb(),
+            ServiceConfig {
+                threads: 1,
+                queue_cap: Some(8),
+                ..ServiceConfig::default()
+            },
+        );
+        let p = zeta_pdb();
+        let slow = parse("exists x. R(x)", p.schema()).unwrap();
+        let blocker = svc.submit(QueryRequest::new(slow.clone(), 0.004));
+        let victim = svc.submit(QueryRequest::new(slow, 0.0041));
+        victim.cancel();
+        match victim.wait() {
+            Err(ServeError::Cancelled { .. }) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        blocker.wait().unwrap();
+        assert_eq!(svc.metrics().cancelled.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn runtime_deadline_stops_mid_loop_with_sound_partial() {
+        let svc = QueryService::new(
+            zeta_pdb(),
+            ServiceConfig {
+                threads: 1,
+                // fast prior so admission does NOT clamp n — the runtime
+                // deadline must do the stopping
+                prior_facts_per_sec: 1e12,
+                ..ServiceConfig::default()
+            },
+        );
+        let p = zeta_pdb();
+        // ground truth for ∃x R(x): 1 − ∏(1 − p_i), by very long product
+        let mut acc = 1.0;
+        for i in 0..3_000_000 {
+            acc *= 1.0 - p.supply().prob(i);
+        }
+        let truth = 1.0 - acc;
+        let q = parse("exists x. R(x)", p.schema()).unwrap();
+        let req =
+            QueryRequest::new(q, 0.004).with_budget(CostBudget::deadline(Duration::from_millis(1)));
+        match svc.submit(req).wait() {
+            Err(ServeError::DeadlineExceeded { partial, .. }) => {
+                if let Some(partial) = partial {
+                    // the partial interval must still enclose the truth
+                    assert!(partial.eps < 0.5);
+                    assert!(partial.interval().contains(truth));
+                }
+            }
+            Ok(resp) => {
+                // a 1 ms deadline *can* be beaten on a fast machine; the
+                // answer must then be a fully certified one
+                assert!(resp.interval().contains(truth));
+            }
+            other => panic!("expected DeadlineExceeded or success, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_reported() {
+        let faults = Arc::new(FaultInjector::new(11));
+        faults.inject("engine", FaultKind::Panic, Trigger::Times(1));
+        let svc = QueryService::with_faults(
+            pdb(),
+            ServiceConfig {
+                threads: 1,
+                retry: RetryPolicy::none(),
+                ..ServiceConfig::default()
+            },
+            Arc::clone(&faults),
+        );
+        let p = pdb();
+        let q = parse("R(1)", p.schema()).unwrap();
+        match svc.evaluate(QueryRequest::new(q.clone(), 0.05)) {
+            Err(ServeError::EnginePanic { payload }) => {
+                assert!(payload.contains("injected fault"), "{payload}");
+            }
+            other => panic!("expected EnginePanic, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().panics.load(Ordering::Relaxed), 1);
+        // the worker survives and the next request succeeds
+        let resp = svc.evaluate(QueryRequest::new(q, 0.05)).unwrap();
+        assert!(!resp.cached);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_to_success() {
+        let faults = Arc::new(FaultInjector::new(12));
+        faults.inject("engine", FaultKind::Error, Trigger::Times(2));
+        let svc = QueryService::with_faults(
+            pdb(),
+            ServiceConfig {
+                threads: 1,
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    base: Duration::ZERO,
+                    cap: Duration::ZERO,
+                },
+                ..ServiceConfig::default()
+            },
+            faults,
+        );
+        let p = pdb();
+        let q = parse("R(1)", p.schema()).unwrap();
+        let resp = svc.evaluate(QueryRequest::new(q, 0.05)).unwrap();
+        assert!(!resp.cached);
+        assert_eq!(svc.metrics().retries.load(Ordering::Relaxed), 2);
+        assert_eq!(svc.metrics().completed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn breaker_opens_after_persistent_failures_and_recovers() {
+        let faults = Arc::new(FaultInjector::new(13));
+        // every evaluation fails until the injector is cleared
+        faults.inject("engine", FaultKind::Error, Trigger::Always);
+        let svc = QueryService::with_faults(
+            pdb(),
+            ServiceConfig {
+                threads: 1,
+                retry: RetryPolicy::none(),
+                breaker: BreakerConfig {
+                    threshold: 3,
+                    cooldown: Duration::ZERO,
+                },
+                ..ServiceConfig::default()
+            },
+            Arc::clone(&faults),
+        );
+        let p = pdb();
+        let q = parse("R(1)", p.schema()).unwrap();
+        for _ in 0..3 {
+            match svc.evaluate(QueryRequest::new(q.clone(), 0.05)) {
+                Err(ServeError::Transient { .. }) => {}
+                other => panic!("expected Transient, got {other:?}"),
+            }
+        }
+        // breaker open with zero cooldown ⇒ every request is a probe;
+        // heal the engine and the next request closes the breaker
+        faults.clear("engine");
+        let resp = svc.evaluate(QueryRequest::new(q, 0.05)).unwrap();
+        assert!(!resp.cached);
+    }
+
+    #[test]
+    fn open_breaker_fails_fast_but_serves_cache_hits() {
+        let faults = Arc::new(FaultInjector::new(14));
+        let svc = QueryService::with_faults(
+            pdb(),
+            ServiceConfig {
+                threads: 1,
+                retry: RetryPolicy::none(),
+                breaker: BreakerConfig {
+                    threshold: 2,
+                    cooldown: Duration::from_secs(3600),
+                },
+                ..ServiceConfig::default()
+            },
+            Arc::clone(&faults),
+        );
+        let p = pdb();
+        let cached_q = parse("R(1)", p.schema()).unwrap();
+        // warm the cache while healthy
+        svc.evaluate(QueryRequest::new(cached_q.clone(), 0.05))
+            .unwrap();
+        // now break the engine and trip the breaker
+        faults.inject("engine", FaultKind::Error, Trigger::Always);
+        let fresh_q = parse("R(2)", p.schema()).unwrap();
+        for _ in 0..2 {
+            svc.evaluate(QueryRequest::new(fresh_q.clone(), 0.05))
+                .unwrap_err();
+        }
+        match svc.evaluate(QueryRequest::new(fresh_q, 0.05)) {
+            Err(ServeError::CircuitOpen {
+                consecutive_failures,
+            }) => assert!(consecutive_failures >= 2),
+            other => panic!("expected CircuitOpen, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().breaker_fastfail.load(Ordering::Relaxed), 1);
+        // cache hits keep serving while the breaker is open
+        let hit = svc.evaluate(QueryRequest::new(cached_q, 0.05)).unwrap();
+        assert!(hit.cached);
+    }
+
+    #[test]
+    fn reject_newest_overflow_resolves_tickets_as_overloaded() {
+        let svc = QueryService::new(
+            zeta_pdb(),
+            ServiceConfig {
+                threads: 1,
+                queue_cap: Some(1),
+                overflow: OverflowPolicy::RejectNewest,
+                ..ServiceConfig::default()
+            },
+        );
+        let p = zeta_pdb();
+        let slow = parse("exists x. R(x)", p.schema()).unwrap();
+        // the blocker occupies the worker; give it a moment to start
+        let blocker = svc.submit(QueryRequest::new(slow.clone(), 0.004));
+        let deadline = Instant::now() + TICKET_GRACE;
+        while svc.queue_depth() > 0 {
+            assert!(Instant::now() < deadline, "blocker never started");
+            std::thread::yield_now();
+        }
+        // fills the single queue slot
+        let queued = svc.submit(QueryRequest::new(slow.clone(), 0.0041));
+        // overflow: must resolve as Overloaded, not hang
+        let shed = svc.submit(QueryRequest::new(slow, 0.0042));
+        match shed.wait() {
+            Err(ServeError::Overloaded { queue_cap }) => assert_eq!(queue_cap, 1),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().shed.load(Ordering::Relaxed), 1);
+        blocker.wait().unwrap();
+        queued.wait().unwrap();
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_bounded() {
+        let r = RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(8),
+        };
+        assert_eq!(r.backoff(0), Duration::from_millis(1));
+        assert_eq!(r.backoff(1), Duration::from_millis(2));
+        assert_eq!(r.backoff(3), Duration::from_millis(8));
+        assert_eq!(r.backoff(31), Duration::from_millis(8)); // saturates
+        assert_eq!(r.backoff(200), Duration::from_millis(8)); // shl overflow
     }
 }

@@ -167,6 +167,11 @@ fn shutdown_mid_flight_never_deadlocks_or_hangs_tickets() {
         pdb,
         ServiceConfig {
             threads: 2,
+            // room for the whole burst: with the default bounded queue
+            // (8 × threads, Block policy) the submission loop below would
+            // block until workers drain, and shutdown would find an
+            // almost-empty queue — defeating the "drop queued jobs" check
+            queue_cap: Some(64),
             ..ServiceConfig::default()
         },
     );

@@ -29,10 +29,14 @@
 //!   fresh facts (over the first declared unary relation) and runs the
 //!   Proposition 6.1 approximation.
 //! * `batch <table> <queries-file> [--threads N] [--eps E] [--max-n N]
-//!   [--policy widen|reject] [--tail-mass M] [--tail-start K]` — evaluates
-//!   one query per line through the concurrent [`infpdb_serve`] service
-//!   (thread pool + result cache + admission control) and appends a
-//!   metrics dump.
+//!   [--deadline-ms D] [--policy widen|reject] [--queue-cap C]
+//!   [--overflow block|reject|shed] [--tail-mass M] [--tail-start K]` —
+//!   evaluates one query per line through the concurrent [`infpdb_serve`]
+//!   service (thread pool + result cache + admission control +
+//!   backpressure) and appends a metrics dump. `--deadline-ms` bounds
+//!   each query's evaluation (cooperatively cancelled mid-truncation,
+//!   reporting a sound partial interval when one is certifiable);
+//!   `--queue-cap`/`--overflow` bound the submission queue.
 
 use infpdb_core::fact::Fact;
 use infpdb_core::schema::{Relation, Schema};
@@ -45,11 +49,13 @@ use infpdb_math::series::GeometricSeries;
 use infpdb_openworld::independent_facts::complete_ti_table;
 use infpdb_query::approx::{approx_prob_boolean, Approximation};
 use infpdb_serve::{
-    CostBudget, DegradePolicy, QueryRequest, QueryService, ServeError, ServiceConfig,
+    CostBudget, DegradePolicy, OverflowPolicy, QueryRequest, QueryService, ServeError,
+    ServiceConfig,
 };
 use infpdb_ti::construction::CountableTiPdb;
 use infpdb_ti::enumerator::FactSupply;
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// CLI errors, rendered to stderr by the binary.
 #[derive(Debug)]
@@ -351,23 +357,61 @@ pub fn cmd_open(
     ))
 }
 
+/// Tuning for the `batch` subcommand beyond its two required inputs;
+/// mirrors the command-line flags one for one.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Requested additive tolerance per query (`--eps`).
+    pub eps: f64,
+    /// Worker threads in the service pool (`--threads`).
+    pub threads: usize,
+    /// Truncation-size budget per query (`--max-n`).
+    pub max_n: Option<usize>,
+    /// Per-query evaluation deadline (`--deadline-ms`); enforced at
+    /// admission and cooperatively mid-truncation.
+    pub deadline: Option<Duration>,
+    /// Over-budget handling (`--policy widen|reject`).
+    pub policy: DegradePolicy,
+    /// Submission-queue capacity (`--queue-cap`); `None` is the service
+    /// default of 8 × threads.
+    pub queue_cap: Option<usize>,
+    /// Queue-overflow handling (`--overflow block|reject|shed`).
+    pub overflow: OverflowPolicy,
+    /// Total probability mass of the fresh-fact tail (`--tail-mass`).
+    pub tail_mass: f64,
+    /// First integer the tail invents facts for (`--tail-start`).
+    pub tail_start: i64,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            eps: 0.01,
+            threads: 4,
+            max_n: None,
+            deadline: None,
+            policy: DegradePolicy::WidenEps,
+            queue_cap: None,
+            overflow: OverflowPolicy::Block,
+            tail_mass: 0.5,
+            tail_start: 1_000_000,
+        }
+    }
+}
+
 /// `batch` subcommand: evaluates one query per line of `queries_text`
 /// through the concurrent [`infpdb_serve::QueryService`] over the
 /// open-world completion of the table, printing one result line per query
-/// (in input order) followed by the service's metrics dump.
-#[allow(clippy::too_many_arguments)]
+/// (in input order) followed by the service's metrics dump. Every query
+/// gets a line no matter how it resolved — success, rejection, deadline,
+/// shed, or error.
 pub fn cmd_batch(
     table_text: &str,
     queries_text: &str,
-    eps: f64,
-    threads: usize,
-    max_n: Option<usize>,
-    policy: DegradePolicy,
-    tail_mass: f64,
-    tail_start: i64,
+    opts: BatchOptions,
 ) -> Result<String, CliError> {
     let table = parse_table(table_text)?;
-    let open = open_world_pdb(&table, tail_mass, tail_start)?;
+    let open = open_world_pdb(&table, opts.tail_mass, opts.tail_start)?;
     let queries: Vec<&str> = queries_text
         .lines()
         .map(|l| l.split('#').next().unwrap_or("").trim())
@@ -378,23 +422,25 @@ pub fn cmd_batch(
             "batch: the queries file has no queries".into(),
         ));
     }
-    let budget = match max_n {
-        Some(n) => CostBudget::max_n(n),
-        None => CostBudget::unlimited(),
+    let budget = CostBudget {
+        max_n: opts.max_n,
+        deadline: opts.deadline,
     };
     let requests = queries
         .iter()
         .map(|text| {
             let q = parse(text, open.schema()).map_err(lib_err)?;
-            Ok(QueryRequest::new(q, eps).with_budget(budget))
+            Ok(QueryRequest::new(q, opts.eps).with_budget(budget))
         })
         .collect::<Result<Vec<_>, CliError>>()?;
 
     let svc = QueryService::new(
         open,
         ServiceConfig {
-            threads,
-            policy,
+            threads: opts.threads,
+            policy: opts.policy,
+            queue_cap: opts.queue_cap,
+            overflow: opts.overflow,
             ..ServiceConfig::default()
         },
     );
@@ -430,6 +476,32 @@ pub fn cmd_batch(
                     "P({text}): rejected (needs n = {needed_n}, budget allows n = {max_n})"
                 )
                 .ok();
+            }
+            Err(ServeError::DeadlineExceeded {
+                facts_processed,
+                partial,
+            }) => {
+                write!(
+                    out,
+                    "P({text}): deadline exceeded after {facts_processed} facts"
+                )
+                .ok();
+                if let Some(p) = partial {
+                    let iv = p.interval();
+                    write!(
+                        out,
+                        "; partial = {} ± {} in [{}, {}]",
+                        p.estimate,
+                        p.eps,
+                        iv.lo(),
+                        iv.hi()
+                    )
+                    .ok();
+                }
+                writeln!(out).ok();
+            }
+            Err(ServeError::Overloaded { queue_cap }) => {
+                writeln!(out, "P({text}): shed (queue full at {queue_cap})").ok();
             }
             Err(e) => {
                 writeln!(out, "P({text}): error: {e}").ok();
@@ -525,12 +597,35 @@ pub fn run(
                         .map_err(|_| CliError::Usage("--max-n must be a number".into()))?,
                 ),
             };
+            let deadline = match flag("--deadline-ms", "") {
+                s if s.is_empty() => None,
+                s => Some(Duration::from_millis(s.parse::<u64>().map_err(|_| {
+                    CliError::Usage("--deadline-ms must be a number of milliseconds".into())
+                })?)),
+            };
             let policy = match flag("--policy", "widen").as_str() {
                 "widen" => DegradePolicy::WidenEps,
                 "reject" => DegradePolicy::Reject,
                 other => {
                     return Err(CliError::Usage(format!(
                         "unknown policy {other:?} (widen|reject)"
+                    )))
+                }
+            };
+            let queue_cap = match flag("--queue-cap", "") {
+                s if s.is_empty() => None,
+                s => Some(
+                    s.parse::<usize>()
+                        .map_err(|_| CliError::Usage("--queue-cap must be a number".into()))?,
+                ),
+            };
+            let overflow = match flag("--overflow", "block").as_str() {
+                "block" => OverflowPolicy::Block,
+                "reject" => OverflowPolicy::RejectNewest,
+                "shed" => OverflowPolicy::ShedOldest,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown overflow policy {other:?} (block|reject|shed)"
                     )))
                 }
             };
@@ -541,7 +636,19 @@ pub fn run(
                 .parse()
                 .map_err(|_| CliError::Usage("--tail-start must be a number".into()))?;
             cmd_batch(
-                &table, &queries, eps, threads, max_n, policy, tail_mass, tail_start,
+                &table,
+                &queries,
+                BatchOptions {
+                    eps,
+                    threads,
+                    max_n,
+                    deadline,
+                    policy,
+                    queue_cap,
+                    overflow,
+                    tail_mass,
+                    tail_start,
+                },
             )
         }
         other => Err(CliError::Usage(format!(
@@ -755,12 +862,10 @@ Person(1000000)
         let out = cmd_batch(
             TABLE,
             QUERIES,
-            0.01,
-            1,
-            None,
-            DegradePolicy::WidenEps,
-            0.5,
-            1_000_000,
+            BatchOptions {
+                threads: 1,
+                ..BatchOptions::default()
+            },
         )
         .unwrap();
         let lines: Vec<&str> = out.lines().collect();
@@ -794,12 +899,12 @@ Person(1000000)
         let widened = cmd_batch(
             TABLE,
             "Person(42)\n",
-            0.000001,
-            1,
-            Some(6),
-            DegradePolicy::WidenEps,
-            0.5,
-            1_000_000,
+            BatchOptions {
+                eps: 0.000001,
+                threads: 1,
+                max_n: Some(6),
+                ..BatchOptions::default()
+            },
         )
         .unwrap();
         assert!(
@@ -810,12 +915,13 @@ Person(1000000)
         let rejected = cmd_batch(
             TABLE,
             "Person(42)\n",
-            0.000001,
-            1,
-            Some(6),
-            DegradePolicy::Reject,
-            0.5,
-            1_000_000,
+            BatchOptions {
+                eps: 0.000001,
+                threads: 1,
+                max_n: Some(6),
+                policy: DegradePolicy::Reject,
+                ..BatchOptions::default()
+            },
         )
         .unwrap();
         assert!(rejected.contains("rejected (needs n = "), "{rejected}");
@@ -825,17 +931,51 @@ Person(1000000)
 
     #[test]
     fn batch_command_rejects_empty_query_files() {
+        let out = cmd_batch(TABLE, "# nothing here\n\n", BatchOptions::default());
+        assert!(matches!(out, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn batch_command_with_generous_deadline_still_answers_everything() {
         let out = cmd_batch(
             TABLE,
-            "# nothing here\n\n",
-            0.01,
-            2,
-            None,
-            DegradePolicy::WidenEps,
-            0.5,
-            1_000_000,
+            QUERIES,
+            BatchOptions {
+                threads: 1,
+                deadline: Some(Duration::from_secs(30)),
+                ..BatchOptions::default()
+            },
+        )
+        .unwrap();
+        // every query resolves to a full answer well within the deadline
+        assert_eq!(
+            out.lines().filter(|l| l.starts_with("P(")).count(),
+            6,
+            "{out}"
         );
-        assert!(matches!(out, Err(CliError::Usage(_))));
+        assert!(out.contains("serve_requests_completed_total 6"), "{out}");
+        assert!(out.contains("serve_deadline_exceeded_total 0"), "{out}");
+    }
+
+    #[test]
+    fn batch_command_bounded_queue_resolves_every_ticket() {
+        // a 1-slot queue with shed-oldest under a 1-thread pool: whatever
+        // mix of answers and sheds happens, every query gets a line
+        let out = cmd_batch(
+            TABLE,
+            QUERIES,
+            BatchOptions {
+                threads: 1,
+                queue_cap: Some(1),
+                overflow: OverflowPolicy::ShedOldest,
+                ..BatchOptions::default()
+            },
+        )
+        .unwrap();
+        let result_lines = out.lines().filter(|l| l.starts_with("P(")).count();
+        assert_eq!(result_lines, 6, "{out}");
+        // the dump accounts for every submission: completed + shed = 6
+        assert!(out.contains("serve_requests_submitted_total 6"), "{out}");
     }
 
     #[test]
@@ -873,5 +1013,48 @@ Person(1000000)
             run(&args(&["frobnicate", "kb.pdb"]), files),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn batch_resilience_flags_parse_and_validate() {
+        let files = |path: &str| -> std::io::Result<String> {
+            match path {
+                "kb.pdb" => Ok(TABLE.to_string()),
+                "q.txt" => Ok("Person(42)\nPerson(1000000)\n".to_string()),
+                _ => Err(std::io::Error::new(std::io::ErrorKind::NotFound, "nope")),
+            }
+        };
+        let args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        let out = run(
+            &args(&[
+                "batch",
+                "kb.pdb",
+                "q.txt",
+                "--threads",
+                "1",
+                "--deadline-ms",
+                "30000",
+                "--queue-cap",
+                "4",
+                "--overflow",
+                "reject",
+            ]),
+            files,
+        )
+        .unwrap();
+        assert!(out.contains("-- metrics --"), "{out}");
+        assert_eq!(out.lines().filter(|l| l.starts_with("P(")).count(), 2);
+        for bad in [
+            ["--deadline-ms", "soon"],
+            ["--queue-cap", "many"],
+            ["--overflow", "warp"],
+        ] {
+            let mut a = args(&["batch", "kb.pdb", "q.txt"]);
+            a.extend(bad.iter().map(|s| s.to_string()));
+            assert!(
+                matches!(run(&a, files), Err(CliError::Usage(_))),
+                "{bad:?} must be a usage error"
+            );
+        }
     }
 }
