@@ -1,0 +1,590 @@
+//! The reproducible perf harness behind `infpdb bench`.
+//!
+//! Times the Proposition 6.1 hot path — grounding, Shannon expansion,
+//! and end-to-end `approx_prob_boolean` — on the geometric and zeta
+//! PDBs at ε ∈ {1e-2, 1e-3, 1e-4}, for either lineage implementation:
+//!
+//! * `tree` — the boxed-tree reference engine
+//!   ([`infpdb_finite::lineage::lineage_of`] +
+//!   [`infpdb_finite::shannon::probability`]), i.e. the pre-arena code
+//!   path, kept as the differential baseline;
+//! * `arena` — the hash-consed production engine
+//!   ([`infpdb_finite::lineage::lineage_of_arena`] +
+//!   [`infpdb_finite::shannon::probability_dag`]).
+//!
+//! The output is a stable JSON artifact (`BENCH_<iso-date>.json`, see
+//! [`to_json`]) recording per-cell median ns/op, the Shannon memo hit
+//! rate, and the arena node count, so the perf trajectory stays
+//! trackable (and optimisation claims falsifiable) across PRs.
+//! EXPERIMENTS.md §Perf records the checked-in before/after pair.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use infpdb_finite::arena::LineageArena;
+use infpdb_finite::engine::Engine;
+use infpdb_finite::lineage::{lineage_of, lineage_of_arena};
+use infpdb_finite::shannon;
+use infpdb_logic::ast::Formula;
+use infpdb_logic::parse;
+use infpdb_query::approx::approx_prob_boolean;
+use infpdb_query::truncate::TruncationPlan;
+use infpdb_ti::construction::CountableTiPdb;
+
+use crate::{geometric_pdb, zeta_pdb};
+
+/// The tolerances every workload is measured at.
+pub const DEFAULT_EPS: [f64; 3] = [1e-2, 1e-3, 1e-4];
+
+/// Which lineage implementation a run measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImplKind {
+    /// Boxed-tree reference engine (the pre-arena code path).
+    Tree,
+    /// Hash-consed arena + DAG Shannon engine (the production path).
+    Arena,
+}
+
+impl ImplKind {
+    /// The name used in CLI flags and the JSON artifact.
+    pub fn name(self) -> &'static str {
+        match self {
+            ImplKind::Tree => "tree",
+            ImplKind::Arena => "arena",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "tree" => Some(ImplKind::Tree),
+            "arena" => Some(ImplKind::Arena),
+            _ => None,
+        }
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Which engine to measure.
+    pub impl_kind: ImplKind,
+    /// Smoke mode: one iteration per cell, no warmup — just enough to
+    /// keep the harness green in CI.
+    pub smoke: bool,
+    /// The ε grid (defaults to [`DEFAULT_EPS`]).
+    pub eps: Vec<f64>,
+}
+
+impl BenchConfig {
+    /// The standard configuration for `infpdb bench`.
+    pub fn new(impl_kind: ImplKind, smoke: bool) -> Self {
+        Self {
+            impl_kind,
+            smoke,
+            eps: DEFAULT_EPS.to_vec(),
+        }
+    }
+}
+
+/// One measured cell: `(workload, query, stage, ε)` → timing + engine
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// PDB fixture: `"geometric"` or `"zeta"`.
+    pub workload: &'static str,
+    /// Query shape: `"exists"` or `"pair"`.
+    pub query: &'static str,
+    /// `"ground"`, `"shannon"`, or `"e2e"`.
+    pub stage: &'static str,
+    /// Tolerance the truncation was planned for.
+    pub eps: f64,
+    /// `n(ε)`: the truncated prefix length.
+    pub n: usize,
+    /// Timed iterations behind the median.
+    pub iters: usize,
+    /// Median wall-clock nanoseconds per operation.
+    pub median_ns: u64,
+    /// The probability the stage computes (sanity anchor; identical
+    /// across implementations by the equivalence tests).
+    pub estimate: f64,
+    /// Shannon memo hits / (hits + expansions + decompositions), from
+    /// an untimed probe. `None` for ground-only rows.
+    pub memo_hit_rate: Option<f64>,
+    /// Interned arena nodes after the stage (tree rows report the tree
+    /// node count for `ground`, `None` elsewhere).
+    pub arena_nodes: Option<usize>,
+}
+
+/// A full harness run: the rows plus the provenance needed to compare
+/// artifacts across PRs.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Which engine was measured.
+    pub impl_kind: ImplKind,
+    /// Whether smoke mode was on.
+    pub smoke: bool,
+    /// UTC date of the run (`YYYY-MM-DD`).
+    pub date: String,
+    /// One row per `(workload, query, stage, ε)` cell.
+    pub rows: Vec<BenchRow>,
+}
+
+/// Iteration policy for one measurement.
+#[derive(Debug, Clone, Copy)]
+struct IterPolicy {
+    warmup: bool,
+    min_iters: usize,
+    max_iters: usize,
+    budget: Duration,
+}
+
+impl IterPolicy {
+    fn for_config(cfg: &BenchConfig) -> Self {
+        if cfg.smoke {
+            Self {
+                warmup: false,
+                min_iters: 1,
+                max_iters: 1,
+                budget: Duration::ZERO,
+            }
+        } else {
+            Self {
+                warmup: true,
+                min_iters: 5,
+                max_iters: 400,
+                budget: Duration::from_millis(300),
+            }
+        }
+    }
+}
+
+/// Runs `op` under the iteration policy; `setup` produces per-iteration
+/// state *outside* the timed window (the arena Shannon stage needs a
+/// freshly grounded arena per iteration, because DAG evaluation interns
+/// cofactors and a reused arena would answer later iterations from the
+/// interning table). Returns `(median_ns, iters)`.
+fn run_timed<S>(
+    policy: IterPolicy,
+    mut setup: impl FnMut() -> S,
+    mut op: impl FnMut(S),
+) -> (u64, usize) {
+    if policy.warmup {
+        op(setup());
+    }
+    let mut samples: Vec<u64> = Vec::new();
+    let started = Instant::now();
+    loop {
+        let state = setup();
+        let t = Instant::now();
+        op(state);
+        let ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        samples.push(ns);
+        let done_min = samples.len() >= policy.min_iters;
+        if samples.len() >= policy.max_iters || (done_min && started.elapsed() >= policy.budget) {
+            break;
+        }
+    }
+    samples.sort_unstable();
+    (samples[samples.len() / 2], samples.len())
+}
+
+/// One workload: a PDB fixture and a query over it.
+struct Workload {
+    pdb_name: &'static str,
+    query_name: &'static str,
+    query_text: &'static str,
+    pdb: CountableTiPdb,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            pdb_name: "geometric",
+            query_name: "exists",
+            query_text: "exists x. R(x)",
+            pdb: geometric_pdb(),
+        },
+        // the memo-heavy regime: C(n,2) clauses sharing all their
+        // conjuncts pairwise, where hash-consing pays off
+        Workload {
+            pdb_name: "geometric",
+            query_name: "pair",
+            query_text: "exists x, y. R(x) /\\ R(y) /\\ x != y",
+            pdb: geometric_pdb(),
+        },
+        // slow decay: n(1e-4) ≈ 9000, stressing grounding + component
+        // decomposition width (the pair query over ~9000 facts would
+        // ground ~40M clauses, so zeta only runs the unary query)
+        Workload {
+            pdb_name: "zeta",
+            query_name: "exists",
+            query_text: "exists x. R(x)",
+            pdb: zeta_pdb(),
+        },
+    ]
+}
+
+/// Untimed probe of one cell: probability, Shannon statistics, and node
+/// counts, recorded once and attached to the cell's rows.
+struct Probe {
+    estimate: f64,
+    memo_hit_rate: f64,
+    ground_nodes: usize,
+    eval_nodes: Option<usize>,
+}
+
+fn probe_cell(
+    impl_kind: ImplKind,
+    query: &Formula,
+    table: &infpdb_finite::TiTable,
+) -> Result<Probe, String> {
+    let probs = |id| table.prob(id);
+    match impl_kind {
+        ImplKind::Tree => {
+            let l = lineage_of(query, table).map_err(|e| e.to_string())?;
+            let (p, stats) = shannon::probability_with_stats(&l, &probs);
+            Ok(Probe {
+                estimate: p,
+                memo_hit_rate: hit_rate(&stats),
+                ground_nodes: l.size(),
+                eval_nodes: None,
+            })
+        }
+        ImplKind::Arena => {
+            let mut arena = LineageArena::new();
+            let root = lineage_of_arena(query, table, &mut arena).map_err(|e| e.to_string())?;
+            let ground_nodes = arena.len();
+            let (p, stats) = shannon::probability_dag_with_stats(&mut arena, root, &probs);
+            Ok(Probe {
+                estimate: p,
+                memo_hit_rate: hit_rate(&stats),
+                ground_nodes,
+                eval_nodes: Some(arena.len()),
+            })
+        }
+    }
+}
+
+fn hit_rate(stats: &shannon::Stats) -> f64 {
+    let probes = stats.cache_hits + stats.expansions + stats.decompositions;
+    if probes == 0 {
+        0.0
+    } else {
+        stats.cache_hits as f64 / probes as f64
+    }
+}
+
+/// Runs the full workload × ε × stage matrix for one engine.
+pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
+    let policy = IterPolicy::for_config(config);
+    let mut rows = Vec::new();
+    for w in workloads() {
+        let query = parse(w.query_text, w.pdb.schema()).map_err(|e| e.to_string())?;
+        for &eps in &config.eps {
+            let plan = TruncationPlan::new(&w.pdb, eps).map_err(|e| e.to_string())?;
+            let table = &plan.table;
+            let n = plan.n();
+            let probe = probe_cell(config.impl_kind, &query, table)?;
+            let probs = |id| table.prob(id);
+
+            // stage 1: grounding (query → lineage over Ω_n)
+            let (median_ns, iters) = match config.impl_kind {
+                ImplKind::Tree => run_timed(
+                    policy,
+                    || (),
+                    |()| {
+                        black_box(lineage_of(&query, table).expect("probed"));
+                    },
+                ),
+                ImplKind::Arena => run_timed(
+                    policy,
+                    || (),
+                    |()| {
+                        let mut arena = LineageArena::new();
+                        black_box(lineage_of_arena(&query, table, &mut arena).expect("probed"));
+                    },
+                ),
+            };
+            rows.push(BenchRow {
+                workload: w.pdb_name,
+                query: w.query_name,
+                stage: "ground",
+                eps,
+                n,
+                iters,
+                median_ns,
+                estimate: probe.estimate,
+                memo_hit_rate: None,
+                arena_nodes: Some(probe.ground_nodes),
+            });
+
+            // stage 2: Shannon expansion (grounding outside the timer)
+            let (median_ns, iters) = match config.impl_kind {
+                ImplKind::Tree => {
+                    let l = lineage_of(&query, table).expect("probed");
+                    run_timed(
+                        policy,
+                        || (),
+                        |()| {
+                            black_box(shannon::probability_with_stats(&l, &probs));
+                        },
+                    )
+                }
+                ImplKind::Arena => run_timed(
+                    policy,
+                    || {
+                        let mut arena = LineageArena::new();
+                        let root = lineage_of_arena(&query, table, &mut arena).expect("probed");
+                        (arena, root)
+                    },
+                    |(mut arena, root)| {
+                        black_box(shannon::probability_dag_with_stats(
+                            &mut arena, root, &probs,
+                        ));
+                    },
+                ),
+            };
+            rows.push(BenchRow {
+                workload: w.pdb_name,
+                query: w.query_name,
+                stage: "shannon",
+                eps,
+                n,
+                iters,
+                median_ns,
+                estimate: probe.estimate,
+                memo_hit_rate: Some(probe.memo_hit_rate),
+                arena_nodes: probe.eval_nodes,
+            });
+
+            // stage 3: end-to-end approx_prob_boolean (truncation
+            // planning + grounding + Shannon, all inside the timer)
+            let (median_ns, iters) = match config.impl_kind {
+                ImplKind::Tree => run_timed(
+                    policy,
+                    || (),
+                    |()| {
+                        let plan = TruncationPlan::new(&w.pdb, eps).expect("probed");
+                        let l = lineage_of(&query, &plan.table).expect("probed");
+                        black_box(shannon::probability(&l, &|id| plan.table.prob(id)));
+                    },
+                ),
+                ImplKind::Arena => run_timed(
+                    policy,
+                    || (),
+                    |()| {
+                        black_box(
+                            approx_prob_boolean(&w.pdb, &query, eps, Engine::Lineage)
+                                .expect("probed"),
+                        );
+                    },
+                ),
+            };
+            rows.push(BenchRow {
+                workload: w.pdb_name,
+                query: w.query_name,
+                stage: "e2e",
+                eps,
+                n,
+                iters,
+                median_ns,
+                estimate: probe.estimate,
+                memo_hit_rate: Some(probe.memo_hit_rate),
+                arena_nodes: probe.eval_nodes,
+            });
+        }
+    }
+    Ok(BenchReport {
+        impl_kind: config.impl_kind,
+        smoke: config.smoke,
+        date: iso_date_utc(),
+        rows,
+    })
+}
+
+/// Renders the report as the `BENCH_<iso-date>.json` artifact.
+///
+/// Hand-written (the workspace is offline; no serde): the schema is
+/// `{"schema":"infpdb-bench/1","date":…,"impl":…,"smoke":…,"rows":[…]}`
+/// with one object per [`BenchRow`]; absent statistics are `null`.
+pub fn to_json(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    writeln!(out, "  \"schema\": \"infpdb-bench/1\",").ok();
+    writeln!(out, "  \"date\": \"{}\",", report.date).ok();
+    writeln!(out, "  \"impl\": \"{}\",", report.impl_kind.name()).ok();
+    writeln!(out, "  \"smoke\": {},", report.smoke).ok();
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        let rate = match r.memo_hit_rate {
+            Some(v) => format!("{v:.6}"),
+            None => "null".into(),
+        };
+        let nodes = match r.arena_nodes {
+            Some(v) => v.to_string(),
+            None => "null".into(),
+        };
+        write!(
+            out,
+            "    {{\"workload\": \"{}\", \"query\": \"{}\", \"stage\": \"{}\", \
+             \"eps\": {}, \"n\": {}, \"iters\": {}, \"median_ns\": {}, \
+             \"estimate\": {}, \"memo_hit_rate\": {}, \"arena_nodes\": {}}}",
+            r.workload, r.query, r.stage, r.eps, r.n, r.iters, r.median_ns, r.estimate, rate, nodes,
+        )
+        .ok();
+        out.push_str(if i + 1 == report.rows.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// A human-readable summary table (what `infpdb bench` prints).
+pub fn summary_table(report: &BenchReport) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "impl={} smoke={} date={}",
+        report.impl_kind.name(),
+        report.smoke,
+        report.date
+    )
+    .ok();
+    writeln!(
+        out,
+        "{:<10} {:<7} {:<8} {:>7} {:>6} {:>6} {:>14} {:>9} {:>7}",
+        "workload", "query", "stage", "eps", "n", "iters", "median_ns", "hit_rate", "nodes"
+    )
+    .ok();
+    for r in &report.rows {
+        let rate = r
+            .memo_hit_rate
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|| "-".into());
+        let nodes = r
+            .arena_nodes
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".into());
+        writeln!(
+            out,
+            "{:<10} {:<7} {:<8} {:>7} {:>6} {:>6} {:>14} {:>9} {:>7}",
+            r.workload, r.query, r.stage, r.eps, r.n, r.iters, r.median_ns, rate, nodes
+        )
+        .ok();
+    }
+    out
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock (no chrono
+/// in the offline workspace).
+pub fn iso_date_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Days-since-epoch → proleptic Gregorian calendar date (the standard
+/// `civil_from_days` construction).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_from_days_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        assert_eq!(civil_from_days(19_723 + 59), (2024, 2, 29)); // leap day
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+
+    /// A tiny run of both engines covers the full matrix shape and
+    /// agrees on every estimate (the deep equivalence guarantees live
+    /// in `infpdb-finite`'s property tests).
+    #[test]
+    fn smoke_run_produces_full_matrix_and_engines_agree() {
+        let mk = |impl_kind| BenchConfig {
+            impl_kind,
+            smoke: true,
+            eps: vec![1e-2],
+        };
+        let tree = run(&mk(ImplKind::Tree)).unwrap();
+        let arena = run(&mk(ImplKind::Arena)).unwrap();
+        // 3 workloads × 1 ε × 3 stages
+        assert_eq!(tree.rows.len(), 9);
+        assert_eq!(arena.rows.len(), 9);
+        for (t, a) in tree.rows.iter().zip(&arena.rows) {
+            assert_eq!(
+                (t.workload, t.query, t.stage, t.n),
+                (a.workload, a.query, a.stage, a.n)
+            );
+            assert_eq!(t.estimate.to_bits(), a.estimate.to_bits());
+            assert!(t.median_ns > 0 && a.median_ns > 0);
+        }
+        // the arena reports node counts on every row; tree only for ground
+        assert!(arena.rows.iter().all(|r| r.arena_nodes.is_some()));
+        assert!(tree
+            .rows
+            .iter()
+            .all(|r| (r.stage == "ground") == r.arena_nodes.is_some()));
+    }
+
+    #[test]
+    fn json_artifact_is_well_formed() {
+        let report = BenchReport {
+            impl_kind: ImplKind::Arena,
+            smoke: true,
+            date: "2026-08-06".into(),
+            rows: vec![BenchRow {
+                workload: "geometric",
+                query: "pair",
+                stage: "shannon",
+                eps: 1e-4,
+                n: 14,
+                iters: 7,
+                median_ns: 12_345,
+                estimate: 0.25,
+                memo_hit_rate: Some(0.5),
+                arena_nodes: Some(321),
+            }],
+        };
+        let json = to_json(&report);
+        assert!(json.contains("\"schema\": \"infpdb-bench/1\""));
+        assert!(json.contains("\"impl\": \"arena\""));
+        assert!(json.contains("\"median_ns\": 12345"));
+        assert!(json.contains("\"memo_hit_rate\": 0.500000"));
+        // balanced braces/brackets, no trailing comma before a closer
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",}"));
+    }
+
+    #[test]
+    fn impl_kind_round_trips() {
+        for k in [ImplKind::Tree, ImplKind::Arena] {
+            assert_eq!(ImplKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(ImplKind::parse("btree"), None);
+    }
+}

@@ -6,6 +6,8 @@
 //! rows — the reproducible artifact EXPERIMENTS.md records — and times the
 //! underlying operation with Criterion.
 
+pub mod harness;
+
 use infpdb_core::fact::Fact;
 use infpdb_core::schema::{RelId, Relation, Schema};
 use infpdb_core::value::Value;

@@ -1,0 +1,672 @@
+//! Hash-consed lineage arena: canonical Boolean provenance as a DAG.
+//!
+//! The boxed-tree [`Lineage`](crate::lineage::Lineage) representation pays
+//! twice on the Proposition 6.1 hot path: structurally equal sub-lineages
+//! are materialized once per occurrence, and every memo probe of the
+//! Shannon engine rehashes an entire subtree. This module replaces it with
+//! a classic knowledge-compilation *arena*: an interning table maps each
+//! canonical node shape `(op, sorted child ids)` to a dense [`LineageId`],
+//! so
+//!
+//! * structural equality is **id equality** — `O(1)` to hash and compare;
+//! * shared substructure is **physically shared** — each distinct
+//!   sub-lineage exists exactly once, however often it occurs;
+//! * every node carries a **cached sorted variable set**, so connected-
+//!   component decomposition stops recomputing free-variable scans.
+//!
+//! # Canonical-form invariants
+//!
+//! Constructors enforce the same normal form as the tree smart
+//! constructors, so arena nodes are in 1–1 correspondence with canonical
+//! [`Lineage`](crate::lineage::Lineage) trees:
+//!
+//! 1. `And`/`Or` children are flattened (no `And` directly under `And`),
+//!    sorted by *structural* order (the tree's derived `Ord`), and
+//!    deduplicated; constants are folded away.
+//! 2. A complementary pair `g, ¬g` among siblings folds the node to
+//!    `⊥`/`⊤`.
+//! 3. Single-child `And`/`Or` unwrap; `¬¬g` folds to `g`; `¬⊤ = ⊥`.
+//! 4. Children are created before parents, so every node's children have
+//!    strictly smaller ids — a node's id order is a topological order,
+//!    which makes bottom-up passes a single linear scan
+//!    ([`LineageArena::eval_into`]).
+//!
+//! Because the correspondence is exact (including child *order*), the DAG
+//! Shannon engine in [`crate::shannon`] performs bit-for-bit the same
+//! floating-point operations as the tree reference engine — a property
+//! the `arena_equivalence` test suite checks on hundreds of random
+//! formulas.
+
+use crate::lineage::Lineage;
+use infpdb_core::fact::FactId;
+use infpdb_core::instance::Instance;
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Dense identifier of a node in a [`LineageArena`].
+///
+/// Ids are only meaningful relative to the arena that produced them.
+/// Equality of ids within one arena is structural equality of the
+/// lineages they denote (hash-consing invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineageId(pub u32);
+
+/// The constant-false node, present in every arena.
+pub const BOT: LineageId = LineageId(0);
+/// The constant-true node, present in every arena.
+pub const TOP: LineageId = LineageId(1);
+
+/// One canonical node of the lineage DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LineageNode {
+    /// Constant false.
+    Bot,
+    /// Constant true.
+    Top,
+    /// The fact variable "f ∈ D".
+    Var(FactId),
+    /// Negation (child is never a constant or another `Not`).
+    Not(LineageId),
+    /// Conjunction: ≥ 2 children, canonical order, no nested `And`.
+    And(Box<[LineageId]>),
+    /// Disjunction: ≥ 2 children, canonical order, no nested `Or`.
+    Or(Box<[LineageId]>),
+}
+
+/// Interning and evaluation statistics of an arena.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Distinct nodes currently interned (including `⊥`/`⊤`).
+    pub nodes: usize,
+    /// Constructor calls answered by the interning table instead of
+    /// allocating a new node.
+    pub intern_hits: usize,
+}
+
+/// A hash-consed arena of canonical lineage nodes.
+///
+/// Build nodes with [`var`](Self::var), [`and`](Self::and),
+/// [`or`](Self::or), [`negate`](Self::negate); all take and return
+/// [`LineageId`]s. One arena should be reused across an entire
+/// evaluation (grounding + inference) so shared substructure is
+/// discovered; arenas are cheap to create per evaluation and are not
+/// meant to outlive one query's lifecycle.
+#[derive(Debug, Default)]
+pub struct LineageArena {
+    nodes: Vec<LineageNode>,
+    /// Sorted, deduplicated fact variables per node, shared via `Arc` so
+    /// `Not` nodes alias their child's set.
+    vars: Vec<Arc<[FactId]>>,
+    intern: HashMap<LineageNode, LineageId>,
+    /// Memoized structural comparisons (`cmp_structural`).
+    cmp_cache: RefCell<HashMap<(u32, u32), Ordering>>,
+    intern_hits: usize,
+}
+
+impl LineageArena {
+    /// An arena holding only the constants `⊥` (id 0) and `⊤` (id 1).
+    pub fn new() -> Self {
+        let mut a = LineageArena::default();
+        let empty: Arc<[FactId]> = Arc::from(Vec::new());
+        a.nodes.push(LineageNode::Bot);
+        a.vars.push(Arc::clone(&empty));
+        a.intern.insert(LineageNode::Bot, BOT);
+        a.nodes.push(LineageNode::Top);
+        a.vars.push(empty);
+        a.intern.insert(LineageNode::Top, TOP);
+        a
+    }
+
+    /// Number of interned nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena holds only the two constants.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 2
+    }
+
+    /// Interning statistics.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            nodes: self.nodes.len(),
+            intern_hits: self.intern_hits,
+        }
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: LineageId) -> &LineageNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// The sorted fact variables occurring under `id`.
+    pub fn vars(&self, id: LineageId) -> &[FactId] {
+        &self.vars[id.0 as usize]
+    }
+
+    /// The shared handle to the variable set (cheap to clone).
+    pub fn vars_arc(&self, id: LineageId) -> Arc<[FactId]> {
+        Arc::clone(&self.vars[id.0 as usize])
+    }
+
+    fn intern(&mut self, node: LineageNode, vars: Arc<[FactId]>) -> LineageId {
+        if let Some(&id) = self.intern.get(&node) {
+            self.intern_hits += 1;
+            return id;
+        }
+        let id = LineageId(u32::try_from(self.nodes.len()).expect("arena node count fits in u32"));
+        self.nodes.push(node.clone());
+        self.vars.push(vars);
+        self.intern.insert(node, id);
+        id
+    }
+
+    /// The fact variable `f`.
+    pub fn var(&mut self, f: FactId) -> LineageId {
+        self.intern(LineageNode::Var(f), Arc::from(vec![f]))
+    }
+
+    /// Canonical negation: constants and double negations fold.
+    pub fn negate(&mut self, id: LineageId) -> LineageId {
+        match self.node(id) {
+            LineageNode::Top => BOT,
+            LineageNode::Bot => TOP,
+            LineageNode::Not(g) => *g,
+            _ => {
+                let vars = self.vars_arc(id);
+                self.intern(LineageNode::Not(id), vars)
+            }
+        }
+    }
+
+    /// Canonical conjunction of arbitrarily many children.
+    pub fn and(&mut self, children: impl IntoIterator<Item = LineageId>) -> LineageId {
+        self.nary(children, /* is_and */ true)
+    }
+
+    /// Canonical disjunction of arbitrarily many children.
+    pub fn or(&mut self, children: impl IntoIterator<Item = LineageId>) -> LineageId {
+        self.nary(children, /* is_and */ false)
+    }
+
+    fn nary(&mut self, children: impl IntoIterator<Item = LineageId>, is_and: bool) -> LineageId {
+        let (absorbing, neutral) = if is_and { (BOT, TOP) } else { (TOP, BOT) };
+        let mut out: Vec<LineageId> = Vec::new();
+        for c in children {
+            if c == absorbing {
+                return absorbing;
+            }
+            if c == neutral {
+                continue;
+            }
+            match self.node(c) {
+                LineageNode::And(gs) if is_and => out.extend_from_slice(gs),
+                LineageNode::Or(gs) if !is_and => out.extend_from_slice(gs),
+                _ => out.push(c),
+            }
+        }
+        out.sort_by(|&a, &b| self.cmp_structural(a, b));
+        out.dedup();
+        if self.has_complementary_pair(&out) {
+            return absorbing;
+        }
+        match out.len() {
+            0 => neutral,
+            1 => out[0],
+            _ => {
+                let mut vs: Vec<FactId> = Vec::new();
+                for &c in &out {
+                    vs.extend_from_slice(self.vars(c));
+                }
+                vs.sort_unstable();
+                vs.dedup();
+                let node = if is_and {
+                    LineageNode::And(out.into_boxed_slice())
+                } else {
+                    LineageNode::Or(out.into_boxed_slice())
+                };
+                self.intern(node, Arc::from(vs))
+            }
+        }
+    }
+
+    /// Detects `g` and `¬g` among canonical siblings — `O(k)` thanks to
+    /// hash-consing (id membership replaces structural lookup).
+    fn has_complementary_pair(&self, children: &[LineageId]) -> bool {
+        use std::collections::HashSet;
+        let mut positives: HashSet<LineageId> = HashSet::new();
+        let mut negatives: HashSet<LineageId> = HashSet::new();
+        for &c in children {
+            match self.node(c) {
+                LineageNode::Not(g) => {
+                    negatives.insert(*g);
+                }
+                _ => {
+                    positives.insert(c);
+                }
+            }
+        }
+        positives.iter().any(|p| negatives.contains(p))
+    }
+
+    /// Structural order of the denoted canonical trees — exactly the
+    /// derived `Ord` of [`Lineage`], so arena child order matches tree
+    /// child order node for node. `O(1)` on equal ids; memoized on
+    /// distinct ones, with equality short-cutting every recursive step.
+    pub fn cmp_structural(&self, a: LineageId, b: LineageId) -> Ordering {
+        if a == b {
+            return Ordering::Equal;
+        }
+        if let Some(&ord) = self.cmp_cache.borrow().get(&(a.0, b.0)) {
+            return ord;
+        }
+        let ord = self.cmp_uncached(a, b);
+        let mut cache = self.cmp_cache.borrow_mut();
+        cache.insert((a.0, b.0), ord);
+        cache.insert((b.0, a.0), ord.reverse());
+        ord
+    }
+
+    fn cmp_uncached(&self, a: LineageId, b: LineageId) -> Ordering {
+        fn rank(n: &LineageNode) -> u8 {
+            // the tree enum declares Top, Bot, Var, Not, And, Or
+            match n {
+                LineageNode::Top => 0,
+                LineageNode::Bot => 1,
+                LineageNode::Var(_) => 2,
+                LineageNode::Not(_) => 3,
+                LineageNode::And(_) => 4,
+                LineageNode::Or(_) => 5,
+            }
+        }
+        let (na, nb) = (self.node(a), self.node(b));
+        match rank(na).cmp(&rank(nb)) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        match (na, nb) {
+            (LineageNode::Var(x), LineageNode::Var(y)) => x.cmp(y),
+            (LineageNode::Not(x), LineageNode::Not(y)) => self.cmp_structural(*x, *y),
+            (LineageNode::And(xs), LineageNode::Or(ys))
+            | (LineageNode::Or(xs), LineageNode::And(ys))
+            | (LineageNode::And(xs), LineageNode::And(ys))
+            | (LineageNode::Or(xs), LineageNode::Or(ys)) => {
+                // Vec's derived Ord: lexicographic, then length
+                let (xs, ys) = (xs.clone(), ys.clone());
+                for (&x, &y) in xs.iter().zip(ys.iter()) {
+                    match self.cmp_structural(x, y) {
+                        Ordering::Equal => {}
+                        ord => return ord,
+                    }
+                }
+                xs.len().cmp(&ys.len())
+            }
+            _ => unreachable!("equal ranks imply equal discriminants"),
+        }
+    }
+
+    /// Shannon cofactor: conditions `root` on `var = value`,
+    /// re-canonicalizing. Subgraphs not mentioning `var` are returned
+    /// unchanged (same id) — the DAG analogue of the tree's full-subtree
+    /// rewrite, with per-call memoization so shared nodes rewrite once.
+    pub fn assign(&mut self, root: LineageId, var: FactId, value: bool) -> LineageId {
+        let mut memo: HashMap<LineageId, LineageId> = HashMap::new();
+        self.assign_rec(root, var, value, &mut memo)
+    }
+
+    fn assign_rec(
+        &mut self,
+        id: LineageId,
+        var: FactId,
+        value: bool,
+        memo: &mut HashMap<LineageId, LineageId>,
+    ) -> LineageId {
+        if self.vars(id).binary_search(&var).is_err() {
+            return id; // var does not occur: the cofactor is the node itself
+        }
+        if let Some(&r) = memo.get(&id) {
+            return r;
+        }
+        let result = match self.node(id).clone() {
+            LineageNode::Bot | LineageNode::Top => id,
+            LineageNode::Var(_) => {
+                if value {
+                    TOP
+                } else {
+                    BOT
+                }
+            }
+            LineageNode::Not(g) => {
+                let r = self.assign_rec(g, var, value, memo);
+                self.negate(r)
+            }
+            LineageNode::And(gs) => {
+                let rs: Vec<LineageId> = gs
+                    .iter()
+                    .map(|&g| self.assign_rec(g, var, value, memo))
+                    .collect();
+                self.and(rs)
+            }
+            LineageNode::Or(gs) => {
+                let rs: Vec<LineageId> = gs
+                    .iter()
+                    .map(|&g| self.assign_rec(g, var, value, memo))
+                    .collect();
+                self.or(rs)
+            }
+        };
+        memo.insert(id, result);
+        result
+    }
+
+    /// Evaluates `root` in a world by one linear bottom-up pass over node
+    /// ids (children precede parents). `buf` is scratch storage reused
+    /// across calls — pass the same buffer when evaluating many worlds
+    /// (Monte-Carlo) to avoid reallocation.
+    pub fn eval_into(&self, root: LineageId, world: &Instance, buf: &mut Vec<bool>) -> bool {
+        let upto = root.0 as usize + 1;
+        buf.clear();
+        buf.reserve(upto);
+        for node in &self.nodes[..upto] {
+            let v = match node {
+                LineageNode::Bot => false,
+                LineageNode::Top => true,
+                LineageNode::Var(f) => world.contains(*f),
+                LineageNode::Not(g) => !buf[g.0 as usize],
+                LineageNode::And(gs) => gs.iter().all(|g| buf[g.0 as usize]),
+                LineageNode::Or(gs) => gs.iter().any(|g| buf[g.0 as usize]),
+            };
+            buf.push(v);
+        }
+        buf[root.0 as usize]
+    }
+
+    /// Evaluates `root` in a world (allocating variant of
+    /// [`eval_into`](Self::eval_into)).
+    pub fn eval(&self, root: LineageId, world: &Instance) -> bool {
+        self.eval_into(root, world, &mut Vec::new())
+    }
+
+    /// Number of distinct DAG nodes reachable from `root` (shared nodes
+    /// count once; compare with the tree's `size`, which counts every
+    /// occurrence).
+    pub fn reachable(&self, root: LineageId) -> usize {
+        let mut seen = vec![false; root.0 as usize + 1];
+        let mut stack = vec![root];
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id.0 as usize], true) {
+                continue;
+            }
+            count += 1;
+            match self.node(id) {
+                LineageNode::Not(g) => stack.push(*g),
+                LineageNode::And(gs) | LineageNode::Or(gs) => stack.extend_from_slice(gs),
+                _ => {}
+            }
+        }
+        count
+    }
+
+    /// Imports a boxed tree, re-canonicalizing through the constructors.
+    /// On an already-canonical tree this is a pure structural copy.
+    pub fn from_lineage(&mut self, l: &Lineage) -> LineageId {
+        match l {
+            Lineage::Top => TOP,
+            Lineage::Bot => BOT,
+            Lineage::Var(f) => self.var(*f),
+            Lineage::Not(g) => {
+                let id = self.from_lineage(g);
+                self.negate(id)
+            }
+            Lineage::And(gs) => {
+                let ids: Vec<LineageId> = gs.iter().map(|g| self.from_lineage(g)).collect();
+                self.and(ids)
+            }
+            Lineage::Or(gs) => {
+                let ids: Vec<LineageId> = gs.iter().map(|g| self.from_lineage(g)).collect();
+                self.or(ids)
+            }
+        }
+    }
+
+    /// Exports a node as a boxed tree (testing/interop; shared DAG nodes
+    /// are duplicated, exactly undoing the sharing).
+    pub fn to_lineage(&self, id: LineageId) -> Lineage {
+        match self.node(id) {
+            LineageNode::Bot => Lineage::Bot,
+            LineageNode::Top => Lineage::Top,
+            LineageNode::Var(f) => Lineage::Var(*f),
+            LineageNode::Not(g) => Lineage::Not(Box::new(self.to_lineage(*g))),
+            LineageNode::And(gs) => Lineage::And(gs.iter().map(|&g| self.to_lineage(g)).collect()),
+            LineageNode::Or(gs) => Lineage::Or(gs.iter().map(|&g| self.to_lineage(g)).collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FactId {
+        FactId(i)
+    }
+
+    #[test]
+    fn constants_are_preinterned() {
+        let a = LineageArena::new();
+        assert_eq!(a.len(), 2);
+        assert!(matches!(a.node(BOT), LineageNode::Bot));
+        assert!(matches!(a.node(TOP), LineageNode::Top));
+        assert!(a.vars(TOP).is_empty());
+    }
+
+    #[test]
+    fn interning_dedupes_structurally_equal_nodes() {
+        let mut a = LineageArena::new();
+        let x = a.var(f(0));
+        let y = a.var(f(1));
+        let g1 = a.and([x, y]);
+        let g2 = a.and([y, x]); // different order, same canonical node
+        assert_eq!(g1, g2);
+        assert!(a.stats().intern_hits >= 1);
+        let n = a.len();
+        let g3 = a.and([x, y, x]); // dedup
+        assert_eq!(g1, g3);
+        assert_eq!(a.len(), n);
+    }
+
+    #[test]
+    fn constants_fold_in_constructors() {
+        let mut a = LineageArena::new();
+        let x = a.var(f(0));
+        assert_eq!(a.and([x, BOT]), BOT);
+        assert_eq!(a.and([x, TOP]), x);
+        assert_eq!(a.or([x, TOP]), TOP);
+        assert_eq!(a.or([x, BOT]), x);
+        assert_eq!(a.and([]), TOP);
+        assert_eq!(a.or([]), BOT);
+    }
+
+    #[test]
+    fn complementary_pairs_fold() {
+        let mut a = LineageArena::new();
+        let x = a.var(f(3));
+        let nx = a.negate(x);
+        assert_eq!(a.and([x, nx]), BOT);
+        assert_eq!(a.or([nx, x]), TOP);
+        // also for compound children
+        let y = a.var(f(4));
+        let g = a.and([x, y]);
+        let ng = a.negate(g);
+        assert_eq!(a.or([g, ng]), TOP);
+    }
+
+    #[test]
+    fn negation_folds() {
+        let mut a = LineageArena::new();
+        assert_eq!(a.negate(TOP), BOT);
+        assert_eq!(a.negate(BOT), TOP);
+        let x = a.var(f(0));
+        let nx = a.negate(x);
+        assert_eq!(a.negate(nx), x);
+        // Not shares its child's variable set
+        assert_eq!(a.vars(nx), a.vars(x));
+    }
+
+    #[test]
+    fn nested_same_op_children_flatten() {
+        let mut a = LineageArena::new();
+        let x = a.var(f(0));
+        let y = a.var(f(1));
+        let z = a.var(f(2));
+        let xy = a.and([x, y]);
+        let whole = a.and([xy, z]);
+        match a.node(whole) {
+            LineageNode::And(gs) => assert_eq!(gs.len(), 3),
+            other => panic!("{other:?}"),
+        }
+        // Or under And does NOT flatten
+        let oyz = a.or([y, z]);
+        let mixed = a.and([x, oyz]);
+        match a.node(mixed) {
+            LineageNode::And(gs) => assert_eq!(gs.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn children_sorted_in_tree_structural_order() {
+        let mut a = LineageArena::new();
+        let x = a.var(f(2));
+        let y = a.var(f(1));
+        let ny = a.negate(y);
+        // structural order: Var(1) < Var(2) < Not(..)
+        let g = a.or([ny, x, y]);
+        let tree = a.to_lineage(g);
+        assert_eq!(
+            tree,
+            Lineage::or([
+                Lineage::Var(f(2)),
+                Lineage::Var(f(1)),
+                Lineage::Var(f(1)).negate()
+            ])
+        );
+    }
+
+    #[test]
+    fn var_sets_are_sorted_unions() {
+        let mut a = LineageArena::new();
+        let x = a.var(f(5));
+        let y = a.var(f(1));
+        let z = a.var(f(3));
+        let g1 = a.and([x, y]);
+        let g2 = a.and([z, y]);
+        let whole = a.or([g1, g2]);
+        assert_eq!(a.vars(whole), &[f(1), f(3), f(5)]);
+    }
+
+    #[test]
+    fn assign_cofactors_match_tree_assign() {
+        let mut a = LineageArena::new();
+        let x = a.var(f(0));
+        let y = a.var(f(1));
+        let nx = a.negate(x);
+        let xy = a.and([x, y]);
+        let g = a.or([xy, nx]);
+        assert_eq!(a.assign(g, f(0), true), y);
+        assert_eq!(a.assign(g, f(0), false), TOP);
+        // untouched variable: identity (same id, not merely equal)
+        assert_eq!(a.assign(g, f(7), true), g);
+    }
+
+    #[test]
+    fn eval_linear_pass_matches_tree_eval() {
+        let mut a = LineageArena::new();
+        let x = a.var(f(0));
+        let y = a.var(f(1));
+        let nx = a.negate(x);
+        let xy = a.and([x, y]);
+        let g = a.or([xy, nx]);
+        let tree = a.to_lineage(g);
+        let mut buf = Vec::new();
+        for mask in 0u32..4 {
+            let mut ids = Vec::new();
+            if mask & 1 != 0 {
+                ids.push(f(0));
+            }
+            if mask & 2 != 0 {
+                ids.push(f(1));
+            }
+            let world = Instance::from_ids(ids);
+            assert_eq!(a.eval_into(g, &world, &mut buf), tree.eval(&world));
+        }
+    }
+
+    #[test]
+    fn round_trip_through_trees() {
+        let mut a = LineageArena::new();
+        let x = a.var(f(0));
+        let y = a.var(f(1));
+        let z = a.var(f(2));
+        let nz = a.negate(z);
+        let g1 = a.and([x, y]);
+        let g2 = a.and([y, nz]);
+        let whole = a.or([g1, g2]);
+        let tree = a.to_lineage(whole);
+        let mut b = LineageArena::new();
+        let again = b.from_lineage(&tree);
+        assert_eq!(b.to_lineage(again), tree);
+        // and importing into the SAME arena lands on the same id
+        assert_eq!(a.from_lineage(&tree), whole);
+    }
+
+    #[test]
+    fn reachable_counts_shared_nodes_once() {
+        let mut a = LineageArena::new();
+        let x = a.var(f(0));
+        let y = a.var(f(1));
+        let z = a.var(f(2));
+        let shared = a.or([x, y]);
+        let g1 = a.and([z, shared]);
+        let nz = a.negate(z);
+        let g2 = a.and([nz, shared]);
+        let whole = a.or([g1, g2]);
+        // whole, g1, g2, nz, shared, x, y, z = 8 distinct nodes
+        assert_eq!(a.reachable(whole), 8);
+        // the tree (12 nodes) duplicates the 3 nodes of `shared`, and the
+        // DAG additionally shares `z` between `g1` and `nz`
+        assert_eq!(a.to_lineage(whole).size(), 12);
+    }
+
+    #[test]
+    fn structural_cmp_orders_like_derived_tree_ord() {
+        let mut a = LineageArena::new();
+        let x = a.var(f(0));
+        let y = a.var(f(1));
+        let nx = a.negate(x);
+        let and_xy = a.and([x, y]);
+        let or_xy = a.or([x, y]);
+        let pairs = [
+            (TOP, BOT),
+            (BOT, x),
+            (x, y),
+            (y, nx),
+            (nx, and_xy),
+            (and_xy, or_xy),
+        ];
+        for (lo, hi) in pairs {
+            assert_eq!(a.cmp_structural(lo, hi), Ordering::Less, "{lo:?} < {hi:?}");
+            assert_eq!(a.cmp_structural(hi, lo), Ordering::Greater);
+            assert_eq!(
+                a.to_lineage(lo).cmp(&a.to_lineage(hi)),
+                Ordering::Less,
+                "tree order agrees"
+            );
+        }
+        assert_eq!(a.cmp_structural(and_xy, and_xy), Ordering::Equal);
+    }
+}

@@ -12,7 +12,8 @@
 //! with every tuple over the relevant domain and evaluate each resulting
 //! sentence (the marginal-probability query semantics of Section 3.1).
 
-use crate::lineage::lineage_of;
+use crate::arena::{ArenaStats, LineageArena};
+use crate::lineage::lineage_of_arena;
 use crate::{lifted, monte_carlo, shannon, worlds, FiniteError, TiTable};
 use infpdb_core::space::rand_core::RngCore;
 use infpdb_core::value::Value;
@@ -32,23 +33,63 @@ pub enum Engine {
     Brute,
 }
 
+/// What an evaluation did, for observability: Shannon compilation
+/// statistics and arena interning statistics when the intensional
+/// (lineage) path ran, `None` when a non-lineage engine answered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalTrace {
+    /// Shannon expansion/memo/decomposition counters.
+    pub shannon: Option<shannon::Stats>,
+    /// Hash-consing statistics of the evaluation's arena.
+    pub arena: Option<ArenaStats>,
+}
+
 /// `P(Q)` for a Boolean query under the chosen engine.
 pub fn prob_boolean(query: &Formula, table: &TiTable, engine: Engine) -> Result<f64, FiniteError> {
+    prob_boolean_traced(query, table, engine).map(|(p, _)| p)
+}
+
+/// Like [`prob_boolean`], but also reports an [`EvalTrace`] so callers
+/// (the serve layer's metrics, the bench harness) can observe memo hit
+/// rates and arena sizes without re-running the query.
+pub fn prob_boolean_traced(
+    query: &Formula,
+    table: &TiTable,
+    engine: Engine,
+) -> Result<(f64, EvalTrace), FiniteError> {
     match engine {
         Engine::Auto => match lifted::prob_hierarchical(query, table) {
-            Ok(p) => Ok(p),
+            Ok(p) => Ok((p, EvalTrace::default())),
             Err(FiniteError::Logic(_)) => prob_by_lineage(query, table),
             Err(e) => Err(e),
         },
-        Engine::Lifted => lifted::prob_hierarchical(query, table),
+        Engine::Lifted => Ok((
+            lifted::prob_hierarchical(query, table)?,
+            EvalTrace::default(),
+        )),
         Engine::Lineage => prob_by_lineage(query, table),
-        Engine::Brute => worlds::prob_boolean_brute(query, table),
+        Engine::Brute => Ok((
+            worlds::prob_boolean_brute(query, table)?,
+            EvalTrace::default(),
+        )),
     }
 }
 
-fn prob_by_lineage(query: &Formula, table: &TiTable) -> Result<f64, FiniteError> {
-    let l = lineage_of(query, table)?;
-    Ok(shannon::probability(&l, &|id| table.prob(id)))
+/// The intensional path: ground straight into a hash-consed arena and run
+/// the DAG Shannon engine over it. One arena serves the whole evaluation,
+/// so the grounding's shared substructure is discovered before inference
+/// starts and memo probes are id-indexed.
+fn prob_by_lineage(query: &Formula, table: &TiTable) -> Result<(f64, EvalTrace), FiniteError> {
+    let mut arena = LineageArena::new();
+    let root = lineage_of_arena(query, table, &mut arena)?;
+    let (p, stats) = shannon::probability_dag_with_stats(&mut arena, root, &|id| table.prob(id));
+    Ok((
+        p,
+        EvalTrace {
+            shannon: Some(stats),
+            arena: Some(arena.stats()),
+        },
+    ))
 }
 
 /// Monte-Carlo estimate (separate from [`prob_boolean`] because it needs an
@@ -188,6 +229,22 @@ mod tests {
         let auto2 = prob_boolean(&q2, &t, Engine::Auto).unwrap();
         let brute2 = prob_boolean(&q2, &t, Engine::Brute).unwrap();
         assert!((auto2 - brute2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_lineage_evaluation_reports_stats() {
+        let t = table();
+        let q = parse("exists x, y. R(x) /\\ S(x, y) /\\ T(y)", t.schema()).unwrap();
+        let (p, trace) = prob_boolean_traced(&q, &t, Engine::Lineage).unwrap();
+        let brute = prob_boolean(&q, &t, Engine::Brute).unwrap();
+        assert!((p - brute).abs() < 1e-9);
+        let arena = trace.arena.expect("lineage path fills arena stats");
+        assert!(arena.nodes > 2, "grounding interned real nodes");
+        assert!(trace.shannon.is_some());
+        // the lifted path reports no intensional trace
+        let q2 = parse("exists x. R(x)", t.schema()).unwrap();
+        let (_, trace2) = prob_boolean_traced(&q2, &t, Engine::Auto).unwrap();
+        assert_eq!(trace2, EvalTrace::default());
     }
 
     #[test]

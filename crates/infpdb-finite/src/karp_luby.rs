@@ -15,11 +15,13 @@
 //! on `clause_i` being true, and score 1 iff `i` is the *first* satisfied
 //! clause in that world. The score's mean is `P(⋁ clauses)/W`.
 
-use crate::lineage::Lineage;
+use crate::arena::{LineageArena, LineageId, LineageNode};
+use crate::lineage::{lineage_of_arena, Lineage};
 use crate::{FiniteError, TiTable};
 use infpdb_core::fact::FactId;
 use infpdb_core::space::rand_core::RngCore;
 use infpdb_logic::ast::Formula;
+use std::collections::HashMap;
 
 /// A monotone DNF: each clause is a set of fact variables, all positive.
 pub type Dnf = Vec<Vec<FactId>>;
@@ -65,6 +67,69 @@ pub fn to_dnf(lineage: &Lineage, max_clauses: usize) -> Option<Dnf> {
             Some(acc)
         }
     }
+}
+
+/// Converts a monotone arena node to DNF by a memoized postorder pass —
+/// the DAG analogue of [`to_dnf`]. Shared subgraphs convert **once**
+/// (their clause lists are reused by id), and clause order is exactly the
+/// order the tree conversion would produce on the corresponding canonical
+/// tree, so downstream seeded estimation is unchanged.
+pub fn to_dnf_arena(arena: &LineageArena, root: LineageId, max_clauses: usize) -> Option<Dnf> {
+    let mut memo: HashMap<LineageId, Dnf> = HashMap::new();
+    to_dnf_rec(arena, root, max_clauses, &mut memo)
+}
+
+fn to_dnf_rec(
+    arena: &LineageArena,
+    id: LineageId,
+    max_clauses: usize,
+    memo: &mut HashMap<LineageId, Dnf>,
+) -> Option<Dnf> {
+    if let Some(d) = memo.get(&id) {
+        return Some(d.clone());
+    }
+    let out = match arena.node(id) {
+        LineageNode::Top => vec![vec![]],
+        LineageNode::Bot => vec![],
+        LineageNode::Var(v) => vec![vec![*v]],
+        LineageNode::Not(_) => return None, // not monotone
+        LineageNode::Or(children) => {
+            let children = children.clone();
+            let mut out: Dnf = Vec::new();
+            for &c in children.iter() {
+                let mut d = to_dnf_rec(arena, c, max_clauses, memo)?;
+                out.append(&mut d);
+                if out.len() > max_clauses {
+                    return None;
+                }
+            }
+            out
+        }
+        LineageNode::And(children) => {
+            let children = children.clone();
+            let mut acc: Dnf = vec![vec![]];
+            for &c in children.iter() {
+                let d = to_dnf_rec(arena, c, max_clauses, memo)?;
+                let mut next: Dnf = Vec::with_capacity(acc.len() * d.len().max(1));
+                for clause_a in &acc {
+                    for clause_b in &d {
+                        let mut merged = clause_a.clone();
+                        merged.extend_from_slice(clause_b);
+                        merged.sort_unstable();
+                        merged.dedup();
+                        next.push(merged);
+                        if next.len() > max_clauses {
+                            return None;
+                        }
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+    };
+    memo.insert(id, out.clone());
+    Some(out)
 }
 
 /// A Karp–Luby estimate.
@@ -171,8 +236,9 @@ pub fn estimate_ucq<R: RngCore>(
     max_clauses: usize,
     rng: &mut R,
 ) -> Result<KlEstimate, FiniteError> {
-    let lineage = crate::lineage::lineage_of(query, table)?;
-    let dnf = to_dnf(&lineage, max_clauses).ok_or_else(|| {
+    let mut arena = LineageArena::new();
+    let root = lineage_of_arena(query, table, &mut arena)?;
+    let dnf = to_dnf_arena(&arena, root, max_clauses).ok_or_else(|| {
         FiniteError::Logic(infpdb_logic::LogicError::UnsupportedFragment(
             "lineage is not a (bounded) monotone DNF; use Shannon or Monte Carlo".into(),
         ))
@@ -245,6 +311,32 @@ mod tests {
         assert_eq!(to_dnf(&f, 3), None);
         // negation refused
         assert_eq!(to_dnf(&Lineage::Var(v(0)).negate(), 10), None);
+    }
+
+    #[test]
+    fn arena_dnf_matches_tree_dnf_clause_for_clause() {
+        let t = table();
+        for qs in [
+            "exists x, y. R(x) /\\ S(x, y) /\\ T(y)",
+            "(exists x. R(x)) \\/ (exists y. T(y))",
+            "R(1) /\\ T(1)",
+            "exists x. R(x) /\\ T(x)",
+        ] {
+            let q = parse(qs, t.schema()).unwrap();
+            let tree = crate::lineage::lineage_of(&q, &t).unwrap();
+            let mut arena = LineageArena::new();
+            let root = lineage_of_arena(&q, &t, &mut arena).unwrap();
+            assert_eq!(
+                to_dnf_arena(&arena, root, 1000),
+                to_dnf(&tree, 1000),
+                "{qs}: clause lists (including order) must coincide"
+            );
+        }
+        // cap and monotonicity refusals carry over
+        let q = parse("exists x. R(x) /\\ !T(x)", t.schema()).unwrap();
+        let mut arena = LineageArena::new();
+        let root = lineage_of_arena(&q, &t, &mut arena).unwrap();
+        assert_eq!(to_dnf_arena(&arena, root, 1000), None);
     }
 
     #[test]

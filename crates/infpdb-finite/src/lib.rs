@@ -16,8 +16,11 @@
 //! * [`bid`] — finite block-independent-disjoint tables (Section 4.4's
 //!   finite special case): one fact per block, blocks independent.
 //! * [`lineage`] — Boolean provenance of an FO query over a t.i. table.
+//! * [`arena`] — hash-consed lineage DAGs: canonical node shapes interned
+//!   to dense ids, O(1) equality, physically shared substructure.
 //! * [`shannon`] — exact inference on lineage by Shannon expansion with
-//!   independence decomposition and memoization (a small d-DNNF compiler).
+//!   independence decomposition and memoization (a small d-DNNF compiler);
+//!   both a boxed-tree reference engine and the production DAG engine.
 //! * [`lifted`] — extensional evaluation of hierarchical self-join-free
 //!   CQs along `infpdb_logic::safety::SafePlan`s (polynomial time).
 //! * [`karp_luby`] — the Karp–Luby FPRAS for monotone (UCQ) lineage:
@@ -26,6 +29,7 @@
 //! * [`worlds`] — brute-force possible-worlds enumeration, the reference
 //!   implementation every other engine is validated against.
 
+pub mod arena;
 pub mod bid;
 pub mod engine;
 pub mod karp_luby;
@@ -37,6 +41,7 @@ pub mod shannon;
 pub mod tuple_independent;
 pub mod worlds;
 
+pub use arena::{LineageArena, LineageId};
 pub use bid::BidTable;
 pub use lineage::Lineage;
 pub use pdb::FinitePdb;

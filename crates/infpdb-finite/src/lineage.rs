@@ -13,6 +13,7 @@
 //! closed-world assumption in action (and precisely what Section 5's
 //! completions repair).
 
+use crate::arena::{self, LineageArena, LineageId};
 use crate::{FiniteError, TiTable};
 use infpdb_core::fact::{Fact, FactId};
 use infpdb_core::instance::Instance;
@@ -267,6 +268,112 @@ fn build(f: &Formula, table: &TiTable, domain: &[Value], env: &mut Vec<(Var, Val
     }
 }
 
+/// Computes the lineage of a Boolean FO query directly into a hash-consed
+/// [`LineageArena`] — no intermediate boxed trees.
+///
+/// The semantics are exactly [`lineage_of`]'s (active-domain grounding per
+/// Fact 2.1, closed-world `⊥` for unknown atoms, deterministic-fact
+/// folding); the arena constructors apply the same canonicalization as the
+/// tree smart constructors, so `arena.to_lineage(id)` of the result equals
+/// the tree `lineage_of` would return. Grounding into the arena interns
+/// each distinct sub-lineage once — on symmetric queries (pair clauses,
+/// quantifier products) this shrinks materialized provenance from
+/// tree-size to DAG-size.
+pub fn lineage_of_arena(
+    query: &Formula,
+    table: &TiTable,
+    arena: &mut LineageArena,
+) -> Result<LineageId, FiniteError> {
+    let fv = free_vars(query);
+    if !fv.is_empty() {
+        return Err(FiniteError::Logic(infpdb_logic::LogicError::NotASentence(
+            fv.into_iter().collect(),
+        )));
+    }
+    let mut domain: Vec<Value> = table.active_domain().into_iter().collect();
+    for c in infpdb_logic::vars::constants(query) {
+        if !domain.contains(&c) {
+            domain.push(c);
+        }
+    }
+    let mut env: Vec<(Var, Value)> = Vec::new();
+    Ok(build_arena(query, table, &domain, &mut env, arena))
+}
+
+fn build_arena(
+    f: &Formula,
+    table: &TiTable,
+    domain: &[Value],
+    env: &mut Vec<(Var, Value)>,
+    arena: &mut LineageArena,
+) -> LineageId {
+    match f {
+        Formula::True => arena::TOP,
+        Formula::False => arena::BOT,
+        Formula::Atom { rel, args } => {
+            let tuple: Vec<Value> = args.iter().map(|t| resolve(t, env)).collect();
+            let fact = Fact::new(*rel, tuple);
+            match table.interner().get(&fact) {
+                Some(id) => {
+                    // fold deterministic facts
+                    let p = table.prob(id);
+                    if p == 1.0 {
+                        arena::TOP
+                    } else if p == 0.0 {
+                        arena::BOT
+                    } else {
+                        arena.var(id)
+                    }
+                }
+                None => arena::BOT,
+            }
+        }
+        Formula::Eq(a, b) => {
+            if resolve(a, env) == resolve(b, env) {
+                arena::TOP
+            } else {
+                arena::BOT
+            }
+        }
+        Formula::Not(g) => {
+            let id = build_arena(g, table, domain, env, arena);
+            arena.negate(id)
+        }
+        Formula::And(gs) => {
+            let ids: Vec<LineageId> = gs
+                .iter()
+                .map(|g| build_arena(g, table, domain, env, arena))
+                .collect();
+            arena.and(ids)
+        }
+        Formula::Or(gs) => {
+            let ids: Vec<LineageId> = gs
+                .iter()
+                .map(|g| build_arena(g, table, domain, env, arena))
+                .collect();
+            arena.or(ids)
+        }
+        Formula::Exists(v, g) => {
+            let mut children = Vec::with_capacity(domain.len());
+            for val in domain {
+                env.push((v.clone(), val.clone()));
+                children.push(build_arena(g, table, domain, env, arena));
+                env.pop();
+            }
+            arena.or(children)
+        }
+        Formula::Forall(v, g) => {
+            let mut children = Vec::with_capacity(domain.len());
+            for val in domain {
+                env.push((v.clone(), val.clone()));
+                children.push(build_arena(g, table, domain, env, arena));
+                env.pop();
+            }
+            arena.and(children)
+        }
+    }
+}
+
 /// Per-answer lineage of a query with free variables: grounds the free
 /// variables over `adom(table) ∪ adom(Q)` (Fact 2.1) and returns the
 /// lineage of each ground sentence whose lineage is not `Bot`, keyed by
@@ -504,5 +611,43 @@ mod tests {
         let q = parse("exists x. x = 5 /\\ !R(x)", t.schema()).unwrap();
         // R(5) is Bot, so !R(5) is Top, and x=5 picks that branch: Top
         assert_eq!(lineage_of(&q, &t).unwrap(), Lineage::Top);
+    }
+
+    #[test]
+    fn arena_grounding_matches_tree_grounding() {
+        let t = table(
+            &[(1, 0.5), (2, 0.3), (3, 1.0), (4, 0.0)],
+            &[(1, 0.8), (2, 0.1)],
+        );
+        for qs in [
+            "exists x. R(x) /\\ S(x)",
+            "forall x. (R(x) -> S(x))",
+            "exists x, y. R(x) /\\ S(y) /\\ x != y",
+            "exists x. R(x) \\/ S(x)",
+            "exists x. x = 5 /\\ !R(x)",
+            "exists x. !(R(x) /\\ !R(x))",
+        ] {
+            let q = parse(qs, t.schema()).unwrap();
+            let tree = lineage_of(&q, &t).unwrap();
+            let mut arena = LineageArena::new();
+            let id = lineage_of_arena(&q, &t, &mut arena).unwrap();
+            assert_eq!(arena.to_lineage(id), tree, "{qs}");
+        }
+    }
+
+    #[test]
+    fn arena_grounding_shares_symmetric_substructure() {
+        // exists x,y. R(x) ∧ R(y) ∧ x≠y grounds to an Or over n·(n−1)
+        // ordered pairs, but only C(n,2) distinct canonical pair-clauses —
+        // the arena interns each once.
+        let t = table(&[(1, 0.5), (2, 0.3), (3, 0.7), (4, 0.2)], &[]);
+        let q = parse("exists x, y. R(x) /\\ R(y) /\\ x != y", t.schema()).unwrap();
+        let mut arena = LineageArena::new();
+        let id = lineage_of_arena(&q, &t, &mut arena).unwrap();
+        // root Or + 6 pair-clauses + 4 vars + the 2 constants
+        assert_eq!(arena.reachable(id), 11);
+        assert!(arena.stats().intern_hits > 0, "symmetric pairs must dedup");
+        // tree size is strictly larger: 12 ordered pairs materialized
+        assert!(arena.to_lineage(id).size() > arena.reachable(id));
     }
 }

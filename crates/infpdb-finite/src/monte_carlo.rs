@@ -5,12 +5,19 @@
 //! inequality gives the usual `(ε, δ)` additive guarantee:
 //! `n ≥ ln(2/δ) / (2ε²)` samples suffice for
 //! `P(|p̂ − p| > ε) ≤ δ`.
+//!
+//! The query is grounded **once** into a hash-consed
+//! [`LineageArena`](crate::arena::LineageArena); each sampled world is then
+//! judged by a single linear pass over the arena's dense node ids
+//! ([`LineageArena::eval_into`](crate::arena::LineageArena::eval_into))
+//! with a reused scratch buffer — no per-sample formula walk, no
+//! per-sample allocation beyond the world itself.
 
+use crate::arena::LineageArena;
+use crate::lineage::lineage_of_arena;
 use crate::{FiniteError, TiTable};
 use infpdb_core::space::rand_core::RngCore;
-use infpdb_core::storage::InstanceStore;
 use infpdb_logic::ast::Formula;
-use infpdb_logic::eval::Evaluator;
 use infpdb_logic::vars::free_vars;
 
 /// A Monte-Carlo estimate with its Hoeffding error bound.
@@ -46,12 +53,13 @@ pub fn estimate<R: RngCore>(
         )));
     }
     assert!(samples > 0, "need at least one sample");
+    let mut arena = LineageArena::new();
+    let root = lineage_of_arena(query, table, &mut arena)?;
     let mut hits = 0usize;
+    let mut buf = Vec::new();
     for _ in 0..samples {
         let world = table.sample(rng);
-        let store = InstanceStore::build(&world, table.interner(), table.schema());
-        let ev = Evaluator::new(&store, query);
-        if ev.eval_sentence(query).expect("sentence checked") {
+        if arena.eval_into(root, &world, &mut buf) {
             hits += 1;
         }
     }

@@ -16,7 +16,26 @@
 //! Worst case remains exponential (#P-hardness of general query
 //! probability is inherited from the finite theory); hierarchical queries
 //! should use [`crate::lifted`] instead.
+//!
+//! Two engines share this algorithm:
+//!
+//! * the **tree reference engine** ([`probability`] and friends) walks the
+//!   boxed [`Lineage`] tree and keys its memo by cloned subtrees — simple,
+//!   slow, kept as the oracle the DAG engine is differentially tested
+//!   against;
+//! * the **DAG production engine** ([`probability_dag`] and friends) runs
+//!   on a hash-consed [`LineageArena`], keys its memo by dense
+//!   [`LineageId`]s (`O(1)` probes instead of `O(subtree)` rehashes) and
+//!   reads per-node *cached* variable sets, so the independence
+//!   decomposition stops recomputing free-variable scans.
+//!
+//! Both perform bit-for-bit the same floating-point operations: the arena's
+//! canonical child order is the tree's structural order, the union–find
+//! grouping and variable selection are ported verbatim, and the arithmetic
+//! expression shapes are identical. The `arena_equivalence` integration
+//! suite asserts exact `f64` equality on hundreds of random formulas.
 
+use crate::arena::{LineageArena, LineageId, LineageNode};
 use crate::lineage::Lineage;
 use infpdb_core::fact::FactId;
 use std::collections::HashMap;
@@ -37,10 +56,53 @@ pub fn probability_with_stats<F: Fn(FactId) -> f64>(lineage: &Lineage, probs: &F
     (p, stats)
 }
 
+/// A shared countdown of Shannon expansions.
+///
+/// One budget instance is threaded by `&mut` through an *entire*
+/// evaluation, so every sibling subproblem draws from the same pool and
+/// `max_expansions` bounds **total** work, not per-branch work — the
+/// serve layer's graceful degradation (fall back to Monte Carlo when
+/// exact inference is too expensive) depends on this being a global
+/// bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpansionBudget {
+    remaining: usize,
+}
+
+impl ExpansionBudget {
+    /// A budget allowing exactly `max_expansions` Shannon expansions.
+    pub fn new(max_expansions: usize) -> Self {
+        Self {
+            remaining: max_expansions,
+        }
+    }
+
+    /// Draws one expansion from the pool; `false` when exhausted.
+    #[must_use]
+    pub fn try_spend(&mut self) -> bool {
+        match self.remaining.checked_sub(1) {
+            Some(r) => {
+                self.remaining = r;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Expansions left in the pool.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
 /// Budgeted variant: gives up with `None` once `max_expansions` Shannon
 /// expansions have been performed. Inference on lineage is #P-hard in
 /// general; long-running callers (servers, benchmark harnesses) should use
 /// this and fall back to Monte Carlo when the budget trips.
+///
+/// The budget is a single [`ExpansionBudget`] countdown shared across the
+/// whole recursion (not copied per branch), so it bounds the total number
+/// of expansions.
 pub fn probability_with_budget<F: Fn(FactId) -> f64>(
     lineage: &Lineage,
     probs: &F,
@@ -48,7 +110,8 @@ pub fn probability_with_budget<F: Fn(FactId) -> f64>(
 ) -> Option<(f64, Stats)> {
     let mut memo: HashMap<Lineage, f64> = HashMap::new();
     let mut stats = Stats::default();
-    let p = prob_rec_budget(lineage, probs, &mut memo, &mut stats, max_expansions)?;
+    let mut budget = ExpansionBudget::new(max_expansions);
+    let p = prob_rec_budget(lineage, probs, &mut memo, &mut stats, &mut budget)?;
     Some((p, stats))
 }
 
@@ -57,7 +120,7 @@ fn prob_rec_budget<F: Fn(FactId) -> f64>(
     probs: &F,
     memo: &mut HashMap<Lineage, f64>,
     stats: &mut Stats,
-    budget: usize,
+    budget: &mut ExpansionBudget,
 ) -> Option<f64> {
     match l {
         Lineage::Top => return Some(1.0),
@@ -94,7 +157,7 @@ fn prob_rec_budget<F: Fn(FactId) -> f64>(
                     1.0 - acc
                 }
             } else {
-                if stats.expansions >= budget {
+                if !budget.try_spend() {
                     return None;
                 }
                 stats.expansions += 1;
@@ -216,6 +279,253 @@ fn most_frequent_var(children: &[Lineage]) -> Option<FactId> {
     let mut counts: std::collections::BTreeMap<FactId, usize> = Default::default();
     for c in children {
         for v in c.vars() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(id, c)| (c, std::cmp::Reverse(id)))
+        .map(|(id, _)| id)
+}
+
+// ---------------------------------------------------------------------------
+// DAG engine: the same algorithm on a hash-consed arena.
+// ---------------------------------------------------------------------------
+
+/// Memo of the DAG engine: probabilities indexed by dense [`LineageId`].
+///
+/// Probes are an array index instead of a whole-subtree rehash. The table
+/// grows as `assign` interns cofactor nodes mid-evaluation.
+#[derive(Debug, Default)]
+struct DagMemo {
+    table: Vec<Option<f64>>,
+}
+
+impl DagMemo {
+    fn get(&self, id: LineageId) -> Option<f64> {
+        self.table.get(id.0 as usize).copied().flatten()
+    }
+
+    fn insert(&mut self, id: LineageId, p: f64) {
+        let i = id.0 as usize;
+        if self.table.len() <= i {
+            self.table.resize(i + 1, None);
+        }
+        self.table[i] = Some(p);
+    }
+}
+
+/// Exact probability of arena node `root` being true when variable `v` is
+/// true independently with probability `probs(v)`.
+///
+/// The arena is `&mut` because Shannon cofactors intern new nodes; reusing
+/// one arena across many roots (the grounding arena of an evaluation)
+/// shares both structure and, via [`probability_dag_with_stats`], memo
+/// effort.
+pub fn probability_dag<F: Fn(FactId) -> f64>(
+    arena: &mut LineageArena,
+    root: LineageId,
+    probs: &F,
+) -> f64 {
+    probability_dag_with_stats(arena, root, probs).0
+}
+
+/// Instrumented variant returning the compilation statistics.
+pub fn probability_dag_with_stats<F: Fn(FactId) -> f64>(
+    arena: &mut LineageArena,
+    root: LineageId,
+    probs: &F,
+) -> (f64, Stats) {
+    let mut memo = DagMemo::default();
+    let mut stats = Stats::default();
+    let p = prob_rec_dag(arena, root, probs, &mut memo, &mut stats);
+    (p, stats)
+}
+
+/// Budgeted variant of [`probability_dag`]: `None` once the shared
+/// [`ExpansionBudget`] pool of `max_expansions` is exhausted.
+pub fn probability_dag_with_budget<F: Fn(FactId) -> f64>(
+    arena: &mut LineageArena,
+    root: LineageId,
+    probs: &F,
+    max_expansions: usize,
+) -> Option<(f64, Stats)> {
+    let mut memo = DagMemo::default();
+    let mut stats = Stats::default();
+    let mut budget = ExpansionBudget::new(max_expansions);
+    let p = prob_rec_dag_budget(arena, root, probs, &mut memo, &mut stats, &mut budget)?;
+    Some((p, stats))
+}
+
+fn prob_rec_dag<F: Fn(FactId) -> f64>(
+    arena: &mut LineageArena,
+    id: LineageId,
+    probs: &F,
+    memo: &mut DagMemo,
+    stats: &mut Stats,
+) -> f64 {
+    let (is_and, children) = match arena.node(id) {
+        LineageNode::Top => return 1.0,
+        LineageNode::Bot => return 0.0,
+        LineageNode::Var(v) => return probs(*v),
+        LineageNode::Not(g) => {
+            let g = *g;
+            return 1.0 - prob_rec_dag(arena, g, probs, memo, stats);
+        }
+        LineageNode::And(gs) => (true, gs.to_vec()),
+        LineageNode::Or(gs) => (false, gs.to_vec()),
+    };
+    if let Some(p) = memo.get(id) {
+        stats.cache_hits += 1;
+        return p;
+    }
+    let comps = components_dag(arena, &children);
+    let p = if comps.len() > 1 {
+        stats.decompositions += 1;
+        // Independent components: P(∧) = ∏ P, P(∨) = 1 − ∏ (1 − P).
+        let mut acc = 1.0;
+        for comp in comps {
+            let sub = if comp.len() == 1 {
+                comp[0]
+            } else if is_and {
+                arena.and(comp)
+            } else {
+                arena.or(comp)
+            };
+            let ps = prob_rec_dag(arena, sub, probs, memo, stats);
+            acc *= if is_and { ps } else { 1.0 - ps };
+        }
+        if is_and {
+            acc
+        } else {
+            1.0 - acc
+        }
+    } else {
+        // Connected: Shannon expansion on the most frequent var.
+        stats.expansions += 1;
+        let v = most_frequent_var_dag(arena, &children).expect("connected component has vars");
+        let pv = probs(v);
+        let pos = arena.assign(id, v, true);
+        let neg = arena.assign(id, v, false);
+        pv * prob_rec_dag(arena, pos, probs, memo, stats)
+            + (1.0 - pv) * prob_rec_dag(arena, neg, probs, memo, stats)
+    };
+    memo.insert(id, p);
+    p
+}
+
+fn prob_rec_dag_budget<F: Fn(FactId) -> f64>(
+    arena: &mut LineageArena,
+    id: LineageId,
+    probs: &F,
+    memo: &mut DagMemo,
+    stats: &mut Stats,
+    budget: &mut ExpansionBudget,
+) -> Option<f64> {
+    let (is_and, children) = match arena.node(id) {
+        LineageNode::Top => return Some(1.0),
+        LineageNode::Bot => return Some(0.0),
+        LineageNode::Var(v) => return Some(probs(*v)),
+        LineageNode::Not(g) => {
+            let g = *g;
+            return Some(1.0 - prob_rec_dag_budget(arena, g, probs, memo, stats, budget)?);
+        }
+        LineageNode::And(gs) => (true, gs.to_vec()),
+        LineageNode::Or(gs) => (false, gs.to_vec()),
+    };
+    if let Some(p) = memo.get(id) {
+        stats.cache_hits += 1;
+        return Some(p);
+    }
+    let comps = components_dag(arena, &children);
+    let p = if comps.len() > 1 {
+        stats.decompositions += 1;
+        let mut acc = 1.0;
+        for comp in comps {
+            let sub = if comp.len() == 1 {
+                comp[0]
+            } else if is_and {
+                arena.and(comp)
+            } else {
+                arena.or(comp)
+            };
+            let ps = prob_rec_dag_budget(arena, sub, probs, memo, stats, budget)?;
+            acc *= if is_and { ps } else { 1.0 - ps };
+        }
+        if is_and {
+            acc
+        } else {
+            1.0 - acc
+        }
+    } else {
+        if !budget.try_spend() {
+            return None;
+        }
+        stats.expansions += 1;
+        let v = most_frequent_var_dag(arena, &children).expect("connected component has vars");
+        let pv = probs(v);
+        let pos = arena.assign(id, v, true);
+        let neg = arena.assign(id, v, false);
+        pv * prob_rec_dag_budget(arena, pos, probs, memo, stats, budget)?
+            + (1.0 - pv) * prob_rec_dag_budget(arena, neg, probs, memo, stats, budget)?
+    };
+    memo.insert(id, p);
+    Some(p)
+}
+
+/// Whether two sorted id slices share no element (two-pointer scan over
+/// the arena's cached variable sets — replaces the tree engine's repeated
+/// `BTreeSet` materialization).
+fn disjoint_sorted(a: &[FactId], b: &[FactId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return false,
+        }
+    }
+    true
+}
+
+/// Groups sibling nodes into connected components of shared variables —
+/// the same union–find (including grouping order) as the tree engine's
+/// [`components`], reading cached variable sets instead of scanning
+/// subtrees.
+fn components_dag(arena: &LineageArena, children: &[LineageId]) -> Vec<Vec<LineageId>> {
+    let n = children.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !disjoint_sorted(arena.vars(children[i]), arena.vars(children[j])) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<LineageId>> = Default::default();
+    for (i, &c) in children.iter().enumerate() {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(c);
+    }
+    groups.into_values().collect()
+}
+
+/// The variable occurring in the most children (ties broken by id) —
+/// mirrors the tree engine's [`most_frequent_var`] over cached sets.
+fn most_frequent_var_dag(arena: &LineageArena, children: &[LineageId]) -> Option<FactId> {
+    let mut counts: std::collections::BTreeMap<FactId, usize> = Default::default();
+    for &c in children {
+        for &v in arena.vars(c) {
             *counts.entry(v).or_insert(0) += 1;
         }
     }
@@ -379,6 +689,108 @@ mod tests {
         let f = Lineage::or((0..8).map(|i| Lineage::and([v(i), v(i + 1)])));
         assert!(probability_with_budget(&f, &probs, 0).is_none());
         assert!(probability_with_budget(&f, &probs, 1_000).is_some());
+    }
+
+    #[test]
+    fn budget_is_a_shared_pool_across_siblings() {
+        // Two independent connected components, each needing ≥ 1
+        // expansion. A per-branch budget of 1 would let BOTH expand; the
+        // shared pool must trip on the second.
+        let probs = |_: FactId| 0.5;
+        let comp = |base: u32| {
+            Lineage::or([
+                Lineage::and([v(base), v(base + 1)]),
+                Lineage::and([v(base), v(base + 2)]),
+            ])
+        };
+        let f = Lineage::and([comp(0), comp(10)]);
+        let (_, stats) = probability_with_stats(&f, &probs);
+        assert!(stats.expansions >= 2, "needs ≥ 2 expansions in total");
+        assert!(probability_with_budget(&f, &probs, 1).is_none());
+        assert!(probability_with_budget(&f, &probs, stats.expansions).is_some());
+        // same semantics in the DAG engine
+        let mut a = LineageArena::new();
+        let id = a.from_lineage(&f);
+        assert!(probability_dag_with_budget(&mut a, id, &probs, 1).is_none());
+        let mut b = LineageArena::new();
+        let id = b.from_lineage(&f);
+        assert!(probability_dag_with_budget(&mut b, id, &probs, stats.expansions).is_some());
+    }
+
+    #[test]
+    fn expansion_budget_countdown() {
+        let mut b = ExpansionBudget::new(2);
+        assert_eq!(b.remaining(), 2);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert_eq!(b.remaining(), 0);
+        assert!(!b.try_spend());
+        assert!(!b.try_spend());
+    }
+
+    #[test]
+    fn dag_engine_matches_tree_engine_exactly() {
+        use infpdb_core::space::rand_core::{RngCore, SplitMix64};
+        let mut rng = SplitMix64::new(7_2026);
+        for trial in 0..80 {
+            fn random_lineage(rng: &mut SplitMix64, depth: usize) -> Lineage {
+                let choice = rng.next_u64() % if depth == 0 { 2 } else { 5 };
+                match choice {
+                    0 => Lineage::Var(FactId((rng.next_u64() % 6) as u32)),
+                    1 => Lineage::Var(FactId((rng.next_u64() % 6) as u32)).negate(),
+                    2 => Lineage::and([
+                        random_lineage(rng, depth - 1),
+                        random_lineage(rng, depth - 1),
+                    ]),
+                    3 => Lineage::or([
+                        random_lineage(rng, depth - 1),
+                        random_lineage(rng, depth - 1),
+                    ]),
+                    _ => random_lineage(rng, depth - 1).negate(),
+                }
+            }
+            let l = random_lineage(&mut rng, 4);
+            let ps: Vec<f64> = (0..6)
+                .map(|_| (rng.next_u64() % 1000) as f64 / 1000.0)
+                .collect();
+            let probs = |id: FactId| ps[id.0 as usize];
+            let (tree_p, tree_stats) = probability_with_stats(&l, &probs);
+            let mut arena = LineageArena::new();
+            let root = arena.from_lineage(&l);
+            let (dag_p, dag_stats) = probability_dag_with_stats(&mut arena, root, &probs);
+            // bit-for-bit, not approximately
+            assert_eq!(
+                tree_p.to_bits(),
+                dag_p.to_bits(),
+                "trial {trial}: tree {tree_p} != dag {dag_p} on {l:?}"
+            );
+            assert_eq!(tree_stats.expansions, dag_stats.expansions, "trial {trial}");
+            assert_eq!(
+                tree_stats.decompositions, dag_stats.decompositions,
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn dag_memo_hits_on_shared_substructure() {
+        // (x0∧x1∧x2) ∨ (¬x0∧x1∧x2): expanding on x0 gives the SAME
+        // cofactor (x1∧x2) on both branches — the second probe must be an
+        // O(1) id-keyed memo hit.
+        let probs = |_: FactId| 0.5;
+        let f = Lineage::or([
+            Lineage::and([v(0), v(1), v(2)]),
+            Lineage::and([v(0).negate(), v(1), v(2)]),
+        ]);
+        let mut arena = LineageArena::new();
+        let root = arena.from_lineage(&f);
+        let (p, stats) = probability_dag_with_stats(&mut arena, root, &probs);
+        assert!((p - 0.25).abs() < 1e-12, "f ≡ x1 ∧ x2");
+        assert!(stats.cache_hits >= 1, "shared cofactor must hit the memo");
+        // and the tree engine behaves the same way
+        let (tp, tstats) = probability_with_stats(&f, &probs);
+        assert_eq!(tp.to_bits(), p.to_bits());
+        assert_eq!(tstats.cache_hits, stats.cache_hits);
     }
 
     #[test]

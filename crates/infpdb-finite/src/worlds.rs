@@ -9,6 +9,7 @@
 //! to lineage and go through the Shannon engine; size events use the exact
 //! Poisson-binomial distribution.
 
+use crate::arena::{self, LineageArena, LineageId};
 use crate::lineage::Lineage;
 use crate::{shannon, FiniteError, TiTable};
 use infpdb_core::event::Event;
@@ -62,6 +63,85 @@ pub fn event_lineage(event: &Event, table: &TiTable) -> Option<Lineage> {
     }
 }
 
+/// Arena counterpart of [`event_lineage`]: interns the event's lineage
+/// into `arena` so [`prob_event`] runs on the DAG Shannon engine.
+pub fn event_lineage_arena(
+    event: &Event,
+    table: &TiTable,
+    arena: &mut LineageArena,
+) -> Option<LineageId> {
+    match event {
+        Event::Always => Some(arena::TOP),
+        Event::ContainsFact(id) => Some(var_or_const_arena(*id, table, arena)),
+        Event::ContainsAny(ids) => {
+            let vs: Vec<LineageId> = ids
+                .iter()
+                .map(|id| var_or_const_arena(*id, table, arena))
+                .collect();
+            Some(arena.or(vs))
+        }
+        Event::Superset(d) => {
+            let vs: Vec<LineageId> = d
+                .iter()
+                .map(|id| var_or_const_arena(id, table, arena))
+                .collect();
+            Some(arena.and(vs))
+        }
+        Event::Exactly(d) => {
+            for id in d.iter() {
+                if id.0 as usize >= table.len() {
+                    return Some(arena::BOT);
+                }
+            }
+            let vs: Vec<LineageId> = (0..table.len())
+                .map(|i| {
+                    let id = FactId(i as u32);
+                    let v = var_or_const_arena(id, table, arena);
+                    if d.contains(id) {
+                        v
+                    } else {
+                        arena.negate(v)
+                    }
+                })
+                .collect();
+            Some(arena.and(vs))
+        }
+        Event::SizeAtLeast(_) => None,
+        Event::Not(e) => {
+            let l = event_lineage_arena(e, table, arena)?;
+            Some(arena.negate(l))
+        }
+        Event::And(es) => {
+            let ls: Option<Vec<LineageId>> = es
+                .iter()
+                .map(|e| event_lineage_arena(e, table, arena))
+                .collect();
+            Some(arena.and(ls?))
+        }
+        Event::Or(es) => {
+            let ls: Option<Vec<LineageId>> = es
+                .iter()
+                .map(|e| event_lineage_arena(e, table, arena))
+                .collect();
+            Some(arena.or(ls?))
+        }
+    }
+}
+
+fn var_or_const_arena(id: FactId, table: &TiTable, arena: &mut LineageArena) -> LineageId {
+    if id.0 as usize >= table.len() {
+        return arena::BOT; // facts outside the table never occur
+    }
+    let p = table.prob(id);
+    if p == 0.0 {
+        arena::BOT
+    } else if p == 1.0 {
+        arena::TOP
+    } else {
+        arena.var(id)
+    }
+}
+
 fn var_or_const(id: FactId, table: &TiTable) -> Lineage {
     if id.0 as usize >= table.len() {
         return Lineage::Bot; // facts outside the table never occur
@@ -80,8 +160,11 @@ fn var_or_const(id: FactId, table: &TiTable) -> Lineage {
 /// lineage + Shannon; a bare `SizeAtLeast` uses the Poisson-binomial tail;
 /// mixed events fall back to world enumeration.
 pub fn prob_event(event: &Event, table: &TiTable) -> Result<f64, FiniteError> {
-    if let Some(l) = event_lineage(event, table) {
-        return Ok(shannon::probability(&l, &|id| table.prob(id)));
+    let mut arena = LineageArena::new();
+    if let Some(root) = event_lineage_arena(event, table, &mut arena) {
+        return Ok(shannon::probability_dag(&mut arena, root, &|id| {
+            table.prob(id)
+        }));
     }
     if let Event::SizeAtLeast(n) = event {
         let dist = table.size_distribution();
@@ -169,6 +252,31 @@ mod tests {
         let e = Event::fact(FactId(0)).and(Event::SizeAtLeast(2));
         // both facts present: 0.25
         assert!((prob_event(&e, &t).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arena_event_lineage_matches_tree_event_lineage() {
+        let t = table(&[0.4, 0.6, 0.1, 1.0, 0.0]);
+        let events = [
+            Event::Always,
+            Event::fact(FactId(0)),
+            Event::fact(FactId(9)),
+            Event::any_of([FactId(0), FactId(2)]),
+            Event::Superset(Instance::from_ids([FactId(0), FactId(1)])),
+            Event::Exactly(Instance::from_ids([FactId(0), FactId(2)])),
+            Event::fact(FactId(0)).and(Event::fact(FactId(1)).not()),
+            Event::fact(FactId(2)).or(Event::fact(FactId(3))),
+        ];
+        for e in events {
+            let tree = event_lineage(&e, &t).unwrap();
+            let mut arena = LineageArena::new();
+            let id = event_lineage_arena(&e, &t, &mut arena).unwrap();
+            assert_eq!(arena.to_lineage(id), tree, "{e:?}");
+        }
+        // SizeAtLeast has no Boolean-combination lineage in either form
+        let mut arena = LineageArena::new();
+        assert!(event_lineage_arena(&Event::SizeAtLeast(1), &t, &mut arena).is_none());
+        assert!(event_lineage(&Event::SizeAtLeast(1), &t).is_none());
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Differential tests: the hash-consed arena engine against the boxed
+//! tree engine.
+//!
+//! The arena is the production representation; the tree is the retained
+//! reference implementation. These properties pin the contract the
+//! optimisation must preserve: *bit-for-bit* identical `f64`
+//! probabilities (not approximate agreement — both engines walk the
+//! same canonical structure in the same order, so every intermediate
+//! rounding step matches), identical Shannon work counters, and
+//! identical canonicalization (flatten / sort / dedup / complementary
+//! collapse) at interning time.
+
+use infpdb_core::fact::Fact;
+use infpdb_core::fact::FactId;
+use infpdb_core::schema::{Relation, Schema};
+use infpdb_core::space::rand_core::{RngCore, SplitMix64};
+use infpdb_core::value::Value;
+use infpdb_finite::arena::LineageArena;
+use infpdb_finite::lineage::{lineage_of, lineage_of_arena};
+use infpdb_finite::shannon::{probability_dag_with_stats, probability_with_stats};
+use infpdb_finite::{Lineage, TiTable};
+use infpdb_logic::parse;
+use proptest::prelude::*;
+
+const NVARS: u64 = 6;
+
+/// A random canonical lineage over `NVARS` fact variables.
+fn random_lineage(rng: &mut SplitMix64, depth: usize) -> Lineage {
+    let choice = rng.next_u64() % if depth == 0 { 2 } else { 6 };
+    match choice {
+        0 => Lineage::Var(FactId((rng.next_u64() % NVARS) as u32)),
+        1 => Lineage::Var(FactId((rng.next_u64() % NVARS) as u32)).negate(),
+        2 | 3 => {
+            let width = 2 + (rng.next_u64() % 3) as usize;
+            let children: Vec<Lineage> =
+                (0..width).map(|_| random_lineage(rng, depth - 1)).collect();
+            if choice == 2 {
+                Lineage::and(children)
+            } else {
+                Lineage::or(children)
+            }
+        }
+        _ => random_lineage(rng, depth - 1).negate(),
+    }
+}
+
+fn random_probs(rng: &mut SplitMix64) -> Vec<f64> {
+    (0..NVARS)
+        .map(|_| (rng.next_u64() % 1001) as f64 / 1000.0)
+        .collect()
+}
+
+/// A random t.i. table over `{R/1, S/2}` with `facts` facts.
+fn random_table(rng: &mut SplitMix64, facts: usize) -> TiTable {
+    let schema =
+        Schema::from_relations([Relation::new("R", 1), Relation::new("S", 2)]).expect("static");
+    let r = schema.rel_id("R").expect("declared");
+    let s = schema.rel_id("S").expect("declared");
+    let mut t = TiTable::new(schema);
+    let mut added = 0;
+    let mut counter = 0i64;
+    while added < facts {
+        counter += 1;
+        let dom = |rng: &mut SplitMix64| (rng.next_u64() % 5) as i64;
+        let fact = if rng.next_u64().is_multiple_of(2) {
+            Fact::new(r, [Value::int(dom(rng))])
+        } else {
+            Fact::new(s, [Value::int(dom(rng)), Value::int(counter % 4)])
+        };
+        let p = (rng.next_u64() % 999 + 1) as f64 / 1000.0;
+        if t.add_fact(fact, p).is_ok() {
+            added += 1;
+        }
+    }
+    t
+}
+
+/// The Boolean query pool the grounding property samples from — unsafe
+/// (self-join) shapes included, so evaluation goes through Shannon
+/// expansion rather than collapsing trivially.
+const QUERIES: [&str; 6] = [
+    "exists x. R(x)",
+    "exists x, y. R(x) /\\ R(y) /\\ x != y",
+    "exists x. R(x) /\\ (exists y. S(x, y))",
+    "exists x. exists y. S(x, y) /\\ R(y)",
+    "forall x. R(x) -> (exists y. S(x, y))",
+    "(exists x. R(x)) /\\ !(exists y. S(y, y))",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// ≥500 random formula/probability pairs: the DAG engine's answer
+    /// equals the tree engine's to the last bit, and it does exactly
+    /// the same number of expansions and decompositions.
+    #[test]
+    fn dag_probability_is_bit_for_bit_equal_to_tree(seed in 0u64..u64::MAX) {
+        let mut rng = SplitMix64::new(seed);
+        let depth = 2 + (rng.next_u64() % 3) as usize;
+        let l = random_lineage(&mut rng, depth);
+        let ps = random_probs(&mut rng);
+        let probs = |id: FactId| ps[id.0 as usize];
+
+        let (tree_p, tree_stats) = probability_with_stats(&l, &probs);
+        let mut arena = LineageArena::new();
+        let root = arena.from_lineage(&l);
+        let (dag_p, dag_stats) = probability_dag_with_stats(&mut arena, root, &probs);
+
+        prop_assert!(tree_p.to_bits() == dag_p.to_bits(),
+            "tree {} != dag {} on {:?}", tree_p, dag_p, l);
+        prop_assert_eq!(tree_stats.expansions, dag_stats.expansions);
+        prop_assert_eq!(tree_stats.decompositions, dag_stats.decompositions);
+    }
+
+    /// Interning canonicalizes exactly like the tree smart
+    /// constructors: converting a canonical tree into the arena and
+    /// back is the identity.
+    #[test]
+    fn interning_round_trips_canonical_trees(seed in 0u64..u64::MAX) {
+        let mut rng = SplitMix64::new(seed);
+        let l = random_lineage(&mut rng, 3);
+        let mut arena = LineageArena::new();
+        let root = arena.from_lineage(&l);
+        prop_assert_eq!(arena.to_lineage(root), l);
+    }
+
+    /// Grounding through the arena agrees with tree grounding on
+    /// random tables — same canonical lineage, bit-for-bit the same
+    /// probability.
+    #[test]
+    fn arena_grounding_matches_tree_on_random_tables(
+        seed in 0u64..u64::MAX,
+        facts in 3usize..10,
+        qi in 0usize..QUERIES.len(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let table = random_table(&mut rng, facts);
+        let query = parse(QUERIES[qi], table.schema()).expect("static query");
+
+        let tree = lineage_of(&query, &table).expect("grounds");
+        let mut arena = LineageArena::new();
+        let root = lineage_of_arena(&query, &table, &mut arena).expect("grounds");
+        prop_assert_eq!(&arena.to_lineage(root), &tree);
+
+        let probs = |id: FactId| table.prob(id);
+        let (tree_p, _) = probability_with_stats(&tree, &probs);
+        let (dag_p, _) = probability_dag_with_stats(&mut arena, root, &probs);
+        prop_assert!(tree_p.to_bits() == dag_p.to_bits(),
+            "tree {} != dag {} for {:?}", tree_p, dag_p, QUERIES[qi]);
+    }
+}
+
+#[test]
+fn interning_collapses_complementary_pairs() {
+    let mut arena = LineageArena::new();
+    let x = arena.var(FactId(0));
+    let nx = arena.negate(x);
+    let y = arena.var(FactId(1));
+    // x ∧ ¬x → ⊥ (also with an unrelated sibling)
+    let contradiction = arena.and([x, nx]);
+    assert_eq!(arena.to_lineage(contradiction), Lineage::Bot);
+    let with_sibling = arena.and([y, x, nx]);
+    assert_eq!(arena.to_lineage(with_sibling), Lineage::Bot);
+    // x ∨ ¬x → ⊤
+    let tautology = arena.or([nx, x]);
+    assert_eq!(arena.to_lineage(tautology), Lineage::Top);
+    // the tree constructors agree
+    let tx = Lineage::Var(FactId(0));
+    assert_eq!(
+        Lineage::and([tx.clone(), tx.clone().negate()]),
+        Lineage::Bot
+    );
+    assert_eq!(Lineage::or([tx.clone(), tx.negate()]), Lineage::Top);
+}
+
+#[test]
+fn interning_flattens_sorts_and_dedups_like_the_tree() {
+    // a messy combination: nested same-op children, duplicates,
+    // neutral and absorbing constants, arbitrary order
+    let (a, b, c) = (
+        Lineage::Var(FactId(2)),
+        Lineage::Var(FactId(0)),
+        Lineage::Var(FactId(1)),
+    );
+    let messy_and = |x: Lineage, y: Lineage, z: Lineage| {
+        Lineage::and([Lineage::and([y.clone(), x.clone()]), Lineage::Top, z, x, y])
+    };
+    let tree = messy_and(a.clone(), b.clone(), c.clone());
+
+    let mut arena = LineageArena::new();
+    let (ia, ib, ic) = (
+        arena.var(FactId(2)),
+        arena.var(FactId(0)),
+        arena.var(FactId(1)),
+    );
+    let inner = arena.and([ib, ia]);
+    let top = arena.from_lineage(&Lineage::Top);
+    let dag = arena.and([inner, top, ic, ia, ib]);
+
+    assert_eq!(arena.to_lineage(dag), tree);
+    // and the canonical form is what the tree constructors document:
+    // flattened, sorted, deduplicated
+    assert_eq!(
+        tree,
+        Lineage::And(vec![
+            Lineage::Var(FactId(0)),
+            Lineage::Var(FactId(1)),
+            Lineage::Var(FactId(2)),
+        ])
+    );
+
+    // same-shape disjunction, with Bot as the neutral element
+    let tree_or = Lineage::or([
+        Lineage::or([a.clone(), b.clone()]),
+        Lineage::Bot,
+        b.clone(),
+        c.clone(),
+    ]);
+    let inner_or = arena.or([ia, ib]);
+    let bot = arena.from_lineage(&Lineage::Bot);
+    let dag_or = arena.or([inner_or, bot, ib, ic]);
+    assert_eq!(arena.to_lineage(dag_or), tree_or);
+}
+
+#[test]
+fn structurally_equal_sublineages_intern_to_the_same_id() {
+    let mut arena = LineageArena::new();
+    let x = arena.var(FactId(0));
+    let y = arena.var(FactId(1));
+    let first = arena.and([x, y]);
+    let second = arena.and([y, x]); // different order, same canonical shape
+    assert_eq!(first, second);
+    assert!(arena.stats().intern_hits > 0);
+}

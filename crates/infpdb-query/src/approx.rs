@@ -18,7 +18,7 @@
 use crate::cancel::{CancelInfo, CancelToken};
 use crate::truncate::{partial_certificate, PlannedTruncation, TruncationPlan};
 use crate::QueryError;
-use infpdb_finite::engine::{self, Engine};
+use infpdb_finite::engine::{self, Engine, EvalTrace};
 use infpdb_logic::ast::Formula;
 use infpdb_ti::construction::CountableTiPdb;
 
@@ -116,6 +116,23 @@ pub fn approx_prob_boolean_cancellable(
     cancel: &CancelToken,
     partial_policy: PartialOnCancel,
 ) -> Result<Approximation, QueryError> {
+    approx_prob_boolean_cancellable_traced(pdb, query, eps, finite_engine, cancel, partial_policy)
+        .map(|(a, _)| a)
+}
+
+/// [`approx_prob_boolean_cancellable`] plus the finite engine's
+/// [`EvalTrace`] on success — Shannon memo/expansion counters and arena
+/// interning statistics, which the serve layer exports as metrics. One
+/// hash-consed arena serves the entire evaluation (grounding through
+/// inference); the trace reports its final size.
+pub fn approx_prob_boolean_cancellable_traced(
+    pdb: &CountableTiPdb,
+    query: &Formula,
+    eps: f64,
+    finite_engine: Engine,
+    cancel: &CancelToken,
+    partial_policy: PartialOnCancel,
+) -> Result<(Approximation, EvalTrace), QueryError> {
     let (kind, facts_processed, partial_table) =
         match TruncationPlan::new_cancellable(pdb, eps, cancel)? {
             PlannedTruncation::Complete(plan) => {
@@ -123,13 +140,17 @@ pub fn approx_prob_boolean_cancellable(
                 // whose budget is already spent
                 match cancel.check() {
                     Ok(()) => {
-                        let estimate = engine::prob_boolean(query, &plan.table, finite_engine)?;
-                        return Ok(Approximation {
-                            estimate,
-                            eps,
-                            n: plan.n(),
-                            tail_mass: plan.truncation.tail_mass,
-                        });
+                        let (estimate, trace) =
+                            engine::prob_boolean_traced(query, &plan.table, finite_engine)?;
+                        return Ok((
+                            Approximation {
+                                estimate,
+                                eps,
+                                n: plan.n(),
+                                tail_mass: plan.truncation.tail_mass,
+                            },
+                            trace,
+                        ));
                     }
                     Err(kind) => (kind, plan.n(), plan.table),
                 }
@@ -322,6 +343,27 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plain, via_token);
+    }
+
+    #[test]
+    fn traced_variant_reports_engine_work() {
+        let p = pdb(GeometricSeries::new(0.5, 0.5).unwrap());
+        let q = parse("exists x, y. R(x) /\\ R(y) /\\ x != y", p.schema()).unwrap();
+        let token = CancelToken::new();
+        let (a, trace) = approx_prob_boolean_cancellable_traced(
+            &p,
+            &q,
+            0.05,
+            Engine::Lineage,
+            &token,
+            PartialOnCancel::Evaluate,
+        )
+        .unwrap();
+        let plain = approx_prob_boolean(&p, &q, 0.05, Engine::Lineage).unwrap();
+        assert_eq!(a, plain);
+        let arena = trace.arena.expect("lineage engine fills arena stats");
+        assert!(arena.nodes > 2);
+        assert!(trace.shannon.is_some());
     }
 
     #[test]

@@ -97,6 +97,16 @@ pub struct Metrics {
     pub retries: AtomicU64,
     /// Requests failed fast by an open circuit breaker.
     pub breaker_fastfail: AtomicU64,
+    /// Shannon-engine memo hits accumulated across evaluations (id-keyed
+    /// probes of the DAG engine's probability cache).
+    pub shannon_memo_hits: AtomicU64,
+    /// Shannon expansions accumulated across evaluations.
+    pub shannon_expansions: AtomicU64,
+    /// Lineage-arena nodes interned, accumulated across evaluations.
+    pub arena_nodes: AtomicU64,
+    /// Lineage-arena interning-table hits (structural duplicates answered
+    /// without allocating), accumulated across evaluations.
+    pub arena_intern_hits: AtomicU64,
     /// Jobs currently queued, waiting for a worker.
     pub queue_depth: AtomicU64,
     /// Time from submission to the start of evaluation.
@@ -113,6 +123,14 @@ impl Metrics {
 
     /// Plain-text snapshot, one `name value` pair per line.
     pub fn dump(&self) -> String {
+        self.dump_opts(false)
+    }
+
+    /// Like [`dump`](Self::dump), with optional per-engine arena
+    /// statistics (interned node and interning-hit totals) appended —
+    /// off by default because the lines are only meaningful when the
+    /// intensional engine runs.
+    pub fn dump_opts(&self, arena_stats: bool) -> String {
         let mut out = String::new();
         use std::fmt::Write as _;
         let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
@@ -139,10 +157,48 @@ impl Metrics {
             c(&self.breaker_fastfail)
         )
         .ok();
+        writeln!(
+            out,
+            "serve_shannon_memo_hits_total {}",
+            c(&self.shannon_memo_hits)
+        )
+        .ok();
         writeln!(out, "serve_queue_depth {}", c(&self.queue_depth)).ok();
         self.wait.dump_into("serve_wait_micros", &mut out);
         self.run.dump_into("serve_run_micros", &mut out);
+        if arena_stats {
+            writeln!(
+                out,
+                "serve_shannon_expansions_total {}",
+                c(&self.shannon_expansions)
+            )
+            .ok();
+            writeln!(out, "serve_arena_nodes_total {}", c(&self.arena_nodes)).ok();
+            writeln!(
+                out,
+                "serve_arena_intern_hits_total {}",
+                c(&self.arena_intern_hits)
+            )
+            .ok();
+        }
         out
+    }
+
+    /// Folds one evaluation's [`EvalTrace`](infpdb_finite::engine::EvalTrace)
+    /// into the registry.
+    pub fn record_trace(&self, trace: &infpdb_finite::engine::EvalTrace) {
+        if let Some(s) = trace.shannon {
+            self.shannon_memo_hits
+                .fetch_add(s.cache_hits as u64, Ordering::Relaxed);
+            self.shannon_expansions
+                .fetch_add(s.expansions as u64, Ordering::Relaxed);
+        }
+        if let Some(a) = trace.arena {
+            self.arena_nodes
+                .fetch_add(a.nodes as u64, Ordering::Relaxed);
+            self.arena_intern_hits
+                .fetch_add(a.intern_hits as u64, Ordering::Relaxed);
+        }
     }
 }
 
@@ -185,11 +241,51 @@ mod tests {
             "serve_deadline_exceeded_total 0",
             "serve_retries_total 0",
             "serve_breaker_fastfail_total 0",
+            "serve_shannon_memo_hits_total 0",
             "serve_queue_depth 0",
             "serve_wait_micros_count 0",
             "serve_run_micros_count 0",
         ] {
             assert!(dump.contains(name), "missing {name:?} in:\n{dump}");
         }
+        // arena statistics only appear when asked for
+        assert!(!dump.contains("serve_arena_nodes_total"));
+        let full = m.dump_opts(true);
+        for name in [
+            "serve_shannon_expansions_total 0",
+            "serve_arena_nodes_total 0",
+            "serve_arena_intern_hits_total 0",
+        ] {
+            assert!(full.contains(name), "missing {name:?} in:\n{full}");
+        }
+    }
+
+    #[test]
+    fn record_trace_accumulates_engine_counters() {
+        use infpdb_finite::arena::ArenaStats;
+        use infpdb_finite::engine::EvalTrace;
+        use infpdb_finite::shannon::Stats;
+        let m = Metrics::new();
+        let trace = EvalTrace {
+            shannon: Some(Stats {
+                expansions: 4,
+                cache_hits: 7,
+                decompositions: 2,
+            }),
+            arena: Some(ArenaStats {
+                nodes: 31,
+                intern_hits: 12,
+            }),
+        };
+        m.record_trace(&trace);
+        m.record_trace(&trace);
+        let full = m.dump_opts(true);
+        assert!(full.contains("serve_shannon_memo_hits_total 14"));
+        assert!(full.contains("serve_shannon_expansions_total 8"));
+        assert!(full.contains("serve_arena_nodes_total 62"));
+        assert!(full.contains("serve_arena_intern_hits_total 24"));
+        // a lifted-path trace (no intensional work) adds nothing
+        m.record_trace(&EvalTrace::default());
+        assert!(m.dump_opts(true).contains("serve_arena_nodes_total 62"));
     }
 }

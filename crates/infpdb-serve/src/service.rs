@@ -36,7 +36,9 @@ use crate::pool::{OverflowPolicy, PoolConfig, ThreadPool};
 use crate::ServeError;
 use infpdb_finite::engine::Engine;
 use infpdb_logic::ast::Formula;
-use infpdb_query::approx::{approx_prob_boolean_cancellable, Approximation, PartialOnCancel};
+use infpdb_query::approx::{
+    approx_prob_boolean_cancellable_traced, Approximation, PartialOnCancel,
+};
 use infpdb_query::budget::BudgetReport;
 use infpdb_query::cancel::{CancelKind, CancelToken};
 use infpdb_query::QueryError;
@@ -116,6 +118,9 @@ pub struct ServiceConfig {
     pub retry: RetryPolicy,
     /// Per-engine circuit-breaker tuning.
     pub breaker: BreakerConfig,
+    /// Include per-engine arena statistics (interned nodes, interning
+    /// hits, expansion totals) in [`QueryService::metrics_dump`].
+    pub arena_stats: bool,
 }
 
 impl Default for ServiceConfig {
@@ -131,6 +136,7 @@ impl Default for ServiceConfig {
             overflow: OverflowPolicy::Block,
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            arena_stats: false,
         }
     }
 }
@@ -276,6 +282,7 @@ struct Inner {
     breakers: EngineBreakers,
     retry: RetryPolicy,
     faults: Option<Arc<FaultInjector>>,
+    arena_stats: bool,
 }
 
 impl Inner {
@@ -328,6 +335,7 @@ impl QueryService {
             breakers: EngineBreakers::new(config.breaker),
             retry: config.retry,
             faults,
+            arena_stats: config.arena_stats,
         });
         let pool = ThreadPool::with_config(
             PoolConfig {
@@ -420,6 +428,12 @@ impl QueryService {
     /// The shared metrics registry.
     pub fn metrics(&self) -> &Metrics {
         &self.inner.metrics
+    }
+
+    /// Plain-text metrics snapshot, honoring the
+    /// [`arena_stats`](ServiceConfig::arena_stats) configuration.
+    pub fn metrics_dump(&self) -> String {
+        self.inner.metrics.dump_opts(self.inner.arena_stats)
     }
 
     /// Entries currently cached.
@@ -559,7 +573,7 @@ fn handle(
     }
     inner.fault("engine")?;
     let start = Instant::now();
-    let approx = approx_prob_boolean_cancellable(
+    let (approx, trace) = approx_prob_boolean_cancellable_traced(
         &inner.pdb,
         &request.query,
         admitted.eps,
@@ -582,6 +596,7 @@ fn handle(
     })?;
     let elapsed = start.elapsed();
     inner.metrics.run.record(elapsed);
+    inner.metrics.record_trace(&trace);
     inner.throughput.observe(approx.n, elapsed);
     inner.fault("cache_insert")?;
     // partial results never reach this point (they surface as errors
@@ -666,6 +681,37 @@ mod tests {
         assert_eq!(svc.metrics().cache_hits.load(Ordering::Relaxed), 1);
         assert_eq!(svc.metrics().cache_misses.load(Ordering::Relaxed), 1);
         assert_eq!(svc.cache_len(), 1);
+    }
+
+    #[test]
+    fn lineage_evaluations_export_shannon_and_arena_metrics() {
+        let svc = QueryService::new(
+            pdb(),
+            ServiceConfig {
+                threads: 1,
+                engine: Engine::Lineage,
+                arena_stats: true,
+                ..ServiceConfig::default()
+            },
+        );
+        let p = pdb();
+        // a pair query: symmetric lineage with real interning and memo use
+        let q = parse("exists x, y. R(x) /\\ R(y) /\\ x != y", p.schema()).unwrap();
+        svc.evaluate(QueryRequest::new(q, 0.05)).unwrap();
+        assert!(svc.metrics().arena_nodes.load(Ordering::Relaxed) > 2);
+        assert!(svc.metrics().arena_intern_hits.load(Ordering::Relaxed) > 0);
+        let dump = svc.metrics_dump();
+        assert!(dump.contains("serve_shannon_memo_hits_total"));
+        assert!(dump.contains("serve_arena_nodes_total"));
+        // a cache hit does not re-run the engine: counters unchanged
+        let before = svc.metrics().arena_nodes.load(Ordering::Relaxed);
+        let q2 = parse("exists x, y. R(x) /\\ R(y) /\\ x != y", p.schema()).unwrap();
+        let resp = svc.evaluate(QueryRequest::new(q2, 0.05)).unwrap();
+        assert!(resp.cached);
+        assert_eq!(svc.metrics().arena_nodes.load(Ordering::Relaxed), before);
+        // default config keeps the dump arena-free
+        let plain = service(1);
+        assert!(!plain.metrics_dump().contains("serve_arena_nodes_total"));
     }
 
     #[test]

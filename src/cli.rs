@@ -37,7 +37,12 @@
 //!   each query's evaluation (cooperatively cancelled mid-truncation,
 //!   reporting a sound partial interval when one is certifiable);
 //!   `--queue-cap`/`--overflow` bound the submission queue.
+//! * `bench [--smoke] [--impl tree|arena] [--out PATH]` — runs the
+//!   reproducible perf harness over the geometric and zeta fixtures at
+//!   ε ∈ {1e-2, 1e-3, 1e-4}, prints a summary table, and writes the
+//!   `BENCH_<iso-date>.json` artifact (see `infpdb_bench::harness`).
 
+use infpdb_bench::harness::{self, ImplKind};
 use infpdb_core::fact::Fact;
 use infpdb_core::schema::{Relation, Schema};
 use infpdb_core::space::rand_core::SplitMix64;
@@ -514,12 +519,33 @@ pub fn cmd_batch(
     Ok(out)
 }
 
+/// `bench` subcommand: runs the reproducible perf harness
+/// ([`infpdb_bench::harness`]) over the geometric and zeta fixtures and
+/// writes the `BENCH_<iso-date>.json` artifact. The one subcommand that
+/// performs file output itself (the artifact path is part of its
+/// contract); everything printed goes through the usual return value.
+pub fn cmd_bench(impl_name: &str, smoke: bool, out_path: Option<&str>) -> Result<String, CliError> {
+    let impl_kind = ImplKind::parse(impl_name)
+        .ok_or_else(|| CliError::Usage(format!("unknown --impl {impl_name:?} (tree|arena)")))?;
+    let report =
+        harness::run(&harness::BenchConfig::new(impl_kind, smoke)).map_err(CliError::Library)?;
+    let json = harness::to_json(&report);
+    let path = out_path
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("BENCH_{}.json", report.date));
+    std::fs::write(&path, &json)
+        .map_err(|e| CliError::Library(format!("cannot write {path}: {e}")))?;
+    let mut out = harness::summary_table(&report);
+    writeln!(out, "wrote {path}").ok();
+    Ok(out)
+}
+
 /// Argument dispatch for the binary. `args` excludes the program name.
 pub fn run(
     args: &[String],
     read_file: impl Fn(&str) -> std::io::Result<String>,
 ) -> Result<String, CliError> {
-    let usage = "usage: infpdb <info|query|marginals|sample|open|batch> <table-file> [...]";
+    let usage = "usage: infpdb <info|query|marginals|sample|open|batch|bench> <table-file> [...]";
     if args.is_empty() {
         return Err(CliError::Usage(usage.into()));
     }
@@ -650,6 +676,15 @@ pub fn run(
                     tail_start,
                 },
             )
+        }
+        "bench" => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let impl_name = flag("--impl", "arena");
+            let out = match flag("--out", "") {
+                s if s.is_empty() => None,
+                s => Some(s),
+            };
+            cmd_bench(&impl_name, smoke, out.as_deref())
         }
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other:?}; {usage}"
@@ -1056,5 +1091,18 @@ Person(1000000)
                 "{bad:?} must be a usage error"
             );
         }
+    }
+
+    #[test]
+    fn bench_rejects_unknown_impl() {
+        let files = |_: &str| -> std::io::Result<String> {
+            Err(std::io::Error::new(std::io::ErrorKind::NotFound, "nope"))
+        };
+        let a: Vec<String> = ["bench", "--impl", "btree"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        // fails before measuring anything or touching the filesystem
+        assert!(matches!(run(&a, files), Err(CliError::Usage(_))));
     }
 }
