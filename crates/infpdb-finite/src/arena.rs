@@ -1,6 +1,6 @@
 //! Hash-consed lineage arena: canonical Boolean provenance as a DAG.
 //!
-//! The boxed-tree [`Lineage`](crate::lineage::Lineage) representation pays
+//! The boxed-tree [`Lineage`] representation pays
 //! twice on the Proposition 6.1 hot path: structurally equal sub-lineages
 //! are materialized once per occurrence, and every memo probe of the
 //! Shannon engine rehashes an entire subtree. This module replaces it with
@@ -18,7 +18,7 @@
 //!
 //! Constructors enforce the same normal form as the tree smart
 //! constructors, so arena nodes are in 1–1 correspondence with canonical
-//! [`Lineage`](crate::lineage::Lineage) trees:
+//! [`Lineage`] trees:
 //!
 //! 1. `And`/`Or` children are flattened (no `And` directly under `And`),
 //!    sorted by *structural* order (the tree's derived `Ord`), and

@@ -7,7 +7,7 @@
 //! `P(|p̂ − p| > ε) ≤ δ`.
 //!
 //! The query is grounded **once** into a hash-consed
-//! [`LineageArena`](crate::arena::LineageArena); each sampled world is then
+//! [`LineageArena`]; each sampled world is then
 //! judged by a single linear pass over the arena's dense node ids
 //! ([`LineageArena::eval_into`](crate::arena::LineageArena::eval_into))
 //! with a reused scratch buffer — no per-sample formula walk, no

@@ -38,6 +38,38 @@ impl TiTable {
         }
     }
 
+    /// Rebuilds a table from an already-interned fact set and its aligned
+    /// probability vector — the zero-rehash path of the prepared-query
+    /// pipeline: a `FactCatalog` snapshot becomes a table by cloning its
+    /// interner instead of re-interning every owned `Fact`.
+    ///
+    /// Requires `interner.len() == probs.len()` (ids are dense positions
+    /// in insertion order; `probs[i]` belongs to fact id `i` — the same
+    /// invariant [`add_fact`](Self::add_fact) maintains incrementally).
+    /// Probabilities are validated; the length invariant is asserted
+    /// because violating it is a construction bug, not an input error.
+    pub fn from_interned_parts(
+        schema: Schema,
+        interner: FactInterner,
+        probs: Vec<f64>,
+    ) -> Result<Self, FiniteError> {
+        assert_eq!(
+            interner.len(),
+            probs.len(),
+            "interner and probability vector must be aligned"
+        );
+        for &p in &probs {
+            infpdb_math::check_probability(p)
+                .map_err(infpdb_core::CoreError::Math)
+                .map_err(FiniteError::Core)?;
+        }
+        Ok(Self {
+            schema,
+            interner,
+            probs,
+        })
+    }
+
     /// Builds a table from `(fact, probability)` pairs; rejects duplicate
     /// facts and probabilities outside `[0, 1]`.
     ///
@@ -299,6 +331,27 @@ mod tests {
         assert_eq!(t.marginal(&fact(9)), 0.0); // closed world
         assert_eq!(t.iter().count(), 2);
         assert_eq!(t.schema().len(), 1);
+    }
+
+    #[test]
+    fn from_interned_parts_round_trips_without_rehashing() {
+        let t = table(&[0.5, 0.25, 0.8]);
+        let rebuilt = TiTable::from_interned_parts(
+            t.schema().clone(),
+            t.interner().clone(),
+            (0..t.len()).map(|i| t.prob(FactId(i as u32))).collect(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.len(), t.len());
+        assert_eq!(rebuilt.fingerprint(), t.fingerprint());
+        assert_eq!(rebuilt.prob(FactId(2)), 0.8);
+        // invalid probabilities are still rejected
+        assert!(TiTable::from_interned_parts(
+            t.schema().clone(),
+            t.interner().clone(),
+            vec![0.5, 0.25, 1.8],
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Query compilation: the prepare-once artifact of the prepared-query
+//! pipeline.
+//!
+//! Proposition 6.1 splits evaluation into work that depends only on the
+//! query (parsing, normalization, safety analysis, ranking) and work that
+//! depends on the PDB and the tolerance (truncation, grounding,
+//! inference). [`CompiledQuery`] captures the query-only half so a serving
+//! layer can do it once per distinct query and replay it across requests:
+//!
+//! * the **normal form** `nnf(rectify(Q))` used by downstream analyses,
+//! * a stable **fingerprint** of that normal form with bound variables
+//!   hashed as de Bruijn indices, so α-equivalent queries
+//!   (`∃x. R(x)` vs `∃y. R(y)`) and double negations share an identity —
+//!   this is the plan-cache key `infpdb-serve` uses,
+//! * the **rank profile** (`r` and `s` of Proposition 6.1's `O(n + r + s)`
+//!   bound, plus node/atom counts for cost estimates), and
+//! * the extensional **safe plan** when the query is a hierarchical
+//!   self-join-free CQ (`None` otherwise — the lineage engine handles it).
+//!
+//! Compilation is total: every well-formed formula compiles; safety is
+//! recorded, not required.
+
+use crate::ast::{Formula, Term};
+use crate::normal::{as_cq, rectify, to_nnf};
+use crate::safety::{safe_plan, SafePlan};
+use crate::LogicError;
+use infpdb_core::fingerprint::Fingerprinter;
+use infpdb_core::schema::Schema;
+
+/// The query-shape statistics of a compiled query: the parameters of
+/// Proposition 6.1's relativization bound plus size counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Quantifier rank `r` (maximum quantifier nesting depth).
+    pub quantifier_rank: usize,
+    /// Number of distinct constants `s`.
+    pub constants: usize,
+    /// Number of relational atoms.
+    pub atoms: usize,
+    /// Number of AST nodes.
+    pub nodes: usize,
+}
+
+/// A query compiled once: original formula, normal form, fingerprint,
+/// rank profile, and (when one exists) extensional safe plan.
+///
+/// The original formula is retained verbatim because the execute phase
+/// evaluates *it* — not the normal form — to stay bit-for-bit identical
+/// to the one-shot evaluation path.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    original: Formula,
+    normalized: Formula,
+    fingerprint: u64,
+    profile: QueryProfile,
+    safe_plan: Option<SafePlan>,
+}
+
+impl CompiledQuery {
+    /// Compiles a formula: rectify → NNF → fingerprint → rank profile →
+    /// safety analysis. Never fails; unsafe or non-CQ queries simply get
+    /// no [`SafePlan`].
+    pub fn compile(schema: &Schema, query: &Formula) -> Self {
+        let normalized = to_nnf(&rectify(query));
+        let fingerprint = fingerprint_normalized(schema, &normalized);
+        let profile = QueryProfile {
+            quantifier_rank: crate::rank::quantifier_rank(query),
+            constants: crate::rank::constant_count(query),
+            atoms: crate::rank::atom_count(query),
+            nodes: crate::rank::node_count(query),
+        };
+        let safe_plan = as_cq(&normalized).ok().and_then(|cq| safe_plan(&cq).ok());
+        CompiledQuery {
+            original: query.clone(),
+            normalized,
+            fingerprint,
+            profile,
+            safe_plan,
+        }
+    }
+
+    /// Parses and compiles query text in one step.
+    pub fn compile_text(schema: &Schema, text: &str) -> Result<Self, LogicError> {
+        Ok(Self::compile(schema, &crate::parse(text, schema)?))
+    }
+
+    /// The formula exactly as submitted (what the execute phase runs).
+    pub fn original(&self) -> &Formula {
+        &self.original
+    }
+
+    /// The rectified negation normal form.
+    pub fn normalized(&self) -> &Formula {
+        &self.normalized
+    }
+
+    /// The α-invariant structural fingerprint (the plan-cache key).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The rank profile.
+    pub fn profile(&self) -> QueryProfile {
+        self.profile
+    }
+
+    /// The extensional safe plan, when the normalized query is a
+    /// hierarchical self-join-free CQ.
+    pub fn safe_plan(&self) -> Option<&SafePlan> {
+        self.safe_plan.as_ref()
+    }
+
+    /// Whether an extensional safe plan exists.
+    pub fn is_safe(&self) -> bool {
+        self.safe_plan.is_some()
+    }
+}
+
+/// Fingerprint of a query modulo normalization.
+///
+/// Rectification plus NNF is the normal form [`crate::normal`] provides;
+/// hashing bound variables as de Bruijn indices on top makes the digest
+/// independent of the names rectification happened to pick, so
+/// α-equivalent queries share a fingerprint while genuinely different
+/// queries do not. Atoms hash by relation *name* (schema-declaration
+/// order does not matter).
+pub fn query_fingerprint(schema: &Schema, query: &Formula) -> u64 {
+    fingerprint_normalized(schema, &to_nnf(&rectify(query)))
+}
+
+fn fingerprint_normalized(schema: &Schema, normalized: &Formula) -> u64 {
+    let mut fp = Fingerprinter::new();
+    let mut binders: Vec<String> = Vec::new();
+    hash_formula(&mut fp, schema, normalized, &mut binders);
+    fp.finish()
+}
+
+fn hash_term(fp: &mut Fingerprinter, t: &Term, binders: &[String]) {
+    match t {
+        Term::Var(v) => {
+            // innermost binder first: de Bruijn index
+            match binders.iter().rev().position(|b| b == v) {
+                Some(i) => fp.write_u64(1).write_u64(i as u64),
+                // free variable: identity is its name
+                None => fp.write_u64(2).write_bytes(v.as_bytes()),
+            };
+        }
+        Term::Const(v) => {
+            fp.write_u64(3).write_value(v);
+        }
+    }
+}
+
+fn hash_formula(fp: &mut Fingerprinter, schema: &Schema, f: &Formula, binders: &mut Vec<String>) {
+    match f {
+        Formula::True => {
+            fp.write_u64(10);
+        }
+        Formula::False => {
+            fp.write_u64(11);
+        }
+        Formula::Atom { rel, args } => {
+            fp.write_u64(12);
+            let name = schema.get(*rel).map(|r| r.name()).unwrap_or("?");
+            fp.write_bytes(name.as_bytes());
+            fp.write_u64(args.len() as u64);
+            for a in args {
+                hash_term(fp, a, binders);
+            }
+        }
+        Formula::Eq(a, b) => {
+            fp.write_u64(13);
+            hash_term(fp, a, binders);
+            hash_term(fp, b, binders);
+        }
+        Formula::Not(g) => {
+            fp.write_u64(14);
+            hash_formula(fp, schema, g, binders);
+        }
+        Formula::And(gs) => {
+            fp.write_u64(15).write_u64(gs.len() as u64);
+            for g in gs {
+                hash_formula(fp, schema, g, binders);
+            }
+        }
+        Formula::Or(gs) => {
+            fp.write_u64(16).write_u64(gs.len() as u64);
+            for g in gs {
+                hash_formula(fp, schema, g, binders);
+            }
+        }
+        Formula::Exists(v, g) => {
+            fp.write_u64(17);
+            binders.push(v.clone());
+            hash_formula(fp, schema, g, binders);
+            binders.pop();
+        }
+        Formula::Forall(v, g) => {
+            fp.write_u64(18);
+            binders.push(v.clone());
+            hash_formula(fp, schema, g, binders);
+            binders.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use infpdb_core::schema::Relation;
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 1), Relation::new("S", 2)]).unwrap()
+    }
+
+    fn compile(q: &str) -> CompiledQuery {
+        let s = schema();
+        CompiledQuery::compile(&s, &parse(q, &s).unwrap())
+    }
+
+    #[test]
+    fn compile_preserves_the_original_formula() {
+        let s = schema();
+        let q = parse("!(!R(1))", &s).unwrap();
+        let cq = CompiledQuery::compile(&s, &q);
+        assert_eq!(cq.original(), &q);
+        // while the normal form collapses the double negation
+        assert_eq!(cq.normalized(), &parse("R(1)", &s).unwrap());
+    }
+
+    #[test]
+    fn alpha_equivalent_queries_compile_to_equal_fingerprints() {
+        assert_eq!(
+            compile("exists x. R(x)").fingerprint(),
+            compile("exists y. R(y)").fingerprint()
+        );
+        assert_eq!(
+            compile("exists x. exists y. S(x, y)").fingerprint(),
+            compile("exists a. exists b. S(a, b)").fingerprint()
+        );
+        // swapped roles are NOT α-equivalent
+        assert_ne!(
+            compile("exists x. exists y. S(x, y)").fingerprint(),
+            compile("exists x. exists y. S(y, x)").fingerprint()
+        );
+        // distinct queries stay distinct
+        assert_ne!(compile("R(1)").fingerprint(), compile("R(2)").fingerprint());
+    }
+
+    #[test]
+    fn profile_reports_prop_6_1_parameters() {
+        let cq = compile("exists x. exists y. S(x, y) /\\ R(1)");
+        let p = cq.profile();
+        assert_eq!(p.quantifier_rank, 2);
+        assert_eq!(p.constants, 1);
+        assert_eq!(p.atoms, 2);
+        assert!(p.nodes >= 4);
+    }
+
+    #[test]
+    fn safe_plan_recorded_for_hierarchical_cqs_only() {
+        assert!(compile("exists x. R(x)").is_safe());
+        assert!(compile("exists x. exists y. S(x, y)").is_safe());
+        // a self-join is not safe-plannable
+        let unsafe_q = compile("exists x. exists y. R(x) /\\ R(y)");
+        assert!(unsafe_q.safe_plan().is_none());
+        // non-CQ shapes compile fine without a plan
+        assert!(!compile("forall x. R(x)").is_safe());
+    }
+
+    #[test]
+    fn compile_text_round_trip_and_errors() {
+        let s = schema();
+        let cq = CompiledQuery::compile_text(&s, "exists x. R(x)").unwrap();
+        assert_eq!(cq.fingerprint(), compile("exists x. R(x)").fingerprint());
+        assert!(CompiledQuery::compile_text(&s, "exists x. R(x").is_err());
+    }
+}

@@ -17,10 +17,14 @@
 //!   (Section 3.1), and
 //! * the hierarchical-query [`safety`] analysis that decides whether a
 //!   self-join-free conjunctive query admits an extensional "safe plan"
-//!   (used by the finite engine's lifted inference).
+//!   (used by the finite engine's lifted inference), and
+//! * the prepare-phase [`compile`] step bundling normalization, an
+//!   α-invariant fingerprint, ranking, and safety into one reusable
+//!   [`compile::CompiledQuery`] artifact.
 
 pub mod algebra;
 pub mod ast;
+pub mod compile;
 pub mod eval;
 pub mod normal;
 pub mod parser;
@@ -30,6 +34,7 @@ pub mod vars;
 pub mod view;
 
 pub use ast::{Formula, Term, Var};
+pub use compile::CompiledQuery;
 pub use eval::Evaluator;
 pub use parser::parse;
 pub use view::FoView;

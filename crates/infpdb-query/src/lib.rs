@@ -33,11 +33,13 @@ pub mod budget;
 pub mod cancel;
 pub mod conditional;
 pub mod marginal;
+pub mod prepared;
 pub mod sampling;
 pub mod truncate;
 
 pub use approx::{approx_prob_boolean, Approximation};
 pub use cancel::{CancelInfo, CancelKind, CancelToken};
+pub use prepared::{PreparedPdb, PreparedQuery};
 
 /// Errors of the approximate-evaluation layer.
 #[derive(Debug, Clone, PartialEq)]

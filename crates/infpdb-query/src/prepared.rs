@@ -1,0 +1,471 @@
+//! The execute phase of the prepared-query pipeline.
+//!
+//! Proposition 6.1 splits naturally: the truncation length `n(ε)` and the
+//! prefix `Ω_n` depend only on the PDB's probability series, never on the
+//! query. A [`PreparedPdb`] exploits that by materializing the
+//! enumeration prefix once into a shared
+//! [`FactCatalog`] behind an `Arc`, and
+//! memoizing the `TiTable` snapshots it hands out per prefix length.
+//! Repeat executions — the same query again, a different query, or the
+//! same query at a tightened ε — reuse the catalog:
+//!
+//! * a **repeat at the same ε** takes the memoized `Arc<TiTable>` and
+//!   pays zero grounding cost;
+//! * an **ε-refinement** extends the catalog by the missing facts only
+//!   (ids never move: the catalog is append-only), then snapshots;
+//! * a **different query** shares everything, because the prefix is
+//!   query-independent.
+//!
+//! Execution stays bit-for-bit identical to the one-shot
+//! [`approx_prob_boolean_cancellable_traced`](crate::approx::approx_prob_boolean_cancellable_traced)
+//! path: snapshots contain
+//! exactly the facts, dense ids, and probability bits the one-shot
+//! truncation loop produces, the *original* (unnormalized) formula is
+//! evaluated, and the engine choice is passed through untouched. The
+//! lineage arena is still built per evaluation — sharing it would change
+//! the reported work counters; the shared artifact is the fact catalog.
+//!
+//! Cancellation semantics also mirror the one-shot path: catalog
+//! extension checkpoints the [`CancelToken`] every
+//! [`CHECK_EVERY`] facts, and a cancelled
+//! execution can still certify a sound partial answer via
+//! [`partial_certificate`]. When the catalog was pre-warmed past the
+//! cancellation point, the partial answer uses everything materialized —
+//! at least as tight as the one-shot partial.
+
+use crate::approx::{Approximation, PartialOnCancel};
+use crate::cancel::{CancelInfo, CancelKind, CancelToken, CHECK_EVERY};
+use crate::truncate::partial_certificate;
+use crate::QueryError;
+use infpdb_finite::engine::{self, Engine, EvalTrace};
+use infpdb_finite::TiTable;
+use infpdb_logic::ast::Formula;
+use infpdb_logic::compile::CompiledQuery;
+use infpdb_math::truncation::{self, Truncation};
+use infpdb_ti::catalog::FactCatalog;
+use infpdb_ti::construction::CountableTiPdb;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Memoized prefix snapshots kept per distinct length before the memo is
+/// reset (a safety valve against unbounded growth under adversarial ε
+/// sequences; the catalog itself is never discarded).
+const TABLE_MEMO_CAP: usize = 64;
+
+#[derive(Debug)]
+struct State {
+    catalog: FactCatalog,
+    tables: HashMap<usize, Arc<TiTable>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    pdb: CountableTiPdb,
+    state: Mutex<State>,
+}
+
+/// A countable t.i. PDB prepared for repeat evaluation: a shared,
+/// lazily-extended fact catalog plus memoized prefix tables. Cloning is
+/// cheap and clones share the catalog.
+#[derive(Debug, Clone)]
+pub struct PreparedPdb {
+    inner: Arc<Inner>,
+}
+
+/// The outcome of slicing a prepared prefix at some ε: the snapshot plus
+/// its Proposition 6.1 certificates, or the state at the moment a
+/// cancellation checkpoint fired.
+#[derive(Debug)]
+pub enum PreparedPrefix {
+    /// The prefix is materialized and snapshotted.
+    Complete {
+        /// The certificates (`n`, tail mass, `α_n`).
+        truncation: Truncation,
+        /// The shared `Ω_n` table (ids = enumeration indexes).
+        table: Arc<TiTable>,
+    },
+    /// A checkpoint stopped catalog extension mid-loop.
+    Cancelled {
+        /// What fired the checkpoint.
+        kind: CancelKind,
+        /// Facts materialized and available to a partial answer.
+        facts_processed: usize,
+        /// The partial prefix table over those facts.
+        partial_table: TiTable,
+    },
+}
+
+impl PreparedPdb {
+    /// Wraps a PDB for prepared evaluation. Nothing is materialized until
+    /// the first slice request (or an explicit [`warm`](Self::warm)).
+    pub fn new(pdb: CountableTiPdb) -> Self {
+        let state = State {
+            catalog: FactCatalog::new(pdb.schema().clone()),
+            tables: HashMap::new(),
+        };
+        PreparedPdb {
+            inner: Arc::new(Inner {
+                pdb,
+                state: Mutex::new(state),
+            }),
+        }
+    }
+
+    /// The underlying PDB.
+    pub fn pdb(&self) -> &CountableTiPdb {
+        &self.inner.pdb
+    }
+
+    /// Facts materialized into the shared catalog so far.
+    pub fn materialized_len(&self) -> usize {
+        self.lock_state().catalog.len()
+    }
+
+    /// Eagerly materializes the `n(ε_max)` prefix (and memoizes its
+    /// snapshot), so the first request at any `ε ≥ ε_max` pays no
+    /// grounding cost. Returns `n(ε_max)`.
+    pub fn warm(&self, eps_max: f64) -> Result<usize, QueryError> {
+        match self.prefix_for(eps_max, &CancelToken::new())? {
+            PreparedPrefix::Complete { truncation, .. } => Ok(truncation.n),
+            PreparedPrefix::Cancelled { .. } => {
+                unreachable!("a fresh token never fires")
+            }
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        // a panic while extending leaves the catalog consistent (push is
+        // all-or-nothing), so recover instead of propagating the poison
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Slices the prepared prefix at the ε-appropriate `n`, extending the
+    /// shared catalog if this ε needs more facts than any before it.
+    ///
+    /// The returned table is byte-identical to what the one-shot
+    /// truncation loop builds for the same ε; the token is checkpointed
+    /// every [`CHECK_EVERY`] facts during extension, exactly like the
+    /// one-shot loop.
+    pub fn prefix_for(&self, eps: f64, cancel: &CancelToken) -> Result<PreparedPrefix, QueryError> {
+        if let Err(kind) = cancel.check() {
+            return Ok(PreparedPrefix::Cancelled {
+                kind,
+                facts_processed: 0,
+                partial_table: TiTable::new(self.pdb().schema().clone()),
+            });
+        }
+        let supply = self.pdb().supply();
+        let truncation = truncation::for_tolerance(supply, eps)?;
+        let cap = supply.support_len().unwrap_or(usize::MAX).min(truncation.n);
+        let mut state = self.lock_state();
+        if let Some(table) = state.tables.get(&cap) {
+            return Ok(PreparedPrefix::Complete {
+                truncation,
+                table: Arc::clone(table),
+            });
+        }
+        let start = state.catalog.len();
+        for i in start..cap {
+            if i % CHECK_EVERY == 0 {
+                if let Err(kind) = cancel.check() {
+                    let partial_table = state.catalog.table_prefix(i);
+                    return Ok(PreparedPrefix::Cancelled {
+                        kind,
+                        facts_processed: i,
+                        partial_table,
+                    });
+                }
+            }
+            state.catalog.push(supply.fact(i), supply.prob(i))?;
+        }
+        let table = Arc::new(state.catalog.table_prefix(cap));
+        if state.tables.len() >= TABLE_MEMO_CAP {
+            state.tables.clear();
+        }
+        state.tables.insert(cap, Arc::clone(&table));
+        Ok(PreparedPrefix::Complete { truncation, table })
+    }
+}
+
+/// Proposition 6.1 evaluation against a [`PreparedPdb`]: bit-for-bit the
+/// same result (estimate, certificates, and engine work counters) as
+/// [`approx_prob_boolean_cancellable_traced`], with the grounding cost
+/// amortized across executions.
+///
+/// [`approx_prob_boolean_cancellable_traced`]: crate::approx::approx_prob_boolean_cancellable_traced
+pub fn execute_prepared(
+    prepared: &PreparedPdb,
+    query: &Formula,
+    eps: f64,
+    finite_engine: Engine,
+    cancel: &CancelToken,
+    partial_policy: PartialOnCancel,
+) -> Result<(Approximation, EvalTrace), QueryError> {
+    let (kind, facts_processed, partial_table) = match prepared.prefix_for(eps, cancel)? {
+        PreparedPrefix::Complete { truncation, table } => {
+            // last checkpoint before the engine: don't start a run whose
+            // budget is already spent (mirrors the one-shot path)
+            match cancel.check() {
+                Ok(()) => {
+                    let (estimate, trace) =
+                        engine::prob_boolean_traced(query, &table, finite_engine)?;
+                    return Ok((
+                        Approximation {
+                            estimate,
+                            eps,
+                            n: truncation.n,
+                            tail_mass: truncation.tail_mass,
+                        },
+                        trace,
+                    ));
+                }
+                Err(kind) => (kind, truncation.n, (*table).clone()),
+            }
+        }
+        PreparedPrefix::Cancelled {
+            kind,
+            facts_processed,
+            partial_table,
+        } => (kind, facts_processed, partial_table),
+    };
+    let partial = match partial_policy {
+        PartialOnCancel::Skip => None,
+        PartialOnCancel::Evaluate => {
+            partial_certificate(prepared.pdb(), facts_processed).and_then(|(trunc, eps_m)| {
+                engine::prob_boolean(query, &partial_table, finite_engine)
+                    .ok()
+                    .map(|estimate| Approximation {
+                        estimate,
+                        eps: eps_m,
+                        n: trunc.n,
+                        tail_mass: trunc.tail_mass,
+                    })
+            })
+        }
+    };
+    Err(QueryError::Cancelled(CancelInfo {
+        kind,
+        facts_processed,
+        partial,
+    }))
+}
+
+/// A compiled query bound to a prepared PDB and an engine choice: the
+/// complete prepare-phase artifact. [`execute`](Self::execute) replays
+/// only the ε-dependent work.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    pdb: PreparedPdb,
+    compiled: Arc<CompiledQuery>,
+    engine: Engine,
+}
+
+impl PreparedQuery {
+    /// Binds a compiled query to a prepared PDB.
+    pub fn new(pdb: PreparedPdb, compiled: CompiledQuery, engine: Engine) -> Self {
+        PreparedQuery {
+            pdb,
+            compiled: Arc::new(compiled),
+            engine,
+        }
+    }
+
+    /// Compiles `query` against the PDB's schema and binds it.
+    pub fn prepare(pdb: PreparedPdb, query: &Formula, engine: Engine) -> Self {
+        let compiled = CompiledQuery::compile(pdb.pdb().schema(), query);
+        Self::new(pdb, compiled, engine)
+    }
+
+    /// The compile-phase artifact.
+    pub fn compiled(&self) -> &CompiledQuery {
+        &self.compiled
+    }
+
+    /// The prepared PDB this query runs against.
+    pub fn pdb(&self) -> &PreparedPdb {
+        &self.pdb
+    }
+
+    /// Executes at tolerance `eps` under a cancellation token, evaluating
+    /// partial answers on cancellation. Bit-for-bit identical to the
+    /// one-shot path for the same query, ε, and engine.
+    pub fn execute(
+        &self,
+        eps: f64,
+        cancel: &CancelToken,
+    ) -> Result<(Approximation, EvalTrace), QueryError> {
+        self.execute_with_policy(eps, cancel, PartialOnCancel::Evaluate)
+    }
+
+    /// [`execute`](Self::execute) with an explicit partial-answer policy.
+    pub fn execute_with_policy(
+        &self,
+        eps: f64,
+        cancel: &CancelToken,
+        partial_policy: PartialOnCancel,
+    ) -> Result<(Approximation, EvalTrace), QueryError> {
+        execute_prepared(
+            &self.pdb,
+            self.compiled.original(),
+            eps,
+            self.engine,
+            cancel,
+            partial_policy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::approx_prob_boolean_cancellable_traced;
+    use infpdb_core::schema::{RelId, Relation, Schema};
+    use infpdb_logic::parse;
+    use infpdb_math::series::{GeometricSeries, ZetaSeries};
+    use infpdb_ti::enumerator::FactSupply;
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 1)]).unwrap()
+    }
+
+    fn geometric() -> CountableTiPdb {
+        CountableTiPdb::new(FactSupply::unary_over_naturals(
+            schema(),
+            RelId(0),
+            GeometricSeries::new(0.5, 0.5).unwrap(),
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn execute_matches_one_shot_bit_for_bit() {
+        let pdb = geometric();
+        let prepared = PreparedPdb::new(pdb.clone());
+        for qs in ["exists x. R(x)", "R(1) /\\ !R(2)", "!(!R(1))"] {
+            let q = parse(qs, pdb.schema()).unwrap();
+            let pq = PreparedQuery::prepare(prepared.clone(), &q, Engine::Lineage);
+            for eps in [0.1, 0.01, 0.001] {
+                let (a, t) = pq.execute(eps, &CancelToken::new()).unwrap();
+                let (a0, t0) = approx_prob_boolean_cancellable_traced(
+                    &pdb,
+                    &q,
+                    eps,
+                    Engine::Lineage,
+                    &CancelToken::new(),
+                    PartialOnCancel::Evaluate,
+                )
+                .unwrap();
+                assert_eq!(a, a0, "{qs} at {eps}");
+                assert_eq!(t, t0, "{qs} at {eps}: work counters must agree");
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_extends_without_regrounding() {
+        let prepared = PreparedPdb::new(geometric());
+        let q = parse("exists x. R(x)", prepared.pdb().schema()).unwrap();
+        let pq = PreparedQuery::prepare(prepared.clone(), &q, Engine::Auto);
+        pq.execute(0.1, &CancelToken::new()).unwrap();
+        let after_loose = prepared.materialized_len();
+        // tightening ε extends the same catalog monotonically
+        pq.execute(0.001, &CancelToken::new()).unwrap();
+        let after_tight = prepared.materialized_len();
+        assert!(after_tight > after_loose);
+        // repeating at either ε leaves the catalog untouched (memo hit)
+        pq.execute(0.1, &CancelToken::new()).unwrap();
+        pq.execute(0.001, &CancelToken::new()).unwrap();
+        assert_eq!(prepared.materialized_len(), after_tight);
+    }
+
+    #[test]
+    fn repeated_slices_share_one_table() {
+        let prepared = PreparedPdb::new(geometric());
+        let t1 = match prepared.prefix_for(0.05, &CancelToken::new()).unwrap() {
+            PreparedPrefix::Complete { table, .. } => table,
+            other => panic!("expected completion, got {other:?}"),
+        };
+        let t2 = match prepared.prefix_for(0.05, &CancelToken::new()).unwrap() {
+            PreparedPrefix::Complete { table, .. } => table,
+            other => panic!("expected completion, got {other:?}"),
+        };
+        assert!(Arc::ptr_eq(&t1, &t2), "repeat ε must reuse the snapshot");
+    }
+
+    #[test]
+    fn warm_makes_first_execution_ground_free() {
+        let prepared = PreparedPdb::new(geometric());
+        let n = prepared.warm(0.01).unwrap();
+        assert_eq!(prepared.materialized_len(), n);
+        let q = parse("exists x. R(x)", prepared.pdb().schema()).unwrap();
+        let pq = PreparedQuery::prepare(prepared.clone(), &q, Engine::Auto);
+        let (a, _) = pq.execute(0.01, &CancelToken::new()).unwrap();
+        assert_eq!(a.n, n);
+        assert_eq!(prepared.materialized_len(), n, "no further grounding");
+    }
+
+    #[test]
+    fn cancellation_yields_sound_partial_like_one_shot() {
+        let pdb = CountableTiPdb::new(FactSupply::unary_over_naturals(
+            schema(),
+            RelId(0),
+            ZetaSeries::basel(),
+        ))
+        .unwrap();
+        let prepared = PreparedPdb::new(pdb.clone());
+        let q = parse("exists x. R(x)", pdb.schema()).unwrap();
+        let pq = PreparedQuery::prepare(prepared, &q, Engine::Auto);
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        match pq.execute(0.01, &token).unwrap_err() {
+            QueryError::Cancelled(info) => {
+                assert_eq!(info.kind, CancelKind::Deadline);
+                if let Some(partial) = info.partial {
+                    assert_eq!(partial.n, info.facts_processed);
+                    assert!(partial.eps < 0.5);
+                }
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skip_policy_returns_no_partial() {
+        let prepared = PreparedPdb::new(geometric());
+        let q = parse("exists x. R(x)", prepared.pdb().schema()).unwrap();
+        let pq = PreparedQuery::prepare(prepared, &q, Engine::Auto);
+        let token = CancelToken::new();
+        token.cancel();
+        match pq
+            .execute_with_policy(0.01, &token, PartialOnCancel::Skip)
+            .unwrap_err()
+        {
+            QueryError::Cancelled(info) => {
+                assert_eq!(info.facts_processed, 0);
+                assert!(info.partial.is_none());
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finite_support_caps_the_prefix() {
+        let rfact =
+            |n: i64| infpdb_core::fact::Fact::new(RelId(0), [infpdb_core::value::Value::int(n)]);
+        let supply = FactSupply::from_vec(
+            schema(),
+            vec![(rfact(1), 0.5), (rfact(2), 0.25), (rfact(3), 0.125)],
+        )
+        .unwrap();
+        let pdb = CountableTiPdb::new(supply).unwrap();
+        let prepared = PreparedPdb::new(pdb.clone());
+        let q = parse("exists x. R(x)", pdb.schema()).unwrap();
+        let pq = PreparedQuery::prepare(prepared.clone(), &q, Engine::Auto);
+        let (a, _) = pq.execute(0.01, &CancelToken::new()).unwrap();
+        let a0 = crate::approx::approx_prob_boolean(&pdb, &q, 0.01, Engine::Auto).unwrap();
+        assert_eq!(a, a0);
+        assert_eq!(prepared.materialized_len(), 3);
+    }
+}

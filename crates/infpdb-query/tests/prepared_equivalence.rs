@@ -1,0 +1,167 @@
+//! Differential tests: the prepared-query pipeline against the one-shot
+//! evaluation path.
+//!
+//! `PreparedQuery::execute` promises *bit-for-bit* equality with
+//! `approx_prob_boolean_cancellable_traced` — identical `f64` estimates
+//! (by bit pattern, not approximate agreement), identical Proposition 6.1
+//! certificates, and identical engine work counters (Shannon expansions,
+//! memo hits, arena interning statistics). These properties pin that
+//! contract across random PDBs, queries, tolerances, and engines, and
+//! across the reuse patterns the pipeline exists for: repeat execution,
+//! ε-refinement on a shared catalog, and many queries over one prepared
+//! PDB.
+
+use infpdb_core::fact::Fact;
+use infpdb_core::schema::{RelId, Relation, Schema};
+use infpdb_core::space::rand_core::{RngCore, SplitMix64};
+use infpdb_core::value::Value;
+use infpdb_finite::engine::Engine;
+use infpdb_logic::parse;
+use infpdb_math::series::GeometricSeries;
+use infpdb_query::approx::{approx_prob_boolean_cancellable_traced, PartialOnCancel};
+use infpdb_query::cancel::CancelToken;
+use infpdb_query::prepared::{PreparedPdb, PreparedQuery};
+use infpdb_ti::construction::CountableTiPdb;
+use infpdb_ti::enumerator::FactSupply;
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::from_relations([Relation::new("R", 1)]).expect("static schema")
+}
+
+fn rfact(n: i64) -> Fact {
+    Fact::new(RelId(0), [Value::int(n)])
+}
+
+/// A random PDB: either an infinite geometric supply (closure-backed) or
+/// a finite explicit supply (vec-backed), so both `FactSupply` storage
+/// modes are exercised.
+fn random_pdb(rng: &mut SplitMix64) -> CountableTiPdb {
+    if rng.next_u64().is_multiple_of(2) {
+        let first = 0.1 + (rng.next_u64() % 700) as f64 / 1000.0;
+        let ratio = 0.2 + (rng.next_u64() % 500) as f64 / 1000.0;
+        CountableTiPdb::new(FactSupply::unary_over_naturals(
+            schema(),
+            RelId(0),
+            GeometricSeries::new(first, ratio).expect("parameters in range"),
+        ))
+        .expect("geometric series converges")
+    } else {
+        let n = 4 + (rng.next_u64() % 20) as i64;
+        let pairs: Vec<(Fact, f64)> = (1..=n)
+            .map(|i| (rfact(i), (rng.next_u64() % 999 + 1) as f64 / 1000.0))
+            .collect();
+        CountableTiPdb::new(FactSupply::from_vec(schema(), pairs).expect("distinct facts"))
+            .expect("finite supplies converge")
+    }
+}
+
+/// Boolean queries over `{R/1}`, including unsafe (self-join) shapes so
+/// the lineage/Shannon path does real work, and a double negation so the
+/// original-vs-normalized distinction matters.
+const QUERIES: [&str; 6] = [
+    "exists x. R(x)",
+    "R(1)",
+    "R(1) /\\ !R(2)",
+    "exists x, y. R(x) /\\ R(y) /\\ x != y",
+    "!(!(exists x. R(x)))",
+    "forall x. R(x) -> R(1)",
+];
+
+const EPS: [f64; 3] = [0.2, 0.05, 0.005];
+const ENGINES: [Engine; 2] = [Engine::Auto, Engine::Lineage];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A fresh prepared pipeline returns exactly what the one-shot path
+    /// returns — estimate bits, certificates, and work counters — and a
+    /// repeat execution (served from the memoized snapshot, zero
+    /// grounding) returns it again.
+    #[test]
+    fn prepared_execute_is_bit_for_bit_one_shot(
+        seed in 0u64..u64::MAX,
+        qi in 0usize..QUERIES.len(),
+        ei in 0usize..EPS.len(),
+        gi in 0usize..ENGINES.len(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let pdb = random_pdb(&mut rng);
+        let query = parse(QUERIES[qi], pdb.schema()).expect("static query");
+        let eps = EPS[ei];
+        let engine = ENGINES[gi];
+
+        let (a0, t0) = approx_prob_boolean_cancellable_traced(
+            &pdb, &query, eps, engine, &CancelToken::new(), PartialOnCancel::Evaluate,
+        ).expect("one-shot path succeeds");
+
+        let prepared = PreparedPdb::new(pdb);
+        let pq = PreparedQuery::prepare(prepared.clone(), &query, engine);
+        let (a1, t1) = pq.execute(eps, &CancelToken::new()).expect("prepared path succeeds");
+
+        prop_assert!(a0.estimate.to_bits() == a1.estimate.to_bits(),
+            "estimates differ: {} vs {} for {:?}", a0.estimate, a1.estimate, QUERIES[qi]);
+        prop_assert_eq!(a0, a1);
+        prop_assert_eq!(t0, t1);
+
+        // repeat: the memoized snapshot answers, nothing re-grounds
+        let grounded = prepared.materialized_len();
+        let (a2, t2) = pq.execute(eps, &CancelToken::new()).expect("repeat succeeds");
+        prop_assert_eq!(a1, a2);
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(prepared.materialized_len(), grounded);
+    }
+
+    /// ε-refinement on a shared catalog: executing loose-then-tight (and
+    /// loose again) matches the corresponding fresh one-shot runs at
+    /// every step, even though the catalog is extended in place and the
+    /// loose prefix is re-sliced from the longer catalog.
+    #[test]
+    fn refinement_reuses_catalog_bit_for_bit(
+        seed in 0u64..u64::MAX,
+        qi in 0usize..QUERIES.len(),
+        gi in 0usize..ENGINES.len(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let pdb = random_pdb(&mut rng);
+        let query = parse(QUERIES[qi], pdb.schema()).expect("static query");
+        let engine = ENGINES[gi];
+
+        let prepared = PreparedPdb::new(pdb.clone());
+        let pq = PreparedQuery::prepare(prepared.clone(), &query, engine);
+        for eps in [0.2, 0.005, 0.2] {
+            let (a1, t1) = pq.execute(eps, &CancelToken::new()).expect("prepared path succeeds");
+            let (a0, t0) = approx_prob_boolean_cancellable_traced(
+                &pdb, &query, eps, engine, &CancelToken::new(), PartialOnCancel::Evaluate,
+            ).expect("one-shot path succeeds");
+            prop_assert_eq!(a0, a1);
+            prop_assert_eq!(t0, t1);
+        }
+    }
+
+    /// One prepared PDB serves every query in the pool: the catalog is
+    /// grounded once per prefix length, and each query's answer matches
+    /// its one-shot evaluation bit for bit.
+    #[test]
+    fn one_prepared_pdb_serves_many_queries(seed in 0u64..u64::MAX) {
+        let mut rng = SplitMix64::new(seed);
+        let pdb = random_pdb(&mut rng);
+        let prepared = PreparedPdb::new(pdb.clone());
+        let eps = 0.05;
+        let mut grounded_after_first = None;
+        for qs in QUERIES {
+            let query = parse(qs, pdb.schema()).expect("static query");
+            let pq = PreparedQuery::prepare(prepared.clone(), &query, Engine::Auto);
+            let (a1, t1) = pq.execute(eps, &CancelToken::new()).expect("prepared path succeeds");
+            let (a0, t0) = approx_prob_boolean_cancellable_traced(
+                &pdb, &query, eps, Engine::Auto, &CancelToken::new(), PartialOnCancel::Evaluate,
+            ).expect("one-shot path succeeds");
+            prop_assert_eq!(a0, a1);
+            prop_assert_eq!(t0, t1);
+            match grounded_after_first {
+                None => grounded_after_first = Some(prepared.materialized_len()),
+                Some(g) => prop_assert_eq!(prepared.materialized_len(), g),
+            }
+        }
+    }
+}

@@ -37,14 +37,16 @@ impl<V: Clone> Shard<V> {
         })
     }
 
-    fn insert(&mut self, key: u64, value: V) {
+    /// Returns whether an existing entry was evicted to make room.
+    fn insert(&mut self, key: u64, value: V) -> bool {
         self.clock += 1;
         let clock = self.clock;
         if let Some(e) = self.map.get_mut(&key) {
             e.value = value;
             e.last_used = clock;
-            return;
+            return false;
         }
+        let mut evicted = false;
         if self.map.len() >= self.capacity {
             if let Some(&victim) = self
                 .map
@@ -53,6 +55,7 @@ impl<V: Clone> Shard<V> {
                 .map(|(k, _)| k)
             {
                 self.map.remove(&victim);
+                evicted = true;
             }
         }
         self.map.insert(
@@ -62,6 +65,7 @@ impl<V: Clone> Shard<V> {
                 last_used: clock,
             },
         );
+        evicted
     }
 }
 
@@ -70,6 +74,7 @@ pub struct ShardedLruCache<V> {
     shards: Vec<Mutex<Shard<V>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<V: Clone> ShardedLruCache<V> {
@@ -90,6 +95,7 @@ impl<V: Clone> ShardedLruCache<V> {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -110,7 +116,9 @@ impl<V: Clone> ShardedLruCache<V> {
     /// Inserts (or refreshes) a value, evicting the shard's LRU entry if
     /// the shard is full.
     pub fn insert(&self, key: u64, value: V) {
-        recover::lock(self.shard(key)).insert(key, value);
+        if recover::lock(self.shard(key)).insert(key, value) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Total entries across shards.
@@ -131,6 +139,11 @@ impl<V: Clone> ShardedLruCache<V> {
     /// Lookups that found nothing.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries displaced by LRU eviction (refreshes don't count).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -155,12 +168,14 @@ mod tests {
         let c: ShardedLruCache<&str> = ShardedLruCache::new(2, 1);
         c.insert(1, "one");
         c.insert(2, "two");
+        assert_eq!(c.evictions(), 0);
         assert_eq!(c.get(1), Some("one")); // 1 is now most recent
         c.insert(3, "three"); // evicts 2
         assert_eq!(c.get(2), None);
         assert_eq!(c.get(1), Some("one"));
         assert_eq!(c.get(3), Some("three"));
         assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]
@@ -170,6 +185,7 @@ mod tests {
         c.insert(2, 20);
         c.insert(1, 11); // refresh, not a new entry: nothing evicted
         assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
         c.insert(3, 30); // now 2 is LRU
         assert_eq!(c.get(2), None);
         assert_eq!(c.get(1), Some(11));

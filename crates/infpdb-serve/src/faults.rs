@@ -4,7 +4,7 @@
 //! [`QueryService::with_faults`](crate::service::QueryService::with_faults))
 //! and consulted at *named sites* on the request path — `"admission"`,
 //! `"engine"`, `"cache_insert"` — where it can inject a panic, a spurious
-//! [`ServeError::Transient`](crate::ServeError::Transient), or artificial
+//! [`ServeError::Transient`], or artificial
 //! latency. Everything is deterministic given the seed: probabilistic
 //! triggers draw from a per-site `SplitMix64` stream, and budgeted
 //! triggers ([`Trigger::Times`]) fire an exact number of times, so a

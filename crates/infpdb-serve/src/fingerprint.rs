@@ -8,11 +8,13 @@
 //!    prefix plus the certified tail bound (two supplies agreeing on both
 //!    are indistinguishable to every evaluation this service performs at
 //!    the tolerances it accepts).
-//! 2. **Normalized query** — the formula is rectified and put in negation
-//!    normal form (`infpdb_logic::normal`), then hashed structurally with
-//!    bound variables replaced by de Bruijn indices, so α-equivalent
-//!    queries (`∃x. R(x)` vs `∃y. R(y)`) and double negations share an
-//!    entry while genuinely different queries do not.
+//! 2. **Normalized query** — [`query_fingerprint`] (re-exported from
+//!    [`infpdb_logic::compile`], where it also keys compiled-query
+//!    artifacts): the formula is rectified and put in negation normal
+//!    form, then hashed structurally with bound variables replaced by de
+//!    Bruijn indices, so α-equivalent queries (`∃x. R(x)` vs `∃y. R(y)`)
+//!    and double negations share an entry while genuinely different
+//!    queries do not.
 //! 3. **Effective ε bits** — the tolerance actually evaluated (after any
 //!    degradation), by exact bit pattern.
 //! 4. **Engine** — different engines must not share entries: the service
@@ -23,9 +25,10 @@
 use infpdb_core::fingerprint::Fingerprinter;
 use infpdb_core::schema::Schema;
 use infpdb_finite::engine::Engine;
-use infpdb_logic::ast::{Formula, Term};
-use infpdb_logic::normal::{rectify, to_nnf};
+use infpdb_logic::ast::Formula;
 use infpdb_ti::construction::CountableTiPdb;
+
+pub use infpdb_logic::compile::query_fingerprint;
 
 /// Enumeration prefix length hashed by [`countable_pdb_fingerprint`].
 pub const PDB_FINGERPRINT_PREFIX: usize = 64;
@@ -72,88 +75,6 @@ pub fn engine_tag(engine: Engine) -> u8 {
         Engine::Lifted => 1,
         Engine::Lineage => 2,
         Engine::Brute => 3,
-    }
-}
-
-/// Fingerprint of a query modulo normalization.
-///
-/// Rectification plus NNF is the normal form `infpdb_logic::normal`
-/// provides; hashing bound variables as de Bruijn indices on top makes
-/// the digest independent of the names rectification happened to pick.
-pub fn query_fingerprint(schema: &Schema, query: &Formula) -> u64 {
-    let normalized = to_nnf(&rectify(query));
-    let mut fp = Fingerprinter::new();
-    let mut binders: Vec<String> = Vec::new();
-    hash_formula(&mut fp, schema, &normalized, &mut binders);
-    fp.finish()
-}
-
-fn hash_term(fp: &mut Fingerprinter, t: &Term, binders: &[String]) {
-    match t {
-        Term::Var(v) => {
-            // innermost binder first: de Bruijn index
-            match binders.iter().rev().position(|b| b == v) {
-                Some(i) => fp.write_u64(1).write_u64(i as u64),
-                // free variable: identity is its name
-                None => fp.write_u64(2).write_bytes(v.as_bytes()),
-            };
-        }
-        Term::Const(v) => {
-            fp.write_u64(3).write_value(v);
-        }
-    }
-}
-
-fn hash_formula(fp: &mut Fingerprinter, schema: &Schema, f: &Formula, binders: &mut Vec<String>) {
-    match f {
-        Formula::True => {
-            fp.write_u64(10);
-        }
-        Formula::False => {
-            fp.write_u64(11);
-        }
-        Formula::Atom { rel, args } => {
-            fp.write_u64(12);
-            let name = schema.get(*rel).map(|r| r.name()).unwrap_or("?");
-            fp.write_bytes(name.as_bytes());
-            fp.write_u64(args.len() as u64);
-            for a in args {
-                hash_term(fp, a, binders);
-            }
-        }
-        Formula::Eq(a, b) => {
-            fp.write_u64(13);
-            hash_term(fp, a, binders);
-            hash_term(fp, b, binders);
-        }
-        Formula::Not(g) => {
-            fp.write_u64(14);
-            hash_formula(fp, schema, g, binders);
-        }
-        Formula::And(gs) => {
-            fp.write_u64(15).write_u64(gs.len() as u64);
-            for g in gs {
-                hash_formula(fp, schema, g, binders);
-            }
-        }
-        Formula::Or(gs) => {
-            fp.write_u64(16).write_u64(gs.len() as u64);
-            for g in gs {
-                hash_formula(fp, schema, g, binders);
-            }
-        }
-        Formula::Exists(v, g) => {
-            fp.write_u64(17);
-            binders.push(v.clone());
-            hash_formula(fp, schema, g, binders);
-            binders.pop();
-        }
-        Formula::Forall(v, g) => {
-            fp.write_u64(18);
-            binders.push(v.clone());
-            hash_formula(fp, schema, g, binders);
-            binders.pop();
-        }
     }
 }
 

@@ -37,7 +37,7 @@
 //!
 //! # Failure model
 //!
-//! Every request resolves its [`Ticket`](service::Ticket) with exactly one
+//! Every request resolves its [`Ticket`] with exactly one
 //! `Result` — no fault may leave a client blocked forever — and no fault
 //! may return an answer whose ε-certificate is violated. The
 //! [`ServeError`] variants, and the stage that raises each:
@@ -55,7 +55,7 @@
 //! | [`Shutdown`](ServeError::Shutdown) | pool | the service shut down before this request ran |
 //!
 //! **Soundness of cancelled partial results.** A cancelled evaluation may
-//! carry a partial [`Approximation`](infpdb_query::approx::Approximation):
+//! carry a partial [`Approximation`]:
 //! if the truncation loop stopped after `m` facts, the `m`-fact prefix is
 //! itself a valid Proposition 6.1 truncation `Ω_m` at the wider tolerance
 //! `ε_m = e^{α_m} − 1`, `α_m = (3/2)·T_m`, where `T_m` is the series' own

@@ -78,6 +78,12 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Requests that had to evaluate.
     pub cache_misses: AtomicU64,
+    /// Evaluations that reused a cached compiled-query plan.
+    pub plan_cache_hits: AtomicU64,
+    /// Evaluations that had to compile their query.
+    pub plan_cache_misses: AtomicU64,
+    /// Compiled plans displaced from the plan cache by LRU eviction.
+    pub plan_cache_evictions: AtomicU64,
     /// Requests answered at a widened ε to fit their budget.
     pub degraded: AtomicU64,
     /// Requests refused by admission control.
@@ -138,6 +144,24 @@ impl Metrics {
         writeln!(out, "serve_requests_completed_total {}", c(&self.completed)).ok();
         writeln!(out, "serve_cache_hits_total {}", c(&self.cache_hits)).ok();
         writeln!(out, "serve_cache_misses_total {}", c(&self.cache_misses)).ok();
+        writeln!(
+            out,
+            "serve_plan_cache_hits_total {}",
+            c(&self.plan_cache_hits)
+        )
+        .ok();
+        writeln!(
+            out,
+            "serve_plan_cache_misses_total {}",
+            c(&self.plan_cache_misses)
+        )
+        .ok();
+        writeln!(
+            out,
+            "serve_plan_cache_evictions_total {}",
+            c(&self.plan_cache_evictions)
+        )
+        .ok();
         writeln!(out, "serve_degraded_answers_total {}", c(&self.degraded)).ok();
         writeln!(out, "serve_rejected_total {}", c(&self.rejected)).ok();
         writeln!(out, "serve_errors_total {}", c(&self.errors)).ok();
@@ -232,6 +256,9 @@ mod tests {
             "serve_requests_completed_total 0",
             "serve_cache_hits_total 1",
             "serve_cache_misses_total 0",
+            "serve_plan_cache_hits_total 0",
+            "serve_plan_cache_misses_total 0",
+            "serve_plan_cache_evictions_total 0",
             "serve_degraded_answers_total 0",
             "serve_rejected_total 0",
             "serve_errors_total 0",

@@ -29,7 +29,8 @@
 //! Worker panics are caught per job and counted in
 //! [`Metrics::panics`](crate::metrics::Metrics); the worker thread
 //! survives and moves on to the next job. Every lock acquisition
-//! recovers from poisoning ([`crate::recover`]), so a panic that unwinds
+//! recovers from poisoning (the internal `recover` module), so a panic
+//! that unwinds
 //! while the queue mutex is held cannot wedge the pool.
 
 use crate::metrics::Metrics;

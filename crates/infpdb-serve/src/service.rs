@@ -14,10 +14,14 @@
 //! 3. **Breaker** ([`crate::breaker`]) — on a miss, consult the
 //!    per-engine circuit breaker; open means fail fast (cache hits keep
 //!    serving while open);
-//! 4. **Engine** — run the Proposition 6.1 evaluation with a
-//!    [`CancelToken`] threaded into the truncation loop
-//!    ([`approx_prob_boolean_cancellable`]), record throughput, insert
-//!    the answer.
+//! 4. **Plan cache** — probe the compiled-query cache, keyed by the
+//!    (PDB, normalized query) fingerprints and shared across tolerances;
+//!    a miss compiles the query ([`CompiledQuery`]) and inserts it;
+//! 5. **Engine** — run the Proposition 6.1 evaluation against the
+//!    service's shared [`PreparedPdb`] ([`execute_prepared`]): repeat
+//!    requests slice the already-materialized fact catalog instead of
+//!    re-grounding, with a [`CancelToken`] threaded into any remaining
+//!    truncation work; record throughput, insert the answer.
 //!
 //! The whole pipeline runs under panic containment and a bounded-backoff
 //! retry loop for transient failures; see the crate-level *Failure
@@ -30,17 +34,18 @@ use crate::admission::{self, CostBudget, DegradePolicy, ThroughputEstimate};
 use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::cache::ShardedLruCache;
 use crate::faults::FaultInjector;
-use crate::fingerprint::{countable_pdb_fingerprint, CacheKey};
+use crate::fingerprint::{countable_pdb_fingerprint, query_fingerprint, CacheKey};
 use crate::metrics::Metrics;
 use crate::pool::{OverflowPolicy, PoolConfig, ThreadPool};
 use crate::ServeError;
+use infpdb_core::fingerprint::Fingerprinter;
 use infpdb_finite::engine::Engine;
 use infpdb_logic::ast::Formula;
-use infpdb_query::approx::{
-    approx_prob_boolean_cancellable_traced, Approximation, PartialOnCancel,
-};
+use infpdb_logic::compile::CompiledQuery;
+use infpdb_query::approx::{Approximation, PartialOnCancel};
 use infpdb_query::budget::BudgetReport;
 use infpdb_query::cancel::{CancelKind, CancelToken};
+use infpdb_query::prepared::{execute_prepared, PreparedPdb};
 use infpdb_query::QueryError;
 use infpdb_ti::construction::CountableTiPdb;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -102,6 +107,11 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Number of independently locked cache shards.
     pub cache_shards: usize,
+    /// Total plan-cache capacity in compiled queries. The plan cache is
+    /// distinct from the result cache: keyed only by the (PDB, normalized
+    /// query) fingerprints, so every tolerance and repeat request of an
+    /// α-equivalent query shares one compiled artifact.
+    pub plan_cache_capacity: usize,
     /// Finite engine used for every evaluation.
     pub engine: Engine,
     /// What to do with requests whose plan exceeds their budget.
@@ -129,6 +139,7 @@ impl Default for ServiceConfig {
             threads: 4,
             cache_capacity: 1024,
             cache_shards: 8,
+            plan_cache_capacity: 256,
             engine: Engine::Auto,
             policy: DegradePolicy::WidenEps,
             prior_facts_per_sec: 100_000.0,
@@ -272,11 +283,12 @@ impl EngineBreakers {
 }
 
 struct Inner {
-    pdb: CountableTiPdb,
+    prepared: PreparedPdb,
     pdb_fingerprint: u64,
     engine: Engine,
     policy: DegradePolicy,
     cache: ShardedLruCache<(Approximation, BudgetReport)>,
+    plans: ShardedLruCache<Arc<CompiledQuery>>,
     metrics: Arc<Metrics>,
     throughput: ThroughputEstimate,
     breakers: EngineBreakers,
@@ -326,10 +338,11 @@ impl QueryService {
         let metrics = Arc::new(Metrics::new());
         let inner = Arc::new(Inner {
             pdb_fingerprint: countable_pdb_fingerprint(&pdb),
-            pdb,
+            prepared: PreparedPdb::new(pdb),
             engine: config.engine,
             policy: config.policy,
             cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
+            plans: ShardedLruCache::new(config.plan_cache_capacity, config.cache_shards),
             metrics: Arc::clone(&metrics),
             throughput: ThroughputEstimate::new(config.prior_facts_per_sec),
             breakers: EngineBreakers::new(config.breaker),
@@ -441,6 +454,23 @@ impl QueryService {
         self.inner.cache.len()
     }
 
+    /// Compiled queries currently in the plan cache.
+    pub fn plan_cache_len(&self) -> usize {
+        self.inner.plans.len()
+    }
+
+    /// Facts materialized into the shared prepared catalog so far.
+    pub fn materialized_len(&self) -> usize {
+        self.inner.prepared.materialized_len()
+    }
+
+    /// Eagerly grounds the `n(eps_max)` prefix of the PDB so that the
+    /// first request at any `ε ≥ eps_max` pays no grounding cost; see
+    /// [`PreparedPdb::warm`]. Returns the materialized length.
+    pub fn warm(&self, eps_max: f64) -> Result<usize, ServeError> {
+        self.inner.prepared.warm(eps_max).map_err(ServeError::Query)
+    }
+
     /// Jobs queued but not yet picked up by a worker.
     pub fn queue_depth(&self) -> usize {
         self.pool.queue_depth()
@@ -531,20 +561,23 @@ fn handle(
     cancel: &CancelToken,
 ) -> Result<QueryResponse, ServeError> {
     inner.fault("admission")?;
+    let pdb = inner.prepared.pdb();
     let cap = request.budget.effective_max_n(inner.throughput.get());
-    let admitted = admission::admit(&inner.pdb, request.eps, cap, inner.policy)?;
+    let admitted = admission::admit(pdb, request.eps, cap, inner.policy)?;
     if admitted.degraded {
         inner.metrics.degraded.fetch_add(1, Ordering::Relaxed);
     }
+    // the normalized-query fingerprint is computed once and reused by
+    // both the result-cache key and the ε-independent plan-cache key
+    let qfp = query_fingerprint(pdb.schema(), &request.query);
     // keyed by the EFFECTIVE ε: a degraded answer is cached under the
     // tolerance it actually certifies
-    let key = CacheKey::new(
-        inner.pdb_fingerprint,
-        inner.pdb.schema(),
-        &request.query,
-        admitted.eps,
-        inner.engine,
-    )
+    let key = CacheKey {
+        pdb: inner.pdb_fingerprint,
+        query: qfp,
+        eps_bits: admitted.eps.to_bits(),
+        engine: crate::fingerprint::engine_tag(inner.engine),
+    }
     .digest();
     if let Some((approx, report)) = inner.cache.get(key) {
         inner.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -572,9 +605,38 @@ fn handle(
         }
     }
     inner.fault("engine")?;
+    // plan cache: keyed by the (PDB, normalized query) fingerprints and
+    // shared across tolerances. A hit skips compilation; the evaluation
+    // below always runs the REQUEST's own formula, so α-equivalent
+    // aliases that share a plan still answer bit-for-bit identically to
+    // their sequential evaluations.
+    let plan_key = {
+        let mut fp = Fingerprinter::new();
+        fp.write_u64(inner.pdb_fingerprint).write_u64(qfp);
+        fp.finish()
+    };
+    if inner.plans.get(plan_key).is_some() {
+        inner
+            .metrics
+            .plan_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+    } else {
+        inner
+            .metrics
+            .plan_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
+        inner.plans.insert(
+            plan_key,
+            Arc::new(CompiledQuery::compile(pdb.schema(), &request.query)),
+        );
+        inner
+            .metrics
+            .plan_cache_evictions
+            .store(inner.plans.evictions(), Ordering::Relaxed);
+    }
     let start = Instant::now();
-    let (approx, trace) = approx_prob_boolean_cancellable_traced(
-        &inner.pdb,
+    let (approx, trace) = execute_prepared(
+        &inner.prepared,
         &request.query,
         admitted.eps,
         inner.engine,
@@ -712,6 +774,65 @@ mod tests {
         // default config keeps the dump arena-free
         let plain = service(1);
         assert!(!plain.metrics_dump().contains("serve_arena_nodes_total"));
+    }
+
+    #[test]
+    fn alpha_equivalent_queries_share_a_plan_cache_entry() {
+        let svc = service(1);
+        let p = pdb();
+        let q1 = parse("exists x. R(x)", p.schema()).unwrap();
+        svc.evaluate(QueryRequest::new(q1, 0.05)).unwrap();
+        assert_eq!(svc.plan_cache_len(), 1);
+        // an α-equivalent spelling at a DIFFERENT ε misses the result
+        // cache (keys include ε) but hits the shared plan entry
+        let q2 = parse("exists y. R(y)", p.schema()).unwrap();
+        let resp = svc.evaluate(QueryRequest::new(q2, 0.01)).unwrap();
+        assert!(!resp.cached);
+        assert_eq!(svc.plan_cache_len(), 1);
+        assert_eq!(svc.metrics().plan_cache_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(svc.metrics().plan_cache_hits.load(Ordering::Relaxed), 1);
+        // a genuinely different query compiles its own plan
+        let q3 = parse("forall x. R(x)", p.schema()).unwrap();
+        svc.evaluate(QueryRequest::new(q3, 0.05)).unwrap();
+        assert_eq!(svc.plan_cache_len(), 2);
+        assert_eq!(svc.metrics().plan_cache_misses.load(Ordering::Relaxed), 2);
+        let dump = svc.metrics_dump();
+        assert!(dump.contains("serve_plan_cache_hits_total 1"));
+        assert!(dump.contains("serve_plan_cache_misses_total 2"));
+        assert!(dump.contains("serve_plan_cache_evictions_total 0"));
+    }
+
+    #[test]
+    fn repeat_requests_reuse_the_prepared_catalog() {
+        let svc = service(1);
+        let p = pdb();
+        let q = parse("exists x. R(x)", p.schema()).unwrap();
+        svc.evaluate(QueryRequest::new(q.clone(), 0.05)).unwrap();
+        let grounded = svc.materialized_len();
+        assert!(grounded > 0);
+        // a tighter ε only EXTENDS the shared catalog; a repeat at the
+        // loose ε re-slices it without touching the enumeration again
+        svc.evaluate(QueryRequest::new(q.clone(), 0.01)).unwrap();
+        let extended = svc.materialized_len();
+        assert!(extended > grounded);
+        let q2 = parse("exists y. R(y)", p.schema()).unwrap();
+        svc.evaluate(QueryRequest::new(q2, 0.02)).unwrap();
+        assert_eq!(svc.materialized_len(), extended);
+    }
+
+    #[test]
+    fn warm_grounds_before_the_first_request() {
+        let svc = service(1);
+        let n = svc.warm(0.01).unwrap();
+        assert!(n > 0);
+        assert_eq!(svc.materialized_len(), n);
+        let p = pdb();
+        // answers still agree bit-for-bit with the cold sequential path
+        let q = parse("exists x. R(x)", p.schema()).unwrap();
+        let expected = approx_prob_boolean(&p, &q, 0.05, Engine::Auto).unwrap();
+        let got = svc.evaluate(QueryRequest::new(q, 0.05)).unwrap();
+        assert_eq!(got.approx.estimate.to_bits(), expected.estimate.to_bits());
+        assert_eq!(svc.materialized_len(), n, "warm prefix already covers ε");
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Property: α-equivalent queries — same shape, renamed bound variables —
+//! compile to identical [`CompiledQuery`] fingerprints and, when served,
+//! share one plan-cache entry.
+//!
+//! Formulas are generated as random closed trees over `{R/1}` (atoms only
+//! ever mention bound variables or constants), then systematically
+//! renamed binder-by-binder. The pair is α-equivalent by construction, so
+//! the de Bruijn fingerprint must agree; submitting both to a service at
+//! *different* tolerances (so the result cache cannot short-circuit the
+//! second request) must record exactly one plan compile and one plan hit.
+
+use infpdb_core::schema::{RelId, Relation, Schema};
+use infpdb_core::space::rand_core::{RngCore, SplitMix64};
+use infpdb_core::value::Value;
+use infpdb_logic::ast::{Formula, Term};
+use infpdb_logic::compile::CompiledQuery;
+use infpdb_math::series::GeometricSeries;
+use infpdb_serve::service::{QueryRequest, QueryService, ServiceConfig};
+use infpdb_ti::construction::CountableTiPdb;
+use infpdb_ti::enumerator::FactSupply;
+use proptest::prelude::*;
+use std::sync::atomic::Ordering;
+
+fn schema() -> Schema {
+    Schema::from_relations([Relation::new("R", 1)]).expect("static schema")
+}
+
+fn pdb() -> CountableTiPdb {
+    CountableTiPdb::new(FactSupply::unary_over_naturals(
+        schema(),
+        RelId(0),
+        GeometricSeries::new(0.5, 0.5).expect("parameters in range"),
+    ))
+    .expect("geometric series converges")
+}
+
+fn term(rng: &mut SplitMix64, bound: &[String]) -> Term {
+    if !bound.is_empty() && rng.next_u64().is_multiple_of(2) {
+        let i = rng.next_u64() as usize % bound.len();
+        Term::Var(bound[i].clone())
+    } else {
+        Term::Const(Value::int((rng.next_u64() % 3) as i64 + 1))
+    }
+}
+
+/// A random *closed* Boolean formula over `{R/1}`: atoms only ever use
+/// currently bound variables or constants.
+fn formula(rng: &mut SplitMix64, depth: usize, bound: &mut Vec<String>) -> Formula {
+    let leaf = depth == 0;
+    match rng.next_u64() % if leaf { 2 } else { 7 } {
+        0 => Formula::Atom {
+            rel: RelId(0),
+            args: vec![term(rng, bound)],
+        },
+        1 => Formula::Eq(term(rng, bound), term(rng, bound)),
+        2 => Formula::Not(Box::new(formula(rng, depth - 1, bound))),
+        3 => Formula::And(vec![
+            formula(rng, depth - 1, bound),
+            formula(rng, depth - 1, bound),
+        ]),
+        4 => Formula::Or(vec![
+            formula(rng, depth - 1, bound),
+            formula(rng, depth - 1, bound),
+        ]),
+        q => {
+            let v = format!("v{}", bound.len());
+            bound.push(v.clone());
+            let body = formula(rng, depth - 1, bound);
+            bound.pop();
+            if q == 5 {
+                Formula::Exists(v, Box::new(body))
+            } else {
+                Formula::Forall(v, Box::new(body))
+            }
+        }
+    }
+}
+
+/// Renames every binder (and its occurrences) `v*` → `w*` — α-conversion
+/// by construction, since generated binders are unique per nesting level.
+fn rename(f: &Formula) -> Formula {
+    fn rt(t: &Term) -> Term {
+        match t {
+            Term::Var(v) => Term::Var(format!("w{}", &v[1..])),
+            c @ Term::Const(_) => c.clone(),
+        }
+    }
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Atom { rel, args } => Formula::Atom {
+            rel: *rel,
+            args: args.iter().map(rt).collect(),
+        },
+        Formula::Eq(a, b) => Formula::Eq(rt(a), rt(b)),
+        Formula::Not(g) => Formula::Not(Box::new(rename(g))),
+        Formula::And(gs) => Formula::And(gs.iter().map(rename).collect()),
+        Formula::Or(gs) => Formula::Or(gs.iter().map(rename).collect()),
+        Formula::Exists(v, g) => Formula::Exists(format!("w{}", &v[1..]), Box::new(rename(g))),
+        Formula::Forall(v, g) => Formula::Forall(format!("w{}", &v[1..]), Box::new(rename(g))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn renamed_queries_share_fingerprint_and_plan_entry(seed in 0u64..u64::MAX) {
+        let mut rng = SplitMix64::new(seed);
+        let s = schema();
+        let q = formula(&mut rng, 3, &mut Vec::new());
+        let renamed = rename(&q);
+
+        let c0 = CompiledQuery::compile(&s, &q);
+        let c1 = CompiledQuery::compile(&s, &renamed);
+        prop_assert!(c0.fingerprint() == c1.fingerprint(),
+            "fingerprints differ for α-equivalent {q:?} vs {renamed:?}");
+        prop_assert_eq!(c0.profile(), c1.profile());
+
+        let svc = QueryService::new(pdb(), ServiceConfig {
+            threads: 1,
+            ..ServiceConfig::default()
+        });
+        // different tolerances: the second request misses the result
+        // cache, so it genuinely probes the plan cache
+        svc.evaluate(QueryRequest::new(q, 0.2)).expect("closed query evaluates");
+        let resp = svc.evaluate(QueryRequest::new(renamed, 0.1)).expect("closed query evaluates");
+        prop_assert!(!resp.cached);
+        prop_assert_eq!(svc.plan_cache_len(), 1);
+        prop_assert_eq!(svc.metrics().plan_cache_misses.load(Ordering::Relaxed), 1);
+        prop_assert_eq!(svc.metrics().plan_cache_hits.load(Ordering::Relaxed), 1);
+    }
+}

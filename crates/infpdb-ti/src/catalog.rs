@@ -1,0 +1,188 @@
+//! Shared fact catalogs: the grounded artifact of the prepared-query
+//! pipeline.
+//!
+//! Proposition 6.1's truncation length `n(ε)` depends only on the PDB's
+//! probability series, so the materialized prefix `f₁ … f_n` is a stable,
+//! query-independent artifact. A [`FactCatalog`] holds that prefix once —
+//! dense fact ids equal to enumeration indexes, aligned probabilities —
+//! and hands out [`TiTable`] snapshots *by cloning its interner* instead
+//! of re-hashing owned `Fact`s, so repeat evaluations (and ε-refinements
+//! that only extend the prefix) skip the grounding cost entirely.
+//!
+//! The catalog is append-only: extending to a larger `n` never perturbs
+//! existing ids, which is what keeps prepared evaluations bit-for-bit
+//! identical to the one-shot path — a prefix snapshot at `n` contains
+//! exactly the facts, ids, and probability bits the one-shot loop would
+//! have produced.
+
+use crate::TiError;
+use infpdb_core::fact::{Fact, FactId};
+use infpdb_core::interner::FactInterner;
+use infpdb_core::schema::Schema;
+use infpdb_finite::TiTable;
+
+/// A materialized enumeration prefix: dense fact ids, probabilities, and
+/// the schema they live in. Append-only; snapshot tables via
+/// [`table_prefix`](Self::table_prefix).
+#[derive(Debug, Clone)]
+pub struct FactCatalog {
+    schema: Schema,
+    interner: FactInterner,
+    probs: Vec<f64>,
+}
+
+impl FactCatalog {
+    /// An empty catalog over a schema.
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            schema,
+            interner: FactInterner::new(),
+            probs: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Facts materialized so far (also the next enumeration index).
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether nothing has been materialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Appends the next enumerated fact. The id returned equals the
+    /// fact's enumeration index; duplicates are rejected (enumerations
+    /// are injective) and probabilities validated.
+    pub fn push(&mut self, fact: Fact, p: f64) -> Result<FactId, TiError> {
+        infpdb_math::check_probability(p).map_err(TiError::Math)?;
+        if let Some(prev) = self.interner.get(&fact) {
+            return Err(TiError::DuplicateEnumeration {
+                first: prev.0 as usize,
+                second: self.len(),
+            });
+        }
+        let id = self.interner.intern(fact);
+        debug_assert_eq!(id.0 as usize, self.probs.len());
+        self.probs.push(p);
+        Ok(id)
+    }
+
+    /// The probability of a materialized fact id.
+    pub fn prob(&self, id: FactId) -> f64 {
+        self.probs[id.0 as usize]
+    }
+
+    /// The materialized fact for an id, borrowed from the catalog.
+    pub fn fact(&self, id: FactId) -> &Fact {
+        self.interner.resolve(id)
+    }
+
+    /// A [`TiTable`] over the first `n` materialized facts — the `Ω_n`
+    /// prefix of Proposition 6.1 with ids equal to enumeration indexes.
+    ///
+    /// When `n` covers the whole catalog the interner is cloned wholesale
+    /// (no fact is re-hashed); shorter prefixes re-intern only the facts
+    /// they keep, in id order, without consulting the enumeration's
+    /// generator. Panics if `n` exceeds the materialized length.
+    pub fn table_prefix(&self, n: usize) -> TiTable {
+        assert!(
+            n <= self.len(),
+            "prefix {n} exceeds materialized length {}",
+            self.len()
+        );
+        if n == self.len() {
+            return TiTable::from_interned_parts(
+                self.schema.clone(),
+                self.interner.clone(),
+                self.probs.clone(),
+            )
+            .expect("catalog probabilities are validated on push");
+        }
+        let mut t = TiTable::new(self.schema.clone());
+        for (id, f) in self.interner.iter().take(n) {
+            t.add_fact(f.clone(), self.probs[id.0 as usize])
+                .expect("catalog facts are distinct and validated");
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::{RelId, Relation};
+    use infpdb_core::value::Value;
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 1)]).unwrap()
+    }
+
+    fn rfact(n: i64) -> Fact {
+        Fact::new(RelId(0), [Value::int(n)])
+    }
+
+    #[test]
+    fn push_assigns_enumeration_indexes() {
+        let mut c = FactCatalog::new(schema());
+        assert!(c.is_empty());
+        assert_eq!(c.push(rfact(1), 0.5).unwrap(), FactId(0));
+        assert_eq!(c.push(rfact(2), 0.25).unwrap(), FactId(1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.prob(FactId(1)), 0.25);
+        assert_eq!(c.fact(FactId(0)), &rfact(1));
+    }
+
+    #[test]
+    fn push_rejects_duplicates_and_bad_probabilities() {
+        let mut c = FactCatalog::new(schema());
+        c.push(rfact(1), 0.5).unwrap();
+        assert!(matches!(
+            c.push(rfact(1), 0.3),
+            Err(TiError::DuplicateEnumeration {
+                first: 0,
+                second: 1
+            })
+        ));
+        assert!(c.push(rfact(2), 1.5).is_err());
+        assert_eq!(c.len(), 1, "failed pushes must not grow the catalog");
+    }
+
+    #[test]
+    fn table_prefix_matches_incremental_construction() {
+        let mut c = FactCatalog::new(schema());
+        let probs = [0.5, 0.25, 0.125, 0.0625];
+        for (i, &p) in probs.iter().enumerate() {
+            c.push(rfact(i as i64 + 1), p).unwrap();
+        }
+        // full snapshot: interner-clone fast path
+        let full = c.table_prefix(4);
+        // reference built the one-shot way
+        let reference = TiTable::from_facts(
+            schema(),
+            probs
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (rfact(i as i64 + 1), p)),
+        )
+        .unwrap();
+        assert_eq!(full.fingerprint(), reference.fingerprint());
+        assert_eq!(full.prob(FactId(3)), 0.0625);
+        // shorter prefix: same ids, fewer facts
+        let short = c.table_prefix(2);
+        assert_eq!(short.len(), 2);
+        assert_eq!(short.interner().resolve(FactId(1)), &rfact(2));
+        assert_eq!(short.prob(FactId(1)), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds materialized length")]
+    fn table_prefix_beyond_catalog_panics() {
+        FactCatalog::new(schema()).table_prefix(1);
+    }
+}

@@ -11,7 +11,18 @@ use infpdb_core::fact::Fact;
 use infpdb_core::schema::{RelId, Schema};
 use infpdb_core::value::Value;
 use infpdb_math::series::{FiniteSeries, ProbSeries, TailBound};
+use std::borrow::Cow;
 use std::sync::Arc;
+
+/// How a supply produces its facts: a generator function building each
+/// fact on demand, or explicit storage that can lend facts by reference.
+#[derive(Clone)]
+enum Gen {
+    /// Facts are built by a closure on every access.
+    Fn(Arc<dyn Fn(usize) -> Fact + Send + Sync>),
+    /// Facts are stored; accessors can borrow without allocating.
+    Vec(Arc<[Fact]>),
+}
 
 /// A countable supply of distinct facts with probabilities.
 ///
@@ -21,7 +32,7 @@ use std::sync::Arc;
 #[derive(Clone)]
 pub struct FactSupply {
     schema: Schema,
-    gen: Arc<dyn Fn(usize) -> Fact + Send + Sync>,
+    gen: Gen,
     series: Arc<dyn ProbSeries + Send + Sync>,
 }
 
@@ -45,15 +56,18 @@ impl FactSupply {
     ) -> Self {
         Self {
             schema,
-            gen: Arc::new(gen),
+            gen: Gen::Fn(Arc::new(gen)),
             series: Arc::new(series),
         }
     }
 
     /// Builds a finite supply from explicit `(fact, probability)` pairs,
-    /// verifying distinctness.
+    /// verifying distinctness. The facts are stored, not regenerated:
+    /// [`fact_at`](Self::fact_at) lends them by reference, and the
+    /// duplicate check below borrows instead of cloning every fact into
+    /// its map.
     pub fn from_vec(schema: Schema, pairs: Vec<(Fact, f64)>) -> Result<Self, TiError> {
-        let mut seen: std::collections::HashMap<Fact, usize> = Default::default();
+        let mut seen: std::collections::HashMap<&Fact, usize> = Default::default();
         for (i, (f, _)) in pairs.iter().enumerate() {
             if let Some(&j) = seen.get(f) {
                 return Err(TiError::DuplicateEnumeration {
@@ -61,25 +75,15 @@ impl FactSupply {
                     second: i,
                 });
             }
-            seen.insert(f.clone(), i);
+            seen.insert(f, i);
         }
+        drop(seen);
         let series =
             FiniteSeries::new(pairs.iter().map(|(_, p)| *p).collect()).map_err(TiError::Math)?;
-        let facts: Vec<Fact> = pairs.into_iter().map(|(f, _)| f).collect();
-        let fallback = facts
-            .first()
-            .cloned()
-            .unwrap_or_else(|| Fact::new(RelId(0), []));
+        let facts: Arc<[Fact]> = pairs.into_iter().map(|(f, _)| f).collect();
         Ok(Self {
             schema,
-            gen: Arc::new(move |i| {
-                facts
-                    .get(i)
-                    .cloned()
-                    // indexes past a finite support are never *used* (their
-                    // probability is 0), but the signature is total
-                    .unwrap_or_else(|| fallback.clone())
-            }),
+            gen: Gen::Vec(facts),
             series: Arc::new(series),
         })
     }
@@ -103,9 +107,36 @@ impl FactSupply {
         &self.schema
     }
 
-    /// The `i`-th fact.
+    /// The `i`-th fact, owned. Builds a fresh `Fact` for closure-backed
+    /// supplies; prefer [`fact_at`](Self::fact_at) in loops that only
+    /// inspect the fact.
     pub fn fact(&self, i: usize) -> Fact {
-        (self.gen)(i)
+        match &self.gen {
+            Gen::Fn(g) => g(i),
+            Gen::Vec(facts) => facts.get(i).cloned().unwrap_or_else(|| {
+                // indexes past a finite support are never *used* (their
+                // probability is 0), but the signature is total
+                facts
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| Fact::new(RelId(0), []))
+            }),
+        }
+    }
+
+    /// The `i`-th fact, borrowed when the supply stores its facts
+    /// ([`from_vec`](Self::from_vec)) and owned only when a generator
+    /// closure must run. Probe loops — injectivity checks, enumeration
+    /// searches, fingerprinting — use this to avoid a fresh allocation
+    /// per fact.
+    pub fn fact_at(&self, i: usize) -> Cow<'_, Fact> {
+        match &self.gen {
+            Gen::Fn(g) => Cow::Owned(g(i)),
+            Gen::Vec(facts) => match facts.get(i) {
+                Some(f) => Cow::Borrowed(f),
+                None => Cow::Owned(self.fact(i)),
+            },
+        }
     }
 
     /// The `i`-th probability.
@@ -130,9 +161,9 @@ impl FactSupply {
 
     /// Verifies injectivity of the first `n` enumerated facts.
     pub fn check_injective(&self, n: usize) -> Result<(), TiError> {
-        let mut seen: std::collections::HashMap<Fact, usize> = Default::default();
+        let mut seen: std::collections::HashMap<Cow<'_, Fact>, usize> = Default::default();
         for i in 0..n {
-            let f = self.fact(i);
+            let f = self.fact_at(i);
             if let Some(&j) = seen.get(&f) {
                 return Err(TiError::DuplicateEnumeration {
                     first: j,
@@ -149,7 +180,7 @@ impl FactSupply {
     pub fn locate(&self, fact: &Fact, limit: usize) -> Result<usize, TiError> {
         let cap = self.support_len().unwrap_or(usize::MAX).min(limit);
         for i in 0..cap {
-            if &self.fact(i) == fact {
+            if &*self.fact_at(i) == fact {
                 return Ok(i);
             }
         }
@@ -271,6 +302,24 @@ mod tests {
         assert_eq!(ProbSeries::term(&s, 1), 0.25);
         assert!(ProbSeries::tail_upper(&s, 0).finite().is_some());
         assert!(s.converges());
+    }
+
+    #[test]
+    fn fact_at_borrows_from_stored_supplies() {
+        let v = FactSupply::from_vec(schema(), vec![(rfact(1), 0.5), (rfact(2), 0.2)]).unwrap();
+        assert!(matches!(v.fact_at(0), Cow::Borrowed(_)));
+        assert_eq!(&*v.fact_at(1), &rfact(2));
+        // past the finite support: the total-signature fallback, owned
+        assert!(matches!(v.fact_at(9), Cow::Owned(_)));
+        assert_eq!(v.fact(9), rfact(1));
+        // closure-backed supplies must build each fact
+        let f = FactSupply::unary_over_naturals(
+            schema(),
+            RelId(0),
+            GeometricSeries::new(0.5, 0.5).unwrap(),
+        );
+        assert!(matches!(f.fact_at(0), Cow::Owned(_)));
+        assert_eq!(&*f.fact_at(0), &rfact(1));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //!   FO-definable over a t.i. one).
 
 pub mod bid;
+pub mod catalog;
 pub mod construction;
 pub mod counterexample;
 pub mod enumerator;

@@ -37,10 +37,13 @@
 //!   each query's evaluation (cooperatively cancelled mid-truncation,
 //!   reporting a sound partial interval when one is certifiable);
 //!   `--queue-cap`/`--overflow` bound the submission queue.
-//! * `bench [--smoke] [--impl tree|arena] [--out PATH]` — runs the
-//!   reproducible perf harness over the geometric and zeta fixtures at
-//!   ε ∈ {1e-2, 1e-3, 1e-4}, prints a summary table, and writes the
-//!   `BENCH_<iso-date>.json` artifact (see `infpdb_bench::harness`).
+//! * `bench [--smoke] [--impl tree|arena] [--out PATH] [--repeats N]` —
+//!   runs the reproducible perf harness over the geometric and zeta
+//!   fixtures at ε ∈ {1e-2, 1e-3, 1e-4}, prints a summary table, and
+//!   writes the `BENCH_<iso-date>.json` artifact (see
+//!   `infpdb_bench::harness`). `--repeats` sets the minimum number of
+//!   timed executions in the repeat-query (`prepared`) stage, which
+//!   grounds the prefix once and re-executes the query against it.
 
 use infpdb_bench::harness::{self, ImplKind};
 use infpdb_core::fact::Fact;
@@ -524,11 +527,17 @@ pub fn cmd_batch(
 /// writes the `BENCH_<iso-date>.json` artifact. The one subcommand that
 /// performs file output itself (the artifact path is part of its
 /// contract); everything printed goes through the usual return value.
-pub fn cmd_bench(impl_name: &str, smoke: bool, out_path: Option<&str>) -> Result<String, CliError> {
+pub fn cmd_bench(
+    impl_name: &str,
+    smoke: bool,
+    out_path: Option<&str>,
+    repeats: usize,
+) -> Result<String, CliError> {
     let impl_kind = ImplKind::parse(impl_name)
         .ok_or_else(|| CliError::Usage(format!("unknown --impl {impl_name:?} (tree|arena)")))?;
-    let report =
-        harness::run(&harness::BenchConfig::new(impl_kind, smoke)).map_err(CliError::Library)?;
+    let mut config = harness::BenchConfig::new(impl_kind, smoke);
+    config.repeats = repeats;
+    let report = harness::run(&config).map_err(CliError::Library)?;
     let json = harness::to_json(&report);
     let path = out_path
         .map(str::to_string)
@@ -684,7 +693,10 @@ pub fn run(
                 s if s.is_empty() => None,
                 s => Some(s),
             };
-            cmd_bench(&impl_name, smoke, out.as_deref())
+            let repeats: usize = flag("--repeats", &harness::DEFAULT_REPEATS.to_string())
+                .parse()
+                .map_err(|_| CliError::Usage("--repeats must be a number".into()))?;
+            cmd_bench(&impl_name, smoke, out.as_deref(), repeats)
         }
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other:?}; {usage}"
@@ -1104,5 +1116,11 @@ Person(1000000)
             .collect();
         // fails before measuring anything or touching the filesystem
         assert!(matches!(run(&a, files), Err(CliError::Usage(_))));
+        // malformed --repeats is a usage error too
+        let b: Vec<String> = ["bench", "--repeats", "several"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(run(&b, files), Err(CliError::Usage(_))));
     }
 }
