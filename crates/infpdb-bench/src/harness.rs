@@ -1,8 +1,9 @@
 //! The reproducible perf harness behind `infpdb bench`.
 //!
 //! Times the Proposition 6.1 hot path — grounding, Shannon expansion,
-//! and end-to-end `approx_prob_boolean` — on the geometric and zeta
-//! PDBs at ε ∈ {1e-2, 1e-3, 1e-4}, for either lineage implementation:
+//! and end-to-end `approx_prob_boolean` — on the geometric, zeta, and
+//! blocks PDBs at ε ∈ {1e-2, 1e-3, 1e-4}, for either lineage
+//! implementation:
 //!
 //! * `tree` — the boxed-tree reference engine
 //!   ([`infpdb_finite::lineage::lineage_of`] +
@@ -28,13 +29,13 @@ use infpdb_finite::lineage::{lineage_of, lineage_of_arena};
 use infpdb_finite::shannon;
 use infpdb_logic::ast::Formula;
 use infpdb_logic::parse;
-use infpdb_query::approx::approx_prob_boolean;
+use infpdb_query::approx::approx_prob_boolean_par;
 use infpdb_query::cancel::CancelToken;
 use infpdb_query::prepared::{PreparedPdb, PreparedQuery};
 use infpdb_query::truncate::TruncationPlan;
 use infpdb_ti::construction::CountableTiPdb;
 
-use crate::{geometric_pdb, zeta_pdb};
+use crate::{blocks_pdb, geometric_pdb, zeta_pdb};
 
 /// The tolerances every workload is measured at.
 pub const DEFAULT_EPS: [f64; 3] = [1e-2, 1e-3, 1e-4];
@@ -81,6 +82,11 @@ pub struct BenchConfig {
     /// the prefix is grounded once outside the timer, then the query is
     /// re-executed at least this many times (`infpdb bench --repeats`).
     pub repeats: usize,
+    /// Intra-query thread budget for the arena engine's Shannon, e2e,
+    /// and prepared stages (`infpdb bench --threads`). Estimates are
+    /// bit-for-bit identical at every value; `1` stays sequential. The
+    /// tree engine ignores this and always runs sequentially.
+    pub threads: usize,
 }
 
 /// Default repeat count for the `prepared` stage.
@@ -94,6 +100,7 @@ impl BenchConfig {
             smoke,
             eps: DEFAULT_EPS.to_vec(),
             repeats: DEFAULT_REPEATS,
+            threads: 1,
         }
     }
 }
@@ -102,15 +109,17 @@ impl BenchConfig {
 /// statistics.
 #[derive(Debug, Clone)]
 pub struct BenchRow {
-    /// PDB fixture: `"geometric"` or `"zeta"`.
+    /// PDB fixture: `"geometric"`, `"zeta"`, or `"blocks"`.
     pub workload: &'static str,
-    /// Query shape: `"exists"` or `"pair"`.
+    /// Query shape: `"exists"`, `"pair"`, or `"pairs2"`.
     pub query: &'static str,
     /// `"ground"`, `"shannon"`, `"e2e"`, or `"prepared"` (repeat-query
     /// execution against a pre-grounded prefix).
     pub stage: &'static str,
     /// Tolerance the truncation was planned for.
     pub eps: f64,
+    /// Intra-query thread budget the row was measured at.
+    pub threads: usize,
     /// `n(ε)`: the truncated prefix length.
     pub n: usize,
     /// Timed iterations behind the median.
@@ -234,6 +243,17 @@ fn workloads() -> Vec<Workload> {
             query_text: "exists x. R(x)",
             pdb: zeta_pdb(),
         },
+        // two var-disjoint pair queries: the root And splits into two
+        // independent components wide enough for the parallel evaluator
+        // to fork (the other workloads are single-component or all-Var
+        // and stay on the sequential path at any thread count)
+        Workload {
+            pdb_name: "blocks",
+            query_name: "pairs2",
+            query_text: "(exists x, y. A(x) /\\ A(y) /\\ x != y) \
+                         /\\ (exists x, y. B(x) /\\ B(y) /\\ x != y)",
+            pdb: blocks_pdb(),
+        },
     ]
 }
 
@@ -290,6 +310,8 @@ fn hit_rate(stats: &shannon::Stats) -> f64 {
 /// Runs the full workload × ε × stage matrix for one engine.
 pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
     let policy = IterPolicy::for_config(config);
+    let threads = config.threads.max(1);
+    let par_policy = shannon::ParallelPolicy::with_threads(threads);
     let mut rows = Vec::new();
     for w in workloads() {
         let query = parse(w.query_text, w.pdb.schema()).map_err(|e| e.to_string())?;
@@ -323,6 +345,7 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
                 query: w.query_name,
                 stage: "ground",
                 eps,
+                threads,
                 n,
                 iters,
                 median_ns,
@@ -351,9 +374,15 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
                         (arena, root)
                     },
                     |(mut arena, root)| {
-                        black_box(shannon::probability_dag_with_stats(
-                            &mut arena, root, &probs,
-                        ));
+                        if threads >= 2 {
+                            black_box(shannon::probability_dag_parallel(
+                                &mut arena, root, &probs, par_policy,
+                            ));
+                        } else {
+                            black_box(shannon::probability_dag_with_stats(
+                                &mut arena, root, &probs,
+                            ));
+                        }
                     },
                 ),
             };
@@ -362,6 +391,7 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
                 query: w.query_name,
                 stage: "shannon",
                 eps,
+                threads,
                 n,
                 iters,
                 median_ns,
@@ -387,7 +417,7 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
                     || (),
                     |()| {
                         black_box(
-                            approx_prob_boolean(&w.pdb, &query, eps, Engine::Lineage)
+                            approx_prob_boolean_par(&w.pdb, &query, eps, Engine::Lineage, threads)
                                 .expect("probed"),
                         );
                     },
@@ -398,6 +428,7 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
                 query: w.query_name,
                 stage: "e2e",
                 eps,
+                threads,
                 n,
                 iters,
                 median_ns,
@@ -428,7 +459,8 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
                 ),
                 ImplKind::Arena => {
                     let prepared = PreparedPdb::new(w.pdb.clone());
-                    let pq = PreparedQuery::prepare(prepared, &query, Engine::Lineage);
+                    let pq = PreparedQuery::prepare(prepared, &query, Engine::Lineage)
+                        .with_parallelism(threads);
                     let token = CancelToken::new();
                     pq.execute(eps, &token).expect("probed"); // prepare: grounds once
                     run_timed(
@@ -445,6 +477,7 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
                 query: w.query_name,
                 stage: "prepared",
                 eps,
+                threads,
                 n,
                 iters,
                 median_ns,
@@ -465,12 +498,14 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
 /// Renders the report as the `BENCH_<iso-date>.json` artifact.
 ///
 /// Hand-written (the workspace is offline; no serde): the schema is
-/// `{"schema":"infpdb-bench/1","date":…,"impl":…,"smoke":…,"rows":[…]}`
+/// `{"schema":"infpdb-bench/2","date":…,"impl":…,"smoke":…,"rows":[…]}`
 /// with one object per [`BenchRow`]; absent statistics are `null`.
+/// Schema `/2` added the per-row `threads` field (intra-query thread
+/// budget); `/1` rows are `/2` rows with an implicit `threads = 1`.
 pub fn to_json(report: &BenchReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    writeln!(out, "  \"schema\": \"infpdb-bench/1\",").ok();
+    writeln!(out, "  \"schema\": \"infpdb-bench/2\",").ok();
     writeln!(out, "  \"date\": \"{}\",", report.date).ok();
     writeln!(out, "  \"impl\": \"{}\",", report.impl_kind.name()).ok();
     writeln!(out, "  \"smoke\": {},", report.smoke).ok();
@@ -487,9 +522,19 @@ pub fn to_json(report: &BenchReport) -> String {
         write!(
             out,
             "    {{\"workload\": \"{}\", \"query\": \"{}\", \"stage\": \"{}\", \
-             \"eps\": {}, \"n\": {}, \"iters\": {}, \"median_ns\": {}, \
+             \"eps\": {}, \"threads\": {}, \"n\": {}, \"iters\": {}, \"median_ns\": {}, \
              \"estimate\": {}, \"memo_hit_rate\": {}, \"arena_nodes\": {}}}",
-            r.workload, r.query, r.stage, r.eps, r.n, r.iters, r.median_ns, r.estimate, rate, nodes,
+            r.workload,
+            r.query,
+            r.stage,
+            r.eps,
+            r.threads,
+            r.n,
+            r.iters,
+            r.median_ns,
+            r.estimate,
+            rate,
+            nodes,
         )
         .ok();
         out.push_str(if i + 1 == report.rows.len() {
@@ -515,8 +560,8 @@ pub fn summary_table(report: &BenchReport) -> String {
     .ok();
     writeln!(
         out,
-        "{:<10} {:<7} {:<8} {:>7} {:>6} {:>6} {:>14} {:>9} {:>7}",
-        "workload", "query", "stage", "eps", "n", "iters", "median_ns", "hit_rate", "nodes"
+        "{:<10} {:<7} {:<8} {:>7} {:>3} {:>6} {:>6} {:>14} {:>9} {:>7}",
+        "workload", "query", "stage", "eps", "thr", "n", "iters", "median_ns", "hit_rate", "nodes"
     )
     .ok();
     for r in &report.rows {
@@ -530,8 +575,8 @@ pub fn summary_table(report: &BenchReport) -> String {
             .unwrap_or_else(|| "-".into());
         writeln!(
             out,
-            "{:<10} {:<7} {:<8} {:>7} {:>6} {:>6} {:>14} {:>9} {:>7}",
-            r.workload, r.query, r.stage, r.eps, r.n, r.iters, r.median_ns, rate, nodes
+            "{:<10} {:<7} {:<8} {:>7} {:>3} {:>6} {:>6} {:>14} {:>9} {:>7}",
+            r.workload, r.query, r.stage, r.eps, r.threads, r.n, r.iters, r.median_ns, rate, nodes
         )
         .ok();
     }
@@ -586,13 +631,15 @@ mod tests {
             smoke: true,
             eps: vec![1e-2],
             repeats: 1,
+            threads: 1,
         };
         let tree = run(&mk(ImplKind::Tree)).unwrap();
         let arena = run(&mk(ImplKind::Arena)).unwrap();
-        // 3 workloads × 1 ε × 4 stages
-        assert_eq!(tree.rows.len(), 12);
-        assert_eq!(arena.rows.len(), 12);
+        // 4 workloads × 1 ε × 4 stages
+        assert_eq!(tree.rows.len(), 16);
+        assert_eq!(arena.rows.len(), 16);
         assert!(tree.rows.iter().any(|r| r.stage == "prepared"));
+        assert!(tree.rows.iter().any(|r| r.workload == "blocks"));
         for (t, a) in tree.rows.iter().zip(&arena.rows) {
             assert_eq!(
                 (t.workload, t.query, t.stage, t.n),
@@ -600,6 +647,21 @@ mod tests {
             );
             assert_eq!(t.estimate.to_bits(), a.estimate.to_bits());
             assert!(t.median_ns > 0 && a.median_ns > 0);
+        }
+        // a parallel arena run reproduces every estimate bit-for-bit
+        let par = run(&BenchConfig {
+            threads: 4,
+            ..mk(ImplKind::Arena)
+        })
+        .unwrap();
+        for (s, p) in arena.rows.iter().zip(&par.rows) {
+            assert_eq!(
+                s.estimate.to_bits(),
+                p.estimate.to_bits(),
+                "{:?}",
+                (s.workload, s.query, s.stage)
+            );
+            assert_eq!(p.threads, 4);
         }
         // the arena reports node counts on every row; tree only for ground
         assert!(arena.rows.iter().all(|r| r.arena_nodes.is_some()));
@@ -620,6 +682,7 @@ mod tests {
                 query: "pair",
                 stage: "shannon",
                 eps: 1e-4,
+                threads: 2,
                 n: 14,
                 iters: 7,
                 median_ns: 12_345,
@@ -629,8 +692,9 @@ mod tests {
             }],
         };
         let json = to_json(&report);
-        assert!(json.contains("\"schema\": \"infpdb-bench/1\""));
+        assert!(json.contains("\"schema\": \"infpdb-bench/2\""));
         assert!(json.contains("\"impl\": \"arena\""));
+        assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"median_ns\": 12345"));
         assert!(json.contains("\"memo_hit_rate\": 0.500000"));
         // balanced braces/brackets, no trailing comma before a closer

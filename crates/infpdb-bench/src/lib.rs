@@ -46,6 +46,28 @@ pub fn zeta_pdb() -> CountableTiPdb {
     .expect("convergent")
 }
 
+/// A two-relation finite PDB `{A/1, B/1}` with interleaved, slowly
+/// decaying probabilities (`p_i = 0.45·0.75^i` for both `A(i)` and
+/// `B(i)`, 16 facts per relation). A conjunction of per-relation pair
+/// queries over it splits into two var-disjoint lineage components wide
+/// enough to cross the fork threshold — the workload that exercises the
+/// intra-query parallel evaluator.
+pub fn blocks_pdb() -> CountableTiPdb {
+    let schema =
+        Schema::from_relations([Relation::new("A", 1), Relation::new("B", 1)]).expect("static");
+    let a = schema.rel_id("A").expect("static");
+    let b = schema.rel_id("B").expect("static");
+    let mut facts = Vec::new();
+    let mut p = 0.45f64;
+    for i in 0..16i64 {
+        facts.push((Fact::new(a, [Value::int(i)]), p));
+        facts.push((Fact::new(b, [Value::int(i)]), p));
+        p *= 0.75;
+    }
+    CountableTiPdb::new(FactSupply::from_vec(schema, facts).expect("distinct facts"))
+        .expect("finite supply converges")
+}
+
 /// Ground truth for `P(∃x R(x))` by long explicit product.
 pub fn truth_exists_r(pdb: &CountableTiPdb, terms: usize) -> f64 {
     let mut none = 1.0;
@@ -103,6 +125,7 @@ mod tests {
     fn workload_constructors() {
         assert!(geometric_pdb().expected_size_bound() >= 1.0);
         assert!(zeta_pdb().expected_size_bound() >= 1.0);
+        assert!(blocks_pdb().expected_size_bound() >= 1.0);
         let truth = truth_exists_r(&geometric_pdb(), 100);
         assert!(truth > 0.7 && truth < 0.72);
         let t = random_finite_table(40, 7);

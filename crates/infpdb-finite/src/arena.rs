@@ -93,7 +93,7 @@ pub struct ArenaStats {
 /// evaluation (grounding + inference) so shared substructure is
 /// discovered; arenas are cheap to create per evaluation and are not
 /// meant to outlive one query's lifecycle.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LineageArena {
     nodes: Vec<LineageNode>,
     /// Sorted, deduplicated fact variables per node, shared via `Arc` so

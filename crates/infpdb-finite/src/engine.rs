@@ -42,6 +42,9 @@ pub struct EvalTrace {
     pub shannon: Option<shannon::Stats>,
     /// Hash-consing statistics of the evaluation's arena.
     pub arena: Option<ArenaStats>,
+    /// What the intra-query parallel evaluator did; `None` when
+    /// evaluation ran with `parallelism ≤ 1` (or a non-lineage engine).
+    pub parallel: Option<shannon::ParReport>,
 }
 
 /// `P(Q)` for a Boolean query under the chosen engine.
@@ -57,17 +60,32 @@ pub fn prob_boolean_traced(
     table: &TiTable,
     engine: Engine,
 ) -> Result<(f64, EvalTrace), FiniteError> {
+    prob_boolean_traced_par(query, table, engine, 1)
+}
+
+/// Like [`prob_boolean_traced`], with up to `parallelism` worker threads
+/// for the intensional path's independent components
+/// ([`shannon::probability_dag_parallel`]). The f64 result and the trace
+/// counters are bit-for-bit identical to `parallelism = 1`; the only
+/// observable difference is `EvalTrace::parallel`, filled whenever
+/// `parallelism ≥ 2` reaches the lineage engine.
+pub fn prob_boolean_traced_par(
+    query: &Formula,
+    table: &TiTable,
+    engine: Engine,
+    parallelism: usize,
+) -> Result<(f64, EvalTrace), FiniteError> {
     match engine {
         Engine::Auto => match lifted::prob_hierarchical(query, table) {
             Ok(p) => Ok((p, EvalTrace::default())),
-            Err(FiniteError::Logic(_)) => prob_by_lineage(query, table),
+            Err(FiniteError::Logic(_)) => prob_by_lineage(query, table, parallelism),
             Err(e) => Err(e),
         },
         Engine::Lifted => Ok((
             lifted::prob_hierarchical(query, table)?,
             EvalTrace::default(),
         )),
-        Engine::Lineage => prob_by_lineage(query, table),
+        Engine::Lineage => prob_by_lineage(query, table, parallelism),
         Engine::Brute => Ok((
             worlds::prob_boolean_brute(query, table)?,
             EvalTrace::default(),
@@ -79,15 +97,33 @@ pub fn prob_boolean_traced(
 /// the DAG Shannon engine over it. One arena serves the whole evaluation,
 /// so the grounding's shared substructure is discovered before inference
 /// starts and memo probes are id-indexed.
-fn prob_by_lineage(query: &Formula, table: &TiTable) -> Result<(f64, EvalTrace), FiniteError> {
+fn prob_by_lineage(
+    query: &Formula,
+    table: &TiTable,
+    parallelism: usize,
+) -> Result<(f64, EvalTrace), FiniteError> {
     let mut arena = LineageArena::new();
     let root = lineage_of_arena(query, table, &mut arena)?;
+    if parallelism >= 2 {
+        let policy = shannon::ParallelPolicy::with_threads(parallelism);
+        let (p, stats, arena_stats, report) =
+            shannon::probability_dag_parallel(&mut arena, root, &|id| table.prob(id), policy);
+        return Ok((
+            p,
+            EvalTrace {
+                shannon: Some(stats),
+                arena: Some(arena_stats),
+                parallel: Some(report),
+            },
+        ));
+    }
     let (p, stats) = shannon::probability_dag_with_stats(&mut arena, root, &|id| table.prob(id));
     Ok((
         p,
         EvalTrace {
             shannon: Some(stats),
             arena: Some(arena.stats()),
+            parallel: None,
         },
     ))
 }

@@ -186,10 +186,29 @@ pub fn estimate_dnf<R: RngCore>(
     vars.sort_unstable();
     vars.dedup();
 
+    let hits = kl_chunk(dnf, table, &weights, total_w, &vars, samples, rng);
+    KlEstimate {
+        estimate: (total_w * hits as f64 / samples as f64).min(1.0),
+        samples,
+        clauses: m,
+    }
+}
+
+/// One batch of coverage draws: returns how many of `n` samples scored.
+fn kl_chunk<R: RngCore>(
+    dnf: &Dnf,
+    table: &TiTable,
+    weights: &[f64],
+    total_w: f64,
+    vars: &[FactId],
+    n: usize,
+    rng: &mut R,
+) -> usize {
+    let m = dnf.len();
     let mut hits = 0usize;
     let mut assignment: std::collections::HashMap<FactId, bool> =
         std::collections::HashMap::with_capacity(vars.len());
-    for _ in 0..samples {
+    for _ in 0..n {
         // pick clause i ∝ w_i
         let mut u = (rng.next_u64() as f64 / u64::MAX as f64) * total_w;
         let mut chosen = m - 1;
@@ -205,7 +224,7 @@ pub fn estimate_dnf<R: RngCore>(
         for &v in &dnf[chosen] {
             assignment.insert(v, true);
         }
-        for &v in &vars {
+        for &v in vars {
             assignment
                 .entry(v)
                 .or_insert_with(|| (rng.next_u64() as f64 / u64::MAX as f64) < table.prob(v));
@@ -219,6 +238,83 @@ pub fn estimate_dnf<R: RngCore>(
             hits += 1;
         }
     }
+    hits
+}
+
+/// Deterministic, optionally parallel Karp–Luby estimate.
+///
+/// Samples are drawn in [`crate::monte_carlo::SAMPLE_CHUNK`]-sized chunks
+/// seeded per chunk from `seed` (the same golden-ratio stream as
+/// [`crate::monte_carlo::estimate_parallel`]) and hit counts are summed,
+/// so the estimate is **bit-for-bit identical** at every thread count.
+pub fn estimate_dnf_parallel(
+    dnf: &Dnf,
+    table: &TiTable,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+) -> KlEstimate {
+    use crate::monte_carlo::{chunk_seed, SAMPLE_CHUNK};
+    use infpdb_core::space::rand_core::SplitMix64;
+    assert!(samples > 0, "need at least one sample");
+    let m = dnf.len();
+    if m == 0 {
+        return KlEstimate {
+            estimate: 0.0,
+            samples,
+            clauses: 0,
+        };
+    }
+    let weights: Vec<f64> = dnf
+        .iter()
+        .map(|c| c.iter().map(|&v| table.prob(v)).product())
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    if total_w == 0.0 {
+        return KlEstimate {
+            estimate: 0.0,
+            samples,
+            clauses: m,
+        };
+    }
+    if dnf.iter().any(|c| c.is_empty()) {
+        return KlEstimate {
+            estimate: 1.0,
+            samples,
+            clauses: m,
+        };
+    }
+    let mut vars: Vec<FactId> = dnf.iter().flatten().copied().collect();
+    vars.sort_unstable();
+    vars.dedup();
+    let chunks: Vec<(u64, usize)> = (0..samples.div_ceil(SAMPLE_CHUNK))
+        .map(|c| {
+            let n = SAMPLE_CHUNK.min(samples - c * SAMPLE_CHUNK);
+            (chunk_seed(seed, c as u64), n)
+        })
+        .collect();
+    let run = |(s, n): (u64, usize)| {
+        let mut rng = SplitMix64::new(s);
+        kl_chunk(dnf, table, &weights, total_w, &vars, n, &mut rng)
+    };
+    let hits: usize = if threads < 2 || chunks.len() < 2 {
+        chunks.iter().copied().map(run).sum()
+    } else {
+        let workers = threads.min(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|k| {
+                    let mine: Vec<(u64, usize)> =
+                        chunks.iter().skip(k).step_by(workers).copied().collect();
+                    scope.spawn(move || mine.into_iter().map(run).sum::<usize>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sampler worker panicked"))
+                .sum()
+        })
+    };
     KlEstimate {
         estimate: (total_w * hits as f64 / samples as f64).min(1.0),
         samples,
@@ -380,6 +476,33 @@ mod tests {
         let id = t2.len() as u32 - 1;
         let z = estimate_dnf(&vec![vec![FactId(id)]], &t2, 10, &mut rng);
         assert_eq!(z.estimate, 0.0);
+    }
+
+    #[test]
+    fn parallel_estimate_is_thread_count_invariant() {
+        let t = table();
+        let q = parse("exists x, y. R(x) /\\ S(x, y) /\\ T(y)", t.schema()).unwrap();
+        let exact = engine::prob_boolean(&q, &t, Engine::Lineage).unwrap();
+        let mut arena = LineageArena::new();
+        let root = lineage_of_arena(&q, &t, &mut arena).unwrap();
+        let dnf = to_dnf_arena(&arena, root, 1000).unwrap();
+        let base = estimate_dnf_parallel(&dnf, &t, 30_000, 17, 1);
+        assert!((base.estimate - exact).abs() < 0.03 * exact.max(0.05));
+        for threads in [2, 4, 5] {
+            let e = estimate_dnf_parallel(&dnf, &t, 30_000, 17, threads);
+            assert_eq!(
+                e.estimate.to_bits(),
+                base.estimate.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(e.clauses, base.clauses);
+        }
+        // degenerate shapes short-circuit identically at any thread count
+        assert_eq!(estimate_dnf_parallel(&vec![], &t, 10, 3, 4).estimate, 0.0);
+        assert_eq!(
+            estimate_dnf_parallel(&vec![vec![]], &t, 10, 3, 4).estimate,
+            1.0
+        );
     }
 
     #[test]

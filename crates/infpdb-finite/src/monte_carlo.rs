@@ -72,6 +72,106 @@ pub fn estimate<R: RngCore>(
     })
 }
 
+/// Fixed chunk size of the deterministic sampler: seeds are derived per
+/// chunk, not per thread, so the estimate is a pure function of
+/// `(query, table, samples, seed)` — identical at every thread count.
+pub const SAMPLE_CHUNK: usize = 1024;
+
+/// The per-chunk seed stream: a SplitMix64-style golden-ratio mix of the
+/// master seed and the chunk index.
+pub(crate) fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+    seed.wrapping_add((chunk.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn run_chunk(
+    arena: &LineageArena,
+    root: crate::arena::LineageId,
+    table: &TiTable,
+    n: usize,
+    seed: u64,
+    buf: &mut Vec<bool>,
+) -> usize {
+    let mut rng = infpdb_core::space::rand_core::SplitMix64::new(seed);
+    let mut hits = 0usize;
+    for _ in 0..n {
+        let world = table.sample(&mut rng);
+        if arena.eval_into(root, &world, buf) {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// Deterministic, optionally parallel Monte-Carlo estimate.
+///
+/// Samples are drawn in [`SAMPLE_CHUNK`]-sized chunks, each from its own
+/// `chunk_seed`-derived RNG; chunk hit counts are summed (an
+/// order-free integer sum), so the result is **bit-for-bit identical**
+/// for every `threads` value, including `1`. With `threads ≥ 2` the
+/// chunks are striped over std scoped threads, each evaluating worlds
+/// against its own clone of the grounded arena (the memoized structural
+/// comparator makes `&LineageArena` non-`Sync`).
+pub fn estimate_parallel(
+    query: &Formula,
+    table: &TiTable,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<McEstimate, FiniteError> {
+    let fv = free_vars(query);
+    if !fv.is_empty() {
+        return Err(FiniteError::Logic(infpdb_logic::LogicError::NotASentence(
+            fv.into_iter().collect(),
+        )));
+    }
+    assert!(samples > 0, "need at least one sample");
+    let mut arena = LineageArena::new();
+    let root = lineage_of_arena(query, table, &mut arena)?;
+    // chunk c covers samples [c·CHUNK, min((c+1)·CHUNK, samples))
+    let chunks: Vec<(u64, usize)> = (0..samples.div_ceil(SAMPLE_CHUNK))
+        .map(|c| {
+            let n = SAMPLE_CHUNK.min(samples - c * SAMPLE_CHUNK);
+            (chunk_seed(seed, c as u64), n)
+        })
+        .collect();
+    let hits: usize = if threads < 2 || chunks.len() < 2 {
+        let mut buf = Vec::new();
+        chunks
+            .iter()
+            .map(|&(s, n)| run_chunk(&arena, root, table, n, s, &mut buf))
+            .sum()
+    } else {
+        let workers = threads.min(chunks.len());
+        let clones: Vec<LineageArena> = (0..workers).map(|_| arena.clone()).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = clones
+                .into_iter()
+                .enumerate()
+                .map(|(k, cl)| {
+                    let mine: Vec<(u64, usize)> =
+                        chunks.iter().skip(k).step_by(workers).copied().collect();
+                    scope.spawn(move || {
+                        let mut buf = Vec::new();
+                        mine.into_iter()
+                            .map(|(s, n)| run_chunk(&cl, root, table, n, s, &mut buf))
+                            .sum::<usize>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sampler worker panicked"))
+                .sum()
+        })
+    };
+    let half_width = ((2.0f64 / 0.05).ln() / (2.0 * samples as f64)).sqrt();
+    Ok(McEstimate {
+        estimate: hits as f64 / samples as f64,
+        samples,
+        half_width,
+    })
+}
+
 /// Estimates with an `(ε, δ)` guarantee, choosing the sample count by
 /// Hoeffding.
 pub fn estimate_with_guarantee<R: RngCore>(
@@ -150,6 +250,27 @@ mod tests {
         assert_eq!(e.half_width, 0.05);
         assert_eq!(e.samples, samples_for(0.05, 0.01));
         assert!((e.estimate - truth).abs() < 0.05);
+    }
+
+    #[test]
+    fn parallel_estimate_is_thread_count_invariant() {
+        let t = table();
+        let q = parse("exists x. R(x) \\/ S(x)", t.schema()).unwrap();
+        let truth = t.worlds().unwrap().prob_boolean(&q).unwrap();
+        let base = estimate_parallel(&q, &t, 10_000, 42, 1).unwrap();
+        assert!((base.estimate - truth).abs() < 0.03);
+        for threads in [2, 4, 7] {
+            let e = estimate_parallel(&q, &t, 10_000, 42, threads).unwrap();
+            assert_eq!(
+                e.estimate.to_bits(),
+                base.estimate.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(e.samples, base.samples);
+        }
+        // a different master seed gives a different (still valid) estimate
+        let other = estimate_parallel(&q, &t, 10_000, 43, 2).unwrap();
+        assert_ne!(other.estimate.to_bits(), base.estimate.to_bits());
     }
 
     #[test]

@@ -5,9 +5,14 @@
 //! builds on. The algorithm is a lightweight knowledge compiler:
 //!
 //! 1. **Independence decomposition** — children of an `And`/`Or` are
-//!    grouped into connected components of shared variables; independent
-//!    components multiply (`And`) or combine by inclusion–exclusion of
-//!    complements (`Or`).
+//!    grouped into connected components of shared variables by a
+//!    single-pass variable→owner union–find (near-linear in the total
+//!    number of variable occurrences); independent components multiply
+//!    (`And`) or combine by inclusion–exclusion of complements (`Or`).
+//!    When every child is a single fact variable the node short-circuits
+//!    to one direct log-space product (`var_product`) with no grouping
+//!    or per-component recursion at all — the common shape of the wide
+//!    independent unions Prop 6.1 truncation produces.
 //! 2. **Shannon expansion** — within a connected component, condition on
 //!    the most frequent variable: `P(φ) = p·P(φ|v) + (1−p)·P(φ|¬v)`.
 //! 3. **Memoization** — canonical sub-lineages cache their probability, so
@@ -35,7 +40,7 @@
 //! expression shapes are identical. The `arena_equivalence` integration
 //! suite asserts exact `f64` equality on hundreds of random formulas.
 
-use crate::arena::{LineageArena, LineageId, LineageNode};
+use crate::arena::{ArenaStats, LineageArena, LineageId, LineageNode};
 use crate::lineage::Lineage;
 use infpdb_core::fact::FactId;
 use std::collections::HashMap;
@@ -136,6 +141,21 @@ fn prob_rec_budget<F: Fn(FactId) -> f64>(
     let p = match l {
         Lineage::And(children) | Lineage::Or(children) => {
             let is_and = matches!(l, Lineage::And(_));
+            // Every child a (distinct) fact variable ⇒ all components are
+            // single facts: one direct log-space product, no grouping, no
+            // per-component recursion, no budget spent.
+            if children.iter().all(|c| matches!(c, Lineage::Var(_))) {
+                stats.decompositions += 1;
+                let p = var_product(
+                    children.iter().map(|c| match c {
+                        Lineage::Var(id) => probs(*id),
+                        _ => unreachable!("checked all-Var"),
+                    }),
+                    is_and,
+                );
+                memo.insert(l.clone(), p);
+                return Some(p);
+            }
             let comps = components(children);
             if comps.len() > 1 {
                 stats.decompositions += 1;
@@ -175,6 +195,27 @@ fn prob_rec_budget<F: Fn(FactId) -> f64>(
     Some(p)
 }
 
+/// Direct log-space evaluation of an `And`/`Or` whose children are all
+/// (distinct, by canonicalization) fact variables: `P(∧) = exp(∑ ln pᵢ)`,
+/// `P(∨) = 1 − exp(∑ ln(1 − pᵢ))`, with compensated summation so wide
+/// independent unions (the Prop 6.1 truncation prefixes) lose no mass to
+/// rounding. Used identically by both engines, so the fast path keeps
+/// bit-for-bit tree/DAG equivalence.
+fn var_product(ps: impl Iterator<Item = f64>, is_and: bool) -> f64 {
+    let mut acc = infpdb_math::KahanSum::new();
+    if is_and {
+        for p in ps {
+            acc.add(p.ln());
+        }
+        acc.value().exp()
+    } else {
+        for p in ps {
+            acc.add((-p).ln_1p());
+        }
+        1.0 - acc.value().exp()
+    }
+}
+
 /// Compilation statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -206,6 +247,21 @@ fn prob_rec<F: Fn(FactId) -> f64>(
     let p = match l {
         Lineage::And(children) | Lineage::Or(children) => {
             let is_and = matches!(l, Lineage::And(_));
+            // Every child a (distinct) fact variable ⇒ all components are
+            // single facts: one direct log-space product, no grouping, no
+            // per-component recursion.
+            if children.iter().all(|c| matches!(c, Lineage::Var(_))) {
+                stats.decompositions += 1;
+                let p = var_product(
+                    children.iter().map(|c| match c {
+                        Lineage::Var(id) => probs(*id),
+                        _ => unreachable!("checked all-Var"),
+                    }),
+                    is_and,
+                );
+                memo.insert(l.clone(), p);
+                return p;
+            }
             let comps = components(children);
             if comps.len() > 1 {
                 stats.decompositions += 1;
@@ -244,34 +300,75 @@ fn prob_rec<F: Fn(FactId) -> f64>(
     p
 }
 
-/// Groups sibling lineages into connected components of shared variables.
-fn components(children: &[Lineage]) -> Vec<Vec<Lineage>> {
-    let n = children.len();
-    let var_sets: Vec<_> = children.iter().map(Lineage::vars).collect();
-    let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
-        if parent[i] != i {
-            let r = find(parent, parent[i]);
-            parent[i] = r;
-        }
-        parent[i]
+/// Union–find over child indices with path halving; unions always point
+/// the larger root at the smaller one, so a component's representative is
+/// its smallest member index and first-appearance output order coincides
+/// with ascending-smallest-member order (the *canonical component order*
+/// both engines and the parallel combiner rely on).
+fn uf_find(parent: &mut [usize], mut i: usize) -> usize {
+    while parent[i] != i {
+        parent[i] = parent[parent[i]];
+        i = parent[i];
     }
+    i
+}
+
+fn uf_union(parent: &mut [usize], i: usize, j: usize) {
+    let (ri, rj) = (uf_find(parent, i), uf_find(parent, j));
+    if ri != rj {
+        parent[ri.max(rj)] = ri.min(rj);
+    }
+}
+
+/// Unions children sharing a variable in **one pass over each child's
+/// variable set**: the first child owning a variable is recorded in
+/// `owner`, and every later child mentioning it is unioned with that
+/// owner. Near-linear (inverse-Ackermann union–find) in the total number
+/// of variable occurrences — replacing the old pairwise-intersection scan
+/// that was quadratic in the child count.
+fn group_indices<I>(n: usize, vars_of: impl Fn(usize) -> I) -> Vec<Vec<usize>>
+where
+    I: IntoIterator<Item = FactId>,
+{
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut owner: HashMap<FactId, usize> = HashMap::new();
     for i in 0..n {
-        for j in (i + 1)..n {
-            if !var_sets[i].is_disjoint(&var_sets[j]) {
-                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-                if ri != rj {
-                    parent[ri] = rj;
+        for v in vars_of(i) {
+            match owner.entry(v) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    uf_union(&mut parent, i, *e.get());
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
                 }
             }
         }
     }
-    let mut groups: std::collections::BTreeMap<usize, Vec<Lineage>> = Default::default();
-    for (i, c) in children.iter().enumerate() {
-        let r = find(&mut parent, i);
-        groups.entry(r).or_default().push(c.clone());
+    // canonical component order: first appearance = smallest member
+    let mut slot: Vec<Option<usize>> = vec![None; n];
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        let r = uf_find(&mut parent, i);
+        let s = match slot[r] {
+            Some(s) => s,
+            None => {
+                out.push(Vec::new());
+                slot[r] = Some(out.len() - 1);
+                out.len() - 1
+            }
+        };
+        out[s].push(i);
     }
-    groups.into_values().collect()
+    out
+}
+
+/// Groups sibling lineages into connected components of shared variables.
+fn components(children: &[Lineage]) -> Vec<Vec<Lineage>> {
+    let var_sets: Vec<_> = children.iter().map(Lineage::vars).collect();
+    group_indices(children.len(), |i| var_sets[i].iter().copied())
+        .into_iter()
+        .map(|comp| comp.into_iter().map(|i| children[i].clone()).collect())
+        .collect()
 }
 
 /// The variable occurring in the most children (ties broken by id).
@@ -379,6 +476,14 @@ fn prob_rec_dag<F: Fn(FactId) -> f64>(
         stats.cache_hits += 1;
         return p;
     }
+    // Every child a (distinct) fact variable ⇒ all components are single
+    // facts: one direct log-space product, no grouping, no cofactors.
+    if all_vars_dag(arena, &children) {
+        stats.decompositions += 1;
+        let p = var_product(children.iter().map(|&c| var_prob(arena, c, probs)), is_and);
+        memo.insert(id, p);
+        return p;
+    }
     let comps = components_dag(arena, &children);
     let p = if comps.len() > 1 {
         stats.decompositions += 1;
@@ -437,6 +542,14 @@ fn prob_rec_dag_budget<F: Fn(FactId) -> f64>(
         stats.cache_hits += 1;
         return Some(p);
     }
+    // Every child a (distinct) fact variable ⇒ all components are single
+    // facts: one direct log-space product, no grouping, no budget spent.
+    if all_vars_dag(arena, &children) {
+        stats.decompositions += 1;
+        let p = var_product(children.iter().map(|&c| var_prob(arena, c, probs)), is_and);
+        memo.insert(id, p);
+        return Some(p);
+    }
     let comps = components_dag(arena, &children);
     let p = if comps.len() > 1 {
         stats.decompositions += 1;
@@ -473,51 +586,30 @@ fn prob_rec_dag_budget<F: Fn(FactId) -> f64>(
     Some(p)
 }
 
-/// Whether two sorted id slices share no element (two-pointer scan over
-/// the arena's cached variable sets — replaces the tree engine's repeated
-/// `BTreeSet` materialization).
-fn disjoint_sorted(a: &[FactId], b: &[FactId]) -> bool {
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => return false,
-        }
-    }
-    true
+/// Groups sibling nodes into connected components of shared variables —
+/// the same single-pass union–find (including grouping order) as the tree
+/// engine's [`components`], reading cached variable sets instead of
+/// scanning subtrees.
+fn components_dag(arena: &LineageArena, children: &[LineageId]) -> Vec<Vec<LineageId>> {
+    group_indices(children.len(), |i| arena.vars(children[i]).iter().copied())
+        .into_iter()
+        .map(|comp| comp.into_iter().map(|i| children[i]).collect())
+        .collect()
 }
 
-/// Groups sibling nodes into connected components of shared variables —
-/// the same union–find (including grouping order) as the tree engine's
-/// [`components`], reading cached variable sets instead of scanning
-/// subtrees.
-fn components_dag(arena: &LineageArena, children: &[LineageId]) -> Vec<Vec<LineageId>> {
-    let n = children.len();
-    let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
-        if parent[i] != i {
-            let r = find(parent, parent[i]);
-            parent[i] = r;
-        }
-        parent[i]
+/// Whether every child node is a plain fact variable.
+fn all_vars_dag(arena: &LineageArena, children: &[LineageId]) -> bool {
+    children
+        .iter()
+        .all(|&c| matches!(arena.node(c), LineageNode::Var(_)))
+}
+
+/// The probability of a node known to be a `Var`.
+fn var_prob<F: Fn(FactId) -> f64>(arena: &LineageArena, id: LineageId, probs: &F) -> f64 {
+    match arena.node(id) {
+        LineageNode::Var(v) => probs(*v),
+        _ => unreachable!("checked all-Var"),
     }
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if !disjoint_sorted(arena.vars(children[i]), arena.vars(children[j])) {
-                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-                if ri != rj {
-                    parent[ri] = rj;
-                }
-            }
-        }
-    }
-    let mut groups: std::collections::BTreeMap<usize, Vec<LineageId>> = Default::default();
-    for (i, &c) in children.iter().enumerate() {
-        let r = find(&mut parent, i);
-        groups.entry(r).or_default().push(c);
-    }
-    groups.into_values().collect()
 }
 
 /// The variable occurring in the most children (ties broken by id) —
@@ -533,6 +625,225 @@ fn most_frequent_var_dag(arena: &LineageArena, children: &[LineageId]) -> Option
         .into_iter()
         .max_by_key(|&(id, c)| (c, std::cmp::Reverse(id)))
         .map(|(id, _)| id)
+}
+
+// ---------------------------------------------------------------------------
+// Intra-query parallel evaluation: fork-join over independent components.
+// ---------------------------------------------------------------------------
+
+/// Default minimum variable count for a component to be worth shipping to
+/// a worker thread; smaller subproblems stay sequential.
+pub const DEFAULT_MIN_TASK_VARS: usize = 8;
+
+/// How much intra-query parallelism [`probability_dag_parallel`] may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelPolicy {
+    /// Worker threads. `0`/`1` mean fully sequential evaluation.
+    pub threads: usize,
+    /// Minimum total variable occurrences a component must have to be
+    /// dispatched as a parallel task (the fork threshold).
+    pub min_task_vars: usize,
+}
+
+impl ParallelPolicy {
+    /// `threads` workers with the default task-size threshold.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            min_task_vars: DEFAULT_MIN_TASK_VARS,
+        }
+    }
+}
+
+impl Default for ParallelPolicy {
+    fn default() -> Self {
+        Self::with_threads(1)
+    }
+}
+
+/// What the parallel evaluator actually did, for observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParReport {
+    /// Independent components dispatched to worker threads.
+    pub tasks: usize,
+    /// `true` when ≥ 2 threads were allowed but the root decomposed into
+    /// fewer than two above-threshold components, so evaluation fell back
+    /// to the plain sequential engine.
+    pub fallback_seq: bool,
+}
+
+/// [`probability_dag_with_stats`] with root-level fork-join parallelism
+/// over independent components, plus the post-evaluation [`ArenaStats`]
+/// (merged across worker arenas) and a [`ParReport`].
+///
+/// **Determinism contract:** the `f64` *bit pattern*, the [`Stats`]
+/// counters, and the merged [`ArenaStats`] are identical to the
+/// sequential engine for every thread count. Forking happens only at the
+/// root decomposition; each component is evaluated by the unchanged
+/// sequential recursion on a private clone of the arena (the memoized
+/// structural comparator makes `&LineageArena` non-`Sync`), and
+/// per-component probabilities are combined on the calling thread in
+/// canonical component order — exactly the sequential multiplication
+/// order. Work counters are sums, so merging is order-free; components
+/// are variable-disjoint, so a worker's cofactor nodes can neither equal
+/// nor intern-hit another component's, and node/intern-hit deltas add
+/// exactly. Per-component memo tables are likewise exact: a memo entry
+/// only ever mentions one component's variables, so the sequential
+/// engine's shared table never produces a cross-component hit.
+pub fn probability_dag_parallel<F>(
+    arena: &mut LineageArena,
+    root: LineageId,
+    probs: &F,
+    policy: ParallelPolicy,
+) -> (f64, Stats, ArenaStats, ParReport)
+where
+    F: Fn(FactId) -> f64 + Sync,
+{
+    if policy.threads < 2 {
+        let (p, stats) = probability_dag_with_stats(arena, root, probs);
+        return (p, stats, arena.stats(), ParReport::default());
+    }
+    fn seq_fallback<F: Fn(FactId) -> f64>(
+        arena: &mut LineageArena,
+        root: LineageId,
+        probs: &F,
+    ) -> (f64, Stats, ArenaStats, ParReport) {
+        let (p, stats) = probability_dag_with_stats(arena, root, probs);
+        (
+            p,
+            stats,
+            arena.stats(),
+            ParReport {
+                tasks: 0,
+                fallback_seq: true,
+            },
+        )
+    }
+    // Peel the top-level `Not` chain: sequentially each level contributes
+    // `1 − P(child)` with no counter traffic; replayed after the join.
+    let mut flips = 0usize;
+    let mut top = root;
+    while let LineageNode::Not(g) = arena.node(top) {
+        top = *g;
+        flips += 1;
+    }
+    let (is_and, children) = match arena.node(top) {
+        LineageNode::And(gs) => (true, gs.to_vec()),
+        LineageNode::Or(gs) => (false, gs.to_vec()),
+        // constant or single fact: trivially sequential
+        _ => return seq_fallback(arena, root, probs),
+    };
+    // An all-Var root is the sequential fast path already — nothing to fork.
+    if all_vars_dag(arena, &children) {
+        return seq_fallback(arena, root, probs);
+    }
+    let comps = components_dag(arena, &children);
+    let is_heavy: Vec<bool> = comps
+        .iter()
+        .map(|comp| {
+            comp.iter().map(|&c| arena.vars(c).len()).sum::<usize>() >= policy.min_task_vars
+        })
+        .collect();
+    let heavy: Vec<usize> = (0..comps.len()).filter(|&i| is_heavy[i]).collect();
+    if comps.len() < 2 || heavy.len() < 2 {
+        return seq_fallback(arena, root, probs);
+    }
+    // Replay the sequential root decomposition: intern every component's
+    // sub-node up front (var-disjointness makes the interning deltas
+    // order-independent), snapshot the arena, then fork.
+    let mut stats = Stats {
+        decompositions: 1,
+        ..Stats::default()
+    };
+    let subs: Vec<LineageId> = comps
+        .iter()
+        .map(|comp| {
+            if comp.len() == 1 {
+                comp[0]
+            } else if is_and {
+                arena.and(comp.iter().copied())
+            } else {
+                arena.or(comp.iter().copied())
+            }
+        })
+        .collect();
+    let base = arena.stats();
+    let workers = policy.threads.min(heavy.len());
+    let mut clones: Vec<LineageArena> = (0..workers).map(|_| arena.clone()).collect();
+    let mut results: Vec<Option<(f64, Stats)>> = vec![None; subs.len()];
+    let mut worker_delta = ArenaStats::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = clones
+            .iter_mut()
+            .enumerate()
+            .map(|(k, cl)| {
+                let mine: Vec<(usize, LineageId)> = heavy
+                    .iter()
+                    .enumerate()
+                    .filter(|(slot, _)| slot % workers == k)
+                    .map(|(_, &ci)| (ci, subs[ci]))
+                    .collect();
+                s.spawn(move || {
+                    let evaluated: Vec<(usize, f64, Stats)> = mine
+                        .into_iter()
+                        .map(|(ci, sub)| {
+                            let mut memo = DagMemo::default();
+                            let mut st = Stats::default();
+                            let p = prob_rec_dag(cl, sub, probs, &mut memo, &mut st);
+                            (ci, p, st)
+                        })
+                        .collect();
+                    (evaluated, cl.stats())
+                })
+            })
+            .collect();
+        // below-threshold components run here while the workers fork
+        for (ci, &sub) in subs.iter().enumerate() {
+            if is_heavy[ci] {
+                continue;
+            }
+            let mut memo = DagMemo::default();
+            let mut st = Stats::default();
+            let p = prob_rec_dag(arena, sub, probs, &mut memo, &mut st);
+            results[ci] = Some((p, st));
+        }
+        for h in handles {
+            let (evaluated, cl_stats) = h.join().expect("parallel evaluator worker panicked");
+            for (ci, p, st) in evaluated {
+                results[ci] = Some((p, st));
+            }
+            worker_delta.nodes += cl_stats.nodes - base.nodes;
+            worker_delta.intern_hits += cl_stats.intern_hits - base.intern_hits;
+        }
+    });
+    // Combine in canonical component order — the sequential multiplication
+    // order — so the f64 result is bit-for-bit the sequential one.
+    let mut acc = 1.0;
+    for r in &results {
+        let (ps, st) = r.expect("every component evaluated");
+        acc *= if is_and { ps } else { 1.0 - ps };
+        stats.expansions += st.expansions;
+        stats.cache_hits += st.cache_hits;
+        stats.decompositions += st.decompositions;
+    }
+    let mut p = if is_and { acc } else { 1.0 - acc };
+    for _ in 0..flips {
+        p = 1.0 - p;
+    }
+    let main_stats = arena.stats();
+    let merged = ArenaStats {
+        nodes: main_stats.nodes + worker_delta.nodes,
+        intern_hits: main_stats.intern_hits + worker_delta.intern_hits,
+    };
+    (
+        p,
+        stats,
+        merged,
+        ParReport {
+            tasks: heavy.len(),
+            fallback_seq: false,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -565,6 +876,67 @@ mod tests {
         assert!((probability(&f, &probs) - 0.2).abs() < 1e-15);
         let g = Lineage::or([v(0), v(1)]);
         assert!((probability(&g, &probs) - 0.7).abs() < 1e-15);
+    }
+
+    /// Regression guard for the union-find grouping + all-Var fast path:
+    /// an n-fact independent union must cost O(n) recorded operations,
+    /// not the Θ(n²) of pairwise component intersection. The constant is
+    /// generous (4·n) so legitimate bookkeeping changes don't trip it,
+    /// while a quadratic regression at n = 4096 overshoots by ~10³×.
+    #[test]
+    fn independent_union_op_counts_grow_linearly() {
+        let probs = |id: FactId| 0.2 + 0.5 / (2.0 + f64::from(id.0));
+        for n in [512u32, 4096] {
+            // Or of n/2 var-disjoint And-pairs, both engines
+            let f = Lineage::or((0..n / 2).map(|i| Lineage::and([v(2 * i), v(2 * i + 1)])));
+            let (p_tree, stats) = probability_with_stats(&f, &probs);
+            let ops = stats.expansions + stats.decompositions;
+            assert!(
+                ops <= 4 * n as usize,
+                "tree: {ops} ops for n = {n} is not O(n)"
+            );
+            assert_eq!(stats.expansions, 0, "independent union needs no Shannon");
+
+            let mut arena = LineageArena::new();
+            let comps: Vec<LineageId> = (0..n / 2)
+                .map(|i| {
+                    let a = arena.var(FactId(2 * i));
+                    let b = arena.var(FactId(2 * i + 1));
+                    arena.and([a, b])
+                })
+                .collect();
+            let root = arena.or(comps);
+            let (p_dag, dstats) = probability_dag_with_stats(&mut arena, root, &probs);
+            let dops = dstats.expansions + dstats.decompositions;
+            assert!(dops <= 4 * n as usize, "dag: {dops} ops for n = {n}");
+            assert_eq!(dstats.expansions, 0);
+            assert_eq!(p_tree.to_bits(), p_dag.to_bits());
+        }
+    }
+
+    /// An Or (or And) whose children are all plain facts is a single
+    /// decomposition — the log-space product fast path, no per-component
+    /// recursion.
+    #[test]
+    fn all_var_union_is_one_decomposition() {
+        let probs = |id: FactId| 1.0 / (3.0 + f64::from(id.0));
+        let f = Lineage::or((0..64).map(v));
+        let (p, stats) = probability_with_stats(&f, &probs);
+        assert_eq!(stats.expansions, 0);
+        assert_eq!(stats.decompositions, 1);
+        let mut direct = 1.0;
+        for i in 0..64u32 {
+            direct *= 1.0 - probs(FactId(i));
+        }
+        assert!((p - (1.0 - direct)).abs() < 1e-12);
+
+        let mut arena = LineageArena::new();
+        let vars: Vec<LineageId> = (0..64).map(|i| arena.var(FactId(i))).collect();
+        let root = arena.and(vars);
+        let (q, dstats) = probability_dag_with_stats(&mut arena, root, &probs);
+        assert_eq!(dstats.expansions, 0);
+        assert_eq!(dstats.decompositions, 1);
+        assert!(q > 0.0 && q < 1.0e-10); // product of 64 small probabilities
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Property tests: the fork-join parallel evaluator is **bit-for-bit**
+//! the sequential engine.
+//!
+//! [`probability_dag_parallel`] promises that for every thread count the
+//! `f64` bit pattern, the Shannon work counters, and the merged arena
+//! statistics are identical to `probability_dag_with_stats`. These tests
+//! drive that contract over seeded random formulas shaped to exercise
+//! every path: multi-component roots that actually fork, single
+//! components and all-Var roots that fall back, and `Not`-chain peeling.
+
+use infpdb_core::fact::FactId;
+use infpdb_core::space::rand_core::{RngCore, SplitMix64};
+use infpdb_finite::arena::LineageArena;
+use infpdb_finite::shannon::{
+    probability_dag_parallel, probability_dag_with_stats, ParallelPolicy,
+};
+use infpdb_finite::Lineage;
+
+/// Vars of component `c` live in `[c·BLOCK, (c+1)·BLOCK)`: components
+/// are variable-disjoint by construction, so the root decomposes into
+/// exactly the generated blocks.
+const BLOCK: u32 = 10;
+
+/// A random sub-formula over component `c`'s var block, deep enough to
+/// share variables (forcing real Shannon expansions inside the
+/// component).
+fn component(rng: &mut SplitMix64, c: u32, depth: usize) -> Lineage {
+    let var = |rng: &mut SplitMix64| FactId(c * BLOCK + (rng.next_u64() % u64::from(BLOCK)) as u32);
+    let choice = rng.next_u64() % if depth == 0 { 2 } else { 6 };
+    match choice {
+        0 => Lineage::Var(var(rng)),
+        1 => Lineage::Var(var(rng)).negate(),
+        2 | 3 => {
+            let width = 2 + (rng.next_u64() % 3) as usize;
+            let children: Vec<Lineage> = (0..width).map(|_| component(rng, c, depth - 1)).collect();
+            if choice == 2 {
+                Lineage::and(children)
+            } else {
+                Lineage::or(children)
+            }
+        }
+        _ => component(rng, c, depth - 1).negate(),
+    }
+}
+
+/// A root formula of `1..=5` var-disjoint components under a random
+/// And/Or, wrapped in `0..=2` negations (exercising the peel path).
+fn random_case(rng: &mut SplitMix64) -> Lineage {
+    let k = 1 + (rng.next_u64() % 5) as u32;
+    let comps: Vec<Lineage> = (0..k).map(|c| component(rng, c, 2)).collect();
+    let mut root = if comps.len() == 1 {
+        comps.into_iter().next().expect("k >= 1")
+    } else if rng.next_u64().is_multiple_of(2) {
+        Lineage::and(comps)
+    } else {
+        Lineage::or(comps)
+    };
+    for _ in 0..(rng.next_u64() % 3) {
+        root = root.negate();
+    }
+    root
+}
+
+fn prob_of(id: FactId) -> f64 {
+    // a fixed, well-spread map FactId → (0.05, 0.95)
+    let h = (u64::from(id.0) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    0.05 + 0.9 * (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[test]
+fn parallel_evaluation_is_bit_for_bit_sequential() {
+    let probs = prob_of;
+    for seed in [1u64, 20_190_625, 271_828] {
+        let mut rng = SplitMix64::new(seed);
+        let mut forked = 0usize;
+        let mut fell_back = 0usize;
+        for case in 0..256 {
+            let l = random_case(&mut rng);
+
+            let mut seq_arena = LineageArena::new();
+            let seq_root = seq_arena.from_lineage(&l);
+            let (p_seq, stats_seq) = probability_dag_with_stats(&mut seq_arena, seq_root, &probs);
+            let arena_seq = seq_arena.stats();
+
+            // threads = 1 goes through the same public entry point and
+            // must take the plain sequential path
+            let mut one_arena = LineageArena::new();
+            let one_root = one_arena.from_lineage(&l);
+            let (p1, stats1, arena1, report1) = probability_dag_parallel(
+                &mut one_arena,
+                one_root,
+                &probs,
+                ParallelPolicy {
+                    threads: 1,
+                    min_task_vars: 1,
+                },
+            );
+            assert_eq!(p1.to_bits(), p_seq.to_bits(), "seed {seed} case {case}");
+            assert_eq!(stats1, stats_seq, "seed {seed} case {case}");
+            assert_eq!(arena1, arena_seq, "seed {seed} case {case}");
+            assert_eq!(report1.tasks, 0);
+
+            for threads in [2usize, 4] {
+                let mut arena = LineageArena::new();
+                let root = arena.from_lineage(&l);
+                let (p, stats, arena_stats, report) = probability_dag_parallel(
+                    &mut arena,
+                    root,
+                    &probs,
+                    ParallelPolicy {
+                        threads,
+                        min_task_vars: 1,
+                    },
+                );
+                assert_eq!(
+                    p.to_bits(),
+                    p_seq.to_bits(),
+                    "seed {seed} case {case} threads {threads}: {p} vs {p_seq}"
+                );
+                assert_eq!(
+                    stats, stats_seq,
+                    "seed {seed} case {case} threads {threads}: trace counters diverged"
+                );
+                assert_eq!(
+                    arena_stats, arena_seq,
+                    "seed {seed} case {case} threads {threads}: arena stats diverged"
+                );
+                if threads == 2 {
+                    if report.fallback_seq {
+                        fell_back += 1;
+                    } else if report.tasks >= 2 {
+                        forked += 1;
+                    }
+                }
+            }
+        }
+        // the generator must exercise both paths heavily, or the
+        // equivalence above proves nothing
+        assert!(forked >= 64, "seed {seed}: only {forked}/256 cases forked");
+        assert!(
+            fell_back >= 16,
+            "seed {seed}: only {fell_back}/256 cases fell back"
+        );
+    }
+}
+
+/// The fork threshold gates task dispatch: with a huge `min_task_vars`
+/// nothing is heavy enough and the evaluator reports a sequential
+/// fallback, still bit-for-bit.
+#[test]
+fn below_threshold_subproblems_stay_sequential() {
+    let probs = prob_of;
+    let mut rng = SplitMix64::new(7);
+    let mut checked = 0usize;
+    for _ in 0..64 {
+        let l = random_case(&mut rng);
+        let mut seq_arena = LineageArena::new();
+        let seq_root = seq_arena.from_lineage(&l);
+        let (p_seq, _) = probability_dag_with_stats(&mut seq_arena, seq_root, &probs);
+
+        let mut arena = LineageArena::new();
+        let root = arena.from_lineage(&l);
+        let (p, _, _, report) = probability_dag_parallel(
+            &mut arena,
+            root,
+            &probs,
+            ParallelPolicy {
+                threads: 4,
+                min_task_vars: usize::MAX,
+            },
+        );
+        assert_eq!(p.to_bits(), p_seq.to_bits());
+        assert_eq!(report.tasks, 0);
+        if report.fallback_seq {
+            checked += 1;
+        }
+    }
+    assert!(checked >= 32, "only {checked}/64 cases reported fallback");
+}

@@ -73,8 +73,22 @@ pub fn approx_prob_boolean(
     eps: f64,
     finite_engine: Engine,
 ) -> Result<Approximation, QueryError> {
+    approx_prob_boolean_par(pdb, query, eps, finite_engine, 1)
+}
+
+/// [`approx_prob_boolean`] with up to `parallelism` worker threads inside
+/// the finite evaluation (bit-for-bit identical estimates at every thread
+/// count — see [`infpdb_finite::shannon::probability_dag_parallel`]).
+pub fn approx_prob_boolean_par(
+    pdb: &CountableTiPdb,
+    query: &Formula,
+    eps: f64,
+    finite_engine: Engine,
+    parallelism: usize,
+) -> Result<Approximation, QueryError> {
     let plan = TruncationPlan::new(pdb, eps)?;
-    let estimate = engine::prob_boolean(query, &plan.table, finite_engine)?;
+    let (estimate, _) =
+        engine::prob_boolean_traced_par(query, &plan.table, finite_engine, parallelism)?;
     Ok(Approximation {
         estimate,
         eps,
@@ -133,6 +147,32 @@ pub fn approx_prob_boolean_cancellable_traced(
     cancel: &CancelToken,
     partial_policy: PartialOnCancel,
 ) -> Result<(Approximation, EvalTrace), QueryError> {
+    approx_prob_boolean_cancellable_traced_par(
+        pdb,
+        query,
+        eps,
+        finite_engine,
+        1,
+        cancel,
+        partial_policy,
+    )
+}
+
+/// [`approx_prob_boolean_cancellable_traced`] with up to `parallelism`
+/// worker threads inside the finite evaluation. Estimates, cancellation
+/// behavior, and partial answers are bit-for-bit identical to the
+/// sequential path; the trace additionally carries
+/// [`EvalTrace::parallel`] when `parallelism ≥ 2` reaches the lineage
+/// engine.
+pub fn approx_prob_boolean_cancellable_traced_par(
+    pdb: &CountableTiPdb,
+    query: &Formula,
+    eps: f64,
+    finite_engine: Engine,
+    parallelism: usize,
+    cancel: &CancelToken,
+    partial_policy: PartialOnCancel,
+) -> Result<(Approximation, EvalTrace), QueryError> {
     let (kind, facts_processed, partial_table) =
         match TruncationPlan::new_cancellable(pdb, eps, cancel)? {
             PlannedTruncation::Complete(plan) => {
@@ -140,8 +180,12 @@ pub fn approx_prob_boolean_cancellable_traced(
                 // whose budget is already spent
                 match cancel.check() {
                     Ok(()) => {
-                        let (estimate, trace) =
-                            engine::prob_boolean_traced(query, &plan.table, finite_engine)?;
+                        let (estimate, trace) = engine::prob_boolean_traced_par(
+                            query,
+                            &plan.table,
+                            finite_engine,
+                            parallelism,
+                        )?;
                         return Ok((
                             Approximation {
                                 estimate,
@@ -165,9 +209,9 @@ pub fn approx_prob_boolean_cancellable_traced(
         PartialOnCancel::Skip => None,
         PartialOnCancel::Evaluate => {
             partial_certificate(pdb, facts_processed).and_then(|(trunc, eps_m)| {
-                engine::prob_boolean(query, &partial_table, finite_engine)
+                engine::prob_boolean_traced_par(query, &partial_table, finite_engine, parallelism)
                     .ok()
-                    .map(|estimate| Approximation {
+                    .map(|(estimate, _)| Approximation {
                         estimate,
                         eps: eps_m,
                         n: trunc.n,

@@ -204,6 +204,32 @@ pub fn execute_prepared(
     cancel: &CancelToken,
     partial_policy: PartialOnCancel,
 ) -> Result<(Approximation, EvalTrace), QueryError> {
+    execute_prepared_par(
+        prepared,
+        query,
+        eps,
+        finite_engine,
+        1,
+        cancel,
+        partial_policy,
+    )
+}
+
+/// [`execute_prepared`] with up to `parallelism` worker threads inside
+/// the finite evaluation. Estimates, certificates, cancellation behavior,
+/// and work counters are bit-for-bit identical at every thread count; the
+/// trace additionally carries [`EvalTrace::parallel`] when
+/// `parallelism ≥ 2` reaches the lineage engine.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_prepared_par(
+    prepared: &PreparedPdb,
+    query: &Formula,
+    eps: f64,
+    finite_engine: Engine,
+    parallelism: usize,
+    cancel: &CancelToken,
+    partial_policy: PartialOnCancel,
+) -> Result<(Approximation, EvalTrace), QueryError> {
     let (kind, facts_processed, partial_table) = match prepared.prefix_for(eps, cancel)? {
         PreparedPrefix::Complete { truncation, table } => {
             // last checkpoint before the engine: don't start a run whose
@@ -211,7 +237,7 @@ pub fn execute_prepared(
             match cancel.check() {
                 Ok(()) => {
                     let (estimate, trace) =
-                        engine::prob_boolean_traced(query, &table, finite_engine)?;
+                        engine::prob_boolean_traced_par(query, &table, finite_engine, parallelism)?;
                     return Ok((
                         Approximation {
                             estimate,
@@ -235,9 +261,9 @@ pub fn execute_prepared(
         PartialOnCancel::Skip => None,
         PartialOnCancel::Evaluate => {
             partial_certificate(prepared.pdb(), facts_processed).and_then(|(trunc, eps_m)| {
-                engine::prob_boolean(query, &partial_table, finite_engine)
+                engine::prob_boolean_traced_par(query, &partial_table, finite_engine, parallelism)
                     .ok()
-                    .map(|estimate| Approximation {
+                    .map(|(estimate, _)| Approximation {
                         estimate,
                         eps: eps_m,
                         n: trunc.n,
@@ -261,6 +287,7 @@ pub struct PreparedQuery {
     pdb: PreparedPdb,
     compiled: Arc<CompiledQuery>,
     engine: Engine,
+    parallelism: usize,
 }
 
 impl PreparedQuery {
@@ -270,6 +297,7 @@ impl PreparedQuery {
             pdb,
             compiled: Arc::new(compiled),
             engine,
+            parallelism: 1,
         }
     }
 
@@ -287,6 +315,14 @@ impl PreparedQuery {
     /// The prepared PDB this query runs against.
     pub fn pdb(&self) -> &PreparedPdb {
         &self.pdb
+    }
+
+    /// Sets the intra-query thread budget used by
+    /// [`execute`](Self::execute). Results are bit-for-bit identical at
+    /// every value; `1` (the default) keeps evaluation fully sequential.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
     }
 
     /// Executes at tolerance `eps` under a cancellation token, evaluating
@@ -307,11 +343,12 @@ impl PreparedQuery {
         cancel: &CancelToken,
         partial_policy: PartialOnCancel,
     ) -> Result<(Approximation, EvalTrace), QueryError> {
-        execute_prepared(
+        execute_prepared_par(
             &self.pdb,
             self.compiled.original(),
             eps,
             self.engine,
+            self.parallelism,
             cancel,
             partial_policy,
         )

@@ -139,6 +139,64 @@ proptest! {
         }
     }
 
+    /// The parallel executor is bit-for-bit the sequential one through
+    /// the prepared pipeline: same estimates, same certificates, same
+    /// work counters (the trace's `parallel` report is the only field
+    /// allowed to differ). Also under cancellation mid-evaluation: a
+    /// pre-cancelled token must yield the identical `CancelInfo` —
+    /// including the partial answer's estimate bits — at every thread
+    /// count.
+    #[test]
+    fn parallel_execution_is_bit_for_bit_sequential(
+        seed in 0u64..u64::MAX,
+        qi in 0usize..QUERIES.len(),
+        ei in 0usize..EPS.len(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let pdb = random_pdb(&mut rng);
+        let query = parse(QUERIES[qi], pdb.schema()).expect("static query");
+        let eps = EPS[ei];
+
+        let prepared = PreparedPdb::new(pdb);
+        let seq = PreparedQuery::prepare(prepared.clone(), &query, Engine::Lineage);
+        let (a1, t1) = seq.execute(eps, &CancelToken::new()).expect("sequential succeeds");
+        for threads in [2usize, 4] {
+            let par = PreparedQuery::prepare(prepared.clone(), &query, Engine::Lineage)
+                .with_parallelism(threads);
+            let (ap, tp) = par.execute(eps, &CancelToken::new()).expect("parallel succeeds");
+            prop_assert!(a1.estimate.to_bits() == ap.estimate.to_bits(),
+                "threads {}: {} vs {}", threads, a1.estimate, ap.estimate);
+            prop_assert_eq!(a1, ap);
+            prop_assert_eq!(t1.shannon, tp.shannon);
+            prop_assert_eq!(t1.arena, tp.arena);
+
+            // cancellation mid-evaluation: the partial-answer path must
+            // agree at every thread count too
+            let cancelled = CancelToken::new();
+            cancelled.cancel();
+            let e1 = seq.execute(eps, &cancelled).expect_err("cancelled");
+            let ep = par.execute(eps, &cancelled).expect_err("cancelled");
+            match (e1, ep) {
+                (
+                    infpdb_query::QueryError::Cancelled(i1),
+                    infpdb_query::QueryError::Cancelled(ip),
+                ) => {
+                    prop_assert_eq!(i1.kind, ip.kind);
+                    prop_assert_eq!(i1.facts_processed, ip.facts_processed);
+                    match (i1.partial, ip.partial) {
+                        (Some(p1), Some(pp)) => {
+                            prop_assert!(p1.estimate.to_bits() == pp.estimate.to_bits());
+                            prop_assert_eq!(p1, pp);
+                        }
+                        (None, None) => {}
+                        other => prop_assert!(false, "partial mismatch: {:?}", other),
+                    }
+                }
+                other => prop_assert!(false, "expected Cancelled, got {:?}", other),
+            }
+        }
+    }
+
     /// One prepared PDB serves every query in the pool: the catalog is
     /// grounded once per prefix length, and each query's answer matches
     /// its one-shot evaluation bit for bit.

@@ -113,6 +113,13 @@ pub struct Metrics {
     /// Lineage-arena interning-table hits (structural duplicates answered
     /// without allocating), accumulated across evaluations.
     pub arena_intern_hits: AtomicU64,
+    /// Independent lineage components evaluated on forked worker threads,
+    /// accumulated across parallel evaluations.
+    pub parallel_tasks: AtomicU64,
+    /// Parallel-eligible evaluations that stayed sequential because every
+    /// subproblem fell below the fork threshold (or fewer than two were
+    /// heavy enough to split).
+    pub parallel_fallback_seq: AtomicU64,
     /// Jobs currently queued, waiting for a worker.
     pub queue_depth: AtomicU64,
     /// Time from submission to the start of evaluation.
@@ -187,6 +194,18 @@ impl Metrics {
             c(&self.shannon_memo_hits)
         )
         .ok();
+        writeln!(
+            out,
+            "serve_parallel_tasks_total {}",
+            c(&self.parallel_tasks)
+        )
+        .ok();
+        writeln!(
+            out,
+            "serve_parallel_fallback_seq_total {}",
+            c(&self.parallel_fallback_seq)
+        )
+        .ok();
         writeln!(out, "serve_queue_depth {}", c(&self.queue_depth)).ok();
         self.wait.dump_into("serve_wait_micros", &mut out);
         self.run.dump_into("serve_run_micros", &mut out);
@@ -222,6 +241,12 @@ impl Metrics {
                 .fetch_add(a.nodes as u64, Ordering::Relaxed);
             self.arena_intern_hits
                 .fetch_add(a.intern_hits as u64, Ordering::Relaxed);
+        }
+        if let Some(p) = trace.parallel {
+            self.parallel_tasks
+                .fetch_add(p.tasks as u64, Ordering::Relaxed);
+            self.parallel_fallback_seq
+                .fetch_add(u64::from(p.fallback_seq), Ordering::Relaxed);
         }
     }
 }
@@ -269,6 +294,8 @@ mod tests {
             "serve_retries_total 0",
             "serve_breaker_fastfail_total 0",
             "serve_shannon_memo_hits_total 0",
+            "serve_parallel_tasks_total 0",
+            "serve_parallel_fallback_seq_total 0",
             "serve_queue_depth 0",
             "serve_wait_micros_count 0",
             "serve_run_micros_count 0",
@@ -291,7 +318,7 @@ mod tests {
     fn record_trace_accumulates_engine_counters() {
         use infpdb_finite::arena::ArenaStats;
         use infpdb_finite::engine::EvalTrace;
-        use infpdb_finite::shannon::Stats;
+        use infpdb_finite::shannon::{ParReport, Stats};
         let m = Metrics::new();
         let trace = EvalTrace {
             shannon: Some(Stats {
@@ -303,14 +330,27 @@ mod tests {
                 nodes: 31,
                 intern_hits: 12,
             }),
+            parallel: Some(ParReport {
+                tasks: 3,
+                fallback_seq: false,
+            }),
         };
         m.record_trace(&trace);
         m.record_trace(&trace);
+        m.record_trace(&EvalTrace {
+            parallel: Some(ParReport {
+                tasks: 0,
+                fallback_seq: true,
+            }),
+            ..EvalTrace::default()
+        });
         let full = m.dump_opts(true);
         assert!(full.contains("serve_shannon_memo_hits_total 14"));
         assert!(full.contains("serve_shannon_expansions_total 8"));
         assert!(full.contains("serve_arena_nodes_total 62"));
         assert!(full.contains("serve_arena_intern_hits_total 24"));
+        assert!(full.contains("serve_parallel_tasks_total 6"));
+        assert!(full.contains("serve_parallel_fallback_seq_total 1"));
         // a lifted-path trace (no intensional work) adds nothing
         m.record_trace(&EvalTrace::default());
         assert!(m.dump_opts(true).contains("serve_arena_nodes_total 62"));

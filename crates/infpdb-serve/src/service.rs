@@ -18,7 +18,7 @@
 //!    (PDB, normalized query) fingerprints and shared across tolerances;
 //!    a miss compiles the query ([`CompiledQuery`]) and inserts it;
 //! 5. **Engine** — run the Proposition 6.1 evaluation against the
-//!    service's shared [`PreparedPdb`] ([`execute_prepared`]): repeat
+//!    service's shared [`PreparedPdb`] ([`execute_prepared_par`]): repeat
 //!    requests slice the already-materialized fact catalog instead of
 //!    re-grounding, with a [`CancelToken`] threaded into any remaining
 //!    truncation work; record throughput, insert the answer.
@@ -45,7 +45,7 @@ use infpdb_logic::compile::CompiledQuery;
 use infpdb_query::approx::{Approximation, PartialOnCancel};
 use infpdb_query::budget::BudgetReport;
 use infpdb_query::cancel::{CancelKind, CancelToken};
-use infpdb_query::prepared::{execute_prepared, PreparedPdb};
+use infpdb_query::prepared::{execute_prepared_par, PreparedPdb};
 use infpdb_query::QueryError;
 use infpdb_ti::construction::CountableTiPdb;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -131,6 +131,13 @@ pub struct ServiceConfig {
     /// Include per-engine arena statistics (interned nodes, interning
     /// hits, expansion totals) in [`QueryService::metrics_dump`].
     pub arena_stats: bool,
+    /// Intra-query thread budget for a single lineage evaluation (at
+    /// least 1). Independent of [`threads`](Self::threads), which sizes
+    /// the pool of concurrent *requests*: parallelism splits one
+    /// request's independent lineage components (and sampler chunks)
+    /// across scoped threads. Estimates stay bit-for-bit identical at
+    /// every value.
+    pub parallelism: usize,
 }
 
 impl Default for ServiceConfig {
@@ -148,6 +155,7 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             arena_stats: false,
+            parallelism: 1,
         }
     }
 }
@@ -286,6 +294,7 @@ struct Inner {
     prepared: PreparedPdb,
     pdb_fingerprint: u64,
     engine: Engine,
+    parallelism: usize,
     policy: DegradePolicy,
     cache: ShardedLruCache<(Approximation, BudgetReport)>,
     plans: ShardedLruCache<Arc<CompiledQuery>>,
@@ -340,6 +349,7 @@ impl QueryService {
             pdb_fingerprint: countable_pdb_fingerprint(&pdb),
             prepared: PreparedPdb::new(pdb),
             engine: config.engine,
+            parallelism: config.parallelism.max(1),
             policy: config.policy,
             cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
             plans: ShardedLruCache::new(config.plan_cache_capacity, config.cache_shards),
@@ -635,11 +645,12 @@ fn handle(
             .store(inner.plans.evictions(), Ordering::Relaxed);
     }
     let start = Instant::now();
-    let (approx, trace) = execute_prepared(
+    let (approx, trace) = execute_prepared_par(
         &inner.prepared,
         &request.query,
         admitted.eps,
         inner.engine,
+        inner.parallelism,
         cancel,
         PartialOnCancel::Evaluate,
     )
@@ -774,6 +785,73 @@ mod tests {
         // default config keeps the dump arena-free
         let plain = service(1);
         assert!(!plain.metrics_dump().contains("serve_arena_nodes_total"));
+    }
+
+    /// Two relations with slowly decaying, interleaved probabilities:
+    /// a conjunction of per-relation pair queries splits into two
+    /// var-disjoint lineage components big enough to fork.
+    fn blocks_pdb() -> CountableTiPdb {
+        use infpdb_core::fact::Fact;
+        use infpdb_core::value::Value;
+        let schema =
+            Schema::from_relations([Relation::new("A", 1), Relation::new("B", 1)]).unwrap();
+        let a = schema.rel_id("A").unwrap();
+        let b = schema.rel_id("B").unwrap();
+        let mut facts = Vec::new();
+        let mut p = 0.45f64;
+        for i in 0..16i64 {
+            facts.push((Fact::new(a, [Value::int(i)]), p));
+            facts.push((Fact::new(b, [Value::int(i)]), p));
+            p *= 0.75;
+        }
+        CountableTiPdb::new(FactSupply::from_vec(schema, facts).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_for_bit_sequential_and_counted() {
+        let p = blocks_pdb();
+        let qs = "(exists x, y. A(x) /\\ A(y) /\\ x != y) \
+                  /\\ (exists x, y. B(x) /\\ B(y) /\\ x != y)";
+        let q = parse(qs, p.schema()).unwrap();
+        let seq = QueryService::new(
+            p.clone(),
+            ServiceConfig {
+                threads: 1,
+                engine: Engine::Lineage,
+                ..ServiceConfig::default()
+            },
+        );
+        let par = QueryService::new(
+            p.clone(),
+            ServiceConfig {
+                threads: 1,
+                engine: Engine::Lineage,
+                parallelism: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let a = seq.evaluate(QueryRequest::new(q.clone(), 0.01)).unwrap();
+        let b = par.evaluate(QueryRequest::new(q.clone(), 0.01)).unwrap();
+        assert_eq!(a.approx.estimate.to_bits(), b.approx.estimate.to_bits());
+        assert_eq!(a.approx, b.approx);
+        // the parallel service actually forked: two independent components
+        assert_eq!(par.metrics().parallel_tasks.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            par.metrics().parallel_fallback_seq.load(Ordering::Relaxed),
+            0
+        );
+        // the sequential service never reports parallel work
+        assert_eq!(seq.metrics().parallel_tasks.load(Ordering::Relaxed), 0);
+        let dump = par.metrics_dump();
+        assert!(dump.contains("serve_parallel_tasks_total 2"));
+        assert!(dump.contains("serve_parallel_fallback_seq_total 0"));
+        // a connected query (single component) falls back to sequential
+        let pair = parse("exists x, y. A(x) /\\ A(y) /\\ x != y", p.schema()).unwrap();
+        par.evaluate(QueryRequest::new(pair, 0.01)).unwrap();
+        assert_eq!(
+            par.metrics().parallel_fallback_seq.load(Ordering::Relaxed),
+            1
+        );
     }
 
     #[test]

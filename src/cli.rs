@@ -21,29 +21,38 @@
 //! # Subcommands
 //!
 //! * `info <table>` — schema, expected size, size distribution head.
-//! * `query <table> <query> [--engine E]` — Boolean query probability.
+//! * `query <table> <query> [--engine E] [--threads N]` — Boolean query
+//!   probability; `--threads` forks independent lineage components
+//!   across scoped threads (the answer is bit-for-bit identical at any
+//!   thread count).
 //! * `marginals <table> <query>` — per-answer marginal probabilities.
 //! * `sample <table> [--count N] [--seed S]` — draw worlds.
 //! * `open <table> <query> --eps E [--tail-mass M] [--tail-start K]` —
 //!   open-world evaluation: completes the table with a geometric tail of
 //!   fresh facts (over the first declared unary relation) and runs the
 //!   Proposition 6.1 approximation.
-//! * `batch <table> <queries-file> [--threads N] [--eps E] [--max-n N]
-//!   [--deadline-ms D] [--policy widen|reject] [--queue-cap C]
-//!   [--overflow block|reject|shed] [--tail-mass M] [--tail-start K]` —
+//! * `batch <table> <queries-file> [--threads N] [--parallelism P]
+//!   [--eps E] [--max-n N] [--deadline-ms D] [--policy widen|reject]
+//!   [--queue-cap C] [--overflow block|reject|shed] [--tail-mass M]
+//!   [--tail-start K]` —
 //!   evaluates one query per line through the concurrent [`infpdb_serve`]
 //!   service (thread pool + result cache + admission control +
 //!   backpressure) and appends a metrics dump. `--deadline-ms` bounds
 //!   each query's evaluation (cooperatively cancelled mid-truncation,
 //!   reporting a sound partial interval when one is certifiable);
-//!   `--queue-cap`/`--overflow` bound the submission queue.
-//! * `bench [--smoke] [--impl tree|arena] [--out PATH] [--repeats N]` —
-//!   runs the reproducible perf harness over the geometric and zeta
-//!   fixtures at ε ∈ {1e-2, 1e-3, 1e-4}, prints a summary table, and
-//!   writes the `BENCH_<iso-date>.json` artifact (see
+//!   `--queue-cap`/`--overflow` bound the submission queue;
+//!   `--parallelism` sets the per-request intra-query thread budget
+//!   (distinct from `--threads`, the request-pool size).
+//! * `bench [--smoke] [--impl tree|arena] [--out PATH] [--repeats N]
+//!   [--threads T]` —
+//!   runs the reproducible perf harness over the geometric, zeta, and
+//!   blocks fixtures at ε ∈ {1e-2, 1e-3, 1e-4}, prints a summary table,
+//!   and writes the `BENCH_<iso-date>.json` artifact (see
 //!   `infpdb_bench::harness`). `--repeats` sets the minimum number of
 //!   timed executions in the repeat-query (`prepared`) stage, which
-//!   grounds the prefix once and re-executes the query against it.
+//!   grounds the prefix once and re-executes the query against it;
+//!   `--threads` sets the arena engine's intra-query thread budget
+//!   (estimates are identical at every value).
 
 use infpdb_bench::harness::{self, ImplKind};
 use infpdb_core::fact::Fact;
@@ -263,12 +272,20 @@ pub fn cmd_info(table_text: &str) -> Result<String, CliError> {
 ///
 /// Closed-world evaluation is exact, so the certified interval is the
 /// degenerate `[p, p]` — reported anyway so every evaluation path of the
-/// CLI answers in the same certified-enclosure vocabulary.
-pub fn cmd_query(table_text: &str, query: &str, engine: &str) -> Result<String, CliError> {
+/// CLI answers in the same certified-enclosure vocabulary. `threads`
+/// (`--threads`) sets the intra-query thread budget of the lineage
+/// engine; the answer is bit-for-bit identical at every value.
+pub fn cmd_query(
+    table_text: &str,
+    query: &str,
+    engine: &str,
+    threads: usize,
+) -> Result<String, CliError> {
     let table = parse_table(table_text)?;
     let q = parse(query, table.schema()).map_err(lib_err)?;
     let e = parse_engine(engine)?;
-    let p = infpdb_finite::engine::prob_boolean(&q, &table, e).map_err(lib_err)?;
+    let (p, _) =
+        infpdb_finite::engine::prob_boolean_traced_par(&q, &table, e, threads).map_err(lib_err)?;
     let a = Approximation {
         estimate: p,
         eps: 0.0,
@@ -389,6 +406,9 @@ pub struct BatchOptions {
     pub tail_mass: f64,
     /// First integer the tail invents facts for (`--tail-start`).
     pub tail_start: i64,
+    /// Intra-query thread budget per evaluation (`--parallelism`);
+    /// independent of `threads`, which sizes the request pool.
+    pub parallelism: usize,
 }
 
 impl Default for BatchOptions {
@@ -403,6 +423,7 @@ impl Default for BatchOptions {
             overflow: OverflowPolicy::Block,
             tail_mass: 0.5,
             tail_start: 1_000_000,
+            parallelism: 1,
         }
     }
 }
@@ -449,6 +470,7 @@ pub fn cmd_batch(
             policy: opts.policy,
             queue_cap: opts.queue_cap,
             overflow: opts.overflow,
+            parallelism: opts.parallelism,
             ..ServiceConfig::default()
         },
     );
@@ -532,11 +554,13 @@ pub fn cmd_bench(
     smoke: bool,
     out_path: Option<&str>,
     repeats: usize,
+    threads: usize,
 ) -> Result<String, CliError> {
     let impl_kind = ImplKind::parse(impl_name)
         .ok_or_else(|| CliError::Usage(format!("unknown --impl {impl_name:?} (tree|arena)")))?;
     let mut config = harness::BenchConfig::new(impl_kind, smoke);
     config.repeats = repeats;
+    config.threads = threads.max(1);
     let report = harness::run(&config).map_err(CliError::Library)?;
     let json = harness::to_json(&report);
     let path = out_path
@@ -578,7 +602,10 @@ pub fn run(
             let q = args
                 .get(2)
                 .ok_or(CliError::Usage("query: missing query string".into()))?;
-            cmd_query(&table, q, &flag("--engine", "auto"))
+            let threads: usize = flag("--threads", "1")
+                .parse()
+                .map_err(|_| CliError::Usage("--threads must be a number".into()))?;
+            cmd_query(&table, q, &flag("--engine", "auto"), threads)
         }
         "marginals" => {
             let table = read(args.get(1).ok_or(CliError::Usage(usage.into()))?)?;
@@ -670,6 +697,9 @@ pub fn run(
             let tail_start: i64 = flag("--tail-start", "1000000")
                 .parse()
                 .map_err(|_| CliError::Usage("--tail-start must be a number".into()))?;
+            let parallelism: usize = flag("--parallelism", "1")
+                .parse()
+                .map_err(|_| CliError::Usage("--parallelism must be a number".into()))?;
             cmd_batch(
                 &table,
                 &queries,
@@ -683,6 +713,7 @@ pub fn run(
                     overflow,
                     tail_mass,
                     tail_start,
+                    parallelism,
                 },
             )
         }
@@ -696,7 +727,10 @@ pub fn run(
             let repeats: usize = flag("--repeats", &harness::DEFAULT_REPEATS.to_string())
                 .parse()
                 .map_err(|_| CliError::Usage("--repeats must be a number".into()))?;
-            cmd_bench(&impl_name, smoke, out.as_deref(), repeats)
+            let threads: usize = flag("--threads", "1")
+                .parse()
+                .map_err(|_| CliError::Usage("--threads must be a number".into()))?;
+            cmd_bench(&impl_name, smoke, out.as_deref(), repeats, threads)
         }
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other:?}; {usage}"
@@ -808,7 +842,7 @@ Temp 20.3 @ 0.25
     #[test]
     fn query_command_all_engines() {
         for engine in ["auto", "lifted", "lineage", "brute"] {
-            let out = cmd_query(TABLE, "exists x. BornIn('turing', x)", engine).unwrap();
+            let out = cmd_query(TABLE, "exists x. BornIn('turing', x)", engine, 1).unwrap();
             let p: f64 = out
                 .lines()
                 .next()
@@ -822,12 +856,12 @@ Temp 20.3 @ 0.25
             let truth = 1.0 - 0.04 * 0.93;
             assert!((p - truth).abs() < 1e-9, "{engine}: {p}");
         }
-        assert!(cmd_query(TABLE, "exists x. BornIn('turing', x)", "warp").is_err());
+        assert!(cmd_query(TABLE, "exists x. BornIn('turing', x)", "warp", 1).is_err());
     }
 
     #[test]
     fn query_command_reports_certified_interval_and_n() {
-        let out = cmd_query(TABLE, "Person(42)", "auto").unwrap();
+        let out = cmd_query(TABLE, "Person(42)", "auto", 1).unwrap();
         // exact closed-world answer: degenerate interval at p = 0.5,
         // over all n = 4 declared facts
         assert!(out.contains("P(Person(42)) = 0.5"), "{out}");
@@ -858,7 +892,7 @@ Temp 20.3 @ 0.25
     #[test]
     fn open_command_answers_beyond_the_closed_world() {
         // Person(1000000) is impossible closed-world, possible open-world
-        let closed = cmd_query(TABLE, "Person(1000000)", "auto").unwrap();
+        let closed = cmd_query(TABLE, "Person(1000000)", "auto", 1).unwrap();
         assert!(closed.contains("= 0"));
         let open = cmd_open(TABLE, "Person(1000000)", 0.01, 0.5, 1_000_000).unwrap();
         let p: f64 = open
