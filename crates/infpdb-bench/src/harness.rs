@@ -23,6 +23,7 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use infpdb_core::json::Json;
 use infpdb_finite::arena::LineageArena;
 use infpdb_finite::engine::Engine;
 use infpdb_finite::lineage::{lineage_of, lineage_of_arena};
@@ -497,54 +498,48 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
 
 /// Renders the report as the `BENCH_<iso-date>.json` artifact.
 ///
-/// Hand-written (the workspace is offline; no serde): the schema is
+/// Built on the shared [`infpdb_core::json`] encoder (the workspace is
+/// offline; no serde): the schema is
 /// `{"schema":"infpdb-bench/2","date":…,"impl":…,"smoke":…,"rows":[…]}`
 /// with one object per [`BenchRow`]; absent statistics are `null`.
 /// Schema `/2` added the per-row `threads` field (intra-query thread
 /// budget); `/1` rows are `/2` rows with an implicit `threads = 1`.
 pub fn to_json(report: &BenchReport) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    writeln!(out, "  \"schema\": \"infpdb-bench/2\",").ok();
-    writeln!(out, "  \"date\": \"{}\",", report.date).ok();
-    writeln!(out, "  \"impl\": \"{}\",", report.impl_kind.name()).ok();
-    writeln!(out, "  \"smoke\": {},", report.smoke).ok();
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in report.rows.iter().enumerate() {
-        let rate = match r.memo_hit_rate {
-            Some(v) => format!("{v:.6}"),
-            None => "null".into(),
-        };
-        let nodes = match r.arena_nodes {
-            Some(v) => v.to_string(),
-            None => "null".into(),
-        };
-        write!(
-            out,
-            "    {{\"workload\": \"{}\", \"query\": \"{}\", \"stage\": \"{}\", \
-             \"eps\": {}, \"threads\": {}, \"n\": {}, \"iters\": {}, \"median_ns\": {}, \
-             \"estimate\": {}, \"memo_hit_rate\": {}, \"arena_nodes\": {}}}",
-            r.workload,
-            r.query,
-            r.stage,
-            r.eps,
-            r.threads,
-            r.n,
-            r.iters,
-            r.median_ns,
-            r.estimate,
-            rate,
-            nodes,
-        )
-        .ok();
-        out.push_str(if i + 1 == report.rows.len() {
-            "\n"
-        } else {
-            ",\n"
-        });
-    }
-    out.push_str("  ]\n}\n");
-    out
+    let rows = report
+        .rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("workload", Json::str(r.workload)),
+                ("query", Json::str(r.query)),
+                ("stage", Json::str(r.stage)),
+                ("eps", Json::Float(r.eps)),
+                ("threads", Json::Int(r.threads as i64)),
+                ("n", Json::Int(r.n as i64)),
+                ("iters", Json::Int(r.iters as i64)),
+                ("median_ns", Json::Int(r.median_ns as i64)),
+                ("estimate", Json::Float(r.estimate)),
+                (
+                    "memo_hit_rate",
+                    r.memo_hit_rate.map(Json::Float).unwrap_or(Json::Null),
+                ),
+                (
+                    "arena_nodes",
+                    r.arena_nodes
+                        .map(|v| Json::Int(v as i64))
+                        .unwrap_or(Json::Null),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("schema", Json::str("infpdb-bench/2")),
+        ("date", Json::str(report.date.clone())),
+        ("impl", Json::str(report.impl_kind.name())),
+        ("smoke", Json::Bool(report.smoke)),
+        ("rows", Json::Array(rows)),
+    ])
+    .encode_pretty()
 }
 
 /// A human-readable summary table (what `infpdb bench` prints).
@@ -696,12 +691,30 @@ mod tests {
         assert!(json.contains("\"impl\": \"arena\""));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"median_ns\": 12345"));
-        assert!(json.contains("\"memo_hit_rate\": 0.500000"));
-        // balanced braces/brackets, no trailing comma before a closer
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert_eq!(json.matches('[').count(), json.matches(']').count());
-        assert!(!json.contains(",\n  ]"));
-        assert!(!json.contains(",}"));
+        assert!(json.contains("\"memo_hit_rate\": 0.5"));
+        // the artifact is real JSON: it parses with the shared decoder
+        // and round-trips every field
+        let doc = Json::parse(&json).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("infpdb-bench/2"));
+        assert_eq!(doc.get("smoke").unwrap().as_bool(), Some(true));
+        let rows = doc.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("eps").unwrap().as_f64(), Some(1e-4));
+        assert_eq!(rows[0].get("estimate").unwrap().as_f64(), Some(0.25));
+        assert_eq!(rows[0].get("arena_nodes").unwrap().as_i64(), Some(321));
+        // absent statistics are null
+        let bare = BenchReport {
+            rows: vec![BenchRow {
+                memo_hit_rate: None,
+                arena_nodes: None,
+                ..report.rows[0].clone()
+            }],
+            ..report
+        };
+        let doc = Json::parse(&to_json(&bare)).unwrap();
+        let row = &doc.get("rows").unwrap().as_array().unwrap()[0];
+        assert_eq!(row.get("memo_hit_rate"), Some(&Json::Null));
+        assert_eq!(row.get("arena_nodes"), Some(&Json::Null));
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod fact;
 pub mod fingerprint;
 pub mod instance;
 pub mod interner;
+pub mod json;
 pub mod schema;
 pub mod size;
 pub mod space;
@@ -39,6 +40,7 @@ pub use event::Event;
 pub use fact::{Fact, FactId};
 pub use instance::Instance;
 pub use interner::FactInterner;
+pub use json::{Json, JsonError};
 pub use schema::{RelId, Relation, Schema};
 pub use space::DiscreteSpace;
 pub use storage::InstanceStore;

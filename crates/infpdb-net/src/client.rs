@@ -1,0 +1,246 @@
+//! A minimal std-only HTTP/1.1 client, just enough for the shell's
+//! `--connect` mode, the load bench, and the end-to-end tests.
+//!
+//! Supports `Content-Length` and chunked response bodies over a fresh
+//! connection per request (simple and good enough for a REPL; the load
+//! bench keeps connections alive itself).
+
+use crate::http::{self, ParseError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed `http://host:port` base URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaseUrl {
+    /// `host:port` for `TcpStream::connect`.
+    pub authority: String,
+}
+
+impl BaseUrl {
+    /// Parses `http://host[:port][/]`; HTTPS is intentionally
+    /// unsupported (std-only front door).
+    pub fn parse(url: &str) -> Result<BaseUrl, String> {
+        let rest = url
+            .strip_prefix("http://")
+            .ok_or_else(|| format!("only http:// URLs are supported, got {url:?}"))?;
+        let authority = rest.split('/').next().unwrap_or("").trim();
+        if authority.is_empty() {
+            return Err(format!("missing host in {url:?}"));
+        }
+        // default the port to 80; a bracketed IPv6 literal carries its
+        // port after "]:" rather than at the first ':'
+        let has_port = if let Some(v6) = authority.strip_prefix('[') {
+            v6.contains("]:")
+        } else {
+            authority.contains(':')
+        };
+        let authority = if has_port {
+            authority.to_string()
+        } else {
+            format!("{authority}:80")
+        };
+        Ok(BaseUrl { authority })
+    }
+}
+
+/// An HTTP response as the client sees it.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// The (de-chunked) body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8.
+    pub fn body_utf8(&self) -> Result<&str, std::str::Utf8Error> {
+        std::str::from_utf8(&self.body)
+    }
+}
+
+/// Issues one request over a fresh connection.
+///
+/// `headers` are extra request headers (e.g. `("Authorization",
+/// "Bearer t")`); Host, Content-Length, and Connection are set
+/// automatically.
+pub fn request(
+    base: &BaseUrl,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> Result<ClientResponse, String> {
+    let stream = TcpStream::connect(&base.authority)
+        .map_err(|e| format!("connect {}: {e}", base.authority))?;
+    stream.set_read_timeout(Some(timeout)).ok();
+    stream.set_write_timeout(Some(timeout)).ok();
+    request_on(&stream, &base.authority, method, path, headers, body)
+}
+
+/// Issues one request over an existing connection (keep-alive); the
+/// caller owns connection reuse.
+pub fn request_on(
+    stream: &TcpStream,
+    authority: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Result<ClientResponse, String> {
+    // small head+body segments interact badly with Nagle + delayed
+    // ACK (a flat ~40-90 ms per request); disable Nagle and send the
+    // whole request in one write
+    stream.set_nodelay(true).ok();
+    let mut w = stream;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: {authority}\r\n");
+    for (n, v) in headers {
+        head.push_str(n);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    if !body.is_empty() || method == "POST" {
+        head.push_str(&format!("content-length: {}\r\n", body.len()));
+    }
+    head.push_str("\r\n");
+    let mut message = head.into_bytes();
+    message.extend_from_slice(body);
+    w.write_all(&message)
+        .and_then(|_| w.flush())
+        .map_err(|e| format!("write request: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    read_response(&mut reader)
+}
+
+/// Parses one HTTP/1.1 response (status line, headers, body framed by
+/// Content-Length or chunked transfer encoding).
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<ClientResponse, String> {
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read status line: {e}"))?;
+    if status_line.is_empty() {
+        return Err("connection closed before a response arrived".to_string());
+    }
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("not an HTTP response: {status_line:?}"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line: {status_line:?}"))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read header: {e}"))?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        http::read_chunked_body(reader).map_err(|e| match e {
+            ParseError::Io(io) => format!("read chunked body: {io}"),
+            other => format!("read chunked body: {other:?}"),
+        })?
+    } else {
+        let len: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        let mut buf = vec![0u8; len];
+        reader
+            .read_exact(&mut buf)
+            .map_err(|e| format!("read body: {e}"))?;
+        buf
+    };
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_url_parsing() {
+        assert_eq!(
+            BaseUrl::parse("http://localhost:8080").unwrap().authority,
+            "localhost:8080"
+        );
+        assert_eq!(
+            BaseUrl::parse("http://localhost:8080/ignored/path")
+                .unwrap()
+                .authority,
+            "localhost:8080"
+        );
+        assert_eq!(
+            BaseUrl::parse("http://example.org").unwrap().authority,
+            "example.org:80"
+        );
+        assert_eq!(
+            BaseUrl::parse("http://[::1]:9000").unwrap().authority,
+            "[::1]:9000"
+        );
+        assert!(BaseUrl::parse("https://secure.example").is_err());
+        assert!(BaseUrl::parse("http://").is_err());
+        assert!(BaseUrl::parse("localhost:8080").is_err());
+    }
+
+    #[test]
+    fn parses_content_length_response() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 2\r\n\r\n{}";
+        let mut reader = std::io::BufReader::new(&raw[..]);
+        let resp = read_response(&mut reader).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.body_utf8().unwrap(), "{}");
+    }
+
+    #[test]
+    fn parses_chunked_response() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let mut reader = std::io::BufReader::new(&raw[..]);
+        let resp = read_response(&mut reader).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_utf8().unwrap(), "hello world");
+    }
+
+    #[test]
+    fn rejects_non_http_garbage() {
+        let raw = b"SMTP ready\r\n";
+        let mut reader = std::io::BufReader::new(&raw[..]);
+        assert!(read_response(&mut reader).is_err());
+        let mut empty = std::io::BufReader::new(&b""[..]);
+        assert!(read_response(&mut empty).is_err());
+    }
+}

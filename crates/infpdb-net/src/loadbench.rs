@@ -1,0 +1,372 @@
+//! End-to-end load bench for the HTTP front door.
+//!
+//! Measures request latency (p50/p99) and sustained queries/sec at a
+//! matrix of connection levels, and — because the whole point of the
+//! front door is that it adds transport without changing semantics —
+//! verifies on every single response that the estimate and certified
+//! interval are **bit-for-bit identical** to a direct
+//! [`QueryService::evaluate`](infpdb_serve::QueryService) call for the
+//! same query. Any mismatch or failed request is counted and fails
+//! the bench.
+
+use crate::client;
+use crate::proto;
+use crate::server::HttpServer;
+use infpdb_core::json::Json;
+use infpdb_logic::parse;
+use infpdb_serve::service::QueryRequest;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-bench configuration.
+#[derive(Debug, Clone)]
+pub struct NetBenchConfig {
+    /// Concurrent connection counts to sweep (e.g. `[1, 2, 4, 8]`).
+    pub connection_levels: Vec<usize>,
+    /// Requests each connection issues per level.
+    pub requests_per_connection: usize,
+    /// The query matrix; every request round-robins through it.
+    pub queries: Vec<String>,
+    /// Tolerance sent with every request.
+    pub eps: f64,
+}
+
+impl NetBenchConfig {
+    /// The smoke configuration used by CI: small but still sweeping
+    /// four connection levels.
+    pub fn smoke(queries: Vec<String>, eps: f64) -> Self {
+        NetBenchConfig {
+            connection_levels: vec![1, 2, 4, 8],
+            requests_per_connection: 25,
+            queries,
+            eps,
+        }
+    }
+}
+
+/// One row of the artifact: a (connection level, query) cell.
+#[derive(Debug, Clone)]
+pub struct NetBenchRow {
+    /// Concurrent connections during this measurement.
+    pub connections: usize,
+    /// The query text.
+    pub query: String,
+    /// Requests issued for this cell.
+    pub requests: usize,
+    /// Non-200 responses or transport errors.
+    pub failed: usize,
+    /// Responses whose estimate/interval differed (bitwise) from the
+    /// direct library call.
+    pub mismatched: usize,
+    /// Median request latency in microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: u64,
+    /// Sustained throughput over the whole level, in queries/sec
+    /// (repeated on each of the level's rows).
+    pub qps: f64,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone)]
+pub struct NetBenchReport {
+    /// One row per (connection level, query) cell.
+    pub rows: Vec<NetBenchRow>,
+    /// Failed requests across the sweep.
+    pub total_failed: usize,
+    /// Bitwise mismatches across the sweep.
+    pub total_mismatched: usize,
+}
+
+impl NetBenchReport {
+    /// The artifact body (`BENCH_*_net.json`), pretty-printed with the
+    /// shared JSON encoder. `date` is an ISO date supplied by the
+    /// caller.
+    pub fn to_json(&self, date: &str, smoke: bool) -> String {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("connections", Json::Int(r.connections as i64)),
+                    ("query", Json::str(r.query.clone())),
+                    ("requests", Json::Int(r.requests as i64)),
+                    ("failed", Json::Int(r.failed as i64)),
+                    ("mismatched", Json::Int(r.mismatched as i64)),
+                    ("p50_us", Json::Int(r.p50_us as i64)),
+                    ("p99_us", Json::Int(r.p99_us as i64)),
+                    ("qps", Json::Float(r.qps)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::str("infpdb-net-bench/v1")),
+            ("date", Json::str(date)),
+            ("impl", Json::str("infpdb")),
+            ("smoke", Json::Bool(smoke)),
+            ("total_failed", Json::Int(self.total_failed as i64)),
+            ("total_mismatched", Json::Int(self.total_mismatched as i64)),
+            ("rows", Json::Array(rows)),
+        ])
+        .encode_pretty()
+    }
+
+    /// A terminal summary table.
+    pub fn summary_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:>5}  {:<40}  {:>8}  {:>9}  {:>9}  {:>10}",
+            "conns", "query", "reqs", "p50 (us)", "p99 (us)", "qps"
+        )
+        .ok();
+        for r in &self.rows {
+            let q: String = r.query.chars().take(40).collect();
+            writeln!(
+                out,
+                "{:>5}  {:<40}  {:>8}  {:>9}  {:>9}  {:>10.1}",
+                r.connections, q, r.requests, r.p50_us, r.p99_us, r.qps
+            )
+            .ok();
+        }
+        writeln!(
+            out,
+            "failed: {}  bitwise mismatches: {}",
+            self.total_failed, self.total_mismatched
+        )
+        .ok();
+        out
+    }
+}
+
+/// Expected answer for one query, captured from a direct library call.
+#[derive(Clone, Copy)]
+struct Expected {
+    estimate_bits: u64,
+    lo_bits: u64,
+    hi_bits: u64,
+}
+
+/// Runs the sweep against an already-started server, verifying every
+/// response against direct `evaluate` calls on the same service.
+pub fn run(server: &HttpServer, config: &NetBenchConfig) -> Result<NetBenchReport, String> {
+    if config.queries.is_empty() || config.connection_levels.is_empty() {
+        return Err("load bench needs at least one query and one connection level".to_string());
+    }
+    let service = server.service();
+    // ground truth: one direct call per query (deterministic, so once
+    // is enough)
+    let mut expected = Vec::new();
+    for q in &config.queries {
+        let formula = parse(q, service.pdb().schema())
+            .map_err(|e| format!("bench query {q:?} does not parse: {e}"))?;
+        let resp = service
+            .evaluate(QueryRequest::new(formula, config.eps))
+            .map_err(|e| format!("direct evaluation of {q:?} failed: {e}"))?;
+        let interval = resp.approx.interval();
+        expected.push(Expected {
+            estimate_bits: resp.approx.estimate.to_bits(),
+            lo_bits: interval.lo().to_bits(),
+            hi_bits: interval.hi().to_bits(),
+        });
+    }
+    let addr = server.addr();
+    let mut rows = Vec::new();
+    let mut total_failed = 0;
+    let mut total_mismatched = 0;
+    for &level in &config.connection_levels {
+        let started = Instant::now();
+        let queries = Arc::new(config.queries.clone());
+        let expected = Arc::new(expected.clone());
+        let mut handles = Vec::new();
+        for worker in 0..level {
+            let queries = Arc::clone(&queries);
+            let expected = Arc::clone(&expected);
+            let n = config.requests_per_connection;
+            let eps = config.eps;
+            handles.push(std::thread::spawn(move || {
+                run_worker(addr, worker, n, eps, &queries, &expected)
+            }));
+        }
+        // per-query accumulators for this level
+        let mut lat: Vec<Vec<u64>> = vec![Vec::new(); config.queries.len()];
+        let mut failed = vec![0usize; config.queries.len()];
+        let mut mismatched = vec![0usize; config.queries.len()];
+        let mut requests = vec![0usize; config.queries.len()];
+        for handle in handles {
+            let stats = handle
+                .join()
+                .map_err(|_| "bench worker panicked".to_string())??;
+            for (qi, sample) in stats.samples {
+                requests[qi] += 1;
+                match sample {
+                    SampleOutcome::Ok(us) => lat[qi].push(us),
+                    SampleOutcome::Failed => failed[qi] += 1,
+                    SampleOutcome::Mismatch(us) => {
+                        lat[qi].push(us);
+                        mismatched[qi] += 1;
+                    }
+                }
+            }
+        }
+        let wall = started.elapsed().as_secs_f64().max(1e-9);
+        let level_requests: usize = requests.iter().sum();
+        let qps = level_requests as f64 / wall;
+        for (qi, q) in config.queries.iter().enumerate() {
+            lat[qi].sort_unstable();
+            total_failed += failed[qi];
+            total_mismatched += mismatched[qi];
+            rows.push(NetBenchRow {
+                connections: level,
+                query: q.clone(),
+                requests: requests[qi],
+                failed: failed[qi],
+                mismatched: mismatched[qi],
+                p50_us: percentile(&lat[qi], 50.0),
+                p99_us: percentile(&lat[qi], 99.0),
+                qps,
+            });
+        }
+    }
+    Ok(NetBenchReport {
+        rows,
+        total_failed,
+        total_mismatched,
+    })
+}
+
+enum SampleOutcome {
+    Ok(u64),
+    Failed,
+    Mismatch(u64),
+}
+
+struct WorkerStats {
+    samples: Vec<(usize, SampleOutcome)>,
+}
+
+fn run_worker(
+    addr: std::net::SocketAddr,
+    worker: usize,
+    requests: usize,
+    eps: f64,
+    queries: &[String],
+    expected: &[Expected],
+) -> Result<WorkerStats, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("bench worker connect: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    let authority = addr.to_string();
+    let mut samples = Vec::with_capacity(requests);
+    for i in 0..requests {
+        // stagger workers so they don't all hit the same query in
+        // lockstep
+        let qi = (i + worker) % queries.len();
+        let body = Json::obj([
+            ("query", Json::str(queries[qi].clone())),
+            ("eps", Json::Float(eps)),
+        ])
+        .encode();
+        let t0 = Instant::now();
+        let resp = client::request_on(
+            &stream,
+            &authority,
+            "POST",
+            "/query",
+            &[("content-type", "application/json")],
+            body.as_bytes(),
+        );
+        let us = t0.elapsed().as_micros() as u64;
+        let outcome = match resp {
+            Err(_) => SampleOutcome::Failed,
+            Ok(r) if r.status != 200 => SampleOutcome::Failed,
+            Ok(r) => match check_bits(r.body_utf8().unwrap_or(""), &expected[qi]) {
+                true => SampleOutcome::Ok(us),
+                false => SampleOutcome::Mismatch(us),
+            },
+        };
+        samples.push((qi, outcome));
+    }
+    Ok(WorkerStats { samples })
+}
+
+/// True iff the wire response's estimate and interval endpoints have
+/// exactly the bits of the direct library call's.
+fn check_bits(body: &str, expected: &Expected) -> bool {
+    let Ok(doc) = Json::parse(body) else {
+        return false;
+    };
+    let bits = |j: Option<&Json>| j.and_then(Json::as_f64).map(f64::to_bits);
+    bits(doc.get("estimate")) == Some(expected.estimate_bits)
+        && doc
+            .get("interval")
+            .map(|iv| {
+                bits(iv.get("lo")) == Some(expected.lo_bits)
+                    && bits(iv.get("hi")) == Some(expected.hi_bits)
+            })
+            .unwrap_or(false)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Default smoke query matrix over the example knowledge-base PDB
+/// shipped in `examples/` (see [`crate`] docs); callers with their own
+/// PDB pass their own matrix.
+pub fn default_eps() -> f64 {
+    proto::DEFAULT_EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_sane_indices() {
+        let v: Vec<u64> = (1..=100).collect();
+        // index round(0.5 * 99) = 50 -> the 51st value
+        assert_eq!(percentile(&v, 50.0), 51);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = NetBenchReport {
+            rows: vec![NetBenchRow {
+                connections: 4,
+                query: "E x (R(x))".to_string(),
+                requests: 100,
+                failed: 0,
+                mismatched: 0,
+                p50_us: 120,
+                p99_us: 480,
+                qps: 812.5,
+            }],
+            total_failed: 0,
+            total_mismatched: 0,
+        };
+        let text = report.to_json("2026-08-08", true);
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("infpdb-net-bench/v1")
+        );
+        assert_eq!(doc.get("smoke").and_then(Json::as_bool), Some(true));
+        let rows = doc.get("rows").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("connections").and_then(Json::as_i64), Some(4));
+        assert_eq!(rows[0].get("qps").and_then(Json::as_f64), Some(812.5));
+        let table = report.summary_table();
+        assert!(table.contains("E x (R(x))"));
+        assert!(table.contains("bitwise mismatches: 0"));
+    }
+}

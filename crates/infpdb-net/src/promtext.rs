@@ -1,0 +1,379 @@
+//! A parser for the Prometheus text exposition format (version
+//! 0.0.4), used by the end-to-end tests and the CI smoke job to
+//! verify that `/metrics` scrapes are well-formed rather than merely
+//! non-empty.
+
+use std::collections::HashMap;
+
+/// Declared metric kind from a `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Point-in-time gauge.
+    Gauge,
+    /// Cumulative histogram (`_bucket`/`_sum`/`_count` samples).
+    Histogram,
+    /// Anything else (`summary`, `untyped`, ...).
+    Other,
+}
+
+/// One sample line: name, sorted labels, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The sample name (may carry a `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The parsed value; `+Inf`/`-Inf`/`NaN` map to the f64 equivalents.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `name`, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed scrape.
+#[derive(Debug, Default)]
+pub struct Scrape {
+    /// Declared types by family name.
+    pub types: HashMap<String, MetricKind>,
+    /// Help strings by family name.
+    pub help: HashMap<String, String>,
+    /// Every sample line, in source order.
+    pub samples: Vec<Sample>,
+}
+
+impl Scrape {
+    /// All samples belonging to family `name` (including
+    /// `_bucket`/`_sum`/`_count` expansions for histograms).
+    pub fn family(&self, name: &str) -> Vec<&Sample> {
+        self.samples
+            .iter()
+            .filter(|s| {
+                s.name == name
+                    || s.name == format!("{name}_bucket")
+                    || s.name == format!("{name}_sum")
+                    || s.name == format!("{name}_count")
+            })
+            .collect()
+    }
+
+    /// The single sample with exactly this name and no labels.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+}
+
+/// Parses a text-format scrape, returning an error naming the first
+/// offending line.
+pub fn parse_scrape(text: &str) -> Result<Scrape, String> {
+    let mut scrape = Scrape::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts
+                .next()
+                .filter(|n| !n.is_empty())
+                .ok_or_else(|| format!("line {}: TYPE without a name", lineno + 1))?;
+            let kind = match parts.next().unwrap_or("") {
+                "counter" => MetricKind::Counter,
+                "gauge" => MetricKind::Gauge,
+                "histogram" => MetricKind::Histogram,
+                _ => MetricKind::Other,
+            };
+            if scrape.types.insert(name.to_string(), kind).is_some() {
+                return Err(format!("line {}: duplicate TYPE for {name}", lineno + 1));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let mut parts = rest.splitn(2, ' ');
+            if let Some(name) = parts.next() {
+                scrape
+                    .help
+                    .insert(name.to_string(), parts.next().unwrap_or("").to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // ordinary comment
+        }
+        scrape
+            .samples
+            .push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(scrape)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_and_labels, value_str) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label braces in {line:?}"))?;
+            if close < open {
+                return Err(format!("mismatched braces in {line:?}"));
+            }
+            (
+                (&line[..open], Some(&line[open + 1..close])),
+                line[close + 1..].trim(),
+            )
+        }
+        None => {
+            let mut parts = line.splitn(2, ' ');
+            let name = parts.next().unwrap_or("");
+            ((name, None), parts.next().unwrap_or("").trim())
+        }
+    };
+    let (name, labels_str) = name_and_labels;
+    let name = name.trim();
+    if name.is_empty() || !is_valid_name(name) {
+        return Err(format!("invalid metric name in {line:?}"));
+    }
+    let labels = match labels_str {
+        None => Vec::new(),
+        Some(s) => parse_labels(s)?,
+    };
+    // the value may be followed by an optional timestamp; take the
+    // first token
+    let value_token = value_str
+        .split_whitespace()
+        .next()
+        .ok_or_else(|| format!("missing value in {line:?}"))?;
+    let value = match value_token {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| format!("non-numeric value {v:?} in {line:?}"))?,
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn is_valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // label name
+        let start = i;
+        while i < bytes.len() && bytes[i] != b'=' {
+            i += 1;
+        }
+        if i == bytes.len() {
+            return Err(format!("label without '=' in {s:?}"));
+        }
+        let name = s[start..i].trim().to_string();
+        i += 1; // '='
+        if i >= bytes.len() || bytes[i] != b'"' {
+            return Err(format!("label value must be quoted in {s:?}"));
+        }
+        i += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            if i >= bytes.len() {
+                return Err(format!("unterminated label value in {s:?}"));
+            }
+            match bytes[i] {
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                b'\\' => {
+                    i += 1;
+                    match bytes.get(i) {
+                        Some(b'n') => value.push('\n'),
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        _ => return Err(format!("bad escape in label value in {s:?}")),
+                    }
+                    i += 1;
+                }
+                _ => {
+                    // advance one full UTF-8 char
+                    let ch_len = utf8_len(bytes[i]);
+                    value.push_str(&s[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+        }
+        labels.push((name, value));
+        if i < bytes.len() && bytes[i] == b',' {
+            i += 1;
+        }
+    }
+    Ok(labels)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Structural checks beyond parsing: every sample's family has a TYPE
+/// declaration, histogram buckets are cumulative and end in `+Inf`,
+/// and `_count` equals the `+Inf` bucket. Returns the list of
+/// violations (empty = clean).
+pub fn lint(scrape: &Scrape) -> Vec<String> {
+    let mut problems = Vec::new();
+    for sample in &scrape.samples {
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| sample.name.strip_suffix(suf))
+            .filter(|f| scrape.types.get(*f) == Some(&MetricKind::Histogram))
+            .unwrap_or(&sample.name);
+        if !scrape.types.contains_key(family) {
+            problems.push(format!("sample {} has no TYPE declaration", sample.name));
+        }
+    }
+    for (family, kind) in &scrape.types {
+        if *kind != MetricKind::Histogram {
+            continue;
+        }
+        let buckets: Vec<&Sample> = scrape
+            .samples
+            .iter()
+            .filter(|s| s.name == format!("{family}_bucket"))
+            .collect();
+        if buckets.is_empty() {
+            problems.push(format!("histogram {family} has no buckets"));
+            continue;
+        }
+        let mut last = -1.0_f64;
+        for b in &buckets {
+            match b.label("le") {
+                None => problems.push(format!("histogram {family} bucket without le")),
+                Some(le) => {
+                    if b.value < last {
+                        problems.push(format!(
+                            "histogram {family} buckets are not cumulative at le={le}"
+                        ));
+                    }
+                    last = b.value;
+                }
+            }
+        }
+        match buckets.last().and_then(|b| b.label("le")) {
+            Some("+Inf") => {
+                let inf = buckets.last().unwrap().value;
+                if let Some(count) = scrape.value(&format!("{family}_count")) {
+                    if (count - inf).abs() > 0.0 {
+                        problems.push(format!(
+                            "histogram {family}: _count {count} != +Inf bucket {inf}"
+                        ));
+                    }
+                } else {
+                    problems.push(format!("histogram {family} has no _count"));
+                }
+            }
+            _ => problems.push(format!("histogram {family} does not end in le=\"+Inf\"")),
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_counters_gauges_and_histograms() {
+        let text = "\
+# HELP reqs_total Requests.
+# TYPE reqs_total counter
+reqs_total 42
+# TYPE depth gauge
+depth 3
+# TYPE lat histogram
+lat_bucket{le=\"1\"} 5
+lat_bucket{le=\"2\"} 9
+lat_bucket{le=\"+Inf\"} 10
+lat_sum 123.5
+lat_count 10
+";
+        let scrape = parse_scrape(text).unwrap();
+        assert_eq!(scrape.types["reqs_total"], MetricKind::Counter);
+        assert_eq!(scrape.types["lat"], MetricKind::Histogram);
+        assert_eq!(scrape.value("reqs_total"), Some(42.0));
+        assert_eq!(scrape.value("depth"), Some(3.0));
+        assert_eq!(scrape.family("lat").len(), 5);
+        assert!(lint(&scrape).is_empty(), "{:?}", lint(&scrape));
+    }
+
+    #[test]
+    fn parses_labels_with_escapes() {
+        let s = parse_sample(r#"m{a="x,y",b="q\"uote",c="back\\slash"} 1"#).unwrap();
+        assert_eq!(s.label("a"), Some("x,y"));
+        assert_eq!(s.label("b"), Some("q\"uote"));
+        assert_eq!(s.label("c"), Some("back\\slash"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_sample("1bad_name 3").is_err());
+        assert!(parse_sample("name{unclosed 3").is_err());
+        assert!(parse_sample("name{l=unquoted} 3").is_err());
+        assert!(parse_sample("name notanumber").is_err());
+        assert!(parse_sample("name").is_err());
+        assert!(parse_scrape("# TYPE a counter\n# TYPE a counter\na 1\n").is_err());
+    }
+
+    #[test]
+    fn lint_flags_structural_problems() {
+        let scrape = parse_scrape("orphan 3\n").unwrap();
+        assert!(lint(&scrape)
+            .iter()
+            .any(|p| p.contains("no TYPE declaration")));
+        let scrape = parse_scrape(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 4\nh_count 4\nh_sum 1\n",
+        )
+        .unwrap();
+        assert!(lint(&scrape).iter().any(|p| p.contains("not cumulative")));
+        let scrape =
+            parse_scrape("# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_count 5\nh_sum 1\n").unwrap();
+        assert!(lint(&scrape)
+            .iter()
+            .any(|p| p.contains("does not end in le")));
+    }
+
+    #[test]
+    fn special_values_parse() {
+        assert_eq!(parse_sample("m +Inf").unwrap().value, f64::INFINITY);
+        assert_eq!(parse_sample("m -Inf").unwrap().value, f64::NEG_INFINITY);
+        assert!(parse_sample("m NaN").unwrap().value.is_nan());
+        // optional trailing timestamp is tolerated
+        assert_eq!(parse_sample("m 5 1712345678").unwrap().value, 5.0);
+    }
+}

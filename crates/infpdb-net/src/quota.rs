@@ -1,0 +1,212 @@
+//! Per-client admission quotas: a token bucket per client identity.
+//!
+//! Sits *in front of* the serving layer's own protections (bounded
+//! queue, overflow shedding, circuit breaker): quotas stop one noisy
+//! client from monopolizing the queue, while the downstream layers
+//! protect the service as a whole. A client is identified by its
+//! `Authorization: Bearer` token when present, else its peer IP, so
+//! token-holding tenants are isolated from each other and from
+//! anonymous traffic.
+//!
+//! Buckets refill continuously at `rps` tokens/second up to `burst`;
+//! each admitted request spends one token. An empty bucket yields a
+//! 429 with a `Retry-After` computed from the refill rate. Time is
+//! passed in explicitly so tests are deterministic.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Quota configuration. `None` disables quota enforcement entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuotaConfig {
+    /// Sustained admissions per second per client.
+    pub rps: f64,
+    /// Bucket capacity: how far a client may burst above the rate.
+    pub burst: f64,
+}
+
+impl QuotaConfig {
+    /// Validates the configuration (both fields must be positive).
+    pub fn new(rps: f64, burst: f64) -> Result<Self, String> {
+        // spelled so NaN fails validation too
+        if rps.is_nan() || burst.is_nan() || rps <= 0.0 || burst < 1.0 {
+            return Err(format!(
+                "quota needs rps > 0 and burst >= 1, got rps={rps} burst={burst}"
+            ));
+        }
+        Ok(QuotaConfig { rps, burst })
+    }
+}
+
+/// Verdict of a quota check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaDecision {
+    /// Admit the request.
+    Admit,
+    /// Refuse with 429; the client should wait this many whole seconds.
+    Reject {
+        /// Seconds until a token will be available (at least 1).
+        retry_after_secs: u64,
+    },
+}
+
+struct Bucket {
+    tokens: f64,
+    refilled_at: Instant,
+}
+
+/// Token buckets keyed by client identity.
+pub struct QuotaRegistry {
+    config: QuotaConfig,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+/// Bound on distinct tracked clients; beyond it the registry evicts
+/// full (i.e. idle-longest) buckets first, so an address-spraying
+/// client cannot grow memory without bound.
+const MAX_CLIENTS: usize = 16 * 1024;
+
+impl QuotaRegistry {
+    /// A registry where every client starts with a full bucket.
+    pub fn new(config: QuotaConfig) -> Self {
+        QuotaRegistry {
+            config,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> QuotaConfig {
+        self.config
+    }
+
+    /// Checks (and, on admit, spends) one token for `client` at `now`.
+    pub fn check(&self, client: &str, now: Instant) -> QuotaDecision {
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        if buckets.len() >= MAX_CLIENTS && !buckets.contains_key(client) {
+            buckets.retain(|_, b| {
+                let elapsed = now.duration_since(b.refilled_at).as_secs_f64();
+                (b.tokens + elapsed * self.config.rps) < self.config.burst
+            });
+        }
+        let bucket = buckets.entry(client.to_string()).or_insert(Bucket {
+            tokens: self.config.burst,
+            refilled_at: now,
+        });
+        // continuous refill since the last touch
+        let elapsed = now.duration_since(bucket.refilled_at).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.config.rps).min(self.config.burst);
+        bucket.refilled_at = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            QuotaDecision::Admit
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            let secs = (deficit / self.config.rps).ceil().max(1.0);
+            QuotaDecision::Reject {
+                retry_after_secs: secs as u64,
+            }
+        }
+    }
+
+    /// Distinct clients currently tracked.
+    pub fn clients(&self) -> usize {
+        self.buckets.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// Client identity for quota keying: the `Authorization: Bearer` token
+/// when present (tenants), else the peer IP without the port
+/// (anonymous), so reconnecting from an ephemeral port does not reset
+/// the bucket.
+pub fn client_identity(authorization: Option<&str>, peer: &std::net::SocketAddr) -> String {
+    if let Some(auth) = authorization {
+        if let Some(token) = auth.strip_prefix("Bearer ") {
+            let token = token.trim();
+            if !token.is_empty() {
+                return format!("token:{token}");
+            }
+        }
+    }
+    format!("ip:{}", peer.ip())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn addr(s: &str) -> std::net::SocketAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn burst_then_rate_limit_then_refill() {
+        let reg = QuotaRegistry::new(QuotaConfig::new(2.0, 3.0).unwrap());
+        let t0 = Instant::now();
+        // the full burst admits
+        for _ in 0..3 {
+            assert_eq!(reg.check("ip:1.2.3.4", t0), QuotaDecision::Admit);
+        }
+        // the bucket is empty: rejected with a computed Retry-After
+        match reg.check("ip:1.2.3.4", t0) {
+            QuotaDecision::Reject { retry_after_secs } => assert_eq!(retry_after_secs, 1),
+            other => panic!("expected reject, got {other:?}"),
+        }
+        // half a second refills one token at 2 rps
+        let t1 = t0 + Duration::from_millis(500);
+        assert_eq!(reg.check("ip:1.2.3.4", t1), QuotaDecision::Admit);
+        assert!(matches!(
+            reg.check("ip:1.2.3.4", t1),
+            QuotaDecision::Reject { .. }
+        ));
+        // refill never exceeds the burst capacity
+        let t2 = t1 + Duration::from_secs(3600);
+        for _ in 0..3 {
+            assert_eq!(reg.check("ip:1.2.3.4", t2), QuotaDecision::Admit);
+        }
+        assert!(matches!(
+            reg.check("ip:1.2.3.4", t2),
+            QuotaDecision::Reject { .. }
+        ));
+    }
+
+    #[test]
+    fn clients_are_isolated_from_each_other() {
+        let reg = QuotaRegistry::new(QuotaConfig::new(1.0, 1.0).unwrap());
+        let t0 = Instant::now();
+        assert_eq!(reg.check("token:alice", t0), QuotaDecision::Admit);
+        assert!(matches!(
+            reg.check("token:alice", t0),
+            QuotaDecision::Reject { .. }
+        ));
+        // a different tenant is unaffected
+        assert_eq!(reg.check("token:bob", t0), QuotaDecision::Admit);
+        assert_eq!(reg.clients(), 2);
+    }
+
+    #[test]
+    fn identity_prefers_bearer_token_and_strips_ports() {
+        let a = addr("10.0.0.7:54321");
+        let b = addr("10.0.0.7:54999");
+        assert_eq!(client_identity(None, &a), "ip:10.0.0.7");
+        // same IP, different ephemeral port: same identity
+        assert_eq!(client_identity(None, &a), client_identity(None, &b));
+        assert_eq!(client_identity(Some("Bearer sekrit"), &a), "token:sekrit");
+        // malformed auth headers fall back to the IP
+        assert_eq!(client_identity(Some("Basic xyz"), &a), "ip:10.0.0.7");
+        assert_eq!(client_identity(Some("Bearer "), &a), "ip:10.0.0.7");
+        let v6 = addr("[2001:db8::1]:443");
+        assert_eq!(client_identity(None, &v6), "ip:2001:db8::1");
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(QuotaConfig::new(0.0, 5.0).is_err());
+        assert!(QuotaConfig::new(-1.0, 5.0).is_err());
+        assert!(QuotaConfig::new(1.0, 0.5).is_err());
+        assert!(QuotaConfig::new(f64::NAN, 5.0).is_err());
+        assert!(QuotaConfig::new(1.0, 1.0).is_ok());
+    }
+}

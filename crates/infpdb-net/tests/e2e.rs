@@ -1,0 +1,379 @@
+//! End-to-end tests: a real `HttpServer` on an ephemeral port, real
+//! TCP clients, and bit-for-bit comparison against direct library
+//! calls.
+
+use infpdb_core::json::Json;
+use infpdb_core::schema::{RelId, Relation, Schema};
+use infpdb_logic::parse;
+use infpdb_math::series::GeometricSeries;
+use infpdb_net::client::{self, BaseUrl};
+use infpdb_net::promtext;
+use infpdb_net::server::{HttpServer, ServerConfig};
+use infpdb_net::{NetBenchConfig, QuotaConfig};
+use infpdb_serve::service::{QueryRequest, QueryService};
+use infpdb_serve::ServiceConfig;
+use infpdb_ti::construction::CountableTiPdb;
+use infpdb_ti::enumerator::FactSupply;
+use std::time::Duration;
+
+fn pdb() -> CountableTiPdb {
+    let schema = Schema::from_relations([Relation::new("R", 1)]).unwrap();
+    CountableTiPdb::new(FactSupply::unary_over_naturals(
+        schema,
+        RelId(0),
+        GeometricSeries::new(0.5, 0.5).unwrap(),
+    ))
+    .unwrap()
+}
+
+fn service(parallelism: usize) -> QueryService {
+    QueryService::new(
+        pdb(),
+        ServiceConfig {
+            threads: 2,
+            parallelism,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+fn start(config: ServerConfig, parallelism: usize) -> (HttpServer, BaseUrl) {
+    let server = HttpServer::start(service(parallelism), config, "127.0.0.1:0").unwrap();
+    let base = BaseUrl::parse(&format!("http://{}", server.addr())).unwrap();
+    (server, base)
+}
+
+fn post(base: &BaseUrl, path: &str, body: &str) -> client::ClientResponse {
+    client::request(
+        base,
+        "POST",
+        path,
+        &[("content-type", "application/json")],
+        body.as_bytes(),
+        Duration::from_secs(30),
+    )
+    .unwrap()
+}
+
+fn get(base: &BaseUrl, path: &str) -> client::ClientResponse {
+    client::request(base, "GET", path, &[], b"", Duration::from_secs(30)).unwrap()
+}
+
+/// Extracts `error.code` from an error envelope.
+fn error_code(doc: &Json) -> Option<&str> {
+    doc.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+}
+
+const QUERIES: &[&str] = &[
+    "exists x. R(x)",
+    "R(1)",
+    "exists x, y. R(x) /\\ R(y) /\\ x != y",
+];
+
+fn query_body(q: &str, eps: f64) -> String {
+    Json::obj([("query", Json::str(q)), ("eps", Json::Float(eps))]).encode()
+}
+
+/// The core guarantee: transport adds zero numeric drift. For every
+/// query, at parallelism 1 and 2, the HTTP estimate and certified
+/// interval are bit-identical to a direct `evaluate` call.
+#[test]
+fn http_responses_are_bit_identical_to_direct_calls() {
+    for parallelism in [1usize, 2] {
+        let (server, base) = start(ServerConfig::default(), parallelism);
+        for q in QUERIES {
+            let direct = server
+                .service()
+                .evaluate(QueryRequest::new(
+                    parse(q, server.service().pdb().schema()).unwrap(),
+                    1e-4,
+                ))
+                .unwrap();
+            let resp = post(&base, "/query", &query_body(q, 1e-4));
+            assert_eq!(resp.status, 200, "query {q:?}: {:?}", resp.body_utf8());
+            let doc = Json::parse(resp.body_utf8().unwrap()).unwrap();
+            let wire_estimate = doc.get("estimate").and_then(Json::as_f64).unwrap();
+            assert_eq!(
+                wire_estimate.to_bits(),
+                direct.approx.estimate.to_bits(),
+                "estimate drift for {q:?} at parallelism {parallelism}"
+            );
+            let interval = doc.get("interval").unwrap();
+            let direct_iv = direct.approx.interval();
+            assert_eq!(
+                interval.get("lo").and_then(Json::as_f64).unwrap().to_bits(),
+                direct_iv.lo().to_bits()
+            );
+            assert_eq!(
+                interval.get("hi").and_then(Json::as_f64).unwrap().to_bits(),
+                direct_iv.hi().to_bits()
+            );
+            // the response carries an evaluation trace and a budget report
+            assert!(doc.get("trace").is_some());
+            assert!(doc
+                .get("report")
+                .and_then(|r| r.get("escape_probability"))
+                .is_some());
+            assert_eq!(doc.get("query").and_then(Json::as_str), Some(*q));
+        }
+        server.shutdown();
+    }
+}
+
+/// `/batch` streams one ndjson line per query, in input order, over
+/// chunked transfer encoding, and each line is bit-identical to the
+/// single-query route.
+#[test]
+fn batch_streams_ndjson_in_input_order() {
+    let (server, base) = start(ServerConfig::default(), 1);
+    let batch = Json::obj([
+        (
+            "queries",
+            Json::Array(QUERIES.iter().map(|q| Json::str(*q)).collect()),
+        ),
+        ("eps", Json::Float(1e-4)),
+    ])
+    .encode();
+    let resp = post(&base, "/batch", &batch);
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("transfer-encoding")
+            .map(str::to_ascii_lowercase),
+        Some("chunked".to_string())
+    );
+    assert_eq!(resp.header("content-type"), Some("application/x-ndjson"));
+    let body = resp.body_utf8().unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), QUERIES.len());
+    for (line, q) in lines.iter().zip(QUERIES) {
+        let doc = Json::parse(line).unwrap();
+        assert_eq!(doc.get("query").and_then(Json::as_str), Some(*q));
+        let single = post(&base, "/query", &query_body(q, 1e-4));
+        let single_doc = Json::parse(single.body_utf8().unwrap()).unwrap();
+        assert_eq!(
+            doc.get("estimate")
+                .and_then(Json::as_f64)
+                .unwrap()
+                .to_bits(),
+            single_doc
+                .get("estimate")
+                .and_then(Json::as_f64)
+                .unwrap()
+                .to_bits(),
+            "batch line differs from single-query result for {q:?}"
+        );
+    }
+    // a bad query inside a batch becomes an error line at its position,
+    // not a failed batch
+    let mixed = Json::obj([
+        (
+            "queries",
+            Json::Array(vec![
+                Json::str("R(1)"),
+                Json::str("Nonexistent(1)"),
+                Json::str("exists x. R(x)"),
+            ]),
+        ),
+        ("eps", Json::Float(1e-3)),
+    ])
+    .encode();
+    let resp = post(&base, "/batch", &mixed);
+    assert_eq!(resp.status, 200);
+    let lines: Vec<Json> = resp
+        .body_utf8()
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].get("estimate").is_some());
+    assert_eq!(error_code(&lines[1]), Some("bad_query"));
+    assert!(lines[2].get("estimate").is_some());
+    server.shutdown();
+}
+
+/// Per-client quotas: exhausting the bucket yields 429 + Retry-After,
+/// and a different bearer token is unaffected.
+#[test]
+fn quota_exhaustion_yields_429_with_retry_after() {
+    let config = ServerConfig {
+        quota: Some(QuotaConfig::new(1.0, 2.0).unwrap()),
+        ..ServerConfig::default()
+    };
+    let (server, base) = start(config, 1);
+    let send = |token: &str| {
+        client::request(
+            &base,
+            "POST",
+            "/query",
+            &[
+                ("content-type", "application/json"),
+                ("authorization", &format!("Bearer {token}")),
+            ],
+            query_body("R(1)", 1e-3).as_bytes(),
+            Duration::from_secs(30),
+        )
+        .unwrap()
+    };
+    assert_eq!(send("alice").status, 200);
+    assert_eq!(send("alice").status, 200);
+    let rejected = send("alice");
+    assert_eq!(rejected.status, 429);
+    let retry_after: u64 = rejected.header("retry-after").unwrap().parse().unwrap();
+    assert!(retry_after >= 1);
+    let doc = Json::parse(rejected.body_utf8().unwrap()).unwrap();
+    assert_eq!(error_code(&doc), Some("quota_exhausted"));
+    // bob has his own bucket
+    assert_eq!(send("bob").status, 200);
+    assert!(
+        server
+            .net_metrics()
+            .quota_rejections
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    server.shutdown();
+}
+
+/// Drain mode: `/healthz` reports it, new queries get `503
+/// shutting_down`, and `shutdown()` completes.
+#[test]
+fn drain_refuses_new_queries_and_reports_in_healthz() {
+    let (server, base) = start(ServerConfig::default(), 1);
+    let healthy = get(&base, "/healthz");
+    assert_eq!(healthy.status, 200);
+    let doc = Json::parse(healthy.body_utf8().unwrap()).unwrap();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    server.service().begin_drain();
+    let draining = get(&base, "/healthz");
+    let doc = Json::parse(draining.body_utf8().unwrap()).unwrap();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("draining"));
+    let refused = post(&base, "/query", &query_body("R(1)", 1e-3));
+    assert_eq!(refused.status, 503);
+    let doc = Json::parse(refused.body_utf8().unwrap()).unwrap();
+    assert_eq!(error_code(&doc), Some("shutting_down"));
+    server.shutdown();
+}
+
+/// Chaos-seeded `/metrics`: after a mix of good queries, malformed
+/// bodies, unknown routes, wrong methods, and quota rejections, the
+/// scrape still parses as clean Prometheus text format.
+#[test]
+fn metrics_scrape_parses_cleanly_after_chaos() {
+    let config = ServerConfig {
+        quota: Some(QuotaConfig::new(1.0, 3.0).unwrap()),
+        ..ServerConfig::default()
+    };
+    let (server, base) = start(config, 1);
+    // every request gets its own bearer token so the chaos itself is
+    // not quota-throttled; the flood at the end shares one token to
+    // trip the quota deliberately
+    let mut serial = 0;
+    let post_as = |token: &str, path: &str, body: &str| {
+        client::request(
+            &base,
+            "POST",
+            path,
+            &[
+                ("content-type", "application/json"),
+                ("authorization", &format!("Bearer {token}")),
+            ],
+            body.as_bytes(),
+            Duration::from_secs(30),
+        )
+        .unwrap()
+    };
+    let mut post_fresh = |path: &str, body: &str| {
+        serial += 1;
+        post_as(&format!("chaos-{serial}"), path, body)
+    };
+    // good traffic
+    post_fresh("/query", &query_body("exists x. R(x)", 1e-3));
+    post_fresh("/warm", r#"{"eps": 0.001}"#);
+    // chaos traffic
+    post_fresh("/query", "this is not json");
+    post_fresh("/query", r#"{"eps": 0.5}"#); // missing query
+    post_fresh("/query", &query_body("Nope(1)", 1e-3)); // unknown relation
+    post_fresh("/nowhere", "{}"); // 404
+    get(&base, "/query"); // 405
+    for _ in 0..5 {
+        post_as("flood", "/query", &query_body("R(1)", 1e-3)); // trips the quota
+    }
+    let scrape = get(&base, "/metrics");
+    assert_eq!(scrape.status, 200);
+    assert!(scrape
+        .header("content-type")
+        .unwrap()
+        .starts_with("text/plain"));
+    let text = scrape.body_utf8().unwrap();
+    let parsed = promtext::parse_scrape(text).expect("scrape must parse");
+    let problems = promtext::lint(&parsed);
+    assert!(problems.is_empty(), "lint problems: {problems:?}");
+    // the serving registry and the net layer both show up
+    assert!(parsed.value("serve_requests_submitted_total").is_some());
+    assert!(parsed.value("net_requests_total").unwrap() >= 10.0);
+    assert!(parsed.value("net_bad_requests_total").unwrap() >= 2.0);
+    assert!(parsed.value("net_quota_rejections_total").unwrap() >= 1.0);
+    assert!(!parsed.family("serve_wait_micros").is_empty());
+    server.shutdown();
+}
+
+/// `/warm` grounds the prefix and reports how many facts were
+/// materialized; the count then shows in `/healthz`.
+#[test]
+fn warm_materializes_the_prefix() {
+    let (server, base) = start(ServerConfig::default(), 1);
+    let resp = post(&base, "/warm", r#"{"eps": 0.01}"#);
+    assert_eq!(resp.status, 200);
+    let doc = Json::parse(resp.body_utf8().unwrap()).unwrap();
+    let n = doc.get("materialized").and_then(Json::as_i64).unwrap();
+    assert!(n > 0);
+    let health = Json::parse(get(&base, "/healthz").body_utf8().unwrap()).unwrap();
+    assert_eq!(health.get("materialized").and_then(Json::as_i64), Some(n));
+    server.shutdown();
+}
+
+/// The in-process load bench: sweeps connection levels against a live
+/// server and verifies zero failures and zero bitwise mismatches.
+#[test]
+fn load_bench_smoke_reports_zero_drift() {
+    let (server, _base) = start(ServerConfig::default(), 1);
+    let config = NetBenchConfig {
+        connection_levels: vec![1, 2],
+        requests_per_connection: 5,
+        queries: QUERIES.iter().map(|q| q.to_string()).collect(),
+        eps: 1e-3,
+    };
+    let report = infpdb_net::loadbench::run(&server, &config).unwrap();
+    assert_eq!(report.total_failed, 0);
+    assert_eq!(report.total_mismatched, 0);
+    assert_eq!(report.rows.len(), 2 * QUERIES.len());
+    let artifact = report.to_json("2026-08-08", true);
+    let doc = Json::parse(&artifact).unwrap();
+    assert_eq!(doc.get("total_mismatched").and_then(Json::as_i64), Some(0));
+    server.shutdown();
+}
+
+/// Keep-alive: several requests over one connection work; a request
+/// with `Connection: close` ends it.
+#[test]
+fn keep_alive_reuses_one_connection() {
+    let (server, base) = start(ServerConfig::default(), 1);
+    let stream = std::net::TcpStream::connect(&base.authority).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    for _ in 0..3 {
+        let resp = client::request_on(
+            &stream,
+            &base.authority,
+            "POST",
+            "/query",
+            &[("content-type", "application/json")],
+            query_body("R(1)", 1e-3).as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    server.shutdown();
+}

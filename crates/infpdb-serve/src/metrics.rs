@@ -65,6 +65,34 @@ impl LatencyHistogram {
             }
         }
     }
+
+    /// Renders the histogram in Prometheus text exposition format.
+    ///
+    /// Unlike [`dump_into`](Self::dump_into)'s human-oriented `le="4us"`
+    /// labels, scrape output needs numeric `le` values; bucket `i`
+    /// (observations `< 2^i µs`) is exposed as `le="2^i"` microseconds,
+    /// cumulative as the format requires, terminated by `le="+Inf"`.
+    fn prometheus_into(&self, name: &str, help: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        writeln!(out, "# HELP {name} {help}").ok();
+        writeln!(out, "# TYPE {name} histogram").ok();
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if i + 1 == HISTOGRAM_BUCKETS {
+                writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}").ok();
+            } else {
+                writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", 1u64 << i).ok();
+            }
+        }
+        writeln!(
+            out,
+            "{name}_sum {}",
+            self.sum_micros.load(Ordering::Relaxed)
+        )
+        .ok();
+        writeln!(out, "{name}_count {}", self.count()).ok();
+    }
 }
 
 /// The serving layer's metrics registry.
@@ -227,6 +255,156 @@ impl Metrics {
         out
     }
 
+    /// Prometheus text exposition format snapshot (`# HELP`/`# TYPE`
+    /// comments, numeric histogram `le` labels), suitable for a
+    /// `GET /metrics` scrape endpoint.
+    ///
+    /// Exposes exactly the registry that [`dump_opts`](Self::dump_opts)
+    /// prints: the same metric names, with `serve_queue_depth` typed as a
+    /// gauge, every `*_total` as a counter, and the wait/run histograms
+    /// as native Prometheus histograms (the plain dump's
+    /// `*_sum_micros` line becomes the standard `*_sum`).
+    pub fn prometheus(&self, arena_stats: bool) -> String {
+        use std::fmt::Write as _;
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, v: u64| {
+            writeln!(out, "# HELP {name} {help}").ok();
+            writeln!(out, "# TYPE {name} counter").ok();
+            writeln!(out, "{name} {v}").ok();
+        };
+        counter(
+            "serve_requests_submitted_total",
+            "Requests accepted into the queue.",
+            c(&self.submitted),
+        );
+        counter(
+            "serve_requests_completed_total",
+            "Requests answered (cached, fresh, or degraded).",
+            c(&self.completed),
+        );
+        counter(
+            "serve_cache_hits_total",
+            "Requests answered straight from the result cache.",
+            c(&self.cache_hits),
+        );
+        counter(
+            "serve_cache_misses_total",
+            "Requests that had to evaluate.",
+            c(&self.cache_misses),
+        );
+        counter(
+            "serve_plan_cache_hits_total",
+            "Evaluations that reused a cached compiled-query plan.",
+            c(&self.plan_cache_hits),
+        );
+        counter(
+            "serve_plan_cache_misses_total",
+            "Evaluations that had to compile their query.",
+            c(&self.plan_cache_misses),
+        );
+        counter(
+            "serve_plan_cache_evictions_total",
+            "Compiled plans displaced from the plan cache by LRU eviction.",
+            c(&self.plan_cache_evictions),
+        );
+        counter(
+            "serve_degraded_answers_total",
+            "Requests answered at a widened epsilon to fit their budget.",
+            c(&self.degraded),
+        );
+        counter(
+            "serve_rejected_total",
+            "Requests refused by admission control.",
+            c(&self.rejected),
+        );
+        counter(
+            "serve_errors_total",
+            "Requests that failed with an evaluation error.",
+            c(&self.errors),
+        );
+        counter(
+            "serve_worker_panics_total",
+            "Worker jobs that panicked (caught; the worker survives).",
+            c(&self.panics),
+        );
+        counter(
+            "serve_shed_total",
+            "Requests shed by the bounded queue's overflow policy.",
+            c(&self.shed),
+        );
+        counter(
+            "serve_cancelled_total",
+            "Requests stopped by explicit ticket cancellation.",
+            c(&self.cancelled),
+        );
+        counter(
+            "serve_deadline_exceeded_total",
+            "Requests stopped by an expired deadline.",
+            c(&self.deadline_exceeded),
+        );
+        counter(
+            "serve_retries_total",
+            "Evaluation attempts retried after a transient failure.",
+            c(&self.retries),
+        );
+        counter(
+            "serve_breaker_fastfail_total",
+            "Requests failed fast by an open circuit breaker.",
+            c(&self.breaker_fastfail),
+        );
+        counter(
+            "serve_shannon_memo_hits_total",
+            "Shannon-engine memo hits accumulated across evaluations.",
+            c(&self.shannon_memo_hits),
+        );
+        counter(
+            "serve_parallel_tasks_total",
+            "Independent lineage components evaluated on forked worker threads.",
+            c(&self.parallel_tasks),
+        );
+        counter(
+            "serve_parallel_fallback_seq_total",
+            "Parallel-eligible evaluations that stayed sequential.",
+            c(&self.parallel_fallback_seq),
+        );
+        if arena_stats {
+            counter(
+                "serve_shannon_expansions_total",
+                "Shannon expansions accumulated across evaluations.",
+                c(&self.shannon_expansions),
+            );
+            counter(
+                "serve_arena_nodes_total",
+                "Lineage-arena nodes interned across evaluations.",
+                c(&self.arena_nodes),
+            );
+            counter(
+                "serve_arena_intern_hits_total",
+                "Lineage-arena interning-table hits across evaluations.",
+                c(&self.arena_intern_hits),
+            );
+        }
+        writeln!(
+            out,
+            "# HELP serve_queue_depth Jobs currently queued, waiting for a worker."
+        )
+        .ok();
+        writeln!(out, "# TYPE serve_queue_depth gauge").ok();
+        writeln!(out, "serve_queue_depth {}", c(&self.queue_depth)).ok();
+        self.wait.prometheus_into(
+            "serve_wait_micros",
+            "Time from submission to the start of evaluation, in microseconds.",
+            &mut out,
+        );
+        self.run.prometheus_into(
+            "serve_run_micros",
+            "Evaluation time (admission + engine) excluding queue wait, in microseconds.",
+            &mut out,
+        );
+        out
+    }
+
     /// Folds one evaluation's [`EvalTrace`](infpdb_finite::engine::EvalTrace)
     /// into the registry.
     pub fn record_trace(&self, trace: &infpdb_finite::engine::EvalTrace) {
@@ -312,6 +490,100 @@ mod tests {
         ] {
             assert!(full.contains(name), "missing {name:?} in:\n{full}");
         }
+    }
+
+    /// Every sample name in the plain dump must be scrapeable: each maps
+    /// to a Prometheus family with a `# TYPE` line of the right kind.
+    #[test]
+    fn prometheus_covers_every_registry_name() {
+        let m = Metrics::new();
+        m.submitted.fetch_add(3, Ordering::Relaxed);
+        m.wait.record(Duration::from_micros(5));
+        let prom = m.prometheus(true);
+        for line in m.dump_opts(true).lines() {
+            let name = line.split_whitespace().next().unwrap();
+            // map the plain dump's sample names onto Prometheus families
+            let family = if let Some(base) = name.strip_suffix("_sum_micros") {
+                base.to_string()
+            } else if let Some(base) = name.strip_suffix("_count") {
+                base.to_string()
+            } else if let Some(i) = name.find("_bucket{") {
+                name[..i].to_string()
+            } else {
+                name.to_string()
+            };
+            let kind = if family == "serve_queue_depth" {
+                "gauge"
+            } else if family.ends_with("_micros") {
+                "histogram"
+            } else {
+                "counter"
+            };
+            let type_line = format!("# TYPE {family} {kind}");
+            assert!(
+                prom.contains(&type_line),
+                "missing {type_line:?} in:\n{prom}"
+            );
+        }
+        // numeric le labels, cumulative, +Inf-terminated
+        assert!(prom.contains("serve_wait_micros_bucket{le=\"1\"}"));
+        assert!(prom.contains("serve_wait_micros_bucket{le=\"524288\"}"));
+        assert!(prom.contains("serve_wait_micros_bucket{le=\"+Inf\"} 1"));
+        assert!(prom.contains("serve_wait_micros_sum 5"));
+        assert!(prom.contains("serve_wait_micros_count 1"));
+        assert!(prom.contains("serve_requests_submitted_total 3"));
+        // the old human-oriented unit suffix must not leak into scrapes
+        assert!(!prom.contains("us\"}"));
+        assert!(!prom.contains("_sum_micros"));
+    }
+
+    /// Structural validity: lines are either comments or `name{labels} value`
+    /// samples, every sample's family is TYPE-declared first, histogram
+    /// buckets are monotone.
+    #[test]
+    fn prometheus_text_format_is_well_formed() {
+        let m = Metrics::new();
+        m.completed.fetch_add(7, Ordering::Relaxed);
+        m.run.record(Duration::from_micros(123));
+        m.run.record(Duration::from_millis(50));
+        let prom = m.prometheus(false);
+        let mut typed = std::collections::HashSet::new();
+        let mut last_bucket: Option<(String, u64)> = None;
+        for line in prom.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                typed.insert(it.next().unwrap().to_string());
+                assert!(matches!(it.next(), Some("counter" | "gauge" | "histogram")));
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').expect("sample has value");
+            value.parse::<f64>().expect("sample value is numeric");
+            let family = name_part
+                .split('{')
+                .next()
+                .unwrap()
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count")
+                .trim_end_matches("_bucket");
+            assert!(
+                typed.contains(family),
+                "sample {name_part} before its TYPE line"
+            );
+            if name_part.contains("_bucket{") {
+                let fam = family.to_string();
+                let v: u64 = value.parse().unwrap();
+                if let Some((prev_fam, prev_v)) = &last_bucket {
+                    if *prev_fam == fam {
+                        assert!(v >= *prev_v, "non-monotone buckets in {fam}");
+                    }
+                }
+                last_bucket = Some((fam, v));
+            }
+        }
+        assert!(typed.contains("serve_run_micros"));
     }
 
     #[test]

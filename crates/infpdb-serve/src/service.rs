@@ -39,7 +39,7 @@ use crate::metrics::Metrics;
 use crate::pool::{OverflowPolicy, PoolConfig, ThreadPool};
 use crate::ServeError;
 use infpdb_core::fingerprint::Fingerprinter;
-use infpdb_finite::engine::Engine;
+use infpdb_finite::engine::{Engine, EvalTrace};
 use infpdb_logic::ast::Formula;
 use infpdb_logic::compile::CompiledQuery;
 use infpdb_query::approx::{Approximation, PartialOnCancel};
@@ -49,7 +49,7 @@ use infpdb_query::prepared::{execute_prepared_par, PreparedPdb};
 use infpdb_query::QueryError;
 use infpdb_ti::construction::CountableTiPdb;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -204,6 +204,11 @@ pub struct QueryResponse {
     pub degraded: bool,
     /// Whether the answer came from the result cache.
     pub cached: bool,
+    /// Engine-side evaluation trace (Shannon memo/expansion counts,
+    /// arena statistics, intra-query parallelism report). For cached
+    /// answers this is the trace of the evaluation that populated the
+    /// cache entry, not a fresh engine run.
+    pub trace: EvalTrace,
 }
 
 impl QueryResponse {
@@ -296,7 +301,8 @@ struct Inner {
     engine: Engine,
     parallelism: usize,
     policy: DegradePolicy,
-    cache: ShardedLruCache<(Approximation, BudgetReport)>,
+    draining: AtomicBool,
+    cache: ShardedLruCache<(Approximation, BudgetReport, EvalTrace)>,
     plans: ShardedLruCache<Arc<CompiledQuery>>,
     metrics: Arc<Metrics>,
     throughput: ThroughputEstimate,
@@ -351,6 +357,7 @@ impl QueryService {
             engine: config.engine,
             parallelism: config.parallelism.max(1),
             policy: config.policy,
+            draining: AtomicBool::new(false),
             cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
             plans: ShardedLruCache::new(config.plan_cache_capacity, config.cache_shards),
             metrics: Arc::clone(&metrics),
@@ -372,8 +379,13 @@ impl QueryService {
     }
 
     /// Enqueues one request. If the bounded queue sheds it, the ticket
-    /// resolves to [`ServeError::Overloaded`].
+    /// resolves to [`ServeError::Overloaded`]; if the service is
+    /// [draining](Self::begin_drain), it resolves immediately to
+    /// [`ServeError::Shutdown`] without touching the queue.
     pub fn submit(&self, request: QueryRequest) -> Ticket {
+        if self.inner.draining.load(Ordering::Acquire) {
+            return Self::drained_ticket();
+        }
         self.inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
         let (job, on_shed, ticket) = self.make_job(request);
         self.pool.submit_with_shed(job, Some(on_shed));
@@ -381,8 +393,13 @@ impl QueryService {
     }
 
     /// Enqueues a whole batch; tickets come back in input order. Each
-    /// job is subject to the overflow policy independently.
+    /// job is subject to the overflow policy independently. While
+    /// [draining](Self::begin_drain), every ticket resolves immediately
+    /// to [`ServeError::Shutdown`].
     pub fn submit_batch(&self, requests: Vec<QueryRequest>) -> Vec<Ticket> {
+        if self.inner.draining.load(Ordering::Acquire) {
+            return requests.iter().map(|_| Self::drained_ticket()).collect();
+        }
         self.inner
             .metrics
             .submitted
@@ -401,6 +418,16 @@ impl QueryService {
     /// Submits and waits — the synchronous convenience path.
     pub fn evaluate(&self, request: QueryRequest) -> Result<QueryResponse, ServeError> {
         self.submit(request).wait()
+    }
+
+    /// A pre-resolved ticket for requests refused during a drain.
+    fn drained_ticket() -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        tx.send(Err(ServeError::Shutdown)).ok();
+        Ticket {
+            rx,
+            cancel: CancelToken::new(),
+        }
     }
 
     #[allow(clippy::type_complexity)]
@@ -474,6 +501,12 @@ impl QueryService {
         self.inner.prepared.materialized_len()
     }
 
+    /// The PDB this service evaluates against — network front ends and
+    /// REPLs parse incoming query text against its schema.
+    pub fn pdb(&self) -> &CountableTiPdb {
+        self.inner.prepared.pdb()
+    }
+
     /// Eagerly grounds the `n(eps_max)` prefix of the PDB so that the
     /// first request at any `ε ≥ eps_max` pays no grounding cost; see
     /// [`PreparedPdb::warm`]. Returns the materialized length.
@@ -504,6 +537,30 @@ impl QueryService {
 
     /// Graceful shutdown: drains the queue, then joins the workers.
     pub fn join(self) {
+        self.pool.join();
+    }
+
+    /// Enters drain mode: new submissions resolve immediately to
+    /// [`ServeError::Shutdown`], while already-accepted requests —
+    /// queued or running — finish normally, including surfacing their
+    /// partial certificates on cancellation or deadline expiry. This is
+    /// the first half of a graceful shutdown; follow with
+    /// [`drain`](Self::drain) (or [`join`](Self::join)) once no more
+    /// tickets will be created. Idempotent.
+    pub fn begin_drain(&self) {
+        self.inner.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether [`begin_drain`](Self::begin_drain) has been called.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Acquire)
+    }
+
+    /// Graceful drain-and-stop: stops admissions, lets every queued and
+    /// in-flight request finish, then joins the workers. This is what
+    /// `infpdb serve` runs on SIGTERM.
+    pub fn drain(self) {
+        self.begin_drain();
         self.pool.join();
     }
 }
@@ -589,7 +646,7 @@ fn handle(
         engine: crate::fingerprint::engine_tag(inner.engine),
     }
     .digest();
-    if let Some((approx, report)) = inner.cache.get(key) {
+    if let Some((approx, report, trace)) = inner.cache.get(key) {
         inner.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
         return Ok(QueryResponse {
             approx,
@@ -597,6 +654,7 @@ fn handle(
             requested_eps: request.eps,
             degraded: admitted.degraded,
             cached: true,
+            trace,
         });
     }
     inner.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -674,13 +732,14 @@ fn handle(
     inner.fault("cache_insert")?;
     // partial results never reach this point (they surface as errors
     // above), so the cache only ever holds fully certified answers
-    inner.cache.insert(key, (approx, admitted.report));
+    inner.cache.insert(key, (approx, admitted.report, trace));
     Ok(QueryResponse {
         approx,
         report: admitted.report,
         requested_eps: request.eps,
         degraded: admitted.degraded,
         cached: false,
+        trace,
     })
 }
 
@@ -1054,6 +1113,96 @@ mod tests {
             Err(ServeError::Shutdown) => {}
             other => panic!("expected shutdown, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn drain_finishes_in_flight_work_but_refuses_new_submissions() {
+        let svc = service(1);
+        let p = pdb();
+        // fill the single worker plus the queue with real work
+        let mut accepted = Vec::new();
+        for i in 0..12 {
+            let q = parse("exists x. R(x)", p.schema()).unwrap();
+            accepted.push(svc.submit(QueryRequest::new(q, 0.01 / (i + 1) as f64)));
+        }
+        assert!(!svc.is_draining());
+        svc.begin_drain();
+        assert!(svc.is_draining());
+        // a post-drain submission resolves Shutdown without queueing
+        let q = parse("R(1)", p.schema()).unwrap();
+        match svc.submit(QueryRequest::new(q.clone(), 0.05)).wait() {
+            Err(ServeError::Shutdown) => {}
+            other => panic!("expected Shutdown, got {other:?}"),
+        }
+        // batch submissions are refused too, one ticket per request
+        let batch = svc.submit_batch(vec![
+            QueryRequest::new(q.clone(), 0.05),
+            QueryRequest::new(q, 0.04),
+        ]);
+        assert_eq!(batch.len(), 2);
+        for t in batch {
+            assert!(matches!(t.wait(), Err(ServeError::Shutdown)));
+        }
+        // nothing after begin_drain was counted as submitted
+        assert_eq!(svc.metrics().submitted.load(Ordering::Relaxed), 12);
+        // every request accepted before the drain still completes
+        for t in accepted {
+            t.wait().unwrap();
+        }
+        assert_eq!(svc.metrics().completed.load(Ordering::Relaxed), 12);
+        svc.drain(); // begin_drain is idempotent; join drains the queue
+    }
+
+    #[test]
+    fn drain_preserves_partial_certificates_of_in_flight_work() {
+        // a deadline-bounded slow request accepted before the drain must
+        // still resolve with its partial certificate, not Shutdown
+        let svc = QueryService::new(
+            zeta_pdb(),
+            ServiceConfig {
+                threads: 1,
+                prior_facts_per_sec: 1e12,
+                ..ServiceConfig::default()
+            },
+        );
+        let p = zeta_pdb();
+        let q = parse("exists x. R(x)", p.schema()).unwrap();
+        let ticket = svc.submit(
+            QueryRequest::new(q, 0.004).with_budget(CostBudget::deadline(Duration::from_millis(5))),
+        );
+        svc.begin_drain();
+        match ticket.wait() {
+            Err(ServeError::DeadlineExceeded { partial, .. }) => {
+                if let Some(partial) = partial {
+                    assert!(partial.eps < 0.5);
+                }
+            }
+            Ok(_) => {} // beat the deadline — also a full, sound answer
+            other => panic!("expected DeadlineExceeded or success, got {other:?}"),
+        }
+        svc.drain();
+    }
+
+    #[test]
+    fn responses_carry_the_evaluation_trace_even_when_cached() {
+        let svc = QueryService::new(
+            pdb(),
+            ServiceConfig {
+                threads: 1,
+                engine: Engine::Lineage,
+                ..ServiceConfig::default()
+            },
+        );
+        let p = pdb();
+        let q = parse("exists x, y. R(x) /\\ R(y) /\\ x != y", p.schema()).unwrap();
+        let fresh = svc.evaluate(QueryRequest::new(q.clone(), 0.05)).unwrap();
+        assert!(!fresh.cached);
+        let arena = fresh.trace.arena.expect("lineage engine reports arena");
+        assert!(arena.nodes > 0);
+        // the cached answer replays the original evaluation's trace
+        let hit = svc.evaluate(QueryRequest::new(q, 0.05)).unwrap();
+        assert!(hit.cached);
+        assert_eq!(hit.trace, fresh.trace);
     }
 
     #[test]

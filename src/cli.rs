@@ -332,8 +332,9 @@ pub fn cmd_sample(table_text: &str, count: usize, seed: u64) -> Result<String, C
 
 /// Completes a closed-world table with a geometric tail of fresh facts
 /// over the first declared unary relation, integers from `tail_start`
-/// upward — the open-world PDB behind `open` and `batch`.
-fn open_world_pdb(
+/// upward — the open-world PDB behind `open`, `batch`, `serve`, and the
+/// shell.
+pub(crate) fn open_world_pdb(
     table: &TiTable,
     tail_mass: f64,
     tail_start: i64,
@@ -578,7 +579,8 @@ pub fn run(
     args: &[String],
     read_file: impl Fn(&str) -> std::io::Result<String>,
 ) -> Result<String, CliError> {
-    let usage = "usage: infpdb <info|query|marginals|sample|open|batch|bench> <table-file> [...]";
+    let usage =
+        "usage: infpdb <info|query|marginals|sample|open|batch|bench|netbench|serve|shell> <table-file> [...]";
     if args.is_empty() {
         return Err(CliError::Usage(usage.into()));
     }
@@ -716,6 +718,13 @@ pub fn run(
                     parallelism,
                 },
             )
+        }
+        "netbench" => {
+            let table = read(args.get(1).ok_or(CliError::Usage(
+                "netbench: missing table file (usage: infpdb netbench <table-file> [--smoke] [--connections 1,2,4,8] [--requests N] [--eps E] [--threads T] [--out PATH])".into(),
+            ))?)?;
+            let opts = crate::netcmd::parse_netbench_options(&args[2..])?;
+            crate::netcmd::cmd_netbench(&table, &opts)
         }
         "bench" => {
             let smoke = args.iter().any(|a| a == "--smoke");

@@ -21,17 +21,23 @@
 //! * [`query`] — approximate query evaluation on infinite PDBs (Prop 6.1).
 //! * [`serve`] — concurrent query service: thread pool, result cache,
 //!   admission control with ε-degradation, metrics.
+//! * [`net`] — the network front door: std-only HTTP/1.1 server and
+//!   client over the query service, Prometheus metrics, quotas.
 //! * [`tm`] — Turing-machine-represented PDBs (Prop 6.2).
 //!
 //! A command-line interface over the library lives in [`cli`] (binary:
-//! `cargo run --bin infpdb`).
+//! `cargo run --bin infpdb`); the long-running `serve` subcommand and
+//! the interactive `shell` REPL live in [`netcmd`] and [`shell`].
 
 pub mod cli;
+pub mod netcmd;
+pub mod shell;
 
 pub use infpdb_core as core;
 pub use infpdb_finite as finite;
 pub use infpdb_logic as logic;
 pub use infpdb_math as math;
+pub use infpdb_net as net;
 pub use infpdb_openworld as openworld;
 pub use infpdb_query as query;
 pub use infpdb_serve as serve;

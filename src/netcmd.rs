@@ -1,0 +1,412 @@
+//! The network subcommands: `infpdb serve` (long-running HTTP front
+//! door) and `infpdb netbench` (end-to-end load bench against an
+//! in-process server).
+//!
+//! Both build the same open-world completion as `infpdb open`/`batch`
+//! (geometric tail over the first declared unary relation), so answers
+//! over the wire are bit-identical to the offline subcommands.
+
+use crate::cli::{self, CliError};
+use infpdb_bench::harness;
+use infpdb_net::loadbench::{self, NetBenchConfig};
+use infpdb_net::server::{HttpServer, ServerConfig};
+use infpdb_net::{signal, QuotaConfig};
+use infpdb_serve::{QueryService, ServiceConfig};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Tail defaults shared with `open`/`batch`/shell.
+const TAIL_MASS: f64 = 0.5;
+const TAIL_START: i64 = 1_000_000;
+
+/// Tuning for `serve`, mirroring its command-line flags.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (`--bind`), e.g. `127.0.0.1:7117`; port 0 picks an
+    /// ephemeral port (printed at startup).
+    pub bind: String,
+    /// Service worker threads (`--threads`).
+    pub threads: usize,
+    /// Intra-query thread budget (`--parallelism`).
+    pub parallelism: usize,
+    /// Default tolerance for requests that omit `eps` (`--eps`).
+    pub default_eps: f64,
+    /// Per-client quota: sustained requests/second (`--quota-rps`);
+    /// unset disables quotas.
+    pub quota_rps: Option<f64>,
+    /// Per-client quota burst capacity (`--quota-burst`).
+    pub quota_burst: f64,
+    /// Include arena statistics in `/metrics` (`--arena-stats`).
+    pub arena_stats: bool,
+    /// Fresh-fact tail mass (`--tail-mass`).
+    pub tail_mass: f64,
+    /// First integer the tail invents facts for (`--tail-start`).
+    pub tail_start: i64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            bind: "127.0.0.1:7117".to_string(),
+            threads: 4,
+            parallelism: 1,
+            default_eps: 0.01,
+            quota_rps: None,
+            quota_burst: 32.0,
+            arena_stats: false,
+            tail_mass: TAIL_MASS,
+            tail_start: TAIL_START,
+        }
+    }
+}
+
+fn build_service(
+    table_text: &str,
+    threads: usize,
+    parallelism: usize,
+    tail_mass: f64,
+    tail_start: i64,
+    arena_stats: bool,
+) -> Result<QueryService, CliError> {
+    let table = cli::parse_table(table_text)?;
+    let open = cli::open_world_pdb(&table, tail_mass, tail_start)?;
+    Ok(QueryService::new(
+        open,
+        ServiceConfig {
+            threads,
+            parallelism,
+            arena_stats,
+            ..ServiceConfig::default()
+        },
+    ))
+}
+
+fn server_config(opts: &ServeOptions) -> Result<ServerConfig, CliError> {
+    let quota = match opts.quota_rps {
+        None => None,
+        Some(rps) => Some(QuotaConfig::new(rps, opts.quota_burst).map_err(CliError::Usage)?),
+    };
+    Ok(ServerConfig {
+        default_eps: opts.default_eps,
+        quota,
+        arena_stats: opts.arena_stats,
+        ..ServerConfig::default()
+    })
+}
+
+/// Starts the front door over a table file. Returns the running server
+/// so the caller (binary or test) owns the serve loop.
+pub fn start_server(table_text: &str, opts: &ServeOptions) -> Result<HttpServer, CliError> {
+    let service = build_service(
+        table_text,
+        opts.threads,
+        opts.parallelism,
+        opts.tail_mass,
+        opts.tail_start,
+        opts.arena_stats,
+    )?;
+    let config = server_config(opts)?;
+    HttpServer::start(service, config, &opts.bind)
+        .map_err(|e| CliError::Library(format!("cannot bind {}: {e}", opts.bind)))
+}
+
+/// The `serve` subcommand: binds, prints `listening on <addr>`, and
+/// blocks until SIGTERM/SIGINT, then drains gracefully (in-flight
+/// queries finish with their partial certificates; new submissions are
+/// refused with `503 shutting_down`).
+pub fn cmd_serve(
+    table_text: &str,
+    opts: &ServeOptions,
+    mut status: impl std::io::Write,
+) -> Result<(), CliError> {
+    signal::install_termination_handler();
+    let server = start_server(table_text, opts)?;
+    writeln!(status, "listening on {}", server.addr())
+        .map_err(|e| CliError::Library(e.to_string()))?;
+    status.flush().ok();
+    while !signal::termination_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    writeln!(
+        status,
+        "draining: in-flight queries finishing, new submissions refused"
+    )
+    .ok();
+    status.flush().ok();
+    server.shutdown();
+    writeln!(status, "drained; bye").ok();
+    Ok(())
+}
+
+/// Tuning for `netbench`.
+#[derive(Debug, Clone)]
+pub struct NetBenchOptions {
+    /// Connection levels to sweep (`--connections`, comma-separated).
+    pub connection_levels: Vec<usize>,
+    /// Requests per connection (`--requests`).
+    pub requests_per_connection: usize,
+    /// Tolerance (`--eps`).
+    pub eps: f64,
+    /// Artifact path (`--out`); default `BENCH_<date>_net.json`.
+    pub out_path: Option<String>,
+    /// Smoke mode (`--smoke`): the small CI sweep.
+    pub smoke: bool,
+    /// Service worker threads (`--threads`).
+    pub threads: usize,
+}
+
+impl Default for NetBenchOptions {
+    fn default() -> Self {
+        NetBenchOptions {
+            connection_levels: vec![1, 2, 4, 8],
+            requests_per_connection: 200,
+            eps: 1e-3,
+            out_path: None,
+            smoke: false,
+            threads: 4,
+        }
+    }
+}
+
+/// The query matrix the bench sweeps: mixes a ground atom, an
+/// existential, a self-join with disequality, and an open-world atom
+/// beyond the closed table.
+pub fn bench_queries(tail_start: i64) -> Vec<String> {
+    vec![
+        "Person(42)".to_string(),
+        "exists x. Person(x)".to_string(),
+        "exists x, y. Person(x) /\\ Person(y) /\\ x != y".to_string(),
+        format!("Person({tail_start})"),
+    ]
+}
+
+/// The `netbench` subcommand: starts an in-process server over the
+/// table, sweeps the connection levels, verifies bit-for-bit identity
+/// of every response against direct library calls, and writes the
+/// `BENCH_<date>_net.json` artifact.
+pub fn cmd_netbench(table_text: &str, opts: &NetBenchOptions) -> Result<String, CliError> {
+    let serve_opts = ServeOptions {
+        bind: "127.0.0.1:0".to_string(),
+        threads: opts.threads,
+        ..ServeOptions::default()
+    };
+    let server = start_server(table_text, &serve_opts)?;
+    let config = if opts.smoke {
+        let mut c = NetBenchConfig::smoke(bench_queries(TAIL_START), opts.eps);
+        c.connection_levels = opts.connection_levels.clone();
+        c
+    } else {
+        NetBenchConfig {
+            connection_levels: opts.connection_levels.clone(),
+            requests_per_connection: opts.requests_per_connection,
+            queries: bench_queries(TAIL_START),
+            eps: opts.eps,
+        }
+    };
+    let report = loadbench::run(&server, &config).map_err(CliError::Library)?;
+    server.shutdown();
+    let date = harness::iso_date_utc();
+    let json = report.to_json(&date, opts.smoke);
+    let path = opts
+        .out_path
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{date}_net.json"));
+    std::fs::write(&path, &json)
+        .map_err(|e| CliError::Library(format!("cannot write {path}: {e}")))?;
+    let mut out = report.summary_table();
+    writeln!(out, "wrote {path}").ok();
+    if report.total_failed > 0 || report.total_mismatched > 0 {
+        return Err(CliError::Library(format!(
+            "netbench: {} failed requests, {} bitwise mismatches\n{out}",
+            report.total_failed, report.total_mismatched
+        )));
+    }
+    Ok(out)
+}
+
+/// Parses `serve` flags from `args` (everything after the table path).
+pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
+    let flag = |name: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let num = |name: &str, default: &str| -> Result<f64, CliError> {
+        flag(name, default)
+            .parse()
+            .map_err(|_| CliError::Usage(format!("{name} must be a number")))
+    };
+    let mut opts = ServeOptions {
+        bind: flag("--bind", "127.0.0.1:7117"),
+        threads: num("--threads", "4")? as usize,
+        parallelism: num("--parallelism", "1")? as usize,
+        default_eps: num("--eps", "0.01")?,
+        quota_rps: None,
+        quota_burst: num("--quota-burst", "32")?,
+        arena_stats: args.iter().any(|a| a == "--arena-stats"),
+        tail_mass: num("--tail-mass", "0.5")?,
+        tail_start: num("--tail-start", "1000000")? as i64,
+    };
+    if opts.threads < 1 {
+        return Err(CliError::Usage("--threads must be at least 1".into()));
+    }
+    let rps = flag("--quota-rps", "");
+    if !rps.is_empty() {
+        opts.quota_rps = Some(
+            rps.parse()
+                .map_err(|_| CliError::Usage("--quota-rps must be a number".into()))?,
+        );
+    }
+    Ok(opts)
+}
+
+/// Parses `netbench` flags from `args` (everything after the table path).
+pub fn parse_netbench_options(args: &[String]) -> Result<NetBenchOptions, CliError> {
+    let flag = |name: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let connections = flag("--connections", "1,2,4,8");
+    let connection_levels = connections
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| CliError::Usage(format!("bad --connections entry {s:?}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if connection_levels.is_empty() || connection_levels.contains(&0) {
+        return Err(CliError::Usage(
+            "--connections needs positive, comma-separated counts".into(),
+        ));
+    }
+    let requests: usize = flag("--requests", if smoke { "25" } else { "200" })
+        .parse()
+        .map_err(|_| CliError::Usage("--requests must be a number".into()))?;
+    let eps: f64 = flag("--eps", "0.001")
+        .parse()
+        .map_err(|_| CliError::Usage("--eps must be a number".into()))?;
+    let threads: usize = flag("--threads", "4")
+        .parse()
+        .map_err(|_| CliError::Usage("--threads must be a number".into()))?;
+    let out_path = match flag("--out", "") {
+        s if s.is_empty() => None,
+        s => Some(s),
+    };
+    Ok(NetBenchOptions {
+        connection_levels,
+        requests_per_connection: requests,
+        eps,
+        out_path,
+        smoke,
+        threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::json::Json;
+    use infpdb_net::client::{self, BaseUrl};
+
+    const TABLE: &str = "\
+relation Person 1
+Person turing @ 0.99
+Person 42 @ 0.5
+";
+
+    #[test]
+    fn start_server_answers_over_http_like_cmd_open() {
+        let opts = ServeOptions {
+            bind: "127.0.0.1:0".to_string(),
+            threads: 1,
+            ..ServeOptions::default()
+        };
+        let server = start_server(TABLE, &opts).unwrap();
+        let base = BaseUrl::parse(&format!("http://{}", server.addr())).unwrap();
+        let body = Json::obj([
+            ("query", Json::str("Person(1000000)")),
+            ("eps", Json::Float(0.01)),
+        ])
+        .encode();
+        let resp = client::request(
+            &base,
+            "POST",
+            "/query",
+            &[("content-type", "application/json")],
+            body.as_bytes(),
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        let doc = Json::parse(resp.body_utf8().unwrap()).unwrap();
+        let wire = doc.get("estimate").and_then(Json::as_f64).unwrap();
+        // same number the offline `open` subcommand prints
+        let offline = cli::cmd_open(TABLE, "Person(1000000)", 0.01, 0.5, 1_000_000).unwrap();
+        assert!(
+            offline.contains(&format!("= {wire} ±")),
+            "wire {wire} vs offline {offline}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn netbench_smoke_writes_a_clean_artifact() {
+        let dir = std::env::temp_dir().join(format!("infpdb_netbench_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_net.json");
+        let opts = NetBenchOptions {
+            connection_levels: vec![1, 2],
+            requests_per_connection: 3,
+            eps: 1e-2,
+            out_path: Some(path.to_string_lossy().to_string()),
+            smoke: true,
+            threads: 2,
+        };
+        let out = cmd_netbench(TABLE, &opts).unwrap();
+        assert!(out.contains("bitwise mismatches: 0"), "{out}");
+        let artifact = std::fs::read_to_string(&path).unwrap();
+        let doc = Json::parse(&artifact).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("infpdb-net-bench/v1")
+        );
+        assert_eq!(doc.get("total_failed").and_then(Json::as_i64), Some(0));
+        assert_eq!(doc.get("total_mismatched").and_then(Json::as_i64), Some(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flag_parsing_for_serve_and_netbench() {
+        let a = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        let opts = parse_serve_options(&a(&[
+            "--bind",
+            "0.0.0.0:9000",
+            "--threads",
+            "8",
+            "--quota-rps",
+            "50",
+            "--arena-stats",
+        ]))
+        .unwrap();
+        assert_eq!(opts.bind, "0.0.0.0:9000");
+        assert_eq!(opts.threads, 8);
+        assert_eq!(opts.quota_rps, Some(50.0));
+        assert!(opts.arena_stats);
+        assert!(parse_serve_options(&a(&["--threads", "zero"])).is_err());
+        assert!(parse_serve_options(&a(&["--quota-rps", "lots"])).is_err());
+
+        let nb = parse_netbench_options(&a(&["--connections", "1,4,16", "--smoke"])).unwrap();
+        assert_eq!(nb.connection_levels, vec![1, 4, 16]);
+        assert!(nb.smoke);
+        assert_eq!(nb.requests_per_connection, 25);
+        assert!(parse_netbench_options(&a(&["--connections", "1,zero"])).is_err());
+        assert!(parse_netbench_options(&a(&["--connections", "0"])).is_err());
+    }
+}

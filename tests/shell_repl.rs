@@ -1,0 +1,135 @@
+//! Regression test driving the real `infpdb shell` binary over a pipe:
+//! load the example PDB, prepare a query, evaluate at two tolerances,
+//! and check the printed intervals are identical to what `infpdb open`
+//! prints for the same queries.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_infpdb");
+
+fn kb_path() -> String {
+    format!("{}/examples/kb.pdb", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Runs the shell binary with `script` on stdin, returning stdout.
+fn run_shell(script: &str) -> String {
+    let mut child = Command::new(BIN)
+        .arg("shell")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn infpdb shell");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "shell exited with {:?}", out.status);
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// Runs a plain `infpdb` subcommand, returning stdout.
+fn run_cli(args: &[&str]) -> String {
+    let out = Command::new(BIN).args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "infpdb {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// Extracts `estimate` and `[lo, hi]` from a `P(q) = e ± ... in [lo, hi]`
+/// or `open`-style output line.
+fn estimate_of(line: &str) -> String {
+    line.split('=')
+        .nth(1)
+        .unwrap()
+        .trim()
+        .split(' ')
+        .next()
+        .unwrap()
+        .to_string()
+}
+
+fn interval_of(text: &str) -> String {
+    let open = text.find('[').expect("interval bracket");
+    let close = text[open..].find(']').expect("interval close") + open;
+    text[open..=close].to_string()
+}
+
+#[test]
+fn shell_over_a_pipe_matches_the_open_subcommand_at_two_tolerances() {
+    let kb = kb_path();
+    let query = "Person(1000000)";
+    let script = format!(
+        "load {kb}\n\
+         prepare far {query}\n\
+         list\n\
+         eps 0.01\n\
+         run far\n\
+         eps 0.001\n\
+         run far\n\
+         trace\n\
+         quit\n"
+    );
+    let out = run_shell(&script);
+    assert!(out.contains("loaded"), "{out}");
+    assert!(out.contains("prepared far"), "{out}");
+    assert!(out.contains("far: Person(1000000)"), "{out}");
+    let result_lines: Vec<&str> = out
+        .lines()
+        .filter(|l| l.starts_with(&format!("P({query})")))
+        .collect();
+    assert_eq!(result_lines.len(), 2, "{out}");
+    for (line, eps) in result_lines.iter().zip(["0.01", "0.001"]) {
+        // the offline `open` subcommand is the reference
+        let reference = run_cli(&["open", &kb, query, "--eps", eps]);
+        assert_eq!(
+            estimate_of(line),
+            estimate_of(reference.lines().next().unwrap()),
+            "estimate at eps {eps}: shell {line:?} vs open {reference:?}"
+        );
+        let ref_interval = reference
+            .lines()
+            .find(|l| l.starts_with("certified interval"))
+            .unwrap();
+        assert_eq!(
+            interval_of(line),
+            interval_of(ref_interval),
+            "interval at eps {eps}"
+        );
+    }
+    // the trace of the last run is inspectable
+    assert!(
+        out.contains("shannon") || out.contains("arena"),
+        "trace missing: {out}"
+    );
+    assert!(out.trim_end().ends_with("bye"), "{out}");
+}
+
+#[test]
+fn shell_survives_garbage_and_still_quits_cleanly() {
+    let kb = kb_path();
+    let script = format!(
+        "frobnicate\n\
+         query Person(42)\n\
+         load {kb}\n\
+         query Nope(1)\n\
+         query Person(42)\n\
+         quit\n"
+    );
+    let out = run_shell(&script);
+    assert!(out.contains("error: unknown command"), "{out}");
+    assert!(out.contains("error: no backend"), "{out}");
+    let errors = out.lines().filter(|l| l.starts_with("error:")).count();
+    assert_eq!(errors, 3, "{out}");
+    assert!(
+        out.lines().any(|l| l.starts_with("P(Person(42)) = ")),
+        "{out}"
+    );
+}
