@@ -1,0 +1,250 @@
+//! Seeded, deterministic fault-site machinery.
+//!
+//! The serving layer's chaos suite (PR 2) established the pattern: faults
+//! are configured at *named sites*, each site draws from its own
+//! `SplitMix64` stream seeded by `seed ^ fnv1a(site)` (so adding a site
+//! never perturbs the streams of existing ones), and budgeted triggers
+//! fire an exact number of times so tests can assert failure metrics
+//! match injected counts *exactly*. This module extracts that machinery
+//! from `infpdb-serve::faults` so other layers — notably the durable
+//! store's fault-injecting [`StoreIo`] implementation — can inject their
+//! own fault kinds through the same deterministic triggers.
+//!
+//! [`SiteInjector`] is generic over the fault payload `K`: the serving
+//! layer instantiates it with panic/error/latency kinds, the store with
+//! short-write/bit-flip/error kinds. [`check`](SiteInjector::check)
+//! returns `Some(kind)` when the site's fault fires and leaves *what to
+//! do about it* to the caller.
+//!
+//! Everything is `std`-only and designed to be free when idle: an
+//! unarmed injector's `check` is a single relaxed atomic load.
+
+use crate::space::rand_core::{RngCore, SplitMix64};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// When a configured fault fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fire on the first `k` calls to the site, then never again.
+    /// The deterministic workhorse: after enough traffic, exactly `k`
+    /// faults have been injected.
+    Times(u64),
+    /// Fire on every call.
+    Always,
+    /// Fire on every `n`-th call (the 1st, `n+1`-th, …); `n = 1` is
+    /// [`Trigger::Always`].
+    EveryNth(u64),
+    /// Fire with probability `p` per call, drawn from the site's seeded
+    /// stream — deterministic for a fixed seed and call sequence.
+    Probability(f64),
+}
+
+struct Site<K> {
+    kind: K,
+    trigger: Trigger,
+    rng: SplitMix64,
+    calls: u64,
+    fired: u64,
+}
+
+impl<K> Site<K> {
+    fn should_fire(&mut self) -> bool {
+        let call = self.calls;
+        self.calls += 1;
+        match self.trigger {
+            Trigger::Times(k) => self.fired < k,
+            Trigger::Always => true,
+            Trigger::EveryNth(n) => n > 0 && call.is_multiple_of(n),
+            Trigger::Probability(p) => (self.rng.next_u64() as f64 / u64::MAX as f64) < p,
+        }
+    }
+}
+
+impl<K: std::fmt::Debug> std::fmt::Debug for Site<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Site")
+            .field("kind", &self.kind)
+            .field("trigger", &self.trigger)
+            .field("calls", &self.calls)
+            .field("fired", &self.fired)
+            .finish()
+    }
+}
+
+/// A registry of injectable faults with payload `K`, keyed by site name.
+#[derive(Debug)]
+pub struct SiteInjector<K> {
+    seed: u64,
+    armed: AtomicBool,
+    sites: Mutex<HashMap<String, Site<K>>>,
+}
+
+impl<K: Copy> SiteInjector<K> {
+    /// An injector with no faults configured; `seed` feeds the per-site
+    /// probability streams.
+    pub fn new(seed: u64) -> Self {
+        SiteInjector {
+            seed,
+            armed: AtomicBool::new(false),
+            sites: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The injector's seed (shared by every per-site stream).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Configures (or replaces) the fault at `site`. The site's RNG is
+    /// seeded from the injector seed and a hash of the site name, so
+    /// adding sites never perturbs the streams of existing ones.
+    pub fn inject(&self, site: &str, kind: K, trigger: Trigger) {
+        let mut sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
+        sites.insert(
+            site.to_string(),
+            Site {
+                kind,
+                trigger,
+                rng: SplitMix64::new(self.seed ^ fnv1a(site.as_bytes())),
+                calls: 0,
+                fired: 0,
+            },
+        );
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Removes the fault at `site` (its fired count is forgotten).
+    pub fn clear(&self, site: &str) {
+        let mut sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
+        sites.remove(site);
+        if sites.is_empty() {
+            self.armed.store(false, Ordering::Release);
+        }
+    }
+
+    /// How many faults have fired at `site` so far.
+    pub fn fired(&self, site: &str) -> u64 {
+        let sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
+        sites.get(site).map(|s| s.fired).unwrap_or(0)
+    }
+
+    /// How many times `site` has been reached (fired or not).
+    pub fn calls(&self, site: &str) -> u64 {
+        let sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
+        sites.get(site).map(|s| s.calls).unwrap_or(0)
+    }
+
+    /// Total faults fired across every configured site.
+    pub fn fired_total(&self) -> u64 {
+        let sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
+        sites.values().map(|s| s.fired).sum()
+    }
+
+    /// The checkpoint placed at each named site: `Some(kind)` when the
+    /// site's fault fires, `None` otherwise. What the fired kind *means*
+    /// is the caller's business.
+    pub fn check(&self, site: &str) -> Option<K> {
+        if !self.armed.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
+        let s = sites.get_mut(site)?;
+        if !s.should_fire() {
+            return None;
+        }
+        s.fired += 1;
+        Some(s.kind)
+    }
+
+    /// A fresh draw from the site's seeded stream, for faults whose
+    /// *payload* needs deterministic randomness (e.g. which bit to flip).
+    /// Draws advance the same stream probability triggers use, keeping
+    /// everything a pure function of (seed, site, call sequence).
+    pub fn draw(&self, site: &str) -> u64 {
+        let mut sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
+        match sites.get_mut(site) {
+            Some(s) => s.rng.next_u64(),
+            None => SplitMix64::new(self.seed ^ fnv1a(site.as_bytes())).next_u64(),
+        }
+    }
+}
+
+/// FNV-1a, the site-name hash feeding per-site stream seeds.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_injector_is_a_no_op() {
+        let f: SiteInjector<u8> = SiteInjector::new(1);
+        assert_eq!(f.check("engine"), None);
+        assert_eq!(f.fired("engine"), 0);
+        assert_eq!(f.calls("engine"), 0);
+    }
+
+    #[test]
+    fn times_budget_fires_exactly_k() {
+        let f = SiteInjector::new(1);
+        f.inject("engine", 7u8, Trigger::Times(3));
+        let fired = (0..10).filter(|_| f.check("engine").is_some()).count();
+        assert_eq!(fired, 3);
+        assert_eq!(f.fired("engine"), 3);
+        assert_eq!(f.calls("engine"), 10);
+        assert_eq!(f.fired_total(), 3);
+    }
+
+    #[test]
+    fn every_nth_fires_periodically() {
+        let f = SiteInjector::new(1);
+        f.inject("a", (), Trigger::EveryNth(3));
+        let pattern: Vec<bool> = (0..7).map(|_| f.check("a").is_some()).collect();
+        assert_eq!(pattern, [true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn probability_stream_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let f = SiteInjector::new(seed);
+            f.inject("engine", (), Trigger::Probability(0.5));
+            (0..32).map(|_| f.check("engine").is_some()).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn clear_disarms_when_last_site_removed() {
+        let f = SiteInjector::new(1);
+        f.inject("a", (), Trigger::Always);
+        f.inject("b", (), Trigger::Always);
+        f.clear("a");
+        assert_eq!(f.check("a"), None);
+        assert!(f.check("b").is_some());
+        f.clear("b");
+        assert_eq!(f.check("b"), None);
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed_and_site() {
+        let f = SiteInjector::new(9);
+        f.inject("x", (), Trigger::Always);
+        let g = SiteInjector::new(9);
+        g.inject("x", (), Trigger::Always);
+        assert_eq!(f.draw("x"), g.draw("x"));
+        // a different site gets an independent stream
+        let h = SiteInjector::new(9);
+        h.inject("y", (), Trigger::Always);
+        assert_ne!(f.draw("x"), h.draw("y"));
+    }
+}

@@ -24,6 +24,7 @@
 pub mod error;
 pub mod event;
 pub mod fact;
+pub mod faultsim;
 pub mod fingerprint;
 pub mod instance;
 pub mod interner;

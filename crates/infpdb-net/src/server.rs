@@ -29,6 +29,7 @@ use crate::proto::{self, WireError, WireQuery};
 use crate::quota::{client_identity, QuotaConfig, QuotaDecision, QuotaRegistry};
 use infpdb_core::json::Json;
 use infpdb_logic::parse;
+use infpdb_query::StoreStatus;
 use infpdb_serve::service::{QueryRequest, QueryService};
 use infpdb_serve::CostBudget;
 use std::io::BufReader;
@@ -303,6 +304,45 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, state: &ServerState) {
     }
 }
 
+/// Renders a [`StoreStatus`] as the `/healthz` `store` field:
+/// `{"status": "fresh"|"ok"|"recovered"|"degraded", ...detail}`.
+fn store_status_json(status: &StoreStatus) -> Json {
+    match status {
+        StoreStatus::Recovered {
+            facts_kept,
+            facts_dropped,
+            checksum_failures,
+            eps_floor,
+        } => {
+            let mut o = vec![
+                ("status".to_string(), Json::str(status.label())),
+                ("facts_kept".to_string(), Json::Int(*facts_kept as i64)),
+                (
+                    "facts_dropped".to_string(),
+                    Json::Int(*facts_dropped as i64),
+                ),
+                (
+                    "checksum_failures".to_string(),
+                    Json::Int(*checksum_failures as i64),
+                ),
+            ];
+            if let Some(f) = eps_floor {
+                o.push(("eps_floor".to_string(), Json::Float(*f)));
+            }
+            Json::Object(o)
+        }
+        StoreStatus::Degraded { reason } => Json::obj([
+            ("status", Json::str(status.label())),
+            ("reason", Json::str(reason.clone())),
+        ]),
+        StoreStatus::Ok { facts } => Json::obj([
+            ("status", Json::str(status.label())),
+            ("facts", Json::Int(*facts as i64)),
+        ]),
+        StoreStatus::Fresh => Json::obj([("status", Json::str(status.label()))]),
+    }
+}
+
 fn respond_error(stream: &mut TcpStream, w: &WireError, keep_alive: bool) {
     let mut resp = Response::json(w.status, w.body.encode());
     if let Some(secs) = w.retry_after {
@@ -348,9 +388,9 @@ fn route(
     let path = request.path.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
-            let body = Json::obj([
+            let mut fields = vec![
                 (
-                    "status",
+                    "status".to_string(),
                     Json::str(if state.service.is_draining() {
                         "draining"
                     } else {
@@ -358,12 +398,24 @@ fn route(
                     }),
                 ),
                 (
-                    "materialized",
+                    "materialized".to_string(),
                     Json::Int(state.service.materialized_len() as i64),
                 ),
-                ("queue_depth", Json::Int(state.service.queue_depth() as i64)),
-                ("threads", Json::Int(state.service.threads() as i64)),
-            ]);
+                (
+                    "queue_depth".to_string(),
+                    Json::Int(state.service.queue_depth() as i64),
+                ),
+                (
+                    "threads".to_string(),
+                    Json::Int(state.service.threads() as i64),
+                ),
+            ];
+            // the store field is absent when the service runs without
+            // a durable store
+            if let Some(status) = state.service.store_status() {
+                fields.push(("store".to_string(), store_status_json(&status)));
+            }
+            let body = Json::Object(fields);
             http::write_response(stream, &Response::json(200, body.encode()), keep_alive)
         }
         ("GET", "/metrics") => {

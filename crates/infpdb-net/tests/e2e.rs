@@ -377,3 +377,53 @@ fn keep_alive_reuses_one_connection() {
     }
     server.shutdown();
 }
+
+/// `/healthz` gains a `store` field exactly when durability is
+/// configured: absent without `store_dir`, `fresh` on an empty
+/// directory, `ok` with the fact count after snapshot and reopen.
+#[test]
+fn healthz_reports_store_status_when_durable() {
+    // no store configured → no store field at all
+    let (server, base) = start(ServerConfig::default(), 1);
+    let doc = Json::parse(get(&base, "/healthz").body_utf8().unwrap()).unwrap();
+    assert!(doc.get("store").is_none());
+    server.shutdown();
+
+    let dir = std::env::temp_dir().join(format!("infpdb-e2e-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = |dir: &std::path::Path| {
+        QueryService::new(
+            pdb(),
+            ServiceConfig {
+                threads: 1,
+                store_dir: Some(dir.to_path_buf()),
+                ..ServiceConfig::default()
+            },
+        )
+    };
+
+    // empty store directory → fresh
+    let server = HttpServer::start(durable(&dir), ServerConfig::default(), "127.0.0.1:0").unwrap();
+    let base = BaseUrl::parse(&format!("http://{}", server.addr())).unwrap();
+    let doc = Json::parse(get(&base, "/healthz").body_utf8().unwrap()).unwrap();
+    assert_eq!(
+        doc.get("store")
+            .and_then(|s| s.get("status"))
+            .and_then(Json::as_str),
+        Some("fresh")
+    );
+    server.service().warm(0.01).unwrap();
+    server.service().snapshot().unwrap().unwrap();
+    let facts = server.service().materialized_len() as i64;
+    server.shutdown();
+
+    // reopen → ok with the persisted fact count
+    let server = HttpServer::start(durable(&dir), ServerConfig::default(), "127.0.0.1:0").unwrap();
+    let base = BaseUrl::parse(&format!("http://{}", server.addr())).unwrap();
+    let doc = Json::parse(get(&base, "/healthz").body_utf8().unwrap()).unwrap();
+    let store = doc.get("store").expect("store field present");
+    assert_eq!(store.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(store.get("facts").and_then(Json::as_i64), Some(facts));
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

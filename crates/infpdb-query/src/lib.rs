@@ -33,12 +33,14 @@ pub mod budget;
 pub mod cancel;
 pub mod conditional;
 pub mod marginal;
+pub mod persist;
 pub mod prepared;
 pub mod sampling;
 pub mod truncate;
 
 pub use approx::{approx_prob_boolean, Approximation};
 pub use cancel::{CancelInfo, CancelKind, CancelToken};
+pub use persist::{OpenReport, StoreStatus};
 pub use prepared::{PreparedPdb, PreparedQuery};
 
 /// Errors of the approximate-evaluation layer.

@@ -133,6 +133,24 @@ impl PreparedPdb {
         }
     }
 
+    /// A point-in-time copy of the shared catalog — the artifact the
+    /// durable store serializes (see [`crate::persist`]).
+    pub fn catalog_snapshot(&self) -> FactCatalog {
+        self.lock_state().catalog.clone()
+    }
+
+    /// Installs a restored catalog. Only an empty, untouched prepared
+    /// PDB may adopt (the restore path runs before any grounding);
+    /// returns `false` without touching anything otherwise.
+    pub(crate) fn adopt_catalog(&self, catalog: FactCatalog) -> bool {
+        let mut state = self.lock_state();
+        if !state.catalog.is_empty() || !state.tables.is_empty() {
+            return false;
+        }
+        state.catalog = catalog;
+        true
+    }
+
     fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
         // a panic while extending leaves the catalog consistent (push is
         // all-or-nothing), so recover instead of propagating the poison

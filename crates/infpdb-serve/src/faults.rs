@@ -11,16 +11,18 @@
 //! chaos test can assert that the service's failure metrics match the
 //! injected counts *exactly*.
 //!
-//! The injector is `std`-only and designed to be free when idle: an
-//! unarmed injector's [`fire`](FaultInjector::fire) is a single relaxed
-//! atomic load.
+//! The seeded site machinery itself lives in
+//! [`infpdb_core::faultsim`] — shared with the durable store's
+//! fault-injecting I/O layer — and this module binds it to the serving
+//! layer's fault kinds. The injector is `std`-only and free when idle:
+//! an unarmed injector's [`fire`](FaultInjector::fire) is a single
+//! relaxed atomic load.
 
 use crate::ServeError;
-use infpdb_core::space::rand_core::{RngCore, SplitMix64};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use infpdb_core::faultsim::SiteInjector;
 use std::time::Duration;
+
+pub use infpdb_core::faultsim::Trigger;
 
 /// What to inject when a fault fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,61 +35,10 @@ pub enum FaultKind {
     Latency(Duration),
 }
 
-/// When a configured fault fires.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Trigger {
-    /// Fire on the first `k` calls to the site, then never again.
-    /// The deterministic workhorse: after enough traffic, exactly `k`
-    /// faults have been injected.
-    Times(u64),
-    /// Fire on every call.
-    Always,
-    /// Fire on every `n`-th call (the 1st, `n+1`-th, …); `n = 1` is
-    /// [`Trigger::Always`].
-    EveryNth(u64),
-    /// Fire with probability `p` per call, drawn from the site's seeded
-    /// stream — deterministic for a fixed seed and call sequence.
-    Probability(f64),
-}
-
-struct Site {
-    kind: FaultKind,
-    trigger: Trigger,
-    rng: SplitMix64,
-    calls: u64,
-    fired: u64,
-}
-
-impl Site {
-    fn should_fire(&mut self) -> bool {
-        let call = self.calls;
-        self.calls += 1;
-        match self.trigger {
-            Trigger::Times(k) => self.fired < k,
-            Trigger::Always => true,
-            Trigger::EveryNth(n) => n > 0 && call.is_multiple_of(n),
-            Trigger::Probability(p) => (self.rng.next_u64() as f64 / u64::MAX as f64) < p,
-        }
-    }
-}
-
 /// A registry of injectable faults, keyed by site name.
 #[derive(Debug)]
 pub struct FaultInjector {
-    seed: u64,
-    armed: AtomicBool,
-    sites: Mutex<HashMap<String, Site>>,
-}
-
-impl std::fmt::Debug for Site {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Site")
-            .field("kind", &self.kind)
-            .field("trigger", &self.trigger)
-            .field("calls", &self.calls)
-            .field("fired", &self.fired)
-            .finish()
-    }
+    sites: SiteInjector<FaultKind>,
 }
 
 impl FaultInjector {
@@ -95,9 +46,7 @@ impl FaultInjector {
     /// probability streams.
     pub fn new(seed: u64) -> Self {
         FaultInjector {
-            seed,
-            armed: AtomicBool::new(false),
-            sites: Mutex::new(HashMap::new()),
+            sites: SiteInjector::new(seed),
         }
     }
 
@@ -105,39 +54,22 @@ impl FaultInjector {
     /// seeded from the injector seed and a hash of the site name, so
     /// adding sites never perturbs the streams of existing ones.
     pub fn inject(&self, site: &str, kind: FaultKind, trigger: Trigger) {
-        let mut sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
-        sites.insert(
-            site.to_string(),
-            Site {
-                kind,
-                trigger,
-                rng: SplitMix64::new(self.seed ^ fnv1a(site.as_bytes())),
-                calls: 0,
-                fired: 0,
-            },
-        );
-        self.armed.store(true, Ordering::Release);
+        self.sites.inject(site, kind, trigger);
     }
 
     /// Removes the fault at `site` (its fired count is forgotten).
     pub fn clear(&self, site: &str) {
-        let mut sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
-        sites.remove(site);
-        if sites.is_empty() {
-            self.armed.store(false, Ordering::Release);
-        }
+        self.sites.clear(site);
     }
 
     /// How many faults have fired at `site` so far.
     pub fn fired(&self, site: &str) -> u64 {
-        let sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
-        sites.get(site).map(|s| s.fired).unwrap_or(0)
+        self.sites.fired(site)
     }
 
     /// How many times `site` has been reached (fired or not).
     pub fn calls(&self, site: &str) -> u64 {
-        let sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
-        sites.get(site).map(|s| s.calls).unwrap_or(0)
+        self.sites.calls(site)
     }
 
     /// The checkpoint placed at each named site. Returns `Ok(())` when
@@ -146,40 +78,16 @@ impl FaultInjector {
     /// [`FaultKind::Panic`] — by design, to exercise the worker's panic
     /// containment.
     pub fn fire(&self, site: &str) -> Result<(), ServeError> {
-        if !self.armed.load(Ordering::Acquire) {
-            return Ok(());
-        }
-        let kind = {
-            let mut sites = self.sites.lock().unwrap_or_else(|e| e.into_inner());
-            match sites.get_mut(site) {
-                None => return Ok(()),
-                Some(s) => {
-                    if !s.should_fire() {
-                        return Ok(());
-                    }
-                    s.fired += 1;
-                    s.kind
-                }
-            }
-        };
-        match kind {
-            FaultKind::Panic => panic!("injected fault: panic at {site}"),
-            FaultKind::Error => Err(ServeError::Transient { site: site.into() }),
-            FaultKind::Latency(d) => {
+        match self.sites.check(site) {
+            None => Ok(()),
+            Some(FaultKind::Panic) => panic!("injected fault: panic at {site}"),
+            Some(FaultKind::Error) => Err(ServeError::Transient { site: site.into() }),
+            Some(FaultKind::Latency(d)) => {
                 std::thread::sleep(d);
                 Ok(())
             }
         }
     }
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
 }
 
 #[cfg(test)]

@@ -148,6 +148,18 @@ pub struct Metrics {
     /// subproblem fell below the fork threshold (or fewer than two were
     /// heavy enough to split).
     pub parallel_fallback_seq: AtomicU64,
+    /// Durable-store snapshots committed (manifest renamed into place).
+    pub store_snapshot_writes: AtomicU64,
+    /// Store opens that had to recover (anything short of a clean,
+    /// fingerprint-verified load: torn tails, checksum failures, missing
+    /// segments, or a degraded fallback to an empty catalog).
+    pub store_recoveries: AtomicU64,
+    /// Records rejected by a CRC32C or structural check during store
+    /// opens, accumulated across recoveries.
+    pub store_checksum_failures: AtomicU64,
+    /// Facts dropped past the last recoverable prefix during store
+    /// opens, accumulated across recoveries.
+    pub store_recovered_facts_dropped: AtomicU64,
     /// Jobs currently queued, waiting for a worker.
     pub queue_depth: AtomicU64,
     /// Time from submission to the start of evaluation.
@@ -232,6 +244,25 @@ impl Metrics {
             out,
             "serve_parallel_fallback_seq_total {}",
             c(&self.parallel_fallback_seq)
+        )
+        .ok();
+        writeln!(
+            out,
+            "store_snapshot_writes_total {}",
+            c(&self.store_snapshot_writes)
+        )
+        .ok();
+        writeln!(out, "store_recoveries_total {}", c(&self.store_recoveries)).ok();
+        writeln!(
+            out,
+            "store_checksum_failures_total {}",
+            c(&self.store_checksum_failures)
+        )
+        .ok();
+        writeln!(
+            out,
+            "store_recovered_facts_dropped_total {}",
+            c(&self.store_recovered_facts_dropped)
         )
         .ok();
         writeln!(out, "serve_queue_depth {}", c(&self.queue_depth)).ok();
@@ -385,6 +416,26 @@ impl Metrics {
                 c(&self.arena_intern_hits),
             );
         }
+        counter(
+            "store_snapshot_writes_total",
+            "Durable-store snapshots committed (manifest renamed into place).",
+            c(&self.store_snapshot_writes),
+        );
+        counter(
+            "store_recoveries_total",
+            "Store opens that had to recover rather than load cleanly.",
+            c(&self.store_recoveries),
+        );
+        counter(
+            "store_checksum_failures_total",
+            "Records rejected by a CRC32C or structural check during store opens.",
+            c(&self.store_checksum_failures),
+        );
+        counter(
+            "store_recovered_facts_dropped_total",
+            "Facts dropped past the last recoverable prefix during store opens.",
+            c(&self.store_recovered_facts_dropped),
+        );
         writeln!(
             out,
             "# HELP serve_queue_depth Jobs currently queued, waiting for a worker."
@@ -474,6 +525,10 @@ mod tests {
             "serve_shannon_memo_hits_total 0",
             "serve_parallel_tasks_total 0",
             "serve_parallel_fallback_seq_total 0",
+            "store_snapshot_writes_total 0",
+            "store_recoveries_total 0",
+            "store_checksum_failures_total 0",
+            "store_recovered_facts_dropped_total 0",
             "serve_queue_depth 0",
             "serve_wait_micros_count 0",
             "serve_run_micros_count 0",

@@ -46,9 +46,11 @@ use infpdb_query::approx::{Approximation, PartialOnCancel};
 use infpdb_query::budget::BudgetReport;
 use infpdb_query::cancel::{CancelKind, CancelToken};
 use infpdb_query::prepared::{execute_prepared_par, PreparedPdb};
-use infpdb_query::QueryError;
+use infpdb_query::{QueryError, StoreStatus};
+use infpdb_store::{SnapshotInfo, Store, StoreError};
 use infpdb_ti::construction::CountableTiPdb;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -99,7 +101,7 @@ impl RetryPolicy {
 }
 
 /// Configuration for a [`QueryService`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads in the pool (at least 1).
     pub threads: usize,
@@ -138,6 +140,12 @@ pub struct ServiceConfig {
     /// across scoped threads. Estimates stay bit-for-bit identical at
     /// every value.
     pub parallelism: usize,
+    /// Directory of the durable fact store. When set, the service
+    /// recovers the persisted catalog prefix on startup (verified
+    /// fact-by-fact against the live supply; see
+    /// [`PreparedPdb::open`]) and [`QueryService::snapshot`] persists
+    /// into it. `None` disables durability entirely.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -156,6 +164,7 @@ impl Default for ServiceConfig {
             breaker: BreakerConfig::default(),
             arena_stats: false,
             parallelism: 1,
+            store_dir: None,
         }
     }
 }
@@ -310,6 +319,8 @@ struct Inner {
     retry: RetryPolicy,
     faults: Option<Arc<FaultInjector>>,
     arena_stats: bool,
+    store: Option<Store>,
+    store_status: Option<StoreStatus>,
 }
 
 impl Inner {
@@ -351,9 +362,32 @@ impl QueryService {
         faults: Option<Arc<FaultInjector>>,
     ) -> Self {
         let metrics = Arc::new(Metrics::new());
+        let pdb_fingerprint = countable_pdb_fingerprint(&pdb);
+        let (prepared, store, store_status) = match &config.store_dir {
+            None => (PreparedPdb::new(pdb), None, None),
+            Some(dir) => {
+                let store = Store::open_dir(dir);
+                let (prepared, report) = PreparedPdb::open(pdb, &store, Some(pdb_fingerprint));
+                if matches!(
+                    report.status,
+                    StoreStatus::Recovered { .. } | StoreStatus::Degraded { .. }
+                ) {
+                    metrics.store_recoveries.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(rec) = &report.recovery {
+                    metrics
+                        .store_checksum_failures
+                        .fetch_add(rec.checksum_failures, Ordering::Relaxed);
+                    metrics
+                        .store_recovered_facts_dropped
+                        .fetch_add(rec.facts_dropped, Ordering::Relaxed);
+                }
+                (prepared, Some(store), Some(report.status))
+            }
+        };
         let inner = Arc::new(Inner {
-            pdb_fingerprint: countable_pdb_fingerprint(&pdb),
-            prepared: PreparedPdb::new(pdb),
+            pdb_fingerprint,
+            prepared,
             engine: config.engine,
             parallelism: config.parallelism.max(1),
             policy: config.policy,
@@ -366,6 +400,8 @@ impl QueryService {
             retry: config.retry,
             faults,
             arena_stats: config.arena_stats,
+            store,
+            store_status,
         });
         let pool = ThreadPool::with_config(
             PoolConfig {
@@ -512,6 +548,32 @@ impl QueryService {
     /// [`PreparedPdb::warm`]. Returns the materialized length.
     pub fn warm(&self, eps_max: f64) -> Result<usize, ServeError> {
         self.inner.prepared.warm(eps_max).map_err(ServeError::Query)
+    }
+
+    /// The verdict of startup recovery against the configured store;
+    /// `None` when the service runs without one
+    /// ([`ServiceConfig::store_dir`] unset).
+    pub fn store_status(&self) -> Option<StoreStatus> {
+        self.inner.store_status.clone()
+    }
+
+    /// Writes the current grounded prefix to the configured store via
+    /// the crash-safe snapshot protocol (epoch-named segments, then an
+    /// atomic manifest rename). Returns `Ok(None)` when no store is
+    /// configured; on success bumps `store_snapshot_writes_total`.
+    pub fn snapshot(&self) -> Result<Option<SnapshotInfo>, StoreError> {
+        let Some(store) = &self.inner.store else {
+            return Ok(None);
+        };
+        let info = self
+            .inner
+            .prepared
+            .persist(store, Some(self.inner.pdb_fingerprint), None)?;
+        self.inner
+            .metrics
+            .store_snapshot_writes
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(Some(info))
     }
 
     /// Jobs queued but not yet picked up by a worker.

@@ -1,0 +1,236 @@
+//! The store's I/O boundary and its failure model.
+//!
+//! Every byte the store reads or writes goes through [`StoreIo`], so the
+//! failure model is explicit and injectable. [`StdIo`] is the real
+//! thing; [`FaultyIo`] wraps any implementation and extends the PR-2
+//! seeded-fault machinery ([`infpdb_core::faultsim`]) with storage
+//! faults at three named sites:
+//!
+//! | site | faults |
+//! |---|---|
+//! | [`SITE_WRITE`] | [`IoFault::Error`], [`IoFault::ShortWrite`], [`IoFault::BitFlip`] |
+//! | [`SITE_FSYNC`] | [`IoFault::Error`] |
+//! | [`SITE_RENAME`] | [`IoFault::Error`] |
+//!
+//! `Error` makes the operation fail loudly — the snapshot aborts, the
+//! old manifest stays the commit point, and nothing is lost.
+//! `ShortWrite` and `BitFlip` are the dishonest failures real disks
+//! exhibit across power loss: the write *reports success* but persists
+//! only a prefix (or a corrupted byte), which is exactly the state a
+//! `kill -9` mid-write or a lying write cache leaves behind. Recovery
+//! must absorb those by checksum, not by trusting return codes.
+//!
+//! Determinism: triggers and the flipped bit position derive from the
+//! injector's seed and per-site `SplitMix64` streams, so a chaos test
+//! can assert the store's failure metrics match injected counts exactly.
+
+use crate::StoreError;
+use infpdb_core::faultsim::SiteInjector;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+pub use infpdb_core::faultsim::Trigger;
+
+/// Fault site name for payload writes.
+pub const SITE_WRITE: &str = "store_write";
+/// Fault site name for fsync barriers.
+pub const SITE_FSYNC: &str = "store_fsync";
+/// Fault site name for atomic renames.
+pub const SITE_RENAME: &str = "store_rename";
+
+/// The file operations the store needs, small enough to fault-inject
+/// exhaustively. Implementations must be usable from multiple threads.
+pub trait StoreIo: Send + Sync + std::fmt::Debug {
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates (or truncates) `path` and writes `bytes` in full.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Durability barrier: flushes `path`'s data and metadata to disk.
+    fn fsync(&self, path: &Path) -> io::Result<()>;
+    /// Atomically replaces `to` with `from` (POSIX rename semantics).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Flushes the directory entry itself (so renames survive a crash).
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Removes a file; used only for garbage collection.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Lists the files in a directory.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Whether a path exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Creates a directory (and parents).
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// Maps an `io::Result` into a [`StoreError`] tagged with the operation.
+pub(crate) fn io_err<T>(r: io::Result<T>, op: &'static str, path: &Path) -> Result<T, StoreError> {
+    r.map_err(|source| StoreError::Io {
+        op,
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdIo;
+
+impl StoreIo for StdIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::File::create(path)?;
+        f.write_all(bytes)?;
+        Ok(())
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // opening a directory read-only for fsync is POSIX practice; on
+        // platforms where it fails (e.g. Windows), the rename is already
+        // as durable as the platform allows
+        match fs::File::open(dir) {
+            Ok(d) => d.sync_all().or(Ok(())),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            out.push(entry?.path());
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+}
+
+/// What to inject when a storage fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The operation returns an injected `io::Error`. A loud, honest
+    /// failure: the caller sees it and aborts the snapshot.
+    Error,
+    /// The write reports success but persists only the first half of
+    /// the buffer — the torn-tail state a crash mid-write leaves.
+    ShortWrite,
+    /// The write reports success but one bit (seeded choice) is
+    /// flipped — silent media corruption, caught later by CRC32C.
+    BitFlip,
+}
+
+/// A seeded fault-injecting [`StoreIo`] wrapper.
+#[derive(Debug)]
+pub struct FaultyIo<I = StdIo> {
+    inner: I,
+    injector: Arc<SiteInjector<IoFault>>,
+}
+
+impl FaultyIo<StdIo> {
+    /// Wraps the real filesystem with a fresh injector.
+    pub fn new(seed: u64) -> Self {
+        FaultyIo {
+            inner: StdIo,
+            injector: Arc::new(SiteInjector::new(seed)),
+        }
+    }
+}
+
+impl<I: StoreIo> FaultyIo<I> {
+    /// Wraps an arbitrary implementation with an existing injector.
+    pub fn with_injector(inner: I, injector: Arc<SiteInjector<IoFault>>) -> Self {
+        FaultyIo { inner, injector }
+    }
+
+    /// The shared injector, for configuring faults and reading counts.
+    pub fn injector(&self) -> &Arc<SiteInjector<IoFault>> {
+        &self.injector
+    }
+
+    fn injected(site: &str) -> io::Error {
+        io::Error::other(format!("injected fault: {site}"))
+    }
+}
+
+impl<I: StoreIo> StoreIo for FaultyIo<I> {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.injector.check(SITE_WRITE) {
+            None => self.inner.write(path, bytes),
+            Some(IoFault::Error) => Err(Self::injected(SITE_WRITE)),
+            Some(IoFault::ShortWrite) => {
+                // persist a prefix, report success: the lying-cache crash
+                self.inner.write(path, &bytes[..bytes.len() / 2])
+            }
+            Some(IoFault::BitFlip) => {
+                let mut corrupted = bytes.to_vec();
+                if !corrupted.is_empty() {
+                    let r = self.injector.draw(SITE_WRITE);
+                    let byte = (r as usize / 8) % corrupted.len();
+                    let bit = (r % 8) as u8;
+                    corrupted[byte] ^= 1 << bit;
+                }
+                self.inner.write(path, &corrupted)
+            }
+        }
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        match self.injector.check(SITE_FSYNC) {
+            Some(_) => Err(Self::injected(SITE_FSYNC)),
+            None => self.inner.fsync(path),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.injector.check(SITE_RENAME) {
+            Some(_) => Err(Self::injected(SITE_RENAME)),
+            None => self.inner.rename(from, to),
+        }
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.inner.sync_dir(dir)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+}

@@ -1,0 +1,140 @@
+#![warn(missing_docs)]
+//! Durable fact store for `infpdb`: crash-safe snapshots of grounded
+//! enumeration prefixes, with torn-write recovery.
+//!
+//! Everything the prepared-query pipeline grounds lives in one
+//! append-only [`FactCatalog`](infpdb_ti::catalog::FactCatalog): dense
+//! fact ids equal to enumeration indexes, probabilities aligned. This
+//! crate persists that artifact so a restart skips the enumeration cost
+//! and a crash loses at most the unsnapshotted suffix:
+//!
+//! * **Segments** ([`segment`]) — one file per relation, records in
+//!   dense `FactId` order, fixed-width frame headers (length + CRC32C)
+//!   around each record, a footer carrying the record count and an
+//!   order-insensitive content fingerprint.
+//! * **Manifest** ([`manifest`]) — the single commit point. Segment
+//!   files are epoch-named and immutable once written; `MANIFEST` is
+//!   replaced only via write-temp → fsync → atomic rename, so at every
+//!   instant the manifest on disk points at a complete set of files
+//!   from *some* successful snapshot.
+//! * **Recovery** ([`store`]) — total and honest. A torn or corrupt
+//!   segment tail is detected by checksum, truncated to the last valid
+//!   record, and reported as a recovered prefix (facts kept, facts
+//!   dropped) rather than a panic or silent acceptance. Truncating to a
+//!   prefix is *sound* by the paper's Proposition 6.1: any `m`-fact
+//!   prefix re-certifies at the widened tolerance
+//!   `ε_m = e^{1.5·T_m} − 1` (the query layer computes the floor via
+//!   its partial certificates).
+//! * **Failure model** ([`io`]) — all file I/O goes through the
+//!   [`StoreIo`] trait. [`FaultyIo`] extends the serving layer's seeded
+//!   fault machinery ([`infpdb_core::faultsim`]) with storage faults:
+//!   short writes, seeded bit flips, and injected I/O errors at the
+//!   write/fsync/rename sites, deterministically per seed.
+
+pub mod io;
+pub mod manifest;
+pub mod segment;
+pub mod store;
+
+pub use io::{FaultyIo, IoFault, StdIo, StoreIo};
+pub use manifest::Manifest;
+pub use store::{FsckReport, Recovered, RecoveryReport, SnapshotInfo, Store};
+
+/// Errors of the durable-store layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A file operation failed (including injected faults).
+    Io {
+        /// Which operation (`"write"`, `"fsync"`, `"rename"`, …).
+        op: &'static str,
+        /// The path involved.
+        path: std::path::PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// On-disk state failed validation beyond what recovery can absorb
+    /// (unparseable manifest, unknown format version).
+    Corrupt(String),
+    /// Rebuilding the catalog from recovered records failed.
+    Ti(infpdb_ti::TiError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "store {op} failed on {}: {source}", path.display())
+            }
+            StoreError::Corrupt(msg) => write!(f, "store corrupt: {msg}"),
+            StoreError::Ti(e) => write!(f, "store restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<infpdb_ti::TiError> for StoreError {
+    fn from(e: infpdb_ti::TiError) -> Self {
+        StoreError::Ti(e)
+    }
+}
+
+/// CRC32C (Castagnoli), the per-record and footer checksum.
+///
+/// Software table implementation; the polynomial's error-detection
+/// properties (and hardware support elsewhere) are why storage systems
+/// standardized on it over CRC32.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32c_table();
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+const fn crc32c_table() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0x82F6_3B78 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        t[i] = c;
+        i += 1;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32c_known_vectors() {
+        // RFC 3720 appendix test vectors
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+    }
+
+    #[test]
+    fn crc32c_detects_single_bit_flips() {
+        let base = b"the quick brown fox".to_vec();
+        let c0 = crc32c(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&flipped), c0, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,712 @@
+//! The store proper: snapshot, load-with-recovery, and fsck.
+//!
+//! Commit protocol (the crash matrix lives in DESIGN.md §12):
+//!
+//! 1. Segment files for the new epoch are written under fresh names
+//!    (`rel{r}-{epoch}.seg`) and fsynced. They are invisible until
+//!    committed — a crash here leaves garbage the next snapshot GCs.
+//! 2. The manifest is written to `MANIFEST.tmp`, fsynced, and renamed
+//!    onto `MANIFEST`; the directory is fsynced. The rename is the
+//!    commit point: before it the old snapshot is intact, after it the
+//!    new one is.
+//! 3. Segment files of older epochs are unlinked (best effort; failures
+//!    are ignored and retried by the next snapshot's GC).
+//!
+//! Loading never panics on damage. Each committed segment is scanned
+//! front-to-back ([`scan_segment`](crate::segment::scan_segment)), the
+//! surviving records are merged by dense fact id, and the longest
+//! contiguous id prefix from zero is rebuilt into a catalog. Everything
+//! else — dropped facts, checksum failures, missing files, fingerprint
+//! mismatches — is surfaced in the [`RecoveryReport`]. Truncating to a
+//! prefix is sound (Proposition 6.1); the query layer turns the kept
+//! length into a widened ε floor via its partial certificates.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use infpdb_core::json::Json;
+use infpdb_core::schema::{RelId, Relation, Schema};
+use infpdb_ti::catalog::FactCatalog;
+
+use crate::io::{io_err, StdIo, StoreIo};
+use crate::manifest::{Manifest, RelationEntry, SegmentEntry, FORMAT_VERSION};
+use crate::segment::{encode_segment, records_fingerprint, scan_segment, SegmentRecord};
+use crate::StoreError;
+
+/// Name of the commit-point file.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+
+/// A durable fact store rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+    io: Arc<dyn StoreIo>,
+}
+
+/// What a successful snapshot wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// The committed epoch.
+    pub epoch: u64,
+    /// Facts persisted.
+    pub facts: u64,
+    /// Segment files written.
+    pub segments: usize,
+    /// Total segment bytes written (manifest excluded).
+    pub bytes: u64,
+}
+
+/// Honest accounting of a load: what survived, what did not, and why.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Facts the manifest committed to.
+    pub facts_expected: u64,
+    /// Facts actually restored (the contiguous id prefix).
+    pub facts_kept: u64,
+    /// Facts lost to damage: `expected − kept`.
+    pub facts_dropped: u64,
+    /// Record frames, headers, or footers whose checksum failed.
+    pub checksum_failures: u64,
+    /// Segment files the manifest names that could not be read.
+    pub missing_segments: u64,
+    /// Whether the rebuilt table's fingerprint matched the manifest
+    /// (only checkable when every fact survived).
+    pub fingerprint_verified: bool,
+}
+
+impl RecoveryReport {
+    /// Whether the load read back exactly what was written.
+    pub fn clean(&self) -> bool {
+        self.facts_dropped == 0
+            && self.checksum_failures == 0
+            && self.missing_segments == 0
+            && self.fingerprint_verified
+    }
+}
+
+/// The result of [`Store::load`]: a rebuilt catalog plus the manifest
+/// and the recovery accounting.
+#[derive(Debug, Clone)]
+pub struct Recovered {
+    /// The restored catalog — the longest valid prefix on disk.
+    pub catalog: FactCatalog,
+    /// The committed manifest the load worked from.
+    pub manifest: Manifest,
+    /// What happened on the way.
+    pub report: RecoveryReport,
+}
+
+/// Per-relation detail of an fsck pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckRelation {
+    /// Relation name.
+    pub name: String,
+    /// Segment file name (relative to the store directory).
+    pub file: String,
+    /// Records the manifest committed to.
+    pub records_expected: u64,
+    /// Records that scanned back intact.
+    pub records_found: u64,
+    /// Checksum failures in this segment.
+    pub checksum_failures: u64,
+    /// Undecodable tail bytes.
+    pub torn_bytes: u64,
+    /// Whether the file was readable at all.
+    pub readable: bool,
+    /// Whether the recomputed record fingerprint matched both the
+    /// segment footer and the manifest entry.
+    pub fingerprint_ok: bool,
+}
+
+/// The result of [`Store::verify`] (`infpdb store verify`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckReport {
+    /// The committed epoch.
+    pub epoch: u64,
+    /// Facts the manifest committed to.
+    pub facts_expected: u64,
+    /// Per-relation segment findings.
+    pub relations: Vec<FsckRelation>,
+}
+
+impl FsckReport {
+    /// Whether every segment verified end to end.
+    pub fn clean(&self) -> bool {
+        self.relations.iter().all(|r| {
+            r.readable
+                && r.checksum_failures == 0
+                && r.torn_bytes == 0
+                && r.records_found == r.records_expected
+                && r.fingerprint_ok
+        })
+    }
+
+    /// Total checksum failures across segments.
+    pub fn checksum_failures(&self) -> u64 {
+        self.relations.iter().map(|r| r.checksum_failures).sum()
+    }
+}
+
+impl Store {
+    /// A store over the real filesystem.
+    pub fn open_dir(dir: impl Into<PathBuf>) -> Self {
+        Self::with_io(dir, Arc::new(StdIo))
+    }
+
+    /// A store over an explicit I/O implementation (fault injection).
+    pub fn with_io(dir: impl Into<PathBuf>, io: Arc<dyn StoreIo>) -> Self {
+        Store {
+            dir: dir.into(),
+            io,
+        }
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join(MANIFEST_FILE)
+    }
+
+    /// Reads and parses the committed manifest; `None` when the store
+    /// directory holds no snapshot yet.
+    pub fn read_manifest(&self) -> Result<Option<Manifest>, StoreError> {
+        let path = self.manifest_path();
+        if !self.io.exists(&path) {
+            return Ok(None);
+        }
+        let bytes = io_err(self.io.read(&path), "read", &path)?;
+        let text = String::from_utf8(bytes)
+            .map_err(|_| StoreError::Corrupt("manifest: not UTF-8".into()))?;
+        Manifest::parse(&text).map(Some)
+    }
+
+    fn next_epoch(&self) -> u64 {
+        // prefer the committed epoch; fall back to scanning file names so
+        // a corrupt manifest cannot make us reuse (and clobber) an epoch
+        if let Ok(Some(m)) = self.read_manifest() {
+            return m.epoch + 1;
+        }
+        let mut max = 0u64;
+        if let Ok(files) = self.io.list(&self.dir) {
+            for f in files {
+                if let Some(e) = parse_epoch(&f) {
+                    max = max.max(e);
+                }
+            }
+        }
+        max + 1
+    }
+
+    /// Writes a full snapshot of `catalog` and commits it. On any error
+    /// the previously committed snapshot (if any) is untouched.
+    ///
+    /// `pdb_fingerprint` identifies the generating supply (so an open
+    /// against a different database is detected); `descriptor` is an
+    /// opaque blob the caller wants restored alongside the facts.
+    pub fn snapshot(
+        &self,
+        catalog: &FactCatalog,
+        pdb_fingerprint: Option<u64>,
+        descriptor: Option<Json>,
+    ) -> Result<SnapshotInfo, StoreError> {
+        io_err(self.io.create_dir_all(&self.dir), "create_dir", &self.dir)?;
+        let epoch = self.next_epoch();
+        let schema = catalog.schema();
+
+        // group the dense prefix by relation, preserving id order
+        let mut by_rel: Vec<Vec<(infpdb_core::fact::FactId, &infpdb_core::fact::Fact, f64)>> =
+            vec![Vec::new(); schema.len()];
+        for (id, fact, prob) in catalog.iter() {
+            by_rel[fact.rel().0 as usize].push((id, fact, prob));
+        }
+
+        let mut segments = Vec::new();
+        let mut bytes_written = 0u64;
+        for (rel_idx, records) in by_rel.iter().enumerate() {
+            if records.is_empty() {
+                continue;
+            }
+            let rel = RelId(rel_idx as u32);
+            let image = encode_segment(schema, rel, records);
+            // footer layout: magic 8 | count 8 | fingerprint 8 | crc 4
+            let fp_off = image.len() - 12;
+            let fingerprint = u64::from_le_bytes(image[fp_off..fp_off + 8].try_into().unwrap());
+            let file = format!("rel{rel_idx}-{epoch}.seg");
+            let path = self.dir.join(&file);
+            io_err(self.io.write(&path, &image), "write", &path)?;
+            io_err(self.io.fsync(&path), "fsync", &path)?;
+            bytes_written += image.len() as u64;
+            segments.push(SegmentEntry {
+                rel: rel_idx as u32,
+                file,
+                count: records.len() as u64,
+                fingerprint,
+            });
+        }
+
+        let manifest = Manifest {
+            format: FORMAT_VERSION,
+            epoch,
+            facts: catalog.len() as u64,
+            table_fingerprint: catalog.table_prefix(catalog.len()).fingerprint(),
+            pdb_fingerprint,
+            descriptor,
+            relations: schema
+                .iter()
+                .map(|(_, r)| RelationEntry {
+                    name: r.name().to_string(),
+                    arity: r.arity(),
+                })
+                .collect(),
+            segments,
+        };
+
+        // commit: write-temp → fsync → atomic rename → sync dir
+        let tmp = self.dir.join(MANIFEST_TMP);
+        let dst = self.manifest_path();
+        io_err(
+            self.io.write(&tmp, manifest.encode().as_bytes()),
+            "write",
+            &tmp,
+        )?;
+        io_err(self.io.fsync(&tmp), "fsync", &tmp)?;
+        io_err(self.io.rename(&tmp, &dst), "rename", &dst)?;
+        io_err(self.io.sync_dir(&self.dir), "sync_dir", &self.dir)?;
+
+        self.gc(epoch);
+
+        Ok(SnapshotInfo {
+            epoch,
+            facts: catalog.len() as u64,
+            segments: manifest.segments.len(),
+            bytes: bytes_written,
+        })
+    }
+
+    /// Unlinks segment files from epochs other than `keep` (best
+    /// effort — a failure here is retried by the next snapshot).
+    fn gc(&self, keep: u64) {
+        let Ok(files) = self.io.list(&self.dir) else {
+            return;
+        };
+        for f in files {
+            if let Some(e) = parse_epoch(&f) {
+                if e != keep {
+                    let _ = self.io.remove(&f);
+                }
+            }
+        }
+    }
+
+    /// Loads the committed snapshot, recovering the longest valid
+    /// prefix. `Ok(None)` when the directory holds no snapshot;
+    /// [`StoreError::Corrupt`] only when the manifest itself — the
+    /// commit point — is unusable.
+    pub fn load(&self) -> Result<Option<Recovered>, StoreError> {
+        let Some(manifest) = self.read_manifest()? else {
+            return Ok(None);
+        };
+        let schema = Schema::from_relations(
+            manifest
+                .relations
+                .iter()
+                .map(|r| Relation::new(r.name.clone(), r.arity)),
+        )
+        .map_err(|e| StoreError::Corrupt(format!("manifest schema: {e}")))?;
+
+        let mut report = RecoveryReport {
+            facts_expected: manifest.facts,
+            ..RecoveryReport::default()
+        };
+
+        // merge scanned records by dense id
+        let mut slots: Vec<Option<(SegmentRecord, RelId)>> = vec![None; manifest.facts as usize];
+        for entry in &manifest.segments {
+            let path = self.dir.join(&entry.file);
+            let Ok(bytes) = self.io.read(&path) else {
+                report.missing_segments += 1;
+                continue;
+            };
+            let scan = scan_segment(&bytes);
+            report.checksum_failures += scan.checksum_failures;
+            match scan.header {
+                Some(h) if h.rel == entry.rel => {}
+                _ => {
+                    // header damage already counted via checksum; a rel
+                    // mismatch means the file is not the manifest's — an
+                    // inconsistency we refuse to read facts out of
+                    if scan.header.is_some() {
+                        report.checksum_failures += 1;
+                    }
+                    continue;
+                }
+            }
+            for rec in scan.records {
+                let idx = rec.id as usize;
+                if idx < slots.len() && slots[idx].is_none() {
+                    slots[idx] = Some((rec, RelId(entry.rel)));
+                } else {
+                    // an id out of the committed range, or a duplicate:
+                    // inconsistent with the manifest, so distrust it
+                    report.checksum_failures += 1;
+                }
+            }
+        }
+
+        // rebuild the longest contiguous prefix; stop early if a record
+        // that passed its checksum still fails catalog validation
+        let mut catalog = FactCatalog::new(schema);
+        for slot in &slots {
+            let Some((rec, rel)) = slot else { break };
+            if catalog.push(rec.to_fact(*rel), rec.prob).is_err() {
+                report.checksum_failures += 1;
+                break;
+            }
+        }
+        report.facts_kept = catalog.len() as u64;
+        report.facts_dropped = manifest.facts - report.facts_kept;
+
+        report.fingerprint_verified = report.facts_kept == manifest.facts
+            && catalog.table_prefix(catalog.len()).fingerprint() == manifest.table_fingerprint;
+
+        Ok(Some(Recovered {
+            catalog,
+            manifest,
+            report,
+        }))
+    }
+
+    /// Fsck: walk every committed segment and report per-relation
+    /// health without rebuilding the catalog. `Ok(None)` when the
+    /// directory holds no snapshot.
+    pub fn verify(&self) -> Result<Option<FsckReport>, StoreError> {
+        let Some(manifest) = self.read_manifest()? else {
+            return Ok(None);
+        };
+        let schema = Schema::from_relations(
+            manifest
+                .relations
+                .iter()
+                .map(|r| Relation::new(r.name.clone(), r.arity)),
+        )
+        .map_err(|e| StoreError::Corrupt(format!("manifest schema: {e}")))?;
+        let mut relations = Vec::new();
+        for entry in &manifest.segments {
+            let name = schema
+                .get(RelId(entry.rel))
+                .map(|r| r.name().to_string())
+                .unwrap_or_else(|| format!("rel{}", entry.rel));
+            let path = self.dir.join(&entry.file);
+            let Ok(bytes) = self.io.read(&path) else {
+                relations.push(FsckRelation {
+                    name,
+                    file: entry.file.clone(),
+                    records_expected: entry.count,
+                    records_found: 0,
+                    checksum_failures: 0,
+                    torn_bytes: 0,
+                    readable: false,
+                    fingerprint_ok: false,
+                });
+                continue;
+            };
+            let scan = scan_segment(&bytes);
+            let recomputed = records_fingerprint(&schema, RelId(entry.rel), &scan.records);
+            let fingerprint_ok = scan
+                .footer
+                .is_some_and(|f| f.fingerprint == recomputed && f.fingerprint == entry.fingerprint);
+            relations.push(FsckRelation {
+                name,
+                file: entry.file.clone(),
+                records_expected: entry.count,
+                records_found: scan.records.len() as u64,
+                checksum_failures: scan.checksum_failures,
+                torn_bytes: scan.torn_bytes as u64,
+                readable: true,
+                fingerprint_ok,
+            });
+        }
+        Ok(Some(FsckReport {
+            epoch: manifest.epoch,
+            facts_expected: manifest.facts,
+            relations,
+        }))
+    }
+}
+
+/// Extracts the epoch from a `rel{r}-{epoch}.seg` file name.
+fn parse_epoch(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let stem = name.strip_suffix(".seg")?;
+    if !stem.starts_with("rel") {
+        return None;
+    }
+    stem.rsplit_once('-')?.1.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{FaultyIo, IoFault, Trigger, SITE_FSYNC, SITE_RENAME, SITE_WRITE};
+    use infpdb_core::fact::Fact;
+    use infpdb_core::value::Value;
+
+    fn schema() -> Schema {
+        Schema::from_relations([Relation::new("R", 1), Relation::new("S", 2)]).unwrap()
+    }
+
+    fn sample_catalog(n: usize) -> FactCatalog {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let t = s.rel_id("S").unwrap();
+        let mut c = FactCatalog::new(s);
+        for i in 0..n {
+            let p = 0.5 / (i as f64 + 1.0);
+            if i % 3 == 0 {
+                c.push(
+                    Fact::new(t, [Value::int(i as i64), Value::str(format!("v{i}"))]),
+                    p,
+                )
+                .unwrap();
+            } else {
+                c.push(Fact::new(r, [Value::int(i as i64)]), p).unwrap();
+            }
+        }
+        c
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("infpdb-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn assert_catalogs_identical(a: &FactCatalog, b: &FactCatalog) {
+        assert_eq!(a.len(), b.len());
+        for ((ia, fa, pa), (ib, fb, pb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ia, ib);
+            assert_eq!(fa, fb);
+            assert_eq!(pa.to_bits(), pb.to_bits());
+        }
+        assert_eq!(
+            a.table_prefix(a.len()).fingerprint(),
+            b.table_prefix(b.len()).fingerprint()
+        );
+    }
+
+    #[test]
+    fn snapshot_load_round_trip_is_bit_for_bit() {
+        let dir = tempdir("roundtrip");
+        let store = Store::open_dir(&dir);
+        assert!(store.load().unwrap().is_none());
+        let catalog = sample_catalog(20);
+        let info = store
+            .snapshot(
+                &catalog,
+                Some(0xFEED),
+                Some(Json::obj([("k", Json::Int(1))])),
+            )
+            .unwrap();
+        assert_eq!(info.epoch, 1);
+        assert_eq!(info.facts, 20);
+        assert_eq!(info.segments, 2);
+        let rec = store.load().unwrap().unwrap();
+        assert!(rec.report.clean(), "{:?}", rec.report);
+        assert_eq!(rec.manifest.pdb_fingerprint, Some(0xFEED));
+        assert_eq!(
+            rec.manifest.descriptor.as_ref().unwrap().get("k").unwrap(),
+            &Json::Int(1)
+        );
+        assert_catalogs_identical(&rec.catalog, &catalog);
+        let fsck = store.verify().unwrap().unwrap();
+        assert!(fsck.clean(), "{fsck:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resnapshot_bumps_epoch_and_gcs_old_segments() {
+        let dir = tempdir("epochs");
+        let store = Store::open_dir(&dir);
+        store.snapshot(&sample_catalog(5), None, None).unwrap();
+        let info = store.snapshot(&sample_catalog(9), None, None).unwrap();
+        assert_eq!(info.epoch, 2);
+        let segs: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "seg"))
+            .collect();
+        assert!(
+            segs.iter().all(|e| parse_epoch(&e.path()) == Some(2)),
+            "{segs:?}"
+        );
+        let rec = store.load().unwrap().unwrap();
+        assert!(rec.report.clean());
+        assert_eq!(rec.catalog.len(), 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_segment_recovers_longest_prefix() {
+        let dir = tempdir("truncate");
+        let store = Store::open_dir(&dir);
+        let catalog = sample_catalog(12);
+        store.snapshot(&catalog, None, None).unwrap();
+        // find the R segment and truncate it at every byte offset
+        let seg_path = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| {
+                p.file_name()
+                    .unwrap()
+                    .to_str()
+                    .unwrap()
+                    .starts_with("rel0-")
+            })
+            .unwrap();
+        let full = std::fs::read(&seg_path).unwrap();
+        for cut in 0..full.len() {
+            std::fs::write(&seg_path, &full[..cut]).unwrap();
+            let rec = store.load().unwrap().unwrap();
+            // never a fact past the truncation point, never a panic
+            assert!(rec.catalog.len() <= catalog.len());
+            for (id, fact, prob) in rec.catalog.iter() {
+                assert_eq!(fact, catalog.fact(id), "cut {cut}");
+                assert_eq!(prob.to_bits(), catalog.prob(id).to_bits(), "cut {cut}");
+            }
+            assert_eq!(
+                rec.report.facts_dropped,
+                catalog.len() as u64 - rec.catalog.len() as u64
+            );
+            // a cut inside the footer can leave every record intact (a
+            // clean recovery content-wise); any lost fact must be loud
+            if rec.catalog.len() < catalog.len() {
+                assert!(!rec.report.clean(), "cut {cut} claimed clean");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_segment_is_reported_not_fatal() {
+        let dir = tempdir("missing");
+        let store = Store::open_dir(&dir);
+        store.snapshot(&sample_catalog(6), None, None).unwrap();
+        // remove the segment holding fact id 0 (relation S: i % 3 == 0)
+        let seg_path = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| {
+                p.file_name()
+                    .unwrap()
+                    .to_str()
+                    .unwrap()
+                    .starts_with("rel1-")
+            })
+            .unwrap();
+        std::fs::remove_file(&seg_path).unwrap();
+        let rec = store.load().unwrap().unwrap();
+        assert_eq!(rec.report.missing_segments, 1);
+        // id 0 lives in the missing segment, so the kept prefix is empty
+        assert_eq!(rec.catalog.len(), 0);
+        assert_eq!(rec.report.facts_dropped, 6);
+        let fsck = store.verify().unwrap().unwrap();
+        assert!(!fsck.clean());
+        assert!(fsck.relations.iter().any(|r| !r.readable));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_a_loud_error() {
+        let dir = tempdir("badmanifest");
+        let store = Store::open_dir(&dir);
+        store.snapshot(&sample_catalog(3), None, None).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), b"{ not json").unwrap();
+        assert!(matches!(store.load(), Err(StoreError::Corrupt(_))));
+        assert!(matches!(store.verify(), Err(StoreError::Corrupt(_))));
+        // but a fresh snapshot over it still works (epoch from file scan)
+        let info = store.snapshot(&sample_catalog(3), None, None).unwrap();
+        assert_eq!(info.epoch, 2);
+        assert!(store.load().unwrap().unwrap().report.clean());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_write_error_aborts_and_preserves_old_snapshot() {
+        let dir = tempdir("faults-err");
+        let io = Arc::new(FaultyIo::new(42));
+        let store = Store::with_io(&dir, io.clone());
+        let old = sample_catalog(4);
+        store.snapshot(&old, None, None).unwrap();
+        for site in [SITE_WRITE, SITE_FSYNC, SITE_RENAME] {
+            io.injector()
+                .inject(site, IoFault::Error, Trigger::Times(1));
+            let err = store.snapshot(&sample_catalog(15), None, None).unwrap_err();
+            assert!(matches!(err, StoreError::Io { .. }), "{site}: {err}");
+            assert_eq!(io.injector().fired(site), 1, "{site}");
+            let rec = store.load().unwrap().unwrap();
+            assert!(rec.report.clean(), "{site}: old snapshot damaged");
+            assert_catalogs_identical(&rec.catalog, &old);
+            io.injector().clear(site);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_write_on_segment_recovers_a_prefix() {
+        let dir = tempdir("faults-short");
+        let io = Arc::new(FaultyIo::new(7));
+        let store = Store::with_io(&dir, io.clone());
+        let catalog = sample_catalog(30);
+        // first write of a snapshot is a segment file
+        io.injector()
+            .inject(SITE_WRITE, IoFault::ShortWrite, Trigger::Times(1));
+        store.snapshot(&catalog, None, None).unwrap();
+        assert_eq!(io.injector().fired(SITE_WRITE), 1);
+        let rec = store.load().unwrap().unwrap();
+        assert!(!rec.report.clean());
+        assert!(rec.report.facts_dropped > 0);
+        for (id, fact, prob) in rec.catalog.iter() {
+            assert_eq!(fact, catalog.fact(id));
+            assert_eq!(prob.to_bits(), catalog.prob(id).to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_on_segment_is_caught_by_checksum() {
+        let dir = tempdir("faults-flip");
+        let io = Arc::new(FaultyIo::new(99));
+        let store = Store::with_io(&dir, io.clone());
+        let catalog = sample_catalog(30);
+        io.injector()
+            .inject(SITE_WRITE, IoFault::BitFlip, Trigger::Times(1));
+        store.snapshot(&catalog, None, None).unwrap();
+        let rec = store.load().unwrap().unwrap();
+        // the flip may land in header, a record, or the footer; in every
+        // case the damage is detected and the restored prefix is honest
+        assert!(!rec.report.clean(), "{:?}", rec.report);
+        for (id, fact, prob) in rec.catalog.iter() {
+            assert_eq!(fact, catalog.fact(id));
+            assert_eq!(prob.to_bits(), catalog.prob(id).to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_catalog_snapshots_and_loads() {
+        let dir = tempdir("empty");
+        let store = Store::open_dir(&dir);
+        let catalog = FactCatalog::new(schema());
+        let info = store.snapshot(&catalog, None, None).unwrap();
+        assert_eq!(info.segments, 0);
+        let rec = store.load().unwrap().unwrap();
+        assert!(rec.report.clean());
+        assert_eq!(rec.catalog.len(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -83,6 +83,32 @@ impl FactCatalog {
         self.interner.resolve(id)
     }
 
+    /// Walks the materialized prefix in id order: `(id, fact, prob)`.
+    /// This is the snapshot hook the durable store uses to serialize the
+    /// catalog — the iteration order *is* the dense on-disk order.
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, &Fact, f64)> {
+        self.interner
+            .iter()
+            .map(|(id, f)| (id, f, self.probs[id.0 as usize]))
+    }
+
+    /// Rebuilds a catalog from `(fact, probability)` pairs in enumeration
+    /// order — the restore hook matching [`iter`](Self::iter). Ids are
+    /// reassigned densely in input order, so a round trip through
+    /// `iter`/`from_parts` is the identity (same ids, same probability
+    /// bits). Fails like [`push`](Self::push) on duplicates or invalid
+    /// probabilities.
+    pub fn from_parts(
+        schema: Schema,
+        parts: impl IntoIterator<Item = (Fact, f64)>,
+    ) -> Result<Self, TiError> {
+        let mut c = FactCatalog::new(schema);
+        for (fact, p) in parts {
+            c.push(fact, p)?;
+        }
+        Ok(c)
+    }
+
     /// A [`TiTable`] over the first `n` materialized facts — the `Ω_n`
     /// prefix of Proposition 6.1 with ids equal to enumeration indexes.
     ///
@@ -184,5 +210,24 @@ mod tests {
     #[should_panic(expected = "exceeds materialized length")]
     fn table_prefix_beyond_catalog_panics() {
         FactCatalog::new(schema()).table_prefix(1);
+    }
+
+    #[test]
+    fn iter_from_parts_round_trip_is_identity() {
+        let mut c = FactCatalog::new(schema());
+        for (i, p) in [0.5, 0.25, 0.125].into_iter().enumerate() {
+            c.push(rfact(i as i64 + 1), p).unwrap();
+        }
+        let rebuilt =
+            FactCatalog::from_parts(schema(), c.iter().map(|(_, f, p)| (f.clone(), p))).unwrap();
+        assert_eq!(rebuilt.len(), c.len());
+        for (id, f, p) in c.iter() {
+            assert_eq!(rebuilt.fact(id), f);
+            assert_eq!(rebuilt.prob(id).to_bits(), p.to_bits());
+        }
+        assert_eq!(
+            rebuilt.table_prefix(3).fingerprint(),
+            c.table_prefix(3).fingerprint()
+        );
     }
 }

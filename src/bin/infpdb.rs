@@ -13,7 +13,8 @@ fn main() {
                 eprintln!(
                     "infpdb: usage: infpdb serve <table-file> [--bind ADDR] [--threads N] \
                      [--parallelism P] [--eps E] [--quota-rps R] [--quota-burst B] \
-                     [--arena-stats] [--tail-mass M] [--tail-start K]"
+                     [--arena-stats] [--tail-mass M] [--tail-start K] \
+                     [--store DIR] [--snapshot-every SECS]"
                 );
                 std::process::exit(1);
             };

@@ -43,6 +43,14 @@
 //!   `--queue-cap`/`--overflow` bound the submission queue;
 //!   `--parallelism` sets the per-request intra-query thread budget
 //!   (distinct from `--threads`, the request-pool size).
+//! * `store snapshot <table> --dir DIR [--eps E] [--tail-mass M]
+//!   [--tail-start K]` — grounds the `n(ε)` prefix of the open-world
+//!   completion and writes it to the durable store (crash-safe:
+//!   epoch-named segments, then an atomic manifest rename).
+//! * `store verify --dir DIR` — offline fsck of a store directory:
+//!   per-relation record counts, checksum failures, fingerprint
+//!   verification; exits nonzero when any corruption is found.
+//! * `store info --dir DIR` — prints the manifest summary.
 //! * `bench [--smoke] [--impl tree|arena] [--out PATH] [--repeats N]
 //!   [--threads T]` —
 //!   runs the reproducible perf harness over the geometric, zeta, and
@@ -65,10 +73,13 @@ use infpdb_logic::parse;
 use infpdb_math::series::GeometricSeries;
 use infpdb_openworld::independent_facts::complete_ti_table;
 use infpdb_query::approx::{approx_prob_boolean, Approximation};
+use infpdb_query::prepared::PreparedPdb;
+use infpdb_serve::fingerprint::countable_pdb_fingerprint;
 use infpdb_serve::{
     CostBudget, DegradePolicy, OverflowPolicy, QueryRequest, QueryService, ServeError,
     ServiceConfig,
 };
+use infpdb_store::Store;
 use infpdb_ti::construction::CountableTiPdb;
 use infpdb_ti::enumerator::FactSupply;
 use std::fmt::Write as _;
@@ -545,6 +556,106 @@ pub fn cmd_batch(
     Ok(out)
 }
 
+/// `store snapshot` subcommand: grounds the `n(ε)` prefix of the
+/// open-world completion and persists it through the crash-safe
+/// snapshot protocol. The manifest records the PDB fingerprint so a
+/// later `serve --store` (or `store snapshot` over a different table)
+/// cannot silently mix databases.
+pub fn cmd_store_snapshot(
+    table_text: &str,
+    dir: &str,
+    eps: f64,
+    tail_mass: f64,
+    tail_start: i64,
+) -> Result<String, CliError> {
+    let table = parse_table(table_text)?;
+    let open = open_world_pdb(&table, tail_mass, tail_start)?;
+    let fp = countable_pdb_fingerprint(&open);
+    let prepared = PreparedPdb::new(open);
+    let n = prepared.warm(eps).map_err(lib_err)?;
+    let store = Store::open_dir(dir);
+    let info = prepared.persist(&store, Some(fp), None).map_err(lib_err)?;
+    Ok(format!(
+        "snapshot epoch {} written to {dir}: {} facts (warmed at eps = {eps}, n = {n}) \
+         in {} segment(s), {} bytes\n",
+        info.epoch, info.facts, info.segments, info.bytes
+    ))
+}
+
+/// `store verify` subcommand: offline fsck. Walks every segment the
+/// manifest names, re-scans records against their CRC32C frames, and
+/// recomputes fingerprints. Clean stores return `Ok`; any corruption
+/// (torn tails, checksum failures, missing files, fingerprint
+/// mismatches) returns the same report as an `Err`, so the binary
+/// exits nonzero.
+pub fn cmd_store_verify(dir: &str) -> Result<String, CliError> {
+    let store = Store::open_dir(dir);
+    let Some(report) = store.verify().map_err(lib_err)? else {
+        return Ok(format!("{dir}: no snapshot (empty store)\n"));
+    };
+    let mut out = String::new();
+    writeln!(
+        out,
+        "epoch {}: {} facts expected",
+        report.epoch, report.facts_expected
+    )
+    .ok();
+    for r in &report.relations {
+        let verdict = if !r.readable {
+            "MISSING"
+        } else if r.checksum_failures > 0 || r.records_found < r.records_expected {
+            "CORRUPT"
+        } else if !r.fingerprint_ok {
+            "FINGERPRINT MISMATCH"
+        } else {
+            "ok"
+        };
+        writeln!(
+            out,
+            "  {} ({}): {}/{} records, {} checksum failure(s), {} torn byte(s) — {verdict}",
+            r.name, r.file, r.records_found, r.records_expected, r.checksum_failures, r.torn_bytes
+        )
+        .ok();
+    }
+    if report.clean() {
+        writeln!(out, "clean").ok();
+        Ok(out)
+    } else {
+        write!(out, "corruption detected").ok();
+        Err(CliError::Library(out))
+    }
+}
+
+/// `store info` subcommand: prints the manifest summary without
+/// touching the segments.
+pub fn cmd_store_info(dir: &str) -> Result<String, CliError> {
+    let store = Store::open_dir(dir);
+    let Some(m) = store.read_manifest().map_err(lib_err)? else {
+        return Ok(format!("{dir}: no snapshot (empty store)\n"));
+    };
+    let mut out = String::new();
+    writeln!(out, "epoch: {}", m.epoch).ok();
+    writeln!(out, "facts: {}", m.facts).ok();
+    writeln!(out, "table fingerprint: {:016x}", m.table_fingerprint).ok();
+    if let Some(fp) = m.pdb_fingerprint {
+        writeln!(out, "pdb fingerprint: {fp:016x}").ok();
+    }
+    writeln!(out, "relations:").ok();
+    for r in &m.relations {
+        writeln!(out, "  {} / {}", r.name, r.arity).ok();
+    }
+    writeln!(out, "segments:").ok();
+    for s in &m.segments {
+        writeln!(
+            out,
+            "  {} — {} record(s), fingerprint {:016x}",
+            s.file, s.count, s.fingerprint
+        )
+        .ok();
+    }
+    Ok(out)
+}
+
 /// `bench` subcommand: runs the reproducible perf harness
 /// ([`infpdb_bench::harness`]) over the geometric and zeta fixtures and
 /// writes the `BENCH_<iso-date>.json` artifact. The one subcommand that
@@ -580,7 +691,7 @@ pub fn run(
     read_file: impl Fn(&str) -> std::io::Result<String>,
 ) -> Result<String, CliError> {
     let usage =
-        "usage: infpdb <info|query|marginals|sample|open|batch|bench|netbench|serve|shell> <table-file> [...]";
+        "usage: infpdb <info|query|marginals|sample|open|batch|store|bench|netbench|serve|shell> <table-file> [...]";
     if args.is_empty() {
         return Err(CliError::Usage(usage.into()));
     }
@@ -718,6 +829,36 @@ pub fn run(
                     parallelism,
                 },
             )
+        }
+        "store" => {
+            let store_usage = "usage: infpdb store <snapshot|verify|info> \
+                 [<table-file>] --dir DIR [--eps E] [--tail-mass M] [--tail-start K]";
+            let dir = match flag("--dir", "") {
+                s if s.is_empty() => return Err(CliError::Usage(store_usage.into())),
+                s => s,
+            };
+            match args.get(1).map(String::as_str) {
+                Some("snapshot") => {
+                    let table = read(
+                        args.get(2)
+                            .filter(|a| !a.starts_with("--"))
+                            .ok_or(CliError::Usage(store_usage.into()))?,
+                    )?;
+                    let eps: f64 = flag("--eps", "0.01")
+                        .parse()
+                        .map_err(|_| CliError::Usage("--eps must be a number".into()))?;
+                    let tail_mass: f64 = flag("--tail-mass", "0.5")
+                        .parse()
+                        .map_err(|_| CliError::Usage("--tail-mass must be a number".into()))?;
+                    let tail_start: i64 = flag("--tail-start", "1000000")
+                        .parse()
+                        .map_err(|_| CliError::Usage("--tail-start must be a number".into()))?;
+                    cmd_store_snapshot(&table, &dir, eps, tail_mass, tail_start)
+                }
+                Some("verify") => cmd_store_verify(&dir),
+                Some("info") => cmd_store_info(&dir),
+                _ => Err(CliError::Usage(store_usage.into())),
+            }
         }
         "netbench" => {
             let table = read(args.get(1).ok_or(CliError::Usage(

@@ -42,6 +42,14 @@ pub struct ServeOptions {
     pub tail_mass: f64,
     /// First integer the tail invents facts for (`--tail-start`).
     pub tail_start: i64,
+    /// Durable store directory (`--store`); unset disables durability.
+    /// When set, the service recovers the persisted prefix on startup,
+    /// warms to the default ε, and snapshots after the warm, then
+    /// periodically and once more on graceful shutdown.
+    pub store_dir: Option<String>,
+    /// Interval between periodic snapshots (`--snapshot-every`, in
+    /// seconds); only meaningful with `store_dir`.
+    pub snapshot_every: Duration,
 }
 
 impl Default for ServeOptions {
@@ -56,26 +64,22 @@ impl Default for ServeOptions {
             arena_stats: false,
             tail_mass: TAIL_MASS,
             tail_start: TAIL_START,
+            store_dir: None,
+            snapshot_every: Duration::from_secs(30),
         }
     }
 }
 
-fn build_service(
-    table_text: &str,
-    threads: usize,
-    parallelism: usize,
-    tail_mass: f64,
-    tail_start: i64,
-    arena_stats: bool,
-) -> Result<QueryService, CliError> {
+fn build_service(table_text: &str, opts: &ServeOptions) -> Result<QueryService, CliError> {
     let table = cli::parse_table(table_text)?;
-    let open = cli::open_world_pdb(&table, tail_mass, tail_start)?;
+    let open = cli::open_world_pdb(&table, opts.tail_mass, opts.tail_start)?;
     Ok(QueryService::new(
         open,
         ServiceConfig {
-            threads,
-            parallelism,
-            arena_stats,
+            threads: opts.threads,
+            parallelism: opts.parallelism,
+            arena_stats: opts.arena_stats,
+            store_dir: opts.store_dir.as_ref().map(std::path::PathBuf::from),
             ..ServiceConfig::default()
         },
     ))
@@ -97,14 +101,7 @@ fn server_config(opts: &ServeOptions) -> Result<ServerConfig, CliError> {
 /// Starts the front door over a table file. Returns the running server
 /// so the caller (binary or test) owns the serve loop.
 pub fn start_server(table_text: &str, opts: &ServeOptions) -> Result<HttpServer, CliError> {
-    let service = build_service(
-        table_text,
-        opts.threads,
-        opts.parallelism,
-        opts.tail_mass,
-        opts.tail_start,
-        opts.arena_stats,
-    )?;
+    let service = build_service(table_text, opts)?;
     let config = server_config(opts)?;
     HttpServer::start(service, config, &opts.bind)
         .map_err(|e| CliError::Library(format!("cannot bind {}: {e}", opts.bind)))
@@ -123,9 +120,47 @@ pub fn cmd_serve(
     let server = start_server(table_text, opts)?;
     writeln!(status, "listening on {}", server.addr())
         .map_err(|e| CliError::Library(e.to_string()))?;
+    let durable = server.service().store_status().is_some();
+    if durable {
+        if let Some(s) = server.service().store_status() {
+            writeln!(status, "store: {}", s.label()).ok();
+        }
+        // ground the default-ε prefix up front, then snapshot it so a
+        // crash right after startup already has something to recover
+        match server.service().warm(opts.default_eps) {
+            Ok(n) => {
+                writeln!(status, "warmed n = {n} facts at eps = {}", opts.default_eps).ok();
+            }
+            Err(e) => {
+                writeln!(status, "warm failed: {e}").ok();
+            }
+        }
+        match server.service().snapshot() {
+            Ok(Some(info)) => {
+                writeln!(
+                    status,
+                    "snapshot epoch {} ({} facts)",
+                    info.epoch, info.facts
+                )
+                .ok();
+            }
+            Ok(None) => {}
+            Err(e) => {
+                writeln!(status, "snapshot failed: {e}").ok();
+            }
+        }
+    }
     status.flush().ok();
+    let mut last_snapshot = std::time::Instant::now();
     while !signal::termination_requested() {
         std::thread::sleep(Duration::from_millis(50));
+        if durable && last_snapshot.elapsed() >= opts.snapshot_every {
+            if let Err(e) = server.service().snapshot() {
+                writeln!(status, "snapshot failed: {e}").ok();
+                status.flush().ok();
+            }
+            last_snapshot = std::time::Instant::now();
+        }
     }
     writeln!(
         status,
@@ -133,6 +168,12 @@ pub fn cmd_serve(
     )
     .ok();
     status.flush().ok();
+    if durable {
+        // one final snapshot so a graceful stop never loses the prefix
+        if let Err(e) = server.service().snapshot() {
+            writeln!(status, "final snapshot failed: {e}").ok();
+        }
+    }
     server.shutdown();
     writeln!(status, "drained; bye").ok();
     Ok(())
@@ -248,6 +289,11 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
         arena_stats: args.iter().any(|a| a == "--arena-stats"),
         tail_mass: num("--tail-mass", "0.5")?,
         tail_start: num("--tail-start", "1000000")? as i64,
+        store_dir: match flag("--store", "") {
+            s if s.is_empty() => None,
+            s => Some(s),
+        },
+        snapshot_every: Duration::from_secs_f64(num("--snapshot-every", "30")?.max(0.05)),
     };
     if opts.threads < 1 {
         return Err(CliError::Usage("--threads must be at least 1".into()));

@@ -1,0 +1,167 @@
+//! Kill-and-reopen chaos against the real `infpdb serve` binary
+//! (ISSUE 7 acceptance): start a durable server, SIGKILL it while the
+//! periodic snapshot loop is running, then
+//!
+//! 1. `infpdb store verify --dir` must complete without crashing —
+//!    either clean or reporting corruption with a nonzero exit;
+//! 2. a reopened server must come up (no panic, status never worse
+//!    than `recovered`) and answer queries on the recovered prefix
+//!    **bit-for-bit** identical to the offline `infpdb open`
+//!    subcommand over the same table.
+//!
+//! The kill delay is seeded: `INFPDB_CHAOS_SEED` (the CI `chaos-store`
+//! job runs seeds 1, 20190625, 271828) or a built-in trio.
+
+use infpdb_core::json::Json;
+use infpdb_net::client::{self, BaseUrl};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_infpdb");
+
+fn kb_path() -> String {
+    format!("{}/examples/kb.pdb", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("INFPDB_CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("INFPDB_CHAOS_SEED must be a u64")],
+        Err(_) => vec![1, 20190625, 271828],
+    }
+}
+
+/// Spawns `infpdb serve` over the example table with durability on a
+/// fast snapshot cadence, and reads its startup banner: returns the
+/// child, a line reader for the rest of stdout, the bound address, and
+/// the reported store label.
+fn spawn_serve(dir: &std::path::Path) -> (Child, BufReader<ChildStdout>, String, String) {
+    let mut child = Command::new(BIN)
+        .args([
+            "serve",
+            &kb_path(),
+            "--bind",
+            "127.0.0.1:0",
+            "--threads",
+            "1",
+            "--eps",
+            "0.001",
+            "--snapshot-every",
+            "0.05",
+            "--store",
+            dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn infpdb serve");
+    let mut lines = BufReader::new(child.stdout.take().unwrap());
+    let mut read = || {
+        let mut l = String::new();
+        lines.read_line(&mut l).expect("serve stdout");
+        l.trim_end().to_string()
+    };
+    let listening = read();
+    let addr = listening
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {listening:?}"))
+        .to_string();
+    let store_line = read();
+    let label = store_line
+        .strip_prefix("store: ")
+        .unwrap_or_else(|| panic!("unexpected store line: {store_line:?}"))
+        .to_string();
+    // wait for the startup warm + snapshot so the store has content
+    let warmed = read();
+    assert!(warmed.starts_with("warmed n = "), "{warmed:?}");
+    let snap = read();
+    assert!(snap.starts_with("snapshot epoch "), "{snap:?}");
+    (child, lines, addr, label)
+}
+
+fn http_estimate(addr: &str, query: &str, eps: f64) -> f64 {
+    let base = BaseUrl::parse(&format!("http://{addr}")).unwrap();
+    let body = Json::obj([("query", Json::str(query)), ("eps", Json::Float(eps))]).encode();
+    let resp = client::request(
+        &base,
+        "POST",
+        "/query",
+        &[("content-type", "application/json")],
+        body.as_bytes(),
+        Duration::from_secs(30),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200, "{:?}", resp.body_utf8());
+    let doc = Json::parse(resp.body_utf8().unwrap()).unwrap();
+    doc.get("estimate").and_then(Json::as_f64).unwrap()
+}
+
+fn assert_no_panic(out: &std::process::Output, what: &str) {
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("panicked"), "{what} panicked:\n{err}");
+}
+
+#[test]
+fn sigkill_mid_snapshot_then_reopen_answers_bit_for_bit() {
+    let query = "Person(1000000)";
+    let eps = 0.001;
+    // the offline reference over the same table (same binary, no store)
+    let offline = Command::new(BIN)
+        .args(["open", &kb_path(), query, "--eps", "0.001"])
+        .output()
+        .unwrap();
+    assert!(offline.status.success());
+    let offline_out = String::from_utf8(offline.stdout.clone()).unwrap();
+
+    for seed in seeds() {
+        let dir =
+            std::env::temp_dir().join(format!("infpdb-kill-chaos-{seed}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (mut child, _lines, addr, label) = spawn_serve(&dir);
+        assert_eq!(label, "fresh", "seed {seed}: first boot on an empty dir");
+        // exercise the query path once so the server is mid-steady-state
+        http_estimate(&addr, query, eps);
+        // seeded kill delay: lands at an arbitrary phase of the 50ms
+        // snapshot cadence, so some runs die mid-snapshot-write
+        std::thread::sleep(Duration::from_millis(40 + seed % 130));
+        child.kill().expect("SIGKILL serve");
+        let out = child.wait_with_output().unwrap();
+        assert!(!out.status.success(), "seed {seed}: kill must be abrupt");
+
+        // 1. offline fsck never crashes; exit code is honest
+        let verify = Command::new(BIN)
+            .args(["store", "verify", "--dir", dir.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert_no_panic(&verify, "store verify");
+        let verdict = String::from_utf8_lossy(&verify.stdout).to_string()
+            + &String::from_utf8_lossy(&verify.stderr);
+        if verify.status.success() {
+            assert!(verdict.contains("clean"), "seed {seed}: {verdict}");
+        } else {
+            assert!(
+                verdict.contains("corruption detected"),
+                "seed {seed}: {verdict}"
+            );
+        }
+
+        // 2. reopen over the same directory: no panic, never degraded,
+        // answers bit-for-bit equal to the offline reference
+        let (mut child2, _lines2, addr2, label2) = spawn_serve(&dir);
+        assert!(
+            label2 == "ok" || label2 == "recovered",
+            "seed {seed}: reopen label {label2:?}"
+        );
+        let wire = http_estimate(&addr2, query, eps);
+        // `open` prints the same f64 via Display; bit-identity shows as
+        // exact substring match
+        assert!(
+            offline_out.contains(&format!("= {wire} ±")),
+            "seed {seed}: wire {wire} not bit-identical to offline:\n{offline_out}"
+        );
+        child2.kill().ok();
+        child2.wait().ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
