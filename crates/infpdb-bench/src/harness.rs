@@ -36,6 +36,7 @@ use infpdb_query::prepared::{PreparedPdb, PreparedQuery};
 use infpdb_query::truncate::TruncationPlan;
 use infpdb_ti::construction::CountableTiPdb;
 
+use crate::saturation::SaturationRow;
 use crate::{blocks_pdb, geometric_pdb, zeta_pdb};
 
 /// The tolerances every workload is measured at.
@@ -150,6 +151,11 @@ pub struct BenchReport {
     pub date: String,
     /// One row per `(workload, query, stage, ε)` cell.
     pub rows: Vec<BenchRow>,
+    /// Aggregate-throughput rows from the saturation stage (one per
+    /// `(scheduler, pool threads)` cell); empty when the stage was
+    /// skipped. Kept in a separate array so the `rows` matrix is
+    /// byte-comparable with schema `/2` artifacts.
+    pub saturation: Vec<SaturationRow>,
 }
 
 /// Iteration policy for one measurement.
@@ -493,6 +499,7 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
         smoke: config.smoke,
         date: iso_date_utc(),
         rows,
+        saturation: Vec::new(),
     })
 }
 
@@ -500,10 +507,14 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
 ///
 /// Built on the shared [`infpdb_core::json`] encoder (the workspace is
 /// offline; no serde): the schema is
-/// `{"schema":"infpdb-bench/2","date":…,"impl":…,"smoke":…,"rows":[…]}`
-/// with one object per [`BenchRow`]; absent statistics are `null`.
+/// `{"schema":"infpdb-bench/3","date":…,"impl":…,"smoke":…,"rows":[…],
+/// "saturation":[…]}` with one object per [`BenchRow`] /
+/// [`SaturationRow`]; absent statistics are `null`.
 /// Schema `/2` added the per-row `threads` field (intra-query thread
 /// budget); `/1` rows are `/2` rows with an implicit `threads = 1`.
+/// Schema `/3` added the top-level `saturation` array (aggregate
+/// queries/sec per scheduler × pool size); the `rows` matrix is
+/// unchanged from `/2`.
 pub fn to_json(report: &BenchReport) -> String {
     let rows = report
         .rows
@@ -532,12 +543,31 @@ pub fn to_json(report: &BenchReport) -> String {
             ])
         })
         .collect();
+    let saturation = report
+        .saturation
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("scheduler", Json::str(r.scheduler)),
+                ("threads", Json::Int(r.threads as i64)),
+                ("parallelism", Json::Int(r.parallelism as i64)),
+                ("requests", Json::Int(r.requests as i64)),
+                ("heavy", Json::Int(r.heavy as i64)),
+                ("light", Json::Int(r.light as i64)),
+                ("wall_ns", Json::Int(r.wall_ns as i64)),
+                ("qps", Json::Float(r.qps)),
+                ("steals", Json::Int(r.steals as i64)),
+                ("fingerprint", Json::str(format!("{:016x}", r.fingerprint))),
+            ])
+        })
+        .collect();
     Json::obj([
-        ("schema", Json::str("infpdb-bench/2")),
+        ("schema", Json::str("infpdb-bench/3")),
         ("date", Json::str(report.date.clone())),
         ("impl", Json::str(report.impl_kind.name())),
         ("smoke", Json::Bool(report.smoke)),
         ("rows", Json::Array(rows)),
+        ("saturation", Json::Array(saturation)),
     ])
     .encode_pretty()
 }
@@ -574,6 +604,29 @@ pub fn summary_table(report: &BenchReport) -> String {
             r.workload, r.query, r.stage, r.eps, r.threads, r.n, r.iters, r.median_ns, rate, nodes
         )
         .ok();
+    }
+    if !report.saturation.is_empty() {
+        writeln!(
+            out,
+            "\n{:<10} {:>3} {:>4} {:>5} {:>12} {:>10} {:>7}  fingerprint",
+            "scheduler", "thr", "par", "reqs", "wall_ns", "qps", "steals"
+        )
+        .ok();
+        for r in &report.saturation {
+            writeln!(
+                out,
+                "{:<10} {:>3} {:>4} {:>5} {:>12} {:>10.1} {:>7}  {:016x}",
+                r.scheduler,
+                r.threads,
+                r.parallelism,
+                r.requests,
+                r.wall_ns,
+                r.qps,
+                r.steals,
+                r.fingerprint
+            )
+            .ok();
+        }
     }
     out
 }
@@ -672,6 +725,18 @@ mod tests {
             impl_kind: ImplKind::Arena,
             smoke: true,
             date: "2026-08-06".into(),
+            saturation: vec![SaturationRow {
+                scheduler: "stealing",
+                threads: 2,
+                parallelism: 4,
+                requests: 12,
+                heavy: 4,
+                light: 8,
+                wall_ns: 1_000_000,
+                qps: 12_000.0,
+                steals: 3,
+                fingerprint: 0xDEAD_BEEF_0000_0001,
+            }],
             rows: vec![BenchRow {
                 workload: "geometric",
                 query: "pair",
@@ -687,7 +752,7 @@ mod tests {
             }],
         };
         let json = to_json(&report);
-        assert!(json.contains("\"schema\": \"infpdb-bench/2\""));
+        assert!(json.contains("\"schema\": \"infpdb-bench/3\""));
         assert!(json.contains("\"impl\": \"arena\""));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"median_ns\": 12345"));
@@ -695,7 +760,15 @@ mod tests {
         // the artifact is real JSON: it parses with the shared decoder
         // and round-trips every field
         let doc = Json::parse(&json).unwrap();
-        assert_eq!(doc.get("schema").unwrap().as_str(), Some("infpdb-bench/2"));
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("infpdb-bench/3"));
+        let sat = doc.get("saturation").unwrap().as_array().unwrap();
+        assert_eq!(sat.len(), 1);
+        assert_eq!(sat[0].get("scheduler").unwrap().as_str(), Some("stealing"));
+        assert_eq!(sat[0].get("qps").unwrap().as_f64(), Some(12_000.0));
+        assert_eq!(
+            sat[0].get("fingerprint").unwrap().as_str(),
+            Some("deadbeef00000001")
+        );
         assert_eq!(doc.get("smoke").unwrap().as_bool(), Some(true));
         let rows = doc.get("rows").unwrap().as_array().unwrap();
         assert_eq!(rows.len(), 1);

@@ -7,6 +7,7 @@
 //! underlying operation with Criterion.
 
 pub mod harness;
+pub mod saturation;
 
 use infpdb_core::fact::Fact;
 use infpdb_core::schema::{RelId, Relation, Schema};

@@ -7,7 +7,7 @@
 //! fire an exact number of times so tests can assert failure metrics
 //! match injected counts *exactly*. This module extracts that machinery
 //! from `infpdb-serve::faults` so other layers — notably the durable
-//! store's fault-injecting [`StoreIo`] implementation — can inject their
+//! store's fault-injecting `StoreIo` implementation — can inject their
 //! own fault kinds through the same deterministic triggers.
 //!
 //! [`SiteInjector`] is generic over the fault payload `K`: the serving

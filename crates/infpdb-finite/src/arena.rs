@@ -390,6 +390,35 @@ impl LineageArena {
         self.eval_into(root, world, &mut Vec::new())
     }
 
+    /// [`eval_into`](Self::eval_into) against a dense world: `present[i]`
+    /// says whether fact id `i` is in the world (absent indices read as
+    /// `false` — the closed-world convention of `Instance::contains`).
+    ///
+    /// This is the flat Monte-Carlo fast path: combined with
+    /// [`TiTable::sample_into`](crate::TiTable::sample_into) it turns the
+    /// per-sample inner loop into branch-free slice indexing with zero
+    /// allocation — no `Instance` is built and no hash-set membership is
+    /// probed. Fact ids are dense table positions, so the world vector is
+    /// exactly as long as the table. Bit-for-bit the same verdict as
+    /// `eval_into` on the corresponding `Instance`.
+    pub fn eval_flat(&self, root: LineageId, present: &[bool], buf: &mut Vec<bool>) -> bool {
+        let upto = root.0 as usize + 1;
+        buf.clear();
+        buf.reserve(upto);
+        for node in &self.nodes[..upto] {
+            let v = match node {
+                LineageNode::Bot => false,
+                LineageNode::Top => true,
+                LineageNode::Var(f) => present.get(f.0 as usize).copied().unwrap_or(false),
+                LineageNode::Not(g) => !buf[g.0 as usize],
+                LineageNode::And(gs) => gs.iter().all(|g| buf[g.0 as usize]),
+                LineageNode::Or(gs) => gs.iter().any(|g| buf[g.0 as usize]),
+            };
+            buf.push(v);
+        }
+        buf[root.0 as usize]
+    }
+
     /// Number of distinct DAG nodes reachable from `root` (shared nodes
     /// count once; compare with the tree's `size`, which counts every
     /// occurrence).
@@ -604,6 +633,35 @@ mod tests {
             let world = Instance::from_ids(ids);
             assert_eq!(a.eval_into(g, &world, &mut buf), tree.eval(&world));
         }
+    }
+
+    #[test]
+    fn eval_flat_matches_eval_into_on_every_world() {
+        let mut a = LineageArena::new();
+        let x = a.var(f(0));
+        let y = a.var(f(1));
+        let z = a.var(f(2));
+        let nx = a.negate(x);
+        let xy = a.and([x, y]);
+        let g = a.or([xy, nx, z]);
+        let (mut buf, mut fbuf) = (Vec::new(), Vec::new());
+        for mask in 0u32..8 {
+            let present: Vec<bool> = (0..3).map(|i| mask & (1 << i) != 0).collect();
+            let world = Instance::from_ids(
+                (0..3u32)
+                    .filter(|&i| present[i as usize])
+                    .map(f)
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(
+                a.eval_flat(g, &present, &mut fbuf),
+                a.eval_into(g, &world, &mut buf),
+                "mask={mask}"
+            );
+        }
+        // a variable beyond the dense world reads as absent
+        let w = a.var(f(9));
+        assert!(!a.eval_flat(w, &[true, true], &mut fbuf));
     }
 
     #[test]

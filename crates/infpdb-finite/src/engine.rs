@@ -75,21 +75,40 @@ pub fn prob_boolean_traced_par(
     engine: Engine,
     parallelism: usize,
 ) -> Result<(f64, EvalTrace), FiniteError> {
+    prob_boolean_traced_exec(query, table, engine, parallelism, None)
+        .map(|r| r.expect("default executor runs every task"))
+}
+
+/// Like [`prob_boolean_traced_par`], with a caller-supplied
+/// [`shannon::TaskExecutor`] for the intensional path's component tasks.
+///
+/// `Ok(None)` means the executor *skipped* at least one task — the serve
+/// layer's work-stealing scheduler does this when the owning request is
+/// cancelled mid-flight; the query was not fully evaluated and no answer
+/// exists. With `exec = None` the default fork-join executor runs and
+/// the result is always `Some`, bit-for-bit [`prob_boolean_traced_par`].
+pub fn prob_boolean_traced_exec(
+    query: &Formula,
+    table: &TiTable,
+    engine: Engine,
+    parallelism: usize,
+    exec: Option<&dyn shannon::TaskExecutor>,
+) -> Result<Option<(f64, EvalTrace)>, FiniteError> {
     match engine {
         Engine::Auto => match lifted::prob_hierarchical(query, table) {
-            Ok(p) => Ok((p, EvalTrace::default())),
-            Err(FiniteError::Logic(_)) => prob_by_lineage(query, table, parallelism),
+            Ok(p) => Ok(Some((p, EvalTrace::default()))),
+            Err(FiniteError::Logic(_)) => prob_by_lineage(query, table, parallelism, exec),
             Err(e) => Err(e),
         },
-        Engine::Lifted => Ok((
+        Engine::Lifted => Ok(Some((
             lifted::prob_hierarchical(query, table)?,
             EvalTrace::default(),
-        )),
-        Engine::Lineage => prob_by_lineage(query, table, parallelism),
-        Engine::Brute => Ok((
+        ))),
+        Engine::Lineage => prob_by_lineage(query, table, parallelism, exec),
+        Engine::Brute => Ok(Some((
             worlds::prob_boolean_brute(query, table)?,
             EvalTrace::default(),
-        )),
+        ))),
     }
 }
 
@@ -101,31 +120,43 @@ fn prob_by_lineage(
     query: &Formula,
     table: &TiTable,
     parallelism: usize,
-) -> Result<(f64, EvalTrace), FiniteError> {
+    exec: Option<&dyn shannon::TaskExecutor>,
+) -> Result<Option<(f64, EvalTrace)>, FiniteError> {
     let mut arena = LineageArena::new();
     let root = lineage_of_arena(query, table, &mut arena)?;
     if parallelism >= 2 {
         let policy = shannon::ParallelPolicy::with_threads(parallelism);
-        let (p, stats, arena_stats, report) =
-            shannon::probability_dag_parallel(&mut arena, root, &|id| table.prob(id), policy);
-        return Ok((
+        let default_exec = shannon::ScopedExecutor {
+            threads: policy.threads,
+        };
+        let exec = exec.unwrap_or(&default_exec);
+        let Some((p, stats, arena_stats, report)) = shannon::probability_dag_parallel_exec(
+            &mut arena,
+            root,
+            &|id| table.prob(id),
+            policy,
+            exec,
+        ) else {
+            return Ok(None);
+        };
+        return Ok(Some((
             p,
             EvalTrace {
                 shannon: Some(stats),
                 arena: Some(arena_stats),
                 parallel: Some(report),
             },
-        ));
+        )));
     }
     let (p, stats) = shannon::probability_dag_with_stats(&mut arena, root, &|id| table.prob(id));
-    Ok((
+    Ok(Some((
         p,
         EvalTrace {
             shannon: Some(stats),
             arena: Some(arena.stats()),
             parallel: None,
         },
-    ))
+    )))
 }
 
 /// Monte-Carlo estimate (separate from [`prob_boolean`] because it needs an

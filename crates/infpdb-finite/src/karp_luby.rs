@@ -194,7 +194,22 @@ pub fn estimate_dnf<R: RngCore>(
     }
 }
 
+/// Trivalent assignment cells for the flat Karp–Luby scratch.
+const KL_UNSET: u8 = 0;
+const KL_FALSE: u8 = 1;
+const KL_TRUE: u8 = 2;
+
 /// One batch of coverage draws: returns how many of `n` samples scored.
+///
+/// Flat kernel: the per-sample assignment lives in a dense `u8` scratch
+/// indexed by fact id (fact ids are table positions) instead of a hash
+/// map, so the conditional-sampling loop and the first-satisfied-clause
+/// scan are plain slice indexing. The RNG consumption is exactly the
+/// hash-map version's: one draw to select the clause, then one draw per
+/// *unset* variable in sorted `vars` order — so hit counts (and hence
+/// seeded estimates) are bit-for-bit unchanged. Only the variables in
+/// `vars` are reset between samples, so chunk cost stays proportional to
+/// the DNF's footprint, not the table size.
 fn kl_chunk<R: RngCore>(
     dnf: &Dnf,
     table: &TiTable,
@@ -206,8 +221,8 @@ fn kl_chunk<R: RngCore>(
 ) -> usize {
     let m = dnf.len();
     let mut hits = 0usize;
-    let mut assignment: std::collections::HashMap<FactId, bool> =
-        std::collections::HashMap::with_capacity(vars.len());
+    let width = vars.iter().map(|v| v.0 as usize + 1).max().unwrap_or(0);
+    let mut assignment: Vec<u8> = vec![KL_UNSET; width];
     for _ in 0..n {
         // pick clause i ∝ w_i
         let mut u = (rng.next_u64() as f64 / u64::MAX as f64) * total_w;
@@ -220,19 +235,26 @@ fn kl_chunk<R: RngCore>(
             }
         }
         // sample a world conditioned on clause `chosen` true
-        assignment.clear();
+        for &v in vars {
+            assignment[v.0 as usize] = KL_UNSET;
+        }
         for &v in &dnf[chosen] {
-            assignment.insert(v, true);
+            assignment[v.0 as usize] = KL_TRUE;
         }
         for &v in vars {
-            assignment
-                .entry(v)
-                .or_insert_with(|| (rng.next_u64() as f64 / u64::MAX as f64) < table.prob(v));
+            let cell = &mut assignment[v.0 as usize];
+            if *cell == KL_UNSET {
+                *cell = if (rng.next_u64() as f64 / u64::MAX as f64) < table.prob(v) {
+                    KL_TRUE
+                } else {
+                    KL_FALSE
+                };
+            }
         }
         // score iff `chosen` is the first satisfied clause
         let first_satisfied = dnf
             .iter()
-            .position(|c| c.iter().all(|v| assignment[v]))
+            .position(|c| c.iter().all(|v| assignment[v.0 as usize] == KL_TRUE))
             .expect("the chosen clause is satisfied");
         if first_satisfied == chosen {
             hits += 1;
@@ -503,6 +525,76 @@ mod tests {
             estimate_dnf_parallel(&vec![vec![]], &t, 10, 3, 4).estimate,
             1.0
         );
+    }
+
+    #[test]
+    fn flat_chunk_matches_hashmap_reference_exactly() {
+        // the pre-flattening chunk kernel: HashMap assignment, same draws
+        fn reference_chunk<R: RngCore>(
+            dnf: &Dnf,
+            table: &TiTable,
+            weights: &[f64],
+            total_w: f64,
+            vars: &[FactId],
+            n: usize,
+            rng: &mut R,
+        ) -> usize {
+            let m = dnf.len();
+            let mut hits = 0usize;
+            let mut assignment: HashMap<FactId, bool> = HashMap::with_capacity(vars.len());
+            for _ in 0..n {
+                let mut u = (rng.next_u64() as f64 / u64::MAX as f64) * total_w;
+                let mut chosen = m - 1;
+                for (i, w) in weights.iter().enumerate() {
+                    u -= w;
+                    if u <= 0.0 {
+                        chosen = i;
+                        break;
+                    }
+                }
+                assignment.clear();
+                for &v in &dnf[chosen] {
+                    assignment.insert(v, true);
+                }
+                for &v in vars {
+                    assignment.entry(v).or_insert_with(|| {
+                        (rng.next_u64() as f64 / u64::MAX as f64) < table.prob(v)
+                    });
+                }
+                let first_satisfied = dnf
+                    .iter()
+                    .position(|c| c.iter().all(|v| assignment[v]))
+                    .expect("the chosen clause is satisfied");
+                if first_satisfied == chosen {
+                    hits += 1;
+                }
+            }
+            hits
+        }
+        let t = table();
+        let q = parse("exists x, y. R(x) /\\ S(x, y) /\\ T(y)", t.schema()).unwrap();
+        let mut arena = LineageArena::new();
+        let root = lineage_of_arena(&q, &t, &mut arena).unwrap();
+        let dnf = to_dnf_arena(&arena, root, 1000).unwrap();
+        let weights: Vec<f64> = dnf
+            .iter()
+            .map(|c| c.iter().map(|&v| t.prob(v)).product())
+            .collect();
+        let total_w: f64 = weights.iter().sum();
+        let mut vars: Vec<FactId> = dnf.iter().flatten().copied().collect();
+        vars.sort_unstable();
+        vars.dedup();
+        for seed in [0u64, 3, 99, 0xFEED_FACE] {
+            let mut a = SplitMix64::new(seed);
+            let mut b = SplitMix64::new(seed);
+            assert_eq!(
+                kl_chunk(&dnf, &t, &weights, total_w, &vars, 2000, &mut a),
+                reference_chunk(&dnf, &t, &weights, total_w, &vars, 2000, &mut b),
+                "seed={seed}"
+            );
+            // identical RNG consumption, too
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -56,10 +56,11 @@ pub fn estimate<R: RngCore>(
     let mut arena = LineageArena::new();
     let root = lineage_of_arena(query, table, &mut arena)?;
     let mut hits = 0usize;
+    let mut present = Vec::new();
     let mut buf = Vec::new();
     for _ in 0..samples {
-        let world = table.sample(rng);
-        if arena.eval_into(root, &world, &mut buf) {
+        table.sample_into(rng, &mut present);
+        if arena.eval_flat(root, &present, &mut buf) {
             hits += 1;
         }
     }
@@ -83,19 +84,27 @@ pub(crate) fn chunk_seed(seed: u64, chunk: u64) -> u64 {
     seed.wrapping_add((chunk.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// The flat per-chunk kernel: worlds are drawn into a reused dense
+/// `present` vector ([`TiTable::sample_into`]) and judged by slice
+/// indexing ([`LineageArena::eval_flat`]) — no per-sample `Instance`
+/// allocation or hash-set probe. Both scratch buffers are owned by the
+/// worker and reused across its chunks. Bit-for-bit the same hit count
+/// as the `sample`/`eval_into` pair: the RNG consumption and the world
+/// contents are identical.
 fn run_chunk(
     arena: &LineageArena,
     root: crate::arena::LineageId,
     table: &TiTable,
     n: usize,
     seed: u64,
+    present: &mut Vec<bool>,
     buf: &mut Vec<bool>,
 ) -> usize {
     let mut rng = infpdb_core::space::rand_core::SplitMix64::new(seed);
     let mut hits = 0usize;
     for _ in 0..n {
-        let world = table.sample(&mut rng);
-        if arena.eval_into(root, &world, buf) {
+        table.sample_into(&mut rng, present);
+        if arena.eval_flat(root, present, buf) {
             hits += 1;
         }
     }
@@ -135,10 +144,10 @@ pub fn estimate_parallel(
         })
         .collect();
     let hits: usize = if threads < 2 || chunks.len() < 2 {
-        let mut buf = Vec::new();
+        let (mut present, mut buf) = (Vec::new(), Vec::new());
         chunks
             .iter()
-            .map(|&(s, n)| run_chunk(&arena, root, table, n, s, &mut buf))
+            .map(|&(s, n)| run_chunk(&arena, root, table, n, s, &mut present, &mut buf))
             .sum()
     } else {
         let workers = threads.min(chunks.len());
@@ -151,9 +160,9 @@ pub fn estimate_parallel(
                     let mine: Vec<(u64, usize)> =
                         chunks.iter().skip(k).step_by(workers).copied().collect();
                     scope.spawn(move || {
-                        let mut buf = Vec::new();
+                        let (mut present, mut buf) = (Vec::new(), Vec::new());
                         mine.into_iter()
-                            .map(|(s, n)| run_chunk(&cl, root, table, n, s, &mut buf))
+                            .map(|(s, n)| run_chunk(&cl, root, table, n, s, &mut present, &mut buf))
                             .sum::<usize>()
                     })
                 })
@@ -271,6 +280,41 @@ mod tests {
         // a different master seed gives a different (still valid) estimate
         let other = estimate_parallel(&q, &t, 10_000, 43, 2).unwrap();
         assert_ne!(other.estimate.to_bits(), base.estimate.to_bits());
+    }
+
+    #[test]
+    fn flat_chunk_matches_instance_based_reference_exactly() {
+        // the pre-flattening chunk kernel: sample an Instance, probe it
+        fn reference_chunk(
+            arena: &LineageArena,
+            root: crate::arena::LineageId,
+            table: &TiTable,
+            n: usize,
+            seed: u64,
+        ) -> usize {
+            let mut rng = SplitMix64::new(seed);
+            let mut buf = Vec::new();
+            let mut hits = 0usize;
+            for _ in 0..n {
+                let world = table.sample(&mut rng);
+                if arena.eval_into(root, &world, &mut buf) {
+                    hits += 1;
+                }
+            }
+            hits
+        }
+        let t = table();
+        let q = parse("exists x. R(x) /\\ S(x)", t.schema()).unwrap();
+        let mut arena = LineageArena::new();
+        let root = lineage_of_arena(&q, &t, &mut arena).unwrap();
+        let (mut present, mut buf) = (Vec::new(), Vec::new());
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(
+                run_chunk(&arena, root, &t, 1000, seed, &mut present, &mut buf),
+                reference_chunk(&arena, root, &t, 1000, seed),
+                "seed={seed}"
+            );
+        }
     }
 
     #[test]

@@ -201,19 +201,28 @@ fn prob_rec_budget<F: Fn(FactId) -> f64>(
 /// independent unions (the Prop 6.1 truncation prefixes) lose no mass to
 /// rounding. Used identically by both engines, so the fast path keeps
 /// bit-for-bit tree/DAG equivalence.
+///
+/// Flattened (see `infpdb_math::flat`): probabilities are gathered into a
+/// per-thread contiguous scratch buffer, the transcendental map runs over
+/// the slice with no loop-carried state, and the compensated fold runs
+/// separately in the identical element order — so the result is
+/// bit-for-bit the fused loop's, while the gather and map passes are free
+/// of the serial compensation chain.
 fn var_product(ps: impl Iterator<Item = f64>, is_and: bool) -> f64 {
-    let mut acc = infpdb_math::KahanSum::new();
-    if is_and {
-        for p in ps {
-            acc.add(p.ln());
-        }
-        acc.value().exp()
-    } else {
-        for p in ps {
-            acc.add((-p).ln_1p());
-        }
-        1.0 - acc.value().exp()
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+            const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
     }
+    SCRATCH.with(|s| {
+        let (gather, logs) = &mut *s.borrow_mut();
+        gather.clear();
+        gather.extend(ps);
+        if is_and {
+            infpdb_math::flat::log_product(gather, logs)
+        } else {
+            infpdb_math::flat::log_product_one_minus(gather, logs)
+        }
+    })
 }
 
 /// Compilation statistics.
@@ -672,6 +681,67 @@ pub struct ParReport {
     pub fallback_seq: bool,
 }
 
+/// A self-contained unit of parallel work: owns its arena clone, its
+/// gathered fact probabilities, and the channel it reports through.
+pub type ParTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// Runs a batch of independent, self-contained component tasks.
+///
+/// The evaluator hands every heavy component of a decomposed query to an
+/// executor as a [`ParTask`] and collects results afterwards, so *where*
+/// and *in what order* tasks run is entirely the executor's business —
+/// a fixed fork-join pool ([`ScopedExecutor`]), a work-stealing server
+/// scheduler, or plain inline execution all produce bit-identical
+/// answers, because results are combined in canonical component order on
+/// the calling thread regardless of execution order.
+pub trait TaskExecutor: Sync {
+    /// Executes tasks and returns once none of them will run anymore.
+    ///
+    /// `run_tasks` is a completion barrier: when it returns, every task
+    /// has either finished or been *skipped* (dropped unrun — e.g. the
+    /// owning request was cancelled mid-flight). Skipping is observable
+    /// to the caller as a missing per-component result. A panicking task
+    /// must propagate its payload to this call, not abandon the barrier.
+    fn run_tasks(&self, tasks: Vec<ParTask>);
+}
+
+/// The default executor: fork-join over scoped threads, at most
+/// `threads` at a time, tasks striped round-robin by slot index. Never
+/// skips a task; panics propagate on join.
+#[derive(Debug, Clone, Copy)]
+pub struct ScopedExecutor {
+    /// Maximum simultaneous worker threads (`0` is treated as 1).
+    pub threads: usize,
+}
+
+impl TaskExecutor for ScopedExecutor {
+    fn run_tasks(&self, tasks: Vec<ParTask>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let workers = self.threads.max(1).min(tasks.len());
+        let mut lanes: Vec<Vec<ParTask>> = (0..workers).map(|_| Vec::new()).collect();
+        for (slot, t) in tasks.into_iter().enumerate() {
+            lanes[slot % workers].push(t);
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = lanes
+                .into_iter()
+                .map(|lane| {
+                    s.spawn(move || {
+                        for t in lane {
+                            t();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("parallel evaluator worker panicked");
+            }
+        });
+    }
+}
+
 /// [`probability_dag_with_stats`] with root-level fork-join parallelism
 /// over independent components, plus the post-evaluation [`ArenaStats`]
 /// (merged across worker arenas) and a [`ParReport`].
@@ -699,17 +769,48 @@ pub fn probability_dag_parallel<F>(
 where
     F: Fn(FactId) -> f64 + Sync,
 {
+    let exec = ScopedExecutor {
+        threads: policy.threads,
+    };
+    probability_dag_parallel_exec(arena, root, probs, policy, &exec)
+        .expect("ScopedExecutor runs every task")
+}
+
+/// [`probability_dag_parallel`] with a caller-supplied [`TaskExecutor`].
+///
+/// Each heavy component becomes one independently schedulable [`ParTask`]
+/// owning a private arena clone and a dense gather of its fact
+/// probabilities, so tasks are `'static` and can be queued, stolen, or
+/// dropped by the executor. Light (below-threshold) components run on the
+/// calling thread. Returns `None` if the executor skipped any task
+/// (a cancelled request); [`ScopedExecutor`] never skips.
+///
+/// The determinism contract of [`probability_dag_parallel`] holds for
+/// *every* executor: combination happens here in canonical component
+/// order, and per-component arena deltas add exactly by
+/// variable-disjointness — per-component clones sum to the same merged
+/// [`ArenaStats`] as per-worker clones or the sequential engine.
+pub fn probability_dag_parallel_exec<F>(
+    arena: &mut LineageArena,
+    root: LineageId,
+    probs: &F,
+    policy: ParallelPolicy,
+    exec: &dyn TaskExecutor,
+) -> Option<(f64, Stats, ArenaStats, ParReport)>
+where
+    F: Fn(FactId) -> f64,
+{
     if policy.threads < 2 {
         let (p, stats) = probability_dag_with_stats(arena, root, probs);
-        return (p, stats, arena.stats(), ParReport::default());
+        return Some((p, stats, arena.stats(), ParReport::default()));
     }
     fn seq_fallback<F: Fn(FactId) -> f64>(
         arena: &mut LineageArena,
         root: LineageId,
         probs: &F,
-    ) -> (f64, Stats, ArenaStats, ParReport) {
+    ) -> Option<(f64, Stats, ArenaStats, ParReport)> {
         let (p, stats) = probability_dag_with_stats(arena, root, probs);
-        (
+        Some((
             p,
             stats,
             arena.stats(),
@@ -717,7 +818,7 @@ where
                 tasks: 0,
                 fallback_seq: true,
             },
-        )
+        ))
     }
     // Peel the top-level `Not` chain: sequentially each level contributes
     // `1 − P(child)` with no counter traffic; replayed after the join.
@@ -768,54 +869,61 @@ where
         })
         .collect();
     let base = arena.stats();
-    let workers = policy.threads.min(heavy.len());
-    let mut clones: Vec<LineageArena> = (0..workers).map(|_| arena.clone()).collect();
+    // Dense gather of every fact probability under the root, shared by all
+    // tasks: the same f64 values `probs` returns, indexed by fact id, so
+    // tasks need no reference to the caller's closure to be `'static`.
+    let dense: std::sync::Arc<Vec<f64>> = {
+        let vs = arena.vars_arc(top);
+        let len = vs.iter().map(|f| f.0 as usize + 1).max().unwrap_or(0);
+        let mut d = vec![0.0f64; len];
+        for &f in vs.iter() {
+            d[f.0 as usize] = probs(f);
+        }
+        std::sync::Arc::new(d)
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let tasks: Vec<ParTask> = heavy
+        .iter()
+        .map(|&ci| {
+            let cl = arena.clone();
+            let sub = subs[ci];
+            let pv = std::sync::Arc::clone(&dense);
+            let tx = tx.clone();
+            Box::new(move || {
+                let mut cl = cl;
+                let pr = |id: FactId| pv[id.0 as usize];
+                let mut memo = DagMemo::default();
+                let mut st = Stats::default();
+                let p = prob_rec_dag(&mut cl, sub, &pr, &mut memo, &mut st);
+                let _ = tx.send((ci, p, st, cl.stats()));
+            }) as ParTask
+        })
+        .collect();
+    drop(tx);
+    // Below-threshold components run on the calling thread. They touch the
+    // owner arena only — clones were snapshotted above, so per-task deltas
+    // stay relative to `base` no matter the interleaving.
     let mut results: Vec<Option<(f64, Stats)>> = vec![None; subs.len()];
+    for (ci, &sub) in subs.iter().enumerate() {
+        if is_heavy[ci] {
+            continue;
+        }
+        let mut memo = DagMemo::default();
+        let mut st = Stats::default();
+        let p = prob_rec_dag(arena, sub, probs, &mut memo, &mut st);
+        results[ci] = Some((p, st));
+    }
+    exec.run_tasks(tasks);
     let mut worker_delta = ArenaStats::default();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = clones
-            .iter_mut()
-            .enumerate()
-            .map(|(k, cl)| {
-                let mine: Vec<(usize, LineageId)> = heavy
-                    .iter()
-                    .enumerate()
-                    .filter(|(slot, _)| slot % workers == k)
-                    .map(|(_, &ci)| (ci, subs[ci]))
-                    .collect();
-                s.spawn(move || {
-                    let evaluated: Vec<(usize, f64, Stats)> = mine
-                        .into_iter()
-                        .map(|(ci, sub)| {
-                            let mut memo = DagMemo::default();
-                            let mut st = Stats::default();
-                            let p = prob_rec_dag(cl, sub, probs, &mut memo, &mut st);
-                            (ci, p, st)
-                        })
-                        .collect();
-                    (evaluated, cl.stats())
-                })
-            })
-            .collect();
-        // below-threshold components run here while the workers fork
-        for (ci, &sub) in subs.iter().enumerate() {
-            if is_heavy[ci] {
-                continue;
-            }
-            let mut memo = DagMemo::default();
-            let mut st = Stats::default();
-            let p = prob_rec_dag(arena, sub, probs, &mut memo, &mut st);
-            results[ci] = Some((p, st));
-        }
-        for h in handles {
-            let (evaluated, cl_stats) = h.join().expect("parallel evaluator worker panicked");
-            for (ci, p, st) in evaluated {
-                results[ci] = Some((p, st));
-            }
-            worker_delta.nodes += cl_stats.nodes - base.nodes;
-            worker_delta.intern_hits += cl_stats.intern_hits - base.intern_hits;
-        }
-    });
+    for (ci, p, st, cl_stats) in rx.try_iter() {
+        results[ci] = Some((p, st));
+        worker_delta.nodes += cl_stats.nodes - base.nodes;
+        worker_delta.intern_hits += cl_stats.intern_hits - base.intern_hits;
+    }
+    if results.iter().any(|r| r.is_none()) {
+        // the executor skipped at least one task (cancelled request)
+        return None;
+    }
     // Combine in canonical component order — the sequential multiplication
     // order — so the f64 result is bit-for-bit the sequential one.
     let mut acc = 1.0;
@@ -835,7 +943,7 @@ where
         nodes: main_stats.nodes + worker_delta.nodes,
         intern_hits: main_stats.intern_hits + worker_delta.intern_hits,
     };
-    (
+    Some((
         p,
         stats,
         merged,
@@ -843,7 +951,7 @@ where
             tasks: heavy.len(),
             fallback_seq: false,
         },
-    )
+    ))
 }
 
 #[cfg(test)]

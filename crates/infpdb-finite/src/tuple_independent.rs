@@ -225,6 +225,23 @@ impl TiTable {
         Instance::from_ids(ids)
     }
 
+    /// [`sample`](Self::sample) into a dense world vector: after the call
+    /// `present[i]` says whether fact id `i` was drawn.
+    ///
+    /// Draws exactly one `u64` per fact in id order — the identical RNG
+    /// consumption as `sample`, so for the same generator state the two
+    /// produce the same world. The buffer is reused across calls; paired
+    /// with [`LineageArena::eval_flat`](crate::LineageArena::eval_flat)
+    /// the Monte-Carlo inner loop becomes a flat slice pass with no
+    /// per-sample allocation.
+    pub fn sample_into<R: RngCore>(&self, rng: &mut R, present: &mut Vec<bool>) {
+        present.clear();
+        present.extend(self.probs.iter().map(|&p| {
+            let u = rng.next_u64() as f64 / u64::MAX as f64;
+            u < p
+        }));
+    }
+
     /// Materializes the full world space (the finite PDB this table
     /// represents). Errors beyond [`MAX_ENUM_FACTS`] facts.
     pub fn worlds(&self) -> Result<FinitePdb, FiniteError> {
@@ -443,6 +460,28 @@ mod tests {
         }
         assert!((counts[0] as f64 / n as f64 - 0.2).abs() < 0.02);
         assert!((counts[1] as f64 / n as f64 - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn sample_into_consumes_rng_identically_to_sample() {
+        let t = table(&[0.2, 0.9, 0.5, 0.0, 1.0]);
+        let mut a = SplitMix64::new(31337);
+        let mut b = SplitMix64::new(31337);
+        let mut present = Vec::new();
+        for round in 0..200 {
+            let world = t.sample(&mut a);
+            t.sample_into(&mut b, &mut present);
+            assert_eq!(present.len(), t.len());
+            for i in 0..t.len() as u32 {
+                assert_eq!(
+                    present[i as usize],
+                    world.contains(FactId(i)),
+                    "round {round}, fact {i}"
+                );
+            }
+        }
+        // the generators stayed in lockstep the whole way
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Engine-level flat-kernel equivalence smoke: 256 seeded cases pinning
+//! the all-single-fact fast path (`var_product`, now a flat slice kernel)
+//! bit-for-bit against the fused log-space reference, through both the
+//! tree and DAG Shannon engines. Run by CI's kernel-equivalence step.
+
+use infpdb_core::fact::FactId;
+use infpdb_core::space::rand_core::SplitMix64;
+use infpdb_finite::shannon::{probability, probability_dag};
+use infpdb_finite::{Lineage, LineageArena};
+use infpdb_math::KahanSum;
+
+fn unit(rng: &mut SplitMix64) -> f64 {
+    use infpdb_core::space::rand_core::RngCore;
+    ((rng.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+fn fused_and(ps: &[f64]) -> f64 {
+    let mut acc = KahanSum::new();
+    for &p in ps {
+        acc.add(p.ln());
+    }
+    acc.value().exp()
+}
+
+fn fused_or(ps: &[f64]) -> f64 {
+    let mut acc = KahanSum::new();
+    for &p in ps {
+        acc.add((-p).ln_1p());
+    }
+    1.0 - acc.value().exp()
+}
+
+#[test]
+fn var_product_fast_path_matches_fused_reference_on_256_seeded_cases() {
+    for case in 0u64..256 {
+        let mut rng = SplitMix64::new(case);
+        let n = 2 + (case % 39) as usize;
+        let ps: Vec<f64> = (0..n).map(|_| unit(&mut rng)).collect();
+        let pr = |f: FactId| ps[f.0 as usize];
+        let vars: Vec<Lineage> = (0..n as u32).map(|i| Lineage::Var(FactId(i))).collect();
+
+        let or = Lineage::or(vars.clone());
+        let and = Lineage::and(vars);
+        assert_eq!(
+            probability(&or, &pr).to_bits(),
+            fused_or(&ps).to_bits(),
+            "case {case}: tree Or, n={n}"
+        );
+        assert_eq!(
+            probability(&and, &pr).to_bits(),
+            fused_and(&ps).to_bits(),
+            "case {case}: tree And, n={n}"
+        );
+
+        let mut arena = LineageArena::new();
+        let or_id = arena.from_lineage(&or);
+        let and_id = arena.from_lineage(&and);
+        assert_eq!(
+            probability_dag(&mut arena, or_id, &pr).to_bits(),
+            fused_or(&ps).to_bits(),
+            "case {case}: DAG Or, n={n}"
+        );
+        assert_eq!(
+            probability_dag(&mut arena, and_id, &pr).to_bits(),
+            fused_and(&ps).to_bits(),
+            "case {case}: DAG And, n={n}"
+        );
+    }
+}

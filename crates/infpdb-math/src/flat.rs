@@ -1,0 +1,142 @@
+//! Flat slice kernels for the hot numeric loops.
+//!
+//! The engines' inner loops (Prop 6.1 truncation products, Shannon leaf
+//! products, compensated tail sums) were originally written as iterator
+//! folds that interleave a transcendental map (`ln`, `ln_1p`) with the
+//! serial Neumaier compensation chain. That shape pins every element to
+//! the loop-carried compensation state, so nothing vectorizes and the
+//! scalar `ln` call sits on the critical path of the fold.
+//!
+//! This module splits each such loop into two passes over contiguous
+//! `f64` slices:
+//!
+//! 1. a **map** pass (`ln` / `ln(1−p)` element-wise into a caller-owned
+//!    scratch buffer) with no loop-carried dependency — the surrounding
+//!    gather/store code autovectorizes and the libm calls pipeline;
+//! 2. a **fold** pass ([`kahan_sum`]) that is bit-for-bit the same
+//!    sequential Neumaier recurrence as [`crate::KahanSum`].
+//!
+//! Because the per-element function and the fold order are unchanged,
+//! every kernel here produces the *same f64 bit pattern* as the fused
+//! loop it replaces — the determinism contract the serve layer pins in
+//! CI. The equivalence is property-tested in `tests/flat_kernels.rs`
+//! and re-checked against the live engines by the kernel-equivalence
+//! smoke in the main CI test job.
+//!
+//! See `DESIGN.md` §13 for the measured effect and an honest note on
+//! what does and does not vectorize here.
+
+use crate::KahanSum;
+
+/// Default block length for chunked gather-map-fold loops.
+///
+/// 4096 doubles = 32 KiB per scratch buffer: two buffers (terms + logs)
+/// fit comfortably in L1/L2 while amortizing the per-block bookkeeping.
+pub const BLOCK: usize = 4096;
+
+/// Sequential Neumaier fold over a slice.
+///
+/// Bit-for-bit identical to pushing each element through
+/// [`KahanSum::add`] in order (it is exactly that loop); kept here so
+/// the map and fold passes of a flattened kernel read side by side.
+#[inline]
+pub fn kahan_sum(xs: &[f64]) -> f64 {
+    let mut acc = KahanSum::new();
+    acc.add_slice(xs);
+    acc.value()
+}
+
+/// Element-wise `ln` into `out` (cleared and refilled).
+///
+/// No loop-carried state: each `out[i]` depends only on `ps[i]`.
+#[inline]
+pub fn map_ln(ps: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(ps.iter().map(|&p| p.ln()));
+}
+
+/// Element-wise `ln(1 − p)` via `ln_1p(−p)` into `out` (cleared and
+/// refilled). Same per-element expression as the fused truncation and
+/// Shannon `Or` loops.
+#[inline]
+pub fn map_ln1p_neg(ps: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(ps.iter().map(|&p| (-p).ln_1p()));
+}
+
+/// `∏ pᵢ = exp(Σ ln pᵢ)` over a probability slice — the Shannon `And`
+/// leaf product. `scratch` is a reusable log buffer.
+///
+/// Bit-identical to folding `p.ln()` through a fresh [`KahanSum`] and
+/// exponentiating.
+#[inline]
+pub fn log_product(ps: &[f64], scratch: &mut Vec<f64>) -> f64 {
+    map_ln(ps, scratch);
+    kahan_sum(scratch).exp()
+}
+
+/// `1 − ∏ (1 − pᵢ)` over a probability slice — the Shannon `Or` leaf
+/// product (probability that at least one independent event fires).
+///
+/// Bit-identical to folding `(-p).ln_1p()` through a fresh
+/// [`KahanSum`], exponentiating, and complementing.
+#[inline]
+pub fn log_product_one_minus(ps: &[f64], scratch: &mut Vec<f64>) -> f64 {
+    map_ln1p_neg(ps, scratch);
+    1.0 - kahan_sum(scratch).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_sum(xs: &[f64]) -> f64 {
+        let mut acc = KahanSum::new();
+        for &x in xs {
+            acc.add(x);
+        }
+        acc.value()
+    }
+
+    #[test]
+    fn kahan_sum_matches_elementwise_fold_bitwise() {
+        let xs: Vec<f64> = (0..1000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        assert_eq!(kahan_sum(&xs).to_bits(), reference_sum(&xs).to_bits());
+        assert_eq!(kahan_sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn log_product_matches_fused_loop_bitwise() {
+        let ps: Vec<f64> = (0..257).map(|i| 0.3 + 0.6 * (i as f64 / 256.0)).collect();
+        let mut scratch = Vec::new();
+        let flat = log_product(&ps, &mut scratch);
+        let mut acc = KahanSum::new();
+        for &p in &ps {
+            acc.add(p.ln());
+        }
+        assert_eq!(flat.to_bits(), acc.value().exp().to_bits());
+    }
+
+    #[test]
+    fn log_product_one_minus_matches_fused_loop_bitwise() {
+        let ps: Vec<f64> = (0..129).map(|i| 0.9 * (i as f64 / 128.0)).collect();
+        let mut scratch = Vec::new();
+        let flat = log_product_one_minus(&ps, &mut scratch);
+        let mut acc = KahanSum::new();
+        for &p in &ps {
+            acc.add((-p).ln_1p());
+        }
+        assert_eq!(flat.to_bits(), (1.0 - acc.value().exp()).to_bits());
+    }
+
+    #[test]
+    fn scratch_is_reused_across_calls() {
+        let mut scratch = Vec::new();
+        let a = log_product(&[0.5, 0.5], &mut scratch);
+        assert_eq!(scratch.len(), 2);
+        let b = log_product(&[0.25], &mut scratch);
+        assert_eq!(scratch.len(), 1);
+        assert!((a - 0.25).abs() < 1e-15);
+        assert!((b - 0.25).abs() < 1e-15);
+    }
+}

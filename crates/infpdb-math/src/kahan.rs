@@ -54,6 +54,21 @@ impl KahanSum {
         self.sum + self.compensation
     }
 
+    /// Adds every element of a slice, in order.
+    ///
+    /// Exactly the [`add`](Self::add) recurrence unrolled over contiguous
+    /// memory — bit-for-bit the same result as the element-wise loop.
+    /// This is the fold half of the flattened kernels in [`crate::flat`]:
+    /// the compensation chain is inherently serial, so the speedup of a
+    /// flattened kernel comes from the *map* pass it was split from, not
+    /// from this fold.
+    #[inline]
+    pub fn add_slice(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
     /// Sums an iterator of terms with compensation.
     pub fn sum_iter<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
         let mut s = Self::new();
@@ -127,6 +142,20 @@ mod tests {
         let a = KahanSum::sum_iter(xs.iter().copied());
         let s: KahanSum = xs.iter().copied().collect();
         assert_eq!(a, s.value());
+    }
+
+    #[test]
+    fn add_slice_matches_elementwise_adds() {
+        let xs: Vec<f64> = (1..=257).map(|i| 1.0 / i as f64).collect();
+        let mut a = KahanSum::with_value(0.5);
+        let mut b = KahanSum::with_value(0.5);
+        a.add_slice(&xs);
+        for &x in &xs {
+            b.add(x);
+        }
+        assert_eq!(a.value().to_bits(), b.value().to_bits());
+        a.add_slice(&[]);
+        assert_eq!(a.value().to_bits(), b.value().to_bits());
     }
 
     #[test]

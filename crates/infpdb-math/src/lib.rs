@@ -22,10 +22,14 @@
 //!   together with a certified bound on its tail mass; the paper's
 //!   convergence condition (8) becomes "the tail bound is finite".
 //! * [`products`] — bounds on `∏_{i>n}(1−p_i)` via the paper's claim (∗).
+//! * [`flat`] — the same log-space products and compensated folds as flat
+//!   slice kernels (map pass + sequential fold), bit-identical to the fused
+//!   loops but shaped so the map half autovectorizes.
 //! * [`pairing`] — the Cantor pairing function and the `Σ* ↔ ℕ` bijection
 //!   used in the proof of Proposition 6.2.
 
 pub mod borel_cantelli;
+pub mod flat;
 pub mod interval;
 pub mod kahan;
 pub mod logprob;

@@ -19,15 +19,7 @@ use crate::{KahanSum, LogProb, MathError, ProbInterval};
 /// Exact (up to rounding) prefix product `∏_{i<n} (1 − term(i))` in
 /// log-space.
 pub fn prefix_product_one_minus<S: ProbSeries>(series: &S, n: usize) -> LogProb {
-    let mut acc = KahanSum::new();
-    for i in 0..n {
-        let p = series.term(i);
-        if p >= 1.0 {
-            return LogProb::ZERO;
-        }
-        acc.add((-p).ln_1p());
-    }
-    LogProb::from_ln(acc.value().min(0.0)).expect("log of product of probabilities is ≤ 0")
+    prefix_range_product(series, 0, n)
 }
 
 /// Certified enclosure of the tail product `∏_{i≥n} (1 − term(i))`.
@@ -76,14 +68,33 @@ pub fn product_one_minus<S: ProbSeries>(
 }
 
 /// `∏_{a≤i<b} (1 − term(i))` in log space.
+///
+/// Flattened (see [`crate::flat`]): terms are gathered block-wise into a
+/// contiguous scratch buffer, `ln(1−p)` is mapped over the block with no
+/// loop-carried state, and the block is folded through the sequential
+/// Neumaier recurrence. Each term sees the identical per-element function
+/// in the identical fold order as the original fused loop, so the result
+/// is bit-for-bit unchanged; a term `≥ 1` still short-circuits to zero
+/// before any later term is pulled from the series.
 fn prefix_range_product<S: ProbSeries>(series: &S, a: usize, b: usize) -> LogProb {
     let mut acc = KahanSum::new();
-    for i in a..b {
-        let p = series.term(i);
-        if p >= 1.0 {
-            return LogProb::ZERO;
+    let block = crate::flat::BLOCK.min(b.saturating_sub(a));
+    let mut terms: Vec<f64> = Vec::with_capacity(block);
+    let mut logs: Vec<f64> = Vec::with_capacity(block);
+    let mut i = a;
+    while i < b {
+        let end = (i + crate::flat::BLOCK).min(b);
+        terms.clear();
+        for j in i..end {
+            let p = series.term(j);
+            if p >= 1.0 {
+                return LogProb::ZERO;
+            }
+            terms.push(p);
         }
-        acc.add((-p).ln_1p());
+        crate::flat::map_ln1p_neg(&terms, &mut logs);
+        acc.add_slice(&logs);
+        i = end;
     }
     LogProb::from_ln(acc.value().min(0.0)).expect("range product is a probability")
 }
@@ -209,6 +220,40 @@ mod tests {
         // For tiny p, ∏(1−p) ≈ e^{−∑p}, so the 3/2 bound is within a factor
         // e^{∑p/2} ≈ 1.01.
         assert!(prod / bound < 1.011);
+    }
+
+    #[test]
+    fn flattened_prefix_product_matches_fused_loop_bitwise() {
+        // the pre-flattening shape: map and fold interleaved per element
+        fn fused<S: ProbSeries>(series: &S, n: usize) -> LogProb {
+            let mut acc = KahanSum::new();
+            for i in 0..n {
+                let p = series.term(i);
+                if p >= 1.0 {
+                    return crate::LogProb::ZERO;
+                }
+                acc.add((-p).ln_1p());
+            }
+            LogProb::from_ln(acc.value().min(0.0)).unwrap()
+        }
+        let g = GeometricSeries::new(0.4, 0.999).unwrap();
+        let z = ZetaSeries::basel();
+        // block boundaries (4095/4096/4097) are the interesting cases
+        for n in [0usize, 1, 7, 4095, 4096, 4097, 10_000] {
+            assert_eq!(
+                prefix_product_one_minus(&g, n).ln().to_bits(),
+                fused(&g, n).ln().to_bits(),
+                "geometric n={n}"
+            );
+            assert_eq!(
+                prefix_product_one_minus(&z, n).ln().to_bits(),
+                fused(&z, n).ln().to_bits(),
+                "zeta n={n}"
+            );
+        }
+        // a certain fact still zeroes the product without pulling later terms
+        let s = FiniteSeries::new(vec![0.5, 1.0, 0.5]).unwrap();
+        assert!(prefix_product_one_minus(&s, 3).is_zero());
     }
 
     #[test]

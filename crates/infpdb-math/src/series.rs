@@ -68,11 +68,26 @@ pub trait ProbSeries {
     }
 
     /// Compensated partial sum `∑_{i<n} term(i)`.
+    ///
+    /// Flattened (see [`crate::flat`]): terms are gathered block-wise into
+    /// contiguous scratch and folded with [`KahanSum::add_slice`] — the
+    /// same terms in the same order as the fused iterator fold, so the
+    /// result is bit-for-bit unchanged.
     fn partial_sum(&self, n: usize) -> f64
     where
         Self: Sized,
     {
-        KahanSum::sum_iter((0..n).map(|i| self.term(i)))
+        let mut acc = KahanSum::new();
+        let mut terms: Vec<f64> = Vec::with_capacity(crate::flat::BLOCK.min(n));
+        let mut i = 0usize;
+        while i < n {
+            let end = (i + crate::flat::BLOCK).min(n);
+            terms.clear();
+            terms.extend((i..end).map(|j| self.term(j)));
+            acc.add_slice(&terms);
+            i = end;
+        }
+        acc.value()
     }
 
     /// A certified enclosure of the total sum: `[partial_n, partial_n +
@@ -592,6 +607,24 @@ mod tests {
         assert_eq!(p.len(), 4);
         assert_eq!(p.term(0), 0.5);
         assert!((p.tail_upper(0).finite().unwrap() - 0.9375).abs() < 1e-15);
+    }
+
+    #[test]
+    fn partial_sum_matches_fused_iterator_fold_bitwise() {
+        let g = GeometricSeries::new(0.5, 0.999).unwrap();
+        let z = ZetaSeries::basel();
+        for n in [0usize, 1, 3, 4095, 4096, 4097, 9000] {
+            assert_eq!(
+                g.partial_sum(n).to_bits(),
+                KahanSum::sum_iter((0..n).map(|i| g.term(i))).to_bits(),
+                "geometric n={n}"
+            );
+            assert_eq!(
+                z.partial_sum(n).to_bits(),
+                KahanSum::sum_iter((0..n).map(|i| z.term(i))).to_bits(),
+                "zeta n={n}"
+            );
+        }
     }
 
     #[test]

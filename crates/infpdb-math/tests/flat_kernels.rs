@@ -1,0 +1,85 @@
+//! Flat-kernel equivalence smoke: 256 seeded random cases pinning the
+//! slice kernels of `infpdb_math::flat` bit-for-bit against the fused
+//! reference loops they replaced. Run by CI's kernel-equivalence step.
+
+use infpdb_math::{flat, KahanSum};
+
+/// Minimal SplitMix64 so this crate needs no RNG dependency.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `(0, 1)` — avoids the p = 0/1 edge so `ln` stays finite.
+    fn unit(&mut self) -> f64 {
+        ((self.next() >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+    }
+}
+
+fn fused_log_product(ps: &[f64]) -> f64 {
+    let mut acc = KahanSum::new();
+    for &p in ps {
+        acc.add(p.ln());
+    }
+    acc.value().exp()
+}
+
+fn fused_log_product_one_minus(ps: &[f64]) -> f64 {
+    let mut acc = KahanSum::new();
+    for &p in ps {
+        acc.add((-p).ln_1p());
+    }
+    1.0 - acc.value().exp()
+}
+
+#[test]
+fn flat_kernels_match_fused_references_on_256_seeded_cases() {
+    let mut scratch = Vec::new();
+    for case in 0u64..256 {
+        let mut rng = SplitMix(case.wrapping_mul(0x5851_F42D_4C95_7F2D) + 1);
+        // lengths hit the empty, tiny, and multi-block regimes
+        let n = match case % 8 {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            3 => 17,
+            4 => 255,
+            5 => flat::BLOCK - 1,
+            6 => flat::BLOCK,
+            _ => flat::BLOCK + 3,
+        };
+        let ps: Vec<f64> = (0..n).map(|_| rng.unit()).collect();
+
+        let and = flat::log_product(&ps, &mut scratch);
+        assert_eq!(
+            and.to_bits(),
+            fused_log_product(&ps).to_bits(),
+            "case {case}: log_product, n={n}"
+        );
+
+        let or = flat::log_product_one_minus(&ps, &mut scratch);
+        assert_eq!(
+            or.to_bits(),
+            fused_log_product_one_minus(&ps).to_bits(),
+            "case {case}: log_product_one_minus, n={n}"
+        );
+
+        // signed summands for the bare fold
+        let xs: Vec<f64> = ps.iter().map(|&p| (p - 0.5) * 1e3).collect();
+        let mut elementwise = KahanSum::new();
+        for &x in &xs {
+            elementwise.add(x);
+        }
+        assert_eq!(
+            flat::kahan_sum(&xs).to_bits(),
+            elementwise.value().to_bits(),
+            "case {case}: kahan_sum, n={n}"
+        );
+    }
+}

@@ -63,9 +63,13 @@ pub struct NetBenchRow {
     pub p50_us: u64,
     /// 99th-percentile request latency in microseconds.
     pub p99_us: u64,
-    /// Sustained throughput over the whole level, in queries/sec
-    /// (repeated on each of the level's rows).
+    /// This query's own throughput: requests for this cell over the
+    /// level's wall-clock, in queries/sec. (Schema v1 mistakenly
+    /// repeated the level aggregate here on every row.)
     pub qps: f64,
+    /// Aggregate throughput of the whole connection level (all queries
+    /// together), identical on each of the level's rows.
+    pub level_qps: f64,
 }
 
 /// The full sweep.
@@ -97,11 +101,12 @@ impl NetBenchReport {
                     ("p50_us", Json::Int(r.p50_us as i64)),
                     ("p99_us", Json::Int(r.p99_us as i64)),
                     ("qps", Json::Float(r.qps)),
+                    ("level_qps", Json::Float(r.level_qps)),
                 ])
             })
             .collect();
         Json::obj([
-            ("schema", Json::str("infpdb-net-bench/v1")),
+            ("schema", Json::str("infpdb-net-bench/v2")),
             ("date", Json::str(date)),
             ("impl", Json::str("infpdb")),
             ("smoke", Json::Bool(smoke)),
@@ -118,16 +123,16 @@ impl NetBenchReport {
         let mut out = String::new();
         writeln!(
             out,
-            "{:>5}  {:<40}  {:>8}  {:>9}  {:>9}  {:>10}",
-            "conns", "query", "reqs", "p50 (us)", "p99 (us)", "qps"
+            "{:>5}  {:<40}  {:>8}  {:>9}  {:>9}  {:>10}  {:>10}",
+            "conns", "query", "reqs", "p50 (us)", "p99 (us)", "qps", "level qps"
         )
         .ok();
         for r in &self.rows {
             let q: String = r.query.chars().take(40).collect();
             writeln!(
                 out,
-                "{:>5}  {:<40}  {:>8}  {:>9}  {:>9}  {:>10.1}",
-                r.connections, q, r.requests, r.p50_us, r.p99_us, r.qps
+                "{:>5}  {:<40}  {:>8}  {:>9}  {:>9}  {:>10.1}  {:>10.1}",
+                r.connections, q, r.requests, r.p50_us, r.p99_us, r.qps, r.level_qps
             )
             .ok();
         }
@@ -213,7 +218,7 @@ pub fn run(server: &HttpServer, config: &NetBenchConfig) -> Result<NetBenchRepor
         }
         let wall = started.elapsed().as_secs_f64().max(1e-9);
         let level_requests: usize = requests.iter().sum();
-        let qps = level_requests as f64 / wall;
+        let level_qps = level_requests as f64 / wall;
         for (qi, q) in config.queries.iter().enumerate() {
             lat[qi].sort_unstable();
             total_failed += failed[qi];
@@ -226,7 +231,9 @@ pub fn run(server: &HttpServer, config: &NetBenchConfig) -> Result<NetBenchRepor
                 mismatched: mismatched[qi],
                 p50_us: percentile(&lat[qi], 50.0),
                 p99_us: percentile(&lat[qi], 99.0),
-                qps,
+                // per-row: this query's share of the level's wall-clock
+                qps: requests[qi] as f64 / wall,
+                level_qps,
             });
         }
     }
@@ -349,7 +356,8 @@ mod tests {
                 mismatched: 0,
                 p50_us: 120,
                 p99_us: 480,
-                qps: 812.5,
+                qps: 203.125,
+                level_qps: 812.5,
             }],
             total_failed: 0,
             total_mismatched: 0,
@@ -358,13 +366,14 @@ mod tests {
         let doc = Json::parse(&text).unwrap();
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some("infpdb-net-bench/v1")
+            Some("infpdb-net-bench/v2")
         );
         assert_eq!(doc.get("smoke").and_then(Json::as_bool), Some(true));
         let rows = doc.get("rows").and_then(Json::as_array).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get("connections").and_then(Json::as_i64), Some(4));
-        assert_eq!(rows[0].get("qps").and_then(Json::as_f64), Some(812.5));
+        assert_eq!(rows[0].get("qps").and_then(Json::as_f64), Some(203.125));
+        assert_eq!(rows[0].get("level_qps").and_then(Json::as_f64), Some(812.5));
         let table = report.summary_table();
         assert!(table.contains("E x (R(x))"));
         assert!(table.contains("bitwise mismatches: 0"));

@@ -11,7 +11,7 @@ use infpdb_net::promtext;
 use infpdb_net::server::{HttpServer, ServerConfig};
 use infpdb_net::{NetBenchConfig, QuotaConfig};
 use infpdb_serve::service::{QueryRequest, QueryService};
-use infpdb_serve::ServiceConfig;
+use infpdb_serve::{SchedulerKind, ServiceConfig};
 use infpdb_ti::construction::CountableTiPdb;
 use infpdb_ti::enumerator::FactSupply;
 use std::time::Duration;
@@ -318,6 +318,51 @@ fn metrics_scrape_parses_cleanly_after_chaos() {
     assert!(parsed.value("net_quota_rejections_total").unwrap() >= 1.0);
     assert!(!parsed.family("serve_wait_micros").is_empty());
     server.shutdown();
+}
+
+/// A stealing-scheduler service behind the front door: the scheduler
+/// counters show up on `/metrics`, the labelled per-worker family
+/// passes the exposition linter, and the answers match the fixed
+/// scheduler's bit for bit over HTTP.
+#[test]
+fn stealing_scheduler_metrics_pass_the_linter() {
+    let svc = QueryService::new(
+        pdb(),
+        ServiceConfig {
+            threads: 2,
+            parallelism: 2,
+            scheduler: SchedulerKind::Stealing,
+            ..ServiceConfig::default()
+        },
+    );
+    let server = HttpServer::start(svc, ServerConfig::default(), "127.0.0.1:0").unwrap();
+    let base = BaseUrl::parse(&format!("http://{}", server.addr())).unwrap();
+    let mut estimates = Vec::new();
+    for q in QUERIES {
+        let resp = post(&base, "/query", &query_body(q, 1e-3));
+        assert_eq!(resp.status, 200, "{q}");
+        let doc = Json::parse(resp.body_utf8().unwrap()).unwrap();
+        estimates.push(doc.get("estimate").and_then(Json::as_f64).unwrap());
+    }
+    let scrape = get(&base, "/metrics");
+    let text = scrape.body_utf8().unwrap();
+    let parsed = promtext::parse_scrape(text).expect("scrape must parse");
+    let problems = promtext::lint(&parsed);
+    assert!(problems.is_empty(), "lint problems: {problems:?}");
+    assert!(parsed.value("serve_steals_total").is_some());
+    assert_eq!(parsed.value("serve_injector_depth"), Some(0.0));
+    let workers = parsed.family("serve_worker_tasks_total");
+    assert_eq!(workers.len(), 2, "one labelled sample per pool worker");
+    server.shutdown();
+    // same queries through a fixed-scheduler server: bit-equal answers
+    let (fixed_server, fixed_base) = start(ServerConfig::default(), 2);
+    for (q, want) in QUERIES.iter().zip(estimates) {
+        let resp = post(&fixed_base, "/query", &query_body(q, 1e-3));
+        let doc = Json::parse(resp.body_utf8().unwrap()).unwrap();
+        let got = doc.get("estimate").and_then(Json::as_f64).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits(), "{q}");
+    }
+    fixed_server.shutdown();
 }
 
 /// `/warm` grounds the prefix and reports how many facts were

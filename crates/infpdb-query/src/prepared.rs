@@ -248,23 +248,67 @@ pub fn execute_prepared_par(
     cancel: &CancelToken,
     partial_policy: PartialOnCancel,
 ) -> Result<(Approximation, EvalTrace), QueryError> {
+    execute_prepared_exec(
+        prepared,
+        query,
+        eps,
+        finite_engine,
+        parallelism,
+        cancel,
+        partial_policy,
+        None,
+    )
+}
+
+/// [`execute_prepared_par`] with a caller-supplied
+/// [`TaskExecutor`](infpdb_finite::shannon::TaskExecutor) for the finite
+/// evaluation's component tasks (the serve layer passes its work-stealing
+/// scheduler here). An executor that *skips* tasks — because `cancel`
+/// fired while they were queued — surfaces as the usual
+/// [`QueryError::Cancelled`], including the sound-partial-answer path;
+/// with `exec = None` behavior is bit-for-bit `execute_prepared_par`.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_prepared_exec(
+    prepared: &PreparedPdb,
+    query: &Formula,
+    eps: f64,
+    finite_engine: Engine,
+    parallelism: usize,
+    cancel: &CancelToken,
+    partial_policy: PartialOnCancel,
+    exec: Option<&dyn infpdb_finite::shannon::TaskExecutor>,
+) -> Result<(Approximation, EvalTrace), QueryError> {
     let (kind, facts_processed, partial_table) = match prepared.prefix_for(eps, cancel)? {
         PreparedPrefix::Complete { truncation, table } => {
             // last checkpoint before the engine: don't start a run whose
             // budget is already spent (mirrors the one-shot path)
             match cancel.check() {
                 Ok(()) => {
-                    let (estimate, trace) =
-                        engine::prob_boolean_traced_par(query, &table, finite_engine, parallelism)?;
-                    return Ok((
-                        Approximation {
-                            estimate,
-                            eps,
-                            n: truncation.n,
-                            tail_mass: truncation.tail_mass,
-                        },
-                        trace,
-                    ));
+                    match engine::prob_boolean_traced_exec(
+                        query,
+                        &table,
+                        finite_engine,
+                        parallelism,
+                        exec,
+                    )? {
+                        Some((estimate, trace)) => {
+                            return Ok((
+                                Approximation {
+                                    estimate,
+                                    eps,
+                                    n: truncation.n,
+                                    tail_mass: truncation.tail_mass,
+                                },
+                                trace,
+                            ));
+                        }
+                        // the executor skipped component tasks: the
+                        // request was cancelled while they were queued
+                        None => {
+                            let kind = cancel.cancelled_kind().unwrap_or(CancelKind::Explicit);
+                            (kind, truncation.n, (*table).clone())
+                        }
+                    }
                 }
                 Err(kind) => (kind, truncation.n, (*table).clone()),
             }

@@ -86,7 +86,7 @@ pub use admission::{CostBudget, DegradePolicy};
 pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use faults::{FaultInjector, FaultKind, Trigger};
 pub use metrics::Metrics;
-pub use pool::{OverflowPolicy, PoolConfig};
+pub use pool::{OverflowPolicy, PoolConfig, SchedulerKind, StealingExecutor};
 pub use service::{QueryRequest, QueryResponse, QueryService, RetryPolicy, ServiceConfig, Ticket};
 
 use infpdb_query::approx::Approximation;

@@ -162,6 +162,16 @@ pub struct Metrics {
     pub store_recovered_facts_dropped: AtomicU64,
     /// Jobs currently queued, waiting for a worker.
     pub queue_depth: AtomicU64,
+    /// Component subtasks taken from another worker's deque by the
+    /// work-stealing scheduler.
+    pub steals: AtomicU64,
+    /// Subtasks currently parked in the stealing scheduler's shared
+    /// injector (pushed by non-worker threads), waiting for any worker.
+    pub injector_depth: AtomicU64,
+    /// Subtasks executed per pool worker, initialized by a
+    /// work-stealing pool at spawn time (absent under the fixed
+    /// scheduler, so fixed-pool dumps carry no per-worker lines).
+    pub worker_tasks: std::sync::OnceLock<Vec<AtomicU64>>,
     /// Time from submission to the start of evaluation.
     pub wait: LatencyHistogram,
     /// Evaluation time (admission + engine), excluding queue wait.
@@ -266,6 +276,18 @@ impl Metrics {
         )
         .ok();
         writeln!(out, "serve_queue_depth {}", c(&self.queue_depth)).ok();
+        writeln!(out, "serve_steals_total {}", c(&self.steals)).ok();
+        writeln!(out, "serve_injector_depth {}", c(&self.injector_depth)).ok();
+        if let Some(per_worker) = self.worker_tasks.get() {
+            for (i, tasks) in per_worker.iter().enumerate() {
+                writeln!(
+                    out,
+                    "serve_worker_tasks_total{{worker=\"{i}\"}} {}",
+                    c(tasks)
+                )
+                .ok();
+            }
+        }
         self.wait.dump_into("serve_wait_micros", &mut out);
         self.run.dump_into("serve_run_micros", &mut out);
         if arena_stats {
@@ -436,6 +458,11 @@ impl Metrics {
             "Facts dropped past the last recoverable prefix during store opens.",
             c(&self.store_recovered_facts_dropped),
         );
+        counter(
+            "serve_steals_total",
+            "Component subtasks taken from another worker's deque by the work-stealing scheduler.",
+            c(&self.steals),
+        );
         writeln!(
             out,
             "# HELP serve_queue_depth Jobs currently queued, waiting for a worker."
@@ -443,6 +470,29 @@ impl Metrics {
         .ok();
         writeln!(out, "# TYPE serve_queue_depth gauge").ok();
         writeln!(out, "serve_queue_depth {}", c(&self.queue_depth)).ok();
+        writeln!(
+            out,
+            "# HELP serve_injector_depth Subtasks parked in the work-stealing injector."
+        )
+        .ok();
+        writeln!(out, "# TYPE serve_injector_depth gauge").ok();
+        writeln!(out, "serve_injector_depth {}", c(&self.injector_depth)).ok();
+        if let Some(per_worker) = self.worker_tasks.get() {
+            writeln!(
+                out,
+                "# HELP serve_worker_tasks_total Subtasks executed per pool worker."
+            )
+            .ok();
+            writeln!(out, "# TYPE serve_worker_tasks_total counter").ok();
+            for (i, tasks) in per_worker.iter().enumerate() {
+                writeln!(
+                    out,
+                    "serve_worker_tasks_total{{worker=\"{i}\"}} {}",
+                    c(tasks)
+                )
+                .ok();
+            }
+        }
         self.wait.prometheus_into(
             "serve_wait_micros",
             "Time from submission to the start of evaluation, in microseconds.",
@@ -530,11 +580,24 @@ mod tests {
             "store_checksum_failures_total 0",
             "store_recovered_facts_dropped_total 0",
             "serve_queue_depth 0",
+            "serve_steals_total 0",
+            "serve_injector_depth 0",
             "serve_wait_micros_count 0",
             "serve_run_micros_count 0",
         ] {
             assert!(dump.contains(name), "missing {name:?} in:\n{dump}");
         }
+        // per-worker counters only exist once a stealing pool sized them
+        assert!(!dump.contains("serve_worker_tasks_total"));
+        m.worker_tasks.get_or_init(|| {
+            (0..2)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<AtomicU64>>()
+        });
+        m.worker_tasks.get().unwrap()[1].fetch_add(5, Ordering::Relaxed);
+        let labelled = m.dump();
+        assert!(labelled.contains("serve_worker_tasks_total{worker=\"0\"} 0"));
+        assert!(labelled.contains("serve_worker_tasks_total{worker=\"1\"} 5"));
         // arena statistics only appear when asked for
         assert!(!dump.contains("serve_arena_nodes_total"));
         let full = m.dump_opts(true);
@@ -554,6 +617,12 @@ mod tests {
         let m = Metrics::new();
         m.submitted.fetch_add(3, Ordering::Relaxed);
         m.wait.record(Duration::from_micros(5));
+        m.steals.fetch_add(2, Ordering::Relaxed);
+        m.worker_tasks.get_or_init(|| {
+            (0..3)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<AtomicU64>>()
+        });
         let prom = m.prometheus(true);
         for line in m.dump_opts(true).lines() {
             let name = line.split_whitespace().next().unwrap();
@@ -564,10 +633,13 @@ mod tests {
                 base.to_string()
             } else if let Some(i) = name.find("_bucket{") {
                 name[..i].to_string()
+            } else if let Some(i) = name.find('{') {
+                // labelled samples (e.g. serve_worker_tasks_total{worker="0"})
+                name[..i].to_string()
             } else {
                 name.to_string()
             };
-            let kind = if family == "serve_queue_depth" {
+            let kind = if family == "serve_queue_depth" || family == "serve_injector_depth" {
                 "gauge"
             } else if family.ends_with("_micros") {
                 "histogram"
@@ -587,6 +659,12 @@ mod tests {
         assert!(prom.contains("serve_wait_micros_sum 5"));
         assert!(prom.contains("serve_wait_micros_count 1"));
         assert!(prom.contains("serve_requests_submitted_total 3"));
+        assert!(prom.contains("serve_steals_total 2"));
+        assert!(prom.contains("# TYPE serve_injector_depth gauge"));
+        // the labelled per-worker family is TYPE-declared once, then
+        // one sample per worker
+        assert_eq!(prom.matches("# TYPE serve_worker_tasks_total").count(), 1);
+        assert!(prom.contains("serve_worker_tasks_total{worker=\"2\"} 0"));
         // the old human-oriented unit suffix must not leak into scrapes
         assert!(!prom.contains("us\"}"));
         assert!(!prom.contains("_sum_micros"));

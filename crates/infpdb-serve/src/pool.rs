@@ -32,16 +32,45 @@
 //! recovers from poisoning (the internal `recover` module), so a panic
 //! that unwinds
 //! while the queue mutex is held cannot wedge the pool.
+//!
+//! **Work stealing.** With [`SchedulerKind::Stealing`] the pool grows a
+//! second, finer-grained scheduling tier: per-worker subtask deques plus
+//! a shared injector. A request evaluating on worker *k* splits its
+//! independent lineage components into subtasks (via
+//! [`StealingExecutor`], the pool's implementation of the engine's
+//! [`TaskExecutor`]) and pushes
+//! them onto its own deque; idle workers drain the injector and then
+//! steal from the *front* of busy workers' deques while the owner pops
+//! its own *back*. The owner helps until its group completes, so a
+//! request's components run with **zero thread spawns** — unlike the
+//! fixed scheduler's [`ScopedExecutor`](infpdb_finite::shannon::ScopedExecutor),
+//! which forks fresh scoped threads per request. Stealing reorders
+//! *execution* only: results are combined in canonical component order
+//! on the owning worker, so answers stay bit-for-bit identical (see
+//! DESIGN.md §13). Subtasks carry their request's
+//! [`CancelToken`]; a stolen subtask from a cancelled request
+//! short-circuits without running, and a panicking subtask is caught
+//! where it ran and re-thrown on the owner so the request-level
+//! containment in `run_resilient` sees it exactly as before.
 
 use crate::metrics::Metrics;
 use crate::recover;
+use infpdb_finite::shannon::{ParTask, TaskExecutor};
+use infpdb_query::cancel::CancelToken;
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+std::thread_local! {
+    /// Index of the pool worker running on this thread, if any. Lets the
+    /// stealing tier route an owner's subtasks to its own deque and
+    /// attribute executed subtasks to per-worker counters.
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
 
 /// Default queue capacity per worker thread: enough lookahead to keep
 /// workers busy, small enough that latency (and memory) stay bounded.
@@ -65,6 +94,38 @@ pub enum OverflowPolicy {
     ShedOldest,
 }
 
+/// How the pool schedules intra-request subtasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// One request per worker; intra-query parallelism forks fresh
+    /// scoped threads per request (the historical behavior).
+    #[default]
+    Fixed,
+    /// Per-worker deques plus a shared injector: a request's component
+    /// subtasks are schedulable units that idle workers steal, so no
+    /// per-request threads are ever spawned.
+    Stealing,
+}
+
+impl SchedulerKind {
+    /// Parses the CLI spelling (`fixed` | `stealing`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fixed" => Some(SchedulerKind::Fixed),
+            "stealing" => Some(SchedulerKind::Stealing),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Fixed => "fixed",
+            SchedulerKind::Stealing => "stealing",
+        }
+    }
+}
+
 /// Pool construction parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct PoolConfig {
@@ -75,6 +136,8 @@ pub struct PoolConfig {
     pub queue_cap: Option<usize>,
     /// Behavior when the queue is full.
     pub overflow: OverflowPolicy,
+    /// Intra-request subtask scheduling.
+    pub scheduler: SchedulerKind,
 }
 
 impl PoolConfig {
@@ -84,6 +147,7 @@ impl PoolConfig {
             threads,
             queue_cap: None,
             overflow: OverflowPolicy::default(),
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -115,6 +179,104 @@ struct Shared {
     cap: usize,
     overflow: OverflowPolicy,
     metrics: Arc<Metrics>,
+    /// The stealing tier; `None` under [`SchedulerKind::Fixed`].
+    steal: Option<StealState>,
+}
+
+/// One schedulable slice of a request: already wrapped with cancel
+/// short-circuit, panic capture, and completion accounting, so whoever
+/// pops it just runs it.
+struct SubTask {
+    run: Job,
+}
+
+/// The stealing tier: per-worker deques plus a shared injector.
+///
+/// Lock ordering: a subtask deque is never held while taking the queue
+/// mutex, and the queue mutex may take a deque (the availability check
+/// in `worker_loop`), so `state → deque` is the only nesting.
+struct StealState {
+    /// Overflow / external-owner queue, drained by every worker.
+    injector: Mutex<VecDeque<SubTask>>,
+    /// One deque per worker; the owner pops its back, thieves its front.
+    locals: Vec<Mutex<VecDeque<SubTask>>>,
+}
+
+impl StealState {
+    fn new(workers: usize) -> Self {
+        StealState {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+
+    /// Any subtask waiting anywhere? Called under the queue mutex before
+    /// a worker parks, so a push (deque, then empty queue-mutex section,
+    /// then notify) can never be missed.
+    fn has_work(&self) -> bool {
+        if !recover::lock(&self.injector).is_empty() {
+            return true;
+        }
+        self.locals.iter().any(|l| !recover::lock(l).is_empty())
+    }
+}
+
+/// Tracks one `run_tasks` barrier: outstanding subtasks plus the first
+/// panic payload, re-thrown on the owner once the group drains.
+struct TaskGroup {
+    state: Mutex<GroupState>,
+    done: Condvar,
+}
+
+struct GroupState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+fn pop_own(shared: &Shared, me: Option<usize>) -> Option<SubTask> {
+    let st = shared.steal.as_ref()?;
+    let i = me?;
+    recover::lock(&st.locals[i]).pop_back()
+}
+
+/// Injector, then other workers' deque fronts; both count as observable
+/// scheduler events (`serve_injector_depth` / `serve_steals_total`).
+fn pop_elsewhere(shared: &Shared, me: Option<usize>) -> Option<SubTask> {
+    let st = shared.steal.as_ref()?;
+    if let Some(sub) = recover::lock(&st.injector).pop_front() {
+        shared
+            .metrics
+            .injector_depth
+            .fetch_sub(1, Ordering::Relaxed);
+        return Some(sub);
+    }
+    for (j, local) in st.locals.iter().enumerate() {
+        if Some(j) == me {
+            continue;
+        }
+        if let Some(sub) = recover::lock(local).pop_front() {
+            shared.metrics.steals.fetch_add(1, Ordering::Relaxed);
+            return Some(sub);
+        }
+    }
+    None
+}
+
+fn pop_subtask(shared: &Shared, me: Option<usize>) -> Option<SubTask> {
+    pop_own(shared, me).or_else(|| pop_elsewhere(shared, me))
+}
+
+fn run_subtask(shared: &Shared, sub: SubTask) {
+    if let Some(i) = WORKER_INDEX.with(|w| w.get()) {
+        if let Some(per_worker) = shared.metrics.worker_tasks.get() {
+            if let Some(c) = per_worker.get(i) {
+                c.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    // the wrapper installed by `StealingExecutor::run_tasks` contains its
+    // own catch_unwind; a subtask can never unwind into the worker loop
+    (sub.run)();
 }
 
 /// The fate of one submission under the pool's overflow policy.
@@ -143,6 +305,16 @@ impl ThreadPool {
 
     /// Spawns a pool with explicit queue bounds and overflow policy.
     pub fn with_config(config: PoolConfig, metrics: Arc<Metrics>) -> Self {
+        let threads = config.threads.max(1);
+        let steal = match config.scheduler {
+            SchedulerKind::Fixed => None,
+            SchedulerKind::Stealing => {
+                metrics
+                    .worker_tasks
+                    .get_or_init(|| (0..threads).map(|_| Default::default()).collect());
+                Some(StealState::new(threads))
+            }
+        };
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -153,17 +325,30 @@ impl ThreadPool {
             cap: config.effective_cap(),
             overflow: config.overflow,
             metrics,
+            steal,
         });
-        let workers = (0..config.threads.max(1))
+        let workers = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("infpdb-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || {
+                        WORKER_INDEX.with(|w| w.set(Some(i)));
+                        worker_loop(&shared)
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
         ThreadPool { shared, workers }
+    }
+
+    /// A handle to the stealing tier, for building per-request
+    /// [`StealingExecutor`]s; `None` under [`SchedulerKind::Fixed`].
+    pub fn steal_handle(&self) -> Option<StealHandle> {
+        self.shared.steal.as_ref()?;
+        Some(StealHandle {
+            shared: Arc::clone(&self.shared),
+        })
     }
 
     /// Number of worker threads.
@@ -316,23 +501,172 @@ impl Drop for ThreadPool {
 }
 
 fn worker_loop(shared: &Shared) {
+    let me = WORKER_INDEX.with(|w| w.get());
     loop {
+        // subtasks first: own deque, then injector, then steal. Finishing
+        // in-flight requests beats starting new ones, and under the fixed
+        // scheduler (`steal: None`) this is a no-op.
+        while let Some(sub) = pop_subtask(shared, me) {
+            run_subtask(shared, sub);
+        }
         let job = {
             let mut state = recover::lock(&shared.state);
             loop {
                 if let Some(job) = state.jobs.pop_front() {
-                    break job;
+                    break Some(job);
                 }
                 if state.shutdown {
+                    // any still-queued subtasks belong to requests whose
+                    // owning worker is mid-`run_tasks`; the owner's help
+                    // loop drains them, so exiting here cannot strand work
                     return;
+                }
+                // re-check the stealing tier under the queue mutex: a
+                // push takes this mutex (empty section) before notifying,
+                // so the wakeup cannot slip between this check and wait
+                if shared.steal.as_ref().is_some_and(StealState::has_work) {
+                    break None;
                 }
                 state = recover::wait(&shared.available, state);
             }
+        };
+        let Some(job) = job else {
+            continue; // back to the subtask fast path
         };
         shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
         shared.space.notify_one();
         if catch_unwind(AssertUnwindSafe(job.run)).is_err() {
             shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A cloneable handle to a stealing pool's subtask tier.
+#[derive(Clone)]
+pub struct StealHandle {
+    shared: Arc<Shared>,
+}
+
+impl StealHandle {
+    /// Pushes a group's subtasks: onto the calling worker's own deque
+    /// when the caller is a pool worker, else onto the shared injector.
+    /// Wakes every parked worker either way.
+    fn push(&self, subs: Vec<SubTask>) {
+        let st = self.shared.steal.as_ref().expect("handle implies stealing");
+        match WORKER_INDEX.with(|w| w.get()) {
+            Some(i) if i < st.locals.len() => {
+                recover::lock(&st.locals[i]).extend(subs);
+            }
+            _ => {
+                let n = subs.len() as u64;
+                recover::lock(&st.injector).extend(subs);
+                self.shared
+                    .metrics
+                    .injector_depth
+                    .fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        // empty critical section pairs with the has_work re-check in
+        // worker_loop so a parked worker cannot miss this wakeup
+        drop(recover::lock(&self.shared.state));
+        self.shared.available.notify_all();
+    }
+}
+
+/// The stealing pool's per-request implementation of the engine's
+/// [`TaskExecutor`]: component subtasks run on existing pool workers
+/// (owner included) instead of freshly spawned scoped threads.
+///
+/// Semantics preserved from the fixed path:
+///
+/// * **Cancellation** — the group is dropped wholesale if the request is
+///   already cancelled, and every subtask re-checks the token where it
+///   runs (a stolen subtask from a cancelled request short-circuits).
+///   Skipped subtasks leave their component's result missing, which the
+///   engine reports as a cancelled evaluation — exactly the skip
+///   contract of [`TaskExecutor::run_tasks`].
+/// * **Panic containment** — a panicking subtask is caught where it ran;
+///   the first payload is re-thrown on the owner after the barrier, so
+///   request-level containment sees the same panic the fixed path's
+///   scope join would deliver.
+/// * **Determinism** — stealing reorders execution only; the engine
+///   combines component results in canonical order on the owner.
+pub struct StealingExecutor {
+    handle: StealHandle,
+    cancel: CancelToken,
+}
+
+impl StealingExecutor {
+    /// An executor for one request, carrying its ticket's cancel token.
+    pub fn new(handle: StealHandle, cancel: CancelToken) -> Self {
+        StealingExecutor { handle, cancel }
+    }
+}
+
+impl TaskExecutor for StealingExecutor {
+    fn run_tasks(&self, tasks: Vec<ParTask>) {
+        if tasks.is_empty() {
+            return;
+        }
+        if self.cancel.is_cancelled() {
+            return; // skip the whole group: the engine sees missing results
+        }
+        let group = Arc::new(TaskGroup {
+            state: Mutex::new(GroupState {
+                remaining: tasks.len(),
+                panic: None,
+            }),
+            done: Condvar::new(),
+        });
+        let subs: Vec<SubTask> = tasks
+            .into_iter()
+            .map(|task| {
+                let group = Arc::clone(&group);
+                let cancel = self.cancel.clone();
+                SubTask {
+                    run: Box::new(move || {
+                        let outcome = if cancel.is_cancelled() {
+                            Ok(())
+                        } else {
+                            catch_unwind(AssertUnwindSafe(task))
+                        };
+                        let mut st = recover::lock(&group.state);
+                        st.remaining -= 1;
+                        if let Err(payload) = outcome {
+                            st.panic.get_or_insert(payload);
+                        }
+                        drop(st);
+                        group.done.notify_all();
+                    }),
+                }
+            })
+            .collect();
+        self.handle.push(subs);
+        // help until the barrier clears: run whatever is schedulable
+        // (this group's subtasks first — they sit in our own deque — but
+        // also other requests' work while ours is stolen and in flight)
+        let shared = &self.handle.shared;
+        let me = WORKER_INDEX.with(|w| w.get());
+        loop {
+            if recover::lock(&group.state).remaining == 0 {
+                break;
+            }
+            match pop_subtask(shared, me) {
+                Some(sub) => run_subtask(shared, sub),
+                None => {
+                    // nothing schedulable: our stragglers are running on
+                    // other workers; park on the group barrier
+                    let mut st = recover::lock(&group.state);
+                    while st.remaining > 0 {
+                        st = recover::wait(&group.done, st);
+                    }
+                    break;
+                }
+            }
+        }
+        let payload = recover::lock(&group.state).panic.take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
         }
     }
 }
@@ -405,9 +739,8 @@ mod tests {
         // without the Block policy stalling the submitting thread
         let mut pool = ThreadPool::with_config(
             PoolConfig {
-                threads: 1,
                 queue_cap: Some(16),
-                overflow: OverflowPolicy::Block,
+                ..PoolConfig::new(1)
             },
             Arc::clone(&metrics),
         );
@@ -481,9 +814,8 @@ mod tests {
         let metrics = Arc::new(Metrics::new());
         let pool = ThreadPool::with_config(
             PoolConfig {
-                threads: 1,
                 queue_cap: Some(2),
-                overflow: OverflowPolicy::Block,
+                ..PoolConfig::new(1)
             },
             Arc::clone(&metrics),
         );
@@ -507,9 +839,9 @@ mod tests {
         let metrics = Arc::new(Metrics::new());
         let mut pool = ThreadPool::with_config(
             PoolConfig {
-                threads: 1,
                 queue_cap: Some(1),
                 overflow: OverflowPolicy::RejectNewest,
+                ..PoolConfig::new(1)
             },
             Arc::clone(&metrics),
         );
@@ -547,8 +879,167 @@ mod tests {
         assert_eq!(shed.load(Ordering::Relaxed), 1);
         assert_eq!(metrics.shed.load(Ordering::Relaxed), 1);
         block_tx.send(()).ok();
+        // the accepted job must run before shutdown_now drains the
+        // queue, or this races the worker's dequeue on a busy box
+        let deadline = std::time::Instant::now() + TICKET_GRACE;
+        while ran.load(Ordering::Relaxed) == 0 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::yield_now();
+        }
         pool.shutdown_now();
         assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    fn stealing_pool(threads: usize, metrics: &Arc<Metrics>) -> ThreadPool {
+        ThreadPool::with_config(
+            PoolConfig {
+                scheduler: SchedulerKind::Stealing,
+                ..PoolConfig::new(threads)
+            },
+            Arc::clone(metrics),
+        )
+    }
+
+    #[test]
+    fn fixed_pool_has_no_steal_handle() {
+        let pool = ThreadPool::new(2, Arc::new(Metrics::new()));
+        assert!(pool.steal_handle().is_none());
+    }
+
+    #[test]
+    fn external_owner_drains_its_group_through_the_injector() {
+        let metrics = Arc::new(Metrics::new());
+        let pool = stealing_pool(2, &metrics);
+        let exec = StealingExecutor::new(pool.steal_handle().unwrap(), CancelToken::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let tasks: Vec<ParTask> = (0..8)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as ParTask
+            })
+            .collect();
+        // the test thread is not a pool worker: the group goes through
+        // the shared injector, and run_tasks is a completion barrier
+        exec.run_tasks(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        assert_eq!(metrics.injector_depth.load(Ordering::Relaxed), 0);
+        pool.join();
+    }
+
+    #[test]
+    fn idle_worker_steals_from_a_busy_owner() {
+        let metrics = Arc::new(Metrics::new());
+        let pool = stealing_pool(2, &metrics);
+        let handle = pool.steal_handle().unwrap();
+        let (done_tx, done_rx) = mpsc::channel::<u64>();
+        pool.submit(move || {
+            let exec = StealingExecutor::new(handle, CancelToken::new());
+            let (sig_tx, sig_rx) = mpsc::channel::<()>();
+            // push order [signal, block]: the owner pops its own BACK
+            // (the blocking task), so the signal task can only run if the
+            // idle worker steals it from the deque's front
+            let tasks: Vec<ParTask> = vec![
+                Box::new(move || {
+                    sig_tx.send(()).ok();
+                }),
+                Box::new(move || {
+                    sig_rx.recv_timeout(TICKET_GRACE).expect("steal happened");
+                }),
+            ];
+            exec.run_tasks(tasks);
+            done_tx.send(42).ok();
+        });
+        assert_eq!(done_rx.recv_timeout(TICKET_GRACE).unwrap(), 42);
+        assert!(metrics.steals.load(Ordering::Relaxed) >= 1);
+        let per_worker = metrics
+            .worker_tasks
+            .get()
+            .expect("stealing pool sizes counters");
+        let total: u64 = per_worker.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 2, "both subtasks ran on pool workers");
+        pool.join();
+    }
+
+    #[test]
+    fn cancelled_request_subtasks_short_circuit() {
+        let metrics = Arc::new(Metrics::new());
+        let pool = stealing_pool(1, &metrics);
+        let handle = pool.steal_handle().unwrap();
+        let ran = Arc::new(AtomicU64::new(0));
+
+        // already-cancelled request: the whole group is skipped
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let exec = StealingExecutor::new(handle.clone(), cancelled);
+        let r = Arc::clone(&ran);
+        exec.run_tasks(vec![Box::new(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        }) as ParTask]);
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+
+        // cancellation mid-group: occupy the single worker so the test
+        // thread runs its own subtasks in push order — the first cancels
+        // the token, so the second (a "stolen task from a cancelled
+        // request" in scheduler terms) must short-circuit
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        pool.submit(move || {
+            block_rx.recv().ok();
+        });
+        let deadline = std::time::Instant::now() + TICKET_GRACE;
+        while pool.queue_depth() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "blocker never started"
+            );
+            std::thread::yield_now();
+        }
+        let token = CancelToken::new();
+        let exec = StealingExecutor::new(handle, token.clone());
+        let r = Arc::clone(&ran);
+        let tasks: Vec<ParTask> = vec![
+            Box::new(move || {
+                token.cancel();
+            }),
+            Box::new(move || {
+                r.fetch_add(1, Ordering::Relaxed);
+            }),
+        ];
+        exec.run_tasks(tasks); // must return (skips still drain the barrier)
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+        block_tx.send(()).ok();
+        pool.join();
+    }
+
+    #[test]
+    fn subtask_panic_resurfaces_on_the_owner_and_spares_the_workers() {
+        let metrics = Arc::new(Metrics::new());
+        let pool = stealing_pool(2, &metrics);
+        let exec = StealingExecutor::new(pool.steal_handle().unwrap(), CancelToken::new());
+        let survivor = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&survivor);
+        let tasks: Vec<ParTask> = vec![
+            Box::new(|| panic!("component goes boom")),
+            Box::new(move || {
+                s.fetch_add(1, Ordering::Relaxed);
+            }),
+        ];
+        let err = catch_unwind(AssertUnwindSafe(|| exec.run_tasks(tasks)))
+            .expect_err("owner re-throws the subtask panic");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "component goes boom");
+        // the barrier drained: the sibling subtask still ran
+        assert_eq!(survivor.load(Ordering::Relaxed), 1);
+        // containment happened at the executor, not the worker loop
+        assert_eq!(metrics.panics.load(Ordering::Relaxed), 0);
+        // workers survive: the pool still runs ordinary jobs
+        let (tx, rx) = mpsc::channel::<u32>();
+        pool.submit(move || {
+            tx.send(7).ok();
+        });
+        assert_eq!(rx.recv_timeout(TICKET_GRACE).unwrap(), 7);
+        pool.join();
     }
 
     #[test]
@@ -556,9 +1047,9 @@ mod tests {
         let metrics = Arc::new(Metrics::new());
         let mut pool = ThreadPool::with_config(
             PoolConfig {
-                threads: 1,
                 queue_cap: Some(1),
                 overflow: OverflowPolicy::ShedOldest,
+                ..PoolConfig::new(1)
             },
             Arc::clone(&metrics),
         );

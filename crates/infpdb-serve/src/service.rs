@@ -18,7 +18,7 @@
 //!    (PDB, normalized query) fingerprints and shared across tolerances;
 //!    a miss compiles the query ([`CompiledQuery`]) and inserts it;
 //! 5. **Engine** — run the Proposition 6.1 evaluation against the
-//!    service's shared [`PreparedPdb`] ([`execute_prepared_par`]): repeat
+//!    service's shared [`PreparedPdb`] ([`execute_prepared_par`](infpdb_query::prepared::execute_prepared_par)): repeat
 //!    requests slice the already-materialized fact catalog instead of
 //!    re-grounding, with a [`CancelToken`] threaded into any remaining
 //!    truncation work; record throughput, insert the answer.
@@ -36,7 +36,7 @@ use crate::cache::ShardedLruCache;
 use crate::faults::FaultInjector;
 use crate::fingerprint::{countable_pdb_fingerprint, query_fingerprint, CacheKey};
 use crate::metrics::Metrics;
-use crate::pool::{OverflowPolicy, PoolConfig, ThreadPool};
+use crate::pool::{OverflowPolicy, PoolConfig, SchedulerKind, StealingExecutor, ThreadPool};
 use crate::ServeError;
 use infpdb_core::fingerprint::Fingerprinter;
 use infpdb_finite::engine::{Engine, EvalTrace};
@@ -45,7 +45,7 @@ use infpdb_logic::compile::CompiledQuery;
 use infpdb_query::approx::{Approximation, PartialOnCancel};
 use infpdb_query::budget::BudgetReport;
 use infpdb_query::cancel::{CancelKind, CancelToken};
-use infpdb_query::prepared::{execute_prepared_par, PreparedPdb};
+use infpdb_query::prepared::{execute_prepared_exec, PreparedPdb};
 use infpdb_query::{QueryError, StoreStatus};
 use infpdb_store::{SnapshotInfo, Store, StoreError};
 use infpdb_ti::construction::CountableTiPdb;
@@ -140,6 +140,12 @@ pub struct ServiceConfig {
     /// across scoped threads. Estimates stay bit-for-bit identical at
     /// every value.
     pub parallelism: usize,
+    /// How intra-request component subtasks are scheduled.
+    /// [`SchedulerKind::Fixed`] forks scoped threads per request;
+    /// [`SchedulerKind::Stealing`] runs them on the existing pool
+    /// workers via per-worker deques and a shared injector. Answers are
+    /// bit-for-bit identical either way.
+    pub scheduler: SchedulerKind,
     /// Directory of the durable fact store. When set, the service
     /// recovers the persisted catalog prefix on startup (verified
     /// fact-by-fact against the live supply; see
@@ -164,6 +170,7 @@ impl Default for ServiceConfig {
             breaker: BreakerConfig::default(),
             arena_stats: false,
             parallelism: 1,
+            scheduler: SchedulerKind::Fixed,
             store_dir: None,
         }
     }
@@ -408,6 +415,7 @@ impl QueryService {
                 threads: config.threads,
                 queue_cap: config.queue_cap,
                 overflow: config.overflow,
+                scheduler: config.scheduler,
             },
             metrics,
         );
@@ -485,9 +493,14 @@ impl QueryService {
         let (tx, rx) = mpsc::channel();
         let shed_tx = tx.clone();
         let queue_cap = self.pool.queue_cap();
+        let steal = self.pool.steal_handle();
         let job = Box::new(move || {
             inner.metrics.wait.record(submitted.elapsed());
-            let result = run_resilient(&inner, &request, &token);
+            // under the stealing scheduler, component subtasks run on the
+            // pool's own workers (carrying this ticket's cancel token)
+            // instead of freshly forked scoped threads
+            let executor = steal.map(|h| StealingExecutor::new(h, token.clone()));
+            let result = run_resilient(&inner, &request, &token, executor.as_ref());
             match &result {
                 Ok(_) => inner.metrics.completed.fetch_add(1, Ordering::Relaxed),
                 Err(ServeError::Rejected { .. }) => {
@@ -634,11 +647,12 @@ fn run_resilient(
     inner: &Inner,
     request: &QueryRequest,
     cancel: &CancelToken,
+    exec: Option<&StealingExecutor>,
 ) -> Result<QueryResponse, ServeError> {
     let max_attempts = inner.retry.max_attempts.max(1);
     let mut attempt = 0u32;
     loop {
-        let result = match catch_unwind(AssertUnwindSafe(|| handle(inner, request, cancel))) {
+        let result = match catch_unwind(AssertUnwindSafe(|| handle(inner, request, cancel, exec))) {
             Ok(r) => r,
             Err(payload) => {
                 inner.metrics.panics.fetch_add(1, Ordering::Relaxed);
@@ -688,6 +702,7 @@ fn handle(
     inner: &Inner,
     request: &QueryRequest,
     cancel: &CancelToken,
+    exec: Option<&StealingExecutor>,
 ) -> Result<QueryResponse, ServeError> {
     inner.fault("admission")?;
     let pdb = inner.prepared.pdb();
@@ -765,7 +780,7 @@ fn handle(
             .store(inner.plans.evictions(), Ordering::Relaxed);
     }
     let start = Instant::now();
-    let (approx, trace) = execute_prepared_par(
+    let (approx, trace) = execute_prepared_exec(
         &inner.prepared,
         &request.query,
         admitted.eps,
@@ -773,6 +788,7 @@ fn handle(
         inner.parallelism,
         cancel,
         PartialOnCancel::Evaluate,
+        exec.map(|e| e as &dyn infpdb_finite::shannon::TaskExecutor),
     )
     .map_err(|e| match e {
         QueryError::Cancelled(info) => match info.kind {
@@ -973,6 +989,54 @@ mod tests {
             par.metrics().parallel_fallback_seq.load(Ordering::Relaxed),
             1
         );
+    }
+
+    #[test]
+    fn stealing_scheduler_matches_fixed_bit_for_bit_and_exports_counters() {
+        let p = blocks_pdb();
+        let qs = "(exists x, y. A(x) /\\ A(y) /\\ x != y) \
+                  /\\ (exists x, y. B(x) /\\ B(y) /\\ x != y)";
+        let q = parse(qs, p.schema()).unwrap();
+        let fixed = QueryService::new(
+            p.clone(),
+            ServiceConfig {
+                threads: 1,
+                engine: Engine::Lineage,
+                parallelism: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let stealing = QueryService::new(
+            p.clone(),
+            ServiceConfig {
+                threads: 2,
+                engine: Engine::Lineage,
+                parallelism: 4,
+                scheduler: SchedulerKind::Stealing,
+                ..ServiceConfig::default()
+            },
+        );
+        let a = fixed.evaluate(QueryRequest::new(q.clone(), 0.01)).unwrap();
+        let b = stealing.evaluate(QueryRequest::new(q, 0.01)).unwrap();
+        assert_eq!(a.approx.estimate.to_bits(), b.approx.estimate.to_bits());
+        assert_eq!(a.approx, b.approx);
+        assert_eq!(a.trace, b.trace);
+        // the component split still happened — as pool subtasks, not
+        // freshly forked scoped threads
+        assert_eq!(stealing.metrics().parallel_tasks.load(Ordering::Relaxed), 2);
+        let per_worker = stealing
+            .metrics()
+            .worker_tasks
+            .get()
+            .expect("stealing pool sizes per-worker counters");
+        let subtasks: u64 = per_worker.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(subtasks, 2, "both component subtasks ran on pool workers");
+        let dump = stealing.metrics_dump();
+        assert!(dump.contains("serve_steals_total"));
+        assert!(dump.contains("serve_injector_depth 0"));
+        assert!(dump.contains("serve_worker_tasks_total{worker=\"0\"}"));
+        // a fixed-scheduler service never initializes the stealing tier
+        assert!(fixed.metrics().worker_tasks.get().is_none());
     }
 
     #[test]

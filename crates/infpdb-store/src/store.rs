@@ -13,7 +13,7 @@
 //!    are ignored and retried by the next snapshot's GC).
 //!
 //! Loading never panics on damage. Each committed segment is scanned
-//! front-to-back ([`scan_segment`](crate::segment::scan_segment)), the
+//! front-to-back ([`scan_segment`]), the
 //! surviving records are merged by dense fact id, and the longest
 //! contiguous id prefix from zero is rebuilt into a catalog. Everything
 //! else — dropped facts, checksum failures, missing files, fingerprint

@@ -63,6 +63,7 @@
 //!   (estimates are identical at every value).
 
 use infpdb_bench::harness::{self, ImplKind};
+use infpdb_bench::saturation::{self, SaturationConfig};
 use infpdb_core::fact::Fact;
 use infpdb_core::schema::{Relation, Schema};
 use infpdb_core::space::rand_core::SplitMix64;
@@ -76,8 +77,8 @@ use infpdb_query::approx::{approx_prob_boolean, Approximation};
 use infpdb_query::prepared::PreparedPdb;
 use infpdb_serve::fingerprint::countable_pdb_fingerprint;
 use infpdb_serve::{
-    CostBudget, DegradePolicy, OverflowPolicy, QueryRequest, QueryService, ServeError,
-    ServiceConfig,
+    CostBudget, DegradePolicy, OverflowPolicy, QueryRequest, QueryService, SchedulerKind,
+    ServeError, ServiceConfig,
 };
 use infpdb_store::Store;
 use infpdb_ti::construction::CountableTiPdb;
@@ -667,13 +668,21 @@ pub fn cmd_bench(
     out_path: Option<&str>,
     repeats: usize,
     threads: usize,
+    scheduler: Option<SchedulerKind>,
 ) -> Result<String, CliError> {
     let impl_kind = ImplKind::parse(impl_name)
         .ok_or_else(|| CliError::Usage(format!("unknown --impl {impl_name:?} (tree|arena)")))?;
     let mut config = harness::BenchConfig::new(impl_kind, smoke);
     config.repeats = repeats;
     config.threads = threads.max(1);
-    let report = harness::run(&config).map_err(CliError::Library)?;
+    let mut report = harness::run(&config).map_err(CliError::Library)?;
+    let mut sat_config = if smoke {
+        SaturationConfig::smoke()
+    } else {
+        SaturationConfig::full()
+    };
+    sat_config.scheduler = scheduler;
+    report.saturation = saturation::run(&sat_config).map_err(CliError::Library)?;
     let json = harness::to_json(&report);
     let path = out_path
         .map(str::to_string)
@@ -880,7 +889,22 @@ pub fn run(
             let threads: usize = flag("--threads", "1")
                 .parse()
                 .map_err(|_| CliError::Usage("--threads must be a number".into()))?;
-            cmd_bench(&impl_name, smoke, out.as_deref(), repeats, threads)
+            let scheduler = match flag("--scheduler", "").as_str() {
+                "" => None,
+                other => Some(SchedulerKind::parse(other).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "--scheduler must be fixed or stealing, got {other:?}"
+                    ))
+                })?),
+            };
+            cmd_bench(
+                &impl_name,
+                smoke,
+                out.as_deref(),
+                repeats,
+                threads,
+                scheduler,
+            )
         }
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other:?}; {usage}"
@@ -1306,5 +1330,10 @@ Person(1000000)
             .map(|s| s.to_string())
             .collect();
         assert!(matches!(run(&b, files), Err(CliError::Usage(_))));
+        let c: Vec<String> = ["bench", "--scheduler", "magic"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(run(&c, files), Err(CliError::Usage(_))));
     }
 }

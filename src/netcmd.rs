@@ -11,7 +11,7 @@ use infpdb_bench::harness;
 use infpdb_net::loadbench::{self, NetBenchConfig};
 use infpdb_net::server::{HttpServer, ServerConfig};
 use infpdb_net::{signal, QuotaConfig};
-use infpdb_serve::{QueryService, ServiceConfig};
+use infpdb_serve::{QueryService, SchedulerKind, ServiceConfig};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -29,6 +29,8 @@ pub struct ServeOptions {
     pub threads: usize,
     /// Intra-query thread budget (`--parallelism`).
     pub parallelism: usize,
+    /// Intra-request subtask scheduling (`--scheduler fixed|stealing`).
+    pub scheduler: SchedulerKind,
     /// Default tolerance for requests that omit `eps` (`--eps`).
     pub default_eps: f64,
     /// Per-client quota: sustained requests/second (`--quota-rps`);
@@ -58,6 +60,7 @@ impl Default for ServeOptions {
             bind: "127.0.0.1:7117".to_string(),
             threads: 4,
             parallelism: 1,
+            scheduler: SchedulerKind::Fixed,
             default_eps: 0.01,
             quota_rps: None,
             quota_burst: 32.0,
@@ -78,6 +81,7 @@ fn build_service(table_text: &str, opts: &ServeOptions) -> Result<QueryService, 
         ServiceConfig {
             threads: opts.threads,
             parallelism: opts.parallelism,
+            scheduler: opts.scheduler,
             arena_stats: opts.arena_stats,
             store_dir: opts.store_dir.as_ref().map(std::path::PathBuf::from),
             ..ServiceConfig::default()
@@ -194,6 +198,10 @@ pub struct NetBenchOptions {
     pub smoke: bool,
     /// Service worker threads (`--threads`).
     pub threads: usize,
+    /// Intra-query thread budget (`--parallelism`).
+    pub parallelism: usize,
+    /// Intra-request subtask scheduling (`--scheduler fixed|stealing`).
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for NetBenchOptions {
@@ -205,6 +213,8 @@ impl Default for NetBenchOptions {
             out_path: None,
             smoke: false,
             threads: 4,
+            parallelism: 1,
+            scheduler: SchedulerKind::Fixed,
         }
     }
 }
@@ -229,6 +239,8 @@ pub fn cmd_netbench(table_text: &str, opts: &NetBenchOptions) -> Result<String, 
     let serve_opts = ServeOptions {
         bind: "127.0.0.1:0".to_string(),
         threads: opts.threads,
+        parallelism: opts.parallelism,
+        scheduler: opts.scheduler,
         ..ServeOptions::default()
     };
     let server = start_server(table_text, &serve_opts)?;
@@ -279,10 +291,12 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
             .parse()
             .map_err(|_| CliError::Usage(format!("{name} must be a number")))
     };
+    let scheduler = parse_scheduler(&flag("--scheduler", "fixed"))?;
     let mut opts = ServeOptions {
         bind: flag("--bind", "127.0.0.1:7117"),
         threads: num("--threads", "4")? as usize,
         parallelism: num("--parallelism", "1")? as usize,
+        scheduler,
         default_eps: num("--eps", "0.01")?,
         quota_rps: None,
         quota_burst: num("--quota-burst", "32")?,
@@ -306,6 +320,11 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
         );
     }
     Ok(opts)
+}
+
+fn parse_scheduler(s: &str) -> Result<SchedulerKind, CliError> {
+    SchedulerKind::parse(s)
+        .ok_or_else(|| CliError::Usage(format!("--scheduler must be fixed or stealing, got {s:?}")))
 }
 
 /// Parses `netbench` flags from `args` (everything after the table path).
@@ -341,6 +360,10 @@ pub fn parse_netbench_options(args: &[String]) -> Result<NetBenchOptions, CliErr
     let threads: usize = flag("--threads", "4")
         .parse()
         .map_err(|_| CliError::Usage("--threads must be a number".into()))?;
+    let parallelism: usize = flag("--parallelism", "1")
+        .parse()
+        .map_err(|_| CliError::Usage("--parallelism must be a number".into()))?;
+    let scheduler = parse_scheduler(&flag("--scheduler", "fixed"))?;
     let out_path = match flag("--out", "") {
         s if s.is_empty() => None,
         s => Some(s),
@@ -352,6 +375,8 @@ pub fn parse_netbench_options(args: &[String]) -> Result<NetBenchOptions, CliErr
         out_path,
         smoke,
         threads,
+        parallelism,
+        scheduler,
     })
 }
 
@@ -414,6 +439,8 @@ Person 42 @ 0.5
             out_path: Some(path.to_string_lossy().to_string()),
             smoke: true,
             threads: 2,
+            parallelism: 2,
+            scheduler: SchedulerKind::Stealing,
         };
         let out = cmd_netbench(TABLE, &opts).unwrap();
         assert!(out.contains("bitwise mismatches: 0"), "{out}");
@@ -421,7 +448,7 @@ Person 42 @ 0.5
         let doc = Json::parse(&artifact).unwrap();
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some("infpdb-net-bench/v1")
+            Some("infpdb-net-bench/v2")
         );
         assert_eq!(doc.get("total_failed").and_then(Json::as_i64), Some(0));
         assert_eq!(doc.get("total_mismatched").and_then(Json::as_i64), Some(0));
@@ -448,10 +475,25 @@ Person 42 @ 0.5
         assert!(parse_serve_options(&a(&["--threads", "zero"])).is_err());
         assert!(parse_serve_options(&a(&["--quota-rps", "lots"])).is_err());
 
-        let nb = parse_netbench_options(&a(&["--connections", "1,4,16", "--smoke"])).unwrap();
+        let nb = parse_netbench_options(&a(&[
+            "--connections",
+            "1,4,16",
+            "--smoke",
+            "--scheduler",
+            "stealing",
+        ]))
+        .unwrap();
         assert_eq!(nb.connection_levels, vec![1, 4, 16]);
         assert!(nb.smoke);
         assert_eq!(nb.requests_per_connection, 25);
+        assert_eq!(nb.scheduler, SchedulerKind::Stealing);
+        assert_eq!(
+            parse_serve_options(&a(&["--scheduler", "stealing"]))
+                .unwrap()
+                .scheduler,
+            SchedulerKind::Stealing
+        );
+        assert!(parse_serve_options(&a(&["--scheduler", "magic"])).is_err());
         assert!(parse_netbench_options(&a(&["--connections", "1,zero"])).is_err());
         assert!(parse_netbench_options(&a(&["--connections", "0"])).is_err());
     }
