@@ -36,6 +36,7 @@ use infpdb_query::prepared::{PreparedPdb, PreparedQuery};
 use infpdb_query::truncate::TruncationPlan;
 use infpdb_ti::construction::CountableTiPdb;
 
+use crate::planner::PlannerRow;
 use crate::saturation::SaturationRow;
 use crate::{blocks_pdb, geometric_pdb, zeta_pdb};
 
@@ -156,11 +157,16 @@ pub struct BenchReport {
     /// skipped. Kept in a separate array so the `rows` matrix is
     /// byte-comparable with schema `/2` artifacts.
     pub saturation: Vec<SaturationRow>,
+    /// Cost-based planner crossover rows (one per planner-stage cell);
+    /// empty when the stage was skipped. Like `saturation`, a separate
+    /// array so older artifacts stay comparable row for row.
+    pub planner: Vec<PlannerRow>,
 }
 
-/// Iteration policy for one measurement.
+/// Iteration policy for one measurement (shared with the planner
+/// stage).
 #[derive(Debug, Clone, Copy)]
-struct IterPolicy {
+pub(crate) struct IterPolicy {
     warmup: bool,
     min_iters: usize,
     max_iters: usize,
@@ -169,7 +175,11 @@ struct IterPolicy {
 
 impl IterPolicy {
     fn for_config(cfg: &BenchConfig) -> Self {
-        if cfg.smoke {
+        Self::for_smoke(cfg.smoke)
+    }
+
+    pub(crate) fn for_smoke(smoke: bool) -> Self {
+        if smoke {
             Self {
                 warmup: false,
                 min_iters: 1,
@@ -192,7 +202,7 @@ impl IterPolicy {
 /// freshly grounded arena per iteration, because DAG evaluation interns
 /// cofactors and a reused arena would answer later iterations from the
 /// interning table). Returns `(median_ns, iters)`.
-fn run_timed<S>(
+pub(crate) fn run_timed<S>(
     policy: IterPolicy,
     mut setup: impl FnMut() -> S,
     mut op: impl FnMut(S),
@@ -500,6 +510,7 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
         date: iso_date_utc(),
         rows,
         saturation: Vec::new(),
+        planner: Vec::new(),
     })
 }
 
@@ -507,14 +518,16 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
 ///
 /// Built on the shared [`infpdb_core::json`] encoder (the workspace is
 /// offline; no serde): the schema is
-/// `{"schema":"infpdb-bench/3","date":…,"impl":…,"smoke":…,"rows":[…],
-/// "saturation":[…]}` with one object per [`BenchRow`] /
-/// [`SaturationRow`]; absent statistics are `null`.
+/// `{"schema":"infpdb-bench/4","date":…,"impl":…,"smoke":…,"rows":[…],
+/// "saturation":[…],"planner":[…]}` with one object per [`BenchRow`] /
+/// [`SaturationRow`] / [`PlannerRow`]; absent statistics are `null`.
 /// Schema `/2` added the per-row `threads` field (intra-query thread
 /// budget); `/1` rows are `/2` rows with an implicit `threads = 1`.
 /// Schema `/3` added the top-level `saturation` array (aggregate
-/// queries/sec per scheduler × pool size); the `rows` matrix is
-/// unchanged from `/2`.
+/// queries/sec per scheduler × pool size); `/4` adds the top-level
+/// `planner` array (the cost-based optimizer's crossover cells, each
+/// with the Auto plan's choice and every forced-strategy baseline).
+/// The `rows` matrix is unchanged since `/2`.
 pub fn to_json(report: &BenchReport) -> String {
     let rows = report
         .rows
@@ -543,6 +556,50 @@ pub fn to_json(report: &BenchReport) -> String {
             ])
         })
         .collect();
+    let planner = report
+        .planner
+        .iter()
+        .map(|r| {
+            let forced = r
+                .forced
+                .iter()
+                .map(|f| {
+                    Json::obj([
+                        ("strategy", Json::str(f.strategy)),
+                        ("cost", f.cost.map(Json::Float).unwrap_or(Json::Null)),
+                        (
+                            "median_ns",
+                            f.median_ns
+                                .map(|v| Json::Int(v as i64))
+                                .unwrap_or(Json::Null),
+                        ),
+                        ("iters", Json::Int(f.iters as i64)),
+                        (
+                            "estimate",
+                            f.estimate.map(Json::Float).unwrap_or(Json::Null),
+                        ),
+                        ("skipped", Json::Bool(f.skipped)),
+                    ])
+                })
+                .collect();
+            Json::obj([
+                ("cell", Json::str(r.cell)),
+                ("query", Json::str(r.query)),
+                ("eps", Json::Float(r.eps)),
+                ("n_eval", Json::Int(r.n_eval as i64)),
+                ("chosen", Json::str(r.chosen)),
+                ("auto_cost", Json::Float(r.auto_cost)),
+                ("auto_median_ns", Json::Int(r.auto_median_ns as i64)),
+                ("auto_iters", Json::Int(r.auto_iters as i64)),
+                ("auto_estimate", Json::Float(r.auto_estimate)),
+                (
+                    "choice_fingerprint",
+                    Json::str(format!("{:016x}", r.choice_fingerprint)),
+                ),
+                ("forced", Json::Array(forced)),
+            ])
+        })
+        .collect();
     let saturation = report
         .saturation
         .iter()
@@ -562,12 +619,13 @@ pub fn to_json(report: &BenchReport) -> String {
         })
         .collect();
     Json::obj([
-        ("schema", Json::str("infpdb-bench/3")),
+        ("schema", Json::str("infpdb-bench/4")),
         ("date", Json::str(report.date.clone())),
         ("impl", Json::str(report.impl_kind.name())),
         ("smoke", Json::Bool(report.smoke)),
         ("rows", Json::Array(rows)),
         ("saturation", Json::Array(saturation)),
+        ("planner", Json::Array(planner)),
     ])
     .encode_pretty()
 }
@@ -624,6 +682,48 @@ pub fn summary_table(report: &BenchReport) -> String {
                 r.qps,
                 r.steals,
                 r.fingerprint
+            )
+            .ok();
+        }
+    }
+    if !report.planner.is_empty() {
+        writeln!(
+            out,
+            "\n{:<13} {:>5} {:>6} {:<7} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "cell",
+            "eps",
+            "n_eval",
+            "chosen",
+            "auto_ns",
+            "lifted_ns",
+            "shannon_ns",
+            "mc_ns",
+            "kl_ns"
+        )
+        .ok();
+        for r in &report.planner {
+            let forced_ns = |name: &str| -> String {
+                match r.forced.iter().find(|f| f.strategy == name) {
+                    Some(f) if f.skipped => "skip".into(),
+                    Some(f) => f
+                        .median_ns
+                        .map(|v| v.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                    None => "-".into(),
+                }
+            };
+            writeln!(
+                out,
+                "{:<13} {:>5} {:>6} {:<7} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                r.cell,
+                r.eps,
+                r.n_eval,
+                r.chosen,
+                r.auto_median_ns,
+                forced_ns("lifted"),
+                forced_ns("shannon"),
+                forced_ns("mc"),
+                forced_ns("kl"),
             )
             .ok();
         }
@@ -750,9 +850,39 @@ mod tests {
                 memo_hit_rate: Some(0.5),
                 arena_nodes: Some(321),
             }],
+            planner: vec![crate::planner::PlannerRow {
+                cell: "padded-dnf",
+                query: "exists x, y. R(x) /\\ S(x,y) /\\ T(y)",
+                eps: 0.45,
+                n_eval: 20_857,
+                chosen: "kl",
+                auto_cost: 325_888.0,
+                auto_median_ns: 1_234_567,
+                auto_iters: 1,
+                auto_estimate: 0.875,
+                choice_fingerprint: 0x0123_4567_89AB_CDEF,
+                forced: vec![
+                    crate::planner::ForcedRun {
+                        strategy: "lifted",
+                        cost: None,
+                        median_ns: None,
+                        iters: 0,
+                        estimate: None,
+                        skipped: false,
+                    },
+                    crate::planner::ForcedRun {
+                        strategy: "mc",
+                        cost: Some(5.0e9),
+                        median_ns: None,
+                        iters: 0,
+                        estimate: None,
+                        skipped: true,
+                    },
+                ],
+            }],
         };
         let json = to_json(&report);
-        assert!(json.contains("\"schema\": \"infpdb-bench/3\""));
+        assert!(json.contains("\"schema\": \"infpdb-bench/4\""));
         assert!(json.contains("\"impl\": \"arena\""));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"median_ns\": 12345"));
@@ -760,7 +890,18 @@ mod tests {
         // the artifact is real JSON: it parses with the shared decoder
         // and round-trips every field
         let doc = Json::parse(&json).unwrap();
-        assert_eq!(doc.get("schema").unwrap().as_str(), Some("infpdb-bench/3"));
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("infpdb-bench/4"));
+        let planner = doc.get("planner").unwrap().as_array().unwrap();
+        assert_eq!(planner.len(), 1);
+        assert_eq!(planner[0].get("chosen").unwrap().as_str(), Some("kl"));
+        assert_eq!(
+            planner[0].get("choice_fingerprint").unwrap().as_str(),
+            Some("0123456789abcdef")
+        );
+        let forced = planner[0].get("forced").unwrap().as_array().unwrap();
+        assert_eq!(forced[0].get("cost"), Some(&Json::Null));
+        assert_eq!(forced[1].get("skipped").unwrap().as_bool(), Some(true));
+        assert_eq!(forced[1].get("median_ns"), Some(&Json::Null));
         let sat = doc.get("saturation").unwrap().as_array().unwrap();
         assert_eq!(sat.len(), 1);
         assert_eq!(sat[0].get("scheduler").unwrap().as_str(), Some("stealing"));

@@ -7,6 +7,7 @@
 //! underlying operation with Criterion.
 
 pub mod harness;
+pub mod planner;
 pub mod saturation;
 
 use infpdb_core::fact::Fact;
@@ -64,6 +65,167 @@ pub fn blocks_pdb() -> CountableTiPdb {
         facts.push((Fact::new(a, [Value::int(i)]), p));
         facts.push((Fact::new(b, [Value::int(i)]), p));
         p *= 0.75;
+    }
+    CountableTiPdb::new(FactSupply::from_vec(schema, facts).expect("distinct facts"))
+        .expect("finite supply converges")
+}
+
+/// A `k×k` bipartite grid over `{R/1, S/2, T/1}`: `R(i) @ 0.6`,
+/// `T(j) @ 0.6`, and every edge `S(i,j) @ 0.5`. The Dalvi–Suciu hard
+/// query `∃x,y. R(x) ∧ S(x,y) ∧ T(y)` over it grounds to a `k²`-clause
+/// monotone DNF whose clauses share variables both ways — dense enough
+/// to blow the planner's Shannon trial budget, bounded enough for
+/// Karp–Luby's DNF conversion. The planner-stage crossover cells build
+/// on it.
+pub fn grid_pdb(k: i64) -> CountableTiPdb {
+    let schema = Schema::from_relations([
+        Relation::new("R", 1),
+        Relation::new("S", 2),
+        Relation::new("T", 1),
+    ])
+    .expect("static schema");
+    let (r, s, t) = (
+        schema.rel_id("R").expect("static"),
+        schema.rel_id("S").expect("static"),
+        schema.rel_id("T").expect("static"),
+    );
+    let mut facts = Vec::new();
+    for i in 0..k {
+        facts.push((Fact::new(r, [Value::int(i)]), 0.6));
+        facts.push((Fact::new(t, [Value::int(i)]), 0.6));
+    }
+    for i in 0..k {
+        for j in 0..k {
+            facts.push((Fact::new(s, [Value::int(i), Value::int(j)]), 0.5));
+        }
+    }
+    CountableTiPdb::new(FactSupply::from_vec(schema, facts).expect("distinct facts"))
+        .expect("finite supply converges")
+}
+
+/// An *irregular* bipartite graph over `{R/1, S/2, T/1}`: `k` nodes per
+/// side (`R(i) @ 0.6`, `T(j) @ 0.6`) and `deg` pseudo-random distinct
+/// edges `S(i,j) @ 0.5` per left node (deterministic in `seed`). Unlike
+/// the complete grid, the irregular edge set defeats the Shannon DAG's
+/// decomposition and caching, so the planner's budgeted trial blows even
+/// at clause counts where Karp–Luby sampling stays cheap — the crossover
+/// the planner bench's `kl` cell sits on.
+pub fn sparse_grid_pdb(k: i64, deg: usize, seed: u64) -> CountableTiPdb {
+    let schema = Schema::from_relations([
+        Relation::new("R", 1),
+        Relation::new("S", 2),
+        Relation::new("T", 1),
+    ])
+    .expect("static schema");
+    let facts = sparse_grid_facts(&schema, k, deg, seed);
+    CountableTiPdb::new(FactSupply::from_vec(schema, facts).expect("distinct facts"))
+        .expect("finite supply converges")
+}
+
+fn sparse_grid_facts(schema: &Schema, k: i64, deg: usize, seed: u64) -> Vec<(Fact, f64)> {
+    use infpdb_core::space::rand_core::{RngCore, SplitMix64};
+    let (r, s, t) = (
+        schema.rel_id("R").expect("static"),
+        schema.rel_id("S").expect("static"),
+        schema.rel_id("T").expect("static"),
+    );
+    let mut rng = SplitMix64::new(seed);
+    let mut facts = Vec::new();
+    for i in 0..k {
+        facts.push((Fact::new(r, [Value::int(i)]), 0.6));
+        facts.push((Fact::new(t, [Value::int(i)]), 0.6));
+    }
+    for i in 0..k {
+        let mut picked = Vec::with_capacity(deg);
+        while picked.len() < deg.min(k as usize) {
+            let j = (rng.next_u64() % k as u64) as i64;
+            if !picked.contains(&j) {
+                picked.push(j);
+                facts.push((Fact::new(s, [Value::int(i), Value::int(j)]), 0.5));
+            }
+        }
+    }
+    facts
+}
+
+/// [`sparse_grid_pdb`] plus `d³` facts of an untouched ternary relation
+/// `P/3` over the domain `0..d` with slowly decaying probabilities
+/// (`p_i = 0.0002·(1−1e-4)^i`). The padding stretches the evaluation
+/// prefix tens of thousands of facts deep while adding only `d`
+/// constants to the active domain, so world-sampling Monte-Carlo pays
+/// for every padding fact per sample while Karp–Luby touches only the
+/// DNF's own variables — and the irregular core keeps exact Shannon out
+/// of reach. The planner-stage `kl` cell.
+pub fn padded_sparse_grid_pdb(k: i64, deg: usize, seed: u64, d: i64) -> CountableTiPdb {
+    let schema = Schema::from_relations([
+        Relation::new("R", 1),
+        Relation::new("S", 2),
+        Relation::new("T", 1),
+        Relation::new("P", 3),
+    ])
+    .expect("static schema");
+    let pad = schema.rel_id("P").expect("static");
+    let mut facts = sparse_grid_facts(&schema, k, deg, seed);
+    let mut p = 0.0002f64;
+    for i in 0..d {
+        for j in 0..d {
+            for l in 0..d {
+                facts.push((
+                    Fact::new(pad, [Value::int(i), Value::int(j), Value::int(l)]),
+                    p,
+                ));
+                p *= 1.0 - 1e-4;
+            }
+        }
+    }
+    CountableTiPdb::new(FactSupply::from_vec(schema, facts).expect("distinct facts"))
+        .expect("finite supply converges")
+}
+
+/// [`grid_pdb`] plus `d³` facts of an untouched ternary relation `P/3`
+/// over the domain `0..d`, with slowly decaying probabilities
+/// (`p_i = 0.002·(1−1e-4)^i`). The padding stretches the evaluation
+/// prefix tens of thousands of facts deep while adding only `d`
+/// constants to the active domain (grounding stays quadratic in `d`,
+/// not in the fact count) and leaving the query's own lineage the small
+/// grid DNF. This is the regime where world-sampling Monte-Carlo pays
+/// for every padding fact per sample but Karp–Luby touches only the
+/// DNF's own variables.
+pub fn padded_grid_pdb(k: i64, d: i64) -> CountableTiPdb {
+    let schema = Schema::from_relations([
+        Relation::new("R", 1),
+        Relation::new("S", 2),
+        Relation::new("T", 1),
+        Relation::new("P", 3),
+    ])
+    .expect("static schema");
+    let (r, s, t, pad) = (
+        schema.rel_id("R").expect("static"),
+        schema.rel_id("S").expect("static"),
+        schema.rel_id("T").expect("static"),
+        schema.rel_id("P").expect("static"),
+    );
+    let mut facts = Vec::new();
+    for i in 0..k {
+        facts.push((Fact::new(r, [Value::int(i)]), 0.6));
+        facts.push((Fact::new(t, [Value::int(i)]), 0.6));
+    }
+    for i in 0..k {
+        for j in 0..k {
+            facts.push((Fact::new(s, [Value::int(i), Value::int(j)]), 0.5));
+        }
+    }
+    let mut p = 0.0002f64;
+    for i in 0..d {
+        for j in 0..d {
+            for l in 0..d {
+                facts.push((
+                    Fact::new(pad, [Value::int(i), Value::int(j), Value::int(l)]),
+                    p,
+                ));
+                p *= 1.0 - 1e-4;
+            }
+        }
     }
     CountableTiPdb::new(FactSupply::from_vec(schema, facts).expect("distinct facts"))
         .expect("finite supply converges")

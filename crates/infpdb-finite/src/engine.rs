@@ -23,7 +23,10 @@ use infpdb_logic::vars::{free_vars, ground};
 /// Engine selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
-    /// Safe plan when possible, else lineage + Shannon.
+    /// Safe plan when possible, else lineage + Shannon. At the
+    /// infinite-query layer (`infpdb-query` and above), `Auto` instead
+    /// routes through the cost-based planner (`infpdb_query::planner`),
+    /// which may additionally choose sampling strategies per component.
     Auto,
     /// Extensional safe-plan evaluation (errors on unsafe queries).
     Lifted,
@@ -31,6 +34,22 @@ pub enum Engine {
     Lineage,
     /// Brute-force world enumeration (reference; exponential).
     Brute,
+}
+
+impl Engine {
+    /// Stable `u8` discriminant — the single source of truth for cache
+    /// keys, circuit-breaker indexing, and wire encodings.
+    pub fn tag(self) -> u8 {
+        match self {
+            Engine::Auto => 0,
+            Engine::Lifted => 1,
+            Engine::Lineage => 2,
+            Engine::Brute => 3,
+        }
+    }
+
+    /// Number of distinct engine variants (for per-engine arrays).
+    pub const COUNT: usize = 4;
 }
 
 /// What an evaluation did, for observability: Shannon compilation
@@ -45,6 +64,9 @@ pub struct EvalTrace {
     /// What the intra-query parallel evaluator did; `None` when
     /// evaluation ran with `parallelism ≤ 1` (or a non-lineage engine).
     pub parallel: Option<shannon::ParReport>,
+    /// Per-strategy component counts and cost estimate of the plan the
+    /// cost-based planner executed; `None` on the direct engine paths.
+    pub plan: Option<crate::plan::PlanSummary>,
 }
 
 /// `P(Q)` for a Boolean query under the chosen engine.
@@ -145,6 +167,7 @@ fn prob_by_lineage(
                 shannon: Some(stats),
                 arena: Some(arena_stats),
                 parallel: Some(report),
+                plan: None,
             },
         )));
     }
@@ -155,6 +178,7 @@ fn prob_by_lineage(
             shannon: Some(stats),
             arena: Some(arena.stats()),
             parallel: None,
+            plan: None,
         },
     )))
 }

@@ -37,6 +37,7 @@ pub mod lifted;
 pub mod lineage;
 pub mod monte_carlo;
 pub mod pdb;
+pub mod plan;
 pub mod shannon;
 pub mod tuple_independent;
 pub mod worlds;

@@ -1,0 +1,539 @@
+//! Chosen evaluation plans: per-component strategy assignments and their
+//! execution.
+//!
+//! The cost-based optimizer (`infpdb_query::planner`) decides, for every
+//! relation-disjoint component of a compiled query, which of the crate's
+//! engines evaluates it: extensional lifted inference, the exact
+//! hash-consed Shannon DAG, deterministic Monte-Carlo sampling, or the
+//! Karp–Luby DNF estimator. This module holds the *decision artifact*
+//! ([`ChosenPlan`]) and the executor ([`evaluate_plan`]) — the cost model
+//! itself lives upstream, so the finite layer stays policy-free.
+//!
+//! Determinism contract: given the same plan and table, [`evaluate_plan`]
+//! is bit-for-bit reproducible at every `parallelism` value and under
+//! every [`shannon::TaskExecutor`] — the exact engines already guarantee
+//! this, and both samplers derive their RNG streams from the plan's
+//! per-component seeds in fixed-size chunks.
+
+use crate::arena::{ArenaStats, LineageArena};
+use crate::engine::EvalTrace;
+use crate::lineage::lineage_of_arena;
+use crate::{karp_luby, lifted, monte_carlo, shannon, FiniteError, TiTable};
+use infpdb_logic::compile::{CompiledQuery, Connective, QueryComponent};
+
+/// The evaluation strategy assigned to one query component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Extensional safe-plan evaluation (requires the component to be a
+    /// hierarchical self-join-free CQ).
+    Lifted,
+    /// Exact intensional evaluation: lineage + Shannon DAG.
+    Shannon,
+    /// Deterministic chunk-seeded Monte-Carlo with a Hoeffding sample
+    /// count for the component's additive error budget.
+    MonteCarlo {
+        /// Samples to draw.
+        samples: usize,
+    },
+    /// Karp–Luby DNF coverage estimation (requires monotone lineage).
+    KarpLuby {
+        /// Samples to draw.
+        samples: usize,
+        /// Clause cap for the DNF conversion; exceeding it at evaluation
+        /// time falls back deterministically to Shannon.
+        max_clauses: usize,
+    },
+}
+
+impl Strategy {
+    /// Short stable name, used in metrics labels and `--explain` output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Lifted => "lifted",
+            Strategy::Shannon => "shannon",
+            Strategy::MonteCarlo { .. } => "mc",
+            Strategy::KarpLuby { .. } => "kl",
+        }
+    }
+
+    /// Stable discriminant for fingerprinting.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Strategy::Lifted => 0,
+            Strategy::Shannon => 1,
+            Strategy::MonteCarlo { .. } => 2,
+            Strategy::KarpLuby { .. } => 3,
+        }
+    }
+
+    /// Whether the strategy is a sampling estimator.
+    pub fn is_sampling(&self) -> bool {
+        matches!(
+            self,
+            Strategy::MonteCarlo { .. } | Strategy::KarpLuby { .. }
+        )
+    }
+}
+
+/// One component's strategy assignment with its cost estimate and
+/// deterministic sampling seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentPlan {
+    /// The chosen strategy.
+    pub strategy: Strategy,
+    /// The planner's cost estimate (abstract work units) for the choice.
+    pub cost: f64,
+    /// Seed for the component's sampler (unused by exact strategies);
+    /// derived from (knobs seed, PDB fingerprint, query fingerprint, ε,
+    /// component index) so it never depends on runtime state.
+    pub seed: u64,
+}
+
+/// A complete plan for a compiled query: one [`ComponentPlan`] per
+/// relation-disjoint component, plus the tolerances the plan certifies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChosenPlan {
+    /// How component probabilities combine (mirrors the compiled query).
+    pub connective: Connective,
+    /// Per-component strategy assignments, in component order.
+    pub components: Vec<ComponentPlan>,
+    /// The requested tolerance this plan was chosen for.
+    pub eps: f64,
+    /// The truncation tolerance: equal to `eps` for fully exact plans,
+    /// tightened to `eps · (1 − sampling_fraction)` when any component
+    /// samples (the remainder of the budget pays for sampling error).
+    pub eps_trunc: f64,
+}
+
+impl ChosenPlan {
+    /// Compact counters for the trace: how many components ran each
+    /// strategy, and the total cost estimate.
+    pub fn summary(&self) -> PlanSummary {
+        let mut s = PlanSummary::default();
+        let mut cost = 0.0;
+        for c in &self.components {
+            match c.strategy {
+                Strategy::Lifted => s.lifted += 1,
+                Strategy::Shannon => s.shannon += 1,
+                Strategy::MonteCarlo { .. } => s.monte_carlo += 1,
+                Strategy::KarpLuby { .. } => s.karp_luby += 1,
+            }
+            cost += c.cost;
+        }
+        s.cost_bits = cost.to_bits();
+        s
+    }
+
+    /// Whether any component uses a sampling estimator.
+    pub fn has_sampling(&self) -> bool {
+        self.components.iter().any(|c| c.strategy.is_sampling())
+    }
+
+    /// A stable digest of the *choices* (strategy tags, sample counts,
+    /// seeds, truncation ε) — what the CI cross-process determinism check
+    /// compares, and what re-plan detection keys on.
+    pub fn choice_fingerprint(&self) -> u64 {
+        let mut fp = infpdb_core::fingerprint::Fingerprinter::new();
+        fp.write_u64(self.components.len() as u64);
+        for c in &self.components {
+            fp.write_u64(u64::from(c.strategy.tag()));
+            match c.strategy {
+                Strategy::MonteCarlo { samples } => {
+                    fp.write_u64(samples as u64);
+                }
+                Strategy::KarpLuby {
+                    samples,
+                    max_clauses,
+                } => {
+                    fp.write_u64(samples as u64).write_u64(max_clauses as u64);
+                }
+                _ => {}
+            }
+            fp.write_u64(c.seed);
+        }
+        fp.write_u64(self.eps_trunc.to_bits());
+        fp.finish()
+    }
+
+    /// The strategy-tag vector alone (no seeds, no sample counts): two
+    /// plans with the same vector are "the same choice" for re-plan
+    /// accounting — an ε change that only rescales sample counts is not a
+    /// re-plan.
+    pub fn strategy_vector(&self) -> Vec<u8> {
+        self.components.iter().map(|c| c.strategy.tag()).collect()
+    }
+}
+
+/// Per-strategy component counts plus the plan's total cost estimate —
+/// the [`EvalTrace`]-embeddable summary of a [`ChosenPlan`] (integers
+/// only, so the trace stays `Copy + Eq`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanSummary {
+    /// Components evaluated by lifted inference.
+    pub lifted: u32,
+    /// Components evaluated by the Shannon DAG.
+    pub shannon: u32,
+    /// Components estimated by Monte-Carlo.
+    pub monte_carlo: u32,
+    /// Components estimated by Karp–Luby.
+    pub karp_luby: u32,
+    /// Bit pattern of the plan's total estimated cost (f64 work units).
+    pub cost_bits: u64,
+}
+
+impl PlanSummary {
+    /// The dominant strategy label for single-label consumers (the
+    /// `/query` envelope): the unique strategy when all components agree,
+    /// `"mixed"` otherwise.
+    pub fn label(&self) -> &'static str {
+        let kinds = [
+            (self.lifted, "lifted"),
+            (self.shannon, "shannon"),
+            (self.monte_carlo, "mc"),
+            (self.karp_luby, "kl"),
+        ];
+        let mut used = kinds.iter().filter(|(n, _)| *n > 0);
+        match (used.next(), used.next()) {
+            (Some((_, name)), None) => name,
+            (Some(_), Some(_)) => "mixed",
+            _ => "none",
+        }
+    }
+}
+
+/// Evaluates a compiled query under a [`ChosenPlan`]: each component by
+/// its assigned strategy, combined in canonical component order by the
+/// compiled connective. Returns `Ok(None)` when a caller-supplied
+/// executor skipped tasks (cancellation), exactly like
+/// [`crate::engine::prob_boolean_traced_exec`].
+///
+/// The returned trace reports what actually ran: merged Shannon/arena
+/// counters over the exact components, and `plan` set to the summary of
+/// the *executed* strategies (a Karp–Luby component whose lineage
+/// overflowed the clause cap executes as Shannon and is counted as such).
+pub fn evaluate_plan(
+    compiled: &CompiledQuery,
+    plan: &ChosenPlan,
+    table: &TiTable,
+    parallelism: usize,
+    exec: Option<&dyn shannon::TaskExecutor>,
+) -> Result<Option<(f64, EvalTrace)>, FiniteError> {
+    let components = compiled.components();
+    assert_eq!(
+        components.len(),
+        plan.components.len(),
+        "plan must match the compiled query's component list"
+    );
+    let mut executed = plan.clone();
+    let mut acc = 1.0f64;
+    let mut single = 0.0f64;
+    let mut trace = EvalTrace::default();
+    for (i, (comp, cplan)) in components.iter().zip(&plan.components).enumerate() {
+        let p = match cplan.strategy {
+            Strategy::Lifted => lifted::prob_hierarchical(comp.formula(), table)?,
+            Strategy::Shannon => {
+                match shannon_component(comp, table, parallelism, exec, &mut trace)? {
+                    Some(p) => p,
+                    None => return Ok(None),
+                }
+            }
+            Strategy::MonteCarlo { samples } => {
+                monte_carlo::estimate_parallel(
+                    comp.formula(),
+                    table,
+                    samples,
+                    cplan.seed,
+                    parallelism,
+                )?
+                .estimate
+            }
+            Strategy::KarpLuby {
+                samples,
+                max_clauses,
+            } => {
+                let mut arena = LineageArena::new();
+                let root = lineage_of_arena(comp.formula(), table, &mut arena)?;
+                match karp_luby::to_dnf_arena(&arena, root, max_clauses) {
+                    Some(dnf) => {
+                        karp_luby::estimate_dnf_parallel(
+                            &dnf,
+                            table,
+                            samples,
+                            cplan.seed,
+                            parallelism,
+                        )
+                        .estimate
+                    }
+                    // deterministic fallback: the eval-table lineage
+                    // outgrew the clause cap the profile predicted under
+                    None => {
+                        executed.components[i].strategy = Strategy::Shannon;
+                        match shannon_component(comp, table, parallelism, exec, &mut trace)? {
+                            Some(p) => p,
+                            None => return Ok(None),
+                        }
+                    }
+                }
+            }
+        };
+        match plan.connective {
+            Connective::Single => single = p,
+            Connective::And => acc *= p,
+            Connective::Or => acc *= 1.0 - p,
+        }
+    }
+    let estimate = match plan.connective {
+        Connective::Single => single,
+        Connective::And => acc,
+        Connective::Or => 1.0 - acc,
+    };
+    trace.plan = Some(executed.summary());
+    Ok(Some((estimate, trace)))
+}
+
+/// Evaluates one component on the exact Shannon path, merging its work
+/// counters into the running trace. Mirrors the lineage arm of
+/// [`crate::engine::prob_boolean_traced_exec`] per component.
+fn shannon_component(
+    comp: &QueryComponent,
+    table: &TiTable,
+    parallelism: usize,
+    exec: Option<&dyn shannon::TaskExecutor>,
+    trace: &mut EvalTrace,
+) -> Result<Option<f64>, FiniteError> {
+    let mut arena = LineageArena::new();
+    let root = lineage_of_arena(comp.formula(), table, &mut arena)?;
+    if parallelism >= 2 {
+        let policy = shannon::ParallelPolicy::with_threads(parallelism);
+        let default_exec = shannon::ScopedExecutor {
+            threads: policy.threads,
+        };
+        let exec = exec.unwrap_or(&default_exec);
+        let Some((p, stats, arena_stats, report)) = shannon::probability_dag_parallel_exec(
+            &mut arena,
+            root,
+            &|id| table.prob(id),
+            policy,
+            exec,
+        ) else {
+            return Ok(None);
+        };
+        merge_shannon(trace, stats, arena_stats);
+        let merged = match trace.parallel {
+            Some(prev) => shannon::ParReport {
+                tasks: prev.tasks + report.tasks,
+                fallback_seq: prev.fallback_seq || report.fallback_seq,
+            },
+            None => report,
+        };
+        trace.parallel = Some(merged);
+        return Ok(Some(p));
+    }
+    let (p, stats) = shannon::probability_dag_with_stats(&mut arena, root, &|id| table.prob(id));
+    let arena_stats = arena.stats();
+    merge_shannon(trace, stats, arena_stats);
+    Ok(Some(p))
+}
+
+fn merge_shannon(trace: &mut EvalTrace, stats: shannon::Stats, arena_stats: ArenaStats) {
+    let s = trace.shannon.get_or_insert_with(shannon::Stats::default);
+    s.expansions += stats.expansions;
+    s.cache_hits += stats.cache_hits;
+    s.decompositions += stats.decompositions;
+    let a = trace.arena.get_or_insert_with(ArenaStats::default);
+    a.nodes += arena_stats.nodes;
+    a.intern_hits += arena_stats.intern_hits;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{prob_boolean, Engine};
+    use infpdb_core::fact::Fact;
+    use infpdb_core::schema::{Relation, Schema};
+    use infpdb_logic::parse;
+
+    fn table() -> TiTable {
+        let s = Schema::from_relations([
+            Relation::new("R", 1),
+            Relation::new("S", 2),
+            Relation::new("T", 1),
+        ])
+        .unwrap();
+        let r = s.rel_id("R").unwrap();
+        let s2 = s.rel_id("S").unwrap();
+        let t2 = s.rel_id("T").unwrap();
+        TiTable::from_facts(
+            s,
+            [
+                (Fact::new(r, [infpdb_core::value::Value::int(1)]), 0.5),
+                (Fact::new(r, [infpdb_core::value::Value::int(2)]), 0.4),
+                (
+                    Fact::new(
+                        s2,
+                        [
+                            infpdb_core::value::Value::int(1),
+                            infpdb_core::value::Value::int(2),
+                        ],
+                    ),
+                    0.3,
+                ),
+                (Fact::new(t2, [infpdb_core::value::Value::int(2)]), 0.7),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn exact_plan(
+        compiled: &CompiledQuery,
+        strategy_for: impl Fn(&QueryComponent) -> Strategy,
+    ) -> ChosenPlan {
+        ChosenPlan {
+            connective: compiled.connective(),
+            components: compiled
+                .components()
+                .iter()
+                .map(|c| ComponentPlan {
+                    strategy: strategy_for(c),
+                    cost: 1.0,
+                    seed: 42,
+                })
+                .collect(),
+            eps: 0.01,
+            eps_trunc: 0.01,
+        }
+    }
+
+    #[test]
+    fn mixed_exact_plan_matches_monolithic_evaluation() {
+        let t = table();
+        let q = parse("(exists x. R(x)) /\\ (exists y. T(y))", t.schema()).unwrap();
+        let compiled = CompiledQuery::compile(t.schema(), &q);
+        assert_eq!(compiled.components().len(), 2);
+        let brute = prob_boolean(&q, &t, Engine::Brute).unwrap();
+        // lifted on safe components
+        let plan = exact_plan(&compiled, |c| {
+            if c.is_safe() {
+                Strategy::Lifted
+            } else {
+                Strategy::Shannon
+            }
+        });
+        let (p, trace) = evaluate_plan(&compiled, &plan, &t, 1, None)
+            .unwrap()
+            .unwrap();
+        assert!((p - brute).abs() < 1e-12, "{p} vs {brute}");
+        let summary = trace.plan.expect("plan summary filled");
+        assert_eq!(summary.lifted, 2);
+        // all-Shannon agrees too
+        let plan2 = exact_plan(&compiled, |_| Strategy::Shannon);
+        let (p2, trace2) = evaluate_plan(&compiled, &plan2, &t, 1, None)
+            .unwrap()
+            .unwrap();
+        assert!((p2 - brute).abs() < 1e-12);
+        assert_eq!(trace2.plan.unwrap().shannon, 2);
+        assert!(trace2.shannon.is_some() && trace2.arena.is_some());
+    }
+
+    #[test]
+    fn sampling_strategies_land_within_tolerance_and_are_thread_invariant() {
+        let t = table();
+        let q = parse("exists x, y. R(x) /\\ S(x, y) /\\ T(y)", t.schema()).unwrap();
+        let compiled = CompiledQuery::compile(t.schema(), &q);
+        let brute = prob_boolean(&q, &t, Engine::Brute).unwrap();
+        for strategy in [
+            Strategy::MonteCarlo { samples: 200_000 },
+            Strategy::KarpLuby {
+                samples: 100_000,
+                max_clauses: 1024,
+            },
+        ] {
+            let plan = ChosenPlan {
+                connective: compiled.connective(),
+                components: vec![ComponentPlan {
+                    strategy,
+                    cost: 1.0,
+                    seed: 7,
+                }],
+                eps: 0.05,
+                eps_trunc: 0.025,
+            };
+            let (p1, tr1) = evaluate_plan(&compiled, &plan, &t, 1, None)
+                .unwrap()
+                .unwrap();
+            assert!(
+                (p1 - brute).abs() < 0.01,
+                "{} off: {p1} vs {brute}",
+                strategy.name()
+            );
+            for threads in [2, 4] {
+                let (pn, trn) = evaluate_plan(&compiled, &plan, &t, threads, None)
+                    .unwrap()
+                    .unwrap();
+                assert_eq!(p1.to_bits(), pn.to_bits(), "thread-invariance");
+                assert_eq!(tr1, trn);
+            }
+        }
+    }
+
+    #[test]
+    fn karp_luby_clause_overflow_falls_back_to_shannon() {
+        let t = table();
+        let q = parse("exists x, y. R(x) /\\ S(x, y) /\\ T(y)", t.schema()).unwrap();
+        let compiled = CompiledQuery::compile(t.schema(), &q);
+        let plan = ChosenPlan {
+            connective: compiled.connective(),
+            components: vec![ComponentPlan {
+                strategy: Strategy::KarpLuby {
+                    samples: 1000,
+                    max_clauses: 0, // force overflow
+                },
+                cost: 1.0,
+                seed: 7,
+            }],
+            eps: 0.05,
+            eps_trunc: 0.025,
+        };
+        let (p, trace) = evaluate_plan(&compiled, &plan, &t, 1, None)
+            .unwrap()
+            .unwrap();
+        let brute = prob_boolean(&q, &t, Engine::Brute).unwrap();
+        assert!((p - brute).abs() < 1e-12, "fallback is exact");
+        let summary = trace.plan.unwrap();
+        assert_eq!(summary.karp_luby, 0);
+        assert_eq!(summary.shannon, 1);
+    }
+
+    #[test]
+    fn summary_label_and_fingerprint() {
+        let s = PlanSummary {
+            lifted: 2,
+            ..PlanSummary::default()
+        };
+        assert_eq!(s.label(), "lifted");
+        let m = PlanSummary {
+            lifted: 1,
+            monte_carlo: 1,
+            ..PlanSummary::default()
+        };
+        assert_eq!(m.label(), "mixed");
+        assert_eq!(PlanSummary::default().label(), "none");
+        let plan = ChosenPlan {
+            connective: Connective::Single,
+            components: vec![ComponentPlan {
+                strategy: Strategy::MonteCarlo { samples: 10 },
+                cost: 3.0,
+                seed: 9,
+            }],
+            eps: 0.1,
+            eps_trunc: 0.05,
+        };
+        let other = ChosenPlan {
+            eps_trunc: 0.04,
+            ..plan.clone()
+        };
+        assert_ne!(plan.choice_fingerprint(), other.choice_fingerprint());
+        assert_eq!(plan.strategy_vector(), other.strategy_vector());
+        assert!(plan.has_sampling());
+    }
+}

@@ -25,7 +25,7 @@ use crate::normal::{as_cq, rectify, to_nnf};
 use crate::safety::{safe_plan, SafePlan};
 use crate::LogicError;
 use infpdb_core::fingerprint::Fingerprinter;
-use infpdb_core::schema::Schema;
+use infpdb_core::schema::{RelId, Schema};
 
 /// The query-shape statistics of a compiled query: the parameters of
 /// Proposition 6.1's relativization bound plus size counts.
@@ -41,8 +41,86 @@ pub struct QueryProfile {
     pub nodes: usize,
 }
 
+/// How the [`QueryComponent`]s of a compiled query combine back into the
+/// whole query's probability on a tuple-independent table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Connective {
+    /// One component that *is* the whole (normalized) query.
+    Single,
+    /// `P(Q) = ∏ P(φᵢ)` — the components are a top-level conjunction.
+    And,
+    /// `P(Q) = 1 − ∏ (1 − P(φᵢ))` — a top-level disjunction.
+    Or,
+}
+
+/// One relation-disjoint subformula of the normalized query, carrying its
+/// own safety/shape analysis so a planner can pick a strategy per
+/// component.
+///
+/// Components partition the top-level `And`/`Or` children of the
+/// normalized sentence by shared relation symbols. Two components never
+/// mention a common relation, so on a tuple-independent table their
+/// lineages are over disjoint fact variables and their probabilities are
+/// independent — the [`Connective`] combination rules are exact.
+#[derive(Debug, Clone)]
+pub struct QueryComponent {
+    formula: Formula,
+    profile: QueryProfile,
+    safe_plan: Option<SafePlan>,
+    monotone: bool,
+}
+
+impl QueryComponent {
+    fn analyze(formula: Formula) -> Self {
+        let profile = QueryProfile {
+            quantifier_rank: crate::rank::quantifier_rank(&formula),
+            constants: crate::rank::constant_count(&formula),
+            atoms: crate::rank::atom_count(&formula),
+            nodes: crate::rank::node_count(&formula),
+        };
+        let safe_plan = as_cq(&formula).ok().and_then(|cq| safe_plan(&cq).ok());
+        let monotone = is_monotone_nnf(&formula);
+        QueryComponent {
+            formula,
+            profile,
+            safe_plan,
+            monotone,
+        }
+    }
+
+    /// The component's (normalized, NNF) subformula — a sentence whenever
+    /// the compiled query is one.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// The component's own rank profile.
+    pub fn profile(&self) -> QueryProfile {
+        self.profile
+    }
+
+    /// The component's extensional safe plan, when it is a hierarchical
+    /// self-join-free CQ on its own.
+    pub fn safe_plan(&self) -> Option<&SafePlan> {
+        self.safe_plan.as_ref()
+    }
+
+    /// Whether this component has an extensional safe plan.
+    pub fn is_safe(&self) -> bool {
+        self.safe_plan.is_some()
+    }
+
+    /// Whether the component is syntactically monotone (no negation, no
+    /// universal quantifier in its NNF) — a sufficient condition for its
+    /// lineage to be a monotone DNF, the fragment Karp–Luby handles.
+    pub fn is_monotone(&self) -> bool {
+        self.monotone
+    }
+}
+
 /// A query compiled once: original formula, normal form, fingerprint,
-/// rank profile, and (when one exists) extensional safe plan.
+/// rank profile, relation-disjoint components, and (when one exists)
+/// extensional safe plan.
 ///
 /// The original formula is retained verbatim because the execute phase
 /// evaluates *it* — not the normal form — to stay bit-for-bit identical
@@ -54,6 +132,8 @@ pub struct CompiledQuery {
     fingerprint: u64,
     profile: QueryProfile,
     safe_plan: Option<SafePlan>,
+    connective: Connective,
+    components: Vec<QueryComponent>,
 }
 
 impl CompiledQuery {
@@ -70,12 +150,15 @@ impl CompiledQuery {
             nodes: crate::rank::node_count(query),
         };
         let safe_plan = as_cq(&normalized).ok().and_then(|cq| safe_plan(&cq).ok());
+        let (connective, components) = decompose(&normalized);
         CompiledQuery {
             original: query.clone(),
             normalized,
             fingerprint,
             profile,
             safe_plan,
+            connective,
+            components,
         }
     }
 
@@ -113,6 +196,130 @@ impl CompiledQuery {
     /// Whether an extensional safe plan exists.
     pub fn is_safe(&self) -> bool {
         self.safe_plan.is_some()
+    }
+
+    /// How [`components`](Self::components) combine back into `P(Q)`.
+    pub fn connective(&self) -> Connective {
+        self.connective
+    }
+
+    /// The relation-disjoint components of the normalized query, in
+    /// first-appearance order of their relations. Always non-empty; a
+    /// query that does not decompose is its own single component.
+    pub fn components(&self) -> &[QueryComponent] {
+        &self.components
+    }
+}
+
+/// Splits the normalized sentence into relation-disjoint components.
+///
+/// Only a top-level `And`/`Or` decomposes: its children are grouped by
+/// shared relation symbols (transitively), each group becoming one
+/// component under the same connective. Groups are emitted in the order
+/// their first child appears, children keep their original order, so the
+/// decomposition is deterministic and α-invariant.
+fn decompose(normalized: &Formula) -> (Connective, Vec<QueryComponent>) {
+    let (connective, children): (Connective, &[Formula]) = match normalized {
+        Formula::And(gs) if gs.len() >= 2 => (Connective::And, gs),
+        Formula::Or(gs) if gs.len() >= 2 => (Connective::Or, gs),
+        _ => {
+            return (
+                Connective::Single,
+                vec![QueryComponent::analyze(normalized.clone())],
+            )
+        }
+    };
+    // union-find over child indexes, keyed by shared relation symbols
+    let rels: Vec<Vec<RelId>> = children.iter().map(relations).collect();
+    let mut parent: Vec<usize> = (0..children.len()).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut r = i;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        let mut c = i;
+        while parent[c] != r {
+            let next = parent[c];
+            parent[c] = r;
+            c = next;
+        }
+        r
+    }
+    let mut owner: std::collections::HashMap<RelId, usize> = std::collections::HashMap::new();
+    for (i, rs) in rels.iter().enumerate() {
+        for &r in rs {
+            match owner.get(&r) {
+                Some(&j) => {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    if a != b {
+                        // union toward the smaller root: groups keep the
+                        // index of their earliest member
+                        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                        parent[hi] = lo;
+                    }
+                }
+                None => {
+                    owner.insert(r, i);
+                }
+            }
+        }
+    }
+    let mut groups: Vec<(usize, Vec<Formula>)> = Vec::new();
+    for (i, child) in children.iter().enumerate() {
+        let root = find(&mut parent, i);
+        match groups.iter_mut().find(|(r, _)| *r == root) {
+            Some((_, members)) => members.push(child.clone()),
+            None => groups.push((root, vec![child.clone()])),
+        }
+    }
+    if groups.len() < 2 {
+        return (
+            Connective::Single,
+            vec![QueryComponent::analyze(normalized.clone())],
+        );
+    }
+    let components = groups
+        .into_iter()
+        .map(|(_, mut members)| {
+            let f = if members.len() == 1 {
+                members.pop().expect("non-empty group")
+            } else if connective == Connective::And {
+                Formula::And(members)
+            } else {
+                Formula::Or(members)
+            };
+            QueryComponent::analyze(f)
+        })
+        .collect();
+    (connective, components)
+}
+
+/// Relation symbols of a formula, in first-appearance order.
+fn relations(f: &Formula) -> Vec<RelId> {
+    fn walk(f: &Formula, out: &mut Vec<RelId>) {
+        match f {
+            Formula::Atom { rel, .. } => {
+                if !out.contains(rel) {
+                    out.push(*rel);
+                }
+            }
+            Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => walk(g, out),
+            Formula::And(gs) | Formula::Or(gs) => gs.iter().for_each(|g| walk(g, out)),
+            Formula::True | Formula::False | Formula::Eq(..) => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(f, &mut out);
+    out
+}
+
+/// Syntactic monotonicity of an NNF formula: no `Not`, no `Forall`.
+fn is_monotone_nnf(f: &Formula) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => true,
+        Formula::Not(_) | Formula::Forall(..) => false,
+        Formula::Exists(_, g) => is_monotone_nnf(g),
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().all(is_monotone_nnf),
     }
 }
 
@@ -267,6 +474,54 @@ mod tests {
         assert!(unsafe_q.safe_plan().is_none());
         // non-CQ shapes compile fine without a plan
         assert!(!compile("forall x. R(x)").is_safe());
+    }
+
+    #[test]
+    fn relation_disjoint_conjuncts_decompose() {
+        let s = Schema::from_relations([
+            Relation::new("R", 1),
+            Relation::new("S", 2),
+            Relation::new("T", 1),
+        ])
+        .unwrap();
+        let c = |q: &str| CompiledQuery::compile(&s, &parse(q, &s).unwrap());
+        // R-part and T-part share no relation: two components
+        let cq = c("(exists x. R(x)) /\\ (exists y. T(y))");
+        assert_eq!(cq.connective(), Connective::And);
+        assert_eq!(cq.components().len(), 2);
+        assert!(cq.components().iter().all(|k| k.is_safe()));
+        assert!(cq.components().iter().all(|k| k.is_monotone()));
+        // shared relation R joins the first and third conjunct
+        let cq2 = c("(exists x. R(x) /\\ S(x, x)) /\\ (exists y. T(y)) /\\ R(1)");
+        assert_eq!(cq2.components().len(), 2);
+        // disjunction decomposes the same way
+        let cq3 = c("(exists x. R(x)) \\/ (exists y. T(y))");
+        assert_eq!(cq3.connective(), Connective::Or);
+        assert_eq!(cq3.components().len(), 2);
+        // no top-level And/Or: single component equal to the normal form
+        let cq4 = c("exists x. R(x) /\\ T(x)");
+        assert_eq!(cq4.connective(), Connective::Single);
+        assert_eq!(cq4.components().len(), 1);
+        assert_eq!(cq4.components()[0].formula(), cq4.normalized());
+        // negation kills monotonicity but not decomposition
+        let cq5 = c("(!R(1)) /\\ (exists y. T(y))");
+        assert_eq!(cq5.components().len(), 2);
+        assert!(!cq5.components()[0].is_monotone());
+        assert!(cq5.components()[1].is_monotone());
+    }
+
+    #[test]
+    fn decomposition_is_alpha_invariant() {
+        let s = Schema::from_relations([Relation::new("R", 1), Relation::new("T", 1)]).unwrap();
+        let c = |q: &str| CompiledQuery::compile(&s, &parse(q, &s).unwrap());
+        let a = c("(exists x. R(x)) /\\ (exists y. T(y))");
+        let b = c("(exists u. R(u)) /\\ (exists v. T(v))");
+        assert_eq!(a.components().len(), b.components().len());
+        for (ka, kb) in a.components().iter().zip(b.components()) {
+            assert_eq!(ka.profile(), kb.profile());
+            assert_eq!(ka.is_safe(), kb.is_safe());
+            assert_eq!(ka.is_monotone(), kb.is_monotone());
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod vars;
 pub mod view;
 
 pub use ast::{Formula, Term, Var};
-pub use compile::CompiledQuery;
+pub use compile::{CompiledQuery, Connective, QueryComponent};
 pub use eval::Evaluator;
 pub use parser::parse;
 pub use view::FoView;

@@ -199,6 +199,22 @@ pub fn trace_json(t: &EvalTrace) -> Json {
                 })
                 .unwrap_or(Json::Null),
         ),
+        (
+            "plan",
+            t.plan
+                .map(|p| {
+                    Json::obj([
+                        ("lifted", Json::Int(i64::from(p.lifted))),
+                        ("shannon", Json::Int(i64::from(p.shannon))),
+                        ("mc", Json::Int(i64::from(p.monte_carlo))),
+                        ("kl", Json::Int(i64::from(p.karp_luby))),
+                        // positive-finite f64 bit patterns have a clear
+                        // sign bit, so the cost survives the i64 round-trip
+                        ("cost_bits", Json::Int(p.cost_bits as i64)),
+                    ])
+                })
+                .unwrap_or(Json::Null),
+        ),
     ])
 }
 
@@ -212,6 +228,11 @@ pub fn response_json(query: &str, r: &QueryResponse) -> Json {
     pairs.push(("requested_eps".into(), Json::Float(r.requested_eps)));
     pairs.push(("degraded".into(), Json::Bool(r.degraded)));
     pairs.push(("cached".into(), Json::Bool(r.cached)));
+    // the planner's strategy verdict (null under explicit engines)
+    pairs.push((
+        "strategy".into(),
+        r.strategy().map(Json::str).unwrap_or(Json::Null),
+    ));
     pairs.push((
         "report".into(),
         Json::obj([

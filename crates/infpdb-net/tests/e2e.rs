@@ -365,6 +365,69 @@ fn stealing_scheduler_metrics_pass_the_linter() {
     fixed_server.shutdown();
 }
 
+/// Cost-based planning over the wire: with the default Auto engine the
+/// `/query` envelope names the chosen strategy, the trace carries the
+/// per-strategy plan summary, and `/metrics` exposes the
+/// `serve_plan_choice_total{strategy=...}` family plus
+/// `serve_replans_total` in clean Prometheus text format.
+#[test]
+fn query_envelope_and_metrics_report_the_chosen_plan() {
+    let (server, base) = start(ServerConfig::default(), 1);
+    let mut strategies = Vec::new();
+    for q in QUERIES {
+        let resp = post(&base, "/query", &query_body(q, 1e-3));
+        assert_eq!(resp.status, 200, "{q}");
+        let doc = Json::parse(resp.body_utf8().unwrap()).unwrap();
+        let strategy = doc
+            .get("strategy")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("Auto response for {q:?} must name a strategy"))
+            .to_string();
+        assert!(
+            ["lifted", "shannon", "mc", "kl", "mixed"].contains(&strategy.as_str()),
+            "unknown strategy {strategy:?} for {q:?}"
+        );
+        // the trace carries the full per-strategy component counts
+        let plan = doc
+            .get("trace")
+            .and_then(|t| t.get("plan"))
+            .unwrap_or_else(|| panic!("Auto trace for {q:?} must carry a plan summary"));
+        let total: i64 = ["lifted", "shannon", "mc", "kl"]
+            .iter()
+            .filter_map(|k| plan.get(k).and_then(Json::as_i64))
+            .sum();
+        assert!(total >= 1, "plan for {q:?} chose no components: {plan:?}");
+        strategies.push(strategy);
+    }
+    // re-asking an answered query is served from the result cache and
+    // reports the same strategy
+    let resp = post(&base, "/query", &query_body(QUERIES[0], 1e-3));
+    let doc = Json::parse(resp.body_utf8().unwrap()).unwrap();
+    assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        doc.get("strategy").and_then(Json::as_str),
+        Some(strategies[0].as_str())
+    );
+    let scrape = get(&base, "/metrics");
+    assert_eq!(scrape.status, 200);
+    let text = scrape.body_utf8().unwrap();
+    let parsed = promtext::parse_scrape(text).expect("scrape must parse");
+    let problems = promtext::lint(&parsed);
+    assert!(problems.is_empty(), "lint problems: {problems:?}");
+    // all four strategy labels are pre-registered, and the choices made
+    // above are counted
+    let family = parsed.family("serve_plan_choice_total");
+    assert_eq!(family.len(), 4, "one sample per strategy label");
+    let counted: f64 = family.iter().map(|s| s.value).sum();
+    assert!(
+        counted >= QUERIES.len() as f64,
+        "plan choices missing from /metrics: {counted}"
+    );
+    // same ε throughout → no re-plans
+    assert_eq!(parsed.value("serve_replans_total"), Some(0.0));
+    server.shutdown();
+}
+
 /// `/warm` grounds the prefix and reports how many facts were
 /// materialized; the count then shows in `/healthz`.
 #[test]

@@ -16,10 +16,13 @@
 //! sub-instances of `{f₁ … f_n}`, which is how the finite engine evaluates.
 
 use crate::cancel::{CancelInfo, CancelToken};
+use crate::planner::{self, PlanKnobs, PlanProfile, ProfileOutcome};
 use crate::truncate::{partial_certificate, PlannedTruncation, TruncationPlan};
 use crate::QueryError;
 use infpdb_finite::engine::{self, Engine, EvalTrace};
+use infpdb_finite::plan::evaluate_plan;
 use infpdb_logic::ast::Formula;
+use infpdb_logic::compile::CompiledQuery;
 use infpdb_ti::construction::CountableTiPdb;
 
 /// The result of an approximate evaluation, carrying its certificates.
@@ -86,6 +89,19 @@ pub fn approx_prob_boolean_par(
     finite_engine: Engine,
     parallelism: usize,
 ) -> Result<Approximation, QueryError> {
+    if matches!(finite_engine, Engine::Auto) {
+        // Engine::Auto routes through the cost-based planner; a fresh
+        // token never cancels, so the cancellable path is exact here
+        return auto_planned_cancellable(
+            pdb,
+            query,
+            eps,
+            parallelism,
+            &CancelToken::new(),
+            PartialOnCancel::Skip,
+        )
+        .map(|(a, _)| a);
+    }
     let plan = TruncationPlan::new(pdb, eps)?;
     let (estimate, _) =
         engine::prob_boolean_traced_par(query, &plan.table, finite_engine, parallelism)?;
@@ -173,6 +189,9 @@ pub fn approx_prob_boolean_cancellable_traced_par(
     cancel: &CancelToken,
     partial_policy: PartialOnCancel,
 ) -> Result<(Approximation, EvalTrace), QueryError> {
+    if matches!(finite_engine, Engine::Auto) {
+        return auto_planned_cancellable(pdb, query, eps, parallelism, cancel, partial_policy);
+    }
     let (kind, facts_processed, partial_table) =
         match TruncationPlan::new_cancellable(pdb, eps, cancel)? {
             PlannedTruncation::Complete(plan) => {
@@ -210,6 +229,92 @@ pub fn approx_prob_boolean_cancellable_traced_par(
         PartialOnCancel::Evaluate => {
             partial_certificate(pdb, facts_processed).and_then(|(trunc, eps_m)| {
                 engine::prob_boolean_traced_par(query, &partial_table, finite_engine, parallelism)
+                    .ok()
+                    .map(|(estimate, _)| Approximation {
+                        estimate,
+                        eps: eps_m,
+                        n: trunc.n,
+                        tail_mass: trunc.tail_mass,
+                    })
+            })
+        }
+    };
+    Err(QueryError::Cancelled(CancelInfo {
+        kind,
+        facts_processed,
+        partial,
+    }))
+}
+
+/// The one-shot `Engine::Auto` path: profile at the canonical knobs
+/// tolerance, choose the cheapest per-component strategy, truncate at the
+/// plan's `ε_trunc`, and evaluate the chosen plan. Deterministic — the
+/// plan depends only on the PDB/query fingerprints, ε, and the default
+/// [`PlanKnobs`] — and bit-for-bit identical to the prepared-path
+/// planner, which profiles on byte-identical prefix tables.
+fn auto_planned_cancellable(
+    pdb: &CountableTiPdb,
+    query: &Formula,
+    eps: f64,
+    parallelism: usize,
+    cancel: &CancelToken,
+    partial_policy: PartialOnCancel,
+) -> Result<(Approximation, EvalTrace), QueryError> {
+    // validates the requested ε up front (Proposition 6.1 needs
+    // ε ∈ (0, 1/2)) and pins the evaluation-prefix length for costing
+    let n_eval = planner::eval_prefix_len(pdb, eps)?;
+    let knobs = PlanKnobs::default();
+    let compiled = CompiledQuery::compile(pdb.schema(), query);
+    let (kind, facts_processed, partial_table) = 'cancelled: {
+        let profile = match PlanProfile::build_oneshot(pdb, &compiled, &knobs, cancel)? {
+            ProfileOutcome::Ready(profile) => profile,
+            ProfileOutcome::Cancelled {
+                kind,
+                facts_processed,
+                partial_table,
+            } => break 'cancelled (kind, facts_processed, partial_table),
+        };
+        let plan = profile.choose(eps, n_eval, &knobs);
+        match TruncationPlan::new_cancellable(pdb, plan.eps_trunc, cancel)? {
+            PlannedTruncation::Complete(tplan) => match cancel.check() {
+                Ok(()) => {
+                    match evaluate_plan(&compiled, &plan, &tplan.table, parallelism, None)? {
+                        Some((estimate, trace)) => {
+                            return Ok((
+                                Approximation {
+                                    estimate,
+                                    eps,
+                                    n: tplan.truncation.n,
+                                    tail_mass: tplan.truncation.tail_mass,
+                                },
+                                trace,
+                            ));
+                        }
+                        // only a task-skipping executor returns None, and
+                        // this path runs without one — treat defensively
+                        // as a cancellation
+                        None => {
+                            let kind = cancel
+                                .cancelled_kind()
+                                .unwrap_or(crate::cancel::CancelKind::Explicit);
+                            break 'cancelled (kind, tplan.n(), tplan.table);
+                        }
+                    }
+                }
+                Err(kind) => break 'cancelled (kind, tplan.n(), tplan.table),
+            },
+            PlannedTruncation::Cancelled {
+                kind,
+                facts_processed,
+                partial_table,
+            } => break 'cancelled (kind, facts_processed, partial_table),
+        }
+    };
+    let partial = match partial_policy {
+        PartialOnCancel::Skip => None,
+        PartialOnCancel::Evaluate => {
+            partial_certificate(pdb, facts_processed).and_then(|(trunc, eps_m)| {
+                engine::prob_boolean_traced_par(query, &partial_table, Engine::Auto, parallelism)
                     .ok()
                     .map(|(estimate, _)| Approximation {
                         estimate,

@@ -34,6 +34,7 @@ pub mod cancel;
 pub mod conditional;
 pub mod marginal;
 pub mod persist;
+pub mod planner;
 pub mod prepared;
 pub mod sampling;
 pub mod truncate;
@@ -41,6 +42,7 @@ pub mod truncate;
 pub use approx::{approx_prob_boolean, Approximation};
 pub use cancel::{CancelInfo, CancelKind, CancelToken};
 pub use persist::{OpenReport, StoreStatus};
+pub use planner::{PlanKnobs, Planner};
 pub use prepared::{PreparedPdb, PreparedQuery};
 
 /// Errors of the approximate-evaluation layer.

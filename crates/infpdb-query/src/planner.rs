@@ -1,0 +1,595 @@
+//! The cost-based plan optimizer: volcano-style strategy selection per
+//! relation-disjoint query component.
+//!
+//! Proposition 6.1 reduces infinite-PDB evaluation to a finite engine on
+//! the truncation `Ω_n` — but the *choice* of finite engine was a static
+//! two-way fallback. This module replaces it for `Engine::Auto`: per
+//! component of the compiled query (see
+//! [`infpdb_logic::compile::CompiledQuery::components`]) it prices the
+//! four strategies the finite layer offers and picks the cheapest:
+//!
+//! * **Lifted** — `C = atoms · (n+1)`, available when the component has a
+//!   hierarchical safe plan;
+//! * **Shannon** — the measured cost of a *budgeted trial run* on the
+//!   small profile prefix, extrapolated by `scale^γ` with
+//!   `scale = (n_eval+1)/(n_profile+1)`; a trial that exhausts its budget
+//!   gets a large (but finite — Shannon is the always-available exact
+//!   fallback) pessimistic cost;
+//! * **Monte-Carlo** — Hoeffding sample count for the component's share
+//!   of the sampling error budget, times the per-sample cost of drawing
+//!   a whole world and evaluating the lineage DAG;
+//! * **Karp–Luby** — for syntactically monotone components whose profile
+//!   lineage converts to a bounded DNF: the Karp–Luby–Madras sample
+//!   count (multiplicative ε implies additive ε for probabilities),
+//!   times a per-sample cost that touches only the DNF's own variables.
+//!
+//! **Determinism contract.** A plan is a pure function of (PDB
+//! fingerprint, query fingerprint, ε, [`PlanKnobs`]) — never runtime
+//! load, thread count, or scheduler. Profiling always runs on the prefix
+//! at the *canonical* `knobs.profile_eps` (not the request ε), so the
+//! same query planned at different tolerances, in any order, from any
+//! process, produces the same profile; sampling seeds are derived by
+//! fingerprinting `(seed, pdb_fp, query_fp, ε, component index)`.
+//!
+//! **Error budget.** An all-exact plan evaluates on the truncation at the
+//! requested ε, exactly like the static path. When any component
+//! samples, the budget splits: the truncation runs at
+//! `ε·(1−σ)` (σ = `knobs.sampling_fraction`) and each of the `k`
+//! components may spend `ε·σ/k` of sampling error, so the total additive
+//! error stays ≤ ε (component errors sum across an independent
+//! `And`/`Or` combination of probabilities in `[0,1]`). Sampling
+//! guarantees hold with probability `1 − δ` per sampled component.
+//!
+//! **Re-planning.** ε-refinement re-derives the plan (sample counts
+//! change with ε), but only a change of the *strategy vector* — the cost
+//! crossover actually moving — counts as a re-plan in [`PlanEvent`] and
+//! the serve layer's `serve_replans_total`.
+
+use crate::prepared::{PreparedPdb, PreparedPrefix};
+use crate::truncate::{PlannedTruncation, TruncationPlan};
+use crate::QueryError;
+use infpdb_core::fingerprint::Fingerprinter;
+use infpdb_finite::arena::LineageArena;
+use infpdb_finite::lineage::lineage_of_arena;
+use infpdb_finite::plan::{ChosenPlan, ComponentPlan, Strategy};
+use infpdb_finite::{karp_luby, monte_carlo, shannon, TiTable};
+use infpdb_logic::compile::{CompiledQuery, Connective};
+use infpdb_math::truncation;
+use infpdb_ti::construction::CountableTiPdb;
+use infpdb_ti::fingerprint::countable_pdb_fingerprint;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The planner's tuning parameters. All fields participate in the plan's
+/// identity (see [`PlanKnobs::fingerprint`]) — the serve layer folds the
+/// fingerprint into its answer-cache key so a knob change can never alias
+/// a stale cached answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanKnobs {
+    /// The canonical tolerance the profile prefix is built at. Planning
+    /// stays a pure function of (pdb, query, ε, knobs) because this — not
+    /// the request ε — decides what the cost model measures.
+    pub profile_eps: f64,
+    /// Fraction σ of the error budget granted to sampling when any
+    /// component samples; the truncation keeps `ε·(1−σ)`.
+    pub sampling_fraction: f64,
+    /// Per-component confidence parameter δ for sampling strategies.
+    pub delta: f64,
+    /// Expansion budget of the Shannon trial run on the profile prefix.
+    pub shannon_trial_budget: usize,
+    /// Clause cap for DNF conversion (profiling and evaluation).
+    pub max_dnf_clauses: usize,
+    /// Hard ceiling on any sampling strategy's sample count; costlier
+    /// sampling plans are disqualified rather than scheduled.
+    pub max_samples: usize,
+    /// Master seed folded into every component's sampling seed.
+    pub seed: u64,
+    /// Growth exponent γ for extrapolating the Shannon trial cost from
+    /// the profile prefix to the evaluation prefix.
+    pub shannon_growth: f64,
+}
+
+impl Default for PlanKnobs {
+    fn default() -> Self {
+        PlanKnobs {
+            profile_eps: 0.05,
+            sampling_fraction: 0.5,
+            delta: 0.01,
+            shannon_trial_budget: 20_000,
+            max_dnf_clauses: 4096,
+            max_samples: 50_000_000,
+            seed: 0x109f_dbb5,
+            shannon_growth: 1.5,
+        }
+    }
+}
+
+impl PlanKnobs {
+    /// Stable digest of every knob — part of every cache key that stores
+    /// planner-derived answers.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.write_f64(self.profile_eps)
+            .write_f64(self.sampling_fraction)
+            .write_f64(self.delta)
+            .write_u64(self.shannon_trial_budget as u64)
+            .write_u64(self.max_dnf_clauses as u64)
+            .write_u64(self.max_samples as u64)
+            .write_u64(self.seed)
+            .write_f64(self.shannon_growth);
+        fp.finish()
+    }
+}
+
+/// What profiling measured for one query component on the profile prefix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ProfileRow {
+    /// Component has a hierarchical safe plan.
+    safe: bool,
+    /// Relational atoms in the component formula.
+    atoms: usize,
+    /// Interned lineage nodes after grounding on the profile prefix.
+    nodes: usize,
+    /// Distinct fact variables in the profile lineage.
+    vars: usize,
+    /// Work units of the completed Shannon trial (`None`: budget blown).
+    shannon_ops: Option<u64>,
+    /// `(clauses, total literal count, distinct DNF variables)` when the
+    /// profile lineage converts to a monotone DNF within the clause cap.
+    dnf: Option<(usize, usize, usize)>,
+}
+
+/// The reusable profiling artifact: per-component measurements on the
+/// canonical profile prefix, plus the identities that make plans pure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanProfile {
+    rows: Vec<ProfileRow>,
+    connective: Connective,
+    profile_n: usize,
+    pdb_fp: u64,
+    query_fp: u64,
+    knobs_fp: u64,
+}
+
+/// Profiling against a cancellable prefix either completes or reports
+/// the cancellation state for the caller's partial-answer path.
+#[derive(Debug)]
+pub enum ProfileOutcome {
+    /// Profiling completed.
+    Ready(PlanProfile),
+    /// A cancellation checkpoint fired while materializing the profile
+    /// prefix.
+    Cancelled {
+        /// What fired.
+        kind: crate::cancel::CancelKind,
+        /// Facts materialized before the checkpoint.
+        facts_processed: usize,
+        /// The partial prefix over those facts.
+        partial_table: TiTable,
+    },
+}
+
+impl PlanProfile {
+    /// Profiles every component of `compiled` on `profile_table` (the
+    /// prefix at [`PlanKnobs::profile_eps`]).
+    pub fn build(
+        compiled: &CompiledQuery,
+        profile_table: &TiTable,
+        pdb_fp: u64,
+        knobs: &PlanKnobs,
+    ) -> Result<PlanProfile, QueryError> {
+        let mut rows = Vec::with_capacity(compiled.components().len());
+        for comp in compiled.components() {
+            let mut arena = LineageArena::new();
+            let root = lineage_of_arena(comp.formula(), profile_table, &mut arena)
+                .map_err(QueryError::from)?;
+            let nodes = arena.stats().nodes;
+            let vars = arena.vars(root).len();
+            let dnf = if comp.is_monotone() {
+                karp_luby::to_dnf_arena(&arena, root, knobs.max_dnf_clauses).map(|d| {
+                    let clauses = d.len();
+                    let literals: usize = d.iter().map(|c| c.len()).sum();
+                    let mut dv: Vec<_> = d.into_iter().flatten().collect();
+                    dv.sort_unstable();
+                    dv.dedup();
+                    (clauses, literals, dv.len())
+                })
+            } else {
+                None
+            };
+            let shannon_ops = shannon::probability_dag_with_budget(
+                &mut arena,
+                root,
+                &|id| profile_table.prob(id),
+                knobs.shannon_trial_budget,
+            )
+            .map(|(_, stats)| {
+                (stats.expansions * 8 + stats.decompositions * 2 + stats.cache_hits + nodes) as u64
+            });
+            rows.push(ProfileRow {
+                safe: comp.is_safe(),
+                atoms: comp.profile().atoms.max(1),
+                nodes,
+                vars,
+                shannon_ops,
+                dnf,
+            });
+        }
+        Ok(PlanProfile {
+            rows,
+            connective: compiled.connective(),
+            profile_n: profile_table.len(),
+            pdb_fp,
+            query_fp: compiled.fingerprint(),
+            knobs_fp: knobs.fingerprint(),
+        })
+    }
+
+    /// Profiles on the one-shot truncation at `knobs.profile_eps`,
+    /// checkpointing `cancel` during prefix materialization.
+    pub fn build_oneshot(
+        pdb: &CountableTiPdb,
+        compiled: &CompiledQuery,
+        knobs: &PlanKnobs,
+        cancel: &crate::cancel::CancelToken,
+    ) -> Result<ProfileOutcome, QueryError> {
+        match TruncationPlan::new_cancellable(pdb, knobs.profile_eps, cancel)? {
+            PlannedTruncation::Complete(plan) => {
+                let fp = countable_pdb_fingerprint(pdb);
+                Ok(ProfileOutcome::Ready(Self::build(
+                    compiled,
+                    &plan.table,
+                    fp,
+                    knobs,
+                )?))
+            }
+            PlannedTruncation::Cancelled {
+                kind,
+                facts_processed,
+                partial_table,
+            } => Ok(ProfileOutcome::Cancelled {
+                kind,
+                facts_processed,
+                partial_table,
+            }),
+        }
+    }
+
+    /// Profiles on a [`PreparedPdb`]'s shared prefix at
+    /// `knobs.profile_eps` — byte-identical to the one-shot profile, so
+    /// prepared and one-shot planning agree bit-for-bit.
+    pub fn build_prepared(
+        prepared: &PreparedPdb,
+        compiled: &CompiledQuery,
+        knobs: &PlanKnobs,
+        cancel: &crate::cancel::CancelToken,
+    ) -> Result<ProfileOutcome, QueryError> {
+        match prepared.prefix_for(knobs.profile_eps, cancel)? {
+            PreparedPrefix::Complete { table, .. } => {
+                let fp = countable_pdb_fingerprint(prepared.pdb());
+                Ok(ProfileOutcome::Ready(Self::build(
+                    compiled, &table, fp, knobs,
+                )?))
+            }
+            PreparedPrefix::Cancelled {
+                kind,
+                facts_processed,
+                partial_table,
+            } => Ok(ProfileOutcome::Cancelled {
+                kind,
+                facts_processed,
+                partial_table,
+            }),
+        }
+    }
+
+    /// The PDB fingerprint the profile (and its seeds) are bound to.
+    pub fn pdb_fingerprint(&self) -> u64 {
+        self.pdb_fp
+    }
+
+    /// Chooses the cheapest strategy per component at tolerance `eps`,
+    /// with `n_eval` the evaluation-prefix length (see
+    /// [`eval_prefix_len`]). Pure: no measurement happens here.
+    pub fn choose(&self, eps: f64, n_eval: usize, knobs: &PlanKnobs) -> ChosenPlan {
+        debug_assert_eq!(
+            self.knobs_fp,
+            knobs.fingerprint(),
+            "knobs changed under profile"
+        );
+        let k = self.rows.len().max(1) as f64;
+        let scale = (n_eval as f64 + 1.0) / (self.profile_n as f64 + 1.0);
+        let eps_i = eps * knobs.sampling_fraction / k;
+        let components: Vec<ComponentPlan> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                // Shannon first (the always-available exact fallback),
+                // then lifted, Karp–Luby, Monte-Carlo, each replacing the
+                // incumbent only when strictly cheaper — the order is part
+                // of the determinism contract (ties keep the earlier
+                // strategy).
+                let mut best = candidate(row, StrategyKind::Shannon, eps_i, scale, n_eval, knobs)
+                    .expect("Shannon is always available");
+                for kind in [
+                    StrategyKind::Lifted,
+                    StrategyKind::KarpLuby,
+                    StrategyKind::MonteCarlo,
+                ] {
+                    if let Some(c) = candidate(row, kind, eps_i, scale, n_eval, knobs) {
+                        if c.1 < best.1 {
+                            best = c;
+                        }
+                    }
+                }
+                let seed = component_seed(knobs.seed, self.pdb_fp, self.query_fp, eps, i);
+                ComponentPlan {
+                    strategy: best.0,
+                    cost: best.1,
+                    seed,
+                }
+            })
+            .collect();
+        self.assemble(components, eps, knobs)
+    }
+
+    /// Builds the plan that uses `kind` for **every** component, with the
+    /// same sample counts, costs, and seeds [`choose`](Self::choose)
+    /// would assign — the bench harness's forced-strategy baseline.
+    /// Returns `None` when any component is ineligible (no safe plan for
+    /// lifted, no bounded monotone DNF for Karp–Luby, sampling
+    /// disqualified at this ε).
+    pub fn force(
+        &self,
+        kind: StrategyKind,
+        eps: f64,
+        n_eval: usize,
+        knobs: &PlanKnobs,
+    ) -> Option<ChosenPlan> {
+        debug_assert_eq!(
+            self.knobs_fp,
+            knobs.fingerprint(),
+            "knobs changed under profile"
+        );
+        let k = self.rows.len().max(1) as f64;
+        let scale = (n_eval as f64 + 1.0) / (self.profile_n as f64 + 1.0);
+        let eps_i = eps * knobs.sampling_fraction / k;
+        let components: Option<Vec<ComponentPlan>> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                candidate(row, kind, eps_i, scale, n_eval, knobs).map(|(strategy, cost)| {
+                    ComponentPlan {
+                        strategy,
+                        cost,
+                        seed: component_seed(knobs.seed, self.pdb_fp, self.query_fp, eps, i),
+                    }
+                })
+            })
+            .collect();
+        Some(self.assemble(components?, eps, knobs))
+    }
+
+    fn assemble(&self, components: Vec<ComponentPlan>, eps: f64, knobs: &PlanKnobs) -> ChosenPlan {
+        let sampling = components.iter().any(|c| c.strategy.is_sampling());
+        let eps_trunc = if sampling {
+            eps * (1.0 - knobs.sampling_fraction)
+        } else {
+            eps
+        };
+        ChosenPlan {
+            connective: self.connective,
+            components,
+            eps,
+            eps_trunc,
+        }
+    }
+}
+
+/// A strategy choice without its per-plan parameters — the axis the
+/// bench harness forces plans along (sample counts and clause caps are
+/// derived per plan by [`PlanProfile::force`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Hierarchical safe-plan evaluation.
+    Lifted,
+    /// Exact Shannon expansion on the lineage DAG.
+    Shannon,
+    /// World-sampling Monte-Carlo.
+    MonteCarlo,
+    /// Karp–Luby–Madras DNF coverage sampling.
+    KarpLuby,
+}
+
+impl StrategyKind {
+    /// The name shared with [`Strategy::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Lifted => "lifted",
+            StrategyKind::Shannon => "shannon",
+            StrategyKind::MonteCarlo => "mc",
+            StrategyKind::KarpLuby => "kl",
+        }
+    }
+}
+
+/// Prices one strategy for one profiled component: `Some((strategy,
+/// cost))` when eligible, `None` otherwise. Shared verbatim by
+/// [`PlanProfile::choose`] and [`PlanProfile::force`] so forced
+/// baselines carry exactly the costs the optimizer compared.
+fn candidate(
+    row: &ProfileRow,
+    kind: StrategyKind,
+    eps_i: f64,
+    scale: f64,
+    n_eval: usize,
+    knobs: &PlanKnobs,
+) -> Option<(Strategy, f64)> {
+    match kind {
+        StrategyKind::Shannon => Some((
+            Strategy::Shannon,
+            match row.shannon_ops {
+                Some(ops) => ops as f64 * scale.powf(knobs.shannon_growth),
+                // budget blown: pessimistic but finite — Shannon stays
+                // the exact strategy of last resort
+                None => knobs.shannon_trial_budget as f64 * 64.0 * scale.powf(knobs.shannon_growth),
+            },
+        )),
+        StrategyKind::Lifted => row
+            .safe
+            .then_some((Strategy::Lifted, row.atoms as f64 * (n_eval as f64 + 1.0))),
+        StrategyKind::KarpLuby => {
+            if !(eps_i > 0.0 && eps_i < 1.0) {
+                return None;
+            }
+            let (clauses, literals, dnf_vars) = row.dnf?;
+            let m_eval = ((clauses as f64 * scale).ceil() as usize).max(1);
+            if m_eval > knobs.max_dnf_clauses || clauses == 0 {
+                return None;
+            }
+            let samples = karp_luby::samples_for(m_eval, eps_i, knobs.delta);
+            if samples > knobs.max_samples {
+                return None;
+            }
+            let avg_width = literals as f64 / clauses as f64;
+            let per_sample = dnf_vars as f64 * scale + avg_width + 8.0;
+            Some((
+                Strategy::KarpLuby {
+                    samples,
+                    max_clauses: knobs.max_dnf_clauses,
+                },
+                samples as f64 * per_sample,
+            ))
+        }
+        StrategyKind::MonteCarlo => {
+            if !(eps_i > 0.0 && eps_i < 1.0) {
+                return None;
+            }
+            let samples = monte_carlo::samples_for(eps_i, knobs.delta);
+            if samples > knobs.max_samples {
+                return None;
+            }
+            let per_sample = n_eval as f64 + row.nodes as f64 * scale;
+            Some((
+                Strategy::MonteCarlo { samples },
+                samples as f64 * per_sample,
+            ))
+        }
+    }
+}
+
+fn component_seed(seed: u64, pdb_fp: u64, query_fp: u64, eps: f64, index: usize) -> u64 {
+    let mut fp = Fingerprinter::new();
+    fp.write_u64(seed)
+        .write_u64(pdb_fp)
+        .write_u64(query_fp)
+        .write_u64(eps.to_bits())
+        .write_u64(index as u64);
+    fp.finish()
+}
+
+/// The evaluation-prefix length at tolerance `eps`: the Proposition 6.1
+/// `n(ε)` capped by a finite support. Mirrors exactly what the
+/// truncation/prepared paths materialize.
+pub fn eval_prefix_len(pdb: &CountableTiPdb, eps: f64) -> Result<usize, QueryError> {
+    let supply = pdb.supply();
+    let t = truncation::for_tolerance(supply, eps)?;
+    Ok(supply.support_len().unwrap_or(usize::MAX).min(t.n))
+}
+
+/// Derives the plan the optimizer would run for `query` at tolerance
+/// `eps` without executing it — the `--explain` entry point. Returns the
+/// compiled query (components carry the safety/monotonicity verdicts),
+/// the chosen plan, and the evaluation-prefix length it was costed for.
+pub fn explain(
+    pdb: &CountableTiPdb,
+    query: &infpdb_logic::ast::Formula,
+    eps: f64,
+    knobs: &PlanKnobs,
+) -> Result<(CompiledQuery, ChosenPlan, usize), QueryError> {
+    let n_eval = eval_prefix_len(pdb, eps)?;
+    let compiled = CompiledQuery::compile(pdb.schema(), query);
+    let cancel = crate::cancel::CancelToken::new();
+    let profile = match PlanProfile::build_oneshot(pdb, &compiled, knobs, &cancel)? {
+        ProfileOutcome::Ready(profile) => profile,
+        ProfileOutcome::Cancelled { .. } => unreachable!("a fresh token never fires"),
+    };
+    let plan = profile.choose(eps, n_eval, knobs);
+    Ok((compiled, plan, n_eval))
+}
+
+/// What [`Planner::plan_at`] did: served from the per-ε memo, or freshly
+/// derived — and whether the fresh derivation changed the strategy
+/// vector (a true re-plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanEvent {
+    /// The plan came from the per-ε memo.
+    pub cached: bool,
+    /// A fresh derivation picked different strategies than the previous
+    /// one for this query (the cost crossover moved).
+    pub replanned: bool,
+}
+
+/// The per-ε plan memo plus the strategy vector of the last derivation
+/// (for re-plan detection on ε refinement).
+type PlanMemo = (HashMap<u64, Arc<ChosenPlan>>, Option<Vec<u8>>);
+
+/// A cached profile plus the per-ε plan memo — the artifact the serve
+/// layer stores in its plan cache and [`crate::PreparedQuery`] keeps
+/// alongside its compiled query.
+#[derive(Debug)]
+pub struct Planner {
+    profile: PlanProfile,
+    memo: Mutex<PlanMemo>,
+}
+
+impl Planner {
+    /// Wraps a completed profile.
+    pub fn new(profile: PlanProfile) -> Self {
+        Planner {
+            profile,
+            memo: Mutex::new((HashMap::new(), None)),
+        }
+    }
+
+    /// The profile.
+    pub fn profile(&self) -> &PlanProfile {
+        &self.profile
+    }
+
+    /// The plan for tolerance `eps`, memoized per ε-bit-pattern.
+    pub fn plan_at(
+        &self,
+        eps: f64,
+        n_eval: usize,
+        knobs: &PlanKnobs,
+    ) -> (Arc<ChosenPlan>, PlanEvent) {
+        let mut memo = self
+            .memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(plan) = memo.0.get(&eps.to_bits()) {
+            return (
+                Arc::clone(plan),
+                PlanEvent {
+                    cached: true,
+                    replanned: false,
+                },
+            );
+        }
+        let plan = Arc::new(self.profile.choose(eps, n_eval, knobs));
+        let vector = plan.strategy_vector();
+        let replanned = memo.1.as_ref().is_some_and(|last| *last != vector);
+        memo.1 = Some(vector);
+        memo.0.insert(eps.to_bits(), Arc::clone(&plan));
+        (
+            plan,
+            PlanEvent {
+                cached: false,
+                replanned,
+            },
+        )
+    }
+}

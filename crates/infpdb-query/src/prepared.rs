@@ -35,9 +35,11 @@
 
 use crate::approx::{Approximation, PartialOnCancel};
 use crate::cancel::{CancelInfo, CancelKind, CancelToken, CHECK_EVERY};
+use crate::planner::{self, PlanEvent, PlanKnobs, PlanProfile, Planner, ProfileOutcome};
 use crate::truncate::partial_certificate;
 use crate::QueryError;
 use infpdb_finite::engine::{self, Engine, EvalTrace};
+use infpdb_finite::plan::{evaluate_plan, ChosenPlan};
 use infpdb_finite::TiTable;
 use infpdb_logic::ast::Formula;
 use infpdb_logic::compile::CompiledQuery;
@@ -278,6 +280,44 @@ pub fn execute_prepared_exec(
     partial_policy: PartialOnCancel,
     exec: Option<&dyn infpdb_finite::shannon::TaskExecutor>,
 ) -> Result<(Approximation, EvalTrace), QueryError> {
+    if matches!(finite_engine, Engine::Auto) {
+        // Engine::Auto routes through the cost-based planner; profiling
+        // on the shared prefix is byte-identical to the one-shot profile,
+        // so results stay bit-for-bit equal to the one-shot Auto path
+        let compiled = CompiledQuery::compile(prepared.pdb().schema(), query);
+        let knobs = PlanKnobs::default();
+        return match PlanProfile::build_prepared(prepared, &compiled, &knobs, cancel)? {
+            ProfileOutcome::Ready(profile) => {
+                let planner = Planner::new(profile);
+                execute_prepared_planned(
+                    prepared,
+                    &compiled,
+                    &planner,
+                    &knobs,
+                    eps,
+                    parallelism,
+                    cancel,
+                    partial_policy,
+                    exec,
+                )
+                .map(|(a, t, _, _)| (a, t))
+            }
+            ProfileOutcome::Cancelled {
+                kind,
+                facts_processed,
+                partial_table,
+            } => Err(cancelled_error(
+                prepared,
+                query,
+                Engine::Auto,
+                parallelism,
+                partial_policy,
+                kind,
+                facts_processed,
+                &partial_table,
+            )),
+        };
+    }
     let (kind, facts_processed, partial_table) = match prepared.prefix_for(eps, cancel)? {
         PreparedPrefix::Complete { truncation, table } => {
             // last checkpoint before the engine: don't start a run whose
@@ -319,11 +359,36 @@ pub fn execute_prepared_exec(
             partial_table,
         } => (kind, facts_processed, partial_table),
     };
+    Err(cancelled_error(
+        prepared,
+        query,
+        finite_engine,
+        parallelism,
+        partial_policy,
+        kind,
+        facts_processed,
+        &partial_table,
+    ))
+}
+
+/// The shared cancellation tail: certify and (policy permitting) evaluate
+/// a sound partial answer from the facts materialized so far.
+#[allow(clippy::too_many_arguments)]
+pub fn cancelled_error(
+    prepared: &PreparedPdb,
+    query: &Formula,
+    finite_engine: Engine,
+    parallelism: usize,
+    partial_policy: PartialOnCancel,
+    kind: CancelKind,
+    facts_processed: usize,
+    partial_table: &TiTable,
+) -> QueryError {
     let partial = match partial_policy {
         PartialOnCancel::Skip => None,
         PartialOnCancel::Evaluate => {
             partial_certificate(prepared.pdb(), facts_processed).and_then(|(trunc, eps_m)| {
-                engine::prob_boolean_traced_par(query, &partial_table, finite_engine, parallelism)
+                engine::prob_boolean_traced_par(query, partial_table, finite_engine, parallelism)
                     .ok()
                     .map(|(estimate, _)| Approximation {
                         estimate,
@@ -334,11 +399,77 @@ pub fn execute_prepared_exec(
             })
         }
     };
-    Err(QueryError::Cancelled(CancelInfo {
+    QueryError::Cancelled(CancelInfo {
         kind,
         facts_processed,
         partial,
-    }))
+    })
+}
+
+/// Planned execution against a prepared PDB: look up (or derive) the
+/// [`ChosenPlan`] for this ε from `planner`'s memo, slice the prefix at
+/// the plan's `ε_trunc`, and evaluate the per-component strategies.
+/// Returns the plan and a [`PlanEvent`] (memo hit / true re-plan) for the
+/// serve layer's metrics. With the same PDB, query, ε, and knobs this is
+/// bit-for-bit identical — answer and [`EvalTrace`] — to the one-shot
+/// `Engine::Auto` path, across thread counts and schedulers.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_prepared_planned(
+    prepared: &PreparedPdb,
+    compiled: &CompiledQuery,
+    planner: &Planner,
+    knobs: &PlanKnobs,
+    eps: f64,
+    parallelism: usize,
+    cancel: &CancelToken,
+    partial_policy: PartialOnCancel,
+    exec: Option<&dyn infpdb_finite::shannon::TaskExecutor>,
+) -> Result<(Approximation, EvalTrace, Arc<ChosenPlan>, PlanEvent), QueryError> {
+    let n_eval = planner::eval_prefix_len(prepared.pdb(), eps)?;
+    let (plan, event) = planner.plan_at(eps, n_eval, knobs);
+    let query = compiled.original();
+    let (kind, facts_processed, partial_table) =
+        match prepared.prefix_for(plan.eps_trunc, cancel)? {
+            PreparedPrefix::Complete { truncation, table } => match cancel.check() {
+                Ok(()) => match evaluate_plan(compiled, &plan, &table, parallelism, exec)? {
+                    Some((estimate, trace)) => {
+                        return Ok((
+                            Approximation {
+                                estimate,
+                                eps,
+                                n: truncation.n,
+                                tail_mass: truncation.tail_mass,
+                            },
+                            trace,
+                            plan,
+                            event,
+                        ));
+                    }
+                    // the executor skipped component tasks: the request
+                    // was cancelled while they were queued
+                    None => {
+                        let kind = cancel.cancelled_kind().unwrap_or(CancelKind::Explicit);
+                        (kind, truncation.n, (*table).clone())
+                    }
+                },
+                Err(kind) => (kind, truncation.n, (*table).clone()),
+            },
+            PreparedPrefix::Cancelled {
+                kind,
+                facts_processed,
+                partial_table,
+            } => (kind, facts_processed, partial_table),
+        };
+    Err(cancelled_error(
+        prepared,
+        query,
+        Engine::Auto,
+        parallelism,
+        partial_policy,
+        kind,
+        facts_processed,
+        &partial_table,
+    ))
 }
 
 /// A compiled query bound to a prepared PDB and an engine choice: the
@@ -350,6 +481,9 @@ pub struct PreparedQuery {
     compiled: Arc<CompiledQuery>,
     engine: Engine,
     parallelism: usize,
+    // lazily-built, shared across clones: profiling runs once per
+    // prepared query, plans are memoized per ε inside the Planner
+    planner: Arc<Mutex<Option<Arc<Planner>>>>,
 }
 
 impl PreparedQuery {
@@ -360,6 +494,7 @@ impl PreparedQuery {
             compiled: Arc::new(compiled),
             engine,
             parallelism: 1,
+            planner: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -405,6 +540,36 @@ impl PreparedQuery {
         cancel: &CancelToken,
         partial_policy: PartialOnCancel,
     ) -> Result<(Approximation, EvalTrace), QueryError> {
+        if matches!(self.engine, Engine::Auto) {
+            let knobs = PlanKnobs::default();
+            let planner = match self.planner_for(&knobs, cancel)? {
+                Ok(planner) => planner,
+                Err((kind, facts_processed, partial_table)) => {
+                    return Err(cancelled_error(
+                        &self.pdb,
+                        self.compiled.original(),
+                        Engine::Auto,
+                        self.parallelism,
+                        partial_policy,
+                        kind,
+                        facts_processed,
+                        &partial_table,
+                    ));
+                }
+            };
+            return execute_prepared_planned(
+                &self.pdb,
+                &self.compiled,
+                &planner,
+                &knobs,
+                eps,
+                self.parallelism,
+                cancel,
+                partial_policy,
+                None,
+            )
+            .map(|(a, t, _, _)| (a, t));
+        }
         execute_prepared_par(
             &self.pdb,
             self.compiled.original(),
@@ -414,6 +579,42 @@ impl PreparedQuery {
             cancel,
             partial_policy,
         )
+    }
+
+    /// The memoized planner (profiling runs once and is shared across
+    /// clones); the `Err` carries cancellation state from profiling.
+    #[allow(clippy::type_complexity)]
+    fn planner_for(
+        &self,
+        knobs: &PlanKnobs,
+        cancel: &CancelToken,
+    ) -> Result<Result<Arc<Planner>, (CancelKind, usize, TiTable)>, QueryError> {
+        let cached = self
+            .planner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        if let Some(planner) = cached {
+            return Ok(Ok(planner));
+        }
+        match PlanProfile::build_prepared(&self.pdb, &self.compiled, knobs, cancel)? {
+            ProfileOutcome::Ready(profile) => {
+                let planner = Arc::new(Planner::new(profile));
+                let mut slot = self
+                    .planner
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                // a racing clone may have installed one first; keep the
+                // existing instance so its ε-memo survives
+                let kept = slot.get_or_insert_with(|| Arc::clone(&planner));
+                Ok(Ok(Arc::clone(kept)))
+            }
+            ProfileOutcome::Cancelled {
+                kind,
+                facts_processed,
+                partial_table,
+            } => Ok(Err((kind, facts_processed, partial_table))),
+        }
     }
 }
 

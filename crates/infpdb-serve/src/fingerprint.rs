@@ -1,6 +1,6 @@
 //! Cache-key construction: stable fingerprints of requests.
 //!
-//! A cached answer may be returned for a request exactly when the four
+//! A cached answer may be returned for a request exactly when the five
 //! components of its [`CacheKey`] agree:
 //!
 //! 1. **PDB content** — for finite tables, `TiTable::fingerprint`; for
@@ -21,17 +21,24 @@
 //!    promises byte-identical agreement with the corresponding
 //!    sequential evaluation, and e.g. `Lifted` and `Lineage` may differ
 //!    in the last ulp.
+//! 5. **Planner knobs** — [`PlanKnobs::fingerprint`]: under
+//!    `Engine::Auto` the answer bits depend on the plan (sampling
+//!    strategies, seeds, the ε budget split), and the plan on the knobs,
+//!    so a knob change must never alias a stale entry.
+//!
+//! [`PlanKnobs::fingerprint`]: infpdb_query::PlanKnobs::fingerprint
 
 use infpdb_core::fingerprint::Fingerprinter;
 use infpdb_core::schema::Schema;
 use infpdb_finite::engine::Engine;
 use infpdb_logic::ast::Formula;
-use infpdb_ti::construction::CountableTiPdb;
+use infpdb_query::PlanKnobs;
 
 pub use infpdb_logic::compile::query_fingerprint;
-
-/// Enumeration prefix length hashed by [`countable_pdb_fingerprint`].
-pub const PDB_FINGERPRINT_PREFIX: usize = 64;
+// the countable-PDB content fingerprint lives with the PDB construction
+// itself (the planner seeds plans with it too); re-exported here for the
+// service and its callers
+pub use infpdb_ti::fingerprint::{countable_pdb_fingerprint, PDB_FINGERPRINT_PREFIX};
 
 /// The components identifying a cacheable evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,18 +49,29 @@ pub struct CacheKey {
     pub query: u64,
     /// Bit pattern of the ε the evaluation actually ran at.
     pub eps_bits: u64,
-    /// Engine discriminant.
+    /// Engine discriminant ([`Engine::tag`]).
     pub engine: u8,
+    /// Planner-knob fingerprint (the plan, and under `Engine::Auto` the
+    /// answer bits, are a function of it).
+    pub knobs: u64,
 }
 
 impl CacheKey {
     /// Assembles a key.
-    pub fn new(pdb: u64, schema: &Schema, query: &Formula, eps: f64, engine: Engine) -> Self {
+    pub fn new(
+        pdb: u64,
+        schema: &Schema,
+        query: &Formula,
+        eps: f64,
+        engine: Engine,
+        knobs: &PlanKnobs,
+    ) -> Self {
         CacheKey {
             pdb,
             query: query_fingerprint(schema, query),
             eps_bits: eps.to_bits(),
-            engine: engine_tag(engine),
+            engine: engine.tag(),
+            knobs: knobs.fingerprint(),
         }
     }
 
@@ -63,57 +81,10 @@ impl CacheKey {
         fp.write_u64(self.pdb)
             .write_u64(self.query)
             .write_u64(self.eps_bits)
-            .write_u64(u64::from(self.engine));
+            .write_u64(u64::from(self.engine))
+            .write_u64(self.knobs);
         fp.finish()
     }
-}
-
-/// Stable discriminant for an engine choice.
-pub fn engine_tag(engine: Engine) -> u8 {
-    match engine {
-        Engine::Auto => 0,
-        Engine::Lifted => 1,
-        Engine::Lineage => 2,
-        Engine::Brute => 3,
-    }
-}
-
-/// Content fingerprint of a countable t.i. PDB.
-///
-/// Hashes the schema, the first [`PDB_FINGERPRINT_PREFIX`] enumerated
-/// `(fact, probability)` pairs *in enumeration order* (the order is part
-/// of the oracle's identity: it decides which prefix `Ω_n` a truncation
-/// keeps), and the certified tail bound after the prefix.
-pub fn countable_pdb_fingerprint(pdb: &CountableTiPdb) -> u64 {
-    let supply = pdb.supply();
-    let mut fp = Fingerprinter::new();
-    fp.write_u64(combine_schema(pdb.schema()));
-    let prefix = supply
-        .support_len()
-        .unwrap_or(PDB_FINGERPRINT_PREFIX)
-        .min(PDB_FINGERPRINT_PREFIX);
-    fp.write_u64(prefix as u64);
-    for i in 0..prefix {
-        fp.write_u64(infpdb_core::fingerprint::fact_fingerprint(
-            pdb.schema(),
-            &supply.fact(i),
-            supply.prob(i),
-        ));
-    }
-    match supply.tail_upper(prefix).finite() {
-        Some(bound) => fp.write_f64(bound),
-        None => fp.write_u64(u64::MAX),
-    };
-    fp.finish()
-}
-
-fn combine_schema(schema: &Schema) -> u64 {
-    infpdb_core::fingerprint::combine_unordered(schema.iter().map(|(_, r)| {
-        let mut rf = Fingerprinter::new();
-        rf.write_bytes(r.name().as_bytes())
-            .write_u64(r.arity() as u64);
-        rf.finish()
-    }))
 }
 
 #[cfg(test)]
@@ -122,6 +93,7 @@ mod tests {
     use infpdb_core::schema::{RelId, Relation, Schema};
     use infpdb_logic::parse;
     use infpdb_math::series::GeometricSeries;
+    use infpdb_ti::construction::CountableTiPdb;
     use infpdb_ti::enumerator::FactSupply;
 
     fn schema() -> Schema {
@@ -162,22 +134,33 @@ mod tests {
     }
 
     #[test]
-    fn cache_key_separates_eps_and_engine() {
+    fn cache_key_separates_eps_engine_and_knobs() {
         let s = schema();
         let q = parse("R(1)", &s).unwrap();
-        let base = CacheKey::new(7, &s, &q, 0.01, Engine::Auto);
-        assert_eq!(base, CacheKey::new(7, &s, &q, 0.01, Engine::Auto));
+        let knobs = PlanKnobs::default();
+        let base = CacheKey::new(7, &s, &q, 0.01, Engine::Auto, &knobs);
+        assert_eq!(base, CacheKey::new(7, &s, &q, 0.01, Engine::Auto, &knobs));
         assert_ne!(
             base.digest(),
-            CacheKey::new(7, &s, &q, 0.02, Engine::Auto).digest()
+            CacheKey::new(7, &s, &q, 0.02, Engine::Auto, &knobs).digest()
         );
         assert_ne!(
             base.digest(),
-            CacheKey::new(7, &s, &q, 0.01, Engine::Lineage).digest()
+            CacheKey::new(7, &s, &q, 0.01, Engine::Lineage, &knobs).digest()
         );
         assert_ne!(
             base.digest(),
-            CacheKey::new(8, &s, &q, 0.01, Engine::Auto).digest()
+            CacheKey::new(8, &s, &q, 0.01, Engine::Auto, &knobs).digest()
+        );
+        // changing a planner knob changes the key: re-tuned services
+        // can never serve answers planned under the old knobs
+        let retuned = PlanKnobs {
+            sampling_fraction: 0.25,
+            ..PlanKnobs::default()
+        };
+        assert_ne!(
+            base.digest(),
+            CacheKey::new(7, &s, &q, 0.01, Engine::Auto, &retuned).digest()
         );
     }
 

@@ -12,6 +12,10 @@ use std::time::Duration;
 /// Number of power-of-two latency buckets (`< 1µs` … `≥ 2²⁰µs ≈ 1s`).
 pub const HISTOGRAM_BUCKETS: usize = 21;
 
+/// Strategy labels for the `serve_plan_choice_total` family, indexed by
+/// [`Strategy::tag`](infpdb_finite::plan::Strategy::tag).
+const STRATEGY_LABELS: [&str; 4] = ["lifted", "shannon", "mc", "kl"];
+
 /// A latency histogram with power-of-two microsecond buckets.
 ///
 /// Bucket `i < HISTOGRAM_BUCKETS - 1` counts observations with
@@ -148,6 +152,15 @@ pub struct Metrics {
     /// subproblem fell below the fork threshold (or fewer than two were
     /// heavy enough to split).
     pub parallel_fallback_seq: AtomicU64,
+    /// Query components routed to each strategy by the cost-based
+    /// planner, indexed by
+    /// [`Strategy::tag`](infpdb_finite::plan::Strategy::tag)
+    /// (lifted, shannon, mc, kl). Only `Engine::Auto` evaluations count.
+    pub plan_choice: [AtomicU64; 4],
+    /// ε-refinements whose fresh plan derivation picked a different
+    /// strategy vector than the previous plan for the same query — the
+    /// cost crossover actually moved.
+    pub replans: AtomicU64,
     /// Durable-store snapshots committed (manifest renamed into place).
     pub store_snapshot_writes: AtomicU64,
     /// Store opens that had to recover (anything short of a clean,
@@ -256,6 +269,15 @@ impl Metrics {
             c(&self.parallel_fallback_seq)
         )
         .ok();
+        for (i, name) in STRATEGY_LABELS.iter().enumerate() {
+            writeln!(
+                out,
+                "serve_plan_choice_total{{strategy=\"{name}\"}} {}",
+                c(&self.plan_choice[i])
+            )
+            .ok();
+        }
+        writeln!(out, "serve_replans_total {}", c(&self.replans)).ok();
         writeln!(
             out,
             "store_snapshot_writes_total {}",
@@ -421,6 +443,11 @@ impl Metrics {
             "Parallel-eligible evaluations that stayed sequential.",
             c(&self.parallel_fallback_seq),
         );
+        counter(
+            "serve_replans_total",
+            "Epsilon-refinements whose fresh plan picked a different strategy vector.",
+            c(&self.replans),
+        );
         if arena_stats {
             counter(
                 "serve_shannon_expansions_total",
@@ -463,6 +490,20 @@ impl Metrics {
             "Component subtasks taken from another worker's deque by the work-stealing scheduler.",
             c(&self.steals),
         );
+        writeln!(
+            out,
+            "# HELP serve_plan_choice_total Query components routed to each strategy by the cost-based planner."
+        )
+        .ok();
+        writeln!(out, "# TYPE serve_plan_choice_total counter").ok();
+        for (i, name) in STRATEGY_LABELS.iter().enumerate() {
+            writeln!(
+                out,
+                "serve_plan_choice_total{{strategy=\"{name}\"}} {}",
+                c(&self.plan_choice[i])
+            )
+            .ok();
+        }
         writeln!(
             out,
             "# HELP serve_queue_depth Jobs currently queued, waiting for a worker."
@@ -528,6 +569,26 @@ impl Metrics {
                 .fetch_add(u64::from(p.fallback_seq), Ordering::Relaxed);
         }
     }
+
+    /// Folds one freshly chosen plan into the registry: per-strategy
+    /// component counts, plus a re-plan when the derivation's strategy
+    /// vector differs from the previous one at this query.
+    pub fn record_plan(&self, summary: &infpdb_finite::plan::PlanSummary, replanned: bool) {
+        for (i, n) in [
+            summary.lifted,
+            summary.shannon,
+            summary.monte_carlo,
+            summary.karp_luby,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            self.plan_choice[i].fetch_add(u64::from(n), Ordering::Relaxed);
+        }
+        if replanned {
+            self.replans.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -575,6 +636,11 @@ mod tests {
             "serve_shannon_memo_hits_total 0",
             "serve_parallel_tasks_total 0",
             "serve_parallel_fallback_seq_total 0",
+            "serve_plan_choice_total{strategy=\"lifted\"} 0",
+            "serve_plan_choice_total{strategy=\"shannon\"} 0",
+            "serve_plan_choice_total{strategy=\"mc\"} 0",
+            "serve_plan_choice_total{strategy=\"kl\"} 0",
+            "serve_replans_total 0",
             "store_snapshot_writes_total 0",
             "store_recoveries_total 0",
             "store_checksum_failures_total 0",
@@ -739,6 +805,7 @@ mod tests {
                 tasks: 3,
                 fallback_seq: false,
             }),
+            plan: None,
         };
         m.record_trace(&trace);
         m.record_trace(&trace);
@@ -759,5 +826,42 @@ mod tests {
         // a lifted-path trace (no intensional work) adds nothing
         m.record_trace(&EvalTrace::default());
         assert!(m.dump_opts(true).contains("serve_arena_nodes_total 62"));
+    }
+
+    #[test]
+    fn record_plan_accumulates_strategy_choices_and_replans() {
+        use infpdb_finite::plan::PlanSummary;
+        let m = Metrics::new();
+        m.record_plan(
+            &PlanSummary {
+                lifted: 2,
+                shannon: 1,
+                monte_carlo: 0,
+                karp_luby: 0,
+                cost_bits: 0,
+            },
+            false,
+        );
+        m.record_plan(
+            &PlanSummary {
+                lifted: 0,
+                shannon: 1,
+                monte_carlo: 1,
+                karp_luby: 2,
+                cost_bits: 0,
+            },
+            true,
+        );
+        let dump = m.dump();
+        assert!(dump.contains("serve_plan_choice_total{strategy=\"lifted\"} 2"));
+        assert!(dump.contains("serve_plan_choice_total{strategy=\"shannon\"} 2"));
+        assert!(dump.contains("serve_plan_choice_total{strategy=\"mc\"} 1"));
+        assert!(dump.contains("serve_plan_choice_total{strategy=\"kl\"} 2"));
+        assert!(dump.contains("serve_replans_total 1"));
+        // the labelled family is scrapeable: declared once, all samples
+        let prom = m.prometheus(false);
+        assert_eq!(prom.matches("# TYPE serve_plan_choice_total").count(), 1);
+        assert!(prom.contains("serve_plan_choice_total{strategy=\"kl\"} 2"));
+        assert!(prom.contains("serve_replans_total 1"));
     }
 }

@@ -45,14 +45,17 @@ use infpdb_logic::compile::CompiledQuery;
 use infpdb_query::approx::{Approximation, PartialOnCancel};
 use infpdb_query::budget::BudgetReport;
 use infpdb_query::cancel::{CancelKind, CancelToken};
-use infpdb_query::prepared::{execute_prepared_exec, PreparedPdb};
+use infpdb_query::planner::{PlanKnobs, PlanProfile, Planner, ProfileOutcome};
+use infpdb_query::prepared::{
+    cancelled_error, execute_prepared_exec, execute_prepared_planned, PreparedPdb,
+};
 use infpdb_query::{QueryError, StoreStatus};
 use infpdb_store::{SnapshotInfo, Store, StoreError};
 use infpdb_ti::construction::CountableTiPdb;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Grace period added on top of a request's deadline before its
@@ -152,6 +155,11 @@ pub struct ServiceConfig {
     /// [`PreparedPdb::open`]) and [`QueryService::snapshot`] persists
     /// into it. `None` disables durability entirely.
     pub store_dir: Option<PathBuf>,
+    /// Cost-model tuning for the `Engine::Auto` planner. Part of the
+    /// result-cache key: answers planned under different knobs never
+    /// alias, and a plan is a deterministic function of (PDB, query, ε,
+    /// knobs) — never of runtime load.
+    pub plan_knobs: PlanKnobs,
 }
 
 impl Default for ServiceConfig {
@@ -172,6 +180,7 @@ impl Default for ServiceConfig {
             parallelism: 1,
             scheduler: SchedulerKind::Fixed,
             store_dir: None,
+            plan_knobs: PlanKnobs::default(),
         }
     }
 }
@@ -231,6 +240,16 @@ impl QueryResponse {
     /// The guaranteed enclosure of the true probability.
     pub fn interval(&self) -> infpdb_math::ProbInterval {
         self.approx.interval()
+    }
+
+    /// The planner strategy the evaluation ran under (`"lifted"`,
+    /// `"shannon"`, `"mc"`, `"kl"`, or `"mixed"` for multi-component
+    /// plans that disagree), when the cost-based planner drove it
+    /// (`Engine::Auto`); `None` under an explicit engine. For cached
+    /// answers this is the strategy of the evaluation that populated
+    /// the entry.
+    pub fn strategy(&self) -> Option<&'static str> {
+        self.trace.plan.map(|p| p.label())
     }
 }
 
@@ -311,15 +330,27 @@ impl EngineBreakers {
     }
 }
 
+/// A plan-cache entry: the compiled query plus its lazily built planner.
+/// Compilation happens on first sight of a normalized query; the (more
+/// expensive) cost-model profile is only built when an `Engine::Auto`
+/// evaluation needs it, and is then shared — together with its per-ε
+/// plan memo — by every later request and tolerance of any α-equivalent
+/// alias.
+struct PlanEntry {
+    compiled: CompiledQuery,
+    planner: OnceLock<Arc<Planner>>,
+}
+
 struct Inner {
     prepared: PreparedPdb,
     pdb_fingerprint: u64,
     engine: Engine,
     parallelism: usize,
+    knobs: PlanKnobs,
     policy: DegradePolicy,
     draining: AtomicBool,
     cache: ShardedLruCache<(Approximation, BudgetReport, EvalTrace)>,
-    plans: ShardedLruCache<Arc<CompiledQuery>>,
+    plans: ShardedLruCache<Arc<PlanEntry>>,
     metrics: Arc<Metrics>,
     throughput: ThroughputEstimate,
     breakers: EngineBreakers,
@@ -397,6 +428,7 @@ impl QueryService {
             prepared,
             engine: config.engine,
             parallelism: config.parallelism.max(1),
+            knobs: config.plan_knobs,
             policy: config.policy,
             draining: AtomicBool::new(false),
             cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
@@ -688,6 +720,24 @@ fn run_resilient(
     }
 }
 
+/// Maps engine-side failures onto the service's error vocabulary,
+/// preserving partial certificates on cancellation and deadline expiry.
+fn serve_error(e: QueryError) -> ServeError {
+    match e {
+        QueryError::Cancelled(info) => match info.kind {
+            CancelKind::Explicit => ServeError::Cancelled {
+                facts_processed: info.facts_processed,
+                partial: info.partial,
+            },
+            CancelKind::Deadline => ServeError::DeadlineExceeded {
+                facts_processed: info.facts_processed,
+                partial: info.partial,
+            },
+        },
+        other => ServeError::Query(other),
+    }
+}
+
 fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -720,7 +770,8 @@ fn handle(
         pdb: inner.pdb_fingerprint,
         query: qfp,
         eps_bits: admitted.eps.to_bits(),
-        engine: crate::fingerprint::engine_tag(inner.engine),
+        engine: inner.engine.tag(),
+        knobs: inner.knobs.fingerprint(),
     }
     .digest();
     if let Some((approx, report, trace)) = inner.cache.get(key) {
@@ -760,49 +811,103 @@ fn handle(
         fp.write_u64(inner.pdb_fingerprint).write_u64(qfp);
         fp.finish()
     };
-    if inner.plans.get(plan_key).is_some() {
-        inner
-            .metrics
-            .plan_cache_hits
-            .fetch_add(1, Ordering::Relaxed);
-    } else {
-        inner
-            .metrics
-            .plan_cache_misses
-            .fetch_add(1, Ordering::Relaxed);
-        inner.plans.insert(
-            plan_key,
-            Arc::new(CompiledQuery::compile(pdb.schema(), &request.query)),
-        );
-        inner
-            .metrics
-            .plan_cache_evictions
-            .store(inner.plans.evictions(), Ordering::Relaxed);
-    }
+    let entry = match inner.plans.get(plan_key) {
+        Some(entry) => {
+            inner
+                .metrics
+                .plan_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            entry
+        }
+        None => {
+            inner
+                .metrics
+                .plan_cache_misses
+                .fetch_add(1, Ordering::Relaxed);
+            let entry = Arc::new(PlanEntry {
+                compiled: CompiledQuery::compile(pdb.schema(), &request.query),
+                planner: OnceLock::new(),
+            });
+            inner.plans.insert(plan_key, Arc::clone(&entry));
+            inner
+                .metrics
+                .plan_cache_evictions
+                .store(inner.plans.evictions(), Ordering::Relaxed);
+            entry
+        }
+    };
     let start = Instant::now();
-    let (approx, trace) = execute_prepared_exec(
-        &inner.prepared,
-        &request.query,
-        admitted.eps,
-        inner.engine,
-        inner.parallelism,
-        cancel,
-        PartialOnCancel::Evaluate,
-        exec.map(|e| e as &dyn infpdb_finite::shannon::TaskExecutor),
-    )
-    .map_err(|e| match e {
-        QueryError::Cancelled(info) => match info.kind {
-            CancelKind::Explicit => ServeError::Cancelled {
-                facts_processed: info.facts_processed,
-                partial: info.partial,
-            },
-            CancelKind::Deadline => ServeError::DeadlineExceeded {
-                facts_processed: info.facts_processed,
-                partial: info.partial,
-            },
-        },
-        other => ServeError::Query(other),
-    })?;
+    let (approx, trace) = if inner.engine == Engine::Auto {
+        // cost-based path: build (or reuse) the entry's planner, then run
+        // the per-ε chosen plan. The planner profiles once per compiled
+        // query at the canonical knobs.profile_eps prefix; its per-ε memo
+        // makes repeat tolerances plan-lookup cheap and re-plan detection
+        // meaningful.
+        let planner = match entry.planner.get() {
+            Some(p) => Arc::clone(p),
+            None => {
+                let outcome = PlanProfile::build_prepared(
+                    &inner.prepared,
+                    &entry.compiled,
+                    &inner.knobs,
+                    cancel,
+                )
+                .map_err(serve_error)?;
+                match outcome {
+                    ProfileOutcome::Ready(profile) => {
+                        // under a race the first initializer wins, so the
+                        // shared per-ε memo (and its re-plan history)
+                        // survives; the loser's profile is identical by
+                        // construction and is simply dropped
+                        let fresh = Arc::new(Planner::new(profile));
+                        Arc::clone(entry.planner.get_or_init(|| fresh))
+                    }
+                    ProfileOutcome::Cancelled {
+                        kind,
+                        facts_processed,
+                        partial_table,
+                    } => {
+                        return Err(serve_error(cancelled_error(
+                            &inner.prepared,
+                            &request.query,
+                            Engine::Auto,
+                            inner.parallelism,
+                            PartialOnCancel::Evaluate,
+                            kind,
+                            facts_processed,
+                            &partial_table,
+                        )));
+                    }
+                }
+            }
+        };
+        let (approx, trace, plan, event) = execute_prepared_planned(
+            &inner.prepared,
+            &entry.compiled,
+            &planner,
+            &inner.knobs,
+            admitted.eps,
+            inner.parallelism,
+            cancel,
+            PartialOnCancel::Evaluate,
+            exec.map(|e| e as &dyn infpdb_finite::shannon::TaskExecutor),
+        )
+        .map_err(serve_error)?;
+        inner.metrics.record_plan(&plan.summary(), event.replanned);
+        (approx, trace)
+    } else {
+        execute_prepared_exec(
+            &inner.prepared,
+            &request.query,
+            admitted.eps,
+            inner.engine,
+            inner.parallelism,
+            cancel,
+            PartialOnCancel::Evaluate,
+            exec.map(|e| e as &dyn infpdb_finite::shannon::TaskExecutor),
+        )
+        .map_err(serve_error)?
+    };
     let elapsed = start.elapsed();
     inner.metrics.run.record(elapsed);
     inner.metrics.record_trace(&trace);

@@ -1,0 +1,79 @@
+//! Content fingerprints of countable t.i. PDBs.
+//!
+//! A countable PDB's identity — for answer caches, plan caches, and the
+//! cost-based planner's deterministic seed derivation — is the hash of an
+//! enumeration prefix plus the certified tail bound: two supplies that
+//! agree on both are indistinguishable to every evaluation the system
+//! performs at the tolerances it accepts. The fingerprint lives here (not
+//! in the serve layer) so the query-level planner can fold it into its
+//! sampling seeds without a dependency inversion.
+
+use crate::construction::CountableTiPdb;
+use infpdb_core::fingerprint::Fingerprinter;
+use infpdb_core::schema::Schema;
+
+/// Enumeration prefix length hashed by [`countable_pdb_fingerprint`].
+pub const PDB_FINGERPRINT_PREFIX: usize = 64;
+
+/// Content fingerprint of a countable t.i. PDB.
+///
+/// Hashes the schema, the first [`PDB_FINGERPRINT_PREFIX`] enumerated
+/// `(fact, probability)` pairs *in enumeration order* (the order is part
+/// of the oracle's identity: it decides which prefix `Ω_n` a truncation
+/// keeps), and the certified tail bound after the prefix.
+pub fn countable_pdb_fingerprint(pdb: &CountableTiPdb) -> u64 {
+    let supply = pdb.supply();
+    let mut fp = Fingerprinter::new();
+    fp.write_u64(combine_schema(pdb.schema()));
+    let prefix = supply
+        .support_len()
+        .unwrap_or(PDB_FINGERPRINT_PREFIX)
+        .min(PDB_FINGERPRINT_PREFIX);
+    fp.write_u64(prefix as u64);
+    for i in 0..prefix {
+        fp.write_u64(infpdb_core::fingerprint::fact_fingerprint(
+            pdb.schema(),
+            &supply.fact(i),
+            supply.prob(i),
+        ));
+    }
+    match supply.tail_upper(prefix).finite() {
+        Some(bound) => fp.write_f64(bound),
+        None => fp.write_u64(u64::MAX),
+    };
+    fp.finish()
+}
+
+fn combine_schema(schema: &Schema) -> u64 {
+    infpdb_core::fingerprint::combine_unordered(schema.iter().map(|(_, r)| {
+        let mut rf = Fingerprinter::new();
+        rf.write_bytes(r.name().as_bytes())
+            .write_u64(r.arity() as u64);
+        rf.finish()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infpdb_core::schema::{RelId, Relation, Schema};
+    use infpdb_math::series::GeometricSeries;
+
+    #[test]
+    fn fingerprint_sees_probability_changes() {
+        let s = Schema::from_relations([Relation::new("R", 1)]).unwrap();
+        let make = |first: f64| {
+            CountableTiPdb::new(crate::enumerator::FactSupply::unary_over_naturals(
+                s.clone(),
+                RelId(0),
+                GeometricSeries::new(first, 0.5).unwrap(),
+            ))
+            .unwrap()
+        };
+        let a = countable_pdb_fingerprint(&make(0.5));
+        let b = countable_pdb_fingerprint(&make(0.5));
+        let c = countable_pdb_fingerprint(&make(0.25));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -31,6 +31,7 @@ pub mod construction;
 pub mod counterexample;
 pub mod enumerator;
 pub mod existence;
+pub mod fingerprint;
 pub mod sampler;
 
 pub use construction::CountableTiPdb;

@@ -63,6 +63,7 @@
 //!   (estimates are identical at every value).
 
 use infpdb_bench::harness::{self, ImplKind};
+use infpdb_bench::planner as bench_planner;
 use infpdb_bench::saturation::{self, SaturationConfig};
 use infpdb_core::fact::Fact;
 use infpdb_core::schema::{Relation, Schema};
@@ -74,6 +75,7 @@ use infpdb_logic::parse;
 use infpdb_math::series::GeometricSeries;
 use infpdb_openworld::independent_facts::complete_ti_table;
 use infpdb_query::approx::{approx_prob_boolean, Approximation};
+use infpdb_query::planner::{self, PlanKnobs, PlanProfile};
 use infpdb_query::prepared::PreparedPdb;
 use infpdb_serve::fingerprint::countable_pdb_fingerprint;
 use infpdb_serve::{
@@ -311,6 +313,110 @@ pub fn cmd_query(
         iv.hi(),
         a.n
     ))
+}
+
+/// Renders a [`infpdb_finite::plan::ChosenPlan`] as the `--explain`
+/// plan tree: the
+/// connective, one line per relation-disjoint component with its safety
+/// verdict, chosen strategy, and cost estimate, and the ε budget split.
+pub fn render_plan(
+    compiled: &infpdb_logic::compile::CompiledQuery,
+    plan: &infpdb_finite::plan::ChosenPlan,
+    n_eval: usize,
+) -> String {
+    use infpdb_finite::plan::Strategy;
+    use infpdb_logic::compile::Connective;
+    let mut out = String::new();
+    let conn = match plan.connective {
+        Connective::Single => "single component",
+        Connective::And => "independent-and",
+        Connective::Or => "independent-or",
+    };
+    writeln!(
+        out,
+        "plan: {conn}, eps = {}, truncation eps = {}, evaluation prefix n = {n_eval}",
+        plan.eps, plan.eps_trunc
+    )
+    .ok();
+    for (i, (cp, comp)) in plan
+        .components
+        .iter()
+        .zip(compiled.components())
+        .enumerate()
+    {
+        let verdict = match (comp.is_safe(), comp.is_monotone()) {
+            (true, true) => "safe, monotone",
+            (true, false) => "safe",
+            (false, true) => "unsafe, monotone",
+            (false, false) => "unsafe",
+        };
+        let branch = if i + 1 == plan.components.len() {
+            "└─"
+        } else {
+            "├─"
+        };
+        write!(
+            out,
+            "  {branch} component {i} [{verdict}] -> {}",
+            cp.strategy.name()
+        )
+        .ok();
+        match cp.strategy {
+            Strategy::MonteCarlo { samples } => {
+                write!(out, " ({samples} samples, seed {:#018x})", cp.seed).ok();
+            }
+            Strategy::KarpLuby {
+                samples,
+                max_clauses,
+            } => {
+                write!(
+                    out,
+                    " ({samples} samples, <= {max_clauses} clauses, seed {:#018x})",
+                    cp.seed
+                )
+                .ok();
+            }
+            Strategy::Lifted | Strategy::Shannon => {}
+        }
+        writeln!(out, ", cost ~ {:.0}", cp.cost).ok();
+    }
+    let total: f64 = plan.components.iter().map(|c| c.cost).sum();
+    writeln!(out, "total estimated cost ~ {total:.0} work units").ok();
+    out
+}
+
+/// `query --explain`: derives and prints the cost-based plan for a
+/// closed-world table without evaluating. The profile runs on the table
+/// itself; with ε = 0 the sampling strategies are disqualified, so the
+/// verdict is the exact-engine choice (lifted vs. Shannon).
+pub fn cmd_query_explain(table_text: &str, query: &str) -> Result<String, CliError> {
+    let table = parse_table(table_text)?;
+    let q = parse(query, table.schema()).map_err(lib_err)?;
+    let knobs = PlanKnobs::default();
+    let compiled = infpdb_logic::compile::CompiledQuery::compile(table.schema(), &q);
+    let profile =
+        PlanProfile::build(&compiled, &table, table.fingerprint(), &knobs).map_err(lib_err)?;
+    let plan = profile.choose(0.0, table.len(), &knobs);
+    Ok(render_plan(&compiled, &plan, table.len()))
+}
+
+/// `open --explain`: derives and prints the cost-based plan the
+/// open-world evaluation would run at tolerance `eps`, without
+/// evaluating it — the planner's verdict is a deterministic function of
+/// (PDB, query, ε, knobs), so this is exactly the plan `open` executes.
+pub fn cmd_open_explain(
+    table_text: &str,
+    query: &str,
+    eps: f64,
+    tail_mass: f64,
+    tail_start: i64,
+) -> Result<String, CliError> {
+    let table = parse_table(table_text)?;
+    let q = parse(query, table.schema()).map_err(lib_err)?;
+    let open = open_world_pdb(&table, tail_mass, tail_start)?;
+    let (compiled, plan, n_eval) =
+        planner::explain(&open, &q, eps, &PlanKnobs::default()).map_err(lib_err)?;
+    Ok(render_plan(&compiled, &plan, n_eval))
 }
 
 /// `marginals` subcommand.
@@ -683,6 +789,8 @@ pub fn cmd_bench(
     };
     sat_config.scheduler = scheduler;
     report.saturation = saturation::run(&sat_config).map_err(CliError::Library)?;
+    report.planner =
+        bench_planner::run(&bench_planner::PlannerConfig { smoke }).map_err(CliError::Library)?;
     let json = harness::to_json(&report);
     let path = out_path
         .map(str::to_string)
@@ -724,6 +832,9 @@ pub fn run(
             let q = args
                 .get(2)
                 .ok_or(CliError::Usage("query: missing query string".into()))?;
+            if args.iter().any(|a| a == "--explain") {
+                return cmd_query_explain(&table, q);
+            }
             let threads: usize = flag("--threads", "1")
                 .parse()
                 .map_err(|_| CliError::Usage("--threads must be a number".into()))?;
@@ -760,6 +871,9 @@ pub fn run(
             let tail_start: i64 = flag("--tail-start", "1000000")
                 .parse()
                 .map_err(|_| CliError::Usage("--tail-start must be a number".into()))?;
+            if args.iter().any(|a| a == "--explain") {
+                return cmd_open_explain(&table, q, eps, tail_mass, tail_start);
+            }
             cmd_open(&table, q, eps, tail_mass, tail_start)
         }
         "batch" => {
@@ -1098,6 +1212,45 @@ Temp 20.3 @ 0.25
             "width 2ε: {nums:?}"
         );
         assert!(open.contains("truncated at n = "));
+    }
+
+    #[test]
+    fn query_explain_prints_the_plan_tree_without_evaluating() {
+        let out = cmd_query_explain(TABLE, "exists x. BornIn('turing', x)").unwrap();
+        assert!(out.starts_with("plan: "), "{out}");
+        assert!(out.contains("component 0"), "{out}");
+        assert!(out.contains("cost ~"), "{out}");
+        // a safe single-atom query at ε = 0 must pick an exact strategy
+        assert!(
+            out.contains("-> lifted") || out.contains("-> shannon"),
+            "{out}"
+        );
+        assert!(!out.contains("-> mc") && !out.contains("-> kl"), "{out}");
+        // dispatched through `run` with the flag in any position
+        let files = |_: &str| Ok(TABLE.to_string());
+        let args: Vec<String> = ["query", "kb.pdb", "Person(42)", "--explain"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let via_run = run(&args, files).unwrap();
+        assert!(via_run.starts_with("plan: "), "{via_run}");
+    }
+
+    #[test]
+    fn open_explain_matches_the_executed_plan_and_is_deterministic() {
+        let out = cmd_open_explain(TABLE, "Person(1000000)", 0.01, 0.5, 1_000_000).unwrap();
+        assert!(out.contains("evaluation prefix n = "), "{out}");
+        assert!(out.contains("truncation eps = "), "{out}");
+        // planning is a pure function of (PDB, query, ε, knobs)
+        let again = cmd_open_explain(TABLE, "Person(1000000)", 0.01, 0.5, 1_000_000).unwrap();
+        assert_eq!(out, again);
+        // and the rendered tree names exactly one strategy per component
+        let strategies = out
+            .lines()
+            .filter(|l| l.contains("component"))
+            .filter(|l| l.contains(" -> "))
+            .count();
+        assert!(strategies >= 1, "{out}");
     }
 
     const QUERIES: &str = "\

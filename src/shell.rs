@@ -258,6 +258,33 @@ impl Shell {
         }
     }
 
+    /// `explain <q>`: prints the plan the cost-based optimizer would
+    /// run at the current ε without evaluating anything. Local-only —
+    /// the plan is derived from the loaded table; a remote server keeps
+    /// its planner private.
+    fn explain(&self, query: &str) -> Result<String, String> {
+        match &self.backend {
+            Backend::Empty => {
+                Err("no backend: `load <table-file>` or `connect <url>` first".to_string())
+            }
+            Backend::Remote { .. } => Err(
+                "explain requires a local table (`load <table-file>`); the per-request strategy \
+                 of a remote server is reported in `trace` after a query"
+                    .to_string(),
+            ),
+            Backend::Local { service, .. } => {
+                let q = parse(query, service.pdb().schema()).map_err(|e| e.to_string())?;
+                let knobs = infpdb_query::planner::PlanKnobs::default();
+                let (compiled, plan, n_eval) =
+                    infpdb_query::planner::explain(service.pdb(), &q, self.eps, &knobs)
+                        .map_err(|e| e.to_string())?;
+                Ok(cli::render_plan(&compiled, &plan, n_eval)
+                    .trim_end()
+                    .to_string())
+            }
+        }
+    }
+
     fn show_trace(&self) -> String {
         let Some(t) = self.last_trace else {
             return "no trace yet: run a query first".to_string();
@@ -294,6 +321,20 @@ impl Shell {
             )
             .ok(),
             None => writeln!(out, "parallel: (sequential evaluation)").ok(),
+        };
+        match t.plan {
+            Some(p) => writeln!(
+                out,
+                "plan: {} ({} lifted, {} shannon, {} mc, {} kl; cost ~ {:.0})",
+                p.label(),
+                p.lifted,
+                p.shannon,
+                p.monte_carlo,
+                p.karp_luby,
+                f64::from_bits(p.cost_bits)
+            )
+            .ok(),
+            None => writeln!(out, "plan: (static engine)").ok(),
         };
         out.trim_end().to_string()
     }
@@ -425,6 +466,13 @@ impl Shell {
                     self.evaluate(rest)
                 }
             }
+            "explain" => {
+                if rest.is_empty() {
+                    Err("usage: explain <first-order query>".to_string())
+                } else {
+                    self.explain(rest)
+                }
+            }
             "trace" => Ok(self.show_trace()),
             "metrics" | "counters" => self.show_metrics(),
             "settings" | "show" => Ok(self.settings()),
@@ -486,10 +534,20 @@ fn trace_from_json(trace: &Json) -> Option<EvalTrace> {
             fallback_seq: p.get("fallback_seq")?.as_bool()?,
         })
     });
+    let plan = trace.get("plan").and_then(|p| {
+        Some(infpdb_finite::plan::PlanSummary {
+            lifted: p.get("lifted")?.as_i64()? as u32,
+            shannon: p.get("shannon")?.as_i64()? as u32,
+            monte_carlo: p.get("mc")?.as_i64()? as u32,
+            karp_luby: p.get("kl")?.as_i64()? as u32,
+            cost_bits: p.get("cost_bits")?.as_i64()? as u64,
+        })
+    });
     Some(EvalTrace {
         shannon,
         arena,
         parallel,
+        plan,
     })
 }
 
@@ -498,6 +556,7 @@ commands:
   load <table-file>        load a PDB table, open-world completed
   connect <url>            talk to a remote `infpdb serve` instead
   query <q>                evaluate a first-order query
+  explain <q>              show the cost-based plan at the current eps
   prepare <name> <q>       name a query for reuse
   run <name>               evaluate a prepared query
   list                     list prepared queries
@@ -622,6 +681,27 @@ Person 42 @ 0.5
                 .unwrap();
             assert_eq!(shell_est, open_est, "eps {eps}: {out} vs {expected}");
         }
+    }
+
+    #[test]
+    fn explain_prints_the_plan_and_matches_the_cli() {
+        let mut sh = shell();
+        // before a backend is loaded, explain is a clean error
+        let (out, _) = sh.handle_line("explain Person(42)");
+        assert!(out.starts_with("error: no backend"), "{out}");
+        sh.handle_line("load kb.pdb");
+        let (out, _) = sh.handle_line("explain Person(1000000)");
+        assert!(out.starts_with("plan: "), "{out}");
+        assert!(out.contains("component 0"), "{out}");
+        assert!(out.contains("cost ~"), "{out}");
+        // same plan as `infpdb open --explain` at the same ε and tail
+        let via_cli =
+            cli::cmd_open_explain(TABLE, "Person(1000000)", 0.01, 0.5, 1_000_000).unwrap();
+        assert_eq!(out, via_cli.trim_end());
+        // after a query, the trace reports the executed plan summary
+        sh.handle_line("query Person(1000000)");
+        let (trace, _) = sh.handle_line("trace");
+        assert!(trace.contains("plan: "), "{trace}");
     }
 
     #[test]
