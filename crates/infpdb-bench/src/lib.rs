@@ -9,6 +9,7 @@
 pub mod harness;
 pub mod planner;
 pub mod saturation;
+pub mod storebench;
 
 use infpdb_core::fact::Fact;
 use infpdb_core::schema::{RelId, Relation, Schema};

@@ -113,17 +113,55 @@ pub fn fact_fingerprint(schema: &Schema, fact: &Fact, prob: f64) -> u64 {
 /// produces the same result, while single-bit changes in any item change
 /// the output with overwhelming probability.
 pub fn combine_unordered(digests: impl IntoIterator<Item = u64>) -> u64 {
-    let mut sum: u64 = 0;
-    let mut xor: u64 = 0;
-    let mut count: u64 = 0;
+    let mut c = UnorderedCombiner::new();
     for d in digests {
-        sum = sum.wrapping_add(d);
-        xor ^= d.rotate_left(17);
-        count += 1;
+        c.add(d);
     }
-    let mut fp = Fingerprinter::new();
-    fp.write_u64(sum).write_u64(xor).write_u64(count);
-    fp.finish()
+    c.finish()
+}
+
+/// Incremental, order-insensitive digest combiner.
+///
+/// The running form of [`combine_unordered`]: feeding the same multiset
+/// of digests through [`add`](Self::add) one at a time and calling
+/// [`finish`](Self::finish) yields bit-for-bit the same value as one
+/// batch `combine_unordered` call. This is what lets the fact catalog
+/// and the durable store maintain an O(1)-per-append set fingerprint
+/// instead of rehashing all n items at every snapshot skip-check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnorderedCombiner {
+    sum: u64,
+    xor: u64,
+    count: u64,
+}
+
+impl UnorderedCombiner {
+    /// An empty combiner (equal to `combine_unordered([])` on finish).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one item digest. Commutative with every other `add`.
+    pub fn add(&mut self, digest: u64) {
+        self.sum = self.sum.wrapping_add(digest);
+        self.xor ^= digest.rotate_left(17);
+        self.count += 1;
+    }
+
+    /// How many digests have been absorbed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The combined digest of everything absorbed so far. Does not
+    /// consume the combiner; more items may be added afterwards.
+    pub fn finish(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.write_u64(self.sum)
+            .write_u64(self.xor)
+            .write_u64(self.count);
+        fp.finish()
+    }
 }
 
 #[cfg(test)]
@@ -195,5 +233,27 @@ mod tests {
         // but not multiplicity-blind or content-blind
         assert_ne!(a, combine_unordered([3u64, 99, 12345, u64::MAX]));
         assert_ne!(a, combine_unordered([4u64, 99, 12345, u64::MAX, 7]));
+    }
+
+    #[test]
+    fn incremental_combiner_matches_batch_combine_at_every_prefix() {
+        let items = [3u64, 99, 12345, u64::MAX, 7, 0, 42];
+        let mut c = UnorderedCombiner::new();
+        assert_eq!(c.finish(), combine_unordered([]));
+        for (i, &d) in items.iter().enumerate() {
+            c.add(d);
+            assert_eq!(c.count(), (i + 1) as u64);
+            assert_eq!(
+                c.finish(),
+                combine_unordered(items[..=i].iter().copied()),
+                "prefix {i}"
+            );
+        }
+        // finish() is a snapshot, not a consumer: adding after it still agrees
+        c.add(5);
+        assert_eq!(
+            c.finish(),
+            combine_unordered(items.iter().copied().chain([5]))
+        );
     }
 }

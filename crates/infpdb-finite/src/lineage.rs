@@ -222,7 +222,7 @@ fn build(f: &Formula, table: &TiTable, domain: &[Value], env: &mut Vec<(Var, Val
         Formula::Atom { rel, args } => {
             let tuple: Vec<Value> = args.iter().map(|t| resolve(t, env)).collect();
             let fact = Fact::new(*rel, tuple);
-            match table.interner().get(&fact) {
+            match table.fact_id(&fact) {
                 Some(id) => {
                     // fold deterministic facts
                     let p = table.prob(id);
@@ -313,7 +313,7 @@ fn build_arena(
         Formula::Atom { rel, args } => {
             let tuple: Vec<Value> = args.iter().map(|t| resolve(t, env)).collect();
             let fact = Fact::new(*rel, tuple);
-            match table.interner().get(&fact) {
+            match table.fact_id(&fact) {
                 Some(id) => {
                     // fold deterministic facts
                     let p = table.prob(id);

@@ -16,16 +16,27 @@ use infpdb_core::space::DiscreteSpace;
 use infpdb_core::value::Value;
 use infpdb_math::{KahanSum, LogProb};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Hard cap on explicit world enumeration: `2^24` worlds ≈ 16M.
 pub const MAX_ENUM_FACTS: usize = 24;
 
 /// A finite tuple-independent PDB as a table of `(fact, probability)`.
+///
+/// The backing fact set and probability vector are shared (`Arc`) and
+/// the table itself is a *length-bounded view* over them: `probs[i]`
+/// belongs to fact id `i` for `i < len`, and everything the table
+/// exposes — iteration, marginals, sampling, fingerprints — sees only
+/// the first `len` facts. [`prefix`](Self::prefix) is therefore O(1):
+/// it clones two `Arc`s and shortens `len`, which is what makes the
+/// Proposition 6.1 truncation loop's repeated prefix restrictions
+/// zero-copy instead of re-interning the whole table each time.
 #[derive(Debug, Clone)]
 pub struct TiTable {
     schema: Schema,
-    interner: FactInterner,
-    probs: Vec<f64>,
+    interner: Arc<FactInterner>,
+    probs: Arc<Vec<f64>>,
+    len: usize,
 }
 
 impl TiTable {
@@ -33,8 +44,9 @@ impl TiTable {
     pub fn new(schema: Schema) -> Self {
         Self {
             schema,
-            interner: FactInterner::new(),
-            probs: Vec::new(),
+            interner: Arc::new(FactInterner::new()),
+            probs: Arc::new(Vec::new()),
+            len: 0,
         }
     }
 
@@ -53,12 +65,36 @@ impl TiTable {
         interner: FactInterner,
         probs: Vec<f64>,
     ) -> Result<Self, FiniteError> {
+        let len = probs.len();
+        Self::from_shared_parts(schema, Arc::new(interner), Arc::new(probs), len)
+    }
+
+    /// Builds a length-`len` prefix view directly over shared backing —
+    /// the fully zero-copy entry point: the catalog hands out its own
+    /// `Arc`s and no fact or probability is copied at any `len`.
+    ///
+    /// Requires `interner.len() == probs.len()` (asserted) and
+    /// `len ≤ probs.len()` (asserted). Only the first `len`
+    /// probabilities are validated; entries past the view belong to
+    /// longer prefixes of the same backing and are validated when a
+    /// view that exposes them is built.
+    pub fn from_shared_parts(
+        schema: Schema,
+        interner: Arc<FactInterner>,
+        probs: Arc<Vec<f64>>,
+        len: usize,
+    ) -> Result<Self, FiniteError> {
         assert_eq!(
             interner.len(),
             probs.len(),
             "interner and probability vector must be aligned"
         );
-        for &p in &probs {
+        assert!(
+            len <= probs.len(),
+            "view length {len} exceeds backing length {}",
+            probs.len()
+        );
+        for &p in &probs[..len] {
             infpdb_math::check_probability(p)
                 .map_err(infpdb_core::CoreError::Math)
                 .map_err(FiniteError::Core)?;
@@ -67,6 +103,7 @@ impl TiTable {
             schema,
             interner,
             probs,
+            len,
         })
     }
 
@@ -103,14 +140,22 @@ impl TiTable {
         infpdb_math::check_probability(p)
             .map_err(infpdb_core::CoreError::Math)
             .map_err(FiniteError::Core)?;
-        if self.interner.get(&fact).is_some() {
+        if self.fact_id(&fact).is_some() {
             return Err(FiniteError::DuplicateFact(
                 fact.display(&self.schema).to_string(),
             ));
         }
-        let id = self.interner.intern(fact);
-        debug_assert_eq!(id.0 as usize, self.probs.len());
-        self.probs.push(p);
+        if self.len < self.interner.len() {
+            // the view is shorter than its shared backing: growing it
+            // must not leak the backing's tail, so materialize an owned
+            // truncation first (rare — the hot paths only shrink views)
+            self.interner = Arc::new(self.owned_interner());
+            self.probs = Arc::new(self.probs[..self.len].to_vec());
+        }
+        let id = Arc::make_mut(&mut self.interner).intern(fact);
+        debug_assert_eq!(id.0 as usize, self.len);
+        Arc::make_mut(&mut self.probs).push(p);
+        self.len += 1;
         Ok(id)
     }
 
@@ -120,44 +165,76 @@ impl TiTable {
     }
 
     /// The fact interner (ids are positions in insertion order).
+    ///
+    /// On a prefix view the shared interner may extend *past*
+    /// [`len`](Self::len): use it to resolve ids the table handed out,
+    /// never for membership — [`fact_id`](Self::fact_id) and
+    /// [`marginal`](Self::marginal) are the length-aware lookups.
     pub fn interner(&self) -> &FactInterner {
         &self.interner
     }
 
+    /// An owned interner holding exactly this view's facts — what
+    /// consumers that take a `FactInterner` by value (e.g.
+    /// [`FinitePdb::from_parts`]) need from a prefix view.
+    pub(crate) fn owned_interner(&self) -> FactInterner {
+        if self.len == self.interner.len() {
+            (*self.interner).clone()
+        } else {
+            let mut it = FactInterner::new();
+            for (_, f) in self.interner.iter().take(self.len) {
+                it.intern(f.clone());
+            }
+            it
+        }
+    }
+
+    /// The probabilities of this view, aligned with fact ids.
+    fn probs(&self) -> &[f64] {
+        &self.probs[..self.len]
+    }
+
     /// Number of possible facts.
     pub fn len(&self) -> usize {
-        self.probs.len()
+        self.len
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.probs.is_empty()
+        self.len == 0
     }
 
     /// The marginal probability of a fact id.
     pub fn prob(&self, id: FactId) -> f64 {
-        self.probs[id.0 as usize]
+        self.probs()[id.0 as usize]
+    }
+
+    /// The id of a fact *in this view*, if present. Length-aware: a
+    /// fact interned in the shared backing but beyond the view's prefix
+    /// is not a member and returns `None`.
+    pub fn fact_id(&self, fact: &Fact) -> Option<FactId> {
+        self.interner
+            .get(fact)
+            .filter(|id| (id.0 as usize) < self.len)
     }
 
     /// The marginal probability of a fact (0 if not in the table —
     /// the closed-world assumption, Section 1).
     pub fn marginal(&self, fact: &Fact) -> f64 {
-        self.interner
-            .get(fact)
-            .map(|id| self.prob(id))
-            .unwrap_or(0.0)
+        self.fact_id(fact).map(|id| self.prob(id)).unwrap_or(0.0)
     }
 
     /// Iterator over `(id, fact, probability)`.
     pub fn iter(&self) -> impl Iterator<Item = (FactId, &Fact, f64)> {
         self.interner
             .iter()
+            .take(self.len)
             .map(|(id, f)| (id, f, self.probs[id.0 as usize]))
     }
 
     /// `E(S_D) = ∑_f p_f` (equation (5)).
     pub fn expected_size(&self) -> f64 {
-        KahanSum::sum_iter(self.probs.iter().copied())
+        KahanSum::sum_iter(self.probs().iter().copied())
     }
 
     /// A stable 64-bit content fingerprint of the table.
@@ -200,12 +277,12 @@ impl TiTable {
     /// tables).
     pub fn instance_logprob(&self, instance: &Instance) -> LogProb {
         for id in instance.iter() {
-            if id.0 as usize >= self.probs.len() {
+            if id.0 as usize >= self.len {
                 return LogProb::ZERO;
             }
         }
         let mut acc = KahanSum::new();
-        for (i, &p) in self.probs.iter().enumerate() {
+        for (i, &p) in self.probs().iter().enumerate() {
             let inside = instance.contains(FactId(i as u32));
             let factor = if inside { p } else { 1.0 - p };
             if factor == 0.0 {
@@ -218,7 +295,7 @@ impl TiTable {
 
     /// Draws one world: each fact flips its own coin.
     pub fn sample<R: RngCore>(&self, rng: &mut R) -> Instance {
-        let ids = self.probs.iter().enumerate().filter_map(|(i, &p)| {
+        let ids = self.probs().iter().enumerate().filter_map(|(i, &p)| {
             let u = rng.next_u64() as f64 / u64::MAX as f64;
             (u < p).then_some(FactId(i as u32))
         });
@@ -236,7 +313,7 @@ impl TiTable {
     /// per-sample allocation.
     pub fn sample_into<R: RngCore>(&self, rng: &mut R, present: &mut Vec<bool>) {
         present.clear();
-        present.extend(self.probs.iter().map(|&p| {
+        present.extend(self.probs().iter().map(|&p| {
             let u = rng.next_u64() as f64 / u64::MAX as f64;
             u < p
         }));
@@ -245,7 +322,7 @@ impl TiTable {
     /// Materializes the full world space (the finite PDB this table
     /// represents). Errors beyond [`MAX_ENUM_FACTS`] facts.
     pub fn worlds(&self) -> Result<FinitePdb, FiniteError> {
-        let n = self.probs.len();
+        let n = self.len;
         if n > MAX_ENUM_FACTS {
             return Err(FiniteError::TooManyWorlds {
                 facts: n,
@@ -256,7 +333,7 @@ impl TiTable {
         for mask in 0u64..(1u64 << n) {
             let mut p = 1.0;
             let mut ids = Vec::new();
-            for (i, &pf) in self.probs.iter().enumerate() {
+            for (i, &pf) in self.probs().iter().enumerate() {
                 if mask & (1 << i) != 0 {
                     p *= pf;
                     ids.push(FactId(i as u32));
@@ -271,7 +348,7 @@ impl TiTable {
         let space = DiscreteSpace::new(outcomes)?;
         Ok(FinitePdb::from_parts(
             self.schema.clone(),
-            self.interner.clone(),
+            self.owned_interner(),
             space,
         ))
     }
@@ -281,7 +358,7 @@ impl TiTable {
     /// convolution DP. Entry `k` is `P(S_D = k)`.
     pub fn size_distribution(&self) -> Vec<f64> {
         let mut dist = vec![1.0];
-        for &p in &self.probs {
+        for &p in self.probs() {
             let mut next = vec![0.0; dist.len() + 1];
             for (k, &dk) in dist.iter().enumerate() {
                 next[k] += dk * (1.0 - p);
@@ -295,7 +372,7 @@ impl TiTable {
     /// The active domain over all possible facts.
     pub fn active_domain(&self) -> BTreeSet<Value> {
         let mut dom = BTreeSet::new();
-        for (_, f) in self.interner.iter() {
+        for (_, f) in self.interner.iter().take(self.len) {
             dom.extend(f.args().iter().cloned());
         }
         dom
@@ -303,16 +380,15 @@ impl TiTable {
 
     /// A sub-table containing only the first `n` facts in insertion order —
     /// the restriction to `{f₁, …, f_n}` used by the truncation algorithm
-    /// (Proposition 6.1).
+    /// (Proposition 6.1). O(1): the result is a view sharing this
+    /// table's backing, not a copy.
     pub fn prefix(&self, n: usize) -> TiTable {
-        let mut t = TiTable::new(self.schema.clone());
-        for (id, f, p) in self.iter().take(n) {
-            let new_id = t
-                .add_fact(f.clone(), p)
-                .expect("prefix of a valid table is valid");
-            debug_assert_eq!(new_id, id);
+        TiTable {
+            schema: self.schema.clone(),
+            interner: Arc::clone(&self.interner),
+            probs: Arc::clone(&self.probs),
+            len: n.min(self.len),
         }
-        t
     }
 }
 
@@ -517,6 +593,45 @@ mod tests {
         assert_eq!(p.prob(FactId(1)), 0.25);
         let whole = t.prefix(10);
         assert_eq!(whole.len(), 3);
+    }
+
+    #[test]
+    fn prefix_views_are_closed_world_at_their_own_length() {
+        let t = table(&[0.5, 0.25, 0.125]);
+        let p = t.prefix(2);
+        // fact 2 exists in the shared backing but not in the view:
+        // membership, marginals, fingerprints, and enumeration must all
+        // honor the view length
+        assert_eq!(p.fact_id(&fact(2)), None);
+        assert_eq!(p.marginal(&fact(2)), 0.0, "closed world at the prefix");
+        assert_eq!(p.fact_id(&fact(1)), Some(FactId(1)));
+        assert_eq!(p.iter().count(), 2);
+        assert_eq!(p.active_domain().len(), 2);
+        assert_eq!(
+            p.fingerprint(),
+            table(&[0.5, 0.25]).fingerprint(),
+            "a view fingerprints identically to an owned table of the same facts"
+        );
+        // growing a short view materializes a truncation: the backing's
+        // tail fact is re-addable, and the original is untouched
+        let mut grown = t.prefix(2);
+        let id = grown.add_fact(fact(2), 0.9).unwrap();
+        assert_eq!(id, FactId(2));
+        assert_eq!(grown.prob(FactId(2)), 0.9);
+        assert_eq!(t.prob(FactId(2)), 0.125);
+        // worlds() of a view enumerates only the view's facts
+        let w = p.worlds().unwrap();
+        assert_eq!(w.space().support_size(), 4);
+    }
+
+    #[test]
+    fn from_shared_parts_validates_only_the_view() {
+        let t = table(&[0.5, 0.25]);
+        let interner = Arc::new(t.owned_interner());
+        let probs = Arc::new(vec![0.5, 7.0]); // invalid beyond the view
+        let ok = TiTable::from_shared_parts(schema(), interner.clone(), probs.clone(), 1).unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(TiTable::from_shared_parts(schema(), interner, probs, 2).is_err());
     }
 
     #[test]

@@ -535,3 +535,85 @@ fn healthz_reports_store_status_when_durable() {
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The sharded-store counters reach `/metrics` as a well-formed scrape:
+/// after a full snapshot, an incremental one, and an idle no-op, the
+/// `store_snapshot_*` and `store_mmap_*` families carry the exact
+/// accounting the `SnapshotInfo`s reported.
+#[test]
+fn metrics_expose_sharded_store_accounting() {
+    let dir = std::env::temp_dir().join(format!("infpdb-e2e-shards-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = |dir: &std::path::Path| {
+        QueryService::new(
+            pdb(),
+            ServiceConfig {
+                threads: 1,
+                store_dir: Some(dir.to_path_buf()),
+                store_shard_capacity: Some(2),
+                ..ServiceConfig::default()
+            },
+        )
+    };
+
+    let server = HttpServer::start(durable(&dir), ServerConfig::default(), "127.0.0.1:0").unwrap();
+    server.service().warm(0.01).unwrap();
+    let full = server.service().snapshot().unwrap().unwrap();
+    server.service().warm(0.0005).unwrap();
+    let incr = server.service().snapshot().unwrap().unwrap();
+    assert!(incr.shards_skipped >= 1, "{incr:?}");
+    let noop = server.service().snapshot().unwrap().unwrap();
+    assert!(noop.unchanged);
+    let facts = server.service().materialized_len();
+    server.shutdown();
+
+    // reopen so the mmap counters fire, then scrape
+    let server = HttpServer::start(durable(&dir), ServerConfig::default(), "127.0.0.1:0").unwrap();
+    let base = BaseUrl::parse(&format!("http://{}", server.addr())).unwrap();
+    let health = Json::parse(get(&base, "/healthz").body_utf8().unwrap()).unwrap();
+    assert_eq!(
+        health
+            .get("store")
+            .and_then(|s| s.get("facts"))
+            .and_then(Json::as_i64),
+        Some(facts as i64)
+    );
+    let scrape = get(&base, "/metrics");
+    assert_eq!(scrape.status, 200);
+    let text = scrape.body_utf8().unwrap();
+    let parsed = promtext::parse_scrape(text).expect("scrape must parse");
+    let problems = promtext::lint(&parsed);
+    assert!(problems.is_empty(), "lint problems: {problems:?}");
+    let sample = |name: &str| -> f64 {
+        parsed
+            .value(name)
+            .unwrap_or_else(|| panic!("missing {name} in scrape:\n{text}"))
+    };
+    // this fresh service saw no snapshots yet, only the mapped reopen
+    assert_eq!(sample("store_snapshot_writes_total"), 0.0);
+    assert_eq!(sample("store_snapshot_noops_total"), 0.0);
+    assert_eq!(sample("store_snapshot_bytes_written_total"), 0.0);
+    let shard_count = (incr.shards_written + incr.shards_skipped) as f64;
+    assert_eq!(
+        sample("store_mmap_maps_total") + sample("store_mmap_fallbacks_total"),
+        shard_count,
+        "one view per committed shard"
+    );
+    server.shutdown();
+
+    // the writer's own registry carried the snapshot-side accounting
+    // (scraped here via a third durable service doing the same dance)
+    let service = durable(&dir);
+    service.warm(0.0005).unwrap();
+    let again = service.snapshot().unwrap().unwrap();
+    assert!(again.unchanged, "reopened store is already current");
+    let server = HttpServer::start(service, ServerConfig::default(), "127.0.0.1:0").unwrap();
+    let base = BaseUrl::parse(&format!("http://{}", server.addr())).unwrap();
+    let text = get(&base, "/metrics").body_utf8().unwrap().to_string();
+    let parsed = promtext::parse_scrape(&text).expect("scrape must parse");
+    assert_eq!(parsed.value("store_snapshot_noops_total"), Some(1.0));
+    assert_eq!(parsed.value("store_snapshot_writes_total"), Some(0.0));
+    let _ = full;
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

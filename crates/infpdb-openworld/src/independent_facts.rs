@@ -65,7 +65,7 @@ pub fn complete_ti_table(
         .min(TAIL_VALIDATION_PREFIX);
     for i in 0..check {
         let f = tail.fact(i);
-        if table.interner().get(&f).is_some() {
+        if table.fact_id(&f).is_some() {
             return Err(OpenWorldError::TailCollision(
                 f.display(table.schema()).to_string(),
             ));

@@ -69,7 +69,7 @@ impl LambdaCompletion {
             let mut idx = vec![0usize; k];
             loop {
                 let fact = Fact::new(rel, idx.iter().map(|&i| values[i].clone()));
-                if base.interner().get(&fact).is_none() {
+                if base.fact_id(&fact).is_none() {
                     candidates.push(fact);
                 }
                 // odometer

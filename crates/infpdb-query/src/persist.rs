@@ -18,6 +18,13 @@
 //!    identically are adopted, so the catalog after `open` is
 //!    indistinguishable from one built by [`PreparedPdb::warm`].
 //!
+//! Layer 2 is skipped — the reopen **fast path**,
+//! [`OpenReport::supply_check_skipped`] — when layer 1 already proves
+//! identity: a clean recovery whose manifest carries the PDB fingerprint
+//! the caller expects over the same schema. That makes reopening a
+//! 10⁷-fact store O(shards) of checksum scanning instead of O(n) supply
+//! re-enumeration on top.
+//!
 //! Dropping a damaged tail is sound by Proposition 6.1: the kept
 //! `m`-fact prefix still answers queries at the widened tolerance
 //! `ε_m = e^{1.5·T_m} − 1` ([`partial_certificate`] computes it), which
@@ -84,6 +91,12 @@ pub struct OpenReport {
     pub status: StoreStatus,
     /// The raw recovery accounting, when a snapshot was loaded.
     pub recovery: Option<RecoveryReport>,
+    /// Whether the fact-by-fact supply comparison was skipped because
+    /// the snapshot already proved its identity: a clean recovery whose
+    /// manifest carries the same PDB fingerprint the caller expects and
+    /// the same schema the live supply declares. This is the reopen
+    /// fast path — O(1) instead of O(n) supply enumerations.
+    pub supply_check_skipped: bool,
 }
 
 impl PreparedPdb {
@@ -110,6 +123,7 @@ impl PreparedPdb {
                     OpenReport {
                         status: StoreStatus::Fresh,
                         recovery: None,
+                        supply_check_skipped: false,
                     },
                 )
             }
@@ -122,31 +136,49 @@ impl PreparedPdb {
                             reason: e.to_string(),
                         },
                         recovery: None,
+                        supply_check_skipped: false,
                     },
                 )
             }
         };
         let report = recovered.report;
-        if let (Some(expect), Some(got)) =
-            (expected_fingerprint, recovered.manifest.pdb_fingerprint)
-        {
-            if expect != got {
-                return (
-                    prepared,
-                    OpenReport {
-                        status: StoreStatus::Degraded {
-                            reason: format!(
-                                "snapshot belongs to a different database \
-                                 (fingerprint {got:016x}, expected {expect:016x})"
-                            ),
+        let fingerprints_match = match (expected_fingerprint, recovered.manifest.pdb_fingerprint) {
+            (Some(expect), Some(got)) => {
+                if expect != got {
+                    return (
+                        prepared,
+                        OpenReport {
+                            status: StoreStatus::Degraded {
+                                reason: format!(
+                                    "snapshot belongs to a different database \
+                                     (fingerprint {got:016x}, expected {expect:016x})"
+                                ),
+                            },
+                            recovery: Some(report),
+                            supply_check_skipped: false,
                         },
-                        recovery: Some(report),
-                    },
-                );
+                    );
+                }
+                true
             }
-        }
+            _ => false,
+        };
 
-        let (catalog, diverged) = verify_against_supply(&prepared, &recovered);
+        // reopen fast path: a clean recovery whose manifest proved the
+        // supply's identity (matching PDB fingerprint) over the same
+        // schema needs no fact-by-fact re-enumeration — the store's
+        // fingerprints already guarantee bit-equality with what
+        // `persist` was handed, and the PDB fingerprint guarantees
+        // `persist` was handed *this* supply's prefix
+        let fast = fingerprints_match
+            && report.clean()
+            && schemas_identical(recovered.catalog.schema(), prepared.pdb().schema());
+        let (catalog, diverged, supply_check_skipped) = if fast {
+            (recovered.catalog, false, true)
+        } else {
+            let (catalog, diverged) = verify_against_supply(&prepared, &recovered);
+            (catalog, diverged, false)
+        };
         let facts_kept = catalog.len();
         if !prepared.adopt_catalog(catalog) {
             unreachable!("a just-created prepared PDB is empty");
@@ -174,6 +206,7 @@ impl PreparedPdb {
             OpenReport {
                 status,
                 recovery: Some(report),
+                supply_check_skipped,
             },
         )
     }
@@ -189,6 +222,16 @@ impl PreparedPdb {
     ) -> Result<SnapshotInfo, StoreError> {
         store.snapshot(&self.catalog_snapshot(), pdb_fingerprint, descriptor)
     }
+}
+
+/// Whether two schemas declare the same relations (name and arity) in
+/// the same id order — the precondition for adopting a stored catalog
+/// without remapping relation ids.
+fn schemas_identical(a: &infpdb_core::schema::Schema, b: &infpdb_core::schema::Schema) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|((ia, ra), (ib, rb))| {
+            ia == ib && ra.name() == rb.name() && ra.arity() == rb.arity()
+        })
 }
 
 /// Re-checks every restored fact against the live supply, remapping
@@ -293,12 +336,38 @@ mod tests {
                 facts: prepared.materialized_len()
             }
         );
+        assert!(
+            report.supply_check_skipped,
+            "clean + matching fingerprints + same schema must take the fast path"
+        );
         assert_eq!(reopened.materialized_len(), prepared.materialized_len());
         let replay = PreparedQuery::prepare(reopened, &q, Engine::Lineage)
             .execute(0.001, &CancelToken::new())
             .unwrap();
         assert_eq!(replay.0, baseline.0, "answers must be bit-for-bit equal");
         assert_eq!(replay.1, baseline.1, "work counters must agree");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_without_fingerprints_takes_the_verified_slow_path() {
+        // no pdb fingerprint on either side ⇒ identity unproven ⇒ the
+        // fact-by-fact supply comparison must run (and still verify)
+        let dir = tempdir("slowpath");
+        let store = Store::open_dir(&dir);
+        let pdb = geometric();
+        let prepared = PreparedPdb::new(pdb.clone());
+        prepared.warm(0.01).unwrap();
+        prepared.persist(&store, None, None).unwrap();
+        let (reopened, report) = PreparedPdb::open(pdb, &store, None);
+        assert!(!report.supply_check_skipped);
+        assert_eq!(
+            report.status,
+            StoreStatus::Ok {
+                facts: prepared.materialized_len()
+            }
+        );
+        assert_eq!(reopened.materialized_len(), prepared.materialized_len());
         std::fs::remove_dir_all(&dir).ok();
     }
 

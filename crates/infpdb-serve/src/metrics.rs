@@ -162,7 +162,28 @@ pub struct Metrics {
     /// cost crossover actually moved.
     pub replans: AtomicU64,
     /// Durable-store snapshots committed (manifest renamed into place).
+    /// No-op snapshots (nothing changed since the last commit) count
+    /// under [`store_snapshot_noops`](Self::store_snapshot_noops)
+    /// instead.
     pub store_snapshot_writes: AtomicU64,
+    /// Periodic snapshots skipped because the catalog was unchanged
+    /// since the previous commit: no file was touched.
+    pub store_snapshot_noops: AtomicU64,
+    /// Segment bytes written by committed snapshots, accumulated. An
+    /// incremental snapshot that reuses full shards adds only its
+    /// rewritten tail shards here.
+    pub store_snapshot_bytes_written: AtomicU64,
+    /// Shard files (re)written by committed snapshots, accumulated.
+    pub store_snapshot_shards_written: AtomicU64,
+    /// Shard files reused byte-for-byte from the previous snapshot
+    /// (unchanged count and fingerprint), accumulated.
+    pub store_snapshot_shards_skipped: AtomicU64,
+    /// Shard files opened as zero-copy memory maps during store opens.
+    pub store_mmap_maps: AtomicU64,
+    /// Shard files read into owned buffers because mapping was
+    /// unavailable (non-unix, empty file, or an injected-fault I/O
+    /// layer), during store opens.
+    pub store_mmap_fallbacks: AtomicU64,
     /// Store opens that had to recover (anything short of a clean,
     /// fingerprint-verified load: torn tails, checksum failures, missing
     /// segments, or a degraded fallback to an empty catalog).
@@ -282,6 +303,37 @@ impl Metrics {
             out,
             "store_snapshot_writes_total {}",
             c(&self.store_snapshot_writes)
+        )
+        .ok();
+        writeln!(
+            out,
+            "store_snapshot_noops_total {}",
+            c(&self.store_snapshot_noops)
+        )
+        .ok();
+        writeln!(
+            out,
+            "store_snapshot_bytes_written_total {}",
+            c(&self.store_snapshot_bytes_written)
+        )
+        .ok();
+        writeln!(
+            out,
+            "store_snapshot_shards_written_total {}",
+            c(&self.store_snapshot_shards_written)
+        )
+        .ok();
+        writeln!(
+            out,
+            "store_snapshot_shards_skipped_total {}",
+            c(&self.store_snapshot_shards_skipped)
+        )
+        .ok();
+        writeln!(out, "store_mmap_maps_total {}", c(&self.store_mmap_maps)).ok();
+        writeln!(
+            out,
+            "store_mmap_fallbacks_total {}",
+            c(&self.store_mmap_fallbacks)
         )
         .ok();
         writeln!(out, "store_recoveries_total {}", c(&self.store_recoveries)).ok();
@@ -471,6 +523,36 @@ impl Metrics {
             c(&self.store_snapshot_writes),
         );
         counter(
+            "store_snapshot_noops_total",
+            "Periodic snapshots skipped because nothing changed; no file touched.",
+            c(&self.store_snapshot_noops),
+        );
+        counter(
+            "store_snapshot_bytes_written_total",
+            "Segment bytes written by committed snapshots.",
+            c(&self.store_snapshot_bytes_written),
+        );
+        counter(
+            "store_snapshot_shards_written_total",
+            "Shard files (re)written by committed snapshots.",
+            c(&self.store_snapshot_shards_written),
+        );
+        counter(
+            "store_snapshot_shards_skipped_total",
+            "Shard files reused byte-for-byte from the previous snapshot.",
+            c(&self.store_snapshot_shards_skipped),
+        );
+        counter(
+            "store_mmap_maps_total",
+            "Shard files opened as zero-copy memory maps during store opens.",
+            c(&self.store_mmap_maps),
+        );
+        counter(
+            "store_mmap_fallbacks_total",
+            "Shard files read into owned buffers because mapping was unavailable.",
+            c(&self.store_mmap_fallbacks),
+        );
+        counter(
             "store_recoveries_total",
             "Store opens that had to recover rather than load cleanly.",
             c(&self.store_recoveries),
@@ -642,6 +724,12 @@ mod tests {
             "serve_plan_choice_total{strategy=\"kl\"} 0",
             "serve_replans_total 0",
             "store_snapshot_writes_total 0",
+            "store_snapshot_noops_total 0",
+            "store_snapshot_bytes_written_total 0",
+            "store_snapshot_shards_written_total 0",
+            "store_snapshot_shards_skipped_total 0",
+            "store_mmap_maps_total 0",
+            "store_mmap_fallbacks_total 0",
             "store_recoveries_total 0",
             "store_checksum_failures_total 0",
             "store_recovered_facts_dropped_total 0",

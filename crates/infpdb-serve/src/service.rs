@@ -155,6 +155,13 @@ pub struct ServiceConfig {
     /// [`PreparedPdb::open`]) and [`QueryService::snapshot`] persists
     /// into it. `None` disables durability entirely.
     pub store_dir: Option<PathBuf>,
+    /// Facts per shard file in the durable store; `None` uses
+    /// [`infpdb_store::DEFAULT_SHARD_CAPACITY`]. Smaller shards make
+    /// incremental snapshots cheaper (only tail shards rewrite) at the
+    /// cost of more files; chaos tests shrink this to exercise
+    /// multi-shard layouts with small catalogs. Ignored without
+    /// [`store_dir`](Self::store_dir).
+    pub store_shard_capacity: Option<u64>,
     /// Cost-model tuning for the `Engine::Auto` planner. Part of the
     /// result-cache key: answers planned under different knobs never
     /// alias, and a plan is a deterministic function of (PDB, query, ε,
@@ -180,6 +187,7 @@ impl Default for ServiceConfig {
             parallelism: 1,
             scheduler: SchedulerKind::Fixed,
             store_dir: None,
+            store_shard_capacity: None,
             plan_knobs: PlanKnobs::default(),
         }
     }
@@ -404,7 +412,10 @@ impl QueryService {
         let (prepared, store, store_status) = match &config.store_dir {
             None => (PreparedPdb::new(pdb), None, None),
             Some(dir) => {
-                let store = Store::open_dir(dir);
+                let mut store = Store::open_dir(dir);
+                if let Some(cap) = config.store_shard_capacity {
+                    store = store.with_shard_capacity(cap);
+                }
                 let (prepared, report) = PreparedPdb::open(pdb, &store, Some(pdb_fingerprint));
                 if matches!(
                     report.status,
@@ -419,6 +430,12 @@ impl QueryService {
                     metrics
                         .store_recovered_facts_dropped
                         .fetch_add(rec.facts_dropped, Ordering::Relaxed);
+                    metrics
+                        .store_mmap_maps
+                        .fetch_add(rec.mmap_maps, Ordering::Relaxed);
+                    metrics
+                        .store_mmap_fallbacks
+                        .fetch_add(rec.mmap_fallbacks, Ordering::Relaxed);
                 }
                 (prepared, Some(store), Some(report.status))
             }
@@ -603,9 +620,12 @@ impl QueryService {
     }
 
     /// Writes the current grounded prefix to the configured store via
-    /// the crash-safe snapshot protocol (epoch-named segments, then an
+    /// the crash-safe snapshot protocol (epoch-named shards, then an
     /// atomic manifest rename). Returns `Ok(None)` when no store is
-    /// configured; on success bumps `store_snapshot_writes_total`.
+    /// configured. A snapshot that finds nothing changed since the last
+    /// commit touches no file and bumps `store_snapshot_noops_total`;
+    /// a committed one bumps `store_snapshot_writes_total` plus the
+    /// bytes/shards-written/shards-skipped accumulators.
     pub fn snapshot(&self) -> Result<Option<SnapshotInfo>, StoreError> {
         let Some(store) = &self.inner.store else {
             return Ok(None);
@@ -614,10 +634,18 @@ impl QueryService {
             .inner
             .prepared
             .persist(store, Some(self.inner.pdb_fingerprint), None)?;
-        self.inner
-            .metrics
-            .store_snapshot_writes
-            .fetch_add(1, Ordering::Relaxed);
+        let m = &self.inner.metrics;
+        if info.unchanged {
+            m.store_snapshot_noops.fetch_add(1, Ordering::Relaxed);
+        } else {
+            m.store_snapshot_writes.fetch_add(1, Ordering::Relaxed);
+            m.store_snapshot_bytes_written
+                .fetch_add(info.bytes, Ordering::Relaxed);
+            m.store_snapshot_shards_written
+                .fetch_add(info.shards_written as u64, Ordering::Relaxed);
+            m.store_snapshot_shards_skipped
+                .fetch_add(info.shards_skipped as u64, Ordering::Relaxed);
+        }
         Ok(Some(info))
     }
 

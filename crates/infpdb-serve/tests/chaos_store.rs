@@ -187,6 +187,213 @@ fn seeded_bit_flip_recovers_a_prefix_with_exact_metric_accounting() {
     }
 }
 
+fn sharded_service(dir: &Path, capacity: u64) -> QueryService {
+    QueryService::new(
+        geometric_pdb(),
+        ServiceConfig {
+            threads: 1,
+            store_dir: Some(dir.to_path_buf()),
+            store_shard_capacity: Some(capacity),
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// The shard file holding the relation's `shard`-th dense-id range,
+/// whatever epoch wrote it.
+fn shard_path(dir: &Path, shard: u32) -> PathBuf {
+    let tag = format!("-s{shard}-");
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| {
+            p.extension().is_some_and(|x| x == "seg")
+                && p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().contains(&tag))
+        })
+        .unwrap_or_else(|| panic!("no shard {shard} file in {}", dir.display()))
+}
+
+/// A seeded bit flip inside a MIDDLE shard of a multi-shard store:
+/// recovery keeps every shard before the damage (the contiguous-prefix
+/// rule crosses shard boundaries), drops the rest, and the accounting
+/// is exact.
+#[test]
+fn middle_shard_bit_flip_keeps_earlier_shards() {
+    const CAP: u64 = 2;
+    for seed in seeds() {
+        let dir = tempdir(&format!("midshard-{seed}"));
+        let svc = sharded_service(&dir, CAP);
+        svc.warm(0.001).unwrap();
+        svc.snapshot().unwrap().unwrap();
+        let expected_facts = svc.materialized_len();
+        svc.join();
+        assert!(
+            expected_facts as u64 > 3 * CAP,
+            "warm(0.001) must span several capacity-{CAP} shards, got {expected_facts}"
+        );
+
+        // damage shard 2 (facts [4, 6)) somewhere in its record region
+        let seg = shard_path(&dir, 2);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let record_region = bytes.len() - HEADER_LEN - FOOTER_LEN;
+        let mut rng = SplitMix64::new(seed);
+        let r = rng.next_u64();
+        let byte = HEADER_LEN + (r as usize % record_region);
+        bytes[byte] ^= 1 << ((r >> 32) % 8);
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let svc2 = sharded_service(&dir, CAP);
+        match svc2.store_status().expect("store is configured") {
+            StoreStatus::Recovered {
+                facts_kept,
+                facts_dropped,
+                checksum_failures,
+                ..
+            } => {
+                assert!(
+                    (2 * CAP..3 * CAP).contains(&(facts_kept as u64)),
+                    "seed {seed}: damage in shard 2 keeps shards 0-1 plus a \
+                     prefix of shard 2, got {facts_kept}"
+                );
+                assert_eq!(facts_kept as u64 + facts_dropped, expected_facts as u64);
+                let m = svc2.metrics();
+                assert_eq!(m.store_recoveries.load(Ordering::Relaxed), 1);
+                assert_eq!(
+                    m.store_checksum_failures.load(Ordering::Relaxed),
+                    checksum_failures
+                );
+                assert_eq!(
+                    m.store_recovered_facts_dropped.load(Ordering::Relaxed),
+                    facts_dropped
+                );
+            }
+            other => panic!("seed {seed}: expected Recovered, got {other:?}"),
+        }
+        // the service re-grounds the lost tail on demand, bit-for-bit
+        let pdb = geometric_pdb();
+        let q = parse("exists x. R(x)", pdb.schema()).unwrap();
+        let fresh = approx_prob_boolean(&pdb, &q, 0.01, Engine::Auto).unwrap();
+        let resp = svc2.evaluate(QueryRequest::new(q, 0.01)).unwrap();
+        assert_eq!(resp.approx.estimate.to_bits(), fresh.estimate.to_bits());
+        svc2.join();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Deleting a middle shard file outright: recovery truncates exactly at
+/// the missing shard's boundary and counts every later fact as dropped.
+#[test]
+fn missing_middle_shard_truncates_at_its_boundary() {
+    const CAP: u64 = 2;
+    let dir = tempdir("missing-shard");
+    let svc = sharded_service(&dir, CAP);
+    svc.warm(0.001).unwrap();
+    svc.snapshot().unwrap().unwrap();
+    let expected_facts = svc.materialized_len();
+    svc.join();
+
+    std::fs::remove_file(shard_path(&dir, 2)).unwrap();
+
+    let svc2 = sharded_service(&dir, CAP);
+    match svc2.store_status().expect("store is configured") {
+        StoreStatus::Recovered {
+            facts_kept,
+            facts_dropped,
+            ..
+        } => {
+            assert_eq!(
+                facts_kept as u64,
+                2 * CAP,
+                "the prefix ends exactly where the missing shard began"
+            );
+            assert_eq!(facts_kept as u64 + facts_dropped, expected_facts as u64);
+            assert_eq!(
+                svc2.metrics()
+                    .store_recovered_facts_dropped
+                    .load(Ordering::Relaxed),
+                facts_dropped
+            );
+        }
+        other => panic!("expected Recovered, got {other:?}"),
+    }
+    svc2.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Incremental-snapshot accounting end to end: a second snapshot after
+/// growing the catalog reuses every untouched full shard, an idle third
+/// snapshot is a counted no-op that touches nothing, and a reopen maps
+/// (or falls back on) exactly one view per shard.
+#[test]
+fn incremental_snapshots_reuse_shards_and_idle_ones_noop() {
+    const CAP: u64 = 2;
+    let dir = tempdir("incremental");
+    let svc = sharded_service(&dir, CAP);
+    svc.warm(0.01).unwrap();
+    let info1 = svc.snapshot().unwrap().unwrap();
+    assert!(!info1.unchanged);
+    assert_eq!(info1.shards_skipped, 0, "first snapshot writes everything");
+    assert!(info1.shards_written >= 2, "warm(0.01) spans several shards");
+
+    // grow the catalog, snapshot again: full leading shards are reused
+    svc.warm(0.0005).unwrap();
+    let facts2 = svc.materialized_len();
+    assert!(facts2 as u64 > info1.facts);
+    let info2 = svc.snapshot().unwrap().unwrap();
+    assert!(!info2.unchanged);
+    assert!(
+        info2.shards_skipped >= 1,
+        "full leading shards must be reused, got {info2:?}"
+    );
+    assert!(info2.shards_written >= 1, "the grown tail must be written");
+    assert_eq!(info2.facts, facts2 as u64);
+
+    // nothing changed: the third snapshot is a no-op at the same epoch
+    let info3 = svc.snapshot().unwrap().unwrap();
+    assert!(info3.unchanged);
+    assert_eq!(info3.epoch, info2.epoch);
+    assert_eq!(info3.shards_written, 0);
+
+    let m = svc.metrics();
+    assert_eq!(m.store_snapshot_writes.load(Ordering::Relaxed), 2);
+    assert_eq!(m.store_snapshot_noops.load(Ordering::Relaxed), 1);
+    assert_eq!(
+        m.store_snapshot_bytes_written.load(Ordering::Relaxed),
+        info1.bytes + info2.bytes
+    );
+    assert_eq!(
+        m.store_snapshot_shards_written.load(Ordering::Relaxed),
+        (info1.shards_written + info2.shards_written) as u64
+    );
+    assert_eq!(
+        m.store_snapshot_shards_skipped.load(Ordering::Relaxed),
+        info2.shards_skipped as u64
+    );
+    let dump = svc.metrics_dump();
+    assert!(dump.contains("store_snapshot_noops_total 1"));
+    assert!(dump.contains("store_snapshot_shards_written_total"));
+    svc.join();
+
+    // a reopen touches exactly one view per committed shard
+    let total_shards = (info2.shards_written + info2.shards_skipped) as u64;
+    let svc2 = sharded_service(&dir, CAP);
+    assert_eq!(svc2.store_status(), Some(StoreStatus::Ok { facts: facts2 }));
+    let m2 = svc2.metrics();
+    assert_eq!(
+        m2.store_mmap_maps.load(Ordering::Relaxed)
+            + m2.store_mmap_fallbacks.load(Ordering::Relaxed),
+        total_shards
+    );
+    #[cfg(unix)]
+    assert!(
+        m2.store_mmap_maps.load(Ordering::Relaxed) > 0,
+        "unix reopens map shard files zero-copy"
+    );
+    svc2.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A corrupt manifest (the commit point itself) must degrade loudly —
 /// empty catalog, `Degraded` status, recovery counted — and the next
 /// snapshot must repair the store in place.

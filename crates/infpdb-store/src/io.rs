@@ -40,11 +40,55 @@ pub const SITE_FSYNC: &str = "store_fsync";
 /// Fault site name for atomic renames.
 pub const SITE_RENAME: &str = "store_rename";
 
+/// A read-only view of a whole file: either a real memory mapping
+/// (zero-copy — the page cache backs the bytes) or an owned buffer from
+/// the pread fallback. `Deref`s to `[u8]` so callers scan it the same
+/// way either way; [`is_mapped`](Self::is_mapped) is how the store
+/// counts `store_mmap_{maps,fallbacks}_total`.
+#[derive(Debug)]
+pub enum FileView {
+    /// A real `mmap(2)` of the file.
+    Mapped(memmap2::Mmap),
+    /// The ordinary-read fallback.
+    Owned(Vec<u8>),
+}
+
+impl FileView {
+    /// Whether this view is a real memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, FileView::Mapped(_))
+    }
+}
+
+impl std::ops::Deref for FileView {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            FileView::Mapped(m) => m,
+            FileView::Owned(v) => v,
+        }
+    }
+}
+
 /// The file operations the store needs, small enough to fault-inject
 /// exhaustively. Implementations must be usable from multiple threads.
 pub trait StoreIo: Send + Sync + std::fmt::Debug {
     /// Reads a whole file.
     fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// The file's length in bytes without reading its contents — the
+    /// manifest-only fast path of `store info`. The default reads the
+    /// whole file; real implementations should stat instead.
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(self.read(path)?.len() as u64)
+    }
+    /// A read-only view of a whole file, preferably zero-copy. The
+    /// default delegates to [`read`](Self::read) (an
+    /// [`Owned`](FileView::Owned) view); [`StdIo`] overrides it with a
+    /// real mapping and falls back to the read when mapping fails.
+    fn view(&self, path: &Path) -> io::Result<FileView> {
+        Ok(FileView::Owned(self.read(path)?))
+    }
     /// Creates (or truncates) `path` and writes `bytes` in full.
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
     /// Durability barrier: flushes `path`'s data and metadata to disk.
@@ -79,6 +123,23 @@ pub struct StdIo;
 impl StoreIo for StdIo {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
         fs::read(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+
+    fn view(&self, path: &Path) -> io::Result<FileView> {
+        let file = fs::File::open(path)?;
+        // SAFETY: committed store files are immutable — they are only
+        // ever replaced by rename, never rewritten in place — so the
+        // mapping's contents cannot change under us.
+        match unsafe { memmap2::Mmap::map(&file) } {
+            Ok(map) => Ok(FileView::Mapped(map)),
+            // graceful pread fallback on platforms or filesystems where
+            // mapping fails; the caller counts which path it got
+            Err(_) => Ok(FileView::Owned(fs::read(path)?)),
+        }
     }
 
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {

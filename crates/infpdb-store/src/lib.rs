@@ -8,15 +8,18 @@
 //! crate persists that artifact so a restart skips the enumeration cost
 //! and a crash loses at most the unsnapshotted suffix:
 //!
-//! * **Segments** ([`segment`]) — one file per relation, records in
+//! * **Segments** ([`segment`]) — one file per *shard*: each relation's
+//!   facts are chunked into fixed-capacity dense-id ranges, records in
 //!   dense `FactId` order, fixed-width frame headers (length + CRC32C)
 //!   around each record, a footer carrying the record count and an
-//!   order-insensitive content fingerprint.
-//! * **Manifest** ([`manifest`]) — the single commit point. Segment
-//!   files are epoch-named and immutable once written; `MANIFEST` is
-//!   replaced only via write-temp → fsync → atomic rename, so at every
-//!   instant the manifest on disk points at a complete set of files
-//!   from *some* successful snapshot.
+//!   order-insensitive content fingerprint. Full shards are immutable,
+//!   so incremental snapshots rewrite only the tail shards that changed
+//!   and reuse the rest byte-for-byte.
+//! * **Manifest** ([`manifest`]) — the single commit point. Shard
+//!   files are immutable once written (named for the epoch that wrote
+//!   them); `MANIFEST` is replaced only via write-temp → fsync → atomic
+//!   rename, so at every instant the manifest on disk points at a
+//!   complete set of files from *some* successful snapshot.
 //! * **Recovery** ([`store`]) — total and honest. A torn or corrupt
 //!   segment tail is detected by checksum, truncated to the last valid
 //!   record, and reported as a recovered prefix (facts kept, facts
@@ -36,9 +39,12 @@ pub mod manifest;
 pub mod segment;
 pub mod store;
 
-pub use io::{FaultyIo, IoFault, StdIo, StoreIo};
+pub use io::{FaultyIo, FileView, IoFault, StdIo, StoreIo};
 pub use manifest::Manifest;
-pub use store::{FsckReport, Recovered, RecoveryReport, SnapshotInfo, Store};
+pub use store::{
+    FsckReport, Recovered, RecoveryReport, ShardStat, SnapshotInfo, Store, StoreStat,
+    DEFAULT_SHARD_CAPACITY,
+};
 
 /// Errors of the durable-store layer.
 #[derive(Debug)]

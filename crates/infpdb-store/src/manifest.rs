@@ -17,7 +17,15 @@ use infpdb_core::json::Json;
 use crate::StoreError;
 
 /// On-disk format version this crate writes and understands.
-pub const FORMAT_VERSION: i64 = 1;
+///
+/// Version 2 is the sharded layout: each relation's facts are split
+/// into fixed-capacity shards (dense `FactId` ranges), every shard is
+/// its own segment file with its own fingerprint, and the manifest
+/// records the shard capacity plus a `(rel, shard)`-indexed file list.
+/// Version-1 manifests (one monolithic segment per relation) are
+/// rejected as unknown — the store predates any deployment, so there is
+/// no migration path to carry.
+pub const FORMAT_VERSION: i64 = 2;
 
 /// A relation declaration, enough to rebuild the schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,16 +36,21 @@ pub struct RelationEntry {
     pub arity: usize,
 }
 
-/// One segment file the manifest commits to.
+/// One shard file the manifest commits to.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegmentEntry {
-    /// Schema-local relation id the segment holds facts of.
+    /// Schema-local relation id the shard holds facts of.
     pub rel: u32,
-    /// File name, relative to the store directory.
+    /// Shard index within the relation: shard `k` holds the relation's
+    /// facts `[k·capacity, (k+1)·capacity)` in dense id order.
+    pub shard: u32,
+    /// File name, relative to the store directory. Shards keep the
+    /// epoch they were *written* at in their name, so an unchanged
+    /// shard is reused across snapshots without a rewrite.
     pub file: String,
-    /// Records the writer put in the segment.
+    /// Records the writer put in the shard.
     pub count: u64,
-    /// Order-insensitive fingerprint of the segment's records.
+    /// Order-insensitive fingerprint of the shard's records.
     pub fingerprint: u64,
 }
 
@@ -50,6 +63,9 @@ pub struct Manifest {
     pub epoch: u64,
     /// Total facts in the snapshot (the materialized prefix length).
     pub facts: u64,
+    /// Facts per shard; every shard except a relation's last holds
+    /// exactly this many records.
+    pub shard_capacity: u64,
     /// `TiTable::fingerprint()` of the full materialized prefix.
     pub table_fingerprint: u64,
     /// Identity of the generating supply
@@ -61,7 +77,7 @@ pub struct Manifest {
     pub descriptor: Option<Json>,
     /// Schema relations in id order.
     pub relations: Vec<RelationEntry>,
-    /// Segment files, one per non-empty relation.
+    /// Shard files, `(rel, shard)`-indexed.
     pub segments: Vec<SegmentEntry>,
 }
 
@@ -95,6 +111,10 @@ impl Manifest {
             ("format".to_string(), Json::Int(self.format)),
             ("epoch".to_string(), Json::Int(self.epoch as i64)),
             ("facts".to_string(), Json::Int(self.facts as i64)),
+            (
+                "shard_capacity".to_string(),
+                Json::Int(self.shard_capacity as i64),
+            ),
             ("table_fp".to_string(), hex_u64(self.table_fingerprint)),
         ];
         if let Some(fp) = self.pdb_fingerprint {
@@ -125,6 +145,7 @@ impl Manifest {
                     .map(|s| {
                         Json::obj([
                             ("rel", Json::Int(i64::from(s.rel))),
+                            ("shard", Json::Int(i64::from(s.shard))),
                             ("file", Json::str(s.file.clone())),
                             ("count", Json::Int(s.count as i64)),
                             ("fp", hex_u64(s.fingerprint)),
@@ -149,6 +170,12 @@ impl Manifest {
         }
         let epoch = require_i64(&j, "epoch")? as u64;
         let facts = require_i64(&j, "facts")? as u64;
+        let shard_capacity = require_i64(&j, "shard_capacity")? as u64;
+        if shard_capacity == 0 {
+            return Err(StoreError::Corrupt(
+                "manifest: shard_capacity must be positive".into(),
+            ));
+        }
         let table_fingerprint = parse_hex_u64(require(&j, "table_fp")?, "table_fp")?;
         let pdb_fingerprint = match j.get("pdb_fp") {
             Some(v) => Some(parse_hex_u64(v, "pdb_fp")?),
@@ -177,6 +204,7 @@ impl Manifest {
         {
             segments.push(SegmentEntry {
                 rel: require_i64(s, "rel")? as u32,
+                shard: require_i64(s, "shard")? as u32,
                 file: require(s, "file")?
                     .as_str()
                     .ok_or_else(|| {
@@ -191,6 +219,7 @@ impl Manifest {
             format,
             epoch,
             facts,
+            shard_capacity,
             table_fingerprint,
             pdb_fingerprint,
             descriptor,
@@ -209,6 +238,7 @@ mod tests {
             format: FORMAT_VERSION,
             epoch: 7,
             facts: 123,
+            shard_capacity: 100,
             table_fingerprint: 0xDEAD_BEEF_0BAD_F00D,
             pdb_fingerprint: Some(u64::MAX),
             descriptor: Some(Json::obj([
@@ -225,12 +255,22 @@ mod tests {
                     arity: 1,
                 },
             ],
-            segments: vec![SegmentEntry {
-                rel: 0,
-                file: "rel0-7.seg".into(),
-                count: 100,
-                fingerprint: 42,
-            }],
+            segments: vec![
+                SegmentEntry {
+                    rel: 0,
+                    shard: 0,
+                    file: "rel0-s0-7.seg".into(),
+                    count: 100,
+                    fingerprint: 42,
+                },
+                SegmentEntry {
+                    rel: 0,
+                    shard: 1,
+                    file: "rel0-s1-3.seg".into(),
+                    count: 23,
+                    fingerprint: 43,
+                },
+            ],
         }
     }
 
@@ -271,9 +311,13 @@ mod tests {
             "",
             "not json",
             "{}",
-            r#"{"format": 99, "epoch": 0, "facts": 0, "table_fp": "0", "relations": [], "segments": []}"#,
-            r#"{"format": 1, "epoch": 0, "facts": 0, "table_fp": 12, "relations": [], "segments": []}"#,
-            r#"{"format": 1, "epoch": 0, "facts": 0, "table_fp": "zz", "relations": [], "segments": []}"#,
+            r#"{"format": 99, "epoch": 0, "facts": 0, "shard_capacity": 1, "table_fp": "0", "relations": [], "segments": []}"#,
+            // the retired monolithic-segment v1 layout is unknown, loudly
+            r#"{"format": 1, "epoch": 0, "facts": 0, "table_fp": "0", "relations": [], "segments": []}"#,
+            r#"{"format": 2, "epoch": 0, "facts": 0, "shard_capacity": 0, "table_fp": "0", "relations": [], "segments": []}"#,
+            r#"{"format": 2, "epoch": 0, "facts": 0, "table_fp": "0", "relations": [], "segments": []}"#,
+            r#"{"format": 2, "epoch": 0, "facts": 0, "shard_capacity": 1, "table_fp": 12, "relations": [], "segments": []}"#,
+            r#"{"format": 2, "epoch": 0, "facts": 0, "shard_capacity": 1, "table_fp": "zz", "relations": [], "segments": []}"#,
         ] {
             assert!(
                 matches!(Manifest::parse(text), Err(StoreError::Corrupt(_))),

@@ -1,29 +1,51 @@
-//! The store proper: snapshot, load-with-recovery, and fsck.
+//! The store proper: sharded snapshots, load-with-recovery, and fsck.
+//!
+//! Facts are sharded per relation: shard `k` of a relation holds that
+//! relation's facts `[k·capacity, (k+1)·capacity)` in dense id order,
+//! each shard its own segment file `rel{r}-s{k}-{epoch}.seg`. Because
+//! the catalog is append-only, every shard except a relation's tail
+//! shard is immutable once full — so a snapshot after appending `m`
+//! facts rewrites only the tail shards (O(capacity + m) bytes), not the
+//! whole store.
 //!
 //! Commit protocol (the crash matrix lives in DESIGN.md §12):
 //!
-//! 1. Segment files for the new epoch are written under fresh names
-//!    (`rel{r}-{epoch}.seg`) and fsynced. They are invisible until
+//! 1. Shards whose `(count, fingerprint)` differ from the committed
+//!    manifest are written under fresh names (`rel{r}-s{k}-{epoch}.seg`)
+//!    and fsynced; unchanged shards are *reused* — the new manifest
+//!    simply names their old files. New files are invisible until
 //!    committed — a crash here leaves garbage the next snapshot GCs.
 //! 2. The manifest is written to `MANIFEST.tmp`, fsynced, and renamed
 //!    onto `MANIFEST`; the directory is fsynced. The rename is the
 //!    commit point: before it the old snapshot is intact, after it the
 //!    new one is.
-//! 3. Segment files of older epochs are unlinked (best effort; failures
-//!    are ignored and retried by the next snapshot's GC).
+//! 3. Segment files the just-committed manifest does not reference are
+//!    unlinked (best effort; failures are ignored and retried by the
+//!    next snapshot's GC).
 //!
-//! Loading never panics on damage. Each committed segment is scanned
-//! front-to-back ([`scan_segment`]), the
-//! surviving records are merged by dense fact id, and the longest
-//! contiguous id prefix from zero is rebuilt into a catalog. Everything
-//! else — dropped facts, checksum failures, missing files, fingerprint
-//! mismatches — is surfaced in the [`RecoveryReport`]. Truncating to a
-//! prefix is sound (Proposition 6.1); the query layer turns the kept
-//! length into a widened ε floor via its partial certificates.
+//! Shard fingerprints come from the catalog's cached per-fact digests
+//! ([`FactCatalog::fact_digests`]) combined order-insensitively, which
+//! is bit-identical to the segment footer [`encode_segment`] writes — so
+//! deciding which shards to skip costs O(#facts) u64 combines, never a
+//! re-hash of fact content, and an unchanged snapshot is detected in
+//! O(1) from the running catalog fingerprint without touching any shard.
+//!
+//! Loading never panics on damage. Each committed shard is opened as a
+//! read-only [`FileView`](crate::io::FileView) (mmap when the platform
+//! grants it, a read fallback otherwise — the report counts which),
+//! scanned front-to-back ([`scan_segment`]), the surviving records
+//! merged by dense fact id, and the longest contiguous id prefix from
+//! zero rebuilt into a catalog. Everything else — dropped facts,
+//! checksum failures, missing files, fingerprint mismatches — is
+//! surfaced in the [`RecoveryReport`]. Truncating to a prefix is sound
+//! (Proposition 6.1); the query layer turns the kept length into a
+//! widened ε floor via its partial certificates.
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use infpdb_core::fingerprint::UnorderedCombiner;
 use infpdb_core::json::Json;
 use infpdb_core::schema::{RelId, Relation, Schema};
 use infpdb_ti::catalog::FactCatalog;
@@ -37,24 +59,37 @@ use crate::StoreError;
 pub const MANIFEST_FILE: &str = "MANIFEST";
 const MANIFEST_TMP: &str = "MANIFEST.tmp";
 
+/// Default facts per shard: 2²⁰. At ~40 B/record that is ~40 MiB of
+/// segment per shard, and a 10⁷-fact store is ~10 shards — small enough
+/// that an incremental snapshot rewrites ≤ 1 tail shard per relation,
+/// large enough that the manifest stays tiny.
+pub const DEFAULT_SHARD_CAPACITY: u64 = 1 << 20;
+
 /// A durable fact store rooted at a directory.
 #[derive(Debug, Clone)]
 pub struct Store {
     dir: PathBuf,
     io: Arc<dyn StoreIo>,
+    shard_capacity: u64,
 }
 
-/// What a successful snapshot wrote.
+/// What a snapshot did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SnapshotInfo {
-    /// The committed epoch.
+    /// The committed epoch (the *previous* epoch when `unchanged`).
     pub epoch: u64,
     /// Facts persisted.
     pub facts: u64,
-    /// Segment files written.
-    pub segments: usize,
-    /// Total segment bytes written (manifest excluded).
+    /// Shard files actually written this snapshot.
+    pub shards_written: usize,
+    /// Committed shards reused unmodified from the previous epoch.
+    pub shards_skipped: usize,
+    /// Total shard bytes written (manifest excluded).
     pub bytes: u64,
+    /// Whether the snapshot was a no-op: nothing changed since the
+    /// committed manifest, so no file — not even the manifest — was
+    /// touched.
+    pub unchanged: bool,
 }
 
 /// Honest accounting of a load: what survived, what did not, and why.
@@ -68,15 +103,20 @@ pub struct RecoveryReport {
     pub facts_dropped: u64,
     /// Record frames, headers, or footers whose checksum failed.
     pub checksum_failures: u64,
-    /// Segment files the manifest names that could not be read.
+    /// Shard files the manifest names that could not be read.
     pub missing_segments: u64,
+    /// Shards opened as real memory mappings (zero-copy).
+    pub mmap_maps: u64,
+    /// Shards that fell back to an ordinary read.
+    pub mmap_fallbacks: u64,
     /// Whether the rebuilt table's fingerprint matched the manifest
     /// (only checkable when every fact survived).
     pub fingerprint_verified: bool,
 }
 
 impl RecoveryReport {
-    /// Whether the load read back exactly what was written.
+    /// Whether the load read back exactly what was written. Which I/O
+    /// path served the bytes (mmap vs fallback) is irrelevant here.
     pub fn clean(&self) -> bool {
         self.facts_dropped == 0
             && self.checksum_failures == 0
@@ -97,25 +137,27 @@ pub struct Recovered {
     pub report: RecoveryReport,
 }
 
-/// Per-relation detail of an fsck pass.
+/// Per-shard detail of an fsck pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FsckRelation {
     /// Relation name.
     pub name: String,
-    /// Segment file name (relative to the store directory).
+    /// Shard index within the relation.
+    pub shard: u32,
+    /// Shard file name (relative to the store directory).
     pub file: String,
     /// Records the manifest committed to.
     pub records_expected: u64,
     /// Records that scanned back intact.
     pub records_found: u64,
-    /// Checksum failures in this segment.
+    /// Checksum failures in this shard.
     pub checksum_failures: u64,
     /// Undecodable tail bytes.
     pub torn_bytes: u64,
     /// Whether the file was readable at all.
     pub readable: bool,
     /// Whether the recomputed record fingerprint matched both the
-    /// segment footer and the manifest entry.
+    /// shard footer and the manifest entry.
     pub fingerprint_ok: bool,
 }
 
@@ -126,12 +168,12 @@ pub struct FsckReport {
     pub epoch: u64,
     /// Facts the manifest committed to.
     pub facts_expected: u64,
-    /// Per-relation segment findings.
+    /// Per-shard findings.
     pub relations: Vec<FsckRelation>,
 }
 
 impl FsckReport {
-    /// Whether every segment verified end to end.
+    /// Whether every shard verified end to end.
     pub fn clean(&self) -> bool {
         self.relations.iter().all(|r| {
             r.readable
@@ -142,14 +184,54 @@ impl FsckReport {
         })
     }
 
-    /// Total checksum failures across segments.
+    /// Total checksum failures across shards.
     pub fn checksum_failures(&self) -> u64 {
         self.relations.iter().map(|r| r.checksum_failures).sum()
     }
 }
 
+/// Per-shard line of [`Store::stat`] — taken from the manifest plus one
+/// `stat(2)` per file, no shard contents read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Schema-local relation id.
+    pub rel: u32,
+    /// Relation name from the manifest.
+    pub name: String,
+    /// Shard index within the relation.
+    pub shard: u32,
+    /// Shard file name (relative to the store directory).
+    pub file: String,
+    /// Records the manifest committed to.
+    pub count: u64,
+    /// File size in bytes; 0 when the file is missing.
+    pub bytes: u64,
+    /// Whether the file exists at all (contents are *not* verified —
+    /// that is [`Store::verify`]'s job).
+    pub present: bool,
+}
+
+/// The result of [`Store::stat`] (`infpdb store info`): everything the
+/// manifest plus per-file `stat(2)` calls can answer, without reading a
+/// single shard byte — O(#shards), not O(#facts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStat {
+    /// The committed epoch.
+    pub epoch: u64,
+    /// Facts the manifest committed to.
+    pub facts: u64,
+    /// Facts per shard.
+    pub shard_capacity: u64,
+    /// Identity of the generating supply, if recorded.
+    pub pdb_fingerprint: Option<u64>,
+    /// Per-shard stats, manifest order.
+    pub shards: Vec<ShardStat>,
+    /// Sum of present shard file sizes.
+    pub total_bytes: u64,
+}
+
 impl Store {
-    /// A store over the real filesystem.
+    /// A store over the real filesystem with the default shard capacity.
     pub fn open_dir(dir: impl Into<PathBuf>) -> Self {
         Self::with_io(dir, Arc::new(StdIo))
     }
@@ -159,7 +241,27 @@ impl Store {
         Store {
             dir: dir.into(),
             io,
+            shard_capacity: DEFAULT_SHARD_CAPACITY,
         }
+    }
+
+    /// Overrides the facts-per-shard capacity for snapshots this store
+    /// writes. Reading adapts to whatever the manifest says, so mixed
+    /// capacities across a store's history are fine — the next snapshot
+    /// at a different capacity simply rewrites every shard once.
+    ///
+    /// # Panics
+    ///
+    /// If `capacity` is zero.
+    pub fn with_shard_capacity(mut self, capacity: u64) -> Self {
+        assert!(capacity > 0, "shard capacity must be positive");
+        self.shard_capacity = capacity;
+        self
+    }
+
+    /// The facts-per-shard capacity snapshots will use.
+    pub fn shard_capacity(&self) -> u64 {
+        self.shard_capacity
     }
 
     /// The store directory.
@@ -184,10 +286,10 @@ impl Store {
         Manifest::parse(&text).map(Some)
     }
 
-    fn next_epoch(&self) -> u64 {
+    fn next_epoch_after(&self, prev: Option<&Manifest>) -> u64 {
         // prefer the committed epoch; fall back to scanning file names so
         // a corrupt manifest cannot make us reuse (and clobber) an epoch
-        if let Ok(Some(m)) = self.read_manifest() {
+        if let Some(m) = prev {
             return m.epoch + 1;
         }
         let mut max = 0u64;
@@ -201,8 +303,10 @@ impl Store {
         max + 1
     }
 
-    /// Writes a full snapshot of `catalog` and commits it. On any error
-    /// the previously committed snapshot (if any) is untouched.
+    /// Writes a snapshot of `catalog` and commits it, reusing every
+    /// committed shard whose contents are unchanged and skipping the
+    /// commit entirely when *nothing* changed. On any error the
+    /// previously committed snapshot (if any) is untouched.
     ///
     /// `pdb_fingerprint` identifies the generating supply (so an open
     /// against a different database is detected); `descriptor` is an
@@ -214,45 +318,110 @@ impl Store {
         descriptor: Option<Json>,
     ) -> Result<SnapshotInfo, StoreError> {
         io_err(self.io.create_dir_all(&self.dir), "create_dir", &self.dir)?;
-        let epoch = self.next_epoch();
-        let schema = catalog.schema();
+        // a corrupt manifest is not fatal to writing: treat it as absent
+        // (next_epoch_after then scans file names) and rewrite everything
+        let prev = self.read_manifest().ok().flatten();
+        let table_fingerprint = catalog.fingerprint();
 
-        // group the dense prefix by relation, preserving id order
-        let mut by_rel: Vec<Vec<(infpdb_core::fact::FactId, &infpdb_core::fact::Fact, f64)>> =
-            vec![Vec::new(); schema.len()];
-        for (id, fact, prob) in catalog.iter() {
-            by_rel[fact.rel().0 as usize].push((id, fact, prob));
+        // no-op fast path: the committed snapshot already is this catalog
+        if let Some(m) = &prev {
+            if m.facts == catalog.len() as u64
+                && m.shard_capacity == self.shard_capacity
+                && m.table_fingerprint == table_fingerprint
+                && m.pdb_fingerprint == pdb_fingerprint
+                && m.descriptor == descriptor
+            {
+                return Ok(SnapshotInfo {
+                    epoch: m.epoch,
+                    facts: m.facts,
+                    shards_written: 0,
+                    shards_skipped: m.segments.len(),
+                    bytes: 0,
+                    unchanged: true,
+                });
+            }
         }
 
+        let epoch = self.next_epoch_after(prev.as_ref());
+        let schema = catalog.schema();
+
+        // shards from the previous epoch we may reuse, keyed (rel, shard)
+        let reusable: HashMap<(u32, u32), &SegmentEntry> = match &prev {
+            Some(m) if m.shard_capacity == self.shard_capacity => {
+                m.segments.iter().map(|s| ((s.rel, s.shard), s)).collect()
+            }
+            _ => HashMap::new(),
+        };
+
+        // group the dense prefix by relation, preserving id order, and
+        // carry each fact's cached digest for shard fingerprints
+        type Row<'a> = (infpdb_core::fact::FactId, &'a infpdb_core::fact::Fact, f64);
+        let mut by_rel: Vec<(Vec<Row<'_>>, Vec<u64>)> =
+            vec![(Vec::new(), Vec::new()); schema.len()];
+        let digests = catalog.fact_digests();
+        for (id, fact, prob) in catalog.iter() {
+            let slot = &mut by_rel[fact.rel().0 as usize];
+            slot.0.push((id, fact, prob));
+            slot.1.push(digests[id.0 as usize]);
+        }
+
+        let cap = self.shard_capacity as usize;
         let mut segments = Vec::new();
         let mut bytes_written = 0u64;
-        for (rel_idx, records) in by_rel.iter().enumerate() {
-            if records.is_empty() {
-                continue;
-            }
+        let mut shards_written = 0usize;
+        let mut shards_skipped = 0usize;
+        for (rel_idx, (records, rel_digests)) in by_rel.iter().enumerate() {
             let rel = RelId(rel_idx as u32);
-            let image = encode_segment(schema, rel, records);
-            // footer layout: magic 8 | count 8 | fingerprint 8 | crc 4
-            let fp_off = image.len() - 12;
-            let fingerprint = u64::from_le_bytes(image[fp_off..fp_off + 8].try_into().unwrap());
-            let file = format!("rel{rel_idx}-{epoch}.seg");
-            let path = self.dir.join(&file);
-            io_err(self.io.write(&path, &image), "write", &path)?;
-            io_err(self.io.fsync(&path), "fsync", &path)?;
-            bytes_written += image.len() as u64;
-            segments.push(SegmentEntry {
-                rel: rel_idx as u32,
-                file,
-                count: records.len() as u64,
-                fingerprint,
-            });
+            for (k, chunk) in records.chunks(cap).enumerate() {
+                let shard = k as u32;
+                // shard fingerprint from cached digests — bit-identical
+                // to the footer encode_segment would write, but O(chunk)
+                // u64 combines instead of re-hashing fact content
+                let mut comb = UnorderedCombiner::new();
+                for &d in &rel_digests[k * cap..k * cap + chunk.len()] {
+                    comb.add(d);
+                }
+                let fingerprint = comb.finish();
+                if let Some(old) = reusable.get(&(rel.0, shard)) {
+                    if old.count == chunk.len() as u64
+                        && old.fingerprint == fingerprint
+                        && self.io.exists(&self.dir.join(&old.file))
+                    {
+                        shards_skipped += 1;
+                        segments.push((*old).clone());
+                        continue;
+                    }
+                }
+                let image = encode_segment(schema, rel, chunk);
+                // footer layout: magic 8 | count 8 | fingerprint 8 | crc 4
+                let fp_off = image.len() - 12;
+                debug_assert_eq!(
+                    u64::from_le_bytes(image[fp_off..fp_off + 8].try_into().unwrap()),
+                    fingerprint,
+                    "cached digests diverged from segment footer"
+                );
+                let file = format!("rel{rel_idx}-s{shard}-{epoch}.seg");
+                let path = self.dir.join(&file);
+                io_err(self.io.write(&path, &image), "write", &path)?;
+                io_err(self.io.fsync(&path), "fsync", &path)?;
+                bytes_written += image.len() as u64;
+                shards_written += 1;
+                segments.push(SegmentEntry {
+                    rel: rel.0,
+                    shard,
+                    file,
+                    count: chunk.len() as u64,
+                    fingerprint,
+                });
+            }
         }
 
         let manifest = Manifest {
             format: FORMAT_VERSION,
             epoch,
             facts: catalog.len() as u64,
-            table_fingerprint: catalog.table_prefix(catalog.len()).fingerprint(),
+            shard_capacity: self.shard_capacity,
+            table_fingerprint,
             pdb_fingerprint,
             descriptor,
             relations: schema
@@ -277,33 +446,43 @@ impl Store {
         io_err(self.io.rename(&tmp, &dst), "rename", &dst)?;
         io_err(self.io.sync_dir(&self.dir), "sync_dir", &self.dir)?;
 
-        self.gc(epoch);
+        self.gc(&manifest);
 
         Ok(SnapshotInfo {
             epoch,
             facts: catalog.len() as u64,
-            segments: manifest.segments.len(),
+            shards_written,
+            shards_skipped,
             bytes: bytes_written,
+            unchanged: false,
         })
     }
 
-    /// Unlinks segment files from epochs other than `keep` (best
-    /// effort — a failure here is retried by the next snapshot).
-    fn gc(&self, keep: u64) {
+    /// Unlinks `.seg` files the just-committed manifest does not
+    /// reference (best effort — a failure here is retried by the next
+    /// snapshot). Reference-set based, not epoch based: reused shards
+    /// keep their old-epoch names and must survive.
+    fn gc(&self, committed: &Manifest) {
+        let referenced: std::collections::HashSet<&str> =
+            committed.segments.iter().map(|s| s.file.as_str()).collect();
         let Ok(files) = self.io.list(&self.dir) else {
             return;
         };
         for f in files {
-            if let Some(e) = parse_epoch(&f) {
-                if e != keep {
-                    let _ = self.io.remove(&f);
-                }
+            let Some(name) = f.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.ends_with(".seg") && !referenced.contains(name) {
+                let _ = self.io.remove(&f);
             }
         }
     }
 
     /// Loads the committed snapshot, recovering the longest valid
-    /// prefix. `Ok(None)` when the directory holds no snapshot;
+    /// prefix. Shards are opened as read-only views — a real mmap when
+    /// the platform grants one (counted in
+    /// [`RecoveryReport::mmap_maps`]), an ordinary read otherwise.
+    /// `Ok(None)` when the directory holds no snapshot;
     /// [`StoreError::Corrupt`] only when the manifest itself — the
     /// commit point — is unusable.
     pub fn load(&self) -> Result<Option<Recovered>, StoreError> {
@@ -327,11 +506,16 @@ impl Store {
         let mut slots: Vec<Option<(SegmentRecord, RelId)>> = vec![None; manifest.facts as usize];
         for entry in &manifest.segments {
             let path = self.dir.join(&entry.file);
-            let Ok(bytes) = self.io.read(&path) else {
+            let Ok(view) = self.io.view(&path) else {
                 report.missing_segments += 1;
                 continue;
             };
-            let scan = scan_segment(&bytes);
+            if view.is_mapped() {
+                report.mmap_maps += 1;
+            } else {
+                report.mmap_fallbacks += 1;
+            }
+            let scan = scan_segment(&view);
             report.checksum_failures += scan.checksum_failures;
             match scan.header {
                 Some(h) if h.rel == entry.rel => {}
@@ -370,8 +554,9 @@ impl Store {
         report.facts_kept = catalog.len() as u64;
         report.facts_dropped = manifest.facts - report.facts_kept;
 
+        // O(1): the catalog keeps a running combine of push digests
         report.fingerprint_verified = report.facts_kept == manifest.facts
-            && catalog.table_prefix(catalog.len()).fingerprint() == manifest.table_fingerprint;
+            && catalog.fingerprint() == manifest.table_fingerprint;
 
         Ok(Some(Recovered {
             catalog,
@@ -380,9 +565,50 @@ impl Store {
         }))
     }
 
-    /// Fsck: walk every committed segment and report per-relation
-    /// health without rebuilding the catalog. `Ok(None)` when the
-    /// directory holds no snapshot.
+    /// Manifest-only stats: epoch, fact count, and per-shard file sizes
+    /// from `stat(2)` — never reads shard contents, so `store info` on a
+    /// 10⁷-fact store is O(#shards). `Ok(None)` when the directory
+    /// holds no snapshot.
+    pub fn stat(&self) -> Result<Option<StoreStat>, StoreError> {
+        let Some(manifest) = self.read_manifest()? else {
+            return Ok(None);
+        };
+        let mut shards = Vec::with_capacity(manifest.segments.len());
+        let mut total_bytes = 0u64;
+        for entry in &manifest.segments {
+            let name = manifest
+                .relations
+                .get(entry.rel as usize)
+                .map(|r| r.name.clone())
+                .unwrap_or_else(|| format!("rel{}", entry.rel));
+            let (bytes, present) = match self.io.file_len(&self.dir.join(&entry.file)) {
+                Ok(n) => (n, true),
+                Err(_) => (0, false),
+            };
+            total_bytes += bytes;
+            shards.push(ShardStat {
+                rel: entry.rel,
+                name,
+                shard: entry.shard,
+                file: entry.file.clone(),
+                count: entry.count,
+                bytes,
+                present,
+            });
+        }
+        Ok(Some(StoreStat {
+            epoch: manifest.epoch,
+            facts: manifest.facts,
+            shard_capacity: manifest.shard_capacity,
+            pdb_fingerprint: manifest.pdb_fingerprint,
+            shards,
+            total_bytes,
+        }))
+    }
+
+    /// Fsck: walk every committed shard and report per-shard health
+    /// without rebuilding the catalog. `Ok(None)` when the directory
+    /// holds no snapshot.
     pub fn verify(&self) -> Result<Option<FsckReport>, StoreError> {
         let Some(manifest) = self.read_manifest()? else {
             return Ok(None);
@@ -401,9 +627,10 @@ impl Store {
                 .map(|r| r.name().to_string())
                 .unwrap_or_else(|| format!("rel{}", entry.rel));
             let path = self.dir.join(&entry.file);
-            let Ok(bytes) = self.io.read(&path) else {
+            let Ok(view) = self.io.view(&path) else {
                 relations.push(FsckRelation {
                     name,
+                    shard: entry.shard,
                     file: entry.file.clone(),
                     records_expected: entry.count,
                     records_found: 0,
@@ -414,13 +641,14 @@ impl Store {
                 });
                 continue;
             };
-            let scan = scan_segment(&bytes);
+            let scan = scan_segment(&view);
             let recomputed = records_fingerprint(&schema, RelId(entry.rel), &scan.records);
             let fingerprint_ok = scan
                 .footer
                 .is_some_and(|f| f.fingerprint == recomputed && f.fingerprint == entry.fingerprint);
             relations.push(FsckRelation {
                 name,
+                shard: entry.shard,
                 file: entry.file.clone(),
                 records_expected: entry.count,
                 records_found: scan.records.len() as u64,
@@ -438,7 +666,10 @@ impl Store {
     }
 }
 
-/// Extracts the epoch from a `rel{r}-{epoch}.seg` file name.
+/// Extracts the epoch from a `rel{r}-s{k}-{epoch}.seg` file name (the
+/// epoch is the last `-`-separated component, so this also reads the
+/// retired `rel{r}-{epoch}.seg` names when scanning for a safe next
+/// epoch over a corrupt manifest).
 fn parse_epoch(path: &Path) -> Option<u64> {
     let name = path.file_name()?.to_str()?;
     let stem = name.strip_suffix(".seg")?;
@@ -493,10 +724,18 @@ mod tests {
             assert_eq!(fa, fb);
             assert_eq!(pa.to_bits(), pb.to_bits());
         }
-        assert_eq!(
-            a.table_prefix(a.len()).fingerprint(),
-            b.table_prefix(b.len()).fingerprint()
-        );
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    fn seg_files(dir: &Path) -> Vec<String> {
+        let mut v: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".seg"))
+            .collect();
+        v.sort();
+        v
     }
 
     #[test]
@@ -514,9 +753,16 @@ mod tests {
             .unwrap();
         assert_eq!(info.epoch, 1);
         assert_eq!(info.facts, 20);
-        assert_eq!(info.segments, 2);
+        assert_eq!(info.shards_written, 2);
+        assert_eq!(info.shards_skipped, 0);
+        assert!(!info.unchanged);
         let rec = store.load().unwrap().unwrap();
         assert!(rec.report.clean(), "{:?}", rec.report);
+        assert_eq!(
+            rec.report.mmap_maps + rec.report.mmap_fallbacks,
+            2,
+            "every shard must be accounted to one view path"
+        );
         assert_eq!(rec.manifest.pdb_fingerprint, Some(0xFEED));
         assert_eq!(
             rec.manifest.descriptor.as_ref().unwrap().get("k").unwrap(),
@@ -529,21 +775,18 @@ mod tests {
     }
 
     #[test]
-    fn resnapshot_bumps_epoch_and_gcs_old_segments() {
+    fn resnapshot_bumps_epoch_and_gcs_unreferenced_segments() {
         let dir = tempdir("epochs");
         let store = Store::open_dir(&dir);
         store.snapshot(&sample_catalog(5), None, None).unwrap();
         let info = store.snapshot(&sample_catalog(9), None, None).unwrap();
         assert_eq!(info.epoch, 2);
-        let segs: Vec<_> = std::fs::read_dir(&dir)
-            .unwrap()
-            .filter_map(|e| e.ok())
-            .filter(|e| e.path().extension().is_some_and(|x| x == "seg"))
-            .collect();
-        assert!(
-            segs.iter().all(|e| parse_epoch(&e.path()) == Some(2)),
-            "{segs:?}"
-        );
+        // the on-disk file set is exactly the committed reference set
+        let manifest = store.read_manifest().unwrap().unwrap();
+        let mut referenced: Vec<String> =
+            manifest.segments.iter().map(|s| s.file.clone()).collect();
+        referenced.sort();
+        assert_eq!(seg_files(&dir), referenced);
         let rec = store.load().unwrap().unwrap();
         assert!(rec.report.clean());
         assert_eq!(rec.catalog.len(), 9);
@@ -551,28 +794,102 @@ mod tests {
     }
 
     #[test]
-    fn truncated_segment_recovers_longest_prefix() {
-        let dir = tempdir("truncate");
+    fn unchanged_snapshot_is_a_noop() {
+        let dir = tempdir("noop");
         let store = Store::open_dir(&dir);
         let catalog = sample_catalog(12);
-        store.snapshot(&catalog, None, None).unwrap();
-        // find the R segment and truncate it at every byte offset
-        let seg_path = std::fs::read_dir(&dir)
-            .unwrap()
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .find(|p| {
-                p.file_name()
-                    .unwrap()
-                    .to_str()
-                    .unwrap()
-                    .starts_with("rel0-")
-            })
+        let desc = Some(Json::obj([("tail", Json::Float(0.25))]));
+        let first = store.snapshot(&catalog, Some(7), desc.clone()).unwrap();
+        assert!(!first.unchanged);
+        let manifest_bytes = std::fs::read(dir.join(MANIFEST_FILE)).unwrap();
+        let again = store.snapshot(&catalog, Some(7), desc.clone()).unwrap();
+        assert!(again.unchanged);
+        assert_eq!(again.epoch, first.epoch, "no-op must keep the epoch");
+        assert_eq!(again.facts, 12);
+        assert_eq!(again.shards_written, 0);
+        assert_eq!(again.shards_skipped, 2);
+        assert_eq!(again.bytes, 0);
+        assert_eq!(
+            std::fs::read(dir.join(MANIFEST_FILE)).unwrap(),
+            manifest_bytes,
+            "no-op must not rewrite the manifest"
+        );
+        // any input change defeats the no-op: different supply identity
+        let third = store.snapshot(&catalog, Some(8), desc).unwrap();
+        assert!(!third.unchanged);
+        assert_eq!(third.epoch, first.epoch + 1);
+        // the facts themselves were untouched, so every shard is reused
+        assert_eq!(third.shards_written, 0);
+        assert_eq!(third.shards_skipped, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incremental_snapshot_rewrites_only_tail_shards() {
+        let dir = tempdir("incremental");
+        let store = Store::open_dir(&dir).with_shard_capacity(4);
+        // 20 facts: R gets 13 (shards 4|4|4|1), S gets 7 (shards 4|3)
+        let info = store.snapshot(&sample_catalog(20), None, None).unwrap();
+        assert_eq!(info.shards_written, 6);
+        assert_eq!(info.shards_skipped, 0);
+        // +4 facts: R grows to 16 (tail shard 3: 1→4), S to 8 (tail
+        // shard 1: 3→4); the four full shards are byte-identical
+        let inc = store.snapshot(&sample_catalog(24), None, None).unwrap();
+        assert!(!inc.unchanged);
+        assert_eq!(inc.shards_written, 2, "only the two tail shards");
+        assert_eq!(inc.shards_skipped, 4);
+        assert!(inc.bytes < info.bytes);
+        // reused shards keep their epoch-1 names in the new manifest
+        let manifest = store.read_manifest().unwrap().unwrap();
+        assert_eq!(manifest.epoch, 2);
+        let old_named = manifest
+            .segments
+            .iter()
+            .filter(|s| s.file.ends_with("-1.seg"))
+            .count();
+        assert_eq!(old_named, 4);
+        let rec = store.load().unwrap().unwrap();
+        assert!(rec.report.clean(), "{:?}", rec.report);
+        assert_catalogs_identical(&rec.catalog, &sample_catalog(24));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn changed_shard_capacity_rewrites_every_shard() {
+        let dir = tempdir("recap");
+        let store = Store::open_dir(&dir).with_shard_capacity(4);
+        store.snapshot(&sample_catalog(20), None, None).unwrap();
+        let rewritten = Store::open_dir(&dir)
+            .with_shard_capacity(8)
+            .snapshot(&sample_catalog(20), None, None)
             .unwrap();
+        assert!(!rewritten.unchanged);
+        assert_eq!(rewritten.shards_skipped, 0, "capacity change ⇒ no reuse");
+        // R 13 facts → 2 shards, S 7 facts → 1 shard
+        assert_eq!(rewritten.shards_written, 3);
+        let rec = store.load().unwrap().unwrap();
+        assert!(rec.report.clean());
+        assert_eq!(rec.manifest.shard_capacity, 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_last_shard_keeps_earlier_shards_bit_exact() {
+        let dir = tempdir("truncate-tail");
+        let store = Store::open_dir(&dir).with_shard_capacity(4);
+        let catalog = sample_catalog(20);
+        store.snapshot(&catalog, None, None).unwrap();
+        // R's last shard (rel0-s3-1.seg) holds R's 13th fact, global id
+        // 19 — so every truncation of it keeps global ids 0..=18 intact
+        let seg_path = dir.join("rel0-s3-1.seg");
         let full = std::fs::read(&seg_path).unwrap();
         for cut in 0..full.len() {
             std::fs::write(&seg_path, &full[..cut]).unwrap();
             let rec = store.load().unwrap().unwrap();
-            // never a fact past the truncation point, never a panic
+            assert!(
+                rec.catalog.len() >= 19,
+                "cut {cut} lost facts outside the torn shard"
+            );
             assert!(rec.catalog.len() <= catalog.len());
             for (id, fact, prob) in rec.catalog.iter() {
                 assert_eq!(fact, catalog.fact(id), "cut {cut}");
@@ -592,31 +909,75 @@ mod tests {
     }
 
     #[test]
+    fn truncated_segment_recovers_longest_prefix() {
+        let dir = tempdir("truncate");
+        let store = Store::open_dir(&dir);
+        let catalog = sample_catalog(12);
+        store.snapshot(&catalog, None, None).unwrap();
+        // truncate the single R shard at every byte offset
+        let seg_path = dir.join("rel0-s0-1.seg");
+        let full = std::fs::read(&seg_path).unwrap();
+        for cut in 0..full.len() {
+            std::fs::write(&seg_path, &full[..cut]).unwrap();
+            let rec = store.load().unwrap().unwrap();
+            // never a fact past the truncation point, never a panic
+            assert!(rec.catalog.len() <= catalog.len());
+            for (id, fact, prob) in rec.catalog.iter() {
+                assert_eq!(fact, catalog.fact(id), "cut {cut}");
+                assert_eq!(prob.to_bits(), catalog.prob(id).to_bits(), "cut {cut}");
+            }
+            assert_eq!(
+                rec.report.facts_dropped,
+                catalog.len() as u64 - rec.catalog.len() as u64
+            );
+            if rec.catalog.len() < catalog.len() {
+                assert!(!rec.report.clean(), "cut {cut} claimed clean");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn missing_segment_is_reported_not_fatal() {
         let dir = tempdir("missing");
         let store = Store::open_dir(&dir);
         store.snapshot(&sample_catalog(6), None, None).unwrap();
-        // remove the segment holding fact id 0 (relation S: i % 3 == 0)
-        let seg_path = std::fs::read_dir(&dir)
-            .unwrap()
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .find(|p| {
-                p.file_name()
-                    .unwrap()
-                    .to_str()
-                    .unwrap()
-                    .starts_with("rel1-")
-            })
-            .unwrap();
-        std::fs::remove_file(&seg_path).unwrap();
+        // remove the shard holding fact id 0 (relation S: i % 3 == 0)
+        std::fs::remove_file(dir.join("rel1-s0-1.seg")).unwrap();
         let rec = store.load().unwrap().unwrap();
         assert_eq!(rec.report.missing_segments, 1);
-        // id 0 lives in the missing segment, so the kept prefix is empty
+        // id 0 lives in the missing shard, so the kept prefix is empty
         assert_eq!(rec.catalog.len(), 0);
         assert_eq!(rec.report.facts_dropped, 6);
         let fsck = store.verify().unwrap().unwrap();
         assert!(!fsck.clean());
         assert!(fsck.relations.iter().any(|r| !r.readable));
+        // stat flags the hole without reading any shard
+        let stat = store.stat().unwrap().unwrap();
+        assert!(stat.shards.iter().any(|s| !s.present));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stat_is_manifest_only_and_matches_disk() {
+        let dir = tempdir("stat");
+        let store = Store::open_dir(&dir).with_shard_capacity(4);
+        assert!(store.stat().unwrap().is_none());
+        let info = store.snapshot(&sample_catalog(20), Some(11), None).unwrap();
+        let stat = store.stat().unwrap().unwrap();
+        assert_eq!(stat.epoch, info.epoch);
+        assert_eq!(stat.facts, 20);
+        assert_eq!(stat.shard_capacity, 4);
+        assert_eq!(stat.pdb_fingerprint, Some(11));
+        assert_eq!(stat.shards.len(), 6);
+        assert!(stat.shards.iter().all(|s| s.present));
+        assert_eq!(stat.total_bytes, info.bytes);
+        assert_eq!(
+            stat.total_bytes,
+            stat.shards.iter().map(|s| s.bytes).sum::<u64>()
+        );
+        // per-shard counts add up to the committed fact total
+        assert_eq!(stat.shards.iter().map(|s| s.count).sum::<u64>(), 20);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -628,9 +989,11 @@ mod tests {
         std::fs::write(dir.join(MANIFEST_FILE), b"{ not json").unwrap();
         assert!(matches!(store.load(), Err(StoreError::Corrupt(_))));
         assert!(matches!(store.verify(), Err(StoreError::Corrupt(_))));
+        assert!(matches!(store.stat(), Err(StoreError::Corrupt(_))));
         // but a fresh snapshot over it still works (epoch from file scan)
         let info = store.snapshot(&sample_catalog(3), None, None).unwrap();
         assert_eq!(info.epoch, 2);
+        assert!(!info.unchanged, "a corrupt manifest never no-ops");
         assert!(store.load().unwrap().unwrap().report.clean());
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -662,7 +1025,7 @@ mod tests {
         let io = Arc::new(FaultyIo::new(7));
         let store = Store::with_io(&dir, io.clone());
         let catalog = sample_catalog(30);
-        // first write of a snapshot is a segment file
+        // first write of a snapshot is a shard file
         io.injector()
             .inject(SITE_WRITE, IoFault::ShortWrite, Trigger::Times(1));
         store.snapshot(&catalog, None, None).unwrap();
@@ -670,6 +1033,9 @@ mod tests {
         let rec = store.load().unwrap().unwrap();
         assert!(!rec.report.clean());
         assert!(rec.report.facts_dropped > 0);
+        // FaultyIo inherits the default (read-backed) views
+        assert_eq!(rec.report.mmap_maps, 0);
+        assert_eq!(rec.report.mmap_fallbacks, 2);
         for (id, fact, prob) in rec.catalog.iter() {
             assert_eq!(fact, catalog.fact(id));
             assert_eq!(prob.to_bits(), catalog.prob(id).to_bits());
@@ -703,10 +1069,13 @@ mod tests {
         let store = Store::open_dir(&dir);
         let catalog = FactCatalog::new(schema());
         let info = store.snapshot(&catalog, None, None).unwrap();
-        assert_eq!(info.segments, 0);
+        assert_eq!(info.shards_written, 0);
+        assert!(!info.unchanged);
         let rec = store.load().unwrap().unwrap();
         assert!(rec.report.clean());
         assert_eq!(rec.catalog.len(), 0);
+        // and snapshotting the same emptiness again is a no-op
+        assert!(store.snapshot(&catalog, None, None).unwrap().unchanged);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

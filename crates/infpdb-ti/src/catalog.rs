@@ -5,21 +5,33 @@
 //! probability series, so the materialized prefix `f₁ … f_n` is a stable,
 //! query-independent artifact. A [`FactCatalog`] holds that prefix once —
 //! dense fact ids equal to enumeration indexes, aligned probabilities —
-//! and hands out [`TiTable`] snapshots *by cloning its interner* instead
-//! of re-hashing owned `Fact`s, so repeat evaluations (and ε-refinements
-//! that only extend the prefix) skip the grounding cost entirely.
+//! and hands out [`TiTable`] snapshots *by sharing its backing storage*
+//! (`Arc`-cloned interner and probability vector, length-bounded views)
+//! instead of re-hashing owned `Fact`s, so repeat evaluations (and
+//! ε-refinements that only extend the prefix) skip the grounding cost
+//! entirely, at **every** prefix length — not just the full one.
 //!
 //! The catalog is append-only: extending to a larger `n` never perturbs
 //! existing ids, which is what keeps prepared evaluations bit-for-bit
 //! identical to the one-shot path — a prefix snapshot at `n` contains
 //! exactly the facts, ids, and probability bits the one-shot loop would
 //! have produced.
+//!
+//! Alongside the facts, the catalog keeps each fact's content digest
+//! ([`fact_fingerprint`]) and a running [`UnorderedCombiner`], so
+//! [`fingerprint`](FactCatalog::fingerprint) is O(1) per call and the
+//! durable store's per-shard skip-checks combine cached digests instead
+//! of rehashing 10⁷ facts at every snapshot.
 
 use crate::TiError;
 use infpdb_core::fact::{Fact, FactId};
+use infpdb_core::fingerprint::{
+    combine_unordered, fact_fingerprint, Fingerprinter, UnorderedCombiner,
+};
 use infpdb_core::interner::FactInterner;
 use infpdb_core::schema::Schema;
 use infpdb_finite::TiTable;
+use std::sync::Arc;
 
 /// A materialized enumeration prefix: dense fact ids, probabilities, and
 /// the schema they live in. Append-only; snapshot tables via
@@ -27,8 +39,15 @@ use infpdb_finite::TiTable;
 #[derive(Debug, Clone)]
 pub struct FactCatalog {
     schema: Schema,
-    interner: FactInterner,
-    probs: Vec<f64>,
+    interner: Arc<FactInterner>,
+    probs: Arc<Vec<f64>>,
+    /// `digests[i]` = `fact_fingerprint(schema, fact_i, prob_i)`, cached
+    /// at push time so set-level fingerprints never rehash content.
+    digests: Vec<u64>,
+    /// Running order-insensitive combine of `digests` — kept in
+    /// lockstep with every push, bit-identical to batch
+    /// `combine_unordered(digests)`.
+    combiner: UnorderedCombiner,
 }
 
 impl FactCatalog {
@@ -36,8 +55,10 @@ impl FactCatalog {
     pub fn new(schema: Schema) -> Self {
         Self {
             schema,
-            interner: FactInterner::new(),
-            probs: Vec::new(),
+            interner: Arc::new(FactInterner::new()),
+            probs: Arc::new(Vec::new()),
+            digests: Vec::new(),
+            combiner: UnorderedCombiner::new(),
         }
     }
 
@@ -67,9 +88,13 @@ impl FactCatalog {
                 second: self.len(),
             });
         }
-        let id = self.interner.intern(fact);
+        // digest before interning: the fact is moved into the interner
+        let digest = fact_fingerprint(&self.schema, &fact, p);
+        let id = Arc::make_mut(&mut self.interner).intern(fact);
         debug_assert_eq!(id.0 as usize, self.probs.len());
-        self.probs.push(p);
+        Arc::make_mut(&mut self.probs).push(p);
+        self.digests.push(digest);
+        self.combiner.add(digest);
         Ok(id)
     }
 
@@ -81,6 +106,33 @@ impl FactCatalog {
     /// The materialized fact for an id, borrowed from the catalog.
     pub fn fact(&self, id: FactId) -> &Fact {
         self.interner.resolve(id)
+    }
+
+    /// The cached per-fact content digests, aligned with fact ids.
+    /// `digests()[i]` is `fact_fingerprint(schema, fact_i, prob_i)` —
+    /// exactly what segment footers store, so the durable store computes
+    /// a shard's fingerprint by combining a subrange of this slice
+    /// without touching fact bytes.
+    pub fn fact_digests(&self) -> &[u64] {
+        &self.digests
+    }
+
+    /// The content fingerprint of the whole catalog, O(1) per call
+    /// (amortized: one [`UnorderedCombiner::add`] per push, plus an
+    /// O(#relations) schema digest here). Bit-identical to
+    /// `self.table_prefix(self.len()).fingerprint()` — asserted by the
+    /// property tests — without materializing a table or rehashing any
+    /// fact.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.write_u64(combine_unordered(self.schema.iter().map(|(_, r)| {
+            let mut rf = Fingerprinter::new();
+            rf.write_bytes(r.name().as_bytes())
+                .write_u64(r.arity() as u64);
+            rf.finish()
+        })));
+        fp.write_u64(self.combiner.finish());
+        fp.finish()
     }
 
     /// Walks the materialized prefix in id order: `(id, fact, prob)`.
@@ -112,30 +164,23 @@ impl FactCatalog {
     /// A [`TiTable`] over the first `n` materialized facts — the `Ω_n`
     /// prefix of Proposition 6.1 with ids equal to enumeration indexes.
     ///
-    /// When `n` covers the whole catalog the interner is cloned wholesale
-    /// (no fact is re-hashed); shorter prefixes re-intern only the facts
-    /// they keep, in id order, without consulting the enumeration's
-    /// generator. Panics if `n` exceeds the materialized length.
+    /// Zero-copy at every `n`: the table is a length-`n` view sharing
+    /// the catalog's `Arc`-backed interner and probability vector — no
+    /// fact is re-hashed or cloned, whether the prefix is full or
+    /// partial. Panics if `n` exceeds the materialized length.
     pub fn table_prefix(&self, n: usize) -> TiTable {
         assert!(
             n <= self.len(),
             "prefix {n} exceeds materialized length {}",
             self.len()
         );
-        if n == self.len() {
-            return TiTable::from_interned_parts(
-                self.schema.clone(),
-                self.interner.clone(),
-                self.probs.clone(),
-            )
-            .expect("catalog probabilities are validated on push");
-        }
-        let mut t = TiTable::new(self.schema.clone());
-        for (id, f) in self.interner.iter().take(n) {
-            t.add_fact(f.clone(), self.probs[id.0 as usize])
-                .expect("catalog facts are distinct and validated");
-        }
-        t
+        TiTable::from_shared_parts(
+            self.schema.clone(),
+            Arc::clone(&self.interner),
+            Arc::clone(&self.probs),
+            n,
+        )
+        .expect("catalog probabilities are validated on push")
     }
 }
 
@@ -177,6 +222,12 @@ mod tests {
         ));
         assert!(c.push(rfact(2), 1.5).is_err());
         assert_eq!(c.len(), 1, "failed pushes must not grow the catalog");
+        assert_eq!(
+            c.fact_digests().len(),
+            1,
+            "failed pushes must not perturb the digest cache"
+        );
+        assert_eq!(c.fingerprint(), c.table_prefix(1).fingerprint());
     }
 
     #[test]
@@ -186,7 +237,7 @@ mod tests {
         for (i, &p) in probs.iter().enumerate() {
             c.push(rfact(i as i64 + 1), p).unwrap();
         }
-        // full snapshot: interner-clone fast path
+        // full snapshot: shared-backing fast path
         let full = c.table_prefix(4);
         // reference built the one-shot way
         let reference = TiTable::from_facts(
@@ -199,11 +250,12 @@ mod tests {
         .unwrap();
         assert_eq!(full.fingerprint(), reference.fingerprint());
         assert_eq!(full.prob(FactId(3)), 0.0625);
-        // shorter prefix: same ids, fewer facts
+        // shorter prefix: same ids, fewer facts, still zero-copy
         let short = c.table_prefix(2);
         assert_eq!(short.len(), 2);
         assert_eq!(short.interner().resolve(FactId(1)), &rfact(2));
         assert_eq!(short.prob(FactId(1)), 0.25);
+        assert_eq!(short.marginal(&rfact(3)), 0.0, "closed world at n");
     }
 
     #[test]
@@ -229,5 +281,25 @@ mod tests {
             rebuilt.table_prefix(3).fingerprint(),
             c.table_prefix(3).fingerprint()
         );
+        assert_eq!(rebuilt.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn incremental_fingerprint_equals_batch_table_fingerprint() {
+        let mut c = FactCatalog::new(schema());
+        assert_eq!(c.fingerprint(), c.table_prefix(0).fingerprint());
+        for (i, p) in [0.5, 0.25, 0.125, 0.0625, 0.5].into_iter().enumerate() {
+            c.push(rfact(i as i64 + 1), p).unwrap();
+            assert_eq!(
+                c.fingerprint(),
+                c.table_prefix(c.len()).fingerprint(),
+                "after push {i}: the running combine must stay bit-identical \
+                 to the batch TiTable::fingerprint"
+            );
+        }
+        // cached digests are exactly the per-fact content digests
+        for (i, (_, f, p)) in c.iter().enumerate() {
+            assert_eq!(c.fact_digests()[i], fact_fingerprint(c.schema(), f, p));
+        }
     }
 }

@@ -61,10 +61,18 @@
 //!   grounds the prefix once and re-executes the query against it;
 //!   `--threads` sets the arena engine's intra-query thread budget
 //!   (estimates are identical at every value).
+//! * `bench store [--smoke] [--facts N] [--append N] [--shard-capacity C]
+//!   [--dir DIR] [--out PATH]` — the durable-store scale bench: grounds
+//!   an `N`-fact zeta prefix into a sharded store, times the full,
+//!   incremental (after appending `--append` facts), and no-op
+//!   snapshots, reopens via mmap, checks bit-for-bit answer equality
+//!   across thread counts, and writes `BENCH_<iso-date>_store.json`
+//!   (see `infpdb_bench::storebench`).
 
 use infpdb_bench::harness::{self, ImplKind};
 use infpdb_bench::planner as bench_planner;
 use infpdb_bench::saturation::{self, SaturationConfig};
+use infpdb_bench::storebench;
 use infpdb_core::fact::Fact;
 use infpdb_core::schema::{Relation, Schema};
 use infpdb_core::space::rand_core::SplitMix64;
@@ -682,10 +690,17 @@ pub fn cmd_store_snapshot(
     let n = prepared.warm(eps).map_err(lib_err)?;
     let store = Store::open_dir(dir);
     let info = prepared.persist(&store, Some(fp), None).map_err(lib_err)?;
+    if info.unchanged {
+        return Ok(format!(
+            "snapshot unchanged at epoch {} in {dir}: {} facts (warmed at eps = {eps}, n = {n}), \
+             nothing written\n",
+            info.epoch, info.facts
+        ));
+    }
     Ok(format!(
         "snapshot epoch {} written to {dir}: {} facts (warmed at eps = {eps}, n = {n}) \
-         in {} segment(s), {} bytes\n",
-        info.epoch, info.facts, info.segments, info.bytes
+         in {} shard(s) ({} reused), {} bytes\n",
+        info.epoch, info.facts, info.shards_written, info.shards_skipped, info.bytes
     ))
 }
 
@@ -719,8 +734,15 @@ pub fn cmd_store_verify(dir: &str) -> Result<String, CliError> {
         };
         writeln!(
             out,
-            "  {} ({}): {}/{} records, {} checksum failure(s), {} torn byte(s) — {verdict}",
-            r.name, r.file, r.records_found, r.records_expected, r.checksum_failures, r.torn_bytes
+            "  {} shard {} ({}): {}/{} records, {} checksum failure(s), {} torn byte(s) — \
+             {verdict}",
+            r.name,
+            r.shard,
+            r.file,
+            r.records_found,
+            r.records_expected,
+            r.checksum_failures,
+            r.torn_bytes
         )
         .ok();
     }
@@ -733,16 +755,19 @@ pub fn cmd_store_verify(dir: &str) -> Result<String, CliError> {
     }
 }
 
-/// `store info` subcommand: prints the manifest summary without
-/// touching the segments.
+/// `store info` subcommand: the manifest-only fast path. Prints the
+/// manifest summary plus per-shard sizes from `stat(2)` — never reads a
+/// shard's contents, so it is O(#shards) even on a 10⁷-fact store.
 pub fn cmd_store_info(dir: &str) -> Result<String, CliError> {
     let store = Store::open_dir(dir);
     let Some(m) = store.read_manifest().map_err(lib_err)? else {
         return Ok(format!("{dir}: no snapshot (empty store)\n"));
     };
+    let stat = store.stat().map_err(lib_err)?.expect("manifest just read");
     let mut out = String::new();
     writeln!(out, "epoch: {}", m.epoch).ok();
     writeln!(out, "facts: {}", m.facts).ok();
+    writeln!(out, "shard capacity: {}", m.shard_capacity).ok();
     writeln!(out, "table fingerprint: {:016x}", m.table_fingerprint).ok();
     if let Some(fp) = m.pdb_fingerprint {
         writeln!(out, "pdb fingerprint: {fp:016x}").ok();
@@ -751,12 +776,23 @@ pub fn cmd_store_info(dir: &str) -> Result<String, CliError> {
     for r in &m.relations {
         writeln!(out, "  {} / {}", r.name, r.arity).ok();
     }
-    writeln!(out, "segments:").ok();
-    for s in &m.segments {
+    writeln!(
+        out,
+        "shards ({}, {} bytes total):",
+        stat.shards.len(),
+        stat.total_bytes
+    )
+    .ok();
+    for s in &stat.shards {
         writeln!(
             out,
-            "  {} — {} record(s), fingerprint {:016x}",
-            s.file, s.count, s.fingerprint
+            "  {} shard {} ({}): {} record(s), {} bytes{}",
+            s.name,
+            s.shard,
+            s.file,
+            s.count,
+            s.bytes,
+            if s.present { "" } else { " — MISSING" }
         )
         .ok();
     }
@@ -798,6 +834,49 @@ pub fn cmd_bench(
     std::fs::write(&path, &json)
         .map_err(|e| CliError::Library(format!("cannot write {path}: {e}")))?;
     let mut out = harness::summary_table(&report);
+    writeln!(out, "wrote {path}").ok();
+    Ok(out)
+}
+
+/// `bench store` subcommand: the durable-store scale bench
+/// ([`infpdb_bench::storebench`]). Grounds a multi-million-fact zeta
+/// prefix, times full/incremental/no-op snapshots and the mmap reopen,
+/// verifies bit-for-bit answers, and writes
+/// `BENCH_<iso-date>_store.json`.
+pub fn cmd_bench_store(
+    smoke: bool,
+    facts: Option<usize>,
+    append: Option<usize>,
+    shard_capacity: Option<u64>,
+    dir: Option<&str>,
+    out_path: Option<&str>,
+) -> Result<String, CliError> {
+    let mut config = if smoke {
+        storebench::StoreBenchConfig::smoke()
+    } else {
+        storebench::StoreBenchConfig::full()
+    };
+    if let Some(f) = facts {
+        config.facts = f;
+    }
+    if let Some(a) = append {
+        config.append = a;
+    }
+    if let Some(c) = shard_capacity {
+        if c == 0 {
+            return Err(CliError::Usage("--shard-capacity must be positive".into()));
+        }
+        config.shard_capacity = c;
+    }
+    config.dir = dir.map(std::path::PathBuf::from);
+    let report = storebench::run(&config).map_err(CliError::Library)?;
+    let json = report.to_json();
+    let path = out_path
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("BENCH_{}_store.json", report.date));
+    std::fs::write(&path, &json)
+        .map_err(|e| CliError::Library(format!("cannot write {path}: {e}")))?;
+    let mut out = report.summary_table();
     writeln!(out, "wrote {path}").ok();
     Ok(out)
 }
@@ -992,6 +1071,41 @@ pub fn run(
         }
         "bench" => {
             let smoke = args.iter().any(|a| a == "--smoke");
+            if args.get(1).map(String::as_str) == Some("store") {
+                let parse_num = |name: &str| -> Result<Option<usize>, CliError> {
+                    match flag(name, "") {
+                        s if s.is_empty() => Ok(None),
+                        s => s
+                            .parse()
+                            .map(Some)
+                            .map_err(|_| CliError::Usage(format!("{name} must be a number"))),
+                    }
+                };
+                let facts = parse_num("--facts")?;
+                let append = parse_num("--append")?;
+                let shard_capacity = match flag("--shard-capacity", "") {
+                    s if s.is_empty() => None,
+                    s => Some(s.parse::<u64>().map_err(|_| {
+                        CliError::Usage("--shard-capacity must be a number".into())
+                    })?),
+                };
+                let dir = match flag("--dir", "") {
+                    s if s.is_empty() => None,
+                    s => Some(s),
+                };
+                let out = match flag("--out", "") {
+                    s if s.is_empty() => None,
+                    s => Some(s),
+                };
+                return cmd_bench_store(
+                    smoke,
+                    facts,
+                    append,
+                    shard_capacity,
+                    dir.as_deref(),
+                    out.as_deref(),
+                );
+            }
             let impl_name = flag("--impl", "arena");
             let out = match flag("--out", "") {
                 s if s.is_empty() => None,
@@ -1488,5 +1602,65 @@ Person(1000000)
             .map(|s| s.to_string())
             .collect();
         assert!(matches!(run(&c, files), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bench_store_rejects_malformed_flags() {
+        let files = |_: &str| -> std::io::Result<String> {
+            Err(std::io::Error::new(std::io::ErrorKind::NotFound, "nope"))
+        };
+        let argv =
+            |parts: &[&str]| -> Vec<String> { parts.iter().map(|s| s.to_string()).collect() };
+        for bad in [
+            &["bench", "store", "--facts", "many"][..],
+            &["bench", "store", "--append", "-3"],
+            &["bench", "store", "--shard-capacity", "big"],
+            &["bench", "store", "--shard-capacity", "0"],
+        ] {
+            assert!(
+                matches!(run(&argv(bad), files), Err(CliError::Usage(_))),
+                "{bad:?} must be a usage error"
+            );
+        }
+        // degenerate geometry is refused by the bench itself, before any
+        // grounding work starts
+        let a = argv(&["bench", "store", "--facts", "10", "--append", "10"]);
+        assert!(matches!(run(&a, files), Err(CliError::Library(_))));
+    }
+
+    #[test]
+    fn bench_store_smoke_writes_artifact_and_reports_identity() {
+        let tmp =
+            std::env::temp_dir().join(format!("infpdb-cli-storebench-{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).unwrap();
+        let out = tmp.join("store.json");
+        let dir = tmp.join("store-dir");
+        let files = |_: &str| -> std::io::Result<String> {
+            Err(std::io::Error::new(std::io::ErrorKind::NotFound, "nope"))
+        };
+        let a: Vec<String> = [
+            "bench",
+            "store",
+            "--smoke",
+            "--facts",
+            "600",
+            "--append",
+            "100",
+            "--shard-capacity",
+            "128",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let table = run(&a, files).expect("bench store --smoke succeeds");
+        assert!(table.contains("bit-for-bit identical"), "{table}");
+        assert!(table.contains("wrote "), "{table}");
+        let artifact = std::fs::read_to_string(&out).unwrap();
+        assert!(artifact.contains("infpdb-store-bench/v1"), "{artifact}");
+        std::fs::remove_dir_all(&tmp).ok();
     }
 }

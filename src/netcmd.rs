@@ -49,6 +49,9 @@ pub struct ServeOptions {
     /// warms to the default ε, and snapshots after the warm, then
     /// periodically and once more on graceful shutdown.
     pub store_dir: Option<String>,
+    /// Facts per durable-store shard file (`--shard-capacity`); unset
+    /// uses the store's default (2²⁰). Only meaningful with `store_dir`.
+    pub store_shard_capacity: Option<u64>,
     /// Interval between periodic snapshots (`--snapshot-every`, in
     /// seconds); only meaningful with `store_dir`.
     pub snapshot_every: Duration,
@@ -68,6 +71,7 @@ impl Default for ServeOptions {
             tail_mass: TAIL_MASS,
             tail_start: TAIL_START,
             store_dir: None,
+            store_shard_capacity: None,
             snapshot_every: Duration::from_secs(30),
         }
     }
@@ -84,6 +88,7 @@ fn build_service(table_text: &str, opts: &ServeOptions) -> Result<QueryService, 
             scheduler: opts.scheduler,
             arena_stats: opts.arena_stats,
             store_dir: opts.store_dir.as_ref().map(std::path::PathBuf::from),
+            store_shard_capacity: opts.store_shard_capacity,
             ..ServiceConfig::default()
         },
     ))
@@ -307,6 +312,17 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
             s if s.is_empty() => None,
             s => Some(s),
         },
+        store_shard_capacity: match flag("--shard-capacity", "") {
+            s if s.is_empty() => None,
+            s => match s.parse::<u64>() {
+                Ok(c) if c > 0 => Some(c),
+                _ => {
+                    return Err(CliError::Usage(
+                        "--shard-capacity must be a positive integer".into(),
+                    ))
+                }
+            },
+        },
         snapshot_every: Duration::from_secs_f64(num("--snapshot-every", "30")?.max(0.05)),
     };
     if opts.threads < 1 {
@@ -474,6 +490,17 @@ Person 42 @ 0.5
         assert!(opts.arena_stats);
         assert!(parse_serve_options(&a(&["--threads", "zero"])).is_err());
         assert!(parse_serve_options(&a(&["--quota-rps", "lots"])).is_err());
+        assert_eq!(
+            parse_serve_options(&a(&["--shard-capacity", "4096"]))
+                .unwrap()
+                .store_shard_capacity,
+            Some(4096)
+        );
+        assert_eq!(
+            parse_serve_options(&a(&[])).unwrap().store_shard_capacity,
+            None
+        );
+        assert!(parse_serve_options(&a(&["--shard-capacity", "0"])).is_err());
 
         let nb = parse_netbench_options(&a(&[
             "--connections",

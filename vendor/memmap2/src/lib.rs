@@ -1,0 +1,211 @@
+//! Offline stand-in for the `memmap2` crate: read-only, whole-file
+//! memory mappings with the same API shape (`Mmap::map(&file)` +
+//! `Deref<Target = [u8]>`), no external dependencies.
+//!
+//! On 64-bit Unix the mapping is a real private `mmap(2)` obtained
+//! through a two-symbol FFI declaration (the same pattern
+//! `infpdb-net` uses for `signal(2)`), so reading a mapped segment
+//! touches the page cache instead of copying the file into the heap.
+//! Everywhere else — and whenever the syscall fails — callers are
+//! expected to fall back to an ordinary read; `infpdb-store` does this
+//! through its `StoreIo::view` seam and counts both outcomes.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// An immutable memory-mapped view of an entire file.
+///
+/// # Safety
+///
+/// As with the real `memmap2`, [`Mmap::map`] is `unsafe` because the
+/// mapping's contents can change under the process if another writer
+/// truncates or modifies the file while it is mapped. Store segments
+/// are immutable once committed (they are replaced by rename, never
+/// rewritten in place), which is what makes the store's use sound.
+pub struct Mmap {
+    inner: imp::Map,
+}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// Fails with the underlying OS error if the mapping cannot be
+    /// established (including on platforms without `mmap` support,
+    /// where it always fails and callers must use their read
+    /// fallback). Mapping an empty file succeeds with a zero-length
+    /// view without touching the syscall.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the file is not truncated or mutated in
+    /// place for the lifetime of the mapping.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file too large to map",
+            ));
+        }
+        Ok(Mmap {
+            inner: imp::map(file, len as usize)?,
+        })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+// The mapping is read-only and PRIVATE: no thread can observe a write
+// through it, so sharing the view across threads is sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod imp {
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    pub struct Map {
+        ptr: *mut core::ffi::c_void,
+        len: usize,
+    }
+
+    pub fn map(file: &File, len: usize) -> io::Result<Map> {
+        if len == 0 {
+            // mmap(2) rejects zero-length mappings; an empty view
+            // needs no backing memory at all
+            return Ok(Map {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as usize == usize::MAX {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Map { ptr, len })
+    }
+
+    impl Map {
+        pub fn as_slice(&self) -> &[u8] {
+            if self.len == 0 {
+                &[]
+            } else {
+                unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+            }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            if self.len != 0 {
+                unsafe {
+                    munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64")))]
+mod imp {
+    use std::fs::File;
+    use std::io;
+
+    pub struct Map {
+        _never: std::convert::Infallible,
+    }
+
+    pub fn map(_file: &File, _len: usize) -> io::Result<Map> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "mmap is unavailable on this platform; use the read fallback",
+        ))
+    }
+
+    impl Map {
+        pub fn as_slice(&self) -> &[u8] {
+            match self._never {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("memmap2-shim-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    fn maps_file_contents_byte_for_byte() {
+        let path = temp_path("bytes");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(70_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert_eq!(&map[..], &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}
